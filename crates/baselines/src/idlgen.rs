@@ -1,0 +1,317 @@
+//! Traditional IDL-compiler code generation: imposed types.
+//!
+//! Reproduces the fixed translation of the paper's Fig. 4: IDL structs
+//! become `final` Java classes with public fields and canned
+//! constructors, `out` parameters become `Holder` classes, interfaces
+//! become `org.omg.CORBA.Object`-extending Java interfaces. The C
+//! generator emits the parallel C header.
+
+use std::fmt::Write as _;
+
+use mockingbird_stype::ann::Direction;
+use mockingbird_stype::ast::{ArrayLen, Prim, SNode, Stype, Universe};
+
+fn simple(name: &str) -> &str {
+    name.rsplit('.').next().unwrap_or(name)
+}
+
+fn java_type(uni: &Universe, ty: &Stype) -> String {
+    match &ty.node {
+        SNode::Prim(p) => match p {
+            Prim::Bool => "boolean".into(),
+            Prim::Char8 | Prim::Char16 => "char".into(),
+            Prim::I8 | Prim::U8 => "byte".into(),
+            Prim::I16 | Prim::U16 => "short".into(),
+            Prim::I32 | Prim::U32 => "int".into(),
+            Prim::I64 | Prim::U64 => "long".into(),
+            Prim::F32 => "float".into(),
+            Prim::F64 => "double".into(),
+            Prim::Void => "void".into(),
+            Prim::Any => "org.omg.CORBA.Any".into(),
+        },
+        SNode::Str => "String".into(),
+        SNode::Named(n) => {
+            // Typedefs to arrays/sequences flatten into the imposed
+            // array form, exactly as the fixed translation does.
+            match uni.get(n) {
+                Some(decl) => match &decl.ty.node {
+                    SNode::Array { elem, .. } | SNode::Sequence(elem) => {
+                        format!("{}[]", java_type(uni, elem))
+                    }
+                    SNode::Enum(_) | SNode::Struct(_) | SNode::Union(_) => {
+                        simple(n).to_string()
+                    }
+                    _ => java_type(uni, &decl.ty),
+                },
+                None => simple(n).to_string(),
+            }
+        }
+        SNode::Pointer(t) => java_type(uni, t),
+        SNode::Array { elem, .. } => format!("{}[]", java_type(uni, elem)),
+        SNode::Sequence(elem) => format!("{}[]", java_type(uni, elem)),
+        SNode::Struct(_) | SNode::Union(_) | SNode::Class { .. } => "Object".into(),
+        SNode::Enum(_) => "int".into(),
+        SNode::Interface { .. } | SNode::Function(_) => "org.omg.CORBA.Object".into(),
+    }
+}
+
+/// Generates the imposed Java translation of an IDL declaration: the
+/// paper's Fig. 4 output.
+///
+/// Returns the generated compilation units as `(file name, source)`.
+pub fn generate_java(uni: &Universe, decl_name: &str) -> Vec<(String, String)> {
+    let Some(decl) = uni.get(decl_name) else {
+        return vec![];
+    };
+    let name = simple(decl_name);
+    let mut units = Vec::new();
+    match &decl.ty.node {
+        SNode::Struct(fields) => {
+            let mut src = String::new();
+            let _ = writeln!(src, "public final class {name} {{");
+            let _ = writeln!(src, "    // canned constructors and methods");
+            let _ = writeln!(src, "    public {name}() {{}}");
+            let ctor_params: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{} {}", java_type(uni, &f.ty), f.name))
+                .collect();
+            let _ = writeln!(src, "    public {name}({}) {{", ctor_params.join(", "));
+            for f in fields {
+                let _ = writeln!(src, "        this.{0} = {0};", f.name);
+            }
+            let _ = writeln!(src, "    }}");
+            for f in fields {
+                let _ = writeln!(src, "    public {} {};", java_type(uni, &f.ty), f.name);
+            }
+            let _ = writeln!(src, "}}");
+            units.push((format!("{name}.java"), src));
+            // The Holder class for out/inout parameters.
+            let mut holder = String::new();
+            let _ = writeln!(holder, "public final class {name}Holder {{");
+            let _ = writeln!(holder, "    public {name} value;");
+            let _ = writeln!(holder, "    public {name}Holder() {{}}");
+            let _ = writeln!(holder, "    public {name}Holder({name} initial) {{ value = initial; }}");
+            let _ = writeln!(holder, "}}");
+            units.push((format!("{name}Holder.java"), holder));
+        }
+        SNode::Interface { methods, .. } => {
+            let mut src = String::new();
+            let _ = writeln!(src, "public interface {name}");
+            let _ = writeln!(src, "    extends org.omg.CORBA.Object {{");
+            for m in methods {
+                let mut params = Vec::new();
+                for p in &m.sig.params {
+                    let dir = p.ty.ann.direction.unwrap_or(Direction::In);
+                    let base = java_type(uni, &p.ty);
+                    let jty = match dir {
+                        Direction::In => base,
+                        // The fixed translation forces Holder types on
+                        // out/inout parameters (Fig. 4).
+                        Direction::Out | Direction::InOut => match &p.ty.node {
+                            SNode::Named(n) => {
+                                format!("{}Package.{}Holder", name, simple(n))
+                            }
+                            _ => format!("org.omg.CORBA.{}Holder", capitalise(&base)),
+                        },
+                    };
+                    params.push(format!("{jty} {}", p.name));
+                }
+                let _ = writeln!(
+                    src,
+                    "    {} {}({});",
+                    java_type(uni, &m.sig.ret),
+                    m.name,
+                    params.join(", ")
+                );
+            }
+            let _ = writeln!(src, "}}");
+            units.push((format!("{name}.java"), src));
+        }
+        SNode::Enum(members) => {
+            let mut src = String::new();
+            let _ = writeln!(src, "public final class {name} {{");
+            for (i, m) in members.iter().enumerate() {
+                let _ = writeln!(src, "    public static final int _{m} = {i};");
+            }
+            let _ = writeln!(src, "}}");
+            units.push((format!("{name}.java"), src));
+        }
+        _ => {}
+    }
+    units
+}
+
+fn capitalise(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+fn c_type(uni: &Universe, ty: &Stype, name: &str) -> String {
+    match &ty.node {
+        SNode::Prim(p) => {
+            let base = match p {
+                Prim::Bool => "unsigned char",
+                Prim::Char8 => "char",
+                Prim::Char16 => "wchar_t",
+                Prim::I8 => "signed char",
+                Prim::U8 => "unsigned char",
+                Prim::I16 => "short",
+                Prim::U16 => "unsigned short",
+                Prim::I32 => "int",
+                Prim::U32 => "unsigned int",
+                Prim::I64 => "long long",
+                Prim::U64 => "unsigned long long",
+                Prim::F32 => "float",
+                Prim::F64 => "double",
+                Prim::Void => "void",
+                Prim::Any => "CORBA_any",
+            };
+            format!("{base} {name}")
+        }
+        SNode::Str => format!("char *{name}"),
+        SNode::Named(n) => format!("{} {name}", simple(n)),
+        SNode::Pointer(t) => c_type(uni, t, &format!("*{name}")),
+        SNode::Array { elem, len } => match len {
+            ArrayLen::Fixed(k) => c_type(uni, elem, &format!("{name}[{k}]")),
+            ArrayLen::Indefinite => c_type(uni, elem, &format!("{name}[]")),
+        },
+        SNode::Sequence(elem) => {
+            // The standard C mapping of sequence<T>: a counted buffer.
+            format!(
+                "struct {{ unsigned long _length; {}; }} {name}",
+                c_type(uni, elem, "*_buffer")
+            )
+        }
+        _ => format!("void *{name}"),
+    }
+}
+
+/// Generates the imposed C translation of an IDL declaration.
+pub fn generate_c(uni: &Universe, decl_name: &str) -> String {
+    let Some(decl) = uni.get(decl_name) else {
+        return String::new();
+    };
+    let name = simple(decl_name);
+    let mut out = String::new();
+    match &decl.ty.node {
+        SNode::Struct(fields) => {
+            let _ = writeln!(out, "typedef struct {name} {{");
+            for f in fields {
+                let _ = writeln!(out, "    {};", c_type(uni, &f.ty, &f.name));
+            }
+            let _ = writeln!(out, "}} {name};");
+        }
+        SNode::Interface { methods, .. } => {
+            for m in methods {
+                let mut params = vec!["CORBA_Object self".to_string()];
+                for p in &m.sig.params {
+                    let dir = p.ty.ann.direction.unwrap_or(Direction::In);
+                    let expr = match dir {
+                        Direction::In => c_type(uni, &p.ty, &p.name),
+                        Direction::Out | Direction::InOut => {
+                            c_type(uni, &p.ty, &format!("*{}", p.name))
+                        }
+                    };
+                    params.push(expr);
+                }
+                let _ = writeln!(
+                    out,
+                    "{};",
+                    c_type(uni, &m.sig.ret, &format!("{name}_{}({})", m.name, params.join(", ")))
+                );
+            }
+        }
+        SNode::Enum(members) => {
+            let _ = writeln!(out, "typedef enum {name} {{ {} }} {name};", members.join(", "));
+        }
+        _ => {
+            let _ = writeln!(out, "typedef {};", c_type(uni, &decl.ty, name));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mockingbird_lang_idl::parse_idl;
+
+    const FIG3A: &str = "
+        interface JavaFriendly {
+          struct Point { float x; float y; };
+          struct Line { Point start; Point end; };
+          typedef sequence<Point> PointVector;
+          Line fitter(in PointVector pts);
+        };";
+
+    const FIG3B: &str = "
+        interface CFriendly {
+          typedef float Point[2];
+          typedef sequence<Point> pointseq;
+          void fitter(in pointseq pts, in long count,
+                      out Point start, out Point end);
+        };";
+
+    #[test]
+    fn figure_4_imposed_point_class() {
+        let uni = parse_idl(FIG3A).unwrap();
+        let units = generate_java(&uni, "JavaFriendly.Point");
+        let (_, src) = &units[0];
+        assert!(src.contains("public final class Point {"), "{src}");
+        assert!(src.contains("public float x;"));
+        assert!(src.contains("public float y;"));
+        assert!(src.contains("canned constructors"));
+        let (holder_name, holder) = &units[1];
+        assert_eq!(holder_name, "PointHolder.java");
+        assert!(holder.contains("public Point value;"));
+    }
+
+    #[test]
+    fn figure_4_imposed_java_friendly_interface() {
+        let uni = parse_idl(FIG3A).unwrap();
+        let units = generate_java(&uni, "JavaFriendly");
+        let (_, src) = &units[0];
+        assert!(src.contains("public interface JavaFriendly"));
+        assert!(src.contains("extends org.omg.CORBA.Object"));
+        // The fixed translation forces Point[] instead of PointVector —
+        // the paper's §2 complaint.
+        assert!(src.contains("Line fitter(Point[] pts);"), "{src}");
+    }
+
+    #[test]
+    fn figure_4_imposed_c_friendly_interface_with_holders() {
+        let uni = parse_idl(FIG3B).unwrap();
+        let units = generate_java(&uni, "CFriendly");
+        let (_, src) = &units[0];
+        assert!(src.contains("void fitter(float[][] pts"), "{src}");
+        assert!(src.contains("int count"));
+        assert!(
+            src.contains("CFriendlyPackage.PointHolder start"),
+            "out params become Holder types: {src}"
+        );
+    }
+
+    #[test]
+    fn imposed_c_translation() {
+        let uni = parse_idl(FIG3A).unwrap();
+        let c = generate_c(&uni, "JavaFriendly.Point");
+        assert!(c.contains("typedef struct Point {"));
+        assert!(c.contains("float x;"));
+        let c = generate_c(&uni, "JavaFriendly");
+        assert!(c.contains("Line JavaFriendly_fitter(CORBA_Object self"), "{c}");
+    }
+
+    #[test]
+    fn enums_and_missing_decls() {
+        let uni = parse_idl("enum Color { RED, GREEN };").unwrap();
+        let units = generate_java(&uni, "Color");
+        assert!(units[0].1.contains("public static final int _RED = 0;"));
+        assert!(generate_java(&uni, "Nope").is_empty());
+        assert!(generate_c(&uni, "Nope").is_empty());
+        let c = generate_c(&uni, "Color");
+        assert!(c.contains("typedef enum Color { RED, GREEN } Color;"));
+    }
+}

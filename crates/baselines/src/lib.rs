@@ -1,0 +1,24 @@
+//! The baselines Mockingbird is contrasted against (paper §1–§2).
+//!
+//! - [`idlgen`] — an **IDL compiler** in the traditional mould: given
+//!   CORBA IDL declarations it emits the *imposed* Java and C types of
+//!   the paper's Fig. 4 ("canned" value classes with public fields,
+//!   Holder classes for `out` parameters, an interface with the fixed
+//!   translation). The application must then hand-bridge between its own
+//!   types and these.
+//! - [`bridge`] — the runtime cost model of that hand bridge: the
+//!   imposed-type path materialises an intermediate object graph (the
+//!   imposed types) between the application value and the wire, which is
+//!   exactly the extra work the §6 overhead study measures.
+//! - [`x2y`] — an **X2Y tool** (the paper cites J2c++): translates a C
+//!   declaration directly into an imposed Java interface, "with flexible
+//!   use of the type system in the source language, but data types ...
+//!   once again imposed for the target language".
+
+pub mod bridge;
+pub mod idlgen;
+pub mod x2y;
+
+pub use bridge::ImposedPath;
+pub use idlgen::{generate_c, generate_java};
+pub use x2y::c_to_java;

@@ -1,0 +1,143 @@
+//! X2: comparer microbenchmarks and the isomorphism-rule ablation.
+//!
+//! Measures Amadio–Cardelli + isomorphism-rule comparison on deep, wide
+//! and cyclic Mtypes, and the cost/benefit of the rules (full vs strict):
+//! the strict comparer is faster but rejects every shuffled/regrouped
+//! variant (match rate 0%), which is the entire point of the rules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use mockingbird::comparer::{Comparer, Mode, RuleSet};
+use mockingbird::corpus::{isomorphic_variant, random_mtype};
+use mockingbird::mtype::MtypeGraph;
+
+fn bench_equivalence_by_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comparer/equivalence_by_depth");
+    for depth in [2usize, 3, 4, 5] {
+        let mut rng = StdRng::seed_from_u64(depth as u64);
+        let mut g = MtypeGraph::new();
+        let ty = random_mtype(&mut g, &mut rng, depth);
+        let mut h = MtypeGraph::new();
+        let var = isomorphic_variant(&g, ty, &mut h);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                let ok = Comparer::new(&g, &h).equivalent(black_box(ty), black_box(var));
+                assert!(ok);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_wide_records(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comparer/wide_record_permutation");
+    for width in [8usize, 32, 128] {
+        let mut g = MtypeGraph::new();
+        let leaves: Vec<_> = (0..width)
+            .map(|k| {
+                g.integer(mockingbird::mtype::IntRange::signed_bits((k % 62 + 1) as u32))
+            })
+            .collect();
+        let left = g.record(leaves.clone());
+        let mut reversed = leaves;
+        reversed.reverse();
+        let right = g.record(reversed);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| {
+                assert!(Comparer::new(&g, &g).equivalent(black_box(left), black_box(right)));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cyclic_types(c: &mut Criterion) {
+    // A chain of mutually recursive records, compared against the same
+    // chain with its binder cut at a different point.
+    let mut group = c.benchmark_group("comparer/cyclic");
+    for n in [4usize, 16, 64] {
+        let build = |rotate: usize| -> (MtypeGraph, mockingbird::mtype::MtypeId) {
+            let mut g = MtypeGraph::new();
+            let i = g.integer(mockingbird::mtype::IntRange::signed_bits(32));
+            let root = g.recursive(|g, me| {
+                let mut cur = me;
+                for _ in 0..n {
+                    cur = g.record(vec![i, cur]);
+                }
+                cur
+            });
+            // Enter the cycle at a rotated point.
+            let mut entry = root;
+            for _ in 0..rotate {
+                let mockingbird::mtype::MtypeKind::Record(cs) = g.kind(g.resolve(entry)) else {
+                    unreachable!()
+                };
+                entry = cs[1];
+            }
+            (g, entry)
+        };
+        let (g1, t1) = build(0);
+        let (g2, t2) = build(0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                assert!(Comparer::new(&g1, &g2).equivalent(black_box(t1), black_box(t2)));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rule_ablation(c: &mut Criterion) {
+    // Full rules accept the shuffled variant; strict rules must reject
+    // it (and do so quickly). This is the ablation row of EXPERIMENTS.md.
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut g = MtypeGraph::new();
+    let ty = random_mtype(&mut g, &mut rng, 4);
+    let mut h = MtypeGraph::new();
+    let var = isomorphic_variant(&g, ty, &mut h);
+
+    let mut group = c.benchmark_group("comparer/rule_ablation");
+    group.bench_function("full_rules_accept_variant", |b| {
+        b.iter(|| assert!(Comparer::new(&g, &h).equivalent(black_box(ty), black_box(var))))
+    });
+    group.bench_function("strict_rules_reject_variant", |b| {
+        b.iter(|| {
+            assert!(!Comparer::with_rules(&g, &h, RuleSet::strict())
+                .equivalent(black_box(ty), black_box(var)))
+        })
+    });
+    group.bench_function("full_rules_identical_build", |b| {
+        b.iter(|| assert!(Comparer::new(&g, &g).equivalent(black_box(ty), black_box(ty))))
+    });
+    group.finish();
+}
+
+fn bench_mismatch_rejection(c: &mut Criterion) {
+    // Fast rejection via fingerprints: a perturbed variant must fail
+    // quickly even for large types.
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut g = MtypeGraph::new();
+    let ty = random_mtype(&mut g, &mut rng, 5);
+    let mut p = MtypeGraph::new();
+    let bad = mockingbird::corpus::perturbed_variant(&g, ty, &mut p);
+    c.bench_function("comparer/reject_perturbed", |b| {
+        b.iter(|| {
+            assert!(Comparer::new(&g, &p)
+                .compare(black_box(ty), black_box(bad), Mode::Equivalence)
+                .is_err())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_equivalence_by_depth,
+    bench_wide_records,
+    bench_cyclic_types,
+    bench_rule_ablation,
+    bench_mismatch_rejection
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! E3: messaging throughput — the collaboration framework's send/receive
+//! stubs over the in-memory transport (marshalling cost without socket
+//! noise) for representative message types.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use mockingbird::corpus::collab::{collaboration, MESSAGE_TYPES};
+use mockingbird::corpus::sample_value;
+use mockingbird::runtime::{Dispatcher, InMemoryConnection, RemoteRef, WireOp};
+use mockingbird::stubgen::MessagingStubs;
+use mockingbird::values::{Endian, MValue};
+use mockingbird::Session;
+
+fn setup() -> (RemoteRef, Arc<AtomicUsize>, Vec<(String, MValue)>) {
+    let corpus = collaboration();
+    let mut s = Session::new();
+    for d in corpus.java.iter() {
+        s.universe_mut().insert(d.clone()).unwrap();
+    }
+    s.annotate(&corpus.script).unwrap();
+
+    let mut tys = HashMap::new();
+    for m in MESSAGE_TYPES {
+        tys.insert(m, s.mtype(m).unwrap());
+    }
+    let graph = Arc::new(s.graph().clone());
+    let mut ops = HashMap::new();
+    for m in MESSAGE_TYPES {
+        ops.insert(
+            m.to_string(),
+            WireOp { graph: graph.clone(), args_ty: tys[m], result_ty: tys[m] },
+        );
+    }
+
+    let counter = Arc::new(AtomicUsize::new(0));
+    let mut handlers: HashMap<String, Arc<dyn Fn(MValue) + Send + Sync>> = HashMap::new();
+    for m in MESSAGE_TYPES {
+        let c = counter.clone();
+        handlers.insert(
+            m.to_string(),
+            Arc::new(move |_| {
+                c.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+    }
+    let dispatcher = Arc::new(Dispatcher::new());
+    dispatcher.register(
+        b"collab".to_vec(),
+        mockingbird::runtime::WireServant::new(MessagingStubs::receive_servant(handlers), ops.clone()),
+    );
+    let remote = RemoteRef::new(
+        Arc::new(InMemoryConnection::new(dispatcher)),
+        b"collab".to_vec(),
+        ops,
+        Endian::Little,
+    );
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let samples: Vec<(String, MValue)> = ["CursorMoved", "ShapeMoved", "StateSnapshot"]
+        .iter()
+        .map(|m| ((*m).to_string(), sample_value(&graph, tys[m], &mut rng, 8)))
+        .collect();
+    (remote, counter, samples)
+}
+
+fn bench_send(c: &mut Criterion) {
+    let (remote, counter, samples) = setup();
+    let mut group = c.benchmark_group("e3/oneway_send");
+    for (name, value) in &samples {
+        group.bench_with_input(BenchmarkId::from_parameter(name), value, |b, v| {
+            b.iter(|| remote.send(black_box(name), black_box(v)).unwrap())
+        });
+    }
+    group.finish();
+    assert!(counter.load(Ordering::Relaxed) > 0, "handlers actually ran");
+}
+
+fn bench_burst(c: &mut Criterion) {
+    let (remote, _counter, samples) = setup();
+    let (name, value) = &samples[0];
+    c.bench_function("e3/burst_100_cursor_moves", |b| {
+        b.iter(|| {
+            for _ in 0..100 {
+                remote.send(black_box(name), black_box(value)).unwrap();
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_send, bench_burst);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! X1: the §6 overhead question.
+//!
+//! "We are also engaged in establishing a realistic set of runtime
+//! performance benchmarks to determine whether our two-declarations
+//! approach adds any overhead compared to competing technologies (we do
+//! not anticipate that it will)."
+//!
+//! Rows:
+//! - `native_call`: the raw C fitter, no stub — the floor;
+//! - `mockingbird_local`: the two-declarations local stub (structural
+//!   conversion only, no wire);
+//! - `mockingbird_marshal`: convert + CDR encode (the network path's
+//!   marshalling half);
+//! - `idl_compiler_marshal`: the baseline — hand bridge into imposed
+//!   types, materialising the intermediate object graph, then CDR;
+//! - `mockingbird_remote_loopback`: full GIOP round trip, no sockets.
+//!
+//! The paper's expectation holds if `mockingbird_marshal` ≤
+//! `idl_compiler_marshal` (the baseline pays an extra materialisation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mockingbird_bench::{
+    c_fitter_impl, fitter_remote_loopback, fitter_session, fitter_stub, point_list,
+};
+
+use mockingbird::baselines::bridge::{direct_marshal, ImposedPath};
+use mockingbird::comparer::Mode;
+use mockingbird::stype::ast::Stype;
+use mockingbird::values::{Endian, MValue};
+
+fn bench_local_call(c: &mut Criterion) {
+    let (stub, _plan) = fitter_stub().unwrap();
+    let mut group = c.benchmark_group("x1/local_call");
+    for n in [4usize, 64, 1024] {
+        let pts = point_list(n);
+        group.bench_with_input(BenchmarkId::new("native_call", n), &n, |b, _| {
+            let args = MValue::Record(vec![pts.clone()]);
+            b.iter(|| c_fitter_impl(black_box(args.clone())).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("mockingbird_local", n), &n, |b, _| {
+            b.iter(|| stub.call(black_box(&[pts.clone()]), &c_fitter_impl).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_marshalling_paths(c: &mut Criterion) {
+    // The data crossing the wire: a Java Point record versus the imposed
+    // CORBA Point, in lists of growing length.
+    let mut s = fitter_session().unwrap();
+    s.load_java("public class WirePoint { private float x; private float y; }")
+        .unwrap();
+    let plan = s.compare("Point", "WirePoint", Mode::Equivalence).unwrap();
+    let wire_ty = s.mtype("WirePoint").unwrap();
+    let uni = s.universe().clone();
+
+    let mut group = c.benchmark_group("x1/marshal_point");
+    for n in [1usize, 64, 1024] {
+        // n points marshalled one after another (per-value cost).
+        let v = MValue::Record(vec![MValue::Real(1.0), MValue::Real(2.0)]);
+        group.bench_with_input(BenchmarkId::new("mockingbird_direct", n), &n, |b, &n| {
+            b.iter(|| {
+                for _ in 0..n {
+                    black_box(
+                        direct_marshal(&plan, wire_ty, black_box(&v), Endian::Little).unwrap(),
+                    );
+                }
+            })
+        });
+        let path = ImposedPath {
+            uni: &uni,
+            imposed_decl: Stype::named("WirePoint"),
+            bridge: plan.clone(),
+            imposed_ty: wire_ty,
+        };
+        group.bench_with_input(BenchmarkId::new("idl_compiler_bridge", n), &n, |b, &n| {
+            b.iter(|| {
+                for _ in 0..n {
+                    black_box(path.marshal(black_box(&v), Endian::Little).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_remote_loopback(c: &mut Criterion) {
+    let stub = fitter_remote_loopback().unwrap();
+    let mut group = c.benchmark_group("x1/remote_loopback");
+    for n in [4usize, 64, 1024] {
+        let pts = point_list(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| stub.call(black_box(&[pts.clone()])).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_call, bench_marshalling_paths, bench_remote_loopback);
+criterion_main!(benches);

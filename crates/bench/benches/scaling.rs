@@ -1,0 +1,70 @@
+//! E1: the VisualAge scaling study (paper §5).
+//!
+//! "The scalability of Mockingbird's algorithms to the full system is an
+//! ongoing investigation" — here it is. The corpus matches the quoted
+//! shape (inter-related classes, thousands of methods at n=500); the
+//! bench sweeps the class count and measures lowering plus comparison of
+//! every class pair, which should grow near-linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mockingbird::comparer::{Comparer, Mode};
+use mockingbird::corpus::visualage;
+use mockingbird::mtype::MtypeGraph;
+use mockingbird::stype::lower::Lowerer;
+use mockingbird::stype::script::apply_script;
+
+fn compare_all(n: usize) -> usize {
+    let mut pair = visualage(n, 42);
+    apply_script(&mut pair.java, &pair.script).expect("script applies");
+    let mut g = MtypeGraph::new();
+    let mut cxx_ids = Vec::with_capacity(n);
+    {
+        let mut lw = Lowerer::new(&pair.cxx, &mut g);
+        for name in &pair.class_names {
+            cxx_ids.push(lw.lower_named(name).unwrap());
+        }
+    }
+    let mut java_ids = Vec::with_capacity(n);
+    {
+        let mut lw = Lowerer::new(&pair.java, &mut g);
+        for name in &pair.class_names {
+            java_ids.push(lw.lower_named(name).unwrap());
+        }
+    }
+    let mut matched = 0;
+    let cmp = Comparer::new(&g, &g);
+    for (c, j) in cxx_ids.iter().zip(&java_ids) {
+        if cmp.compare(*c, *j, Mode::Equivalence).is_ok() {
+            matched += 1;
+        }
+    }
+    assert_eq!(matched, n, "every class matches at every scale");
+    matched
+}
+
+fn bench_visualage_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1/visualage_classes");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for n in [12usize, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(compare_all(n)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_miniature_annotation(c: &mut Criterion) {
+    // The batch-script application itself (the §5 scripting technique).
+    c.bench_function("e1/batch_annotation_12_classes", |b| {
+        b.iter(|| {
+            let mut pair = visualage(12, 42);
+            apply_script(&mut pair.java, black_box(&pair.script)).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_visualage_sweep, bench_miniature_annotation);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! X3: wire-format throughput by type shape and byte order.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use mockingbird::mtype::{IntRange, MtypeGraph, MtypeId, RealPrecision};
+use mockingbird::values::{Endian, MValue};
+use mockingbird::wire::{mbp, CdrReader, CdrWriter};
+
+fn shapes() -> Vec<(&'static str, MtypeGraph, MtypeId, MValue)> {
+    let mut out = Vec::new();
+    // Flat record of mixed scalars.
+    {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(32));
+        let l = g.integer(IntRange::signed_bits(64));
+        let f = g.real(RealPrecision::SINGLE);
+        let d = g.real(RealPrecision::DOUBLE);
+        let rec = g.record(vec![i, l, f, d, i, f]);
+        let v = MValue::Record(vec![
+            MValue::Int(1),
+            MValue::Int(1 << 40),
+            MValue::Real(1.5),
+            MValue::Real(2.5),
+            MValue::Int(-7),
+            MValue::Real(0.25),
+        ]);
+        out.push(("flat_record", g, rec, v));
+    }
+    // Nested records (a Line of Points).
+    {
+        let mut g = MtypeGraph::new();
+        let r = g.real(RealPrecision::SINGLE);
+        let point = g.record(vec![r, r]);
+        let line = g.record(vec![point, point]);
+        let quad = g.record(vec![line, line]);
+        let p = |x: f64| MValue::Record(vec![MValue::Real(x), MValue::Real(-x)]);
+        let l = |x: f64| MValue::Record(vec![p(x), p(x + 1.0)]);
+        let v = MValue::Record(vec![l(0.0), l(2.0)]);
+        out.push(("nested_record", g, quad, v));
+    }
+    // A 1024-element list of points.
+    {
+        let mut g = MtypeGraph::new();
+        let r = g.real(RealPrecision::SINGLE);
+        let point = g.record(vec![r, r]);
+        let list = g.list_of(point);
+        let v = MValue::List(
+            (0..1024)
+                .map(|k| MValue::Record(vec![MValue::Real(k as f64), MValue::Real(0.5)]))
+                .collect(),
+        );
+        out.push(("list_1024_points", g, list, v));
+    }
+    // Nullable chain (Choice-heavy).
+    {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(32));
+        let rec = g.recursive(|g, me| {
+            let tail = g.nullable(me);
+            g.record(vec![i, tail])
+        });
+        let mut v = MValue::Record(vec![MValue::Int(0), MValue::null()]);
+        for k in 1..64 {
+            v = MValue::Record(vec![MValue::Int(k), MValue::some(v)]);
+        }
+        out.push(("choice_chain_64", g, rec, v));
+    }
+    out
+}
+
+fn bench_cdr(c: &mut Criterion) {
+    for (name, g, ty, v) in shapes() {
+        let mut group = c.benchmark_group(format!("x3/cdr/{name}"));
+        // Size the throughput by encoded bytes.
+        let mut w = CdrWriter::new(Endian::Little);
+        w.put_value(&g, ty, &v).unwrap();
+        let bytes = w.into_bytes();
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        for endian in [Endian::Little, Endian::Big] {
+            group.bench_with_input(
+                BenchmarkId::new("encode", format!("{endian:?}")),
+                &endian,
+                |b, &endian| {
+                    b.iter(|| {
+                        let mut w = CdrWriter::new(endian);
+                        w.put_value(&g, ty, black_box(&v)).unwrap();
+                        black_box(w.into_bytes())
+                    })
+                },
+            );
+            let mut w = CdrWriter::new(endian);
+            w.put_value(&g, ty, &v).unwrap();
+            let encoded = w.into_bytes();
+            group.bench_with_input(
+                BenchmarkId::new("decode", format!("{endian:?}")),
+                &endian,
+                |b, &endian| {
+                    b.iter(|| {
+                        let mut r = CdrReader::new(black_box(&encoded), endian);
+                        black_box(r.get_value(&g, ty).unwrap())
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_mbp(c: &mut Criterion) {
+    for (name, _g, _ty, v) in shapes() {
+        let mut group = c.benchmark_group(format!("x3/mbp/{name}"));
+        let encoded = mbp::encode(&v);
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        group.bench_function("encode", |b| b.iter(|| black_box(mbp::encode(black_box(&v)))));
+        group.bench_function("decode", |b| {
+            b.iter(|| black_box(mbp::decode(black_box(&encoded)).unwrap()))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_cdr, bench_mbp);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Shared fixtures for the benchmark harness and the experiment report.
+//!
+//! Each fixture corresponds to one experiment of DESIGN.md §4; the
+//! Criterion benches and the `report` binary both build on these so the
+//! numbers in EXPERIMENTS.md and the bench output describe the same
+//! workloads.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mockingbird::comparer::Mode;
+use mockingbird::plan::CoercionPlan;
+use mockingbird::runtime::{Dispatcher, RemoteRef, Servant, WireOp, WireServant};
+use mockingbird::runtime::{InMemoryConnection, RuntimeError};
+use mockingbird::stubgen::{FunctionStub, RemoteStub};
+use mockingbird::values::{Endian, MValue};
+use mockingbird::{Session, SessionError};
+
+/// The fitter declarations (Figs. 1, 2, 5) and §3.4 annotations.
+pub const FIG2_C: &str = "typedef float point[2];
+void fitter(point pts[], int count, point *start, point *end);";
+
+/// The Java side of the fitter example.
+pub const FIG1_5_JAVA: &str = "
+public class Point { private float x; private float y; }
+public class Line { private Point start; private Point end; }
+public class PointVector extends java.util.Vector;
+public interface JavaIdeal { Line fitter(PointVector pts); }";
+
+/// The §3.4 annotation script.
+pub const FITTER_SCRIPT: &str = "
+annotate fitter.param(pts) length=param(count)
+annotate fitter.param(start) direction=out
+annotate fitter.param(end) direction=out
+annotate Line.field(start) non-null no-alias
+annotate Line.field(end) non-null no-alias
+annotate PointVector element=Point non-null
+annotate JavaIdeal.method(fitter).param(pts) non-null
+annotate JavaIdeal.method(fitter).ret non-null";
+
+/// A fully annotated fitter session.
+///
+/// # Errors
+///
+/// Propagates load/annotation failures (none for the canned sources).
+pub fn fitter_session() -> Result<Session, SessionError> {
+    let mut s = Session::new();
+    s.load_c(FIG2_C)?;
+    s.load_java(FIG1_5_JAVA)?;
+    s.annotate(FITTER_SCRIPT)?;
+    Ok(s)
+}
+
+/// A point list of length `n` in Java shape.
+pub fn point_list(n: usize) -> MValue {
+    MValue::List(
+        (0..n)
+            .map(|k| {
+                MValue::Record(vec![
+                    MValue::Real(k as f64),
+                    MValue::Real((2 * k) as f64 + 0.5),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The reference C-side fitter implementation used across benchmarks.
+pub fn c_fitter_impl(args: MValue) -> Result<MValue, String> {
+    let MValue::Record(items) = args else { return Err("bad frame".into()) };
+    let MValue::List(pts) = &items[0] else { return Err("bad pts".into()) };
+    Ok(MValue::Record(vec![
+        pts.first().cloned().ok_or("empty")?,
+        pts.last().cloned().ok_or("empty")?,
+    ]))
+}
+
+/// The fitter as a local function stub plus its plan.
+///
+/// # Errors
+///
+/// Propagates comparison failures.
+pub fn fitter_stub() -> Result<(FunctionStub, Arc<CoercionPlan>), SessionError> {
+    let mut s = fitter_session()?;
+    let plan = Arc::new(s.compare("JavaIdeal", "fitter", Mode::Equivalence)?);
+    Ok((FunctionStub::new(plan.clone())?, plan))
+}
+
+/// A remote fitter over the in-memory loopback (full marshalling, no
+/// sockets), for the X1 remote rows.
+///
+/// # Errors
+///
+/// Propagates session failures.
+pub fn fitter_remote_loopback() -> Result<RemoteStub, SessionError> {
+    let mut s = fitter_session()?;
+    let wire_op = s.wire_op("fitter")?;
+    let servant: Arc<dyn Servant> = Arc::new(|_: &str, args: MValue| {
+        c_fitter_impl(args).map_err(RuntimeError::Application)
+    });
+    let mut ops = HashMap::new();
+    ops.insert("fitter".to_string(), wire_op.clone());
+    let dispatcher = Arc::new(Dispatcher::new());
+    dispatcher.register(b"svc".to_vec(), WireServant::new(servant, ops));
+    let conn = Arc::new(InMemoryConnection::new(dispatcher));
+    let mut cops = HashMap::new();
+    cops.insert("fitter".to_string(), wire_op);
+    let remote = Arc::new(RemoteRef::new(conn, b"svc".to_vec(), cops, Endian::Little));
+    let plan = Arc::new(s.compare("JavaIdeal", "fitter", Mode::Equivalence)?);
+    Ok(RemoteStub::new(FunctionStub::new(plan)?, remote, "fitter"))
+}
+
+/// One `WireOp` for an arbitrary data Mtype (messaging benches).
+pub fn data_wire_op(session: &mut Session, decl: &str) -> Result<WireOp, SessionError> {
+    let ty = session.mtype(decl)?;
+    Ok(WireOp {
+        graph: Arc::new(session.graph().clone()),
+        args_ty: ty,
+        result_ty: ty,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let (stub, plan) = fitter_stub().unwrap();
+        assert!(plan.len() > 0);
+        let out = stub.call(&[point_list(4)], &c_fitter_impl).unwrap();
+        assert!(matches!(out, MValue::Record(_)));
+        let remote = fitter_remote_loopback().unwrap();
+        let out = remote.call(&[point_list(4)]).unwrap();
+        assert!(matches!(out, MValue::Record(_)));
+    }
+}

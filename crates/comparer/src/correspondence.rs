@@ -1,0 +1,140 @@
+//! Correspondences: the structural matching recorded by a successful
+//! comparison.
+//!
+//! "If the Comparer determines that two types match, it saves information
+//! about structural correspondences between the Mtypes for use by the
+//! Stub Generator." (paper §3)
+
+use std::collections::HashMap;
+
+use mockingbird_mtype::MtypeId;
+
+/// How two matched primitive leaves convert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrimCoercion {
+    /// Integer to integer (ranges equal, or source ⊆ target).
+    Int,
+    /// Real to real; `widen` is true when target precision exceeds source.
+    Real {
+        /// Whether the target is strictly more precise.
+        widen: bool,
+    },
+    /// Character to character (repertoires equal or source ⊆ target).
+    Char,
+    /// Unit to unit (nothing to move).
+    Unit,
+    /// Dynamic to dynamic (tagged value passes through).
+    Dynamic,
+    /// Any value injected into a Dynamic target (subtype mode only).
+    IntoDynamic,
+}
+
+/// How a Record pair's children lists were derived; the coercion-plan
+/// interpreter replays the same view when aligning values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordFlatten {
+    /// Direct (binder-resolved) children, `Unit`s dropped — the fast
+    /// path when both sides have the same arity without regrouping.
+    OneLevel,
+    /// Fully flattened (associativity): nested records inlined down to
+    /// leaves, stopping at genuine cycles.
+    Full,
+}
+
+/// The matching recorded for one compared node pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Entry {
+    /// Two primitive leaves matched.
+    Prim(PrimCoercion),
+    /// Two Records matched under a permutation of their viewed children.
+    Record {
+        /// Left children under `policy`, in left order.
+        left_children: Vec<MtypeId>,
+        /// Right children under `policy`, in right order.
+        right_children: Vec<MtypeId>,
+        /// `perm[i] = j` means right child `i` matches left child `j`.
+        perm: Vec<usize>,
+        /// Which view produced the children lists.
+        policy: RecordFlatten,
+    },
+    /// Two (flattened) Choices matched; each left alternative maps to a
+    /// right alternative.
+    Choice {
+        /// Left flattened alternatives.
+        left_alts: Vec<MtypeId>,
+        /// Right flattened alternatives.
+        right_alts: Vec<MtypeId>,
+        /// `alt_map[i] = j` means left alternative `i` converts to right
+        /// alternative `j`.
+        alt_map: Vec<usize>,
+    },
+    /// The pair was matched *by assumption*: the programmer declared a
+    /// semantic bridge between these two types (paper §6: hand-written
+    /// conversions "integrated with the automated structural ones").
+    /// The coercion plan must have a registered converter for the pair.
+    Semantic,
+    /// Two Ports matched; their payloads matched (contravariantly in
+    /// subtype mode).
+    Port {
+        /// Left payload node.
+        left_payload: MtypeId,
+        /// Right payload node.
+        right_payload: MtypeId,
+    },
+}
+
+/// The full result of a successful comparison: every matched node pair
+/// and how it matched. Node ids are *resolved* (binder-free) ids.
+#[derive(Debug, Clone)]
+pub struct Correspondence {
+    /// The left root (as given, unresolved).
+    pub left_root: MtypeId,
+    /// The right root (as given, unresolved).
+    pub right_root: MtypeId,
+    /// Matching details keyed by resolved `(left, right)` node pairs.
+    pub entries: HashMap<(MtypeId, MtypeId), Entry>,
+}
+
+impl Correspondence {
+    /// Looks up the matching for a resolved node pair.
+    pub fn entry(&self, left: MtypeId, right: MtypeId) -> Option<&Entry> {
+        self.entries.get(&(left, right))
+    }
+
+    /// Number of matched pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no pairs were recorded (an empty comparison).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_lookup() {
+        let a = fake_id(0);
+        let b = fake_id(1);
+        let mut c = Correspondence { left_root: a, right_root: b, entries: HashMap::new() };
+        c.entries.insert((a, b), Entry::Prim(PrimCoercion::Unit));
+        assert_eq!(c.entry(a, b), Some(&Entry::Prim(PrimCoercion::Unit)));
+        assert_eq!(c.entry(b, a), None);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    fn fake_id(i: u32) -> MtypeId {
+        // Round-trip through a real graph to obtain ids.
+        let mut g = mockingbird_mtype::MtypeGraph::new();
+        let mut last = g.unit();
+        for _ in 0..i {
+            last = g.record(vec![last]);
+        }
+        last
+    }
+}

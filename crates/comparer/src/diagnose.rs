@@ -1,0 +1,103 @@
+//! Mismatch diagnostics.
+//!
+//! Paper §6: "Mockingbird ... needs more sophisticated diagnostics that
+//! will aid a programmer in isolating mismatches between types." A
+//! [`Mismatch`] reports the deepest failing sub-comparison together with
+//! per-kind node summaries of both sides, which is usually enough to see
+//! *which* annotation is missing (the iterative annotate-compare loop of
+//! Fig. 6).
+
+use std::fmt;
+
+use mockingbird_mtype::canon::MtypeSummary;
+
+/// Why and where a comparison failed.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// Human-readable description of the deepest failing sub-comparison.
+    pub reason: String,
+    /// Depth (in nested constructors) at which the failure occurred.
+    pub depth: usize,
+    /// Rendering of the left root Mtype.
+    pub left_display: String,
+    /// Rendering of the right root Mtype.
+    pub right_display: String,
+    /// Node-kind census of the left Mtype.
+    pub left_summary: MtypeSummary,
+    /// Node-kind census of the right Mtype.
+    pub right_summary: MtypeSummary,
+}
+
+impl Mismatch {
+    /// A one-line hint comparing the two summaries, e.g.
+    /// `"left has 3 Real leaves, right has 4"`.
+    pub fn census_hint(&self) -> Option<String> {
+        let l = &self.left_summary;
+        let r = &self.right_summary;
+        let checks = [
+            (l.integers, r.integers, "Integer"),
+            (l.characters, r.characters, "Character"),
+            (l.reals, r.reals, "Real"),
+            (l.ports, r.ports, "Port"),
+            (l.recursives, r.recursives, "Recursive"),
+        ];
+        for (a, b, name) in checks {
+            if a != b {
+                return Some(format!("left has {a} {name} node(s), right has {b}"));
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "types do not match: {}", self.reason)?;
+        writeln!(f, "  left:  {}", self.left_display)?;
+        write!(f, "  right: {}", self.right_display)?;
+        if let Some(hint) = self.census_hint() {
+            write!(f, "\n  hint: {hint}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Mismatch {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_hint_spots_leaf_count_differences() {
+        let mut l = MtypeSummary::default();
+        l.reals = 3;
+        let mut r = MtypeSummary::default();
+        r.reals = 4;
+        let m = Mismatch {
+            reason: "x".into(),
+            depth: 2,
+            left_display: "L".into(),
+            right_display: "R".into(),
+            left_summary: l,
+            right_summary: r,
+        };
+        assert_eq!(m.census_hint().unwrap(), "left has 3 Real node(s), right has 4");
+        let shown = m.to_string();
+        assert!(shown.contains("types do not match"));
+        assert!(shown.contains("hint"));
+    }
+
+    #[test]
+    fn no_hint_when_censuses_agree() {
+        let m = Mismatch {
+            reason: "x".into(),
+            depth: 0,
+            left_display: "L".into(),
+            right_display: "R".into(),
+            left_summary: MtypeSummary::default(),
+            right_summary: MtypeSummary::default(),
+        };
+        assert!(m.census_hint().is_none());
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests: random Mtypes, shuffled/regrouped variants, and
+//! perturbations.
+
+use proptest::prelude::*;
+
+use mockingbird_mtype::{IntRange, MtypeGraph, MtypeId, RealPrecision, Repertoire};
+
+use crate::compare::Comparer;
+use crate::rules::RuleSet;
+
+/// A deterministic recipe for an Mtype plus the ability to build a
+/// shuffled-and-regrouped isomorphic variant.
+#[derive(Debug, Clone)]
+enum Recipe {
+    Int(u8),
+    Char(u8),
+    Real(bool),
+    Record(Vec<Recipe>),
+    Choice(Vec<Recipe>),
+    List(Box<Recipe>),
+    Port(Box<Recipe>),
+}
+
+fn build(g: &mut MtypeGraph, r: &Recipe) -> MtypeId {
+    match r {
+        Recipe::Int(bits) => g.integer(IntRange::signed_bits(u32::from(*bits) % 31 + 1)),
+        Recipe::Char(sel) => g.character(match sel % 3 {
+            0 => Repertoire::Ascii,
+            1 => Repertoire::Latin1,
+            _ => Repertoire::Unicode,
+        }),
+        Recipe::Real(d) => g.real(if *d { RealPrecision::DOUBLE } else { RealPrecision::SINGLE }),
+        Recipe::Record(cs) => {
+            let kids = cs.iter().map(|c| build(g, c)).collect();
+            g.record(kids)
+        }
+        Recipe::Choice(cs) => {
+            let kids = cs.iter().map(|c| build(g, c)).collect();
+            g.choice(kids)
+        }
+        Recipe::List(e) => {
+            let elem = build(g, e);
+            g.list_of(elem)
+        }
+        Recipe::Port(e) => {
+            let p = build(g, e);
+            g.port(p)
+        }
+    }
+}
+
+/// Builds an isomorphic variant: record children reversed and regrouped
+/// pairwise, choice children reversed.
+fn build_variant(g: &mut MtypeGraph, r: &Recipe) -> MtypeId {
+    match r {
+        Recipe::Record(cs) if cs.len() >= 2 => {
+            let mut kids: Vec<MtypeId> = cs.iter().rev().map(|c| build_variant(g, c)).collect();
+            // Regroup the first two into a nested record (associativity).
+            let first_two = vec![kids.remove(0), kids.remove(0)];
+            let grouped = g.record(first_two);
+            let mut out = vec![grouped];
+            out.extend(kids);
+            g.record(out)
+        }
+        Recipe::Choice(cs) if cs.len() >= 2 => {
+            let kids: Vec<MtypeId> = cs.iter().rev().map(|c| build_variant(g, c)).collect();
+            g.choice(kids)
+        }
+        Recipe::Record(cs) => {
+            let kids = cs.iter().map(|c| build_variant(g, c)).collect();
+            g.record(kids)
+        }
+        Recipe::Choice(cs) => {
+            let kids = cs.iter().map(|c| build_variant(g, c)).collect();
+            g.choice(kids)
+        }
+        Recipe::List(e) => {
+            let elem = build_variant(g, e);
+            g.list_of(elem)
+        }
+        Recipe::Port(e) => {
+            let p = build_variant(g, e);
+            g.port(p)
+        }
+        leaf => build(g, leaf),
+    }
+}
+
+/// A perturbed (non-isomorphic) variant: appends an extra boolean leaf to
+/// the outermost record, or wraps a leaf in a record with an extra leaf.
+fn build_perturbed(g: &mut MtypeGraph, r: &Recipe) -> MtypeId {
+    match r {
+        Recipe::Record(cs) => {
+            let mut kids: Vec<MtypeId> = cs.iter().map(|c| build(g, c)).collect();
+            let extra = g.integer(IntRange::boolean());
+            kids.push(extra);
+            g.record(kids)
+        }
+        other => {
+            let base = build(g, other);
+            let extra = g.integer(IntRange::boolean());
+            g.record(vec![base, extra])
+        }
+    }
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    let leaf = prop_oneof![
+        any::<u8>().prop_map(Recipe::Int),
+        any::<u8>().prop_map(Recipe::Char),
+        any::<bool>().prop_map(Recipe::Real),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Recipe::Record),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Recipe::Choice),
+            inner.clone().prop_map(|r| Recipe::List(Box::new(r))),
+            inner.prop_map(|r| Recipe::Port(Box::new(r))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn equivalence_is_reflexive(recipe in recipe_strategy()) {
+        let mut g = MtypeGraph::new();
+        let a = build(&mut g, &recipe);
+        prop_assert!(Comparer::new(&g, &g).equivalent(a, a));
+        prop_assert!(Comparer::with_rules(&g, &g, RuleSet::strict()).equivalent(a, a));
+    }
+
+    #[test]
+    fn shuffled_regrouped_variant_stays_equivalent(recipe in recipe_strategy()) {
+        let mut g1 = MtypeGraph::new();
+        let a = build(&mut g1, &recipe);
+        let mut g2 = MtypeGraph::new();
+        let b = build_variant(&mut g2, &recipe);
+        prop_assert!(
+            Comparer::new(&g1, &g2).equivalent(a, b),
+            "variant of {:?} should match", recipe
+        );
+    }
+
+    #[test]
+    fn equivalence_is_symmetric(recipe in recipe_strategy()) {
+        let mut g1 = MtypeGraph::new();
+        let a = build(&mut g1, &recipe);
+        let mut g2 = MtypeGraph::new();
+        let b = build_variant(&mut g2, &recipe);
+        let ab = Comparer::new(&g1, &g2).equivalent(a, b);
+        let ba = Comparer::new(&g2, &g1).equivalent(b, a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn perturbed_variant_is_rejected(recipe in recipe_strategy()) {
+        let mut g1 = MtypeGraph::new();
+        let a = build(&mut g1, &recipe);
+        let mut g2 = MtypeGraph::new();
+        let b = build_perturbed(&mut g2, &recipe);
+        prop_assert!(
+            !Comparer::new(&g1, &g2).equivalent(a, b),
+            "perturbed variant of {:?} must not match", recipe
+        );
+    }
+
+    #[test]
+    fn equivalence_implies_mutual_subtyping(recipe in recipe_strategy()) {
+        let mut g1 = MtypeGraph::new();
+        let a = build(&mut g1, &recipe);
+        let mut g2 = MtypeGraph::new();
+        let b = build_variant(&mut g2, &recipe);
+        if Comparer::new(&g1, &g2).equivalent(a, b) {
+            prop_assert!(Comparer::new(&g1, &g2).subtype(a, b));
+            prop_assert!(Comparer::new(&g2, &g1).subtype(b, a));
+        }
+    }
+
+    #[test]
+    fn subtype_is_reflexive(recipe in recipe_strategy()) {
+        let mut g = MtypeGraph::new();
+        let a = build(&mut g, &recipe);
+        prop_assert!(Comparer::new(&g, &g).subtype(a, a));
+    }
+
+    #[test]
+    fn strict_rules_accept_identical_construction(recipe in recipe_strategy()) {
+        let mut g1 = MtypeGraph::new();
+        let a = build(&mut g1, &recipe);
+        let mut g2 = MtypeGraph::new();
+        let b = build(&mut g2, &recipe);
+        prop_assert!(Comparer::with_rules(&g1, &g2, RuleSet::strict()).equivalent(a, b));
+    }
+}

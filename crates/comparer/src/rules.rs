@@ -1,0 +1,71 @@
+//! Isomorphism rule configuration.
+
+/// Which isomorphism rules the comparer applies on top of the
+/// Amadio–Cardelli core (paper §4: "We extend the Amadio-Cardelli
+/// algorithm with isomorphism rules to allow for more flexible matching
+/// of types").
+///
+/// [`RuleSet::full`] is the paper's configuration; [`RuleSet::strict`]
+/// is the pure Amadio–Cardelli baseline used in the ablation study.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleSet {
+    /// Flatten nested `Record`s and `Choice`s (associativity).
+    pub assoc: bool,
+    /// Match `Record`/`Choice` children under permutation (commutativity).
+    pub comm: bool,
+    /// Drop `Unit` children of `Record`s.
+    pub unit_elim: bool,
+    /// Treat single-alternative `Choice`s as transparent.
+    pub singleton_choice: bool,
+    /// Prune equivalence checks whose canonical fingerprints differ.
+    /// Sound (fingerprints are invariant under the full rule set) but the
+    /// source of the documented incompleteness.
+    pub fingerprint_filter: bool,
+    /// Cap on backtracking positions explored when matching commutative
+    /// children with colliding fingerprints; exceeding it fails the match.
+    pub search_budget: usize,
+}
+
+impl RuleSet {
+    /// The paper's full rule set.
+    pub fn full() -> Self {
+        RuleSet {
+            assoc: true,
+            comm: true,
+            unit_elim: true,
+            singleton_choice: true,
+            fingerprint_filter: true,
+            search_budget: 1_000_000,
+        }
+    }
+
+    /// Pure Amadio–Cardelli: structural, positional, no isomorphisms.
+    pub fn strict() -> Self {
+        RuleSet {
+            assoc: false,
+            comm: false,
+            unit_elim: false,
+            singleton_choice: false,
+            fingerprint_filter: false,
+            search_budget: 10_000,
+        }
+    }
+}
+
+impl Default for RuleSet {
+    fn default() -> Self {
+        RuleSet::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_full() {
+        assert_eq!(RuleSet::default(), RuleSet::full());
+        assert!(RuleSet::full().assoc);
+        assert!(!RuleSet::strict().assoc);
+    }
+}

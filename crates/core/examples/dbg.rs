@@ -1,0 +1,21 @@
+use mockingbird::comparer::{Comparer, Mode};
+use mockingbird::corpus::visualage;
+use mockingbird::mtype::MtypeGraph;
+use mockingbird::stype::lower::Lowerer;
+use mockingbird::stype::script::apply_script;
+
+fn main() {
+    let mut pair = visualage(100, 42);
+    apply_script(&mut pair.java, &pair.script).unwrap();
+    let mut g = MtypeGraph::new();
+    let mut fails = 0;
+    for name in pair.class_names.clone() {
+        let c = Lowerer::new(&pair.cxx, &mut g).lower_named(&name).unwrap();
+        let j = Lowerer::new(&pair.java, &mut g).lower_named(&name).unwrap();
+        if let Err(m) = Comparer::new(&g, &g).compare(c, j, Mode::Equivalence) {
+            fails += 1;
+            if fails <= 3 { println!("{name}: {}", m.reason); }
+        }
+    }
+    println!("{fails} failures");
+}

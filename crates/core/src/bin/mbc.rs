@@ -1,0 +1,196 @@
+//! `mbc` — the Mockingbird stub compiler, as a command-line tool.
+//!
+//! The paper's prototype was driven through a GUI (Fig. 7); this binary
+//! is the batch equivalent, built on the same [`Session`] pipeline:
+//!
+//! ```text
+//! mbc parse <files...>                          list the declarations
+//! mbc mtype <files...> --of NAME [--script F]   print a declaration's Mtype
+//! mbc dot   <files...> --of NAME [--script F]   Graphviz of the Mtype
+//! mbc compare <files...> --left A --right B [--script F] [--subtype]
+//! mbc emit  <files...> --left A --right B --script F [--name N]
+//! mbc save  <files...> --script F --out P.mbproj.json
+//! ```
+//!
+//! File kinds are chosen by extension: `.c`/`.h` C, `.cpp`/`.cc`/`.cxx`
+//! C++, `.java` Java source, `.class` Java class files, `.idl` CORBA
+//! IDL, `.mbproj.json` project files.
+
+use std::process::ExitCode;
+
+use mockingbird::stubgen::emit::{emit_c_stub, emit_jni_bridge, emit_rust_adapter};
+use mockingbird::stype::project::Project;
+use mockingbird::{Mode, Session, SessionError};
+
+fn usage() -> String {
+    "usage: mbc <parse|mtype|dot|compare|emit|save> <files...> [options]\n\
+     options: --of NAME | --left NAME --right NAME | --script FILE |\n\
+     \x20        --subtype | --name STUBNAME | --out FILE"
+        .to_string()
+}
+
+struct Args {
+    command: String,
+    files: Vec<String>,
+    of: Option<String>,
+    left: Option<String>,
+    right: Option<String>,
+    script: Option<String>,
+    name: String,
+    out: Option<String>,
+    subtype: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut it = argv.iter().peekable();
+    let command = it.next().ok_or_else(usage)?.clone();
+    let mut args = Args {
+        command,
+        files: Vec::new(),
+        of: None,
+        left: None,
+        right: None,
+        script: None,
+        name: "stub".to_string(),
+        out: None,
+        subtype: false,
+    };
+    while let Some(a) = it.next() {
+        let mut take = |what: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} needs a value\n{}", usage()))
+        };
+        match a.as_str() {
+            "--of" => args.of = Some(take("--of")?),
+            "--left" => args.left = Some(take("--left")?),
+            "--right" => args.right = Some(take("--right")?),
+            "--script" => args.script = Some(take("--script")?),
+            "--name" => args.name = take("--name")?,
+            "--out" => args.out = Some(take("--out")?),
+            "--subtype" => args.subtype = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}`\n{}", usage()))
+            }
+            file => args.files.push(file.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn load_into(session: &mut Session, path: &str) -> Result<(), String> {
+    let fail = |e: SessionError| format!("{path}: {e}");
+    if path.ends_with(".class") {
+        let blob = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        session.load_java_classes(&[blob]).map_err(fail)?;
+        return Ok(());
+    }
+    if path.ends_with(".mbproj.json") {
+        let p = Project::load(path).map_err(|e| format!("{path}: {e}"))?;
+        for d in p.universe.iter() {
+            session
+                .universe_mut()
+                .insert(d.clone())
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+        return Ok(());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".c") || path.ends_with(".h") {
+        session.load_c(&text).map_err(fail)
+    } else if path.ends_with(".cpp") || path.ends_with(".cc") || path.ends_with(".cxx") {
+        session.load_cxx(&text).map_err(fail)
+    } else if path.ends_with(".java") {
+        session.load_java(&text).map_err(fail)
+    } else if path.ends_with(".idl") {
+        session.load_idl(&text).map_err(fail)
+    } else {
+        Err(format!("{path}: unknown file kind (expected .c/.h/.cpp/.java/.class/.idl/.mbproj.json)"))
+    }
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let mut session = Session::new();
+    if args.files.is_empty() {
+        return Err(format!("no input files\n{}", usage()));
+    }
+    for f in &args.files {
+        load_into(&mut session, f)?;
+    }
+    if let Some(script_path) = &args.script {
+        let text = std::fs::read_to_string(script_path).map_err(|e| format!("{script_path}: {e}"))?;
+        let n = session.annotate(&text).map_err(|e| e.to_string())?;
+        eprintln!("applied {n} annotation statements from {script_path}");
+    }
+    match args.command.as_str() {
+        "parse" => {
+            for d in session.universe().iter() {
+                println!("{:<12} {}", d.lang.to_string(), d.name);
+            }
+            Ok(())
+        }
+        "mtype" => {
+            let name = args.of.ok_or("mtype needs --of NAME")?;
+            println!("{}", session.display_mtype(&name).map_err(|e| e.to_string())?);
+            Ok(())
+        }
+        "dot" => {
+            let name = args.of.ok_or("dot needs --of NAME")?;
+            println!("{}", session.dot(&name).map_err(|e| e.to_string())?);
+            Ok(())
+        }
+        "compare" => {
+            let left = args.left.ok_or("compare needs --left NAME")?;
+            let right = args.right.ok_or("compare needs --right NAME")?;
+            let mode = if args.subtype { Mode::Subtype } else { Mode::Equivalence };
+            match session.compare(&left, &right, mode) {
+                Ok(plan) => {
+                    println!(
+                        "MATCH ({}): {} node pairs",
+                        if args.subtype { "one-way" } else { "two-way" },
+                        plan.len()
+                    );
+                    Ok(())
+                }
+                Err(e) => Err(format!("NO MATCH\n{e}")),
+            }
+        }
+        "emit" => {
+            let left = args.left.ok_or("emit needs --left NAME")?;
+            let right = args.right.ok_or("emit needs --right NAME")?;
+            let stub = session
+                .function_stub(&left, &right)
+                .map_err(|e| e.to_string())?;
+            println!("{}", emit_c_stub(&stub, &args.name, &["args"]).map_err(|e| e.to_string())?);
+            println!(
+                "{}",
+                emit_jni_bridge(&stub, &left, &args.name, &args.name).map_err(|e| e.to_string())?
+            );
+            println!(
+                "{}",
+                emit_rust_adapter(&stub, &args.name, &["args"]).map_err(|e| e.to_string())?
+            );
+            Ok(())
+        }
+        "save" => {
+            let out = args.out.ok_or("save needs --out FILE")?;
+            session
+                .save_project(&args.name, &out)
+                .map_err(|e| e.to_string())?;
+            println!("saved {} declarations to {out}", session.universe().len());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&argv).and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

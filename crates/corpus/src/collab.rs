@@ -1,0 +1,199 @@
+//! E3: the collaboration-framework corpus.
+//!
+//! "Our colleagues declared the 21 message types they needed as Java
+//! classes that indirectly incorporated 22 other application-specific
+//! Java classes. Mockingbird generated custom 'send' and 'receive'
+//! stubs for these messages, allowing our colleagues to implement their
+//! collaborative objects completely in Java ..." (paper §5)
+//!
+//! [`collaboration`] declares a deterministic replica of that shape: 22
+//! application classes (users, shapes, timestamps, ...) and 21 message
+//! types over them, plus the annotation script the send/receive stubs
+//! need.
+
+use mockingbird_stype::ast::{Decl, Field, Lang, Stype, Universe};
+use mockingbird_stype::lower::JAVA_VECTOR;
+
+/// The 22 application-specific classes the messages incorporate.
+pub const APP_CLASSES: [&str; 22] = [
+    "UserId",
+    "SiteId",
+    "SessionId",
+    "Timestamp",
+    "VectorClock",
+    "Color",
+    "Pointt",
+    "Rect",
+    "Transform",
+    "ShapeId",
+    "ShapeState",
+    "TextRun",
+    "CaretPosition",
+    "SelectionRange",
+    "LockToken",
+    "Capability",
+    "ErrorInfo",
+    "Checksum",
+    "Payload",
+    "Attachment",
+    "PresenceInfo",
+    "UndoRecord",
+];
+
+/// The 21 message types.
+pub const MESSAGE_TYPES: [&str; 21] = [
+    "JoinSession",
+    "LeaveSession",
+    "PresenceUpdate",
+    "CursorMoved",
+    "SelectionChanged",
+    "ShapeCreated",
+    "ShapeMoved",
+    "ShapeResized",
+    "ShapeDeleted",
+    "ShapeLocked",
+    "ShapeUnlocked",
+    "TextInserted",
+    "TextDeleted",
+    "StyleApplied",
+    "UndoRequested",
+    "RedoRequested",
+    "StateSnapshot",
+    "StateRequest",
+    "AckUpdate",
+    "ConflictDetected",
+    "SessionTerminated",
+];
+
+/// The generated collaboration corpus.
+#[derive(Debug, Clone)]
+pub struct CollabCorpus {
+    /// All declarations: application classes plus message types.
+    pub java: Universe,
+    /// The annotation script (non-null message fields, collection
+    /// element types).
+    pub script: String,
+}
+
+fn app_class(i: usize) -> Stype {
+    // Small value classes: 1–3 primitive fields, deterministic by index.
+    let fields = match i % 4 {
+        0 => vec![Field::new("value", Stype::i64())],
+        1 => vec![Field::new("x", Stype::f64()), Field::new("y", Stype::f64())],
+        2 => vec![
+            Field::new("site", Stype::i32()),
+            Field::new("counter", Stype::i64()),
+            Field::new("wall", Stype::i64()),
+        ],
+        _ => vec![Field::new("name", Stype::string()), Field::new("code", Stype::i32())],
+    };
+    Stype::class(fields, vec![])
+}
+
+/// Builds the deterministic collaboration corpus: 22 application
+/// classes, 21 message types, and the annotation script.
+pub fn collaboration() -> CollabCorpus {
+    let mut java = Universe::new();
+    let mut script = String::from("# Collaboration message annotations\n");
+
+    for (i, name) in APP_CLASSES.iter().enumerate() {
+        java.insert(Decl::new(name.to_string(), Lang::Java, app_class(i)))
+            .expect("unique");
+    }
+
+    for (i, name) in MESSAGE_TYPES.iter().enumerate() {
+        // Each message carries: the sender, a timestamp, and 1–3
+        // payload fields drawn from the app classes (so all 22 end up
+        // "indirectly incorporated").
+        let mut fields = vec![
+            Field::new("sender", Stype::pointer(Stype::named("UserId"))),
+            Field::new("when", Stype::pointer(Stype::named("Timestamp"))),
+        ];
+        let n_extra = 1 + i % 3;
+        for k in 0..n_extra {
+            let app = APP_CLASSES[(i * 3 + k) % APP_CLASSES.len()];
+            fields.push(Field::new(
+                format!("p{k}"),
+                Stype::pointer(Stype::named(app)),
+            ));
+        }
+        if i % 5 == 0 {
+            // Some messages carry a vector of shape states.
+            fields.push(Field::new(
+                "batch",
+                Stype::pointer(Stype::named("StateList")),
+            ));
+        }
+        let field_names: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+        java.insert(Decl::new(name.to_string(), Lang::Java, Stype::class(fields, vec![])))
+            .expect("unique");
+        for f in field_names {
+            script.push_str(&format!("annotate {name}.field({f}) non-null no-alias\n"));
+        }
+    }
+
+    // The shared collection type used by batch messages.
+    java.insert(Decl::new(
+        "StateList",
+        Lang::Java,
+        Stype::class_extending(vec![], vec![], JAVA_VECTOR).with_ann(|a| {
+            a.element = Some("ShapeState".into());
+            a.non_null = true;
+        }),
+    ))
+    .expect("unique");
+
+    CollabCorpus { java, script }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mockingbird_mtype::MtypeGraph;
+    use mockingbird_stype::lower::Lowerer;
+    use mockingbird_stype::script::apply_script;
+
+    #[test]
+    fn corpus_has_the_quoted_shape() {
+        let c = collaboration();
+        // 22 app classes + 21 messages + the shared collection.
+        assert_eq!(c.java.len(), 22 + 21 + 1);
+        for m in MESSAGE_TYPES {
+            assert!(c.java.get(m).is_some(), "{m}");
+        }
+    }
+
+    #[test]
+    fn all_messages_lower_after_annotation() {
+        let mut c = collaboration();
+        apply_script(&mut c.java, &c.script).unwrap();
+        let mut g = MtypeGraph::new();
+        for m in MESSAGE_TYPES {
+            let mut lw = Lowerer::new(&c.java, &mut g);
+            let id = lw.lower_named(m).unwrap();
+            assert!(g.validate().is_ok());
+            let shown = g.display(id).to_string();
+            assert!(shown.starts_with("Record("), "{m}: {shown}");
+        }
+    }
+
+    #[test]
+    fn annotation_strips_nullability() {
+        // The same message lowers with strictly fewer Choice nodes once
+        // the non-null annotations are applied.
+        let bare = {
+            let c = collaboration();
+            let mut g = MtypeGraph::new();
+            let id = Lowerer::new(&c.java, &mut g).lower_named("LeaveSession").unwrap();
+            mockingbird_mtype::canon::MtypeSummary::of(&g, id).choices
+        };
+        let annotated = {
+            let mut c = collaboration();
+            apply_script(&mut c.java, &c.script).unwrap();
+            let mut g = MtypeGraph::new();
+            let id = Lowerer::new(&c.java, &mut g).lower_named("LeaveSession").unwrap();
+            mockingbird_mtype::canon::MtypeSummary::of(&g, id).choices
+        };
+        assert!(annotated < bare, "annotated {annotated} vs bare {bare}");
+    }
+}

@@ -1,0 +1,208 @@
+//! E2: the Lotus-Notes-style API corpus.
+//!
+//! "Mockingbird has also been used in an experiment to develop a Java
+//! interface to part of the C++ programming API of Lotus Notes. ... this
+//! limited prototype covered a small, but representative, set of 30
+//! classes." (paper §5)
+//!
+//! The generator declares a fixed, deterministic 30-class groupware API
+//! twice: once as the C++ vendor API and once as the Java interface the
+//! team wanted, with the member orderings a Java programmer would pick.
+
+use mockingbird_stype::ann::PassMode;
+use mockingbird_stype::ast::{Decl, Lang, Method, Param, Signature, Stype, Universe};
+
+/// The 30 class names of the representative Notes API subset.
+pub const NOTES_CLASSES: [&str; 30] = [
+    "NotesSession",
+    "NotesDatabase",
+    "NotesDocument",
+    "NotesItem",
+    "NotesView",
+    "NotesViewEntry",
+    "NotesViewColumn",
+    "NotesAgent",
+    "NotesACL",
+    "NotesACLEntry",
+    "NotesDateTime",
+    "NotesDateRange",
+    "NotesName",
+    "NotesRichTextItem",
+    "NotesRichTextStyle",
+    "NotesEmbeddedObject",
+    "NotesForm",
+    "NotesOutline",
+    "NotesOutlineEntry",
+    "NotesReplication",
+    "NotesRegistration",
+    "NotesLog",
+    "NotesNewsletter",
+    "NotesTimer",
+    "NotesMimeEntity",
+    "NotesMimeHeader",
+    "NotesStream",
+    "NotesDxlExporter",
+    "NotesDxlImporter",
+    "NotesColorObject",
+];
+
+/// A Notes-style API pair plus annotation script.
+#[derive(Debug, Clone)]
+pub struct NotesPair {
+    /// The vendor's C++ API declarations.
+    pub cxx: Universe,
+    /// The desired Java interface declarations.
+    pub java: Universe,
+    /// The batch annotation script aligning the two.
+    pub script: String,
+    /// Total number of methods declared per side.
+    pub method_count: usize,
+}
+
+/// Method recipes per class index: (name, param prims, returns_ref_to).
+fn methods_for(index: usize) -> Vec<(String, Vec<Stype>, Option<usize>)> {
+    // Deterministic pseudo-structure: each class gets 3 + (index % 4)
+    // methods; some return references to the "next" classes, modelling
+    // the API's factory style (Session opens Databases, Databases open
+    // Documents, ...).
+    let n = 3 + index % 4;
+    (0..n)
+        .map(|m| {
+            let name = match m {
+                0 => format!("get{}", ["Name", "Title", "Count", "Id"][index % 4]),
+                1 => "isValid".to_string(),
+                2 => format!("open{}", ["Child", "Entry", "Item", "Handle"][index % 4]),
+                _ => format!("op{m}"),
+            };
+            let params = match m % 3 {
+                0 => vec![],
+                1 => vec![Stype::i32()],
+                _ => vec![Stype::string(), Stype::boolean()],
+            };
+            let returns_ref = if m == 2 && index + 1 < NOTES_CLASSES.len() {
+                Some(index + 1)
+            } else {
+                None
+            };
+            (name, params, returns_ref)
+        })
+        .collect()
+}
+
+/// Builds the deterministic 30-class Notes API pair.
+pub fn notes_api() -> NotesPair {
+    let mut cxx = Universe::new();
+    let mut java = Universe::new();
+    let mut script = String::from("# Notes API annotations\n");
+    let mut method_count = 0usize;
+
+    for (i, name) in NOTES_CLASSES.iter().enumerate() {
+        let recipes = methods_for(i);
+        method_count += recipes.len();
+        let build_methods = |reverse: bool, nullable_returns: bool| -> Vec<Method> {
+            let mut ms: Vec<Method> = recipes
+                .iter()
+                .map(|(mname, params, returns_ref)| {
+                    let params: Vec<Param> = params
+                        .iter()
+                        .enumerate()
+                        .map(|(k, ty)| Param::new(format!("a{k}"), ty.clone()))
+                        .collect();
+                    let ret = match returns_ref {
+                        Some(t) => {
+                            let mut ty = Stype::pointer(Stype::named(NOTES_CLASSES[*t]));
+                            ty.ann.non_null = !nullable_returns;
+                            ty
+                        }
+                        None => match mname.as_str() {
+                            "isValid" => Stype::boolean(),
+                            n if n.starts_with("get") => Stype::string(),
+                            _ => Stype::void(),
+                        },
+                    };
+                    Method::new(mname.clone(), Signature::new(params, ret))
+                })
+                .collect();
+            if reverse {
+                ms.reverse();
+            }
+            ms
+        };
+
+        // These are API classes: objects passed by reference, so their
+        // method structure (not fields) is what crosses the boundary
+        // (paper §3.3: port(Choice(methods))).
+        cxx.insert(Decl::new(
+            name.to_string(),
+            Lang::Cxx,
+            Stype::class(vec![], build_methods(false, false))
+                .with_ann(|a| a.pass_mode = Some(PassMode::ByReference)),
+        ))
+        .expect("unique");
+        java.insert(Decl::new(
+            name.to_string(),
+            Lang::Java,
+            Stype::class(vec![], build_methods(true, true))
+                .with_ann(|a| a.pass_mode = Some(PassMode::ByReference)),
+        ))
+        .expect("unique");
+
+        // The factory methods return nullable refs on the Java side;
+        // annotate them non-null to match the C++ references.
+        for (mname, _, returns_ref) in &recipes {
+            if returns_ref.is_some() {
+                script.push_str(&format!("annotate {name}.method({mname}).ret non-null\n"));
+            }
+        }
+    }
+
+    NotesPair { cxx, java, script, method_count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mockingbird_comparer::{Comparer, Mode};
+    use mockingbird_mtype::MtypeGraph;
+    use mockingbird_stype::lower::Lowerer;
+    use mockingbird_stype::script::apply_script;
+
+    #[test]
+    fn thirty_classes_with_methods() {
+        let pair = notes_api();
+        assert_eq!(pair.cxx.len(), 30);
+        assert_eq!(pair.java.len(), 30);
+        assert!(pair.method_count >= 90);
+    }
+
+    #[test]
+    fn every_class_matches_after_annotation() {
+        let mut pair = notes_api();
+        apply_script(&mut pair.java, &pair.script).unwrap();
+        let mut g = MtypeGraph::new();
+        let mut pairs = Vec::new();
+        for name in NOTES_CLASSES {
+            let c = Lowerer::new(&pair.cxx, &mut g).lower_named(name).unwrap();
+            let j = Lowerer::new(&pair.java, &mut g).lower_named(name).unwrap();
+            pairs.push((name, c, j));
+        }
+        let cmp = Comparer::new(&g, &g);
+        for (name, c, j) in pairs {
+            assert!(
+                cmp.compare(c, j, Mode::Equivalence).is_ok(),
+                "{name} must match (method order is permuted but commutativity covers it)"
+            );
+        }
+    }
+
+    #[test]
+    fn factory_chain_classes_need_the_script() {
+        let pair = notes_api();
+        // NotesSession.openChild returns a ref: nullable on the Java side
+        // until annotated.
+        let mut g = MtypeGraph::new();
+        let c = Lowerer::new(&pair.cxx, &mut g).lower_named("NotesSession").unwrap();
+        let j = Lowerer::new(&pair.java, &mut g).lower_named("NotesSession").unwrap();
+        assert!(!Comparer::new(&g, &g).equivalent(c, j));
+    }
+}

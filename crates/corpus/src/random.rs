@@ -1,0 +1,245 @@
+//! Seeded random Mtypes and values for benchmarks and fuzzing.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+#[cfg(test)]
+use rand::SeedableRng;
+
+use mockingbird_mtype::{IntRange, MtypeGraph, MtypeId, MtypeKind, RealPrecision, Repertoire};
+use mockingbird_values::mvalue::list_element_type;
+use mockingbird_values::MValue;
+
+/// Generates a random Mtype of roughly the given `depth` into `g`.
+/// Deterministic in the RNG state.
+pub fn random_mtype(g: &mut MtypeGraph, rng: &mut StdRng, depth: usize) -> MtypeId {
+    if depth == 0 {
+        return match rng.gen_range(0..4) {
+            0 => g.integer(IntRange::signed_bits(rng.gen_range(1..=63))),
+            1 => g.real(if rng.gen_bool(0.5) {
+                RealPrecision::SINGLE
+            } else {
+                RealPrecision::DOUBLE
+            }),
+            2 => g.character(match rng.gen_range(0..3) {
+                0 => Repertoire::Ascii,
+                1 => Repertoire::Latin1,
+                _ => Repertoire::Unicode,
+            }),
+            _ => g.integer(IntRange::boolean()),
+        };
+    }
+    match rng.gen_range(0..10) {
+        0..=4 => {
+            let n = rng.gen_range(1..=4);
+            let kids = (0..n).map(|_| random_mtype(g, rng, depth - 1)).collect();
+            g.record(kids)
+        }
+        5..=6 => {
+            let n = rng.gen_range(2..=3);
+            let kids = (0..n).map(|_| random_mtype(g, rng, depth - 1)).collect();
+            g.choice(kids)
+        }
+        7 => {
+            let elem = random_mtype(g, rng, depth - 1);
+            g.list_of(elem)
+        }
+        8 => {
+            let payload = random_mtype(g, rng, depth - 1);
+            g.port(payload)
+        }
+        _ => random_mtype(g, rng, 0),
+    }
+}
+
+/// Builds a structurally isomorphic variant of `id` in `out`: record and
+/// choice children reversed, and the first two children of wide records
+/// regrouped into a nested record (exercising commutativity and
+/// associativity).
+pub fn isomorphic_variant(
+    src: &MtypeGraph,
+    id: MtypeId,
+    out: &mut MtypeGraph,
+) -> MtypeId {
+    variant_rec(src, id, out, &mut Vec::new())
+}
+
+fn variant_rec(
+    src: &MtypeGraph,
+    id: MtypeId,
+    out: &mut MtypeGraph,
+    in_progress: &mut Vec<(MtypeId, MtypeId)>,
+) -> MtypeId {
+    if let Some(&(_, mapped)) = in_progress.iter().find(|(s, _)| *s == id) {
+        return mapped;
+    }
+    match src.kind(id).clone() {
+        MtypeKind::Integer(r) => out.integer(r),
+        MtypeKind::Character(rep) => out.character(rep),
+        MtypeKind::Real(p) => out.real(p),
+        MtypeKind::Unit => out.unit(),
+        MtypeKind::Dynamic => out.dynamic(),
+        MtypeKind::Record(cs) => {
+            let mut kids: Vec<MtypeId> = cs
+                .iter()
+                .rev()
+                .map(|&c| variant_rec(src, c, out, in_progress))
+                .collect();
+            if kids.len() >= 3 {
+                let grouped = out.record(vec![kids[0], kids[1]]);
+                let mut regrouped = vec![grouped];
+                regrouped.extend_from_slice(&kids[2..]);
+                kids = regrouped;
+            }
+            out.record(kids)
+        }
+        MtypeKind::Choice(cs) => {
+            let kids: Vec<MtypeId> = cs
+                .iter()
+                .rev()
+                .map(|&c| variant_rec(src, c, out, in_progress))
+                .collect();
+            out.choice(kids)
+        }
+        MtypeKind::Port(p) => {
+            let payload = variant_rec(src, p, out, in_progress);
+            out.port(payload)
+        }
+        MtypeKind::Recursive(body) => {
+            let binder = out.recursive(|_, me| me);
+            in_progress.push((id, binder));
+            let new_body = variant_rec(src, body, out, in_progress);
+            in_progress.pop();
+            out.patch_recursive(binder, new_body);
+            binder
+        }
+    }
+}
+
+/// Builds a *non*-isomorphic perturbation: a boolean leaf is appended to
+/// the outermost record (or wrapped around the root).
+pub fn perturbed_variant(src: &MtypeGraph, id: MtypeId, out: &mut MtypeGraph) -> MtypeId {
+    let base = out.import(src, id);
+    let extra = out.integer(IntRange::boolean());
+    match out.kind(base).clone() {
+        MtypeKind::Record(mut cs) => {
+            cs.push(extra);
+            out.record(cs)
+        }
+        _ => out.record(vec![base, extra]),
+    }
+}
+
+/// Samples a value inhabiting the Mtype rooted at `ty`. `list_len`
+/// bounds generated collection sizes.
+pub fn sample_value(
+    g: &MtypeGraph,
+    ty: MtypeId,
+    rng: &mut StdRng,
+    list_len: usize,
+) -> MValue {
+    sample_at(g, ty, rng, list_len, 0)
+}
+
+fn sample_at(g: &MtypeGraph, ty: MtypeId, rng: &mut StdRng, list_len: usize, depth: usize) -> MValue {
+    let ty = g.resolve(ty);
+    if depth > 64 {
+        // Cut recursion off at nil/zero values.
+        return match g.kind(ty) {
+            MtypeKind::Choice(_) if list_element_type(g, ty).is_some() => MValue::List(vec![]),
+            _ => MValue::Unit,
+        };
+    }
+    match g.kind(ty) {
+        MtypeKind::Integer(r) => {
+            let lo = r.lo.max(-(1 << 62));
+            let hi = r.hi.min(1 << 62);
+            MValue::Int(rng.gen_range(lo..=hi))
+        }
+        MtypeKind::Character(rep) => MValue::Char(match rep {
+            Repertoire::Ascii => rng.gen_range(b'a'..=b'z') as char,
+            Repertoire::Latin1 => rng.gen_range(b' '..=b'~') as char,
+            _ => ['α', '日', 'Z', 'é'][rng.gen_range(0..4)],
+        }),
+        MtypeKind::Real(p) => {
+            let x: f64 = rng.gen_range(-1000.0..1000.0);
+            // Values of a single-precision Real must be exactly
+            // representable at that precision (the wire is f32).
+            if *p == mockingbird_mtype::RealPrecision::SINGLE {
+                MValue::Real((x as f32) as f64)
+            } else {
+                MValue::Real(x)
+            }
+        }
+        MtypeKind::Unit => MValue::Unit,
+        MtypeKind::Dynamic => MValue::Dynamic {
+            tag: "Int{0..=1}".into(),
+            value: Box::new(MValue::Int(rng.gen_range(0..=1))),
+        },
+        MtypeKind::Record(cs) => MValue::Record(
+            cs.clone()
+                .iter()
+                .map(|&c| sample_at(g, c, rng, list_len, depth + 1))
+                .collect(),
+        ),
+        MtypeKind::Choice(alts) => {
+            if let Some(elem) = list_element_type(g, ty) {
+                let n = rng.gen_range(0..=list_len);
+                return MValue::List(
+                    (0..n).map(|_| sample_at(g, elem, rng, list_len, depth + 1)).collect(),
+                );
+            }
+            let alts = alts.clone();
+            let index = rng.gen_range(0..alts.len());
+            MValue::Choice {
+                index,
+                value: Box::new(sample_at(g, alts[index], rng, list_len, depth + 1)),
+            }
+        }
+        MtypeKind::Port(_) => MValue::Port(mockingbird_values::PortRef(rng.gen_range(1..1000))),
+        MtypeKind::Recursive(_) => unreachable!("resolved above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mockingbird_comparer::Comparer;
+    use mockingbird_values::mvalue::typecheck;
+
+    #[test]
+    fn random_types_validate_and_sample() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let mut g = MtypeGraph::new();
+            let ty = random_mtype(&mut g, &mut rng, 3);
+            g.validate().unwrap();
+            let v = sample_value(&g, ty, &mut rng, 4);
+            typecheck(&g, ty, &v).unwrap();
+        }
+    }
+
+    #[test]
+    fn variants_are_isomorphic_and_perturbations_are_not() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..20 {
+            let mut g = MtypeGraph::new();
+            let ty = random_mtype(&mut g, &mut rng, 3);
+            let mut h = MtypeGraph::new();
+            let var = isomorphic_variant(&g, ty, &mut h);
+            h.validate().unwrap();
+            assert!(Comparer::new(&g, &h).equivalent(ty, var));
+            let mut p = MtypeGraph::new();
+            let bad = perturbed_variant(&g, ty, &mut p);
+            assert!(!Comparer::new(&g, &p).equivalent(ty, bad));
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let mut g1 = MtypeGraph::new();
+        let t1 = random_mtype(&mut g1, &mut StdRng::seed_from_u64(5), 3);
+        let mut g2 = MtypeGraph::new();
+        let t2 = random_mtype(&mut g2, &mut StdRng::seed_from_u64(5), 3);
+        assert_eq!(g1.display(t1).to_string(), g2.display(t2).to_string());
+    }
+}

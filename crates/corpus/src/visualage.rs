@@ -1,0 +1,240 @@
+//! E1: the VisualAge-style corpus.
+//!
+//! "A substantial trial of Mockingbird involving a research prototype of
+//! a new version of the IBM Visual Age C++ Compiler ... The interface
+//! between the two parts consists of 500 highly inter-related classes
+//! with a total of several thousand methods. Mockingbird was first used
+//! to build a miniature version of the system with twelve carefully
+//! chosen classes ..." (paper §5)
+//!
+//! The interface between the Java development environment and the C++
+//! compilation engine is an *API*: classes passed by reference whose
+//! method structure crosses the boundary (paper §3.3,
+//! `port(Choice(methods))`). [`visualage`] generates a matched pair of
+//! universes: the C++ side (methods whose class-typed parameters and
+//! returns are references, never null) and the Java side (the same
+//! classes re-declared as a Java programmer would — members permuted,
+//! references nullable until the batch annotation script marks them
+//! `non-null`, the paper's §5 scripting technique).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use mockingbird_stype::ann::PassMode;
+use mockingbird_stype::ast::{Decl, Field, Lang, Method, Param, Signature, Stype, Universe};
+
+/// A generated corpus pair plus its batch annotation script.
+#[derive(Debug, Clone)]
+pub struct CorpusPair {
+    /// The C++-side declarations.
+    pub cxx: Universe,
+    /// The Java-side declarations (members permuted, refs nullable).
+    pub java: Universe,
+    /// The batch annotation script that makes the two sides match.
+    pub script: String,
+    /// Names of the generated classes (identical on both sides).
+    pub class_names: Vec<String>,
+    /// Total number of methods across all classes.
+    pub method_count: usize,
+}
+
+fn prim_pool() -> Vec<Stype> {
+    vec![Stype::i32(), Stype::f32(), Stype::f64(), Stype::boolean(), Stype::i64()]
+}
+
+/// Generates a VisualAge-style corpus of `n_classes` inter-related API
+/// classes (~8 methods each, so 500 classes ≈ 4000 methods, the paper's
+/// "several thousand"). Deterministic in `seed`.
+pub fn visualage(n_classes: usize, seed: u64) -> CorpusPair {
+    assert!(n_classes >= 2, "corpus needs at least two classes to inter-relate");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prims = prim_pool();
+    let class_names: Vec<String> = (0..n_classes).map(|i| format!("Ast{i:03}")).collect();
+
+    let mut cxx = Universe::new();
+    let mut java = Universe::new();
+    let mut script = String::from("# VisualAge batch annotations (paper §5 scripting technique)\n");
+    let mut method_count = 0usize;
+
+    for (i, name) in class_names.iter().enumerate() {
+        // A couple of implementation fields (ignored by the by-reference
+        // lowering, kept for realism).
+        let fields = vec![
+            Field::new("handle", Stype::i64()),
+            Field::new("flags", Stype::i32()),
+        ];
+
+        // Methods: ~8 each, heavily referencing other classes ("highly
+        // inter-related"): parameters and returns are object references.
+        let n_methods = rng.gen_range(6..=10);
+        method_count += n_methods;
+        let mut methods_cxx = Vec::new();
+        let mut java_anns: Vec<String> = Vec::new();
+        for m in 0..n_methods {
+            let n_params = rng.gen_range(0..=3);
+            let mut params = Vec::new();
+            let mut ref_params: Vec<String> = Vec::new();
+            for p in 0..n_params {
+                let pname = format!("a{p}");
+                let ty = if rng.gen_bool(0.35) && n_classes > 1 {
+                    let mut target = rng.gen_range(0..n_classes);
+                    if target == i {
+                        target = (target + 1) % n_classes;
+                    }
+                    ref_params.push(pname.clone());
+                    // C++ side: a reference parameter (never null).
+                    Stype::pointer(Stype::named(class_names[target].clone()))
+                        .with_ann(|a| a.non_null = true)
+                } else {
+                    prims[rng.gen_range(0..prims.len())].clone()
+                };
+                params.push(Param::new(pname, ty));
+            }
+            let (ret, ret_is_ref) = if rng.gen_bool(0.3) && n_classes > 1 {
+                let mut target = rng.gen_range(0..n_classes);
+                if target == i {
+                    target = (target + 1) % n_classes;
+                }
+                (
+                    Stype::pointer(Stype::named(class_names[target].clone()))
+                        .with_ann(|a| a.non_null = true),
+                    true,
+                )
+            } else if rng.gen_bool(0.5) {
+                (prims[rng.gen_range(0..prims.len())].clone(), false)
+            } else {
+                (Stype::void(), false)
+            };
+            let mname = format!("m{m}");
+            for p in &ref_params {
+                java_anns.push(format!("annotate {name}.method({mname}).param({p}) non-null"));
+            }
+            if ret_is_ref {
+                java_anns.push(format!("annotate {name}.method({mname}).ret non-null"));
+            }
+            methods_cxx.push(Method::new(mname, Signature::new(params, ret)));
+        }
+
+        // Java side: same methods, order permuted (the Java programmer's
+        // preferred grouping), references nullable until annotated.
+        let mut methods_java: Vec<Method> = methods_cxx
+            .iter()
+            .map(|m| {
+                let params = m
+                    .sig
+                    .params
+                    .iter()
+                    .map(|p| {
+                        let mut ty = p.ty.clone();
+                        ty.ann.non_null = false;
+                        Param::new(p.name.clone(), ty)
+                    })
+                    .collect();
+                let mut ret = (*m.sig.ret).clone();
+                ret.ann.non_null = false;
+                Method::new(m.name.clone(), Signature::new(params, ret))
+            })
+            .collect();
+        methods_java.shuffle(&mut rng);
+        let mut fields_java = fields.clone();
+        fields_java.reverse();
+
+        for line in &java_anns {
+            script.push_str(line);
+            script.push('\n');
+        }
+
+        cxx.insert(Decl::new(
+            name.clone(),
+            Lang::Cxx,
+            Stype::class(fields.clone(), methods_cxx)
+                .with_ann(|a| a.pass_mode = Some(PassMode::ByReference)),
+        ))
+        .expect("generated names are unique");
+        java.insert(Decl::new(
+            name.clone(),
+            Lang::Java,
+            Stype::class(fields_java, methods_java)
+                .with_ann(|a| a.pass_mode = Some(PassMode::ByReference)),
+        ))
+        .expect("generated names are unique");
+    }
+
+    CorpusPair { cxx, java, script, class_names, method_count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mockingbird_comparer::{Comparer, Mode};
+    use mockingbird_mtype::MtypeGraph;
+    use mockingbird_stype::lower::Lowerer;
+    use mockingbird_stype::script::apply_script;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = visualage(12, 7);
+        let b = visualage(12, 7);
+        assert_eq!(a.script, b.script);
+        assert_eq!(a.method_count, b.method_count);
+        let c = visualage(12, 8);
+        assert!(a.script != c.script || a.method_count != c.method_count);
+    }
+
+    #[test]
+    fn miniature_system_matches_after_annotation() {
+        // The paper's 12-class miniature: every class pair must compare
+        // equivalent once the batch script is applied.
+        let mut pair = visualage(12, 42);
+        apply_script(&mut pair.java, &pair.script).unwrap();
+        let mut g = MtypeGraph::new();
+        let mut pairs = Vec::new();
+        for name in &pair.class_names {
+            let cxx_m = Lowerer::new(&pair.cxx, &mut g).lower_named(name).unwrap();
+            let java_m = Lowerer::new(&pair.java, &mut g).lower_named(name).unwrap();
+            pairs.push((name.clone(), cxx_m, java_m));
+        }
+        let cmp = Comparer::new(&g, &g);
+        let mut matched = 0;
+        for (name, cxx_m, java_m) in pairs {
+            assert!(
+                cmp.compare(cxx_m, java_m, Mode::Equivalence).is_ok(),
+                "class {name} must match after annotation"
+            );
+            matched += 1;
+        }
+        assert_eq!(matched, 12);
+    }
+
+    #[test]
+    fn unannotated_referencing_classes_do_not_match() {
+        let pair = visualage(12, 42);
+        // Find a class whose script needed annotations (has a ref param).
+        let needs_ann: Vec<&str> = pair
+            .script
+            .lines()
+            .filter_map(|l| l.strip_prefix("annotate ")?.split('.').next())
+            .collect();
+        if let Some(name) = needs_ann.first() {
+            let mut g = MtypeGraph::new();
+            let cxx_m = Lowerer::new(&pair.cxx, &mut g).lower_named(name).unwrap();
+            let java_m = Lowerer::new(&pair.java, &mut g).lower_named(name).unwrap();
+            assert!(
+                !Comparer::new(&g, &g).equivalent(cxx_m, java_m),
+                "without annotations the nullable Java ref cannot match the C++ reference"
+            );
+        }
+    }
+
+    #[test]
+    fn full_scale_shape() {
+        let pair = visualage(500, 1);
+        assert_eq!(pair.class_names.len(), 500);
+        assert!(
+            pair.method_count >= 3000,
+            "several thousand methods (got {})",
+            pair.method_count
+        );
+    }
+}

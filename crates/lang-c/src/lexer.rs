@@ -1,0 +1,235 @@
+//! Tokeniser for C/C++ declarations.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An integer literal.
+    Num(i128),
+    /// A punctuation symbol (`*`, `::`, `[`, ...).
+    Sym(&'static str),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Num(n) => write!(f, "{n}"),
+            Tok::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A parse error with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CParseError {
+    /// 1-based source line of the error.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CParseError {}
+
+/// A token plus the line it started on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+const SYMBOLS2: [&str; 3] = ["::", "->", "=="];
+const SYMBOLS1: &str = "*&()[]{};,:<>=~#";
+
+/// Tokenises C/C++ declaration source. Comments and preprocessor lines
+/// are skipped.
+///
+/// # Errors
+///
+/// Returns [`CParseError`] on unterminated block comments or characters
+/// outside the declaration subset.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, CParseError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Preprocessor lines.
+        if c == '#' && out.last().map(|s: &Spanned| s.line) != Some(line) {
+            while i < n && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            while i < n && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            let start_line = line;
+            i += 2;
+            loop {
+                if i + 1 >= n {
+                    return Err(CParseError {
+                        line: start_line,
+                        message: "unterminated block comment".into(),
+                    });
+                }
+                if bytes[i] == '\n' {
+                    line += 1;
+                }
+                if bytes[i] == '*' && bytes[i + 1] == '/' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            out.push(Spanned {
+                tok: Tok::Ident(bytes[start..i].iter().collect()),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == 'x') {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            let value = if let Some(hex) = text.strip_prefix("0x").or(text.strip_prefix("0X")) {
+                i128::from_str_radix(hex, 16)
+            } else {
+                text.trim_end_matches(['u', 'U', 'l', 'L']).parse()
+            }
+            .map_err(|_| CParseError {
+                line,
+                message: format!("bad integer literal `{text}`"),
+            })?;
+            out.push(Spanned { tok: Tok::Num(value), line });
+            continue;
+        }
+        // Two-char symbols.
+        if i + 1 < n {
+            let pair: String = [bytes[i], bytes[i + 1]].iter().collect();
+            if let Some(&sym) = SYMBOLS2.iter().find(|&&s| s == pair) {
+                out.push(Spanned { tok: Tok::Sym(sym), line });
+                i += 2;
+                continue;
+            }
+        }
+        if let Some(pos) = SYMBOLS1.find(c) {
+            // Map back to a 'static str slice of the symbol table.
+            let sym = &SYMBOLS1[pos..pos + c.len_utf8()];
+            out.push(Spanned { tok: Tok::Sym(sym), line });
+            i += 1;
+            continue;
+        }
+        return Err(CParseError {
+            line,
+            message: format!("unexpected character `{c}` in declaration"),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("typedef float point[2];"),
+            vec![
+                Tok::Ident("typedef".into()),
+                Tok::Ident("float".into()),
+                Tok::Ident("point".into()),
+                Tok::Sym("["),
+                Tok::Num(2),
+                Tok::Sym("]"),
+                Tok::Sym(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_preprocessor_skipped() {
+        let t = toks("#include <stdio.h>\n// line comment\n/* block\ncomment */ int x;");
+        assert_eq!(
+            t,
+            vec![Tok::Ident("int".into()), Tok::Ident("x".into()), Tok::Sym(";")]
+        );
+    }
+
+    #[test]
+    fn two_char_symbols() {
+        assert_eq!(
+            toks("std::vector"),
+            vec![
+                Tok::Ident("std".into()),
+                Tok::Sym("::"),
+                Tok::Ident("vector".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_hex() {
+        assert_eq!(toks("10UL")[0], Tok::Num(10));
+        assert_eq!(toks("0x10")[0], Tok::Num(16));
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let t = lex("int\nx;").unwrap();
+        assert_eq!(t[0].line, 1);
+        assert_eq!(t[1].line, 2);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        let err = lex("/* oops").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        assert!(lex("int x @").is_err());
+    }
+}

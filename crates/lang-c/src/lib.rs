@@ -1,0 +1,43 @@
+//! The C/C++ declaration frontend.
+//!
+//! The paper's prototype reused "a modified version of an IBM compiler"
+//! as its C/C++ parser; Mockingbird only consumes *declarations* (types
+//! and signatures), never function bodies, so this crate implements a
+//! declaration-level parser from scratch (see DESIGN.md §2 for the
+//! substitution rationale). Supported constructs:
+//!
+//! - `typedef` (including array and pointer declarators, e.g. the
+//!   paper's `typedef float point[2];`),
+//! - `struct`, `union`, `enum` definitions,
+//! - free function declarations (`void fitter(point pts[], int count,
+//!   point *start, point *end);`),
+//! - C++ `class` declarations with fields and method signatures,
+//!   visibility sections, single inheritance, `virtual`/pure-virtual
+//!   markers, and C++ references (`T&`),
+//! - `//` and `/* */` comments and preprocessor lines (skipped).
+//!
+//! The output is a [`Universe`] of [`Decl`]s ready for annotation and
+//! lowering.
+//!
+//! # Example
+//!
+//! ```
+//! use mockingbird_lang_c::parse_c;
+//!
+//! let uni = parse_c(
+//!     "typedef float point[2];
+//!      void fitter(point pts[], int count, point *start, point *end);",
+//! )?;
+//! assert!(uni.get("point").is_some());
+//! assert!(uni.get("fitter").is_some());
+//! # Ok::<(), mockingbird_lang_c::CParseError>(())
+//! ```
+//!
+//! [`Universe`]: mockingbird_stype::Universe
+//! [`Decl`]: mockingbird_stype::Decl
+
+pub mod lexer;
+pub mod parser;
+
+pub use lexer::{lex, CParseError, Tok};
+pub use parser::{parse_c, parse_cxx};

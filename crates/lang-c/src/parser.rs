@@ -1,0 +1,837 @@
+//! Recursive-descent parser from C/C++ declarations to Stypes.
+
+use mockingbird_stype::ast::{Decl, Field, Lang, Method, Param, Signature, Stype, Universe};
+
+#[cfg(test)]
+use mockingbird_stype::ast::SNode;
+
+use crate::lexer::{lex, CParseError, Spanned, Tok};
+
+/// Parses C declarations into a universe.
+///
+/// # Errors
+///
+/// Returns [`CParseError`] with line information on any syntax the
+/// declaration subset does not cover.
+pub fn parse_c(src: &str) -> Result<Universe, CParseError> {
+    Parser::new(src, Lang::C)?.run()
+}
+
+/// Parses C++ declarations (adds `class`, references, inheritance).
+///
+/// # Errors
+///
+/// Returns [`CParseError`] with line information on any syntax the
+/// declaration subset does not cover.
+pub fn parse_cxx(src: &str) -> Result<Universe, CParseError> {
+    Parser::new(src, Lang::Cxx)?.run()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    lang: Lang,
+    uni: Universe,
+}
+
+/// The result of parsing one declarator.
+struct Declarator {
+    name: Option<String>,
+    /// Pointer levels, innermost first; `true` = C++ reference (non-null).
+    pointers: Vec<bool>,
+    /// Array suffixes in written order; `None` = indefinite (`[]`).
+    arrays: Vec<Option<usize>>,
+    /// Function parameter list, if this declarator declares a function.
+    params: Option<Vec<Param>>,
+}
+
+impl Parser {
+    fn new(src: &str, lang: Lang) -> Result<Self, CParseError> {
+        Ok(Parser { toks: lex(src)?, pos: 0, lang, uni: Universe::new() })
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|s| s.line)
+            .unwrap_or(0)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, CParseError> {
+        Err(CParseError { line: self.line(), message: message.into() })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|s| &s.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if self.peek() == Some(&Tok::Sym(unsafe_static(sym))) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), CParseError> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            self.err(format!(
+                "expected `{sym}`, found `{}`",
+                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "<eof>".into())
+            ))
+        }
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => self.err(format!(
+                "expected identifier, found `{}`",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "<eof>".into())
+            )),
+        }
+    }
+
+    fn run(mut self) -> Result<Universe, CParseError> {
+        while self.peek().is_some() {
+            self.top_decl()?;
+        }
+        Ok(self.uni)
+    }
+
+    fn insert(&mut self, decl: Decl) -> Result<(), CParseError> {
+        let line = self.line();
+        self.uni
+            .insert(decl)
+            .map_err(|e| CParseError { line, message: e.to_string() })
+    }
+
+    fn top_decl(&mut self) -> Result<(), CParseError> {
+        if self.eat_ident("typedef") {
+            // Inline aggregate definition: typedef struct [Tag] { ... } Name;
+            if matches!(self.peek(), Some(Tok::Ident(s)) if s == "struct" || s == "union" || s == "enum")
+            {
+                let brace_next = self.peek2() == Some(&Tok::Sym("{"))
+                    || (matches!(self.peek2(), Some(Tok::Ident(_)))
+                        && self.toks.get(self.pos + 2).map(|t| &t.tok) == Some(&Tok::Sym("{")));
+                if brace_next {
+                    let keyword = self.expect_ident()?;
+                    let tag = match self.peek() {
+                        Some(Tok::Ident(_)) => Some(self.expect_ident()?),
+                        _ => None,
+                    };
+                    let ty = if keyword == "enum" {
+                        Stype::enum_of(self.enum_members()?)
+                    } else {
+                        let fields = self.braced_fields()?;
+                        if keyword == "struct" {
+                            Stype::struct_of(fields)
+                        } else {
+                            Stype::union_of(fields)
+                        }
+                    };
+                    let d = self.declarator(true)?;
+                    let name = match d.name.clone() {
+                        Some(n) => n,
+                        None => return self.err("typedef requires a name"),
+                    };
+                    self.expect_sym(";")?;
+                    // Register the tag so `struct Tag *` references resolve.
+                    if let Some(tag) = &tag {
+                        self.insert(Decl::new(tag.clone(), self.lang, ty.clone()))?;
+                    }
+                    if tag.as_deref() == Some(name.as_str()) {
+                        // `typedef struct X {...} X;` — one declaration.
+                        return Ok(());
+                    }
+                    let base = match &tag {
+                        Some(tag) => Stype::named(tag.clone()),
+                        None => ty,
+                    };
+                    let full = build_type(base, d);
+                    return self.insert(Decl::new(name, self.lang, full));
+                }
+            }
+            let base = self.type_specifier()?;
+            let d = self.declarator(true)?;
+            let name = match d.name.clone() {
+                Some(n) => n,
+                None => return self.err("typedef requires a name"),
+            };
+            let ty = build_type(base, d);
+            self.expect_sym(";")?;
+            return self.insert(Decl::new(name, self.lang, ty));
+        }
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == "struct" || s == "union") {
+            // Definition at top level, or a declaration using the tag.
+            if matches!(self.peek2(), Some(Tok::Ident(_)))
+                && self.toks.get(self.pos + 2).map(|s| &s.tok) == Some(&Tok::Sym("{"))
+            {
+                let keyword = self.expect_ident()?;
+                let name = self.expect_ident()?;
+                let fields = self.braced_fields()?;
+                self.expect_sym(";")?;
+                let ty = if keyword == "struct" {
+                    Stype::struct_of(fields)
+                } else {
+                    Stype::union_of(fields)
+                };
+                return self.insert(Decl::new(name, self.lang, ty));
+            }
+        }
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == "enum")
+            && matches!(self.peek2(), Some(Tok::Ident(_)))
+            && self.toks.get(self.pos + 2).map(|s| &s.tok) == Some(&Tok::Sym("{"))
+        {
+            self.bump();
+            let name = self.expect_ident()?;
+            let members = self.enum_members()?;
+            self.expect_sym(";")?;
+            return self.insert(Decl::new(name, self.lang, Stype::enum_of(members)));
+        }
+        if self.lang == Lang::Cxx && matches!(self.peek(), Some(Tok::Ident(s)) if s == "class") {
+            return self.class_decl();
+        }
+        // Function or variable declaration.
+        let base = self.type_specifier()?;
+        let d = self.declarator(true)?;
+        match d.params {
+            Some(_) => {
+                let name = match d.name.clone() {
+                    Some(n) => n,
+                    None => return self.err("function declaration requires a name"),
+                };
+                let ty = build_type(base, d);
+                self.expect_sym(";")?;
+                self.insert(Decl::new(name, self.lang, ty))
+            }
+            None => {
+                // A variable declaration: accepted and skipped (variables
+                // are not interface types).
+                self.expect_sym(";")?;
+                Ok(())
+            }
+        }
+    }
+
+    fn braced_fields(&mut self) -> Result<Vec<Field>, CParseError> {
+        self.expect_sym("{")?;
+        let mut fields = Vec::new();
+        while !self.eat_sym("}") {
+            if self.peek().is_none() {
+                return self.err("unterminated struct/union body");
+            }
+            let base = self.type_specifier()?;
+            loop {
+                let d = self.declarator(true)?;
+                let name = match d.name.clone() {
+                    Some(n) => n,
+                    None => return self.err("field requires a name"),
+                };
+                let ty = build_type(base.clone(), d);
+                fields.push(Field::new(name, ty));
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(";")?;
+        }
+        Ok(fields)
+    }
+
+    fn enum_members(&mut self) -> Result<Vec<String>, CParseError> {
+        self.expect_sym("{")?;
+        let mut members = Vec::new();
+        while !self.eat_sym("}") {
+            let name = self.expect_ident()?;
+            if self.eat_sym("=") {
+                match self.bump() {
+                    Some(Tok::Num(_)) => {}
+                    _ => return self.err("expected enum member value"),
+                }
+            }
+            members.push(name);
+            if !self.eat_sym(",") && self.peek() != Some(&Tok::Sym("}")) {
+                return self.err("expected `,` or `}` in enum body");
+            }
+        }
+        if members.is_empty() {
+            return self.err("enum must have at least one member");
+        }
+        Ok(members)
+    }
+
+    fn class_decl(&mut self) -> Result<(), CParseError> {
+        self.bump(); // class
+        let name = self.expect_ident()?;
+        let mut extends = None;
+        if self.eat_sym(":") {
+            // Single inheritance with optional access specifier.
+            let _ = self.eat_ident("public") || self.eat_ident("private")
+                || self.eat_ident("protected");
+            extends = Some(self.qualified_name()?);
+        }
+        self.expect_sym("{")?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        let mut visibility_public = false; // class defaults to private
+        while !self.eat_sym("}") {
+            if self.peek().is_none() {
+                return self.err("unterminated class body");
+            }
+            // Visibility labels.
+            if self.eat_ident("public") {
+                self.expect_sym(":")?;
+                visibility_public = true;
+                continue;
+            }
+            if self.eat_ident("private") || self.eat_ident("protected") {
+                self.expect_sym(":")?;
+                visibility_public = false;
+                continue;
+            }
+            let _ = self.eat_ident("virtual");
+            let _ = self.eat_ident("static");
+            // Destructor: ~Name() ... ;
+            if self.eat_sym("~") {
+                let _ = self.expect_ident()?;
+                self.skip_member_tail()?;
+                continue;
+            }
+            // Constructor: Name ( ... ) ... ;
+            if matches!(self.peek(), Some(Tok::Ident(s)) if *s == name)
+                && self.peek2() == Some(&Tok::Sym("("))
+            {
+                self.bump();
+                self.skip_member_tail()?;
+                continue;
+            }
+            let base = self.type_specifier()?;
+            let d = self.declarator(true)?;
+            match d.params {
+                Some(_) => {
+                    let mname = match d.name.clone() {
+                        Some(n) => n,
+                        None => return self.err("method requires a name"),
+                    };
+                    let params = d.params.clone().unwrap();
+                    let ret = build_type_no_fn(base, &d);
+                    // Trailing const / pure-virtual / inline body.
+                    let _ = self.eat_ident("const");
+                    if self.eat_sym("=") {
+                        match self.bump() {
+                            Some(Tok::Num(0)) => {}
+                            _ => return self.err("expected `0` after `=` (pure virtual)"),
+                        }
+                    }
+                    self.skip_body_or_semi()?;
+                    if visibility_public {
+                        methods.push(Method::new(mname, Signature::new(params, ret)));
+                    }
+                }
+                None => {
+                    let fname = match d.name.clone() {
+                        Some(n) => n,
+                        None => return self.err("field requires a name"),
+                    };
+                    let ty = build_type(base, d);
+                    self.expect_sym(";")?;
+                    fields.push(Field::new(fname, ty));
+                }
+            }
+        }
+        self.expect_sym(";")?;
+        let ty = match extends {
+            Some(sup) => Stype::class_extending(fields, methods, sup),
+            None => Stype::class(fields, methods),
+        };
+        self.insert(Decl::new(name, self.lang, ty))
+    }
+
+    /// Skips `( ... ) [const] [= 0]` then a body or `;` — for
+    /// constructors/destructors whose shapes we do not model.
+    fn skip_member_tail(&mut self) -> Result<(), CParseError> {
+        self.expect_sym("(")?;
+        let mut depth = 1;
+        while depth > 0 {
+            match self.bump() {
+                Some(Tok::Sym("(")) => depth += 1,
+                Some(Tok::Sym(")")) => depth -= 1,
+                Some(_) => {}
+                None => return self.err("unterminated parameter list"),
+            }
+        }
+        let _ = self.eat_ident("const");
+        self.skip_body_or_semi()
+    }
+
+    fn skip_body_or_semi(&mut self) -> Result<(), CParseError> {
+        if self.eat_sym("{") {
+            let mut depth = 1;
+            while depth > 0 {
+                match self.bump() {
+                    Some(Tok::Sym("{")) => depth += 1,
+                    Some(Tok::Sym("}")) => depth -= 1,
+                    Some(_) => {}
+                    None => return self.err("unterminated method body"),
+                }
+            }
+            // Optional trailing `;` after a body.
+            let _ = self.eat_sym(";");
+            Ok(())
+        } else {
+            self.expect_sym(";")
+        }
+    }
+
+    fn qualified_name(&mut self) -> Result<String, CParseError> {
+        let mut name = self.expect_ident()?;
+        while self.peek() == Some(&Tok::Sym("::")) {
+            self.bump();
+            name.push('.');
+            name.push_str(&self.expect_ident()?);
+        }
+        Ok(name)
+    }
+
+    /// Parses a type specifier: qualifiers, builtin keyword combos,
+    /// struct/union/enum tags, or typedef names.
+    fn type_specifier(&mut self) -> Result<Stype, CParseError> {
+        while self.eat_ident("const") || self.eat_ident("volatile") {}
+        // Tagged references.
+        for (kw, _) in [("struct", 0), ("union", 1), ("enum", 2)] {
+            if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+                && matches!(self.peek2(), Some(Tok::Ident(_)))
+            {
+                self.bump();
+                let tag = self.expect_ident()?;
+                return Ok(Stype::named(tag));
+            }
+        }
+        // Builtin combinations.
+        const BUILTIN_WORDS: [&str; 10] = [
+            "signed", "unsigned", "short", "long", "int", "char", "float", "double", "void",
+            "bool",
+        ];
+        let mut words: Vec<String> = Vec::new();
+        while let Some(Tok::Ident(s)) = self.peek() {
+            if BUILTIN_WORDS.contains(&s.as_str()) || s == "wchar_t" {
+                words.push(s.clone());
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if words.is_empty() {
+            // A typedef/class name, possibly qualified.
+            if matches!(self.peek(), Some(Tok::Ident(_))) {
+                let name = self.qualified_name()?;
+                return Ok(Stype::named(name));
+            }
+            return self.err("expected a type");
+        }
+        let has = |w: &str| words.iter().any(|x| x == w);
+        let longs = words.iter().filter(|x| *x == "long").count();
+        let unsigned = has("unsigned");
+        Ok(if has("void") {
+            Stype::void()
+        } else if has("bool") {
+            Stype::boolean()
+        } else if has("wchar_t") {
+            Stype::char16()
+        } else if has("double") {
+            Stype::f64()
+        } else if has("float") {
+            Stype::f32()
+        } else if has("char") {
+            if unsigned {
+                Stype::u8()
+            } else if has("signed") {
+                Stype::i8()
+            } else {
+                Stype::char8()
+            }
+        } else if has("short") {
+            if unsigned {
+                Stype::u16()
+            } else {
+                Stype::i16()
+            }
+        } else if longs >= 2 {
+            if unsigned {
+                Stype::u64()
+            } else {
+                Stype::i64()
+            }
+        } else {
+            // int, long, signed, unsigned: ILP32 defaults (the paper notes
+            // C defaults come from "the implementation"; override by
+            // annotation).
+            if unsigned {
+                Stype::u32()
+            } else {
+                Stype::i32()
+            }
+        })
+    }
+
+    /// Parses one declarator: pointers, optional name, array/function
+    /// suffixes. `allow_params` is false inside parameter declarators to
+    /// avoid ambiguity with function pointers (unsupported).
+    fn declarator(&mut self, allow_params: bool) -> Result<Declarator, CParseError> {
+        let mut pointers = Vec::new();
+        loop {
+            if self.eat_sym("*") {
+                pointers.push(false);
+                while self.eat_ident("const") {}
+            } else if self.lang == Lang::Cxx && self.eat_sym("&") {
+                pointers.push(true);
+                while self.eat_ident("const") {}
+            } else {
+                break;
+            }
+        }
+        let name = match self.peek() {
+            Some(Tok::Ident(s)) if !is_keyword(s) => {
+                let n = s.clone();
+                self.bump();
+                Some(n)
+            }
+            _ => None,
+        };
+        let mut arrays = Vec::new();
+        let mut params = None;
+        loop {
+            if self.eat_sym("[") {
+                match self.bump() {
+                    Some(Tok::Num(n)) => {
+                        if n < 0 {
+                            return self.err("negative array length");
+                        }
+                        self.expect_sym("]")?;
+                        arrays.push(Some(n as usize));
+                    }
+                    Some(Tok::Sym("]")) => arrays.push(None),
+                    _ => return self.err("expected array length or `]`"),
+                }
+            } else if allow_params && params.is_none() && self.peek() == Some(&Tok::Sym("(")) {
+                self.bump();
+                params = Some(self.param_list()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Declarator { name, pointers, arrays, params })
+    }
+
+    fn param_list(&mut self) -> Result<Vec<Param>, CParseError> {
+        let mut params = Vec::new();
+        if self.eat_sym(")") {
+            return Ok(params);
+        }
+        // `(void)` means no parameters.
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == "void")
+            && self.peek2() == Some(&Tok::Sym(")"))
+        {
+            self.bump();
+            self.bump();
+            return Ok(params);
+        }
+        loop {
+            let base = self.type_specifier()?;
+            let d = self.declarator(false)?;
+            let name = d
+                .name
+                .clone()
+                .unwrap_or_else(|| format!("arg{}", params.len()));
+            let ty = build_type(base, d);
+            params.push(Param::new(name, ty));
+            if self.eat_sym(",") {
+                continue;
+            }
+            self.expect_sym(")")?;
+            break;
+        }
+        Ok(params)
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "typedef"
+            | "struct"
+            | "union"
+            | "enum"
+            | "class"
+            | "const"
+            | "volatile"
+            | "signed"
+            | "unsigned"
+            | "short"
+            | "long"
+            | "int"
+            | "char"
+            | "float"
+            | "double"
+            | "void"
+            | "bool"
+            | "wchar_t"
+            | "virtual"
+            | "static"
+            | "public"
+            | "private"
+            | "protected"
+    )
+}
+
+/// Applies a declarator's pointers and arrays around a base type,
+/// producing a function Stype when a parameter list is present.
+fn build_type(base: Stype, d: Declarator) -> Stype {
+    let inner = build_type_no_fn(base, &d);
+    match d.params {
+        Some(params) => Stype::function(params, inner),
+        None => inner,
+    }
+}
+
+/// As [`build_type`] but ignores the parameter list (used for method
+/// return types, where the params are consumed separately).
+fn build_type_no_fn(base: Stype, d: &Declarator) -> Stype {
+    let mut ty = base;
+    for &is_ref in &d.pointers {
+        ty = Stype::pointer(ty);
+        if is_ref {
+            ty = ty.with_ann(|a| a.non_null = true);
+        }
+    }
+    // Array suffixes bind outermost-first: `int a[2][3]` is an array of 2
+    // arrays of 3 ints.
+    for &len in d.arrays.iter().rev() {
+        ty = match len {
+            Some(n) => Stype::array_fixed(ty, n),
+            None => Stype::array_indefinite(ty),
+        };
+    }
+    ty
+}
+
+#[allow(clippy::missing_const_for_fn)]
+fn unsafe_static(sym: &str) -> &'static str {
+    // Symbols compared against come from a fixed table; map dynamically.
+    match sym {
+        "*" => "*",
+        "&" => "&",
+        "(" => "(",
+        ")" => ")",
+        "[" => "[",
+        "]" => "]",
+        "{" => "{",
+        "}" => "}",
+        ";" => ";",
+        "," => ",",
+        ":" => ":",
+        "<" => "<",
+        ">" => ">",
+        "=" => "=",
+        "~" => "~",
+        "#" => "#",
+        "::" => "::",
+        "->" => "->",
+        "==" => "==",
+        _ => unreachable!("unknown symbol `{sym}`"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mockingbird_stype::ast::{ArrayLen as AL, Prim};
+
+    #[test]
+    fn paper_figure_2_parses() {
+        let uni = parse_c(
+            "typedef float point[2];\n\
+             void fitter(point pts[], int count, point *start, point *end);",
+        )
+        .unwrap();
+        let point = uni.get("point").unwrap();
+        assert!(matches!(
+            &point.ty.node,
+            SNode::Array { len: AL::Fixed(2), elem } if matches!(elem.node, SNode::Prim(Prim::F32))
+        ));
+        let fitter = uni.get("fitter").unwrap();
+        let SNode::Function(sig) = &fitter.ty.node else { panic!() };
+        assert_eq!(sig.params.len(), 4);
+        assert!(matches!(
+            &sig.params[0].ty.node,
+            SNode::Array { len: AL::Indefinite, .. }
+        ));
+        assert!(matches!(&sig.params[2].ty.node, SNode::Pointer(_)));
+        assert!(matches!(sig.ret.node, SNode::Prim(Prim::Void)));
+    }
+
+    #[test]
+    fn struct_union_enum_definitions() {
+        let uni = parse_c(
+            "struct Point { float x; float y; };\n\
+             union Number { int i; float f; };\n\
+             enum Color { RED, GREEN = 5, BLUE };",
+        )
+        .unwrap();
+        let SNode::Struct(fs) = &uni.get("Point").unwrap().ty.node else { panic!() };
+        assert_eq!(fs.len(), 2);
+        let SNode::Union(arms) = &uni.get("Number").unwrap().ty.node else { panic!() };
+        assert_eq!(arms.len(), 2);
+        let SNode::Enum(ms) = &uni.get("Color").unwrap().ty.node else { panic!() };
+        assert_eq!(ms, &vec!["RED".to_string(), "GREEN".into(), "BLUE".into()]);
+    }
+
+    #[test]
+    fn builtin_type_combinations() {
+        let uni = parse_c(
+            "typedef unsigned char byte_t;\n\
+             typedef unsigned long long u64_t;\n\
+             typedef long long i64_t;\n\
+             typedef unsigned short u16_t;\n\
+             typedef signed char i8_t;\n\
+             typedef wchar_t wide_t;",
+        )
+        .unwrap();
+        assert!(matches!(uni.get("byte_t").unwrap().ty.node, SNode::Prim(Prim::U8)));
+        assert!(matches!(uni.get("u64_t").unwrap().ty.node, SNode::Prim(Prim::U64)));
+        assert!(matches!(uni.get("i64_t").unwrap().ty.node, SNode::Prim(Prim::I64)));
+        assert!(matches!(uni.get("u16_t").unwrap().ty.node, SNode::Prim(Prim::U16)));
+        assert!(matches!(uni.get("i8_t").unwrap().ty.node, SNode::Prim(Prim::I8)));
+        assert!(matches!(uni.get("wide_t").unwrap().ty.node, SNode::Prim(Prim::Char16)));
+    }
+
+    #[test]
+    fn multi_declarator_fields_and_nested_arrays() {
+        let uni = parse_c("struct M { int a, b; float grid[2][3]; };").unwrap();
+        let SNode::Struct(fs) = &uni.get("M").unwrap().ty.node else { panic!() };
+        assert_eq!(fs.len(), 3);
+        // grid: array[2] of array[3] of float.
+        let SNode::Array { elem, len } = &fs[2].ty.node else { panic!() };
+        assert!(matches!(len, AL::Fixed(2)));
+        assert!(matches!(&elem.node, SNode::Array { len: AL::Fixed(3), .. }));
+    }
+
+    #[test]
+    fn pointer_binding_in_declarators() {
+        // int *a[3] is an array of 3 pointers to int.
+        let uni = parse_c("struct P { int *a[3]; };").unwrap();
+        let SNode::Struct(fs) = &uni.get("P").unwrap().ty.node else { panic!() };
+        let SNode::Array { elem, len } = &fs[0].ty.node else { panic!() };
+        assert!(matches!(len, AL::Fixed(3)));
+        assert!(matches!(&elem.node, SNode::Pointer(_)));
+    }
+
+    #[test]
+    fn cxx_class_with_methods_and_inheritance() {
+        let uni = parse_cxx(
+            "class Document : public Node {\n\
+             public:\n\
+               virtual int length() const = 0;\n\
+               void append(const char *text);\n\
+               Document(int kind);\n\
+               ~Document();\n\
+             private:\n\
+               int kind_;\n\
+               void internal_helper();\n\
+             };",
+        )
+        .unwrap();
+        let SNode::Class { fields, methods, extends } = &uni.get("Document").unwrap().ty.node
+        else {
+            panic!()
+        };
+        assert_eq!(extends.as_deref(), Some("Node"));
+        assert_eq!(fields.len(), 1, "private field captured for layout");
+        let names: Vec<&str> = methods.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["length", "append"], "public methods only");
+    }
+
+    #[test]
+    fn cxx_references_are_non_null_pointers() {
+        let uni = parse_cxx("class R { public: void take(Point &p); };").unwrap();
+        let SNode::Class { methods, .. } = &uni.get("R").unwrap().ty.node else { panic!() };
+        let ty = &methods[0].sig.params[0].ty;
+        assert!(matches!(ty.node, SNode::Pointer(_)));
+        assert!(ty.ann.non_null, "C++ references cannot be null");
+    }
+
+    #[test]
+    fn qualified_base_class_names() {
+        let uni = parse_cxx("class V : public std::vector { public: int size(); };").unwrap();
+        let SNode::Class { extends, .. } = &uni.get("V").unwrap().ty.node else { panic!() };
+        assert_eq!(extends.as_deref(), Some("std.vector"));
+    }
+
+    #[test]
+    fn void_parameter_list_and_unnamed_params() {
+        let uni = parse_c("int rand_value(void);\nint add(int, int);").unwrap();
+        let SNode::Function(sig) = &uni.get("rand_value").unwrap().ty.node else { panic!() };
+        assert!(sig.params.is_empty());
+        let SNode::Function(sig) = &uni.get("add").unwrap().ty.node else { panic!() };
+        assert_eq!(sig.params[0].name, "arg0");
+        assert_eq!(sig.params[1].name, "arg1");
+    }
+
+    #[test]
+    fn struct_tag_references() {
+        let uni = parse_c(
+            "struct Point { float x; float y; };\n\
+             void draw(struct Point *p);",
+        )
+        .unwrap();
+        let SNode::Function(sig) = &uni.get("draw").unwrap().ty.node else { panic!() };
+        let SNode::Pointer(t) = &sig.params[0].ty.node else { panic!() };
+        assert!(matches!(&t.node, SNode::Named(n) if n == "Point"));
+    }
+
+    #[test]
+    fn errors_report_lines() {
+        let err = parse_c("typedef ;").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        let err = parse_c("struct X { int a }\n").unwrap_err();
+        assert!(err.line >= 1);
+        assert!(parse_c("void f(int x;").is_err());
+        assert!(parse_c("enum E { };").is_err());
+    }
+
+    #[test]
+    fn duplicate_declarations_rejected() {
+        let err = parse_c("typedef int a;\ntypedef float a;").unwrap_err();
+        assert!(err.to_string().contains("already loaded"));
+    }
+
+    #[test]
+    fn variables_are_skipped() {
+        let uni = parse_c("int global_counter;\ntypedef int tick_t;").unwrap();
+        assert!(uni.get("global_counter").is_none());
+        assert!(uni.get("tick_t").is_some());
+    }
+}

@@ -1,0 +1,32 @@
+//! The CORBA IDL frontend.
+//!
+//! Parses the OMG CORBA 2.0 IDL subset the paper exercises (modules,
+//! interfaces with operations and in/out/inout parameters, structs,
+//! discriminated unions, enums, typedefs, `sequence<T>`, arrays,
+//! `string`/`wstring`, `any`) into Stype declarations.
+//!
+//! Names declared inside modules and interfaces are qualified with `.`
+//! (`CFriendly.Point`); references resolve innermost-scope-first, the way
+//! IDL scoped names do.
+//!
+//! # Example — the paper's Fig. 3(b) C-friendly interface
+//!
+//! ```
+//! use mockingbird_lang_idl::parse_idl;
+//!
+//! let uni = parse_idl(
+//!     "interface CFriendly {
+//!        typedef float Point[2];
+//!        typedef sequence<Point> pointseq;
+//!        void fitter(in pointseq pts, in long count,
+//!                    out Point start, out Point end);
+//!      };",
+//! )?;
+//! assert!(uni.get("CFriendly").is_some());
+//! assert!(uni.get("CFriendly.Point").is_some());
+//! # Ok::<(), mockingbird_lang_idl::IdlParseError>(())
+//! ```
+
+pub mod parser;
+
+pub use parser::{parse_idl, IdlParseError};

@@ -1,0 +1,742 @@
+//! CORBA IDL lexer and recursive-descent parser.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use mockingbird_stype::ann::Direction;
+use mockingbird_stype::ast::{Decl, Field, Lang, Method, Param, SNode, Signature, Stype, Universe};
+
+/// A parse error with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdlParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for IdlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IDL parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for IdlParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(i128),
+    Sym(String),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Num(n) => write!(f, "{n}"),
+            Tok::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, IdlParseError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '#' {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start = line;
+            i += 2;
+            loop {
+                if i + 1 >= chars.len() {
+                    return Err(IdlParseError { line: start, message: "unterminated comment".into() });
+                }
+                if chars[i] == '\n' {
+                    line += 1;
+                }
+                if chars[i] == '*' && chars[i + 1] == '/' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push((Tok::Ident(chars[start..i].iter().collect()), line));
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            out.push((
+                Tok::Num(text.parse().map_err(|_| IdlParseError {
+                    line,
+                    message: format!("bad number `{text}`"),
+                })?),
+                line,
+            ));
+        } else if c == ':' && chars.get(i + 1) == Some(&':') {
+            out.push((Tok::Sym("::".into()), line));
+            i += 2;
+        } else if "{}();,<>[]:=".contains(c) {
+            out.push((Tok::Sym(c.to_string()), line));
+            i += 1;
+        } else {
+            return Err(IdlParseError { line, message: format!("unexpected character `{c}`") });
+        }
+    }
+    Ok(out)
+}
+
+/// Parses CORBA IDL source into a universe of Stype declarations.
+///
+/// # Errors
+///
+/// Returns [`IdlParseError`] with line information on syntax outside the
+/// supported subset.
+pub fn parse_idl(src: &str) -> Result<Universe, IdlParseError> {
+    let mut p = Parser {
+        toks: lex(src)?,
+        pos: 0,
+        uni: Universe::new(),
+        scope: Vec::new(),
+        interfaces: HashSet::new(),
+        declared: HashSet::new(),
+    };
+    while p.peek().is_some() {
+        p.definition()?;
+    }
+    Ok(p.uni)
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    uni: Universe,
+    scope: Vec<String>,
+    /// Fully-qualified names known to be interfaces (references to these
+    /// become nullable object references).
+    interfaces: HashSet<String>,
+    declared: HashSet<String>,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| t.1)
+            .unwrap_or(0)
+    }
+
+    fn err<T>(&self, m: impl Into<String>) -> Result<T, IdlParseError> {
+        Err(IdlParseError { line: self.line(), message: m.into() })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.0)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.0.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Sym(x)) if x == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), IdlParseError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            self.err(format!(
+                "expected `{s}`, found `{}`",
+                self.peek().map(|t| t.to_string()).unwrap_or("<eof>".into())
+            ))
+        }
+    }
+
+    fn eat_kw(&mut self, w: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(x)) if x == w) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, IdlParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => self.err(format!(
+                "expected identifier, found `{}`",
+                other.map(|t| t.to_string()).unwrap_or("<eof>".into())
+            )),
+        }
+    }
+
+    fn qualify(&self, name: &str) -> String {
+        if self.scope.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{}", self.scope.join("."), name)
+        }
+    }
+
+    /// Resolves a (possibly `::`-qualified) reference against enclosing
+    /// scopes, innermost first.
+    fn resolve(&self, name: &str) -> String {
+        for depth in (0..=self.scope.len()).rev() {
+            let prefix = self.scope[..depth].join(".");
+            let candidate = if prefix.is_empty() {
+                name.to_string()
+            } else {
+                format!("{prefix}.{name}")
+            };
+            if self.declared.contains(&candidate) {
+                return candidate;
+            }
+        }
+        name.to_string()
+    }
+
+    fn insert(&mut self, name: String, ty: Stype) -> Result<(), IdlParseError> {
+        let line = self.line();
+        self.declared.insert(name.clone());
+        self.uni
+            .insert(Decl::new(name, Lang::Idl, ty))
+            .map_err(|e| IdlParseError { line, message: e.to_string() })
+    }
+
+    fn definition(&mut self) -> Result<(), IdlParseError> {
+        if self.eat_kw("module") {
+            let name = self.expect_ident()?;
+            self.expect_sym("{")?;
+            self.scope.push(name);
+            while !self.eat_sym("}") {
+                if self.peek().is_none() {
+                    return self.err("unterminated module");
+                }
+                self.definition()?;
+            }
+            self.scope.pop();
+            self.expect_sym(";")?;
+            return Ok(());
+        }
+        if self.eat_kw("interface") {
+            return self.interface();
+        }
+        self.type_dcl()?;
+        self.expect_sym(";")
+    }
+
+    fn interface(&mut self) -> Result<(), IdlParseError> {
+        let name = self.expect_ident()?;
+        let qname = self.qualify(&name);
+        // Forward declaration: `interface X;`
+        if self.eat_sym(";") {
+            self.interfaces.insert(qname.clone());
+            self.declared.insert(qname);
+            return Ok(());
+        }
+        let mut extends = Vec::new();
+        if self.eat_sym(":") {
+            loop {
+                let base = self.scoped_name()?;
+                extends.push(self.resolve(&base));
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_sym("{")?;
+        self.interfaces.insert(qname.clone());
+        self.declared.insert(qname.clone());
+        self.scope.push(name);
+        let mut methods = Vec::new();
+        while !self.eat_sym("}") {
+            if self.peek().is_none() {
+                return self.err("unterminated interface body");
+            }
+            if matches!(self.peek(), Some(Tok::Ident(k)) if k == "typedef" || k == "struct" || k == "union" || k == "enum")
+            {
+                self.type_dcl()?;
+                self.expect_sym(";")?;
+                continue;
+            }
+            methods.push(self.operation()?);
+        }
+        self.scope.pop();
+        self.expect_sym(";")?;
+        // Interface inheritance: splice in the methods of resolved bases.
+        let mut all_methods = Vec::new();
+        for base in &extends {
+            if let Some(d) = self.uni.get(base) {
+                if let SNode::Interface { methods: bm, .. } = &d.ty.node {
+                    all_methods.extend(bm.iter().cloned());
+                }
+            }
+        }
+        all_methods.extend(methods);
+        let mut ty = Stype::interface(all_methods);
+        if let SNode::Interface { extends: e, .. } = &mut ty.node {
+            *e = extends;
+        }
+        self.insert(qname, ty)
+    }
+
+    fn operation(&mut self) -> Result<Method, IdlParseError> {
+        let _ = self.eat_kw("oneway");
+        let ret = self.type_spec()?;
+        let name = self.expect_ident()?;
+        self.expect_sym("(")?;
+        let mut params = Vec::new();
+        if !self.eat_sym(")") {
+            loop {
+                let dir = if self.eat_kw("in") {
+                    Direction::In
+                } else if self.eat_kw("out") {
+                    Direction::Out
+                } else if self.eat_kw("inout") {
+                    Direction::InOut
+                } else {
+                    return self.err("IDL parameter requires a direction (in/out/inout)");
+                };
+                let ty = self.type_spec()?.with_ann(|a| a.direction = Some(dir));
+                let pname = self.expect_ident()?;
+                params.push(Param::new(pname, ty));
+                if self.eat_sym(",") {
+                    continue;
+                }
+                self.expect_sym(")")?;
+                break;
+            }
+        }
+        // raises(...) clauses become declared exceptions on the
+        // signature (paper §6's exception support).
+        let mut throws = Vec::new();
+        if self.eat_kw("raises") {
+            self.expect_sym("(")?;
+            loop {
+                let raw = self.scoped_name()?;
+                throws.push(Stype::named(self.resolve(&raw)));
+                if self.eat_sym(",") {
+                    continue;
+                }
+                self.expect_sym(")")?;
+                break;
+            }
+        }
+        self.expect_sym(";")?;
+        Ok(Method::new(name, Signature::new(params, ret).with_throws(throws)))
+    }
+
+    fn type_dcl(&mut self) -> Result<(), IdlParseError> {
+        if self.eat_kw("typedef") {
+            let base = self.type_spec()?;
+            let name = self.expect_ident()?;
+            let mut dims = Vec::new();
+            while self.eat_sym("[") {
+                match self.bump() {
+                    Some(Tok::Num(n)) if n > 0 => dims.push(n as usize),
+                    _ => return self.err("expected positive array dimension"),
+                }
+                self.expect_sym("]")?;
+            }
+            let mut ty = base;
+            for &d in dims.iter().rev() {
+                ty = Stype::array_fixed(ty, d);
+            }
+            let qname = self.qualify(&name);
+            return self.insert(qname, ty);
+        }
+        if self.eat_kw("exception") {
+            // IDL exceptions are struct-shaped user exceptions; they
+            // lower like structs and appear as reply alternatives.
+            let name = self.expect_ident()?;
+            self.expect_sym("{")?;
+            let mut fields = Vec::new();
+            while !self.eat_sym("}") {
+                if self.peek().is_none() {
+                    return self.err("unterminated exception");
+                }
+                let ty = self.type_spec()?;
+                loop {
+                    let fname = self.expect_ident()?;
+                    fields.push(Field::new(fname, ty.clone()));
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                self.expect_sym(";")?;
+            }
+            let qname = self.qualify(&name);
+            return self.insert(qname, Stype::struct_of(fields));
+        }
+        if self.eat_kw("struct") {
+            let name = self.expect_ident()?;
+            self.expect_sym("{")?;
+            let mut fields = Vec::new();
+            while !self.eat_sym("}") {
+                if self.peek().is_none() {
+                    return self.err("unterminated struct");
+                }
+                let ty = self.type_spec()?;
+                loop {
+                    let fname = self.expect_ident()?;
+                    fields.push(Field::new(fname, ty.clone()));
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                self.expect_sym(";")?;
+            }
+            let qname = self.qualify(&name);
+            return self.insert(qname, Stype::struct_of(fields));
+        }
+        if self.eat_kw("union") {
+            let name = self.expect_ident()?;
+            if !self.eat_kw("switch") {
+                return self.err("expected `switch` after union name");
+            }
+            self.expect_sym("(")?;
+            let _discriminator = self.type_spec()?;
+            self.expect_sym(")")?;
+            self.expect_sym("{")?;
+            let mut arms = Vec::new();
+            while !self.eat_sym("}") {
+                if self.eat_kw("case") {
+                    // Case label: integer or enumerator identifier.
+                    match self.bump() {
+                        Some(Tok::Num(_)) | Some(Tok::Ident(_)) => {}
+                        _ => return self.err("expected case label"),
+                    }
+                    self.expect_sym(":")?;
+                } else if self.eat_kw("default") {
+                    self.expect_sym(":")?;
+                } else {
+                    return self.err("expected `case` or `default` in union body");
+                }
+                let ty = self.type_spec()?;
+                let fname = self.expect_ident()?;
+                self.expect_sym(";")?;
+                arms.push(Field::new(fname, ty));
+            }
+            if arms.is_empty() {
+                return self.err("union must have at least one arm");
+            }
+            let qname = self.qualify(&name);
+            return self.insert(qname, Stype::union_of(arms));
+        }
+        if self.eat_kw("enum") {
+            let name = self.expect_ident()?;
+            self.expect_sym("{")?;
+            let mut members = Vec::new();
+            while !self.eat_sym("}") {
+                members.push(self.expect_ident()?);
+                if !self.eat_sym(",") && !matches!(self.peek(), Some(Tok::Sym(s)) if s == "}") {
+                    return self.err("expected `,` or `}` in enum");
+                }
+            }
+            if members.is_empty() {
+                return self.err("enum must have at least one member");
+            }
+            let qname = self.qualify(&name);
+            return self.insert(qname, Stype::enum_of(members));
+        }
+        self.err("expected a definition (module/interface/typedef/struct/union/enum)")
+    }
+
+    fn scoped_name(&mut self) -> Result<String, IdlParseError> {
+        let mut name = self.expect_ident()?;
+        while self.eat_sym("::") {
+            name.push('.');
+            name.push_str(&self.expect_ident()?);
+        }
+        Ok(name)
+    }
+
+    fn type_spec(&mut self) -> Result<Stype, IdlParseError> {
+        if self.eat_kw("sequence") {
+            self.expect_sym("<")?;
+            let elem = self.type_spec()?;
+            // Bounded sequences: sequence<T, N> — the bound is ignored
+            // structurally (still an indefinite ordered collection).
+            if self.eat_sym(",") {
+                match self.bump() {
+                    Some(Tok::Num(_)) => {}
+                    _ => return self.err("expected sequence bound"),
+                }
+            }
+            self.expect_sym(">")?;
+            return Ok(Stype::sequence(elem));
+        }
+        if self.eat_kw("string") || self.eat_kw("wstring") {
+            // Bounded strings: string<N>.
+            if self.eat_sym("<") {
+                match self.bump() {
+                    Some(Tok::Num(_)) => {}
+                    _ => return self.err("expected string bound"),
+                }
+                self.expect_sym(">")?;
+            }
+            return Ok(Stype::string());
+        }
+        if self.eat_kw("unsigned") {
+            if self.eat_kw("short") {
+                return Ok(Stype::u16());
+            }
+            if self.eat_kw("long") {
+                if self.eat_kw("long") {
+                    return Ok(Stype::u64());
+                }
+                return Ok(Stype::u32());
+            }
+            return self.err("expected `short` or `long` after `unsigned`");
+        }
+        if self.eat_kw("short") {
+            return Ok(Stype::i16());
+        }
+        if self.eat_kw("long") {
+            if self.eat_kw("long") {
+                return Ok(Stype::i64());
+            }
+            if self.eat_kw("double") {
+                return Ok(Stype::f64());
+            }
+            return Ok(Stype::i32());
+        }
+        if self.eat_kw("float") {
+            return Ok(Stype::f32());
+        }
+        if self.eat_kw("double") {
+            return Ok(Stype::f64());
+        }
+        if self.eat_kw("char") {
+            return Ok(Stype::char8());
+        }
+        if self.eat_kw("wchar") {
+            return Ok(Stype::char16());
+        }
+        if self.eat_kw("boolean") {
+            return Ok(Stype::boolean());
+        }
+        if self.eat_kw("octet") {
+            return Ok(Stype::u8());
+        }
+        if self.eat_kw("any") {
+            return Ok(Stype::any());
+        }
+        if self.eat_kw("void") {
+            return Ok(Stype::void());
+        }
+        if self.eat_kw("Object") {
+            return Ok(Stype::any());
+        }
+        if matches!(self.peek(), Some(Tok::Ident(_))) {
+            let raw = self.scoped_name()?;
+            let resolved = self.resolve(&raw);
+            if self.interfaces.contains(&resolved) {
+                // Object references are nullable (nil) by default.
+                return Ok(Stype::pointer(Stype::named(resolved)));
+            }
+            return Ok(Stype::named(resolved));
+        }
+        self.err(format!(
+            "expected a type, found `{}`",
+            self.peek().map(|t| t.to_string()).unwrap_or("<eof>".into())
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mockingbird_stype::ast::ArrayLen;
+
+    const FIG3A: &str = "
+        interface JavaFriendly {
+          struct Point { float x; float y; };
+          struct Line { Point start; Point end; };
+          typedef sequence<Point> PointVector;
+          Line fitter(in PointVector pts);
+        };";
+
+    const FIG3B: &str = "
+        interface CFriendly {
+          typedef float Point[2];
+          typedef sequence<Point> pointseq;
+          void fitter(in pointseq pts, in long count,
+                      out Point start, out Point end);
+        };";
+
+    #[test]
+    fn figure_3a_java_friendly() {
+        let uni = parse_idl(FIG3A).unwrap();
+        let SNode::Struct(fs) = &uni.get("JavaFriendly.Point").unwrap().ty.node else { panic!() };
+        assert_eq!(fs.len(), 2);
+        let SNode::Struct(fs) = &uni.get("JavaFriendly.Line").unwrap().ty.node else { panic!() };
+        assert!(matches!(&fs[0].ty.node, SNode::Named(n) if n == "JavaFriendly.Point"));
+        let SNode::Sequence(e) = &uni.get("JavaFriendly.PointVector").unwrap().ty.node else {
+            panic!()
+        };
+        assert!(matches!(&e.node, SNode::Named(n) if n == "JavaFriendly.Point"));
+        let SNode::Interface { methods, .. } = &uni.get("JavaFriendly").unwrap().ty.node else {
+            panic!()
+        };
+        assert_eq!(methods.len(), 1);
+        assert_eq!(methods[0].name, "fitter");
+        assert_eq!(
+            methods[0].sig.params[0].ty.ann.direction,
+            Some(Direction::In)
+        );
+    }
+
+    #[test]
+    fn figure_3b_c_friendly() {
+        let uni = parse_idl(FIG3B).unwrap();
+        let point = uni.get("CFriendly.Point").unwrap();
+        assert!(matches!(
+            &point.ty.node,
+            SNode::Array { len: ArrayLen::Fixed(2), .. }
+        ));
+        let SNode::Interface { methods, .. } = &uni.get("CFriendly").unwrap().ty.node else {
+            panic!()
+        };
+        let fitter = &methods[0];
+        assert_eq!(fitter.sig.params.len(), 4);
+        assert_eq!(fitter.sig.params[2].ty.ann.direction, Some(Direction::Out));
+        assert_eq!(fitter.sig.params[3].ty.ann.direction, Some(Direction::Out));
+    }
+
+    #[test]
+    fn modules_qualify_names() {
+        let uni = parse_idl(
+            "module Geometry {
+               struct Point { float x; float y; };
+               module Inner { typedef sequence<Point> Points; };
+             };",
+        )
+        .unwrap();
+        assert!(uni.get("Geometry.Point").is_some());
+        let SNode::Sequence(e) = &uni.get("Geometry.Inner.Points").unwrap().ty.node else {
+            panic!()
+        };
+        assert!(
+            matches!(&e.node, SNode::Named(n) if n == "Geometry.Point"),
+            "reference resolves outward through scopes"
+        );
+    }
+
+    #[test]
+    fn unions_and_enums() {
+        let uni = parse_idl(
+            "enum Shape { CIRCLE, SQUARE };
+             union Value switch (long) {
+               case 0: long i;
+               case 1: float f;
+               default: boolean b;
+             };",
+        )
+        .unwrap();
+        let SNode::Enum(ms) = &uni.get("Shape").unwrap().ty.node else { panic!() };
+        assert_eq!(ms.len(), 2);
+        let SNode::Union(arms) = &uni.get("Value").unwrap().ty.node else { panic!() };
+        assert_eq!(arms.len(), 3);
+    }
+
+    #[test]
+    fn interface_references_are_nullable_objects() {
+        let uni = parse_idl(
+            "interface Callback { void done(in long status); };
+             interface Job { void run(in Callback cb); };",
+        )
+        .unwrap();
+        let SNode::Interface { methods, .. } = &uni.get("Job").unwrap().ty.node else { panic!() };
+        let ty = &methods[0].sig.params[0].ty;
+        assert!(matches!(&ty.node, SNode::Pointer(inner) if matches!(&inner.node, SNode::Named(n) if n == "Callback")));
+    }
+
+    #[test]
+    fn interface_inheritance_splices_methods() {
+        let uni = parse_idl(
+            "interface Base { void ping(); };
+             interface Derived : Base { void pong(); };",
+        )
+        .unwrap();
+        let SNode::Interface { methods, extends } = &uni.get("Derived").unwrap().ty.node else {
+            panic!()
+        };
+        assert_eq!(extends, &vec!["Base".to_string()]);
+        let names: Vec<&str> = methods.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["ping", "pong"]);
+    }
+
+    #[test]
+    fn primitive_vocabulary() {
+        let uni = parse_idl(
+            "struct All {
+               octet o; boolean b; char c; wchar w;
+               short s; unsigned short us;
+               long l; unsigned long ul;
+               long long ll; unsigned long long ull;
+               float f; double d; long double ld;
+               string str; wstring wstr; string<16> bounded;
+               any a;
+             };",
+        )
+        .unwrap();
+        let SNode::Struct(fs) = &uni.get("All").unwrap().ty.node else { panic!() };
+        assert_eq!(fs.len(), 17);
+    }
+
+    #[test]
+    fn oneway_bounded_sequence_and_raises() {
+        let uni = parse_idl(
+            "interface Log {
+               oneway void append(in sequence<octet, 1024> data);
+               void flush() raises (IOError);
+             };",
+        )
+        .unwrap();
+        let SNode::Interface { methods, .. } = &uni.get("Log").unwrap().ty.node else { panic!() };
+        assert_eq!(methods.len(), 2);
+    }
+
+    #[test]
+    fn errors_report_lines_and_reasons() {
+        let err = parse_idl("interface X { void f(long a); };").unwrap_err();
+        assert!(err.message.contains("direction"));
+        assert!(parse_idl("union U { case 0: long x; };").is_err());
+        assert!(parse_idl("enum E { };").is_err());
+        assert!(parse_idl("module M { struct S { float x; };").is_err());
+        let err = parse_idl("struct S { float x; };\nstruct S { float y; };").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

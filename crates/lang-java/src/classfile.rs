@@ -1,0 +1,558 @@
+//! JVM class-file reading and writing.
+//!
+//! Implements the subset of the class-file format needed to extract type
+//! declarations: the constant pool (all tag kinds, so real class files
+//! parse), access flags, the class hierarchy, and the field and method
+//! tables. Attribute bodies are skipped.
+//!
+//! The [`ClassSpec`] writer emits minimal spec-conformant class files —
+//! correct magic, constant pool indices, and table layout — which the
+//! reader (and any conformant JVM class-file parser) accepts.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// `ACC_PUBLIC`.
+pub const ACC_PUBLIC: u16 = 0x0001;
+/// `ACC_PRIVATE`.
+pub const ACC_PRIVATE: u16 = 0x0002;
+/// `ACC_STATIC`.
+pub const ACC_STATIC: u16 = 0x0008;
+/// `ACC_INTERFACE`.
+pub const ACC_INTERFACE: u16 = 0x0200;
+/// `ACC_ABSTRACT`.
+pub const ACC_ABSTRACT: u16 = 0x0400;
+
+const MAGIC: u32 = 0xCAFE_BABE;
+
+/// Errors from malformed class files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassFileError(pub String);
+
+impl fmt::Display for ClassFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class file error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ClassFileError {}
+
+fn err<T>(m: impl Into<String>) -> Result<T, ClassFileError> {
+    Err(ClassFileError(m.into()))
+}
+
+/// One constant-pool entry (only the kinds we must understand are
+/// retained; the rest are recorded as `Other` so indices stay aligned).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CpEntry {
+    Utf8(String),
+    Class { name_index: u16 },
+    /// Long/Double occupy two slots; the second is `Padding`.
+    Padding,
+    Other,
+}
+
+/// A field extracted from a class file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JavaField {
+    /// Field name.
+    pub name: String,
+    /// JVM field descriptor (e.g. `F`, `Ljava/lang/String;`, `[I`).
+    pub descriptor: String,
+    /// Raw access flags.
+    pub access: u16,
+}
+
+impl JavaField {
+    /// Whether the field is `static`.
+    pub fn is_static(&self) -> bool {
+        self.access & ACC_STATIC != 0
+    }
+}
+
+/// A method extracted from a class file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JavaMethod {
+    /// Method name (`<init>` for constructors).
+    pub name: String,
+    /// JVM method descriptor (e.g. `(IF)V`).
+    pub descriptor: String,
+    /// Raw access flags.
+    pub access: u16,
+}
+
+impl JavaMethod {
+    /// Whether the method is `public`.
+    pub fn is_public(&self) -> bool {
+        self.access & ACC_PUBLIC != 0
+    }
+
+    /// Whether this is a constructor or class initialiser.
+    pub fn is_initializer(&self) -> bool {
+        self.name == "<init>" || self.name == "<clinit>"
+    }
+
+    /// Whether the method is `static`.
+    pub fn is_static(&self) -> bool {
+        self.access & ACC_STATIC != 0
+    }
+}
+
+/// The type-level content of one parsed class file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassFile {
+    /// Dotted class name (`java.awt.Point`).
+    pub name: String,
+    /// Dotted superclass name; `None` only for `java.lang.Object`.
+    pub super_name: Option<String>,
+    /// Dotted names of implemented interfaces.
+    pub interfaces: Vec<String>,
+    /// Raw class access flags.
+    pub access: u16,
+    /// Declared fields.
+    pub fields: Vec<JavaField>,
+    /// Declared methods.
+    pub methods: Vec<JavaMethod>,
+}
+
+impl ClassFile {
+    /// Whether the class file declares an interface.
+    pub fn is_interface(&self) -> bool {
+        self.access & ACC_INTERFACE != 0
+    }
+
+    /// Parses class-file bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClassFileError`] on truncation, a bad magic number, or
+    /// malformed constant-pool indices.
+    pub fn parse(data: &[u8]) -> Result<ClassFile, ClassFileError> {
+        let mut buf = Bytes::copy_from_slice(data);
+        macro_rules! need {
+            ($n:expr, $what:expr) => {
+                if buf.remaining() < $n {
+                    return err(format!("truncated while reading {}", $what));
+                }
+            };
+        }
+        need!(8, "header");
+        if buf.get_u32() != MAGIC {
+            return err("bad magic number (not a class file)");
+        }
+        let _minor = buf.get_u16();
+        let _major = buf.get_u16();
+        need!(2, "constant pool count");
+        let cp_count = buf.get_u16() as usize;
+        if cp_count == 0 {
+            return err("constant pool count must be at least 1");
+        }
+        let mut pool: Vec<CpEntry> = vec![CpEntry::Padding]; // index 0 unused
+        while pool.len() < cp_count {
+            need!(1, "constant pool tag");
+            let tag = buf.get_u8();
+            match tag {
+                1 => {
+                    need!(2, "Utf8 length");
+                    let len = buf.get_u16() as usize;
+                    need!(len, "Utf8 bytes");
+                    let raw = buf.copy_to_bytes(len);
+                    // Modified UTF-8 ≈ UTF-8 for the names we handle.
+                    let s = String::from_utf8_lossy(&raw).into_owned();
+                    pool.push(CpEntry::Utf8(s));
+                }
+                7 => {
+                    need!(2, "Class index");
+                    pool.push(CpEntry::Class { name_index: buf.get_u16() });
+                }
+                3 | 4 => {
+                    need!(4, "Integer/Float");
+                    buf.advance(4);
+                    pool.push(CpEntry::Other);
+                }
+                5 | 6 => {
+                    need!(8, "Long/Double");
+                    buf.advance(8);
+                    pool.push(CpEntry::Other);
+                    pool.push(CpEntry::Padding);
+                }
+                8 | 16 | 19 | 20 => {
+                    need!(2, "String/MethodType/Module/Package");
+                    buf.advance(2);
+                    pool.push(CpEntry::Other);
+                }
+                9 | 10 | 11 | 12 | 17 | 18 => {
+                    need!(4, "member ref / NameAndType / Dynamic");
+                    buf.advance(4);
+                    pool.push(CpEntry::Other);
+                }
+                15 => {
+                    need!(3, "MethodHandle");
+                    buf.advance(3);
+                    pool.push(CpEntry::Other);
+                }
+                other => return err(format!("unknown constant pool tag {other}")),
+            }
+        }
+        let utf8 = |idx: u16| -> Result<String, ClassFileError> {
+            match pool.get(idx as usize) {
+                Some(CpEntry::Utf8(s)) => Ok(s.clone()),
+                _ => err(format!("constant pool index {idx} is not Utf8")),
+            }
+        };
+        let class_name = |idx: u16| -> Result<String, ClassFileError> {
+            match pool.get(idx as usize) {
+                Some(CpEntry::Class { name_index }) => {
+                    Ok(utf8(*name_index)?.replace('/', "."))
+                }
+                _ => err(format!("constant pool index {idx} is not a Class")),
+            }
+        };
+
+        need!(8, "class header");
+        let access = buf.get_u16();
+        let this_class = buf.get_u16();
+        let super_class = buf.get_u16();
+        let name = class_name(this_class)?;
+        let super_name = if super_class == 0 {
+            None
+        } else {
+            let s = class_name(super_class)?;
+            if s == "java.lang.Object" {
+                None
+            } else {
+                Some(s)
+            }
+        };
+        let iface_count = buf.get_u16() as usize;
+        let mut interfaces = Vec::with_capacity(iface_count);
+        for _ in 0..iface_count {
+            need!(2, "interface index");
+            interfaces.push(class_name(buf.get_u16())?);
+        }
+
+        let read_members = |buf: &mut Bytes| -> Result<Vec<(u16, String, String)>, ClassFileError> {
+            if buf.remaining() < 2 {
+                return err("truncated member count");
+            }
+            let count = buf.get_u16() as usize;
+            let mut out = Vec::with_capacity(count);
+            for _ in 0..count {
+                if buf.remaining() < 8 {
+                    return err("truncated member");
+                }
+                let access = buf.get_u16();
+                let name = utf8(buf.get_u16())?;
+                let descriptor = utf8(buf.get_u16())?;
+                let attr_count = buf.get_u16() as usize;
+                for _ in 0..attr_count {
+                    if buf.remaining() < 6 {
+                        return err("truncated attribute");
+                    }
+                    let _name_idx = buf.get_u16();
+                    let len = buf.get_u32() as usize;
+                    if buf.remaining() < len {
+                        return err("truncated attribute body");
+                    }
+                    buf.advance(len);
+                }
+                out.push((access, name, descriptor));
+            }
+            Ok(out)
+        };
+
+        let fields = read_members(&mut buf)?
+            .into_iter()
+            .map(|(access, name, descriptor)| JavaField { name, descriptor, access })
+            .collect();
+        let methods = read_members(&mut buf)?
+            .into_iter()
+            .map(|(access, name, descriptor)| JavaMethod { name, descriptor, access })
+            .collect();
+        // Class attributes: contents ignored but structure validated.
+        if buf.remaining() < 2 {
+            return err("truncated class attribute count");
+        }
+        let attr_count = buf.get_u16() as usize;
+        for _ in 0..attr_count {
+            if buf.remaining() < 6 {
+                return err("truncated class attribute");
+            }
+            let _ = buf.get_u16();
+            let len = buf.get_u32() as usize;
+            if buf.remaining() < len {
+                return err("truncated class attribute body");
+            }
+            buf.advance(len);
+        }
+
+        Ok(ClassFile { name, super_name, interfaces, access, fields, methods })
+    }
+}
+
+/// A description of a class to *write* as class-file bytes.
+///
+/// ```
+/// use mockingbird_lang_java::{ClassFile, ClassSpec};
+/// let bytes = ClassSpec::new("geom.Point")
+///     .field("x", "F")
+///     .field("y", "F")
+///     .method("getX", "()F")
+///     .write();
+/// let parsed = ClassFile::parse(&bytes).unwrap();
+/// assert_eq!(parsed.name, "geom.Point");
+/// assert_eq!(parsed.fields.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassSpec {
+    /// Dotted class name.
+    pub name: String,
+    /// Dotted superclass name (defaults to `java.lang.Object`).
+    pub super_name: String,
+    /// Class access flags.
+    pub access: u16,
+    /// `(name, descriptor, access)` field triples.
+    pub fields: Vec<(String, String, u16)>,
+    /// `(name, descriptor, access)` method triples.
+    pub methods: Vec<(String, String, u16)>,
+}
+
+impl ClassSpec {
+    /// Starts a public class extending `java.lang.Object`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ClassSpec {
+            name: name.into(),
+            super_name: "java.lang.Object".into(),
+            access: ACC_PUBLIC,
+            fields: Vec::new(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// Sets the superclass (dotted name).
+    pub fn extends(mut self, super_name: impl Into<String>) -> Self {
+        self.super_name = super_name.into();
+        self
+    }
+
+    /// Marks the class as an interface.
+    pub fn interface(mut self) -> Self {
+        self.access |= ACC_INTERFACE | ACC_ABSTRACT;
+        self
+    }
+
+    /// Adds a private instance field.
+    pub fn field(mut self, name: impl Into<String>, descriptor: impl Into<String>) -> Self {
+        self.fields.push((name.into(), descriptor.into(), ACC_PRIVATE));
+        self
+    }
+
+    /// Adds a static field (excluded from structural layout).
+    pub fn static_field(mut self, name: impl Into<String>, descriptor: impl Into<String>) -> Self {
+        self.fields
+            .push((name.into(), descriptor.into(), ACC_PRIVATE | ACC_STATIC));
+        self
+    }
+
+    /// Adds a public method.
+    pub fn method(mut self, name: impl Into<String>, descriptor: impl Into<String>) -> Self {
+        self.methods.push((name.into(), descriptor.into(), ACC_PUBLIC | ACC_ABSTRACT));
+        self
+    }
+
+    /// Adds a private method (excluded from interface structure).
+    pub fn private_method(mut self, name: impl Into<String>, descriptor: impl Into<String>) -> Self {
+        self.methods
+            .push((name.into(), descriptor.into(), ACC_PRIVATE | ACC_ABSTRACT));
+        self
+    }
+
+    /// Serialises to class-file bytes.
+    pub fn write(&self) -> Vec<u8> {
+        let mut pool: Vec<CpEntry> = vec![CpEntry::Padding];
+        let utf8_index = |pool: &mut Vec<CpEntry>, s: &str| -> u16 {
+            for (i, e) in pool.iter().enumerate() {
+                if matches!(e, CpEntry::Utf8(x) if x == s) {
+                    return i as u16;
+                }
+            }
+            pool.push(CpEntry::Utf8(s.to_string()));
+            (pool.len() - 1) as u16
+        };
+        let class_index = |pool: &mut Vec<CpEntry>, dotted: &str| -> u16 {
+            let slashed = dotted.replace('.', "/");
+            let name_index = utf8_index(pool, &slashed);
+            for (i, e) in pool.iter().enumerate() {
+                if matches!(e, CpEntry::Class { name_index: n } if *n == name_index) {
+                    return i as u16;
+                }
+            }
+            pool.push(CpEntry::Class { name_index });
+            (pool.len() - 1) as u16
+        };
+
+        let this_class = class_index(&mut pool, &self.name);
+        let super_class = class_index(&mut pool, &self.super_name);
+        let members: Vec<(u16, u16, u16)> = self
+            .fields
+            .iter()
+            .chain(self.methods.iter())
+            .map(|(name, desc, access)| {
+                let n = utf8_index(&mut pool, name);
+                let d = utf8_index(&mut pool, desc);
+                (*access, n, d)
+            })
+            .collect();
+        let (field_members, method_members) = members.split_at(self.fields.len());
+
+        let mut out = BytesMut::new();
+        out.put_u32(MAGIC);
+        out.put_u16(0); // minor
+        out.put_u16(52); // major: Java 8
+        out.put_u16(pool.len() as u16);
+        for e in pool.iter().skip(1) {
+            match e {
+                CpEntry::Utf8(s) => {
+                    out.put_u8(1);
+                    out.put_u16(s.len() as u16);
+                    out.put_slice(s.as_bytes());
+                }
+                CpEntry::Class { name_index } => {
+                    out.put_u8(7);
+                    out.put_u16(*name_index);
+                }
+                CpEntry::Padding | CpEntry::Other => unreachable!("writer emits only Utf8/Class"),
+            }
+        }
+        out.put_u16(self.access);
+        out.put_u16(this_class);
+        out.put_u16(super_class);
+        out.put_u16(0); // interfaces
+        out.put_u16(field_members.len() as u16);
+        for (access, n, d) in field_members {
+            out.put_u16(*access);
+            out.put_u16(*n);
+            out.put_u16(*d);
+            out.put_u16(0); // attributes
+        }
+        out.put_u16(method_members.len() as u16);
+        for (access, n, d) in method_members {
+            out.put_u16(*access);
+            out.put_u16(*n);
+            out.put_u16(*d);
+            out.put_u16(0);
+        }
+        out.put_u16(0); // class attributes
+        out.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_simple_class() {
+        let bytes = ClassSpec::new("geom.Point")
+            .field("x", "F")
+            .field("y", "F")
+            .method("getX", "()F")
+            .method("translate", "(FF)V")
+            .write();
+        let cf = ClassFile::parse(&bytes).unwrap();
+        assert_eq!(cf.name, "geom.Point");
+        assert_eq!(cf.super_name, None);
+        assert!(!cf.is_interface());
+        assert_eq!(cf.fields.len(), 2);
+        assert_eq!(cf.fields[0].name, "x");
+        assert_eq!(cf.fields[0].descriptor, "F");
+        assert_eq!(cf.methods[1].descriptor, "(FF)V");
+        assert!(cf.methods[0].is_public());
+    }
+
+    #[test]
+    fn round_trip_vector_subclass_and_interface() {
+        let bytes = ClassSpec::new("PointVector").extends("java.util.Vector").write();
+        let cf = ClassFile::parse(&bytes).unwrap();
+        assert_eq!(cf.super_name.as_deref(), Some("java.util.Vector"));
+
+        let bytes = ClassSpec::new("JavaIdeal")
+            .interface()
+            .method("fitter", "(LPointVector;)LLine;")
+            .write();
+        let cf = ClassFile::parse(&bytes).unwrap();
+        assert!(cf.is_interface());
+        assert_eq!(cf.methods[0].descriptor, "(LPointVector;)LLine;");
+    }
+
+    #[test]
+    fn static_members_are_flagged() {
+        let bytes = ClassSpec::new("C").static_field("COUNT", "I").write();
+        let cf = ClassFile::parse(&bytes).unwrap();
+        assert!(cf.fields[0].is_static());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = ClassFile::parse(&[0, 1, 2, 3, 4, 5, 6, 7]).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let full = ClassSpec::new("T").field("a", "I").method("m", "()V").write();
+        for cut in 1..full.len() {
+            assert!(
+                ClassFile::parse(&full[..cut]).is_err(),
+                "prefix of {cut} bytes must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn reader_tolerates_exotic_constant_pool_tags() {
+        // Build a pool containing Integer, Long (2 slots), String,
+        // NameAndType, MethodHandle around the entries we need.
+        let mut out = BytesMut::new();
+        out.put_u32(MAGIC);
+        out.put_u16(0);
+        out.put_u16(52);
+        out.put_u16(9); // count = entries + 1 (Long takes 2)
+        // 1: Utf8 "T"
+        out.put_u8(1);
+        out.put_u16(1);
+        out.put_slice(b"T");
+        // 2: Class -> 1
+        out.put_u8(7);
+        out.put_u16(1);
+        // 3: Integer
+        out.put_u8(3);
+        out.put_u32(42);
+        // 4+5: Long (two slots)
+        out.put_u8(5);
+        out.put_u64(7);
+        // 6: String -> 1
+        out.put_u8(8);
+        out.put_u16(1);
+        // 7: NameAndType
+        out.put_u8(12);
+        out.put_u16(1);
+        out.put_u16(1);
+        // 8: MethodHandle
+        out.put_u8(15);
+        out.put_u8(1);
+        out.put_u16(1);
+        // access/this/super/interfaces/fields/methods/attributes
+        out.put_u16(ACC_PUBLIC);
+        out.put_u16(2);
+        out.put_u16(0);
+        out.put_u16(0);
+        out.put_u16(0);
+        out.put_u16(0);
+        out.put_u16(0);
+        let cf = ClassFile::parse(&out).unwrap();
+        assert_eq!(cf.name, "T");
+        assert_eq!(cf.super_name, None);
+    }
+}

@@ -1,0 +1,177 @@
+//! Conversion of parsed class files into Stype declarations.
+
+use std::fmt;
+
+use mockingbird_stype::ast::{Decl, Field, Lang, Method, Param, Signature, Stype, Universe};
+
+use crate::classfile::{ClassFile, ClassFileError};
+use crate::descriptor::{parse_field_descriptor, parse_method_descriptor, DescriptorError};
+
+/// Errors from loading class files into a universe.
+#[derive(Debug)]
+pub enum JavaLoadError {
+    /// The class-file bytes are malformed.
+    ClassFile(ClassFileError),
+    /// A member descriptor is malformed.
+    Descriptor(DescriptorError),
+    /// Two classes with the same name were loaded.
+    Duplicate(String),
+}
+
+impl fmt::Display for JavaLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JavaLoadError::ClassFile(e) => write!(f, "{e}"),
+            JavaLoadError::Descriptor(e) => write!(f, "{e}"),
+            JavaLoadError::Duplicate(n) => write!(f, "class `{n}` already loaded"),
+        }
+    }
+}
+
+impl std::error::Error for JavaLoadError {}
+
+impl From<ClassFileError> for JavaLoadError {
+    fn from(e: ClassFileError) -> Self {
+        JavaLoadError::ClassFile(e)
+    }
+}
+
+impl From<DescriptorError> for JavaLoadError {
+    fn from(e: DescriptorError) -> Self {
+        JavaLoadError::Descriptor(e)
+    }
+}
+
+/// Converts one parsed class file into a declaration.
+///
+/// Instance fields contribute structure (private ones included — the
+/// paper's `Point` has private `x`/`y` that are structurally two Reals);
+/// public non-constructor instance methods contribute the interface.
+///
+/// # Errors
+///
+/// Returns [`JavaLoadError::Descriptor`] if any member descriptor is
+/// malformed.
+pub fn class_file_to_decl(cf: &ClassFile) -> Result<Decl, JavaLoadError> {
+    let methods = cf
+        .methods
+        .iter()
+        .filter(|m| m.is_public() && !m.is_initializer() && !m.is_static())
+        .map(|m| {
+            let (param_types, ret) = parse_method_descriptor(&m.descriptor)?;
+            let params = param_types
+                .into_iter()
+                .enumerate()
+                .map(|(i, ty)| Param::new(format!("arg{i}"), ty))
+                .collect();
+            Ok(Method::new(m.name.clone(), Signature::new(params, ret)))
+        })
+        .collect::<Result<Vec<_>, JavaLoadError>>()?;
+
+    let ty = if cf.is_interface() {
+        Stype::interface(methods)
+    } else {
+        let fields = cf
+            .fields
+            .iter()
+            .filter(|f| !f.is_static())
+            .map(|f| Ok(Field::new(f.name.clone(), parse_field_descriptor(&f.descriptor)?)))
+            .collect::<Result<Vec<_>, JavaLoadError>>()?;
+        match &cf.super_name {
+            Some(sup) => Stype::class_extending(fields, methods, sup.clone()),
+            None => Stype::class(fields, methods),
+        }
+    };
+    Ok(Decl::new(cf.name.clone(), Lang::Java, ty))
+}
+
+/// Parses and loads a batch of class-file byte blobs into `uni`.
+///
+/// # Errors
+///
+/// Returns the first parse, descriptor or duplicate-name failure; earlier
+/// classes remain loaded.
+pub fn load_class_files(
+    uni: &mut Universe,
+    blobs: &[Vec<u8>],
+) -> Result<usize, JavaLoadError> {
+    let mut loaded = 0;
+    for blob in blobs {
+        let cf = ClassFile::parse(blob)?;
+        let decl = class_file_to_decl(&cf)?;
+        let name = decl.name.clone();
+        uni.insert(decl).map_err(|_| JavaLoadError::Duplicate(name))?;
+        loaded += 1;
+    }
+    Ok(loaded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classfile::ClassSpec;
+    use mockingbird_stype::ast::SNode;
+
+    #[test]
+    fn point_class_converts_to_value_class() {
+        let bytes = ClassSpec::new("Point")
+            .field("x", "F")
+            .field("y", "F")
+            .method("getX", "()F")
+            .method("<init>", "(FF)V")
+            .static_field("ORIGIN", "LPoint;")
+            .write();
+        let cf = ClassFile::parse(&bytes).unwrap();
+        let decl = class_file_to_decl(&cf).unwrap();
+        let SNode::Class { fields, methods, extends } = &decl.ty.node else { panic!() };
+        assert_eq!(fields.len(), 2, "static field excluded");
+        assert_eq!(methods.len(), 1, "constructor excluded");
+        assert!(extends.is_none());
+    }
+
+    #[test]
+    fn interface_converts() {
+        let bytes = ClassSpec::new("JavaIdeal")
+            .interface()
+            .method("fitter", "(LPointVector;)LLine;")
+            .write();
+        let cf = ClassFile::parse(&bytes).unwrap();
+        let decl = class_file_to_decl(&cf).unwrap();
+        let SNode::Interface { methods, .. } = &decl.ty.node else { panic!() };
+        assert_eq!(methods[0].name, "fitter");
+        assert_eq!(methods[0].sig.params[0].name, "arg0");
+    }
+
+    #[test]
+    fn vector_subclass_keeps_extends_chain() {
+        let bytes = ClassSpec::new("PointVector").extends("java.util.Vector").write();
+        let cf = ClassFile::parse(&bytes).unwrap();
+        let decl = class_file_to_decl(&cf).unwrap();
+        let SNode::Class { extends, .. } = &decl.ty.node else { panic!() };
+        assert_eq!(extends.as_deref(), Some("java.util.Vector"));
+    }
+
+    #[test]
+    fn batch_load_and_duplicates() {
+        let mut uni = Universe::new();
+        let blobs = vec![
+            ClassSpec::new("A").field("v", "I").write(),
+            ClassSpec::new("B").field("a", "LA;").write(),
+        ];
+        assert_eq!(load_class_files(&mut uni, &blobs).unwrap(), 2);
+        assert!(uni.get("A").is_some());
+        let err = load_class_files(&mut uni, &[ClassSpec::new("A").write()]).unwrap_err();
+        assert!(matches!(err, JavaLoadError::Duplicate(_)));
+    }
+
+    #[test]
+    fn bad_descriptor_is_reported() {
+        // Hand-build a spec with a broken descriptor.
+        let bytes = ClassSpec::new("Bad").field("x", "Qnope").write();
+        let cf = ClassFile::parse(&bytes).unwrap();
+        assert!(matches!(
+            class_file_to_decl(&cf).unwrap_err(),
+            JavaLoadError::Descriptor(_)
+        ));
+    }
+}

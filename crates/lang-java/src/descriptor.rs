@@ -1,0 +1,191 @@
+//! JVM type-descriptor parsing.
+//!
+//! Field descriptors (`F`, `[I`, `Ljava/lang/String;`) and method
+//! descriptors (`(IF)V`) translate to [`Stype`]s with the predefined
+//! Java annotations applied: `java.lang.String` is a character list,
+//! `java.lang.Object` is the dynamic type, other class references are
+//! nullable object references.
+
+use std::fmt;
+
+use mockingbird_stype::ast::Stype;
+
+/// A malformed descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DescriptorError(pub String);
+
+impl fmt::Display for DescriptorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad descriptor: {}", self.0)
+    }
+}
+
+impl std::error::Error for DescriptorError {}
+
+/// Parses a field descriptor into an [`Stype`].
+///
+/// # Errors
+///
+/// Returns [`DescriptorError`] on malformed or trailing input.
+pub fn parse_field_descriptor(desc: &str) -> Result<Stype, DescriptorError> {
+    let mut chars = desc.chars().peekable();
+    let ty = parse_one(&mut chars, desc)?;
+    if chars.next().is_some() {
+        return Err(DescriptorError(format!("trailing characters in `{desc}`")));
+    }
+    Ok(ty)
+}
+
+/// Parses a method descriptor into `(params, return)`.
+///
+/// # Errors
+///
+/// Returns [`DescriptorError`] on malformed input.
+pub fn parse_method_descriptor(desc: &str) -> Result<(Vec<Stype>, Stype), DescriptorError> {
+    let mut chars = desc.chars().peekable();
+    if chars.next() != Some('(') {
+        return Err(DescriptorError(format!("method descriptor `{desc}` must start with `(`")));
+    }
+    let mut params = Vec::new();
+    loop {
+        match chars.peek() {
+            Some(')') => {
+                chars.next();
+                break;
+            }
+            Some(_) => params.push(parse_one(&mut chars, desc)?),
+            None => {
+                return Err(DescriptorError(format!("unterminated parameter list in `{desc}`")))
+            }
+        }
+    }
+    let ret = parse_one(&mut chars, desc)?;
+    if chars.next().is_some() {
+        return Err(DescriptorError(format!("trailing characters in `{desc}`")));
+    }
+    Ok((params, ret))
+}
+
+/// Converts a dotted Java class name reference into an [`Stype`],
+/// applying the predefined annotations for standard classes.
+pub fn class_reference(dotted: &str) -> Stype {
+    match dotted {
+        "java.lang.String" => Stype::string(),
+        "java.lang.Object" => Stype::any(),
+        _ => Stype::pointer(Stype::named(dotted.to_string())),
+    }
+}
+
+fn parse_one(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    whole: &str,
+) -> Result<Stype, DescriptorError> {
+    match chars.next() {
+        Some('B') => Ok(Stype::i8()),
+        Some('C') => Ok(Stype::char16()),
+        Some('D') => Ok(Stype::f64()),
+        Some('F') => Ok(Stype::f32()),
+        Some('I') => Ok(Stype::i32()),
+        Some('J') => Ok(Stype::i64()),
+        Some('S') => Ok(Stype::i16()),
+        Some('Z') => Ok(Stype::boolean()),
+        Some('V') => Ok(Stype::void()),
+        Some('[') => {
+            let elem = parse_one(chars, whole)?;
+            Ok(Stype::array_indefinite(elem))
+        }
+        Some('L') => {
+            let mut name = String::new();
+            loop {
+                match chars.next() {
+                    Some(';') => break,
+                    Some(c) => name.push(if c == '/' { '.' } else { c }),
+                    None => {
+                        return Err(DescriptorError(format!(
+                            "unterminated class reference in `{whole}`"
+                        )))
+                    }
+                }
+            }
+            if name.is_empty() {
+                return Err(DescriptorError(format!("empty class name in `{whole}`")));
+            }
+            Ok(class_reference(&name))
+        }
+        Some(c) => Err(DescriptorError(format!("unknown descriptor tag `{c}` in `{whole}`"))),
+        None => Err(DescriptorError(format!("empty descriptor in `{whole}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mockingbird_stype::ast::{ArrayLen, Prim, SNode};
+
+    #[test]
+    fn primitive_descriptors() {
+        for (d, p) in [
+            ("B", Prim::I8),
+            ("C", Prim::Char16),
+            ("D", Prim::F64),
+            ("F", Prim::F32),
+            ("I", Prim::I32),
+            ("J", Prim::I64),
+            ("S", Prim::I16),
+            ("Z", Prim::Bool),
+        ] {
+            let ty = parse_field_descriptor(d).unwrap();
+            assert!(matches!(ty.node, SNode::Prim(x) if x == p), "{d}");
+        }
+    }
+
+    #[test]
+    fn class_and_array_descriptors() {
+        let ty = parse_field_descriptor("Lgeom/Point;").unwrap();
+        let SNode::Pointer(inner) = &ty.node else { panic!() };
+        assert!(matches!(&inner.node, SNode::Named(n) if n == "geom.Point"));
+
+        let ty = parse_field_descriptor("[[F").unwrap();
+        let SNode::Array { elem, len } = &ty.node else { panic!() };
+        assert!(matches!(len, ArrayLen::Indefinite));
+        assert!(matches!(&elem.node, SNode::Array { .. }));
+    }
+
+    #[test]
+    fn predefined_standard_classes() {
+        assert!(matches!(
+            parse_field_descriptor("Ljava/lang/String;").unwrap().node,
+            SNode::Str
+        ));
+        assert!(matches!(
+            parse_field_descriptor("Ljava/lang/Object;").unwrap().node,
+            SNode::Prim(Prim::Any)
+        ));
+    }
+
+    #[test]
+    fn method_descriptors() {
+        let (params, ret) = parse_method_descriptor("(IF)V").unwrap();
+        assert_eq!(params.len(), 2);
+        assert!(matches!(ret.node, SNode::Prim(Prim::Void)));
+
+        let (params, ret) = parse_method_descriptor("(LPointVector;)LLine;").unwrap();
+        assert_eq!(params.len(), 1);
+        assert!(matches!(&ret.node, SNode::Pointer(_)));
+
+        let (params, _) = parse_method_descriptor("()D").unwrap();
+        assert!(params.is_empty());
+    }
+
+    #[test]
+    fn malformed_descriptors_rejected() {
+        assert!(parse_field_descriptor("").is_err());
+        assert!(parse_field_descriptor("Q").is_err());
+        assert!(parse_field_descriptor("Lgeom/Point").is_err());
+        assert!(parse_field_descriptor("L;").is_err());
+        assert!(parse_field_descriptor("II").is_err());
+        assert!(parse_method_descriptor("IF)V").is_err());
+        assert!(parse_method_descriptor("(I").is_err());
+        assert!(parse_method_descriptor("(I)VX").is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! The Java frontend.
+//!
+//! The paper's Java parser "is a simple extractor of type declarations
+//! from Java .class files" (§4). This crate implements that extractor on
+//! the real JVM class-file binary format — constant pool, field and
+//! method tables, type descriptors — plus:
+//!
+//! - a class-file **writer** ([`classfile::ClassSpec`]) used to
+//!   synthesise spec-conformant `.class` bytes for tests and corpora
+//!   (we have no `javac`; see DESIGN.md §2),
+//! - a Java **source declaration parser** ([`source::parse_java`]) for
+//!   convenience, covering class/interface declarations with fields and
+//!   method signatures,
+//! - conversion of both into [`Stype`] declarations with the paper's
+//!   predefined annotations (`java.lang.String` is a character list,
+//!   `java.util.Vector` subclasses are ordered collections of indefinite
+//!   size).
+//!
+//! # Example
+//!
+//! ```
+//! use mockingbird_lang_java::source::parse_java;
+//!
+//! let uni = parse_java(
+//!     "public class Point {
+//!        private float x;
+//!        private float y;
+//!        public Point(float x, float y) { }
+//!        public float getX() { return x; }
+//!      }",
+//! )?;
+//! let decl = uni.get("Point").unwrap();
+//! # Ok::<(), mockingbird_lang_java::source::JavaParseError>(())
+//! ```
+//!
+//! [`Stype`]: mockingbird_stype::Stype
+
+pub mod classfile;
+pub mod convert;
+pub mod descriptor;
+pub mod source;
+
+pub use classfile::{ClassFile, ClassFileError, ClassSpec, JavaField, JavaMethod};
+pub use convert::{class_file_to_decl, load_class_files};
+pub use descriptor::{parse_field_descriptor, parse_method_descriptor, DescriptorError};
+pub use source::parse_java;

@@ -1,0 +1,612 @@
+//! Java source declaration parser.
+//!
+//! Parses class and interface *declarations* (fields and method
+//! signatures; bodies are skipped by brace matching) so examples can be
+//! written in ordinary Java source. Generics arguments are accepted and
+//! erased, as the class-file extractor would see them.
+
+use std::fmt;
+
+use mockingbird_stype::ast::{Decl, Field, Lang, Method, Param, Signature, Stype, Universe};
+
+use crate::descriptor::class_reference;
+
+/// A parse error with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JavaParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JavaParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Java parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for JavaParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Sym(char),
+    Other,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, JavaParseError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start = line;
+            i += 2;
+            loop {
+                if i + 1 >= chars.len() {
+                    return Err(JavaParseError { line: start, message: "unterminated comment".into() });
+                }
+                if chars[i] == '\n' {
+                    line += 1;
+                }
+                if chars[i] == '*' && chars[i + 1] == '/' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+        } else if c == '"' {
+            // String literal: skip (appears only in skipped initialisers).
+            i += 1;
+            while i < chars.len() && chars[i] != '"' {
+                if chars[i] == '\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            i += 1;
+            out.push((Tok::Other, line));
+        } else if c.is_ascii_alphabetic() || c == '_' || c == '$' {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '$')
+            {
+                i += 1;
+            }
+            out.push((Tok::Ident(chars[start..i].iter().collect()), line));
+        } else if c.is_ascii_digit() {
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '.') {
+                i += 1;
+            }
+            out.push((Tok::Other, line));
+        } else {
+            out.push((Tok::Sym(c), line));
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// Parses Java source declarations into a universe.
+///
+/// # Errors
+///
+/// Returns [`JavaParseError`] with line information on unsupported or
+/// malformed declarations.
+pub fn parse_java(src: &str) -> Result<Universe, JavaParseError> {
+    let mut p = Parser { toks: lex(src)?, pos: 0, uni: Universe::new() };
+    // Optional package / imports.
+    while p.eat_kw("package") || p.eat_kw("import") {
+        p.skip_to_semi()?;
+    }
+    while p.peek().is_some() {
+        p.type_decl()?;
+    }
+    Ok(p.uni)
+}
+
+const MODIFIERS: [&str; 11] = [
+    "public", "private", "protected", "static", "final", "abstract", "native", "synchronized",
+    "transient", "volatile", "strictfp",
+];
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    uni: Universe,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Mods {
+    public: bool,
+    static_: bool,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| t.1)
+            .unwrap_or(0)
+    }
+
+    fn err<T>(&self, m: impl Into<String>) -> Result<T, JavaParseError> {
+        Err(JavaParseError { line: self.line(), message: m.into() })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.0)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Tok> {
+        self.toks.get(self.pos + off).map(|t| &t.0)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.0.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_sym(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Sym(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<(), JavaParseError> {
+        if self.eat_sym(c) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{c}`"))
+        }
+    }
+
+    fn eat_kw(&mut self, w: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == w) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, JavaParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => self.err("expected identifier"),
+        }
+    }
+
+    fn skip_to_semi(&mut self) -> Result<(), JavaParseError> {
+        loop {
+            match self.bump() {
+                Some(Tok::Sym(';')) => return Ok(()),
+                Some(_) => {}
+                None => return self.err("expected `;`"),
+            }
+        }
+    }
+
+    fn modifiers(&mut self) -> Mods {
+        let mut m = Mods::default();
+        loop {
+            match self.peek() {
+                Some(Tok::Ident(s)) if MODIFIERS.contains(&s.as_str()) => {
+                    if s == "public" {
+                        m.public = true;
+                    }
+                    if s == "static" {
+                        m.static_ = true;
+                    }
+                    self.pos += 1;
+                }
+                _ => return m,
+            }
+        }
+    }
+
+    fn qualified_name(&mut self) -> Result<String, JavaParseError> {
+        let mut name = self.expect_ident()?;
+        while self.peek() == Some(&Tok::Sym('.'))
+            && matches!(self.peek_at(1), Some(Tok::Ident(_)))
+        {
+            self.pos += 1;
+            name.push('.');
+            name.push_str(&self.expect_ident()?);
+        }
+        Ok(name)
+    }
+
+    /// Skips a generics argument list `<...>` if present.
+    fn skip_generics(&mut self) -> Result<(), JavaParseError> {
+        if self.eat_sym('<') {
+            let mut depth = 1;
+            while depth > 0 {
+                match self.bump() {
+                    Some(Tok::Sym('<')) => depth += 1,
+                    Some(Tok::Sym('>')) => depth -= 1,
+                    Some(_) => {}
+                    None => return self.err("unterminated generics"),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn type_decl(&mut self) -> Result<(), JavaParseError> {
+        let _mods = self.modifiers();
+        if self.eat_kw("class") {
+            return self.class_body(false);
+        }
+        if self.eat_kw("interface") {
+            return self.class_body(true);
+        }
+        self.err("expected `class` or `interface`")
+    }
+
+    fn class_body(&mut self, is_interface: bool) -> Result<(), JavaParseError> {
+        let name = self.expect_ident()?;
+        self.skip_generics()?;
+        let mut extends = None;
+        if self.eat_kw("extends") {
+            extends = Some(self.qualified_name()?);
+            self.skip_generics()?;
+            // Interfaces may extend several.
+            while self.eat_sym(',') {
+                let _ = self.qualified_name()?;
+                self.skip_generics()?;
+            }
+        }
+        if self.eat_kw("implements") {
+            loop {
+                let _ = self.qualified_name()?;
+                self.skip_generics()?;
+                if !self.eat_sym(',') {
+                    break;
+                }
+            }
+        }
+        // Paper-style bare declaration: `public class PointVector extends
+        // java.util.Vector;`
+        if self.eat_sym(';') {
+            let ty = match extends {
+                Some(sup) => Stype::class_extending(vec![], vec![], sup),
+                None => Stype::class(vec![], vec![]),
+            };
+            return self.insert(name, ty);
+        }
+        self.expect_sym('{')?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        while !self.eat_sym('}') {
+            if self.peek().is_none() {
+                return self.err("unterminated class body");
+            }
+            self.member(&name, is_interface, &mut fields, &mut methods)?;
+        }
+        let ty = if is_interface {
+            Stype::interface(methods)
+        } else {
+            match extends {
+                Some(sup) => Stype::class_extending(fields, methods, sup),
+                None => Stype::class(fields, methods),
+            }
+        };
+        self.insert(name, ty)
+    }
+
+    fn insert(&mut self, name: String, ty: Stype) -> Result<(), JavaParseError> {
+        let line = self.line();
+        self.uni
+            .insert(Decl::new(name, Lang::Java, ty))
+            .map_err(|e| JavaParseError { line, message: e.to_string() })
+    }
+
+    fn member(
+        &mut self,
+        class_name: &str,
+        is_interface: bool,
+        fields: &mut Vec<Field>,
+        methods: &mut Vec<Method>,
+    ) -> Result<(), JavaParseError> {
+        let mods = self.modifiers();
+        // Constructor: Name ( ...
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == class_name)
+            && self.peek_at(1) == Some(&Tok::Sym('('))
+        {
+            self.bump();
+            self.skip_params_and_body()?;
+            return Ok(());
+        }
+        let ty = self.type_ref()?;
+        let name = self.expect_ident()?;
+        if self.peek() == Some(&Tok::Sym('(')) {
+            // Method.
+            self.bump();
+            let mut params = Vec::new();
+            if !self.eat_sym(')') {
+                loop {
+                    let _ = self.eat_kw("final");
+                    let pty = self.type_ref()?;
+                    let pname = self.expect_ident()?;
+                    params.push(Param::new(pname, pty));
+                    if self.eat_sym(',') {
+                        continue;
+                    }
+                    self.expect_sym(')')?;
+                    break;
+                }
+            }
+            let mut throws = Vec::new();
+            if self.eat_kw("throws") {
+                loop {
+                    // Declared exceptions cross as value structures
+                    // (paper §6): reference them by name.
+                    throws.push(Stype::named(self.qualified_name()?));
+                    if !self.eat_sym(',') {
+                        break;
+                    }
+                }
+            }
+            self.skip_body_or_semi()?;
+            if (mods.public || is_interface) && !mods.static_ {
+                methods
+                    .push(Method::new(name, Signature::new(params, ty).with_throws(throws)));
+            }
+            Ok(())
+        } else {
+            // Field(s), possibly with initialisers.
+            if !mods.static_ {
+                fields.push(Field::new(name, ty.clone()));
+            }
+            loop {
+                if self.eat_sym('=') {
+                    // Skip the initialiser expression to `,` or `;` at
+                    // top nesting level.
+                    let mut depth = 0i32;
+                    loop {
+                        match self.peek() {
+                            Some(Tok::Sym('(')) | Some(Tok::Sym('{')) | Some(Tok::Sym('[')) => {
+                                depth += 1;
+                                self.bump();
+                            }
+                            Some(Tok::Sym(')')) | Some(Tok::Sym('}')) | Some(Tok::Sym(']')) => {
+                                depth -= 1;
+                                self.bump();
+                            }
+                            Some(Tok::Sym(',')) | Some(Tok::Sym(';')) if depth == 0 => break,
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => return self.err("unterminated field initialiser"),
+                        }
+                    }
+                }
+                if self.eat_sym(',') {
+                    let fname = self.expect_ident()?;
+                    if !mods.static_ {
+                        fields.push(Field::new(fname, ty.clone()));
+                    }
+                    continue;
+                }
+                self.expect_sym(';')?;
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_params_and_body(&mut self) -> Result<(), JavaParseError> {
+        self.expect_sym('(')?;
+        let mut depth = 1;
+        while depth > 0 {
+            match self.bump() {
+                Some(Tok::Sym('(')) => depth += 1,
+                Some(Tok::Sym(')')) => depth -= 1,
+                Some(_) => {}
+                None => return self.err("unterminated parameter list"),
+            }
+        }
+        self.skip_body_or_semi()
+    }
+
+    fn skip_body_or_semi(&mut self) -> Result<(), JavaParseError> {
+        if self.eat_sym('{') {
+            let mut depth = 1;
+            while depth > 0 {
+                match self.bump() {
+                    Some(Tok::Sym('{')) => depth += 1,
+                    Some(Tok::Sym('}')) => depth -= 1,
+                    Some(_) => {}
+                    None => return self.err("unterminated body"),
+                }
+            }
+            Ok(())
+        } else {
+            self.expect_sym(';')
+        }
+    }
+
+    fn type_ref(&mut self) -> Result<Stype, JavaParseError> {
+        let base = if self.eat_kw("void") {
+            Stype::void()
+        } else if self.eat_kw("boolean") {
+            Stype::boolean()
+        } else if self.eat_kw("byte") {
+            Stype::i8()
+        } else if self.eat_kw("short") {
+            Stype::i16()
+        } else if self.eat_kw("char") {
+            Stype::char16()
+        } else if self.eat_kw("int") {
+            Stype::i32()
+        } else if self.eat_kw("long") {
+            Stype::i64()
+        } else if self.eat_kw("float") {
+            Stype::f32()
+        } else if self.eat_kw("double") {
+            Stype::f64()
+        } else {
+            let name = self.qualified_name()?;
+            self.skip_generics()?;
+            // Unqualified standard names get their predefined treatment.
+            match name.as_str() {
+                "String" => Stype::string(),
+                "Object" => Stype::any(),
+                other => class_reference(other),
+            }
+        };
+        let mut ty = base;
+        while self.peek() == Some(&Tok::Sym('['))
+            && self.peek_at(1) == Some(&Tok::Sym(']'))
+        {
+            self.pos += 2;
+            ty = Stype::array_indefinite(ty);
+        }
+        Ok(ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mockingbird_stype::ast::{Prim, SNode};
+
+    #[test]
+    fn paper_figure_1_parses() {
+        let uni = parse_java(
+            "public class Point {
+               public Point(float x, float y) { this.x = x; this.y = y; }
+               public float getX() { return x; }
+               public float getY() { return y; }
+               private float x;
+               private float y;
+             }
+
+             public class Line {
+               public Line(Point s, Point e) { start = s; end = e; }
+               public Point getStart() { return start; }
+               private Point start;
+               private Point end;
+             }
+
+             public class PointVector extends java.util.Vector;",
+        )
+        .unwrap();
+        let SNode::Class { fields, methods, .. } = &uni.get("Point").unwrap().ty.node else {
+            panic!()
+        };
+        assert_eq!(fields.len(), 2);
+        assert_eq!(methods.len(), 2, "constructor excluded, getters kept");
+        let SNode::Class { fields, .. } = &uni.get("Line").unwrap().ty.node else { panic!() };
+        assert!(matches!(&fields[0].ty.node, SNode::Pointer(inner)
+            if matches!(&inner.node, SNode::Named(n) if n == "Point")));
+        let SNode::Class { extends, .. } = &uni.get("PointVector").unwrap().ty.node else {
+            panic!()
+        };
+        assert_eq!(extends.as_deref(), Some("java.util.Vector"));
+    }
+
+    #[test]
+    fn paper_figure_5_interface() {
+        let uni = parse_java(
+            "public interface JavaIdeal {
+               Line fitter(PointVector pts);
+             }",
+        )
+        .unwrap();
+        let SNode::Interface { methods, .. } = &uni.get("JavaIdeal").unwrap().ty.node else {
+            panic!()
+        };
+        assert_eq!(methods.len(), 1);
+        assert_eq!(methods[0].sig.params[0].name, "pts");
+    }
+
+    #[test]
+    fn package_imports_and_generics_skipped() {
+        let uni = parse_java(
+            "package com.example.geo;
+             import java.util.Vector;
+             public class Box<T extends Comparable<T>> {
+               private int size;
+               public java.util.List<String> names() { return null; }
+             }",
+        )
+        .unwrap();
+        let SNode::Class { fields, methods, .. } = &uni.get("Box").unwrap().ty.node else {
+            panic!()
+        };
+        assert_eq!(fields.len(), 1);
+        assert_eq!(methods.len(), 1);
+    }
+
+    #[test]
+    fn predefined_string_object_and_arrays() {
+        let uni = parse_java(
+            "public class Mixed {
+               private String name;
+               private Object payload;
+               private float[][] grid;
+               private int count = 3, total = 10;
+               private static int GLOBAL = 0;
+             }",
+        )
+        .unwrap();
+        let SNode::Class { fields, .. } = &uni.get("Mixed").unwrap().ty.node else { panic!() };
+        assert_eq!(fields.len(), 5, "static excluded; multi-declarator kept");
+        assert!(matches!(fields[0].ty.node, SNode::Str));
+        assert!(matches!(fields[1].ty.node, SNode::Prim(Prim::Any)));
+        assert!(matches!(&fields[2].ty.node, SNode::Array { .. }));
+    }
+
+    #[test]
+    fn throws_clauses_and_void_methods() {
+        let uni = parse_java(
+            "public interface Remote {
+               void send(byte[] data) throws java.io.IOException, RuntimeException;
+             }",
+        )
+        .unwrap();
+        let SNode::Interface { methods, .. } = &uni.get("Remote").unwrap().ty.node else {
+            panic!()
+        };
+        assert!(matches!(methods[0].sig.ret.node, SNode::Prim(Prim::Void)));
+    }
+
+    #[test]
+    fn private_methods_excluded_from_classes() {
+        let uni = parse_java(
+            "public class Svc {
+               public void run() { }
+               void helper() { }
+               private int internal() { return 0; }
+             }",
+        )
+        .unwrap();
+        let SNode::Class { methods, .. } = &uni.get("Svc").unwrap().ty.node else { panic!() };
+        assert_eq!(methods.len(), 1);
+    }
+
+    #[test]
+    fn errors_have_lines() {
+        let err = parse_java("public class {").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(parse_java("public class X { int }").is_err());
+        assert!(parse_java("public class X { void f( }").is_err());
+    }
+}

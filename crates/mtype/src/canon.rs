@@ -1,0 +1,528 @@
+//! Canonicalisation helpers backing the comparer's isomorphism rules.
+//!
+//! The paper (§4) extends the Amadio–Cardelli algorithm with isomorphism
+//! rules: `Record` and `Choice` are associative and commutative, so
+//! `Record(Integer, Record(Real, Character))` ≡
+//! `Record(Character, Real, Integer)`. This module provides the
+//! *flattening* (associativity) and *structural fingerprinting*
+//! (a canonical sort key for commutativity) that the comparer combines
+//! with coinduction.
+//!
+//! Both operations are **binder-transparent**: `Recursive` nodes are
+//! where a μ-binder happened to be placed during lowering, and two
+//! translations of the same declarations can legitimately cut their
+//! cycles at different points (lowering order differs). Flattening
+//! resolves through binders and stops only at *actual* cycles; the
+//! fingerprint hashes the depth-bounded tree unfolding, which is
+//! invariant under binder placement.
+
+use std::collections::HashMap;
+
+use crate::graph::{MtypeGraph, MtypeId};
+use crate::kind::MtypeKind;
+
+/// Depth (in structural constructors) to which [`fingerprint`] unfolds a
+/// type. Types differing only below this depth collide — the comparer
+/// then decides by full coinduction, so collisions cost time, not
+/// soundness.
+pub const FINGERPRINT_DEPTH: u32 = 12;
+
+/// Flattens nested `Record`s under `id` (associativity) and drops `Unit`
+/// children (unit elimination: `Record(τ, Unit) ≡ Record(τ)`), returning
+/// the flattened child list. If `id` is not a Record it is returned as a
+/// singleton.
+///
+/// Flattening resolves through `Recursive` binders; a Record reached
+/// again *on the current flattening path* (a genuine cycle) is kept as a
+/// leaf, so the operation is total on cyclic graphs.
+///
+/// ```
+/// use mockingbird_mtype::{MtypeGraph, IntRange, RealPrecision, canon::flatten_record};
+/// let mut g = MtypeGraph::new();
+/// let i = g.integer(IntRange::boolean());
+/// let r = g.real(RealPrecision::SINGLE);
+/// let inner = g.record(vec![r, i]);
+/// let u = g.unit();
+/// let outer = g.record(vec![i, inner, u]);
+/// assert_eq!(flatten_record(&g, outer), vec![i, r, i]);
+/// ```
+pub fn flatten_record(graph: &MtypeGraph, id: MtypeId) -> Vec<MtypeId> {
+    let mut out = Vec::new();
+    let mut path = Vec::new();
+    flatten_record_into(graph, id, &mut out, &mut path, true);
+    out
+}
+
+/// As [`flatten_record`] but keeping `Unit` children (used when the
+/// unit-elimination rule is disabled).
+pub fn flatten_record_keep_units(graph: &MtypeGraph, id: MtypeId) -> Vec<MtypeId> {
+    let mut out = Vec::new();
+    let mut path = Vec::new();
+    flatten_record_into(graph, id, &mut out, &mut path, false);
+    out
+}
+
+fn flatten_record_into(
+    graph: &MtypeGraph,
+    id: MtypeId,
+    out: &mut Vec<MtypeId>,
+    path: &mut Vec<MtypeId>,
+    unit_elim: bool,
+) {
+    let rid = graph.resolve(id);
+    match graph.kind(rid) {
+        MtypeKind::Record(cs) if !path.contains(&rid) => {
+            path.push(rid);
+            for &c in cs.clone().iter() {
+                flatten_record_into(graph, c, out, path, unit_elim);
+            }
+            path.pop();
+        }
+        MtypeKind::Unit if unit_elim => {}
+        _ => out.push(id),
+    }
+}
+
+/// Flattens nested `Choice`s under `id` (associativity of alternatives)
+/// and deduplicates identical alternative ids. If `id` is not a Choice
+/// it is returned as a singleton. Binder-transparent and cycle-safe like
+/// [`flatten_record`].
+pub fn flatten_choice(graph: &MtypeGraph, id: MtypeId) -> Vec<MtypeId> {
+    let mut out = Vec::new();
+    let mut path = Vec::new();
+    flatten_choice_into(graph, id, &mut out, &mut path);
+    let mut seen = Vec::new();
+    out.retain(|c| {
+        if seen.contains(c) {
+            false
+        } else {
+            seen.push(*c);
+            true
+        }
+    });
+    out
+}
+
+fn flatten_choice_into(
+    graph: &MtypeGraph,
+    id: MtypeId,
+    out: &mut Vec<MtypeId>,
+    path: &mut Vec<MtypeId>,
+) {
+    let rid = graph.resolve(id);
+    match graph.kind(rid) {
+        // Canonical list spines are opaque alternatives: their own
+        // Unit/cons choice is the collection's encoding, not a set of
+        // alternatives of the enclosing Choice.
+        MtypeKind::Choice(cs)
+            if !path.contains(&rid)
+                && (path.is_empty() || list_element_type(graph, rid).is_none()) =>
+        {
+            path.push(rid);
+            for &c in cs.clone().iter() {
+                flatten_choice_into(graph, c, out, path);
+            }
+            path.pop();
+        }
+        _ => out.push(id),
+    }
+}
+
+/// If the (resolved) node is the canonical list shape
+/// `Choice(Unit, Record(elem, back))` (paper §3.2, Fig. 8), returns the
+/// element type.
+pub fn list_element_type(graph: &MtypeGraph, ty: MtypeId) -> Option<MtypeId> {
+    let ty = graph.resolve(ty);
+    let MtypeKind::Choice(alts) = graph.kind(ty) else {
+        return None;
+    };
+    if alts.len() != 2 {
+        return None;
+    }
+    let (first, second) = (alts[0], alts[1]);
+    let cons = if matches!(graph.kind(graph.resolve(first)), MtypeKind::Unit) {
+        second
+    } else if matches!(graph.kind(graph.resolve(second)), MtypeKind::Unit) {
+        first
+    } else {
+        return None;
+    };
+    let MtypeKind::Record(cell) = graph.kind(graph.resolve(cons)) else {
+        return None;
+    };
+    if cell.len() != 2 {
+        return None;
+    }
+    if graph.resolve(cell[1]) == ty {
+        Some(cell[0])
+    } else if graph.resolve(cell[0]) == ty {
+        Some(cell[1])
+    } else {
+        None
+    }
+}
+
+/// A structural fingerprint of the Mtype rooted at `id`: the hash of its
+/// tree unfolding truncated at [`FINGERPRINT_DEPTH`] constructors.
+///
+/// Equivalent Mtypes (under the full isomorphism rule set — assoc, comm,
+/// unit elimination, singleton-choice and unary-record collapse, and
+/// *any* placement of recursive binders) receive equal fingerprints; the
+/// converse does not hold (deep differences and hash collisions fall
+/// through to the comparer's coinduction). Used as a canonical sort key
+/// for commutative matching and as a fast rejection filter.
+pub fn fingerprint(graph: &MtypeGraph, id: MtypeId) -> u64 {
+    fingerprint_depth(graph, id, FINGERPRINT_DEPTH)
+}
+
+/// [`fingerprint`] with an explicit unfolding depth.
+pub fn fingerprint_depth(graph: &MtypeGraph, id: MtypeId, depth: u32) -> u64 {
+    let mut memo: HashMap<(MtypeId, u32), u64> = HashMap::new();
+    let mut in_progress: Vec<(MtypeId, u32)> = Vec::new();
+    let mut flats: HashMap<MtypeId, std::rc::Rc<Vec<MtypeId>>> = HashMap::new();
+    fp(graph, id, depth, &mut memo, &mut in_progress, &mut flats)
+}
+
+fn flatten_memo(
+    graph: &MtypeGraph,
+    id: MtypeId,
+    flats: &mut HashMap<MtypeId, std::rc::Rc<Vec<MtypeId>>>,
+) -> std::rc::Rc<Vec<MtypeId>> {
+    if let Some(v) = flats.get(&id) {
+        return v.clone();
+    }
+    let v = std::rc::Rc::new(flatten_record(graph, id));
+    flats.insert(id, v.clone());
+    v
+}
+
+fn mix(h: u64, v: u64) -> u64 {
+    // FNV-style mixing; deterministic across runs and platforms.
+    (h ^ v).wrapping_mul(0x100_0000_01b3).rotate_left(17)
+}
+
+const DEPTH_CUTOFF_HASH: u64 = 0xD3E9_C07F;
+const CYCLE_HASH: u64 = 0xBACC_0ED6;
+
+fn fp(
+    graph: &MtypeGraph,
+    id: MtypeId,
+    k: u32,
+    memo: &mut HashMap<(MtypeId, u32), u64>,
+    in_progress: &mut Vec<(MtypeId, u32)>,
+    flats: &mut HashMap<MtypeId, std::rc::Rc<Vec<MtypeId>>>,
+) -> u64 {
+    let id = graph.resolve(id);
+    if k == 0 {
+        return DEPTH_CUTOFF_HASH;
+    }
+    if let Some(&h) = memo.get(&(id, k)) {
+        return h;
+    }
+    if in_progress.contains(&(id, k)) {
+        // Only reachable through same-depth transparent collapses
+        // (non-contractive shapes); hash as an opaque cycle.
+        return CYCLE_HASH;
+    }
+    in_progress.push((id, k));
+    let h = match graph.kind(id) {
+        MtypeKind::Integer(r) => {
+            mix(mix(1, r.lo as u64 ^ (r.lo >> 64) as u64), r.hi as u64 ^ (r.hi >> 64) as u64)
+        }
+        MtypeKind::Character(rep) => {
+            let mut h = 2u64;
+            for b in format!("{rep}").bytes() {
+                h = mix(h, b as u64);
+            }
+            h
+        }
+        MtypeKind::Real(p) => mix(mix(3, p.mantissa_bits as u64), p.exponent_bits as u64),
+        MtypeKind::Unit => 4,
+        MtypeKind::Dynamic => 5,
+        MtypeKind::Record(_) => {
+            // Hash the flattened children as an unordered multiset
+            // (assoc + comm invariance). An empty record hashes like
+            // Unit; a unary record hashes like its child at the same
+            // depth (collapse invariance).
+            let kids = flatten_memo(graph, id, flats);
+            match kids.len() {
+                0 => 4,
+                1 => fp(graph, kids[0], k, memo, in_progress, flats),
+                _ => {
+                    let mut hashes: Vec<u64> = kids
+                        .iter()
+                        .map(|&c| fp(graph, c, k - 1, memo, in_progress, flats))
+                        .collect();
+                    hashes.sort_unstable();
+                    let mut h = 6u64;
+                    for x in hashes {
+                        h = mix(h, x);
+                    }
+                    h
+                }
+            }
+        }
+        MtypeKind::Choice(_) => {
+            let kids = flatten_choice(graph, id);
+            if kids.len() == 1 {
+                fp(graph, kids[0], k, memo, in_progress, flats)
+            } else {
+                let mut hashes: Vec<u64> = kids
+                    .iter()
+                    .map(|&c| fp(graph, c, k - 1, memo, in_progress, flats))
+                    .collect();
+                hashes.sort_unstable();
+                let mut h = 7u64;
+                for x in hashes {
+                    h = mix(h, x);
+                }
+                h
+            }
+        }
+        MtypeKind::Port(p) => {
+            let inner = fp(graph, *p, k - 1, memo, in_progress, flats);
+            mix(8, inner)
+        }
+        MtypeKind::Recursive(_) => unreachable!("resolve() removes binders"),
+    };
+    in_progress.pop();
+    memo.insert((id, k), h);
+    h
+}
+
+/// Per-kind node counts for the Mtype reachable from `root`; used by
+/// mismatch diagnostics ("left has 3 Reals, right has 4").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MtypeSummary {
+    /// Count of `Integer` nodes reachable.
+    pub integers: usize,
+    /// Count of `Character` nodes reachable.
+    pub characters: usize,
+    /// Count of `Real` nodes reachable.
+    pub reals: usize,
+    /// Count of `Unit` nodes reachable.
+    pub units: usize,
+    /// Count of `Record` nodes reachable.
+    pub records: usize,
+    /// Count of `Choice` nodes reachable.
+    pub choices: usize,
+    /// Count of `Recursive` binders reachable.
+    pub recursives: usize,
+    /// Count of `Port` nodes reachable.
+    pub ports: usize,
+    /// Count of `Dynamic` nodes reachable.
+    pub dynamics: usize,
+}
+
+impl MtypeSummary {
+    /// Computes the summary of the Mtype reachable from `root`.
+    pub fn of(graph: &MtypeGraph, root: MtypeId) -> Self {
+        let mut s = MtypeSummary::default();
+        for id in graph.reachable(root) {
+            match graph.kind(id) {
+                MtypeKind::Integer(_) => s.integers += 1,
+                MtypeKind::Character(_) => s.characters += 1,
+                MtypeKind::Real(_) => s.reals += 1,
+                MtypeKind::Unit => s.units += 1,
+                MtypeKind::Record(_) => s.records += 1,
+                MtypeKind::Choice(_) => s.choices += 1,
+                MtypeKind::Recursive(_) => s.recursives += 1,
+                MtypeKind::Port(_) => s.ports += 1,
+                MtypeKind::Dynamic => s.dynamics += 1,
+            }
+        }
+        s
+    }
+
+    /// Total number of reachable nodes counted.
+    pub fn total(&self) -> usize {
+        self.integers
+            + self.characters
+            + self.reals
+            + self.units
+            + self.records
+            + self.choices
+            + self.recursives
+            + self.ports
+            + self.dynamics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::{IntRange, RealPrecision, Repertoire};
+
+    #[test]
+    fn flatten_is_identity_on_flat_records() {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::boolean());
+        let r = g.record(vec![i, i]);
+        assert_eq!(flatten_record(&g, r), vec![i, i]);
+        assert_eq!(flatten_record(&g, i), vec![i]);
+    }
+
+    #[test]
+    fn flatten_removes_units_entirely() {
+        let mut g = MtypeGraph::new();
+        let u = g.unit();
+        let r = g.record(vec![u, u]);
+        assert!(flatten_record(&g, r).is_empty());
+        assert_eq!(flatten_record_keep_units(&g, r).len(), 2);
+    }
+
+    #[test]
+    fn flatten_stops_at_list_spines() {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::boolean());
+        let list = g.list_of(i);
+        let r = g.record(vec![i, list]);
+        // The list resolves to a Choice (not a Record), so it is a leaf.
+        assert_eq!(flatten_record(&g, r), vec![i, list]);
+    }
+
+    #[test]
+    fn flatten_resolves_through_binders() {
+        // A binder wrapping a Record is transparent for flattening.
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::boolean());
+        let r = g.real(RealPrecision::SINGLE);
+        let inner = g.record(vec![i, r]);
+        let wrapped = g.recursive(|_, _| inner);
+        let outer = g.record(vec![i, wrapped]);
+        assert_eq!(flatten_record(&g, outer), vec![i, i, r]);
+    }
+
+    #[test]
+    fn flatten_keeps_genuine_cycles_as_leaves() {
+        // Rec X. Record(Int, X): flattening X's body must not loop.
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::boolean());
+        let rec = g.recursive(|g, me| g.record(vec![i, me]));
+        let flat = flatten_record(&g, rec);
+        assert_eq!(flat.len(), 2);
+        assert_eq!(flat[0], i);
+        // The cycle leaf resolves back to the record body.
+        assert_eq!(g.resolve(flat[1]), g.resolve(rec));
+    }
+
+    #[test]
+    fn flatten_choice_dedupes() {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::boolean());
+        let c1 = g.choice(vec![i, i]);
+        assert_eq!(flatten_choice(&g, c1), vec![i]);
+        let u = g.unit();
+        let c2 = g.choice(vec![c1, u]);
+        assert_eq!(flatten_choice(&g, c2), vec![i, u]);
+    }
+
+    #[test]
+    fn fingerprint_invariant_under_assoc_comm() {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(32));
+        let r = g.real(RealPrecision::SINGLE);
+        let c = g.character(Repertoire::Unicode);
+        let inner = g.record(vec![r, c]);
+        let nested = g.record(vec![i, inner]);
+        let flat = g.record(vec![c, r, i]);
+        assert_eq!(fingerprint(&g, nested), fingerprint(&g, flat));
+        let different = g.record(vec![c, r]);
+        assert_ne!(fingerprint(&g, nested), fingerprint(&g, different));
+    }
+
+    #[test]
+    fn fingerprint_alpha_invariant_for_cycles() {
+        let mut g1 = MtypeGraph::new();
+        let r1 = g1.real(RealPrecision::SINGLE);
+        let l1 = g1.list_of(r1);
+
+        let mut g2 = MtypeGraph::new();
+        // Same type built with padding nodes first, so arena ids differ.
+        let _pad = g2.integer(IntRange::boolean());
+        let r2 = g2.real(RealPrecision::SINGLE);
+        let l2 = g2.list_of(r2);
+
+        assert_eq!(fingerprint(&g1, l1), fingerprint(&g2, l2));
+    }
+
+    #[test]
+    fn fingerprint_invariant_under_binder_placement() {
+        // Mutually recursive A = Record(Int, B), B = Record(Real, A),
+        // built twice with the μ-binder on A first, then on B first.
+        let build = |binder_on_a: bool| -> (MtypeGraph, MtypeId) {
+            let mut g = MtypeGraph::new();
+            let i = g.integer(IntRange::signed_bits(32));
+            let r = g.real(RealPrecision::SINGLE);
+            if binder_on_a {
+                let a = g.recursive(|g, me_a| {
+                    let b = g.record(vec![r, me_a]);
+                    g.record(vec![i, b])
+                });
+                (g, a)
+            } else {
+                let b = g.recursive(|g, me_b| {
+                    let a = g.record(vec![i, me_b]);
+                    g.record(vec![r, a])
+                });
+                // A = Record(Int, B).
+                let a = g.record(vec![i, b]);
+                (g, a)
+            }
+        };
+        let (g1, a1) = build(true);
+        let (g2, a2) = build(false);
+        assert_eq!(
+            fingerprint(&g1, a1),
+            fingerprint(&g2, a2),
+            "fingerprints must not depend on where lowering cut the cycle"
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_element_types() {
+        let mut g = MtypeGraph::new();
+        let r = g.real(RealPrecision::SINGLE);
+        let d = g.real(RealPrecision::DOUBLE);
+        let lr = g.list_of(r);
+        let ld = g.list_of(d);
+        assert_ne!(fingerprint(&g, lr), fingerprint(&g, ld));
+    }
+
+    #[test]
+    fn transparent_binder_hashes_like_body() {
+        // Rec X. Int (X unused) fingerprints like plain Int.
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::boolean());
+        let rec = g.recursive(|_, _| i);
+        assert_eq!(fingerprint(&g, rec), fingerprint(&g, i));
+    }
+
+    #[test]
+    fn unary_and_empty_collapse_invariance() {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::boolean());
+        let unary = g.record(vec![i]);
+        assert_eq!(fingerprint(&g, unary), fingerprint(&g, i));
+        let u = g.unit();
+        let empty = g.record(vec![]);
+        assert_eq!(fingerprint(&g, empty), fingerprint(&g, u));
+        let single_choice = g.choice(vec![i]);
+        assert_eq!(fingerprint(&g, single_choice), fingerprint(&g, i));
+    }
+
+    #[test]
+    fn summary_counts() {
+        let mut g = MtypeGraph::new();
+        let r = g.real(RealPrecision::SINGLE);
+        let point = g.record(vec![r, r]);
+        let list = g.list_of(point);
+        let s = MtypeSummary::of(&g, list);
+        assert_eq!(s.reals, 1); // hash-consed single Real node
+        assert_eq!(s.records, 2); // point + cons cell
+        assert_eq!(s.recursives, 1);
+        assert_eq!(s.choices, 1);
+        assert_eq!(s.units, 1);
+        assert_eq!(s.total(), 6);
+    }
+}

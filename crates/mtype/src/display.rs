@@ -1,0 +1,247 @@
+//! Textual rendering of Mtype graphs.
+//!
+//! The rendering follows the paper's notation: `port(Record(Real, Real))`,
+//! with recursive binders written `Rec#L(...)` and back-references `#L`
+//! (the paper's Fig. 8 draws these as graph back-edges).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::graph::{MtypeGraph, MtypeId};
+use crate::kind::MtypeKind;
+
+/// A displayable view of one Mtype rooted at a node, produced by
+/// [`MtypeGraph::display`].
+pub struct MtypeDisplay<'g> {
+    graph: &'g MtypeGraph,
+    root: MtypeId,
+}
+
+impl MtypeGraph {
+    /// Renders the Mtype rooted at `root` in the paper's notation.
+    ///
+    /// ```
+    /// use mockingbird_mtype::{MtypeGraph, IntRange};
+    /// let mut g = MtypeGraph::new();
+    /// let i = g.integer(IntRange::boolean());
+    /// let r = g.record(vec![i, i]);
+    /// assert_eq!(g.display(r).to_string(), "Record(Int{0..=1}, Int{0..=1})");
+    /// ```
+    pub fn display(&self, root: MtypeId) -> MtypeDisplay<'_> {
+        MtypeDisplay { graph: self, root }
+    }
+
+    /// Renders the Mtype rooted at `root`, truncating the output at
+    /// roughly `cap` characters (with a trailing `…`).
+    ///
+    /// Plain [`MtypeGraph::display`] re-prints shared acyclic subgraphs
+    /// at every occurrence, which is exponential on dense DAGs; use this
+    /// in diagnostics and any other output on a hot path.
+    pub fn display_capped(&self, root: MtypeId, cap: usize) -> String {
+        let mut out = String::new();
+        let mut binders = HashMap::new();
+        let mut next = 0usize;
+        let truncated =
+            capped_write(self, root, cap, &mut out, &mut binders, &mut next).is_err();
+        if truncated {
+            out.push('…');
+        }
+        out
+    }
+}
+
+/// Writes the rendering of `id`, erroring out (for early unwind) once
+/// the output exceeds `cap`.
+fn capped_write(
+    graph: &MtypeGraph,
+    id: MtypeId,
+    cap: usize,
+    out: &mut String,
+    binders: &mut HashMap<MtypeId, String>,
+    next_binder: &mut usize,
+) -> Result<(), ()> {
+    if out.len() > cap {
+        return Err(());
+    }
+    match graph.kind(id) {
+        MtypeKind::Integer(r) => out.push_str(&format!("Int{{{r}}}")),
+        MtypeKind::Character(rep) => out.push_str(&format!("Char{{{rep}}}")),
+        MtypeKind::Real(p) => out.push_str(&format!("Real{{{p}}}")),
+        MtypeKind::Unit => out.push_str("Unit"),
+        MtypeKind::Dynamic => out.push_str("Dynamic"),
+        MtypeKind::Record(cs) => {
+            out.push_str("Record(");
+            for (i, &c) in cs.clone().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                capped_write(graph, c, cap, out, binders, next_binder)?;
+            }
+            out.push(')');
+        }
+        MtypeKind::Choice(cs) => {
+            out.push_str("Choice(");
+            for (i, &c) in cs.clone().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                capped_write(graph, c, cap, out, binders, next_binder)?;
+            }
+            out.push(')');
+        }
+        MtypeKind::Port(p) => {
+            out.push_str("port(");
+            capped_write(graph, *p, cap, out, binders, next_binder)?;
+            out.push(')');
+        }
+        MtypeKind::Recursive(body) => {
+            if let Some(name) = binders.get(&id) {
+                out.push('#');
+                out.push_str(name);
+                return Ok(());
+            }
+            let name = binder_name(*next_binder);
+            *next_binder += 1;
+            binders.insert(id, name.clone());
+            out.push_str("Rec#");
+            out.push_str(&name);
+            out.push('(');
+            let body = *body;
+            let r = capped_write(graph, body, cap, out, binders, next_binder);
+            binders.remove(&id);
+            r?;
+            out.push(')');
+        }
+    }
+    if out.len() > cap {
+        return Err(());
+    }
+    Ok(())
+}
+
+fn binder_name(i: usize) -> String {
+    const NAMES: [&str; 6] = ["L", "M", "N", "O", "P", "Q"];
+    NAMES.get(i).map(|s| s.to_string()).unwrap_or_else(|| format!("X{i}"))
+}
+
+impl MtypeDisplay<'_> {
+    fn write(
+        &self,
+        f: &mut fmt::Formatter<'_>,
+        id: MtypeId,
+        binders: &mut HashMap<MtypeId, String>,
+        next_binder: &mut usize,
+    ) -> fmt::Result {
+        let g = self.graph;
+        match g.kind(id) {
+            MtypeKind::Integer(r) => write!(f, "Int{{{r}}}"),
+            MtypeKind::Character(rep) => write!(f, "Char{{{rep}}}"),
+            MtypeKind::Real(p) => write!(f, "Real{{{p}}}"),
+            MtypeKind::Unit => write!(f, "Unit"),
+            MtypeKind::Dynamic => write!(f, "Dynamic"),
+            MtypeKind::Record(cs) => self.write_seq(f, "Record", cs, binders, next_binder),
+            MtypeKind::Choice(cs) => self.write_seq(f, "Choice", cs, binders, next_binder),
+            MtypeKind::Port(p) => {
+                write!(f, "port(")?;
+                self.write(f, *p, binders, next_binder)?;
+                write!(f, ")")
+            }
+            MtypeKind::Recursive(body) => {
+                if let Some(name) = binders.get(&id) {
+                    // Back-reference into an enclosing binder.
+                    return write!(f, "#{name}");
+                }
+                let name = binder_name(*next_binder);
+                *next_binder += 1;
+                binders.insert(id, name.clone());
+                write!(f, "Rec#{name}(")?;
+                self.write(f, *body, binders, next_binder)?;
+                write!(f, ")")?;
+                binders.remove(&id);
+                Ok(())
+            }
+        }
+    }
+
+    fn write_seq(
+        &self,
+        f: &mut fmt::Formatter<'_>,
+        tag: &str,
+        children: &[MtypeId],
+        binders: &mut HashMap<MtypeId, String>,
+        next_binder: &mut usize,
+    ) -> fmt::Result {
+        write!(f, "{tag}(")?;
+        for (i, &c) in children.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            self.write(f, c, binders, next_binder)?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for MtypeDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut binders = HashMap::new();
+        let mut next = 0usize;
+        self.write(f, self.root, &mut binders, &mut next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::graph::MtypeGraph;
+    use crate::kind::{IntRange, RealPrecision, Repertoire};
+
+    #[test]
+    fn primitives_render() {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(8));
+        let c = g.character(Repertoire::Latin1);
+        let r = g.real(RealPrecision::DOUBLE);
+        let u = g.unit();
+        let d = g.dynamic();
+        assert_eq!(g.display(i).to_string(), "Int{-128..=127}");
+        assert_eq!(g.display(c).to_string(), "Char{Latin-1}");
+        assert_eq!(g.display(r).to_string(), "Real{53,11}");
+        assert_eq!(g.display(u).to_string(), "Unit");
+        assert_eq!(g.display(d).to_string(), "Dynamic");
+    }
+
+    #[test]
+    fn recursive_list_renders_with_back_reference() {
+        let mut g = MtypeGraph::new();
+        let r = g.real(RealPrecision::SINGLE);
+        let list = g.list_of(r);
+        assert_eq!(
+            g.display(list).to_string(),
+            "Rec#L(Choice(Unit, Record(Real{24,8}, #L)))"
+        );
+    }
+
+    #[test]
+    fn nested_binders_get_distinct_names() {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::boolean());
+        let inner = g.list_of(i);
+        let outer = g.list_of(inner);
+        let s = g.display(outer).to_string();
+        assert!(s.contains("Rec#L("), "{s}");
+        assert!(s.contains("Rec#M("), "{s}");
+        assert!(s.contains("#L)"), "{s}");
+    }
+
+    #[test]
+    fn port_renders_lowercase_like_the_paper() {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(32));
+        let r = g.real(RealPrecision::SINGLE);
+        let f = g.function(vec![i], vec![r]);
+        assert_eq!(
+            g.display(f).to_string(),
+            "port(Record(Int{-2147483648..=2147483647}, port(Record(Real{24,8}))))"
+        );
+    }
+}

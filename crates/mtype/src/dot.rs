@@ -1,0 +1,91 @@
+//! Graphviz export of Mtype graphs.
+//!
+//! The paper's tool displays "a diagrammatic representation of the Mtype"
+//! (Fig. 7); this module is the non-interactive equivalent, emitting DOT
+//! source suitable for `dot -Tsvg`.
+
+use std::fmt::Write as _;
+
+use crate::graph::{MtypeGraph, MtypeId};
+use crate::kind::MtypeKind;
+
+/// Renders the subgraph reachable from `root` as Graphviz DOT source.
+///
+/// Node labels show the kind and parameters; `Recursive` back-edges are
+/// drawn dashed, matching the paper's Fig. 8 presentation.
+///
+/// ```
+/// use mockingbird_mtype::{MtypeGraph, RealPrecision, dot::to_dot};
+/// let mut g = MtypeGraph::new();
+/// let r = g.real(RealPrecision::SINGLE);
+/// let list = g.list_of(r);
+/// let dot = to_dot(&g, list, "JavaList");
+/// assert!(dot.starts_with("digraph JavaList {"));
+/// assert!(dot.contains("style=dashed"));
+/// ```
+pub fn to_dot(graph: &MtypeGraph, root: MtypeId, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    let reach = graph.reachable(root);
+    for &id in &reach {
+        let node = graph.node(id);
+        let label = match &node.kind {
+            MtypeKind::Integer(r) => format!("Integer\\n{r}"),
+            MtypeKind::Character(rep) => format!("Character\\n{rep}"),
+            MtypeKind::Real(p) => format!("Real\\n{p}"),
+            other => other.tag().to_string(),
+        };
+        let label = match &node.label {
+            Some(l) => format!("{label}\\n[{l}]"),
+            None => label,
+        };
+        let _ = writeln!(out, "  {id} [label=\"{label}\"];");
+    }
+    for &id in &reach {
+        let is_back_edge_target = |c: MtypeId| matches!(graph.kind(c), MtypeKind::Recursive(_));
+        for (i, &c) in graph.kind(id).children().iter().enumerate() {
+            // A child edge pointing at a Recursive binder from below it is a
+            // back-edge; draw every edge into a binder (other than falling
+            // out of the binder itself) dashed.
+            let dashed = is_back_edge_target(c) && !matches!(graph.kind(id), MtypeKind::Choice(_) if false);
+            let style = if dashed && !matches!(graph.kind(id), MtypeKind::Recursive(_)) {
+                " [style=dashed]"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  {id} -> {c} [label=\"{i}\"]{style};");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::RealPrecision;
+
+    #[test]
+    fn dot_contains_all_reachable_nodes() {
+        let mut g = MtypeGraph::new();
+        let r = g.real(RealPrecision::SINGLE);
+        let point = g.record(vec![r, r]);
+        g.set_label(point, "Point");
+        let dot = to_dot(&g, point, "G");
+        assert!(dot.contains("Record"));
+        assert!(dot.contains("Real"));
+        assert!(dot.contains("[Point]"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn cyclic_graph_exports_without_hanging() {
+        let mut g = MtypeGraph::new();
+        let r = g.real(RealPrecision::SINGLE);
+        let list = g.list_of(r);
+        let dot = to_dot(&g, list, "List");
+        assert!(dot.contains("Recursive"));
+        assert!(dot.contains("style=dashed"));
+    }
+}

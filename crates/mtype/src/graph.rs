@@ -1,0 +1,532 @@
+//! Arena-based Mtype graphs.
+//!
+//! Declarations translate into graphs of Mtype nodes. Recursive
+//! declarations produce *cycles*: a [`MtypeKind::Recursive`] node is placed
+//! on the cycle and edges back to it encode self-reference (paper §3.2,
+//! Fig. 8). An arena with index handles ([`MtypeId`]) represents such
+//! graphs without reference counting or unsafe code.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::kind::{IntRange, MtypeKind, RealPrecision, Repertoire};
+
+/// A handle to a node in an [`MtypeGraph`].
+///
+/// Ids are only meaningful relative to the graph that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MtypeId(pub(crate) u32);
+
+impl MtypeId {
+    /// The raw index of this node in its graph's arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MtypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// One node of an Mtype graph: a kind plus an optional provenance label
+/// used in diagnostics ("the Mtype of Java class `Line`").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MtypeNode {
+    /// The node's kind and children.
+    pub kind: MtypeKind,
+    /// Where the node came from, for diagnostics; not significant for
+    /// equivalence.
+    pub label: Option<String>,
+}
+
+/// An arena of Mtype nodes forming a (possibly cyclic) graph.
+///
+/// Acyclic nodes are hash-consed: building the same primitive or the same
+/// `Record`/`Choice`/`Port` over identical children returns the same
+/// [`MtypeId`], so structural sharing is the default. `Recursive` nodes
+/// are never consed (each binder is distinct until the comparer proves
+/// otherwise).
+///
+/// # Example
+///
+/// ```
+/// use mockingbird_mtype::{MtypeGraph, RealPrecision};
+/// let mut g = MtypeGraph::new();
+/// let r1 = g.real(RealPrecision::SINGLE);
+/// let r2 = g.real(RealPrecision::SINGLE);
+/// assert_eq!(r1, r2); // hash-consed
+/// let point = g.record(vec![r1, r2]);
+/// assert_eq!(g.node(point).kind.children().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MtypeGraph {
+    nodes: Vec<MtypeNode>,
+    #[serde(skip)]
+    cons: HashMap<MtypeKind, MtypeId>,
+}
+
+impl MtypeGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes in the arena.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrows the node behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn node(&self, id: MtypeId) -> &MtypeNode {
+        &self.nodes[id.index()]
+    }
+
+    /// The kind of the node behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn kind(&self, id: MtypeId) -> &MtypeKind {
+        &self.nodes[id.index()].kind
+    }
+
+    /// Iterates over `(id, node)` pairs in arena order.
+    pub fn iter(&self) -> impl Iterator<Item = (MtypeId, &MtypeNode)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (MtypeId(i as u32), n))
+    }
+
+    /// Adds a node without hash-consing. Use the kind-specific builders
+    /// where possible; this is the escape hatch for cyclic construction.
+    pub fn add(&mut self, kind: MtypeKind) -> MtypeId {
+        let id = MtypeId(u32::try_from(self.nodes.len()).expect("mtype arena overflow"));
+        self.nodes.push(MtypeNode { kind, label: None });
+        id
+    }
+
+    fn intern(&mut self, kind: MtypeKind) -> MtypeId {
+        if let Some(&id) = self.cons.get(&kind) {
+            return id;
+        }
+        let id = self.add(kind.clone());
+        self.cons.insert(kind, id);
+        id
+    }
+
+    /// Builds an `Integer` Mtype with the given range.
+    pub fn integer(&mut self, range: IntRange) -> MtypeId {
+        self.intern(MtypeKind::Integer(range))
+    }
+
+    /// Builds a `Character` Mtype with the given repertoire.
+    pub fn character(&mut self, repertoire: Repertoire) -> MtypeId {
+        self.intern(MtypeKind::Character(repertoire))
+    }
+
+    /// Builds a `Real` Mtype with the given precision.
+    pub fn real(&mut self, precision: RealPrecision) -> MtypeId {
+        self.intern(MtypeKind::Real(precision))
+    }
+
+    /// Builds the `Unit` Mtype.
+    pub fn unit(&mut self) -> MtypeId {
+        self.intern(MtypeKind::Unit)
+    }
+
+    /// Builds the `Dynamic` (Any-like) Mtype.
+    pub fn dynamic(&mut self) -> MtypeId {
+        self.intern(MtypeKind::Dynamic)
+    }
+
+    /// Builds a `Record` over `children`, in order.
+    pub fn record(&mut self, children: Vec<MtypeId>) -> MtypeId {
+        self.intern(MtypeKind::Record(children))
+    }
+
+    /// Builds a `Choice` over `children`.
+    pub fn choice(&mut self, children: Vec<MtypeId>) -> MtypeId {
+        self.intern(MtypeKind::Choice(children))
+    }
+
+    /// Builds a `Port` carrying `payload`.
+    pub fn port(&mut self, payload: MtypeId) -> MtypeId {
+        self.intern(MtypeKind::Port(payload))
+    }
+
+    /// Builds a `Recursive` binder whose body is produced by `f`, which
+    /// receives the binder's own id so the body can refer back to it.
+    ///
+    /// ```
+    /// use mockingbird_mtype::{MtypeGraph, MtypeKind, RealPrecision};
+    /// let mut g = MtypeGraph::new();
+    /// let real = g.real(RealPrecision::SINGLE);
+    /// // Rec X. Choice(Unit, Record(Real, X)) — the canonical list.
+    /// let list = g.recursive(|g, me| {
+    ///     let unit = g.unit();
+    ///     let cell = g.record(vec![real, me]);
+    ///     g.choice(vec![unit, cell])
+    /// });
+    /// assert!(matches!(g.kind(list), MtypeKind::Recursive(_)));
+    /// ```
+    pub fn recursive(&mut self, f: impl FnOnce(&mut Self, MtypeId) -> MtypeId) -> MtypeId {
+        // Reserve the binder with a placeholder body (itself), then patch.
+        let binder = self.add(MtypeKind::Recursive(MtypeId(0)));
+        if let MtypeKind::Recursive(body) = &mut self.nodes[binder.index()].kind {
+            *body = binder;
+        }
+        let body = f(self, binder);
+        if let MtypeKind::Recursive(b) = &mut self.nodes[binder.index()].kind {
+            *b = body;
+        }
+        binder
+    }
+
+    /// Rewrites the body of an existing `Recursive` binder. Used by
+    /// lowering passes that discover a recursive reference mid-way and
+    /// must tie the knot after the body is complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `binder` is not a `Recursive` node.
+    pub fn patch_recursive(&mut self, binder: MtypeId, body: MtypeId) {
+        match &mut self.nodes[binder.index()].kind {
+            MtypeKind::Recursive(slot) => *slot = body,
+            other => panic!("patch_recursive on non-Recursive node {}", other.tag()),
+        }
+    }
+
+    /// Builds the canonical Mtype of an indefinite-size homogeneous
+    /// ordered collection of `elem`: `Rec X. Choice(Unit, Record(elem, X))`
+    /// (paper §3.2 and Fig. 8). Java `Vector`s, C runtime-sized arrays and
+    /// IDL `sequence`s all translate to this shape.
+    pub fn list_of(&mut self, elem: MtypeId) -> MtypeId {
+        self.recursive(|g, me| {
+            let unit = g.unit();
+            let cell = g.record(vec![elem, me]);
+            g.choice(vec![unit, cell])
+        })
+    }
+
+    /// Builds `Choice(Unit, referent)`: the Mtype of a nullable pointer or
+    /// reference (paper §3.2).
+    pub fn nullable(&mut self, referent: MtypeId) -> MtypeId {
+        let unit = self.unit();
+        self.choice(vec![unit, referent])
+    }
+
+    /// Builds the Mtype of a function: `port(Record(inputs, port(outputs)))`
+    /// where `inputs`/`outputs` are Records over the parameter Mtypes
+    /// (paper §3.3).
+    pub fn function(&mut self, inputs: Vec<MtypeId>, outputs: Vec<MtypeId>) -> MtypeId {
+        let out_rec = self.record(outputs);
+        let reply = self.port(out_rec);
+        let mut inv = inputs;
+        inv.push(reply);
+        let inv_rec = self.record(inv);
+        self.port(inv_rec)
+    }
+
+    /// Builds the Mtype of an object passed by reference:
+    /// `port(Choice(m_1, ..., m_n))` over its method invocation Mtypes
+    /// (paper §3.3). Each `m_i` should be the *invocation* Record of a
+    /// method, i.e. `Record(I_i, port(O_i))`.
+    pub fn object_reference(&mut self, method_invocations: Vec<MtypeId>) -> MtypeId {
+        let choice = self.choice(method_invocations);
+        self.port(choice)
+    }
+
+    /// Attaches a provenance label to a node (overwriting any previous
+    /// label). Labels are for diagnostics only.
+    pub fn set_label(&mut self, id: MtypeId, label: impl Into<String>) {
+        self.nodes[id.index()].label = Some(label.into());
+    }
+
+    /// The provenance label of a node, if any.
+    pub fn label(&self, id: MtypeId) -> Option<&str> {
+        self.nodes[id.index()].label.as_deref()
+    }
+
+    /// Checks structural well-formedness:
+    /// every child id is in range, every `Recursive` body is *contractive*
+    /// (the cycle passes through at least one `Record`, `Choice` or `Port`
+    /// constructor, so `Rec X. X` is rejected), and `Choice` nodes have at
+    /// least one alternative.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (id, node) in self.iter() {
+            for &c in node.kind.children() {
+                if c.index() >= self.nodes.len() {
+                    return Err(format!("{id}: dangling child {c}"));
+                }
+            }
+            match &node.kind {
+                MtypeKind::Choice(cs) if cs.is_empty() => {
+                    return Err(format!("{id}: Choice with no alternatives"));
+                }
+                MtypeKind::Recursive(body) => {
+                    if !self.is_contractive(*body, id) {
+                        return Err(format!("{id}: non-contractive recursion"));
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the path from `body` back to `binder` (if any) passes
+    /// through a structural constructor.
+    fn is_contractive(&self, body: MtypeId, binder: MtypeId) -> bool {
+        // Walk through transparent nodes (Recursive chains) only; hitting
+        // the binder through such a chain means non-contractive.
+        let mut cur = body;
+        let mut seen = Vec::new();
+        loop {
+            if cur == binder {
+                return false;
+            }
+            if seen.contains(&cur) {
+                return true; // cycle elsewhere, fine
+            }
+            seen.push(cur);
+            match self.kind(cur) {
+                MtypeKind::Recursive(b) => cur = *b,
+                _ => return true,
+            }
+        }
+    }
+
+    /// Resolves through `Recursive` binders to the underlying structural
+    /// node. Returns `id` itself if it is not a binder. Cycles of bare
+    /// binders (non-contractive, rejected by [`validate`]) resolve to the
+    /// last binder seen.
+    ///
+    /// [`validate`]: MtypeGraph::validate
+    pub fn resolve(&self, id: MtypeId) -> MtypeId {
+        let mut cur = id;
+        let mut hops = 0usize;
+        while let MtypeKind::Recursive(body) = self.kind(cur) {
+            cur = *body;
+            hops += 1;
+            if hops > self.nodes.len() {
+                return cur;
+            }
+        }
+        cur
+    }
+
+    /// The set of node ids reachable from `root` (including `root`), in
+    /// depth-first preorder.
+    pub fn reachable(&self, root: MtypeId) -> Vec<MtypeId> {
+        let mut out = Vec::new();
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if seen[id.index()] {
+                continue;
+            }
+            seen[id.index()] = true;
+            out.push(id);
+            let kids = self.kind(id).children();
+            for &c in kids.iter().rev() {
+                if !seen[c.index()] {
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Copies the subgraph reachable from `root` in `other` into `self`,
+    /// preserving cycles; returns the id of the copied root.
+    pub fn import(&mut self, other: &MtypeGraph, root: MtypeId) -> MtypeId {
+        let mut map: HashMap<MtypeId, MtypeId> = HashMap::new();
+        self.import_rec(other, root, &mut map)
+    }
+
+    fn import_rec(
+        &mut self,
+        other: &MtypeGraph,
+        id: MtypeId,
+        map: &mut HashMap<MtypeId, MtypeId>,
+    ) -> MtypeId {
+        if let Some(&n) = map.get(&id) {
+            return n;
+        }
+        // Reserve a slot first so cycles terminate.
+        let new_id = self.add(MtypeKind::Unit);
+        map.insert(id, new_id);
+        let mut kind = other.kind(id).clone();
+        let children: Vec<MtypeId> =
+            kind.children().iter().map(|&c| self.import_rec(other, c, map)).collect();
+        for (slot, c) in kind.children_mut().iter_mut().zip(children) {
+            *slot = c;
+        }
+        self.nodes[new_id.index()].kind = kind;
+        self.nodes[new_id.index()].label = other.node(id).label.clone();
+        new_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::{IntRange, RealPrecision, Repertoire};
+
+    #[test]
+    fn hash_consing_dedupes_acyclic_nodes() {
+        let mut g = MtypeGraph::new();
+        let a = g.integer(IntRange::signed_bits(32));
+        let b = g.integer(IntRange::signed_bits(32));
+        assert_eq!(a, b);
+        let c = g.integer(IntRange::signed_bits(16));
+        assert_ne!(a, c);
+        let r1 = g.record(vec![a, c]);
+        let r2 = g.record(vec![b, c]);
+        assert_eq!(r1, r2);
+        let r3 = g.record(vec![c, a]);
+        assert_ne!(r1, r3); // consing is order-sensitive; comparer handles comm.
+    }
+
+    #[test]
+    fn recursive_builder_ties_the_knot() {
+        let mut g = MtypeGraph::new();
+        let real = g.real(RealPrecision::SINGLE);
+        let list = g.list_of(real);
+        let MtypeKind::Recursive(body) = *g.kind(list) else {
+            panic!("expected Recursive");
+        };
+        let MtypeKind::Choice(alts) = g.kind(body) else {
+            panic!("expected Choice body");
+        };
+        assert_eq!(alts.len(), 2);
+        let MtypeKind::Record(cell) = g.kind(alts[1]) else {
+            panic!("expected Record cell");
+        };
+        assert_eq!(cell[0], real);
+        assert_eq!(cell[1], list, "tail must point back at the binder");
+    }
+
+    #[test]
+    fn function_shape_matches_section_3_3() {
+        // F(int) -> float has Mtype port(Record(Integer, port(Real))).
+        let mut g = MtypeGraph::new();
+        let int = g.integer(IntRange::signed_bits(32));
+        let real = g.real(RealPrecision::SINGLE);
+        let f = g.function(vec![int], vec![real]);
+        let MtypeKind::Port(inv) = *g.kind(f) else { panic!() };
+        let MtypeKind::Record(parts) = g.kind(inv) else { panic!() };
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], int);
+        let MtypeKind::Port(out) = *g.kind(parts[1]) else { panic!() };
+        let MtypeKind::Record(outs) = g.kind(out) else { panic!() };
+        assert_eq!(outs, &vec![real]);
+    }
+
+    #[test]
+    fn object_reference_shape() {
+        let mut g = MtypeGraph::new();
+        let int = g.integer(IntRange::signed_bits(32));
+        let m1 = g.record(vec![int]);
+        let m2 = g.record(vec![int, int]);
+        let obj = g.object_reference(vec![m1, m2]);
+        let MtypeKind::Port(c) = *g.kind(obj) else { panic!() };
+        assert!(matches!(g.kind(c), MtypeKind::Choice(alts) if alts.len() == 2));
+    }
+
+    #[test]
+    fn validate_accepts_lists_rejects_bare_loops() {
+        let mut g = MtypeGraph::new();
+        let ch = g.character(Repertoire::Unicode);
+        let _ = g.list_of(ch);
+        assert!(g.validate().is_ok());
+
+        let mut bad = MtypeGraph::new();
+        let binder = bad.add(MtypeKind::Recursive(MtypeId(0)));
+        // Rec X. X — body is the binder itself (the placeholder default).
+        assert!(bad.validate().unwrap_err().contains("non-contractive"));
+        let _ = binder;
+    }
+
+    #[test]
+    fn validate_rejects_empty_choice() {
+        let mut g = MtypeGraph::new();
+        let _ = g.add(MtypeKind::Choice(vec![]));
+        assert!(g.validate().unwrap_err().contains("no alternatives"));
+    }
+
+    #[test]
+    fn resolve_skips_binder_chains() {
+        let mut g = MtypeGraph::new();
+        let real = g.real(RealPrecision::DOUBLE);
+        let list = g.list_of(real);
+        let body = match *g.kind(list) {
+            MtypeKind::Recursive(b) => b,
+            _ => unreachable!(),
+        };
+        assert_eq!(g.resolve(list), body);
+        assert_eq!(g.resolve(real), real);
+    }
+
+    #[test]
+    fn reachable_covers_cycles_once() {
+        let mut g = MtypeGraph::new();
+        let real = g.real(RealPrecision::SINGLE);
+        let list = g.list_of(real);
+        let r = g.reachable(list);
+        // Recursive, Choice, Unit, Record, Real = 5 distinct nodes.
+        assert_eq!(r.len(), 5);
+        assert_eq!(r[0], list);
+    }
+
+    #[test]
+    fn import_preserves_structure_and_cycles() {
+        let mut a = MtypeGraph::new();
+        let real = a.real(RealPrecision::SINGLE);
+        let list = a.list_of(real);
+        a.set_label(list, "PointVector");
+
+        let mut b = MtypeGraph::new();
+        let copied = b.import(&a, list);
+        assert!(b.validate().is_ok());
+        assert_eq!(b.label(copied), Some("PointVector"));
+        let MtypeKind::Recursive(body) = *b.kind(copied) else { panic!() };
+        let MtypeKind::Choice(alts) = b.kind(body) else { panic!() };
+        let MtypeKind::Record(cell) = b.kind(alts[1]) else { panic!() };
+        assert_eq!(cell[1], copied, "cycle must survive import");
+    }
+
+    #[test]
+    fn labels_do_not_affect_consing_lookup_of_existing_nodes() {
+        let mut g = MtypeGraph::new();
+        let a = g.unit();
+        g.set_label(a, "void");
+        let b = g.unit();
+        assert_eq!(a, b);
+        assert_eq!(g.label(b), Some("void"));
+    }
+
+    #[test]
+    fn nullable_builds_choice_with_unit() {
+        let mut g = MtypeGraph::new();
+        let int = g.integer(IntRange::signed_bits(8));
+        let n = g.nullable(int);
+        let MtypeKind::Choice(alts) = g.kind(n) else { panic!() };
+        assert!(matches!(g.kind(alts[0]), MtypeKind::Unit));
+        assert_eq!(alts[1], int);
+    }
+}

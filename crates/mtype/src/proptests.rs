@@ -1,0 +1,154 @@
+//! Property-based tests over randomly generated Mtype graphs.
+
+use proptest::prelude::*;
+
+use crate::canon::{fingerprint, flatten_choice, flatten_record};
+use crate::graph::{MtypeGraph, MtypeId};
+use crate::kind::{IntRange, MtypeKind, RealPrecision, Repertoire};
+
+/// A recipe for building an Mtype in a fresh graph; proptest generates
+/// recipes, we materialise them.
+#[derive(Debug, Clone)]
+pub(crate) enum Recipe {
+    Int(u32),
+    Char(u8),
+    Real(bool),
+    Unit,
+    Record(Vec<Recipe>),
+    Choice(Vec<Recipe>),
+    List(Box<Recipe>),
+    Port(Box<Recipe>),
+}
+
+pub(crate) fn build(g: &mut MtypeGraph, r: &Recipe) -> MtypeId {
+    match r {
+        Recipe::Int(bits) => g.integer(IntRange::signed_bits(bits % 63 + 1)),
+        Recipe::Char(sel) => g.character(match sel % 3 {
+            0 => Repertoire::Ascii,
+            1 => Repertoire::Latin1,
+            _ => Repertoire::Unicode,
+        }),
+        Recipe::Real(double) => {
+            g.real(if *double { RealPrecision::DOUBLE } else { RealPrecision::SINGLE })
+        }
+        Recipe::Unit => g.unit(),
+        Recipe::Record(cs) => {
+            let kids = cs.iter().map(|c| build(g, c)).collect();
+            g.record(kids)
+        }
+        Recipe::Choice(cs) => {
+            let kids = cs.iter().map(|c| build(g, c)).collect();
+            g.choice(kids)
+        }
+        Recipe::List(e) => {
+            let elem = build(g, e);
+            g.list_of(elem)
+        }
+        Recipe::Port(e) => {
+            let payload = build(g, e);
+            g.port(payload)
+        }
+    }
+}
+
+pub(crate) fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    let leaf = prop_oneof![
+        any::<u32>().prop_map(Recipe::Int),
+        any::<u8>().prop_map(Recipe::Char),
+        any::<bool>().prop_map(Recipe::Real),
+        Just(Recipe::Unit),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Recipe::Record),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Recipe::Choice),
+            inner.clone().prop_map(|r| Recipe::List(Box::new(r))),
+            inner.prop_map(|r| Recipe::Port(Box::new(r))),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn generated_graphs_validate(recipe in recipe_strategy()) {
+        let mut g = MtypeGraph::new();
+        let root = build(&mut g, &recipe);
+        prop_assert!(g.validate().is_ok());
+        prop_assert!(root.index() < g.len());
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic(recipe in recipe_strategy()) {
+        let mut g1 = MtypeGraph::new();
+        let r1 = build(&mut g1, &recipe);
+        let mut g2 = MtypeGraph::new();
+        // Pad g2 so arena indices differ.
+        let _ = g2.integer(IntRange::signed_bits(63));
+        let _ = g2.unit();
+        let r2 = build(&mut g2, &recipe);
+        prop_assert_eq!(fingerprint(&g1, r1), fingerprint(&g2, r2));
+    }
+
+    #[test]
+    fn import_preserves_fingerprint(recipe in recipe_strategy()) {
+        let mut g = MtypeGraph::new();
+        let root = build(&mut g, &recipe);
+        let mut h = MtypeGraph::new();
+        let copied = h.import(&g, root);
+        prop_assert!(h.validate().is_ok());
+        prop_assert_eq!(fingerprint(&g, root), fingerprint(&h, copied));
+    }
+
+    #[test]
+    fn flattened_records_contain_no_records_or_units(recipe in recipe_strategy()) {
+        let mut g = MtypeGraph::new();
+        let root = build(&mut g, &recipe);
+        for id in g.reachable(root) {
+            if matches!(g.kind(id), MtypeKind::Record(_)) {
+                for c in flatten_record(&g, id) {
+                    prop_assert!(!matches!(g.kind(c), MtypeKind::Record(_) | MtypeKind::Unit));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flattened_choices_contain_no_choices(recipe in recipe_strategy()) {
+        let mut g = MtypeGraph::new();
+        let root = build(&mut g, &recipe);
+        for id in g.reachable(root) {
+            if matches!(g.kind(id), MtypeKind::Choice(_)) {
+                let flat = flatten_choice(&g, id);
+                prop_assert!(!flat.is_empty());
+                for c in &flat {
+                    prop_assert!(!matches!(g.kind(*c), MtypeKind::Choice(_)));
+                }
+                // Deduped: all ids distinct.
+                let mut sorted = flat.clone();
+                sorted.sort();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), flat.len());
+            }
+        }
+    }
+
+    #[test]
+    fn display_never_panics_and_is_nonempty(recipe in recipe_strategy()) {
+        let mut g = MtypeGraph::new();
+        let root = build(&mut g, &recipe);
+        let s = g.display(root).to_string();
+        prop_assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn reachable_is_closed(recipe in recipe_strategy()) {
+        let mut g = MtypeGraph::new();
+        let root = build(&mut g, &recipe);
+        let reach = g.reachable(root);
+        for &id in &reach {
+            for &c in g.kind(id).children() {
+                prop_assert!(reach.contains(&c));
+            }
+        }
+    }
+}

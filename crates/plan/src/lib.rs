@@ -1,0 +1,1086 @@
+//! Coercion plans: executable conversions between matched Mtypes.
+//!
+//! "If the Comparer determines that two types are equivalent or one is a
+//! subtype of another, it generates a coercion plan. ... This coercion
+//! plan is used by the stub generator to generate adapters between the
+//! two types." (paper §4)
+//!
+//! A [`CoercionPlan`] packages the two Mtype graphs, the
+//! [`Correspondence`] the Comparer recorded, and the rule set it was
+//! computed under. Its interpreter converts neutral [`MValue`]s:
+//!
+//! - `Record` entries flatten the source value (associativity / unit
+//!   elimination, exactly as the comparer viewed it), convert each leaf,
+//!   apply the recorded permutation, and reassemble the *target's*
+//!   grouping — this is how a Java `Line` of two `Point`s becomes two C
+//!   `float[2]` out-parameters;
+//! - `Choice` entries map the active alternative through the recorded
+//!   alternative map;
+//! - canonical list spines convert element-wise and iteratively, so a
+//!   million-element collection does not recurse a million frames;
+//! - `Port` references pass through (the runtime interposes proxies at
+//!   invocation time).
+//!
+//! Equivalence plans convert in both directions; subtype plans are
+//! one-way, matching the paper's "two-way converter"/"one-way converter"
+//! distinction (§3).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+use mockingbird_comparer::{
+    resolve_transparent, Comparer, Correspondence, Entry, Mode, PrimCoercion, RecordFlatten,
+    RuleSet,
+};
+use mockingbird_mtype::{MtypeGraph, MtypeId, MtypeKind};
+use mockingbird_values::mvalue::list_element_type;
+use mockingbird_values::MValue;
+
+/// Errors raised while executing a coercion plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvertError(pub String);
+
+impl fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conversion error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConvertError {}
+
+fn err<T>(m: impl Into<String>) -> Result<T, ConvertError> {
+    Err(ConvertError(m.into()))
+}
+
+/// Which way a conversion runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    /// Left-declaration values to right-declaration values.
+    Forward,
+    /// Right to left (equivalence plans only).
+    Backward,
+}
+
+/// A hand-written value converter supplied by the programmer for a
+/// semantic bridge (paper §6).
+pub type SemanticFn = Arc<dyn Fn(&MValue) -> Result<MValue, String> + Send + Sync>;
+
+/// The two directions of a semantic bridge's conversion.
+#[derive(Clone)]
+struct SemanticConv {
+    forward: SemanticFn,
+    backward: Option<SemanticFn>,
+}
+
+impl fmt::Debug for SemanticConv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SemanticConv")
+            .field("forward", &"<fn>")
+            .field("backward", &self.backward.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
+}
+
+/// An executable conversion between two matched Mtypes.
+///
+/// Owns copies of both graphs so it can outlive the comparison session
+/// and be handed to stubs and the runtime.
+#[derive(Debug)]
+pub struct CoercionPlan {
+    left: MtypeGraph,
+    right: MtypeGraph,
+    corr: Correspondence,
+    rules: RuleSet,
+    mode: Mode,
+    /// Entries proven on demand for pairs the original proof flattened
+    /// through (e.g. the element record of a list dissolved into its
+    /// cons cell by associativity).
+    extra: RwLock<Correspondence>,
+    /// Hand-written converters for semantic bridges, keyed by resolved
+    /// node pair (paper §6).
+    semantics: HashMap<(MtypeId, MtypeId), SemanticConv>,
+}
+
+impl Clone for CoercionPlan {
+    fn clone(&self) -> Self {
+        CoercionPlan {
+            left: self.left.clone(),
+            right: self.right.clone(),
+            corr: self.corr.clone(),
+            rules: self.rules.clone(),
+            mode: self.mode,
+            extra: RwLock::new(self.extra.read().expect("plan cache poisoned").clone()),
+            semantics: self.semantics.clone(),
+        }
+    }
+}
+
+impl CoercionPlan {
+    /// Packages a comparison result into an executable plan.
+    ///
+    /// `left`/`right` must be the graphs the comparison ran over, and
+    /// `rules` the rule set it used (entry lookup replays the same node
+    /// normalisation).
+    pub fn new(
+        left: &MtypeGraph,
+        right: &MtypeGraph,
+        corr: Correspondence,
+        rules: RuleSet,
+        mode: Mode,
+    ) -> Self {
+        let extra = RwLock::new(Correspondence {
+            left_root: corr.left_root,
+            right_root: corr.right_root,
+            entries: Default::default(),
+        });
+        CoercionPlan {
+            left: left.clone(),
+            right: right.clone(),
+            corr,
+            rules,
+            mode,
+            extra,
+            semantics: HashMap::new(),
+        }
+    }
+
+    /// Registers the hand-written converter for a semantic bridge the
+    /// comparison assumed (paper §6: programmer-supplied conversions
+    /// "integrated with the automated structural ones"). `backward` is
+    /// required for two-way use of the bridge; pass `None` for one-way
+    /// plans.
+    pub fn register_semantic(
+        &mut self,
+        left: MtypeId,
+        right: MtypeId,
+        forward: SemanticFn,
+        backward: Option<SemanticFn>,
+    ) {
+        let l = resolve_transparent(&self.left, &self.rules, left);
+        let r = resolve_transparent(&self.right, &self.rules, right);
+        self.semantics.insert((l, r), SemanticConv { forward, backward });
+    }
+
+    /// Looks up (or proves on demand) the matching entry for a resolved
+    /// node pair.
+    fn entry_for(&self, l: MtypeId, r: MtypeId) -> Result<Entry, ConvertError> {
+        if let Some(e) = self.corr.entry(l, r) {
+            return Ok(e.clone());
+        }
+        if let Some(e) = self.extra.read().expect("plan cache poisoned").entry(l, r) {
+            return Ok(e.clone());
+        }
+        // The original proof may have flattened through this pair; prove
+        // it directly and cache every entry of the sub-proof.
+        let sub = Comparer::with_rules(&self.left, &self.right, self.rules.clone())
+            .compare(l, r, self.mode)
+            .map_err(|m| {
+                ConvertError(format!(
+                    "no correspondence entry for pair ({}, {}): {}",
+                    self.left.display_capped(l, 320),
+                    self.right.display_capped(r, 320),
+                    m.reason
+                ))
+            })?;
+        let mut cache = self.extra.write().expect("plan cache poisoned");
+        cache.entries.extend(sub.entries);
+        cache
+            .entry(l, r)
+            .cloned()
+            .ok_or_else(|| ConvertError("sub-proof did not cover its own root".into()))
+    }
+
+    /// The comparison mode this plan was built under.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The left root Mtype id.
+    pub fn left_root(&self) -> MtypeId {
+        self.corr.left_root
+    }
+
+    /// The right root Mtype id.
+    pub fn right_root(&self) -> MtypeId {
+        self.corr.right_root
+    }
+
+    /// The left Mtype graph.
+    pub fn left_graph(&self) -> &MtypeGraph {
+        &self.left
+    }
+
+    /// The right Mtype graph.
+    pub fn right_graph(&self) -> &MtypeGraph {
+        &self.right
+    }
+
+    /// Number of matched node pairs in the underlying correspondence.
+    pub fn len(&self) -> usize {
+        self.corr.len()
+    }
+
+    /// Whether the correspondence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.corr.is_empty()
+    }
+
+    /// Converts a value of the left type into a value of the right type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError`] if the value does not inhabit the left
+    /// type or the correspondence lacks a needed entry.
+    pub fn convert(&self, v: &MValue) -> Result<MValue, ConvertError> {
+        self.convert_at(self.corr.left_root, self.corr.right_root, v, Dir::Forward, 0)
+    }
+
+    /// Converts a value of the right type back into the left type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError`] for subtype plans (the conversion is
+    /// one-way, paper §3) or on shape mismatches.
+    pub fn convert_back(&self, v: &MValue) -> Result<MValue, ConvertError> {
+        if self.mode != Mode::Equivalence {
+            return err(
+                "this is a one-way (subtype) plan; only equivalence plans convert backwards",
+            );
+        }
+        self.convert_at(self.corr.left_root, self.corr.right_root, v, Dir::Backward, 0)
+    }
+
+    /// Converts a value at an *interior* matched pair (e.g. the output
+    /// records of a function's reply ports). Stubs use this to run the
+    /// argument and result conversions of one proof separately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError`] if the pair was not part of the proof or
+    /// the value does not fit.
+    pub fn convert_pair(&self, l: MtypeId, r: MtypeId, v: &MValue) -> Result<MValue, ConvertError> {
+        self.convert_at(l, r, v, Dir::Forward, 0)
+    }
+
+    /// Converts a value backwards at an interior matched pair.
+    ///
+    /// # Errors
+    ///
+    /// As [`CoercionPlan::convert_pair`]; additionally fails on one-way
+    /// (subtype) plans.
+    pub fn convert_pair_back(
+        &self,
+        l: MtypeId,
+        r: MtypeId,
+        v: &MValue,
+    ) -> Result<MValue, ConvertError> {
+        if self.mode != Mode::Equivalence {
+            return err(
+                "this is a one-way (subtype) plan; only equivalence plans convert backwards",
+            );
+        }
+        self.convert_at(l, r, v, Dir::Backward, 0)
+    }
+
+    /// The rule set the proof ran under.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The matching entry for a resolved pair, proving it on demand if
+    /// the original proof flattened through it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError`] if the pair is not related.
+    pub fn matched_entry(&self, l: MtypeId, r: MtypeId) -> Result<Entry, ConvertError> {
+        let l = resolve_transparent(&self.left, &self.rules, l);
+        let r = resolve_transparent(&self.right, &self.rules, r);
+        self.entry_for(l, r)
+    }
+
+    fn convert_at(
+        &self,
+        l: MtypeId,
+        r: MtypeId,
+        v: &MValue,
+        dir: Dir,
+        depth: usize,
+    ) -> Result<MValue, ConvertError> {
+        if depth > 2048 {
+            return err("value nesting exceeds supported depth");
+        }
+        // The source value may carry Choice wrappers the comparer's
+        // singleton-collapse resolved through; strip them to match the
+        // entry keys, and re-wrap on the destination side at the end.
+        let (src_graph, src_node, dst_graph, dst_node) = match dir {
+            Dir::Forward => (&self.left, l, &self.right, r),
+            Dir::Backward => (&self.right, r, &self.left, l),
+        };
+        let v_norm = unwrap_singletons(src_graph, &self.rules, src_node, v)?;
+        let l = resolve_transparent(&self.left, &self.rules, l);
+        let r = resolve_transparent(&self.right, &self.rules, r);
+        let v = v_norm;
+        let result = self.convert_resolved(l, r, v, dir, depth)?;
+        rewrap_singletons(dst_graph, &self.rules, dst_node, result)
+    }
+
+    fn convert_resolved(
+        &self,
+        l: MtypeId,
+        r: MtypeId,
+        v: &MValue,
+        dir: Dir,
+        depth: usize,
+    ) -> Result<MValue, ConvertError> {
+        let entry = self.entry_for(l, r)?;
+        match &entry {
+            Entry::Semantic => {
+                let conv = self.semantics.get(&(l, r)).ok_or_else(|| {
+                    ConvertError(format!(
+                        "semantic bridge for ({}, {}) has no registered converter                          (call register_semantic)",
+                        self.left.display_capped(l, 160),
+                        self.right.display_capped(r, 160)
+                    ))
+                })?;
+                match dir {
+                    Dir::Forward => (conv.forward)(v).map_err(|m| {
+                        ConvertError(format!("hand-written conversion failed: {m}"))
+                    }),
+                    Dir::Backward => match &conv.backward {
+                        Some(back) => back(v).map_err(|m| {
+                            ConvertError(format!("hand-written conversion failed: {m}"))
+                        }),
+                        None => err(
+                            "this semantic bridge has no backward converter registered",
+                        ),
+                    },
+                }
+            }
+            Entry::Prim(c) => self.convert_prim(*c, v, dir, r, l),
+            Entry::Port { .. } => match v {
+                MValue::Port(p) => Ok(MValue::Port(*p)),
+                other => err(format!("expected a port reference, got {other}")),
+            },
+            Entry::Record { left_children, right_children, perm, policy } => {
+                let (src_graph, src_node, dst_graph, dst_node) = match dir {
+                    Dir::Forward => (&self.left, l, &self.right, r),
+                    Dir::Backward => (&self.right, r, &self.left, l),
+                };
+                let mut leaves = Vec::new();
+                match policy {
+                    RecordFlatten::Full => {
+                        flatten_value(src_graph, &self.rules, src_node, v, &mut leaves)?
+                    }
+                    RecordFlatten::OneLevel => {
+                        one_level_align(src_graph, &self.rules, src_node, v, &mut leaves)?
+                    }
+                }
+                let (src_children, dst_children): (&[MtypeId], &[MtypeId]) = match dir {
+                    Dir::Forward => (left_children, right_children),
+                    Dir::Backward => (right_children, left_children),
+                };
+                if leaves.len() != src_children.len() {
+                    return err(format!(
+                        "record value has {} leaves, type expects {}",
+                        leaves.len(),
+                        src_children.len()
+                    ));
+                }
+                // dst index i takes src index mapping(i).
+                let mut converted = Vec::with_capacity(dst_children.len());
+                for (i, &dst_child) in dst_children.iter().enumerate() {
+                    let src_index = match dir {
+                        Dir::Forward => perm[i],
+                        Dir::Backward => perm
+                            .iter()
+                            .position(|&p| p == i)
+                            .ok_or_else(|| ConvertError("incomplete permutation".into()))?,
+                    };
+                    let src_child = src_children[src_index];
+                    let item = match dir {
+                        Dir::Forward => {
+                            self.convert_at(src_child, dst_child, leaves[src_index], dir, depth + 1)?
+                        }
+                        Dir::Backward => {
+                            self.convert_at(dst_child, src_child, leaves[src_index], dir, depth + 1)?
+                        }
+                    };
+                    converted.push(item);
+                }
+                let mut cursor = 0usize;
+                let out = match policy {
+                    RecordFlatten::Full => {
+                        build_value(dst_graph, &self.rules, dst_node, &converted, &mut cursor, 0)?
+                    }
+                    RecordFlatten::OneLevel => {
+                        one_level_build(dst_graph, &self.rules, dst_node, &converted, &mut cursor)?
+                    }
+                };
+                if cursor != converted.len() {
+                    return err("internal error: leftover leaves while rebuilding record");
+                }
+                Ok(out)
+            }
+            Entry::Choice { left_alts, right_alts, alt_map } => {
+                // Canonical list spines convert element-wise, iteratively.
+                if let MValue::List(items) = v {
+                    let (src_elem, dst_elem) = match dir {
+                        Dir::Forward => (
+                            list_element_type(&self.left, l),
+                            list_element_type(&self.right, r),
+                        ),
+                        Dir::Backward => (
+                            list_element_type(&self.right, r),
+                            list_element_type(&self.left, l),
+                        ),
+                    };
+                    let (Some(se), Some(de)) = (src_elem, dst_elem) else {
+                        return err("list value against a non-list Choice pair");
+                    };
+                    let mut out = Vec::with_capacity(items.len());
+                    for item in items {
+                        let c = match dir {
+                            Dir::Forward => self.convert_at(se, de, item, dir, depth + 1)?,
+                            Dir::Backward => self.convert_at(de, se, item, dir, depth + 1)?,
+                        };
+                        out.push(c);
+                    }
+                    return Ok(MValue::List(out));
+                }
+                let (src_graph, src_node, dst_graph, dst_node, src_alts, dst_alts) = match dir {
+                    Dir::Forward => (&self.left, l, &self.right, r, left_alts, right_alts),
+                    Dir::Backward => (&self.right, r, &self.left, l, right_alts, left_alts),
+                };
+                // The value's indices are *nominal* (they address the
+                // Choice node's own children, possibly nested); the
+                // entry's alternative lists and alt_map are *flattened*.
+                // Map nominal -> flat, translate, map flat -> nominal.
+                let (src_flat, payload) =
+                    choice_to_flat(src_graph, &self.rules, src_node, v)?;
+                if src_flat >= src_alts.len() {
+                    return err(format!(
+                        "choice alternative {src_flat} out of {} matched alternatives",
+                        src_alts.len()
+                    ));
+                }
+                let dst_flat = match dir {
+                    Dir::Forward => alt_map[src_flat],
+                    Dir::Backward => alt_map.iter().position(|&j| j == src_flat).ok_or_else(
+                        || {
+                            ConvertError(format!(
+                                "alternative {src_flat} has no backward counterpart"
+                            ))
+                        },
+                    )?,
+                };
+                if dst_flat == usize::MAX {
+                    return err(format!(
+                        "alternative {src_flat} was not matched by the comparer"
+                    ));
+                }
+                let converted = match dir {
+                    Dir::Forward => self.convert_at(
+                        src_alts[src_flat],
+                        dst_alts[dst_flat],
+                        payload,
+                        dir,
+                        depth + 1,
+                    )?,
+                    Dir::Backward => self.convert_at(
+                        dst_alts[dst_flat],
+                        src_alts[src_flat],
+                        payload,
+                        dir,
+                        depth + 1,
+                    )?,
+                };
+                choice_from_flat(dst_graph, &self.rules, dst_node, dst_alts[dst_flat], converted)
+            }
+        }
+    }
+
+    fn convert_prim(
+        &self,
+        c: PrimCoercion,
+        v: &MValue,
+        dir: Dir,
+        r: MtypeId,
+        l: MtypeId,
+    ) -> Result<MValue, ConvertError> {
+        match (c, v) {
+            (PrimCoercion::Int, MValue::Int(x)) => Ok(MValue::Int(*x)),
+            (PrimCoercion::Real { .. }, MValue::Real(x)) => Ok(MValue::Real(*x)),
+            (PrimCoercion::Char, MValue::Char(x)) => Ok(MValue::Char(*x)),
+            (PrimCoercion::Unit, MValue::Unit) => Ok(MValue::Unit),
+            (PrimCoercion::Dynamic, MValue::Dynamic { .. }) => Ok(v.clone()),
+            (PrimCoercion::IntoDynamic, _) => {
+                let tag = match dir {
+                    Dir::Forward => self.left.display(l).to_string(),
+                    Dir::Backward => self.right.display(r).to_string(),
+                };
+                Ok(MValue::Dynamic { tag, value: Box::new(v.clone()) })
+            }
+            (c, v) => err(format!("value {v} does not match primitive coercion {c:?}")),
+        }
+    }
+}
+
+/// The flattened alternative list of a Choice node under the rule set.
+fn choice_flat_list(graph: &MtypeGraph, rules: &RuleSet, node: MtypeId) -> Vec<MtypeId> {
+    if rules.assoc {
+        mockingbird_mtype::canon::flatten_choice(graph, node)
+    } else {
+        graph.kind(node).children().to_vec()
+    }
+}
+
+/// Whether a node (resolved) is a singleton Choice the comparer's
+/// resolution collapsed through.
+fn is_transparent_singleton(graph: &MtypeGraph, rules: &RuleSet, node: MtypeId) -> bool {
+    rules.singleton_choice
+        && matches!(graph.kind(node), MtypeKind::Choice(_))
+        && {
+            let flat = choice_flat_list(graph, rules, node);
+            flat.len() == 1 && graph.resolve(flat[0]) != node
+        }
+}
+
+/// Strips the Choice wrappers corresponding to singleton collapses of
+/// `node`, returning the inner value the entry keys describe.
+fn unwrap_singletons<'v>(
+    graph: &MtypeGraph,
+    rules: &RuleSet,
+    node: MtypeId,
+    v: &'v MValue,
+) -> Result<&'v MValue, ConvertError> {
+    let mut cur_node = graph.resolve(node);
+    let mut cur_v = v;
+    let mut hops = 0usize;
+    while is_transparent_singleton(graph, rules, cur_node) {
+        hops += 1;
+        if hops > graph.len() + 1 {
+            return err("singleton choice chain does not terminate");
+        }
+        let MValue::Choice { index, value } = cur_v else {
+            // The value was produced against the collapsed view already.
+            return Ok(cur_v);
+        };
+        let MtypeKind::Choice(children) = graph.kind(cur_node) else { unreachable!() };
+        let Some(&child) = children.get(*index) else {
+            return err(format!("choice index {index} out of {}", children.len()));
+        };
+        cur_v = value;
+        cur_node = graph.resolve(child);
+    }
+    Ok(cur_v)
+}
+
+/// Re-adds the Choice wrappers a destination node's singleton collapses
+/// removed, so the produced value inhabits the *nominal* type.
+fn rewrap_singletons(
+    graph: &MtypeGraph,
+    rules: &RuleSet,
+    node: MtypeId,
+    v: MValue,
+) -> Result<MValue, ConvertError> {
+    let mut chain = Vec::new();
+    let mut cur = graph.resolve(node);
+    let mut hops = 0usize;
+    while is_transparent_singleton(graph, rules, cur) {
+        hops += 1;
+        if hops > graph.len() + 1 {
+            return err("singleton choice chain does not terminate");
+        }
+        let MtypeKind::Choice(children) = graph.kind(cur) else { unreachable!() };
+        chain.push(0usize);
+        cur = graph.resolve(children[0]);
+    }
+    Ok(chain
+        .into_iter()
+        .rev()
+        .fold(v, |acc, index| MValue::Choice { index, value: Box::new(acc) }))
+}
+
+/// Maps a nominal Choice value to its flattened alternative index and
+/// payload, mirroring `canon::flatten_choice`'s traversal (including its
+/// cycle stops and id-level deduplication).
+fn choice_to_flat<'v>(
+    graph: &MtypeGraph,
+    rules: &RuleSet,
+    node: MtypeId,
+    v: &'v MValue,
+) -> Result<(usize, &'v MValue), ConvertError> {
+    let flat = choice_flat_list(graph, rules, node);
+    let mut path = Vec::new();
+    let (leaf, payload) = choice_descend(graph, rules, node, v, &mut path)?;
+    let idx = flat
+        .iter()
+        .position(|&c| c == leaf)
+        .or_else(|| {
+            flat.iter()
+                .position(|&c| graph.resolve(c) == graph.resolve(leaf))
+        })
+        .ok_or_else(|| {
+            ConvertError(format!(
+                "selected alternative `{}` not found among flattened alternatives",
+                graph.display(leaf)
+            ))
+        })?;
+    Ok((idx, payload))
+}
+
+fn choice_descend<'v>(
+    graph: &MtypeGraph,
+    rules: &RuleSet,
+    node: MtypeId,
+    v: &'v MValue,
+    path: &mut Vec<MtypeId>,
+) -> Result<(MtypeId, &'v MValue), ConvertError> {
+    let node = graph.resolve(node);
+    let MtypeKind::Choice(children) = graph.kind(node) else {
+        return err(format!("expected a Choice node, found {}", graph.kind(node).tag()));
+    };
+    let MValue::Choice { index, value } = v else {
+        return err(format!("expected a choice value, got {v}"));
+    };
+    let Some(&child) = children.get(*index) else {
+        return err(format!("choice index {index} out of {}", children.len()));
+    };
+    path.push(node);
+    let rchild = graph.resolve(child);
+    let result = if rules.assoc
+        && matches!(graph.kind(rchild), MtypeKind::Choice(_))
+        && !path.contains(&rchild)
+        && list_element_type(graph, rchild).is_none()
+    {
+        choice_descend(graph, rules, rchild, value, path)
+    } else {
+        Ok((child, value.as_ref()))
+    };
+    path.pop();
+    result
+}
+
+/// Builds a nominal Choice value whose selected (flattened) alternative
+/// is `target_leaf`, wrapping `payload` in the nominal index path.
+fn choice_from_flat(
+    graph: &MtypeGraph,
+    rules: &RuleSet,
+    node: MtypeId,
+    target_leaf: MtypeId,
+    payload: MValue,
+) -> Result<MValue, ConvertError> {
+    fn dfs(
+        graph: &MtypeGraph,
+        rules: &RuleSet,
+        node: MtypeId,
+        target: MtypeId,
+        path: &mut Vec<MtypeId>,
+        idx_path: &mut Vec<usize>,
+    ) -> bool {
+        let node = graph.resolve(node);
+        let MtypeKind::Choice(children) = graph.kind(node) else {
+            return false;
+        };
+        path.push(node);
+        for (i, &child) in children.clone().iter().enumerate() {
+            let rchild = graph.resolve(child);
+            if rules.assoc
+                && matches!(graph.kind(rchild), MtypeKind::Choice(_))
+                && !path.contains(&rchild)
+                && list_element_type(graph, rchild).is_none()
+            {
+                idx_path.push(i);
+                if dfs(graph, rules, rchild, target, path, idx_path) {
+                    path.pop();
+                    return true;
+                }
+                idx_path.pop();
+            } else if child == target || rchild == graph.resolve(target) {
+                idx_path.push(i);
+                path.pop();
+                return true;
+            }
+        }
+        path.pop();
+        false
+    }
+    let mut path = Vec::new();
+    let mut idx_path = Vec::new();
+    if !dfs(graph, rules, node, target_leaf, &mut path, &mut idx_path) {
+        return err(format!(
+            "alternative `{}` not reachable in the destination Choice",
+            graph.display(target_leaf)
+        ));
+    }
+    Ok(idx_path
+        .into_iter()
+        .rev()
+        .fold(payload, |acc, index| MValue::Choice { index, value: Box::new(acc) }))
+}
+
+/// Aligns a record value with the comparer's *one-level* view: nominal
+/// children in order, `Unit` children elided.
+fn one_level_align<'v>(
+    graph: &MtypeGraph,
+    rules: &RuleSet,
+    node: MtypeId,
+    v: &'v MValue,
+    out: &mut Vec<&'v MValue>,
+) -> Result<(), ConvertError> {
+    let node = graph.resolve(node);
+    let MtypeKind::Record(children) = graph.kind(node) else {
+        // Non-record nodes contribute themselves (cross-kind matches use
+        // the Full policy, so this only happens for view singletons).
+        out.push(v);
+        return Ok(());
+    };
+    let MValue::Record(items) = v else {
+        return err(format!("expected a record value, got {v}"));
+    };
+    if items.len() != children.len() {
+        return err(format!(
+            "record value has {} fields, type has {}",
+            items.len(),
+            children.len()
+        ));
+    }
+    for (c, item) in children.clone().iter().zip(items) {
+        if rules.unit_elim && matches!(graph.kind(graph.resolve(*c)), MtypeKind::Unit) {
+            if !matches!(item, MValue::Unit) {
+                return err(format!("expected unit, got {item}"));
+            }
+            continue;
+        }
+        out.push(item);
+    }
+    Ok(())
+}
+
+/// Rebuilds a record value from one-level leaves: converted children in
+/// nominal order, `Unit` children re-inserted.
+fn one_level_build(
+    graph: &MtypeGraph,
+    rules: &RuleSet,
+    node: MtypeId,
+    leaves: &[MValue],
+    cursor: &mut usize,
+) -> Result<MValue, ConvertError> {
+    let node = graph.resolve(node);
+    let MtypeKind::Record(children) = graph.kind(node) else {
+        let v = leaves
+            .get(*cursor)
+            .ok_or_else(|| ConvertError("ran out of leaves while rebuilding record".into()))?
+            .clone();
+        *cursor += 1;
+        return Ok(v);
+    };
+    let mut items = Vec::with_capacity(children.len());
+    for c in children.clone() {
+        if rules.unit_elim && matches!(graph.kind(graph.resolve(c)), MtypeKind::Unit) {
+            items.push(MValue::Unit);
+            continue;
+        }
+        let v = leaves
+            .get(*cursor)
+            .ok_or_else(|| ConvertError("ran out of leaves while rebuilding record".into()))?
+            .clone();
+        items.push(v);
+        *cursor += 1;
+    }
+    Ok(MValue::Record(items))
+}
+
+/// Flattens a value the way the comparer's record view flattened its
+/// type: nested records inline (resolving through recursive binders,
+/// stopping at genuine cycles exactly like `canon::flatten_record`),
+/// unit children vanish, leaves stay.
+fn flatten_value<'v>(
+    graph: &MtypeGraph,
+    rules: &RuleSet,
+    node: MtypeId,
+    v: &'v MValue,
+    out: &mut Vec<&'v MValue>,
+) -> Result<(), ConvertError> {
+    let mut path = Vec::new();
+    flatten_value_rec(graph, rules, node, v, out, &mut path, true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn flatten_value_rec<'v>(
+    graph: &MtypeGraph,
+    rules: &RuleSet,
+    node: MtypeId,
+    v: &'v MValue,
+    out: &mut Vec<&'v MValue>,
+    path: &mut Vec<MtypeId>,
+    top: bool,
+) -> Result<(), ConvertError> {
+    if path.len() > 2048 {
+        return err("record nesting exceeds supported depth");
+    }
+    let node = graph.resolve(node);
+    match graph.kind(node) {
+        MtypeKind::Record(children) if (rules.assoc && !path.contains(&node)) || top => {
+            let MValue::Record(items) = v else {
+                return err(format!("expected a record value, got {v}"));
+            };
+            if items.len() != children.len() {
+                return err(format!(
+                    "record value has {} fields, type has {}",
+                    items.len(),
+                    children.len()
+                ));
+            }
+            if rules.assoc {
+                path.push(node);
+                for (c, item) in children.clone().iter().zip(items) {
+                    flatten_value_rec(graph, rules, *c, item, out, path, false)?;
+                }
+                path.pop();
+            } else {
+                for item in items {
+                    out.push(item);
+                }
+            }
+            Ok(())
+        }
+        MtypeKind::Unit if rules.unit_elim && !top => match v {
+            MValue::Unit => Ok(()),
+            other => err(format!("expected unit, got {other}")),
+        },
+        _ => {
+            out.push(v);
+            Ok(())
+        }
+    }
+}
+
+/// Rebuilds a value with the grouping of `node`, consuming flattened
+/// leaf values in order (the mirror of [`flatten_value`]).
+fn build_value(
+    graph: &MtypeGraph,
+    rules: &RuleSet,
+    node: MtypeId,
+    leaves: &[MValue],
+    cursor: &mut usize,
+    depth: usize,
+) -> Result<MValue, ConvertError> {
+    let mut path = Vec::new();
+    build_value_rec(graph, rules, node, leaves, cursor, &mut path, depth == 0)
+}
+
+fn build_value_rec(
+    graph: &MtypeGraph,
+    rules: &RuleSet,
+    node: MtypeId,
+    leaves: &[MValue],
+    cursor: &mut usize,
+    path: &mut Vec<MtypeId>,
+    top: bool,
+) -> Result<MValue, ConvertError> {
+    if path.len() > 2048 {
+        return err("record nesting exceeds supported depth");
+    }
+    let node = graph.resolve(node);
+    match graph.kind(node) {
+        MtypeKind::Record(children) if (rules.assoc && !path.contains(&node)) || top => {
+            let children = children.clone();
+            let mut items = Vec::with_capacity(children.len());
+            if rules.assoc {
+                path.push(node);
+                for c in children {
+                    items.push(build_value_rec(graph, rules, c, leaves, cursor, path, false)?);
+                }
+                path.pop();
+            } else {
+                for _ in children {
+                    let v = leaves.get(*cursor).ok_or_else(|| {
+                        ConvertError("ran out of leaves while rebuilding record".into())
+                    })?;
+                    items.push(v.clone());
+                    *cursor += 1;
+                }
+            }
+            Ok(MValue::Record(items))
+        }
+        MtypeKind::Unit if rules.unit_elim && !top => Ok(MValue::Unit),
+        _ => {
+            let v = leaves
+                .get(*cursor)
+                .ok_or_else(|| ConvertError("ran out of leaves while rebuilding record".into()))?
+                .clone();
+            *cursor += 1;
+            Ok(v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mockingbird_comparer::Comparer;
+    use mockingbird_mtype::{IntRange, RealPrecision, Repertoire};
+
+    fn plan_for(
+        g: &MtypeGraph,
+        l: MtypeId,
+        r: MtypeId,
+        mode: Mode,
+    ) -> CoercionPlan {
+        let corr = Comparer::new(g, g).compare(l, r, mode).expect("types must match");
+        CoercionPlan::new(g, g, corr, RuleSet::full(), mode)
+    }
+
+    #[test]
+    fn permuted_record_conversion() {
+        // Record(Int, Real, Char) -> Record(Char, Real, Int)
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(32));
+        let r = g.real(RealPrecision::SINGLE);
+        let c = g.character(Repertoire::Unicode);
+        let left = g.record(vec![i, r, c]);
+        let right = g.record(vec![c, r, i]);
+        let plan = plan_for(&g, left, right, Mode::Equivalence);
+        let v = MValue::Record(vec![MValue::Int(7), MValue::Real(1.5), MValue::Char('x')]);
+        let out = plan.convert(&v).unwrap();
+        assert_eq!(
+            out,
+            MValue::Record(vec![MValue::Char('x'), MValue::Real(1.5), MValue::Int(7)])
+        );
+        assert_eq!(plan.convert_back(&out).unwrap(), v);
+    }
+
+    #[test]
+    fn regrouping_conversion_line_to_four_floats() {
+        // Record(Record(R,R), Record(R,R)) -> Record(R,R,R,R) and back.
+        let mut g = MtypeGraph::new();
+        let r = g.real(RealPrecision::SINGLE);
+        let point = g.record(vec![r, r]);
+        let line = g.record(vec![point, point]);
+        let four = g.record(vec![r, r, r, r]);
+        let plan = plan_for(&g, line, four, Mode::Equivalence);
+        let v = MValue::Record(vec![
+            MValue::Record(vec![MValue::Real(1.0), MValue::Real(2.0)]),
+            MValue::Record(vec![MValue::Real(3.0), MValue::Real(4.0)]),
+        ]);
+        let out = plan.convert(&v).unwrap();
+        assert_eq!(
+            out,
+            MValue::Record(vec![
+                MValue::Real(1.0),
+                MValue::Real(2.0),
+                MValue::Real(3.0),
+                MValue::Real(4.0)
+            ])
+        );
+        assert_eq!(plan.convert_back(&out).unwrap(), v);
+    }
+
+    #[test]
+    fn unit_elimination_in_conversion() {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::boolean());
+        let u = g.unit();
+        let with_unit = g.record(vec![i, u]);
+        let without = g.record(vec![i]);
+        let plan = plan_for(&g, with_unit, without, Mode::Equivalence);
+        let v = MValue::Record(vec![MValue::Int(1), MValue::Unit]);
+        assert_eq!(plan.convert(&v).unwrap(), MValue::Record(vec![MValue::Int(1)]));
+        assert_eq!(
+            plan.convert_back(&MValue::Record(vec![MValue::Int(0)])).unwrap(),
+            MValue::Record(vec![MValue::Int(0), MValue::Unit])
+        );
+    }
+
+    #[test]
+    fn list_conversion_is_elementwise_and_handles_big_lists() {
+        let mut g = MtypeGraph::new();
+        let r = g.real(RealPrecision::SINGLE);
+        let point = g.record(vec![r, r]);
+        let flat = g.record(vec![r, r]);
+        let left_list = g.list_of(point);
+        let right_list = g.list_of(flat);
+        let plan = plan_for(&g, left_list, right_list, Mode::Equivalence);
+        let big: Vec<MValue> = (0..100_000)
+            .map(|k| MValue::Record(vec![MValue::Real(k as f64), MValue::Real(-(k as f64))]))
+            .collect();
+        let out = plan.convert(&MValue::List(big.clone())).unwrap();
+        let MValue::List(items) = &out else { panic!() };
+        assert_eq!(items.len(), 100_000);
+        assert_eq!(plan.convert_back(&out).unwrap(), MValue::List(big));
+    }
+
+    #[test]
+    fn choice_alternative_mapping() {
+        // Choice(Int, Real) vs Choice(Real, Int): alternatives swap.
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(16));
+        let r = g.real(RealPrecision::DOUBLE);
+        let left = g.choice(vec![i, r]);
+        let right = g.choice(vec![r, i]);
+        let plan = plan_for(&g, left, right, Mode::Equivalence);
+        let v = MValue::Choice { index: 0, value: Box::new(MValue::Int(5)) };
+        let out = plan.convert(&v).unwrap();
+        assert_eq!(out, MValue::Choice { index: 1, value: Box::new(MValue::Int(5)) });
+        assert_eq!(plan.convert_back(&out).unwrap(), v);
+    }
+
+    #[test]
+    fn subtype_plans_are_one_way() {
+        let mut g = MtypeGraph::new();
+        let small = g.integer(IntRange::signed_bits(16));
+        let big = g.integer(IntRange::signed_bits(32));
+        let plan = plan_for(&g, small, big, Mode::Subtype);
+        assert_eq!(plan.convert(&MValue::Int(100)).unwrap(), MValue::Int(100));
+        let e = plan.convert_back(&MValue::Int(100)).unwrap_err();
+        assert!(e.to_string().contains("one-way"));
+    }
+
+    #[test]
+    fn into_dynamic_wraps_with_tag() {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::boolean());
+        let rec = g.record(vec![i, i]);
+        let d = g.dynamic();
+        let plan = plan_for(&g, rec, d, Mode::Subtype);
+        let v = MValue::Record(vec![MValue::Int(0), MValue::Int(1)]);
+        let out = plan.convert(&v).unwrap();
+        let MValue::Dynamic { tag, value } = out else { panic!() };
+        assert!(tag.contains("Record"));
+        assert_eq!(*value, v);
+    }
+
+    #[test]
+    fn mismatched_values_error_cleanly() {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::boolean());
+        let rec2 = g.record(vec![i, i]);
+        let rec2b = g.record(vec![i, i]);
+        let plan = plan_for(&g, rec2, rec2b, Mode::Equivalence);
+        assert!(plan.convert(&MValue::Record(vec![MValue::Int(1)])).is_err());
+        assert!(plan.convert(&MValue::Int(1)).is_err());
+    }
+
+    #[test]
+    fn fitter_shape_end_to_end_at_mtype_level() {
+        // §3.4: both sides are port(Record(L, port(Record(Real×4)))).
+        let mut g = MtypeGraph::new();
+        let r = g.real(RealPrecision::SINGLE);
+        let point = g.record(vec![r, r]);
+        let line = g.record(vec![point, point]);
+        // Java side: inputs=(list of point), outputs=(line)
+        let jlist = g.list_of(point);
+        let java = g.function(vec![jlist], vec![line]);
+        // C side: inputs=(list of point), outputs=(point, point)
+        let clist = g.list_of(point);
+        let cfun = g.function(vec![clist], vec![point, point]);
+        let corr = Comparer::new(&g, &g)
+            .compare(java, cfun, Mode::Equivalence)
+            .expect("fitter interfaces must match");
+        let plan = CoercionPlan::new(&g, &g, corr, RuleSet::full(), Mode::Equivalence);
+        assert!(plan.len() > 0);
+    }
+}

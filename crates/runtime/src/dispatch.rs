@@ -1,0 +1,289 @@
+//! Servants, wire-typed operations, and the request dispatcher.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use mockingbird_mtype::{MtypeGraph, MtypeId};
+use mockingbird_values::{Endian, MValue};
+use mockingbird_wire::{CdrReader, CdrWriter, Message, MessageKind, ReplyStatus};
+
+use crate::error::RuntimeError;
+
+/// An invocable object: receives its inputs as a `Record` value and
+/// returns its outputs as a `Record` value (the `I`/`O` of the paper's
+/// `port(Record(I, port(O)))` shape).
+pub trait Servant: Send + Sync {
+    /// Handles one invocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownOperation`] for unknown names or
+    /// [`RuntimeError::Application`] for application failures.
+    fn invoke(&self, operation: &str, args: MValue) -> Result<MValue, RuntimeError>;
+}
+
+impl<F> Servant for F
+where
+    F: Fn(&str, MValue) -> Result<MValue, RuntimeError> + Send + Sync,
+{
+    fn invoke(&self, operation: &str, args: MValue) -> Result<MValue, RuntimeError> {
+        self(operation, args)
+    }
+}
+
+/// The wire types of one operation: the Mtypes its argument and result
+/// records encode against. Both sides of a connection hold the same
+/// `WireOp` (the Mtype plays the role GIOP gives the IDL type).
+#[derive(Debug, Clone)]
+pub struct WireOp {
+    /// The graph the ids live in.
+    pub graph: Arc<MtypeGraph>,
+    /// The input record Mtype.
+    pub args_ty: MtypeId,
+    /// The output record Mtype.
+    pub result_ty: MtypeId,
+}
+
+impl WireOp {
+    /// Encodes an argument/result record for the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Conversion`] when the value does not
+    /// inhabit the Mtype.
+    pub fn encode(&self, ty: MtypeId, value: &MValue, endian: Endian) -> Result<Vec<u8>, RuntimeError> {
+        let mut w = CdrWriter::new(endian);
+        w.put_value(&self.graph, ty, value)
+            .map_err(|e| RuntimeError::Conversion(e.to_string()))?;
+        Ok(w.into_bytes())
+    }
+
+    /// Decodes an argument/result record from the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Conversion`] on malformed bodies.
+    pub fn decode(&self, ty: MtypeId, body: &[u8], endian: Endian) -> Result<MValue, RuntimeError> {
+        let mut r = CdrReader::new(body, endian);
+        r.get_value(&self.graph, ty)
+            .map_err(|e| RuntimeError::Conversion(e.to_string()))
+    }
+}
+
+/// A servant plus the wire types of its operations: everything the
+/// dispatcher needs to decode a request body and encode the reply.
+pub struct WireServant {
+    ops: HashMap<String, WireOp>,
+    inner: Arc<dyn Servant>,
+}
+
+impl WireServant {
+    /// Wraps a servant with its operation table.
+    pub fn new(inner: Arc<dyn Servant>, ops: HashMap<String, WireOp>) -> Self {
+        WireServant { ops, inner }
+    }
+
+    /// The wire types of `operation`, if declared.
+    pub fn op(&self, operation: &str) -> Option<&WireOp> {
+        self.ops.get(operation)
+    }
+
+    /// Decodes, invokes, and re-encodes one request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding, dispatch and application failures.
+    pub fn handle(
+        &self,
+        operation: &str,
+        body: &[u8],
+        endian: Endian,
+    ) -> Result<Vec<u8>, RuntimeError> {
+        let op = self
+            .ops
+            .get(operation)
+            .ok_or_else(|| RuntimeError::UnknownOperation(operation.to_string()))?;
+        let args = op.decode(op.args_ty, body, endian)?;
+        let result = self.inner.invoke(operation, args)?;
+        op.encode(op.result_ty, &result, endian)
+    }
+}
+
+/// Routes framed requests to registered servants.
+#[derive(Default)]
+pub struct Dispatcher {
+    servants: RwLock<HashMap<Vec<u8>, Arc<WireServant>>>,
+}
+
+impl Dispatcher {
+    /// Creates an empty dispatcher.
+    pub fn new() -> Self {
+        Dispatcher::default()
+    }
+
+    /// Registers a servant under an object key.
+    pub fn register(&self, object_key: impl Into<Vec<u8>>, servant: WireServant) {
+        self.servants
+            .write()
+            .insert(object_key.into(), Arc::new(servant));
+    }
+
+    /// Removes a servant; returns whether one was registered.
+    pub fn unregister(&self, object_key: &[u8]) -> bool {
+        self.servants.write().remove(object_key).is_some()
+    }
+
+    /// Number of registered servants.
+    pub fn len(&self) -> usize {
+        self.servants.read().len()
+    }
+
+    /// Whether no servants are registered.
+    pub fn is_empty(&self) -> bool {
+        self.servants.read().is_empty()
+    }
+
+    /// Handles one framed message, producing the reply frame (`None`
+    /// for oneway requests, which get no reply even on failure).
+    pub fn dispatch(&self, msg: &Message) -> Option<Message> {
+        let MessageKind::Request { request_id, response_expected, object_key, operation } =
+            &msg.kind
+        else {
+            // A stray Reply: nothing to do.
+            return None;
+        };
+        let servant = self.servants.read().get(object_key.as_slice()).cloned();
+        let outcome = match servant {
+            Some(s) => s.handle(operation, &msg.body, msg.endian),
+            None => Err(RuntimeError::UnknownObject(
+                String::from_utf8_lossy(object_key).into_owned(),
+            )),
+        };
+        if !response_expected {
+            return None;
+        }
+        Some(match outcome {
+            Ok(body) => Message::reply(*request_id, ReplyStatus::NoException, msg.endian, body),
+            Err(e) => {
+                let status = match e {
+                    RuntimeError::Application(_) => ReplyStatus::UserException,
+                    _ => ReplyStatus::SystemException,
+                };
+                let mut w = CdrWriter::new(msg.endian);
+                w.put_bytes(e.to_string().as_bytes());
+                Message::reply(*request_id, status, msg.endian, w.into_bytes())
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mockingbird_mtype::IntRange;
+
+    fn echo_setup() -> (Dispatcher, Arc<MtypeGraph>, MtypeId) {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(32));
+        let rec = g.record(vec![i]);
+        let graph = Arc::new(g);
+        let op = WireOp { graph: graph.clone(), args_ty: rec, result_ty: rec };
+        let servant: Arc<dyn Servant> = Arc::new(|op: &str, args: MValue| {
+            if op == "echo" {
+                Ok(args)
+            } else if op == "boom" {
+                Err(RuntimeError::Application("deliberate".into()))
+            } else {
+                Err(RuntimeError::UnknownOperation(op.to_string()))
+            }
+        });
+        let mut ops = HashMap::new();
+        ops.insert("echo".to_string(), op.clone());
+        ops.insert("boom".to_string(), op);
+        let d = Dispatcher::new();
+        d.register(b"obj".to_vec(), WireServant::new(servant, ops));
+        (d, graph, rec)
+    }
+
+    fn encode_args(graph: &MtypeGraph, ty: MtypeId, v: &MValue) -> Vec<u8> {
+        let mut w = CdrWriter::new(Endian::Little);
+        w.put_value(graph, ty, v).unwrap();
+        w.into_bytes()
+    }
+
+    #[test]
+    fn dispatch_echo_round_trip() {
+        let (d, graph, rec) = echo_setup();
+        let v = MValue::Record(vec![MValue::Int(41)]);
+        let body = encode_args(&graph, rec, &v);
+        let req = Message::request(1, true, b"obj".to_vec(), "echo", Endian::Little, body);
+        let reply = d.dispatch(&req).unwrap();
+        let MessageKind::Reply { request_id, status } = reply.kind else { panic!() };
+        assert_eq!(request_id, 1);
+        assert_eq!(status, ReplyStatus::NoException);
+        let mut r = CdrReader::new(&reply.body, reply.endian);
+        assert_eq!(r.get_value(&graph, rec).unwrap(), v);
+    }
+
+    #[test]
+    fn unknown_object_and_operation_become_system_exceptions() {
+        let (d, graph, rec) = echo_setup();
+        let body = encode_args(&graph, rec, &MValue::Record(vec![MValue::Int(0)]));
+        let req = Message::request(2, true, b"nope".to_vec(), "echo", Endian::Little, body.clone());
+        let reply = d.dispatch(&req).unwrap();
+        assert!(matches!(
+            reply.kind,
+            MessageKind::Reply { status: ReplyStatus::SystemException, .. }
+        ));
+        let req = Message::request(3, true, b"obj".to_vec(), "missing", Endian::Little, body);
+        let reply = d.dispatch(&req).unwrap();
+        assert!(matches!(
+            reply.kind,
+            MessageKind::Reply { status: ReplyStatus::SystemException, .. }
+        ));
+    }
+
+    #[test]
+    fn application_errors_become_user_exceptions() {
+        let (d, graph, rec) = echo_setup();
+        let body = encode_args(&graph, rec, &MValue::Record(vec![MValue::Int(0)]));
+        let req = Message::request(4, true, b"obj".to_vec(), "boom", Endian::Little, body);
+        let reply = d.dispatch(&req).unwrap();
+        let MessageKind::Reply { status, .. } = reply.kind else { panic!() };
+        assert_eq!(status, ReplyStatus::UserException);
+        let mut r = CdrReader::new(&reply.body, reply.endian);
+        let text = String::from_utf8_lossy(r.get_bytes().unwrap()).into_owned();
+        assert!(text.contains("deliberate"));
+    }
+
+    #[test]
+    fn oneway_requests_get_no_reply_even_on_failure() {
+        let (d, graph, rec) = echo_setup();
+        let body = encode_args(&graph, rec, &MValue::Record(vec![MValue::Int(0)]));
+        let req = Message::request(5, false, b"nope".to_vec(), "echo", Endian::Little, body);
+        assert!(d.dispatch(&req).is_none());
+    }
+
+    #[test]
+    fn cross_endian_dispatch() {
+        let (d, graph, rec) = echo_setup();
+        let mut w = CdrWriter::new(Endian::Big);
+        let v = MValue::Record(vec![MValue::Int(7)]);
+        w.put_value(&graph, rec, &v).unwrap();
+        let req = Message::request(6, true, b"obj".to_vec(), "echo", Endian::Big, w.into_bytes());
+        let reply = d.dispatch(&req).unwrap();
+        let mut r = CdrReader::new(&reply.body, reply.endian);
+        assert_eq!(r.get_value(&graph, rec).unwrap(), v);
+    }
+
+    #[test]
+    fn register_unregister() {
+        let (d, _, _) = echo_setup();
+        assert_eq!(d.len(), 1);
+        assert!(d.unregister(b"obj"));
+        assert!(!d.unregister(b"obj"));
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! The runtime failure vocabulary.
+
+use std::fmt;
+
+/// Failures crossing a stub boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The transport failed (socket error, closed connection).
+    Transport(String),
+    /// No servant is registered under the object key.
+    UnknownObject(String),
+    /// The servant has no such operation.
+    UnknownOperation(String),
+    /// Marshalling or conversion failed.
+    Conversion(String),
+    /// The application servant raised an error (GIOP user exception).
+    Application(String),
+    /// The envelope was malformed (GIOP system exception territory).
+    Protocol(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Transport(m) => write!(f, "transport error: {m}"),
+            RuntimeError::UnknownObject(k) => write!(f, "unknown object `{k}`"),
+            RuntimeError::UnknownOperation(op) => write!(f, "unknown operation `{op}`"),
+            RuntimeError::Conversion(m) => write!(f, "conversion error: {m}"),
+            RuntimeError::Application(m) => write!(f, "application exception: {m}"),
+            RuntimeError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure_class() {
+        assert!(RuntimeError::UnknownObject("k".into()).to_string().contains("unknown object"));
+        assert!(RuntimeError::Transport("x".into()).to_string().contains("transport"));
+        assert!(RuntimeError::Application("boom".into()).to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,30 @@
+//! The Mockingbird stub runtime.
+//!
+//! Generated stubs link against "a runtime system to provide a bridge
+//! between heterogeneous components" (paper §3). This crate is that
+//! runtime:
+//!
+//! - [`error::RuntimeError`] — the failure vocabulary shared by stubs;
+//! - [`dispatch`] — servants (invocable objects), wire-typed operation
+//!   tables, and the GIOP request dispatcher;
+//! - [`transport`] — connections carrying framed messages: an in-memory
+//!   loopback (marshalling without sockets) and a real TCP transport
+//!   with a listener thread per server;
+//! - [`node`] — a `Node` owns a dispatcher, a port table for the Port
+//!   Mtype ("addresses to which values may be sent", §3.3), and
+//!   messaging endpoints for send/receive stubs (the §5 collaboration
+//!   study's model);
+//! - [`proxy::RemoteRef`] — the client side of a remote object: encodes
+//!   arguments by Mtype, frames a Request, awaits the Reply.
+
+pub mod dispatch;
+pub mod error;
+pub mod node;
+pub mod proxy;
+pub mod transport;
+
+pub use dispatch::{Dispatcher, Servant, WireOp, WireServant};
+pub use error::RuntimeError;
+pub use node::{Node, PortHandler};
+pub use proxy::RemoteRef;
+pub use transport::{Connection, InMemoryConnection, TcpServer};

@@ -1,0 +1,186 @@
+//! Nodes: a dispatcher plus a port table and messaging endpoints.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use mockingbird_values::{MValue, PortRef};
+
+use crate::dispatch::{Dispatcher, Servant, WireOp, WireServant};
+use crate::error::RuntimeError;
+
+/// A handler receiving values sent to a port.
+pub trait PortHandler: Send + Sync {
+    /// Accepts one delivered value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError`] if the value cannot be accepted.
+    fn deliver(&self, value: MValue) -> Result<(), RuntimeError>;
+}
+
+impl<F> PortHandler for F
+where
+    F: Fn(MValue) -> Result<(), RuntimeError> + Send + Sync,
+{
+    fn deliver(&self, value: MValue) -> Result<(), RuntimeError> {
+        self(value)
+    }
+}
+
+/// One participant in a Mockingbird system: owns the object registry
+/// (for RPC-style stubs) and the port table (for message-passing stubs,
+/// the §3.3 `port(τ)` model: "the addresses to which values of Mtype τ
+/// may be sent").
+pub struct Node {
+    name: String,
+    dispatcher: Arc<Dispatcher>,
+    ports: RwLock<HashMap<u64, Arc<dyn PortHandler>>>,
+    next_port: RwLock<u64>,
+}
+
+impl Node {
+    /// Creates a named node.
+    pub fn new(name: impl Into<String>) -> Self {
+        Node {
+            name: name.into(),
+            dispatcher: Arc::new(Dispatcher::new()),
+            ports: RwLock::new(HashMap::new()),
+            next_port: RwLock::new(1),
+        }
+    }
+
+    /// The node's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node's dispatcher (share with transports/servers).
+    pub fn dispatcher(&self) -> Arc<Dispatcher> {
+        self.dispatcher.clone()
+    }
+
+    /// Registers a servant under an object key.
+    pub fn register_object(
+        &self,
+        object_key: impl Into<Vec<u8>>,
+        servant: Arc<dyn Servant>,
+        ops: HashMap<String, WireOp>,
+    ) {
+        self.dispatcher
+            .register(object_key, WireServant::new(servant, ops));
+    }
+
+    /// Registers a port handler, returning the new port's reference.
+    pub fn register_port(&self, handler: Arc<dyn PortHandler>) -> PortRef {
+        let mut next = self.next_port.write();
+        let id = *next;
+        *next += 1;
+        self.ports.write().insert(id, handler);
+        PortRef(id)
+    }
+
+    /// Creates a queue-backed port: values sent to it arrive on the
+    /// returned receiver (the paper's `port(Integer)` "queues to which
+    /// one can send integers").
+    pub fn queue_port(&self) -> (PortRef, Receiver<MValue>) {
+        let (tx, rx): (Sender<MValue>, Receiver<MValue>) = unbounded();
+        let port = self.register_port(Arc::new(move |v: MValue| {
+            tx.send(v)
+                .map_err(|e| RuntimeError::Transport(e.to_string()))
+        }));
+        (port, rx)
+    }
+
+    /// Sends a value to a local port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownObject`] if the port is not
+    /// registered on this node, or the handler's failure.
+    pub fn send(&self, port: PortRef, value: MValue) -> Result<(), RuntimeError> {
+        let handler = self
+            .ports
+            .read()
+            .get(&port.0)
+            .cloned()
+            .ok_or_else(|| RuntimeError::UnknownObject(port.to_string()))?;
+        handler.deliver(value)
+    }
+
+    /// Closes a port; returns whether it existed.
+    pub fn close_port(&self, port: PortRef) -> bool {
+        self.ports.write().remove(&port.0).is_some()
+    }
+
+    /// Number of open ports.
+    pub fn open_ports(&self) -> usize {
+        self.ports.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mockingbird_mtype::{IntRange, MtypeGraph};
+    use mockingbird_values::Endian;
+    use mockingbird_wire::Message;
+
+    #[test]
+    fn queue_ports_deliver_in_order() {
+        let node = Node::new("a");
+        let (port, rx) = node.queue_port();
+        for k in 0..10 {
+            node.send(port, MValue::Int(k)).unwrap();
+        }
+        for k in 0..10 {
+            assert_eq!(rx.recv().unwrap(), MValue::Int(k));
+        }
+    }
+
+    #[test]
+    fn unknown_and_closed_ports_error() {
+        let node = Node::new("a");
+        assert!(node.send(PortRef(99), MValue::Unit).is_err());
+        let (port, _rx) = node.queue_port();
+        assert_eq!(node.open_ports(), 1);
+        assert!(node.close_port(port));
+        assert!(!node.close_port(port));
+        assert!(node.send(port, MValue::Unit).is_err());
+    }
+
+    #[test]
+    fn node_objects_dispatch() {
+        let node = Node::new("server");
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(32));
+        let rec = g.record(vec![i]);
+        let graph = Arc::new(g);
+        let servant: Arc<dyn Servant> = Arc::new(|_: &str, v: MValue| Ok(v));
+        let mut ops = HashMap::new();
+        ops.insert(
+            "echo".to_string(),
+            WireOp { graph: graph.clone(), args_ty: rec, result_ty: rec },
+        );
+        node.register_object(b"echo".to_vec(), servant, ops);
+
+        let op = WireOp { graph, args_ty: rec, result_ty: rec };
+        let body = op
+            .encode(rec, &MValue::Record(vec![MValue::Int(5)]), Endian::Little)
+            .unwrap();
+        let req = Message::request(1, true, b"echo".to_vec(), "echo", Endian::Little, body);
+        let reply = node.dispatcher().dispatch(&req).unwrap();
+        let out = op.decode(rec, &reply.body, reply.endian).unwrap();
+        assert_eq!(out, MValue::Record(vec![MValue::Int(5)]));
+    }
+
+    #[test]
+    fn port_ids_are_distinct() {
+        let node = Node::new("a");
+        let (p1, _r1) = node.queue_port();
+        let (p2, _r2) = node.queue_port();
+        assert_ne!(p1, p2);
+    }
+}

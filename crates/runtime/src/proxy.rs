@@ -1,0 +1,211 @@
+//! Client-side remote references.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use mockingbird_values::{Endian, MValue};
+use mockingbird_wire::{CdrReader, Message, MessageKind, ReplyStatus};
+
+use crate::dispatch::WireOp;
+use crate::error::RuntimeError;
+use crate::transport::Connection;
+
+/// The client side of a remote object: holds a connection, the target's
+/// object key, and the wire types of each operation. `invoke` encodes the
+/// argument record, frames a GIOP Request, and decodes the Reply.
+pub struct RemoteRef {
+    connection: Arc<dyn Connection>,
+    object_key: Vec<u8>,
+    ops: HashMap<String, WireOp>,
+    endian: Endian,
+    next_request: AtomicU32,
+}
+
+impl RemoteRef {
+    /// Builds a reference to `object_key` reachable over `connection`.
+    pub fn new(
+        connection: Arc<dyn Connection>,
+        object_key: impl Into<Vec<u8>>,
+        ops: HashMap<String, WireOp>,
+        endian: Endian,
+    ) -> Self {
+        RemoteRef {
+            connection,
+            object_key: object_key.into(),
+            ops,
+            endian,
+            next_request: AtomicU32::new(1),
+        }
+    }
+
+    /// The operations this reference can invoke.
+    pub fn operations(&self) -> impl Iterator<Item = &str> {
+        self.ops.keys().map(String::as_str)
+    }
+
+    /// Invokes `operation` with an argument record, awaiting the result
+    /// record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownOperation`] when the operation is
+    /// not declared, [`RuntimeError::Application`] when the remote
+    /// servant raised, and transport/protocol errors otherwise.
+    pub fn invoke(&self, operation: &str, args: &MValue) -> Result<MValue, RuntimeError> {
+        let op = self
+            .ops
+            .get(operation)
+            .ok_or_else(|| RuntimeError::UnknownOperation(operation.to_string()))?;
+        let body = op.encode(op.args_ty, args, self.endian)?;
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let msg = Message::request(
+            request_id,
+            true,
+            self.object_key.clone(),
+            operation,
+            self.endian,
+            body,
+        );
+        let reply = self
+            .connection
+            .call(&msg)?
+            .ok_or_else(|| RuntimeError::Protocol("expected a reply".into()))?;
+        let MessageKind::Reply { request_id: rid, status } = reply.kind else {
+            return Err(RuntimeError::Protocol("expected a Reply message".into()));
+        };
+        if rid != request_id {
+            return Err(RuntimeError::Protocol(format!(
+                "reply correlates to request {rid}, expected {request_id}"
+            )));
+        }
+        match status {
+            ReplyStatus::NoException => op.decode(op.result_ty, &reply.body, reply.endian),
+            ReplyStatus::UserException | ReplyStatus::SystemException => {
+                let mut r = CdrReader::new(&reply.body, reply.endian);
+                let text = r
+                    .get_bytes()
+                    .map(|b| String::from_utf8_lossy(b).into_owned())
+                    .unwrap_or_else(|_| "remote exception".to_string());
+                Err(if status == ReplyStatus::UserException {
+                    RuntimeError::Application(text)
+                } else {
+                    RuntimeError::Protocol(text)
+                })
+            }
+        }
+    }
+
+    /// Sends a oneway message: no reply is awaited.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport failures; remote failures are invisible
+    /// (messaging semantics).
+    pub fn send(&self, operation: &str, args: &MValue) -> Result<(), RuntimeError> {
+        let op = self
+            .ops
+            .get(operation)
+            .ok_or_else(|| RuntimeError::UnknownOperation(operation.to_string()))?;
+        let body = op.encode(op.args_ty, args, self.endian)?;
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let msg = Message::request(
+            request_id,
+            false,
+            self.object_key.clone(),
+            operation,
+            self.endian,
+            body,
+        );
+        self.connection.call(&msg)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::{Dispatcher, Servant, WireServant};
+    use crate::transport::InMemoryConnection;
+    use mockingbird_mtype::{IntRange, MtypeGraph};
+
+    fn setup() -> RemoteRef {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(64));
+        let args = g.record(vec![i, i]);
+        let result = g.record(vec![i]);
+        let graph = Arc::new(g);
+        let servant: Arc<dyn Servant> = Arc::new(|op: &str, args: MValue| {
+            let MValue::Record(items) = args else { unreachable!() };
+            let (MValue::Int(a), MValue::Int(b)) = (&items[0], &items[1]) else { unreachable!() };
+            match op {
+                "add" => Ok(MValue::Record(vec![MValue::Int(a + b)])),
+                "div" if *b == 0 => Err(RuntimeError::Application("divide by zero".into())),
+                "div" => Ok(MValue::Record(vec![MValue::Int(a / b)])),
+                other => Err(RuntimeError::UnknownOperation(other.into())),
+            }
+        });
+        let op = WireOp { graph, args_ty: args, result_ty: result };
+        let mut ops = HashMap::new();
+        ops.insert("add".to_string(), op.clone());
+        ops.insert("div".to_string(), op.clone());
+        let d = Arc::new(Dispatcher::new());
+        let mut server_ops = HashMap::new();
+        server_ops.insert("add".to_string(), op.clone());
+        server_ops.insert("div".to_string(), op);
+        d.register(b"calc".to_vec(), WireServant::new(servant, server_ops));
+        RemoteRef::new(
+            Arc::new(InMemoryConnection::new(d)),
+            b"calc".to_vec(),
+            ops,
+            Endian::Little,
+        )
+    }
+
+    fn args(a: i128, b: i128) -> MValue {
+        MValue::Record(vec![MValue::Int(a), MValue::Int(b)])
+    }
+
+    #[test]
+    fn invoke_round_trip() {
+        let r = setup();
+        assert_eq!(
+            r.invoke("add", &args(20, 22)).unwrap(),
+            MValue::Record(vec![MValue::Int(42)])
+        );
+        assert_eq!(
+            r.invoke("div", &args(10, 3)).unwrap(),
+            MValue::Record(vec![MValue::Int(3)])
+        );
+    }
+
+    #[test]
+    fn application_exceptions_propagate() {
+        let r = setup();
+        let e = r.invoke("div", &args(1, 0)).unwrap_err();
+        assert!(matches!(e, RuntimeError::Application(m) if m.contains("divide by zero")));
+    }
+
+    #[test]
+    fn unknown_operation_is_local() {
+        let r = setup();
+        assert!(matches!(
+            r.invoke("pow", &args(1, 2)).unwrap_err(),
+            RuntimeError::UnknownOperation(_)
+        ));
+    }
+
+    #[test]
+    fn oneway_send() {
+        let r = setup();
+        r.send("add", &args(1, 2)).unwrap();
+    }
+
+    #[test]
+    fn request_ids_increment() {
+        let r = setup();
+        r.invoke("add", &args(0, 0)).unwrap();
+        r.invoke("add", &args(0, 0)).unwrap();
+        assert!(r.next_request.load(Ordering::Relaxed) >= 3);
+    }
+}

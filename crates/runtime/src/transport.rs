@@ -1,0 +1,309 @@
+//! Connections carrying framed messages.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use mockingbird_wire::{Message, MessageKind};
+
+use crate::dispatch::Dispatcher;
+use crate::error::RuntimeError;
+
+/// A client-side connection: sends a framed message, returning the reply
+/// frame (or `None` for oneway requests).
+pub trait Connection: Send + Sync {
+    /// Performs one request/response exchange.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Transport`] on connection failures.
+    fn call(&self, msg: &Message) -> Result<Option<Message>, RuntimeError>;
+}
+
+/// An in-process loopback connection: frames and marshals exactly like a
+/// network transport but dispatches synchronously, isolating marshalling
+/// cost from socket cost (used by the §6 overhead benches).
+#[derive(Clone)]
+pub struct InMemoryConnection {
+    dispatcher: Arc<Dispatcher>,
+}
+
+impl InMemoryConnection {
+    /// Connects to a dispatcher.
+    pub fn new(dispatcher: Arc<Dispatcher>) -> Self {
+        InMemoryConnection { dispatcher }
+    }
+}
+
+impl Connection for InMemoryConnection {
+    fn call(&self, msg: &Message) -> Result<Option<Message>, RuntimeError> {
+        // Serialise and reparse: the bytes really cross a boundary.
+        let bytes = msg.to_bytes();
+        let parsed = Message::from_bytes(&bytes)
+            .map_err(|e| RuntimeError::Protocol(e.to_string()))?;
+        match self.dispatcher.dispatch(&parsed) {
+            Some(reply) => {
+                let reply_bytes = reply.to_bytes();
+                Ok(Some(
+                    Message::from_bytes(&reply_bytes)
+                        .map_err(|e| RuntimeError::Protocol(e.to_string()))?,
+                ))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+fn read_frame(stream: &mut TcpStream) -> Result<Option<Message>, RuntimeError> {
+    let mut header = [0u8; 12];
+    let mut filled = 0usize;
+    while filled < 12 {
+        match stream.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None), // clean EOF
+            Ok(0) => return Err(RuntimeError::Transport("connection closed mid-frame".into())),
+            Ok(n) => filled += n,
+            Err(e) => return Err(RuntimeError::Transport(e.to_string())),
+        }
+    }
+    let total = Message::frame_len(&header).map_err(|e| RuntimeError::Protocol(e.to_string()))?;
+    let mut buf = vec![0u8; total];
+    buf[..12].copy_from_slice(&header);
+    stream
+        .read_exact(&mut buf[12..])
+        .map_err(|e| RuntimeError::Transport(e.to_string()))?;
+    Message::from_bytes(&buf)
+        .map(Some)
+        .map_err(|e| RuntimeError::Protocol(e.to_string()))
+}
+
+fn write_frame(stream: &mut TcpStream, msg: &Message) -> Result<(), RuntimeError> {
+    stream
+        .write_all(&msg.to_bytes())
+        .map_err(|e| RuntimeError::Transport(e.to_string()))
+}
+
+/// A TCP client connection (one in-flight request at a time; the GIOP
+/// request id correlates replies).
+pub struct TcpConnection {
+    stream: Mutex<TcpStream>,
+}
+
+impl TcpConnection {
+    /// Connects to a [`TcpServer`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Transport`] if the connect fails.
+    pub fn connect(addr: SocketAddr) -> Result<Self, RuntimeError> {
+        let stream = TcpStream::connect(addr).map_err(|e| RuntimeError::Transport(e.to_string()))?;
+        stream.set_nodelay(true).ok();
+        Ok(TcpConnection { stream: Mutex::new(stream) })
+    }
+}
+
+impl Connection for TcpConnection {
+    fn call(&self, msg: &Message) -> Result<Option<Message>, RuntimeError> {
+        let mut stream = self.stream.lock();
+        write_frame(&mut stream, msg)?;
+        let expects_reply = matches!(
+            msg.kind,
+            MessageKind::Request { response_expected: true, .. }
+        );
+        if !expects_reply {
+            return Ok(None);
+        }
+        match read_frame(&mut stream)? {
+            Some(reply) => Ok(Some(reply)),
+            None => Err(RuntimeError::Transport("server closed the connection".into())),
+        }
+    }
+}
+
+/// A TCP server: accepts connections and dispatches each frame through a
+/// [`Dispatcher`], one thread per connection.
+pub struct TcpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Transport`] if the bind fails.
+    pub fn bind(addr: &str, dispatcher: Arc<Dispatcher>) -> Result<Self, RuntimeError> {
+        let listener = TcpListener::bind(addr).map_err(|e| RuntimeError::Transport(e.to_string()))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| RuntimeError::Transport(e.to_string()))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let accept_thread = std::thread::spawn(move || {
+            // The listener unblocks when a shutdown probe connects.
+            for conn in listener.incoming() {
+                if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut stream) = conn else { continue };
+                stream.set_nodelay(true).ok();
+                let d = dispatcher.clone();
+                std::thread::spawn(move || {
+                    while let Ok(Some(msg)) = read_frame(&mut stream) {
+                        if let Some(reply) = d.dispatch(&msg) {
+                            if write_frame(&mut stream, &reply).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        Ok(TcpServer { addr: local, shutdown, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections. Existing per-connection threads
+    /// drain naturally when their peers disconnect.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Probe connection to unblock accept().
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::{Servant, WireOp, WireServant};
+    use mockingbird_mtype::{IntRange, MtypeGraph};
+    use mockingbird_values::{Endian, MValue};
+    use mockingbird_wire::{CdrReader, CdrWriter, ReplyStatus};
+    use std::collections::HashMap;
+
+    fn adder_dispatcher() -> (Arc<Dispatcher>, Arc<MtypeGraph>, mockingbird_mtype::MtypeId, mockingbird_mtype::MtypeId)
+    {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(64));
+        let args = g.record(vec![i, i]);
+        let result = g.record(vec![i]);
+        let graph = Arc::new(g);
+        let servant: Arc<dyn Servant> = Arc::new(|_op: &str, args: MValue| {
+            let MValue::Record(items) = args else {
+                return Err(RuntimeError::Conversion("bad args".into()));
+            };
+            let (MValue::Int(a), MValue::Int(b)) = (&items[0], &items[1]) else {
+                return Err(RuntimeError::Conversion("bad ints".into()));
+            };
+            Ok(MValue::Record(vec![MValue::Int(a + b)]))
+        });
+        let mut ops = HashMap::new();
+        ops.insert(
+            "add".to_string(),
+            WireOp { graph: graph.clone(), args_ty: args, result_ty: result },
+        );
+        let d = Arc::new(Dispatcher::new());
+        d.register(b"adder".to_vec(), WireServant::new(servant, ops));
+        (d, graph, args, result)
+    }
+
+    fn call_add(conn: &dyn Connection, graph: &MtypeGraph, args_ty: mockingbird_mtype::MtypeId, result_ty: mockingbird_mtype::MtypeId, a: i64, b: i64) -> i128 {
+        let mut w = CdrWriter::new(Endian::Little);
+        w.put_value(
+            graph,
+            args_ty,
+            &MValue::Record(vec![MValue::Int(a as i128), MValue::Int(b as i128)]),
+        )
+        .unwrap();
+        let req = Message::request(1, true, b"adder".to_vec(), "add", Endian::Little, w.into_bytes());
+        let reply = conn.call(&req).unwrap().unwrap();
+        let MessageKind::Reply { status, .. } = reply.kind else { panic!() };
+        assert_eq!(status, ReplyStatus::NoException);
+        let mut r = CdrReader::new(&reply.body, reply.endian);
+        let MValue::Record(items) = r.get_value(graph, result_ty).unwrap() else { panic!() };
+        let MValue::Int(v) = items[0] else { panic!() };
+        v
+    }
+
+    #[test]
+    fn in_memory_connection_round_trip() {
+        let (d, graph, args, result) = adder_dispatcher();
+        let conn = InMemoryConnection::new(d);
+        assert_eq!(call_add(&conn, &graph, args, result, 20, 22), 42);
+    }
+
+    #[test]
+    fn tcp_connection_round_trip() {
+        let (d, graph, args, result) = adder_dispatcher();
+        let mut server = TcpServer::bind("127.0.0.1:0", d).unwrap();
+        let conn = TcpConnection::connect(server.addr()).unwrap();
+        assert_eq!(call_add(&conn, &graph, args, result, 40, 2), 42);
+        // Several sequential calls on one connection.
+        for k in 0..32 {
+            assert_eq!(call_add(&conn, &graph, args, result, k, k), (2 * k) as i128);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_multiple_clients() {
+        let (d, graph, args, result) = adder_dispatcher();
+        let mut server = TcpServer::bind("127.0.0.1:0", d).unwrap();
+        let addr = server.addr();
+        let graph2 = graph.clone();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let g = graph2.clone();
+                std::thread::spawn(move || {
+                    let conn = TcpConnection::connect(addr).unwrap();
+                    for k in 0..16i64 {
+                        assert_eq!(call_add(&conn, &g, args, result, t, k), (t + k) as i128);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn oneway_over_tcp_returns_immediately() {
+        let (d, graph, args, _result) = adder_dispatcher();
+        let mut server = TcpServer::bind("127.0.0.1:0", d).unwrap();
+        let conn = TcpConnection::connect(server.addr()).unwrap();
+        let mut w = CdrWriter::new(Endian::Little);
+        w.put_value(&graph, args, &MValue::Record(vec![MValue::Int(1), MValue::Int(2)]))
+            .unwrap();
+        let req = Message::request(9, false, b"adder".to_vec(), "add", Endian::Little, w.into_bytes());
+        assert!(conn.call(&req).unwrap().is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn connect_to_dead_server_fails() {
+        assert!(TcpConnection::connect("127.0.0.1:1".parse().unwrap()).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! Parsing function/interface shapes out of Mtypes.
+//!
+//! Functions lower to `port(Record(I..., port(O)))` and objects by
+//! reference to `port(Choice(inv_1..inv_n))` (paper §3.3). Stubs need
+//! the pieces back: the invocation record, the input children, and the
+//! reply payload record.
+
+use std::fmt;
+
+use mockingbird_mtype::{MtypeGraph, MtypeId, MtypeKind};
+
+/// Errors from shape parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError(pub String);
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// The dissected shape of one function/method Mtype.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnShape {
+    /// The invocation record `Record(I..., port(O))`.
+    pub invocation: MtypeId,
+    /// The input children, in record order (reply port excluded).
+    pub inputs: Vec<MtypeId>,
+    /// Index of the reply port within the invocation record.
+    pub reply_index: usize,
+    /// The reply payload record `O`.
+    pub output: MtypeId,
+}
+
+impl FnShape {
+    /// Parses an invocation record node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless the node is a Record with exactly
+    /// one `port(Record(...))` child.
+    pub fn of_invocation(graph: &MtypeGraph, invocation: MtypeId) -> Result<FnShape, ShapeError> {
+        let inv = graph.resolve(invocation);
+        let MtypeKind::Record(children) = graph.kind(inv) else {
+            return Err(ShapeError(format!(
+                "invocation is not a Record: {}",
+                graph.display(inv)
+            )));
+        };
+        let mut inputs = Vec::new();
+        let mut reply = None;
+        for (i, &c) in children.iter().enumerate() {
+            match graph.kind(graph.resolve(c)) {
+                MtypeKind::Port(payload) => {
+                    if reply.is_some() {
+                        // More than one port: treat later ports as inputs
+                        // (callback parameters) and keep the first as the
+                        // reply, matching lowering order.
+                        inputs.push(c);
+                    } else {
+                        reply = Some((i, *payload));
+                    }
+                }
+                _ => inputs.push(c),
+            }
+        }
+        let Some((reply_index, output)) = reply else {
+            return Err(ShapeError(format!(
+                "invocation record has no reply port: {}",
+                graph.display(inv)
+            )));
+        };
+        Ok(FnShape { invocation: inv, inputs, reply_index, output })
+    }
+
+    /// Parses a function Mtype `port(Record(I..., port(O)))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the node is not a function port. A
+    /// singleton `Choice` around the invocation (a one-method interface)
+    /// is accepted.
+    pub fn of_function(graph: &MtypeGraph, id: MtypeId) -> Result<FnShape, ShapeError> {
+        let port = graph.resolve(id);
+        let MtypeKind::Port(payload) = graph.kind(port) else {
+            return Err(ShapeError(format!(
+                "not a function port: {}",
+                graph.display(port)
+            )));
+        };
+        let mut payload = graph.resolve(*payload);
+        if let MtypeKind::Choice(alts) = graph.kind(payload) {
+            if alts.len() == 1 {
+                payload = graph.resolve(alts[0]);
+            } else {
+                return Err(ShapeError(
+                    "this is a multi-method interface; use InterfaceStub".into(),
+                ));
+            }
+        }
+        Self::of_invocation(graph, payload)
+    }
+}
+
+/// Parses an object-reference Mtype `port(Choice(inv...))` into the
+/// per-method invocation shapes, in alternative order. Single-method
+/// functions yield one shape.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the node is not a port over invocations.
+pub fn methods_of(graph: &MtypeGraph, id: MtypeId) -> Result<Vec<FnShape>, ShapeError> {
+    let port = graph.resolve(id);
+    let MtypeKind::Port(payload) = graph.kind(port) else {
+        return Err(ShapeError(format!("not an object port: {}", graph.display(port))));
+    };
+    let payload = graph.resolve(*payload);
+    match graph.kind(payload) {
+        MtypeKind::Choice(alts) => alts
+            .clone()
+            .into_iter()
+            .map(|a| FnShape::of_invocation(graph, a))
+            .collect(),
+        MtypeKind::Record(_) => Ok(vec![FnShape::of_invocation(graph, payload)?]),
+        other => Err(ShapeError(format!(
+            "port payload is neither Choice nor Record: {}",
+            other.tag()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mockingbird_mtype::{IntRange, RealPrecision};
+
+    #[test]
+    fn function_shape_parses() {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(32));
+        let r = g.real(RealPrecision::SINGLE);
+        let f = g.function(vec![i, r], vec![r]);
+        let shape = FnShape::of_function(&g, f).unwrap();
+        assert_eq!(shape.inputs, vec![i, r]);
+        assert_eq!(shape.reply_index, 2);
+        let MtypeKind::Record(outs) = g.kind(shape.output) else { panic!() };
+        assert_eq!(outs, &vec![r]);
+    }
+
+    #[test]
+    fn singleton_interface_parses_as_function() {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(32));
+        let out = g.record(vec![i]);
+        let reply = g.port(out);
+        let inv = g.record(vec![i, reply]);
+        let obj = g.object_reference(vec![inv]);
+        let shape = FnShape::of_function(&g, obj).unwrap();
+        assert_eq!(shape.inputs, vec![i]);
+    }
+
+    #[test]
+    fn multi_method_interface_needs_interface_stub() {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(32));
+        let out = g.record(vec![i]);
+        let reply = g.port(out);
+        let inv1 = g.record(vec![i, reply]);
+        let inv2 = g.record(vec![i, i, reply]);
+        let obj = g.object_reference(vec![inv1, inv2]);
+        assert!(FnShape::of_function(&g, obj).is_err());
+        let methods = methods_of(&g, obj).unwrap();
+        assert_eq!(methods.len(), 2);
+        assert_eq!(methods[0].inputs.len(), 1);
+        assert_eq!(methods[1].inputs.len(), 2);
+    }
+
+    #[test]
+    fn non_functions_are_rejected() {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::boolean());
+        assert!(FnShape::of_function(&g, i).is_err());
+        let p = g.port(i);
+        assert!(FnShape::of_function(&g, p).is_err(), "payload is not an invocation record");
+        let rec = g.record(vec![i]);
+        assert!(
+            FnShape::of_invocation(&g, rec).is_err(),
+            "no reply port in the record"
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! The annotation model.
+//!
+//! Annotations refine the translation of declarations into Mtypes where
+//! the mapping would otherwise be ambiguous (paper §3): explicit integer
+//! ranges, glyph repertoires, whether an integral type holds characters or
+//! integers, floating point precision, pointer nullability and aliasing,
+//! array length sources, parameter directions, and pass modes.
+
+use mockingbird_mtype::{IntRange, RealPrecision, Repertoire};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Direction of a function or method parameter (paper §3.3: "any
+/// parameter may be annotated as in, out, or in-out").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// The parameter carries data into the callee (the default).
+    In,
+    /// The parameter carries data back to the caller; for a C pointer
+    /// parameter the *referent* type is the output.
+    Out,
+    /// The parameter is both an input and an output.
+    InOut,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::In => write!(f, "in"),
+            Direction::Out => write!(f, "out"),
+            Direction::InOut => write!(f, "inout"),
+        }
+    }
+}
+
+/// Where an array's length comes from (paper §3.2: "annotations may
+/// provide either a static length (resulting in a Record Mtype) or a
+/// runtime length (resulting in a Recursive Mtype)").
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LengthAnn {
+    /// The array has exactly this many elements: lowers to a Record.
+    Static(usize),
+    /// The length is known only at runtime: lowers to the recursive list.
+    Runtime,
+    /// The length is carried by the named sibling parameter (the fitter
+    /// example's `pts`/`count` pairing); lowers to the recursive list and
+    /// the named parameter is absorbed into it.
+    Param(String),
+}
+
+/// How a class/struct type crosses the interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PassMode {
+    /// Passed by value: lowers to a `Record` over the fields (paper §3.2).
+    ByValue,
+    /// Passed by reference: lowers to `port(Choice(methods))` (paper §3.3).
+    ByReference,
+}
+
+/// The annotation slot carried by every Stype node.
+///
+/// All fields default to "no annotation"; [`Ann::merge_under`] layers a
+/// use-site annotation over a declaration-site one (use-site wins).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Ann {
+    /// Override the integer range (e.g. "this Java int is unsigned").
+    pub int_range: Option<IntRange>,
+    /// Treat an integral type as characters with this repertoire, or
+    /// override a character type's default repertoire.
+    pub repertoire: Option<Repertoire>,
+    /// Treat a character type as an integer (paper §3.1: programmers
+    /// "can state which of the two Mtype families is intended").
+    pub as_integer: bool,
+    /// Override floating point precision.
+    pub real_precision: Option<RealPrecision>,
+    /// This pointer/reference is never null.
+    pub non_null: bool,
+    /// This pointer/reference never introduces an alias; together with
+    /// `non_null` it lets a reference field lower to the referent's
+    /// Record directly (the paper's `Line`/`Point` example).
+    pub no_alias: bool,
+    /// Array/pointer length source.
+    pub length: Option<LengthAnn>,
+    /// Parameter direction (meaningful on parameter types).
+    pub direction: Option<Direction>,
+    /// Pass mode override for class/struct types.
+    pub pass_mode: Option<PassMode>,
+    /// Element type of a collection (the paper's "PointVector can only
+    /// contain non-null Point objects"). Names a declaration.
+    pub element: Option<String>,
+    /// Treat a `char*`/pointer as a string (a list of characters).
+    pub is_string: bool,
+}
+
+impl Ann {
+    /// The empty annotation.
+    pub fn new() -> Self {
+        Ann::default()
+    }
+
+    /// Whether no annotation is set.
+    pub fn is_empty(&self) -> bool {
+        *self == Ann::default()
+    }
+
+    /// Layers `self` (the use site) over `decl` (the declaration site):
+    /// any field set at the use site wins, otherwise the declaration-site
+    /// value is taken.
+    pub fn merge_under(&self, decl: &Ann) -> Ann {
+        Ann {
+            int_range: self.int_range.or(decl.int_range),
+            repertoire: self.repertoire.clone().or_else(|| decl.repertoire.clone()),
+            as_integer: self.as_integer || decl.as_integer,
+            real_precision: self.real_precision.or(decl.real_precision),
+            non_null: self.non_null || decl.non_null,
+            no_alias: self.no_alias || decl.no_alias,
+            length: self.length.clone().or_else(|| decl.length.clone()),
+            direction: self.direction.or(decl.direction),
+            pass_mode: self.pass_mode.or(decl.pass_mode),
+            element: self.element.clone().or_else(|| decl.element.clone()),
+            is_string: self.is_string || decl.is_string,
+        }
+    }
+}
+
+impl fmt::Display for Ann {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(r) = &self.int_range {
+            parts.push(format!("range({},{})", r.lo, r.hi));
+        }
+        if let Some(rep) = &self.repertoire {
+            parts.push(format!("repertoire({rep})"));
+        }
+        if self.as_integer {
+            parts.push("as-integer".into());
+        }
+        if let Some(p) = &self.real_precision {
+            parts.push(format!("precision({p})"));
+        }
+        if self.non_null {
+            parts.push("non-null".into());
+        }
+        if self.no_alias {
+            parts.push("no-alias".into());
+        }
+        match &self.length {
+            Some(LengthAnn::Static(n)) => parts.push(format!("length(static {n})")),
+            Some(LengthAnn::Runtime) => parts.push("length(runtime)".into()),
+            Some(LengthAnn::Param(p)) => parts.push(format!("length(param {p})")),
+            None => {}
+        }
+        if let Some(d) = &self.direction {
+            parts.push(format!("direction({d})"));
+        }
+        match self.pass_mode {
+            Some(PassMode::ByValue) => parts.push("by-value".into()),
+            Some(PassMode::ByReference) => parts.push("by-ref".into()),
+            None => {}
+        }
+        if let Some(e) = &self.element {
+            parts.push(format!("element({e})"));
+        }
+        if self.is_string {
+            parts.push("string".into());
+        }
+        write!(f, "{}", parts.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_empty() {
+        assert!(Ann::new().is_empty());
+        let mut a = Ann::new();
+        a.non_null = true;
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn merge_prefers_use_site() {
+        let mut decl = Ann::new();
+        decl.int_range = Some(IntRange::signed_bits(16));
+        decl.non_null = true;
+
+        let mut use_site = Ann::new();
+        use_site.int_range = Some(IntRange::unsigned_bits(8));
+
+        let merged = use_site.merge_under(&decl);
+        assert_eq!(merged.int_range, Some(IntRange::unsigned_bits(8)));
+        assert!(merged.non_null, "decl-site flags persist");
+    }
+
+    #[test]
+    fn merge_keeps_decl_when_use_site_empty() {
+        let mut decl = Ann::new();
+        decl.length = Some(LengthAnn::Param("count".into()));
+        let merged = Ann::new().merge_under(&decl);
+        assert_eq!(merged.length, Some(LengthAnn::Param("count".into())));
+    }
+
+    #[test]
+    fn display_round_trips_the_vocabulary() {
+        let mut a = Ann::new();
+        a.non_null = true;
+        a.no_alias = true;
+        a.direction = Some(Direction::Out);
+        a.length = Some(LengthAnn::Static(2));
+        let s = a.to_string();
+        assert!(s.contains("non-null"));
+        assert!(s.contains("no-alias"));
+        assert!(s.contains("direction(out)"));
+        assert!(s.contains("length(static 2)"));
+    }
+}

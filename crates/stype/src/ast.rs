@@ -1,0 +1,559 @@
+//! The language-neutral declaration AST.
+//!
+//! Every frontend (C/C++, Java class files or source, CORBA IDL) parses
+//! declarations into this representation. Each node carries an [`Ann`]
+//! annotation slot; a [`Universe`] holds the set of named declarations
+//! loaded into a session (the left-hand panel of the paper's Fig. 7).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ann::Ann;
+
+/// The source language of a declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Lang {
+    /// C declarations.
+    C,
+    /// C++ declarations.
+    Cxx,
+    /// Java declarations (from `.class` files or source).
+    Java,
+    /// CORBA IDL declarations.
+    Idl,
+}
+
+impl fmt::Display for Lang {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lang::C => write!(f, "C"),
+            Lang::Cxx => write!(f, "C++"),
+            Lang::Java => write!(f, "Java"),
+            Lang::Idl => write!(f, "CORBA IDL"),
+        }
+    }
+}
+
+/// Language-level primitive types, annotated-translation targets of §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Prim {
+    /// A boolean (`bool`, Java `boolean`, IDL `boolean`).
+    Bool,
+    /// An 8-bit character (`char` in C, IDL `char`).
+    Char8,
+    /// A 16-bit character (Java `char`, `wchar_t`, IDL `wchar`).
+    Char16,
+    /// Signed 8-bit integer (Java `byte`, `signed char`).
+    I8,
+    /// Unsigned 8-bit integer (`unsigned char`, IDL `octet`).
+    U8,
+    /// Signed 16-bit integer (`short`).
+    I16,
+    /// Unsigned 16-bit integer (`unsigned short`, IDL `unsigned short`).
+    U16,
+    /// Signed 32-bit integer (`int`, `long` on 32-bit targets, IDL `long`).
+    I32,
+    /// Unsigned 32-bit integer.
+    U32,
+    /// Signed 64-bit integer (`long long`, Java `long`, IDL `long long`).
+    I64,
+    /// Unsigned 64-bit integer.
+    U64,
+    /// IEEE-754 binary32.
+    F32,
+    /// IEEE-754 binary64.
+    F64,
+    /// `void`.
+    Void,
+    /// The dynamic (Any-like) type, paper §6.
+    Any,
+}
+
+/// Whether an array's size is part of its type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArrayLen {
+    /// `float[2]` — the length is statically fixed.
+    Fixed(usize),
+    /// `float[]` — the length is not known until runtime.
+    Indefinite,
+}
+
+/// A named field of a struct, union or class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Field {
+    /// The field's name.
+    pub name: String,
+    /// The field's type.
+    pub ty: Stype,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, ty: Stype) -> Self {
+        Field { name: name.into(), ty }
+    }
+}
+
+/// A named parameter of a function or method.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// The parameter's name.
+    pub name: String,
+    /// The parameter's type (direction annotations go on `ty.ann`).
+    pub ty: Stype,
+}
+
+impl Param {
+    /// Creates a parameter.
+    pub fn new(name: impl Into<String>, ty: Stype) -> Self {
+        Param { name: name.into(), ty }
+    }
+}
+
+/// A function or method signature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Signature {
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// The return type (`Prim::Void` for none).
+    pub ret: Box<Stype>,
+    /// Declared exceptions (IDL `raises`, Java `throws`): each becomes
+    /// an alternative of the reply Choice (paper §6's exception support).
+    #[serde(default)]
+    pub throws: Vec<Stype>,
+}
+
+impl Signature {
+    /// Creates a signature with no declared exceptions.
+    pub fn new(params: Vec<Param>, ret: Stype) -> Self {
+        Signature { params, ret: Box::new(ret), throws: Vec::new() }
+    }
+
+    /// Adds declared exceptions.
+    pub fn with_throws(mut self, throws: Vec<Stype>) -> Self {
+        self.throws = throws;
+        self
+    }
+
+    /// Finds a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&Param> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// Finds a parameter by name, mutably.
+    pub fn param_mut(&mut self, name: &str) -> Option<&mut Param> {
+        self.params.iter_mut().find(|p| p.name == name)
+    }
+}
+
+/// A named method of a class or interface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Method {
+    /// The method's name.
+    pub name: String,
+    /// The method's signature.
+    pub sig: Signature,
+}
+
+impl Method {
+    /// Creates a method.
+    pub fn new(name: impl Into<String>, sig: Signature) -> Self {
+        Method { name: name.into(), sig }
+    }
+}
+
+/// The node alternatives of an [`Stype`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SNode {
+    /// A primitive type.
+    Prim(Prim),
+    /// A reference to a named declaration in the [`Universe`].
+    Named(String),
+    /// A C pointer or C++ reference.
+    Pointer(Box<Stype>),
+    /// An array.
+    Array {
+        /// Element type.
+        elem: Box<Stype>,
+        /// Length discipline.
+        len: ArrayLen,
+    },
+    /// A value aggregate (`struct`, IDL `struct`).
+    Struct(Vec<Field>),
+    /// A tagged union (C `union` with a discipline, IDL `union`).
+    Union(Vec<Field>),
+    /// An enumeration with the given member names.
+    Enum(Vec<String>),
+    /// A class: fields plus methods, with an optional superclass name.
+    Class {
+        /// Instance fields in declaration order.
+        fields: Vec<Field>,
+        /// Public methods.
+        methods: Vec<Method>,
+        /// Superclass, if any (`java.util.Vector` triggers the predefined
+        /// collection annotation).
+        extends: Option<String>,
+    },
+    /// An interface: methods only.
+    Interface {
+        /// The interface's methods.
+        methods: Vec<Method>,
+        /// Extended interfaces.
+        extends: Vec<String>,
+    },
+    /// A free function.
+    Function(Signature),
+    /// An ordered homogeneous collection of indefinite size
+    /// (IDL `sequence`, Java `Vector`).
+    Sequence(Box<Stype>),
+    /// A string (Java `String`, IDL `string`): a list of characters.
+    Str,
+}
+
+/// One annotated type term: an [`SNode`] plus its [`Ann`] slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stype {
+    /// The syntactic node.
+    pub node: SNode,
+    /// Annotations attached to this node.
+    pub ann: Ann,
+}
+
+impl Stype {
+    /// Wraps a node with empty annotations.
+    pub fn new(node: SNode) -> Self {
+        Stype { node, ann: Ann::default() }
+    }
+
+    /// Builder-style annotation attachment.
+    pub fn with_ann(mut self, f: impl FnOnce(&mut Ann)) -> Self {
+        f(&mut self.ann);
+        self
+    }
+
+    /// A primitive.
+    pub fn prim(p: Prim) -> Self {
+        Stype::new(SNode::Prim(p))
+    }
+
+    /// `bool`.
+    pub fn boolean() -> Self {
+        Self::prim(Prim::Bool)
+    }
+    /// 8-bit `char`.
+    pub fn char8() -> Self {
+        Self::prim(Prim::Char8)
+    }
+    /// 16-bit `char`.
+    pub fn char16() -> Self {
+        Self::prim(Prim::Char16)
+    }
+    /// `i8`.
+    pub fn i8() -> Self {
+        Self::prim(Prim::I8)
+    }
+    /// `u8`.
+    pub fn u8() -> Self {
+        Self::prim(Prim::U8)
+    }
+    /// `i16`.
+    pub fn i16() -> Self {
+        Self::prim(Prim::I16)
+    }
+    /// `u16`.
+    pub fn u16() -> Self {
+        Self::prim(Prim::U16)
+    }
+    /// `i32`.
+    pub fn i32() -> Self {
+        Self::prim(Prim::I32)
+    }
+    /// `u32`.
+    pub fn u32() -> Self {
+        Self::prim(Prim::U32)
+    }
+    /// `i64`.
+    pub fn i64() -> Self {
+        Self::prim(Prim::I64)
+    }
+    /// `u64`.
+    pub fn u64() -> Self {
+        Self::prim(Prim::U64)
+    }
+    /// `f32`.
+    pub fn f32() -> Self {
+        Self::prim(Prim::F32)
+    }
+    /// `f64`.
+    pub fn f64() -> Self {
+        Self::prim(Prim::F64)
+    }
+    /// `void`.
+    pub fn void() -> Self {
+        Self::prim(Prim::Void)
+    }
+    /// The dynamic/Any type.
+    pub fn any() -> Self {
+        Self::prim(Prim::Any)
+    }
+    /// A string.
+    pub fn string() -> Self {
+        Stype::new(SNode::Str)
+    }
+
+    /// A reference to the named declaration.
+    pub fn named(name: impl Into<String>) -> Self {
+        Stype::new(SNode::Named(name.into()))
+    }
+
+    /// A pointer to `target`.
+    pub fn pointer(target: Stype) -> Self {
+        Stype::new(SNode::Pointer(Box::new(target)))
+    }
+
+    /// A fixed-length array.
+    pub fn array_fixed(elem: Stype, len: usize) -> Self {
+        Stype::new(SNode::Array { elem: Box::new(elem), len: ArrayLen::Fixed(len) })
+    }
+
+    /// An indefinite-length array.
+    pub fn array_indefinite(elem: Stype) -> Self {
+        Stype::new(SNode::Array { elem: Box::new(elem), len: ArrayLen::Indefinite })
+    }
+
+    /// A struct over `fields`.
+    pub fn struct_of(fields: Vec<Field>) -> Self {
+        Stype::new(SNode::Struct(fields))
+    }
+
+    /// A union over `arms`.
+    pub fn union_of(arms: Vec<Field>) -> Self {
+        Stype::new(SNode::Union(arms))
+    }
+
+    /// An enum over `members`.
+    pub fn enum_of(members: Vec<String>) -> Self {
+        Stype::new(SNode::Enum(members))
+    }
+
+    /// A class.
+    pub fn class(fields: Vec<Field>, methods: Vec<Method>) -> Self {
+        Stype::new(SNode::Class { fields, methods, extends: None })
+    }
+
+    /// A class extending `superclass`.
+    pub fn class_extending(
+        fields: Vec<Field>,
+        methods: Vec<Method>,
+        superclass: impl Into<String>,
+    ) -> Self {
+        Stype::new(SNode::Class { fields, methods, extends: Some(superclass.into()) })
+    }
+
+    /// An interface.
+    pub fn interface(methods: Vec<Method>) -> Self {
+        Stype::new(SNode::Interface { methods, extends: vec![] })
+    }
+
+    /// A free function.
+    pub fn function(params: Vec<Param>, ret: Stype) -> Self {
+        Stype::new(SNode::Function(Signature::new(params, ret)))
+    }
+
+    /// A sequence of `elem`.
+    pub fn sequence(elem: Stype) -> Self {
+        Stype::new(SNode::Sequence(Box::new(elem)))
+    }
+}
+
+/// A named top-level declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decl {
+    /// The (possibly qualified) declaration name.
+    pub name: String,
+    /// Source language.
+    pub lang: Lang,
+    /// The declared type.
+    pub ty: Stype,
+    /// Optional documentation carried from the source.
+    pub doc: Option<String>,
+}
+
+impl Decl {
+    /// Creates a declaration.
+    pub fn new(name: impl Into<String>, lang: Lang, ty: Stype) -> Self {
+        Decl { name: name.into(), lang, ty, doc: None }
+    }
+}
+
+/// The set of declarations loaded into a session, in load order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Universe {
+    decls: Vec<Decl>,
+    #[serde(skip)]
+    index: HashMap<String, usize>,
+}
+
+/// Error returned when inserting a declaration whose name already exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateDecl(pub String);
+
+impl fmt::Display for DuplicateDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "declaration `{}` already loaded", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateDecl {}
+
+impl Universe {
+    /// Creates an empty universe.
+    pub fn new() -> Self {
+        Universe::default()
+    }
+
+    /// Number of declarations.
+    pub fn len(&self) -> usize {
+        self.decls.len()
+    }
+
+    /// Whether the universe has no declarations.
+    pub fn is_empty(&self) -> bool {
+        self.decls.is_empty()
+    }
+
+    /// Adds a declaration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DuplicateDecl`] if a declaration with the same name is
+    /// already present.
+    pub fn insert(&mut self, decl: Decl) -> Result<(), DuplicateDecl> {
+        if self.index.contains_key(&decl.name) {
+            return Err(DuplicateDecl(decl.name));
+        }
+        self.index.insert(decl.name.clone(), self.decls.len());
+        self.decls.push(decl);
+        Ok(())
+    }
+
+    /// Adds or replaces a declaration, returning any previous one.
+    pub fn upsert(&mut self, decl: Decl) -> Option<Decl> {
+        match self.index.get(&decl.name) {
+            Some(&i) => Some(std::mem::replace(&mut self.decls[i], decl)),
+            None => {
+                self.insert(decl).expect("name checked absent");
+                None
+            }
+        }
+    }
+
+    /// Looks up a declaration by name.
+    pub fn get(&self, name: &str) -> Option<&Decl> {
+        self.index.get(name).map(|&i| &self.decls[i])
+    }
+
+    /// Looks up a declaration by name, mutably.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Decl> {
+        match self.index.get(name) {
+            Some(&i) => Some(&mut self.decls[i]),
+            None => None,
+        }
+    }
+
+    /// Iterates over declarations in load order.
+    pub fn iter(&self) -> impl Iterator<Item = &Decl> {
+        self.decls.iter()
+    }
+
+    /// Declaration names in load order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.decls.iter().map(|d| d.name.as_str())
+    }
+
+    /// Rebuilds the name index; called after deserialisation.
+    pub(crate) fn reindex(&mut self) {
+        self.index = self
+            .decls
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name.clone(), i))
+            .collect();
+    }
+
+    /// Absorbs every declaration of `other` into `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DuplicateDecl`] on the first name collision; earlier
+    /// declarations remain inserted.
+    pub fn absorb(&mut self, other: Universe) -> Result<(), DuplicateDecl> {
+        for d in other.decls {
+            self.insert(d)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universe_insert_get_and_duplicate() {
+        let mut u = Universe::new();
+        u.insert(Decl::new("Point", Lang::Java, Stype::class(vec![], vec![]))).unwrap();
+        assert!(u.get("Point").is_some());
+        assert_eq!(u.len(), 1);
+        let err = u
+            .insert(Decl::new("Point", Lang::C, Stype::void()))
+            .unwrap_err();
+        assert_eq!(err.to_string(), "declaration `Point` already loaded");
+    }
+
+    #[test]
+    fn upsert_replaces() {
+        let mut u = Universe::new();
+        u.insert(Decl::new("T", Lang::C, Stype::i32())).unwrap();
+        let old = u.upsert(Decl::new("T", Lang::C, Stype::i64()));
+        assert_eq!(old.unwrap().ty, Stype::i32());
+        assert_eq!(u.get("T").unwrap().ty, Stype::i64());
+        assert_eq!(u.len(), 1);
+    }
+
+    #[test]
+    fn absorb_merges_and_reports_collisions() {
+        let mut a = Universe::new();
+        a.insert(Decl::new("A", Lang::C, Stype::i32())).unwrap();
+        let mut b = Universe::new();
+        b.insert(Decl::new("B", Lang::C, Stype::i32())).unwrap();
+        a.absorb(b).unwrap();
+        assert_eq!(a.len(), 2);
+
+        let mut c = Universe::new();
+        c.insert(Decl::new("A", Lang::Java, Stype::void())).unwrap();
+        assert!(a.absorb(c).is_err());
+    }
+
+    #[test]
+    fn builder_helpers_produce_expected_nodes() {
+        assert!(matches!(Stype::f32().node, SNode::Prim(Prim::F32)));
+        assert!(matches!(
+            Stype::array_fixed(Stype::f32(), 2).node,
+            SNode::Array { len: ArrayLen::Fixed(2), .. }
+        ));
+        let ptr = Stype::pointer(Stype::named("Point")).with_ann(|a| a.non_null = true);
+        assert!(ptr.ann.non_null);
+    }
+
+    #[test]
+    fn signature_param_lookup() {
+        let sig = Signature::new(
+            vec![Param::new("pts", Stype::i32()), Param::new("count", Stype::i32())],
+            Stype::void(),
+        );
+        assert!(sig.param("count").is_some());
+        assert!(sig.param("missing").is_none());
+    }
+}

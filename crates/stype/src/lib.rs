@@ -1,0 +1,61 @@
+//! Annotated declaration ASTs (*Stypes*) and their translation to Mtypes.
+//!
+//! "Type declarations are parsed into an internal data structure, called
+//! Stype, which is an abstract syntax tree representation of the original
+//! declaration. It also records all relevant annotations, both defaults
+//! and those explicitly applied by the programmer." (paper §4)
+//!
+//! This crate provides:
+//!
+//! - [`ast`] — the language-neutral declaration AST produced by every
+//!   frontend (C/C++, Java, CORBA IDL), with per-node [`ann::Ann`]
+//!   annotation slots;
+//! - [`ann`] — the annotation model (integer ranges, repertoires,
+//!   non-null/no-alias, parameter directions, array lengths, pass modes);
+//! - [`selector`] — paths addressing parts of a declaration, used to apply
+//!   annotations programmatically;
+//! - [`script`] — the batch *annotation script* language (paper §5: "a
+//!   scripting technique that allows annotations ... to be applied in
+//!   batch mode to a much larger set");
+//! - [`lower`] — the Stype→Mtype translation (paper §3), honouring all
+//!   annotations;
+//! - [`project`] — project files: saving and restoring a parsed and
+//!   annotated session (paper §3: "the programmer can save the current
+//!   state of the parsed and annotated declarations in a project file").
+//!
+//! # Example
+//!
+//! ```
+//! use mockingbird_stype::ast::{Decl, Field, Lang, Stype, Universe};
+//! use mockingbird_stype::lower::Lowerer;
+//! use mockingbird_mtype::MtypeGraph;
+//!
+//! let mut uni = Universe::new();
+//! uni.insert(Decl::new(
+//!     "Point",
+//!     Lang::Java,
+//!     Stype::class(
+//!         vec![Field::new("x", Stype::f32()), Field::new("y", Stype::f32())],
+//!         vec![],
+//!     ),
+//! ))?;
+//!
+//! let mut graph = MtypeGraph::new();
+//! let point = Lowerer::new(&uni, &mut graph).lower_named("Point")?;
+//! assert_eq!(graph.display(point).to_string(), "Record(Real{24,8}, Real{24,8})");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod ann;
+pub mod ast;
+pub mod lower;
+pub mod project;
+pub mod script;
+pub mod selector;
+
+pub use ann::{Ann, Direction, LengthAnn, PassMode};
+pub use ast::{Decl, Field, Lang, Method, Param, Prim, SNode, Signature, Stype, Universe};
+pub use lower::{LowerError, Lowerer};
+pub use project::Project;
+pub use script::apply_script;
+pub use selector::Selector;

@@ -1,0 +1,780 @@
+//! Translation of annotated Stypes into Mtypes (paper §3).
+//!
+//! The [`Lowerer`] walks a declaration, consulting annotations wherever
+//! the mapping is ambiguous:
+//!
+//! - integer/character/real primitives honour range, repertoire and
+//!   precision overrides (§3.1);
+//! - fixed-size arrays become `Record`s, indefinite ones become the
+//!   canonical recursive list (§3.2);
+//! - nullable pointers become `Choice(Unit, referent)` unless annotated
+//!   `non-null` (§3.2);
+//! - functions become `port(Record(I, port(O)))`, with `in`/`out`/`inout`
+//!   parameter directions and `length(param n)` absorption (§3.3);
+//! - classes pass by value (`Record` over fields) or by reference
+//!   (`port(Choice(methods))`) (§3.2–3.3);
+//! - classes extending `java.util.Vector` receive the paper's predefined
+//!   "ordered collection of indefinite size" treatment.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mockingbird_mtype::{IntRange, MtypeGraph, MtypeId, RealPrecision, Repertoire};
+
+use crate::ann::{Ann, Direction, LengthAnn, PassMode};
+use crate::ast::{ArrayLen, Method, Prim, SNode, Signature, Stype, Universe};
+
+/// The fully-qualified name of the collection root class that triggers
+/// the predefined "ordered collection of indefinite size" annotation.
+pub const JAVA_VECTOR: &str = "java.util.Vector";
+
+/// Errors produced while lowering Stypes to Mtypes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// A `Named` reference does not resolve in the universe.
+    UnknownDecl(String),
+    /// A construct that cannot be lowered (with explanation).
+    Unsupported(String),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::UnknownDecl(n) => write!(f, "unknown declaration `{n}`"),
+            LowerError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+enum NamedState {
+    InProgress { binder: Option<MtypeId> },
+    Done(MtypeId),
+}
+
+/// Translates Stypes into Mtypes within one [`MtypeGraph`].
+///
+/// A single `Lowerer` may lower many declarations; named types are
+/// memoised so shared structure becomes shared graph nodes, and recursive
+/// declarations produce `Recursive` binders with back-edges (§3.2).
+pub struct Lowerer<'u, 'g> {
+    uni: &'u Universe,
+    graph: &'g mut MtypeGraph,
+    named: HashMap<String, NamedState>,
+}
+
+impl<'u, 'g> Lowerer<'u, 'g> {
+    /// Creates a lowerer over `uni` that allocates into `graph`.
+    pub fn new(uni: &'u Universe, graph: &'g mut MtypeGraph) -> Self {
+        Lowerer { uni, graph, named: HashMap::new() }
+    }
+
+    /// Seeds the memo table with an already-lowered named type (from a
+    /// previous lowerer over the same graph), so repeated sessions share
+    /// structure instead of re-lowering.
+    pub fn preseed(&mut self, name: impl Into<String>, id: MtypeId) {
+        self.named.insert(name.into(), NamedState::Done(id));
+    }
+
+    /// The completed `(name, Mtype)` memo entries, for carrying into a
+    /// later lowerer via [`Lowerer::preseed`].
+    pub fn done_entries(&self) -> Vec<(String, MtypeId)> {
+        self.named
+            .iter()
+            .filter_map(|(k, v)| match v {
+                NamedState::Done(id) => Some((k.clone(), *id)),
+                NamedState::InProgress { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Lowers the named declaration to its Mtype.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LowerError::UnknownDecl`] if `name` is not in the
+    /// universe, or propagates any nested lowering failure.
+    pub fn lower_named(&mut self, name: &str) -> Result<MtypeId, LowerError> {
+        self.lower_named_with(name, &Ann::default())
+    }
+
+    /// Lowers a named declaration with use-site annotations layered over
+    /// its declaration-site ones.
+    pub fn lower_named_with(&mut self, name: &str, use_ann: &Ann) -> Result<MtypeId, LowerError> {
+        let memoisable = use_ann.is_empty();
+        if memoisable {
+            match self.named.get_mut(name) {
+                Some(NamedState::Done(id)) => return Ok(*id),
+                Some(NamedState::InProgress { binder }) => {
+                    // Recursive reference: materialise the binder on demand.
+                    if let Some(b) = binder {
+                        return Ok(*b);
+                    }
+                    let b = self.graph.recursive(|_, me| me); // placeholder body
+                    self.graph.set_label(b, name.to_string());
+                    if let Some(NamedState::InProgress { binder }) = self.named.get_mut(name) {
+                        *binder = Some(b);
+                    }
+                    return Ok(b);
+                }
+                None => {
+                    self.named
+                        .insert(name.to_string(), NamedState::InProgress { binder: None });
+                }
+            }
+        }
+        let decl = self
+            .uni
+            .get(name)
+            .ok_or_else(|| LowerError::UnknownDecl(name.to_string()))?
+            .clone();
+        let eff = use_ann.merge_under(&decl.ty.ann);
+        let result = self.lower_node(&decl.ty.node, &eff);
+        if memoisable {
+            match result {
+                Ok(body) => {
+                    let state = self.named.remove(name);
+                    let final_id = match state {
+                        Some(NamedState::InProgress { binder: Some(b) }) => {
+                            // A recursive reference was taken while this
+                            // declaration was being lowered; tie the knot.
+                            self.graph.patch_recursive(b, body);
+                            b
+                        }
+                        _ => body,
+                    };
+                    if self.graph.label(final_id).is_none() {
+                        self.graph.set_label(final_id, name.to_string());
+                    }
+                    self.named.insert(name.to_string(), NamedState::Done(final_id));
+                    Ok(final_id)
+                }
+                Err(e) => {
+                    self.named.remove(name);
+                    Err(e)
+                }
+            }
+        } else {
+            result
+        }
+    }
+
+    /// Lowers an inline Stype term.
+    pub fn lower(&mut self, ty: &Stype) -> Result<MtypeId, LowerError> {
+        self.lower_with(ty, &Ann::default())
+    }
+
+    /// Lowers an inline Stype term with extra contextual annotations.
+    pub fn lower_with(&mut self, ty: &Stype, ctx: &Ann) -> Result<MtypeId, LowerError> {
+        let eff = ctx.merge_under(&ty.ann);
+        self.lower_node(&ty.node, &eff)
+    }
+
+    fn lower_node(&mut self, node: &SNode, ann: &Ann) -> Result<MtypeId, LowerError> {
+        match node {
+            SNode::Prim(p) => Ok(self.lower_prim(*p, ann)),
+            SNode::Named(n) => {
+                let mut use_ann = ann.clone();
+                // Direction/length relate to the reference site, not the
+                // referent; strip them before descending.
+                use_ann.direction = None;
+                use_ann.length = None;
+                use_ann.non_null = false;
+                use_ann.no_alias = false;
+                self.lower_named_with(n, &use_ann)
+            }
+            SNode::Pointer(target) => self.lower_pointer(target, ann),
+            SNode::Array { elem, len } => {
+                let effective_len = match &ann.length {
+                    Some(LengthAnn::Static(n)) => ArrayLen::Fixed(*n),
+                    Some(LengthAnn::Runtime) | Some(LengthAnn::Param(_)) => ArrayLen::Indefinite,
+                    None => *len,
+                };
+                let elem_m = self.lower(elem)?;
+                Ok(match effective_len {
+                    ArrayLen::Fixed(n) => self.graph.record(vec![elem_m; n]),
+                    ArrayLen::Indefinite => self.graph.list_of(elem_m),
+                })
+            }
+            SNode::Struct(fields) => {
+                let kids = fields
+                    .iter()
+                    .map(|f| self.lower(&f.ty))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(self.graph.record(kids))
+            }
+            SNode::Union(arms) => {
+                if arms.is_empty() {
+                    return Err(LowerError::Unsupported("union with no arms".into()));
+                }
+                let kids = arms
+                    .iter()
+                    .map(|f| self.lower(&f.ty))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(self.graph.choice(kids))
+            }
+            SNode::Enum(members) => {
+                if members.is_empty() {
+                    return Err(LowerError::Unsupported("enum with no members".into()));
+                }
+                Ok(self.graph.integer(IntRange::enumeration(members.len() as u64)))
+            }
+            SNode::Class { fields, methods, extends } => {
+                if self.is_collection_class(extends.as_deref()) {
+                    return self.lower_collection(ann);
+                }
+                match ann.pass_mode.unwrap_or(PassMode::ByValue) {
+                    PassMode::ByValue => {
+                        let kids = fields
+                            .iter()
+                            .map(|f| self.lower(&f.ty))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        Ok(self.graph.record(kids))
+                    }
+                    PassMode::ByReference => self.lower_object_reference(methods),
+                }
+            }
+            SNode::Interface { methods, .. } => self.lower_object_reference(methods),
+            SNode::Function(sig) => {
+                let (inputs, reply_payload) = self.lower_signature(sig)?;
+                let reply = self.graph.port(reply_payload);
+                let mut inv = inputs;
+                inv.push(reply);
+                let inv_rec = self.graph.record(inv);
+                Ok(self.graph.port(inv_rec))
+            }
+            SNode::Sequence(elem) => {
+                let elem_m = match &ann.element {
+                    Some(name) => {
+                        let m = self.lower_named(name)?;
+                        if ann.non_null {
+                            m
+                        } else {
+                            self.graph.nullable(m)
+                        }
+                    }
+                    None => self.lower(elem)?,
+                };
+                Ok(self.graph.list_of(elem_m))
+            }
+            SNode::Str => {
+                let rep = ann.repertoire.clone().unwrap_or(Repertoire::Unicode);
+                let ch = self.graph.character(rep);
+                Ok(self.graph.list_of(ch))
+            }
+        }
+    }
+
+    fn lower_prim(&mut self, p: Prim, ann: &Ann) -> MtypeId {
+        use Prim::*;
+        match p {
+            Bool => {
+                let r = ann.int_range.unwrap_or_else(IntRange::boolean);
+                self.graph.integer(r)
+            }
+            Char8 | Char16 => {
+                if ann.as_integer {
+                    let r = ann.int_range.unwrap_or_else(|| {
+                        if p == Char8 {
+                            IntRange::unsigned_bits(8)
+                        } else {
+                            IntRange::unsigned_bits(16)
+                        }
+                    });
+                    self.graph.integer(r)
+                } else {
+                    let rep = ann.repertoire.clone().unwrap_or(if p == Char8 {
+                        Repertoire::Latin1
+                    } else {
+                        Repertoire::Unicode
+                    });
+                    self.graph.character(rep)
+                }
+            }
+            I8 | U8 | I16 | U16 | I32 | U32 | I64 | U64 => {
+                if let Some(rep) = &ann.repertoire {
+                    return self.graph.character(rep.clone());
+                }
+                let default = match p {
+                    I8 => IntRange::signed_bits(8),
+                    U8 => IntRange::unsigned_bits(8),
+                    I16 => IntRange::signed_bits(16),
+                    U16 => IntRange::unsigned_bits(16),
+                    I32 => IntRange::signed_bits(32),
+                    U32 => IntRange::unsigned_bits(32),
+                    I64 => IntRange::signed_bits(64),
+                    _ => IntRange::unsigned_bits(64),
+                };
+                self.graph.integer(ann.int_range.unwrap_or(default))
+            }
+            F32 => self
+                .graph
+                .real(ann.real_precision.unwrap_or(RealPrecision::SINGLE)),
+            F64 => self
+                .graph
+                .real(ann.real_precision.unwrap_or(RealPrecision::DOUBLE)),
+            Void => self.graph.unit(),
+            Any => self.graph.dynamic(),
+        }
+    }
+
+    fn lower_pointer(&mut self, target: &Stype, ann: &Ann) -> Result<MtypeId, LowerError> {
+        if ann.is_string {
+            let rep = ann.repertoire.clone().unwrap_or(Repertoire::Latin1);
+            let ch = self.graph.character(rep);
+            return Ok(self.graph.list_of(ch));
+        }
+        match &ann.length {
+            Some(LengthAnn::Static(n)) => {
+                let elem = self.lower(target)?;
+                return Ok(self.graph.record(vec![elem; *n]));
+            }
+            Some(LengthAnn::Runtime) | Some(LengthAnn::Param(_)) => {
+                let elem = self.lower(target)?;
+                return Ok(self.graph.list_of(elem));
+            }
+            None => {}
+        }
+        let referent = self.lower(target)?;
+        if ann.non_null {
+            Ok(referent)
+        } else {
+            Ok(self.graph.nullable(referent))
+        }
+    }
+
+    fn lower_collection(&mut self, ann: &Ann) -> Result<MtypeId, LowerError> {
+        // Predefined annotation: "Vector is treated automatically as an
+        // ordered collection of indefinite size" (paper §3.4). Without an
+        // element annotation it "could contain any object type including
+        // null references".
+        let elem = match &ann.element {
+            Some(name) => {
+                let m = self.lower_named(name)?;
+                if ann.non_null {
+                    m
+                } else {
+                    self.graph.nullable(m)
+                }
+            }
+            None => {
+                let d = self.graph.dynamic();
+                self.graph.nullable(d)
+            }
+        };
+        Ok(self.graph.list_of(elem))
+    }
+
+    fn lower_object_reference(&mut self, methods: &[Method]) -> Result<MtypeId, LowerError> {
+        if methods.is_empty() {
+            return Err(LowerError::Unsupported(
+                "object reference with no methods".into(),
+            ));
+        }
+        let mut invocations = Vec::with_capacity(methods.len());
+        for m in methods {
+            let (inputs, reply_payload) = self.lower_signature(&m.sig)?;
+            let reply = self.graph.port(reply_payload);
+            let mut inv = inputs;
+            inv.push(reply);
+            invocations.push(self.graph.record(inv));
+        }
+        Ok(self.graph.object_reference(invocations))
+    }
+
+    /// Splits a signature into its input Mtypes and the *reply payload*
+    /// Mtype: the Record of outputs, wrapped in a Choice with the
+    /// declared exceptions when `throws` is non-empty (paper §6's
+    /// exception support — checked failures travel in-band as reply
+    /// alternatives; alternative 0 is the normal return).
+    fn lower_signature(
+        &mut self,
+        sig: &Signature,
+    ) -> Result<(Vec<MtypeId>, MtypeId), LowerError> {
+        // Parameters named as length carriers are absorbed into the list
+        // Mtype of the array they measure (the fitter example's `count`).
+        let absorbed: Vec<&str> = sig
+            .params
+            .iter()
+            .filter_map(|p| match &p.ty.ann.length {
+                Some(LengthAnn::Param(n)) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        for p in &sig.params {
+            if absorbed.contains(&p.name.as_str()) {
+                continue;
+            }
+            let dir = p.ty.ann.direction.unwrap_or(Direction::In);
+            match dir {
+                Direction::In => inputs.push(self.lower(&p.ty)?),
+                Direction::Out => outputs.push(self.lower_output_param(&p.ty)?),
+                Direction::InOut => {
+                    inputs.push(self.lower(&p.ty)?);
+                    outputs.push(self.lower_output_param(&p.ty)?);
+                }
+            }
+        }
+        if !matches!(sig.ret.node, SNode::Prim(Prim::Void)) {
+            outputs.push(self.lower(&sig.ret)?);
+        }
+        let out_rec = self.graph.record(outputs);
+        let reply_payload = if sig.throws.is_empty() {
+            out_rec
+        } else {
+            let mut alts = vec![out_rec];
+            for t in &sig.throws {
+                alts.push(self.lower(t)?);
+            }
+            self.graph.choice(alts)
+        };
+        Ok((inputs, reply_payload))
+    }
+
+    /// An `out` C parameter is a pointer to the place where the callee
+    /// deposits the value (paper §2); the *referent* type is the output.
+    fn lower_output_param(&mut self, ty: &Stype) -> Result<MtypeId, LowerError> {
+        match &ty.node {
+            SNode::Pointer(target) if ty.ann.length.is_none() && !ty.ann.is_string => {
+                self.lower(target)
+            }
+            _ => self.lower(ty),
+        }
+    }
+
+    fn is_collection_class(&self, extends: Option<&str>) -> bool {
+        let mut cur = extends;
+        let mut hops = 0;
+        while let Some(name) = cur {
+            if name == JAVA_VECTOR || name == "java.util.AbstractList" {
+                return true;
+            }
+            hops += 1;
+            if hops > 64 {
+                return false;
+            }
+            cur = match self.uni.get(name) {
+                Some(decl) => match &decl.ty.node {
+                    SNode::Class { extends, .. } => extends.as_deref(),
+                    _ => None,
+                },
+                None => None,
+            };
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Decl, Field, Lang, Param};
+    use mockingbird_mtype::canon::fingerprint;
+
+    fn uni_with(decls: Vec<Decl>) -> Universe {
+        let mut u = Universe::new();
+        for d in decls {
+            u.insert(d).unwrap();
+        }
+        u
+    }
+
+    fn lower_ty(uni: &Universe, g: &mut MtypeGraph, ty: &Stype) -> MtypeId {
+        Lowerer::new(uni, g).lower(ty).unwrap()
+    }
+
+    fn lower_decl(uni: &Universe, g: &mut MtypeGraph, name: &str) -> MtypeId {
+        Lowerer::new(uni, g).lower_named(name).unwrap()
+    }
+
+    #[test]
+    fn primitives_lower_with_defaults() {
+        let uni = Universe::new();
+        let mut g = MtypeGraph::new();
+        let f = lower_ty(&uni, &mut g, &Stype::f32());
+        assert_eq!(g.display(f).to_string(), "Real{24,8}");
+        let mut g2 = MtypeGraph::new();
+        let b = lower_ty(&uni, &mut g2, &Stype::boolean());
+        assert_eq!(g2.display(b).to_string(), "Int{0..=1}");
+    }
+
+    #[test]
+    fn char_vs_integer_annotations() {
+        let uni = Universe::new();
+        let mut g = MtypeGraph::new();
+        // Default C char is a Latin-1 character.
+        let c = lower_ty(&uni, &mut g, &Stype::char8());
+        assert_eq!(g.display(c).to_string(), "Char{Latin-1}");
+        // Annotated as-integer it becomes an Integer.
+        let ci = lower_ty(&uni, &mut g, &Stype::char8().with_ann(|a| a.as_integer = true));
+        assert_eq!(g.display(ci).to_string(), "Int{0..=255}");
+        // An int annotated with a repertoire becomes a Character.
+        let ic = lower_ty(
+            &uni,
+            &mut g,
+            &Stype::i32().with_ann(|a| a.repertoire = Some(Repertoire::Unicode)),
+        );
+        assert_eq!(g.display(ic).to_string(), "Char{Unicode}");
+    }
+
+    #[test]
+    fn annotated_ranges_make_java_int_match_c_unsigned() {
+        // Paper §3.1's example.
+        let uni = Universe::new();
+        let mut g = MtypeGraph::new();
+        let range = IntRange::new(0, (1 << 31) - 1);
+        let mut lw = Lowerer::new(&uni, &mut g);
+        let j = lw
+            .lower(&Stype::i32().with_ann(|a| a.int_range = Some(range)))
+            .unwrap();
+        let c = lw
+            .lower(&Stype::u32().with_ann(|a| a.int_range = Some(range)))
+            .unwrap();
+        drop(lw);
+        assert_eq!(j, c, "hash-consing proves equivalence directly");
+    }
+
+    #[test]
+    fn fixed_array_is_record_indefinite_is_list() {
+        let uni = Universe::new();
+        let mut g = MtypeGraph::new();
+        let fixed = lower_ty(&uni, &mut g, &Stype::array_fixed(Stype::f32(), 2));
+        assert_eq!(g.display(fixed).to_string(), "Record(Real{24,8}, Real{24,8})");
+        let indef = lower_ty(&uni, &mut g, &Stype::array_indefinite(Stype::f32()));
+        assert_eq!(
+            g.display(indef).to_string(),
+            "Rec#L(Choice(Unit, Record(Real{24,8}, #L)))"
+        );
+    }
+
+    #[test]
+    fn java_point_class_equals_c_point_array() {
+        // Paper §3.2: "the Java class type Point (with two float fields)
+        // has the same Mtype as the C type point (defined as float[2])".
+        let uni = uni_with(vec![Decl::new(
+            "Point",
+            Lang::Java,
+            Stype::class(
+                vec![Field::new("x", Stype::f32()), Field::new("y", Stype::f32())],
+                vec![],
+            ),
+        )]);
+        let mut g = MtypeGraph::new();
+        let mut lw = Lowerer::new(&uni, &mut g);
+        let java = lw.lower_named("Point").unwrap();
+        let c = lw.lower(&Stype::array_fixed(Stype::f32(), 2)).unwrap();
+        drop(lw);
+        assert_eq!(fingerprint(&g, java), fingerprint(&g, c));
+    }
+
+    #[test]
+    fn nullable_pointer_is_choice_with_unit() {
+        let uni = Universe::new();
+        let mut g = MtypeGraph::new();
+        let p = lower_ty(&uni, &mut g, &Stype::pointer(Stype::i32()));
+        assert_eq!(
+            g.display(p).to_string(),
+            "Choice(Unit, Int{-2147483648..=2147483647})"
+        );
+        let nn = lower_ty(
+            &uni,
+            &mut g,
+            &Stype::pointer(Stype::i32()).with_ann(|a| a.non_null = true),
+        );
+        assert_eq!(g.display(nn).to_string(), "Int{-2147483648..=2147483647}");
+    }
+
+    #[test]
+    fn recursive_java_list_matches_figure_8() {
+        // Fig. 8: class List { float car; List cdr; } with nullable cdr.
+        let uni = uni_with(vec![Decl::new(
+            "List",
+            Lang::Java,
+            Stype::class(
+                vec![
+                    Field::new("car", Stype::f32()),
+                    Field::new(
+                        "cdr",
+                        Stype::pointer(Stype::named("List")).with_ann(|a| a.no_alias = true),
+                    ),
+                ],
+                vec![],
+            ),
+        )]);
+        let mut g = MtypeGraph::new();
+        let list = lower_decl(&uni, &mut g, "List");
+        assert!(g.validate().is_ok());
+        // The Java list: Rec L. Record(Real, Choice(Unit, L)).
+        assert_eq!(
+            g.display(list).to_string(),
+            "Rec#L(Record(Real{24,8}, Choice(Unit, #L)))"
+        );
+    }
+
+    #[test]
+    fn function_with_out_params_and_length_absorption() {
+        // Fig. 2: void fitter(point pts[], int count, point *start, point *end)
+        let uni = uni_with(vec![Decl::new(
+            "point",
+            Lang::C,
+            Stype::array_fixed(Stype::f32(), 2),
+        )]);
+        let fitter = Stype::function(
+            vec![
+                Param::new(
+                    "pts",
+                    Stype::array_indefinite(Stype::named("point"))
+                        .with_ann(|a| a.length = Some(LengthAnn::Param("count".into()))),
+                ),
+                Param::new("count", Stype::i32()),
+                Param::new(
+                    "start",
+                    Stype::pointer(Stype::named("point"))
+                        .with_ann(|a| a.direction = Some(Direction::Out)),
+                ),
+                Param::new(
+                    "end",
+                    Stype::pointer(Stype::named("point"))
+                        .with_ann(|a| a.direction = Some(Direction::Out)),
+                ),
+            ],
+            Stype::void(),
+        );
+        let mut g = MtypeGraph::new();
+        let m = lower_ty(&uni, &mut g, &fitter);
+        let shown = g.display(m).to_string();
+        // §3.4: port(Record(L, port(Record(Real,Real), Record(Real,Real))))
+        assert_eq!(
+            shown,
+            "port(Record(Rec#L(Choice(Unit, Record(Record(Real{24,8}, Real{24,8}), #L))), \
+             port(Record(Record(Real{24,8}, Real{24,8}), Record(Real{24,8}, Real{24,8})))))"
+        );
+    }
+
+    #[test]
+    fn interface_lowering_produces_port_choice() {
+        let uni = Universe::new();
+        let iface = Stype::interface(vec![
+            Method::new("get", Signature::new(vec![], Stype::i32())),
+            Method::new(
+                "set",
+                Signature::new(vec![Param::new("v", Stype::i32())], Stype::void()),
+            ),
+        ]);
+        let mut g = MtypeGraph::new();
+        let m = lower_ty(&uni, &mut g, &iface);
+        let s = g.display(m).to_string();
+        assert!(s.starts_with("port(Choice(Record("), "{s}");
+    }
+
+    #[test]
+    fn vector_subclass_gets_collection_treatment() {
+        // PointVector extends java.util.Vector, annotated element=Point
+        // non-null (paper §3.4).
+        let uni = uni_with(vec![
+            Decl::new(
+                "Point",
+                Lang::Java,
+                Stype::class(
+                    vec![Field::new("x", Stype::f32()), Field::new("y", Stype::f32())],
+                    vec![],
+                ),
+            ),
+            Decl::new(
+                "PointVector",
+                Lang::Java,
+                Stype::class_extending(vec![], vec![], JAVA_VECTOR).with_ann(|a| {
+                    a.element = Some("Point".into());
+                    a.non_null = true;
+                }),
+            ),
+        ]);
+        let mut g = MtypeGraph::new();
+        let pv = lower_decl(&uni, &mut g, "PointVector");
+        assert_eq!(
+            g.display(pv).to_string(),
+            "Rec#L(Choice(Unit, Record(Record(Real{24,8}, Real{24,8}), #L)))"
+        );
+    }
+
+    #[test]
+    fn unannotated_vector_contains_nullable_anything() {
+        let uni = uni_with(vec![Decl::new(
+            "Bag",
+            Lang::Java,
+            Stype::class_extending(vec![], vec![], JAVA_VECTOR),
+        )]);
+        let mut g = MtypeGraph::new();
+        let bag = lower_decl(&uni, &mut g, "Bag");
+        let s = g.display(bag).to_string();
+        assert!(s.contains("Choice(Unit, Dynamic)"), "{s}");
+    }
+
+    #[test]
+    fn enum_and_union_lowering() {
+        let uni = Universe::new();
+        let mut g = MtypeGraph::new();
+        let e = lower_ty(&uni, &mut g, &Stype::enum_of(vec!["A".into(), "B".into(), "C".into()]));
+        assert_eq!(g.display(e).to_string(), "Int{0..=2}");
+        let u = lower_ty(
+            &uni,
+            &mut g,
+            &Stype::union_of(vec![
+                Field::new("i", Stype::i32()),
+                Field::new("f", Stype::f32()),
+            ]),
+        );
+        assert!(g.display(u).to_string().starts_with("Choice("));
+    }
+
+    #[test]
+    fn unknown_named_decl_errors() {
+        let uni = Universe::new();
+        let mut g = MtypeGraph::new();
+        let mut lw = Lowerer::new(&uni, &mut g);
+        let err = lw.lower(&Stype::named("Nope")).unwrap_err();
+        assert_eq!(err, LowerError::UnknownDecl("Nope".into()));
+    }
+
+    #[test]
+    fn string_lowering() {
+        let uni = Universe::new();
+        let mut g = MtypeGraph::new();
+        let s = lower_ty(&uni, &mut g, &Stype::string());
+        assert_eq!(
+            g.display(s).to_string(),
+            "Rec#L(Choice(Unit, Record(Char{Unicode}, #L)))"
+        );
+        // char* annotated as string lowers to a Latin-1 character list.
+        let cs = lower_ty(
+            &uni,
+            &mut g,
+            &Stype::pointer(Stype::char8()).with_ann(|a| a.is_string = true),
+        );
+        assert_eq!(
+            g.display(cs).to_string(),
+            "Rec#L(Choice(Unit, Record(Char{Latin-1}, #L)))"
+        );
+    }
+
+    #[test]
+    fn memoised_named_types_share_nodes() {
+        let uni = uni_with(vec![Decl::new(
+            "Point",
+            Lang::Java,
+            Stype::class(
+                vec![Field::new("x", Stype::f32()), Field::new("y", Stype::f32())],
+                vec![],
+            ),
+        )]);
+        let mut g = MtypeGraph::new();
+        let mut lw = Lowerer::new(&uni, &mut g);
+        let a = lw.lower_named("Point").unwrap();
+        let b = lw.lower_named("Point").unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,195 @@
+//! Project files: persisted sessions.
+//!
+//! "At any point, the programmer can save the current state of the parsed
+//! and annotated declarations in a project file for later use." (paper
+//! §3). A [`Project`] serialises the whole [`Universe`] — declarations
+//! *with* their annotations — to JSON and restores it, and is one of the
+//! four input kinds the tool can parse (Fig. 6).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use crate::ast::Universe;
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// A saved Mockingbird session: the annotated declaration universe plus
+/// bookkeeping metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Project {
+    /// On-disk format version; readers reject unknown versions.
+    pub version: u32,
+    /// Human-readable project name.
+    pub name: String,
+    /// The annotated declarations.
+    pub universe: Universe,
+}
+
+/// Errors from loading or saving projects.
+#[derive(Debug)]
+pub enum ProjectError {
+    /// The file could not be read or written.
+    Io(io::Error),
+    /// The JSON is malformed or structurally wrong.
+    Format(serde_json::Error),
+    /// The format version is not supported.
+    Version(u32),
+}
+
+impl fmt::Display for ProjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProjectError::Io(e) => write!(f, "project i/o error: {e}"),
+            ProjectError::Format(e) => write!(f, "project format error: {e}"),
+            ProjectError::Version(v) => {
+                write!(f, "unsupported project version {v} (supported: {FORMAT_VERSION})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProjectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProjectError::Io(e) => Some(e),
+            ProjectError::Format(e) => Some(e),
+            ProjectError::Version(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProjectError {
+    fn from(e: io::Error) -> Self {
+        ProjectError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ProjectError {
+    fn from(e: serde_json::Error) -> Self {
+        ProjectError::Format(e)
+    }
+}
+
+impl Project {
+    /// Wraps a universe into a project.
+    pub fn new(name: impl Into<String>, universe: Universe) -> Self {
+        Project { version: FORMAT_VERSION, name: name.into(), universe }
+    }
+
+    /// Serialises to pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProjectError::Format`] if serialisation fails (it will
+    /// not for well-formed universes).
+    pub fn to_json(&self) -> Result<String, ProjectError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Restores a project from JSON, rebuilding internal indexes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProjectError::Format`] on malformed JSON and
+    /// [`ProjectError::Version`] on an unsupported format version.
+    pub fn from_json(json: &str) -> Result<Self, ProjectError> {
+        let mut p: Project = serde_json::from_str(json)?;
+        if p.version != FORMAT_VERSION {
+            return Err(ProjectError::Version(p.version));
+        }
+        p.universe.reindex();
+        Ok(p)
+    }
+
+    /// Saves to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialisation failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ProjectError> {
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Loads from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and parse failures.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ProjectError> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ann::LengthAnn;
+    use crate::ast::{Decl, Field, Lang, Stype};
+    use crate::script::apply_script;
+
+    fn sample() -> Universe {
+        let mut u = Universe::new();
+        u.insert(Decl::new(
+            "Point",
+            Lang::Java,
+            Stype::class(
+                vec![Field::new("x", Stype::f32()), Field::new("y", Stype::f32())],
+                vec![],
+            ),
+        ))
+        .unwrap();
+        u.insert(Decl::new("point", Lang::C, Stype::array_fixed(Stype::f32(), 2)))
+            .unwrap();
+        u
+    }
+
+    #[test]
+    fn round_trip_preserves_declarations_and_annotations() {
+        let mut u = sample();
+        apply_script(&mut u, "annotate point length=static(2)").unwrap();
+        let p = Project::new("fitter-session", u);
+        let json = p.to_json().unwrap();
+        let restored = Project::from_json(&json).unwrap();
+        assert_eq!(restored.name, "fitter-session");
+        assert_eq!(restored.universe.len(), 2);
+        assert_eq!(
+            restored.universe.get("point").unwrap().ty.ann.length,
+            Some(LengthAnn::Static(2))
+        );
+        // Index rebuilt: lookups work.
+        assert!(restored.universe.get("Point").is_some());
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let p = Project::new("x", sample());
+        let json = p.to_json().unwrap().replace("\"version\": 1", "\"version\": 99");
+        let err = Project::from_json(&json).unwrap_err();
+        assert!(matches!(err, ProjectError::Version(99)));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(matches!(
+            Project::from_json("{ not json").unwrap_err(),
+            ProjectError::Format(_)
+        ));
+    }
+
+    #[test]
+    fn file_save_load() {
+        let dir = std::env::temp_dir().join("mockingbird-project-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.mbproj.json");
+        let p = Project::new("disk", sample());
+        p.save(&path).unwrap();
+        let restored = Project::load(&path).unwrap();
+        assert_eq!(restored.universe.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,333 @@
+//! The batch annotation script language.
+//!
+//! Paper §5: "We have developed a scripting technique that allows
+//! annotations, worked out in detail with representative classes, to be
+//! applied in batch mode to a much larger set." This module implements
+//! that technique as a small line-oriented language:
+//!
+//! ```text
+//! # Fitter example annotations (paper §3.4)
+//! annotate fitter.param(pts) length=param(count)
+//! annotate fitter.param(start) direction=out
+//! annotate fitter.param(end) direction=out
+//! annotate Line.field(start) non-null no-alias
+//! annotate Line.field(end) non-null no-alias
+//! annotate PointVector element=Point non-null
+//! ```
+//!
+//! Each `annotate` line names a [`Selector`] path and one or more
+//! annotation operations:
+//!
+//! | operation | effect |
+//! |---|---|
+//! | `non-null` / `no-alias` | pointer discipline flags |
+//! | `by-value` / `by-ref` | class pass mode |
+//! | `string` | treat a `char*` as a character list |
+//! | `as-integer` | treat a char type as an integer |
+//! | `direction=in\|out\|inout` | parameter direction |
+//! | `length=static(N)` / `length=runtime` / `length=param(NAME)` | array length source |
+//! | `range=LO..HI` | integer range override |
+//! | `repertoire=ascii\|latin1\|unicode\|custom(NAME)` | glyph repertoire |
+//! | `precision=single\|double` | floating point precision |
+//! | `element=NAME` | collection element type |
+
+use std::fmt;
+
+use mockingbird_mtype::{IntRange, RealPrecision, Repertoire};
+
+use crate::ann::{Ann, Direction, LengthAnn, PassMode};
+use crate::ast::Universe;
+use crate::selector::{Selector, SelectorError};
+
+/// Errors from parsing or applying annotation scripts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptError {
+    /// A line failed to parse (1-based line number, message).
+    Parse(usize, String),
+    /// A selector failed to resolve.
+    Selector(usize, SelectorError),
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptError::Parse(line, m) => write!(f, "line {line}: {m}"),
+            ScriptError::Selector(line, e) => write!(f, "line {line}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// Applies an annotation script to a universe, mutating the addressed
+/// annotation slots in place. Returns the number of `annotate`
+/// statements applied.
+///
+/// # Errors
+///
+/// Stops at the first malformed line or unresolvable selector; earlier
+/// statements remain applied (scripts are idempotent in practice, so
+/// rerunning after a fix is safe).
+pub fn apply_script(uni: &mut Universe, script: &str) -> Result<usize, ScriptError> {
+    let mut applied = 0usize;
+    for (i, raw) in script.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+            continue;
+        }
+        let rest = line
+            .strip_prefix("annotate ")
+            .ok_or_else(|| ScriptError::Parse(lineno, format!("expected `annotate`: `{line}`")))?;
+        let mut tokens = tokenise(rest);
+        if tokens.is_empty() {
+            return Err(ScriptError::Parse(lineno, "missing selector".into()));
+        }
+        let selector_text = tokens.remove(0);
+        if tokens.is_empty() {
+            return Err(ScriptError::Parse(lineno, "missing annotation operations".into()));
+        }
+        let selector = Selector::parse(&selector_text)
+            .map_err(|e| ScriptError::Selector(lineno, e))?;
+        let ty = selector
+            .resolve_mut(uni)
+            .map_err(|e| ScriptError::Selector(lineno, e))?;
+        for tok in &tokens {
+            apply_op(&mut ty.ann, tok).map_err(|m| ScriptError::Parse(lineno, m))?;
+        }
+        applied += 1;
+    }
+    Ok(applied)
+}
+
+/// Splits on whitespace outside parentheses, so `length=param(count)`
+/// stays one token.
+fn tokenise(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0usize;
+    for ch in text.chars() {
+        match ch {
+            '(' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+            }
+            c if c.is_whitespace() && depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn apply_op(ann: &mut Ann, op: &str) -> Result<(), String> {
+    match op {
+        "non-null" => ann.non_null = true,
+        "no-alias" => ann.no_alias = true,
+        "by-value" => ann.pass_mode = Some(PassMode::ByValue),
+        "by-ref" => ann.pass_mode = Some(PassMode::ByReference),
+        "string" => ann.is_string = true,
+        "as-integer" => ann.as_integer = true,
+        _ => {
+            let (key, value) = op
+                .split_once('=')
+                .ok_or_else(|| format!("unknown annotation `{op}`"))?;
+            match key {
+                "direction" => {
+                    ann.direction = Some(match value {
+                        "in" => Direction::In,
+                        "out" => Direction::Out,
+                        "inout" => Direction::InOut,
+                        _ => return Err(format!("bad direction `{value}`")),
+                    });
+                }
+                "length" => {
+                    ann.length = Some(parse_length(value)?);
+                }
+                "range" => {
+                    let (lo, hi) = value
+                        .split_once("..")
+                        .ok_or_else(|| format!("bad range `{value}`, expected LO..HI"))?;
+                    let lo: i128 =
+                        lo.parse().map_err(|_| format!("bad range low bound `{lo}`"))?;
+                    let hi: i128 =
+                        hi.parse().map_err(|_| format!("bad range high bound `{hi}`"))?;
+                    if lo > hi {
+                        return Err(format!("empty range `{value}`"));
+                    }
+                    ann.int_range = Some(IntRange::new(lo, hi));
+                }
+                "repertoire" => {
+                    ann.repertoire = Some(match value {
+                        "ascii" => Repertoire::Ascii,
+                        "latin1" => Repertoire::Latin1,
+                        "unicode" => Repertoire::Unicode,
+                        _ => match value.strip_prefix("custom(").and_then(|v| v.strip_suffix(')'))
+                        {
+                            Some(name) => Repertoire::Custom(name.to_string()),
+                            None => return Err(format!("bad repertoire `{value}`")),
+                        },
+                    });
+                }
+                "precision" => {
+                    ann.real_precision = Some(match value {
+                        "single" => RealPrecision::SINGLE,
+                        "double" => RealPrecision::DOUBLE,
+                        _ => return Err(format!("bad precision `{value}`")),
+                    });
+                }
+                "element" => {
+                    if value.is_empty() {
+                        return Err("element needs a type name".into());
+                    }
+                    ann.element = Some(value.to_string());
+                }
+                _ => return Err(format!("unknown annotation key `{key}`")),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_length(value: &str) -> Result<LengthAnn, String> {
+    if value == "runtime" {
+        return Ok(LengthAnn::Runtime);
+    }
+    if let Some(n) = value.strip_prefix("static(").and_then(|v| v.strip_suffix(')')) {
+        let n: usize = n.parse().map_err(|_| format!("bad static length `{n}`"))?;
+        return Ok(LengthAnn::Static(n));
+    }
+    if let Some(p) = value.strip_prefix("param(").and_then(|v| v.strip_suffix(')')) {
+        if p.is_empty() {
+            return Err("length=param(..) needs a parameter name".into());
+        }
+        return Ok(LengthAnn::Param(p.to_string()));
+    }
+    Err(format!("bad length `{value}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Decl, Field, Lang, Param, Stype};
+
+    fn fitter_universe() -> Universe {
+        let mut u = Universe::new();
+        u.insert(Decl::new("point", Lang::C, Stype::array_fixed(Stype::f32(), 2)))
+            .unwrap();
+        u.insert(Decl::new(
+            "fitter",
+            Lang::C,
+            Stype::function(
+                vec![
+                    Param::new("pts", Stype::array_indefinite(Stype::named("point"))),
+                    Param::new("count", Stype::i32()),
+                    Param::new("start", Stype::pointer(Stype::named("point"))),
+                    Param::new("end", Stype::pointer(Stype::named("point"))),
+                ],
+                Stype::void(),
+            ),
+        ))
+        .unwrap();
+        u.insert(Decl::new(
+            "Line",
+            Lang::Java,
+            Stype::class(
+                vec![
+                    Field::new("start", Stype::pointer(Stype::named("Point"))),
+                    Field::new("end", Stype::pointer(Stype::named("Point"))),
+                ],
+                vec![],
+            ),
+        ))
+        .unwrap();
+        u
+    }
+
+    #[test]
+    fn fitter_script_applies() {
+        let mut u = fitter_universe();
+        let n = apply_script(
+            &mut u,
+            r#"
+            # fitter annotations (paper 3.4)
+            annotate fitter.param(pts) length=param(count)
+            annotate fitter.param(start) direction=out
+            annotate fitter.param(end) direction=out
+            annotate Line.field(start) non-null no-alias
+            annotate Line.field(end) non-null no-alias
+            "#,
+        )
+        .unwrap();
+        assert_eq!(n, 5);
+        let fitter = u.get("fitter").unwrap();
+        let crate::ast::SNode::Function(sig) = &fitter.ty.node else { panic!() };
+        assert_eq!(
+            sig.param("pts").unwrap().ty.ann.length,
+            Some(LengthAnn::Param("count".into()))
+        );
+        assert_eq!(sig.param("start").unwrap().ty.ann.direction, Some(Direction::Out));
+        let line = u.get("Line").unwrap();
+        let crate::ast::SNode::Class { fields, .. } = &line.ty.node else { panic!() };
+        assert!(fields[0].ty.ann.non_null && fields[0].ty.ann.no_alias);
+    }
+
+    #[test]
+    fn all_value_ops_parse() {
+        let mut u = Universe::new();
+        u.insert(Decl::new("T", Lang::C, Stype::i32())).unwrap();
+        apply_script(&mut u, "annotate T range=0..100").unwrap();
+        assert_eq!(u.get("T").unwrap().ty.ann.int_range, Some(IntRange::new(0, 100)));
+        apply_script(&mut u, "annotate T repertoire=unicode").unwrap();
+        apply_script(&mut u, "annotate T repertoire=custom(EBCDIC)").unwrap();
+        assert_eq!(
+            u.get("T").unwrap().ty.ann.repertoire,
+            Some(Repertoire::Custom("EBCDIC".into()))
+        );
+        apply_script(&mut u, "annotate T precision=double").unwrap();
+        apply_script(&mut u, "annotate T element=Point").unwrap();
+        apply_script(&mut u, "annotate T length=static(4)").unwrap();
+        assert_eq!(u.get("T").unwrap().ty.ann.length, Some(LengthAnn::Static(4)));
+        apply_script(&mut u, "annotate T length=runtime").unwrap();
+        apply_script(&mut u, "annotate T by-value as-integer string").unwrap();
+        let ann = &u.get("T").unwrap().ty.ann;
+        assert!(ann.as_integer && ann.is_string);
+        assert_eq!(ann.pass_mode, Some(PassMode::ByValue));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let mut u = fitter_universe();
+        let err = apply_script(&mut u, "\n\nannotate fitter.param(pts) bogus-op").unwrap_err();
+        assert_eq!(err.to_string(), "line 3: unknown annotation `bogus-op`");
+
+        let err = apply_script(&mut u, "annotate missing.field(x) non-null").unwrap_err();
+        assert!(matches!(err, ScriptError::Selector(1, _)));
+
+        let err = apply_script(&mut u, "not-a-statement").unwrap_err();
+        assert!(err.to_string().contains("expected `annotate`"));
+
+        let err = apply_script(&mut u, "annotate fitter.param(pts)").unwrap_err();
+        assert!(err.to_string().contains("missing annotation operations"));
+
+        let err = apply_script(&mut u, "annotate fitter.param(pts) range=9..1").unwrap_err();
+        assert!(err.to_string().contains("empty range"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let mut u = fitter_universe();
+        let n = apply_script(&mut u, "# nothing\n\n// also nothing\n").unwrap();
+        assert_eq!(n, 0);
+    }
+}

@@ -1,0 +1,420 @@
+//! Selectors: textual paths addressing parts of a declaration.
+//!
+//! The paper's GUI lets the programmer click any part of a declaration to
+//! annotate it (Fig. 7). The programmatic equivalent is a selector path:
+//!
+//! ```text
+//! fitter.param(pts)              — a parameter of a function
+//! Line.field(start)              — a field of a class/struct
+//! Stack.method(push).param(v)    — a parameter of a method
+//! Stack.method(pop).ret          — a method's return type
+//! Matrix.elem                    — an array/sequence element type
+//! Node.field(next).pointee       — a pointer's referent
+//! Shape.arm(circle)              — a union arm
+//! ```
+
+use std::fmt;
+
+use crate::ast::{SNode, Signature, Stype, Universe};
+
+/// One step of a selector path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Seg {
+    /// `field(name)` — a struct/union/class field.
+    Field(String),
+    /// `param(name)` — a function/method parameter.
+    Param(String),
+    /// `method(name)` — a class/interface method.
+    Method(String),
+    /// `ret` — the return type of a function/method.
+    Ret,
+    /// `elem` — the element type of an array or sequence.
+    Elem,
+    /// `pointee` — the referent of a pointer.
+    Pointee,
+    /// `arm(name)` — a union arm.
+    Arm(String),
+}
+
+impl fmt::Display for Seg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Seg::Field(n) => write!(f, "field({n})"),
+            Seg::Param(n) => write!(f, "param({n})"),
+            Seg::Method(n) => write!(f, "method({n})"),
+            Seg::Ret => write!(f, "ret"),
+            Seg::Elem => write!(f, "elem"),
+            Seg::Pointee => write!(f, "pointee"),
+            Seg::Arm(n) => write!(f, "arm({n})"),
+        }
+    }
+}
+
+/// A parsed selector: a declaration name plus a path of segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selector {
+    /// The declaration the path starts at.
+    pub decl: String,
+    /// The navigation segments, outermost first.
+    pub segs: Vec<Seg>,
+}
+
+/// Errors from parsing or resolving selectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectorError {
+    /// The selector text is malformed.
+    Parse(String),
+    /// The declaration is not in the universe.
+    UnknownDecl(String),
+    /// A segment does not apply to the node it reached.
+    BadPath {
+        /// The selector being resolved.
+        selector: String,
+        /// Which segment failed.
+        segment: String,
+        /// Why.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SelectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectorError::Parse(m) => write!(f, "selector parse error: {m}"),
+            SelectorError::UnknownDecl(n) => write!(f, "unknown declaration `{n}`"),
+            SelectorError::BadPath { selector, segment, reason } => {
+                write!(f, "cannot resolve `{segment}` in `{selector}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SelectorError {}
+
+impl Selector {
+    /// Parses a selector from its textual form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SelectorError::Parse`] on malformed input.
+    ///
+    /// ```
+    /// use mockingbird_stype::selector::{Selector, Seg};
+    /// let s = Selector::parse("fitter.param(pts)")?;
+    /// assert_eq!(s.decl, "fitter");
+    /// assert_eq!(s.segs, vec![Seg::Param("pts".into())]);
+    /// # Ok::<(), mockingbird_stype::selector::SelectorError>(())
+    /// ```
+    pub fn parse(text: &str) -> Result<Self, SelectorError> {
+        let text = text.trim();
+        if text.is_empty() {
+            return Err(SelectorError::Parse("empty selector".into()));
+        }
+        let mut parts = split_path(text);
+        let decl = parts.remove(0);
+        if decl.is_empty() {
+            return Err(SelectorError::Parse("empty declaration name".into()));
+        }
+        if decl.contains('(') || decl.contains(')') {
+            return Err(SelectorError::Parse(format!(
+                "unknown segment in declaration position: `{decl}`"
+            )));
+        }
+        let mut segs = Vec::new();
+        for p in parts {
+            segs.push(parse_seg(&p)?);
+        }
+        Ok(Selector { decl, segs })
+    }
+
+    /// Resolves the selector to the addressed [`Stype`] within `uni`,
+    /// returning a mutable reference (annotations are applied in place).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SelectorError::UnknownDecl`] or
+    /// [`SelectorError::BadPath`] when the path cannot be followed.
+    pub fn resolve_mut<'u>(&self, uni: &'u mut Universe) -> Result<&'u mut Stype, SelectorError> {
+        let full = self.to_string();
+        let decl = uni
+            .get_mut(&self.decl)
+            .ok_or_else(|| SelectorError::UnknownDecl(self.decl.clone()))?;
+        let mut cursor = Cursor::Type(&mut decl.ty);
+        for seg in &self.segs {
+            cursor = step(cursor, seg, &full)?;
+        }
+        match cursor {
+            Cursor::Type(t) => Ok(t),
+            Cursor::Sig(_) => Err(SelectorError::BadPath {
+                selector: full,
+                segment: "(end)".into(),
+                reason: "selector ends at a method, not a type; add .param(..) or .ret".into(),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Selector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.decl)?;
+        for s in &self.segs {
+            write!(f, ".{s}")?;
+        }
+        Ok(())
+    }
+}
+
+fn split_path(text: &str) -> Vec<String> {
+    // Split on '.' but not inside parentheses (names may be qualified
+    // like java.util.Vector only in the decl position — decl names with
+    // dots must be written with the segments absent or quoted; we accept
+    // dotted decl names by treating leading parts with no '(' and no
+    // known segment keyword as part of the name).
+    let mut parts: Vec<String> = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for ch in text.chars() {
+        match ch {
+            '(' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+            }
+            '.' if depth == 0 => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(ch),
+        }
+    }
+    parts.push(cur);
+    // Re-join leading parts that are not segment keywords: supports
+    // dotted declaration names ("java.util.Vector").
+    let is_seg = |s: &str| {
+        s == "ret"
+            || s == "elem"
+            || s == "pointee"
+            || s.starts_with("field(")
+            || s.starts_with("param(")
+            || s.starts_with("method(")
+            || s.starts_with("arm(")
+    };
+    let first_seg = parts.iter().position(|p| is_seg(p)).unwrap_or(parts.len());
+    let decl = parts[..first_seg].join(".");
+    let mut out = vec![decl];
+    out.extend(parts[first_seg..].iter().cloned());
+    out
+}
+
+fn parse_seg(p: &str) -> Result<Seg, SelectorError> {
+    let named = |prefix: &str| -> Option<String> {
+        p.strip_prefix(prefix)
+            .and_then(|rest| rest.strip_suffix(')'))
+            .map(|s| s.to_string())
+    };
+    match p {
+        "ret" => Ok(Seg::Ret),
+        "elem" => Ok(Seg::Elem),
+        "pointee" => Ok(Seg::Pointee),
+        _ => {
+            if let Some(n) = named("field(") {
+                Ok(Seg::Field(n))
+            } else if let Some(n) = named("param(") {
+                Ok(Seg::Param(n))
+            } else if let Some(n) = named("method(") {
+                Ok(Seg::Method(n))
+            } else if let Some(n) = named("arm(") {
+                Ok(Seg::Arm(n))
+            } else {
+                Err(SelectorError::Parse(format!("unknown segment `{p}`")))
+            }
+        }
+    }
+}
+
+enum Cursor<'a> {
+    Type(&'a mut Stype),
+    Sig(&'a mut Signature),
+}
+
+fn step<'a>(cursor: Cursor<'a>, seg: &Seg, full: &str) -> Result<Cursor<'a>, SelectorError> {
+    let bad = |segment: &Seg, reason: &str| SelectorError::BadPath {
+        selector: full.to_string(),
+        segment: segment.to_string(),
+        reason: reason.to_string(),
+    };
+    match cursor {
+        Cursor::Sig(sig) => match seg {
+            Seg::Param(name) => sig
+                .param_mut(name)
+                .map(|p| Cursor::Type(&mut p.ty))
+                .ok_or_else(|| bad(seg, "no such parameter")),
+            Seg::Ret => Ok(Cursor::Type(&mut sig.ret)),
+            other => Err(bad(other, "only param(..)/ret apply to a method")),
+        },
+        Cursor::Type(ty) => match (&mut ty.node, seg) {
+            (SNode::Struct(fields), Seg::Field(name))
+            | (SNode::Class { fields, .. }, Seg::Field(name)) => fields
+                .iter_mut()
+                .find(|f| f.name == *name)
+                .map(|f| Cursor::Type(&mut f.ty))
+                .ok_or_else(|| bad(seg, "no such field")),
+            (SNode::Union(arms), Seg::Arm(name)) => arms
+                .iter_mut()
+                .find(|f| f.name == *name)
+                .map(|f| Cursor::Type(&mut f.ty))
+                .ok_or_else(|| bad(seg, "no such arm")),
+            (SNode::Class { methods, .. }, Seg::Method(name))
+            | (SNode::Interface { methods, .. }, Seg::Method(name)) => methods
+                .iter_mut()
+                .find(|m| m.name == *name)
+                .map(|m| Cursor::Sig(&mut m.sig))
+                .ok_or_else(|| bad(seg, "no such method")),
+            (SNode::Function(sig), Seg::Param(name)) => sig
+                .param_mut(name)
+                .map(|p| Cursor::Type(&mut p.ty))
+                .ok_or_else(|| bad(seg, "no such parameter")),
+            (SNode::Function(sig), Seg::Ret) => Ok(Cursor::Type(&mut sig.ret)),
+            (SNode::Array { elem, .. }, Seg::Elem) => Ok(Cursor::Type(elem)),
+            (SNode::Sequence(elem), Seg::Elem) => Ok(Cursor::Type(elem)),
+            (SNode::Pointer(target), Seg::Pointee) => Ok(Cursor::Type(target)),
+            // Convenience: elem also traverses pointers-used-as-arrays.
+            (SNode::Pointer(target), Seg::Elem) => Ok(Cursor::Type(target)),
+            (_, seg) => Err(bad(seg, "segment does not apply to this node")),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Decl, Field, Lang, Method, Param};
+
+    fn sample_universe() -> Universe {
+        let mut u = Universe::new();
+        u.insert(Decl::new(
+            "Line",
+            Lang::Java,
+            Stype::class(
+                vec![
+                    Field::new("start", Stype::pointer(Stype::named("Point"))),
+                    Field::new("end", Stype::pointer(Stype::named("Point"))),
+                ],
+                vec![],
+            ),
+        ))
+        .unwrap();
+        u.insert(Decl::new(
+            "fitter",
+            Lang::C,
+            Stype::function(
+                vec![
+                    Param::new("pts", Stype::array_indefinite(Stype::named("point"))),
+                    Param::new("count", Stype::i32()),
+                ],
+                Stype::void(),
+            ),
+        ))
+        .unwrap();
+        u.insert(Decl::new(
+            "Stack",
+            Lang::Java,
+            Stype::interface(vec![Method::new(
+                "push",
+                Signature::new(vec![Param::new("v", Stype::i32())], Stype::void()),
+            )]),
+        ))
+        .unwrap();
+        u
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for text in [
+            "fitter.param(pts)",
+            "Line.field(start)",
+            "Stack.method(push).param(v)",
+            "Stack.method(push).ret",
+            "M.elem",
+            "N.field(next).pointee",
+            "U.arm(circle)",
+        ] {
+            let s = Selector::parse(text).unwrap();
+            assert_eq!(s.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn dotted_decl_names_parse() {
+        let s = Selector::parse("java.util.Vector.field(size)").unwrap();
+        assert_eq!(s.decl, "java.util.Vector");
+        assert_eq!(s.segs.len(), 1);
+    }
+
+    #[test]
+    fn resolve_field_and_annotate() {
+        let mut u = sample_universe();
+        let sel = Selector::parse("Line.field(start)").unwrap();
+        let ty = sel.resolve_mut(&mut u).unwrap();
+        ty.ann.non_null = true;
+        // Verify via fresh resolution.
+        let ty2 = Selector::parse("Line.field(start)")
+            .unwrap()
+            .resolve_mut(&mut u)
+            .unwrap();
+        assert!(ty2.ann.non_null);
+    }
+
+    #[test]
+    fn resolve_param_and_method() {
+        let mut u = sample_universe();
+        assert!(Selector::parse("fitter.param(pts)")
+            .unwrap()
+            .resolve_mut(&mut u)
+            .is_ok());
+        assert!(Selector::parse("Stack.method(push).param(v)")
+            .unwrap()
+            .resolve_mut(&mut u)
+            .is_ok());
+        assert!(Selector::parse("Stack.method(push).ret")
+            .unwrap()
+            .resolve_mut(&mut u)
+            .is_ok());
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let mut u = sample_universe();
+        let e = Selector::parse("Nope.field(x)")
+            .unwrap()
+            .resolve_mut(&mut u)
+            .unwrap_err();
+        assert!(matches!(e, SelectorError::UnknownDecl(_)));
+
+        let e = Selector::parse("Line.field(middle)")
+            .unwrap()
+            .resolve_mut(&mut u)
+            .unwrap_err();
+        assert!(e.to_string().contains("no such field"));
+
+        let e = Selector::parse("Line.param(x)")
+            .unwrap()
+            .resolve_mut(&mut u)
+            .unwrap_err();
+        assert!(e.to_string().contains("does not apply"));
+
+        let e = Selector::parse("Stack.method(push)")
+            .unwrap()
+            .resolve_mut(&mut u)
+            .unwrap_err();
+        assert!(e.to_string().contains("ends at a method"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Selector::parse("").is_err());
+        assert!(Selector::parse("X.bogus(1)").is_err());
+    }
+}

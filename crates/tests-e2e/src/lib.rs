@@ -1,0 +1,1 @@
+//! Integration-test anchor crate; see the repository-level `tests/` directory.

@@ -1,0 +1,1149 @@
+//! A simulated C address space with faithful data layout.
+//!
+//! The coercion plan "incorporates ... information related to the
+//! concrete representation of their values in memory" (paper §4). This
+//! module supplies that concrete representation: a byte-addressed heap,
+//! C struct layout (alignment, padding, trailing padding), pointer
+//! width and endianness per [`CTarget`], and a codec that moves
+//! [`MValue`]s in and out of memory images guided by annotated Stypes.
+//!
+//! Mirroring the paper's prototype, *reading* a C `union` requires a
+//! discriminator the declaration alone cannot supply (union support was
+//! "currently incomplete", §6); the codec accepts an optional
+//! discriminator callback and errors without one.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use mockingbird_stype::ann::{Ann, LengthAnn, PassMode};
+use mockingbird_stype::ast::{ArrayLen, Prim, SNode, Stype, Universe};
+
+use crate::mvalue::MValue;
+
+/// Byte order of the simulated target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endian {
+    /// Little-endian (x86, the paper's Windows 95/NT machines).
+    Little,
+    /// Big-endian (POWER, the paper's AIX machines).
+    Big,
+}
+
+/// The simulated C target model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CTarget {
+    /// Pointer size in bytes (8 for LP64, 4 for ILP32).
+    pub ptr_size: usize,
+    /// Byte order.
+    pub endian: Endian,
+}
+
+impl CTarget {
+    /// LP64 little-endian (modern x86-64).
+    pub const LP64_LE: CTarget = CTarget { ptr_size: 8, endian: Endian::Little };
+    /// ILP32 big-endian (the paper's AIX/POWER machines).
+    pub const ILP32_BE: CTarget = CTarget { ptr_size: 4, endian: Endian::Big };
+}
+
+impl Default for CTarget {
+    fn default() -> Self {
+        CTarget::LP64_LE
+    }
+}
+
+/// Errors from layout computation or memory codec operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutError(pub String);
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C layout error: {}", self.0)
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+fn err<T>(m: impl Into<String>) -> Result<T, LayoutError> {
+    Err(LayoutError(m.into()))
+}
+
+/// Size and alignment of a C type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Size in bytes, including padding.
+    pub size: usize,
+    /// Alignment in bytes.
+    pub align: usize,
+}
+
+impl Layout {
+    fn scalar(size: usize) -> Layout {
+        Layout { size, align: size.max(1) }
+    }
+}
+
+fn align_up(v: usize, align: usize) -> usize {
+    v.div_ceil(align) * align
+}
+
+/// A growable byte-addressed heap. Address 0 is reserved as NULL.
+#[derive(Debug, Clone)]
+pub struct CMemory {
+    mem: Vec<u8>,
+    target: CTarget,
+}
+
+impl CMemory {
+    /// Creates an empty heap for the target model.
+    pub fn new(target: CTarget) -> Self {
+        // Reserve the null page's first bytes so no allocation is at 0.
+        CMemory { mem: vec![0u8; 16], target }
+    }
+
+    /// The target model.
+    pub fn target(&self) -> CTarget {
+        self.target
+    }
+
+    /// Total bytes allocated.
+    pub fn len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Whether only the reserved null page exists.
+    pub fn is_empty(&self) -> bool {
+        self.mem.len() <= 16
+    }
+
+    /// Allocates `size` bytes at `align`, returning the address.
+    pub fn alloc(&mut self, size: usize, align: usize) -> u64 {
+        let addr = align_up(self.mem.len(), align.max(1));
+        self.mem.resize(addr + size.max(1), 0);
+        addr as u64
+    }
+
+    fn check(&self, addr: u64, len: usize) -> Result<usize, LayoutError> {
+        let a = addr as usize;
+        if addr == 0 {
+            return err("null pointer dereference");
+        }
+        if a + len > self.mem.len() {
+            return err(format!("out-of-bounds access at {addr}+{len}"));
+        }
+        Ok(a)
+    }
+
+    /// Reads `len` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] on null or out-of-bounds access.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<&[u8], LayoutError> {
+        let a = self.check(addr, len)?;
+        Ok(&self.mem[a..a + len])
+    }
+
+    /// Writes raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] on null or out-of-bounds access.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), LayoutError> {
+        let a = self.check(addr, data.len())?;
+        self.mem[a..a + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads an unsigned integer of `size` bytes in target byte order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] on bad access or unsupported size.
+    pub fn read_uint(&self, addr: u64, size: usize) -> Result<u64, LayoutError> {
+        let bytes = self.read_bytes(addr, size)?;
+        let mut v: u64 = 0;
+        match self.target.endian {
+            Endian::Little => {
+                for (i, b) in bytes.iter().enumerate() {
+                    v |= (*b as u64) << (8 * i);
+                }
+            }
+            Endian::Big => {
+                for b in bytes {
+                    v = (v << 8) | *b as u64;
+                }
+            }
+        }
+        Ok(v)
+    }
+
+    /// Writes an unsigned integer of `size` bytes in target byte order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] on bad access.
+    pub fn write_uint(&mut self, addr: u64, size: usize, v: u64) -> Result<(), LayoutError> {
+        let mut buf = [0u8; 8];
+        match self.target.endian {
+            Endian::Little => {
+                for (i, b) in buf[..size].iter_mut().enumerate() {
+                    *b = (v >> (8 * i)) as u8;
+                }
+            }
+            Endian::Big => {
+                for (i, b) in buf[..size].iter_mut().enumerate() {
+                    *b = (v >> (8 * (size - 1 - i))) as u8;
+                }
+            }
+        }
+        self.write_bytes(addr, &buf[..size])
+    }
+
+    /// Reads a pointer-sized address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] on bad access.
+    pub fn read_ptr(&self, addr: u64) -> Result<u64, LayoutError> {
+        self.read_uint(addr, self.target.ptr_size)
+    }
+
+    /// Writes a pointer-sized address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] on bad access.
+    pub fn write_ptr(&mut self, addr: u64, value: u64) -> Result<(), LayoutError> {
+        self.write_uint(addr, self.target.ptr_size, value)
+    }
+}
+
+/// Supplies lengths for runtime-sized arrays (keyed by the
+/// `length=param(name)` annotation) and discriminators for unions when
+/// reading memory images.
+#[derive(Default)]
+pub struct ReadContext<'a> {
+    /// Values of absorbed length parameters by name.
+    pub lengths: HashMap<String, usize>,
+    /// Given a union's arm count, picks the active arm.
+    pub union_pick: Option<&'a dyn Fn(usize) -> usize>,
+}
+
+impl fmt::Debug for ReadContext<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReadContext")
+            .field("lengths", &self.lengths)
+            .field("union_pick", &self.union_pick.map(|_| "<fn>"))
+            .finish()
+    }
+}
+
+/// Moves values between [`MValue`]s and C memory images, guided by
+/// annotated Stypes resolved against a [`Universe`].
+pub struct CCodec<'u> {
+    uni: &'u Universe,
+    target: CTarget,
+}
+
+impl<'u> CCodec<'u> {
+    /// Creates a codec for declarations in `uni` on the given target.
+    pub fn new(uni: &'u Universe, target: CTarget) -> Self {
+        CCodec { uni, target }
+    }
+
+    /// Computes the size and alignment of a C type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] for types without an in-memory layout
+    /// (functions, indefinite arrays, interfaces) or unresolved names.
+    pub fn layout_of(&self, ty: &Stype) -> Result<Layout, LayoutError> {
+        self.layout_node(ty, &Ann::default(), 0)
+    }
+
+    fn layout_node(&self, ty: &Stype, ctx: &Ann, depth: usize) -> Result<Layout, LayoutError> {
+        if depth > 256 {
+            return err("type nesting too deep (recursive type without pointer indirection?)");
+        }
+        let ann = ctx.merge_under(&ty.ann);
+        match &ty.node {
+            SNode::Prim(p) => Ok(match p {
+                Prim::Bool | Prim::I8 | Prim::U8 | Prim::Char8 => Layout::scalar(1),
+                Prim::I16 | Prim::U16 | Prim::Char16 => Layout::scalar(2),
+                Prim::I32 | Prim::U32 | Prim::F32 => Layout::scalar(4),
+                Prim::I64 | Prim::U64 | Prim::F64 => Layout::scalar(8),
+                Prim::Void => Layout { size: 0, align: 1 },
+                Prim::Any => return err("the dynamic type has no C layout"),
+            }),
+            SNode::Named(n) => {
+                let decl = self
+                    .uni
+                    .get(n)
+                    .ok_or_else(|| LayoutError(format!("unknown type `{n}`")))?;
+                self.layout_node(&decl.ty.clone(), &ann, depth + 1)
+            }
+            SNode::Pointer(_) => Ok(Layout::scalar(self.target.ptr_size)),
+            SNode::Array { elem, len } => {
+                let effective = match &ann.length {
+                    Some(LengthAnn::Static(n)) => ArrayLen::Fixed(*n),
+                    Some(_) => ArrayLen::Indefinite,
+                    None => *len,
+                };
+                match effective {
+                    ArrayLen::Fixed(n) => {
+                        let e = self.layout_node(elem, &Ann::default(), depth + 1)?;
+                        Ok(Layout { size: e.size * n, align: e.align })
+                    }
+                    ArrayLen::Indefinite => {
+                        err("indefinite array has no standalone layout (decays to a pointer)")
+                    }
+                }
+            }
+            SNode::Struct(fields) => {
+                let mut size = 0usize;
+                let mut align = 1usize;
+                for f in fields {
+                    let l = self.layout_node(&f.ty, &Ann::default(), depth + 1)?;
+                    size = align_up(size, l.align) + l.size;
+                    align = align.max(l.align);
+                }
+                Ok(Layout { size: align_up(size.max(1), align), align })
+            }
+            SNode::Union(arms) => {
+                let mut size = 0usize;
+                let mut align = 1usize;
+                for f in arms {
+                    let l = self.layout_node(&f.ty, &Ann::default(), depth + 1)?;
+                    size = size.max(l.size);
+                    align = align.max(l.align);
+                }
+                Ok(Layout { size: align_up(size.max(1), align), align })
+            }
+            SNode::Enum(_) => Ok(Layout::scalar(4)),
+            SNode::Class { fields, .. } => {
+                if ann.pass_mode == Some(PassMode::ByReference) {
+                    return err("by-reference class has no value layout");
+                }
+                let as_struct = Stype::struct_of(fields.clone());
+                self.layout_node(&as_struct, &Ann::default(), depth + 1)
+            }
+            SNode::Interface { .. } | SNode::Function(_) => {
+                err("functions and interfaces have no value layout")
+            }
+            SNode::Sequence(_) | SNode::Str => {
+                err("sequences/strings have no standalone C layout (use a pointer)")
+            }
+        }
+    }
+
+    /// Field offsets of a struct-like type, in declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] when any field lacks a layout.
+    pub fn field_offsets(&self, fields: &[mockingbird_stype::ast::Field]) -> Result<Vec<usize>, LayoutError> {
+        let mut offsets = Vec::with_capacity(fields.len());
+        let mut size = 0usize;
+        for f in fields {
+            let l = self.layout_node(&f.ty, &Ann::default(), 0)?;
+            size = align_up(size, l.align);
+            offsets.push(size);
+            size += l.size;
+        }
+        Ok(offsets)
+    }
+
+    /// Allocates space for `ty` and writes `value` into it, returning the
+    /// address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] if the value does not fit the type or the
+    /// type has no layout.
+    pub fn write_new(
+        &self,
+        mem: &mut CMemory,
+        ty: &Stype,
+        value: &MValue,
+    ) -> Result<u64, LayoutError> {
+        let l = self.layout_of(ty)?;
+        let addr = mem.alloc(l.size, l.align);
+        self.write_at(mem, ty, addr, value)?;
+        Ok(addr)
+    }
+
+    /// Writes `value` at `addr` according to `ty`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] on shape mismatches or bad accesses.
+    pub fn write_at(
+        &self,
+        mem: &mut CMemory,
+        ty: &Stype,
+        addr: u64,
+        value: &MValue,
+    ) -> Result<(), LayoutError> {
+        self.write_node(mem, ty, &Ann::default(), addr, value, 0)
+    }
+
+    fn write_node(
+        &self,
+        mem: &mut CMemory,
+        ty: &Stype,
+        ctx: &Ann,
+        addr: u64,
+        value: &MValue,
+        depth: usize,
+    ) -> Result<(), LayoutError> {
+        if depth > 1024 {
+            return err("value nesting too deep");
+        }
+        let ann = ctx.merge_under(&ty.ann);
+        match &ty.node {
+            SNode::Prim(p) => self.write_prim(mem, *p, &ann, addr, value),
+            SNode::Named(n) => {
+                let decl = self
+                    .uni
+                    .get(n)
+                    .ok_or_else(|| LayoutError(format!("unknown type `{n}`")))?
+                    .clone();
+                let mut inner = ann.clone();
+                inner.length = None;
+                inner.non_null = false;
+                inner.is_string = false;
+                self.write_node(mem, &decl.ty, &inner, addr, value, depth + 1)
+            }
+            SNode::Pointer(target) => {
+                if ann.is_string {
+                    let Some(s) = value.as_string() else {
+                        return err(format!("expected a string value, got {value}"));
+                    };
+                    // NUL-terminated Latin-1 byte string.
+                    let mut bytes: Vec<u8> = Vec::with_capacity(s.len() + 1);
+                    for c in s.chars() {
+                        let code = c as u32;
+                        if code > 0xFF {
+                            return err(format!("character {c:?} not representable in char*"));
+                        }
+                        bytes.push(code as u8);
+                    }
+                    bytes.push(0);
+                    let buf = mem.alloc(bytes.len(), 1);
+                    mem.write_bytes(buf, &bytes)?;
+                    return mem.write_ptr(addr, buf);
+                }
+                match &ann.length {
+                    Some(LengthAnn::Static(n)) => {
+                        let MValue::Record(items) = value else {
+                            return err(format!("expected {n} array elements, got {value}"));
+                        };
+                        if items.len() != *n {
+                            return err(format!("expected {n} elements, got {}", items.len()));
+                        }
+                        let elem_l = self.layout_node(target, &Ann::default(), depth + 1)?;
+                        let buf = mem.alloc(elem_l.size * n, elem_l.align);
+                        for (i, item) in items.iter().enumerate() {
+                            self.write_node(
+                                mem,
+                                target,
+                                &Ann::default(),
+                                buf + (i * elem_l.size) as u64,
+                                item,
+                                depth + 1,
+                            )?;
+                        }
+                        return mem.write_ptr(addr, buf);
+                    }
+                    Some(_) => {
+                        let MValue::List(items) = value else {
+                            return err(format!("expected a list value, got {value}"));
+                        };
+                        let elem_l = self.layout_node(target, &Ann::default(), depth + 1)?;
+                        let buf = mem.alloc(elem_l.size * items.len().max(1), elem_l.align);
+                        for (i, item) in items.iter().enumerate() {
+                            self.write_node(
+                                mem,
+                                target,
+                                &Ann::default(),
+                                buf + (i * elem_l.size) as u64,
+                                item,
+                                depth + 1,
+                            )?;
+                        }
+                        return mem.write_ptr(addr, buf);
+                    }
+                    None => {}
+                }
+                // Plain pointer: nullable unless annotated non-null.
+                let inner_value = if ann.non_null {
+                    Some(value)
+                } else {
+                    match value {
+                        MValue::Choice { index: 0, .. } => None,
+                        MValue::Choice { index: 1, value } => Some(value.as_ref()),
+                        other => {
+                            return err(format!(
+                                "nullable pointer expects a Choice value, got {other}"
+                            ))
+                        }
+                    }
+                };
+                match inner_value {
+                    None => mem.write_ptr(addr, 0),
+                    Some(v) => {
+                        let l = self.layout_node(target, &Ann::default(), depth + 1)?;
+                        let buf = mem.alloc(l.size, l.align);
+                        self.write_node(mem, target, &Ann::default(), buf, v, depth + 1)?;
+                        mem.write_ptr(addr, buf)
+                    }
+                }
+            }
+            SNode::Array { elem, len } => {
+                let effective = match &ann.length {
+                    Some(LengthAnn::Static(n)) => ArrayLen::Fixed(*n),
+                    Some(_) => ArrayLen::Indefinite,
+                    None => *len,
+                };
+                let elem_l = self.layout_node(elem, &Ann::default(), depth + 1)?;
+                match effective {
+                    ArrayLen::Fixed(n) => {
+                        let MValue::Record(items) = value else {
+                            return err(format!("expected {n} array elements, got {value}"));
+                        };
+                        if items.len() != n {
+                            return err(format!("expected {n} elements, got {}", items.len()));
+                        }
+                        for (i, item) in items.iter().enumerate() {
+                            self.write_node(
+                                mem,
+                                elem,
+                                &Ann::default(),
+                                addr + (i * elem_l.size) as u64,
+                                item,
+                                depth + 1,
+                            )?;
+                        }
+                        Ok(())
+                    }
+                    ArrayLen::Indefinite => {
+                        let MValue::List(items) = value else {
+                            return err(format!("expected a list value, got {value}"));
+                        };
+                        for (i, item) in items.iter().enumerate() {
+                            self.write_node(
+                                mem,
+                                elem,
+                                &Ann::default(),
+                                addr + (i * elem_l.size) as u64,
+                                item,
+                                depth + 1,
+                            )?;
+                        }
+                        Ok(())
+                    }
+                }
+            }
+            SNode::Struct(fields) => {
+                let MValue::Record(items) = value else {
+                    return err(format!("expected a record value for struct, got {value}"));
+                };
+                if items.len() != fields.len() {
+                    return err(format!(
+                        "struct has {} fields, value has {}",
+                        fields.len(),
+                        items.len()
+                    ));
+                }
+                let offsets = self.field_offsets(fields)?;
+                for ((f, off), item) in fields.iter().zip(offsets).zip(items) {
+                    self.write_node(mem, &f.ty, &Ann::default(), addr + off as u64, item, depth + 1)?;
+                }
+                Ok(())
+            }
+            SNode::Union(arms) => {
+                let MValue::Choice { index, value } = value else {
+                    return err(format!("expected a choice value for union, got {value}"));
+                };
+                let arm = arms
+                    .get(*index)
+                    .ok_or_else(|| LayoutError(format!("union arm {index} out of range")))?;
+                self.write_node(mem, &arm.ty, &Ann::default(), addr, value, depth + 1)
+            }
+            SNode::Enum(members) => {
+                let MValue::Int(v) = value else {
+                    return err(format!("expected an integer for enum, got {value}"));
+                };
+                if *v < 0 || *v >= members.len() as i128 {
+                    return err(format!("enum value {v} out of range"));
+                }
+                mem.write_uint(addr, 4, *v as u64)
+            }
+            SNode::Class { fields, .. } => {
+                let as_struct = Stype::struct_of(fields.clone());
+                self.write_node(mem, &as_struct, &Ann::default(), addr, value, depth + 1)
+            }
+            other => err(format!("cannot write a value of this C type: {other:?}")),
+        }
+    }
+
+    fn write_prim(
+        &self,
+        mem: &mut CMemory,
+        p: Prim,
+        ann: &Ann,
+        addr: u64,
+        value: &MValue,
+    ) -> Result<(), LayoutError> {
+        match (p, value) {
+            (Prim::Bool, MValue::Int(v)) => mem.write_uint(addr, 1, (*v != 0) as u64),
+            (Prim::Char8, MValue::Char(c)) if !ann.as_integer => {
+                let code = *c as u32;
+                if code > 0xFF {
+                    return err(format!("character {c:?} not representable in char"));
+                }
+                mem.write_uint(addr, 1, code as u64)
+            }
+            (Prim::Char16, MValue::Char(c)) if !ann.as_integer => {
+                let code = *c as u32;
+                if code > 0xFFFF {
+                    return err(format!("character {c:?} not representable in wchar_t"));
+                }
+                mem.write_uint(addr, 2, code as u64)
+            }
+            (Prim::Char8, MValue::Int(v)) if ann.as_integer => mem.write_uint(addr, 1, *v as u64),
+            (Prim::Char16, MValue::Int(v)) if ann.as_integer => mem.write_uint(addr, 2, *v as u64),
+            (Prim::I8 | Prim::U8, MValue::Int(v)) => mem.write_uint(addr, 1, *v as u64),
+            (Prim::I16 | Prim::U16, MValue::Int(v)) => mem.write_uint(addr, 2, *v as u64),
+            (Prim::I32 | Prim::U32, MValue::Int(v)) => mem.write_uint(addr, 4, *v as u64),
+            (Prim::I64 | Prim::U64, MValue::Int(v)) => mem.write_uint(addr, 8, *v as u64),
+            (Prim::F32, MValue::Real(r)) => mem.write_uint(addr, 4, (*r as f32).to_bits() as u64),
+            (Prim::F64, MValue::Real(r)) => mem.write_uint(addr, 8, r.to_bits()),
+            (Prim::Void, MValue::Unit) => Ok(()),
+            (p, v) => err(format!("value {v} does not fit C primitive {p:?}")),
+        }
+    }
+
+    /// Reads the value of `ty` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] on bad accesses, missing lengths for
+    /// runtime-sized arrays, unions without a discriminator, or `no-alias`
+    /// violations in the actual data.
+    pub fn read_at(
+        &self,
+        mem: &CMemory,
+        ty: &Stype,
+        addr: u64,
+        ctx: &ReadContext<'_>,
+    ) -> Result<MValue, LayoutError> {
+        let mut aliases = HashSet::new();
+        self.read_node(mem, ty, &Ann::default(), addr, ctx, &mut aliases, 0)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn read_node(
+        &self,
+        mem: &CMemory,
+        ty: &Stype,
+        ctxann: &Ann,
+        addr: u64,
+        ctx: &ReadContext<'_>,
+        aliases: &mut HashSet<u64>,
+        depth: usize,
+    ) -> Result<MValue, LayoutError> {
+        if depth > 1024 {
+            return err("data structure too deep (cyclic data under a non-recursive type?)");
+        }
+        let ann = ctxann.merge_under(&ty.ann);
+        match &ty.node {
+            SNode::Prim(p) => self.read_prim(mem, *p, &ann, addr),
+            SNode::Named(n) => {
+                let decl = self
+                    .uni
+                    .get(n)
+                    .ok_or_else(|| LayoutError(format!("unknown type `{n}`")))?
+                    .clone();
+                let mut inner = ann.clone();
+                inner.length = None;
+                inner.non_null = false;
+                inner.is_string = false;
+                self.read_node(mem, &decl.ty, &inner, addr, ctx, aliases, depth + 1)
+            }
+            SNode::Pointer(target) => {
+                let p = mem.read_ptr(addr)?;
+                if ann.is_string {
+                    if p == 0 {
+                        return err("null string pointer");
+                    }
+                    let mut out = String::new();
+                    let mut i = 0u64;
+                    loop {
+                        let b = mem.read_uint(p + i, 1)? as u8;
+                        if b == 0 {
+                            break;
+                        }
+                        out.push(b as char);
+                        i += 1;
+                        if i > 1 << 20 {
+                            return err("unterminated string");
+                        }
+                    }
+                    return Ok(MValue::string(&out));
+                }
+                match &ann.length {
+                    Some(len_ann) => {
+                        let (n, fixed) = match len_ann {
+                            LengthAnn::Static(n) => (*n, true),
+                            LengthAnn::Param(name) => (
+                                *ctx.lengths.get(name).ok_or_else(|| {
+                                    LayoutError(format!(
+                                        "length parameter `{name}` not supplied"
+                                    ))
+                                })?,
+                                false,
+                            ),
+                            LengthAnn::Runtime => {
+                                return err(
+                                    "runtime-length array needs a length parameter binding",
+                                )
+                            }
+                        };
+                        if p == 0 {
+                            return err("null array pointer");
+                        }
+                        let elem_l = self.layout_node(target, &Ann::default(), depth + 1)?;
+                        let mut items = Vec::with_capacity(n);
+                        for i in 0..n {
+                            items.push(self.read_node(
+                                mem,
+                                target,
+                                &Ann::default(),
+                                p + (i * elem_l.size) as u64,
+                                ctx,
+                                aliases,
+                                depth + 1,
+                            )?);
+                        }
+                        return Ok(if fixed { MValue::Record(items) } else { MValue::List(items) });
+                    }
+                    None => {}
+                }
+                if p == 0 {
+                    if ann.non_null {
+                        return err("null found in pointer annotated non-null");
+                    }
+                    return Ok(MValue::null());
+                }
+                if ann.no_alias && !aliases.insert(p) {
+                    return err(format!(
+                        "aliasing detected at address {p} under a no-alias annotation"
+                    ));
+                }
+                let inner =
+                    self.read_node(mem, target, &Ann::default(), p, ctx, aliases, depth + 1)?;
+                Ok(if ann.non_null { inner } else { MValue::some(inner) })
+            }
+            SNode::Array { elem, len } => {
+                let effective = match &ann.length {
+                    Some(LengthAnn::Static(n)) => ArrayLen::Fixed(*n),
+                    Some(LengthAnn::Param(name)) => {
+                        let n = *ctx.lengths.get(name).ok_or_else(|| {
+                            LayoutError(format!("length parameter `{name}` not supplied"))
+                        })?;
+                        let elem_l = self.layout_node(elem, &Ann::default(), depth + 1)?;
+                        let mut items = Vec::with_capacity(n);
+                        for i in 0..n {
+                            items.push(self.read_node(
+                                mem,
+                                elem,
+                                &Ann::default(),
+                                addr + (i * elem_l.size) as u64,
+                                ctx,
+                                aliases,
+                                depth + 1,
+                            )?);
+                        }
+                        return Ok(MValue::List(items));
+                    }
+                    Some(LengthAnn::Runtime) => {
+                        return err("runtime-length array needs a length parameter binding")
+                    }
+                    None => *len,
+                };
+                match effective {
+                    ArrayLen::Fixed(n) => {
+                        let elem_l = self.layout_node(elem, &Ann::default(), depth + 1)?;
+                        let mut items = Vec::with_capacity(n);
+                        for i in 0..n {
+                            items.push(self.read_node(
+                                mem,
+                                elem,
+                                &Ann::default(),
+                                addr + (i * elem_l.size) as u64,
+                                ctx,
+                                aliases,
+                                depth + 1,
+                            )?);
+                        }
+                        Ok(MValue::Record(items))
+                    }
+                    ArrayLen::Indefinite => {
+                        err("indefinite array in memory needs a length annotation")
+                    }
+                }
+            }
+            SNode::Struct(fields) => {
+                let offsets = self.field_offsets(fields)?;
+                let mut items = Vec::with_capacity(fields.len());
+                for (f, off) in fields.iter().zip(offsets) {
+                    items.push(self.read_node(
+                        mem,
+                        &f.ty,
+                        &Ann::default(),
+                        addr + off as u64,
+                        ctx,
+                        aliases,
+                        depth + 1,
+                    )?);
+                }
+                Ok(MValue::Record(items))
+            }
+            SNode::Union(arms) => {
+                let pick = ctx.union_pick.ok_or_else(|| {
+                    LayoutError(
+                        "reading a C union requires a discriminator (union support is \
+                         incomplete without one, paper §6)"
+                            .into(),
+                    )
+                })?;
+                let index = pick(arms.len());
+                let arm = arms
+                    .get(index)
+                    .ok_or_else(|| LayoutError(format!("union discriminator {index} out of range")))?;
+                let v = self.read_node(mem, &arm.ty, &Ann::default(), addr, ctx, aliases, depth + 1)?;
+                Ok(MValue::Choice { index, value: Box::new(v) })
+            }
+            SNode::Enum(members) => {
+                let v = mem.read_uint(addr, 4)? as i128;
+                if v >= members.len() as i128 {
+                    return err(format!("enum discriminant {v} out of range"));
+                }
+                Ok(MValue::Int(v))
+            }
+            SNode::Class { fields, .. } => {
+                let as_struct = Stype::struct_of(fields.clone());
+                self.read_node(mem, &as_struct, &Ann::default(), addr, ctx, aliases, depth + 1)
+            }
+            other => err(format!("cannot read a value of this C type: {other:?}")),
+        }
+    }
+
+    fn read_prim(
+        &self,
+        mem: &CMemory,
+        p: Prim,
+        ann: &Ann,
+        addr: u64,
+    ) -> Result<MValue, LayoutError> {
+        Ok(match p {
+            Prim::Bool => MValue::Int((mem.read_uint(addr, 1)? != 0) as i128),
+            Prim::Char8 => {
+                let b = mem.read_uint(addr, 1)? as u8;
+                if ann.as_integer {
+                    MValue::Int(b as i128)
+                } else {
+                    MValue::Char(b as char)
+                }
+            }
+            Prim::Char16 => {
+                let w = mem.read_uint(addr, 2)? as u16;
+                if ann.as_integer {
+                    MValue::Int(w as i128)
+                } else {
+                    MValue::Char(char::from_u32(w as u32).unwrap_or('\u{FFFD}'))
+                }
+            }
+            Prim::I8 => MValue::Int(mem.read_uint(addr, 1)? as u8 as i8 as i128),
+            Prim::U8 => MValue::Int(mem.read_uint(addr, 1)? as i128),
+            Prim::I16 => MValue::Int(mem.read_uint(addr, 2)? as u16 as i16 as i128),
+            Prim::U16 => MValue::Int(mem.read_uint(addr, 2)? as i128),
+            Prim::I32 => MValue::Int(mem.read_uint(addr, 4)? as u32 as i32 as i128),
+            Prim::U32 => MValue::Int(mem.read_uint(addr, 4)? as i128),
+            Prim::I64 => MValue::Int(mem.read_uint(addr, 8)? as i64 as i128),
+            Prim::U64 => MValue::Int(mem.read_uint(addr, 8)? as i128),
+            Prim::F32 => MValue::Real(f32::from_bits(mem.read_uint(addr, 4)? as u32) as f64),
+            Prim::F64 => MValue::Real(f64::from_bits(mem.read_uint(addr, 8)?)),
+            Prim::Void => MValue::Unit,
+            Prim::Any => return err("the dynamic type has no C representation"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mockingbird_stype::ast::{Decl, Field, Lang};
+
+    fn empty() -> Universe {
+        Universe::new()
+    }
+
+    #[test]
+    fn scalar_layouts() {
+        let uni = empty();
+        let c = CCodec::new(&uni, CTarget::LP64_LE);
+        assert_eq!(c.layout_of(&Stype::i8()).unwrap(), Layout { size: 1, align: 1 });
+        assert_eq!(c.layout_of(&Stype::f64()).unwrap(), Layout { size: 8, align: 8 });
+        assert_eq!(
+            c.layout_of(&Stype::pointer(Stype::i32())).unwrap(),
+            Layout { size: 8, align: 8 }
+        );
+        let c32 = CCodec::new(&uni, CTarget::ILP32_BE);
+        assert_eq!(
+            c32.layout_of(&Stype::pointer(Stype::i32())).unwrap(),
+            Layout { size: 4, align: 4 }
+        );
+    }
+
+    #[test]
+    fn struct_layout_has_padding() {
+        // struct { char c; double d; char e; } — offsets 0, 8, 16; size 24.
+        let uni = empty();
+        let c = CCodec::new(&uni, CTarget::LP64_LE);
+        let fields = vec![
+            Field::new("c", Stype::char8()),
+            Field::new("d", Stype::f64()),
+            Field::new("e", Stype::char8()),
+        ];
+        assert_eq!(c.field_offsets(&fields).unwrap(), vec![0, 8, 16]);
+        let s = Stype::struct_of(fields);
+        assert_eq!(c.layout_of(&s).unwrap(), Layout { size: 24, align: 8 });
+    }
+
+    #[test]
+    fn fixed_array_layout() {
+        let uni = empty();
+        let c = CCodec::new(&uni, CTarget::LP64_LE);
+        let a = Stype::array_fixed(Stype::f32(), 2);
+        assert_eq!(c.layout_of(&a).unwrap(), Layout { size: 8, align: 4 });
+        assert!(c.layout_of(&Stype::array_indefinite(Stype::f32())).is_err());
+    }
+
+    #[test]
+    fn scalar_round_trips_both_endians() {
+        let uni = empty();
+        for target in [CTarget::LP64_LE, CTarget::ILP32_BE] {
+            let codec = CCodec::new(&uni, target);
+            let mut mem = CMemory::new(target);
+            for (ty, v) in [
+                (Stype::i32(), MValue::Int(-123456)),
+                (Stype::u64(), MValue::Int(1 << 40)),
+                (Stype::f32(), MValue::Real(1.5)),
+                (Stype::f64(), MValue::Real(-2.25)),
+                (Stype::boolean(), MValue::Int(1)),
+                (Stype::char8(), MValue::Char('A')),
+                (Stype::char16(), MValue::Char('é')),
+                (Stype::i8(), MValue::Int(-5)),
+                (Stype::i16(), MValue::Int(-300)),
+            ] {
+                let addr = codec.write_new(&mut mem, &ty, &v).unwrap();
+                let back = codec.read_at(&mem, &ty, addr, &ReadContext::default()).unwrap();
+                assert_eq!(back, v, "{ty:?} on {target:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn struct_round_trip_with_padding() {
+        let uni = empty();
+        let codec = CCodec::new(&uni, CTarget::LP64_LE);
+        let mut mem = CMemory::new(CTarget::LP64_LE);
+        let s = Stype::struct_of(vec![
+            Field::new("c", Stype::char8()),
+            Field::new("d", Stype::f64()),
+        ]);
+        let v = MValue::Record(vec![MValue::Char('x'), MValue::Real(3.25)]);
+        let addr = codec.write_new(&mut mem, &s, &v).unwrap();
+        assert_eq!(codec.read_at(&mem, &s, addr, &ReadContext::default()).unwrap(), v);
+    }
+
+    #[test]
+    fn nullable_pointer_round_trip() {
+        let uni = empty();
+        let codec = CCodec::new(&uni, CTarget::LP64_LE);
+        let mut mem = CMemory::new(CTarget::LP64_LE);
+        let ty = Stype::pointer(Stype::i32());
+        let addr = codec.write_new(&mut mem, &ty, &MValue::null()).unwrap();
+        assert_eq!(
+            codec.read_at(&mem, &ty, addr, &ReadContext::default()).unwrap(),
+            MValue::null()
+        );
+        let addr = codec
+            .write_new(&mut mem, &ty, &MValue::some(MValue::Int(9)))
+            .unwrap();
+        assert_eq!(
+            codec.read_at(&mem, &ty, addr, &ReadContext::default()).unwrap(),
+            MValue::some(MValue::Int(9))
+        );
+    }
+
+    #[test]
+    fn non_null_pointer_rejects_null_on_read() {
+        let uni = empty();
+        let codec = CCodec::new(&uni, CTarget::LP64_LE);
+        let mut mem = CMemory::new(CTarget::LP64_LE);
+        let ty = Stype::pointer(Stype::i32()).with_ann(|a| a.non_null = true);
+        // Write a direct value through the non-null pointer path.
+        let addr = codec.write_new(&mut mem, &ty, &MValue::Int(5)).unwrap();
+        assert_eq!(
+            codec.read_at(&mem, &ty, addr, &ReadContext::default()).unwrap(),
+            MValue::Int(5)
+        );
+        // A hand-written null violates the annotation.
+        let null_addr = mem.alloc(8, 8);
+        mem.write_ptr(null_addr, 0).unwrap();
+        let errv = codec
+            .read_at(&mem, &ty, null_addr, &ReadContext::default())
+            .unwrap_err();
+        assert!(errv.to_string().contains("non-null"));
+    }
+
+    #[test]
+    fn length_param_arrays_read_as_lists() {
+        let mut uni = empty();
+        uni.insert(Decl::new("point", Lang::C, Stype::array_fixed(Stype::f32(), 2)))
+            .unwrap();
+        let codec = CCodec::new(&uni, CTarget::LP64_LE);
+        let mut mem = CMemory::new(CTarget::LP64_LE);
+        let ty = Stype::pointer(Stype::named("point"))
+            .with_ann(|a| a.length = Some(LengthAnn::Param("count".into())));
+        let pts = MValue::List(vec![
+            MValue::Record(vec![MValue::Real(1.0), MValue::Real(2.0)]),
+            MValue::Record(vec![MValue::Real(3.0), MValue::Real(4.0)]),
+        ]);
+        let addr = codec.write_new(&mut mem, &ty, &pts).unwrap();
+        let mut ctx = ReadContext::default();
+        ctx.lengths.insert("count".into(), 2);
+        assert_eq!(codec.read_at(&mem, &ty, addr, &ctx).unwrap(), pts);
+        // Missing length is an error.
+        let errv = codec.read_at(&mem, &ty, addr, &ReadContext::default()).unwrap_err();
+        assert!(errv.to_string().contains("count"));
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let uni = empty();
+        let codec = CCodec::new(&uni, CTarget::LP64_LE);
+        let mut mem = CMemory::new(CTarget::LP64_LE);
+        let ty = Stype::pointer(Stype::char8()).with_ann(|a| a.is_string = true);
+        let v = MValue::string("hello");
+        let addr = codec.write_new(&mut mem, &ty, &v).unwrap();
+        assert_eq!(codec.read_at(&mem, &ty, addr, &ReadContext::default()).unwrap(), v);
+    }
+
+    #[test]
+    fn union_needs_discriminator() {
+        let uni = empty();
+        let codec = CCodec::new(&uni, CTarget::LP64_LE);
+        let mut mem = CMemory::new(CTarget::LP64_LE);
+        let u = Stype::union_of(vec![
+            Field::new("i", Stype::i32()),
+            Field::new("f", Stype::f32()),
+        ]);
+        let v = MValue::Choice { index: 1, value: Box::new(MValue::Real(2.5)) };
+        let addr = codec.write_new(&mut mem, &u, &v).unwrap();
+        assert!(codec
+            .read_at(&mem, &u, addr, &ReadContext::default())
+            .unwrap_err()
+            .to_string()
+            .contains("discriminator"));
+        let pick = |_n: usize| 1usize;
+        let ctx = ReadContext { lengths: HashMap::new(), union_pick: Some(&pick) };
+        assert_eq!(codec.read_at(&mem, &u, addr, &ctx).unwrap(), v);
+    }
+
+    #[test]
+    fn recursive_linked_list_through_pointers() {
+        let mut uni = empty();
+        uni.insert(Decl::new(
+            "node",
+            Lang::C,
+            Stype::struct_of(vec![
+                Field::new("value", Stype::i32()),
+                Field::new("next", Stype::pointer(Stype::named("node"))),
+            ]),
+        ))
+        .unwrap();
+        let codec = CCodec::new(&uni, CTarget::LP64_LE);
+        let mut mem = CMemory::new(CTarget::LP64_LE);
+        let ty = Stype::named("node");
+        let v = MValue::Record(vec![
+            MValue::Int(1),
+            MValue::some(MValue::Record(vec![MValue::Int(2), MValue::null()])),
+        ]);
+        let addr = codec.write_new(&mut mem, &ty, &v).unwrap();
+        assert_eq!(codec.read_at(&mem, &ty, addr, &ReadContext::default()).unwrap(), v);
+    }
+
+    #[test]
+    fn no_alias_violation_detected() {
+        let mut uni = empty();
+        uni.insert(Decl::new(
+            "pair",
+            Lang::C,
+            Stype::struct_of(vec![
+                Field::new(
+                    "a",
+                    Stype::pointer(Stype::i32()).with_ann(|x| {
+                        x.non_null = true;
+                        x.no_alias = true;
+                    }),
+                ),
+                Field::new(
+                    "b",
+                    Stype::pointer(Stype::i32()).with_ann(|x| {
+                        x.non_null = true;
+                        x.no_alias = true;
+                    }),
+                ),
+            ]),
+        ))
+        .unwrap();
+        let codec = CCodec::new(&uni, CTarget::LP64_LE);
+        let mut mem = CMemory::new(CTarget::LP64_LE);
+        // Build a pair whose two pointers alias the same int.
+        let int_addr = mem.alloc(4, 4);
+        mem.write_uint(int_addr, 4, 7).unwrap();
+        let pair_addr = mem.alloc(16, 8);
+        mem.write_ptr(pair_addr, int_addr).unwrap();
+        mem.write_ptr(pair_addr + 8, int_addr).unwrap();
+        let errv = codec
+            .read_at(&mem, &Stype::named("pair"), pair_addr, &ReadContext::default())
+            .unwrap_err();
+        assert!(errv.to_string().contains("aliasing"));
+    }
+
+    #[test]
+    fn enum_round_trip_and_range_check() {
+        let uni = empty();
+        let codec = CCodec::new(&uni, CTarget::LP64_LE);
+        let mut mem = CMemory::new(CTarget::LP64_LE);
+        let e = Stype::enum_of(vec!["A".into(), "B".into()]);
+        let addr = codec.write_new(&mut mem, &e, &MValue::Int(1)).unwrap();
+        assert_eq!(
+            codec.read_at(&mem, &e, addr, &ReadContext::default()).unwrap(),
+            MValue::Int(1)
+        );
+        assert!(codec.write_at(&mut mem, &e, addr, &MValue::Int(5)).is_err());
+    }
+
+    #[test]
+    fn oob_and_null_accesses_error() {
+        let mut mem = CMemory::new(CTarget::LP64_LE);
+        assert!(mem.read_uint(0, 4).is_err());
+        assert!(mem.read_uint(1 << 20, 4).is_err());
+        assert!(mem.write_uint(0, 4, 1).is_err());
+    }
+}

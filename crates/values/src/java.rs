@@ -1,0 +1,790 @@
+//! A Java heap of object graphs.
+//!
+//! The Java side of a stub traverses real reference structure: instances
+//! with fields, arrays, strings, `Vector`s, `null`, and aliasing. The
+//! [`JCodec`] converts between [`JValue`] graphs and neutral [`MValue`]s
+//! guided by the annotated declaration, mirroring the Stype→Mtype rules:
+//! a `non-null` pointer converts without the Choice wrapper (and a null
+//! found there is an error), `no-alias` is verified against the actual
+//! graph, `Vector` subclasses convert element-wise per their `element`
+//! annotation.
+
+use std::collections::HashSet;
+
+use mockingbird_stype::ann::{Ann, LengthAnn, PassMode};
+use mockingbird_stype::ast::{ArrayLen, Prim, SNode, Stype, Universe};
+use mockingbird_stype::lower::JAVA_VECTOR;
+
+use crate::mvalue::{MValue, ValueError};
+
+/// A reference into a [`JHeap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JRef(pub usize);
+
+/// A Java value: a primitive, `null`, or a heap reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JValue {
+    /// `boolean`.
+    Bool(bool),
+    /// `byte`.
+    Byte(i8),
+    /// `short`.
+    Short(i16),
+    /// `char` (UTF-16 code unit).
+    Char(u16),
+    /// `int`.
+    Int(i32),
+    /// `long`.
+    Long(i64),
+    /// `float`.
+    Float(f32),
+    /// `double`.
+    Double(f64),
+    /// The null reference.
+    Null,
+    /// A reference to a heap object.
+    Ref(JRef),
+}
+
+/// A heap object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JObject {
+    /// A class instance with fields in declaration order.
+    Instance {
+        /// The runtime class name.
+        class: String,
+        /// Field values in declaration order.
+        fields: Vec<JValue>,
+    },
+    /// An array.
+    Array(Vec<JValue>),
+    /// A `java.lang.String`.
+    Str(String),
+    /// A `java.util.Vector` (or subclass) and its elements.
+    Vector(Vec<JValue>),
+}
+
+/// A growable Java heap.
+#[derive(Debug, Clone, Default)]
+pub struct JHeap {
+    objects: Vec<JObject>,
+}
+
+impl JHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        JHeap::default()
+    }
+
+    /// Allocates an object, returning its reference.
+    pub fn alloc(&mut self, obj: JObject) -> JRef {
+        self.objects.push(obj);
+        JRef(self.objects.len() - 1)
+    }
+
+    /// Borrows the object behind a reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is dangling (heap references are only
+    /// created by [`JHeap::alloc`], so this indicates a cross-heap mixup).
+    pub fn get(&self, r: JRef) -> &JObject {
+        &self.objects[r.0]
+    }
+
+    /// Mutably borrows the object behind a reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is dangling.
+    pub fn get_mut(&mut self, r: JRef) -> &mut JObject {
+        &mut self.objects[r.0]
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the heap has no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Convenience: allocates a string object.
+    pub fn string(&mut self, s: impl Into<String>) -> JValue {
+        JValue::Ref(self.alloc(JObject::Str(s.into())))
+    }
+
+    /// Convenience: allocates an instance.
+    pub fn instance(&mut self, class: impl Into<String>, fields: Vec<JValue>) -> JValue {
+        JValue::Ref(self.alloc(JObject::Instance { class: class.into(), fields }))
+    }
+
+    /// Convenience: allocates a vector.
+    pub fn vector(&mut self, items: Vec<JValue>) -> JValue {
+        JValue::Ref(self.alloc(JObject::Vector(items)))
+    }
+
+    /// Convenience: allocates an array.
+    pub fn array(&mut self, items: Vec<JValue>) -> JValue {
+        JValue::Ref(self.alloc(JObject::Array(items)))
+    }
+}
+
+fn err<T>(m: impl Into<String>) -> Result<T, ValueError> {
+    Err(ValueError(m.into()))
+}
+
+/// Converts between Java object graphs and neutral values.
+pub struct JCodec<'u> {
+    uni: &'u Universe,
+}
+
+impl<'u> JCodec<'u> {
+    /// Creates a codec resolving class names against `uni`.
+    pub fn new(uni: &'u Universe) -> Self {
+        JCodec { uni }
+    }
+
+    /// Converts a Java value of declared type `ty` to a neutral value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValueError`] on shape mismatches, `non-null`/`no-alias`
+    /// violations, or constructs needing annotations (unannotated
+    /// `Vector`s, dynamic values).
+    pub fn to_mvalue(&self, heap: &JHeap, ty: &Stype, v: &JValue) -> Result<MValue, ValueError> {
+        let mut aliases = HashSet::new();
+        self.to_m(heap, ty, &Ann::default(), v, &mut aliases, 0)
+    }
+
+    /// Builds a Java value of declared type `ty` from a neutral value,
+    /// allocating objects into `heap`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValueError`] on shape mismatches.
+    pub fn from_mvalue(
+        &self,
+        heap: &mut JHeap,
+        ty: &Stype,
+        v: &MValue,
+    ) -> Result<JValue, ValueError> {
+        self.from_m(heap, ty, &Ann::default(), v, 0)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn to_m(
+        &self,
+        heap: &JHeap,
+        ty: &Stype,
+        ctx: &Ann,
+        v: &JValue,
+        aliases: &mut HashSet<JRef>,
+        depth: usize,
+    ) -> Result<MValue, ValueError> {
+        if depth > 1024 {
+            return err("object graph too deep (cyclic data under a non-recursive type?)");
+        }
+        let ann = ctx.merge_under(&ty.ann);
+        match &ty.node {
+            SNode::Prim(p) => prim_to_m(*p, &ann, v),
+            SNode::Str => match v {
+                JValue::Ref(r) => match heap.get(*r) {
+                    JObject::Str(s) => Ok(MValue::string(s)),
+                    other => err(format!("expected a String object, found {other:?}")),
+                },
+                JValue::Null => err("null String (annotate the reference nullable if intended)"),
+                other => err(format!("expected a String reference, found {other:?}")),
+            },
+            SNode::Named(n) => {
+                let decl = self
+                    .uni
+                    .get(n)
+                    .ok_or_else(|| ValueError(format!("unknown class `{n}`")))?
+                    .clone();
+                let mut inner = ann.clone();
+                inner.non_null = false;
+                inner.no_alias = false;
+                self.to_m(heap, &decl.ty, &inner, v, aliases, depth + 1)
+            }
+            SNode::Pointer(target) => {
+                match v {
+                    JValue::Null => {
+                        if ann.non_null {
+                            err("null found in a reference annotated non-null")
+                        } else {
+                            Ok(MValue::null())
+                        }
+                    }
+                    JValue::Ref(r) => {
+                        if ann.no_alias && !aliases.insert(*r) {
+                            return err(format!(
+                                "aliasing detected at object #{} under a no-alias annotation",
+                                r.0
+                            ));
+                        }
+                        // Pass collection annotations through the pointer.
+                        let mut inner = Ann::default();
+                        inner.element = ann.element.clone();
+                        let m = self.to_m(heap, target, &inner, v, aliases, depth + 1)?;
+                        Ok(if ann.non_null { m } else { MValue::some(m) })
+                    }
+                    other => err(format!("expected a reference, found {other:?}")),
+                }
+            }
+            SNode::Array { elem, len } => match v {
+                JValue::Ref(r) => match heap.get(*r) {
+                    JObject::Array(items) => {
+                        let converted = items
+                            .iter()
+                            .map(|item| self.to_m(heap, elem, &Ann::default(), item, aliases, depth + 1))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        match (len, &ann.length) {
+                            (ArrayLen::Fixed(n), _) | (_, Some(LengthAnn::Static(n)))
+                                if matches!(len, ArrayLen::Fixed(_))
+                                    || matches!(ann.length, Some(LengthAnn::Static(_))) =>
+                            {
+                                if converted.len() != *n {
+                                    return err(format!(
+                                        "array has {} elements, type expects {n}",
+                                        converted.len()
+                                    ));
+                                }
+                                Ok(MValue::Record(converted))
+                            }
+                            _ => Ok(MValue::List(converted)),
+                        }
+                    }
+                    other => err(format!("expected an array object, found {other:?}")),
+                },
+                JValue::Null => err("null array (Java arrays convert as non-null collections)"),
+                other => err(format!("expected an array reference, found {other:?}")),
+            },
+            SNode::Sequence(elem) => self.collection_to_m(heap, &ann, Some(elem), v, aliases, depth),
+            SNode::Struct(fields) => {
+                // IDL structs cross into Java as value instances.
+                let fields = fields.clone();
+                self.instance_to_m(heap, &fields, v, aliases, depth)
+            }
+            SNode::Class { fields, extends, .. } => {
+                if self.is_collection(extends.as_deref()) {
+                    return self.collection_to_m(heap, &ann, None, v, aliases, depth);
+                }
+                if ann.pass_mode == Some(PassMode::ByReference) {
+                    return err("by-reference objects convert at invocation time, not as data");
+                }
+                let fields = fields.clone();
+                self.instance_to_m(heap, &fields, v, aliases, depth)
+            }
+            SNode::Enum(members) => match v {
+                JValue::Int(i) if (*i as usize) < members.len() && *i >= 0 => {
+                    Ok(MValue::Int(*i as i128))
+                }
+                other => err(format!("expected an enum ordinal, found {other:?}")),
+            },
+            other => err(format!("Java values of this type are not data: {other:?}")),
+        }
+    }
+
+    fn collection_to_m(
+        &self,
+        heap: &JHeap,
+        ann: &Ann,
+        inline_elem: Option<&Stype>,
+        v: &JValue,
+        aliases: &mut HashSet<JRef>,
+        depth: usize,
+    ) -> Result<MValue, ValueError> {
+        let JValue::Ref(r) = v else {
+            return err(format!("expected a collection reference, found {v:?}"));
+        };
+        let items = match heap.get(*r) {
+            JObject::Vector(items) | JObject::Array(items) => items,
+            other => return err(format!("expected a Vector, found {other:?}")),
+        };
+        // Element conversion: the `element` annotation names the declared
+        // element class; without it the collection holds dynamic values,
+        // which need annotation (paper §3.4).
+        match (&ann.element, inline_elem) {
+            (Some(elem_name), _) => {
+                let elem_ty = Stype::pointer(Stype::named(elem_name.clone())).with_ann(|a| {
+                    a.non_null = ann.non_null;
+                });
+                let converted = items
+                    .iter()
+                    .map(|item| self.to_m(heap, &elem_ty, &Ann::default(), item, aliases, depth + 1))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(MValue::List(converted))
+            }
+            (None, Some(elem)) => {
+                let converted = items
+                    .iter()
+                    .map(|item| self.to_m(heap, elem, &Ann::default(), item, aliases, depth + 1))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(MValue::List(converted))
+            }
+            (None, None) => err(
+                "collection has no element annotation: annotate it with element=<Class> \
+                 (paper §3.4: \"PointVector can only contain non-null Point objects\")",
+            ),
+        }
+    }
+
+    fn instance_to_m(
+        &self,
+        heap: &JHeap,
+        fields: &[mockingbird_stype::ast::Field],
+        v: &JValue,
+        aliases: &mut HashSet<JRef>,
+        depth: usize,
+    ) -> Result<MValue, ValueError> {
+        match v {
+            JValue::Ref(r) => match heap.get(*r) {
+                JObject::Instance { fields: jvals, .. } => {
+                    if jvals.len() != fields.len() {
+                        return err(format!(
+                            "instance has {} fields, class declares {}",
+                            jvals.len(),
+                            fields.len()
+                        ));
+                    }
+                    let items = fields
+                        .iter()
+                        .zip(jvals)
+                        .map(|(f, jv)| {
+                            self.to_m(heap, &f.ty, &Ann::default(), jv, aliases, depth + 1)
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok(MValue::Record(items))
+                }
+                other => err(format!("expected an instance, found {other:?}")),
+            },
+            JValue::Null => err("null instance (wrap the use in a nullable reference)"),
+            other => err(format!("expected an instance reference, found {other:?}")),
+        }
+    }
+
+    fn from_m(
+        &self,
+        heap: &mut JHeap,
+        ty: &Stype,
+        ctx: &Ann,
+        v: &MValue,
+        depth: usize,
+    ) -> Result<JValue, ValueError> {
+        if depth > 1024 {
+            return err("value nesting too deep");
+        }
+        let ann = ctx.merge_under(&ty.ann);
+        match &ty.node {
+            SNode::Prim(p) => prim_from_m(*p, &ann, v),
+            SNode::Str => match v.as_string() {
+                Some(s) => Ok(heap.string(s)),
+                None => err(format!("expected a character list for String, got {v}")),
+            },
+            SNode::Named(n) => {
+                let decl = self
+                    .uni
+                    .get(n)
+                    .ok_or_else(|| ValueError(format!("unknown class `{n}`")))?
+                    .clone();
+                let mut inner = ann.clone();
+                inner.non_null = false;
+                inner.no_alias = false;
+                self.from_m(heap, &decl.ty, &inner, v, depth + 1)
+            }
+            SNode::Pointer(target) => {
+                let inner_value = if ann.non_null {
+                    Some(v)
+                } else {
+                    match v {
+                        MValue::Choice { index: 0, .. } => None,
+                        MValue::Choice { index: 1, value } => Some(value.as_ref()),
+                        other => {
+                            return err(format!(
+                                "nullable reference expects a Choice value, got {other}"
+                            ))
+                        }
+                    }
+                };
+                match inner_value {
+                    None => Ok(JValue::Null),
+                    Some(inner) => {
+                        let mut passed = Ann::default();
+                        passed.element = ann.element.clone();
+                        self.from_m(heap, target, &passed, inner, depth + 1)
+                    }
+                }
+            }
+            SNode::Array { elem, len } => {
+                let items: Vec<&MValue> = match (v, len) {
+                    (MValue::Record(items), ArrayLen::Fixed(n)) => {
+                        if items.len() != *n {
+                            return err(format!("expected {n} elements, got {}", items.len()));
+                        }
+                        items.iter().collect()
+                    }
+                    (MValue::List(items), _) => items.iter().collect(),
+                    (other, _) => return err(format!("expected array elements, got {other}")),
+                };
+                let converted = items
+                    .into_iter()
+                    .map(|item| self.from_m(heap, elem, &Ann::default(), item, depth + 1))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(heap.array(converted))
+            }
+            SNode::Sequence(elem) => {
+                let MValue::List(items) = v else {
+                    return err(format!("expected a list for a collection, got {v}"));
+                };
+                let converted = items
+                    .iter()
+                    .map(|item| self.from_m(heap, elem, &Ann::default(), item, depth + 1))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(heap.vector(converted))
+            }
+            SNode::Struct(fields) => {
+                let MValue::Record(items) = v else {
+                    return err(format!("expected a record for a struct instance, got {v}"));
+                };
+                if items.len() != fields.len() {
+                    return err(format!(
+                        "struct declares {} fields, value has {}",
+                        fields.len(),
+                        items.len()
+                    ));
+                }
+                let fields = fields.clone();
+                let converted = fields
+                    .iter()
+                    .zip(items)
+                    .map(|(f, item)| self.from_m(heap, &f.ty, &Ann::default(), item, depth + 1))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(heap.instance("", converted))
+            }
+            SNode::Class { fields, extends, .. } => {
+                if self.is_collection(extends.as_deref()) {
+                    let MValue::List(items) = v else {
+                        return err(format!("expected a list for a Vector subclass, got {v}"));
+                    };
+                    let elem_name = ann.element.clone().ok_or_else(|| {
+                        ValueError("collection has no element annotation".into())
+                    })?;
+                    let elem_ty =
+                        Stype::pointer(Stype::named(elem_name)).with_ann(|a| a.non_null = ann.non_null);
+                    let converted = items
+                        .iter()
+                        .map(|item| self.from_m(heap, &elem_ty, &Ann::default(), item, depth + 1))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    return Ok(heap.vector(converted));
+                }
+                let MValue::Record(items) = v else {
+                    return err(format!("expected a record for a class instance, got {v}"));
+                };
+                if items.len() != fields.len() {
+                    return err(format!(
+                        "class declares {} fields, value has {}",
+                        fields.len(),
+                        items.len()
+                    ));
+                }
+                let converted = fields
+                    .iter()
+                    .zip(items)
+                    .map(|(f, item)| self.from_m(heap, &f.ty, &Ann::default(), item, depth + 1))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(heap.instance("", converted))
+            }
+            SNode::Enum(members) => match v {
+                MValue::Int(i) if *i >= 0 && (*i as usize) < members.len() => {
+                    Ok(JValue::Int(*i as i32))
+                }
+                other => err(format!("expected an enum ordinal, got {other}")),
+            },
+            other => err(format!("cannot build Java data of this type: {other:?}")),
+        }
+    }
+
+    fn is_collection(&self, extends: Option<&str>) -> bool {
+        let mut cur = extends;
+        let mut hops = 0;
+        while let Some(name) = cur {
+            if name == JAVA_VECTOR || name == "java.util.AbstractList" {
+                return true;
+            }
+            hops += 1;
+            if hops > 64 {
+                return false;
+            }
+            cur = match self.uni.get(name) {
+                Some(decl) => match &decl.ty.node {
+                    SNode::Class { extends, .. } => extends.as_deref(),
+                    _ => None,
+                },
+                None => None,
+            };
+        }
+        false
+    }
+}
+
+fn prim_to_m(p: Prim, ann: &Ann, v: &JValue) -> Result<MValue, ValueError> {
+    match (p, v) {
+        (Prim::Bool, JValue::Bool(b)) => Ok(MValue::Int(*b as i128)),
+        (Prim::I8, JValue::Byte(x)) => Ok(MValue::Int(*x as i128)),
+        (Prim::I16, JValue::Short(x)) => Ok(MValue::Int(*x as i128)),
+        (Prim::Char16, JValue::Char(c)) => {
+            if ann.as_integer {
+                Ok(MValue::Int(*c as i128))
+            } else {
+                Ok(MValue::Char(char::from_u32(*c as u32).unwrap_or('\u{FFFD}')))
+            }
+        }
+        (Prim::I32, JValue::Int(x)) => Ok(MValue::Int(*x as i128)),
+        (Prim::I64, JValue::Long(x)) => Ok(MValue::Int(*x as i128)),
+        (Prim::F32, JValue::Float(x)) => Ok(MValue::Real(*x as f64)),
+        (Prim::F64, JValue::Double(x)) => Ok(MValue::Real(*x)),
+        (Prim::Void, _) => Ok(MValue::Unit),
+        (Prim::Any, _) => err(
+            "dynamic (Object-typed) values need an element/type annotation to convert",
+        ),
+        (p, v) => err(format!("Java value {v:?} does not fit primitive {p:?}")),
+    }
+}
+
+fn prim_from_m(p: Prim, ann: &Ann, v: &MValue) -> Result<JValue, ValueError> {
+    match (p, v) {
+        (Prim::Bool, MValue::Int(x)) => Ok(JValue::Bool(*x != 0)),
+        (Prim::I8, MValue::Int(x)) => Ok(JValue::Byte(*x as i8)),
+        (Prim::I16, MValue::Int(x)) => Ok(JValue::Short(*x as i16)),
+        (Prim::Char16, MValue::Char(c)) if !ann.as_integer => Ok(JValue::Char(*c as u16)),
+        (Prim::Char16, MValue::Int(x)) if ann.as_integer => Ok(JValue::Char(*x as u16)),
+        (Prim::I32, MValue::Int(x)) => Ok(JValue::Int(*x as i32)),
+        (Prim::I64, MValue::Int(x)) => Ok(JValue::Long(*x as i64)),
+        (Prim::F32, MValue::Real(x)) => Ok(JValue::Float(*x as f32)),
+        (Prim::F64, MValue::Real(x)) => Ok(JValue::Double(*x)),
+        (Prim::Void, MValue::Unit) => Ok(JValue::Null),
+        (p, v) => err(format!("value {v} does not fit Java primitive {p:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mockingbird_stype::ast::{Decl, Field, Lang};
+
+    fn paper_universe() -> Universe {
+        let mut u = Universe::new();
+        u.insert(Decl::new(
+            "Point",
+            Lang::Java,
+            Stype::class(
+                vec![Field::new("x", Stype::f32()), Field::new("y", Stype::f32())],
+                vec![],
+            ),
+        ))
+        .unwrap();
+        u.insert(Decl::new(
+            "Line",
+            Lang::Java,
+            Stype::class(
+                vec![
+                    Field::new(
+                        "start",
+                        Stype::pointer(Stype::named("Point")).with_ann(|a| {
+                            a.non_null = true;
+                            a.no_alias = true;
+                        }),
+                    ),
+                    Field::new(
+                        "end",
+                        Stype::pointer(Stype::named("Point")).with_ann(|a| {
+                            a.non_null = true;
+                            a.no_alias = true;
+                        }),
+                    ),
+                ],
+                vec![],
+            ),
+        ))
+        .unwrap();
+        u.insert(Decl::new(
+            "PointVector",
+            Lang::Java,
+            Stype::class_extending(vec![], vec![], JAVA_VECTOR).with_ann(|a| {
+                a.element = Some("Point".into());
+                a.non_null = true;
+            }),
+        ))
+        .unwrap();
+        u
+    }
+
+    #[test]
+    fn point_instance_converts_to_record() {
+        let uni = paper_universe();
+        let codec = JCodec::new(&uni);
+        let mut heap = JHeap::new();
+        let p = heap.instance("Point", vec![JValue::Float(1.0), JValue::Float(2.0)]);
+        let m = codec.to_mvalue(&heap, &Stype::named("Point"), &p).unwrap();
+        assert_eq!(m, MValue::Record(vec![MValue::Real(1.0), MValue::Real(2.0)]));
+        let back = codec.from_mvalue(&mut heap, &Stype::named("Point"), &m).unwrap();
+        let m2 = codec.to_mvalue(&heap, &Stype::named("Point"), &back).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn line_with_non_null_points() {
+        let uni = paper_universe();
+        let codec = JCodec::new(&uni);
+        let mut heap = JHeap::new();
+        let p1 = heap.instance("Point", vec![JValue::Float(0.0), JValue::Float(0.0)]);
+        let p2 = heap.instance("Point", vec![JValue::Float(1.0), JValue::Float(1.0)]);
+        let line = heap.instance("Line", vec![p1, p2]);
+        let m = codec.to_mvalue(&heap, &Stype::named("Line"), &line).unwrap();
+        assert_eq!(
+            m,
+            MValue::Record(vec![
+                MValue::Record(vec![MValue::Real(0.0), MValue::Real(0.0)]),
+                MValue::Record(vec![MValue::Real(1.0), MValue::Real(1.0)]),
+            ])
+        );
+    }
+
+    #[test]
+    fn null_in_non_null_field_is_an_error() {
+        let uni = paper_universe();
+        let codec = JCodec::new(&uni);
+        let mut heap = JHeap::new();
+        let p1 = heap.instance("Point", vec![JValue::Float(0.0), JValue::Float(0.0)]);
+        let line = heap.instance("Line", vec![p1, JValue::Null]);
+        let e = codec.to_mvalue(&heap, &Stype::named("Line"), &line).unwrap_err();
+        assert!(e.to_string().contains("non-null"));
+    }
+
+    #[test]
+    fn aliasing_in_no_alias_field_is_an_error() {
+        let uni = paper_universe();
+        let codec = JCodec::new(&uni);
+        let mut heap = JHeap::new();
+        let p = heap.instance("Point", vec![JValue::Float(0.0), JValue::Float(0.0)]);
+        let line = heap.instance("Line", vec![p, p]);
+        let e = codec.to_mvalue(&heap, &Stype::named("Line"), &line).unwrap_err();
+        assert!(e.to_string().contains("aliasing"));
+    }
+
+    #[test]
+    fn point_vector_converts_to_list() {
+        let uni = paper_universe();
+        let codec = JCodec::new(&uni);
+        let mut heap = JHeap::new();
+        let p1 = heap.instance("Point", vec![JValue::Float(1.0), JValue::Float(2.0)]);
+        let p2 = heap.instance("Point", vec![JValue::Float(3.0), JValue::Float(4.0)]);
+        let pv = heap.vector(vec![p1, p2]);
+        let m = codec
+            .to_mvalue(&heap, &Stype::named("PointVector"), &pv)
+            .unwrap();
+        assert_eq!(
+            m,
+            MValue::List(vec![
+                MValue::Record(vec![MValue::Real(1.0), MValue::Real(2.0)]),
+                MValue::Record(vec![MValue::Real(3.0), MValue::Real(4.0)]),
+            ])
+        );
+        let back = codec
+            .from_mvalue(&mut heap, &Stype::named("PointVector"), &m)
+            .unwrap();
+        let m2 = codec
+            .to_mvalue(&heap, &Stype::named("PointVector"), &back)
+            .unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn unannotated_vector_is_an_error_with_guidance() {
+        let mut uni = Universe::new();
+        uni.insert(Decl::new(
+            "Bag",
+            Lang::Java,
+            Stype::class_extending(vec![], vec![], JAVA_VECTOR),
+        ))
+        .unwrap();
+        let codec = JCodec::new(&uni);
+        let mut heap = JHeap::new();
+        let bag = heap.vector(vec![]);
+        let e = codec.to_mvalue(&heap, &Stype::named("Bag"), &bag).unwrap_err();
+        assert!(e.to_string().contains("element="), "{e}");
+    }
+
+    #[test]
+    fn strings_and_arrays() {
+        let uni = Universe::new();
+        let codec = JCodec::new(&uni);
+        let mut heap = JHeap::new();
+        let s = heap.string("hi");
+        assert_eq!(
+            codec.to_mvalue(&heap, &Stype::string(), &s).unwrap(),
+            MValue::string("hi")
+        );
+        let arr = heap.array(vec![JValue::Int(1), JValue::Int(2)]);
+        let ty = Stype::array_indefinite(Stype::i32());
+        assert_eq!(
+            codec.to_mvalue(&heap, &ty, &arr).unwrap(),
+            MValue::List(vec![MValue::Int(1), MValue::Int(2)])
+        );
+        let back = codec
+            .from_mvalue(&mut heap, &ty, &MValue::List(vec![MValue::Int(9)]))
+            .unwrap();
+        assert_eq!(
+            codec.to_mvalue(&heap, &ty, &back).unwrap(),
+            MValue::List(vec![MValue::Int(9)])
+        );
+    }
+
+    #[test]
+    fn nullable_reference_round_trip() {
+        let uni = paper_universe();
+        let codec = JCodec::new(&uni);
+        let mut heap = JHeap::new();
+        let ty = Stype::pointer(Stype::named("Point"));
+        assert_eq!(codec.to_mvalue(&heap, &ty, &JValue::Null).unwrap(), MValue::null());
+        let p = heap.instance("Point", vec![JValue::Float(5.0), JValue::Float(6.0)]);
+        let m = codec.to_mvalue(&heap, &ty, &p).unwrap();
+        assert!(matches!(m, MValue::Choice { index: 1, .. }));
+        let back = codec.from_mvalue(&mut heap, &ty, &MValue::null()).unwrap();
+        assert_eq!(back, JValue::Null);
+    }
+
+    #[test]
+    fn primitive_vocabulary_round_trips() {
+        let uni = Universe::new();
+        let codec = JCodec::new(&uni);
+        let mut heap = JHeap::new();
+        for (ty, jv, mv) in [
+            (Stype::boolean(), JValue::Bool(true), MValue::Int(1)),
+            (Stype::i8(), JValue::Byte(-3), MValue::Int(-3)),
+            (Stype::i16(), JValue::Short(300), MValue::Int(300)),
+            (Stype::char16(), JValue::Char('Z' as u16), MValue::Char('Z')),
+            (Stype::i32(), JValue::Int(-7), MValue::Int(-7)),
+            (Stype::i64(), JValue::Long(1 << 40), MValue::Int(1 << 40)),
+            (Stype::f32(), JValue::Float(1.5), MValue::Real(1.5)),
+            (Stype::f64(), JValue::Double(2.5), MValue::Real(2.5)),
+        ] {
+            assert_eq!(codec.to_mvalue(&heap, &ty, &jv).unwrap(), mv);
+            assert_eq!(codec.from_mvalue(&mut heap, &ty, &mv).unwrap(), jv);
+        }
+    }
+
+    #[test]
+    fn dynamic_values_need_annotation() {
+        let uni = Universe::new();
+        let codec = JCodec::new(&uni);
+        let heap = JHeap::new();
+        let e = codec
+            .to_mvalue(&heap, &Stype::any(), &JValue::Int(1))
+            .unwrap_err();
+        assert!(e.to_string().contains("annotation"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Runtime value models for Mockingbird stubs.
+//!
+//! A generated stub moves *values* between two representations. This
+//! crate provides the three value models the stubs operate on:
+//!
+//! - [`mvalue::MValue`] — the neutral value form mirroring Mtype
+//!   structure; the coercion-plan VM converts `MValue → MValue`;
+//! - [`cmem`] — a simulated C address space with faithful struct layout
+//!   (alignment, padding, pointer width, endianness), so the C side of a
+//!   stub reads and writes real memory images;
+//! - [`java`] — a Java heap of object graphs (instances, arrays,
+//!   strings, vectors, with null and aliasing), so the Java side of a
+//!   stub traverses real reference structure.
+//!
+//! Both language models convert to and from `MValue` *guided by the
+//! annotated Stype declaration*, mirroring the Stype→Mtype translation
+//! rules exactly: a `non-null` annotated pointer reads without a Choice
+//! wrapper, an indefinite array reads as a list, a `no-alias` annotation
+//! is checked against the actual object graph.
+
+pub mod cmem;
+pub mod java;
+pub mod mvalue;
+
+pub use cmem::{CCodec, CMemory, CTarget, Endian, Layout, LayoutError, ReadContext};
+pub use java::{JCodec, JHeap, JObject, JRef, JValue};
+pub use mvalue::{list_element_type, typecheck, MValue, PortRef, ValueError};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,309 @@
+//! The neutral value form.
+
+use std::fmt;
+
+use mockingbird_mtype::{MtypeGraph, MtypeId, MtypeKind};
+
+/// An opaque reference to a port registered with the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortRef(pub u64);
+
+impl fmt::Display for PortRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "port#{}", self.0)
+    }
+}
+
+/// A value structured like an Mtype.
+///
+/// `List` is the value form of the canonical recursive collection Mtype
+/// (`Rec X. Choice(Unit, Record(elem, X))`); representing it natively
+/// keeps conversion iterative instead of one stack frame per element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MValue {
+    /// An integer.
+    Int(i128),
+    /// A character.
+    Char(char),
+    /// A floating point number (held at full precision; narrowing happens
+    /// at the language boundary).
+    Real(f64),
+    /// The unit value.
+    Unit,
+    /// An ordered aggregate.
+    Record(Vec<MValue>),
+    /// One alternative of a Choice, by index.
+    Choice {
+        /// Which alternative is active.
+        index: usize,
+        /// The alternative's value.
+        value: Box<MValue>,
+    },
+    /// A homogeneous ordered collection of indefinite size.
+    List(Vec<MValue>),
+    /// A reference to a port.
+    Port(PortRef),
+    /// A dynamically typed value (the Any-like extension): a rendering of
+    /// its Mtype plus the value itself.
+    Dynamic {
+        /// Display form of the value's Mtype, used for runtime checks.
+        tag: String,
+        /// The payload.
+        value: Box<MValue>,
+    },
+}
+
+impl MValue {
+    /// Builds a string value (a list of characters).
+    pub fn string(s: &str) -> MValue {
+        MValue::List(s.chars().map(MValue::Char).collect())
+    }
+
+    /// Reads a string value back, if this is a list of characters.
+    pub fn as_string(&self) -> Option<String> {
+        match self {
+            MValue::List(items) => items
+                .iter()
+                .map(|v| match v {
+                    MValue::Char(c) => Some(*c),
+                    _ => None,
+                })
+                .collect(),
+            _ => None,
+        }
+    }
+
+    /// The nil/none value of a nullable reference
+    /// (`Choice(Unit, τ)` alternative 0).
+    pub fn null() -> MValue {
+        MValue::Choice { index: 0, value: Box::new(MValue::Unit) }
+    }
+
+    /// A present nullable reference (`Choice(Unit, τ)` alternative 1).
+    pub fn some(value: MValue) -> MValue {
+        MValue::Choice { index: 1, value: Box::new(value) }
+    }
+}
+
+/// Errors from value/Mtype mismatches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "value error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+/// Checks that `value` inhabits the Mtype rooted at `ty` (ranges,
+/// repertoire membership is not glyph-checked, arity, alternative
+/// indices, list element types).
+///
+/// # Errors
+///
+/// Returns [`ValueError`] naming the first violation.
+pub fn typecheck(graph: &MtypeGraph, ty: MtypeId, value: &MValue) -> Result<(), ValueError> {
+    typecheck_at(graph, ty, value, 0)
+}
+
+fn typecheck_at(
+    graph: &MtypeGraph,
+    ty: MtypeId,
+    value: &MValue,
+    depth: usize,
+) -> Result<(), ValueError> {
+    if depth > 4096 {
+        return Err(ValueError("value nesting exceeds supported depth".into()));
+    }
+    let ty = graph.resolve(ty);
+    match (graph.kind(ty), value) {
+        (MtypeKind::Integer(r), MValue::Int(v)) => {
+            if r.contains(*v) {
+                Ok(())
+            } else {
+                Err(ValueError(format!("integer {v} outside range {r}")))
+            }
+        }
+        (MtypeKind::Character(_), MValue::Char(_)) => Ok(()),
+        (MtypeKind::Real(_), MValue::Real(_)) => Ok(()),
+        (MtypeKind::Unit, MValue::Unit) => Ok(()),
+        (MtypeKind::Dynamic, MValue::Dynamic { .. }) => Ok(()),
+        (MtypeKind::Port(_), MValue::Port(_)) => Ok(()),
+        (MtypeKind::Record(children), MValue::Record(items)) => {
+            if children.len() != items.len() {
+                return Err(ValueError(format!(
+                    "record arity: value has {} fields, type has {}",
+                    items.len(),
+                    children.len()
+                )));
+            }
+            let children = children.clone();
+            for (c, item) in children.iter().zip(items) {
+                typecheck_at(graph, *c, item, depth + 1)?;
+            }
+            Ok(())
+        }
+        (MtypeKind::Choice(alts), MValue::Choice { index, value }) => {
+            let alts = alts.clone();
+            match alts.get(*index) {
+                Some(&alt) => typecheck_at(graph, alt, value, depth + 1),
+                None => Err(ValueError(format!(
+                    "choice index {index} out of {} alternatives",
+                    alts.len()
+                ))),
+            }
+        }
+        // A List inhabits the canonical list shape.
+        (MtypeKind::Choice(_), MValue::List(items)) => {
+            let elem = list_element_type(graph, ty).ok_or_else(|| {
+                ValueError("list value against a non-list Choice".into())
+            })?;
+            for item in items {
+                typecheck_at(graph, elem, item, depth + 1)?;
+            }
+            Ok(())
+        }
+        (kind, value) => Err(ValueError(format!(
+            "value {value:?} does not inhabit {} Mtype",
+            kind.tag()
+        ))),
+    }
+}
+
+pub use mockingbird_mtype::canon::list_element_type;
+
+impl MValue {
+    /// Depth-bounded rendering: values deeper than 64 constructors (or
+    /// pathological data fed to error paths) print `…` instead of
+    /// recursing without limit.
+    fn fmt_depth(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        if depth > 64 {
+            return write!(f, "…");
+        }
+        match self {
+            MValue::Int(v) => write!(f, "{v}"),
+            MValue::Char(c) => write!(f, "{c:?}"),
+            MValue::Real(r) => write!(f, "{r}"),
+            MValue::Unit => write!(f, "()"),
+            MValue::Record(items) => {
+                write!(f, "(")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    v.fmt_depth(f, depth + 1)?;
+                }
+                write!(f, ")")
+            }
+            MValue::Choice { index, value } => {
+                write!(f, "#{index}(")?;
+                value.fmt_depth(f, depth + 1)?;
+                write!(f, ")")
+            }
+            MValue::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    v.fmt_depth(f, depth + 1)?;
+                }
+                write!(f, "]")
+            }
+            MValue::Port(p) => write!(f, "{p}"),
+            MValue::Dynamic { tag, value } => {
+                write!(f, "any<{tag}>(")?;
+                value.fmt_depth(f, depth + 1)?;
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for MValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_depth(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mockingbird_mtype::{IntRange, RealPrecision};
+
+    #[test]
+    fn typecheck_accepts_inhabitants() {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(8));
+        let r = g.real(RealPrecision::SINGLE);
+        let rec = g.record(vec![i, r]);
+        typecheck(&g, rec, &MValue::Record(vec![MValue::Int(5), MValue::Real(1.5)])).unwrap();
+    }
+
+    #[test]
+    fn typecheck_rejects_range_violations_and_arity() {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(8));
+        assert!(typecheck(&g, i, &MValue::Int(128)).is_err());
+        assert!(typecheck(&g, i, &MValue::Real(1.0)).is_err());
+        let rec = g.record(vec![i, i]);
+        assert!(typecheck(&g, rec, &MValue::Record(vec![MValue::Int(1)])).is_err());
+    }
+
+    #[test]
+    fn typecheck_choice_and_nullable() {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(8));
+        let n = g.nullable(i);
+        typecheck(&g, n, &MValue::null()).unwrap();
+        typecheck(&g, n, &MValue::some(MValue::Int(3))).unwrap();
+        assert!(typecheck(&g, n, &MValue::some(MValue::Real(0.0))).is_err());
+        assert!(typecheck(
+            &g,
+            n,
+            &MValue::Choice { index: 2, value: Box::new(MValue::Unit) }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn lists_inhabit_recursive_collections() {
+        let mut g = MtypeGraph::new();
+        let r = g.real(RealPrecision::SINGLE);
+        let list = g.list_of(r);
+        typecheck(&g, list, &MValue::List(vec![MValue::Real(1.0), MValue::Real(2.0)])).unwrap();
+        typecheck(&g, list, &MValue::List(vec![])).unwrap();
+        assert!(typecheck(&g, list, &MValue::List(vec![MValue::Int(1)])).is_err());
+    }
+
+    #[test]
+    fn list_element_type_detects_canonical_shape() {
+        let mut g = MtypeGraph::new();
+        let r = g.real(RealPrecision::DOUBLE);
+        let list = g.list_of(r);
+        assert_eq!(list_element_type(&g, list), Some(r));
+        let i = g.integer(IntRange::boolean());
+        let plain = g.choice(vec![i, r]);
+        assert_eq!(list_element_type(&g, plain), None);
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let v = MValue::string("héllo");
+        assert_eq!(v.as_string().as_deref(), Some("héllo"));
+        assert_eq!(MValue::Int(3).as_string(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            MValue::Record(vec![MValue::Int(1), MValue::Real(2.0)]).to_string(),
+            "(1, 2)"
+        );
+        assert_eq!(MValue::null().to_string(), "#0(())");
+        assert_eq!(MValue::List(vec![MValue::Int(1)]).to_string(), "[1]");
+        assert_eq!(MValue::Port(PortRef(7)).to_string(), "port#7");
+    }
+}

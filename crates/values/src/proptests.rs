@@ -1,0 +1,185 @@
+//! Property tests: random C-representable types and values must survive
+//! memory-image round trips on both target models, and random Java
+//! object graphs must survive heap round trips.
+
+use proptest::prelude::*;
+
+use mockingbird_stype::ast::{Field, Stype, Universe};
+
+use crate::cmem::{CCodec, CMemory, CTarget, ReadContext};
+use crate::java::{JCodec, JHeap};
+use crate::MValue;
+
+/// A C-representable type paired with a value inhabiting it.
+#[derive(Debug, Clone)]
+enum CShape {
+    Bool(bool),
+    I8(i8),
+    U8(u8),
+    I16(i16),
+    U16(u16),
+    I32(i32),
+    I64(i64),
+    F32(f32),
+    F64(f64),
+    Char(u8),
+    Struct(Vec<CShape>),
+    Array(Vec<CShape>),
+    Nullable(Option<Box<CShape>>),
+}
+
+impl CShape {
+    fn stype(&self) -> Stype {
+        match self {
+            CShape::Bool(_) => Stype::boolean(),
+            CShape::I8(_) => Stype::i8(),
+            CShape::U8(_) => Stype::u8(),
+            CShape::I16(_) => Stype::i16(),
+            CShape::U16(_) => Stype::u16(),
+            CShape::I32(_) => Stype::i32(),
+            CShape::I64(_) => Stype::i64(),
+            CShape::F32(_) => Stype::f32(),
+            CShape::F64(_) => Stype::f64(),
+            CShape::Char(_) => Stype::char8(),
+            CShape::Struct(fs) => Stype::struct_of(
+                fs.iter()
+                    .enumerate()
+                    .map(|(i, f)| Field::new(format!("f{i}"), f.stype()))
+                    .collect(),
+            ),
+            CShape::Array(es) => {
+                let elem = es.first().map(|e| e.stype()).unwrap_or_else(Stype::i32);
+                Stype::array_fixed(elem, es.len())
+            }
+            CShape::Nullable(inner) => {
+                let target = match inner {
+                    Some(v) => v.stype(),
+                    None => Stype::i32(),
+                };
+                Stype::pointer(target)
+            }
+        }
+    }
+
+    fn value(&self) -> MValue {
+        match self {
+            CShape::Bool(b) => MValue::Int(*b as i128),
+            CShape::I8(v) => MValue::Int(*v as i128),
+            CShape::U8(v) => MValue::Int(*v as i128),
+            CShape::I16(v) => MValue::Int(*v as i128),
+            CShape::U16(v) => MValue::Int(*v as i128),
+            CShape::I32(v) => MValue::Int(*v as i128),
+            CShape::I64(v) => MValue::Int(*v as i128),
+            CShape::F32(v) => MValue::Real(*v as f64),
+            CShape::F64(v) => MValue::Real(*v),
+            CShape::Char(b) => MValue::Char(*b as char),
+            CShape::Struct(fs) => MValue::Record(fs.iter().map(CShape::value).collect()),
+            CShape::Array(es) => MValue::Record(es.iter().map(CShape::value).collect()),
+            CShape::Nullable(None) => MValue::null(),
+            CShape::Nullable(Some(v)) => MValue::some(v.value()),
+        }
+    }
+}
+
+fn leaf() -> impl Strategy<Value = CShape> {
+    prop_oneof![
+        any::<bool>().prop_map(CShape::Bool),
+        any::<i8>().prop_map(CShape::I8),
+        any::<u8>().prop_map(CShape::U8),
+        any::<i16>().prop_map(CShape::I16),
+        any::<u16>().prop_map(CShape::U16),
+        any::<i32>().prop_map(CShape::I32),
+        any::<i64>().prop_map(CShape::I64),
+        (-1.0e30f32..1.0e30).prop_map(CShape::F32),
+        (-1.0e300f64..1.0e300).prop_map(CShape::F64),
+        (0x20u8..0x7F).prop_map(CShape::Char),
+    ]
+}
+
+fn shape() -> impl Strategy<Value = CShape> {
+    leaf().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(CShape::Struct),
+            // Arrays: homogeneous, so replicate one element's *type* by
+            // cloning its shape with fresh values is overkill — use the
+            // same shape repeated (types equal by construction).
+            (inner.clone(), 1usize..4)
+                .prop_map(|(e, n)| CShape::Array(vec![e; n])),
+            // Java references point at objects, so nullable targets are
+            // always struct-shaped (the C side can point at anything, but
+            // the shared shape keeps both codecs in play).
+            prop::option::of(
+                prop::collection::vec(inner, 1..3).prop_map(CShape::Struct),
+            )
+            .prop_map(|o| CShape::Nullable(o.map(Box::new))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn c_memory_round_trip_lp64_le(s in shape()) {
+        let uni = Universe::new();
+        let codec = CCodec::new(&uni, CTarget::LP64_LE);
+        let mut mem = CMemory::new(CTarget::LP64_LE);
+        let ty = s.stype();
+        let v = s.value();
+        let addr = codec.write_new(&mut mem, &ty, &v).unwrap();
+        let back = codec.read_at(&mem, &ty, addr, &ReadContext::default()).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn c_memory_round_trip_ilp32_be(s in shape()) {
+        let uni = Universe::new();
+        let codec = CCodec::new(&uni, CTarget::ILP32_BE);
+        let mut mem = CMemory::new(CTarget::ILP32_BE);
+        let ty = s.stype();
+        let v = s.value();
+        let addr = codec.write_new(&mut mem, &ty, &v).unwrap();
+        let back = codec.read_at(&mem, &ty, addr, &ReadContext::default()).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn layouts_are_aligned_and_sized(s in shape()) {
+        let uni = Universe::new();
+        let codec = CCodec::new(&uni, CTarget::LP64_LE);
+        let ty = s.stype();
+        let l = codec.layout_of(&ty).unwrap();
+        prop_assert!(l.align.is_power_of_two());
+        prop_assert_eq!(l.size % l.align, 0, "size is a multiple of alignment");
+        prop_assert!(l.align <= 8);
+    }
+
+    /// Java heap round trips for struct-like shapes (structs become
+    /// instances; nullable pointers become references).
+    #[test]
+    fn java_heap_round_trip(s in shape()) {
+        // Arrays of nullable pointers etc. are fine; chars in Java are
+        // 16-bit so the Latin-1 subset used here survives.
+        let uni = Universe::new();
+        let codec = JCodec::new(&uni);
+        let mut heap = JHeap::new();
+        // Java has no unsigned/char8: translate the C shape into its
+        // Java-compatible skeleton by value round-trip through the C
+        // type only when representable; otherwise skip.
+        fn javaable(s: &CShape) -> bool {
+            match s {
+                CShape::U8(_) | CShape::U16(_) | CShape::Char(_) => false,
+                CShape::Struct(fs) => fs.iter().all(javaable),
+                CShape::Array(es) => es.iter().all(javaable),
+                CShape::Nullable(Some(v)) => javaable(v),
+                _ => true,
+            }
+        }
+        prop_assume!(javaable(&s));
+        let ty = s.stype();
+        let v = s.value();
+        let jv = codec.from_mvalue(&mut heap, &ty, &v).unwrap();
+        let back = codec.to_mvalue(&heap, &ty, &jv).unwrap();
+        prop_assert_eq!(back, v);
+    }
+}

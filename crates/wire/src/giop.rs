@@ -1,0 +1,285 @@
+//! GIOP-style message framing.
+//!
+//! Remote invocations travel in envelopes modelled on GIOP (the protocol
+//! under IIOP): a 12-byte header (`GIOP` magic, version, flags carrying
+//! the sender's byte order, message type, body size) followed by a
+//! Request or Reply header and the CDR-encoded body.
+
+use std::fmt;
+
+use mockingbird_values::Endian;
+
+use crate::cdr::{CdrReader, CdrWriter};
+
+/// Framing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GiopError(pub String);
+
+impl fmt::Display for GiopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GIOP framing error: {}", self.0)
+    }
+}
+
+impl std::error::Error for GiopError {}
+
+const MAGIC: &[u8; 4] = b"GIOP";
+const VERSION: (u8, u8) = (1, 0);
+const FLAG_LITTLE_ENDIAN: u8 = 0x01;
+
+/// Reply outcome, mirroring GIOP reply statuses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyStatus {
+    /// The invocation completed normally.
+    NoException,
+    /// The target raised an application-level exception.
+    UserException,
+    /// The infrastructure failed (unknown object, conversion error, ...).
+    SystemException,
+}
+
+impl ReplyStatus {
+    fn to_u32(self) -> u32 {
+        match self {
+            ReplyStatus::NoException => 0,
+            ReplyStatus::UserException => 1,
+            ReplyStatus::SystemException => 2,
+        }
+    }
+
+    fn from_u32(v: u32) -> Result<Self, GiopError> {
+        Ok(match v {
+            0 => ReplyStatus::NoException,
+            1 => ReplyStatus::UserException,
+            2 => ReplyStatus::SystemException,
+            other => return Err(GiopError(format!("unknown reply status {other}"))),
+        })
+    }
+}
+
+/// The kind-specific part of a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MessageKind {
+    /// An invocation request.
+    Request {
+        /// Correlates the reply.
+        request_id: u32,
+        /// Whether a reply is expected (`false` for oneway/messaging).
+        response_expected: bool,
+        /// Identifies the target object in the receiver's registry.
+        object_key: Vec<u8>,
+        /// The operation (method) name.
+        operation: String,
+    },
+    /// A reply to a request.
+    Reply {
+        /// The request this replies to.
+        request_id: u32,
+        /// Outcome.
+        status: ReplyStatus,
+    },
+}
+
+/// A framed message: headers plus a CDR-encoded body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// The sender's byte order (receivers byte-swap as needed).
+    pub endian: Endian,
+    /// Request or Reply header.
+    pub kind: MessageKind,
+    /// The CDR body (arguments or results).
+    pub body: Vec<u8>,
+}
+
+impl Message {
+    /// Builds a request message.
+    pub fn request(
+        request_id: u32,
+        response_expected: bool,
+        object_key: Vec<u8>,
+        operation: impl Into<String>,
+        endian: Endian,
+        body: Vec<u8>,
+    ) -> Self {
+        Message {
+            endian,
+            kind: MessageKind::Request {
+                request_id,
+                response_expected,
+                object_key,
+                operation: operation.into(),
+            },
+            body,
+        }
+    }
+
+    /// Builds a reply message.
+    pub fn reply(request_id: u32, status: ReplyStatus, endian: Endian, body: Vec<u8>) -> Self {
+        Message { endian, kind: MessageKind::Reply { request_id, status }, body }
+    }
+
+    /// Serialises the message to framed bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut header = CdrWriter::new(self.endian);
+        match &self.kind {
+            MessageKind::Request { request_id, response_expected, object_key, operation } => {
+                header.put_u32(*request_id);
+                header.put_u32(*response_expected as u32);
+                header.put_bytes(object_key);
+                header.put_bytes(operation.as_bytes());
+            }
+            MessageKind::Reply { request_id, status } => {
+                header.put_u32(*request_id);
+                header.put_u32(status.to_u32());
+            }
+        }
+        let header_bytes = header.into_bytes();
+        // Align the body start to 8 so body alignment is origin-stable.
+        let header_padded = header_bytes.len().div_ceil(8) * 8;
+        let size = header_padded + self.body.len();
+
+        let mut out = Vec::with_capacity(12 + size);
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION.0);
+        out.push(VERSION.1);
+        out.push(match self.endian {
+            Endian::Little => FLAG_LITTLE_ENDIAN,
+            Endian::Big => 0,
+        });
+        out.push(match self.kind {
+            MessageKind::Request { .. } => 0,
+            MessageKind::Reply { .. } => 1,
+        });
+        out.extend_from_slice(&(size as u32).to_be_bytes());
+        out.extend_from_slice(&header_bytes);
+        out.resize(12 + header_padded, 0);
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses a framed message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GiopError`] on bad magic, truncation, or malformed
+    /// headers.
+    pub fn from_bytes(data: &[u8]) -> Result<Message, GiopError> {
+        if data.len() < 12 {
+            return Err(GiopError("truncated header".into()));
+        }
+        if &data[0..4] != MAGIC {
+            return Err(GiopError("bad magic (not a GIOP message)".into()));
+        }
+        let endian = if data[6] & FLAG_LITTLE_ENDIAN != 0 {
+            Endian::Little
+        } else {
+            Endian::Big
+        };
+        let msg_type = data[7];
+        let size = u32::from_be_bytes([data[8], data[9], data[10], data[11]]) as usize;
+        if data.len() < 12 + size {
+            return Err(GiopError(format!(
+                "truncated body: header says {size}, have {}",
+                data.len() - 12
+            )));
+        }
+        let payload = &data[12..12 + size];
+        let mut r = CdrReader::new(payload, endian);
+        let kind = match msg_type {
+            0 => {
+                let request_id = r.get_u32().map_err(wrap)?;
+                let response_expected = r.get_u32().map_err(wrap)? != 0;
+                let object_key = r.get_bytes().map_err(wrap)?.to_vec();
+                let operation =
+                    String::from_utf8_lossy(r.get_bytes().map_err(wrap)?).into_owned();
+                MessageKind::Request { request_id, response_expected, object_key, operation }
+            }
+            1 => {
+                let request_id = r.get_u32().map_err(wrap)?;
+                let status = ReplyStatus::from_u32(r.get_u32().map_err(wrap)?)?;
+                MessageKind::Reply { request_id, status }
+            }
+            other => return Err(GiopError(format!("unknown message type {other}"))),
+        };
+        let consumed = payload.len() - r.remaining();
+        let body_start = consumed.div_ceil(8) * 8;
+        let body = payload.get(body_start..).unwrap_or(&[]).to_vec();
+        Ok(Message { endian, kind, body })
+    }
+
+    /// Expected total frame length given at least 12 header bytes, for
+    /// stream reassembly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GiopError`] if fewer than 12 bytes are supplied or the
+    /// magic is wrong.
+    pub fn frame_len(header: &[u8]) -> Result<usize, GiopError> {
+        if header.len() < 12 {
+            return Err(GiopError("need 12 bytes to size a frame".into()));
+        }
+        if &header[0..4] != MAGIC {
+            return Err(GiopError("bad magic (not a GIOP message)".into()));
+        }
+        let size = u32::from_be_bytes([header[8], header[9], header[10], header[11]]) as usize;
+        Ok(12 + size)
+    }
+}
+
+fn wrap(e: crate::cdr::CdrError) -> GiopError {
+    GiopError(e.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip_both_endians() {
+        for endian in [Endian::Little, Endian::Big] {
+            let m = Message::request(7, true, b"obj-42".to_vec(), "fitter", endian, vec![1, 2, 3]);
+            let bytes = m.to_bytes();
+            assert_eq!(Message::frame_len(&bytes).unwrap(), bytes.len());
+            let parsed = Message::from_bytes(&bytes).unwrap();
+            assert_eq!(parsed, m);
+        }
+    }
+
+    #[test]
+    fn reply_round_trip() {
+        let m = Message::reply(7, ReplyStatus::NoException, Endian::Little, vec![9, 9]);
+        let parsed = Message::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(parsed, m);
+        let m = Message::reply(8, ReplyStatus::SystemException, Endian::Big, vec![]);
+        assert_eq!(Message::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn oneway_requests() {
+        let m = Message::request(0, false, vec![], "notify", Endian::Little, vec![]);
+        let parsed = Message::from_bytes(&m.to_bytes()).unwrap();
+        let MessageKind::Request { response_expected, .. } = parsed.kind else { panic!() };
+        assert!(!response_expected);
+    }
+
+    #[test]
+    fn body_alignment_is_origin_stable() {
+        // The body must start on an 8-byte boundary within the payload so
+        // CDR alignment computed against offset 0 stays valid.
+        let m = Message::request(1, true, b"k".to_vec(), "op", Endian::Little, vec![0xAA; 16]);
+        let bytes = m.to_bytes();
+        let parsed = Message::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed.body, vec![0xAA; 16]);
+    }
+
+    #[test]
+    fn malformed_frames_rejected() {
+        assert!(Message::from_bytes(b"GIOP").is_err());
+        assert!(Message::from_bytes(b"NOPE00000000").is_err());
+        let m = Message::reply(1, ReplyStatus::NoException, Endian::Little, vec![1, 2, 3]);
+        let mut bytes = m.to_bytes();
+        bytes.truncate(bytes.len() - 1);
+        assert!(Message::from_bytes(&bytes).is_err());
+        assert!(Message::frame_len(&bytes[..4]).is_err());
+    }
+}

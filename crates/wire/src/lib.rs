@@ -1,0 +1,26 @@
+//! Wire formats for network-enabled stubs.
+//!
+//! "Distributed interactions may use IIOP or any other wire format"
+//! (paper §4). This crate provides:
+//!
+//! - [`cdr`] — an Mtype-guided Common Data Representation codec in the
+//!   GIOP/IIOP style: size-aligned primitives relative to the stream
+//!   start, both byte orders, `u32`-prefixed sequences for the canonical
+//!   recursive collections, `u32` discriminants for Choices;
+//! - [`mbp`] — the *Mockingbird protocol*: a compact self-describing
+//!   tagged encoding used for `Dynamic` (Any-like) payloads and as the
+//!   native format of the messaging runtime;
+//! - [`giop`] — GIOP-style message framing (magic, version, flags,
+//!   Request/Reply headers) so remote invocations travel in recognisable
+//!   envelopes.
+//!
+//! The CDR codec is *structural*, not certified-interoperable: it obeys
+//! CDR's alignment and endianness disciplines so the performance shape
+//! of marshalling is faithful (DESIGN.md §2).
+
+pub mod cdr;
+pub mod giop;
+pub mod mbp;
+
+pub use cdr::{CdrError, CdrReader, CdrWriter};
+pub use giop::{GiopError, Message, MessageKind, ReplyStatus};

@@ -1,0 +1,233 @@
+//! The Mockingbird protocol (MBP): a compact self-describing encoding.
+//!
+//! Unlike CDR, MBP values carry their own structure, so no type needs to
+//! be agreed in advance. It serves two roles: the payload format of
+//! `Dynamic` (Any-like) values inside CDR streams, and the native format
+//! of the messaging runtime's send/receive stubs (paper §5's
+//! collaboration study used message passing rather than RPC).
+//!
+//! Layout: one tag byte, then big-endian fixed-width fields.
+
+use std::fmt;
+
+use mockingbird_values::{MValue, PortRef};
+
+/// Errors from MBP decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MbpError(pub String);
+
+impl fmt::Display for MbpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MBP error: {}", self.0)
+    }
+}
+
+impl std::error::Error for MbpError {}
+
+const TAG_INT: u8 = 0x01;
+const TAG_CHAR: u8 = 0x02;
+const TAG_REAL: u8 = 0x03;
+const TAG_UNIT: u8 = 0x04;
+const TAG_RECORD: u8 = 0x05;
+const TAG_CHOICE: u8 = 0x06;
+const TAG_LIST: u8 = 0x07;
+const TAG_PORT: u8 = 0x08;
+const TAG_DYNAMIC: u8 = 0x09;
+
+/// Encodes a value to MBP bytes.
+pub fn encode(v: &MValue) -> Vec<u8> {
+    let mut out = Vec::new();
+    put(&mut out, v);
+    out
+}
+
+fn put(out: &mut Vec<u8>, v: &MValue) {
+    match v {
+        MValue::Int(x) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&x.to_be_bytes());
+        }
+        MValue::Char(c) => {
+            out.push(TAG_CHAR);
+            out.extend_from_slice(&(*c as u32).to_be_bytes());
+        }
+        MValue::Real(r) => {
+            out.push(TAG_REAL);
+            out.extend_from_slice(&r.to_bits().to_be_bytes());
+        }
+        MValue::Unit => out.push(TAG_UNIT),
+        MValue::Record(items) => {
+            out.push(TAG_RECORD);
+            out.extend_from_slice(&(items.len() as u32).to_be_bytes());
+            for item in items {
+                put(out, item);
+            }
+        }
+        MValue::Choice { index, value } => {
+            out.push(TAG_CHOICE);
+            out.extend_from_slice(&(*index as u32).to_be_bytes());
+            put(out, value);
+        }
+        MValue::List(items) => {
+            out.push(TAG_LIST);
+            out.extend_from_slice(&(items.len() as u32).to_be_bytes());
+            for item in items {
+                put(out, item);
+            }
+        }
+        MValue::Port(PortRef(id)) => {
+            out.push(TAG_PORT);
+            out.extend_from_slice(&id.to_be_bytes());
+        }
+        MValue::Dynamic { tag, value } => {
+            out.push(TAG_DYNAMIC);
+            out.extend_from_slice(&(tag.len() as u32).to_be_bytes());
+            out.extend_from_slice(tag.as_bytes());
+            put(out, value);
+        }
+    }
+}
+
+/// Decodes MBP bytes back into a value.
+///
+/// # Errors
+///
+/// Returns [`MbpError`] on truncation, unknown tags, or trailing bytes.
+pub fn decode(data: &[u8]) -> Result<MValue, MbpError> {
+    let mut pos = 0usize;
+    let v = get(data, &mut pos, 0)?;
+    if pos != data.len() {
+        return Err(MbpError(format!("{} trailing bytes", data.len() - pos)));
+    }
+    Ok(v)
+}
+
+fn take<'a>(data: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], MbpError> {
+    if *pos + n > data.len() {
+        return Err(MbpError("truncated stream".into()));
+    }
+    let out = &data[*pos..*pos + n];
+    *pos += n;
+    Ok(out)
+}
+
+fn get_u32(data: &[u8], pos: &mut usize) -> Result<u32, MbpError> {
+    let b = take(data, pos, 4)?;
+    Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+fn get(data: &[u8], pos: &mut usize, depth: usize) -> Result<MValue, MbpError> {
+    if depth > 2048 {
+        return Err(MbpError("nesting exceeds supported depth".into()));
+    }
+    let tag = take(data, pos, 1)?[0];
+    match tag {
+        TAG_INT => {
+            let b = take(data, pos, 16)?;
+            let mut arr = [0u8; 16];
+            arr.copy_from_slice(b);
+            Ok(MValue::Int(i128::from_be_bytes(arr)))
+        }
+        TAG_CHAR => {
+            let code = get_u32(data, pos)?;
+            char::from_u32(code)
+                .map(MValue::Char)
+                .ok_or_else(|| MbpError(format!("invalid character code {code}")))
+        }
+        TAG_REAL => {
+            let b = take(data, pos, 8)?;
+            let mut arr = [0u8; 8];
+            arr.copy_from_slice(b);
+            Ok(MValue::Real(f64::from_bits(u64::from_be_bytes(arr))))
+        }
+        TAG_UNIT => Ok(MValue::Unit),
+        TAG_RECORD => {
+            let n = get_u32(data, pos)? as usize;
+            if n > data.len() {
+                return Err(MbpError(format!("implausible record arity {n}")));
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(get(data, pos, depth + 1)?);
+            }
+            Ok(MValue::Record(items))
+        }
+        TAG_CHOICE => {
+            let index = get_u32(data, pos)? as usize;
+            let value = get(data, pos, depth + 1)?;
+            Ok(MValue::Choice { index, value: Box::new(value) })
+        }
+        TAG_LIST => {
+            let n = get_u32(data, pos)? as usize;
+            if n > data.len() {
+                return Err(MbpError(format!("implausible list length {n}")));
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(get(data, pos, depth + 1)?);
+            }
+            Ok(MValue::List(items))
+        }
+        TAG_PORT => {
+            let b = take(data, pos, 8)?;
+            let mut arr = [0u8; 8];
+            arr.copy_from_slice(b);
+            Ok(MValue::Port(PortRef(u64::from_be_bytes(arr))))
+        }
+        TAG_DYNAMIC => {
+            let len = get_u32(data, pos)? as usize;
+            let tag_bytes = take(data, pos, len)?;
+            let tag = String::from_utf8_lossy(tag_bytes).into_owned();
+            let value = get(data, pos, depth + 1)?;
+            Ok(MValue::Dynamic { tag, value: Box::new(value) })
+        }
+        other => Err(MbpError(format!("unknown tag byte 0x{other:02x}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(v: &MValue) {
+        assert_eq!(&decode(&encode(v)).unwrap(), v);
+    }
+
+    #[test]
+    fn all_kinds_round_trip() {
+        rt(&MValue::Int(-(1 << 100)));
+        rt(&MValue::Char('日'));
+        rt(&MValue::Real(-1.25e300));
+        rt(&MValue::Unit);
+        rt(&MValue::Record(vec![MValue::Int(1), MValue::Unit]));
+        rt(&MValue::Choice { index: 3, value: Box::new(MValue::Real(0.5)) });
+        rt(&MValue::List(vec![MValue::string("a"), MValue::string("b")]));
+        rt(&MValue::Port(PortRef(u64::MAX)));
+        rt(&MValue::Dynamic { tag: "Int{0..=1}".into(), value: Box::new(MValue::Int(1)) });
+    }
+
+    #[test]
+    fn deeply_nested_and_empty_values() {
+        let mut v = MValue::Unit;
+        for _ in 0..100 {
+            v = MValue::Record(vec![v]);
+        }
+        rt(&v);
+        rt(&MValue::Record(vec![]));
+        rt(&MValue::List(vec![]));
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[0xFF]).is_err());
+        assert!(decode(&[TAG_INT, 1, 2]).is_err());
+        // Trailing bytes.
+        let mut bytes = encode(&MValue::Unit);
+        bytes.push(0);
+        assert!(decode(&bytes).is_err());
+        // Implausible length.
+        let bytes = [TAG_LIST, 0xFF, 0xFF, 0xFF, 0xFF];
+        assert!(decode(&bytes).is_err());
+    }
+}

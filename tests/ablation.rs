@@ -1,0 +1,131 @@
+//! Session-level ablation and robustness checks.
+//!
+//! The paper's contribution over plain Amadio–Cardelli is the
+//! isomorphism rule set (§4); running the fitter example under
+//! [`RuleSet::strict`] shows exactly which paper claims die without it.
+
+use mockingbird::comparer::RuleSet;
+use mockingbird::values::MValue;
+use mockingbird::{Mode, Session};
+
+const FIG2_C: &str = "typedef float point[2];
+void fitter(point pts[], int count, point *start, point *end);";
+
+const FIG1_5_JAVA: &str = "
+public class Point { private float x; private float y; }
+public class Line { private Point start; private Point end; }
+public class PointVector extends java.util.Vector;
+public interface JavaIdeal { Line fitter(PointVector pts); }";
+
+const SCRIPT: &str = "
+annotate fitter.param(pts) length=param(count)
+annotate fitter.param(start) direction=out
+annotate fitter.param(end) direction=out
+annotate Line.field(start) non-null no-alias
+annotate Line.field(end) non-null no-alias
+annotate PointVector element=Point non-null
+annotate JavaIdeal.method(fitter).param(pts) non-null
+annotate JavaIdeal.method(fitter).ret non-null";
+
+#[test]
+fn strict_rules_cannot_match_the_fitter_example() {
+    // Even fully annotated, the pure Amadio–Cardelli comparer rejects
+    // the pair: the Java side groups the four output reals as a Line and
+    // wraps the invocation in a (singleton) method Choice, both of which
+    // need the isomorphism rules.
+    let mut s = Session::with_rules(RuleSet::strict());
+    s.load_c(FIG2_C).unwrap();
+    s.load_java(FIG1_5_JAVA).unwrap();
+    s.annotate(SCRIPT).unwrap();
+    assert!(
+        s.compare("JavaIdeal", "fitter", Mode::Equivalence).is_err(),
+        "the paper's headline example depends on the isomorphism rules"
+    );
+    // The full rule set accepts it (the control arm).
+    let mut full = Session::new();
+    full.load_c(FIG2_C).unwrap();
+    full.load_java(FIG1_5_JAVA).unwrap();
+    full.annotate(SCRIPT).unwrap();
+    assert!(full.compare("JavaIdeal", "fitter", Mode::Equivalence).is_ok());
+}
+
+#[test]
+fn strict_rules_still_match_identical_declarations() {
+    let mut s = Session::with_rules(RuleSet::strict());
+    s.load_c("struct P1 { float x; float y; };").unwrap();
+    s.load_idl("struct P2 { float x; float y; };").unwrap();
+    assert!(s.compare("P1", "P2", Mode::Equivalence).is_ok());
+    // But reordered fields need commutativity.
+    s.load_idl("struct P3 { float y; float x; };").unwrap();
+    assert!(s.compare("P1", "P3", Mode::Equivalence).is_ok(), "same-typed fields permute trivially");
+    s.load_c("struct Q1 { int a; float b; };").unwrap();
+    s.load_idl("struct Q2 { float b; long a; };").unwrap();
+    assert!(s.compare("Q1", "Q2", Mode::Equivalence).is_err());
+}
+
+#[test]
+fn conversion_depth_guard_fails_cleanly_not_by_stack_overflow() {
+    // A pathologically deep nested-record value must produce an error,
+    // not a crash.
+    let mut s = Session::new();
+    s.load_java("public class Cell { private int v; }").unwrap();
+    let plan = s.compare("Cell", "Cell", Mode::Equivalence).unwrap();
+    // Build a value nested far beyond any sane declaration.
+    let mut v = MValue::Int(1);
+    for _ in 0..5000 {
+        v = MValue::Record(vec![v]);
+    }
+    assert!(plan.convert(&v).is_err(), "depth guard engages");
+}
+
+#[test]
+fn subtype_session_comparisons() {
+    let mut s = Session::new();
+    s.load_java("public class Narrow { private short v; }").unwrap();
+    s.load_idl("struct Wide { long v; };").unwrap();
+    // short ⊆ long: one-way only.
+    let plan = s.compare("Narrow", "Wide", Mode::Subtype).unwrap();
+    assert_eq!(
+        plan.convert(&MValue::Record(vec![MValue::Int(7)])).unwrap(),
+        MValue::Record(vec![MValue::Int(7)])
+    );
+    assert!(s.compare("Wide", "Narrow", Mode::Subtype).is_err());
+    assert!(s.compare("Narrow", "Wide", Mode::Equivalence).is_err());
+}
+
+#[test]
+fn diagnostics_stay_bounded_on_large_graphs() {
+    // Mismatch displays are capped: a dense corpus mismatch must not
+    // produce megabyte error strings.
+    use mockingbird::corpus::visualage;
+    let pair = visualage(30, 9);
+    let mut s = Session::new();
+    for d in pair.cxx.iter() {
+        s.universe_mut().insert(d.clone()).unwrap();
+    }
+    let mut s2 = Session::new();
+    for d in pair.java.iter() {
+        s2.universe_mut().insert(d.clone()).unwrap();
+    }
+    // Compare a C++ class against the *unannotated* Java one via a fresh
+    // combined session (rename to avoid collisions).
+    let mut combined = Session::new();
+    for d in pair.cxx.iter() {
+        combined.universe_mut().insert(d.clone()).unwrap();
+    }
+    for d in pair.java.iter() {
+        let mut renamed = d.clone();
+        renamed.name = format!("J{}", d.name);
+        combined.universe_mut().insert(renamed).unwrap();
+    }
+    let name = &pair.class_names[0];
+    let err = combined
+        .compare(name, &format!("J{name}"), Mode::Equivalence)
+        .unwrap_err();
+    let text = err.to_string();
+    assert!(
+        text.len() < 8_192,
+        "diagnostics must be capped, got {} chars",
+        text.len()
+    );
+}

@@ -1,0 +1,101 @@
+//! The Java class-file route (paper §4: "the Java parser is a simple
+//! extractor of type declarations from Java .class files").
+//!
+//! The fitter example again, but with the Java side arriving as binary
+//! `.class` files instead of source — the path the prototype actually
+//! used.
+
+use mockingbird::lang_java::ClassSpec;
+use mockingbird::{Mode, Session};
+
+fn fitter_class_files() -> Vec<Vec<u8>> {
+    vec![
+        ClassSpec::new("Point")
+            .field("x", "F")
+            .field("y", "F")
+            .method("<init>", "(FF)V")
+            .method("getX", "()F")
+            .method("getY", "()F")
+            .write(),
+        ClassSpec::new("Line")
+            .field("start", "LPoint;")
+            .field("end", "LPoint;")
+            .method("<init>", "(LPoint;LPoint;)V")
+            .write(),
+        ClassSpec::new("PointVector").extends("java.util.Vector").write(),
+        ClassSpec::new("JavaIdeal")
+            .interface()
+            .method("fitter", "(LPointVector;)LLine;")
+            .write(),
+    ]
+}
+
+#[test]
+fn class_file_route_reaches_the_same_match() {
+    let mut s = Session::new();
+    s.load_c(
+        "typedef float point[2];
+         void fitter(point pts[], int count, point *start, point *end);",
+    )
+    .unwrap();
+    let loaded = s.load_java_classes(&fitter_class_files()).unwrap();
+    assert_eq!(loaded, 4);
+    s.annotate(
+        "annotate fitter.param(pts) length=param(count)
+         annotate fitter.param(start) direction=out
+         annotate fitter.param(end) direction=out
+         annotate Line.field(start) non-null no-alias
+         annotate Line.field(end) non-null no-alias
+         annotate PointVector element=Point non-null
+         annotate JavaIdeal.method(fitter).param(arg0) non-null
+         annotate JavaIdeal.method(fitter).ret non-null",
+    )
+    .unwrap();
+    let plan = s.compare("JavaIdeal", "fitter", Mode::Equivalence).unwrap();
+    assert!(plan.len() >= 5);
+}
+
+#[test]
+fn class_file_and_source_declarations_agree() {
+    // The same class via both routes lowers to the same Mtype.
+    let mut s = Session::new();
+    s.load_java_classes(&[ClassSpec::new("BinPoint").field("x", "F").field("y", "F").write()])
+        .unwrap();
+    s.load_java("public class SrcPoint { private float x; private float y; }")
+        .unwrap();
+    assert!(s.compare("BinPoint", "SrcPoint", Mode::Equivalence).is_ok());
+}
+
+#[test]
+fn descriptor_vocabulary_through_the_session() {
+    let blob = ClassSpec::new("Kitchen")
+        .field("b", "Z")
+        .field("y", "B")
+        .field("s", "S")
+        .field("c", "C")
+        .field("i", "I")
+        .field("j", "J")
+        .field("f", "F")
+        .field("d", "D")
+        .field("name", "Ljava/lang/String;")
+        .field("grid", "[[I")
+        .field("tag", "Ljava/lang/Object;")
+        .write();
+    let mut s = Session::new();
+    s.load_java_classes(&[blob]).unwrap();
+    let shown = s.display_mtype("Kitchen").unwrap();
+    assert!(shown.contains("Int{0..=1}"), "boolean: {shown}");
+    assert!(shown.contains("Char{Unicode}"), "char + String: {shown}");
+    assert!(shown.contains("Real{53,11}"), "double: {shown}");
+    assert!(shown.contains("Dynamic"), "Object: {shown}");
+}
+
+#[test]
+fn malformed_class_files_are_rejected_with_context() {
+    let mut s = Session::new();
+    let e = s.load_java_classes(&[vec![1, 2, 3]]).unwrap_err();
+    assert!(e.to_string().contains("class file"), "{e}");
+    let mut truncated = ClassSpec::new("T").field("x", "I").write();
+    truncated.truncate(truncated.len() / 2);
+    assert!(s.load_java_classes(&[truncated]).is_err());
+}

@@ -1,0 +1,125 @@
+//! Cross-crate property tests: random Mtypes and values driven through
+//! the whole pipeline (comparer → plan → wire) must round-trip.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+use mockingbird::comparer::{Comparer, Mode, RuleSet};
+use mockingbird::corpus::{isomorphic_variant, random_mtype, sample_value};
+use mockingbird::mtype::MtypeGraph;
+use mockingbird::plan::CoercionPlan;
+use mockingbird::values::mvalue::typecheck;
+use mockingbird::values::Endian;
+use mockingbird::wire::{CdrReader, CdrWriter};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random type → isomorphic variant → plan → random value converts
+    /// forward, converts back, and the round trip is the identity.
+    #[test]
+    fn plan_round_trips_random_values(seed in 0u64..5_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = MtypeGraph::new();
+        let ty = random_mtype(&mut g, &mut rng, 3);
+        let mut h = MtypeGraph::new();
+        let var = isomorphic_variant(&g, ty, &mut h);
+        let corr = Comparer::new(&g, &h)
+            .compare(ty, var, Mode::Equivalence)
+            .expect("isomorphic variants must match");
+        let plan = CoercionPlan::new(&g, &h, corr, RuleSet::full(), Mode::Equivalence);
+        for round in 0..4 {
+            let _ = round;
+            let v = sample_value(&g, ty, &mut rng, 3);
+            typecheck(&g, ty, &v).unwrap();
+            let converted = plan.convert(&v).unwrap();
+            typecheck(&h, var, &converted)
+                .unwrap_or_else(|e| panic!("converted value must inhabit the variant: {e}"));
+            let back = plan.convert_back(&converted).unwrap();
+            typecheck(&g, ty, &back).unwrap();
+            // Duplicate (hash-consed) Choice alternatives are
+            // structurally indistinguishable, so conversion may
+            // canonicalise their indices; the round trip must reach a
+            // fixpoint and preserve the converted image exactly.
+            prop_assert_eq!(plan.convert(&back).unwrap(), converted.clone());
+            let back2 = plan.convert_back(&converted).unwrap();
+            prop_assert_eq!(back2, back);
+        }
+    }
+
+    /// Random values survive CDR in both byte orders.
+    #[test]
+    fn cdr_round_trips_random_values(seed in 0u64..5_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = MtypeGraph::new();
+        let ty = random_mtype(&mut g, &mut rng, 3);
+        let v = sample_value(&g, ty, &mut rng, 4);
+        for endian in [Endian::Little, Endian::Big] {
+            let mut w = CdrWriter::new(endian);
+            w.put_value(&g, ty, &v).unwrap();
+            let bytes = w.into_bytes();
+            let mut r = CdrReader::new(&bytes, endian);
+            prop_assert_eq!(&r.get_value(&g, ty).unwrap(), &v);
+            prop_assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    /// MBP is fully self-describing: encode/decode without the type.
+    #[test]
+    fn mbp_round_trips_random_values(seed in 0u64..5_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = MtypeGraph::new();
+        let ty = random_mtype(&mut g, &mut rng, 3);
+        let v = sample_value(&g, ty, &mut rng, 4);
+        let bytes = mockingbird::wire::mbp::encode(&v);
+        prop_assert_eq!(mockingbird::wire::mbp::decode(&bytes).unwrap(), v);
+    }
+
+    /// Conversion composes with marshalling: convert → encode → decode →
+    /// convert back is the identity.
+    #[test]
+    fn convert_then_wire_then_back(seed in 0u64..2_500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = MtypeGraph::new();
+        let ty = random_mtype(&mut g, &mut rng, 2);
+        let mut h = MtypeGraph::new();
+        let var = isomorphic_variant(&g, ty, &mut h);
+        let corr = Comparer::new(&g, &h)
+            .compare(ty, var, Mode::Equivalence)
+            .expect("isomorphic");
+        let plan = Arc::new(CoercionPlan::new(&g, &h, corr, RuleSet::full(), Mode::Equivalence));
+        let v = sample_value(&g, ty, &mut rng, 3);
+        let wire_value = plan.convert(&v).unwrap();
+        let mut w = CdrWriter::new(Endian::Big);
+        w.put_value(&h, var, &wire_value).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = CdrReader::new(&bytes, Endian::Big);
+        let decoded = r.get_value(&h, var).unwrap();
+        // CDR normalises Choice-chain lists into List values and the
+        // plan canonicalises duplicate Choice alternatives; the round
+        // trip must reach a fixpoint with the same wire image.
+        let back = plan.convert_back(&decoded).unwrap();
+        typecheck(&g, ty, &back).unwrap();
+        let reconverted = plan.convert(&back).unwrap();
+        let mut w2 = CdrWriter::new(Endian::Big);
+        w2.put_value(&h, var, &reconverted).unwrap();
+        prop_assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    /// Strict (pure Amadio–Cardelli) accepts identical builds and the
+    /// full rules accept everything strict accepts.
+    #[test]
+    fn strict_is_a_subrelation_of_full(seed in 0u64..5_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = MtypeGraph::new();
+        let ty = random_mtype(&mut g, &mut rng, 3);
+        let mut h = MtypeGraph::new();
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        let ty2 = random_mtype(&mut h, &mut rng2, 3);
+        let strict = Comparer::with_rules(&g, &h, RuleSet::strict()).equivalent(ty, ty2);
+        prop_assert!(strict, "same seed builds identical types");
+        prop_assert!(Comparer::new(&g, &h).equivalent(ty, ty2));
+    }
+}

@@ -1,0 +1,140 @@
+//! F8: recursive types across languages (paper §3.2, Fig. 8).
+//!
+//! "We translate all homogeneous and ordered collections of indefinite
+//! size into Recursive Mtypes. For example, the C array float[], whose
+//! size is not known until runtime, would be represented by the Mtype of
+//! Figure 8b, which is how a Java linked list is represented as well.
+//! This implies that Mockingbird can generate adapters between these
+//! types."
+
+use mockingbird::values::MValue;
+use mockingbird::{Mode, Session};
+
+/// The Fig. 8a Java linked list, a C runtime-length array, an IDL
+/// sequence and a Java Vector — all of `float`.
+fn session() -> Session {
+    let mut s = Session::new();
+    s.load_java(
+        "public class List {
+           private float car;
+           private List cdr;
+         }
+         public class FloatVector extends java.util.Vector;
+         public class FloatBox { private float value; }",
+    )
+    .unwrap();
+    s.load_c("typedef struct fnode { float car; struct fnode *cdr; } fnode;").unwrap();
+    s.load_idl("typedef sequence<float> floatseq;").unwrap();
+    s
+}
+
+#[test]
+fn fig8_java_list_mtype() {
+    let mut s = session();
+    s.annotate("annotate List.field(cdr) no-alias").unwrap();
+    // Fig. 8b: Rec L. Record(Real, Choice(Unit, L)).
+    assert_eq!(
+        s.display_mtype("List").unwrap(),
+        "Rec#L(Record(Real{24,8}, Choice(Unit, #L)))"
+    );
+}
+
+#[test]
+fn java_list_equals_idl_sequence_and_c_array() {
+    let mut s = session();
+    s.annotate(
+        "annotate List.field(cdr) no-alias
+         annotate FloatVector element=FloatBox non-null",
+    )
+    .unwrap();
+    // The linked list Rec L. Record(Real, Choice(Unit, L)) and the
+    // canonical sequence Rec L. Choice(Unit, Record(Real, L)) differ by
+    // one unrolling of where the choice sits: the list starts with a
+    // mandatory element. They are NOT equivalent (a list type that is
+    // never empty vs one that may be) — the paper's Fig. 8 list is the
+    // *nullable* list, i.e. Choice(Unit, List):
+    let plan = {
+        // A nullable reference to the Java list is exactly the sequence.
+        s.load_java("public class ListRef { private List head; }").unwrap();
+        s.annotate("annotate ListRef.field(head) no-alias").unwrap();
+        s.compare("ListRef", "floatseq", Mode::Equivalence)
+    };
+    let plan = plan.expect("Choice(Unit, List) ≅ sequence<float>");
+
+    // Values convert both ways, as the paper claims adapters exist.
+    let rust_list = MValue::Record(vec![MValue::List(vec![
+        MValue::Real(1.5),
+        MValue::Real(2.5),
+        MValue::Real(3.5),
+    ])]);
+    // ListRef is Record(list); floatseq is the bare list.
+    let seq = plan.convert(&rust_list).unwrap();
+    assert_eq!(
+        seq,
+        MValue::List(vec![MValue::Real(1.5), MValue::Real(2.5), MValue::Real(3.5)])
+    );
+    assert_eq!(plan.convert_back(&seq).unwrap(), rust_list);
+}
+
+#[test]
+fn vector_subclass_equals_idl_sequence() {
+    let mut s = session();
+    s.annotate("annotate FloatVector element=FloatBox non-null").unwrap();
+    // FloatVector (elements are FloatBox = Record(Real) ≅ Real by unary
+    // collapse) against sequence<float>.
+    let plan = s
+        .compare("FloatVector", "floatseq", Mode::Equivalence)
+        .expect("an annotated Vector is an indefinite ordered collection");
+    let v = MValue::List(vec![
+        MValue::Record(vec![MValue::Real(1.0)]),
+        MValue::Record(vec![MValue::Real(2.0)]),
+    ]);
+    assert_eq!(
+        plan.convert(&v).unwrap(),
+        MValue::List(vec![MValue::Real(1.0), MValue::Real(2.0)])
+    );
+}
+
+#[test]
+fn c_linked_list_struct_matches_java_list() {
+    let mut s = session();
+    s.annotate(
+        "annotate List.field(cdr) no-alias
+         annotate fnode.field(cdr) no-alias",
+    )
+    .unwrap();
+    let plan = s
+        .compare("List", "fnode", Mode::Equivalence)
+        .expect("two spellings of the same recursive struct");
+    // Convert an actual chain value (the Choice-chain form).
+    let chain = MValue::Record(vec![
+        MValue::Real(1.0),
+        MValue::some(MValue::Record(vec![MValue::Real(2.0), MValue::null()])),
+    ]);
+    assert_eq!(plan.convert(&chain).unwrap(), chain, "identical layout passes through");
+}
+
+#[test]
+fn empty_and_long_collections_convert() {
+    let mut s = session();
+    s.annotate("annotate FloatVector element=FloatBox non-null").unwrap();
+    let plan = s.compare("FloatVector", "floatseq", Mode::Equivalence).unwrap();
+    assert_eq!(plan.convert(&MValue::List(vec![])).unwrap(), MValue::List(vec![]));
+    let long: Vec<MValue> = (0..50_000)
+        .map(|k| MValue::Record(vec![MValue::Real(k as f64)]))
+        .collect();
+    let out = plan.convert(&MValue::List(long)).unwrap();
+    let MValue::List(items) = out else { panic!() };
+    assert_eq!(items.len(), 50_000);
+    assert_eq!(items[49_999], MValue::Real(49_999.0));
+}
+
+#[test]
+fn mismatched_element_types_are_rejected() {
+    let mut s = session();
+    s.annotate("annotate FloatVector element=FloatBox non-null").unwrap();
+    s.load_idl("typedef sequence<double> doubleseq;").unwrap();
+    assert!(s.compare("FloatVector", "doubleseq", Mode::Equivalence).is_err());
+    // But float ≤ double makes the one-way direction work.
+    assert!(s.compare("FloatVector", "doubleseq", Mode::Subtype).is_ok());
+}

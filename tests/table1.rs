@@ -1,0 +1,91 @@
+//! T1: Table 1 of the paper — the Mtype inventory.
+//!
+//! | Mtype     | Description                                            |
+//! |-----------|--------------------------------------------------------|
+//! | Character | Corresponds to character types, e.g. char.             |
+//! | Integer   | Corresponds to integral types, e.g. int.               |
+//! | Real      | Corresponds to floating point types, e.g. float.       |
+//! | Unit      | Corresponds to void or null types.                     |
+//! | Record    | Corresponds to aggregates, e.g struct.                 |
+//! | Choice    | Corresponds to disjoint unions (variants), e.g union,  |
+//! |           | and other places where alternatives arise.             |
+//! | Recursive | Corresponds to types defined in terms of themselves.   |
+//! | Port      | Used to implement functions, interfaces, etc.          |
+
+use mockingbird::mtype::{
+    IntRange, MtypeGraph, MtypeKind, RealPrecision, Repertoire,
+};
+
+/// One representative node per Table-1 row.
+fn representatives(g: &mut MtypeGraph) -> Vec<mockingbird::mtype::MtypeId> {
+    let ch = g.character(Repertoire::Latin1);
+    let int = g.integer(IntRange::signed_bits(32));
+    let real = g.real(RealPrecision::SINGLE);
+    let unit = g.unit();
+    let record = g.record(vec![int, real]);
+    let choice = g.choice(vec![int, real]);
+    let recursive = g.list_of(real);
+    let port = g.port(record);
+    vec![ch, int, real, unit, record, choice, recursive, port]
+}
+
+#[test]
+fn the_eight_kinds_exist_with_their_table_1_descriptions() {
+    let mut g = MtypeGraph::new();
+    let reps = representatives(&mut g);
+    let expected: [(&str, &str); 8] = [
+        ("Character", "Corresponds to character types, e.g. char."),
+        ("Integer", "Corresponds to integral types, e.g. int."),
+        ("Real", "Corresponds to floating point types, e.g. float."),
+        ("Unit", "Corresponds to void or null types."),
+        ("Record", "Corresponds to aggregates, e.g. struct."),
+        (
+            "Choice",
+            "Corresponds to disjoint unions (variants), e.g. union, \
+             and other places where alternatives arise.",
+        ),
+        ("Recursive", "Corresponds to types defined in terms of themselves."),
+        ("Port", "Used to implement functions, interfaces, etc."),
+    ];
+    assert_eq!(reps.len(), expected.len());
+    for (id, (tag, desc)) in reps.iter().zip(expected) {
+        let kind = g.kind(*id);
+        assert_eq!(kind.tag(), tag);
+        assert_eq!(kind.description(), desc);
+    }
+}
+
+#[test]
+fn table_order_constant_matches_the_paper() {
+    assert_eq!(
+        mockingbird::mtype::kind::TABLE1_TAGS,
+        ["Character", "Integer", "Real", "Unit", "Record", "Choice", "Recursive", "Port"]
+    );
+}
+
+#[test]
+fn parameterisation_matches_section_3_1() {
+    // Integer Mtypes are "parameterized by range": a Java short.
+    let mut g = MtypeGraph::new();
+    let short = g.integer(IntRange::signed_bits(16));
+    let MtypeKind::Integer(r) = g.kind(short) else { panic!() };
+    assert_eq!(r.lo, -(1 << 15));
+    assert_eq!(r.hi, (1 << 15) - 1);
+    // Character Mtypes "parameterized by their glyph repertoires".
+    let c = g.character(Repertoire::Unicode);
+    assert!(matches!(g.kind(c), MtypeKind::Character(Repertoire::Unicode)));
+    // Real Mtypes "distinguished by their precision and exponent".
+    let f = g.real(RealPrecision::SINGLE);
+    let MtypeKind::Real(p) = g.kind(f) else { panic!() };
+    assert_eq!((p.mantissa_bits, p.exponent_bits), (24, 8));
+}
+
+#[test]
+fn the_dynamic_extension_is_a_ninth_kind() {
+    // §6: "we support a dynamic type construct of our own which is
+    // similar to Any".
+    let mut g = MtypeGraph::new();
+    let d = g.dynamic();
+    assert_eq!(g.kind(d).tag(), "Dynamic");
+    assert!(g.kind(d).description().contains("Any"));
+}
