@@ -17,12 +17,12 @@
 //! to the wire. The §6 overhead benchmark compares the two.
 
 use mockingbird_comparer::Mode;
+use mockingbird_mtype::MtypeId;
 use mockingbird_plan::{CoercionPlan, ConvertError};
+use mockingbird_stype::ast::{Stype, Universe};
 use mockingbird_values::java::{JCodec, JHeap, JValue};
 use mockingbird_values::{Endian, MValue};
 use mockingbird_wire::cdr::{CdrError, CdrWriter};
-use mockingbird_mtype::MtypeId;
-use mockingbird_stype::ast::{Stype, Universe};
 
 /// Errors on the imposed path.
 #[derive(Debug)]
@@ -70,12 +70,19 @@ impl ImposedPath<'_> {
     /// # Errors
     ///
     /// Propagates bridge, materialisation and marshalling failures.
-    pub fn marshal(&self, app_value: &MValue, endian: Endian) -> Result<(Vec<u8>, usize), ImposedError> {
+    pub fn marshal(
+        &self,
+        app_value: &MValue,
+        endian: Endian,
+    ) -> Result<(Vec<u8>, usize), ImposedError> {
         if self.bridge.mode() != Mode::Equivalence {
             // One-way bridges are fine for marshalling; nothing to check.
         }
         // 1. Hand bridge: application shape -> imposed shape.
-        let imposed_value = self.bridge.convert(app_value).map_err(ImposedError::Bridge)?;
+        let imposed_value = self
+            .bridge
+            .convert(app_value)
+            .map_err(ImposedError::Bridge)?;
         // 2. Materialise the imposed object graph (the programmer's
         //    `new Point(...)`s into the generated classes).
         let mut heap = JHeap::new();
@@ -172,7 +179,10 @@ mod tests {
         assert!(materialised >= 1, "the imposed object graph is real");
 
         let bytes_direct = direct_marshal(&plan, imposed, &v, Endian::Little).unwrap();
-        assert_eq!(bytes_imposed, bytes_direct, "same bytes on the wire either way");
+        assert_eq!(
+            bytes_imposed, bytes_direct,
+            "same bytes on the wire either way"
+        );
     }
 
     #[test]

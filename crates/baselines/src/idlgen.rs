@@ -38,9 +38,7 @@ fn java_type(uni: &Universe, ty: &Stype) -> String {
                     SNode::Array { elem, .. } | SNode::Sequence(elem) => {
                         format!("{}[]", java_type(uni, elem))
                     }
-                    SNode::Enum(_) | SNode::Struct(_) | SNode::Union(_) => {
-                        simple(n).to_string()
-                    }
+                    SNode::Enum(_) | SNode::Struct(_) | SNode::Union(_) => simple(n).to_string(),
                     _ => java_type(uni, &decl.ty),
                 },
                 None => simple(n).to_string(),
@@ -90,7 +88,10 @@ pub fn generate_java(uni: &Universe, decl_name: &str) -> Vec<(String, String)> {
             let _ = writeln!(holder, "public final class {name}Holder {{");
             let _ = writeln!(holder, "    public {name} value;");
             let _ = writeln!(holder, "    public {name}Holder() {{}}");
-            let _ = writeln!(holder, "    public {name}Holder({name} initial) {{ value = initial; }}");
+            let _ = writeln!(
+                holder,
+                "    public {name}Holder({name} initial) {{ value = initial; }}"
+            );
             let _ = writeln!(holder, "}}");
             units.push((format!("{name}Holder.java"), holder));
         }
@@ -149,7 +150,7 @@ fn capitalise(s: &str) -> String {
     }
 }
 
-fn c_type(uni: &Universe, ty: &Stype, name: &str) -> String {
+fn c_type(ty: &Stype, name: &str) -> String {
     match &ty.node {
         SNode::Prim(p) => {
             let base = match p {
@@ -173,16 +174,16 @@ fn c_type(uni: &Universe, ty: &Stype, name: &str) -> String {
         }
         SNode::Str => format!("char *{name}"),
         SNode::Named(n) => format!("{} {name}", simple(n)),
-        SNode::Pointer(t) => c_type(uni, t, &format!("*{name}")),
+        SNode::Pointer(t) => c_type(t, &format!("*{name}")),
         SNode::Array { elem, len } => match len {
-            ArrayLen::Fixed(k) => c_type(uni, elem, &format!("{name}[{k}]")),
-            ArrayLen::Indefinite => c_type(uni, elem, &format!("{name}[]")),
+            ArrayLen::Fixed(k) => c_type(elem, &format!("{name}[{k}]")),
+            ArrayLen::Indefinite => c_type(elem, &format!("{name}[]")),
         },
         SNode::Sequence(elem) => {
             // The standard C mapping of sequence<T>: a counted buffer.
             format!(
                 "struct {{ unsigned long _length; {}; }} {name}",
-                c_type(uni, elem, "*_buffer")
+                c_type(elem, "*_buffer")
             )
         }
         _ => format!("void *{name}"),
@@ -200,7 +201,7 @@ pub fn generate_c(uni: &Universe, decl_name: &str) -> String {
         SNode::Struct(fields) => {
             let _ = writeln!(out, "typedef struct {name} {{");
             for f in fields {
-                let _ = writeln!(out, "    {};", c_type(uni, &f.ty, &f.name));
+                let _ = writeln!(out, "    {};", c_type(&f.ty, &f.name));
             }
             let _ = writeln!(out, "}} {name};");
         }
@@ -210,25 +211,30 @@ pub fn generate_c(uni: &Universe, decl_name: &str) -> String {
                 for p in &m.sig.params {
                     let dir = p.ty.ann.direction.unwrap_or(Direction::In);
                     let expr = match dir {
-                        Direction::In => c_type(uni, &p.ty, &p.name),
-                        Direction::Out | Direction::InOut => {
-                            c_type(uni, &p.ty, &format!("*{}", p.name))
-                        }
+                        Direction::In => c_type(&p.ty, &p.name),
+                        Direction::Out | Direction::InOut => c_type(&p.ty, &format!("*{}", p.name)),
                     };
                     params.push(expr);
                 }
                 let _ = writeln!(
                     out,
                     "{};",
-                    c_type(uni, &m.sig.ret, &format!("{name}_{}({})", m.name, params.join(", ")))
+                    c_type(
+                        &m.sig.ret,
+                        &format!("{name}_{}({})", m.name, params.join(", "))
+                    )
                 );
             }
         }
         SNode::Enum(members) => {
-            let _ = writeln!(out, "typedef enum {name} {{ {} }} {name};", members.join(", "));
+            let _ = writeln!(
+                out,
+                "typedef enum {name} {{ {} }} {name};",
+                members.join(", ")
+            );
         }
         _ => {
-            let _ = writeln!(out, "typedef {};", c_type(uni, &decl.ty, name));
+            let _ = writeln!(out, "typedef {};", c_type(&decl.ty, name));
         }
     }
     out
@@ -301,7 +307,10 @@ mod tests {
         assert!(c.contains("typedef struct Point {"));
         assert!(c.contains("float x;"));
         let c = generate_c(&uni, "JavaFriendly");
-        assert!(c.contains("Line JavaFriendly_fitter(CORBA_Object self"), "{c}");
+        assert!(
+            c.contains("Line JavaFriendly_fitter(CORBA_Object self"),
+            "{c}"
+        );
     }
 
     #[test]

@@ -5,9 +5,9 @@
 //! the strict comparer is faster but rejects every shuffled/regrouped
 //! variant (match rate 0%), which is the entire point of the rules.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mockingbird_bench::harness::{BenchmarkId, Criterion};
+use mockingbird_bench::{criterion_group, criterion_main};
+use mockingbird_rng::StdRng;
 use std::hint::black_box;
 
 use mockingbird::comparer::{Comparer, Mode, RuleSet};
@@ -38,7 +38,9 @@ fn bench_wide_records(c: &mut Criterion) {
         let mut g = MtypeGraph::new();
         let leaves: Vec<_> = (0..width)
             .map(|k| {
-                g.integer(mockingbird::mtype::IntRange::signed_bits((k % 62 + 1) as u32))
+                g.integer(mockingbird::mtype::IntRange::signed_bits(
+                    (k % 62 + 1) as u32,
+                ))
             })
             .collect();
         let left = g.record(leaves.clone());

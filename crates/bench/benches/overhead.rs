@@ -18,7 +18,8 @@
 //! The paper's expectation holds if `mockingbird_marshal` ≤
 //! `idl_compiler_marshal` (the baseline pays an extra materialisation).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mockingbird_bench::harness::{BenchmarkId, Criterion};
+use mockingbird_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use mockingbird_bench::{
@@ -40,7 +41,10 @@ fn bench_local_call(c: &mut Criterion) {
             b.iter(|| c_fitter_impl(black_box(args.clone())).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("mockingbird_local", n), &n, |b, _| {
-            b.iter(|| stub.call(black_box(&[pts.clone()]), &c_fitter_impl).unwrap())
+            b.iter(|| {
+                stub.call(black_box(std::slice::from_ref(&pts)), &c_fitter_impl)
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -92,11 +96,16 @@ fn bench_remote_loopback(c: &mut Criterion) {
     for n in [4usize, 64, 1024] {
         let pts = point_list(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| stub.call(black_box(&[pts.clone()])).unwrap())
+            b.iter(|| stub.call(black_box(std::slice::from_ref(&pts))).unwrap())
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_local_call, bench_marshalling_paths, bench_remote_loopback);
+criterion_group!(
+    benches,
+    bench_local_call,
+    bench_marshalling_paths,
+    bench_remote_loopback
+);
 criterion_main!(benches);

@@ -6,7 +6,8 @@
 //! bench sweeps the class count and measures lowering plus comparison of
 //! every class pair, which should grow near-linearly.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mockingbird_bench::harness::{BenchmarkId, Criterion};
+use mockingbird_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use mockingbird::comparer::{Comparer, Mode};

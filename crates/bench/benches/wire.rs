@@ -1,6 +1,7 @@
 //! X3: wire-format throughput by type shape and byte order.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mockingbird_bench::harness::{BenchmarkId, Criterion, Throughput};
+use mockingbird_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use mockingbird::mtype::{IntRange, MtypeGraph, MtypeId, RealPrecision};
@@ -112,7 +113,9 @@ fn bench_mbp(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("x3/mbp/{name}"));
         let encoded = mbp::encode(&v);
         group.throughput(Throughput::Bytes(encoded.len() as u64));
-        group.bench_function("encode", |b| b.iter(|| black_box(mbp::encode(black_box(&v)))));
+        group.bench_function("encode", |b| {
+            b.iter(|| black_box(mbp::encode(black_box(&v))))
+        });
         group.bench_function("decode", |b| {
             b.iter(|| black_box(mbp::decode(black_box(&encoded)).unwrap()))
         });

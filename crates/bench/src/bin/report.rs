@@ -2,14 +2,13 @@
 //! DESIGN.md §4 with live measurements and prints them as the tables
 //! recorded in EXPERIMENTS.md.
 //!
-//! Usage: `report [t1|f5|e1|e2|e3|x1|x2|x3]...` (no args = everything).
+//! Usage: `report [t1|f5|e1|e2|e3|x1|x2|x3|x4]...` (no args = everything).
 
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mockingbird_rng::StdRng;
 
 use mockingbird::baselines::bridge::{direct_marshal, ImposedPath};
 use mockingbird::baselines::{c_to_java, generate_java};
@@ -61,7 +60,7 @@ fn t1() {
     let recursive = g.list_of(real);
     let port = g.port(record);
     let reps = [ch, int, real, unit, record, choice, recursive, port];
-    println!("{:<11} {}", "Mtype", "Description");
+    println!("{:<11} Description", "Mtype");
     for id in reps {
         let k = g.kind(id);
         println!("{:<11} {}", k.tag(), k.description());
@@ -118,7 +117,11 @@ fn e1() {
     );
     for n in [12usize, 50, 100, 250, 500] {
         let mut pair = visualage(n, 42);
-        let annotations = pair.script.lines().filter(|l| l.starts_with("annotate")).count();
+        let annotations = pair
+            .script
+            .lines()
+            .filter(|l| l.starts_with("annotate"))
+            .count();
         apply_script(&mut pair.java, &pair.script).unwrap();
         let mut g = MtypeGraph::new();
         let (ids, lower_s) = time(|| {
@@ -239,7 +242,8 @@ fn x1() {
         (
             "mockingbird_local_stub",
             Box::new(|pts: &MValue| {
-                stub.call(std::slice::from_ref(pts), &c_fitter_impl).unwrap();
+                stub.call(std::slice::from_ref(pts), &c_fitter_impl)
+                    .unwrap();
             }),
         ),
         (
@@ -298,7 +302,10 @@ fn x1() {
 
 fn x2() {
     println!("== X2: comparer scaling and the isomorphism-rule ablation (paper §4) ==");
-    println!("{:<10} {:>10} {:>16} {:>16}", "depth", "nodes", "full rules (µs)", "strict (µs)");
+    println!(
+        "{:<10} {:>10} {:>16} {:>16}",
+        "depth", "nodes", "full rules (µs)", "strict (µs)"
+    );
     for depth in [2usize, 3, 4, 5] {
         let mut rng = StdRng::seed_from_u64(depth as u64);
         let mut g = MtypeGraph::new();
@@ -312,7 +319,10 @@ fn x2() {
             // Strict rejects the variant (that is the ablation finding).
             let _ = Comparer::with_rules(&g, &h, RuleSet::strict()).equivalent(ty, var);
         });
-        println!("{depth:<10} {:>10} {full:>16.2} {strict:>16.2}", g.len() + h.len());
+        println!(
+            "{depth:<10} {:>10} {full:>16.2} {strict:>16.2}",
+            g.len() + h.len()
+        );
     }
     // Match-rate ablation over 100 random variants.
     let mut full_ok = 0;
@@ -375,6 +385,116 @@ fn x3() {
     println!();
 }
 
+fn x4() {
+    use mockingbird::runtime::transport::TcpConnection;
+    use mockingbird::runtime::{
+        metrics, Connection, ConnectionPool, Dispatcher, MultiplexedConnection, RemoteRef,
+        RuntimeError, Servant, TcpServer, WireOp, WireServant,
+    };
+
+    println!("== X4: concurrent runtime — serial vs multiplexed TCP ==");
+    const THREADS: usize = 8;
+    const CALLS_PER_THREAD: usize = 100;
+    // The servant models a service with per-call latency (database hit,
+    // downstream RPC). The serial client holds its stream lock across
+    // the full exchange, so threads serialise on that latency; the
+    // multiplexed paths keep requests in flight and overlap it.
+    const SERVICE_DELAY: std::time::Duration = std::time::Duration::from_micros(500);
+
+    let mut g = MtypeGraph::new();
+    let i = g.integer(IntRange::signed_bits(32));
+    let rec = g.record(vec![i]);
+    let graph = Arc::new(g);
+    let op = WireOp::new(graph, rec, rec);
+    let make_server = || {
+        let servant: Arc<dyn Servant> = Arc::new(|_: &str, v: MValue| {
+            std::thread::sleep(SERVICE_DELAY);
+            Ok::<_, RuntimeError>(v)
+        });
+        let mut ops = HashMap::new();
+        ops.insert("echo".to_string(), op.clone());
+        let d = Arc::new(Dispatcher::new());
+        d.register(b"obj".to_vec(), WireServant::new(servant, ops));
+        TcpServer::bind("127.0.0.1:0", d).unwrap()
+    };
+    let run = |conn: Arc<dyn Connection>| -> f64 {
+        let mut ops = HashMap::new();
+        ops.insert("echo".to_string(), op.clone());
+        let remote = Arc::new(RemoteRef::new(conn, b"obj".to_vec(), ops, Endian::Little));
+        // Warm up the path once before timing.
+        remote
+            .invoke("echo", &MValue::Record(vec![MValue::Int(0)]))
+            .unwrap();
+        let t = Instant::now();
+        let handles: Vec<_> = (0..THREADS)
+            .map(|ti| {
+                let r = remote.clone();
+                std::thread::spawn(move || {
+                    for k in 0..CALLS_PER_THREAD {
+                        let payload = (ti * 1_000 + k) as i128;
+                        let out = r
+                            .invoke("echo", &MValue::Record(vec![MValue::Int(payload)]))
+                            .unwrap();
+                        assert_eq!(out, MValue::Record(vec![MValue::Int(payload)]));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        t.elapsed().as_secs_f64()
+    };
+
+    let calls = (THREADS * CALLS_PER_THREAD) as f64;
+    metrics::reset();
+    let mut rows: Vec<(&str, f64)> = Vec::new();
+    {
+        let mut server = make_server();
+        let secs = run(Arc::new(TcpConnection::connect(server.addr()).unwrap()));
+        rows.push(("serial (1 socket, lock per call)", secs));
+        server.shutdown();
+    }
+    {
+        let mut server = make_server();
+        let secs = run(Arc::new(
+            MultiplexedConnection::connect(server.addr()).unwrap(),
+        ));
+        rows.push(("multiplexed (1 socket, pipelined)", secs));
+        server.shutdown();
+    }
+    {
+        let mut server = make_server();
+        let secs = run(Arc::new(ConnectionPool::connect(server.addr(), 4).unwrap()));
+        rows.push(("pooled (4 multiplexed sockets)", secs));
+        server.shutdown();
+    }
+    let serial = rows[0].1;
+    println!(
+        "{:<36} {:>10} {:>12} {:>9}",
+        "transport", "total (s)", "calls/s", "speedup"
+    );
+    for (label, secs) in &rows {
+        println!(
+            "{label:<36} {secs:>10.3} {:>12.0} {:>8.2}x",
+            calls / secs,
+            serial / secs
+        );
+    }
+    let snap = metrics::snapshot();
+    println!(
+        "runtime counters: {} requests, {} replies, {} retries, {} timeouts, \
+         {} B out, {} B in",
+        snap.requests,
+        snap.replies,
+        snap.retries,
+        snap.timeouts,
+        snap.bytes_sent,
+        snap.bytes_received
+    );
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |k: &str| args.is_empty() || args.iter().any(|a| a == k);
@@ -404,5 +524,8 @@ fn main() {
     }
     if want("x3") {
         x3();
+    }
+    if want("x4") {
+        x4();
     }
 }

@@ -1,0 +1,324 @@
+//! A minimal, dependency-free benchmark harness with a criterion-shaped
+//! API.
+//!
+//! The bench targets (`harness = false`) drive this directly via the
+//! [`criterion_group!`](crate::criterion_group) /
+//! [`criterion_main!`](crate::criterion_main) macros. Each benchmark is
+//! calibrated (iteration count grown until a sample is measurable), then
+//! sampled repeatedly; the median per-iteration time is reported, plus
+//! derived throughput when [`BenchmarkGroup::throughput`] was set.
+//!
+//! Running with `--test` (what `cargo test --benches` passes) or with
+//! `MB_BENCH_QUICK=1` executes every benchmark body once and skips
+//! measurement, so benches double as smoke tests. Positional CLI
+//! arguments filter benchmarks by substring, as with criterion.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput basis for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: a function name and/or a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a name and a parameter, shown as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{param}", name.into()),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Measures the body passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, run `iters` times back to back.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// The harness entry point; one per bench binary.
+pub struct Criterion {
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut quick = std::env::var_os("MB_BENCH_QUICK").is_some();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                quick = true;
+            } else if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Criterion { filter, quick }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            config: Config::default(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(self, name, &Config::default(), None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration and a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    config: Config,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the total time budget for measuring each benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        let throughput = self.throughput;
+        run_one(self.criterion, &full, &self.config, throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Runs a benchmark without an explicit input.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        let throughput = self.throughput;
+        run_one(self.criterion, &full, &self.config, throughput, f);
+        self
+    }
+
+    /// Ends the group (formatting no-op; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one(
+    c: &mut Criterion,
+    name: &str,
+    config: &Config,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if let Some(filter) = &c.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if c.quick {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{name:<56} ok (quick mode, 1 iter)");
+        return;
+    }
+
+    // Calibrate: grow the iteration count until one sample is measurable.
+    let mut iters: u64 = 1;
+    let per_iter_ns = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos();
+        if ns >= 1_000_000 || iters >= 1 << 24 {
+            break (ns as f64 / iters as f64).max(0.1);
+        }
+        iters *= 2;
+    };
+
+    // Sample: aim for measurement_time split across sample_size samples.
+    let per_sample = config.measurement_time.as_nanos() as f64 / config.sample_size as f64;
+    let sample_iters = ((per_sample / per_iter_ns) as u64).max(1);
+    let mut samples: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let mut b = Bencher {
+            iters: sample_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / sample_iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+
+    let mut line = format!(
+        "{name:<56} time: [{} {} {}]",
+        fmt_ns(lo),
+        fmt_ns(median),
+        fmt_ns(hi)
+    );
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mib_s = n as f64 / (median * 1e-9) / (1024.0 * 1024.0);
+            line.push_str(&format!("  thrpt: {mib_s:.1} MiB/s"));
+        }
+        Some(Throughput::Elements(n)) => {
+            let elem_s = n as f64 / (median * 1e-9);
+            line.push_str(&format!("  thrpt: {elem_s:.0} elem/s"));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a bench group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("encode", 64).to_string(), "encode/64");
+        assert_eq!(
+            BenchmarkId::from_parameter("CursorMoved").to_string(),
+            "CursorMoved"
+        );
+    }
+
+    #[test]
+    fn quick_mode_runs_body_once() {
+        let mut c = Criterion {
+            filter: None,
+            quick: true,
+        };
+        let mut count = 0u32;
+        c.bench_function("t", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("match-me".into()),
+            quick: true,
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("yes/match-me/1", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+}

@@ -5,6 +5,8 @@
 //! numbers in EXPERIMENTS.md and the bench output describe the same
 //! workloads.
 
+pub mod harness;
+
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -67,8 +69,12 @@ pub fn point_list(n: usize) -> MValue {
 
 /// The reference C-side fitter implementation used across benchmarks.
 pub fn c_fitter_impl(args: MValue) -> Result<MValue, String> {
-    let MValue::Record(items) = args else { return Err("bad frame".into()) };
-    let MValue::List(pts) = &items[0] else { return Err("bad pts".into()) };
+    let MValue::Record(items) = args else {
+        return Err("bad frame".into());
+    };
+    let MValue::List(pts) = &items[0] else {
+        return Err("bad pts".into());
+    };
     Ok(MValue::Record(vec![
         pts.first().cloned().ok_or("empty")?,
         pts.last().cloned().ok_or("empty")?,
@@ -95,9 +101,8 @@ pub fn fitter_stub() -> Result<(FunctionStub, Arc<CoercionPlan>), SessionError> 
 pub fn fitter_remote_loopback() -> Result<RemoteStub, SessionError> {
     let mut s = fitter_session()?;
     let wire_op = s.wire_op("fitter")?;
-    let servant: Arc<dyn Servant> = Arc::new(|_: &str, args: MValue| {
-        c_fitter_impl(args).map_err(RuntimeError::Application)
-    });
+    let servant: Arc<dyn Servant> =
+        Arc::new(|_: &str, args: MValue| c_fitter_impl(args).map_err(RuntimeError::Application));
     let mut ops = HashMap::new();
     ops.insert("fitter".to_string(), wire_op.clone());
     let dispatcher = Arc::new(Dispatcher::new());
@@ -113,11 +118,7 @@ pub fn fitter_remote_loopback() -> Result<RemoteStub, SessionError> {
 /// One `WireOp` for an arbitrary data Mtype (messaging benches).
 pub fn data_wire_op(session: &mut Session, decl: &str) -> Result<WireOp, SessionError> {
     let ty = session.mtype(decl)?;
-    Ok(WireOp {
-        graph: Arc::new(session.graph().clone()),
-        args_ty: ty,
-        result_ty: ty,
-    })
+    Ok(WireOp::new(Arc::new(session.graph().clone()), ty, ty))
 }
 
 #[cfg(test)]
@@ -127,7 +128,7 @@ mod tests {
     #[test]
     fn fixtures_build() {
         let (stub, plan) = fitter_stub().unwrap();
-        assert!(plan.len() > 0);
+        assert!(!plan.is_empty());
         let out = stub.call(&[point_list(4)], &c_fitter_impl).unwrap();
         assert!(matches!(out, MValue::Record(_)));
         let remote = fitter_remote_loopback().unwrap();

@@ -115,6 +115,7 @@ impl<'l, 'r> Comparer<'l, 'r> {
     /// sub-comparison when the types are not related (or when the
     /// comparer's documented incompleteness prevents it from proving
     /// that they are).
+    #[allow(clippy::result_large_err)] // Mismatch carries full diagnostics by design
     pub fn compare(
         &self,
         lroot: MtypeId,
@@ -242,26 +243,23 @@ impl Ctx<'_> {
     /// singleton Choices.
     fn resolve(graph: &MtypeGraph, rules: &RuleSet, id: MtypeId) -> MtypeId {
         let mut cur = graph.resolve(id);
+        if !rules.singleton_choice {
+            return cur;
+        }
         let mut hops = 0usize;
-        while rules.singleton_choice {
-            match graph.kind(cur) {
-                MtypeKind::Choice(_) => {
-                    let alts = if rules.assoc {
-                        mockingbird_mtype::canon::flatten_choice(graph, cur)
-                    } else {
-                        graph.kind(cur).children().to_vec()
-                    };
-                    if alts.len() == 1 && alts[0] != cur {
-                        cur = graph.resolve(alts[0]);
-                        hops += 1;
-                        if hops > graph.len() {
-                            break;
-                        }
-                        continue;
-                    }
-                    break;
-                }
-                _ => break,
+        while let MtypeKind::Choice(_) = graph.kind(cur) {
+            let alts = if rules.assoc {
+                mockingbird_mtype::canon::flatten_choice(graph, cur)
+            } else {
+                graph.kind(cur).children().to_vec()
+            };
+            if alts.len() != 1 || alts[0] == cur {
+                break;
+            }
+            cur = graph.resolve(alts[0]);
+            hops += 1;
+            if hops > graph.len() {
+                break;
             }
         }
         cur
@@ -290,10 +288,7 @@ impl Ctx<'_> {
             // first disproven.
             match &self.deepest_fail {
                 Some((d, _)) if *d >= depth => {}
-                _ => {
-                    self.deepest_fail =
-                        Some((depth, "pair already disproven".to_string()))
-                }
+                _ => self.deepest_fail = Some((depth, "pair already disproven".to_string())),
             }
             return Err(());
         }
@@ -383,11 +378,13 @@ impl Ctx<'_> {
         // Dynamic absorbs anything on the supertype side.
         match (&ka, &kb, rel) {
             (Dynamic, Dynamic, _) => {
-                self.entries.insert((a, b), Entry::Prim(PrimCoercion::Dynamic));
+                self.entries
+                    .insert((a, b), Entry::Prim(PrimCoercion::Dynamic));
                 return Ok(NO_DEP);
             }
             (_, Dynamic, Rel::Sub) | (Dynamic, _, Rel::Sup) => {
-                self.entries.insert((a, b), Entry::Prim(PrimCoercion::IntoDynamic));
+                self.entries
+                    .insert((a, b), Entry::Prim(PrimCoercion::IntoDynamic));
                 return Ok(NO_DEP);
             }
             _ => {}
@@ -426,7 +423,7 @@ impl Ctx<'_> {
                 );
             }
         }
-        if (l_rec && r_rec && self.rules.assoc) || (self.rules.assoc && (l_rec || r_rec)) {
+        if self.rules.assoc && (l_rec || r_rec) {
             let lv = self.record_view_left(a);
             let rv = self.record_view_right(b);
             return self.match_records(a, b, lv, rv, rel, depth, RecordFlatten::Full);
@@ -467,7 +464,10 @@ impl Ctx<'_> {
                     self.entries.insert((a, b), Entry::Prim(PrimCoercion::Char));
                     Ok(NO_DEP)
                 } else {
-                    self.fail(depth, format!("character repertoires incompatible: {x} vs {y}"))
+                    self.fail(
+                        depth,
+                        format!("character repertoires incompatible: {x} vs {y}"),
+                    )
                 }
             }
             (Real(x), Real(y)) => {
@@ -494,8 +494,13 @@ impl Ctx<'_> {
                 // accepting τ serves wherever a port accepting σ ≤ τ is
                 // expected.
                 let dep = self.check(*x, *y, rel.flip(), depth + 1)?;
-                self.entries
-                    .insert((a, b), Entry::Port { left_payload: *x, right_payload: *y });
+                self.entries.insert(
+                    (a, b),
+                    Entry::Port {
+                        left_payload: *x,
+                        right_payload: *y,
+                    },
+                );
                 Ok(dep)
             }
             _ => self.fail(
@@ -611,7 +616,12 @@ impl Ctx<'_> {
         };
         self.entries.insert(
             (a, b),
-            Entry::Record { left_children: lv, right_children: rv, perm, policy },
+            Entry::Record {
+                left_children: lv,
+                right_children: rv,
+                perm,
+                policy,
+            },
         );
         Ok(min_dep)
     }
@@ -659,6 +669,7 @@ impl Ctx<'_> {
 
     /// Backtracking bijection search: assign each right position a
     /// distinct left child, preferring fingerprint-identical candidates.
+    #[allow(clippy::too_many_arguments)]
     fn match_perm(
         &mut self,
         lv: &[MtypeId],
@@ -765,7 +776,11 @@ impl Ctx<'_> {
                 }
                 self.entries.insert(
                     (a, b),
-                    Entry::Choice { left_alts: lv, right_alts: rv, alt_map },
+                    Entry::Choice {
+                        left_alts: lv,
+                        right_alts: rv,
+                        alt_map,
+                    },
                 );
                 Ok(min_dep)
             }
@@ -832,7 +847,11 @@ impl Ctx<'_> {
                 };
                 self.entries.insert(
                     (a, b),
-                    Entry::Choice { left_alts: lv, right_alts: rv, alt_map },
+                    Entry::Choice {
+                        left_alts: lv,
+                        right_alts: rv,
+                        alt_map,
+                    },
                 );
                 Ok(dep)
             }
@@ -849,8 +868,7 @@ fn one_level_view(graph: &MtypeGraph, rules: &RuleSet, id: MtypeId) -> Vec<Mtype
             .iter()
             .copied()
             .filter(|&c| {
-                !(rules.unit_elim
-                    && matches!(graph.kind(graph.resolve(c)), MtypeKind::Unit))
+                !(rules.unit_elim && matches!(graph.kind(graph.resolve(c)), MtypeKind::Unit))
             })
             .collect(),
         _ => vec![id],
@@ -905,8 +923,12 @@ mod tests {
         let corr = Comparer::new(&g, &g)
             .compare(nested, flat, Mode::Equivalence)
             .unwrap();
-        let Entry::Record { perm, left_children, right_children, .. } =
-            corr.entry(nested, flat).unwrap()
+        let Entry::Record {
+            perm,
+            left_children,
+            right_children,
+            ..
+        } = corr.entry(nested, flat).unwrap()
         else {
             panic!("expected a Record entry");
         };
@@ -947,7 +969,10 @@ mod tests {
         let with_unit = g.record(vec![i, u]);
         let without = g.record(vec![i]);
         assert!(Comparer::new(&g, &g).equivalent(with_unit, without));
-        assert!(Comparer::new(&g, &g).equivalent(with_unit, i), "unary record collapses");
+        assert!(
+            Comparer::new(&g, &g).equivalent(with_unit, i),
+            "unary record collapses"
+        );
         let mut strict = RuleSet::strict();
         strict.assoc = false;
         assert!(!Comparer::with_rules(&g, &g, strict).equivalent(with_unit, without));

@@ -120,7 +120,11 @@ mod tests {
     fn entry_lookup() {
         let a = fake_id(0);
         let b = fake_id(1);
-        let mut c = Correspondence { left_root: a, right_root: b, entries: HashMap::new() };
+        let mut c = Correspondence {
+            left_root: a,
+            right_root: b,
+            entries: HashMap::new(),
+        };
         c.entries.insert((a, b), Entry::Prim(PrimCoercion::Unit));
         assert_eq!(c.entry(a, b), Some(&Entry::Prim(PrimCoercion::Unit)));
         assert_eq!(c.entry(b, a), None);

@@ -70,10 +70,14 @@ mod tests {
 
     #[test]
     fn census_hint_spots_leaf_count_differences() {
-        let mut l = MtypeSummary::default();
-        l.reals = 3;
-        let mut r = MtypeSummary::default();
-        r.reals = 4;
+        let l = MtypeSummary {
+            reals: 3,
+            ..MtypeSummary::default()
+        };
+        let r = MtypeSummary {
+            reals: 4,
+            ..MtypeSummary::default()
+        };
         let m = Mismatch {
             reason: "x".into(),
             depth: 2,
@@ -82,7 +86,10 @@ mod tests {
             left_summary: l,
             right_summary: r,
         };
-        assert_eq!(m.census_hint().unwrap(), "left has 3 Real node(s), right has 4");
+        assert_eq!(
+            m.census_hint().unwrap(),
+            "left has 3 Real node(s), right has 4"
+        );
         let shown = m.to_string();
         assert!(shown.contains("types do not match"));
         assert!(shown.contains("hint"));

@@ -1,7 +1,8 @@
-//! Property-based tests: random Mtypes, shuffled/regrouped variants, and
-//! perturbations.
+//! Property-style tests: random Mtypes, shuffled/regrouped variants, and
+//! perturbations, driven by a deterministic seeded RNG so failures
+//! replay exactly.
 
-use proptest::prelude::*;
+use mockingbird_rng::StdRng;
 
 use mockingbird_mtype::{IntRange, MtypeGraph, MtypeId, RealPrecision, Repertoire};
 
@@ -29,7 +30,11 @@ fn build(g: &mut MtypeGraph, r: &Recipe) -> MtypeId {
             1 => Repertoire::Latin1,
             _ => Repertoire::Unicode,
         }),
-        Recipe::Real(d) => g.real(if *d { RealPrecision::DOUBLE } else { RealPrecision::SINGLE }),
+        Recipe::Real(d) => g.real(if *d {
+            RealPrecision::DOUBLE
+        } else {
+            RealPrecision::SINGLE
+        }),
         Recipe::Record(cs) => {
             let kids = cs.iter().map(|c| build(g, c)).collect();
             g.record(kids)
@@ -104,93 +109,123 @@ fn build_perturbed(g: &mut MtypeGraph, r: &Recipe) -> MtypeId {
     }
 }
 
-fn recipe_strategy() -> impl Strategy<Value = Recipe> {
-    let leaf = prop_oneof![
-        any::<u8>().prop_map(Recipe::Int),
-        any::<u8>().prop_map(Recipe::Char),
-        any::<bool>().prop_map(Recipe::Real),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..4).prop_map(Recipe::Record),
-            prop::collection::vec(inner.clone(), 1..4).prop_map(Recipe::Choice),
-            inner.clone().prop_map(|r| Recipe::List(Box::new(r))),
-            inner.prop_map(|r| Recipe::Port(Box::new(r))),
-        ]
-    })
+fn random_leaf(rng: &mut StdRng) -> Recipe {
+    match rng.gen_range(0..3) {
+        0 => Recipe::Int(rng.gen_range(0u8..=255)),
+        1 => Recipe::Char(rng.gen_range(0u8..=255)),
+        _ => Recipe::Real(rng.gen_bool(0.5)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_recipe(rng: &mut StdRng, depth: usize) -> Recipe {
+    if depth == 0 {
+        return random_leaf(rng);
+    }
+    match rng.gen_range(0..5) {
+        0 => {
+            let n = rng.gen_range(0..4);
+            Recipe::Record((0..n).map(|_| random_recipe(rng, depth - 1)).collect())
+        }
+        1 => {
+            let n = rng.gen_range(1..4);
+            Recipe::Choice((0..n).map(|_| random_recipe(rng, depth - 1)).collect())
+        }
+        2 => Recipe::List(Box::new(random_recipe(rng, depth - 1))),
+        3 => Recipe::Port(Box::new(random_recipe(rng, depth - 1))),
+        _ => random_leaf(rng),
+    }
+}
 
-    #[test]
-    fn equivalence_is_reflexive(recipe in recipe_strategy()) {
+fn for_recipes(cases: u64, mut prop: impl FnMut(&Recipe)) {
+    for seed in 0..cases {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let depth = rng.gen_range(1usize..=3);
+        let recipe = random_recipe(&mut rng, depth);
+        prop(&recipe);
+    }
+}
+
+#[test]
+fn equivalence_is_reflexive() {
+    for_recipes(64, |recipe| {
         let mut g = MtypeGraph::new();
-        let a = build(&mut g, &recipe);
-        prop_assert!(Comparer::new(&g, &g).equivalent(a, a));
-        prop_assert!(Comparer::with_rules(&g, &g, RuleSet::strict()).equivalent(a, a));
-    }
+        let a = build(&mut g, recipe);
+        assert!(Comparer::new(&g, &g).equivalent(a, a));
+        assert!(Comparer::with_rules(&g, &g, RuleSet::strict()).equivalent(a, a));
+    });
+}
 
-    #[test]
-    fn shuffled_regrouped_variant_stays_equivalent(recipe in recipe_strategy()) {
+#[test]
+fn shuffled_regrouped_variant_stays_equivalent() {
+    for_recipes(64, |recipe| {
         let mut g1 = MtypeGraph::new();
-        let a = build(&mut g1, &recipe);
+        let a = build(&mut g1, recipe);
         let mut g2 = MtypeGraph::new();
-        let b = build_variant(&mut g2, &recipe);
-        prop_assert!(
+        let b = build_variant(&mut g2, recipe);
+        assert!(
             Comparer::new(&g1, &g2).equivalent(a, b),
-            "variant of {:?} should match", recipe
+            "variant of {recipe:?} should match"
         );
-    }
+    });
+}
 
-    #[test]
-    fn equivalence_is_symmetric(recipe in recipe_strategy()) {
+#[test]
+fn equivalence_is_symmetric() {
+    for_recipes(64, |recipe| {
         let mut g1 = MtypeGraph::new();
-        let a = build(&mut g1, &recipe);
+        let a = build(&mut g1, recipe);
         let mut g2 = MtypeGraph::new();
-        let b = build_variant(&mut g2, &recipe);
+        let b = build_variant(&mut g2, recipe);
         let ab = Comparer::new(&g1, &g2).equivalent(a, b);
         let ba = Comparer::new(&g2, &g1).equivalent(b, a);
-        prop_assert_eq!(ab, ba);
-    }
+        assert_eq!(ab, ba);
+    });
+}
 
-    #[test]
-    fn perturbed_variant_is_rejected(recipe in recipe_strategy()) {
+#[test]
+fn perturbed_variant_is_rejected() {
+    for_recipes(64, |recipe| {
         let mut g1 = MtypeGraph::new();
-        let a = build(&mut g1, &recipe);
+        let a = build(&mut g1, recipe);
         let mut g2 = MtypeGraph::new();
-        let b = build_perturbed(&mut g2, &recipe);
-        prop_assert!(
+        let b = build_perturbed(&mut g2, recipe);
+        assert!(
             !Comparer::new(&g1, &g2).equivalent(a, b),
-            "perturbed variant of {:?} must not match", recipe
+            "perturbed variant of {recipe:?} must not match"
         );
-    }
+    });
+}
 
-    #[test]
-    fn equivalence_implies_mutual_subtyping(recipe in recipe_strategy()) {
+#[test]
+fn equivalence_implies_mutual_subtyping() {
+    for_recipes(64, |recipe| {
         let mut g1 = MtypeGraph::new();
-        let a = build(&mut g1, &recipe);
+        let a = build(&mut g1, recipe);
         let mut g2 = MtypeGraph::new();
-        let b = build_variant(&mut g2, &recipe);
+        let b = build_variant(&mut g2, recipe);
         if Comparer::new(&g1, &g2).equivalent(a, b) {
-            prop_assert!(Comparer::new(&g1, &g2).subtype(a, b));
-            prop_assert!(Comparer::new(&g2, &g1).subtype(b, a));
+            assert!(Comparer::new(&g1, &g2).subtype(a, b));
+            assert!(Comparer::new(&g2, &g1).subtype(b, a));
         }
-    }
+    });
+}
 
-    #[test]
-    fn subtype_is_reflexive(recipe in recipe_strategy()) {
+#[test]
+fn subtype_is_reflexive() {
+    for_recipes(64, |recipe| {
         let mut g = MtypeGraph::new();
-        let a = build(&mut g, &recipe);
-        prop_assert!(Comparer::new(&g, &g).subtype(a, a));
-    }
+        let a = build(&mut g, recipe);
+        assert!(Comparer::new(&g, &g).subtype(a, a));
+    });
+}
 
-    #[test]
-    fn strict_rules_accept_identical_construction(recipe in recipe_strategy()) {
+#[test]
+fn strict_rules_accept_identical_construction() {
+    for_recipes(64, |recipe| {
         let mut g1 = MtypeGraph::new();
-        let a = build(&mut g1, &recipe);
+        let a = build(&mut g1, recipe);
         let mut g2 = MtypeGraph::new();
-        let b = build(&mut g2, &recipe);
-        prop_assert!(Comparer::with_rules(&g1, &g2, RuleSet::strict()).equivalent(a, b));
-    }
+        let b = build(&mut g2, recipe);
+        assert!(Comparer::with_rules(&g1, &g2, RuleSet::strict()).equivalent(a, b));
+    });
 }

@@ -14,7 +14,9 @@ fn main() {
         let j = Lowerer::new(&pair.java, &mut g).lower_named(&name).unwrap();
         if let Err(m) = Comparer::new(&g, &g).compare(c, j, Mode::Equivalence) {
             fails += 1;
-            if fails <= 3 { println!("{name}: {}", m.reason); }
+            if fails <= 3 {
+                println!("{name}: {}", m.reason);
+            }
         }
     }
     println!("{fails} failures");

@@ -105,7 +105,9 @@ fn load_into(session: &mut Session, path: &str) -> Result<(), String> {
     } else if path.ends_with(".idl") {
         session.load_idl(&text).map_err(fail)
     } else {
-        Err(format!("{path}: unknown file kind (expected .c/.h/.cpp/.java/.class/.idl/.mbproj.json)"))
+        Err(format!(
+            "{path}: unknown file kind (expected .c/.h/.cpp/.java/.class/.idl/.mbproj.json)"
+        ))
     }
 }
 
@@ -118,7 +120,8 @@ fn run(args: Args) -> Result<(), String> {
         load_into(&mut session, f)?;
     }
     if let Some(script_path) = &args.script {
-        let text = std::fs::read_to_string(script_path).map_err(|e| format!("{script_path}: {e}"))?;
+        let text =
+            std::fs::read_to_string(script_path).map_err(|e| format!("{script_path}: {e}"))?;
         let n = session.annotate(&text).map_err(|e| e.to_string())?;
         eprintln!("applied {n} annotation statements from {script_path}");
     }
@@ -131,7 +134,10 @@ fn run(args: Args) -> Result<(), String> {
         }
         "mtype" => {
             let name = args.of.ok_or("mtype needs --of NAME")?;
-            println!("{}", session.display_mtype(&name).map_err(|e| e.to_string())?);
+            println!(
+                "{}",
+                session.display_mtype(&name).map_err(|e| e.to_string())?
+            );
             Ok(())
         }
         "dot" => {
@@ -142,7 +148,11 @@ fn run(args: Args) -> Result<(), String> {
         "compare" => {
             let left = args.left.ok_or("compare needs --left NAME")?;
             let right = args.right.ok_or("compare needs --right NAME")?;
-            let mode = if args.subtype { Mode::Subtype } else { Mode::Equivalence };
+            let mode = if args.subtype {
+                Mode::Subtype
+            } else {
+                Mode::Equivalence
+            };
             match session.compare(&left, &right, mode) {
                 Ok(plan) => {
                     println!(
@@ -161,7 +171,10 @@ fn run(args: Args) -> Result<(), String> {
             let stub = session
                 .function_stub(&left, &right)
                 .map_err(|e| e.to_string())?;
-            println!("{}", emit_c_stub(&stub, &args.name, &["args"]).map_err(|e| e.to_string())?);
+            println!(
+                "{}",
+                emit_c_stub(&stub, &args.name, &["args"]).map_err(|e| e.to_string())?
+            );
             println!(
                 "{}",
                 emit_jni_bridge(&stub, &left, &args.name, &args.name).map_err(|e| e.to_string())?

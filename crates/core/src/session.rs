@@ -130,7 +130,10 @@ impl Session {
 
     /// Creates a session with an explicit rule set (ablation studies).
     pub fn with_rules(rules: RuleSet) -> Self {
-        Session { rules, ..Session::new() }
+        Session {
+            rules,
+            ..Session::new()
+        }
     }
 
     /// The loaded declarations.
@@ -259,7 +262,10 @@ impl Session {
     /// Propagates lowering failures.
     pub fn dot(&mut self, name: &str) -> Result<String, SessionError> {
         let id = self.mtype(name)?;
-        let safe: String = name.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect();
+        let safe: String = name
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
         Ok(mockingbird_mtype::dot::to_dot(&self.graph, id, &safe))
     }
 
@@ -282,7 +288,13 @@ impl Session {
         let corr = Comparer::with_rules(&self.graph, &self.graph, self.rules.clone())
             .compare(l, r, mode)
             .map_err(|m| SessionError::Compare(Box::new(m)))?;
-        Ok(CoercionPlan::new(&self.graph, &self.graph, corr, self.rules.clone(), mode))
+        Ok(CoercionPlan::new(
+            &self.graph,
+            &self.graph,
+            corr,
+            self.rules.clone(),
+            mode,
+        ))
     }
 
     /// Runs the Comparer with programmer-declared *semantic bridges*
@@ -317,7 +329,13 @@ impl Session {
         let corr = cmp
             .compare(l, r, mode)
             .map_err(|m| SessionError::Compare(Box::new(m)))?;
-        Ok(CoercionPlan::new(&self.graph, &self.graph, corr, self.rules.clone(), mode))
+        Ok(CoercionPlan::new(
+            &self.graph,
+            &self.graph,
+            corr,
+            self.rules.clone(),
+            mode,
+        ))
     }
 
     /// Builds a local two-way function stub between two declarations.
@@ -356,7 +374,22 @@ impl Session {
         let shape = FnShape::of_function(&self.graph, id).map_err(StubError::Shape)?;
         let args_ty = self.graph.record(shape.inputs.clone());
         let result_ty = shape.output;
-        Ok(WireOp { graph: Arc::new(self.graph.clone()), args_ty, result_ty })
+        Ok(WireOp::new(
+            Arc::new(self.graph.clone()),
+            args_ty,
+            result_ty,
+        ))
+    }
+
+    /// As [`wire_op`](Session::wire_op), but marks the operation
+    /// idempotent so clients may retry it under a
+    /// [`RetryPolicy`](mockingbird_runtime::RetryPolicy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering and shape failures.
+    pub fn wire_op_idempotent(&mut self, function: &str) -> Result<WireOp, SessionError> {
+        Ok(self.wire_op(function)?.idempotent())
     }
 
     /// Saves the session (declarations with annotations) to a project
@@ -442,7 +475,9 @@ annotate JavaIdeal.method(fitter).ret non-null";
         let mut s = Session::new();
         s.load_c(FIG2_C).unwrap();
         s.load_java(FIG1_5_JAVA).unwrap();
-        let err = s.compare("JavaIdeal", "fitter", Mode::Equivalence).unwrap_err();
+        let err = s
+            .compare("JavaIdeal", "fitter", Mode::Equivalence)
+            .unwrap_err();
         assert!(matches!(err, SessionError::Compare(_)));
         // The iterative annotate/compare loop: apply annotations, retry.
         s.annotate(FITTER_SCRIPT).unwrap();
@@ -454,8 +489,12 @@ annotate JavaIdeal.method(fitter).ret non-null";
         let mut s = fitter_session();
         let stub = s.function_stub("JavaIdeal", "fitter").unwrap();
         let c_fitter = |args: MValue| -> Result<MValue, String> {
-            let MValue::Record(items) = args else { return Err("bad".into()) };
-            let MValue::List(pts) = &items[0] else { return Err("bad".into()) };
+            let MValue::Record(items) = args else {
+                return Err("bad".into());
+            };
+            let MValue::List(pts) = &items[0] else {
+                return Err("bad".into());
+            };
             Ok(MValue::Record(vec![
                 pts.first().cloned().ok_or("empty")?,
                 pts.last().cloned().ok_or("empty")?,
@@ -478,7 +517,9 @@ annotate JavaIdeal.method(fitter).ret non-null";
         let path = dir.join("fitter.mbproj.json");
         s.save_project("fitter", &path).unwrap();
         let mut restored = Session::load_project(&path).unwrap();
-        assert!(restored.compare("JavaIdeal", "fitter", Mode::Equivalence).is_ok());
+        assert!(restored
+            .compare("JavaIdeal", "fitter", Mode::Equivalence)
+            .is_ok());
         std::fs::remove_file(path).ok();
     }
 
@@ -496,7 +537,8 @@ annotate JavaIdeal.method(fitter).ret non-null";
     fn annotate_invalidates_memo() {
         let mut s = fitter_session();
         let a = s.mtype("Point").unwrap();
-        s.annotate("annotate Point.field(x) precision=double").unwrap();
+        s.annotate("annotate Point.field(x) precision=double")
+            .unwrap();
         let b = s.mtype("Point").unwrap();
         assert_ne!(
             s.graph().display(a).to_string(),

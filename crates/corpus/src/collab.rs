@@ -85,7 +85,10 @@ fn app_class(i: usize) -> Stype {
             Field::new("counter", Stype::i64()),
             Field::new("wall", Stype::i64()),
         ],
-        _ => vec![Field::new("name", Stype::string()), Field::new("code", Stype::i32())],
+        _ => vec![
+            Field::new("name", Stype::string()),
+            Field::new("code", Stype::i32()),
+        ],
     };
     Stype::class(fields, vec![])
 }
@@ -125,8 +128,12 @@ pub fn collaboration() -> CollabCorpus {
             ));
         }
         let field_names: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
-        java.insert(Decl::new(name.to_string(), Lang::Java, Stype::class(fields, vec![])))
-            .expect("unique");
+        java.insert(Decl::new(
+            name.to_string(),
+            Lang::Java,
+            Stype::class(fields, vec![]),
+        ))
+        .expect("unique");
         for f in field_names {
             script.push_str(&format!("annotate {name}.field({f}) non-null no-alias\n"));
         }
@@ -184,14 +191,18 @@ mod tests {
         let bare = {
             let c = collaboration();
             let mut g = MtypeGraph::new();
-            let id = Lowerer::new(&c.java, &mut g).lower_named("LeaveSession").unwrap();
+            let id = Lowerer::new(&c.java, &mut g)
+                .lower_named("LeaveSession")
+                .unwrap();
             mockingbird_mtype::canon::MtypeSummary::of(&g, id).choices
         };
         let annotated = {
             let mut c = collaboration();
             apply_script(&mut c.java, &c.script).unwrap();
             let mut g = MtypeGraph::new();
-            let id = Lowerer::new(&c.java, &mut g).lower_named("LeaveSession").unwrap();
+            let id = Lowerer::new(&c.java, &mut g)
+                .lower_named("LeaveSession")
+                .unwrap();
             mockingbird_mtype::canon::MtypeSummary::of(&g, id).choices
         };
         assert!(annotated < bare, "annotated {annotated} vs bare {bare}");

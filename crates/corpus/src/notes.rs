@@ -156,7 +156,12 @@ pub fn notes_api() -> NotesPair {
         }
     }
 
-    NotesPair { cxx, java, script, method_count }
+    NotesPair {
+        cxx,
+        java,
+        script,
+        method_count,
+    }
 }
 
 #[cfg(test)]
@@ -201,8 +206,12 @@ mod tests {
         // NotesSession.openChild returns a ref: nullable on the Java side
         // until annotated.
         let mut g = MtypeGraph::new();
-        let c = Lowerer::new(&pair.cxx, &mut g).lower_named("NotesSession").unwrap();
-        let j = Lowerer::new(&pair.java, &mut g).lower_named("NotesSession").unwrap();
+        let c = Lowerer::new(&pair.cxx, &mut g)
+            .lower_named("NotesSession")
+            .unwrap();
+        let j = Lowerer::new(&pair.java, &mut g)
+            .lower_named("NotesSession")
+            .unwrap();
         assert!(!Comparer::new(&g, &g).equivalent(c, j));
     }
 }

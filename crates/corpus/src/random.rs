@@ -1,9 +1,6 @@
 //! Seeded random Mtypes and values for benchmarks and fuzzing.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-#[cfg(test)]
-use rand::SeedableRng;
+use mockingbird_rng::StdRng;
 
 use mockingbird_mtype::{IntRange, MtypeGraph, MtypeId, MtypeKind, RealPrecision, Repertoire};
 use mockingbird_values::mvalue::list_element_type;
@@ -55,11 +52,7 @@ pub fn random_mtype(g: &mut MtypeGraph, rng: &mut StdRng, depth: usize) -> Mtype
 /// choice children reversed, and the first two children of wide records
 /// regrouped into a nested record (exercising commutativity and
 /// associativity).
-pub fn isomorphic_variant(
-    src: &MtypeGraph,
-    id: MtypeId,
-    out: &mut MtypeGraph,
-) -> MtypeId {
+pub fn isomorphic_variant(src: &MtypeGraph, id: MtypeId, out: &mut MtypeGraph) -> MtypeId {
     variant_rec(src, id, out, &mut Vec::new())
 }
 
@@ -131,16 +124,17 @@ pub fn perturbed_variant(src: &MtypeGraph, id: MtypeId, out: &mut MtypeGraph) ->
 
 /// Samples a value inhabiting the Mtype rooted at `ty`. `list_len`
 /// bounds generated collection sizes.
-pub fn sample_value(
+pub fn sample_value(g: &MtypeGraph, ty: MtypeId, rng: &mut StdRng, list_len: usize) -> MValue {
+    sample_at(g, ty, rng, list_len, 0)
+}
+
+fn sample_at(
     g: &MtypeGraph,
     ty: MtypeId,
     rng: &mut StdRng,
     list_len: usize,
+    depth: usize,
 ) -> MValue {
-    sample_at(g, ty, rng, list_len, 0)
-}
-
-fn sample_at(g: &MtypeGraph, ty: MtypeId, rng: &mut StdRng, list_len: usize, depth: usize) -> MValue {
     let ty = g.resolve(ty);
     if depth > 64 {
         // Cut recursion off at nil/zero values.
@@ -158,7 +152,7 @@ fn sample_at(g: &MtypeGraph, ty: MtypeId, rng: &mut StdRng, list_len: usize, dep
         MtypeKind::Character(rep) => MValue::Char(match rep {
             Repertoire::Ascii => rng.gen_range(b'a'..=b'z') as char,
             Repertoire::Latin1 => rng.gen_range(b' '..=b'~') as char,
-            _ => ['α', '日', 'Z', 'é'][rng.gen_range(0..4)],
+            _ => ['α', '日', 'Z', 'é'][rng.gen_range(0..4usize)],
         }),
         MtypeKind::Real(p) => {
             let x: f64 = rng.gen_range(-1000.0..1000.0);
@@ -185,7 +179,9 @@ fn sample_at(g: &MtypeGraph, ty: MtypeId, rng: &mut StdRng, list_len: usize, dep
             if let Some(elem) = list_element_type(g, ty) {
                 let n = rng.gen_range(0..=list_len);
                 return MValue::List(
-                    (0..n).map(|_| sample_at(g, elem, rng, list_len, depth + 1)).collect(),
+                    (0..n)
+                        .map(|_| sample_at(g, elem, rng, list_len, depth + 1))
+                        .collect(),
                 );
             }
             let alts = alts.clone();

@@ -17,9 +17,7 @@
 //! references nullable until the batch annotation script marks them
 //! `non-null`, the paper's §5 scripting technique).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use mockingbird_rng::{SliceRandom, StdRng};
 
 use mockingbird_stype::ann::PassMode;
 use mockingbird_stype::ast::{Decl, Field, Lang, Method, Param, Signature, Stype, Universe};
@@ -40,14 +38,23 @@ pub struct CorpusPair {
 }
 
 fn prim_pool() -> Vec<Stype> {
-    vec![Stype::i32(), Stype::f32(), Stype::f64(), Stype::boolean(), Stype::i64()]
+    vec![
+        Stype::i32(),
+        Stype::f32(),
+        Stype::f64(),
+        Stype::boolean(),
+        Stype::i64(),
+    ]
 }
 
 /// Generates a VisualAge-style corpus of `n_classes` inter-related API
 /// classes (~8 methods each, so 500 classes ≈ 4000 methods, the paper's
 /// "several thousand"). Deterministic in `seed`.
 pub fn visualage(n_classes: usize, seed: u64) -> CorpusPair {
-    assert!(n_classes >= 2, "corpus needs at least two classes to inter-relate");
+    assert!(
+        n_classes >= 2,
+        "corpus needs at least two classes to inter-relate"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let prims = prim_pool();
     let class_names: Vec<String> = (0..n_classes).map(|i| format!("Ast{i:03}")).collect();
@@ -108,7 +115,9 @@ pub fn visualage(n_classes: usize, seed: u64) -> CorpusPair {
             };
             let mname = format!("m{m}");
             for p in &ref_params {
-                java_anns.push(format!("annotate {name}.method({mname}).param({p}) non-null"));
+                java_anns.push(format!(
+                    "annotate {name}.method({mname}).param({p}) non-null"
+                ));
             }
             if ret_is_ref {
                 java_anns.push(format!("annotate {name}.method({mname}).ret non-null"));
@@ -161,7 +170,13 @@ pub fn visualage(n_classes: usize, seed: u64) -> CorpusPair {
         .expect("generated names are unique");
     }
 
-    CorpusPair { cxx, java, script, class_names, method_count }
+    CorpusPair {
+        cxx,
+        java,
+        script,
+        class_names,
+        method_count,
+    }
 }
 
 #[cfg(test)]

@@ -137,14 +137,20 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, CParseError> {
                 line,
                 message: format!("bad integer literal `{text}`"),
             })?;
-            out.push(Spanned { tok: Tok::Num(value), line });
+            out.push(Spanned {
+                tok: Tok::Num(value),
+                line,
+            });
             continue;
         }
         // Two-char symbols.
         if i + 1 < n {
             let pair: String = [bytes[i], bytes[i + 1]].iter().collect();
             if let Some(&sym) = SYMBOLS2.iter().find(|&&s| s == pair) {
-                out.push(Spanned { tok: Tok::Sym(sym), line });
+                out.push(Spanned {
+                    tok: Tok::Sym(sym),
+                    line,
+                });
                 i += 2;
                 continue;
             }
@@ -152,7 +158,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, CParseError> {
         if let Some(pos) = SYMBOLS1.find(c) {
             // Map back to a 'static str slice of the symbol table.
             let sym = &SYMBOLS1[pos..pos + c.len_utf8()];
-            out.push(Spanned { tok: Tok::Sym(sym), line });
+            out.push(Spanned {
+                tok: Tok::Sym(sym),
+                line,
+            });
             i += 1;
             continue;
         }
@@ -193,7 +202,11 @@ mod tests {
         let t = toks("#include <stdio.h>\n// line comment\n/* block\ncomment */ int x;");
         assert_eq!(
             t,
-            vec![Tok::Ident("int".into()), Tok::Ident("x".into()), Tok::Sym(";")]
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("x".into()),
+                Tok::Sym(";")
+            ]
         );
     }
 

@@ -47,7 +47,12 @@ struct Declarator {
 
 impl Parser {
     fn new(src: &str, lang: Lang) -> Result<Self, CParseError> {
-        Ok(Parser { toks: lex(src)?, pos: 0, lang, uni: Universe::new() })
+        Ok(Parser {
+            toks: lex(src)?,
+            pos: 0,
+            lang,
+            uni: Universe::new(),
+        })
     }
 
     fn line(&self) -> usize {
@@ -58,7 +63,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, CParseError> {
-        Err(CParseError { line: self.line(), message: message.into() })
+        Err(CParseError {
+            line: self.line(),
+            message: message.into(),
+        })
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -90,7 +98,9 @@ impl Parser {
         } else {
             self.err(format!(
                 "expected `{sym}`, found `{}`",
-                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "<eof>".into())
+                self.peek()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "<eof>".into())
             ))
         }
     }
@@ -109,7 +119,9 @@ impl Parser {
             Some(Tok::Ident(s)) => Ok(s),
             other => self.err(format!(
                 "expected identifier, found `{}`",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "<eof>".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "<eof>".into())
             )),
         }
     }
@@ -123,9 +135,10 @@ impl Parser {
 
     fn insert(&mut self, decl: Decl) -> Result<(), CParseError> {
         let line = self.line();
-        self.uni
-            .insert(decl)
-            .map_err(|e| CParseError { line, message: e.to_string() })
+        self.uni.insert(decl).map_err(|e| CParseError {
+            line,
+            message: e.to_string(),
+        })
     }
 
     fn top_decl(&mut self) -> Result<(), CParseError> {
@@ -289,7 +302,8 @@ impl Parser {
         let mut extends = None;
         if self.eat_sym(":") {
             // Single inheritance with optional access specifier.
-            let _ = self.eat_ident("public") || self.eat_ident("private")
+            let _ = self.eat_ident("public")
+                || self.eat_ident("private")
                 || self.eat_ident("protected");
             extends = Some(self.qualified_name()?);
         }
@@ -432,8 +446,7 @@ impl Parser {
         }
         // Builtin combinations.
         const BUILTIN_WORDS: [&str; 10] = [
-            "signed", "unsigned", "short", "long", "int", "char", "float", "double", "void",
-            "bool",
+            "signed", "unsigned", "short", "long", "int", "char", "float", "double", "void", "bool",
         ];
         let mut words: Vec<String> = Vec::new();
         while let Some(Tok::Ident(s)) = self.peek() {
@@ -543,7 +556,12 @@ impl Parser {
                 break;
             }
         }
-        Ok(Declarator { name, pointers, arrays, params })
+        Ok(Declarator {
+            name,
+            pointers,
+            arrays,
+            params,
+        })
     }
 
     fn param_list(&mut self) -> Result<Vec<Param>, CParseError> {
@@ -683,11 +701,16 @@ mod tests {
             SNode::Array { len: AL::Fixed(2), elem } if matches!(elem.node, SNode::Prim(Prim::F32))
         ));
         let fitter = uni.get("fitter").unwrap();
-        let SNode::Function(sig) = &fitter.ty.node else { panic!() };
+        let SNode::Function(sig) = &fitter.ty.node else {
+            panic!()
+        };
         assert_eq!(sig.params.len(), 4);
         assert!(matches!(
             &sig.params[0].ty.node,
-            SNode::Array { len: AL::Indefinite, .. }
+            SNode::Array {
+                len: AL::Indefinite,
+                ..
+            }
         ));
         assert!(matches!(&sig.params[2].ty.node, SNode::Pointer(_)));
         assert!(matches!(sig.ret.node, SNode::Prim(Prim::Void)));
@@ -701,11 +724,17 @@ mod tests {
              enum Color { RED, GREEN = 5, BLUE };",
         )
         .unwrap();
-        let SNode::Struct(fs) = &uni.get("Point").unwrap().ty.node else { panic!() };
+        let SNode::Struct(fs) = &uni.get("Point").unwrap().ty.node else {
+            panic!()
+        };
         assert_eq!(fs.len(), 2);
-        let SNode::Union(arms) = &uni.get("Number").unwrap().ty.node else { panic!() };
+        let SNode::Union(arms) = &uni.get("Number").unwrap().ty.node else {
+            panic!()
+        };
         assert_eq!(arms.len(), 2);
-        let SNode::Enum(ms) = &uni.get("Color").unwrap().ty.node else { panic!() };
+        let SNode::Enum(ms) = &uni.get("Color").unwrap().ty.node else {
+            panic!()
+        };
         assert_eq!(ms, &vec!["RED".to_string(), "GREEN".into(), "BLUE".into()]);
     }
 
@@ -720,31 +749,63 @@ mod tests {
              typedef wchar_t wide_t;",
         )
         .unwrap();
-        assert!(matches!(uni.get("byte_t").unwrap().ty.node, SNode::Prim(Prim::U8)));
-        assert!(matches!(uni.get("u64_t").unwrap().ty.node, SNode::Prim(Prim::U64)));
-        assert!(matches!(uni.get("i64_t").unwrap().ty.node, SNode::Prim(Prim::I64)));
-        assert!(matches!(uni.get("u16_t").unwrap().ty.node, SNode::Prim(Prim::U16)));
-        assert!(matches!(uni.get("i8_t").unwrap().ty.node, SNode::Prim(Prim::I8)));
-        assert!(matches!(uni.get("wide_t").unwrap().ty.node, SNode::Prim(Prim::Char16)));
+        assert!(matches!(
+            uni.get("byte_t").unwrap().ty.node,
+            SNode::Prim(Prim::U8)
+        ));
+        assert!(matches!(
+            uni.get("u64_t").unwrap().ty.node,
+            SNode::Prim(Prim::U64)
+        ));
+        assert!(matches!(
+            uni.get("i64_t").unwrap().ty.node,
+            SNode::Prim(Prim::I64)
+        ));
+        assert!(matches!(
+            uni.get("u16_t").unwrap().ty.node,
+            SNode::Prim(Prim::U16)
+        ));
+        assert!(matches!(
+            uni.get("i8_t").unwrap().ty.node,
+            SNode::Prim(Prim::I8)
+        ));
+        assert!(matches!(
+            uni.get("wide_t").unwrap().ty.node,
+            SNode::Prim(Prim::Char16)
+        ));
     }
 
     #[test]
     fn multi_declarator_fields_and_nested_arrays() {
         let uni = parse_c("struct M { int a, b; float grid[2][3]; };").unwrap();
-        let SNode::Struct(fs) = &uni.get("M").unwrap().ty.node else { panic!() };
+        let SNode::Struct(fs) = &uni.get("M").unwrap().ty.node else {
+            panic!()
+        };
         assert_eq!(fs.len(), 3);
         // grid: array[2] of array[3] of float.
-        let SNode::Array { elem, len } = &fs[2].ty.node else { panic!() };
+        let SNode::Array { elem, len } = &fs[2].ty.node else {
+            panic!()
+        };
         assert!(matches!(len, AL::Fixed(2)));
-        assert!(matches!(&elem.node, SNode::Array { len: AL::Fixed(3), .. }));
+        assert!(matches!(
+            &elem.node,
+            SNode::Array {
+                len: AL::Fixed(3),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn pointer_binding_in_declarators() {
         // int *a[3] is an array of 3 pointers to int.
         let uni = parse_c("struct P { int *a[3]; };").unwrap();
-        let SNode::Struct(fs) = &uni.get("P").unwrap().ty.node else { panic!() };
-        let SNode::Array { elem, len } = &fs[0].ty.node else { panic!() };
+        let SNode::Struct(fs) = &uni.get("P").unwrap().ty.node else {
+            panic!()
+        };
+        let SNode::Array { elem, len } = &fs[0].ty.node else {
+            panic!()
+        };
         assert!(matches!(len, AL::Fixed(3)));
         assert!(matches!(&elem.node, SNode::Pointer(_)));
     }
@@ -764,7 +825,11 @@ mod tests {
              };",
         )
         .unwrap();
-        let SNode::Class { fields, methods, extends } = &uni.get("Document").unwrap().ty.node
+        let SNode::Class {
+            fields,
+            methods,
+            extends,
+        } = &uni.get("Document").unwrap().ty.node
         else {
             panic!()
         };
@@ -777,7 +842,9 @@ mod tests {
     #[test]
     fn cxx_references_are_non_null_pointers() {
         let uni = parse_cxx("class R { public: void take(Point &p); };").unwrap();
-        let SNode::Class { methods, .. } = &uni.get("R").unwrap().ty.node else { panic!() };
+        let SNode::Class { methods, .. } = &uni.get("R").unwrap().ty.node else {
+            panic!()
+        };
         let ty = &methods[0].sig.params[0].ty;
         assert!(matches!(ty.node, SNode::Pointer(_)));
         assert!(ty.ann.non_null, "C++ references cannot be null");
@@ -786,16 +853,22 @@ mod tests {
     #[test]
     fn qualified_base_class_names() {
         let uni = parse_cxx("class V : public std::vector { public: int size(); };").unwrap();
-        let SNode::Class { extends, .. } = &uni.get("V").unwrap().ty.node else { panic!() };
+        let SNode::Class { extends, .. } = &uni.get("V").unwrap().ty.node else {
+            panic!()
+        };
         assert_eq!(extends.as_deref(), Some("std.vector"));
     }
 
     #[test]
     fn void_parameter_list_and_unnamed_params() {
         let uni = parse_c("int rand_value(void);\nint add(int, int);").unwrap();
-        let SNode::Function(sig) = &uni.get("rand_value").unwrap().ty.node else { panic!() };
+        let SNode::Function(sig) = &uni.get("rand_value").unwrap().ty.node else {
+            panic!()
+        };
         assert!(sig.params.is_empty());
-        let SNode::Function(sig) = &uni.get("add").unwrap().ty.node else { panic!() };
+        let SNode::Function(sig) = &uni.get("add").unwrap().ty.node else {
+            panic!()
+        };
         assert_eq!(sig.params[0].name, "arg0");
         assert_eq!(sig.params[1].name, "arg1");
     }
@@ -807,8 +880,12 @@ mod tests {
              void draw(struct Point *p);",
         )
         .unwrap();
-        let SNode::Function(sig) = &uni.get("draw").unwrap().ty.node else { panic!() };
-        let SNode::Pointer(t) = &sig.params[0].ty.node else { panic!() };
+        let SNode::Function(sig) = &uni.get("draw").unwrap().ty.node else {
+            panic!()
+        };
+        let SNode::Pointer(t) = &sig.params[0].ty.node else {
+            panic!()
+        };
         assert!(matches!(&t.node, SNode::Named(n) if n == "Point"));
     }
 

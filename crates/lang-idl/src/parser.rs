@@ -52,11 +52,8 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, IdlParseError> {
             i += 1;
         } else if c.is_whitespace() {
             i += 1;
-        } else if c == '#' {
-            while i < chars.len() && chars[i] != '\n' {
-                i += 1;
-            }
-        } else if c == '/' && chars.get(i + 1) == Some(&'/') {
+        } else if c == '#' || (c == '/' && chars.get(i + 1) == Some(&'/')) {
+            // `#` preprocessor lines and `//` comments both run to EOL.
             while i < chars.len() && chars[i] != '\n' {
                 i += 1;
             }
@@ -65,7 +62,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, IdlParseError> {
             i += 2;
             loop {
                 if i + 1 >= chars.len() {
-                    return Err(IdlParseError { line: start, message: "unterminated comment".into() });
+                    return Err(IdlParseError {
+                        line: start,
+                        message: "unterminated comment".into(),
+                    });
                 }
                 if chars[i] == '\n' {
                     line += 1;
@@ -102,7 +102,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, IdlParseError> {
             out.push((Tok::Sym(c.to_string()), line));
             i += 1;
         } else {
-            return Err(IdlParseError { line, message: format!("unexpected character `{c}`") });
+            return Err(IdlParseError {
+                line,
+                message: format!("unexpected character `{c}`"),
+            });
         }
     }
     Ok(out)
@@ -149,7 +152,10 @@ impl Parser {
     }
 
     fn err<T>(&self, m: impl Into<String>) -> Result<T, IdlParseError> {
-        Err(IdlParseError { line: self.line(), message: m.into() })
+        Err(IdlParseError {
+            line: self.line(),
+            message: m.into(),
+        })
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -231,7 +237,10 @@ impl Parser {
         self.declared.insert(name.clone());
         self.uni
             .insert(Decl::new(name, Lang::Idl, ty))
-            .map_err(|e| IdlParseError { line, message: e.to_string() })
+            .map_err(|e| IdlParseError {
+                line,
+                message: e.to_string(),
+            })
     }
 
     fn definition(&mut self) -> Result<(), IdlParseError> {
@@ -354,7 +363,10 @@ impl Parser {
             }
         }
         self.expect_sym(";")?;
-        Ok(Method::new(name, Signature::new(params, ret).with_throws(throws)))
+        Ok(Method::new(
+            name,
+            Signature::new(params, ret).with_throws(throws),
+        ))
     }
 
     fn type_dcl(&mut self) -> Result<(), IdlParseError> {
@@ -599,9 +611,13 @@ mod tests {
     #[test]
     fn figure_3a_java_friendly() {
         let uni = parse_idl(FIG3A).unwrap();
-        let SNode::Struct(fs) = &uni.get("JavaFriendly.Point").unwrap().ty.node else { panic!() };
+        let SNode::Struct(fs) = &uni.get("JavaFriendly.Point").unwrap().ty.node else {
+            panic!()
+        };
         assert_eq!(fs.len(), 2);
-        let SNode::Struct(fs) = &uni.get("JavaFriendly.Line").unwrap().ty.node else { panic!() };
+        let SNode::Struct(fs) = &uni.get("JavaFriendly.Line").unwrap().ty.node else {
+            panic!()
+        };
         assert!(matches!(&fs[0].ty.node, SNode::Named(n) if n == "JavaFriendly.Point"));
         let SNode::Sequence(e) = &uni.get("JavaFriendly.PointVector").unwrap().ty.node else {
             panic!()
@@ -624,7 +640,10 @@ mod tests {
         let point = uni.get("CFriendly.Point").unwrap();
         assert!(matches!(
             &point.ty.node,
-            SNode::Array { len: ArrayLen::Fixed(2), .. }
+            SNode::Array {
+                len: ArrayLen::Fixed(2),
+                ..
+            }
         ));
         let SNode::Interface { methods, .. } = &uni.get("CFriendly").unwrap().ty.node else {
             panic!()
@@ -665,9 +684,13 @@ mod tests {
              };",
         )
         .unwrap();
-        let SNode::Enum(ms) = &uni.get("Shape").unwrap().ty.node else { panic!() };
+        let SNode::Enum(ms) = &uni.get("Shape").unwrap().ty.node else {
+            panic!()
+        };
         assert_eq!(ms.len(), 2);
-        let SNode::Union(arms) = &uni.get("Value").unwrap().ty.node else { panic!() };
+        let SNode::Union(arms) = &uni.get("Value").unwrap().ty.node else {
+            panic!()
+        };
         assert_eq!(arms.len(), 3);
     }
 
@@ -678,9 +701,13 @@ mod tests {
              interface Job { void run(in Callback cb); };",
         )
         .unwrap();
-        let SNode::Interface { methods, .. } = &uni.get("Job").unwrap().ty.node else { panic!() };
+        let SNode::Interface { methods, .. } = &uni.get("Job").unwrap().ty.node else {
+            panic!()
+        };
         let ty = &methods[0].sig.params[0].ty;
-        assert!(matches!(&ty.node, SNode::Pointer(inner) if matches!(&inner.node, SNode::Named(n) if n == "Callback")));
+        assert!(
+            matches!(&ty.node, SNode::Pointer(inner) if matches!(&inner.node, SNode::Named(n) if n == "Callback"))
+        );
     }
 
     #[test]
@@ -712,7 +739,9 @@ mod tests {
              };",
         )
         .unwrap();
-        let SNode::Struct(fs) = &uni.get("All").unwrap().ty.node else { panic!() };
+        let SNode::Struct(fs) = &uni.get("All").unwrap().ty.node else {
+            panic!()
+        };
         assert_eq!(fs.len(), 17);
     }
 
@@ -725,7 +754,9 @@ mod tests {
              };",
         )
         .unwrap();
-        let SNode::Interface { methods, .. } = &uni.get("Log").unwrap().ty.node else { panic!() };
+        let SNode::Interface { methods, .. } = &uni.get("Log").unwrap().ty.node else {
+            panic!()
+        };
         assert_eq!(methods.len(), 2);
     }
 

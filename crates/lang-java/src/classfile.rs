@@ -11,8 +11,6 @@
 
 use std::fmt;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 /// `ACC_PUBLIC`.
 pub const ACC_PUBLIC: u16 = 0x0001;
 /// `ACC_PRIVATE`.
@@ -25,6 +23,79 @@ pub const ACC_INTERFACE: u16 = 0x0200;
 pub const ACC_ABSTRACT: u16 = 0x0400;
 
 const MAGIC: u32 = 0xCAFE_BABE;
+
+/// A big-endian cursor over class-file bytes. Callers check `remaining`
+/// before reading (the `need!` macro), so the getters index directly.
+struct Reader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.data[0];
+        self.data = &self.data[1..];
+        b
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes([self.data[0], self.data[1]]);
+        self.data = &self.data[2..];
+        v
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes([self.data[0], self.data[1], self.data[2], self.data[3]]);
+        self.data = &self.data[4..];
+        v
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.data = &self.data[n..];
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let (head, tail) = self.data.split_at(n);
+        self.data = tail;
+        head
+    }
+}
+
+/// Big-endian append helpers for the class-file writer.
+trait Put {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16(&mut self, v: u16);
+    fn put_u32(&mut self, v: u32);
+    // Only reached from tests that forge exotic constant-pool entries.
+    #[allow(dead_code)]
+    fn put_u64(&mut self, v: u64);
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl Put for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
 
 /// Errors from malformed class files.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,7 +118,9 @@ fn err<T>(m: impl Into<String>) -> Result<T, ClassFileError> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum CpEntry {
     Utf8(String),
-    Class { name_index: u16 },
+    Class {
+        name_index: u16,
+    },
     /// Long/Double occupy two slots; the second is `Padding`.
     Padding,
     Other,
@@ -129,7 +202,7 @@ impl ClassFile {
     /// Returns [`ClassFileError`] on truncation, a bad magic number, or
     /// malformed constant-pool indices.
     pub fn parse(data: &[u8]) -> Result<ClassFile, ClassFileError> {
-        let mut buf = Bytes::copy_from_slice(data);
+        let mut buf = Reader::new(data);
         macro_rules! need {
             ($n:expr, $what:expr) => {
                 if buf.remaining() < $n {
@@ -157,14 +230,16 @@ impl ClassFile {
                     need!(2, "Utf8 length");
                     let len = buf.get_u16() as usize;
                     need!(len, "Utf8 bytes");
-                    let raw = buf.copy_to_bytes(len);
+                    let raw = buf.take(len);
                     // Modified UTF-8 ≈ UTF-8 for the names we handle.
-                    let s = String::from_utf8_lossy(&raw).into_owned();
+                    let s = String::from_utf8_lossy(raw).into_owned();
                     pool.push(CpEntry::Utf8(s));
                 }
                 7 => {
                     need!(2, "Class index");
-                    pool.push(CpEntry::Class { name_index: buf.get_u16() });
+                    pool.push(CpEntry::Class {
+                        name_index: buf.get_u16(),
+                    });
                 }
                 3 | 4 => {
                     need!(4, "Integer/Float");
@@ -203,9 +278,7 @@ impl ClassFile {
         };
         let class_name = |idx: u16| -> Result<String, ClassFileError> {
             match pool.get(idx as usize) {
-                Some(CpEntry::Class { name_index }) => {
-                    Ok(utf8(*name_index)?.replace('/', "."))
-                }
+                Some(CpEntry::Class { name_index }) => Ok(utf8(*name_index)?.replace('/', ".")),
                 _ => err(format!("constant pool index {idx} is not a Class")),
             }
         };
@@ -232,43 +305,52 @@ impl ClassFile {
             interfaces.push(class_name(buf.get_u16())?);
         }
 
-        let read_members = |buf: &mut Bytes| -> Result<Vec<(u16, String, String)>, ClassFileError> {
-            if buf.remaining() < 2 {
-                return err("truncated member count");
-            }
-            let count = buf.get_u16() as usize;
-            let mut out = Vec::with_capacity(count);
-            for _ in 0..count {
-                if buf.remaining() < 8 {
-                    return err("truncated member");
+        let read_members =
+            |buf: &mut Reader| -> Result<Vec<(u16, String, String)>, ClassFileError> {
+                if buf.remaining() < 2 {
+                    return err("truncated member count");
                 }
-                let access = buf.get_u16();
-                let name = utf8(buf.get_u16())?;
-                let descriptor = utf8(buf.get_u16())?;
-                let attr_count = buf.get_u16() as usize;
-                for _ in 0..attr_count {
-                    if buf.remaining() < 6 {
-                        return err("truncated attribute");
+                let count = buf.get_u16() as usize;
+                let mut out = Vec::with_capacity(count);
+                for _ in 0..count {
+                    if buf.remaining() < 8 {
+                        return err("truncated member");
                     }
-                    let _name_idx = buf.get_u16();
-                    let len = buf.get_u32() as usize;
-                    if buf.remaining() < len {
-                        return err("truncated attribute body");
+                    let access = buf.get_u16();
+                    let name = utf8(buf.get_u16())?;
+                    let descriptor = utf8(buf.get_u16())?;
+                    let attr_count = buf.get_u16() as usize;
+                    for _ in 0..attr_count {
+                        if buf.remaining() < 6 {
+                            return err("truncated attribute");
+                        }
+                        let _name_idx = buf.get_u16();
+                        let len = buf.get_u32() as usize;
+                        if buf.remaining() < len {
+                            return err("truncated attribute body");
+                        }
+                        buf.advance(len);
                     }
-                    buf.advance(len);
+                    out.push((access, name, descriptor));
                 }
-                out.push((access, name, descriptor));
-            }
-            Ok(out)
-        };
+                Ok(out)
+            };
 
         let fields = read_members(&mut buf)?
             .into_iter()
-            .map(|(access, name, descriptor)| JavaField { name, descriptor, access })
+            .map(|(access, name, descriptor)| JavaField {
+                name,
+                descriptor,
+                access,
+            })
             .collect();
         let methods = read_members(&mut buf)?
             .into_iter()
-            .map(|(access, name, descriptor)| JavaMethod { name, descriptor, access })
+            .map(|(access, name, descriptor)| JavaMethod {
+                name,
+                descriptor,
+                access,
+            })
             .collect();
         // Class attributes: contents ignored but structure validated.
         if buf.remaining() < 2 {
@@ -287,7 +369,14 @@ impl ClassFile {
             buf.advance(len);
         }
 
-        Ok(ClassFile { name, super_name, interfaces, access, fields, methods })
+        Ok(ClassFile {
+            name,
+            super_name,
+            interfaces,
+            access,
+            fields,
+            methods,
+        })
     }
 }
 
@@ -344,7 +433,8 @@ impl ClassSpec {
 
     /// Adds a private instance field.
     pub fn field(mut self, name: impl Into<String>, descriptor: impl Into<String>) -> Self {
-        self.fields.push((name.into(), descriptor.into(), ACC_PRIVATE));
+        self.fields
+            .push((name.into(), descriptor.into(), ACC_PRIVATE));
         self
     }
 
@@ -357,12 +447,17 @@ impl ClassSpec {
 
     /// Adds a public method.
     pub fn method(mut self, name: impl Into<String>, descriptor: impl Into<String>) -> Self {
-        self.methods.push((name.into(), descriptor.into(), ACC_PUBLIC | ACC_ABSTRACT));
+        self.methods
+            .push((name.into(), descriptor.into(), ACC_PUBLIC | ACC_ABSTRACT));
         self
     }
 
     /// Adds a private method (excluded from interface structure).
-    pub fn private_method(mut self, name: impl Into<String>, descriptor: impl Into<String>) -> Self {
+    pub fn private_method(
+        mut self,
+        name: impl Into<String>,
+        descriptor: impl Into<String>,
+    ) -> Self {
         self.methods
             .push((name.into(), descriptor.into(), ACC_PRIVATE | ACC_ABSTRACT));
         self
@@ -406,7 +501,7 @@ impl ClassSpec {
             .collect();
         let (field_members, method_members) = members.split_at(self.fields.len());
 
-        let mut out = BytesMut::new();
+        let mut out: Vec<u8> = Vec::new();
         out.put_u32(MAGIC);
         out.put_u16(0); // minor
         out.put_u16(52); // major: Java 8
@@ -444,7 +539,7 @@ impl ClassSpec {
             out.put_u16(0);
         }
         out.put_u16(0); // class attributes
-        out.to_vec()
+        out
     }
 }
 
@@ -473,7 +568,9 @@ mod tests {
 
     #[test]
     fn round_trip_vector_subclass_and_interface() {
-        let bytes = ClassSpec::new("PointVector").extends("java.util.Vector").write();
+        let bytes = ClassSpec::new("PointVector")
+            .extends("java.util.Vector")
+            .write();
         let cf = ClassFile::parse(&bytes).unwrap();
         assert_eq!(cf.super_name.as_deref(), Some("java.util.Vector"));
 
@@ -501,7 +598,10 @@ mod tests {
 
     #[test]
     fn truncation_rejected_everywhere() {
-        let full = ClassSpec::new("T").field("a", "I").method("m", "()V").write();
+        let full = ClassSpec::new("T")
+            .field("a", "I")
+            .method("m", "()V")
+            .write();
         for cut in 1..full.len() {
             assert!(
                 ClassFile::parse(&full[..cut]).is_err(),
@@ -514,12 +614,12 @@ mod tests {
     fn reader_tolerates_exotic_constant_pool_tags() {
         // Build a pool containing Integer, Long (2 slots), String,
         // NameAndType, MethodHandle around the entries we need.
-        let mut out = BytesMut::new();
+        let mut out: Vec<u8> = Vec::new();
         out.put_u32(MAGIC);
         out.put_u16(0);
         out.put_u16(52);
         out.put_u16(9); // count = entries + 1 (Long takes 2)
-        // 1: Utf8 "T"
+                        // 1: Utf8 "T"
         out.put_u8(1);
         out.put_u16(1);
         out.put_slice(b"T");

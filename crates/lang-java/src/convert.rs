@@ -75,7 +75,12 @@ pub fn class_file_to_decl(cf: &ClassFile) -> Result<Decl, JavaLoadError> {
             .fields
             .iter()
             .filter(|f| !f.is_static())
-            .map(|f| Ok(Field::new(f.name.clone(), parse_field_descriptor(&f.descriptor)?)))
+            .map(|f| {
+                Ok(Field::new(
+                    f.name.clone(),
+                    parse_field_descriptor(&f.descriptor)?,
+                ))
+            })
             .collect::<Result<Vec<_>, JavaLoadError>>()?;
         match &cf.super_name {
             Some(sup) => Stype::class_extending(fields, methods, sup.clone()),
@@ -91,16 +96,14 @@ pub fn class_file_to_decl(cf: &ClassFile) -> Result<Decl, JavaLoadError> {
 ///
 /// Returns the first parse, descriptor or duplicate-name failure; earlier
 /// classes remain loaded.
-pub fn load_class_files(
-    uni: &mut Universe,
-    blobs: &[Vec<u8>],
-) -> Result<usize, JavaLoadError> {
+pub fn load_class_files(uni: &mut Universe, blobs: &[Vec<u8>]) -> Result<usize, JavaLoadError> {
     let mut loaded = 0;
     for blob in blobs {
         let cf = ClassFile::parse(blob)?;
         let decl = class_file_to_decl(&cf)?;
         let name = decl.name.clone();
-        uni.insert(decl).map_err(|_| JavaLoadError::Duplicate(name))?;
+        uni.insert(decl)
+            .map_err(|_| JavaLoadError::Duplicate(name))?;
         loaded += 1;
     }
     Ok(loaded)
@@ -123,7 +126,14 @@ mod tests {
             .write();
         let cf = ClassFile::parse(&bytes).unwrap();
         let decl = class_file_to_decl(&cf).unwrap();
-        let SNode::Class { fields, methods, extends } = &decl.ty.node else { panic!() };
+        let SNode::Class {
+            fields,
+            methods,
+            extends,
+        } = &decl.ty.node
+        else {
+            panic!()
+        };
         assert_eq!(fields.len(), 2, "static field excluded");
         assert_eq!(methods.len(), 1, "constructor excluded");
         assert!(extends.is_none());
@@ -137,17 +147,23 @@ mod tests {
             .write();
         let cf = ClassFile::parse(&bytes).unwrap();
         let decl = class_file_to_decl(&cf).unwrap();
-        let SNode::Interface { methods, .. } = &decl.ty.node else { panic!() };
+        let SNode::Interface { methods, .. } = &decl.ty.node else {
+            panic!()
+        };
         assert_eq!(methods[0].name, "fitter");
         assert_eq!(methods[0].sig.params[0].name, "arg0");
     }
 
     #[test]
     fn vector_subclass_keeps_extends_chain() {
-        let bytes = ClassSpec::new("PointVector").extends("java.util.Vector").write();
+        let bytes = ClassSpec::new("PointVector")
+            .extends("java.util.Vector")
+            .write();
         let cf = ClassFile::parse(&bytes).unwrap();
         let decl = class_file_to_decl(&cf).unwrap();
-        let SNode::Class { extends, .. } = &decl.ty.node else { panic!() };
+        let SNode::Class { extends, .. } = &decl.ty.node else {
+            panic!()
+        };
         assert_eq!(extends.as_deref(), Some("java.util.Vector"));
     }
 

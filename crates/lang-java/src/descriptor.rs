@@ -44,7 +44,9 @@ pub fn parse_field_descriptor(desc: &str) -> Result<Stype, DescriptorError> {
 pub fn parse_method_descriptor(desc: &str) -> Result<(Vec<Stype>, Stype), DescriptorError> {
     let mut chars = desc.chars().peekable();
     if chars.next() != Some('(') {
-        return Err(DescriptorError(format!("method descriptor `{desc}` must start with `(`")));
+        return Err(DescriptorError(format!(
+            "method descriptor `{desc}` must start with `(`"
+        )));
     }
     let mut params = Vec::new();
     loop {
@@ -55,7 +57,9 @@ pub fn parse_method_descriptor(desc: &str) -> Result<(Vec<Stype>, Stype), Descri
             }
             Some(_) => params.push(parse_one(&mut chars, desc)?),
             None => {
-                return Err(DescriptorError(format!("unterminated parameter list in `{desc}`")))
+                return Err(DescriptorError(format!(
+                    "unterminated parameter list in `{desc}`"
+                )))
             }
         }
     }
@@ -112,7 +116,9 @@ fn parse_one(
             }
             Ok(class_reference(&name))
         }
-        Some(c) => Err(DescriptorError(format!("unknown descriptor tag `{c}` in `{whole}`"))),
+        Some(c) => Err(DescriptorError(format!(
+            "unknown descriptor tag `{c}` in `{whole}`"
+        ))),
         None => Err(DescriptorError(format!("empty descriptor in `{whole}`"))),
     }
 }
@@ -142,11 +148,15 @@ mod tests {
     #[test]
     fn class_and_array_descriptors() {
         let ty = parse_field_descriptor("Lgeom/Point;").unwrap();
-        let SNode::Pointer(inner) = &ty.node else { panic!() };
+        let SNode::Pointer(inner) = &ty.node else {
+            panic!()
+        };
         assert!(matches!(&inner.node, SNode::Named(n) if n == "geom.Point"));
 
         let ty = parse_field_descriptor("[[F").unwrap();
-        let SNode::Array { elem, len } = &ty.node else { panic!() };
+        let SNode::Array { elem, len } = &ty.node else {
+            panic!()
+        };
         assert!(matches!(len, ArrayLen::Indefinite));
         assert!(matches!(&elem.node, SNode::Array { .. }));
     }

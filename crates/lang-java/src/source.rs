@@ -22,7 +22,11 @@ pub struct JavaParseError {
 
 impl fmt::Display for JavaParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Java parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "Java parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -56,7 +60,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, JavaParseError> {
             i += 2;
             loop {
                 if i + 1 >= chars.len() {
-                    return Err(JavaParseError { line: start, message: "unterminated comment".into() });
+                    return Err(JavaParseError {
+                        line: start,
+                        message: "unterminated comment".into(),
+                    });
                 }
                 if chars[i] == '\n' {
                     line += 1;
@@ -106,7 +113,11 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, JavaParseError> {
 /// Returns [`JavaParseError`] with line information on unsupported or
 /// malformed declarations.
 pub fn parse_java(src: &str) -> Result<Universe, JavaParseError> {
-    let mut p = Parser { toks: lex(src)?, pos: 0, uni: Universe::new() };
+    let mut p = Parser {
+        toks: lex(src)?,
+        pos: 0,
+        uni: Universe::new(),
+    };
     // Optional package / imports.
     while p.eat_kw("package") || p.eat_kw("import") {
         p.skip_to_semi()?;
@@ -118,8 +129,17 @@ pub fn parse_java(src: &str) -> Result<Universe, JavaParseError> {
 }
 
 const MODIFIERS: [&str; 11] = [
-    "public", "private", "protected", "static", "final", "abstract", "native", "synchronized",
-    "transient", "volatile", "strictfp",
+    "public",
+    "private",
+    "protected",
+    "static",
+    "final",
+    "abstract",
+    "native",
+    "synchronized",
+    "transient",
+    "volatile",
+    "strictfp",
 ];
 
 struct Parser {
@@ -143,7 +163,10 @@ impl Parser {
     }
 
     fn err<T>(&self, m: impl Into<String>) -> Result<T, JavaParseError> {
-        Err(JavaParseError { line: self.line(), message: m.into() })
+        Err(JavaParseError {
+            line: self.line(),
+            message: m.into(),
+        })
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -223,8 +246,7 @@ impl Parser {
 
     fn qualified_name(&mut self) -> Result<String, JavaParseError> {
         let mut name = self.expect_ident()?;
-        while self.peek() == Some(&Tok::Sym('.'))
-            && matches!(self.peek_at(1), Some(Tok::Ident(_)))
+        while self.peek() == Some(&Tok::Sym('.')) && matches!(self.peek_at(1), Some(Tok::Ident(_)))
         {
             self.pos += 1;
             name.push('.');
@@ -315,7 +337,10 @@ impl Parser {
         let line = self.line();
         self.uni
             .insert(Decl::new(name, Lang::Java, ty))
-            .map_err(|e| JavaParseError { line, message: e.to_string() })
+            .map_err(|e| JavaParseError {
+                line,
+                message: e.to_string(),
+            })
     }
 
     fn member(
@@ -366,8 +391,10 @@ impl Parser {
             }
             self.skip_body_or_semi()?;
             if (mods.public || is_interface) && !mods.static_ {
-                methods
-                    .push(Method::new(name, Signature::new(params, ty).with_throws(throws)));
+                methods.push(Method::new(
+                    name,
+                    Signature::new(params, ty).with_throws(throws),
+                ));
             }
             Ok(())
         } else {
@@ -472,9 +499,7 @@ impl Parser {
             }
         };
         let mut ty = base;
-        while self.peek() == Some(&Tok::Sym('['))
-            && self.peek_at(1) == Some(&Tok::Sym(']'))
-        {
+        while self.peek() == Some(&Tok::Sym('[')) && self.peek_at(1) == Some(&Tok::Sym(']')) {
             self.pos += 2;
             ty = Stype::array_indefinite(ty);
         }
@@ -508,12 +533,17 @@ mod tests {
              public class PointVector extends java.util.Vector;",
         )
         .unwrap();
-        let SNode::Class { fields, methods, .. } = &uni.get("Point").unwrap().ty.node else {
+        let SNode::Class {
+            fields, methods, ..
+        } = &uni.get("Point").unwrap().ty.node
+        else {
             panic!()
         };
         assert_eq!(fields.len(), 2);
         assert_eq!(methods.len(), 2, "constructor excluded, getters kept");
-        let SNode::Class { fields, .. } = &uni.get("Line").unwrap().ty.node else { panic!() };
+        let SNode::Class { fields, .. } = &uni.get("Line").unwrap().ty.node else {
+            panic!()
+        };
         assert!(matches!(&fields[0].ty.node, SNode::Pointer(inner)
             if matches!(&inner.node, SNode::Named(n) if n == "Point")));
         let SNode::Class { extends, .. } = &uni.get("PointVector").unwrap().ty.node else {
@@ -548,7 +578,10 @@ mod tests {
              }",
         )
         .unwrap();
-        let SNode::Class { fields, methods, .. } = &uni.get("Box").unwrap().ty.node else {
+        let SNode::Class {
+            fields, methods, ..
+        } = &uni.get("Box").unwrap().ty.node
+        else {
             panic!()
         };
         assert_eq!(fields.len(), 1);
@@ -567,7 +600,9 @@ mod tests {
              }",
         )
         .unwrap();
-        let SNode::Class { fields, .. } = &uni.get("Mixed").unwrap().ty.node else { panic!() };
+        let SNode::Class { fields, .. } = &uni.get("Mixed").unwrap().ty.node else {
+            panic!()
+        };
         assert_eq!(fields.len(), 5, "static excluded; multi-declarator kept");
         assert!(matches!(fields[0].ty.node, SNode::Str));
         assert!(matches!(fields[1].ty.node, SNode::Prim(Prim::Any)));
@@ -598,7 +633,9 @@ mod tests {
              }",
         )
         .unwrap();
-        let SNode::Class { methods, .. } = &uni.get("Svc").unwrap().ty.node else { panic!() };
+        let SNode::Class { methods, .. } = &uni.get("Svc").unwrap().ty.node else {
+            panic!()
+        };
         assert_eq!(methods.len(), 1);
     }
 

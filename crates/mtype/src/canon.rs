@@ -226,9 +226,10 @@ fn fp(
     }
     in_progress.push((id, k));
     let h = match graph.kind(id) {
-        MtypeKind::Integer(r) => {
-            mix(mix(1, r.lo as u64 ^ (r.lo >> 64) as u64), r.hi as u64 ^ (r.hi >> 64) as u64)
-        }
+        MtypeKind::Integer(r) => mix(
+            mix(1, r.lo as u64 ^ (r.lo >> 64) as u64),
+            r.hi as u64 ^ (r.hi >> 64) as u64,
+        ),
         MtypeKind::Character(rep) => {
             let mut h = 2u64;
             for b in format!("{rep}").bytes() {

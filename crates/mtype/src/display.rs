@@ -41,8 +41,7 @@ impl MtypeGraph {
         let mut out = String::new();
         let mut binders = HashMap::new();
         let mut next = 0usize;
-        let truncated =
-            capped_write(self, root, cap, &mut out, &mut binders, &mut next).is_err();
+        let truncated = capped_write(self, root, cap, &mut out, &mut binders, &mut next).is_err();
         if truncated {
             out.push('…');
         }
@@ -121,7 +120,10 @@ fn capped_write(
 
 fn binder_name(i: usize) -> String {
     const NAMES: [&str; 6] = ["L", "M", "N", "O", "P", "Q"];
-    NAMES.get(i).map(|s| s.to_string()).unwrap_or_else(|| format!("X{i}"))
+    NAMES
+        .get(i)
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| format!("X{i}"))
 }
 
 impl MtypeDisplay<'_> {

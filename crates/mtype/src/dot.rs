@@ -48,7 +48,8 @@ pub fn to_dot(graph: &MtypeGraph, root: MtypeId, name: &str) -> String {
             // A child edge pointing at a Recursive binder from below it is a
             // back-edge; draw every edge into a binder (other than falling
             // out of the binder itself) dashed.
-            let dashed = is_back_edge_target(c) && !matches!(graph.kind(id), MtypeKind::Choice(_) if false);
+            let dashed =
+                is_back_edge_target(c) && !matches!(graph.kind(id), MtypeKind::Choice(_) if false);
             let style = if dashed && !matches!(graph.kind(id), MtypeKind::Recursive(_)) {
                 " [style=dashed]"
             } else {

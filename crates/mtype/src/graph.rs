@@ -6,7 +6,6 @@
 //! Fig. 8). An arena with index handles ([`MtypeId`]) represents such
 //! graphs without reference counting or unsafe code.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -15,7 +14,7 @@ use crate::kind::{IntRange, MtypeKind, RealPrecision, Repertoire};
 /// A handle to a node in an [`MtypeGraph`].
 ///
 /// Ids are only meaningful relative to the graph that created them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MtypeId(pub(crate) u32);
 
 impl MtypeId {
@@ -33,7 +32,7 @@ impl fmt::Display for MtypeId {
 
 /// One node of an Mtype graph: a kind plus an optional provenance label
 /// used in diagnostics ("the Mtype of Java class `Line`").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MtypeNode {
     /// The node's kind and children.
     pub kind: MtypeKind,
@@ -61,10 +60,9 @@ pub struct MtypeNode {
 /// let point = g.record(vec![r1, r2]);
 /// assert_eq!(g.node(point).kind.children().len(), 2);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MtypeGraph {
     nodes: Vec<MtypeNode>,
-    #[serde(skip)]
     cons: HashMap<MtypeKind, MtypeId>,
 }
 
@@ -104,7 +102,10 @@ impl MtypeGraph {
 
     /// Iterates over `(id, node)` pairs in arena order.
     pub fn iter(&self) -> impl Iterator<Item = (MtypeId, &MtypeNode)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (MtypeId(i as u32), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (MtypeId(i as u32), n))
     }
 
     /// Adds a node without hash-consing. Use the kind-specific builders
@@ -277,10 +278,8 @@ impl MtypeGraph {
                 MtypeKind::Choice(cs) if cs.is_empty() => {
                     return Err(format!("{id}: Choice with no alternatives"));
                 }
-                MtypeKind::Recursive(body) => {
-                    if !self.is_contractive(*body, id) {
-                        return Err(format!("{id}: non-contractive recursion"));
-                    }
+                MtypeKind::Recursive(body) if !self.is_contractive(*body, id) => {
+                    return Err(format!("{id}: non-contractive recursion"));
                 }
                 _ => {}
             }
@@ -371,8 +370,11 @@ impl MtypeGraph {
         let new_id = self.add(MtypeKind::Unit);
         map.insert(id, new_id);
         let mut kind = other.kind(id).clone();
-        let children: Vec<MtypeId> =
-            kind.children().iter().map(|&c| self.import_rec(other, c, map)).collect();
+        let children: Vec<MtypeId> = kind
+            .children()
+            .iter()
+            .map(|&c| self.import_rec(other, c, map))
+            .collect();
         for (slot, c) in kind.children_mut().iter_mut().zip(children) {
             *slot = c;
         }
@@ -428,12 +430,20 @@ mod tests {
         let int = g.integer(IntRange::signed_bits(32));
         let real = g.real(RealPrecision::SINGLE);
         let f = g.function(vec![int], vec![real]);
-        let MtypeKind::Port(inv) = *g.kind(f) else { panic!() };
-        let MtypeKind::Record(parts) = g.kind(inv) else { panic!() };
+        let MtypeKind::Port(inv) = *g.kind(f) else {
+            panic!()
+        };
+        let MtypeKind::Record(parts) = g.kind(inv) else {
+            panic!()
+        };
         assert_eq!(parts.len(), 2);
         assert_eq!(parts[0], int);
-        let MtypeKind::Port(out) = *g.kind(parts[1]) else { panic!() };
-        let MtypeKind::Record(outs) = g.kind(out) else { panic!() };
+        let MtypeKind::Port(out) = *g.kind(parts[1]) else {
+            panic!()
+        };
+        let MtypeKind::Record(outs) = g.kind(out) else {
+            panic!()
+        };
         assert_eq!(outs, &vec![real]);
     }
 
@@ -444,7 +454,9 @@ mod tests {
         let m1 = g.record(vec![int]);
         let m2 = g.record(vec![int, int]);
         let obj = g.object_reference(vec![m1, m2]);
-        let MtypeKind::Port(c) = *g.kind(obj) else { panic!() };
+        let MtypeKind::Port(c) = *g.kind(obj) else {
+            panic!()
+        };
         assert!(matches!(g.kind(c), MtypeKind::Choice(alts) if alts.len() == 2));
     }
 
@@ -504,9 +516,15 @@ mod tests {
         let copied = b.import(&a, list);
         assert!(b.validate().is_ok());
         assert_eq!(b.label(copied), Some("PointVector"));
-        let MtypeKind::Recursive(body) = *b.kind(copied) else { panic!() };
-        let MtypeKind::Choice(alts) = b.kind(body) else { panic!() };
-        let MtypeKind::Record(cell) = b.kind(alts[1]) else { panic!() };
+        let MtypeKind::Recursive(body) = *b.kind(copied) else {
+            panic!()
+        };
+        let MtypeKind::Choice(alts) = b.kind(body) else {
+            panic!()
+        };
+        let MtypeKind::Record(cell) = b.kind(alts[1]) else {
+            panic!()
+        };
         assert_eq!(cell[1], copied, "cycle must survive import");
     }
 
@@ -525,7 +543,9 @@ mod tests {
         let mut g = MtypeGraph::new();
         let int = g.integer(IntRange::signed_bits(8));
         let n = g.nullable(int);
-        let MtypeKind::Choice(alts) = g.kind(n) else { panic!() };
+        let MtypeKind::Choice(alts) = g.kind(n) else {
+            panic!()
+        };
         assert!(matches!(g.kind(alts[0]), MtypeKind::Unit));
         assert_eq!(alts[1], int);
     }

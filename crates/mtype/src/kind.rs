@@ -1,6 +1,5 @@
 //! The Mtype kinds and their parameters (ranges, repertoires, precisions).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::graph::MtypeId;
@@ -20,7 +19,7 @@ use crate::graph::MtypeId;
 /// assert!(java_short.is_subrange_of(&java_int));
 /// assert!(!java_int.is_subrange_of(&java_short));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct IntRange {
     /// The least representable value.
     pub lo: i128,
@@ -49,7 +48,10 @@ impl IntRange {
     pub fn signed_bits(bits: u32) -> Self {
         assert!(bits > 0 && bits < 128, "unsupported bit width {bits}");
         let hi = (1i128 << (bits - 1)) - 1;
-        IntRange { lo: -(1i128 << (bits - 1)), hi }
+        IntRange {
+            lo: -(1i128 << (bits - 1)),
+            hi,
+        }
     }
 
     /// Range of an unsigned integer with `bits` bits.
@@ -59,7 +61,10 @@ impl IntRange {
     /// Panics if `bits` is zero or greater than 127.
     pub fn unsigned_bits(bits: u32) -> Self {
         assert!(bits > 0 && bits < 128, "unsupported bit width {bits}");
-        IntRange { lo: 0, hi: (1i128 << bits) - 1 }
+        IntRange {
+            lo: 0,
+            hi: (1i128 << bits) - 1,
+        }
     }
 
     /// The conventional boolean range `0..=1`.
@@ -75,7 +80,10 @@ impl IntRange {
     /// Panics if `n` is zero.
     pub fn enumeration(n: u64) -> Self {
         assert!(n > 0, "enumeration must have at least one element");
-        IntRange { lo: 0, hi: (n as i128) - 1 }
+        IntRange {
+            lo: 0,
+            hi: (n as i128) - 1,
+        }
     }
 
     /// Whether `self`'s range is a (non-strict) subset of `other`'s:
@@ -91,7 +99,9 @@ impl IntRange {
 
     /// Number of values in the range, saturating at `u128::MAX`.
     pub fn cardinality(&self) -> u128 {
-        (self.hi as u128).wrapping_sub(self.lo as u128).saturating_add(1)
+        (self.hi as u128)
+            .wrapping_sub(self.lo as u128)
+            .saturating_add(1)
     }
 }
 
@@ -105,7 +115,7 @@ impl fmt::Display for IntRange {
 ///
 /// One Character Mtype is a subtype of another iff the latter's repertoire
 /// includes the former's (paper §3.1): ISO-Latin-1 ⊆ Unicode, ASCII ⊆ both.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Repertoire {
     /// 7-bit US-ASCII.
     Ascii,
@@ -148,7 +158,7 @@ impl fmt::Display for Repertoire {
 ///
 /// Uses IEEE-754 conventions: `mantissa_bits` counts the significand
 /// including the implicit leading bit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RealPrecision {
     /// Significand width in bits (24 for `float`, 53 for `double`).
     pub mantissa_bits: u16,
@@ -158,9 +168,15 @@ pub struct RealPrecision {
 
 impl RealPrecision {
     /// IEEE-754 binary32 (C `float`, Java `float`, IDL `float`).
-    pub const SINGLE: RealPrecision = RealPrecision { mantissa_bits: 24, exponent_bits: 8 };
+    pub const SINGLE: RealPrecision = RealPrecision {
+        mantissa_bits: 24,
+        exponent_bits: 8,
+    };
     /// IEEE-754 binary64 (C `double`, Java `double`, IDL `double`).
-    pub const DOUBLE: RealPrecision = RealPrecision { mantissa_bits: 53, exponent_bits: 11 };
+    pub const DOUBLE: RealPrecision = RealPrecision {
+        mantissa_bits: 53,
+        exponent_bits: 11,
+    };
 
     /// Whether every value of `self` is exactly representable in `other`:
     /// the subtype test for Real Mtypes.
@@ -183,7 +199,7 @@ impl fmt::Display for RealPrecision {
 /// are encoded.
 ///
 /// [`MtypeGraph`]: crate::graph::MtypeGraph
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum MtypeKind {
     /// An integral type, parameterised by value range.
     Integer(IntRange),
@@ -278,8 +294,16 @@ impl MtypeKind {
 
 /// The eight Mtype kind tags of Table 1, in the paper's order, plus the
 /// `Dynamic` extension. Useful for regenerating the table.
-pub const TABLE1_TAGS: [&str; 8] =
-    ["Character", "Integer", "Real", "Unit", "Record", "Choice", "Recursive", "Port"];
+pub const TABLE1_TAGS: [&str; 8] = [
+    "Character",
+    "Integer",
+    "Real",
+    "Unit",
+    "Record",
+    "Choice",
+    "Recursive",
+    "Port",
+];
 
 #[cfg(test)]
 mod tests {

@@ -1,12 +1,16 @@
-//! Property-based tests over randomly generated Mtype graphs.
+//! Property-style tests over randomly generated Mtype graphs.
+//!
+//! Each property runs against a deterministic stream of random type
+//! recipes (seeded [`StdRng`]), so failures reproduce exactly while the
+//! coverage stays property-shaped.
 
-use proptest::prelude::*;
+use mockingbird_rng::StdRng;
 
 use crate::canon::{fingerprint, flatten_choice, flatten_record};
 use crate::graph::{MtypeGraph, MtypeId};
 use crate::kind::{IntRange, MtypeKind, RealPrecision, Repertoire};
 
-/// A recipe for building an Mtype in a fresh graph; proptest generates
+/// A recipe for building an Mtype in a fresh graph; the RNG generates
 /// recipes, we materialise them.
 #[derive(Debug, Clone)]
 pub(crate) enum Recipe {
@@ -28,9 +32,11 @@ pub(crate) fn build(g: &mut MtypeGraph, r: &Recipe) -> MtypeId {
             1 => Repertoire::Latin1,
             _ => Repertoire::Unicode,
         }),
-        Recipe::Real(double) => {
-            g.real(if *double { RealPrecision::DOUBLE } else { RealPrecision::SINGLE })
-        }
+        Recipe::Real(double) => g.real(if *double {
+            RealPrecision::DOUBLE
+        } else {
+            RealPrecision::SINGLE
+        }),
         Recipe::Unit => g.unit(),
         Recipe::Record(cs) => {
             let kids = cs.iter().map(|c| build(g, c)).collect();
@@ -51,104 +57,142 @@ pub(crate) fn build(g: &mut MtypeGraph, r: &Recipe) -> MtypeId {
     }
 }
 
-pub(crate) fn recipe_strategy() -> impl Strategy<Value = Recipe> {
-    let leaf = prop_oneof![
-        any::<u32>().prop_map(Recipe::Int),
-        any::<u8>().prop_map(Recipe::Char),
-        any::<bool>().prop_map(Recipe::Real),
-        Just(Recipe::Unit),
-    ];
-    leaf.prop_recursive(4, 32, 4, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..4).prop_map(Recipe::Record),
-            prop::collection::vec(inner.clone(), 1..4).prop_map(Recipe::Choice),
-            inner.clone().prop_map(|r| Recipe::List(Box::new(r))),
-            inner.prop_map(|r| Recipe::Port(Box::new(r))),
-        ]
-    })
+fn random_leaf(rng: &mut StdRng) -> Recipe {
+    match rng.gen_range(0..4) {
+        0 => Recipe::Int(rng.gen_range(0..u32::MAX)),
+        1 => Recipe::Char(rng.gen_range(0u8..=255)),
+        2 => Recipe::Real(rng.gen_bool(0.5)),
+        _ => Recipe::Unit,
+    }
 }
 
-proptest! {
-    #[test]
-    fn generated_graphs_validate(recipe in recipe_strategy()) {
-        let mut g = MtypeGraph::new();
-        let root = build(&mut g, &recipe);
-        prop_assert!(g.validate().is_ok());
-        prop_assert!(root.index() < g.len());
+pub(crate) fn random_recipe(rng: &mut StdRng, depth: usize) -> Recipe {
+    if depth == 0 {
+        return random_leaf(rng);
     }
+    match rng.gen_range(0..5) {
+        0 => {
+            let n = rng.gen_range(0..4);
+            Recipe::Record((0..n).map(|_| random_recipe(rng, depth - 1)).collect())
+        }
+        1 => {
+            let n = rng.gen_range(1..4);
+            Recipe::Choice((0..n).map(|_| random_recipe(rng, depth - 1)).collect())
+        }
+        2 => Recipe::List(Box::new(random_recipe(rng, depth - 1))),
+        3 => Recipe::Port(Box::new(random_recipe(rng, depth - 1))),
+        _ => random_leaf(rng),
+    }
+}
 
-    #[test]
-    fn fingerprint_is_deterministic(recipe in recipe_strategy()) {
+/// Runs `prop` against `cases` random recipes; each case is seeded by its
+/// index so a counterexample replays exactly.
+fn for_recipes(cases: u64, mut prop: impl FnMut(&Recipe)) {
+    for seed in 0..cases {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let depth = rng.gen_range(1usize..=4);
+        let recipe = random_recipe(&mut rng, depth);
+        prop(&recipe);
+    }
+}
+
+#[test]
+fn generated_graphs_validate() {
+    for_recipes(128, |recipe| {
+        let mut g = MtypeGraph::new();
+        let root = build(&mut g, recipe);
+        assert!(g.validate().is_ok(), "invalid graph for {recipe:?}");
+        assert!(root.index() < g.len());
+    });
+}
+
+#[test]
+fn fingerprint_is_deterministic() {
+    for_recipes(128, |recipe| {
         let mut g1 = MtypeGraph::new();
-        let r1 = build(&mut g1, &recipe);
+        let r1 = build(&mut g1, recipe);
         let mut g2 = MtypeGraph::new();
         // Pad g2 so arena indices differ.
         let _ = g2.integer(IntRange::signed_bits(63));
         let _ = g2.unit();
-        let r2 = build(&mut g2, &recipe);
-        prop_assert_eq!(fingerprint(&g1, r1), fingerprint(&g2, r2));
-    }
+        let r2 = build(&mut g2, recipe);
+        assert_eq!(fingerprint(&g1, r1), fingerprint(&g2, r2), "for {recipe:?}");
+    });
+}
 
-    #[test]
-    fn import_preserves_fingerprint(recipe in recipe_strategy()) {
+#[test]
+fn import_preserves_fingerprint() {
+    for_recipes(128, |recipe| {
         let mut g = MtypeGraph::new();
-        let root = build(&mut g, &recipe);
+        let root = build(&mut g, recipe);
         let mut h = MtypeGraph::new();
         let copied = h.import(&g, root);
-        prop_assert!(h.validate().is_ok());
-        prop_assert_eq!(fingerprint(&g, root), fingerprint(&h, copied));
-    }
+        assert!(h.validate().is_ok());
+        assert_eq!(
+            fingerprint(&g, root),
+            fingerprint(&h, copied),
+            "for {recipe:?}"
+        );
+    });
+}
 
-    #[test]
-    fn flattened_records_contain_no_records_or_units(recipe in recipe_strategy()) {
+#[test]
+fn flattened_records_contain_no_records_or_units() {
+    for_recipes(128, |recipe| {
         let mut g = MtypeGraph::new();
-        let root = build(&mut g, &recipe);
+        let root = build(&mut g, recipe);
         for id in g.reachable(root) {
             if matches!(g.kind(id), MtypeKind::Record(_)) {
                 for c in flatten_record(&g, id) {
-                    prop_assert!(!matches!(g.kind(c), MtypeKind::Record(_) | MtypeKind::Unit));
+                    assert!(!matches!(g.kind(c), MtypeKind::Record(_) | MtypeKind::Unit));
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn flattened_choices_contain_no_choices(recipe in recipe_strategy()) {
+#[test]
+fn flattened_choices_contain_no_choices() {
+    for_recipes(128, |recipe| {
         let mut g = MtypeGraph::new();
-        let root = build(&mut g, &recipe);
+        let root = build(&mut g, recipe);
         for id in g.reachable(root) {
             if matches!(g.kind(id), MtypeKind::Choice(_)) {
                 let flat = flatten_choice(&g, id);
-                prop_assert!(!flat.is_empty());
+                assert!(!flat.is_empty());
                 for c in &flat {
-                    prop_assert!(!matches!(g.kind(*c), MtypeKind::Choice(_)));
+                    assert!(!matches!(g.kind(*c), MtypeKind::Choice(_)));
                 }
                 // Deduped: all ids distinct.
                 let mut sorted = flat.clone();
                 sorted.sort();
                 sorted.dedup();
-                prop_assert_eq!(sorted.len(), flat.len());
+                assert_eq!(sorted.len(), flat.len());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn display_never_panics_and_is_nonempty(recipe in recipe_strategy()) {
+#[test]
+fn display_never_panics_and_is_nonempty() {
+    for_recipes(128, |recipe| {
         let mut g = MtypeGraph::new();
-        let root = build(&mut g, &recipe);
+        let root = build(&mut g, recipe);
         let s = g.display(root).to_string();
-        prop_assert!(!s.is_empty());
-    }
+        assert!(!s.is_empty());
+    });
+}
 
-    #[test]
-    fn reachable_is_closed(recipe in recipe_strategy()) {
+#[test]
+fn reachable_is_closed() {
+    for_recipes(128, |recipe| {
         let mut g = MtypeGraph::new();
-        let root = build(&mut g, &recipe);
+        let root = build(&mut g, recipe);
         let reach = g.reachable(root);
         for &id in &reach {
             for &c in g.kind(id).children() {
-                prop_assert!(reach.contains(&c));
+                assert!(reach.contains(&c));
             }
         }
-    }
+    });
 }

@@ -159,7 +159,8 @@ impl CoercionPlan {
     ) {
         let l = resolve_transparent(&self.left, &self.rules, left);
         let r = resolve_transparent(&self.right, &self.rules, right);
-        self.semantics.insert((l, r), SemanticConv { forward, backward });
+        self.semantics
+            .insert((l, r), SemanticConv { forward, backward });
     }
 
     /// Looks up (or proves on demand) the matching entry for a resolved
@@ -233,7 +234,13 @@ impl CoercionPlan {
     /// Returns [`ConvertError`] if the value does not inhabit the left
     /// type or the correspondence lacks a needed entry.
     pub fn convert(&self, v: &MValue) -> Result<MValue, ConvertError> {
-        self.convert_at(self.corr.left_root, self.corr.right_root, v, Dir::Forward, 0)
+        self.convert_at(
+            self.corr.left_root,
+            self.corr.right_root,
+            v,
+            Dir::Forward,
+            0,
+        )
     }
 
     /// Converts a value of the right type back into the left type.
@@ -248,7 +255,13 @@ impl CoercionPlan {
                 "this is a one-way (subtype) plan; only equivalence plans convert backwards",
             );
         }
-        self.convert_at(self.corr.left_root, self.corr.right_root, v, Dir::Backward, 0)
+        self.convert_at(
+            self.corr.left_root,
+            self.corr.right_root,
+            v,
+            Dir::Backward,
+            0,
+        )
     }
 
     /// Converts a value at an *interior* matched pair (e.g. the output
@@ -345,16 +358,13 @@ impl CoercionPlan {
                     ))
                 })?;
                 match dir {
-                    Dir::Forward => (conv.forward)(v).map_err(|m| {
-                        ConvertError(format!("hand-written conversion failed: {m}"))
-                    }),
+                    Dir::Forward => (conv.forward)(v)
+                        .map_err(|m| ConvertError(format!("hand-written conversion failed: {m}"))),
                     Dir::Backward => match &conv.backward {
                         Some(back) => back(v).map_err(|m| {
                             ConvertError(format!("hand-written conversion failed: {m}"))
                         }),
-                        None => err(
-                            "this semantic bridge has no backward converter registered",
-                        ),
+                        None => err("this semantic bridge has no backward converter registered"),
                     },
                 }
             }
@@ -363,7 +373,12 @@ impl CoercionPlan {
                 MValue::Port(p) => Ok(MValue::Port(*p)),
                 other => err(format!("expected a port reference, got {other}")),
             },
-            Entry::Record { left_children, right_children, perm, policy } => {
+            Entry::Record {
+                left_children,
+                right_children,
+                perm,
+                policy,
+            } => {
                 let (src_graph, src_node, dst_graph, dst_node) = match dir {
                     Dir::Forward => (&self.left, l, &self.right, r),
                     Dir::Backward => (&self.right, r, &self.left, l),
@@ -400,12 +415,20 @@ impl CoercionPlan {
                     };
                     let src_child = src_children[src_index];
                     let item = match dir {
-                        Dir::Forward => {
-                            self.convert_at(src_child, dst_child, leaves[src_index], dir, depth + 1)?
-                        }
-                        Dir::Backward => {
-                            self.convert_at(dst_child, src_child, leaves[src_index], dir, depth + 1)?
-                        }
+                        Dir::Forward => self.convert_at(
+                            src_child,
+                            dst_child,
+                            leaves[src_index],
+                            dir,
+                            depth + 1,
+                        )?,
+                        Dir::Backward => self.convert_at(
+                            dst_child,
+                            src_child,
+                            leaves[src_index],
+                            dir,
+                            depth + 1,
+                        )?,
                     };
                     converted.push(item);
                 }
@@ -423,7 +446,11 @@ impl CoercionPlan {
                 }
                 Ok(out)
             }
-            Entry::Choice { left_alts, right_alts, alt_map } => {
+            Entry::Choice {
+                left_alts,
+                right_alts,
+                alt_map,
+            } => {
                 // Canonical list spines convert element-wise, iteratively.
                 if let MValue::List(items) = v {
                     let (src_elem, dst_elem) = match dir {
@@ -457,8 +484,7 @@ impl CoercionPlan {
                 // Choice node's own children, possibly nested); the
                 // entry's alternative lists and alt_map are *flattened*.
                 // Map nominal -> flat, translate, map flat -> nominal.
-                let (src_flat, payload) =
-                    choice_to_flat(src_graph, &self.rules, src_node, v)?;
+                let (src_flat, payload) = choice_to_flat(src_graph, &self.rules, src_node, v)?;
                 if src_flat >= src_alts.len() {
                     return err(format!(
                         "choice alternative {src_flat} out of {} matched alternatives",
@@ -467,13 +493,13 @@ impl CoercionPlan {
                 }
                 let dst_flat = match dir {
                     Dir::Forward => alt_map[src_flat],
-                    Dir::Backward => alt_map.iter().position(|&j| j == src_flat).ok_or_else(
-                        || {
+                    Dir::Backward => {
+                        alt_map.iter().position(|&j| j == src_flat).ok_or_else(|| {
                             ConvertError(format!(
                                 "alternative {src_flat} has no backward counterpart"
                             ))
-                        },
-                    )?,
+                        })?
+                    }
                 };
                 if dst_flat == usize::MAX {
                     return err(format!(
@@ -496,7 +522,13 @@ impl CoercionPlan {
                         depth + 1,
                     )?,
                 };
-                choice_from_flat(dst_graph, &self.rules, dst_node, dst_alts[dst_flat], converted)
+                choice_from_flat(
+                    dst_graph,
+                    &self.rules,
+                    dst_node,
+                    dst_alts[dst_flat],
+                    converted,
+                )
             }
         }
     }
@@ -520,7 +552,10 @@ impl CoercionPlan {
                     Dir::Forward => self.left.display(l).to_string(),
                     Dir::Backward => self.right.display(r).to_string(),
                 };
-                Ok(MValue::Dynamic { tag, value: Box::new(v.clone()) })
+                Ok(MValue::Dynamic {
+                    tag,
+                    value: Box::new(v.clone()),
+                })
             }
             (c, v) => err(format!("value {v} does not match primitive coercion {c:?}")),
         }
@@ -539,12 +574,10 @@ fn choice_flat_list(graph: &MtypeGraph, rules: &RuleSet, node: MtypeId) -> Vec<M
 /// Whether a node (resolved) is a singleton Choice the comparer's
 /// resolution collapsed through.
 fn is_transparent_singleton(graph: &MtypeGraph, rules: &RuleSet, node: MtypeId) -> bool {
-    rules.singleton_choice
-        && matches!(graph.kind(node), MtypeKind::Choice(_))
-        && {
-            let flat = choice_flat_list(graph, rules, node);
-            flat.len() == 1 && graph.resolve(flat[0]) != node
-        }
+    rules.singleton_choice && matches!(graph.kind(node), MtypeKind::Choice(_)) && {
+        let flat = choice_flat_list(graph, rules, node);
+        flat.len() == 1 && graph.resolve(flat[0]) != node
+    }
 }
 
 /// Strips the Choice wrappers corresponding to singleton collapses of
@@ -567,7 +600,9 @@ fn unwrap_singletons<'v>(
             // The value was produced against the collapsed view already.
             return Ok(cur_v);
         };
-        let MtypeKind::Choice(children) = graph.kind(cur_node) else { unreachable!() };
+        let MtypeKind::Choice(children) = graph.kind(cur_node) else {
+            unreachable!()
+        };
         let Some(&child) = children.get(*index) else {
             return err(format!("choice index {index} out of {}", children.len()));
         };
@@ -593,14 +628,19 @@ fn rewrap_singletons(
         if hops > graph.len() + 1 {
             return err("singleton choice chain does not terminate");
         }
-        let MtypeKind::Choice(children) = graph.kind(cur) else { unreachable!() };
+        let MtypeKind::Choice(children) = graph.kind(cur) else {
+            unreachable!()
+        };
         chain.push(0usize);
         cur = graph.resolve(children[0]);
     }
     Ok(chain
         .into_iter()
         .rev()
-        .fold(v, |acc, index| MValue::Choice { index, value: Box::new(acc) }))
+        .fold(v, |acc, index| MValue::Choice {
+            index,
+            value: Box::new(acc),
+        }))
 }
 
 /// Maps a nominal Choice value to its flattened alternative index and
@@ -640,7 +680,10 @@ fn choice_descend<'v>(
 ) -> Result<(MtypeId, &'v MValue), ConvertError> {
     let node = graph.resolve(node);
     let MtypeKind::Choice(children) = graph.kind(node) else {
-        return err(format!("expected a Choice node, found {}", graph.kind(node).tag()));
+        return err(format!(
+            "expected a Choice node, found {}",
+            graph.kind(node).tag()
+        ));
     };
     let MValue::Choice { index, value } = v else {
         return err(format!("expected a choice value, got {v}"));
@@ -718,7 +761,10 @@ fn choice_from_flat(
     Ok(idx_path
         .into_iter()
         .rev()
-        .fold(payload, |acc, index| MValue::Choice { index, value: Box::new(acc) }))
+        .fold(payload, |acc, index| MValue::Choice {
+            index,
+            value: Box::new(acc),
+        }))
 }
 
 /// Aligns a record value with the comparer's *one-level* view: nominal
@@ -892,7 +938,9 @@ fn build_value_rec(
             if rules.assoc {
                 path.push(node);
                 for c in children {
-                    items.push(build_value_rec(graph, rules, c, leaves, cursor, path, false)?);
+                    items.push(build_value_rec(
+                        graph, rules, c, leaves, cursor, path, false,
+                    )?);
                 }
                 path.pop();
             } else {
@@ -924,13 +972,10 @@ mod tests {
     use mockingbird_comparer::Comparer;
     use mockingbird_mtype::{IntRange, RealPrecision, Repertoire};
 
-    fn plan_for(
-        g: &MtypeGraph,
-        l: MtypeId,
-        r: MtypeId,
-        mode: Mode,
-    ) -> CoercionPlan {
-        let corr = Comparer::new(g, g).compare(l, r, mode).expect("types must match");
+    fn plan_for(g: &MtypeGraph, l: MtypeId, r: MtypeId, mode: Mode) -> CoercionPlan {
+        let corr = Comparer::new(g, g)
+            .compare(l, r, mode)
+            .expect("types must match");
         CoercionPlan::new(g, g, corr, RuleSet::full(), mode)
     }
 
@@ -988,9 +1033,13 @@ mod tests {
         let without = g.record(vec![i]);
         let plan = plan_for(&g, with_unit, without, Mode::Equivalence);
         let v = MValue::Record(vec![MValue::Int(1), MValue::Unit]);
-        assert_eq!(plan.convert(&v).unwrap(), MValue::Record(vec![MValue::Int(1)]));
         assert_eq!(
-            plan.convert_back(&MValue::Record(vec![MValue::Int(0)])).unwrap(),
+            plan.convert(&v).unwrap(),
+            MValue::Record(vec![MValue::Int(1)])
+        );
+        assert_eq!(
+            plan.convert_back(&MValue::Record(vec![MValue::Int(0)]))
+                .unwrap(),
             MValue::Record(vec![MValue::Int(0), MValue::Unit])
         );
     }
@@ -1022,9 +1071,18 @@ mod tests {
         let left = g.choice(vec![i, r]);
         let right = g.choice(vec![r, i]);
         let plan = plan_for(&g, left, right, Mode::Equivalence);
-        let v = MValue::Choice { index: 0, value: Box::new(MValue::Int(5)) };
+        let v = MValue::Choice {
+            index: 0,
+            value: Box::new(MValue::Int(5)),
+        };
         let out = plan.convert(&v).unwrap();
-        assert_eq!(out, MValue::Choice { index: 1, value: Box::new(MValue::Int(5)) });
+        assert_eq!(
+            out,
+            MValue::Choice {
+                index: 1,
+                value: Box::new(MValue::Int(5))
+            }
+        );
         assert_eq!(plan.convert_back(&out).unwrap(), v);
     }
 
@@ -1048,7 +1106,9 @@ mod tests {
         let plan = plan_for(&g, rec, d, Mode::Subtype);
         let v = MValue::Record(vec![MValue::Int(0), MValue::Int(1)]);
         let out = plan.convert(&v).unwrap();
-        let MValue::Dynamic { tag, value } = out else { panic!() };
+        let MValue::Dynamic { tag, value } = out else {
+            panic!()
+        };
         assert!(tag.contains("Record"));
         assert_eq!(*value, v);
     }
@@ -1081,6 +1141,6 @@ mod tests {
             .compare(java, cfun, Mode::Equivalence)
             .expect("fitter interfaces must match");
         let plan = CoercionPlan::new(&g, &g, corr, RuleSet::full(), Mode::Equivalence);
-        assert!(plan.len() > 0);
+        assert!(!plan.is_empty());
     }
 }

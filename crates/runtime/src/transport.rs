@@ -1,17 +1,35 @@
 //! Connections carrying framed messages.
+//!
+//! Three client transports implement [`Connection`]:
+//!
+//! - [`InMemoryConnection`] — frames and marshals like a network
+//!   transport but dispatches synchronously (marshalling cost without
+//!   socket noise);
+//! - [`TcpConnection`] — a serial socket: one in-flight request at a
+//!   time, the stream lock held across the write/read exchange;
+//! - [`MultiplexedConnection`] — a shared socket: writers interleave
+//!   requests under a write lock, a single reader thread demultiplexes
+//!   replies to per-request waiters by GIOP request id, so N threads
+//!   pipeline calls over one connection.
+//!
+//! Per-call deadlines arrive via [`CallOptions`]: the serial transport
+//! maps them onto socket read timeouts, the multiplexed transport onto
+//! waiter timeouts (its reader thread never blocks on a single call).
 
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
-
-use mockingbird_wire::{Message, MessageKind};
+use mockingbird_wire::{Message, MessageKind, RequestIds};
 
 use crate::dispatch::Dispatcher;
 use crate::error::RuntimeError;
+use crate::metrics;
+use crate::options::CallOptions;
 
 /// A client-side connection: sends a framed message, returning the reply
 /// frame (or `None` for oneway requests).
@@ -22,6 +40,22 @@ pub trait Connection: Send + Sync {
     ///
     /// Returns [`RuntimeError::Transport`] on connection failures.
     fn call(&self, msg: &Message) -> Result<Option<Message>, RuntimeError>;
+
+    /// Performs one exchange under per-call options (deadline, retry
+    /// hints). Transports without timeout machinery ignore the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Timeout`] when the deadline elapses and
+    /// [`RuntimeError::Transport`] on connection failures.
+    fn call_with(
+        &self,
+        msg: &Message,
+        options: &CallOptions,
+    ) -> Result<Option<Message>, RuntimeError> {
+        let _ = options;
+        self.call(msg)
+    }
 }
 
 /// An in-process loopback connection: frames and marshals exactly like a
@@ -43,8 +77,8 @@ impl Connection for InMemoryConnection {
     fn call(&self, msg: &Message) -> Result<Option<Message>, RuntimeError> {
         // Serialise and reparse: the bytes really cross a boundary.
         let bytes = msg.to_bytes();
-        let parsed = Message::from_bytes(&bytes)
-            .map_err(|e| RuntimeError::Protocol(e.to_string()))?;
+        let parsed =
+            Message::from_bytes(&bytes).map_err(|e| RuntimeError::Protocol(e.to_string()))?;
         match self.dispatcher.dispatch(&parsed) {
             Some(reply) => {
                 let reply_bytes = reply.to_bytes();
@@ -58,36 +92,92 @@ impl Connection for InMemoryConnection {
     }
 }
 
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Consecutive read timeouts tolerated once a frame has started before
+/// the stream is declared broken: bounds how long a stalled peer can
+/// pin a reader that is polling with a short timeout.
+const MID_FRAME_PATIENCE: u32 = 40;
+
 fn read_frame(stream: &mut TcpStream) -> Result<Option<Message>, RuntimeError> {
     let mut header = [0u8; 12];
     let mut filled = 0usize;
+    let mut stalls = 0u32;
     while filled < 12 {
         match stream.read(&mut header[filled..]) {
             Ok(0) if filled == 0 => return Ok(None), // clean EOF
-            Ok(0) => return Err(RuntimeError::Transport("connection closed mid-frame".into())),
-            Ok(n) => filled += n,
+            Ok(0) => {
+                return Err(RuntimeError::Transport(
+                    "connection closed mid-frame".into(),
+                ))
+            }
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
+            Err(e) if is_timeout(&e) && filled == 0 => {
+                return Err(RuntimeError::Timeout(
+                    "no frame within the read timeout".into(),
+                ))
+            }
+            Err(e) if is_timeout(&e) => {
+                stalls += 1;
+                if stalls > MID_FRAME_PATIENCE {
+                    return Err(RuntimeError::Transport("read stalled mid-frame".into()));
+                }
+            }
             Err(e) => return Err(RuntimeError::Transport(e.to_string())),
         }
     }
+    // frame_len enforces the MAX_FRAME_LEN cap, so a forged length
+    // header is rejected here, before the buffer below is allocated.
     let total = Message::frame_len(&header).map_err(|e| RuntimeError::Protocol(e.to_string()))?;
     let mut buf = vec![0u8; total];
     buf[..12].copy_from_slice(&header);
-    stream
-        .read_exact(&mut buf[12..])
-        .map_err(|e| RuntimeError::Transport(e.to_string()))?;
+    let mut filled = 12usize;
+    while filled < total {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(RuntimeError::Transport(
+                    "connection closed mid-frame".into(),
+                ))
+            }
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
+            Err(e) if is_timeout(&e) => {
+                stalls += 1;
+                if stalls > MID_FRAME_PATIENCE {
+                    return Err(RuntimeError::Transport("read stalled mid-frame".into()));
+                }
+            }
+            Err(e) => return Err(RuntimeError::Transport(e.to_string())),
+        }
+    }
+    metrics::global().add_bytes_received(total as u64);
     Message::from_bytes(&buf)
         .map(Some)
         .map_err(|e| RuntimeError::Protocol(e.to_string()))
 }
 
 fn write_frame(stream: &mut TcpStream, msg: &Message) -> Result<(), RuntimeError> {
+    let bytes = msg.to_bytes();
     stream
-        .write_all(&msg.to_bytes())
-        .map_err(|e| RuntimeError::Transport(e.to_string()))
+        .write_all(&bytes)
+        .map_err(|e| RuntimeError::Transport(e.to_string()))?;
+    metrics::global().add_bytes_sent(bytes.len() as u64);
+    Ok(())
 }
 
-/// A TCP client connection (one in-flight request at a time; the GIOP
-/// request id correlates replies).
+/// A serial TCP client connection: one in-flight request at a time, the
+/// stream lock held across the whole exchange (the GIOP request id
+/// correlates replies).
 pub struct TcpConnection {
     stream: Mutex<TcpStream>,
 }
@@ -99,36 +189,399 @@ impl TcpConnection {
     ///
     /// Returns [`RuntimeError::Transport`] if the connect fails.
     pub fn connect(addr: SocketAddr) -> Result<Self, RuntimeError> {
-        let stream = TcpStream::connect(addr).map_err(|e| RuntimeError::Transport(e.to_string()))?;
+        let stream =
+            TcpStream::connect(addr).map_err(|e| RuntimeError::Transport(e.to_string()))?;
         stream.set_nodelay(true).ok();
-        Ok(TcpConnection { stream: Mutex::new(stream) })
+        Ok(TcpConnection {
+            stream: Mutex::new(stream),
+        })
     }
 }
 
 impl Connection for TcpConnection {
     fn call(&self, msg: &Message) -> Result<Option<Message>, RuntimeError> {
-        let mut stream = self.stream.lock();
+        self.call_with(msg, &CallOptions::default())
+    }
+
+    fn call_with(
+        &self,
+        msg: &Message,
+        options: &CallOptions,
+    ) -> Result<Option<Message>, RuntimeError> {
+        let mut stream = self.stream.lock().unwrap();
         write_frame(&mut stream, msg)?;
         let expects_reply = matches!(
             msg.kind,
-            MessageKind::Request { response_expected: true, .. }
+            MessageKind::Request {
+                response_expected: true,
+                ..
+            }
         );
         if !expects_reply {
             return Ok(None);
         }
-        match read_frame(&mut stream)? {
-            Some(reply) => Ok(Some(reply)),
-            None => Err(RuntimeError::Transport("server closed the connection".into())),
+        // The deadline becomes a socket read timeout for this exchange.
+        if let Some(d) = options.deadline {
+            stream
+                .set_read_timeout(Some(d.max(Duration::from_millis(1))))
+                .ok();
+        }
+        let outcome = read_frame(&mut stream);
+        if options.deadline.is_some() {
+            stream.set_read_timeout(None).ok();
+        }
+        match outcome {
+            Ok(Some(reply)) => Ok(Some(reply)),
+            Ok(None) => Err(RuntimeError::Transport(
+                "server closed the connection".into(),
+            )),
+            Err(RuntimeError::Timeout(_)) => {
+                metrics::global().add_timeout();
+                Err(RuntimeError::Timeout(format!(
+                    "no reply within {:?}",
+                    options.deadline.unwrap_or_default()
+                )))
+            }
+            Err(e) => Err(e),
         }
     }
 }
 
+/// What a multiplexed waiter slot holds while its call is in flight.
+enum Slot {
+    /// The reply has not arrived yet.
+    Waiting,
+    /// The reader thread delivered the reply (still carrying the
+    /// connection-unique wire id).
+    Ready(Message),
+    /// The connection failed before the reply arrived.
+    Failed(RuntimeError),
+}
+
+struct MuxState {
+    /// In-flight calls keyed by connection-unique request id.
+    pending: HashMap<u32, Slot>,
+    /// Set once when the stream breaks; later calls fail fast.
+    dead: Option<RuntimeError>,
+}
+
+/// A multiplexed TCP client connection: many threads share one socket.
+///
+/// Writers serialise frame writes under a lock, stamping each request
+/// with a connection-unique id; one reader thread demultiplexes replies
+/// back to per-request waiter slots. The caller's own request id is
+/// restored on the reply, so [`RemoteRef`](crate::proxy::RemoteRef)'s
+/// correlation check is oblivious to the rewrite.
+///
+/// Deadlines are enforced at the waiter (condvar timeout), never on the
+/// socket: one slow call cannot stall the others, and a reply that
+/// arrives after its waiter gave up is dropped.
+pub struct MultiplexedConnection {
+    writer: Mutex<TcpStream>,
+    state: Arc<(Mutex<MuxState>, Condvar)>,
+    ids: RequestIds,
+    closed: Arc<AtomicBool>,
+    reader: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// How often the demultiplexing reader thread wakes to notice shutdown.
+const READER_POLL: Duration = Duration::from_millis(50);
+
+impl MultiplexedConnection {
+    /// Connects to a [`TcpServer`] and starts the reader thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Transport`] if the connect fails.
+    pub fn connect(addr: SocketAddr) -> Result<Self, RuntimeError> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| RuntimeError::Transport(e.to_string()))?;
+        stream.set_nodelay(true).ok();
+        let mut reader_stream = stream
+            .try_clone()
+            .map_err(|e| RuntimeError::Transport(e.to_string()))?;
+        reader_stream.set_read_timeout(Some(READER_POLL)).ok();
+
+        let state: Arc<(Mutex<MuxState>, Condvar)> = Arc::new((
+            Mutex::new(MuxState {
+                pending: HashMap::new(),
+                dead: None,
+            }),
+            Condvar::new(),
+        ));
+        let closed = Arc::new(AtomicBool::new(false));
+
+        let thread_state = state.clone();
+        let thread_closed = closed.clone();
+        let reader = std::thread::spawn(move || loop {
+            match read_frame(&mut reader_stream) {
+                Ok(Some(reply)) => {
+                    let MessageKind::Reply { request_id, .. } = reply.kind else {
+                        continue; // clients only expect replies
+                    };
+                    let (lock, cv) = &*thread_state;
+                    let mut st = lock.lock().unwrap();
+                    // An absent slot means the waiter timed out and
+                    // abandoned the call: drop the late reply.
+                    if let Some(slot) = st.pending.get_mut(&request_id) {
+                        *slot = Slot::Ready(reply);
+                        cv.notify_all();
+                    }
+                }
+                Ok(None) => {
+                    fail_all(
+                        &thread_state,
+                        RuntimeError::Transport("server closed the connection".into()),
+                    );
+                    break;
+                }
+                Err(RuntimeError::Timeout(_)) => {
+                    if thread_closed.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    if !thread_closed.load(Ordering::SeqCst) {
+                        fail_all(&thread_state, e);
+                    }
+                    break;
+                }
+            }
+        });
+
+        Ok(MultiplexedConnection {
+            writer: Mutex::new(stream),
+            state,
+            ids: RequestIds::new(),
+            closed,
+            reader: Mutex::new(Some(reader)),
+        })
+    }
+
+    /// Whether the underlying stream is still usable (pools drop dead
+    /// connections and reconnect lazily).
+    pub fn is_alive(&self) -> bool {
+        !self.closed.load(Ordering::SeqCst) && self.state.0.lock().unwrap().dead.is_none()
+    }
+}
+
+fn fail_all(state: &(Mutex<MuxState>, Condvar), err: RuntimeError) {
+    let (lock, cv) = state;
+    let mut st = lock.lock().unwrap();
+    st.dead = Some(err.clone());
+    for slot in st.pending.values_mut() {
+        if matches!(slot, Slot::Waiting) {
+            *slot = Slot::Failed(err.clone());
+        }
+    }
+    cv.notify_all();
+}
+
+fn with_request_id(msg: &Message, id: u32) -> Message {
+    let mut m = msg.clone();
+    match &mut m.kind {
+        MessageKind::Request { request_id, .. } | MessageKind::Reply { request_id, .. } => {
+            *request_id = id;
+        }
+    }
+    m
+}
+
+impl Connection for MultiplexedConnection {
+    fn call(&self, msg: &Message) -> Result<Option<Message>, RuntimeError> {
+        self.call_with(msg, &CallOptions::default())
+    }
+
+    fn call_with(
+        &self,
+        msg: &Message,
+        options: &CallOptions,
+    ) -> Result<Option<Message>, RuntimeError> {
+        let MessageKind::Request {
+            request_id: caller_id,
+            response_expected,
+            ..
+        } = msg.kind
+        else {
+            return Err(RuntimeError::Protocol(
+                "clients send Request messages".into(),
+            ));
+        };
+
+        // Rewrite to a connection-unique id: several RemoteRefs (each
+        // with its own id counter) may share this socket.
+        let wire_id = self.ids.next();
+        let rewritten = with_request_id(msg, wire_id);
+        let (lock, cv) = &*self.state;
+
+        if response_expected {
+            let mut st = lock.lock().unwrap();
+            if let Some(e) = &st.dead {
+                return Err(e.clone());
+            }
+            st.pending.insert(wire_id, Slot::Waiting);
+        }
+
+        {
+            let mut w = self.writer.lock().unwrap();
+            if let Err(e) = write_frame(&mut w, &rewritten) {
+                fail_all(&self.state, e.clone());
+                lock.lock().unwrap().pending.remove(&wire_id);
+                return Err(e);
+            }
+        }
+        if !response_expected {
+            return Ok(None);
+        }
+
+        let start = Instant::now();
+        let mut st = lock.lock().unwrap();
+        loop {
+            match st.pending.get(&wire_id) {
+                Some(Slot::Waiting) => {}
+                Some(_) => break,
+                None => return Err(RuntimeError::Protocol("waiter slot vanished".into())),
+            }
+            match options.deadline {
+                None => st = cv.wait(st).unwrap(),
+                Some(d) => match d.checked_sub(start.elapsed()) {
+                    Some(rem) if rem > Duration::ZERO => {
+                        st = cv.wait_timeout(st, rem).unwrap().0;
+                    }
+                    _ => {
+                        st.pending.remove(&wire_id);
+                        metrics::global().add_timeout();
+                        return Err(RuntimeError::Timeout(format!("no reply within {d:?}")));
+                    }
+                },
+            }
+        }
+        match st.pending.remove(&wire_id) {
+            Some(Slot::Ready(reply)) => Ok(Some(with_request_id(&reply, caller_id))),
+            Some(Slot::Failed(e)) => Err(e),
+            _ => Err(RuntimeError::Protocol("waiter slot vanished".into())),
+        }
+    }
+}
+
+impl Drop for MultiplexedConnection {
+    fn drop(&mut self) {
+        self.closed.store(true, Ordering::SeqCst);
+        if let Ok(w) = self.writer.lock() {
+            w.shutdown(Shutdown::Both).ok();
+        }
+        if let Some(t) = self.reader.lock().unwrap().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// How often per-connection server threads wake to notice shutdown.
+const SERVER_POLL: Duration = Duration::from_millis(50);
+
+/// Dispatch workers per server-side connection: how many requests from
+/// one socket make progress concurrently. Multiplexed clients pipeline
+/// in-flight requests; without concurrent dispatch they would serialise
+/// behind each other's service time.
+const DISPATCH_WORKERS: usize = 4;
+
+/// A closable queue of frames handed from a connection's read loop to
+/// its dispatch workers.
+struct FrameQueue {
+    state: Mutex<(VecDeque<Message>, bool)>,
+    cv: Condvar,
+}
+
+impl FrameQueue {
+    fn new() -> Self {
+        FrameQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, msg: Message) {
+        self.state.lock().unwrap().0.push_back(msg);
+        self.cv.notify_one();
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().1 = true;
+        self.cv.notify_all();
+    }
+
+    /// Next frame; drains remaining frames after close, then `None`.
+    fn pop(&self) -> Option<Message> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(m) = st.0.pop_front() {
+                return Some(m);
+            }
+            if st.1 {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, dispatcher: Arc<Dispatcher>, stop: Arc<AtomicBool>) {
+    stream.set_read_timeout(Some(SERVER_POLL)).ok();
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    // A worker stuck replying to a peer that stopped reading must not
+    // pin shutdown indefinitely.
+    write_half
+        .set_write_timeout(Some(Duration::from_secs(5)))
+        .ok();
+    let writer = Arc::new(Mutex::new(write_half));
+    let queue = Arc::new(FrameQueue::new());
+    let workers: Vec<_> = (0..DISPATCH_WORKERS)
+        .map(|_| {
+            let q = queue.clone();
+            let d = dispatcher.clone();
+            let w = writer.clone();
+            std::thread::spawn(move || {
+                while let Some(msg) = q.pop() {
+                    if let Some(reply) = d.dispatch(&msg) {
+                        let mut stream = w.lock().unwrap();
+                        if write_frame(&mut stream, &reply).is_err() {
+                            break;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match read_frame(&mut stream) {
+            Ok(Some(msg)) => queue.push(msg),
+            Ok(None) => break,                         // peer disconnected
+            Err(RuntimeError::Timeout(_)) => continue, // idle poll; re-check stop
+            Err(_) => break,                           // garbage or broken stream
+        }
+    }
+    queue.close();
+    for h in workers {
+        let _ = h.join();
+    }
+}
+
 /// A TCP server: accepts connections and dispatches each frame through a
-/// [`Dispatcher`], one thread per connection.
+/// [`Dispatcher`], one thread per connection. [`shutdown`] is
+/// deterministic: it joins the accept thread *and* every
+/// per-connection thread.
+///
+/// [`shutdown`]: TcpServer::shutdown
 pub struct TcpServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl TcpServer {
@@ -139,33 +592,35 @@ impl TcpServer {
     ///
     /// Returns [`RuntimeError::Transport`] if the bind fails.
     pub fn bind(addr: &str, dispatcher: Arc<Dispatcher>) -> Result<Self, RuntimeError> {
-        let listener = TcpListener::bind(addr).map_err(|e| RuntimeError::Transport(e.to_string()))?;
+        let listener =
+            TcpListener::bind(addr).map_err(|e| RuntimeError::Transport(e.to_string()))?;
         let local = listener
             .local_addr()
             .map_err(|e| RuntimeError::Transport(e.to_string()))?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let flag = shutdown.clone();
+        let threads = conn_threads.clone();
         let accept_thread = std::thread::spawn(move || {
             // The listener unblocks when a shutdown probe connects.
             for conn in listener.incoming() {
                 if flag.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(mut stream) = conn else { continue };
+                let Ok(stream) = conn else { continue };
                 stream.set_nodelay(true).ok();
                 let d = dispatcher.clone();
-                std::thread::spawn(move || {
-                    while let Ok(Some(msg)) = read_frame(&mut stream) {
-                        if let Some(reply) = d.dispatch(&msg) {
-                            if write_frame(&mut stream, &reply).is_err() {
-                                break;
-                            }
-                        }
-                    }
-                });
+                let stop = flag.clone();
+                let handle = std::thread::spawn(move || serve_connection(stream, d, stop));
+                threads.lock().unwrap().push(handle);
             }
         });
-        Ok(TcpServer { addr: local, shutdown, accept_thread: Some(accept_thread) })
+        Ok(TcpServer {
+            addr: local,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            conn_threads,
+        })
     }
 
     /// The bound address (with the resolved ephemeral port).
@@ -173,14 +628,19 @@ impl TcpServer {
         self.addr
     }
 
-    /// Stops accepting new connections. Existing per-connection threads
-    /// drain naturally when their peers disconnect.
+    /// Stops accepting, then joins the accept thread and every
+    /// per-connection thread (each polls the shutdown flag between
+    /// frames, so the join is bounded by the poll interval).
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Probe connection to unblock accept().
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        let handles: Vec<_> = self.conn_threads.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
         }
     }
 }
@@ -202,8 +662,12 @@ mod tests {
     use mockingbird_wire::{CdrReader, CdrWriter, ReplyStatus};
     use std::collections::HashMap;
 
-    fn adder_dispatcher() -> (Arc<Dispatcher>, Arc<MtypeGraph>, mockingbird_mtype::MtypeId, mockingbird_mtype::MtypeId)
-    {
+    fn adder_dispatcher() -> (
+        Arc<Dispatcher>,
+        Arc<MtypeGraph>,
+        mockingbird_mtype::MtypeId,
+        mockingbird_mtype::MtypeId,
+    ) {
         let mut g = MtypeGraph::new();
         let i = g.integer(IntRange::signed_bits(64));
         let args = g.record(vec![i, i]);
@@ -219,16 +683,20 @@ mod tests {
             Ok(MValue::Record(vec![MValue::Int(a + b)]))
         });
         let mut ops = HashMap::new();
-        ops.insert(
-            "add".to_string(),
-            WireOp { graph: graph.clone(), args_ty: args, result_ty: result },
-        );
+        ops.insert("add".to_string(), WireOp::new(graph.clone(), args, result));
         let d = Arc::new(Dispatcher::new());
         d.register(b"adder".to_vec(), WireServant::new(servant, ops));
         (d, graph, args, result)
     }
 
-    fn call_add(conn: &dyn Connection, graph: &MtypeGraph, args_ty: mockingbird_mtype::MtypeId, result_ty: mockingbird_mtype::MtypeId, a: i64, b: i64) -> i128 {
+    fn call_add(
+        conn: &dyn Connection,
+        graph: &MtypeGraph,
+        args_ty: mockingbird_mtype::MtypeId,
+        result_ty: mockingbird_mtype::MtypeId,
+        a: i64,
+        b: i64,
+    ) -> i128 {
         let mut w = CdrWriter::new(Endian::Little);
         w.put_value(
             graph,
@@ -236,12 +704,23 @@ mod tests {
             &MValue::Record(vec![MValue::Int(a as i128), MValue::Int(b as i128)]),
         )
         .unwrap();
-        let req = Message::request(1, true, b"adder".to_vec(), "add", Endian::Little, w.into_bytes());
+        let req = Message::request(
+            1,
+            true,
+            b"adder".to_vec(),
+            "add",
+            Endian::Little,
+            w.into_bytes(),
+        );
         let reply = conn.call(&req).unwrap().unwrap();
-        let MessageKind::Reply { status, .. } = reply.kind else { panic!() };
+        let MessageKind::Reply { status, .. } = reply.kind else {
+            panic!()
+        };
         assert_eq!(status, ReplyStatus::NoException);
         let mut r = CdrReader::new(&reply.body, reply.endian);
-        let MValue::Record(items) = r.get_value(graph, result_ty).unwrap() else { panic!() };
+        let MValue::Record(items) = r.get_value(graph, result_ty).unwrap() else {
+            panic!()
+        };
         let MValue::Int(v) = items[0] else { panic!() };
         v
     }
@@ -290,20 +769,138 @@ mod tests {
     }
 
     #[test]
+    fn multiplexed_connection_round_trip() {
+        let (d, graph, args, result) = adder_dispatcher();
+        let mut server = TcpServer::bind("127.0.0.1:0", d).unwrap();
+        let conn = MultiplexedConnection::connect(server.addr()).unwrap();
+        assert!(conn.is_alive());
+        for k in 0..32 {
+            assert_eq!(call_add(&conn, &graph, args, result, k, 1), (k + 1) as i128);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiplexed_connection_shared_by_threads() {
+        let (d, graph, args, result) = adder_dispatcher();
+        let mut server = TcpServer::bind("127.0.0.1:0", d).unwrap();
+        let conn = Arc::new(MultiplexedConnection::connect(server.addr()).unwrap());
+        let handles: Vec<_> = (0..8)
+            .map(|t: i64| {
+                let c = conn.clone();
+                let g = graph.clone();
+                std::thread::spawn(move || {
+                    for k in 0..32i64 {
+                        assert_eq!(
+                            call_add(&*c, &g, args, result, t * 100, k),
+                            (t * 100 + k) as i128
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiplexed_restores_the_caller_request_id() {
+        let (d, graph, args, _result) = adder_dispatcher();
+        let mut server = TcpServer::bind("127.0.0.1:0", d).unwrap();
+        let conn = MultiplexedConnection::connect(server.addr()).unwrap();
+        let mut w = CdrWriter::new(Endian::Little);
+        w.put_value(
+            &graph,
+            args,
+            &MValue::Record(vec![MValue::Int(1), MValue::Int(2)]),
+        )
+        .unwrap();
+        // A caller id far from the connection's own counter.
+        let req = Message::request(
+            0xBEEF,
+            true,
+            b"adder".to_vec(),
+            "add",
+            Endian::Little,
+            w.into_bytes(),
+        );
+        let reply = conn.call(&req).unwrap().unwrap();
+        let MessageKind::Reply { request_id, .. } = reply.kind else {
+            panic!()
+        };
+        assert_eq!(request_id, 0xBEEF);
+        server.shutdown();
+    }
+
+    #[test]
     fn oneway_over_tcp_returns_immediately() {
         let (d, graph, args, _result) = adder_dispatcher();
         let mut server = TcpServer::bind("127.0.0.1:0", d).unwrap();
         let conn = TcpConnection::connect(server.addr()).unwrap();
         let mut w = CdrWriter::new(Endian::Little);
-        w.put_value(&graph, args, &MValue::Record(vec![MValue::Int(1), MValue::Int(2)]))
-            .unwrap();
-        let req = Message::request(9, false, b"adder".to_vec(), "add", Endian::Little, w.into_bytes());
+        w.put_value(
+            &graph,
+            args,
+            &MValue::Record(vec![MValue::Int(1), MValue::Int(2)]),
+        )
+        .unwrap();
+        let req = Message::request(
+            9,
+            false,
+            b"adder".to_vec(),
+            "add",
+            Endian::Little,
+            w.into_bytes(),
+        );
         assert!(conn.call(&req).unwrap().is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_connection_threads() {
+        let (d, graph, args, result) = adder_dispatcher();
+        let mut server = TcpServer::bind("127.0.0.1:0", d).unwrap();
+        let conn = TcpConnection::connect(server.addr()).unwrap();
+        assert_eq!(call_add(&conn, &graph, args, result, 1, 1), 2);
+        // The connection is still open; shutdown must not hang on it.
+        let start = Instant::now();
+        server.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "shutdown joined promptly"
+        );
+        assert!(server.conn_threads.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_allocation() {
+        let (d, graph, args, result) = adder_dispatcher();
+        let mut server = TcpServer::bind("127.0.0.1:0", d).unwrap();
+        // A rogue peer declares a ~4 GiB frame; the server must drop the
+        // connection (protocol error) instead of allocating.
+        {
+            let mut rogue = TcpStream::connect(server.addr()).unwrap();
+            let mut forged = Vec::new();
+            forged.extend_from_slice(b"GIOP");
+            forged.extend_from_slice(&[1, 0, 0x01, 0]);
+            forged.extend_from_slice(&u32::MAX.to_be_bytes());
+            rogue.write_all(&forged).unwrap();
+            // The server closes its side once it sees the forged length.
+            let mut buf = [0u8; 1];
+            let _ = rogue.set_read_timeout(Some(Duration::from_secs(5)));
+            assert_eq!(rogue.read(&mut buf).unwrap_or(0), 0, "server hung up");
+        }
+        // Well-behaved clients are unaffected.
+        let conn = TcpConnection::connect(server.addr()).unwrap();
+        assert_eq!(call_add(&conn, &graph, args, result, 2, 3), 5);
         server.shutdown();
     }
 
     #[test]
     fn connect_to_dead_server_fails() {
         assert!(TcpConnection::connect("127.0.0.1:1".parse().unwrap()).is_err());
+        assert!(MultiplexedConnection::connect("127.0.0.1:1".parse().unwrap()).is_err());
     }
 }

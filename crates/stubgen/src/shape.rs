@@ -72,7 +72,12 @@ impl FnShape {
                 graph.display(inv)
             )));
         };
-        Ok(FnShape { invocation: inv, inputs, reply_index, output })
+        Ok(FnShape {
+            invocation: inv,
+            inputs,
+            reply_index,
+            output,
+        })
     }
 
     /// Parses a function Mtype `port(Record(I..., port(O)))`.
@@ -114,7 +119,10 @@ impl FnShape {
 pub fn methods_of(graph: &MtypeGraph, id: MtypeId) -> Result<Vec<FnShape>, ShapeError> {
     let port = graph.resolve(id);
     let MtypeKind::Port(payload) = graph.kind(port) else {
-        return Err(ShapeError(format!("not an object port: {}", graph.display(port))));
+        return Err(ShapeError(format!(
+            "not an object port: {}",
+            graph.display(port)
+        )));
     };
     let payload = graph.resolve(*payload);
     match graph.kind(payload) {
@@ -145,7 +153,9 @@ mod tests {
         let shape = FnShape::of_function(&g, f).unwrap();
         assert_eq!(shape.inputs, vec![i, r]);
         assert_eq!(shape.reply_index, 2);
-        let MtypeKind::Record(outs) = g.kind(shape.output) else { panic!() };
+        let MtypeKind::Record(outs) = g.kind(shape.output) else {
+            panic!()
+        };
         assert_eq!(outs, &vec![r]);
     }
 
@@ -183,7 +193,10 @@ mod tests {
         let i = g.integer(IntRange::boolean());
         assert!(FnShape::of_function(&g, i).is_err());
         let p = g.port(i);
-        assert!(FnShape::of_function(&g, p).is_err(), "payload is not an invocation record");
+        assert!(
+            FnShape::of_function(&g, p).is_err(),
+            "payload is not an invocation record"
+        );
         let rec = g.record(vec![i]);
         assert!(
             FnShape::of_invocation(&g, rec).is_err(),

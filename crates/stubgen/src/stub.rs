@@ -116,9 +116,9 @@ impl FunctionStub {
         items.extend(inputs.iter().cloned());
         items.insert(self.left.reply_index, MValue::Port(PortRef(0)));
         let inv_l = MValue::Record(items);
-        let inv_r =
-            self.plan
-                .convert_pair(self.left.invocation, self.right.invocation, &inv_l)?;
+        let inv_r = self
+            .plan
+            .convert_pair(self.left.invocation, self.right.invocation, &inv_l)?;
         let MValue::Record(mut ritems) = inv_r else {
             return Err(StubError::Convert(ConvertError(
                 "converted invocation is not a record".into(),
@@ -212,7 +212,12 @@ impl InterfaceStub {
                 }
             }
         };
-        Ok(InterfaceStub { plan, left_methods, right_methods, method_map })
+        Ok(InterfaceStub {
+            plan,
+            left_methods,
+            right_methods,
+            method_map,
+        })
     }
 
     /// Number of methods on the left interface.
@@ -237,9 +242,10 @@ impl InterfaceStub {
         inputs: &[MValue],
         target: &dyn Fn(usize, MValue) -> Result<MValue, String>,
     ) -> Result<MValue, StubError> {
-        let lshape = self.left_methods.get(left_method).ok_or_else(|| {
-            StubError::Shape(ShapeError(format!("no method {left_method}")))
-        })?;
+        let lshape = self
+            .left_methods
+            .get(left_method)
+            .ok_or_else(|| StubError::Shape(ShapeError(format!("no method {left_method}"))))?;
         let right_method = self.method_map[left_method];
         let rshape = &self.right_methods[right_method];
         if inputs.len() != lshape.inputs.len() {
@@ -251,9 +257,9 @@ impl InterfaceStub {
         }
         let mut items: Vec<MValue> = inputs.to_vec();
         items.insert(lshape.reply_index, MValue::Port(PortRef(0)));
-        let inv_r = self
-            .plan
-            .convert_pair(lshape.invocation, rshape.invocation, &MValue::Record(items))?;
+        let inv_r =
+            self.plan
+                .convert_pair(lshape.invocation, rshape.invocation, &MValue::Record(items))?;
         let MValue::Record(mut ritems) = inv_r else {
             return Err(StubError::Convert(ConvertError(
                 "converted invocation is not a record".into(),
@@ -279,12 +285,12 @@ pub struct RemoteStub {
 
 impl RemoteStub {
     /// Wraps a function stub around a remote reference.
-    pub fn new(
-        inner: FunctionStub,
-        remote: Arc<RemoteRef>,
-        operation: impl Into<String>,
-    ) -> Self {
-        RemoteStub { inner, remote, operation: operation.into() }
+    pub fn new(inner: FunctionStub, remote: Arc<RemoteRef>, operation: impl Into<String>) -> Self {
+        RemoteStub {
+            inner,
+            remote,
+            operation: operation.into(),
+        }
     }
 
     /// The remote operation name.
@@ -293,16 +299,31 @@ impl RemoteStub {
     }
 
     /// Performs one remote call: convert, marshal, send, await, convert
-    /// back.
+    /// back. Uses the remote reference's default call options.
     ///
     /// # Errors
     ///
     /// Propagates conversion failures and remote/transport failures.
     pub fn call(&self, inputs: &[MValue]) -> Result<MValue, StubError> {
+        self.call_with(inputs, &self.remote.options().clone())
+    }
+
+    /// As [`call`](RemoteStub::call), under explicit per-call options
+    /// (deadline, retry policy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion failures and remote/transport failures,
+    /// including expired deadlines as runtime errors.
+    pub fn call_with(
+        &self,
+        inputs: &[MValue],
+        options: &mockingbird_runtime::CallOptions,
+    ) -> Result<MValue, StubError> {
         let args_r = self.inner.convert_args(inputs)?;
         let out_r = self
             .remote
-            .invoke(&self.operation, &args_r)
+            .invoke_with(&self.operation, &args_r, options)
             .map_err(|e| match e {
                 RuntimeError::Application(m) => StubError::Target(m),
                 other => StubError::Runtime(other.to_string()),
@@ -323,15 +344,15 @@ impl MessagingStubs {
     /// handlers (keyed by operation name) and returns an empty record
     /// (messaging expects no reply).
     pub fn receive_servant(handlers: HashMap<String, MessageHandler>) -> Arc<dyn Servant> {
-        Arc::new(move |operation: &str, args: MValue| {
-            match handlers.get(operation) {
+        Arc::new(
+            move |operation: &str, args: MValue| match handlers.get(operation) {
                 Some(h) => {
                     h(args);
                     Ok(MValue::Record(vec![]))
                 }
                 None => Err(RuntimeError::UnknownOperation(operation.to_string())),
-            }
-        })
+            },
+        )
     }
 
     /// A send stub: converts a left-declared message through `plan` and
@@ -387,8 +408,12 @@ mod tests {
         let stub = FunctionStub::new(plan).unwrap();
         // The C-side implementation: a real line fitter over the points.
         let c_fitter = |args: MValue| -> Result<MValue, String> {
-            let MValue::Record(items) = args else { return Err("bad args".into()) };
-            let MValue::List(pts) = &items[0] else { return Err("bad pts".into()) };
+            let MValue::Record(items) = args else {
+                return Err("bad args".into());
+            };
+            let MValue::List(pts) = &items[0] else {
+                return Err("bad pts".into());
+            };
             let first = pts.first().cloned().ok_or("empty")?;
             let last = pts.last().cloned().ok_or("empty")?;
             // Outputs in C shape: Record(start_point, end_point).
@@ -407,9 +432,14 @@ mod tests {
     fn stub_rejects_wrong_arity_and_propagates_target_errors() {
         let (plan, _g) = fitter_plan();
         let stub = FunctionStub::new(plan).unwrap();
-        assert!(matches!(stub.call(&[], &|_| Ok(MValue::Unit)), Err(StubError::Convert(_))));
+        assert!(matches!(
+            stub.call(&[], &|_| Ok(MValue::Unit)),
+            Err(StubError::Convert(_))
+        ));
         let e = stub
-            .call(&[MValue::List(vec![])], &|_| Err("fitter needs points".into()))
+            .call(&[MValue::List(vec![])], &|_| {
+                Err("fitter needs points".into())
+            })
             .unwrap_err();
         assert!(matches!(e, StubError::Target(m) if m.contains("needs points")));
     }
@@ -419,9 +449,14 @@ mod tests {
         let mut g = MtypeGraph::new();
         let small = g.integer(IntRange::signed_bits(16));
         let big = g.integer(IntRange::signed_bits(32));
-        let corr = Comparer::new(&g, &g).compare(small, big, Mode::Subtype).unwrap();
+        let corr = Comparer::new(&g, &g)
+            .compare(small, big, Mode::Subtype)
+            .unwrap();
         let plan = CoercionPlan::new(&g, &g, corr, RuleSet::full(), Mode::Subtype);
-        assert!(matches!(FunctionStub::new(Arc::new(plan)), Err(StubError::OneWayPlan)));
+        assert!(matches!(
+            FunctionStub::new(Arc::new(plan)),
+            Err(StubError::OneWayPlan)
+        ));
     }
 
     #[test]
@@ -441,7 +476,13 @@ mod tests {
         let corr = Comparer::new(&g, &g)
             .compare(left, right, Mode::Equivalence)
             .unwrap();
-        let plan = Arc::new(CoercionPlan::new(&g, &g, corr, RuleSet::full(), Mode::Equivalence));
+        let plan = Arc::new(CoercionPlan::new(
+            &g,
+            &g,
+            corr,
+            RuleSet::full(),
+            Mode::Equivalence,
+        ));
         let stub = InterfaceStub::new(plan).unwrap();
         assert_eq!(stub.method_count(), 2);
         assert_eq!(stub.target_method(0), Some(1), "left get is right method 1");
@@ -452,8 +493,12 @@ mod tests {
             match method {
                 1 => Ok(MValue::Record(vec![MValue::Int(*cell.lock().unwrap())])),
                 0 => {
-                    let MValue::Record(items) = args else { return Err("bad".into()) };
-                    let MValue::Int(v) = items[0] else { return Err("bad".into()) };
+                    let MValue::Record(items) = args else {
+                        return Err("bad".into());
+                    };
+                    let MValue::Int(v) = items[0] else {
+                        return Err("bad".into());
+                    };
                     *cell.lock().unwrap() = v;
                     Ok(MValue::Record(vec![]))
                 }

@@ -7,12 +7,11 @@
 //! array length sources, parameter directions, and pass modes.
 
 use mockingbird_mtype::{IntRange, RealPrecision, Repertoire};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Direction of a function or method parameter (paper §3.3: "any
 /// parameter may be annotated as in, out, or in-out").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// The parameter carries data into the callee (the default).
     In,
@@ -36,7 +35,7 @@ impl fmt::Display for Direction {
 /// Where an array's length comes from (paper §3.2: "annotations may
 /// provide either a static length (resulting in a Record Mtype) or a
 /// runtime length (resulting in a Recursive Mtype)").
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum LengthAnn {
     /// The array has exactly this many elements: lowers to a Record.
     Static(usize),
@@ -49,7 +48,7 @@ pub enum LengthAnn {
 }
 
 /// How a class/struct type crosses the interface.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PassMode {
     /// Passed by value: lowers to a `Record` over the fields (paper §3.2).
     ByValue,
@@ -61,7 +60,7 @@ pub enum PassMode {
 ///
 /// All fields default to "no annotation"; [`Ann::merge_under`] layers a
 /// use-site annotation over a declaration-site one (use-site wins).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Ann {
     /// Override the integer range (e.g. "this Java int is unsigned").
     pub int_range: Option<IntRange>,

@@ -5,14 +5,13 @@
 //! annotation slot; a [`Universe`] holds the set of named declarations
 //! loaded into a session (the left-hand panel of the paper's Fig. 7).
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 use crate::ann::Ann;
 
 /// The source language of a declaration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Lang {
     /// C declarations.
     C,
@@ -36,7 +35,7 @@ impl fmt::Display for Lang {
 }
 
 /// Language-level primitive types, annotated-translation targets of §3.1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Prim {
     /// A boolean (`bool`, Java `boolean`, IDL `boolean`).
     Bool,
@@ -71,7 +70,7 @@ pub enum Prim {
 }
 
 /// Whether an array's size is part of its type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ArrayLen {
     /// `float[2]` — the length is statically fixed.
     Fixed(usize),
@@ -80,7 +79,7 @@ pub enum ArrayLen {
 }
 
 /// A named field of a struct, union or class.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Field {
     /// The field's name.
     pub name: String,
@@ -91,12 +90,15 @@ pub struct Field {
 impl Field {
     /// Creates a field.
     pub fn new(name: impl Into<String>, ty: Stype) -> Self {
-        Field { name: name.into(), ty }
+        Field {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
 /// A named parameter of a function or method.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Param {
     /// The parameter's name.
     pub name: String,
@@ -107,12 +109,15 @@ pub struct Param {
 impl Param {
     /// Creates a parameter.
     pub fn new(name: impl Into<String>, ty: Stype) -> Self {
-        Param { name: name.into(), ty }
+        Param {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
 /// A function or method signature.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Signature {
     /// Parameters in declaration order.
     pub params: Vec<Param>,
@@ -120,14 +125,17 @@ pub struct Signature {
     pub ret: Box<Stype>,
     /// Declared exceptions (IDL `raises`, Java `throws`): each becomes
     /// an alternative of the reply Choice (paper §6's exception support).
-    #[serde(default)]
     pub throws: Vec<Stype>,
 }
 
 impl Signature {
     /// Creates a signature with no declared exceptions.
     pub fn new(params: Vec<Param>, ret: Stype) -> Self {
-        Signature { params, ret: Box::new(ret), throws: Vec::new() }
+        Signature {
+            params,
+            ret: Box::new(ret),
+            throws: Vec::new(),
+        }
     }
 
     /// Adds declared exceptions.
@@ -148,7 +156,7 @@ impl Signature {
 }
 
 /// A named method of a class or interface.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Method {
     /// The method's name.
     pub name: String,
@@ -159,12 +167,15 @@ pub struct Method {
 impl Method {
     /// Creates a method.
     pub fn new(name: impl Into<String>, sig: Signature) -> Self {
-        Method { name: name.into(), sig }
+        Method {
+            name: name.into(),
+            sig,
+        }
     }
 }
 
 /// The node alternatives of an [`Stype`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SNode {
     /// A primitive type.
     Prim(Prim),
@@ -212,7 +223,7 @@ pub enum SNode {
 }
 
 /// One annotated type term: an [`SNode`] plus its [`Ann`] slot.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Stype {
     /// The syntactic node.
     pub node: SNode,
@@ -223,7 +234,10 @@ pub struct Stype {
 impl Stype {
     /// Wraps a node with empty annotations.
     pub fn new(node: SNode) -> Self {
-        Stype { node, ann: Ann::default() }
+        Stype {
+            node,
+            ann: Ann::default(),
+        }
     }
 
     /// Builder-style annotation attachment.
@@ -314,12 +328,18 @@ impl Stype {
 
     /// A fixed-length array.
     pub fn array_fixed(elem: Stype, len: usize) -> Self {
-        Stype::new(SNode::Array { elem: Box::new(elem), len: ArrayLen::Fixed(len) })
+        Stype::new(SNode::Array {
+            elem: Box::new(elem),
+            len: ArrayLen::Fixed(len),
+        })
     }
 
     /// An indefinite-length array.
     pub fn array_indefinite(elem: Stype) -> Self {
-        Stype::new(SNode::Array { elem: Box::new(elem), len: ArrayLen::Indefinite })
+        Stype::new(SNode::Array {
+            elem: Box::new(elem),
+            len: ArrayLen::Indefinite,
+        })
     }
 
     /// A struct over `fields`.
@@ -339,7 +359,11 @@ impl Stype {
 
     /// A class.
     pub fn class(fields: Vec<Field>, methods: Vec<Method>) -> Self {
-        Stype::new(SNode::Class { fields, methods, extends: None })
+        Stype::new(SNode::Class {
+            fields,
+            methods,
+            extends: None,
+        })
     }
 
     /// A class extending `superclass`.
@@ -348,12 +372,19 @@ impl Stype {
         methods: Vec<Method>,
         superclass: impl Into<String>,
     ) -> Self {
-        Stype::new(SNode::Class { fields, methods, extends: Some(superclass.into()) })
+        Stype::new(SNode::Class {
+            fields,
+            methods,
+            extends: Some(superclass.into()),
+        })
     }
 
     /// An interface.
     pub fn interface(methods: Vec<Method>) -> Self {
-        Stype::new(SNode::Interface { methods, extends: vec![] })
+        Stype::new(SNode::Interface {
+            methods,
+            extends: vec![],
+        })
     }
 
     /// A free function.
@@ -368,7 +399,7 @@ impl Stype {
 }
 
 /// A named top-level declaration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Decl {
     /// The (possibly qualified) declaration name.
     pub name: String,
@@ -383,15 +414,19 @@ pub struct Decl {
 impl Decl {
     /// Creates a declaration.
     pub fn new(name: impl Into<String>, lang: Lang, ty: Stype) -> Self {
-        Decl { name: name.into(), lang, ty, doc: None }
+        Decl {
+            name: name.into(),
+            lang,
+            ty,
+            doc: None,
+        }
     }
 }
 
 /// The set of declarations loaded into a session, in load order.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Universe {
     decls: Vec<Decl>,
-    #[serde(skip)]
     index: HashMap<String, usize>,
 }
 
@@ -503,7 +538,8 @@ mod tests {
     #[test]
     fn universe_insert_get_and_duplicate() {
         let mut u = Universe::new();
-        u.insert(Decl::new("Point", Lang::Java, Stype::class(vec![], vec![]))).unwrap();
+        u.insert(Decl::new("Point", Lang::Java, Stype::class(vec![], vec![])))
+            .unwrap();
         assert!(u.get("Point").is_some());
         assert_eq!(u.len(), 1);
         let err = u
@@ -541,7 +577,10 @@ mod tests {
         assert!(matches!(Stype::f32().node, SNode::Prim(Prim::F32)));
         assert!(matches!(
             Stype::array_fixed(Stype::f32(), 2).node,
-            SNode::Array { len: ArrayLen::Fixed(2), .. }
+            SNode::Array {
+                len: ArrayLen::Fixed(2),
+                ..
+            }
         ));
         let ptr = Stype::pointer(Stype::named("Point")).with_ann(|a| a.non_null = true);
         assert!(ptr.ann.non_null);
@@ -550,7 +589,10 @@ mod tests {
     #[test]
     fn signature_param_lookup() {
         let sig = Signature::new(
-            vec![Param::new("pts", Stype::i32()), Param::new("count", Stype::i32())],
+            vec![
+                Param::new("pts", Stype::i32()),
+                Param::new("count", Stype::i32()),
+            ],
             Stype::void(),
         );
         assert!(sig.param("count").is_some());

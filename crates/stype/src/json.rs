@@ -1,0 +1,428 @@
+//! A minimal JSON value, parser, and pretty-printer.
+//!
+//! Project files are plain JSON (paper §3: saved sessions are one of the
+//! four input kinds). The workspace carries no external dependencies, so
+//! this module implements the small JSON subset the project format
+//! needs: objects, arrays, strings (with escapes), integers, floats,
+//! booleans, and null.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// Any JSON number; project files only store integers that fit i128
+    /// exactly, floats are carried for completeness.
+    Int(i128),
+    /// A non-integer number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; ordered map so output is deterministic.
+    Object(BTreeMap<String, Json>),
+}
+
+/// A JSON syntax or shape error with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// The value under `key`, when `self` is an object holding it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value under `key`, or a shape error naming the key.
+    pub fn req(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError(format!("missing key `{key}`")))
+    }
+
+    /// This value as a string slice.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(JsonError(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    /// This value as an integer.
+    pub fn as_int(&self) -> Result<i128, JsonError> {
+        match self {
+            Json::Int(i) => Ok(*i),
+            other => Err(JsonError(format!("expected integer, got {other:?}"))),
+        }
+    }
+
+    /// This value as a bool.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError(format!("expected bool, got {other:?}"))),
+        }
+    }
+
+    /// This value as an array slice.
+    pub fn as_array(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Array(v) => Ok(v),
+            other => Err(JsonError(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    /// Pretty-prints with two-space indentation (`"key": value`).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&x.to_string());
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a complete JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed input or trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError(format!("trailing data at byte {pos}")));
+        }
+        Ok(v)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), JsonError> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(JsonError(format!(
+            "expected `{}` at byte {}",
+            c as char, *pos
+        )))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(JsonError("unexpected end of input".into())),
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                map.insert(key, val);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(map));
+                    }
+                    _ => {
+                        return Err(JsonError(format!(
+                            "expected `,` or `}}` at byte {pos}",
+                            pos = *pos
+                        )))
+                    }
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => {
+                        return Err(JsonError(format!(
+                            "expected `,` or `]` at byte {pos}",
+                            pos = *pos
+                        )))
+                    }
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => keyword(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => keyword(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => keyword(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn keyword(b: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, JsonError> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(JsonError(format!("bad literal at byte {}", *pos)))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(JsonError("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| JsonError("truncated \\u escape".into()))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| JsonError("bad \\u escape".into()))?,
+                            16,
+                        )
+                        .map_err(|_| JsonError("bad \\u escape".into()))?;
+                        // Surrogate pairs are not needed by the project
+                        // format; map lone surrogates to U+FFFD.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(JsonError("bad escape".into())),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| JsonError("invalid UTF-8".into()))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).expect("digits are ASCII");
+    if text.is_empty() || text == "-" {
+        return Err(JsonError(format!("bad number at byte {start}")));
+    }
+    if is_float {
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| JsonError(format!("bad number `{text}`")))
+    } else {
+        text.parse::<i128>()
+            .map(Json::Int)
+            .map_err(|_| JsonError(format!("bad number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_nested() {
+        let v = Json::obj([
+            ("version", Json::Int(1)),
+            ("name", Json::str("fitter")),
+            (
+                "decls",
+                Json::Array(vec![
+                    Json::obj([("k", Json::Bool(true))]),
+                    Json::Null,
+                    Json::Float(2.5),
+                ]),
+            ),
+        ]);
+        let text = v.pretty();
+        assert!(text.contains("\"version\": 1"), "{text}");
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let v = Json::str("a\"b\\c\nd\tταβ");
+        let text = v.pretty();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(Json::parse("{ not json").is_err());
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("00x").is_err());
+    }
+
+    #[test]
+    fn numbers_parse_both_kinds() {
+        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(Json::parse("2.5").unwrap(), Json::Float(2.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Float(1000.0));
+    }
+
+    #[test]
+    fn accessors_report_shape_errors() {
+        let v = Json::parse("{\"a\": 1}").unwrap();
+        assert_eq!(v.req("a").unwrap().as_int().unwrap(), 1);
+        assert!(v.req("b").is_err());
+        assert!(v.req("a").unwrap().as_str().is_err());
+    }
+}

@@ -48,6 +48,7 @@
 
 pub mod ann;
 pub mod ast;
+pub mod json;
 pub mod lower;
 pub mod project;
 pub mod script;

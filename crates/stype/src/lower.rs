@@ -67,7 +67,11 @@ pub struct Lowerer<'u, 'g> {
 impl<'u, 'g> Lowerer<'u, 'g> {
     /// Creates a lowerer over `uni` that allocates into `graph`.
     pub fn new(uni: &'u Universe, graph: &'g mut MtypeGraph) -> Self {
-        Lowerer { uni, graph, named: HashMap::new() }
+        Lowerer {
+            uni,
+            graph,
+            named: HashMap::new(),
+        }
     }
 
     /// Seeds the memo table with an already-lowered named type (from a
@@ -147,7 +151,8 @@ impl<'u, 'g> Lowerer<'u, 'g> {
                     if self.graph.label(final_id).is_none() {
                         self.graph.set_label(final_id, name.to_string());
                     }
-                    self.named.insert(name.to_string(), NamedState::Done(final_id));
+                    self.named
+                        .insert(name.to_string(), NamedState::Done(final_id));
                     Ok(final_id)
                 }
                 Err(e) => {
@@ -218,9 +223,15 @@ impl<'u, 'g> Lowerer<'u, 'g> {
                 if members.is_empty() {
                     return Err(LowerError::Unsupported("enum with no members".into()));
                 }
-                Ok(self.graph.integer(IntRange::enumeration(members.len() as u64)))
+                Ok(self
+                    .graph
+                    .integer(IntRange::enumeration(members.len() as u64)))
             }
-            SNode::Class { fields, methods, extends } => {
+            SNode::Class {
+                fields,
+                methods,
+                extends,
+            } => {
                 if self.is_collection_class(extends.as_deref()) {
                     return self.lower_collection(ann);
                 }
@@ -388,10 +399,7 @@ impl<'u, 'g> Lowerer<'u, 'g> {
     /// declared exceptions when `throws` is non-empty (paper §6's
     /// exception support — checked failures travel in-band as reply
     /// alternatives; alternative 0 is the normal return).
-    fn lower_signature(
-        &mut self,
-        sig: &Signature,
-    ) -> Result<(Vec<MtypeId>, MtypeId), LowerError> {
+    fn lower_signature(&mut self, sig: &Signature) -> Result<(Vec<MtypeId>, MtypeId), LowerError> {
         // Parameters named as length carriers are absorbed into the list
         // Mtype of the array they measure (the fitter example's `count`).
         let absorbed: Vec<&str> = sig
@@ -510,7 +518,11 @@ mod tests {
         let c = lower_ty(&uni, &mut g, &Stype::char8());
         assert_eq!(g.display(c).to_string(), "Char{Latin-1}");
         // Annotated as-integer it becomes an Integer.
-        let ci = lower_ty(&uni, &mut g, &Stype::char8().with_ann(|a| a.as_integer = true));
+        let ci = lower_ty(
+            &uni,
+            &mut g,
+            &Stype::char8().with_ann(|a| a.as_integer = true),
+        );
         assert_eq!(g.display(ci).to_string(), "Int{0..=255}");
         // An int annotated with a repertoire becomes a Character.
         let ic = lower_ty(
@@ -543,7 +555,10 @@ mod tests {
         let uni = Universe::new();
         let mut g = MtypeGraph::new();
         let fixed = lower_ty(&uni, &mut g, &Stype::array_fixed(Stype::f32(), 2));
-        assert_eq!(g.display(fixed).to_string(), "Record(Real{24,8}, Real{24,8})");
+        assert_eq!(
+            g.display(fixed).to_string(),
+            "Record(Real{24,8}, Real{24,8})"
+        );
         let indef = lower_ty(&uni, &mut g, &Stype::array_indefinite(Stype::f32()));
         assert_eq!(
             g.display(indef).to_string(),
@@ -718,7 +733,11 @@ mod tests {
     fn enum_and_union_lowering() {
         let uni = Universe::new();
         let mut g = MtypeGraph::new();
-        let e = lower_ty(&uni, &mut g, &Stype::enum_of(vec!["A".into(), "B".into(), "C".into()]));
+        let e = lower_ty(
+            &uni,
+            &mut g,
+            &Stype::enum_of(vec!["A".into(), "B".into(), "C".into()]),
+        );
         assert_eq!(g.display(e).to_string(), "Int{0..=2}");
         let u = lower_ty(
             &uni,

@@ -85,10 +85,13 @@ pub fn apply_script(uni: &mut Universe, script: &str) -> Result<usize, ScriptErr
         }
         let selector_text = tokens.remove(0);
         if tokens.is_empty() {
-            return Err(ScriptError::Parse(lineno, "missing annotation operations".into()));
+            return Err(ScriptError::Parse(
+                lineno,
+                "missing annotation operations".into(),
+            ));
         }
-        let selector = Selector::parse(&selector_text)
-            .map_err(|e| ScriptError::Selector(lineno, e))?;
+        let selector =
+            Selector::parse(&selector_text).map_err(|e| ScriptError::Selector(lineno, e))?;
         let ty = selector
             .resolve_mut(uni)
             .map_err(|e| ScriptError::Selector(lineno, e))?;
@@ -158,10 +161,12 @@ fn apply_op(ann: &mut Ann, op: &str) -> Result<(), String> {
                     let (lo, hi) = value
                         .split_once("..")
                         .ok_or_else(|| format!("bad range `{value}`, expected LO..HI"))?;
-                    let lo: i128 =
-                        lo.parse().map_err(|_| format!("bad range low bound `{lo}`"))?;
-                    let hi: i128 =
-                        hi.parse().map_err(|_| format!("bad range high bound `{hi}`"))?;
+                    let lo: i128 = lo
+                        .parse()
+                        .map_err(|_| format!("bad range low bound `{lo}`"))?;
+                    let hi: i128 = hi
+                        .parse()
+                        .map_err(|_| format!("bad range high bound `{hi}`"))?;
                     if lo > hi {
                         return Err(format!("empty range `{value}`"));
                     }
@@ -172,7 +177,9 @@ fn apply_op(ann: &mut Ann, op: &str) -> Result<(), String> {
                         "ascii" => Repertoire::Ascii,
                         "latin1" => Repertoire::Latin1,
                         "unicode" => Repertoire::Unicode,
-                        _ => match value.strip_prefix("custom(").and_then(|v| v.strip_suffix(')'))
+                        _ => match value
+                            .strip_prefix("custom(")
+                            .and_then(|v| v.strip_suffix(')'))
                         {
                             Some(name) => Repertoire::Custom(name.to_string()),
                             None => return Err(format!("bad repertoire `{value}`")),
@@ -203,11 +210,17 @@ fn parse_length(value: &str) -> Result<LengthAnn, String> {
     if value == "runtime" {
         return Ok(LengthAnn::Runtime);
     }
-    if let Some(n) = value.strip_prefix("static(").and_then(|v| v.strip_suffix(')')) {
+    if let Some(n) = value
+        .strip_prefix("static(")
+        .and_then(|v| v.strip_suffix(')'))
+    {
         let n: usize = n.parse().map_err(|_| format!("bad static length `{n}`"))?;
         return Ok(LengthAnn::Static(n));
     }
-    if let Some(p) = value.strip_prefix("param(").and_then(|v| v.strip_suffix(')')) {
+    if let Some(p) = value
+        .strip_prefix("param(")
+        .and_then(|v| v.strip_suffix(')'))
+    {
         if p.is_empty() {
             return Err("length=param(..) needs a parameter name".into());
         }
@@ -223,8 +236,12 @@ mod tests {
 
     fn fitter_universe() -> Universe {
         let mut u = Universe::new();
-        u.insert(Decl::new("point", Lang::C, Stype::array_fixed(Stype::f32(), 2)))
-            .unwrap();
+        u.insert(Decl::new(
+            "point",
+            Lang::C,
+            Stype::array_fixed(Stype::f32(), 2),
+        ))
+        .unwrap();
         u.insert(Decl::new(
             "fitter",
             Lang::C,
@@ -271,14 +288,21 @@ mod tests {
         .unwrap();
         assert_eq!(n, 5);
         let fitter = u.get("fitter").unwrap();
-        let crate::ast::SNode::Function(sig) = &fitter.ty.node else { panic!() };
+        let crate::ast::SNode::Function(sig) = &fitter.ty.node else {
+            panic!()
+        };
         assert_eq!(
             sig.param("pts").unwrap().ty.ann.length,
             Some(LengthAnn::Param("count".into()))
         );
-        assert_eq!(sig.param("start").unwrap().ty.ann.direction, Some(Direction::Out));
+        assert_eq!(
+            sig.param("start").unwrap().ty.ann.direction,
+            Some(Direction::Out)
+        );
         let line = u.get("Line").unwrap();
-        let crate::ast::SNode::Class { fields, .. } = &line.ty.node else { panic!() };
+        let crate::ast::SNode::Class { fields, .. } = &line.ty.node else {
+            panic!()
+        };
         assert!(fields[0].ty.ann.non_null && fields[0].ty.ann.no_alias);
     }
 
@@ -287,7 +311,10 @@ mod tests {
         let mut u = Universe::new();
         u.insert(Decl::new("T", Lang::C, Stype::i32())).unwrap();
         apply_script(&mut u, "annotate T range=0..100").unwrap();
-        assert_eq!(u.get("T").unwrap().ty.ann.int_range, Some(IntRange::new(0, 100)));
+        assert_eq!(
+            u.get("T").unwrap().ty.ann.int_range,
+            Some(IntRange::new(0, 100))
+        );
         apply_script(&mut u, "annotate T repertoire=unicode").unwrap();
         apply_script(&mut u, "annotate T repertoire=custom(EBCDIC)").unwrap();
         assert_eq!(
@@ -297,7 +324,10 @@ mod tests {
         apply_script(&mut u, "annotate T precision=double").unwrap();
         apply_script(&mut u, "annotate T element=Point").unwrap();
         apply_script(&mut u, "annotate T length=static(4)").unwrap();
-        assert_eq!(u.get("T").unwrap().ty.ann.length, Some(LengthAnn::Static(4)));
+        assert_eq!(
+            u.get("T").unwrap().ty.ann.length,
+            Some(LengthAnn::Static(4))
+        );
         apply_script(&mut u, "annotate T length=runtime").unwrap();
         apply_script(&mut u, "annotate T by-value as-integer string").unwrap();
         let ann = &u.get("T").unwrap().ty.ann;

@@ -82,7 +82,11 @@ impl fmt::Display for SelectorError {
         match self {
             SelectorError::Parse(m) => write!(f, "selector parse error: {m}"),
             SelectorError::UnknownDecl(n) => write!(f, "unknown declaration `{n}`"),
-            SelectorError::BadPath { selector, segment, reason } => {
+            SelectorError::BadPath {
+                selector,
+                segment,
+                reason,
+            } => {
                 write!(f, "cannot resolve `{segment}` in `{selector}`: {reason}")
             }
         }

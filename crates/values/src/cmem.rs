@@ -40,9 +40,15 @@ pub struct CTarget {
 
 impl CTarget {
     /// LP64 little-endian (modern x86-64).
-    pub const LP64_LE: CTarget = CTarget { ptr_size: 8, endian: Endian::Little };
+    pub const LP64_LE: CTarget = CTarget {
+        ptr_size: 8,
+        endian: Endian::Little,
+    };
     /// ILP32 big-endian (the paper's AIX/POWER machines).
-    pub const ILP32_BE: CTarget = CTarget { ptr_size: 4, endian: Endian::Big };
+    pub const ILP32_BE: CTarget = CTarget {
+        ptr_size: 4,
+        endian: Endian::Big,
+    };
 }
 
 impl Default for CTarget {
@@ -78,7 +84,10 @@ pub struct Layout {
 
 impl Layout {
     fn scalar(size: usize) -> Layout {
-        Layout { size, align: size.max(1) }
+        Layout {
+            size,
+            align: size.max(1),
+        }
     }
 }
 
@@ -97,7 +106,10 @@ impl CMemory {
     /// Creates an empty heap for the target model.
     pub fn new(target: CTarget) -> Self {
         // Reserve the null page's first bytes so no allocation is at 0.
-        CMemory { mem: vec![0u8; 16], target }
+        CMemory {
+            mem: vec![0u8; 16],
+            target,
+        }
     }
 
     /// The target model.
@@ -292,7 +304,10 @@ impl<'u> CCodec<'u> {
                 match effective {
                     ArrayLen::Fixed(n) => {
                         let e = self.layout_node(elem, &Ann::default(), depth + 1)?;
-                        Ok(Layout { size: e.size * n, align: e.align })
+                        Ok(Layout {
+                            size: e.size * n,
+                            align: e.align,
+                        })
                     }
                     ArrayLen::Indefinite => {
                         err("indefinite array has no standalone layout (decays to a pointer)")
@@ -307,7 +322,10 @@ impl<'u> CCodec<'u> {
                     size = align_up(size, l.align) + l.size;
                     align = align.max(l.align);
                 }
-                Ok(Layout { size: align_up(size.max(1), align), align })
+                Ok(Layout {
+                    size: align_up(size.max(1), align),
+                    align,
+                })
             }
             SNode::Union(arms) => {
                 let mut size = 0usize;
@@ -317,7 +335,10 @@ impl<'u> CCodec<'u> {
                     size = size.max(l.size);
                     align = align.max(l.align);
                 }
-                Ok(Layout { size: align_up(size.max(1), align), align })
+                Ok(Layout {
+                    size: align_up(size.max(1), align),
+                    align,
+                })
             }
             SNode::Enum(_) => Ok(Layout::scalar(4)),
             SNode::Class { fields, .. } => {
@@ -341,7 +362,10 @@ impl<'u> CCodec<'u> {
     /// # Errors
     ///
     /// Returns [`LayoutError`] when any field lacks a layout.
-    pub fn field_offsets(&self, fields: &[mockingbird_stype::ast::Field]) -> Result<Vec<usize>, LayoutError> {
+    pub fn field_offsets(
+        &self,
+        fields: &[mockingbird_stype::ast::Field],
+    ) -> Result<Vec<usize>, LayoutError> {
         let mut offsets = Vec::with_capacity(fields.len());
         let mut size = 0usize;
         for f in fields {
@@ -557,7 +581,14 @@ impl<'u> CCodec<'u> {
                 }
                 let offsets = self.field_offsets(fields)?;
                 for ((f, off), item) in fields.iter().zip(offsets).zip(items) {
-                    self.write_node(mem, &f.ty, &Ann::default(), addr + off as u64, item, depth + 1)?;
+                    self.write_node(
+                        mem,
+                        &f.ty,
+                        &Ann::default(),
+                        addr + off as u64,
+                        item,
+                        depth + 1,
+                    )?;
                 }
                 Ok(())
             }
@@ -692,22 +723,18 @@ impl<'u> CCodec<'u> {
                     }
                     return Ok(MValue::string(&out));
                 }
-                match &ann.length {
-                    Some(len_ann) => {
+                if let Some(len_ann) = &ann.length {
+                    {
                         let (n, fixed) = match len_ann {
                             LengthAnn::Static(n) => (*n, true),
                             LengthAnn::Param(name) => (
                                 *ctx.lengths.get(name).ok_or_else(|| {
-                                    LayoutError(format!(
-                                        "length parameter `{name}` not supplied"
-                                    ))
+                                    LayoutError(format!("length parameter `{name}` not supplied"))
                                 })?,
                                 false,
                             ),
                             LengthAnn::Runtime => {
-                                return err(
-                                    "runtime-length array needs a length parameter binding",
-                                )
+                                return err("runtime-length array needs a length parameter binding")
                             }
                         };
                         if p == 0 {
@@ -726,9 +753,12 @@ impl<'u> CCodec<'u> {
                                 depth + 1,
                             )?);
                         }
-                        return Ok(if fixed { MValue::Record(items) } else { MValue::List(items) });
+                        return Ok(if fixed {
+                            MValue::Record(items)
+                        } else {
+                            MValue::List(items)
+                        });
                     }
-                    None => {}
                 }
                 if p == 0 {
                     if ann.non_null {
@@ -743,7 +773,11 @@ impl<'u> CCodec<'u> {
                 }
                 let inner =
                     self.read_node(mem, target, &Ann::default(), p, ctx, aliases, depth + 1)?;
-                Ok(if ann.non_null { inner } else { MValue::some(inner) })
+                Ok(if ann.non_null {
+                    inner
+                } else {
+                    MValue::some(inner)
+                })
             }
             SNode::Array { elem, len } => {
                 let effective = match &ann.length {
@@ -819,11 +853,15 @@ impl<'u> CCodec<'u> {
                     )
                 })?;
                 let index = pick(arms.len());
-                let arm = arms
-                    .get(index)
-                    .ok_or_else(|| LayoutError(format!("union discriminator {index} out of range")))?;
-                let v = self.read_node(mem, &arm.ty, &Ann::default(), addr, ctx, aliases, depth + 1)?;
-                Ok(MValue::Choice { index, value: Box::new(v) })
+                let arm = arms.get(index).ok_or_else(|| {
+                    LayoutError(format!("union discriminator {index} out of range"))
+                })?;
+                let v =
+                    self.read_node(mem, &arm.ty, &Ann::default(), addr, ctx, aliases, depth + 1)?;
+                Ok(MValue::Choice {
+                    index,
+                    value: Box::new(v),
+                })
             }
             SNode::Enum(members) => {
                 let v = mem.read_uint(addr, 4)? as i128;
@@ -834,7 +872,15 @@ impl<'u> CCodec<'u> {
             }
             SNode::Class { fields, .. } => {
                 let as_struct = Stype::struct_of(fields.clone());
-                self.read_node(mem, &as_struct, &Ann::default(), addr, ctx, aliases, depth + 1)
+                self.read_node(
+                    mem,
+                    &as_struct,
+                    &Ann::default(),
+                    addr,
+                    ctx,
+                    aliases,
+                    depth + 1,
+                )
             }
             other => err(format!("cannot read a value of this C type: {other:?}")),
         }
@@ -894,8 +940,14 @@ mod tests {
     fn scalar_layouts() {
         let uni = empty();
         let c = CCodec::new(&uni, CTarget::LP64_LE);
-        assert_eq!(c.layout_of(&Stype::i8()).unwrap(), Layout { size: 1, align: 1 });
-        assert_eq!(c.layout_of(&Stype::f64()).unwrap(), Layout { size: 8, align: 8 });
+        assert_eq!(
+            c.layout_of(&Stype::i8()).unwrap(),
+            Layout { size: 1, align: 1 }
+        );
+        assert_eq!(
+            c.layout_of(&Stype::f64()).unwrap(),
+            Layout { size: 8, align: 8 }
+        );
         assert_eq!(
             c.layout_of(&Stype::pointer(Stype::i32())).unwrap(),
             Layout { size: 8, align: 8 }
@@ -949,7 +1001,9 @@ mod tests {
                 (Stype::i16(), MValue::Int(-300)),
             ] {
                 let addr = codec.write_new(&mut mem, &ty, &v).unwrap();
-                let back = codec.read_at(&mem, &ty, addr, &ReadContext::default()).unwrap();
+                let back = codec
+                    .read_at(&mem, &ty, addr, &ReadContext::default())
+                    .unwrap();
                 assert_eq!(back, v, "{ty:?} on {target:?}");
             }
         }
@@ -966,7 +1020,12 @@ mod tests {
         ]);
         let v = MValue::Record(vec![MValue::Char('x'), MValue::Real(3.25)]);
         let addr = codec.write_new(&mut mem, &s, &v).unwrap();
-        assert_eq!(codec.read_at(&mem, &s, addr, &ReadContext::default()).unwrap(), v);
+        assert_eq!(
+            codec
+                .read_at(&mem, &s, addr, &ReadContext::default())
+                .unwrap(),
+            v
+        );
     }
 
     #[test]
@@ -977,14 +1036,18 @@ mod tests {
         let ty = Stype::pointer(Stype::i32());
         let addr = codec.write_new(&mut mem, &ty, &MValue::null()).unwrap();
         assert_eq!(
-            codec.read_at(&mem, &ty, addr, &ReadContext::default()).unwrap(),
+            codec
+                .read_at(&mem, &ty, addr, &ReadContext::default())
+                .unwrap(),
             MValue::null()
         );
         let addr = codec
             .write_new(&mut mem, &ty, &MValue::some(MValue::Int(9)))
             .unwrap();
         assert_eq!(
-            codec.read_at(&mem, &ty, addr, &ReadContext::default()).unwrap(),
+            codec
+                .read_at(&mem, &ty, addr, &ReadContext::default())
+                .unwrap(),
             MValue::some(MValue::Int(9))
         );
     }
@@ -998,7 +1061,9 @@ mod tests {
         // Write a direct value through the non-null pointer path.
         let addr = codec.write_new(&mut mem, &ty, &MValue::Int(5)).unwrap();
         assert_eq!(
-            codec.read_at(&mem, &ty, addr, &ReadContext::default()).unwrap(),
+            codec
+                .read_at(&mem, &ty, addr, &ReadContext::default())
+                .unwrap(),
             MValue::Int(5)
         );
         // A hand-written null violates the annotation.
@@ -1013,8 +1078,12 @@ mod tests {
     #[test]
     fn length_param_arrays_read_as_lists() {
         let mut uni = empty();
-        uni.insert(Decl::new("point", Lang::C, Stype::array_fixed(Stype::f32(), 2)))
-            .unwrap();
+        uni.insert(Decl::new(
+            "point",
+            Lang::C,
+            Stype::array_fixed(Stype::f32(), 2),
+        ))
+        .unwrap();
         let codec = CCodec::new(&uni, CTarget::LP64_LE);
         let mut mem = CMemory::new(CTarget::LP64_LE);
         let ty = Stype::pointer(Stype::named("point"))
@@ -1028,7 +1097,9 @@ mod tests {
         ctx.lengths.insert("count".into(), 2);
         assert_eq!(codec.read_at(&mem, &ty, addr, &ctx).unwrap(), pts);
         // Missing length is an error.
-        let errv = codec.read_at(&mem, &ty, addr, &ReadContext::default()).unwrap_err();
+        let errv = codec
+            .read_at(&mem, &ty, addr, &ReadContext::default())
+            .unwrap_err();
         assert!(errv.to_string().contains("count"));
     }
 
@@ -1040,7 +1111,12 @@ mod tests {
         let ty = Stype::pointer(Stype::char8()).with_ann(|a| a.is_string = true);
         let v = MValue::string("hello");
         let addr = codec.write_new(&mut mem, &ty, &v).unwrap();
-        assert_eq!(codec.read_at(&mem, &ty, addr, &ReadContext::default()).unwrap(), v);
+        assert_eq!(
+            codec
+                .read_at(&mem, &ty, addr, &ReadContext::default())
+                .unwrap(),
+            v
+        );
     }
 
     #[test]
@@ -1052,7 +1128,10 @@ mod tests {
             Field::new("i", Stype::i32()),
             Field::new("f", Stype::f32()),
         ]);
-        let v = MValue::Choice { index: 1, value: Box::new(MValue::Real(2.5)) };
+        let v = MValue::Choice {
+            index: 1,
+            value: Box::new(MValue::Real(2.5)),
+        };
         let addr = codec.write_new(&mut mem, &u, &v).unwrap();
         assert!(codec
             .read_at(&mem, &u, addr, &ReadContext::default())
@@ -1060,7 +1139,10 @@ mod tests {
             .to_string()
             .contains("discriminator"));
         let pick = |_n: usize| 1usize;
-        let ctx = ReadContext { lengths: HashMap::new(), union_pick: Some(&pick) };
+        let ctx = ReadContext {
+            lengths: HashMap::new(),
+            union_pick: Some(&pick),
+        };
         assert_eq!(codec.read_at(&mem, &u, addr, &ctx).unwrap(), v);
     }
 
@@ -1084,7 +1166,12 @@ mod tests {
             MValue::some(MValue::Record(vec![MValue::Int(2), MValue::null()])),
         ]);
         let addr = codec.write_new(&mut mem, &ty, &v).unwrap();
-        assert_eq!(codec.read_at(&mem, &ty, addr, &ReadContext::default()).unwrap(), v);
+        assert_eq!(
+            codec
+                .read_at(&mem, &ty, addr, &ReadContext::default())
+                .unwrap(),
+            v
+        );
     }
 
     #[test]
@@ -1120,7 +1207,12 @@ mod tests {
         mem.write_ptr(pair_addr, int_addr).unwrap();
         mem.write_ptr(pair_addr + 8, int_addr).unwrap();
         let errv = codec
-            .read_at(&mem, &Stype::named("pair"), pair_addr, &ReadContext::default())
+            .read_at(
+                &mem,
+                &Stype::named("pair"),
+                pair_addr,
+                &ReadContext::default(),
+            )
             .unwrap_err();
         assert!(errv.to_string().contains("aliasing"));
     }
@@ -1133,7 +1225,9 @@ mod tests {
         let e = Stype::enum_of(vec!["A".into(), "B".into()]);
         let addr = codec.write_new(&mut mem, &e, &MValue::Int(1)).unwrap();
         assert_eq!(
-            codec.read_at(&mem, &e, addr, &ReadContext::default()).unwrap(),
+            codec
+                .read_at(&mem, &e, addr, &ReadContext::default())
+                .unwrap(),
             MValue::Int(1)
         );
         assert!(codec.write_at(&mut mem, &e, addr, &MValue::Int(5)).is_err());

@@ -118,7 +118,10 @@ impl JHeap {
 
     /// Convenience: allocates an instance.
     pub fn instance(&mut self, class: impl Into<String>, fields: Vec<JValue>) -> JValue {
-        JValue::Ref(self.alloc(JObject::Instance { class: class.into(), fields }))
+        JValue::Ref(self.alloc(JObject::Instance {
+            class: class.into(),
+            fields,
+        }))
     }
 
     /// Convenience: allocates a vector.
@@ -226,8 +229,10 @@ impl<'u> JCodec<'u> {
                             ));
                         }
                         // Pass collection annotations through the pointer.
-                        let mut inner = Ann::default();
-                        inner.element = ann.element.clone();
+                        let inner = Ann {
+                            element: ann.element.clone(),
+                            ..Ann::default()
+                        };
                         let m = self.to_m(heap, target, &inner, v, aliases, depth + 1)?;
                         Ok(if ann.non_null { m } else { MValue::some(m) })
                     }
@@ -239,7 +244,9 @@ impl<'u> JCodec<'u> {
                     JObject::Array(items) => {
                         let converted = items
                             .iter()
-                            .map(|item| self.to_m(heap, elem, &Ann::default(), item, aliases, depth + 1))
+                            .map(|item| {
+                                self.to_m(heap, elem, &Ann::default(), item, aliases, depth + 1)
+                            })
                             .collect::<Result<Vec<_>, _>>()?;
                         match (len, &ann.length) {
                             (ArrayLen::Fixed(n), _) | (_, Some(LengthAnn::Static(n)))
@@ -262,13 +269,17 @@ impl<'u> JCodec<'u> {
                 JValue::Null => err("null array (Java arrays convert as non-null collections)"),
                 other => err(format!("expected an array reference, found {other:?}")),
             },
-            SNode::Sequence(elem) => self.collection_to_m(heap, &ann, Some(elem), v, aliases, depth),
+            SNode::Sequence(elem) => {
+                self.collection_to_m(heap, &ann, Some(elem), v, aliases, depth)
+            }
             SNode::Struct(fields) => {
                 // IDL structs cross into Java as value instances.
                 let fields = fields.clone();
                 self.instance_to_m(heap, &fields, v, aliases, depth)
             }
-            SNode::Class { fields, extends, .. } => {
+            SNode::Class {
+                fields, extends, ..
+            } => {
                 if self.is_collection(extends.as_deref()) {
                     return self.collection_to_m(heap, &ann, None, v, aliases, depth);
                 }
@@ -314,7 +325,9 @@ impl<'u> JCodec<'u> {
                 });
                 let converted = items
                     .iter()
-                    .map(|item| self.to_m(heap, &elem_ty, &Ann::default(), item, aliases, depth + 1))
+                    .map(|item| {
+                        self.to_m(heap, &elem_ty, &Ann::default(), item, aliases, depth + 1)
+                    })
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(MValue::List(converted))
             }
@@ -366,6 +379,7 @@ impl<'u> JCodec<'u> {
         }
     }
 
+    #[allow(clippy::wrong_self_convention)] // `from_m` mirrors `to_m` on the codec
     fn from_m(
         &self,
         heap: &mut JHeap,
@@ -412,8 +426,10 @@ impl<'u> JCodec<'u> {
                 match inner_value {
                     None => Ok(JValue::Null),
                     Some(inner) => {
-                        let mut passed = Ann::default();
-                        passed.element = ann.element.clone();
+                        let passed = Ann {
+                            element: ann.element.clone(),
+                            ..Ann::default()
+                        };
                         self.from_m(heap, target, &passed, inner, depth + 1)
                     }
                 }
@@ -464,16 +480,19 @@ impl<'u> JCodec<'u> {
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(heap.instance("", converted))
             }
-            SNode::Class { fields, extends, .. } => {
+            SNode::Class {
+                fields, extends, ..
+            } => {
                 if self.is_collection(extends.as_deref()) {
                     let MValue::List(items) = v else {
                         return err(format!("expected a list for a Vector subclass, got {v}"));
                     };
-                    let elem_name = ann.element.clone().ok_or_else(|| {
-                        ValueError("collection has no element annotation".into())
-                    })?;
-                    let elem_ty =
-                        Stype::pointer(Stype::named(elem_name)).with_ann(|a| a.non_null = ann.non_null);
+                    let elem_name = ann
+                        .element
+                        .clone()
+                        .ok_or_else(|| ValueError("collection has no element annotation".into()))?;
+                    let elem_ty = Stype::pointer(Stype::named(elem_name))
+                        .with_ann(|a| a.non_null = ann.non_null);
                     let converted = items
                         .iter()
                         .map(|item| self.from_m(heap, &elem_ty, &Ann::default(), item, depth + 1))
@@ -539,7 +558,9 @@ fn prim_to_m(p: Prim, ann: &Ann, v: &JValue) -> Result<MValue, ValueError> {
             if ann.as_integer {
                 Ok(MValue::Int(*c as i128))
             } else {
-                Ok(MValue::Char(char::from_u32(*c as u32).unwrap_or('\u{FFFD}')))
+                Ok(MValue::Char(
+                    char::from_u32(*c as u32).unwrap_or('\u{FFFD}'),
+                ))
             }
         }
         (Prim::I32, JValue::Int(x)) => Ok(MValue::Int(*x as i128)),
@@ -547,9 +568,9 @@ fn prim_to_m(p: Prim, ann: &Ann, v: &JValue) -> Result<MValue, ValueError> {
         (Prim::F32, JValue::Float(x)) => Ok(MValue::Real(*x as f64)),
         (Prim::F64, JValue::Double(x)) => Ok(MValue::Real(*x)),
         (Prim::Void, _) => Ok(MValue::Unit),
-        (Prim::Any, _) => err(
-            "dynamic (Object-typed) values need an element/type annotation to convert",
-        ),
+        (Prim::Any, _) => {
+            err("dynamic (Object-typed) values need an element/type annotation to convert")
+        }
         (p, v) => err(format!("Java value {v:?} does not fit primitive {p:?}")),
     }
 }
@@ -629,9 +650,16 @@ mod tests {
         let mut heap = JHeap::new();
         let p = heap.instance("Point", vec![JValue::Float(1.0), JValue::Float(2.0)]);
         let m = codec.to_mvalue(&heap, &Stype::named("Point"), &p).unwrap();
-        assert_eq!(m, MValue::Record(vec![MValue::Real(1.0), MValue::Real(2.0)]));
-        let back = codec.from_mvalue(&mut heap, &Stype::named("Point"), &m).unwrap();
-        let m2 = codec.to_mvalue(&heap, &Stype::named("Point"), &back).unwrap();
+        assert_eq!(
+            m,
+            MValue::Record(vec![MValue::Real(1.0), MValue::Real(2.0)])
+        );
+        let back = codec
+            .from_mvalue(&mut heap, &Stype::named("Point"), &m)
+            .unwrap();
+        let m2 = codec
+            .to_mvalue(&heap, &Stype::named("Point"), &back)
+            .unwrap();
         assert_eq!(m, m2);
     }
 
@@ -643,7 +671,9 @@ mod tests {
         let p1 = heap.instance("Point", vec![JValue::Float(0.0), JValue::Float(0.0)]);
         let p2 = heap.instance("Point", vec![JValue::Float(1.0), JValue::Float(1.0)]);
         let line = heap.instance("Line", vec![p1, p2]);
-        let m = codec.to_mvalue(&heap, &Stype::named("Line"), &line).unwrap();
+        let m = codec
+            .to_mvalue(&heap, &Stype::named("Line"), &line)
+            .unwrap();
         assert_eq!(
             m,
             MValue::Record(vec![
@@ -660,7 +690,9 @@ mod tests {
         let mut heap = JHeap::new();
         let p1 = heap.instance("Point", vec![JValue::Float(0.0), JValue::Float(0.0)]);
         let line = heap.instance("Line", vec![p1, JValue::Null]);
-        let e = codec.to_mvalue(&heap, &Stype::named("Line"), &line).unwrap_err();
+        let e = codec
+            .to_mvalue(&heap, &Stype::named("Line"), &line)
+            .unwrap_err();
         assert!(e.to_string().contains("non-null"));
     }
 
@@ -671,7 +703,9 @@ mod tests {
         let mut heap = JHeap::new();
         let p = heap.instance("Point", vec![JValue::Float(0.0), JValue::Float(0.0)]);
         let line = heap.instance("Line", vec![p, p]);
-        let e = codec.to_mvalue(&heap, &Stype::named("Line"), &line).unwrap_err();
+        let e = codec
+            .to_mvalue(&heap, &Stype::named("Line"), &line)
+            .unwrap_err();
         assert!(e.to_string().contains("aliasing"));
     }
 
@@ -714,7 +748,9 @@ mod tests {
         let codec = JCodec::new(&uni);
         let mut heap = JHeap::new();
         let bag = heap.vector(vec![]);
-        let e = codec.to_mvalue(&heap, &Stype::named("Bag"), &bag).unwrap_err();
+        let e = codec
+            .to_mvalue(&heap, &Stype::named("Bag"), &bag)
+            .unwrap_err();
         assert!(e.to_string().contains("element="), "{e}");
     }
 
@@ -749,7 +785,10 @@ mod tests {
         let codec = JCodec::new(&uni);
         let mut heap = JHeap::new();
         let ty = Stype::pointer(Stype::named("Point"));
-        assert_eq!(codec.to_mvalue(&heap, &ty, &JValue::Null).unwrap(), MValue::null());
+        assert_eq!(
+            codec.to_mvalue(&heap, &ty, &JValue::Null).unwrap(),
+            MValue::null()
+        );
         let p = heap.instance("Point", vec![JValue::Float(5.0), JValue::Float(6.0)]);
         let m = codec.to_mvalue(&heap, &ty, &p).unwrap();
         assert!(matches!(m, MValue::Choice { index: 1, .. }));

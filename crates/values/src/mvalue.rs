@@ -76,12 +76,18 @@ impl MValue {
     /// The nil/none value of a nullable reference
     /// (`Choice(Unit, τ)` alternative 0).
     pub fn null() -> MValue {
-        MValue::Choice { index: 0, value: Box::new(MValue::Unit) }
+        MValue::Choice {
+            index: 0,
+            value: Box::new(MValue::Unit),
+        }
     }
 
     /// A present nullable reference (`Choice(Unit, τ)` alternative 1).
     pub fn some(value: MValue) -> MValue {
-        MValue::Choice { index: 1, value: Box::new(value) }
+        MValue::Choice {
+            index: 1,
+            value: Box::new(value),
+        }
     }
 }
 
@@ -157,9 +163,8 @@ fn typecheck_at(
         }
         // A List inhabits the canonical list shape.
         (MtypeKind::Choice(_), MValue::List(items)) => {
-            let elem = list_element_type(graph, ty).ok_or_else(|| {
-                ValueError("list value against a non-list Choice".into())
-            })?;
+            let elem = list_element_type(graph, ty)
+                .ok_or_else(|| ValueError("list value against a non-list Choice".into()))?;
             for item in items {
                 typecheck_at(graph, elem, item, depth + 1)?;
             }
@@ -239,7 +244,12 @@ mod tests {
         let i = g.integer(IntRange::signed_bits(8));
         let r = g.real(RealPrecision::SINGLE);
         let rec = g.record(vec![i, r]);
-        typecheck(&g, rec, &MValue::Record(vec![MValue::Int(5), MValue::Real(1.5)])).unwrap();
+        typecheck(
+            &g,
+            rec,
+            &MValue::Record(vec![MValue::Int(5), MValue::Real(1.5)]),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -263,7 +273,10 @@ mod tests {
         assert!(typecheck(
             &g,
             n,
-            &MValue::Choice { index: 2, value: Box::new(MValue::Unit) }
+            &MValue::Choice {
+                index: 2,
+                value: Box::new(MValue::Unit)
+            }
         )
         .is_err());
     }
@@ -273,7 +286,12 @@ mod tests {
         let mut g = MtypeGraph::new();
         let r = g.real(RealPrecision::SINGLE);
         let list = g.list_of(r);
-        typecheck(&g, list, &MValue::List(vec![MValue::Real(1.0), MValue::Real(2.0)])).unwrap();
+        typecheck(
+            &g,
+            list,
+            &MValue::List(vec![MValue::Real(1.0), MValue::Real(2.0)]),
+        )
+        .unwrap();
         typecheck(&g, list, &MValue::List(vec![])).unwrap();
         assert!(typecheck(&g, list, &MValue::List(vec![MValue::Int(1)])).is_err());
     }

@@ -1,8 +1,9 @@
-//! Property tests: random C-representable types and values must survive
-//! memory-image round trips on both target models, and random Java
-//! object graphs must survive heap round trips.
+//! Property-style tests: random C-representable types and values must
+//! survive memory-image round trips on both target models, and random
+//! Java object graphs must survive heap round trips. Shapes come from a
+//! deterministic seeded RNG so failures replay exactly.
 
-use proptest::prelude::*;
+use mockingbird_rng::StdRng;
 
 use mockingbird_stype::ast::{Field, Stype, Universe};
 
@@ -81,105 +82,138 @@ impl CShape {
     }
 }
 
-fn leaf() -> impl Strategy<Value = CShape> {
-    prop_oneof![
-        any::<bool>().prop_map(CShape::Bool),
-        any::<i8>().prop_map(CShape::I8),
-        any::<u8>().prop_map(CShape::U8),
-        any::<i16>().prop_map(CShape::I16),
-        any::<u16>().prop_map(CShape::U16),
-        any::<i32>().prop_map(CShape::I32),
-        any::<i64>().prop_map(CShape::I64),
-        (-1.0e30f32..1.0e30).prop_map(CShape::F32),
-        (-1.0e300f64..1.0e300).prop_map(CShape::F64),
-        (0x20u8..0x7F).prop_map(CShape::Char),
-    ]
+fn random_leaf(rng: &mut StdRng) -> CShape {
+    match rng.gen_range(0..10) {
+        0 => CShape::Bool(rng.gen_bool(0.5)),
+        1 => CShape::I8(rng.gen_range(i8::MIN..=i8::MAX)),
+        2 => CShape::U8(rng.gen_range(u8::MIN..=u8::MAX)),
+        3 => CShape::I16(rng.gen_range(i16::MIN..=i16::MAX)),
+        4 => CShape::U16(rng.gen_range(u16::MIN..=u16::MAX)),
+        5 => CShape::I32(rng.gen_range(i32::MIN..=i32::MAX)),
+        6 => CShape::I64(rng.gen_range(i64::MIN..=i64::MAX)),
+        7 => CShape::F32(rng.gen_range(-1.0e30f32..1.0e30)),
+        8 => CShape::F64(rng.gen_range(-1.0e300f64..1.0e300)),
+        _ => CShape::Char(rng.gen_range(0x20u8..0x7F)),
+    }
 }
 
-fn shape() -> impl Strategy<Value = CShape> {
-    leaf().prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 1..4).prop_map(CShape::Struct),
-            // Arrays: homogeneous, so replicate one element's *type* by
-            // cloning its shape with fresh values is overkill — use the
-            // same shape repeated (types equal by construction).
-            (inner.clone(), 1usize..4)
-                .prop_map(|(e, n)| CShape::Array(vec![e; n])),
+fn random_shape(rng: &mut StdRng, depth: usize) -> CShape {
+    if depth == 0 {
+        return random_leaf(rng);
+    }
+    match rng.gen_range(0..4) {
+        0 => {
+            let n = rng.gen_range(1..4);
+            CShape::Struct((0..n).map(|_| random_shape(rng, depth - 1)).collect())
+        }
+        1 => {
+            // Arrays are homogeneous: repeat one shape so element types
+            // are equal by construction.
+            let elem = random_shape(rng, depth - 1);
+            let n = rng.gen_range(1usize..4);
+            CShape::Array(vec![elem; n])
+        }
+        2 => {
             // Java references point at objects, so nullable targets are
             // always struct-shaped (the C side can point at anything, but
             // the shared shape keeps both codecs in play).
-            prop::option::of(
-                prop::collection::vec(inner, 1..3).prop_map(CShape::Struct),
-            )
-            .prop_map(|o| CShape::Nullable(o.map(Box::new))),
-        ]
-    })
+            if rng.gen_bool(0.4) {
+                CShape::Nullable(None)
+            } else {
+                let n = rng.gen_range(1..3);
+                let fields = (0..n).map(|_| random_shape(rng, depth - 1)).collect();
+                CShape::Nullable(Some(Box::new(CShape::Struct(fields))))
+            }
+        }
+        _ => random_leaf(rng),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn for_shapes(cases: u64, mut prop: impl FnMut(&CShape)) {
+    for seed in 0..cases {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let depth = rng.gen_range(1usize..=3);
+        let shape = random_shape(&mut rng, depth);
+        prop(&shape);
+    }
+}
 
-    #[test]
-    fn c_memory_round_trip_lp64_le(s in shape()) {
+#[test]
+fn c_memory_round_trip_lp64_le() {
+    for_shapes(64, |s| {
         let uni = Universe::new();
         let codec = CCodec::new(&uni, CTarget::LP64_LE);
         let mut mem = CMemory::new(CTarget::LP64_LE);
         let ty = s.stype();
         let v = s.value();
         let addr = codec.write_new(&mut mem, &ty, &v).unwrap();
-        let back = codec.read_at(&mem, &ty, addr, &ReadContext::default()).unwrap();
-        prop_assert_eq!(back, v);
-    }
+        let back = codec
+            .read_at(&mem, &ty, addr, &ReadContext::default())
+            .unwrap();
+        assert_eq!(back, v, "for {s:?}");
+    });
+}
 
-    #[test]
-    fn c_memory_round_trip_ilp32_be(s in shape()) {
+#[test]
+fn c_memory_round_trip_ilp32_be() {
+    for_shapes(64, |s| {
         let uni = Universe::new();
         let codec = CCodec::new(&uni, CTarget::ILP32_BE);
         let mut mem = CMemory::new(CTarget::ILP32_BE);
         let ty = s.stype();
         let v = s.value();
         let addr = codec.write_new(&mut mem, &ty, &v).unwrap();
-        let back = codec.read_at(&mem, &ty, addr, &ReadContext::default()).unwrap();
-        prop_assert_eq!(back, v);
-    }
+        let back = codec
+            .read_at(&mem, &ty, addr, &ReadContext::default())
+            .unwrap();
+        assert_eq!(back, v, "for {s:?}");
+    });
+}
 
-    #[test]
-    fn layouts_are_aligned_and_sized(s in shape()) {
+#[test]
+fn layouts_are_aligned_and_sized() {
+    for_shapes(64, |s| {
         let uni = Universe::new();
         let codec = CCodec::new(&uni, CTarget::LP64_LE);
         let ty = s.stype();
         let l = codec.layout_of(&ty).unwrap();
-        prop_assert!(l.align.is_power_of_two());
-        prop_assert_eq!(l.size % l.align, 0, "size is a multiple of alignment");
-        prop_assert!(l.align <= 8);
-    }
+        assert!(l.align.is_power_of_two());
+        assert_eq!(l.size % l.align, 0, "size is a multiple of alignment");
+        assert!(l.align <= 8);
+    });
+}
 
-    /// Java heap round trips for struct-like shapes (structs become
-    /// instances; nullable pointers become references).
-    #[test]
-    fn java_heap_round_trip(s in shape()) {
-        // Arrays of nullable pointers etc. are fine; chars in Java are
-        // 16-bit so the Latin-1 subset used here survives.
+/// Java heap round trips for struct-like shapes (structs become
+/// instances; nullable pointers become references).
+#[test]
+fn java_heap_round_trip() {
+    // Java has no unsigned/char8: skip shapes containing them.
+    fn javaable(s: &CShape) -> bool {
+        match s {
+            CShape::U8(_) | CShape::U16(_) | CShape::Char(_) => false,
+            CShape::Struct(fs) => fs.iter().all(javaable),
+            CShape::Array(es) => es.iter().all(javaable),
+            CShape::Nullable(Some(v)) => javaable(v),
+            _ => true,
+        }
+    }
+    let mut tested = 0usize;
+    for_shapes(96, |s| {
+        if !javaable(s) {
+            return;
+        }
+        tested += 1;
         let uni = Universe::new();
         let codec = JCodec::new(&uni);
         let mut heap = JHeap::new();
-        // Java has no unsigned/char8: translate the C shape into its
-        // Java-compatible skeleton by value round-trip through the C
-        // type only when representable; otherwise skip.
-        fn javaable(s: &CShape) -> bool {
-            match s {
-                CShape::U8(_) | CShape::U16(_) | CShape::Char(_) => false,
-                CShape::Struct(fs) => fs.iter().all(javaable),
-                CShape::Array(es) => es.iter().all(javaable),
-                CShape::Nullable(Some(v)) => javaable(v),
-                _ => true,
-            }
-        }
-        prop_assume!(javaable(&s));
         let ty = s.stype();
         let v = s.value();
         let jv = codec.from_mvalue(&mut heap, &ty, &v).unwrap();
         let back = codec.to_mvalue(&heap, &ty, &jv).unwrap();
-        prop_assert_eq!(back, v);
-    }
+        assert_eq!(back, v, "for {s:?}");
+    });
+    assert!(
+        tested >= 16,
+        "enough Java-compatible shapes sampled ({tested})"
+    );
 }

@@ -81,7 +81,10 @@ pub struct CdrWriter {
 impl CdrWriter {
     /// Creates a writer with the given byte order.
     pub fn new(endian: Endian) -> Self {
-        CdrWriter { buf: Vec::new(), endian }
+        CdrWriter {
+            buf: Vec::new(),
+            endian,
+        }
     }
 
     /// The byte order in use.
@@ -105,7 +108,7 @@ impl CdrWriter {
     }
 
     fn align(&mut self, n: usize) {
-        while self.buf.len() % n != 0 {
+        while !self.buf.len().is_multiple_of(n) {
             self.buf.push(0);
         }
     }
@@ -176,7 +179,9 @@ impl CdrWriter {
                 let size = char_repr(rep);
                 let code = *c as u32;
                 if size == 1 && code > 0xFF {
-                    return err(format!("character {c:?} not representable in 1-byte repertoire"));
+                    return err(format!(
+                        "character {c:?} not representable in 1-byte repertoire"
+                    ));
                 }
                 self.put_uint(size, code as u64);
                 Ok(())
@@ -217,7 +222,9 @@ impl CdrWriter {
                 let MValue::Choice { index, value } = value else {
                     return err(format!("expected a choice value, got {value}"));
                 };
-                let MtypeKind::Choice(alts) = graph.kind(ty) else { unreachable!() };
+                let MtypeKind::Choice(alts) = graph.kind(ty) else {
+                    unreachable!()
+                };
                 let alts = alts.clone();
                 let Some(&alt) = alts.get(*index) else {
                     return err(format!("choice index {index} out of {}", alts.len()));
@@ -289,7 +296,11 @@ pub struct CdrReader<'a> {
 impl<'a> CdrReader<'a> {
     /// Creates a reader over `data` with the sender's byte order.
     pub fn new(data: &'a [u8], endian: Endian) -> Self {
-        CdrReader { data, pos: 0, endian }
+        CdrReader {
+            data,
+            pos: 0,
+            endian,
+        }
     }
 
     /// Bytes remaining.
@@ -298,7 +309,7 @@ impl<'a> CdrReader<'a> {
     }
 
     fn align(&mut self, n: usize) {
-        while self.pos % n != 0 {
+        while !self.pos.is_multiple_of(n) {
             self.pos += 1;
         }
     }
@@ -425,7 +436,10 @@ impl<'a> CdrReader<'a> {
                     return err(format!("choice discriminant {index} out of {}", alts.len()));
                 };
                 let value = self.get_value_at(graph, alt, depth + 1)?;
-                Ok(MValue::Choice { index, value: Box::new(value) })
+                Ok(MValue::Choice {
+                    index,
+                    value: Box::new(value),
+                })
             }
             MtypeKind::Port(_) => Ok(MValue::Port(PortRef(self.get_uint(8)?))),
             MtypeKind::Dynamic => {
@@ -433,7 +447,10 @@ impl<'a> CdrReader<'a> {
                 let payload = self.get_bytes()?;
                 let value = crate::mbp::decode(payload)
                     .map_err(|e| CdrError(format!("dynamic payload: {e}")))?;
-                Ok(MValue::Dynamic { tag, value: Box::new(value) })
+                Ok(MValue::Dynamic {
+                    tag,
+                    value: Box::new(value),
+                })
             }
             MtypeKind::Recursive(_) => unreachable!("resolve() removes binders"),
         }
@@ -472,8 +489,14 @@ mod tests {
         let c1 = g.character(Repertoire::Latin1);
         let cu = g.character(Repertoire::Unicode);
         for endian in [Endian::Little, Endian::Big] {
-            assert_eq!(round_trip(&g, i8_, &MValue::Int(-100), endian), MValue::Int(-100));
-            assert_eq!(round_trip(&g, u16_, &MValue::Int(50000), endian), MValue::Int(50000));
+            assert_eq!(
+                round_trip(&g, i8_, &MValue::Int(-100), endian),
+                MValue::Int(-100)
+            );
+            assert_eq!(
+                round_trip(&g, u16_, &MValue::Int(50000), endian),
+                MValue::Int(50000)
+            );
             assert_eq!(
                 round_trip(&g, i32_, &MValue::Int(-123456), endian),
                 MValue::Int(-123456)
@@ -482,10 +505,22 @@ mod tests {
                 round_trip(&g, i64_, &MValue::Int(-(1 << 40)), endian),
                 MValue::Int(-(1 << 40))
             );
-            assert_eq!(round_trip(&g, f, &MValue::Real(1.5), endian), MValue::Real(1.5));
-            assert_eq!(round_trip(&g, d, &MValue::Real(-2.25), endian), MValue::Real(-2.25));
-            assert_eq!(round_trip(&g, c1, &MValue::Char('A'), endian), MValue::Char('A'));
-            assert_eq!(round_trip(&g, cu, &MValue::Char('日'), endian), MValue::Char('日'));
+            assert_eq!(
+                round_trip(&g, f, &MValue::Real(1.5), endian),
+                MValue::Real(1.5)
+            );
+            assert_eq!(
+                round_trip(&g, d, &MValue::Real(-2.25), endian),
+                MValue::Real(-2.25)
+            );
+            assert_eq!(
+                round_trip(&g, c1, &MValue::Char('A'), endian),
+                MValue::Char('A')
+            );
+            assert_eq!(
+                round_trip(&g, cu, &MValue::Char('日'), endian),
+                MValue::Char('日')
+            );
         }
     }
 
@@ -497,8 +532,12 @@ mod tests {
         let b = g.integer(IntRange::signed_bits(32));
         let rec = g.record(vec![a, b]);
         let mut w = CdrWriter::new(Endian::Little);
-        w.put_value(&g, rec, &MValue::Record(vec![MValue::Int(1), MValue::Int(2)]))
-            .unwrap();
+        w.put_value(
+            &g,
+            rec,
+            &MValue::Record(vec![MValue::Int(1), MValue::Int(2)]),
+        )
+        .unwrap();
         let bytes = w.into_bytes();
         assert_eq!(bytes.len(), 8);
         assert_eq!(&bytes[..4], &[1, 0, 0, 0], "3 padding bytes after the i8");
@@ -523,7 +562,10 @@ mod tests {
         let p = g.port(i);
         let rec = g.record(vec![ch, p]);
         let v = MValue::Record(vec![
-            MValue::Choice { index: 1, value: Box::new(MValue::Real(2.5)) },
+            MValue::Choice {
+                index: 1,
+                value: Box::new(MValue::Real(2.5)),
+            },
             MValue::Port(PortRef(42)),
         ]);
         assert_eq!(round_trip(&g, rec, &v, Endian::Little), v);
@@ -558,7 +600,10 @@ mod tests {
         w.put_value(&g, list, &chain).unwrap();
         let bytes = w.into_bytes();
         let mut r = CdrReader::new(&bytes, Endian::Little);
-        assert_eq!(r.get_value(&g, list).unwrap(), MValue::List(vec![MValue::Int(7)]));
+        assert_eq!(
+            r.get_value(&g, list).unwrap(),
+            MValue::List(vec![MValue::Int(7)])
+        );
     }
 
     #[test]
@@ -566,7 +611,10 @@ mod tests {
         let mut g = MtypeGraph::new();
         let i = g.integer(IntRange::signed_bits(32));
         let n = g.nullable(i);
-        assert_eq!(round_trip(&g, n, &MValue::null(), Endian::Little), MValue::null());
+        assert_eq!(
+            round_trip(&g, n, &MValue::null(), Endian::Little),
+            MValue::null()
+        );
         assert_eq!(
             round_trip(&g, n, &MValue::some(MValue::Int(3)), Endian::Big),
             MValue::some(MValue::Int(3))

@@ -6,10 +6,38 @@
 //! Request or Reply header and the CDR-encoded body.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 use mockingbird_values::Endian;
 
 use crate::cdr::{CdrReader, CdrWriter};
+
+/// The largest frame (header + payload) a peer may declare. Anything
+/// larger is rejected *before* the receiver allocates a buffer, so a
+/// forged length header cannot be used to exhaust memory.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Allocates connection-unique GIOP request ids.
+///
+/// A multiplexed connection owns one allocator and stamps every
+/// outgoing request with a fresh id, so replies arriving out of order
+/// can be correlated back to their waiters.
+#[derive(Debug, Default)]
+pub struct RequestIds(AtomicU32);
+
+impl RequestIds {
+    /// A new allocator, starting at 1 (0 is reserved for oneways that
+    /// never correlate).
+    #[must_use]
+    pub const fn new() -> Self {
+        RequestIds(AtomicU32::new(1))
+    }
+
+    /// The next unused id.
+    pub fn next(&self) -> u32 {
+        self.0.fetch_add(1, Ordering::Relaxed)
+    }
+}
 
 /// Framing errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,14 +143,23 @@ impl Message {
 
     /// Builds a reply message.
     pub fn reply(request_id: u32, status: ReplyStatus, endian: Endian, body: Vec<u8>) -> Self {
-        Message { endian, kind: MessageKind::Reply { request_id, status }, body }
+        Message {
+            endian,
+            kind: MessageKind::Reply { request_id, status },
+            body,
+        }
     }
 
     /// Serialises the message to framed bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut header = CdrWriter::new(self.endian);
         match &self.kind {
-            MessageKind::Request { request_id, response_expected, object_key, operation } => {
+            MessageKind::Request {
+                request_id,
+                response_expected,
+                object_key,
+                operation,
+            } => {
                 header.put_u32(*request_id);
                 header.put_u32(*response_expected as u32);
                 header.put_bytes(object_key);
@@ -177,6 +214,12 @@ impl Message {
         };
         let msg_type = data[7];
         let size = u32::from_be_bytes([data[8], data[9], data[10], data[11]]) as usize;
+        if 12 + size > MAX_FRAME_LEN {
+            return Err(GiopError(format!(
+                "frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
+                12 + size
+            )));
+        }
         if data.len() < 12 + size {
             return Err(GiopError(format!(
                 "truncated body: header says {size}, have {}",
@@ -190,9 +233,13 @@ impl Message {
                 let request_id = r.get_u32().map_err(wrap)?;
                 let response_expected = r.get_u32().map_err(wrap)? != 0;
                 let object_key = r.get_bytes().map_err(wrap)?.to_vec();
-                let operation =
-                    String::from_utf8_lossy(r.get_bytes().map_err(wrap)?).into_owned();
-                MessageKind::Request { request_id, response_expected, object_key, operation }
+                let operation = String::from_utf8_lossy(r.get_bytes().map_err(wrap)?).into_owned();
+                MessageKind::Request {
+                    request_id,
+                    response_expected,
+                    object_key,
+                    operation,
+                }
             }
             1 => {
                 let request_id = r.get_u32().map_err(wrap)?;
@@ -212,8 +259,9 @@ impl Message {
     ///
     /// # Errors
     ///
-    /// Returns [`GiopError`] if fewer than 12 bytes are supplied or the
-    /// magic is wrong.
+    /// Returns [`GiopError`] if fewer than 12 bytes are supplied, the
+    /// magic is wrong, or the declared size exceeds [`MAX_FRAME_LEN`]
+    /// (so receivers reject forged lengths before allocating).
     pub fn frame_len(header: &[u8]) -> Result<usize, GiopError> {
         if header.len() < 12 {
             return Err(GiopError("need 12 bytes to size a frame".into()));
@@ -222,6 +270,12 @@ impl Message {
             return Err(GiopError("bad magic (not a GIOP message)".into()));
         }
         let size = u32::from_be_bytes([header[8], header[9], header[10], header[11]]) as usize;
+        if 12 + size > MAX_FRAME_LEN {
+            return Err(GiopError(format!(
+                "frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
+                12 + size
+            )));
+        }
         Ok(12 + size)
     }
 }
@@ -258,7 +312,12 @@ mod tests {
     fn oneway_requests() {
         let m = Message::request(0, false, vec![], "notify", Endian::Little, vec![]);
         let parsed = Message::from_bytes(&m.to_bytes()).unwrap();
-        let MessageKind::Request { response_expected, .. } = parsed.kind else { panic!() };
+        let MessageKind::Request {
+            response_expected, ..
+        } = parsed.kind
+        else {
+            panic!()
+        };
         assert!(!response_expected);
     }
 
@@ -270,6 +329,36 @@ mod tests {
         let bytes = m.to_bytes();
         let parsed = Message::from_bytes(&bytes).unwrap();
         assert_eq!(parsed.body, vec![0xAA; 16]);
+    }
+
+    #[test]
+    fn forged_huge_length_header_rejected_before_allocation() {
+        // A syntactically valid header whose size field would make the
+        // receiver allocate ~4 GiB: both sizing paths must reject it.
+        let mut forged = vec![0u8; 12];
+        forged[0..4].copy_from_slice(b"GIOP");
+        forged[4] = 1; // version
+        forged[6] = 0x01; // little-endian flag
+        forged[7] = 0; // Request
+        forged[8..12].copy_from_slice(&u32::MAX.to_be_bytes());
+        let err = Message::frame_len(&forged).unwrap_err();
+        assert!(err.0.contains("cap"), "{err}");
+        let err = Message::from_bytes(&forged).unwrap_err();
+        assert!(err.0.contains("cap"), "{err}");
+        // A frame exactly at the cap is still sized (the cap bounds
+        // allocation, it does not shrink the protocol).
+        forged[8..12].copy_from_slice(&((MAX_FRAME_LEN - 12) as u32).to_be_bytes());
+        assert_eq!(Message::frame_len(&forged).unwrap(), MAX_FRAME_LEN);
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_increasing() {
+        let ids = RequestIds::new();
+        let a = ids.next();
+        let b = ids.next();
+        let c = ids.next();
+        assert!(a >= 1);
+        assert!(a < b && b < c);
     }
 
     #[test]

@@ -23,4 +23,4 @@ pub mod giop;
 pub mod mbp;
 
 pub use cdr::{CdrError, CdrReader, CdrWriter};
-pub use giop::{GiopError, Message, MessageKind, ReplyStatus};
+pub use giop::{GiopError, Message, MessageKind, ReplyStatus, RequestIds, MAX_FRAME_LEN};

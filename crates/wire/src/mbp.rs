@@ -155,7 +155,10 @@ fn get(data: &[u8], pos: &mut usize, depth: usize) -> Result<MValue, MbpError> {
         TAG_CHOICE => {
             let index = get_u32(data, pos)? as usize;
             let value = get(data, pos, depth + 1)?;
-            Ok(MValue::Choice { index, value: Box::new(value) })
+            Ok(MValue::Choice {
+                index,
+                value: Box::new(value),
+            })
         }
         TAG_LIST => {
             let n = get_u32(data, pos)? as usize;
@@ -179,7 +182,10 @@ fn get(data: &[u8], pos: &mut usize, depth: usize) -> Result<MValue, MbpError> {
             let tag_bytes = take(data, pos, len)?;
             let tag = String::from_utf8_lossy(tag_bytes).into_owned();
             let value = get(data, pos, depth + 1)?;
-            Ok(MValue::Dynamic { tag, value: Box::new(value) })
+            Ok(MValue::Dynamic {
+                tag,
+                value: Box::new(value),
+            })
         }
         other => Err(MbpError(format!("unknown tag byte 0x{other:02x}"))),
     }
@@ -200,10 +206,19 @@ mod tests {
         rt(&MValue::Real(-1.25e300));
         rt(&MValue::Unit);
         rt(&MValue::Record(vec![MValue::Int(1), MValue::Unit]));
-        rt(&MValue::Choice { index: 3, value: Box::new(MValue::Real(0.5)) });
-        rt(&MValue::List(vec![MValue::string("a"), MValue::string("b")]));
+        rt(&MValue::Choice {
+            index: 3,
+            value: Box::new(MValue::Real(0.5)),
+        });
+        rt(&MValue::List(vec![
+            MValue::string("a"),
+            MValue::string("b"),
+        ]));
         rt(&MValue::Port(PortRef(u64::MAX)));
-        rt(&MValue::Dynamic { tag: "Int{0..=1}".into(), value: Box::new(MValue::Int(1)) });
+        rt(&MValue::Dynamic {
+            tag: "Int{0..=1}".into(),
+            value: Box::new(MValue::Int(1)),
+        });
     }
 
     #[test]

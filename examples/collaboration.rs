@@ -41,11 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let ty = session.mtype(m)?;
         msg_ops.insert(
             m.to_string(),
-            WireOp {
-                graph: Arc::new(session.graph().clone()),
-                args_ty: ty,
-                result_ty: ty, // unused for oneway messages
-            },
+            // result_ty is unused for oneway messages.
+            WireOp::new(Arc::new(session.graph().clone()), ty, ty),
         );
     }
 
@@ -70,14 +67,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("site B listening on {}", server.addr());
 
     // Site A: sends a burst of updates.
-    let conn = Arc::new(mockingbird::runtime::transport::TcpConnection::connect(server.addr())?);
+    let conn = Arc::new(mockingbird::runtime::transport::TcpConnection::connect(
+        server.addr(),
+    )?);
     let remote = RemoteRef::new(conn, b"collab".to_vec(), msg_ops, Endian::Little);
 
     // Message payloads are sampled straight from each message type's
     // Mtype — the declared Java classes fully determine the shape.
     use mockingbird::corpus::sample_value;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mockingbird_rng::StdRng;
     let mut rng = StdRng::seed_from_u64(2026);
 
     let join_ty = session.mtype("JoinSession")?;

@@ -97,15 +97,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Server: the C fitter as a servant.
     let servant: Arc<dyn Servant> = Arc::new(|_op: &str, args: MValue| {
         let MValue::Record(items) = &args else {
-            return Err(mockingbird::runtime::RuntimeError::Conversion("bad args".into()));
+            return Err(mockingbird::runtime::RuntimeError::Conversion(
+                "bad args".into(),
+            ));
         };
         let MValue::List(pts) = &items[0] else {
-            return Err(mockingbird::runtime::RuntimeError::Conversion("bad pts".into()));
+            return Err(mockingbird::runtime::RuntimeError::Conversion(
+                "bad pts".into(),
+            ));
         };
-        let first = pts.first().cloned().unwrap_or(MValue::Record(vec![
-            MValue::Real(0.0),
-            MValue::Real(0.0),
-        ]));
+        let first = pts
+            .first()
+            .cloned()
+            .unwrap_or(MValue::Record(vec![MValue::Real(0.0), MValue::Real(0.0)]));
         let last = pts.last().cloned().unwrap_or_else(|| first.clone());
         Ok(MValue::Record(vec![first, last]))
     });
@@ -119,10 +123,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Client: JavaIdeal-declared, adapted by the coercion plan.
     let plan = s.compare("JavaIdeal", "fitter", Mode::Equivalence)?;
     let stub = mockingbird::stubgen::FunctionStub::new(Arc::new(plan))?;
-    let conn = Arc::new(mockingbird::runtime::transport::TcpConnection::connect(server.addr())?);
+    let conn = Arc::new(mockingbird::runtime::transport::TcpConnection::connect(
+        server.addr(),
+    )?);
     let mut client_ops = HashMap::new();
     client_ops.insert("fitter".to_string(), wire_op);
-    let remote = Arc::new(RemoteRef::new(conn, b"fitter-service".to_vec(), client_ops, Endian::Little));
+    let remote = Arc::new(RemoteRef::new(
+        conn,
+        b"fitter-service".to_vec(),
+        client_ops,
+        Endian::Little,
+    ));
     let remote_stub = RemoteStub::new(stub, remote, "fitter");
 
     let pts = MValue::List(vec![

@@ -66,13 +66,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("JavaIdeal: {}\n", session.display_mtype("JavaIdeal")?);
 
     let stub = session.function_stub("JavaIdeal", "fitter")?;
-    println!("== Stub generated ({} matched node pairs) ==\n", stub.plan().len());
+    println!(
+        "== Stub generated ({} matched node pairs) ==\n",
+        stub.plan().len()
+    );
 
     // ---- The Java side: a real object graph. ----------------------------
     let mut heap = JHeap::new();
     let jcodec = JCodec::new(session.universe());
     let points: Vec<JValue> = (0..5)
-        .map(|k| heap.instance("Point", vec![JValue::Float(k as f32), JValue::Float(2.0 * k as f32 + 0.5)]))
+        .map(|k| {
+            heap.instance(
+                "Point",
+                vec![JValue::Float(k as f32), JValue::Float(2.0 * k as f32 + 0.5)],
+            )
+        })
         .collect();
     let pv = heap.vector(points);
     let pts_m = jcodec.to_mvalue(&heap, &Stype::named("PointVector"), &pv)?;
@@ -83,15 +91,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let c_fitter = move |args: MValue| -> Result<MValue, String> {
         let codec = CCodec::new(&uni_snapshot, CTarget::LP64_LE);
         let mut mem = CMemory::new(CTarget::LP64_LE);
-        let MValue::Record(items) = &args else { return Err("bad frame".into()) };
+        let MValue::Record(items) = &args else {
+            return Err("bad frame".into());
+        };
         // Write the point array into C memory (float[2] elements).
         let pts_ty = Stype::array_indefinite(Stype::named("point"));
-        let MValue::List(pts) = &items[0] else { return Err("bad pts".into()) };
+        let MValue::List(pts) = &items[0] else {
+            return Err("bad pts".into());
+        };
         let elem_size = 8; // float[2]
         let base = mem.alloc(elem_size * pts.len().max(1), 4);
         for (i, p) in pts.iter().enumerate() {
             codec
-                .write_at(&mut mem, &Stype::named("point"), base + (i * elem_size) as u64, p)
+                .write_at(
+                    &mut mem,
+                    &Stype::named("point"),
+                    base + (i * elem_size) as u64,
+                    p,
+                )
                 .map_err(|e| e.to_string())?;
         }
         let _ = pts_ty;
@@ -100,9 +117,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut ys = Vec::new();
         for i in 0..pts.len() {
             let v = codec
-                .read_at(&mem, &Stype::named("point"), base + (i * elem_size) as u64, &ReadContext::default())
+                .read_at(
+                    &mem,
+                    &Stype::named("point"),
+                    base + (i * elem_size) as u64,
+                    &ReadContext::default(),
+                )
                 .map_err(|e| e.to_string())?;
-            let MValue::Record(xy) = v else { return Err("bad point".into()) };
+            let MValue::Record(xy) = v else {
+                return Err("bad point".into());
+            };
             let (MValue::Real(x), MValue::Real(y)) = (&xy[0], &xy[1]) else {
                 return Err("bad coords".into());
             };
@@ -112,7 +136,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let n = xs.len() as f64;
         let mean_x = xs.iter().sum::<f64>() / n;
         let mean_y = ys.iter().sum::<f64>() / n;
-        let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+        let sxy: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - mean_x) * (y - mean_y))
+            .sum();
         let sxx: f64 = xs.iter().map(|x| (x - mean_x) * (x - mean_x)).sum();
         let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
         let intercept = mean_y - slope * mean_x;
@@ -136,12 +164,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Stub returned (Java shape): {out}");
 
     // Materialise the Java Line object.
-    let MValue::Record(line_rec) = &out else { unreachable!() };
+    let MValue::Record(line_rec) = &out else {
+        unreachable!()
+    };
     let line_obj = jcodec.from_mvalue(&mut heap, &Stype::named("Line"), &line_rec[0])?;
-    println!("Java Line object materialised: {:?}", heap.get(match line_obj {
-        JValue::Ref(r) => r,
-        _ => unreachable!(),
-    }));
+    println!(
+        "Java Line object materialised: {:?}",
+        heap.get(match line_obj {
+            JValue::Ref(r) => r,
+            _ => unreachable!(),
+        })
+    );
 
     println!("\nThe fitted line runs from (0, 0.5) to (4, 8.5) — no imposed types anywhere.");
     Ok(())

@@ -22,7 +22,11 @@ use mockingbird::stype::script::apply_script;
 
 fn run_scale(n_classes: usize, seed: u64) -> (usize, usize, f64, f64) {
     let mut pair = visualage(n_classes, seed);
-    let script_lines = pair.script.lines().filter(|l| l.starts_with("annotate")).count();
+    let script_lines = pair
+        .script
+        .lines()
+        .filter(|l| l.starts_with("annotate"))
+        .count();
     apply_script(&mut pair.java, &pair.script).expect("batch script applies");
 
     let t0 = Instant::now();
@@ -65,7 +69,10 @@ fn main() {
     assert_eq!(matched, 12);
 
     println!("== Scaling the batch pipeline (the paper's open question) ==");
-    println!("{:>8} {:>10} {:>12} {:>12} {:>14}", "classes", "matched", "annotate", "lower (s)", "compare (s)");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>14}",
+        "classes", "matched", "annotate", "lower (s)", "compare (s)"
+    );
     for n in [12, 50, 100, 250, 500] {
         let (matched, lines, lower_s, cmp_s) = run_scale(n, 42);
         println!("{n:>8} {matched:>10} {lines:>12} {lower_s:>12.4} {cmp_s:>14.4}");

@@ -46,7 +46,9 @@ fn strict_rules_cannot_match_the_fitter_example() {
     full.load_c(FIG2_C).unwrap();
     full.load_java(FIG1_5_JAVA).unwrap();
     full.annotate(SCRIPT).unwrap();
-    assert!(full.compare("JavaIdeal", "fitter", Mode::Equivalence).is_ok());
+    assert!(full
+        .compare("JavaIdeal", "fitter", Mode::Equivalence)
+        .is_ok());
 }
 
 #[test]
@@ -57,7 +59,10 @@ fn strict_rules_still_match_identical_declarations() {
     assert!(s.compare("P1", "P2", Mode::Equivalence).is_ok());
     // But reordered fields need commutativity.
     s.load_idl("struct P3 { float y; float x; };").unwrap();
-    assert!(s.compare("P1", "P3", Mode::Equivalence).is_ok(), "same-typed fields permute trivially");
+    assert!(
+        s.compare("P1", "P3", Mode::Equivalence).is_ok(),
+        "same-typed fields permute trivially"
+    );
     s.load_c("struct Q1 { int a; float b; };").unwrap();
     s.load_idl("struct Q2 { float b; long a; };").unwrap();
     assert!(s.compare("Q1", "Q2", Mode::Equivalence).is_err());
@@ -81,7 +86,8 @@ fn conversion_depth_guard_fails_cleanly_not_by_stack_overflow() {
 #[test]
 fn subtype_session_comparisons() {
     let mut s = Session::new();
-    s.load_java("public class Narrow { private short v; }").unwrap();
+    s.load_java("public class Narrow { private short v; }")
+        .unwrap();
     s.load_idl("struct Wide { long v; };").unwrap();
     // short ⊆ long: one-way only.
     let plan = s.compare("Narrow", "Wide", Mode::Subtype).unwrap();

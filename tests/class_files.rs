@@ -22,7 +22,9 @@ fn fitter_class_files() -> Vec<Vec<u8>> {
             .field("end", "LPoint;")
             .method("<init>", "(LPoint;LPoint;)V")
             .write(),
-        ClassSpec::new("PointVector").extends("java.util.Vector").write(),
+        ClassSpec::new("PointVector")
+            .extends("java.util.Vector")
+            .write(),
         ClassSpec::new("JavaIdeal")
             .interface()
             .method("fitter", "(LPointVector;)LLine;")
@@ -59,7 +61,10 @@ fn class_file_route_reaches_the_same_match() {
 fn class_file_and_source_declarations_agree() {
     // The same class via both routes lowers to the same Mtype.
     let mut s = Session::new();
-    s.load_java_classes(&[ClassSpec::new("BinPoint").field("x", "F").field("y", "F").write()])
+    s.load_java_classes(&[ClassSpec::new("BinPoint")
+        .field("x", "F")
+        .field("y", "F")
+        .write()])
         .unwrap();
     s.load_java("public class SrcPoint { private float x; private float y; }")
         .unwrap();

@@ -10,7 +10,11 @@ fn mbc() -> Command {
     path.pop(); // crates/tests-e2e -> crates
     path.pop(); // crates -> repo root
     path.push("target");
-    path.push(if cfg!(debug_assertions) { "debug" } else { "release" });
+    path.push(if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    });
     path.push("mbc");
     Command::new(path)
 }
@@ -61,9 +65,20 @@ fn parse_lists_declarations() {
     let dir = scratch();
     let (c, java, _) = fitter_files(&dir);
     let out = mbc().args(["parse", &c, &java]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
-    for name in ["point", "fitter", "Point", "Line", "PointVector", "JavaIdeal"] {
+    for name in [
+        "point",
+        "fitter",
+        "Point",
+        "Line",
+        "PointVector",
+        "JavaIdeal",
+    ] {
         assert!(text.contains(name), "{name} missing from:\n{text}");
     }
 }
@@ -88,7 +103,11 @@ fn mtype_prints_the_section_3_4_form() {
         .args(["mtype", &c, &java, "--of", "fitter", "--script", &script])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("port(Record(Rec#L("), "{text}");
 }
@@ -99,16 +118,36 @@ fn compare_match_and_mismatch() {
     let (c, java, script) = fitter_files(&dir);
     let out = mbc()
         .args([
-            "compare", &c, &java, "--left", "JavaIdeal", "--right", "fitter", "--script", &script,
+            "compare",
+            &c,
+            &java,
+            "--left",
+            "JavaIdeal",
+            "--right",
+            "fitter",
+            "--script",
+            &script,
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("MATCH (two-way)"));
 
     // Without the script: NO MATCH, nonzero exit, diagnostics on stderr.
     let out = mbc()
-        .args(["compare", &c, &java, "--left", "JavaIdeal", "--right", "fitter"])
+        .args([
+            "compare",
+            &c,
+            &java,
+            "--left",
+            "JavaIdeal",
+            "--right",
+            "fitter",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());
@@ -121,12 +160,25 @@ fn emit_produces_stub_sources() {
     let (c, java, script) = fitter_files(&dir);
     let out = mbc()
         .args([
-            "emit", &c, &java, "--left", "JavaIdeal", "--right", "fitter", "--script", &script,
-            "--name", "fitter",
+            "emit",
+            &c,
+            &java,
+            "--left",
+            "JavaIdeal",
+            "--right",
+            "fitter",
+            "--script",
+            &script,
+            "--name",
+            "fitter",
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("fitter_stub"));
     assert!(text.contains("JNIEXPORT"));
@@ -137,18 +189,31 @@ fn emit_produces_stub_sources() {
 fn save_then_reload_project() {
     let dir = scratch();
     let (c, java, script) = fitter_files(&dir);
-    let proj = dir.join("session.mbproj.json").to_string_lossy().into_owned();
+    let proj = dir
+        .join("session.mbproj.json")
+        .to_string_lossy()
+        .into_owned();
     let out = mbc()
-        .args(["save", &c, &java, "--script", &script, "--name", "fitter", "--out", &proj])
+        .args([
+            "save", &c, &java, "--script", &script, "--name", "fitter", "--out", &proj,
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     // Compare straight from the project file: annotations persisted.
     let out = mbc()
         .args(["compare", &proj, "--left", "JavaIdeal", "--right", "fitter"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]

@@ -7,8 +7,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mockingbird_rng::StdRng;
 
 use mockingbird::corpus::collab::{collaboration, APP_CLASSES, MESSAGE_TYPES};
 use mockingbird::corpus::sample_value;
@@ -52,7 +51,11 @@ fn every_message_type_round_trips_the_wire() {
         }
         // The self-describing MBP format carries them too.
         let enc = mockingbird::wire::mbp::encode(&v);
-        assert_eq!(mockingbird::wire::mbp::decode(&enc).unwrap(), v, "{m} via MBP");
+        assert_eq!(
+            mockingbird::wire::mbp::decode(&enc).unwrap(),
+            v,
+            "{m} via MBP"
+        );
     }
 }
 
@@ -71,10 +74,7 @@ fn two_sites_exchange_updates_over_tcp() {
         Arc::new(s.graph().clone())
     };
     for m in MESSAGE_TYPES {
-        ops.insert(
-            m.to_string(),
-            WireOp { graph: graph.clone(), args_ty: tys[m], result_ty: tys[m] },
-        );
+        ops.insert(m.to_string(), WireOp::new(graph.clone(), tys[m], tys[m]));
     }
 
     // Receiving site.

@@ -1,9 +1,9 @@
 //! Cross-crate property tests: random Mtypes and values driven through
-//! the whole pipeline (comparer → plan → wire) must round-trip.
+//! the whole pipeline (comparer → plan → wire) must round-trip. Each
+//! property runs over a deterministic stream of seeds so failures
+//! replay exactly.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mockingbird_rng::StdRng;
 use std::sync::Arc;
 
 use mockingbird::comparer::{Comparer, Mode, RuleSet};
@@ -14,13 +14,13 @@ use mockingbird::values::mvalue::typecheck;
 use mockingbird::values::Endian;
 use mockingbird::wire::{CdrReader, CdrWriter};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// Random type → isomorphic variant → plan → random value converts
-    /// forward, converts back, and the round trip is the identity.
-    #[test]
-    fn plan_round_trips_random_values(seed in 0u64..5_000) {
+/// Random type → isomorphic variant → plan → random value converts
+/// forward, converts back, and the round trip is the identity.
+#[test]
+fn plan_round_trips_random_values() {
+    for seed in 0..CASES {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut g = MtypeGraph::new();
         let ty = random_mtype(&mut g, &mut rng, 3);
@@ -43,15 +43,17 @@ proptest! {
             // structurally indistinguishable, so conversion may
             // canonicalise their indices; the round trip must reach a
             // fixpoint and preserve the converted image exactly.
-            prop_assert_eq!(plan.convert(&back).unwrap(), converted.clone());
+            assert_eq!(plan.convert(&back).unwrap(), converted, "seed {seed}");
             let back2 = plan.convert_back(&converted).unwrap();
-            prop_assert_eq!(back2, back);
+            assert_eq!(back2, back, "seed {seed}");
         }
     }
+}
 
-    /// Random values survive CDR in both byte orders.
-    #[test]
-    fn cdr_round_trips_random_values(seed in 0u64..5_000) {
+/// Random values survive CDR in both byte orders.
+#[test]
+fn cdr_round_trips_random_values() {
+    for seed in 0..CASES {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut g = MtypeGraph::new();
         let ty = random_mtype(&mut g, &mut rng, 3);
@@ -61,26 +63,34 @@ proptest! {
             w.put_value(&g, ty, &v).unwrap();
             let bytes = w.into_bytes();
             let mut r = CdrReader::new(&bytes, endian);
-            prop_assert_eq!(&r.get_value(&g, ty).unwrap(), &v);
-            prop_assert_eq!(r.remaining(), 0);
+            assert_eq!(&r.get_value(&g, ty).unwrap(), &v, "seed {seed}");
+            assert_eq!(r.remaining(), 0, "seed {seed}");
         }
     }
+}
 
-    /// MBP is fully self-describing: encode/decode without the type.
-    #[test]
-    fn mbp_round_trips_random_values(seed in 0u64..5_000) {
+/// MBP is fully self-describing: encode/decode without the type.
+#[test]
+fn mbp_round_trips_random_values() {
+    for seed in 0..CASES {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut g = MtypeGraph::new();
         let ty = random_mtype(&mut g, &mut rng, 3);
         let v = sample_value(&g, ty, &mut rng, 4);
         let bytes = mockingbird::wire::mbp::encode(&v);
-        prop_assert_eq!(mockingbird::wire::mbp::decode(&bytes).unwrap(), v);
+        assert_eq!(
+            mockingbird::wire::mbp::decode(&bytes).unwrap(),
+            v,
+            "seed {seed}"
+        );
     }
+}
 
-    /// Conversion composes with marshalling: convert → encode → decode →
-    /// convert back is the identity.
-    #[test]
-    fn convert_then_wire_then_back(seed in 0u64..2_500) {
+/// Conversion composes with marshalling: convert → encode → decode →
+/// convert back is the identity.
+#[test]
+fn convert_then_wire_then_back() {
+    for seed in 0..CASES {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut g = MtypeGraph::new();
         let ty = random_mtype(&mut g, &mut rng, 2);
@@ -89,7 +99,13 @@ proptest! {
         let corr = Comparer::new(&g, &h)
             .compare(ty, var, Mode::Equivalence)
             .expect("isomorphic");
-        let plan = Arc::new(CoercionPlan::new(&g, &h, corr, RuleSet::full(), Mode::Equivalence));
+        let plan = Arc::new(CoercionPlan::new(
+            &g,
+            &h,
+            corr,
+            RuleSet::full(),
+            Mode::Equivalence,
+        ));
         let v = sample_value(&g, ty, &mut rng, 3);
         let wire_value = plan.convert(&v).unwrap();
         let mut w = CdrWriter::new(Endian::Big);
@@ -105,13 +121,15 @@ proptest! {
         let reconverted = plan.convert(&back).unwrap();
         let mut w2 = CdrWriter::new(Endian::Big);
         w2.put_value(&h, var, &reconverted).unwrap();
-        prop_assert_eq!(w2.into_bytes(), bytes);
+        assert_eq!(w2.into_bytes(), bytes, "seed {seed}");
     }
+}
 
-    /// Strict (pure Amadio–Cardelli) accepts identical builds and the
-    /// full rules accept everything strict accepts.
-    #[test]
-    fn strict_is_a_subrelation_of_full(seed in 0u64..5_000) {
+/// Strict (pure Amadio–Cardelli) accepts identical builds and the
+/// full rules accept everything strict accepts.
+#[test]
+fn strict_is_a_subrelation_of_full() {
+    for seed in 0..CASES {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut g = MtypeGraph::new();
         let ty = random_mtype(&mut g, &mut rng, 3);
@@ -119,7 +137,7 @@ proptest! {
         let mut rng2 = StdRng::seed_from_u64(seed);
         let ty2 = random_mtype(&mut h, &mut rng2, 3);
         let strict = Comparer::with_rules(&g, &h, RuleSet::strict()).equivalent(ty, ty2);
-        prop_assert!(strict, "same seed builds identical types");
-        prop_assert!(Comparer::new(&g, &h).equivalent(ty, ty2));
+        assert!(strict, "same seed builds identical types (seed {seed})");
+        assert!(Comparer::new(&g, &h).equivalent(ty, ty2), "seed {seed}");
     }
 }

@@ -43,9 +43,13 @@ fn raises_lowers_into_a_reply_choice() {
         shown.contains("port(Choice(Record(Int{"),
         "reply payload must be a Choice over the normal return: {shown}"
     );
-    assert!(shown.contains("Char{Unicode}"), "NotFound carries its string: {shown}");
+    assert!(
+        shown.contains("Char{Unicode}"),
+        "NotFound carries its string: {shown}"
+    );
     // Without the exception the reply is a plain Record.
-    s.load_idl("interface Plain { long lookup(in string key); };").unwrap();
+    s.load_idl("interface Plain { long lookup(in string key); };")
+        .unwrap();
     let plain = s.display_mtype("Plain").unwrap();
     assert!(plain.contains("port(Record(Int{"), "{plain}");
     assert!(!plain.contains("port(Choice(Record(Int{"), "{plain}");
@@ -66,7 +70,8 @@ fn mismatched_exception_sets_do_not_match() {
     s.load_idl(IDL).unwrap();
     // A Java interface that declares no exceptions cannot match the
     // raising IDL operation.
-    s.load_java("public interface NoThrow { int lookup(String key); }").unwrap();
+    s.load_java("public interface NoThrow { int lookup(String key); }")
+        .unwrap();
     assert!(s.compare("NoThrow", "Store", Mode::Equivalence).is_err());
 }
 
@@ -77,10 +82,8 @@ fn exception_values_convert_between_the_declarations() {
     // The reply payload pair: locate it via the stub shape machinery.
     let j = s.mtype("JStore").unwrap();
     let i = s.mtype("Store").unwrap();
-    let jshape =
-        mockingbird::stubgen::FnShape::of_function(plan.left_graph(), j).unwrap();
-    let ishape =
-        mockingbird::stubgen::FnShape::of_function(plan.right_graph(), i).unwrap();
+    let jshape = mockingbird::stubgen::FnShape::of_function(plan.left_graph(), j).unwrap();
+    let ishape = mockingbird::stubgen::FnShape::of_function(plan.right_graph(), i).unwrap();
 
     // Normal return: alternative 0 wrapping the output record.
     let ok = MValue::Choice {
@@ -106,7 +109,8 @@ fn exception_values_convert_between_the_declarations() {
     assert_eq!(converted, exc, "exception payloads convert structurally");
     // And backwards.
     assert_eq!(
-        plan.convert_pair_back(jshape.output, ishape.output, &converted).unwrap(),
+        plan.convert_pair_back(jshape.output, ishape.output, &converted)
+            .unwrap(),
         exc
     );
 }
@@ -143,6 +147,8 @@ fn project_files_preserve_throws() {
     let path = dir.join("exc.mbproj.json");
     s.save_project("exc", &path).unwrap();
     let mut restored = Session::load_project(&path).unwrap();
-    assert!(restored.compare("JStore", "Store", Mode::Equivalence).is_ok());
+    assert!(restored
+        .compare("JStore", "Store", Mode::Equivalence)
+        .is_ok());
     std::fs::remove_file(path).ok();
 }

@@ -2,14 +2,17 @@
 //! cleanly, never hang or corrupt, when peers misbehave.
 
 use std::collections::HashMap;
-use std::io::Write;
-use std::net::TcpStream;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use mockingbird::mtype::{IntRange, MtypeGraph};
 use mockingbird::runtime::transport::TcpConnection;
 use mockingbird::runtime::{
-    Connection, Dispatcher, RemoteRef, RuntimeError, Servant, TcpServer, WireOp, WireServant,
+    CallOptions, Connection, ConnectionPool, Dispatcher, MultiplexedConnection, RemoteRef,
+    RetryPolicy, RuntimeError, Servant, TcpServer, WireOp, WireServant,
 };
 use mockingbird::values::{Endian, MValue};
 use mockingbird::wire::Message;
@@ -19,7 +22,7 @@ fn adder() -> (Arc<Dispatcher>, WireOp) {
     let i = g.integer(IntRange::signed_bits(32));
     let rec = g.record(vec![i]);
     let graph = Arc::new(g);
-    let op = WireOp { graph, args_ty: rec, result_ty: rec };
+    let op = WireOp::new(graph, rec, rec).idempotent();
     let servant: Arc<dyn Servant> = Arc::new(|_: &str, v: MValue| Ok(v));
     let mut ops = HashMap::new();
     ops.insert("echo".to_string(), op.clone());
@@ -44,7 +47,9 @@ fn garbage_bytes_do_not_kill_the_server() {
     let mut ops = HashMap::new();
     ops.insert("echo".to_string(), op);
     let remote = RemoteRef::new(Arc::new(conn), b"obj".to_vec(), ops, Endian::Little);
-    let out = remote.invoke("echo", &MValue::Record(vec![MValue::Int(3)])).unwrap();
+    let out = remote
+        .invoke("echo", &MValue::Record(vec![MValue::Int(3)]))
+        .unwrap();
     assert_eq!(out, MValue::Record(vec![MValue::Int(3)]));
     server.shutdown();
 }
@@ -56,8 +61,8 @@ fn truncated_frames_are_transport_errors_not_hangs() {
     let conn = TcpConnection::connect(server.addr()).unwrap();
     // A frame that lies about its size: the server's read_exact fails and
     // the connection closes; the client's next call errors cleanly.
-    let mut fake = Message::request(1, true, b"obj".to_vec(), "echo", Endian::Little, vec![1, 2])
-        .to_bytes();
+    let mut fake =
+        Message::request(1, true, b"obj".to_vec(), "echo", Endian::Little, vec![1, 2]).to_bytes();
     fake[11] = 200; // inflate the declared size
     fake.truncate(fake.len().min(30));
     {
@@ -70,7 +75,9 @@ fn truncated_frames_are_transport_errors_not_hangs() {
     let mut ops = HashMap::new();
     ops.insert("echo".to_string(), op);
     let remote = RemoteRef::new(Arc::new(conn), b"obj".to_vec(), ops, Endian::Little);
-    assert!(remote.invoke("echo", &MValue::Record(vec![MValue::Int(1)])).is_ok());
+    assert!(remote
+        .invoke("echo", &MValue::Record(vec![MValue::Int(1)]))
+        .is_ok());
     server.shutdown();
 }
 
@@ -82,7 +89,9 @@ fn calls_after_shutdown_fail_with_transport_errors() {
     let mut ops = HashMap::new();
     ops.insert("echo".to_string(), op);
     let remote = RemoteRef::new(conn, b"obj".to_vec(), ops, Endian::Little);
-    remote.invoke("echo", &MValue::Record(vec![MValue::Int(1)])).unwrap();
+    remote
+        .invoke("echo", &MValue::Record(vec![MValue::Int(1)]))
+        .unwrap();
     server.shutdown();
     // The per-connection thread drains when we next use the socket; the
     // OS may buffer one write, so spin until the failure surfaces.
@@ -109,7 +118,9 @@ fn malformed_body_is_a_conversion_error() {
     // declared Mtype: the dispatcher answers with a system exception.
     let msg = Message::request(7, true, b"obj".to_vec(), "echo", Endian::Little, vec![0xFF]);
     let reply = d.dispatch(&msg).unwrap();
-    let mockingbird::wire::MessageKind::Reply { status, .. } = reply.kind else { panic!() };
+    let mockingbird::wire::MessageKind::Reply { status, .. } = reply.kind else {
+        panic!()
+    };
     assert_eq!(status, mockingbird::wire::ReplyStatus::SystemException);
     let _ = op;
 }
@@ -126,11 +137,217 @@ fn wrong_value_shape_is_rejected_before_the_wire() {
 }
 
 #[test]
+fn stalled_server_costs_one_deadline_not_a_hang() {
+    // A server that accepts and reads but never replies: the client's
+    // per-call deadline must fire; nothing may hang.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stall = std::thread::spawn(move || {
+        let (mut sock, _) = listener.accept().unwrap();
+        let mut sink = [0u8; 1024];
+        // Swallow whatever arrives until the client hangs up.
+        while let Ok(n) = sock.read(&mut sink) {
+            if n == 0 {
+                break;
+            }
+        }
+    });
+
+    let (_, op) = adder();
+    let conn = MultiplexedConnection::connect(addr).unwrap();
+    let mut ops = HashMap::new();
+    ops.insert("echo".to_string(), op);
+    let remote = RemoteRef::new(Arc::new(conn), b"obj".to_vec(), ops, Endian::Little)
+        .with_options(CallOptions::new().with_deadline(Duration::from_millis(200)));
+
+    let start = Instant::now();
+    let err = remote
+        .invoke("echo", &MValue::Record(vec![MValue::Int(1)]))
+        .unwrap_err();
+    let elapsed = start.elapsed();
+    assert!(matches!(err, RuntimeError::Timeout(_)), "{err}");
+    assert!(
+        elapsed >= Duration::from_millis(150),
+        "deadline respected: {elapsed:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "timed out promptly: {elapsed:?}"
+    );
+
+    // A second call fails the same way — the connection is still usable
+    // for bookkeeping even though the server never answers.
+    let err = remote
+        .invoke("echo", &MValue::Record(vec![MValue::Int(2)]))
+        .unwrap_err();
+    assert!(matches!(err, RuntimeError::Timeout(_)), "{err}");
+
+    drop(remote); // closes the socket; the stalled server sees EOF
+    stall.join().unwrap();
+}
+
+#[test]
+fn stalled_server_with_retries_costs_each_attempt_one_deadline() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let stall = std::thread::spawn(move || {
+        let mut socks = Vec::new();
+        // Keep accepting (retries may reconnect) but never reply.
+        listener.set_nonblocking(true).ok();
+        while !stop2.load(Ordering::SeqCst) {
+            if let Ok((sock, _)) = listener.accept() {
+                socks.push(sock);
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    });
+
+    let (_, op) = adder(); // echo is declared idempotent
+    let pool = ConnectionPool::connect(addr, 1).unwrap();
+    let mut ops = HashMap::new();
+    ops.insert("echo".to_string(), op);
+    let remote = RemoteRef::new(Arc::new(pool), b"obj".to_vec(), ops, Endian::Little).with_options(
+        CallOptions::new()
+            .with_deadline(Duration::from_millis(100))
+            .with_retry(RetryPolicy {
+                max_retries: 2,
+                initial_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(10),
+            }),
+    );
+
+    let start = Instant::now();
+    let err = remote
+        .invoke("echo", &MValue::Record(vec![MValue::Int(1)]))
+        .unwrap_err();
+    let elapsed = start.elapsed();
+    assert!(matches!(err, RuntimeError::Timeout(_)), "{err}");
+    // Three attempts (1 + 2 retries) at ~100ms each plus backoffs.
+    assert!(
+        elapsed >= Duration::from_millis(250),
+        "all attempts ran: {elapsed:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(4),
+        "still bounded: {elapsed:?}"
+    );
+    drop(remote);
+    stop.store(true, Ordering::SeqCst);
+    stall.join().unwrap();
+}
+
+#[test]
+fn multi_client_stress_correlates_replies_over_one_pool() {
+    let (d, op) = adder();
+    let mut server = TcpServer::bind("127.0.0.1:0", d).unwrap();
+    let pool = Arc::new(ConnectionPool::connect(server.addr(), 2).unwrap());
+    let mut ops = HashMap::new();
+    ops.insert("echo".to_string(), op);
+    let remote = Arc::new(RemoteRef::new(pool, b"obj".to_vec(), ops, Endian::Little));
+
+    let mismatches = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..8)
+        .map(|t: i128| {
+            let r = remote.clone();
+            let bad = mismatches.clone();
+            std::thread::spawn(move || {
+                for k in 0..100i128 {
+                    let payload = t * 1_000 + k;
+                    let out = r
+                        .invoke("echo", &MValue::Record(vec![MValue::Int(payload)]))
+                        .unwrap();
+                    if out != MValue::Record(vec![MValue::Int(payload)]) {
+                        bad.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        mismatches.load(Ordering::Relaxed),
+        0,
+        "every reply correlated to its own request"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn idempotent_calls_retry_through_transient_failures() {
+    // A connection that fails the first two exchanges, then delegates.
+    struct Flaky {
+        inner: mockingbird::runtime::InMemoryConnection,
+        failures_left: AtomicUsize,
+    }
+    impl Connection for Flaky {
+        fn call(&self, msg: &Message) -> Result<Option<Message>, RuntimeError> {
+            if self
+                .failures_left
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                return Err(RuntimeError::Transport("injected failure".into()));
+            }
+            self.inner.call(msg)
+        }
+    }
+
+    let (d, op) = adder();
+    let flaky = Flaky {
+        inner: mockingbird::runtime::InMemoryConnection::new(d),
+        failures_left: AtomicUsize::new(2),
+    };
+    let mut ops = HashMap::new();
+    ops.insert("echo".to_string(), op.clone());
+    let remote = RemoteRef::new(Arc::new(flaky), b"obj".to_vec(), ops, Endian::Little)
+        .with_options(CallOptions::new().with_retry(RetryPolicy {
+            max_retries: 3,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+        }));
+    let before = mockingbird::runtime::metrics::snapshot().retries;
+    let out = remote
+        .invoke("echo", &MValue::Record(vec![MValue::Int(11)]))
+        .unwrap();
+    assert_eq!(out, MValue::Record(vec![MValue::Int(11)]));
+    assert!(
+        mockingbird::runtime::metrics::snapshot().retries >= before + 2,
+        "both transient failures were retried"
+    );
+
+    // The same failure pattern on a *non*-idempotent operation fails
+    // immediately: retries are opt-in per operation.
+    let (d2, op2) = adder();
+    let flaky2 = Flaky {
+        inner: mockingbird::runtime::InMemoryConnection::new(d2),
+        failures_left: AtomicUsize::new(1),
+    };
+    let mut nops = HashMap::new();
+    let mut not_idempotent = op2;
+    not_idempotent.idempotent = false;
+    nops.insert("echo".to_string(), not_idempotent);
+    let remote2 = RemoteRef::new(Arc::new(flaky2), b"obj".to_vec(), nops, Endian::Little)
+        .with_options(CallOptions::new().with_retry(RetryPolicy::retries(3)));
+    let err = remote2
+        .invoke("echo", &MValue::Record(vec![MValue::Int(1)]))
+        .unwrap_err();
+    assert!(matches!(err, RuntimeError::Transport(_)), "{err}");
+}
+
+#[test]
 fn in_memory_connection_round_trips_frames_byte_exactly() {
     let (d, op) = adder();
     let conn = mockingbird::runtime::InMemoryConnection::new(d);
     let body = op
-        .encode(op.args_ty, &MValue::Record(vec![MValue::Int(9)]), Endian::Big)
+        .encode(
+            op.args_ty,
+            &MValue::Record(vec![MValue::Int(9)]),
+            Endian::Big,
+        )
         .unwrap();
     let msg = Message::request(3, true, b"obj".to_vec(), "echo", Endian::Big, body);
     let reply = conn.call(&msg).unwrap().unwrap();

@@ -54,7 +54,14 @@ fn f1_f2_declarations_parse_as_written() {
     let mut s = Session::new();
     s.load_c(FIG2_C).unwrap();
     s.load_java(FIG1_5_JAVA).unwrap();
-    for name in ["point", "fitter", "Point", "Line", "PointVector", "JavaIdeal"] {
+    for name in [
+        "point",
+        "fitter",
+        "Point",
+        "Line",
+        "PointVector",
+        "JavaIdeal",
+    ] {
         assert!(s.universe().get(name).is_some(), "{name} must be loaded");
     }
 }
@@ -64,7 +71,9 @@ fn f5_pre_annotation_mismatch_with_diagnostics() {
     let mut s = Session::new();
     s.load_c(FIG2_C).unwrap();
     s.load_java(FIG1_5_JAVA).unwrap();
-    let err = s.compare("JavaIdeal", "fitter", Mode::Equivalence).unwrap_err();
+    let err = s
+        .compare("JavaIdeal", "fitter", Mode::Equivalence)
+        .unwrap_err();
     let text = err.to_string();
     assert!(text.contains("types do not match"), "{text}");
 }
@@ -114,8 +123,12 @@ fn fitter_stub_with_real_java_heap_and_c_memory() {
     let c_fitter = move |args: MValue| -> Result<MValue, String> {
         let codec = CCodec::new(&uni, CTarget::LP64_LE);
         let mut mem = CMemory::new(CTarget::LP64_LE);
-        let MValue::Record(items) = &args else { return Err("frame".into()) };
-        let MValue::List(pts) = &items[0] else { return Err("pts".into()) };
+        let MValue::Record(items) = &args else {
+            return Err("frame".into());
+        };
+        let MValue::List(pts) = &items[0] else {
+            return Err("pts".into());
+        };
         let base = mem.alloc(8 * pts.len().max(1), 4);
         for (i, p) in pts.iter().enumerate() {
             codec
@@ -151,7 +164,9 @@ fn fitter_stub_with_real_java_heap_and_c_memory() {
     let jline = jcodec
         .from_mvalue(&mut heap, &Stype::named("Line"), &line[0])
         .unwrap();
-    let m2 = jcodec.to_mvalue(&heap, &Stype::named("Line"), &jline).unwrap();
+    let m2 = jcodec
+        .to_mvalue(&heap, &Stype::named("Line"), &jline)
+        .unwrap();
     assert_eq!(m2, line[0]);
 }
 

@@ -117,8 +117,12 @@ fn remote_invocation_with_idl_defined_wire() {
         let inputs: Vec<MValue> = items.clone();
         servant_stub
             .call(&inputs, &|cargs| {
-                let MValue::Record(items) = cargs else { return Err("bad".into()) };
-                let MValue::List(pts) = &items[0] else { return Err("bad".into()) };
+                let MValue::Record(items) = cargs else {
+                    return Err("bad".into());
+                };
+                let MValue::List(pts) = &items[0] else {
+                    return Err("bad".into());
+                };
                 Ok(MValue::Record(vec![
                     pts.first().cloned().ok_or("empty")?,
                     pts.last().cloned().ok_or("empty")?,
@@ -133,7 +137,9 @@ fn remote_invocation_with_idl_defined_wire() {
     let mut server = TcpServer::bind("127.0.0.1:0", node.dispatcher()).unwrap();
 
     // Client: JavaIdeal-declared, adapted onto the CFriendly wire.
-    let client_plan = s.compare("JavaIdeal", "CFriendly", Mode::Equivalence).unwrap();
+    let client_plan = s
+        .compare("JavaIdeal", "CFriendly", Mode::Equivalence)
+        .unwrap();
     let client_stub = FunctionStub::new(Arc::new(client_plan)).unwrap();
     let conn = Arc::new(TcpConnection::connect(server.addr()).unwrap());
     let mut cops = HashMap::new();
@@ -163,7 +169,9 @@ fn subtype_interop_one_way() {
     // sink: any record is a subtype of Dynamic.
     let mut s = full_session();
     let plan = s.compare("Point", "Point", Mode::Subtype).unwrap();
-    assert!(plan.convert(&MValue::Record(vec![MValue::Real(1.0), MValue::Real(2.0)])).is_ok());
+    assert!(plan
+        .convert(&MValue::Record(vec![MValue::Real(1.0), MValue::Real(2.0)]))
+        .is_ok());
     assert!(plan
         .convert_back(&MValue::Record(vec![MValue::Real(1.0), MValue::Real(2.0)]))
         .is_err());

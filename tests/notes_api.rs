@@ -29,7 +29,9 @@ fn all_thirty_classes_match_after_batch_annotation() {
         let c = Lowerer::new(&pair.cxx, &mut g).lower_named(name).unwrap();
         let j = Lowerer::new(&pair.java, &mut g).lower_named(name).unwrap();
         assert!(
-            Comparer::new(&g, &g).compare(c, j, Mode::Equivalence).is_ok(),
+            Comparer::new(&g, &g)
+                .compare(c, j, Mode::Equivalence)
+                .is_ok(),
             "{name}"
         );
         matched += 1;
@@ -44,9 +46,15 @@ fn interface_stub_adapts_a_permuted_method_table() {
     let mut g = MtypeGraph::new();
     // NotesDateTime (index 10): methods in reverse order on the Java
     // side; the stub must map them back.
-    let j = Lowerer::new(&pair.java, &mut g).lower_named("NotesDateTime").unwrap();
-    let c = Lowerer::new(&pair.cxx, &mut g).lower_named("NotesDateTime").unwrap();
-    let corr = Comparer::new(&g, &g).compare(j, c, Mode::Equivalence).unwrap();
+    let j = Lowerer::new(&pair.java, &mut g)
+        .lower_named("NotesDateTime")
+        .unwrap();
+    let c = Lowerer::new(&pair.cxx, &mut g)
+        .lower_named("NotesDateTime")
+        .unwrap();
+    let corr = Comparer::new(&g, &g)
+        .compare(j, c, Mode::Equivalence)
+        .unwrap();
     let plan = CoercionPlan::new(&g, &g, corr, RuleSet::full(), Mode::Equivalence);
     let stub = InterfaceStub::new(Arc::new(plan)).unwrap();
     assert!(stub.method_count() >= 3);
@@ -62,8 +70,7 @@ fn interface_stub_adapts_a_permuted_method_table() {
     // zero-argument void method (opN); adapt a call to it.
     let mut drove = false;
     for m in 0..stub.method_count() {
-        let result =
-            stub.call_method(m, &[], &|_right_m, _args| Ok(MValue::Record(vec![])));
+        let result = stub.call_method(m, &[], &|_right_m, _args| Ok(MValue::Record(vec![])));
         if let Ok(out) = result {
             if out == MValue::Record(vec![]) {
                 drove = true;
@@ -78,8 +85,12 @@ fn interface_stub_adapts_a_permuted_method_table() {
 fn unannotated_factory_methods_fail_then_succeed() {
     let pair = notes_api();
     let mut g = MtypeGraph::new();
-    let c = Lowerer::new(&pair.cxx, &mut g).lower_named("NotesSession").unwrap();
-    let j = Lowerer::new(&pair.java, &mut g).lower_named("NotesSession").unwrap();
+    let c = Lowerer::new(&pair.cxx, &mut g)
+        .lower_named("NotesSession")
+        .unwrap();
+    let j = Lowerer::new(&pair.java, &mut g)
+        .lower_named("NotesSession")
+        .unwrap();
     let err = Comparer::new(&g, &g)
         .compare(c, j, Mode::Equivalence)
         .unwrap_err();
@@ -88,9 +99,15 @@ fn unannotated_factory_methods_fail_then_succeed() {
     let mut pair2 = notes_api();
     apply_script(&mut pair2.java, &pair2.script).unwrap();
     let mut g2 = MtypeGraph::new();
-    let c2 = Lowerer::new(&pair2.cxx, &mut g2).lower_named("NotesSession").unwrap();
-    let j2 = Lowerer::new(&pair2.java, &mut g2).lower_named("NotesSession").unwrap();
-    assert!(Comparer::new(&g2, &g2).compare(c2, j2, Mode::Equivalence).is_ok());
+    let c2 = Lowerer::new(&pair2.cxx, &mut g2)
+        .lower_named("NotesSession")
+        .unwrap();
+    let j2 = Lowerer::new(&pair2.java, &mut g2)
+        .lower_named("NotesSession")
+        .unwrap();
+    assert!(Comparer::new(&g2, &g2)
+        .compare(c2, j2, Mode::Equivalence)
+        .is_ok());
 }
 
 #[test]
@@ -101,10 +118,16 @@ fn the_factory_chain_is_deep_but_terminates() {
     let mut pair = notes_api();
     apply_script(&mut pair.java, &pair.script).unwrap();
     let mut g = MtypeGraph::new();
-    let c = Lowerer::new(&pair.cxx, &mut g).lower_named("NotesSession").unwrap();
-    let j = Lowerer::new(&pair.java, &mut g).lower_named("NotesSession").unwrap();
+    let c = Lowerer::new(&pair.cxx, &mut g)
+        .lower_named("NotesSession")
+        .unwrap();
+    let j = Lowerer::new(&pair.java, &mut g)
+        .lower_named("NotesSession")
+        .unwrap();
     let start = std::time::Instant::now();
-    assert!(Comparer::new(&g, &g).compare(c, j, Mode::Equivalence).is_ok());
+    assert!(Comparer::new(&g, &g)
+        .compare(c, j, Mode::Equivalence)
+        .is_ok());
     assert!(
         start.elapsed().as_secs() < 5,
         "deep factory chains compare in bounded time"

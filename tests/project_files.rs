@@ -19,8 +19,10 @@ fn scratch(name: &str) -> std::path::PathBuf {
 fn all_four_input_kinds_coexist_in_one_session() {
     let mut s = Session::new();
     s.load_c("typedef float point[2];").unwrap();
-    s.load_java("public class Point { private float x; private float y; }").unwrap();
-    s.load_idl("struct IdlPoint { float x; float y; };").unwrap();
+    s.load_java("public class Point { private float x; private float y; }")
+        .unwrap();
+    s.load_idl("struct IdlPoint { float x; float y; };")
+        .unwrap();
     // Java class files are the fourth kind.
     let blob = mockingbird::lang_java::ClassSpec::new("BinPoint")
         .field("x", "F")
@@ -48,17 +50,24 @@ fn saved_session_resumes_where_it_left_off() {
     let path = scratch("resume.mbproj.json");
     {
         let mut s = Session::new();
-        s.load_c("typedef float point[2];\nvoid draw(point *p, int n);").unwrap();
-        s.load_java("public class Canvas { private int width; private int height; }").unwrap();
+        s.load_c("typedef float point[2];\nvoid draw(point *p, int n);")
+            .unwrap();
+        s.load_java("public class Canvas { private int width; private int height; }")
+            .unwrap();
         // Half-finished annotation state.
-        s.annotate("annotate draw.param(p) length=param(n)").unwrap();
+        s.annotate("annotate draw.param(p) length=param(n)")
+            .unwrap();
         s.save_project("wip", &path).unwrap();
     }
     let mut s = Session::load_project(&path).unwrap();
     // The annotation survived; the remaining work continues.
     let shown = s.display_mtype("draw").unwrap();
-    assert!(shown.contains("Rec#L("), "length annotation survived: {shown}");
-    s.annotate("annotate Canvas.field(width) range=0..4096").unwrap();
+    assert!(
+        shown.contains("Rec#L("),
+        "length annotation survived: {shown}"
+    );
+    s.annotate("annotate Canvas.field(width) range=0..4096")
+        .unwrap();
     let canvas = s.display_mtype("Canvas").unwrap();
     assert!(canvas.contains("Int{0..=4096}"), "{canvas}");
     std::fs::remove_file(path).ok();
@@ -117,7 +126,8 @@ fn iterative_annotate_compare_loop_converges() {
 #[test]
 fn dot_export_for_the_mtype_diagram_pane() {
     let mut s = Session::new();
-    s.load_java("public class Node { private int v; private Node next; }").unwrap();
+    s.load_java("public class Node { private int v; private Node next; }")
+        .unwrap();
     let dot = s.dot("Node").unwrap();
     assert!(dot.starts_with("digraph Node {"));
     assert!(dot.contains("Recursive"));

@@ -23,7 +23,8 @@ fn session() -> Session {
          public class FloatBox { private float value; }",
     )
     .unwrap();
-    s.load_c("typedef struct fnode { float car; struct fnode *cdr; } fnode;").unwrap();
+    s.load_c("typedef struct fnode { float car; struct fnode *cdr; } fnode;")
+        .unwrap();
     s.load_idl("typedef sequence<float> floatseq;").unwrap();
     s
 }
@@ -55,7 +56,8 @@ fn java_list_equals_idl_sequence_and_c_array() {
     // *nullable* list, i.e. Choice(Unit, List):
     let plan = {
         // A nullable reference to the Java list is exactly the sequence.
-        s.load_java("public class ListRef { private List head; }").unwrap();
+        s.load_java("public class ListRef { private List head; }")
+            .unwrap();
         s.annotate("annotate ListRef.field(head) no-alias").unwrap();
         s.compare("ListRef", "floatseq", Mode::Equivalence)
     };
@@ -71,7 +73,11 @@ fn java_list_equals_idl_sequence_and_c_array() {
     let seq = plan.convert(&rust_list).unwrap();
     assert_eq!(
         seq,
-        MValue::List(vec![MValue::Real(1.5), MValue::Real(2.5), MValue::Real(3.5)])
+        MValue::List(vec![
+            MValue::Real(1.5),
+            MValue::Real(2.5),
+            MValue::Real(3.5)
+        ])
     );
     assert_eq!(plan.convert_back(&seq).unwrap(), rust_list);
 }
@@ -79,7 +85,8 @@ fn java_list_equals_idl_sequence_and_c_array() {
 #[test]
 fn vector_subclass_equals_idl_sequence() {
     let mut s = session();
-    s.annotate("annotate FloatVector element=FloatBox non-null").unwrap();
+    s.annotate("annotate FloatVector element=FloatBox non-null")
+        .unwrap();
     // FloatVector (elements are FloatBox = Record(Real) ≅ Real by unary
     // collapse) against sequence<float>.
     let plan = s
@@ -111,15 +118,25 @@ fn c_linked_list_struct_matches_java_list() {
         MValue::Real(1.0),
         MValue::some(MValue::Record(vec![MValue::Real(2.0), MValue::null()])),
     ]);
-    assert_eq!(plan.convert(&chain).unwrap(), chain, "identical layout passes through");
+    assert_eq!(
+        plan.convert(&chain).unwrap(),
+        chain,
+        "identical layout passes through"
+    );
 }
 
 #[test]
 fn empty_and_long_collections_convert() {
     let mut s = session();
-    s.annotate("annotate FloatVector element=FloatBox non-null").unwrap();
-    let plan = s.compare("FloatVector", "floatseq", Mode::Equivalence).unwrap();
-    assert_eq!(plan.convert(&MValue::List(vec![])).unwrap(), MValue::List(vec![]));
+    s.annotate("annotate FloatVector element=FloatBox non-null")
+        .unwrap();
+    let plan = s
+        .compare("FloatVector", "floatseq", Mode::Equivalence)
+        .unwrap();
+    assert_eq!(
+        plan.convert(&MValue::List(vec![])).unwrap(),
+        MValue::List(vec![])
+    );
     let long: Vec<MValue> = (0..50_000)
         .map(|k| MValue::Record(vec![MValue::Real(k as f64)]))
         .collect();
@@ -132,9 +149,12 @@ fn empty_and_long_collections_convert() {
 #[test]
 fn mismatched_element_types_are_rejected() {
     let mut s = session();
-    s.annotate("annotate FloatVector element=FloatBox non-null").unwrap();
+    s.annotate("annotate FloatVector element=FloatBox non-null")
+        .unwrap();
     s.load_idl("typedef sequence<double> doubleseq;").unwrap();
-    assert!(s.compare("FloatVector", "doubleseq", Mode::Equivalence).is_err());
+    assert!(s
+        .compare("FloatVector", "doubleseq", Mode::Equivalence)
+        .is_err());
     // But float ≤ double makes the one-way direction work.
     assert!(s.compare("FloatVector", "doubleseq", Mode::Subtype).is_ok());
 }

@@ -53,7 +53,9 @@ fn point_line(x0: f64, y0: f64, x1: f64, y1: f64) -> MValue {
 
 /// slope/intercept -> two canonical points (x = 0 and x = 1).
 fn to_points(v: &MValue) -> Result<MValue, String> {
-    let MValue::Record(items) = v else { return Err("expected slope/intercept".into()) };
+    let MValue::Record(items) = v else {
+        return Err("expected slope/intercept".into());
+    };
     let (MValue::Real(m), MValue::Real(b)) = (&items[0], &items[1]) else {
         return Err("expected two reals".into());
     };
@@ -62,7 +64,9 @@ fn to_points(v: &MValue) -> Result<MValue, String> {
 
 /// two points -> slope/intercept.
 fn to_slope(v: &MValue) -> Result<MValue, String> {
-    let MValue::Record(items) = v else { return Err("expected four coords".into()) };
+    let MValue::Record(items) = v else {
+        return Err("expected four coords".into());
+    };
     let coords: Vec<f64> = items
         .iter()
         .map(|x| match x {
@@ -85,7 +89,9 @@ fn structural_comparison_alone_rejects_the_pair() {
     s.load_c(C).unwrap();
     s.annotate(SCRIPT).unwrap();
     // SlopeLine is two reals, PointLine is four: no structural match.
-    assert!(s.compare("SlopeLine", "PointLine", Mode::Equivalence).is_err());
+    assert!(s
+        .compare("SlopeLine", "PointLine", Mode::Equivalence)
+        .is_err());
     assert!(s.compare("Drawing", "CDrawing", Mode::Equivalence).is_err());
 }
 

@@ -12,9 +12,7 @@
 //! | Recursive | Corresponds to types defined in terms of themselves.   |
 //! | Port      | Used to implement functions, interfaces, etc.          |
 
-use mockingbird::mtype::{
-    IntRange, MtypeGraph, MtypeKind, RealPrecision, Repertoire,
-};
+use mockingbird::mtype::{IntRange, MtypeGraph, MtypeKind, RealPrecision, Repertoire};
 
 /// One representative node per Table-1 row.
 fn representatives(g: &mut MtypeGraph) -> Vec<mockingbird::mtype::MtypeId> {
@@ -44,7 +42,10 @@ fn the_eight_kinds_exist_with_their_table_1_descriptions() {
             "Corresponds to disjoint unions (variants), e.g. union, \
              and other places where alternatives arise.",
         ),
-        ("Recursive", "Corresponds to types defined in terms of themselves."),
+        (
+            "Recursive",
+            "Corresponds to types defined in terms of themselves.",
+        ),
         ("Port", "Used to implement functions, interfaces, etc."),
     ];
     assert_eq!(reps.len(), expected.len());
@@ -59,7 +60,16 @@ fn the_eight_kinds_exist_with_their_table_1_descriptions() {
 fn table_order_constant_matches_the_paper() {
     assert_eq!(
         mockingbird::mtype::kind::TABLE1_TAGS,
-        ["Character", "Integer", "Real", "Unit", "Record", "Choice", "Recursive", "Port"]
+        [
+            "Character",
+            "Integer",
+            "Real",
+            "Unit",
+            "Record",
+            "Choice",
+            "Recursive",
+            "Port"
+        ]
     );
 }
 
@@ -68,15 +78,22 @@ fn parameterisation_matches_section_3_1() {
     // Integer Mtypes are "parameterized by range": a Java short.
     let mut g = MtypeGraph::new();
     let short = g.integer(IntRange::signed_bits(16));
-    let MtypeKind::Integer(r) = g.kind(short) else { panic!() };
+    let MtypeKind::Integer(r) = g.kind(short) else {
+        panic!()
+    };
     assert_eq!(r.lo, -(1 << 15));
     assert_eq!(r.hi, (1 << 15) - 1);
     // Character Mtypes "parameterized by their glyph repertoires".
     let c = g.character(Repertoire::Unicode);
-    assert!(matches!(g.kind(c), MtypeKind::Character(Repertoire::Unicode)));
+    assert!(matches!(
+        g.kind(c),
+        MtypeKind::Character(Repertoire::Unicode)
+    ));
     // Real Mtypes "distinguished by their precision and exponent".
     let f = g.real(RealPrecision::SINGLE);
-    let MtypeKind::Real(p) = g.kind(f) else { panic!() };
+    let MtypeKind::Real(p) = g.kind(f) else {
+        panic!()
+    };
     assert_eq!((p.mantissa_bits, p.exponent_bits), (24, 8));
 }
 
