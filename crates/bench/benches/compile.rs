@@ -1,0 +1,81 @@
+//! X5: batch compilation over the VisualAge corpus — cold serial vs
+//! warm cache (see DESIGN.md's compilation-engine section).
+//!
+//! The cold run proves every pair from scratch; the warm runs replay the
+//! same batch against the shared content-addressed cache, where verdicts
+//! and (same-snapshot) correspondences are lookups. `warm_restored`
+//! additionally pushes the cache through its persistence form
+//! (export → absorb), the path a project-file reload takes.
+
+use mockingbird_bench::harness::Criterion;
+use mockingbird_bench::{criterion_group, criterion_main};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use mockingbird::comparer::CompareCache;
+use mockingbird::corpus::visualage;
+use mockingbird::mtype::{MtypeGraph, MtypeId};
+use mockingbird::stype::lower::Lowerer;
+use mockingbird::stype::script::apply_script;
+use mockingbird::{BatchCompiler, BatchOptions};
+
+fn corpus_pairs(n: usize) -> (Arc<MtypeGraph>, Vec<(MtypeId, MtypeId)>) {
+    let mut pair = visualage(n, 42);
+    apply_script(&mut pair.java, &pair.script).unwrap();
+    let mut g = MtypeGraph::new();
+    let mut cxx_ids = Vec::new();
+    {
+        let mut lw = Lowerer::new(&pair.cxx, &mut g);
+        for name in &pair.class_names {
+            cxx_ids.push(lw.lower_named(name).unwrap());
+        }
+    }
+    let mut java_ids = Vec::new();
+    {
+        let mut lw = Lowerer::new(&pair.java, &mut g);
+        for name in &pair.class_names {
+            java_ids.push(lw.lower_named(name).unwrap());
+        }
+    }
+    let pairs = cxx_ids.into_iter().zip(java_ids).collect();
+    (g.snapshot(), pairs)
+}
+
+fn bench_batch_compile(c: &mut Criterion) {
+    let (graph, pairs) = corpus_pairs(40);
+    let serial = BatchOptions {
+        jobs: 1,
+        build_plans: false,
+        ..BatchOptions::default()
+    };
+
+    let mut group = c.benchmark_group("batch_compile");
+    group.bench_function("cold_serial", |b| {
+        b.iter(|| {
+            // A fresh compiler per iteration = a fresh (cold) cache.
+            let bc = BatchCompiler::new(graph.clone());
+            black_box(bc.compile(black_box(&pairs), &serial));
+        })
+    });
+
+    let warm = BatchCompiler::new(graph.clone());
+    warm.compile(&pairs, &serial);
+    group.bench_function("warm_serial", |b| {
+        b.iter(|| {
+            black_box(warm.compile(black_box(&pairs), &serial));
+        })
+    });
+
+    let restored = Arc::new(CompareCache::new());
+    restored.absorb(warm.cache().export());
+    let warm_restored = BatchCompiler::new(graph.clone()).with_cache(restored);
+    group.bench_function("warm_restored", |b| {
+        b.iter(|| {
+            black_box(warm_restored.compile(black_box(&pairs), &serial));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_compile);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Scaling probe for canonical fingerprints over the VisualAge corpus:
+//! one shared [`Canonizer`] per graph (the comparer's usage pattern)
+//! against a fresh engine per root. Run with a list of corpus sizes:
+//!
+//! ```text
+//! cargo run --release -p mockingbird-bench --example fp_scale -- 10 50 200
+//! ```
+
+fn main() {
+    use mockingbird::corpus::visualage;
+    use mockingbird::mtype::canon::{canonical_fingerprint, CanonOpts, Canonizer};
+    use mockingbird::mtype::MtypeGraph;
+    use mockingbird::stype::lower::Lowerer;
+    use mockingbird::stype::script::apply_script;
+    use std::time::Instant;
+    let ns: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().unwrap())
+        .collect();
+    for n in ns {
+        let mut pair = visualage(n, 42);
+        apply_script(&mut pair.java, &pair.script).unwrap();
+        let mut g = MtypeGraph::new();
+        let mut ids = Vec::new();
+        {
+            let mut lw = Lowerer::new(&pair.cxx, &mut g);
+            for name in &pair.class_names {
+                ids.push(lw.lower_named(name).unwrap());
+            }
+        }
+        let t = Instant::now();
+        let mut canon = Canonizer::new(&g, CanonOpts::full());
+        for &id in &ids {
+            std::hint::black_box(canon.fingerprint(id));
+        }
+        let shared = t.elapsed();
+        let t = Instant::now();
+        for &id in &ids {
+            std::hint::black_box(canonical_fingerprint(&g, id));
+        }
+        let fresh = t.elapsed();
+        println!(
+            "n={n:>4} nodes={:>6} shared engine: {shared:>12?}  fresh per root: {fresh:>12?}",
+            g.len()
+        );
+    }
+}

@@ -2,7 +2,9 @@
 //! DESIGN.md §4 with live measurements and prints them as the tables
 //! recorded in EXPERIMENTS.md.
 //!
-//! Usage: `report [t1|f5|e1|e2|e3|x1|x2|x3|x4]...` (no args = everything).
+//! Usage: `report [t1|f5|e1|e2|e3|x1|x2|x3|x4|x5]...` (no args =
+//! everything). `x5` additionally writes `BENCH_compile.json` with the
+//! measured cache hit rate and warm-vs-cold speedup.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -495,6 +497,126 @@ fn x4() {
     println!();
 }
 
+fn x5() {
+    use mockingbird::comparer::CompareCache;
+    use mockingbird::stype::json::Json;
+    use mockingbird::{BatchCompiler, BatchOptions, BatchReport};
+
+    println!("== X5: incremental batch compilation — cold vs warm cache ==");
+    let n = 200usize;
+    let mut pair = visualage(n, 42);
+    apply_script(&mut pair.java, &pair.script).unwrap();
+    let mut g = MtypeGraph::new();
+    let mut cxx_ids = Vec::new();
+    {
+        let mut lw = Lowerer::new(&pair.cxx, &mut g);
+        for name in &pair.class_names {
+            cxx_ids.push(lw.lower_named(name).unwrap());
+        }
+    }
+    let mut java_ids = Vec::new();
+    {
+        let mut lw = Lowerer::new(&pair.java, &mut g);
+        for name in &pair.class_names {
+            java_ids.push(lw.lower_named(name).unwrap());
+        }
+    }
+    let snap = g.snapshot();
+    let pairs: Vec<_> = cxx_ids.into_iter().zip(java_ids).collect();
+
+    let serial = BatchOptions {
+        jobs: 1,
+        build_plans: false,
+        ..BatchOptions::default()
+    };
+    let parallel = BatchOptions {
+        jobs: 0,
+        build_plans: false,
+        ..BatchOptions::default()
+    };
+
+    let row = |label: &str, r: &BatchReport| {
+        println!(
+            "{label:<26} {:>10.4} {:>9} {:>8} {:>8} {:>10}",
+            r.stats.wall.as_secs_f64(),
+            format!("{}/{}", r.stats.matched, r.stats.total_pairs),
+            r.stats.cache.hits,
+            r.stats.cache.misses,
+            r.stats.cache.corr_hits,
+        );
+    };
+    println!(
+        "{:<26} {:>10} {:>9} {:>8} {:>8} {:>10}",
+        "run", "wall (s)", "matched", "hits", "misses", "corr hits"
+    );
+
+    // Cold serial on a fresh cache, then warm replays on the same cache.
+    let bc = BatchCompiler::new(snap.clone());
+    let cold_serial = bc.compile(&pairs, &serial);
+    row("cold serial", &cold_serial);
+    let cold_parallel_bc = BatchCompiler::new(snap.clone());
+    let cold_parallel = cold_parallel_bc.compile(&pairs, &parallel);
+    row("cold parallel", &cold_parallel);
+    let warm_serial = bc.compile(&pairs, &serial);
+    row("warm serial", &warm_serial);
+    let warm_parallel = bc.compile(&pairs, &parallel);
+    row("warm parallel", &warm_parallel);
+    // The project-file path: export the warm cache, absorb it fresh.
+    let restored = std::sync::Arc::new(CompareCache::new());
+    restored.absorb(bc.cache().export());
+    let restored_bc = BatchCompiler::new(snap).with_cache(restored);
+    let warm_restored = restored_bc.compile(&pairs, &parallel);
+    row("warm restored (persisted)", &warm_restored);
+
+    let speedup = cold_serial.stats.wall.as_secs_f64() / warm_parallel.stats.wall.as_secs_f64();
+    let warm_cache = &warm_parallel.stats.cache;
+    println!(
+        "warm-parallel vs cold-serial: {speedup:.1}x \
+         ({:.0}% verdict hit rate, {} verdicts cached)",
+        warm_cache.hit_rate() * 100.0,
+        warm_cache.verdicts
+    );
+
+    let json = Json::obj([
+        ("pairs", Json::Int(warm_parallel.stats.total_pairs as i128)),
+        (
+            "unique",
+            Json::Int(warm_parallel.stats.unique_pairs as i128),
+        ),
+        ("workers", Json::Int(warm_parallel.stats.workers as i128)),
+        (
+            "cold_serial_s",
+            Json::Float(cold_serial.stats.wall.as_secs_f64()),
+        ),
+        (
+            "cold_parallel_s",
+            Json::Float(cold_parallel.stats.wall.as_secs_f64()),
+        ),
+        (
+            "warm_serial_s",
+            Json::Float(warm_serial.stats.wall.as_secs_f64()),
+        ),
+        (
+            "warm_parallel_s",
+            Json::Float(warm_parallel.stats.wall.as_secs_f64()),
+        ),
+        (
+            "warm_restored_s",
+            Json::Float(warm_restored.stats.wall.as_secs_f64()),
+        ),
+        ("speedup", Json::Float(speedup)),
+        ("hits", Json::Int(warm_cache.hits as i128)),
+        ("misses", Json::Int(warm_cache.misses as i128)),
+        ("inserts", Json::Int(warm_cache.inserts as i128)),
+        ("corr_hits", Json::Int(warm_cache.corr_hits as i128)),
+        ("hit_rate", Json::Float(warm_cache.hit_rate())),
+        ("verdicts", Json::Int(warm_cache.verdicts as i128)),
+    ]);
+    std::fs::write("BENCH_compile.json", json.pretty() + "\n").expect("write BENCH_compile.json");
+    println!("wrote BENCH_compile.json");
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |k: &str| args.is_empty() || args.iter().any(|a| a == k);
@@ -527,5 +649,8 @@ fn main() {
     }
     if want("x4") {
         x4();
+    }
+    if want("x5") {
+        x5();
     }
 }

@@ -2,10 +2,12 @@
 //! isomorphism rules.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
-use mockingbird_mtype::canon::{fingerprint, MtypeSummary};
+use mockingbird_mtype::canon::{fingerprint, Canonizer, MtypeSummary};
 use mockingbird_mtype::{MtypeGraph, MtypeId, MtypeKind};
 
+use crate::cache::{CacheKey, CompareCache, Verdict};
 use crate::correspondence::{Correspondence, Entry, PrimCoercion, RecordFlatten};
 use crate::diagnose::Mismatch;
 use crate::rules::RuleSet;
@@ -73,6 +75,15 @@ pub struct Comparer<'l, 'r> {
     /// [`Entry::Semantic`]; the coercion plan supplies the hand-written
     /// converter.
     semantic_bridges: HashSet<(MtypeId, MtypeId)>,
+    /// Cross-comparer verdict/correspondence memo, consulted before any
+    /// structural work. `None` keeps the historical one-shot behaviour.
+    shared: Option<Arc<CompareCache>>,
+    /// Per-side canonical-fingerprint engines backing `shared_key`:
+    /// incremental, so keying many roots of one graph shares all common
+    /// substructure. Lazily built — comparers without a shared cache
+    /// never pay for them.
+    lcanon: std::cell::RefCell<Option<Canonizer<'l>>>,
+    rcanon: std::cell::RefCell<Option<Canonizer<'r>>>,
 }
 
 impl<'l, 'r> Comparer<'l, 'r> {
@@ -89,7 +100,22 @@ impl<'l, 'r> Comparer<'l, 'r> {
             rules,
             cache: std::cell::RefCell::new(Cache::default()),
             semantic_bridges: HashSet::new(),
+            shared: None,
+            lcanon: std::cell::RefCell::new(None),
+            rcanon: std::cell::RefCell::new(None),
         }
+    }
+
+    /// Attaches a shared [`CompareCache`]: verdicts (and, for holders of
+    /// the same graph snapshots, correspondences) are looked up by
+    /// canonical fingerprint before any structural comparison runs, and
+    /// published afterwards. The cache is consulted only while no
+    /// semantic bridges are declared — bridged verdicts are not
+    /// structural facts and must not leak to comparers without the same
+    /// bridges.
+    pub fn with_shared_cache(mut self, cache: Arc<CompareCache>) -> Self {
+        self.shared = Some(cache);
+        self
     }
 
     /// Declares a semantic bridge: the (resolved) pair is accepted as
@@ -122,6 +148,152 @@ impl<'l, 'r> Comparer<'l, 'r> {
         rroot: MtypeId,
         mode: Mode,
     ) -> Result<Correspondence, Mismatch> {
+        self.compare_arc(lroot, rroot, mode).map(|c| (*c).clone())
+    }
+
+    /// As [`compare`](Comparer::compare), but returning the
+    /// [`Correspondence`] behind an `Arc` so shared-cache hits avoid
+    /// cloning it. The batch compiler builds its `CoercionPlan`s from
+    /// this entry point.
+    ///
+    /// # Errors
+    ///
+    /// As [`compare`](Comparer::compare).
+    #[allow(clippy::result_large_err)]
+    pub fn compare_arc(
+        &self,
+        lroot: MtypeId,
+        rroot: MtypeId,
+        mode: Mode,
+    ) -> Result<Arc<Correspondence>, Mismatch> {
+        // Semantic bridges make verdicts non-structural; bypass the
+        // shared cache entirely in their presence.
+        let Some(shared) = self
+            .shared
+            .as_ref()
+            .filter(|_| self.semantic_bridges.is_empty())
+        else {
+            return self.run(lroot, rroot, mode).0.map(Arc::new);
+        };
+        let key = self.shared_key(lroot, rroot, mode);
+        match shared.lookup(&key) {
+            Some(Verdict::Mismatch { reason, depth }) => {
+                // Resynthesize a diagnosis identical to the original
+                // run's (displays and summaries are pure functions of the
+                // roots; reason and depth come from the cache).
+                Err(Mismatch {
+                    reason,
+                    depth,
+                    left_display: self.left.display_capped(lroot, 640),
+                    right_display: self.right.display_capped(rroot, 640),
+                    left_summary: MtypeSummary::of(self.left, lroot),
+                    right_summary: MtypeSummary::of(self.right, rroot),
+                })
+            }
+            Some(Verdict::Match) => {
+                if let Some(corr) = shared.lookup_correspondence(
+                    &key,
+                    self.left.uid(),
+                    self.right.uid(),
+                    lroot,
+                    rroot,
+                ) {
+                    return Ok(corr);
+                }
+                // Verdict known, correspondence not transferable (other
+                // graph snapshot): re-derive and publish it. If the live
+                // run somehow disagrees with the cache, trust the run.
+                let (res, _) = self.run(lroot, rroot, mode);
+                res.map(|corr| {
+                    let corr = Arc::new(corr);
+                    shared.insert_correspondence(
+                        key,
+                        self.left.uid(),
+                        self.right.uid(),
+                        corr.clone(),
+                    );
+                    corr
+                })
+            }
+            None => {
+                let (res, budget_exhausted) = self.run(lroot, rroot, mode);
+                match res {
+                    Ok(corr) => {
+                        let corr = Arc::new(corr);
+                        shared.insert(key, Verdict::Match);
+                        shared.insert_correspondence(
+                            key,
+                            self.left.uid(),
+                            self.right.uid(),
+                            corr.clone(),
+                        );
+                        Ok(corr)
+                    }
+                    Err(m) => {
+                        // Budget-exhaustion failures are resource
+                        // artifacts, not semantic facts (mirrors the
+                        // internal negative-cache suppression).
+                        if !budget_exhausted {
+                            shared.insert(
+                                key,
+                                Verdict::Mismatch {
+                                    reason: m.reason.clone(),
+                                    depth: m.depth,
+                                },
+                            );
+                        }
+                        Err(m)
+                    }
+                }
+            }
+        }
+    }
+
+    /// The shared-cache key of a root pair under this comparer's rules:
+    /// rule-relative canonical fingerprints plus the rule-set digest.
+    fn shared_key(&self, lroot: MtypeId, rroot: MtypeId, mode: Mode) -> CacheKey {
+        let opts = self.rules.canon_opts();
+        let left_fp = self
+            .lcanon
+            .borrow_mut()
+            .get_or_insert_with(|| Canonizer::new(self.left, opts))
+            .fingerprint(lroot);
+        // Session/batch comparers compare within one snapshot; ids are
+        // graph-local, so when both sides are literally the same graph
+        // the left engine (and its memoised tables) serves both.
+        let same_graph = std::ptr::eq(
+            std::ptr::from_ref(self.left).cast::<u8>(),
+            std::ptr::from_ref(self.right).cast::<u8>(),
+        );
+        let right_fp = if same_graph {
+            self.lcanon
+                .borrow_mut()
+                .as_mut()
+                .expect("left engine initialised above")
+                .fingerprint(rroot)
+        } else {
+            self.rcanon
+                .borrow_mut()
+                .get_or_insert_with(|| Canonizer::new(self.right, opts))
+                .fingerprint(rroot)
+        };
+        CacheKey {
+            left_fp,
+            right_fp,
+            mode,
+            rules_fp: self.rules.fingerprint(),
+        }
+    }
+
+    /// One full structural comparison; also reports whether the search
+    /// budget ran out (failures under exhaustion are not cacheable).
+    #[allow(clippy::result_large_err)]
+    fn run(
+        &self,
+        lroot: MtypeId,
+        rroot: MtypeId,
+        mode: Mode,
+    ) -> (Result<Correspondence, Mismatch>, bool) {
         let mut cache = self.cache.borrow_mut();
         let mut ctx = Ctx {
             l: self.left,
@@ -142,7 +314,9 @@ impl<'l, 'r> Comparer<'l, 'r> {
             Mode::Equivalence => Rel::Eq,
             Mode::Subtype => Rel::Sub,
         };
-        match ctx.check(lroot, rroot, rel, 0) {
+        let outcome = ctx.check(lroot, rroot, rel, 0);
+        let budget_exhausted = ctx.budget_exhausted;
+        let res = match outcome {
             Ok(_) => Ok(Correspondence {
                 left_root: lroot,
                 right_root: rroot,
@@ -161,7 +335,8 @@ impl<'l, 'r> Comparer<'l, 'r> {
                     right_summary: MtypeSummary::of(self.right, rroot),
                 })
             }
-        }
+        };
+        (res, budget_exhausted)
     }
 
     /// Convenience: are the two Mtypes equivalent?
@@ -1150,6 +1325,63 @@ mod tests {
         assert!(cmp.subtype(left, right));
         assert!(!cmp.subtype(right, left));
         assert!(!cmp.equivalent(left, right));
+    }
+
+    #[test]
+    fn shared_cache_preserves_verdicts_and_counts() {
+        use crate::cache::CompareCache;
+        let mut g = graph();
+        let i = g.integer(IntRange::signed_bits(32));
+        let r = g.real(RealPrecision::SINGLE);
+        let left = g.record(vec![i, r]);
+        let right = g.record(vec![r, i]); // comm-equivalent
+        let bad = g.record(vec![r, r]);
+
+        let cache = std::sync::Arc::new(CompareCache::new());
+        let baseline = Comparer::new(&g, &g);
+        let cold = Comparer::new(&g, &g).with_shared_cache(cache.clone());
+        let ok_cold = cold.compare(left, right, Mode::Equivalence).unwrap();
+        let err_cold = cold.compare(left, bad, Mode::Equivalence).unwrap_err();
+        assert!(baseline.equivalent(left, right));
+
+        // A *fresh* comparer over the same graph hits the shared cache.
+        let warm = Comparer::new(&g, &g).with_shared_cache(cache.clone());
+        let ok_warm = warm.compare(left, right, Mode::Equivalence).unwrap();
+        let err_warm = warm.compare(left, bad, Mode::Equivalence).unwrap_err();
+        assert_eq!(ok_cold.left_root, ok_warm.left_root);
+        assert_eq!(ok_cold.entries.len(), ok_warm.entries.len());
+        assert_eq!(err_cold.reason, err_warm.reason);
+        assert_eq!(err_cold.depth, err_warm.depth);
+        assert_eq!(err_cold.left_display, err_warm.left_display);
+
+        let s = cache.stats();
+        assert_eq!(s.hits, 2, "both warm lookups hit");
+        assert_eq!(s.misses, 2, "both cold lookups missed");
+        assert!(s.inserts >= 2);
+        // Same graph object, same roots: the correspondence itself is
+        // reused, not just the verdict.
+        assert_eq!(s.corr_hits, 1);
+    }
+
+    #[test]
+    fn shared_cache_is_bypassed_with_semantic_bridges() {
+        use crate::cache::CompareCache;
+        let mut g = graph();
+        let i = g.integer(IntRange::signed_bits(32));
+        let r = g.real(RealPrecision::SINGLE);
+        let cache = std::sync::Arc::new(CompareCache::new());
+        let bridged = Comparer::new(&g, &g)
+            .with_shared_cache(cache.clone())
+            .with_semantic_bridge(i, r);
+        assert!(bridged.equivalent(i, r), "bridge axiom accepted");
+        assert_eq!(
+            cache.stats().hits + cache.stats().misses,
+            0,
+            "bridged comparisons must never consult the shared cache"
+        );
+        // And a bridge-free comparer still decides the pair honestly.
+        let plain = Comparer::new(&g, &g).with_shared_cache(cache.clone());
+        assert!(!plain.equivalent(i, r));
     }
 
     #[test]

@@ -52,11 +52,13 @@
 //!     .is_err());
 //! ```
 
+pub mod cache;
 pub mod compare;
 pub mod correspondence;
 pub mod diagnose;
 pub mod rules;
 
+pub use cache::{CacheKey, CacheStats, CompareCache, PersistedVerdict, Verdict};
 pub use compare::{resolve_transparent, Comparer, Mode};
 pub use correspondence::{Correspondence, Entry, PrimCoercion, RecordFlatten};
 pub use diagnose::Mismatch;

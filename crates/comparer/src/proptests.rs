@@ -219,6 +219,129 @@ fn subtype_is_reflexive() {
     });
 }
 
+/// Asserts that a shared [`CompareCache`](crate::cache::CompareCache)
+/// never changes an outcome: the uncached verdict, the cache-miss
+/// verdict and the cache-hit verdict (a second comparer over the same
+/// cache) must agree, down to mismatch reason and depth.
+fn assert_cache_transparent(
+    left: &MtypeGraph,
+    right: &MtypeGraph,
+    a: MtypeId,
+    b: MtypeId,
+    rules: &RuleSet,
+    mode: crate::compare::Mode,
+) {
+    use std::sync::Arc;
+
+    use crate::cache::CompareCache;
+
+    let uncached = Comparer::with_rules(left, right, rules.clone()).compare(a, b, mode);
+    let cache = Arc::new(CompareCache::new());
+    let miss = Comparer::with_rules(left, right, rules.clone())
+        .with_shared_cache(cache.clone())
+        .compare(a, b, mode);
+    let after_miss = cache.stats();
+    let hit = Comparer::with_rules(left, right, rules.clone())
+        .with_shared_cache(cache.clone())
+        .compare(a, b, mode);
+    let after_hit = cache.stats();
+
+    for (label, got) in [("miss", &miss), ("hit", &hit)] {
+        assert_eq!(
+            uncached.is_ok(),
+            got.is_ok(),
+            "cache {label} flipped the verdict under {rules:?} {mode:?}"
+        );
+        if let (Err(want), Err(have)) = (&uncached, got) {
+            assert_eq!(want.reason, have.reason, "cache {label} changed the reason");
+            assert_eq!(want.depth, have.depth, "cache {label} changed the depth");
+        }
+    }
+    // The first run populates the cache (unless the verdict was a
+    // non-cacheable budget exhaustion); the second must then consume it.
+    if after_miss.inserts > 0 {
+        assert!(
+            after_hit.hits > after_miss.hits,
+            "second run did not hit the shared cache"
+        );
+    }
+}
+
+#[test]
+fn shared_cache_is_transparent_for_matching_pairs() {
+    use crate::compare::Mode;
+    for_recipes(48, |recipe| {
+        let mut g1 = MtypeGraph::new();
+        let a = build(&mut g1, recipe);
+        let mut g2 = MtypeGraph::new();
+        let b = build_variant(&mut g2, recipe);
+        for rules in [RuleSet::full(), RuleSet::strict()] {
+            for mode in [Mode::Equivalence, Mode::Subtype] {
+                assert_cache_transparent(&g1, &g2, a, b, &rules, mode);
+            }
+        }
+    });
+}
+
+#[test]
+fn shared_cache_is_transparent_for_mismatching_pairs() {
+    use crate::compare::Mode;
+    for_recipes(48, |recipe| {
+        let mut g1 = MtypeGraph::new();
+        let a = build(&mut g1, recipe);
+        let mut g2 = MtypeGraph::new();
+        let b = build_perturbed(&mut g2, recipe);
+        for rules in [RuleSet::full(), RuleSet::strict()] {
+            for mode in [Mode::Equivalence, Mode::Subtype] {
+                assert_cache_transparent(&g1, &g2, a, b, &rules, mode);
+            }
+        }
+    });
+}
+
+#[test]
+fn cache_keys_do_not_collide_across_rule_sets_or_modes() {
+    use std::sync::Arc;
+
+    use crate::cache::CompareCache;
+    use crate::compare::Mode;
+
+    // A pair that matches under the full rules but not the strict ones:
+    // nested vs flat record grouping.
+    let mut g1 = MtypeGraph::new();
+    let i = g1.integer(IntRange::signed_bits(16));
+    let c = g1.character(Repertoire::Ascii);
+    let r = g1.real(RealPrecision::DOUBLE);
+    let flat = g1.record(vec![i, c, r]);
+    let mut g2 = MtypeGraph::new();
+    let i2 = g2.integer(IntRange::signed_bits(16));
+    let c2 = g2.character(Repertoire::Ascii);
+    let r2 = g2.real(RealPrecision::DOUBLE);
+    let head = g2.record(vec![i2, c2]);
+    let nested = g2.record(vec![head, r2]);
+
+    let cache = Arc::new(CompareCache::new());
+    // Warm the cache under the full rules, both modes.
+    for mode in [Mode::Equivalence, Mode::Subtype] {
+        assert!(Comparer::new(&g1, &g2)
+            .with_shared_cache(cache.clone())
+            .compare(flat, nested, mode)
+            .is_ok());
+    }
+    // The strict comparer shares the cache object but must not see those
+    // verdicts: its rule-set fingerprint (and rule-relative canonical
+    // fingerprints) key different entries, so it still rejects the pair.
+    for mode in [Mode::Equivalence, Mode::Subtype] {
+        assert!(
+            Comparer::with_rules(&g1, &g2, RuleSet::strict())
+                .with_shared_cache(cache.clone())
+                .compare(flat, nested, mode)
+                .is_err(),
+            "strict comparer consumed a full-rules verdict via the shared cache"
+        );
+    }
+}
+
 #[test]
 fn strict_rules_accept_identical_construction() {
     for_recipes(64, |recipe| {

@@ -1,5 +1,7 @@
 //! Isomorphism rule configuration.
 
+use mockingbird_mtype::canon::CanonOpts;
+
 /// Which isomorphism rules the comparer applies on top of the
 /// Amadio–Cardelli core (paper §4: "We extend the Amadio-Cardelli
 /// algorithm with isomorphism rules to allow for more flexible matching
@@ -50,6 +52,39 @@ impl RuleSet {
             search_budget: 10_000,
         }
     }
+
+    /// A stable 64-bit digest of the entire rule set, suitable for cache
+    /// keys. *Every* field participates — including `fingerprint_filter`
+    /// and `search_budget`, because both can change a verdict (the filter
+    /// through its documented incompleteness, the budget through
+    /// exhaustion failures) — so verdicts computed under different rule
+    /// sets can never share a cache entry.
+    pub fn fingerprint(&self) -> u64 {
+        fn mix(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(0x100_0000_01b3).rotate_left(17)
+        }
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        h = mix(h, u64::from(self.assoc));
+        h = mix(h, u64::from(self.comm));
+        h = mix(h, u64::from(self.unit_elim));
+        h = mix(h, u64::from(self.singleton_choice));
+        h = mix(h, u64::from(self.fingerprint_filter));
+        h = mix(h, self.search_budget as u64);
+        h
+    }
+
+    /// The canonicalisation options matching this rule set's structural
+    /// isomorphism rules: `canonical_fingerprint_opts` under these options
+    /// equates exactly the rewrites this rule set sanctions, which is what
+    /// makes the fingerprint a sound verdict-cache key.
+    pub fn canon_opts(&self) -> CanonOpts {
+        CanonOpts {
+            assoc: self.assoc,
+            comm: self.comm,
+            unit_elim: self.unit_elim,
+            singleton_choice: self.singleton_choice,
+        }
+    }
 }
 
 impl Default for RuleSet {
@@ -67,5 +102,34 @@ mod tests {
         assert_eq!(RuleSet::default(), RuleSet::full());
         assert!(RuleSet::full().assoc);
         assert!(!RuleSet::strict().assoc);
+    }
+
+    #[test]
+    fn fingerprint_separates_every_field() {
+        let base = RuleSet::full();
+        let mut variants = vec![base.fingerprint(), RuleSet::strict().fingerprint()];
+        for f in 0..5usize {
+            let mut r = RuleSet::full();
+            match f {
+                0 => r.assoc = false,
+                1 => r.comm = false,
+                2 => r.unit_elim = false,
+                3 => r.singleton_choice = false,
+                _ => r.fingerprint_filter = false,
+            }
+            variants.push(r.fingerprint());
+        }
+        let mut budget = RuleSet::full();
+        budget.search_budget = 7;
+        variants.push(budget.fingerprint());
+        let unique: std::collections::HashSet<u64> = variants.iter().copied().collect();
+        assert_eq!(unique.len(), variants.len(), "each variant keys separately");
+        assert_eq!(base.fingerprint(), RuleSet::full().fingerprint());
+    }
+
+    #[test]
+    fn canon_opts_mirror_structural_flags() {
+        assert_eq!(RuleSet::full().canon_opts(), CanonOpts::full());
+        assert_eq!(RuleSet::strict().canon_opts(), CanonOpts::strict());
     }
 }

@@ -10,7 +10,16 @@
 //! mbc compare <files...> --left A --right B [--script F] [--subtype]
 //! mbc emit  <files...> --left A --right B --script F [--name N]
 //! mbc save  <files...> --script F --out P.mbproj.json
+//! mbc batch <files...> --pairs F [--jobs N] [--subtype] [--out P.mbproj.json]
 //! ```
+//!
+//! `batch` compiles many pairs through one shared, content-addressed
+//! verdict cache (see [`BatchCompiler`]); `--pairs` names a file of
+//! whitespace-separated `LEFT RIGHT` lines (`#` comments). Loading a
+//! project file restores any cache it carries, and `--out` saves the
+//! warmed cache back for the next run.
+//!
+//! [`BatchCompiler`]: mockingbird::BatchCompiler
 //!
 //! File kinds are chosen by extension: `.c`/`.h` C, `.cpp`/`.cc`/`.cxx`
 //! C++, `.java` Java source, `.class` Java class files, `.idl` CORBA
@@ -20,12 +29,13 @@ use std::process::ExitCode;
 
 use mockingbird::stubgen::emit::{emit_c_stub, emit_jni_bridge, emit_rust_adapter};
 use mockingbird::stype::project::Project;
-use mockingbird::{Mode, Session, SessionError};
+use mockingbird::{BatchOptions, Mode, PairOutcome, Session, SessionError};
 
 fn usage() -> String {
-    "usage: mbc <parse|mtype|dot|compare|emit|save> <files...> [options]\n\
+    "usage: mbc <parse|mtype|dot|compare|emit|save|batch> <files...> [options]\n\
      options: --of NAME | --left NAME --right NAME | --script FILE |\n\
-     \x20        --subtype | --name STUBNAME | --out FILE"
+     \x20        --subtype | --name STUBNAME | --out FILE |\n\
+     \x20        --pairs FILE | --jobs N"
         .to_string()
 }
 
@@ -39,6 +49,8 @@ struct Args {
     name: String,
     out: Option<String>,
     subtype: bool,
+    pairs: Option<String>,
+    jobs: usize,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -54,6 +66,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         name: "stub".to_string(),
         out: None,
         subtype: false,
+        pairs: None,
+        jobs: 0,
     };
     while let Some(a) = it.next() {
         let mut take = |what: &str| -> Result<String, String> {
@@ -68,6 +82,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--script" => args.script = Some(take("--script")?),
             "--name" => args.name = take("--name")?,
             "--out" => args.out = Some(take("--out")?),
+            "--pairs" => args.pairs = Some(take("--pairs")?),
+            "--jobs" => {
+                args.jobs = take("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
             "--subtype" => args.subtype = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`\n{}", usage()))
@@ -87,11 +107,11 @@ fn load_into(session: &mut Session, path: &str) -> Result<(), String> {
     }
     if path.ends_with(".mbproj.json") {
         let p = Project::load(path).map_err(|e| format!("{path}: {e}"))?;
-        for d in p.universe.iter() {
-            session
-                .universe_mut()
-                .insert(d.clone())
-                .map_err(|e| format!("{path}: {e}"))?;
+        // Absorbing (rather than re-inserting declarations) also restores
+        // any compile cache the project carries, so batch runs start warm.
+        let absorbed = session.absorb_project(p).map_err(fail)?;
+        if absorbed > 0 {
+            eprintln!("restored {absorbed} cached verdicts from {path}");
         }
         return Ok(());
     }
@@ -183,6 +203,76 @@ fn run(args: Args) -> Result<(), String> {
                 "{}",
                 emit_rust_adapter(&stub, &args.name, &["args"]).map_err(|e| e.to_string())?
             );
+            Ok(())
+        }
+        "batch" => {
+            let pairs_path = args.pairs.ok_or("batch needs --pairs FILE")?;
+            let text =
+                std::fs::read_to_string(&pairs_path).map_err(|e| format!("{pairs_path}: {e}"))?;
+            let mut names: Vec<(String, String)> = Vec::new();
+            for (lineno, line) in text.lines().enumerate() {
+                let line = line.split('#').next().unwrap_or("").trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let mut parts = line.split_whitespace();
+                match (parts.next(), parts.next(), parts.next()) {
+                    (Some(l), Some(r), None) => names.push((l.to_string(), r.to_string())),
+                    _ => {
+                        return Err(format!(
+                            "{pairs_path}:{}: expected `LEFT RIGHT`, got `{line}`",
+                            lineno + 1
+                        ))
+                    }
+                }
+            }
+            let pairs: Vec<(&str, &str)> = names
+                .iter()
+                .map(|(l, r)| (l.as_str(), r.as_str()))
+                .collect();
+            let opts = BatchOptions {
+                mode: if args.subtype {
+                    Mode::Subtype
+                } else {
+                    Mode::Equivalence
+                },
+                jobs: args.jobs,
+                build_plans: false,
+            };
+            let report = session
+                .batch_compile(&pairs, &opts)
+                .map_err(|e| e.to_string())?;
+            for p in &report.pairs {
+                match &p.outcome {
+                    PairOutcome::Match { entries, .. } => {
+                        println!("MATCH    {} ~ {} ({entries} node pairs)", p.left, p.right)
+                    }
+                    PairOutcome::Mismatch(m) => {
+                        println!("MISMATCH {} ~ {}: {}", p.left, p.right, m.reason)
+                    }
+                }
+            }
+            let s = &report.stats;
+            println!(
+                "batch: {} pairs ({} unique), {} matched, {} mismatched, \
+                 {} workers, {:.1?}",
+                s.total_pairs, s.unique_pairs, s.matched, s.mismatched, s.workers, s.wall
+            );
+            println!(
+                "cache: {} hits, {} misses, {} inserts ({} corr hits, {:.0}% hit rate, {} stored)",
+                s.cache.hits,
+                s.cache.misses,
+                s.cache.inserts,
+                s.cache.corr_hits,
+                s.cache.hit_rate() * 100.0,
+                s.cache.verdicts
+            );
+            if let Some(out) = &args.out {
+                session
+                    .save_project(&args.name, out)
+                    .map_err(|e| e.to_string())?;
+                println!("saved warm cache ({} verdicts) to {out}", s.cache.verdicts);
+            }
             Ok(())
         }
         "save" => {

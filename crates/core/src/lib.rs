@@ -47,6 +47,7 @@
 //! # Ok::<(), mockingbird::SessionError>(())
 //! ```
 
+pub mod batch;
 pub mod session;
 
 pub use mockingbird_baselines as baselines;
@@ -63,7 +64,11 @@ pub use mockingbird_stype as stype;
 pub use mockingbird_values as values;
 pub use mockingbird_wire as wire;
 
-pub use mockingbird_comparer::Mode;
+pub use batch::{
+    BatchCompiler, BatchOptions, BatchReport, BatchStats, NamedBatchReport, NamedPairReport,
+    PairOutcome, PairReport,
+};
+pub use mockingbird_comparer::{CacheStats, CompareCache, Mode};
 pub use mockingbird_plan::CoercionPlan;
 pub use mockingbird_values::MValue;
 pub use session::{Session, SessionError};

@@ -11,7 +11,9 @@ use std::fmt;
 use std::path::Path;
 use std::sync::Arc;
 
-use mockingbird_comparer::{Comparer, Mismatch, Mode, RuleSet};
+use mockingbird_comparer::{
+    CacheStats, CompareCache, Comparer, Mismatch, Mode, PersistedVerdict, RuleSet,
+};
 use mockingbird_lang_c::{parse_c, parse_cxx, CParseError};
 use mockingbird_lang_idl::{parse_idl, IdlParseError};
 use mockingbird_lang_java::convert::{load_class_files, JavaLoadError};
@@ -22,9 +24,15 @@ use mockingbird_runtime::WireOp;
 use mockingbird_stubgen::shape::FnShape;
 use mockingbird_stubgen::{FunctionStub, InterfaceStub, StubError};
 use mockingbird_stype::ast::Universe;
+use mockingbird_stype::json::Json;
 use mockingbird_stype::lower::{LowerError, Lowerer};
 use mockingbird_stype::project::{Project, ProjectError};
 use mockingbird_stype::script::{apply_script, ScriptError};
+
+use crate::batch::{BatchCompiler, BatchOptions, NamedBatchReport};
+
+/// The project-file section the compile cache persists under.
+const CACHE_SECTION: &str = "compile_cache";
 
 /// Everything that can go wrong driving a session.
 #[derive(Debug)]
@@ -109,6 +117,15 @@ pub struct Session {
     graph: MtypeGraph,
     memo: HashMap<String, MtypeId>,
     rules: RuleSet,
+    /// Content-addressed verdict/correspondence memo shared by every
+    /// comparison this session runs (and persisted into project files).
+    cache: Arc<CompareCache>,
+    /// Plans already derived this generation, shared by `Arc` so stubs
+    /// over the same pair reuse one plan instead of re-deriving it.
+    /// Keyed by graph-local ids (not fingerprints: a plan converts
+    /// *values*, and fingerprint-equal types may still lay out their
+    /// values differently, e.g. comm-reordered records).
+    plans: HashMap<(MtypeId, MtypeId, Mode), Arc<CoercionPlan>>,
 }
 
 impl Default for Session {
@@ -125,6 +142,8 @@ impl Session {
             graph: MtypeGraph::new(),
             memo: HashMap::new(),
             rules: RuleSet::full(),
+            cache: Arc::new(CompareCache::new()),
+            plans: HashMap::new(),
         }
     }
 
@@ -147,7 +166,20 @@ impl Session {
     /// [`Selector`]: mockingbird_stype::selector::Selector
     pub fn universe_mut(&mut self) -> &mut Universe {
         self.memo.clear();
+        self.plans.clear();
         &mut self.uni
+    }
+
+    /// The session's shared compile cache (verdicts keyed by canonical
+    /// fingerprint). Useful for warming another session or inspecting
+    /// effectiveness; see [`Session::cache_stats`].
+    pub fn compile_cache(&self) -> &Arc<CompareCache> {
+        &self.cache
+    }
+
+    /// Hit/miss/insert counters of the compile cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// The Mtype graph all lowered declarations share.
@@ -218,6 +250,10 @@ impl Session {
     /// Returns the first malformed statement or unresolvable selector.
     pub fn annotate(&mut self, script: &str) -> Result<usize, SessionError> {
         self.memo.clear();
+        // Re-lowered declarations get fresh ids, so id-keyed plans are
+        // stale; the content-addressed verdict cache stays valid (changed
+        // types simply miss under their new fingerprints).
+        self.plans.clear();
         Ok(apply_script(&mut self.uni, script)?)
     }
 
@@ -283,18 +319,44 @@ impl Session {
         right: &str,
         mode: Mode,
     ) -> Result<CoercionPlan, SessionError> {
+        Ok((*self.compare_shared(left, right, mode)?).clone())
+    }
+
+    /// As [`Session::compare`], but incremental: verdicts and
+    /// correspondences come from the session's content-addressed
+    /// [`CompareCache`], the graph is handed to the plan as a frozen
+    /// `Arc` snapshot, and the derived plan itself is memoized so
+    /// repeated compares (and the stubs built from them) share one
+    /// `Arc<CoercionPlan>` instead of re-deriving it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::compare`].
+    pub fn compare_shared(
+        &mut self,
+        left: &str,
+        right: &str,
+        mode: Mode,
+    ) -> Result<Arc<CoercionPlan>, SessionError> {
         let l = self.mtype(left)?;
         let r = self.mtype(right)?;
-        let corr = Comparer::with_rules(&self.graph, &self.graph, self.rules.clone())
-            .compare(l, r, mode)
+        if let Some(plan) = self.plans.get(&(l, r, mode)) {
+            return Ok(plan.clone());
+        }
+        let snap = self.graph.snapshot();
+        let corr = Comparer::with_rules(&snap, &snap, self.rules.clone())
+            .with_shared_cache(self.cache.clone())
+            .compare_arc(l, r, mode)
             .map_err(|m| SessionError::Compare(Box::new(m)))?;
-        Ok(CoercionPlan::new(
-            &self.graph,
-            &self.graph,
+        let plan = Arc::new(CoercionPlan::new_shared(
+            snap.clone(),
+            snap,
             corr,
             self.rules.clone(),
             mode,
-        ))
+        ));
+        self.plans.insert((l, r, mode), plan.clone());
+        Ok(plan)
     }
 
     /// Runs the Comparer with programmer-declared *semantic bridges*
@@ -322,16 +384,19 @@ impl Session {
         for (bl, br) in bridges {
             bridge_ids.push((self.mtype(bl)?, self.mtype(br)?));
         }
-        let mut cmp = Comparer::with_rules(&self.graph, &self.graph, self.rules.clone());
+        // Bridged verdicts are relative to the declared assumptions, so
+        // the shared content-addressed cache is deliberately not wired in.
+        let snap = self.graph.snapshot();
+        let mut cmp = Comparer::with_rules(&snap, &snap, self.rules.clone());
         for (bl, br) in bridge_ids {
             cmp = cmp.with_semantic_bridge(bl, br);
         }
         let corr = cmp
-            .compare(l, r, mode)
+            .compare_arc(l, r, mode)
             .map_err(|m| SessionError::Compare(Box::new(m)))?;
-        Ok(CoercionPlan::new(
-            &self.graph,
-            &self.graph,
+        Ok(CoercionPlan::new_shared(
+            snap.clone(),
+            snap,
             corr,
             self.rules.clone(),
             mode,
@@ -344,8 +409,8 @@ impl Session {
     ///
     /// Propagates comparison and shape failures.
     pub fn function_stub(&mut self, left: &str, right: &str) -> Result<FunctionStub, SessionError> {
-        let plan = self.compare(left, right, Mode::Equivalence)?;
-        Ok(FunctionStub::new(Arc::new(plan))?)
+        let plan = self.compare_shared(left, right, Mode::Equivalence)?;
+        Ok(FunctionStub::new(plan)?)
     }
 
     /// Builds a local interface stub (multi-method objects).
@@ -358,8 +423,8 @@ impl Session {
         left: &str,
         right: &str,
     ) -> Result<InterfaceStub, SessionError> {
-        let plan = self.compare(left, right, Mode::Equivalence)?;
-        Ok(InterfaceStub::new(Arc::new(plan))?)
+        let plan = self.compare_shared(left, right, Mode::Equivalence)?;
+        Ok(InterfaceStub::new(plan)?)
     }
 
     /// Builds the wire-operation table entry for a function declaration:
@@ -374,11 +439,7 @@ impl Session {
         let shape = FnShape::of_function(&self.graph, id).map_err(StubError::Shape)?;
         let args_ty = self.graph.record(shape.inputs.clone());
         let result_ty = shape.output;
-        Ok(WireOp::new(
-            Arc::new(self.graph.clone()),
-            args_ty,
-            result_ty,
-        ))
+        Ok(WireOp::new(self.graph.snapshot(), args_ty, result_ty))
     }
 
     /// As [`wire_op`](Session::wire_op), but marks the operation
@@ -399,11 +460,17 @@ impl Session {
     ///
     /// Propagates I/O and serialisation failures.
     pub fn save_project(&self, name: &str, path: impl AsRef<Path>) -> Result<(), SessionError> {
-        Project::new(name, self.uni.clone()).save(path)?;
+        let mut p = Project::new(name, self.uni.clone());
+        if !self.cache.is_empty() {
+            p.extra
+                .insert(CACHE_SECTION.to_string(), encode_cache(&self.cache));
+        }
+        p.save(path)?;
         Ok(())
     }
 
-    /// Restores a session from a project file.
+    /// Restores a session from a project file, including any persisted
+    /// compile cache so the restored session starts warm.
     ///
     /// # Errors
     ///
@@ -411,9 +478,109 @@ impl Session {
     pub fn load_project(path: impl AsRef<Path>) -> Result<Session, SessionError> {
         let p = Project::load(path)?;
         let mut s = Session::new();
-        s.uni = p.universe;
+        s.absorb_project(p)?;
         Ok(s)
     }
+
+    /// Merges a parsed project into this session: the declarations are
+    /// absorbed into the universe and any persisted `compile_cache`
+    /// section warms the verdict cache. Malformed cache entries are
+    /// skipped rather than failing the load (the cache is a memo, not
+    /// data).
+    ///
+    /// # Errors
+    ///
+    /// Returns duplicate-name collisions from the universe merge.
+    pub fn absorb_project(&mut self, p: Project) -> Result<usize, SessionError> {
+        let Project {
+            universe, extra, ..
+        } = p;
+        self.absorb(universe)?;
+        let mut absorbed = 0;
+        if let Some(section) = extra.get(CACHE_SECTION) {
+            absorbed = self.cache.absorb(decode_cache(section));
+        }
+        Ok(absorbed)
+    }
+
+    /// Compiles many named pairs as one batch: each pair is lowered,
+    /// deduplicated, and compared through the shared [`CompareCache`]
+    /// (fanned out over worker threads when the host has them). See
+    /// [`BatchCompiler`] for the graph-level engine.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when a *name* does not lower; per-pair comparison
+    /// failures are reported inside the returned report, not as errors.
+    pub fn batch_compile(
+        &mut self,
+        pairs: &[(&str, &str)],
+        opts: &BatchOptions,
+    ) -> Result<NamedBatchReport, SessionError> {
+        let mut id_pairs = Vec::with_capacity(pairs.len());
+        let mut names = Vec::with_capacity(pairs.len());
+        for (l, r) in pairs {
+            id_pairs.push((self.mtype(l)?, self.mtype(r)?));
+            names.push(((*l).to_string(), (*r).to_string()));
+        }
+        let compiler = BatchCompiler::new(self.graph.snapshot())
+            .with_rules(self.rules.clone())
+            .with_cache(self.cache.clone());
+        let report = compiler.compile(&id_pairs, opts);
+        Ok(NamedBatchReport::from_report(report, names))
+    }
+}
+
+/// Encodes the cache's exportable verdicts as the project-file
+/// `compile_cache` section. Fingerprints are hex strings (`u128`/`u64`
+/// exceed what every JSON consumer round-trips as numbers).
+fn encode_cache(cache: &CompareCache) -> Json {
+    let verdicts: Vec<Json> = cache
+        .export()
+        .into_iter()
+        .map(|p| {
+            Json::obj([
+                ("l", Json::str(format!("{:032x}", p.left_fp))),
+                ("r", Json::str(format!("{:032x}", p.right_fp))),
+                ("rules", Json::str(format!("{:016x}", p.rules_fp))),
+                ("sub", Json::Bool(p.subtype)),
+                ("ok", Json::Bool(p.matched)),
+                ("reason", Json::str(p.reason)),
+                ("depth", Json::Int(p.depth as i128)),
+            ])
+        })
+        .collect();
+    Json::obj([("verdicts", Json::Array(verdicts))])
+}
+
+/// Decodes a `compile_cache` section, skipping entries that do not parse
+/// (forward compatibility: a newer writer may add fields or sections).
+fn decode_cache(section: &Json) -> Vec<PersistedVerdict> {
+    let Some(Json::Array(items)) = section.get("verdicts") else {
+        return Vec::new();
+    };
+    items
+        .iter()
+        .filter_map(|item| {
+            let fp128 = |key: &str| {
+                item.get(key)
+                    .and_then(|j| j.as_str().ok())
+                    .and_then(|s| u128::from_str_radix(s, 16).ok())
+            };
+            Some(PersistedVerdict {
+                left_fp: fp128("l")?,
+                right_fp: fp128("r")?,
+                rules_fp: item
+                    .get("rules")
+                    .and_then(|j| j.as_str().ok())
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())?,
+                subtype: item.get("sub")?.as_bool().ok()?,
+                matched: item.get("ok")?.as_bool().ok()?,
+                reason: item.get("reason")?.as_str().ok()?.to_string(),
+                depth: item.get("depth")?.as_int().ok()?.try_into().ok()?,
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -544,6 +711,82 @@ annotate JavaIdeal.method(fitter).ret non-null";
             s.graph().display(a).to_string(),
             s.graph().display(b).to_string()
         );
+    }
+
+    #[test]
+    fn repeated_compares_share_plans_and_hit_cache() {
+        let mut s = fitter_session();
+        let p1 = s
+            .compare_shared("JavaIdeal", "fitter", Mode::Equivalence)
+            .unwrap();
+        let p2 = s
+            .compare_shared("JavaIdeal", "fitter", Mode::Equivalence)
+            .unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "plan memo shares one Arc");
+        let stats = s.cache_stats();
+        // The second call short-circuits on the plan memo, so the cache
+        // sees exactly one (missing) lookup followed by one insert.
+        assert_eq!((stats.misses, stats.inserts, stats.hits), (1, 1, 0));
+
+        // Re-annotating invalidates plans but not content-addressed
+        // verdicts: the same comparison now *hits*.
+        s.annotate("annotate fitter.param(count) direction=in")
+            .unwrap();
+        let p3 = s
+            .compare_shared("JavaIdeal", "fitter", Mode::Equivalence)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p3), "plans were invalidated");
+        assert!(s.cache_stats().hits >= 1, "{:?}", s.cache_stats());
+    }
+
+    #[test]
+    fn project_round_trip_restores_warm_cache() {
+        let mut s = fitter_session();
+        s.compare("JavaIdeal", "fitter", Mode::Equivalence).unwrap();
+        assert!(!s.compile_cache().is_empty());
+
+        let dir = std::env::temp_dir().join("mockingbird-session-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fitter-warm.mbproj.json");
+        s.save_project("fitter", &path).unwrap();
+
+        let mut restored = Session::load_project(&path).unwrap();
+        assert_eq!(
+            restored.compile_cache().len(),
+            s.compile_cache().len(),
+            "verdicts survive the round trip"
+        );
+        restored
+            .compare("JavaIdeal", "fitter", Mode::Equivalence)
+            .unwrap();
+        let stats = restored.cache_stats();
+        assert!(stats.hits >= 1, "restored cache is warm: {stats:?}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn batch_compile_names_pairs_and_counts() {
+        let mut s = fitter_session();
+        let report = s
+            .batch_compile(
+                &[
+                    ("JavaIdeal", "fitter"),
+                    ("Point", "Line"),
+                    ("JavaIdeal", "fitter"),
+                ],
+                &BatchOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(report.pairs.len(), 3);
+        assert_eq!(report.stats.unique_pairs, 2);
+        assert!(report.pairs[0].outcome.is_match());
+        assert!(!report.pairs[1].outcome.is_match(), "Point vs Line differ");
+        assert_eq!(report.pairs[2].duplicate_of, Some(0));
+        assert_eq!(report.pairs[0].left, "JavaIdeal");
+        assert_eq!(report.pairs[1].right, "Line");
+        assert!(s
+            .batch_compile(&[("nope", "fitter")], &BatchOptions::default())
+            .is_err());
     }
 
     #[test]

@@ -8,8 +8,17 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::kind::{IntRange, MtypeKind, RealPrecision, Repertoire};
+
+/// Source of process-unique graph identities (see [`MtypeGraph::uid`]).
+static NEXT_GRAPH_UID: AtomicU64 = AtomicU64::new(1);
+
+fn next_graph_uid() -> u64 {
+    NEXT_GRAPH_UID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A handle to a node in an [`MtypeGraph`].
 ///
@@ -60,16 +69,87 @@ pub struct MtypeNode {
 /// let point = g.record(vec![r1, r2]);
 /// assert_eq!(g.node(point).kind.children().len(), 2);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct MtypeGraph {
     nodes: Vec<MtypeNode>,
     cons: HashMap<MtypeKind, MtypeId>,
+    /// Alternate provenance labels recorded when a hash-cons hit arrives
+    /// with a label that differs from the one already attached (first
+    /// label wins, see [`set_label`](MtypeGraph::set_label)).
+    alt_labels: HashMap<MtypeId, Vec<String>>,
+    /// Process-unique identity of this graph *object*. Cloning a graph
+    /// assigns a fresh uid, so two graphs share a uid only if one is a
+    /// frozen [`snapshot`](MtypeGraph::snapshot) of the other at a fixed
+    /// version. Caches use the uid to decide whether graph-local
+    /// [`MtypeId`]s may be reused.
+    uid: u64,
+    /// Bumped on every mutation; used to invalidate cached snapshots.
+    version: u64,
+    /// Cached frozen copy of this graph at `(version, snapshot)`.
+    frozen: Option<(u64, Arc<MtypeGraph>)>,
+}
+
+impl Clone for MtypeGraph {
+    fn clone(&self) -> Self {
+        Self {
+            nodes: self.nodes.clone(),
+            cons: self.cons.clone(),
+            alt_labels: self.alt_labels.clone(),
+            // A clone may diverge from the original, so it gets its own
+            // identity; content-addressed caches still apply across uids.
+            uid: next_graph_uid(),
+            version: self.version,
+            frozen: None,
+        }
+    }
+}
+
+impl Default for MtypeGraph {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MtypeGraph {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            nodes: Vec::new(),
+            cons: HashMap::new(),
+            alt_labels: HashMap::new(),
+            uid: next_graph_uid(),
+            version: 0,
+            frozen: None,
+        }
+    }
+
+    /// Process-unique identity of this graph object. Two graphs report the
+    /// same uid only when one is a frozen snapshot of the other, in which
+    /// case [`MtypeId`]s are interchangeable between them.
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Mutation counter: bumped by every node addition, label change or
+    /// binder patch. Snapshots are keyed by this.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Returns a cheap `Arc`-frozen copy of the graph at its current
+    /// version. Repeated calls return the *same* `Arc` until the graph is
+    /// mutated again, so snapshots taken between mutations share both
+    /// storage and [`uid`](MtypeGraph::uid) — which is what lets comparer
+    /// caches reuse correspondences across consumers of one snapshot.
+    pub fn snapshot(&mut self) -> Arc<MtypeGraph> {
+        if let Some((v, s)) = &self.frozen {
+            if *v == self.version {
+                return s.clone();
+            }
+        }
+        let arc = Arc::new(self.clone());
+        self.frozen = Some((self.version, arc.clone()));
+        arc
     }
 
     /// Number of nodes in the arena.
@@ -113,6 +193,7 @@ impl MtypeGraph {
     pub fn add(&mut self, kind: MtypeKind) -> MtypeId {
         let id = MtypeId(u32::try_from(self.nodes.len()).expect("mtype arena overflow"));
         self.nodes.push(MtypeNode { kind, label: None });
+        self.version += 1;
         id
     }
 
@@ -205,6 +286,7 @@ impl MtypeGraph {
             MtypeKind::Recursive(slot) => *slot = body,
             other => panic!("patch_recursive on non-Recursive node {}", other.tag()),
         }
+        self.version += 1;
     }
 
     /// Builds the canonical Mtype of an indefinite-size homogeneous
@@ -247,15 +329,39 @@ impl MtypeGraph {
         self.port(choice)
     }
 
-    /// Attaches a provenance label to a node (overwriting any previous
-    /// label). Labels are for diagnostics only.
+    /// Attaches a provenance label to a node. Labels are for diagnostics
+    /// only.
+    ///
+    /// The **first** label attached to a node wins: hash-consing means one
+    /// arena node can stand for declarations from several sources, and
+    /// silently overwriting would make diagnostics claim the wrong
+    /// provenance. Later distinct labels are recorded as alternates,
+    /// retrievable via [`alt_labels`](MtypeGraph::alt_labels).
     pub fn set_label(&mut self, id: MtypeId, label: impl Into<String>) {
-        self.nodes[id.index()].label = Some(label.into());
+        let label = label.into();
+        self.version += 1;
+        match &mut self.nodes[id.index()].label {
+            slot @ None => *slot = Some(label),
+            Some(existing) => {
+                if *existing != label {
+                    let alts = self.alt_labels.entry(id).or_default();
+                    if !alts.contains(&label) {
+                        alts.push(label);
+                    }
+                }
+            }
+        }
     }
 
-    /// The provenance label of a node, if any.
+    /// The (first-attached) provenance label of a node, if any.
     pub fn label(&self, id: MtypeId) -> Option<&str> {
         self.nodes[id.index()].label.as_deref()
+    }
+
+    /// Alternate provenance labels attached after the first (deduplicated,
+    /// in attachment order). Empty for nodes labelled at most once.
+    pub fn alt_labels(&self, id: MtypeId) -> &[String] {
+        self.alt_labels.get(&id).map_or(&[], Vec::as_slice)
     }
 
     /// Checks structural well-formedness:
@@ -380,6 +486,10 @@ impl MtypeGraph {
         }
         self.nodes[new_id.index()].kind = kind;
         self.nodes[new_id.index()].label = other.node(id).label.clone();
+        let alts = other.alt_labels(id);
+        if !alts.is_empty() {
+            self.alt_labels.insert(new_id, alts.to_vec());
+        }
         new_id
     }
 }
@@ -536,6 +646,49 @@ mod tests {
         let b = g.unit();
         assert_eq!(a, b);
         assert_eq!(g.label(b), Some("void"));
+    }
+
+    #[test]
+    fn cons_hit_with_different_label_keeps_first_and_records_alternate() {
+        let mut g = MtypeGraph::new();
+        // Two declarations lower to the same consed node but carry
+        // different provenance labels.
+        let a = g.integer(IntRange::signed_bits(32));
+        g.set_label(a, "c:int");
+        let b = g.integer(IntRange::signed_bits(32));
+        assert_eq!(a, b, "cons hit expected");
+        g.set_label(b, "java:int");
+        g.set_label(b, "java:int"); // duplicates are not recorded twice
+        assert_eq!(g.label(a), Some("c:int"), "first label wins");
+        assert_eq!(g.alt_labels(a), ["java:int".to_string()]);
+        // An unlabelled node reports no alternates.
+        let r = g.real(RealPrecision::SINGLE);
+        assert!(g.alt_labels(r).is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_reused_until_mutation() {
+        let mut g = MtypeGraph::new();
+        let int = g.integer(IntRange::signed_bits(32));
+        let s1 = g.snapshot();
+        let s2 = g.snapshot();
+        assert!(Arc::ptr_eq(&s1, &s2), "same version, same Arc");
+        assert_eq!(s1.uid(), s2.uid());
+        assert_ne!(s1.uid(), g.uid(), "snapshot is its own object");
+        let v = g.version();
+        let _ = g.record(vec![int, int]);
+        assert!(g.version() > v);
+        let s3 = g.snapshot();
+        assert!(!Arc::ptr_eq(&s1, &s3), "mutation invalidates the snapshot");
+        // Ids remain valid across snapshots (the arena is append-only).
+        assert_eq!(s3.kind(int), g.kind(int));
+    }
+
+    #[test]
+    fn clone_gets_a_fresh_uid() {
+        let g = MtypeGraph::new();
+        let c = g.clone();
+        assert_ne!(g.uid(), c.uid());
     }
 
     #[test]

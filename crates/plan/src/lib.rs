@@ -84,13 +84,14 @@ impl fmt::Debug for SemanticConv {
 
 /// An executable conversion between two matched Mtypes.
 ///
-/// Owns copies of both graphs so it can outlive the comparison session
-/// and be handed to stubs and the runtime.
+/// Holds `Arc`-shared frozen graphs (and correspondence) so it can
+/// outlive the comparison session, be handed to stubs and the runtime,
+/// and be cloned or shared across threads without copying either graph.
 #[derive(Debug)]
 pub struct CoercionPlan {
-    left: MtypeGraph,
-    right: MtypeGraph,
-    corr: Correspondence,
+    left: Arc<MtypeGraph>,
+    right: Arc<MtypeGraph>,
+    corr: Arc<Correspondence>,
     rules: RuleSet,
     mode: Mode,
     /// Entries proven on demand for pairs the original proof flattened
@@ -129,14 +130,34 @@ impl CoercionPlan {
         rules: RuleSet,
         mode: Mode,
     ) -> Self {
+        Self::new_shared(
+            Arc::new(left.clone()),
+            Arc::new(right.clone()),
+            Arc::new(corr),
+            rules,
+            mode,
+        )
+    }
+
+    /// As [`new`](CoercionPlan::new), but taking already-frozen graphs
+    /// and a cached correspondence by `Arc` — no copying. This is the
+    /// constructor the batch compiler and the session's plan cache use:
+    /// every plan over one graph snapshot shares the same frozen arena.
+    pub fn new_shared(
+        left: Arc<MtypeGraph>,
+        right: Arc<MtypeGraph>,
+        corr: Arc<Correspondence>,
+        rules: RuleSet,
+        mode: Mode,
+    ) -> Self {
         let extra = RwLock::new(Correspondence {
             left_root: corr.left_root,
             right_root: corr.right_root,
             entries: Default::default(),
         });
         CoercionPlan {
-            left: left.clone(),
-            right: right.clone(),
+            left,
+            right,
             corr,
             rules,
             mode,
