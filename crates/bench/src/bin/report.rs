@@ -2,9 +2,11 @@
 //! DESIGN.md §4 with live measurements and prints them as the tables
 //! recorded in EXPERIMENTS.md.
 //!
-//! Usage: `report [t1|f5|e1|e2|e3|x1|x2|x3|x4|x5]...` (no args =
+//! Usage: `report [t1|f5|e1|e2|e3|x1|x2|x3|x4|x5|x6]...` (no args =
 //! everything). `x5` additionally writes `BENCH_compile.json` with the
-//! measured cache hit rate and warm-vs-cold speedup.
+//! measured cache hit rate and warm-vs-cold speedup; `x6` writes
+//! `BENCH_marshal.json` with the fused-vs-interpretive marshalling
+//! speedup over a 200-class corpus.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -617,6 +619,128 @@ fn x5() {
     println!();
 }
 
+fn x6() {
+    use mockingbird::stype::json::Json;
+    use mockingbird::wire::WireProgram;
+    use mockingbird::{BatchCompiler, BatchOptions, PairOutcome};
+    use std::hint::black_box;
+    use std::sync::Arc;
+
+    println!("== X6: data-plane compilation — fused programs vs interpretive marshal ==");
+    // A 200-class data corpus: each class is a random message Mtype and
+    // its comm/assoc-permuted isomorphic variant, both imported into one
+    // shared graph (the shape of a real project's message universe).
+    let n = 200usize;
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut g = MtypeGraph::new();
+    let mut pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut scratch = MtypeGraph::new();
+        let ty = random_mtype(&mut scratch, &mut rng, 3);
+        let left = g.import(&scratch, ty);
+        let right = isomorphic_variant(&scratch, ty, &mut g);
+        pairs.push((left, right));
+    }
+    let graph = g.snapshot();
+    let bc = BatchCompiler::new(graph.clone());
+    let (report, compile_s) = time(|| bc.compile(&pairs, &BatchOptions::default()));
+
+    // Collect every pair the program compiler fused in both directions,
+    // with a sampled value of the left (native) type.
+    let mut cases: Vec<(
+        Arc<mockingbird::plan::CoercionPlan>,
+        Arc<WireProgram>,
+        MValue,
+    )> = Vec::new();
+    for p in &report.pairs {
+        if let PairOutcome::Match {
+            plan: Some(plan),
+            program: Some(prog),
+            ..
+        } = &p.outcome
+        {
+            if prog.two_way() {
+                let v = sample_value(&graph, plan.left_root(), &mut rng, 6);
+                cases.push((plan.clone(), prog.clone(), v));
+            }
+        }
+    }
+    let ps = &report.stats.programs;
+    println!(
+        "{n} classes compared + fused in {compile_s:.3}s: {} matched, \
+         {} programs compiled, {} interpretive fallbacks, {} two-way cases benched",
+        report.stats.matched,
+        ps.compiles,
+        ps.unsupported,
+        cases.len()
+    );
+
+    // Agreement check (the interpretive path is the oracle), plus the
+    // corpus' total wire footprint for throughput numbers.
+    let mut corpus_bytes = 0usize;
+    for (plan, prog, v) in &cases {
+        let mut fused = CdrWriter::new(Endian::Little);
+        prog.encode_value(&mut fused, v).unwrap();
+        let converted = plan.convert(v).unwrap();
+        let mut oracle = CdrWriter::new(Endian::Little);
+        oracle
+            .put_value(&graph, plan.right_root(), &converted)
+            .unwrap();
+        let fused = fused.into_bytes();
+        assert_eq!(fused, oracle.into_bytes(), "fused encode must match oracle");
+        let mut r = CdrReader::new(&fused, Endian::Little);
+        assert_eq!(&prog.decode_value(&mut r).unwrap(), v, "round trip");
+        corpus_bytes += fused.len();
+    }
+
+    // One "pass" marshals and unmarshals the whole corpus.
+    let interp_us = per_call_us(200, || {
+        for (plan, _, v) in &cases {
+            let converted = plan.convert(v).unwrap();
+            let mut w = CdrWriter::new(Endian::Little);
+            w.put_value(&graph, plan.right_root(), &converted).unwrap();
+            let bytes = w.into_bytes();
+            let mut r = CdrReader::new(&bytes, Endian::Little);
+            let wire = r.get_value(&graph, plan.right_root()).unwrap();
+            black_box(plan.convert_back(&wire).unwrap());
+        }
+    });
+    let mut pooled = Vec::new();
+    let fused_us = per_call_us(200, || {
+        for (_, prog, v) in &cases {
+            let mut w = CdrWriter::from_vec(std::mem::take(&mut pooled), Endian::Little);
+            prog.encode_value(&mut w, v).unwrap();
+            pooled = w.into_bytes();
+            let mut r = CdrReader::new(&pooled, Endian::Little);
+            black_box(prog.decode_value(&mut r).unwrap());
+        }
+    });
+    let speedup = interp_us / fused_us;
+    let mb = corpus_bytes as f64 / 1e6;
+    println!(
+        "round-trip over the corpus ({corpus_bytes} wire bytes/pass): \
+         interpretive {interp_us:.1} µs ({:.0} MB/s), fused {fused_us:.1} µs \
+         ({:.0} MB/s) -> {speedup:.1}x",
+        mb / (interp_us / 1e6),
+        mb / (fused_us / 1e6)
+    );
+
+    let json = Json::obj([
+        ("classes", Json::Int(n as i128)),
+        ("matched", Json::Int(report.stats.matched as i128)),
+        ("programs_compiled", Json::Int(ps.compiles as i128)),
+        ("interpretive_fallbacks", Json::Int(ps.unsupported as i128)),
+        ("two_way_cases", Json::Int(cases.len() as i128)),
+        ("corpus_wire_bytes", Json::Int(corpus_bytes as i128)),
+        ("interpretive_roundtrip_us", Json::Float(interp_us)),
+        ("fused_roundtrip_us", Json::Float(fused_us)),
+        ("speedup", Json::Float(speedup)),
+    ]);
+    std::fs::write("BENCH_marshal.json", json.pretty() + "\n").expect("write BENCH_marshal.json");
+    println!("wrote BENCH_marshal.json");
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |k: &str| args.is_empty() || args.iter().any(|a| a == k);
@@ -652,5 +776,8 @@ fn main() {
     }
     if want("x5") {
         x5();
+    }
+    if want("x6") {
+        x6();
     }
 }

@@ -14,9 +14,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use mockingbird_comparer::{CacheStats, CompareCache, Comparer, Mismatch, Mode, RuleSet};
+use mockingbird_comparer::{CacheKey, CacheStats, CompareCache, Comparer, Mismatch, Mode, RuleSet};
 use mockingbird_mtype::{MtypeGraph, MtypeId};
 use mockingbird_plan::CoercionPlan;
+use mockingbird_wire::{nominal_fingerprint, ProgramCache, ProgramStats, WireProgram};
 
 /// Knobs for one [`BatchCompiler::compile`] run.
 #[derive(Debug, Clone)]
@@ -28,6 +29,11 @@ pub struct BatchOptions {
     /// Whether matched pairs also get a [`CoercionPlan`] derived. Turn
     /// off to measure or run the compare stage alone.
     pub build_plans: bool,
+    /// Whether matched pairs (with plans) also get fused
+    /// [`WireProgram`]s compiled through the shared [`ProgramCache`].
+    /// Requires `build_plans`; pairs the program compiler declines run
+    /// interpretively and are cached negatively.
+    pub build_programs: bool,
 }
 
 impl Default for BatchOptions {
@@ -36,6 +42,7 @@ impl Default for BatchOptions {
             mode: Mode::Equivalence,
             jobs: 0,
             build_plans: true,
+            build_programs: true,
         }
     }
 }
@@ -47,6 +54,9 @@ pub enum PairOutcome {
     Match {
         /// The shared coercion plan (when `build_plans` was on).
         plan: Option<Arc<CoercionPlan>>,
+        /// The fused wire program (when `build_programs` was on and the
+        /// program compiler supported the pair).
+        program: Option<Arc<WireProgram>>,
         /// Size of the correspondence backing the match.
         entries: usize,
     },
@@ -95,6 +105,8 @@ pub struct BatchStats {
     pub wall: Duration,
     /// Cache counter deltas attributable to this run.
     pub cache: CacheStats,
+    /// Program-cache counter deltas attributable to this run.
+    pub programs: ProgramStats,
 }
 
 /// Result of one [`BatchCompiler::compile`] call.
@@ -157,15 +169,17 @@ pub struct BatchCompiler {
     graph: Arc<MtypeGraph>,
     rules: RuleSet,
     cache: Arc<CompareCache>,
+    programs: Arc<ProgramCache>,
 }
 
 impl BatchCompiler {
-    /// A compiler over `graph` with the full rule set and a fresh cache.
+    /// A compiler over `graph` with the full rule set and fresh caches.
     pub fn new(graph: Arc<MtypeGraph>) -> Self {
         BatchCompiler {
             graph,
             rules: RuleSet::full(),
             cache: Arc::new(CompareCache::new()),
+            programs: Arc::new(ProgramCache::new()),
         }
     }
 
@@ -182,9 +196,21 @@ impl BatchCompiler {
         self
     }
 
+    /// Shares an existing program cache (e.g. a session's, or one warmed
+    /// from a project file).
+    pub fn with_programs(mut self, programs: Arc<ProgramCache>) -> Self {
+        self.programs = programs;
+        self
+    }
+
     /// The cache this compiler feeds and reads.
     pub fn cache(&self) -> &Arc<CompareCache> {
         &self.cache
+    }
+
+    /// The wire-program cache this compiler feeds and reads.
+    pub fn programs(&self) -> &Arc<ProgramCache> {
+        &self.programs
     }
 
     /// The frozen graph snapshot.
@@ -211,7 +237,24 @@ impl BatchCompiler {
                         opts.mode,
                     ))
                 });
-                PairOutcome::Match { plan, entries }
+                let program = match (&plan, opts.build_programs) {
+                    (Some(plan), true) => {
+                        let key = CacheKey {
+                            left_fp: nominal_fingerprint(&self.graph, l),
+                            right_fp: nominal_fingerprint(&self.graph, r),
+                            mode: opts.mode,
+                            rules_fp: self.rules.fingerprint(),
+                        };
+                        self.programs
+                            .get_or_compile(key, || WireProgram::compile(plan))
+                    }
+                    _ => None,
+                };
+                PairOutcome::Match {
+                    plan,
+                    program,
+                    entries,
+                }
             }
             Err(m) => PairOutcome::Mismatch(Box::new(m)),
         }
@@ -226,6 +269,7 @@ impl BatchCompiler {
     /// up front (fingerprint-level duplicates collapse in the cache).
     pub fn compile(&self, pairs: &[(MtypeId, MtypeId)], opts: &BatchOptions) -> BatchReport {
         let before = self.cache.stats();
+        let programs_before = self.programs.stats();
         let start = Instant::now();
 
         // Exact-pair dedup: later occurrences borrow the first's outcome.
@@ -322,6 +366,7 @@ impl BatchCompiler {
                 workers,
                 wall: start.elapsed(),
                 cache: self.cache.stats().since(&before),
+                programs: self.programs.stats().since(&programs_before),
             },
         }
     }
@@ -359,10 +404,58 @@ mod tests {
         assert!(!rep.pairs[1].outcome.is_match(), "odd shape must mismatch");
         assert_eq!(rep.pairs[2].duplicate_of, Some(0));
         assert!(rep.pairs[2].outcome.is_match());
-        let PairOutcome::Match { plan, entries } = &rep.pairs[0].outcome else {
+        let PairOutcome::Match {
+            plan,
+            program,
+            entries,
+        } = &rep.pairs[0].outcome
+        else {
             panic!()
         };
         assert!(plan.is_some() && *entries > 0);
+        assert!(
+            program.is_some(),
+            "the nested/flat record pair compiles to a wire program"
+        );
+    }
+
+    #[test]
+    fn wire_programs_are_cached_across_runs_and_agree_with_plans() {
+        use mockingbird_values::{Endian, MValue};
+        use mockingbird_wire::{CdrReader, CdrWriter};
+
+        let (g, nested, flat, _) = small_graph();
+        let bc = BatchCompiler::new(g.clone());
+        let pairs = [(nested, flat)];
+        let cold = bc.compile(&pairs, &BatchOptions::default());
+        assert_eq!(cold.stats.programs.compiles, 1, "{:?}", cold.stats.programs);
+        let warm = bc.compile(&pairs, &BatchOptions::default());
+        assert_eq!(warm.stats.programs.compiles, 0);
+        assert!(warm.stats.programs.hits >= 1, "{:?}", warm.stats.programs);
+
+        // The cached program is the real data plane: its output matches
+        // the interpretive plan byte for byte.
+        let PairOutcome::Match {
+            plan: Some(plan),
+            program: Some(program),
+            ..
+        } = &warm.pairs[0].outcome
+        else {
+            panic!("expected a fused match")
+        };
+        let v = MValue::Record(vec![
+            MValue::Int(1),
+            MValue::Record(vec![MValue::Real(0.5), MValue::Int(2)]),
+        ]);
+        let mut fused = CdrWriter::new(Endian::Little);
+        program.encode_value(&mut fused, &v).unwrap();
+        let converted = plan.convert(&v).unwrap();
+        let mut oracle = CdrWriter::new(Endian::Little);
+        oracle.put_value(&g, flat, &converted).unwrap();
+        let oracle = oracle.into_bytes();
+        assert_eq!(fused.into_bytes(), oracle);
+        let mut r = CdrReader::new(&oracle, Endian::Little);
+        assert_eq!(program.decode_value(&mut r).unwrap(), v);
     }
 
     #[test]

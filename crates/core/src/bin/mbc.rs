@@ -108,10 +108,11 @@ fn load_into(session: &mut Session, path: &str) -> Result<(), String> {
     if path.ends_with(".mbproj.json") {
         let p = Project::load(path).map_err(|e| format!("{path}: {e}"))?;
         // Absorbing (rather than re-inserting declarations) also restores
-        // any compile cache the project carries, so batch runs start warm.
+        // any compile/program caches the project carries, so batch runs
+        // start warm on both the control and the data plane.
         let absorbed = session.absorb_project(p).map_err(fail)?;
         if absorbed > 0 {
-            eprintln!("restored {absorbed} cached verdicts from {path}");
+            eprintln!("restored {absorbed} cached verdicts and wire programs from {path}");
         }
         return Ok(());
     }
@@ -237,7 +238,10 @@ fn run(args: Args) -> Result<(), String> {
                     Mode::Equivalence
                 },
                 jobs: args.jobs,
-                build_plans: false,
+                // Plans feed the data plane: matched pairs get fused
+                // wire programs compiled (and persisted with --out).
+                build_plans: true,
+                build_programs: true,
             };
             let report = session
                 .batch_compile(&pairs, &opts)
@@ -266,6 +270,10 @@ fn run(args: Args) -> Result<(), String> {
                 s.cache.corr_hits,
                 s.cache.hit_rate() * 100.0,
                 s.cache.verdicts
+            );
+            println!(
+                "programs: {} compiled, {} cache hits, {} interpretive fallbacks",
+                s.programs.compiles, s.programs.hits, s.programs.unsupported
             );
             if let Some(out) = &args.out {
                 session

@@ -12,7 +12,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use mockingbird_comparer::{
-    CacheStats, CompareCache, Comparer, Mismatch, Mode, PersistedVerdict, RuleSet,
+    CacheKey, CacheStats, CompareCache, Comparer, Mismatch, Mode, PersistedVerdict, RuleSet,
 };
 use mockingbird_lang_c::{parse_c, parse_cxx, CParseError};
 use mockingbird_lang_idl::{parse_idl, IdlParseError};
@@ -28,11 +28,15 @@ use mockingbird_stype::json::Json;
 use mockingbird_stype::lower::{LowerError, Lowerer};
 use mockingbird_stype::project::{Project, ProjectError};
 use mockingbird_stype::script::{apply_script, ScriptError};
+use mockingbird_wire::{ProgramCache, ProgramStats, WireProgram};
 
 use crate::batch::{BatchCompiler, BatchOptions, NamedBatchReport};
 
 /// The project-file section the compile cache persists under.
 const CACHE_SECTION: &str = "compile_cache";
+
+/// The project-file section compiled wire programs persist under.
+const PROGRAM_SECTION: &str = "wire_programs";
 
 /// Everything that can go wrong driving a session.
 #[derive(Debug)]
@@ -126,6 +130,10 @@ pub struct Session {
     /// *values*, and fingerprint-equal types may still lay out their
     /// values differently, e.g. comm-reordered records).
     plans: HashMap<(MtypeId, MtypeId, Mode), Arc<CoercionPlan>>,
+    /// Fused wire programs compiled from plans, keyed by *nominal*
+    /// fingerprints (layout-faithful, unlike the canonical fingerprints
+    /// the verdict cache uses) and persisted into project files.
+    programs: Arc<ProgramCache>,
 }
 
 impl Default for Session {
@@ -144,6 +152,7 @@ impl Session {
             rules: RuleSet::full(),
             cache: Arc::new(CompareCache::new()),
             plans: HashMap::new(),
+            programs: Arc::new(ProgramCache::new()),
         }
     }
 
@@ -180,6 +189,17 @@ impl Session {
     /// Hit/miss/insert counters of the compile cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The session's shared fused-program cache (data-plane programs
+    /// keyed by nominal fingerprints; see [`ProgramCache`]).
+    pub fn wire_programs(&self) -> &Arc<ProgramCache> {
+        &self.programs
+    }
+
+    /// Compile/hit counters of the fused-program cache.
+    pub fn program_stats(&self) -> ProgramStats {
+        self.programs.stats()
     }
 
     /// The Mtype graph all lowered declarations share.
@@ -465,6 +485,10 @@ impl Session {
             p.extra
                 .insert(CACHE_SECTION.to_string(), encode_cache(&self.cache));
         }
+        if !self.programs.is_empty() {
+            p.extra
+                .insert(PROGRAM_SECTION.to_string(), encode_programs(&self.programs));
+        }
         p.save(path)?;
         Ok(())
     }
@@ -483,10 +507,11 @@ impl Session {
     }
 
     /// Merges a parsed project into this session: the declarations are
-    /// absorbed into the universe and any persisted `compile_cache`
-    /// section warms the verdict cache. Malformed cache entries are
-    /// skipped rather than failing the load (the cache is a memo, not
-    /// data).
+    /// absorbed into the universe, any persisted `compile_cache` section
+    /// warms the verdict cache, and any `wire_programs` section warms
+    /// the fused-program cache. Returns the total entries restored
+    /// across both. Malformed entries are skipped rather than failing
+    /// the load (the caches are memos, not data).
     ///
     /// # Errors
     ///
@@ -499,6 +524,9 @@ impl Session {
         let mut absorbed = 0;
         if let Some(section) = extra.get(CACHE_SECTION) {
             absorbed = self.cache.absorb(decode_cache(section));
+        }
+        if let Some(section) = extra.get(PROGRAM_SECTION) {
+            absorbed += self.programs.absorb(decode_programs(section));
         }
         Ok(absorbed)
     }
@@ -525,7 +553,8 @@ impl Session {
         }
         let compiler = BatchCompiler::new(self.graph.snapshot())
             .with_rules(self.rules.clone())
-            .with_cache(self.cache.clone());
+            .with_cache(self.cache.clone())
+            .with_programs(self.programs.clone());
         let report = compiler.compile(&id_pairs, opts);
         Ok(NamedBatchReport::from_report(report, names))
     }
@@ -579,6 +608,73 @@ fn decode_cache(section: &Json) -> Vec<PersistedVerdict> {
                 reason: item.get("reason")?.as_str().ok()?.to_string(),
                 depth: item.get("depth")?.as_int().ok()?.try_into().ok()?,
             })
+        })
+        .collect()
+}
+
+/// Encodes the fused-program cache as the project-file `wire_programs`
+/// section. Keys follow the `compile_cache` hex convention; program
+/// bodies are the portable [`WireProgram::to_bytes`] image, hex-encoded
+/// so the section stays valid JSON.
+fn encode_programs(cache: &ProgramCache) -> Json {
+    let hex = |bytes: &[u8]| bytes.iter().map(|b| format!("{b:02x}")).collect::<String>();
+    let programs: Vec<Json> = cache
+        .export()
+        .into_iter()
+        .map(|(k, prog)| {
+            Json::obj([
+                ("l", Json::str(format!("{:032x}", k.left_fp))),
+                ("r", Json::str(format!("{:032x}", k.right_fp))),
+                ("rules", Json::str(format!("{:016x}", k.rules_fp))),
+                ("sub", Json::Bool(k.mode == Mode::Subtype)),
+                ("bytes", Json::str(hex(&prog.to_bytes()))),
+            ])
+        })
+        .collect();
+    Json::obj([("programs", Json::Array(programs))])
+}
+
+/// Decodes a `wire_programs` section. Entries whose key fields do not
+/// parse or whose program image fails [`WireProgram::from_bytes`]
+/// validation are skipped, like malformed verdicts: a stale or
+/// corrupted program must never reach the data plane.
+fn decode_programs(section: &Json) -> Vec<(CacheKey, Arc<WireProgram>)> {
+    let unhex = |s: &str| -> Option<Vec<u8>> {
+        if !s.len().is_multiple_of(2) {
+            return None;
+        }
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
+            .collect()
+    };
+    let Some(Json::Array(items)) = section.get("programs") else {
+        return Vec::new();
+    };
+    items
+        .iter()
+        .filter_map(|item| {
+            let fp128 = |key: &str| {
+                item.get(key)
+                    .and_then(|j| j.as_str().ok())
+                    .and_then(|s| u128::from_str_radix(s, 16).ok())
+            };
+            let key = CacheKey {
+                left_fp: fp128("l")?,
+                right_fp: fp128("r")?,
+                rules_fp: item
+                    .get("rules")
+                    .and_then(|j| j.as_str().ok())
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())?,
+                mode: if item.get("sub")?.as_bool().ok()? {
+                    Mode::Subtype
+                } else {
+                    Mode::Equivalence
+                },
+            };
+            let bytes = unhex(item.get("bytes")?.as_str().ok()?)?;
+            let prog = WireProgram::from_bytes(&bytes).ok()?;
+            Some((key, Arc::new(prog)))
         })
         .collect()
 }
@@ -761,6 +857,34 @@ annotate JavaIdeal.method(fitter).ret non-null";
             .unwrap();
         let stats = restored.cache_stats();
         assert!(stats.hits >= 1, "restored cache is warm: {stats:?}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn project_round_trip_restores_wire_programs() {
+        let mut s = fitter_session();
+        s.batch_compile(&[("JavaIdeal", "fitter")], &BatchOptions::default())
+            .unwrap();
+        assert_eq!(s.wire_programs().len(), 1, "batch compiled one program");
+        assert_eq!(s.program_stats().compiles, 1);
+
+        let dir = std::env::temp_dir().join("mockingbird-session-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fitter-programs.mbproj.json");
+        s.save_project("fitter", &path).unwrap();
+
+        let mut restored = Session::load_project(&path).unwrap();
+        assert_eq!(
+            restored.wire_programs().len(),
+            1,
+            "programs survive the round trip"
+        );
+        restored
+            .batch_compile(&[("JavaIdeal", "fitter")], &BatchOptions::default())
+            .unwrap();
+        let stats = restored.program_stats();
+        assert_eq!(stats.compiles, 0, "restored program cache is warm");
+        assert!(stats.hits >= 1, "{stats:?}");
         std::fs::remove_file(path).ok();
     }
 

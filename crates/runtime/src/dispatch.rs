@@ -7,9 +7,10 @@ use std::sync::RwLock;
 
 use mockingbird_mtype::{MtypeGraph, MtypeId};
 use mockingbird_values::{Endian, MValue};
-use mockingbird_wire::{CdrReader, CdrWriter, Message, MessageKind, ReplyStatus};
+use mockingbird_wire::{CdrReader, CdrWriter, Message, MessageKind, ReplyStatus, WireProgram};
 
 use crate::error::RuntimeError;
+use crate::metrics;
 
 /// An invocable object: receives its inputs as a `Record` value and
 /// returns its outputs as a `Record` value (the `I`/`O` of the paper's
@@ -36,6 +37,12 @@ where
 /// The wire types of one operation: the Mtypes its argument and result
 /// records encode against. Both sides of a connection hold the same
 /// `WireOp` (the Mtype plays the role GIOP gives the IDL type).
+///
+/// Construction compiles fused identity [`WireProgram`]s for both types
+/// (both ends of a `WireOp` share the Mtype, so the coercion is the
+/// identity); encode/decode run them in one pass with no graph walk.
+/// Types the program compiler declines fall back to the interpretive
+/// `put_value`/`get_value` path transparently.
 #[derive(Debug, Clone)]
 pub struct WireOp {
     /// The graph the ids live in.
@@ -47,20 +54,36 @@ pub struct WireOp {
     /// Whether re-invoking after an ambiguous failure is safe. Only
     /// idempotent operations participate in the client's retry policy.
     pub idempotent: bool,
+    /// Fused identity program for `args_ty` (`None`: interpretive path).
+    args_program: Option<Arc<WireProgram>>,
+    /// Fused identity program for `result_ty`.
+    result_program: Option<Arc<WireProgram>>,
 }
 
 impl WireOp {
     /// A non-idempotent operation over `graph` (use [`idempotent`] to
-    /// opt into retries).
+    /// opt into retries). Compiles the fused marshal programs up front.
     ///
     /// [`idempotent`]: WireOp::idempotent
     #[must_use]
     pub fn new(graph: Arc<MtypeGraph>, args_ty: MtypeId, result_ty: MtypeId) -> Self {
+        let args_program = WireProgram::identity(&graph, args_ty).ok().map(Arc::new);
+        let result_program = if result_ty == args_ty {
+            args_program.clone()
+        } else {
+            WireProgram::identity(&graph, result_ty).ok().map(Arc::new)
+        };
+        let compiled = args_program.is_some() as u64 + result_program.is_some() as u64;
+        if compiled > 0 {
+            metrics::global().add_programs_compiled(compiled);
+        }
         WireOp {
             graph,
             args_ty,
             result_ty,
             idempotent: false,
+            args_program,
+            result_program,
         }
     }
 
@@ -70,6 +93,21 @@ impl WireOp {
     pub fn idempotent(mut self) -> Self {
         self.idempotent = true;
         self
+    }
+
+    /// Whether `ty` has a fused program on this operation.
+    pub fn is_fused(&self, ty: MtypeId) -> bool {
+        self.program_for(ty).is_some()
+    }
+
+    fn program_for(&self, ty: MtypeId) -> Option<&Arc<WireProgram>> {
+        if ty == self.args_ty {
+            self.args_program.as_ref()
+        } else if ty == self.result_ty {
+            self.result_program.as_ref()
+        } else {
+            None
+        }
     }
 
     /// Encodes an argument/result record for the wire.
@@ -85,9 +123,34 @@ impl WireOp {
         endian: Endian,
     ) -> Result<Vec<u8>, RuntimeError> {
         let mut w = CdrWriter::new(endian);
-        w.put_value(&self.graph, ty, value)
-            .map_err(|e| RuntimeError::Conversion(e.to_string()))?;
+        self.encode_with(&mut w, ty, value)?;
         Ok(w.into_bytes())
+    }
+
+    /// Encodes into a caller-owned (pooled) writer — the allocation-free
+    /// entry point of the fused marshal path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Conversion`] when the value does not
+    /// inhabit the Mtype.
+    pub fn encode_with(
+        &self,
+        w: &mut CdrWriter,
+        ty: MtypeId,
+        value: &MValue,
+    ) -> Result<(), RuntimeError> {
+        let before = w.len();
+        match self.program_for(ty) {
+            Some(p) => p
+                .encode_value(w, value)
+                .map_err(|e| RuntimeError::Conversion(e.to_string()))?,
+            None => w
+                .put_value(&self.graph, ty, value)
+                .map_err(|e| RuntimeError::Conversion(e.to_string()))?,
+        }
+        metrics::global().add_bytes_marshalled((w.len() - before) as u64);
+        Ok(())
     }
 
     /// Decodes an argument/result record from the wire.
@@ -97,8 +160,16 @@ impl WireOp {
     /// Returns [`RuntimeError::Conversion`] on malformed bodies.
     pub fn decode(&self, ty: MtypeId, body: &[u8], endian: Endian) -> Result<MValue, RuntimeError> {
         let mut r = CdrReader::new(body, endian);
-        r.get_value(&self.graph, ty)
-            .map_err(|e| RuntimeError::Conversion(e.to_string()))
+        let value = match self.program_for(ty) {
+            Some(p) if p.two_way() => p
+                .decode_value(&mut r)
+                .map_err(|e| RuntimeError::Conversion(e.to_string()))?,
+            _ => r
+                .get_value(&self.graph, ty)
+                .map_err(|e| RuntimeError::Conversion(e.to_string()))?,
+        };
+        metrics::global().add_bytes_unmarshalled((body.len() - r.remaining()) as u64);
+        Ok(value)
     }
 }
 
@@ -222,7 +293,7 @@ impl Dispatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mockingbird_mtype::IntRange;
+    use mockingbird_mtype::{IntRange, RealPrecision};
 
     fn echo_setup() -> (Dispatcher, Arc<MtypeGraph>, MtypeId) {
         let mut g = MtypeGraph::new();
@@ -340,6 +411,37 @@ mod tests {
         let reply = d.dispatch(&req).unwrap();
         let mut r = CdrReader::new(&reply.body, reply.endian);
         assert_eq!(r.get_value(&graph, rec).unwrap(), v);
+    }
+
+    #[test]
+    fn fused_wire_op_matches_interpretive_bytes() {
+        let mut g = MtypeGraph::new();
+        let i32_ = g.integer(IntRange::signed_bits(32));
+        let i8_ = g.integer(IntRange::signed_bits(8));
+        let r = g.real(RealPrecision::DOUBLE);
+        let list = g.list_of(i8_);
+        let u = g.unit();
+        let c = g.choice(vec![u, i32_]);
+        let rec = g.record(vec![i32_, r, list, c]);
+        let graph = Arc::new(g);
+        let op = WireOp::new(graph.clone(), rec, rec);
+        assert!(op.is_fused(rec));
+        let v = MValue::Record(vec![
+            MValue::Int(-7),
+            MValue::Real(2.5),
+            MValue::List(vec![MValue::Int(1), MValue::Int(2)]),
+            MValue::Choice {
+                index: 1,
+                value: Box::new(MValue::Int(9)),
+            },
+        ]);
+        for endian in [Endian::Little, Endian::Big] {
+            let fused = op.encode(rec, &v, endian).unwrap();
+            let mut w = CdrWriter::new(endian);
+            w.put_value(&graph, rec, &v).unwrap();
+            assert_eq!(fused, w.into_bytes(), "fused encode diverges ({endian:?})");
+            assert_eq!(op.decode(rec, &fused, endian).unwrap(), v);
+        }
     }
 
     #[test]

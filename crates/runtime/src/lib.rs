@@ -18,6 +18,8 @@
 //!   arguments by Mtype, frames a Request, awaits the Reply;
 //! - [`pool::ConnectionPool`] — a fixed set of multiplexed connections
 //!   shared round-robin, reconnecting lazily after transport failures;
+//!   [`pool::BufferPool`] — recycled marshal buffers so the fused data
+//!   plane encodes without allocating once warmed;
 //! - [`options`] — per-call deadlines and retry policies;
 //! - [`metrics`] — process-wide counters (requests, replies, retries,
 //!   timeouts, bytes each way) with a snapshot API.
@@ -36,6 +38,6 @@ pub use error::RuntimeError;
 pub use metrics::MetricsSnapshot;
 pub use node::{Node, PortHandler};
 pub use options::{CallOptions, RetryPolicy};
-pub use pool::ConnectionPool;
+pub use pool::{BufferPool, ConnectionPool, RequestEncoder};
 pub use proxy::RemoteRef;
 pub use transport::{Connection, InMemoryConnection, MultiplexedConnection, TcpServer};

@@ -18,6 +18,12 @@ pub struct Metrics {
     timeouts: AtomicU64,
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
+    bytes_marshalled: AtomicU64,
+    bytes_unmarshalled: AtomicU64,
+    programs_compiled: AtomicU64,
+    program_cache_hits: AtomicU64,
+    pool_reuses: AtomicU64,
+    pool_misses: AtomicU64,
 }
 
 /// A consistent-enough point-in-time copy of every counter.
@@ -38,6 +44,18 @@ pub struct MetricsSnapshot {
     pub bytes_sent: u64,
     /// Frame bytes read from sockets/streams.
     pub bytes_received: u64,
+    /// CDR body bytes produced by the data plane (native → wire).
+    pub bytes_marshalled: u64,
+    /// CDR body bytes consumed by the data plane (wire → native).
+    pub bytes_unmarshalled: u64,
+    /// Wire programs compiled from plans or types.
+    pub programs_compiled: u64,
+    /// Wire-program lookups served from a program cache.
+    pub program_cache_hits: u64,
+    /// Marshal buffers handed out from a pool with warmed capacity.
+    pub pool_reuses: u64,
+    /// Marshal buffer requests that had to allocate fresh.
+    pub pool_misses: u64,
 }
 
 impl Metrics {
@@ -51,6 +69,12 @@ impl Metrics {
             timeouts: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
             bytes_received: AtomicU64::new(0),
+            bytes_marshalled: AtomicU64::new(0),
+            bytes_unmarshalled: AtomicU64::new(0),
+            programs_compiled: AtomicU64::new(0),
+            program_cache_hits: AtomicU64::new(0),
+            pool_reuses: AtomicU64::new(0),
+            pool_misses: AtomicU64::new(0),
         }
     }
 
@@ -84,6 +108,36 @@ impl Metrics {
         self.bytes_received.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` CDR body bytes marshalled (native → wire).
+    pub fn add_bytes_marshalled(&self, n: u64) {
+        self.bytes_marshalled.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` CDR body bytes unmarshalled (wire → native).
+    pub fn add_bytes_unmarshalled(&self, n: u64) {
+        self.bytes_unmarshalled.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` wire-program compilations.
+    pub fn add_programs_compiled(&self, n: u64) {
+        self.programs_compiled.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` program-cache hits.
+    pub fn add_program_cache_hits(&self, n: u64) {
+        self.program_cache_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one pooled buffer handed out with warmed capacity.
+    pub fn add_pool_reuse(&self) {
+        self.pool_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one pool request that allocated a fresh buffer.
+    pub fn add_pool_miss(&self) {
+        self.pool_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -93,6 +147,12 @@ impl Metrics {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            bytes_marshalled: self.bytes_marshalled.load(Ordering::Relaxed),
+            bytes_unmarshalled: self.bytes_unmarshalled.load(Ordering::Relaxed),
+            programs_compiled: self.programs_compiled.load(Ordering::Relaxed),
+            program_cache_hits: self.program_cache_hits.load(Ordering::Relaxed),
+            pool_reuses: self.pool_reuses.load(Ordering::Relaxed),
+            pool_misses: self.pool_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -104,6 +164,12 @@ impl Metrics {
         self.timeouts.store(0, Ordering::Relaxed);
         self.bytes_sent.store(0, Ordering::Relaxed);
         self.bytes_received.store(0, Ordering::Relaxed);
+        self.bytes_marshalled.store(0, Ordering::Relaxed);
+        self.bytes_unmarshalled.store(0, Ordering::Relaxed);
+        self.programs_compiled.store(0, Ordering::Relaxed);
+        self.program_cache_hits.store(0, Ordering::Relaxed);
+        self.pool_reuses.store(0, Ordering::Relaxed);
+        self.pool_misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -140,6 +206,13 @@ mod tests {
         m.add_timeout();
         m.add_bytes_sent(100);
         m.add_bytes_received(60);
+        m.add_bytes_marshalled(48);
+        m.add_bytes_unmarshalled(24);
+        m.add_programs_compiled(2);
+        m.add_program_cache_hits(5);
+        m.add_pool_reuse();
+        m.add_pool_reuse();
+        m.add_pool_miss();
         let s = m.snapshot();
         assert_eq!(s.requests, 2);
         assert_eq!(s.replies, 1);
@@ -147,6 +220,12 @@ mod tests {
         assert_eq!(s.timeouts, 1);
         assert_eq!(s.bytes_sent, 100);
         assert_eq!(s.bytes_received, 60);
+        assert_eq!(s.bytes_marshalled, 48);
+        assert_eq!(s.bytes_unmarshalled, 24);
+        assert_eq!(s.programs_compiled, 2);
+        assert_eq!(s.program_cache_hits, 5);
+        assert_eq!(s.pool_reuses, 2);
+        assert_eq!(s.pool_misses, 1);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }

@@ -1,4 +1,4 @@
-//! A pool of multiplexed connections.
+//! Pools: multiplexed connections and reusable marshal buffers.
 //!
 //! A [`ConnectionPool`] owns a fixed number of slots, each lazily
 //! holding a [`MultiplexedConnection`] to one server address. Calls are
@@ -7,16 +7,123 @@
 //! next call that lands on it. The pool itself implements
 //! [`Connection`], so a [`RemoteRef`](crate::proxy::RemoteRef) can sit
 //! directly on a pool and share it between any number of threads.
+//!
+//! A [`BufferPool`] recycles the `Vec<u8>` request bodies of the fused
+//! marshal path: once a connection's buffers have warmed to its message
+//! sizes, encode allocates nothing. [`RequestEncoder`] is the checkout
+//! handle — a `CdrWriter` over a pooled buffer that returns the buffer
+//! to the pool if dropped unused.
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use mockingbird_wire::Message;
+use mockingbird_values::Endian;
+use mockingbird_wire::{CdrWriter, Message};
 
 use crate::error::RuntimeError;
+use crate::metrics;
 use crate::options::CallOptions;
 use crate::transport::{Connection, MultiplexedConnection};
+
+/// Buffers kept per pool; overflow is simply dropped (freed).
+const MAX_POOLED_BUFFERS: usize = 16;
+
+/// Largest capacity worth retaining: an occasional giant message must
+/// not pin its buffer forever.
+const MAX_POOLED_CAPACITY: usize = 1 << 20;
+
+/// A stack of reusable byte buffers for request bodies and frames.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Mutex<Vec<Vec<u8>>>,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// Checks out a cleared buffer, reusing a warmed one when available.
+    pub fn get(&self) -> Vec<u8> {
+        match self.free.lock().unwrap().pop() {
+            Some(buf) => {
+                metrics::global().add_pool_reuse();
+                buf
+            }
+            None => {
+                metrics::global().add_pool_miss();
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool (cleared, capacity kept). Oversized
+    /// or surplus buffers are dropped instead of retained.
+    pub fn put(&self, mut buf: Vec<u8>) {
+        if buf.capacity() > MAX_POOLED_CAPACITY {
+            return;
+        }
+        buf.clear();
+        let mut free = self.free.lock().unwrap();
+        if free.len() < MAX_POOLED_BUFFERS {
+            free.push(buf);
+        }
+    }
+
+    /// Buffers currently resting in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.lock().unwrap().len()
+    }
+
+    /// Checks out a [`RequestEncoder`]: a CDR writer over a pooled
+    /// buffer.
+    pub fn encoder(&self, endian: Endian) -> RequestEncoder<'_> {
+        RequestEncoder {
+            pool: self,
+            writer: Some(CdrWriter::from_vec(self.get(), endian)),
+        }
+    }
+}
+
+/// A CDR writer checked out of a [`BufferPool`]. [`finish`] hands the
+/// encoded bytes to the caller (who sends them and later [`put`]s the
+/// buffer back); dropping an unfinished encoder returns the buffer to
+/// the pool automatically.
+///
+/// [`finish`]: RequestEncoder::finish
+/// [`put`]: BufferPool::put
+#[derive(Debug)]
+pub struct RequestEncoder<'p> {
+    pool: &'p BufferPool,
+    writer: Option<CdrWriter>,
+}
+
+impl RequestEncoder<'_> {
+    /// The underlying CDR writer.
+    pub fn writer(&mut self) -> &mut CdrWriter {
+        self.writer.as_mut().expect("encoder already finished")
+    }
+
+    /// Consumes the encoder, returning the encoded bytes (the caller now
+    /// owns the buffer and should return it via [`BufferPool::put`]).
+    pub fn finish(mut self) -> Vec<u8> {
+        self.writer
+            .take()
+            .expect("encoder already finished")
+            .into_bytes()
+    }
+}
+
+impl Drop for RequestEncoder<'_> {
+    fn drop(&mut self) {
+        if let Some(w) = self.writer.take() {
+            self.pool.put(w.into_bytes());
+        }
+    }
+}
 
 /// A fixed-size pool of multiplexed connections to one address.
 pub struct ConnectionPool {
@@ -111,6 +218,42 @@ mod tests {
     use mockingbird_values::{Endian, MValue};
     use mockingbird_wire::{CdrReader, CdrWriter, MessageKind};
     use std::collections::HashMap;
+
+    #[test]
+    fn buffer_pool_recycles_capacity() {
+        let pool = BufferPool::new();
+        let mut enc = pool.encoder(Endian::Little);
+        enc.writer().put_bytes(&[0u8; 100]);
+        let body = enc.finish();
+        let cap = body.capacity();
+        let ptr = body.as_ptr();
+        pool.put(body);
+        assert_eq!(pool.idle(), 1);
+        // The next checkout gets the same storage back, cleared.
+        let reused = pool.get();
+        assert_eq!(reused.len(), 0);
+        assert_eq!(reused.capacity(), cap);
+        assert_eq!(reused.as_ptr(), ptr);
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn dropped_encoder_returns_its_buffer() {
+        let pool = BufferPool::new();
+        {
+            let mut enc = pool.encoder(Endian::Big);
+            enc.writer().put_bytes(b"abandoned");
+            // Dropped without finish(): the buffer must not leak away.
+        }
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        let pool = BufferPool::new();
+        pool.put(Vec::with_capacity(MAX_POOLED_CAPACITY + 1));
+        assert_eq!(pool.idle(), 0);
+    }
 
     fn echo_server() -> (TcpServer, Arc<MtypeGraph>, mockingbird_mtype::MtypeId) {
         let mut g = MtypeGraph::new();

@@ -11,6 +11,7 @@ use crate::dispatch::WireOp;
 use crate::error::RuntimeError;
 use crate::metrics;
 use crate::options::CallOptions;
+use crate::pool::BufferPool;
 use crate::transport::Connection;
 
 /// The client side of a remote object: holds a connection, the target's
@@ -30,6 +31,7 @@ pub struct RemoteRef {
     endian: Endian,
     next_request: AtomicU32,
     options: CallOptions,
+    buffers: BufferPool,
 }
 
 impl RemoteRef {
@@ -47,7 +49,20 @@ impl RemoteRef {
             endian,
             next_request: AtomicU32::new(1),
             options: CallOptions::default(),
+            buffers: BufferPool::new(),
         }
+    }
+
+    /// The reference's request-buffer pool. Fused stubs check encoders
+    /// out of this pool and return request bodies to it, so a warmed
+    /// reference marshals without allocating.
+    pub fn buffers(&self) -> &BufferPool {
+        &self.buffers
+    }
+
+    /// The byte order this reference marshals with.
+    pub fn endian(&self) -> Endian {
+        self.endian
     }
 
     /// Sets the default per-call options for this reference.
@@ -65,6 +80,12 @@ impl RemoteRef {
     /// The operations this reference can invoke.
     pub fn operations(&self) -> impl Iterator<Item = &str> {
         self.ops.keys().map(String::as_str)
+    }
+
+    /// Whether `operation` is declared idempotent (and so participates
+    /// in retry policies).
+    pub fn is_idempotent(&self, operation: &str) -> bool {
+        self.ops.get(operation).is_some_and(|op| op.idempotent)
     }
 
     /// Invokes `operation` with an argument record under the reference's
@@ -96,37 +117,73 @@ impl RemoteRef {
             .ops
             .get(operation)
             .ok_or_else(|| RuntimeError::UnknownOperation(operation.to_string()))?;
-        let body = op.encode(op.args_ty, args, self.endian)?;
+        let mut enc = self.buffers.encoder(self.endian);
+        op.encode_with(enc.writer(), op.args_ty, args)?;
+        let body = enc.finish();
+        let (reply_body, reply_endian) =
+            self.invoke_body_with(operation, body, op.idempotent, options)?;
+        op.decode(op.result_ty, &reply_body, reply_endian)
+    }
+
+    /// Invokes `operation` with a pre-encoded CDR request body, returning
+    /// the raw reply body and its byte order. This is the entry point of
+    /// the fused data plane: compiled stubs marshal straight into a
+    /// pooled buffer and hand the bytes here, bypassing the interpretive
+    /// value pipeline entirely.
+    ///
+    /// The body buffer is recycled into [`buffers`](RemoteRef::buffers)
+    /// when the call completes (it is reused as-is across retry
+    /// attempts — no per-attempt clone).
+    ///
+    /// # Errors
+    ///
+    /// As [`invoke`](RemoteRef::invoke), except conversion errors, which
+    /// cannot arise from raw bytes.
+    pub fn invoke_body_with(
+        &self,
+        operation: &str,
+        body: Vec<u8>,
+        idempotent: bool,
+        options: &CallOptions,
+    ) -> Result<(Vec<u8>, Endian), RuntimeError> {
         // Retries are opt-in twice over: the options must carry a policy
         // and the operation must be declared idempotent.
-        let policy = if op.idempotent {
+        let policy = if idempotent {
             options.retry.as_ref()
         } else {
             None
         };
         let max_retries = policy.map_or(0, |p| p.max_retries);
         let mut attempt = 0u32;
+        let mut body = body;
         loop {
-            match self.invoke_once(op, operation, body.clone(), options) {
+            let (recovered, outcome) = self.invoke_once_raw(operation, body, options);
+            match outcome {
                 Err(RuntimeError::Transport(_) | RuntimeError::Timeout(_))
                     if attempt < max_retries =>
                 {
                     metrics::global().add_retry();
                     std::thread::sleep(policy.unwrap().backoff(attempt));
                     attempt += 1;
+                    body = recovered;
                 }
-                outcome => return outcome,
+                outcome => {
+                    self.buffers.put(recovered);
+                    return outcome;
+                }
             }
         }
     }
 
-    fn invoke_once(
+    /// One attempt: frames the body, calls, correlates the reply. Always
+    /// hands the request body back so the caller can retry or pool it.
+    #[allow(clippy::type_complexity)]
+    fn invoke_once_raw(
         &self,
-        op: &WireOp,
         operation: &str,
         body: Vec<u8>,
         options: &CallOptions,
-    ) -> Result<MValue, RuntimeError> {
+    ) -> (Vec<u8>, Result<(Vec<u8>, Endian), RuntimeError>) {
         let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
         let msg = Message::request(
             request_id,
@@ -137,38 +194,41 @@ impl RemoteRef {
             body,
         );
         metrics::global().add_request();
-        let reply = self
-            .connection
-            .call_with(&msg, options)?
-            .ok_or_else(|| RuntimeError::Protocol("expected a reply".into()))?;
-        let MessageKind::Reply {
-            request_id: rid,
-            status,
-        } = reply.kind
-        else {
-            return Err(RuntimeError::Protocol("expected a Reply message".into()));
-        };
-        if rid != request_id {
-            return Err(RuntimeError::Protocol(format!(
-                "reply correlates to request {rid}, expected {request_id}"
-            )));
-        }
-        metrics::global().add_reply();
-        match status {
-            ReplyStatus::NoException => op.decode(op.result_ty, &reply.body, reply.endian),
-            ReplyStatus::UserException | ReplyStatus::SystemException => {
-                let mut r = CdrReader::new(&reply.body, reply.endian);
-                let text = r
-                    .get_bytes()
-                    .map(|b| String::from_utf8_lossy(b).into_owned())
-                    .unwrap_or_else(|_| "remote exception".to_string());
-                Err(if status == ReplyStatus::UserException {
-                    RuntimeError::Application(text)
-                } else {
-                    RuntimeError::Protocol(text)
-                })
+        let outcome = self.connection.call_with(&msg, options);
+        let body = msg.body;
+        let result = (|| {
+            let reply =
+                outcome?.ok_or_else(|| RuntimeError::Protocol("expected a reply".into()))?;
+            let MessageKind::Reply {
+                request_id: rid,
+                status,
+            } = reply.kind
+            else {
+                return Err(RuntimeError::Protocol("expected a Reply message".into()));
+            };
+            if rid != request_id {
+                return Err(RuntimeError::Protocol(format!(
+                    "reply correlates to request {rid}, expected {request_id}"
+                )));
             }
-        }
+            metrics::global().add_reply();
+            match status {
+                ReplyStatus::NoException => Ok((reply.body, reply.endian)),
+                ReplyStatus::UserException | ReplyStatus::SystemException => {
+                    let mut r = CdrReader::new(&reply.body, reply.endian);
+                    let text = r
+                        .get_bytes()
+                        .map(|b| String::from_utf8_lossy(b).into_owned())
+                        .unwrap_or_else(|_| "remote exception".to_string());
+                    Err(if status == ReplyStatus::UserException {
+                        RuntimeError::Application(text)
+                    } else {
+                        RuntimeError::Protocol(text)
+                    })
+                }
+            }
+        })();
+        (body, result)
     }
 
     /// Sends a oneway message: no reply is awaited.
@@ -182,7 +242,19 @@ impl RemoteRef {
             .ops
             .get(operation)
             .ok_or_else(|| RuntimeError::UnknownOperation(operation.to_string()))?;
-        let body = op.encode(op.args_ty, args, self.endian)?;
+        let mut enc = self.buffers.encoder(self.endian);
+        op.encode_with(enc.writer(), op.args_ty, args)?;
+        self.send_body(operation, enc.finish())
+    }
+
+    /// Sends a oneway message with a pre-encoded CDR body (the fused
+    /// counterpart of [`send`](RemoteRef::send)); the buffer is pooled
+    /// afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport failures.
+    pub fn send_body(&self, operation: &str, body: Vec<u8>) -> Result<(), RuntimeError> {
         let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
         let msg = Message::request(
             request_id,
@@ -193,7 +265,9 @@ impl RemoteRef {
             body,
         );
         metrics::global().add_request();
-        self.connection.call_with(&msg, &self.options)?;
+        let outcome = self.connection.call_with(&msg, &self.options);
+        self.buffers.put(msg.body);
+        outcome?;
         Ok(())
     }
 }
@@ -279,6 +353,33 @@ mod tests {
     fn oneway_send() {
         let r = setup();
         r.send("add", &args(1, 2)).unwrap();
+    }
+
+    #[test]
+    fn request_buffers_are_pooled_across_calls() {
+        let r = setup();
+        r.invoke("add", &args(1, 2)).unwrap();
+        // The request body came back to the pool after the first call…
+        assert_eq!(r.buffers().idle(), 1);
+        r.invoke("add", &args(3, 4)).unwrap();
+        r.send("add", &args(5, 6)).unwrap();
+        // …and steady state never grows beyond one resting buffer.
+        assert_eq!(r.buffers().idle(), 1);
+    }
+
+    #[test]
+    fn invoke_body_round_trip() {
+        let r = setup();
+        let op = r.ops.get("add").unwrap();
+        let body = op
+            .encode(op.args_ty, &args(20, 22), Endian::Little)
+            .unwrap();
+        let opts = CallOptions::default();
+        let (reply, endian) = r.invoke_body_with("add", body, false, &opts).unwrap();
+        assert_eq!(
+            op.decode(op.result_ty, &reply, endian).unwrap(),
+            MValue::Record(vec![MValue::Int(42)])
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! waiter timeouts (its reader thread never blocks on a single call).
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{Read, Write};
+use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -167,12 +167,19 @@ fn read_frame(stream: &mut TcpStream) -> Result<Option<Message>, RuntimeError> {
 }
 
 fn write_frame(stream: &mut TcpStream, msg: &Message) -> Result<(), RuntimeError> {
-    let bytes = msg.to_bytes();
-    stream
-        .write_all(&bytes)
-        .map_err(|e| RuntimeError::Transport(e.to_string()))?;
-    metrics::global().add_bytes_sent(bytes.len() as u64);
-    Ok(())
+    // The preamble+header go into a per-thread scratch buffer and the
+    // body is written from its own storage (vectored), so no thread
+    // allocates frame memory after its first send.
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    SCRATCH.with(|s| {
+        let mut scratch = s.borrow_mut();
+        msg.write_to(stream, &mut scratch)
+            .map_err(|e| RuntimeError::Transport(e.to_string()))?;
+        metrics::global().add_bytes_sent((scratch.len() + msg.body.len()) as u64);
+        Ok(())
+    })
 }
 
 /// A serial TCP client connection: one in-flight request at a time, the
@@ -661,6 +668,7 @@ mod tests {
     use mockingbird_values::{Endian, MValue};
     use mockingbird_wire::{CdrReader, CdrWriter, ReplyStatus};
     use std::collections::HashMap;
+    use std::io::Write;
 
     fn adder_dispatcher() -> (
         Arc<Dispatcher>,

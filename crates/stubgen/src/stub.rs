@@ -6,8 +6,9 @@ use std::sync::Arc;
 
 use mockingbird_comparer::{Entry, Mode};
 use mockingbird_plan::{CoercionPlan, ConvertError};
-use mockingbird_runtime::{RemoteRef, RuntimeError, Servant};
+use mockingbird_runtime::{metrics, RemoteRef, RuntimeError, Servant};
 use mockingbird_values::{MValue, PortRef};
+use mockingbird_wire::{CdrReader, WireProgram};
 
 use crate::shape::{methods_of, FnShape, ShapeError};
 
@@ -281,21 +282,54 @@ pub struct RemoteStub {
     inner: FunctionStub,
     remote: Arc<RemoteRef>,
     operation: String,
+    /// Fused one-pass marshal: left inputs → right-side wire bytes with
+    /// the reply port elided, straight into a pooled buffer. `None`
+    /// falls back to the interpretive convert-then-encode pipeline.
+    args_program: Option<Arc<WireProgram>>,
+    /// Fused unmarshal: right-side reply bytes → left output record.
+    result_program: Option<Arc<WireProgram>>,
 }
 
 impl RemoteStub {
-    /// Wraps a function stub around a remote reference.
+    /// Wraps a function stub around a remote reference, compiling the
+    /// fused wire programs for its argument and result coercions (pairs
+    /// the program compiler declines run interpretively).
     pub fn new(inner: FunctionStub, remote: Arc<RemoteRef>, operation: impl Into<String>) -> Self {
+        let args_program = WireProgram::compile_invocation(
+            inner.plan(),
+            inner.left.invocation,
+            inner.right.invocation,
+            inner.right.reply_index,
+        )
+        .ok()
+        .map(Arc::new);
+        let result_program =
+            WireProgram::compile_pair(inner.plan(), inner.left.output, inner.right.output)
+                .ok()
+                .filter(|p| p.two_way())
+                .map(Arc::new);
+        let compiled = args_program.is_some() as u64 + result_program.is_some() as u64;
+        if compiled > 0 {
+            metrics::global().add_programs_compiled(compiled);
+        }
         RemoteStub {
             inner,
             remote,
             operation: operation.into(),
+            args_program,
+            result_program,
         }
     }
 
     /// The remote operation name.
     pub fn operation(&self) -> &str {
         &self.operation
+    }
+
+    /// Whether calls run the fused data plane end to end (both the
+    /// argument and result coercions compiled to wire programs).
+    pub fn is_fused(&self) -> bool {
+        self.args_program.is_some() && self.result_program.is_some()
     }
 
     /// Performs one remote call: convert, marshal, send, await, convert
@@ -320,15 +354,58 @@ impl RemoteStub {
         inputs: &[MValue],
         options: &mockingbird_runtime::CallOptions,
     ) -> Result<MValue, StubError> {
+        if let (Some(args_p), Some(result_p)) = (&self.args_program, &self.result_program) {
+            return self.call_fused(args_p, result_p, inputs, options);
+        }
         let args_r = self.inner.convert_args(inputs)?;
         let out_r = self
             .remote
             .invoke_with(&self.operation, &args_r, options)
-            .map_err(|e| match e {
-                RuntimeError::Application(m) => StubError::Target(m),
-                other => StubError::Runtime(other.to_string()),
-            })?;
+            .map_err(remote_err)?;
         self.inner.convert_result(&out_r)
+    }
+
+    /// The fused data plane: inputs marshal straight into a pooled
+    /// request buffer (no intermediate right-side value is built), the
+    /// raw reply bytes unmarshal straight into the left output record.
+    fn call_fused(
+        &self,
+        args_p: &WireProgram,
+        result_p: &WireProgram,
+        inputs: &[MValue],
+        options: &mockingbird_runtime::CallOptions,
+    ) -> Result<MValue, StubError> {
+        if inputs.len() != self.inner.left.inputs.len() {
+            return Err(StubError::Convert(ConvertError(format!(
+                "stub takes {} inputs, got {}",
+                self.inner.left.inputs.len(),
+                inputs.len()
+            ))));
+        }
+        let mut enc = self.remote.buffers().encoder(self.remote.endian());
+        args_p
+            .encode_invocation(enc.writer(), inputs, self.inner.left.reply_index)
+            .map_err(|e| StubError::Convert(ConvertError(e.to_string())))?;
+        let body = enc.finish();
+        metrics::global().add_bytes_marshalled(body.len() as u64);
+        let idempotent = self.remote.is_idempotent(&self.operation);
+        let (reply, endian) = self
+            .remote
+            .invoke_body_with(&self.operation, body, idempotent, options)
+            .map_err(remote_err)?;
+        let mut r = CdrReader::new(&reply, endian);
+        let out = result_p
+            .decode_value(&mut r)
+            .map_err(|e| StubError::Convert(ConvertError(e.to_string())))?;
+        metrics::global().add_bytes_unmarshalled((reply.len() - r.remaining()) as u64);
+        Ok(out)
+    }
+}
+
+fn remote_err(e: RuntimeError) -> StubError {
+    match e {
+        RuntimeError::Application(m) => StubError::Target(m),
+        other => StubError::Runtime(other.to_string()),
     }
 }
 
@@ -510,6 +587,59 @@ mod tests {
         // Left method 0 = get.
         let out = stub.call_method(0, &[], &target).unwrap();
         assert_eq!(out, MValue::Record(vec![MValue::Int(7)]));
+    }
+
+    #[test]
+    fn remote_stub_runs_the_fused_data_plane() {
+        use mockingbird_runtime::{Dispatcher, InMemoryConnection, WireOp, WireServant};
+        use mockingbird_values::Endian;
+
+        let (plan, g) = fitter_plan();
+        // Wire types the server speaks: the C-side invocation minus its
+        // reply port, and the C-side output record.
+        let mut g = g;
+        let r = g.real(RealPrecision::SINGLE);
+        let pt = g.record(vec![r, r]);
+        let c_args = {
+            let list = g.list_of(pt);
+            g.record(vec![list])
+        };
+        let c_out = g.record(vec![pt, pt]);
+        let graph = Arc::new(g);
+        let servant: Arc<dyn Servant> = Arc::new(|_: &str, args: MValue| {
+            let MValue::Record(items) = args else {
+                return Err(RuntimeError::Application("bad args".into()));
+            };
+            let MValue::List(pts) = &items[0] else {
+                return Err(RuntimeError::Application("bad pts".into()));
+            };
+            let first = pts.first().cloned().unwrap();
+            let last = pts.last().cloned().unwrap();
+            Ok(MValue::Record(vec![first, last]))
+        });
+        let op = WireOp::new(graph, c_args, c_out);
+        let mut ops = HashMap::new();
+        ops.insert("fit".to_string(), op.clone());
+        let d = Arc::new(Dispatcher::new());
+        let mut server_ops = HashMap::new();
+        server_ops.insert("fit".to_string(), op);
+        d.register(b"fitter".to_vec(), WireServant::new(servant, server_ops));
+        let remote = Arc::new(RemoteRef::new(
+            Arc::new(InMemoryConnection::new(d)),
+            b"fitter".to_vec(),
+            ops,
+            Endian::Little,
+        ));
+        let stub = RemoteStub::new(FunctionStub::new(plan).unwrap(), remote.clone(), "fit");
+        assert!(stub.is_fused(), "the fitter pair must compile to programs");
+        let java_pts = MValue::List(vec![point(0.0, 0.0), point(1.0, 1.0), point(2.0, 2.0)]);
+        let out = stub.call(&[java_pts]).unwrap();
+        assert_eq!(
+            out,
+            MValue::Record(vec![MValue::Record(vec![point(0.0, 0.0), point(2.0, 2.0)])])
+        );
+        // The pooled request buffer came back after the call.
+        assert_eq!(remote.buffers().idle(), 1);
     }
 
     #[test]

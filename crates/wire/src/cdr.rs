@@ -87,6 +87,13 @@ impl CdrWriter {
         }
     }
 
+    /// Creates a writer over an existing (pooled) buffer, reusing its
+    /// capacity. The buffer is cleared; the alignment origin is offset 0.
+    pub fn from_vec(mut buf: Vec<u8>, endian: Endian) -> Self {
+        buf.clear();
+        CdrWriter { buf, endian }
+    }
+
     /// The byte order in use.
     pub fn endian(&self) -> Endian {
         self.endian
@@ -107,13 +114,24 @@ impl CdrWriter {
         self.buf.is_empty()
     }
 
+    /// Current buffer capacity (pool observability).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Resets the stream to empty, keeping the allocated capacity — the
+    /// basis of buffer reuse on the fused marshal path.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     fn align(&mut self, n: usize) {
         while !self.buf.len().is_multiple_of(n) {
             self.buf.push(0);
         }
     }
 
-    fn put_uint(&mut self, size: usize, v: u64) {
+    pub(crate) fn put_uint(&mut self, size: usize, v: u64) {
         self.align(size);
         match self.endian {
             Endian::Little => {
@@ -140,6 +158,22 @@ impl CdrWriter {
         self.buf.extend_from_slice(data);
     }
 
+    /// Writes a `u32`-length-prefixed region produced in place by `f`
+    /// (no intermediate buffer): aligns, reserves the length slot, runs
+    /// `f` against the underlying buffer, then backpatches the length.
+    pub(crate) fn put_prefixed(&mut self, f: impl FnOnce(&mut Vec<u8>)) {
+        self.align(4);
+        let slot = self.buf.len();
+        self.buf.extend_from_slice(&[0u8; 4]);
+        f(&mut self.buf);
+        let len = (self.buf.len() - slot - 4) as u32;
+        let bytes = match self.endian {
+            Endian::Little => len.to_le_bytes(),
+            Endian::Big => len.to_be_bytes(),
+        };
+        self.buf[slot..slot + 4].copy_from_slice(&bytes);
+    }
+
     /// Encodes `value` at the Mtype rooted at `ty`.
     ///
     /// # Errors
@@ -162,7 +196,7 @@ impl CdrWriter {
         value: &MValue,
         depth: usize,
     ) -> Result<(), CdrError> {
-        if depth > 2048 {
+        if depth > crate::MAX_NESTING_DEPTH {
             return err("value nesting exceeds supported depth");
         }
         let ty = graph.resolve(ty);
@@ -251,7 +285,7 @@ impl CdrWriter {
     }
 }
 
-fn mask(size: usize) -> u64 {
+pub(crate) fn mask(size: usize) -> u64 {
     if size >= 8 {
         u64::MAX
     } else {
@@ -314,7 +348,7 @@ impl<'a> CdrReader<'a> {
         }
     }
 
-    fn get_uint(&mut self, size: usize) -> Result<u64, CdrError> {
+    pub(crate) fn get_uint(&mut self, size: usize) -> Result<u64, CdrError> {
         self.align(size);
         if self.pos + size > self.data.len() {
             return err("truncated CDR stream");
@@ -376,7 +410,7 @@ impl<'a> CdrReader<'a> {
         ty: MtypeId,
         depth: usize,
     ) -> Result<MValue, CdrError> {
-        if depth > 2048 {
+        if depth > crate::MAX_NESTING_DEPTH {
             return err("type nesting exceeds supported depth");
         }
         let ty = graph.resolve(ty);
@@ -457,7 +491,7 @@ impl<'a> CdrReader<'a> {
     }
 }
 
-fn sign_extend(raw: u64, size: usize) -> i64 {
+pub(crate) fn sign_extend(raw: u64, size: usize) -> i64 {
     let shift = 64 - 8 * size as u32;
     ((raw << shift) as i64) >> shift
 }
@@ -655,6 +689,39 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = CdrReader::new(&bytes, Endian::Little);
         assert!(r.get_value(&g, ch).is_err());
+    }
+
+    #[test]
+    fn hostile_deeply_nested_buffer_is_rejected_not_overflowed() {
+        // Nullable(T) is Choice(Unit, T); Nullable(Nullable(...)) lets a
+        // hostile peer express unbounded *value* nesting in a tiny type.
+        // A buffer of 3000 `some(...)` discriminants must hit the depth
+        // guard and return CdrError instead of exhausting the stack.
+        let mut g = MtypeGraph::new();
+        let n = g.recursive(|g, slf| {
+            let u = g.unit();
+            g.choice(vec![u, slf])
+        });
+        let hostile: Vec<u8> = (0..3000).flat_map(|_| [1u8, 0, 0, 0]).collect();
+        let mut r = CdrReader::new(&hostile, Endian::Little);
+        let err = r.get_value(&g, n).unwrap_err();
+        assert!(err.0.contains("depth"), "{err}");
+        // A depth well under the guard still decodes.
+        let mut w = CdrWriter::new(Endian::Little);
+        let mut v = MValue::Choice {
+            index: 0,
+            value: Box::new(MValue::Unit),
+        };
+        for _ in 0..100 {
+            v = MValue::Choice {
+                index: 1,
+                value: Box::new(v),
+            };
+        }
+        w.put_value(&g, n, &v).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = CdrReader::new(&bytes, Endian::Little);
+        assert_eq!(r.get_value(&g, n).unwrap(), v);
     }
 
     #[test]

@@ -6,11 +6,12 @@
 //! Request or Reply header and the CDR-encoded body.
 
 use std::fmt;
+use std::io::{self, IoSlice, Write};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use mockingbird_values::Endian;
 
-use crate::cdr::{CdrReader, CdrWriter};
+use crate::cdr::CdrReader;
 
 /// The largest frame (header + payload) a peer may declare. Anything
 /// larger is rejected *before* the receiver allocates a buffer, so a
@@ -150,32 +151,39 @@ impl Message {
         }
     }
 
-    /// Serialises the message to framed bytes.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut header = CdrWriter::new(self.endian);
+    /// Exact byte length of the kind-specific header (what the old
+    /// two-buffer path measured by serialising; all fields are at most
+    /// 4-aligned and the header starts 4-aligned, so the length is pure
+    /// arithmetic).
+    fn header_len(&self) -> usize {
         match &self.kind {
             MessageKind::Request {
-                request_id,
-                response_expected,
                 object_key,
                 operation,
+                ..
             } => {
-                header.put_u32(*request_id);
-                header.put_u32(*response_expected as u32);
-                header.put_bytes(object_key);
-                header.put_bytes(operation.as_bytes());
+                let n = 8 + 4 + object_key.len();
+                n.div_ceil(4) * 4 + 4 + operation.len()
             }
-            MessageKind::Reply { request_id, status } => {
-                header.put_u32(*request_id);
-                header.put_u32(status.to_u32());
-            }
+            MessageKind::Reply { .. } => 8,
         }
-        let header_bytes = header.into_bytes();
-        // Align the body start to 8 so body alignment is origin-stable.
-        let header_padded = header_bytes.len().div_ceil(8) * 8;
-        let size = header_padded + self.body.len();
+    }
 
-        let mut out = Vec::with_capacity(12 + size);
+    fn put_u32_endian(&self, out: &mut Vec<u8>, v: u32) {
+        match self.endian {
+            Endian::Little => out.extend_from_slice(&v.to_le_bytes()),
+            Endian::Big => out.extend_from_slice(&v.to_be_bytes()),
+        }
+    }
+
+    /// Serialises everything before the body — preamble, kind-specific
+    /// header, padding to the 8-aligned body start — into `out`
+    /// (cleared first), reserving `reserve` bytes up front.
+    fn head_into(&self, out: &mut Vec<u8>, reserve: usize) {
+        out.clear();
+        out.reserve_exact(reserve);
+        let header_padded = self.header_len().div_ceil(8) * 8;
+        let size = header_padded + self.body.len();
         out.extend_from_slice(MAGIC);
         out.push(VERSION.0);
         out.push(VERSION.1);
@@ -188,10 +196,75 @@ impl Message {
             MessageKind::Reply { .. } => 1,
         });
         out.extend_from_slice(&(size as u32).to_be_bytes());
-        out.extend_from_slice(&header_bytes);
+        match &self.kind {
+            MessageKind::Request {
+                request_id,
+                response_expected,
+                object_key,
+                operation,
+            } => {
+                self.put_u32_endian(out, *request_id);
+                self.put_u32_endian(out, *response_expected as u32);
+                self.put_u32_endian(out, object_key.len() as u32);
+                out.extend_from_slice(object_key);
+                while !(out.len() - 12).is_multiple_of(4) {
+                    out.push(0);
+                }
+                self.put_u32_endian(out, operation.len() as u32);
+                out.extend_from_slice(operation.as_bytes());
+            }
+            MessageKind::Reply { request_id, status } => {
+                self.put_u32_endian(out, *request_id);
+                self.put_u32_endian(out, status.to_u32());
+            }
+        }
+        debug_assert_eq!(out.len() - 12, self.header_len());
+        // Align the body start to 8 so body alignment is origin-stable.
         out.resize(12 + header_padded, 0);
-        out.extend_from_slice(&self.body);
+    }
+
+    /// Serialises the message to framed bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.to_bytes_into(&mut out);
         out
+    }
+
+    /// Serialises into a caller-owned (pooled) buffer: the exact frame
+    /// size is reserved once, so a warmed buffer never reallocates.
+    pub fn to_bytes_into(&self, out: &mut Vec<u8>) {
+        let total = 12 + self.header_len().div_ceil(8) * 8 + self.body.len();
+        self.head_into(out, total);
+        out.extend_from_slice(&self.body);
+        debug_assert_eq!(out.len(), total);
+    }
+
+    /// Writes the framed message to `w` without copying the body: the
+    /// head is serialised into `scratch` (a reusable buffer) and head +
+    /// body go out as one vectored write where the sink supports it.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the sink; a sink that accepts zero
+    /// bytes yields `WriteZero`.
+    pub fn write_to<W: Write + ?Sized>(&self, w: &mut W, scratch: &mut Vec<u8>) -> io::Result<()> {
+        self.head_into(scratch, 12 + self.header_len().div_ceil(8) * 8);
+        let head = scratch.len();
+        let total = head + self.body.len();
+        let mut written = 0usize;
+        while written < total {
+            let n = if written < head {
+                let slices = [IoSlice::new(&scratch[written..]), IoSlice::new(&self.body)];
+                w.write_vectored(&slices)?
+            } else {
+                w.write(&self.body[written - head..])?
+            };
+            if n == 0 {
+                return Err(io::ErrorKind::WriteZero.into());
+            }
+            written += n;
+        }
+        Ok(())
     }
 
     /// Parses a framed message.
@@ -349,6 +422,56 @@ mod tests {
         // allocation, it does not shrink the protocol).
         forged[8..12].copy_from_slice(&((MAX_FRAME_LEN - 12) as u32).to_be_bytes());
         assert_eq!(Message::frame_len(&forged).unwrap(), MAX_FRAME_LEN);
+    }
+
+    #[test]
+    fn to_bytes_reserves_exactly_once() {
+        // The frame length is computed arithmetically up front, so the
+        // output buffer is sized exactly and never reallocates — and a
+        // pooled buffer reused across messages stays at its warmed
+        // capacity.
+        for m in [
+            Message::request(
+                7,
+                true,
+                b"obj-42".to_vec(),
+                "fitter",
+                Endian::Little,
+                vec![1; 37],
+            ),
+            Message::request(8, true, b"key".to_vec(), "op", Endian::Big, vec![]),
+            Message::reply(7, ReplyStatus::NoException, Endian::Little, vec![9; 111]),
+        ] {
+            let bytes = m.to_bytes();
+            assert_eq!(bytes.capacity(), bytes.len(), "exact single reservation");
+            let mut pooled = Vec::new();
+            m.to_bytes_into(&mut pooled);
+            assert_eq!(pooled, bytes);
+            let cap = pooled.capacity();
+            let ptr = pooled.as_ptr();
+            m.to_bytes_into(&mut pooled);
+            assert_eq!(pooled.capacity(), cap, "warmed buffer does not grow");
+            assert_eq!(pooled.as_ptr(), ptr, "warmed buffer does not move");
+        }
+    }
+
+    #[test]
+    fn write_to_emits_identical_frames_without_body_copy() {
+        let m = Message::request(3, true, b"k".to_vec(), "echo", Endian::Little, vec![5; 64]);
+        let mut sink = Vec::new();
+        let mut scratch = Vec::new();
+        m.write_to(&mut sink, &mut scratch).unwrap();
+        assert_eq!(sink, m.to_bytes());
+        assert!(
+            scratch.len() < sink.len(),
+            "body was not copied into scratch"
+        );
+        // A second write reuses the scratch buffer without growth.
+        let cap = scratch.capacity();
+        sink.clear();
+        m.write_to(&mut sink, &mut scratch).unwrap();
+        assert_eq!(sink, m.to_bytes());
+        assert_eq!(scratch.capacity(), cap);
     }
 
     #[test]

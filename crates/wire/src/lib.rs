@@ -21,6 +21,17 @@
 pub mod cdr;
 pub mod giop;
 pub mod mbp;
+pub mod program;
+
+/// Upper bound on value/type nesting the codecs and the fused executors
+/// will follow before returning an error. Shared by [`cdr`], [`mbp`] and
+/// [`program`] so hostile, deeply nested payloads fail uniformly instead
+/// of risking stack exhaustion. 512 leaves generous headroom for real
+/// messages while staying far below what debug-build recursion frames
+/// can fit in a 2 MiB thread stack (the previous 2048 guard fired only
+/// after the stack was already gone).
+pub const MAX_NESTING_DEPTH: usize = 512;
 
 pub use cdr::{CdrError, CdrReader, CdrWriter};
 pub use giop::{GiopError, Message, MessageKind, ReplyStatus, RequestIds, MAX_FRAME_LEN};
+pub use program::{nominal_fingerprint, ProgramCache, ProgramStats, Unsupported, WireProgram};

@@ -41,6 +41,12 @@ pub fn encode(v: &MValue) -> Vec<u8> {
     out
 }
 
+/// Encodes a value to MBP bytes appended to `out` — the allocation-free
+/// entry point the fused marshal path uses for `Dynamic` payloads.
+pub fn encode_into(out: &mut Vec<u8>, v: &MValue) {
+    put(out, v);
+}
+
 fn put(out: &mut Vec<u8>, v: &MValue) {
     match v {
         MValue::Int(x) => {
@@ -117,7 +123,7 @@ fn get_u32(data: &[u8], pos: &mut usize) -> Result<u32, MbpError> {
 }
 
 fn get(data: &[u8], pos: &mut usize, depth: usize) -> Result<MValue, MbpError> {
-    if depth > 2048 {
+    if depth > crate::MAX_NESTING_DEPTH {
         return Err(MbpError("nesting exceeds supported depth".into()));
     }
     let tag = take(data, pos, 1)?[0];
@@ -230,6 +236,29 @@ mod tests {
         rt(&v);
         rt(&MValue::Record(vec![]));
         rt(&MValue::List(vec![]));
+    }
+
+    #[test]
+    fn hostile_deeply_nested_buffer_is_rejected_not_overflowed() {
+        // 3000 nested TAG_CHOICE frames: 5 bytes buy one nesting level,
+        // so a ~15 KB buffer would otherwise drive ~3000 stack frames.
+        // The guard must return MbpError, not overflow.
+        let mut hostile = Vec::new();
+        for _ in 0..3000 {
+            hostile.push(TAG_CHOICE);
+            hostile.extend_from_slice(&0u32.to_be_bytes());
+        }
+        hostile.push(TAG_UNIT);
+        let err = decode(&hostile).unwrap_err();
+        assert!(err.0.contains("depth"), "{err}");
+    }
+
+    #[test]
+    fn encode_into_appends_in_place() {
+        let mut out = vec![0xAB];
+        encode_into(&mut out, &MValue::Int(5));
+        assert_eq!(out[0], 0xAB);
+        assert_eq!(&out[1..], encode(&MValue::Int(5)).as_slice());
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Property tests for the fused data plane: on random corpus pairs, the
+//! compiled [`WireProgram`] must agree with the interpretive path —
+//! encode byte-for-byte (`plan.convert` + `put_value`), decode
+//! value-for-value (`get_value` + `plan.convert_back`) — in both byte
+//! orders, and survive its portable serialisation unchanged. Each
+//! property runs over a deterministic stream of seeds so failures
+//! replay exactly.
+
+use mockingbird_rng::StdRng;
+
+use mockingbird::comparer::{Comparer, Mode, RuleSet};
+use mockingbird::corpus::{isomorphic_variant, random_mtype, sample_value};
+use mockingbird::mtype::MtypeGraph;
+use mockingbird::plan::CoercionPlan;
+use mockingbird::values::Endian;
+use mockingbird::wire::{CdrReader, CdrWriter, WireProgram};
+
+const CASES: u64 = 64;
+
+/// Builds the plan for a random pair under `seed`, or `None` when the
+/// program compiler does not support the pair's shape (ports, Dynamic):
+/// those fall back to the interpretive path by design.
+fn fused_case(seed: u64) -> Option<(MtypeGraph, MtypeGraph, CoercionPlan, WireProgram, StdRng)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = MtypeGraph::new();
+    let ty = random_mtype(&mut g, &mut rng, 3);
+    let mut h = MtypeGraph::new();
+    let var = isomorphic_variant(&g, ty, &mut h);
+    let corr = Comparer::new(&g, &h)
+        .compare(ty, var, Mode::Equivalence)
+        .expect("isomorphic variants must match");
+    let plan = CoercionPlan::new(&g, &h, corr, RuleSet::full(), Mode::Equivalence);
+    let program = WireProgram::compile(&plan).ok()?;
+    Some((g, h, plan, program, rng))
+}
+
+/// Fused encode produces byte-for-byte the interpretive encoding, and
+/// fused decode produces value-for-value the interpretive decoding, for
+/// random values in both byte orders.
+#[test]
+fn fused_programs_agree_with_the_interpretive_path() {
+    let mut fused = 0usize;
+    for seed in 0..CASES {
+        let Some((_g, h, plan, program, mut rng)) = fused_case(seed) else {
+            continue;
+        };
+        fused += 1;
+        assert!(program.two_way(), "equivalence plans fuse both directions");
+        for _round in 0..4 {
+            let v = sample_value(plan.left_graph(), plan.left_root(), &mut rng, 3);
+            for endian in [Endian::Little, Endian::Big] {
+                // Encode: byte-for-byte against convert + put_value.
+                let converted = plan.convert(&v).unwrap();
+                let mut oracle = CdrWriter::new(endian);
+                oracle.put_value(&h, plan.right_root(), &converted).unwrap();
+                let oracle = oracle.into_bytes();
+                let mut w = CdrWriter::new(endian);
+                program.encode_value(&mut w, &v).unwrap();
+                assert_eq!(w.into_bytes(), oracle, "seed {seed} encode {endian:?}");
+
+                // Decode: value-for-value against get_value +
+                // convert_back (which may canonicalise Choice indices,
+                // so the oracle is the interpretive result, not `v`).
+                let mut or = CdrReader::new(&oracle, endian);
+                let wire = or.get_value(&h, plan.right_root()).unwrap();
+                let expected = plan.convert_back(&wire).unwrap();
+                let mut r = CdrReader::new(&oracle, endian);
+                assert_eq!(
+                    program.decode_value(&mut r).unwrap(),
+                    expected,
+                    "seed {seed} decode {endian:?}"
+                );
+                assert_eq!(r.remaining(), 0, "seed {seed} {endian:?}");
+            }
+        }
+    }
+    assert!(
+        fused >= CASES as usize / 2,
+        "the program compiler should cover most of the corpus, got {fused}/{CASES}"
+    );
+}
+
+/// A program survives its portable byte serialisation with identical
+/// observable behaviour (what the project-file persistence relies on).
+#[test]
+fn serialised_programs_behave_identically() {
+    for seed in 0..CASES {
+        let Some((g, _h, plan, program, mut rng)) = fused_case(seed) else {
+            continue;
+        };
+        let restored = WireProgram::from_bytes(&program.to_bytes()).expect("round trip");
+        assert_eq!(restored.two_way(), program.two_way());
+        let v = sample_value(&g, plan.left_root(), &mut rng, 3);
+        for endian in [Endian::Little, Endian::Big] {
+            let mut a = CdrWriter::new(endian);
+            program.encode_value(&mut a, &v).unwrap();
+            let a = a.into_bytes();
+            let mut b = CdrWriter::new(endian);
+            restored.encode_value(&mut b, &v).unwrap();
+            assert_eq!(b.into_bytes(), a, "seed {seed} {endian:?}");
+            let mut r = CdrReader::new(&a, endian);
+            let mut rr = CdrReader::new(&a, endian);
+            assert_eq!(
+                restored.decode_value(&mut rr).unwrap(),
+                program.decode_value(&mut r).unwrap(),
+                "seed {seed} {endian:?}"
+            );
+        }
+    }
+}
