@@ -2,11 +2,13 @@
 //! DESIGN.md §4 with live measurements and prints them as the tables
 //! recorded in EXPERIMENTS.md.
 //!
-//! Usage: `report [t1|f5|e1|e2|e3|x1|x2|x3|x4|x5|x6]...` (no args =
+//! Usage: `report [t1|f5|e1|e2|e3|x1|x2|x3|x4|x5|x6|x7]...` (no args =
 //! everything). `x5` additionally writes `BENCH_compile.json` with the
 //! measured cache hit rate and warm-vs-cold speedup; `x6` writes
 //! `BENCH_marshal.json` with the fused-vs-interpretive marshalling
-//! speedup over a 200-class corpus.
+//! speedup over a 200-class corpus; `x7` writes `BENCH_resilience.json`
+//! with success rates and p99 latency under injected faults, with and
+//! without the breaker+hedging supervision stack.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -741,6 +743,188 @@ fn x6() {
     println!();
 }
 
+fn x7() {
+    use mockingbird::runtime::{
+        metrics, BreakerConfig, CallOptions, ChaosConfig, ChaosConnection, ChaosSchedule,
+        Connection, ConnectionPool, Connector, Dispatcher, HedgePolicy, InMemoryConnection,
+        RemoteRef, RetryPolicy, RuntimeError, Servant, WireOp, WireServant,
+    };
+    use mockingbird::stype::json::Json;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    println!("== X7: resilience — success rate and p99 under injected faults ==");
+    const SEED: u64 = 0x0C4A_0507;
+    const CALLS: u32 = 600;
+    println!("chaos seed: {SEED:#x} ({CALLS} idempotent calls per cell)");
+
+    // An in-memory echo service reached through chaos-wrapped
+    // connections, so the only failures are the injected ones.
+    let service = || {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(64));
+        let rec = g.record(vec![i]);
+        let graph = Arc::new(g);
+        let op = WireOp::new(graph, rec, rec).idempotent();
+        let servant: Arc<dyn Servant> = Arc::new(|_: &str, v: MValue| Ok(v));
+        let mut ops = HashMap::new();
+        ops.insert("echo".to_string(), op);
+        let d = Arc::new(Dispatcher::new());
+        d.register(b"obj".to_vec(), WireServant::new(servant, ops.clone()));
+        (d, ops)
+    };
+
+    // One measurement cell: a 2-endpoint pool over chaos connectors at
+    // `rate`, driven with or without the supervision stack. Endpoint 2
+    // is additionally *degraded* — every call through it is delayed
+    // uniformly up to 10 ms — so tail latency measures whether hedging
+    // routes around the slow replica.
+    let run_cell = |rate: f64, supervised: bool| -> (f64, f64) {
+        let (d, ops) = service();
+        let dials = Arc::new(AtomicU64::new(0));
+        let connector: Connector = Arc::new(move |addr: std::net::SocketAddr| {
+            let n = dials.fetch_add(1, Ordering::SeqCst);
+            let mut conn: Arc<dyn Connection> = Arc::new(ChaosConnection::with_fault_rate(
+                Arc::new(InMemoryConnection::new(d.clone())),
+                SEED + n,
+                rate,
+            ));
+            if addr.port() == 2 {
+                let degraded = ChaosConfig {
+                    delay_rate: 1.0,
+                    max_delay: Duration::from_millis(10),
+                    ..ChaosConfig::none()
+                };
+                conn = Arc::new(ChaosConnection::new(
+                    conn,
+                    ChaosSchedule::new(SEED ^ n, degraded),
+                ));
+            }
+            Ok(conn)
+        });
+        let breaker = if supervised {
+            BreakerConfig::default()
+        } else {
+            BreakerConfig::disabled()
+        };
+        let pool = ConnectionPool::builder(vec![
+            "127.0.0.1:1".parse().unwrap(),
+            "127.0.0.1:2".parse().unwrap(),
+        ])
+        .slots(1)
+        .breaker(breaker)
+        .connector(connector)
+        .build()
+        .expect("pool builds");
+        let mut opts = CallOptions::new().with_retry(RetryPolicy {
+            max_retries: 5,
+            initial_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(2),
+            jitter: true,
+        });
+        if supervised {
+            opts = opts.with_hedge(HedgePolicy::After(Duration::from_millis(3)));
+        }
+        let remote =
+            RemoteRef::new(Arc::new(pool), b"obj".to_vec(), ops, Endian::Little).with_options(opts);
+
+        let mut ok = 0u32;
+        let mut lat = Vec::with_capacity(CALLS as usize);
+        for k in 0..CALLS {
+            let arg = MValue::Record(vec![MValue::Int(i128::from(k))]);
+            let t = Instant::now();
+            match remote.invoke("echo", &arg) {
+                Ok(v) => {
+                    assert_eq!(v, arg, "wrong payload at call {k} (seed {SEED:#x})");
+                    ok += 1;
+                }
+                Err(RuntimeError::Transport(_) | RuntimeError::Timeout(_)) => {}
+                Err(e) => panic!("unexpected error class: {e}"),
+            }
+            lat.push(t.elapsed());
+        }
+        lat.sort();
+        let p99 = lat[(lat.len() * 99 / 100).min(lat.len() - 1)];
+        (f64::from(ok) / f64::from(CALLS), p99.as_secs_f64() * 1e6)
+    };
+
+    let before = metrics::snapshot();
+    println!(
+        "{:>11} {:>22} {:>26}",
+        "fault rate", "retry only", "breaker+hedging"
+    );
+    let mut cells = Vec::new();
+    for rate in [0.05, 0.20] {
+        let (base_ok, base_p99) = run_cell(rate, false);
+        let (sup_ok, sup_p99) = run_cell(rate, true);
+        println!(
+            "{:>10.0}% {:>13.1}% {:>7.0}µs {:>17.1}% {:>7.0}µs",
+            rate * 100.0,
+            base_ok * 100.0,
+            base_p99,
+            sup_ok * 100.0,
+            sup_p99
+        );
+        cells.push(Json::obj([
+            ("fault_rate", Json::Float(rate)),
+            (
+                "baseline",
+                Json::obj([
+                    ("success_rate", Json::Float(base_ok)),
+                    ("p99_us", Json::Float(base_p99)),
+                ]),
+            ),
+            (
+                "supervised",
+                Json::obj([
+                    ("success_rate", Json::Float(sup_ok)),
+                    ("p99_us", Json::Float(sup_p99)),
+                ]),
+            ),
+        ]));
+        if rate >= 0.20 {
+            assert!(
+                sup_ok >= 0.99,
+                "supervised success {sup_ok:.3} under 0.99 at 20% faults (seed {SEED:#x})"
+            );
+        }
+    }
+    let after = metrics::snapshot();
+    println!(
+        "faults injected: {}, retries: {}, hedges fired/won: {}/{}",
+        after.faults_injected - before.faults_injected,
+        after.retries - before.retries,
+        after.hedges_fired - before.hedges_fired,
+        after.hedges_won - before.hedges_won
+    );
+
+    let json = Json::obj([
+        ("seed", Json::Int(i128::from(SEED))),
+        ("calls_per_cell", Json::Int(i128::from(CALLS))),
+        ("rates", Json::Array(cells)),
+        (
+            "faults_injected",
+            Json::Int(i128::from(after.faults_injected - before.faults_injected)),
+        ),
+        (
+            "retries",
+            Json::Int(i128::from(after.retries - before.retries)),
+        ),
+        (
+            "hedges_fired",
+            Json::Int(i128::from(after.hedges_fired - before.hedges_fired)),
+        ),
+        (
+            "hedges_won",
+            Json::Int(i128::from(after.hedges_won - before.hedges_won)),
+        ),
+    ]);
+    std::fs::write("BENCH_resilience.json", json.pretty() + "\n")
+        .expect("write BENCH_resilience.json");
+    println!("wrote BENCH_resilience.json");
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |k: &str| args.is_empty() || args.iter().any(|a| a == k);
@@ -779,5 +963,8 @@ fn main() {
     }
     if want("x6") {
         x6();
+    }
+    if want("x7") {
+        x7();
     }
 }

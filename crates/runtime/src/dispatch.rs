@@ -7,7 +7,9 @@ use std::sync::RwLock;
 
 use mockingbird_mtype::{MtypeGraph, MtypeId};
 use mockingbird_values::{Endian, MValue};
-use mockingbird_wire::{CdrReader, CdrWriter, Message, MessageKind, ReplyStatus, WireProgram};
+use mockingbird_wire::{
+    nominal_fingerprint, CdrReader, CdrWriter, Message, MessageKind, ReplyStatus, WireProgram,
+};
 
 use crate::error::RuntimeError;
 use crate::metrics;
@@ -173,6 +175,33 @@ impl WireOp {
     }
 }
 
+/// An order-independent fingerprint of an operation table.
+///
+/// Each operation contributes a digest of its name and the *nominal*
+/// fingerprints of its argument and result Mtypes; the digests combine
+/// with a wrapping sum, so iteration order (and hence `HashMap`
+/// ordering) cannot change the value. Two peers agree on this
+/// fingerprint exactly when their stubs were compiled from the same
+/// pairs of declarations — the property the connect-time handshake
+/// checks before any request is decoded.
+pub fn interface_fingerprint(ops: &HashMap<String, WireOp>) -> u128 {
+    const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    ops.iter().fold(0u128, |acc, (name, op)| {
+        let mut h = FNV_OFFSET;
+        for &b in name.as_bytes() {
+            h = (h ^ u128::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        for word in [
+            nominal_fingerprint(&op.graph, op.args_ty),
+            nominal_fingerprint(&op.graph, op.result_ty),
+        ] {
+            h = (h ^ word).wrapping_mul(FNV_PRIME);
+        }
+        acc.wrapping_add(h)
+    })
+}
+
 /// A servant plus the wire types of its operations: everything the
 /// dispatcher needs to decode a request body and encode the reply.
 pub struct WireServant {
@@ -189,6 +218,11 @@ impl WireServant {
     /// The wire types of `operation`, if declared.
     pub fn op(&self, operation: &str) -> Option<&WireOp> {
         self.ops.get(operation)
+    }
+
+    /// The [`interface_fingerprint`] of this servant's operation table.
+    pub fn interface_fingerprint(&self) -> u128 {
+        interface_fingerprint(&self.ops)
     }
 
     /// Decodes, invokes, and re-encodes one request.
@@ -245,6 +279,18 @@ impl Dispatcher {
     /// Whether no servants are registered.
     pub fn is_empty(&self) -> bool {
         self.servants.read().unwrap().is_empty()
+    }
+
+    /// A fingerprint over every registered servant's operation table
+    /// (wrapping sum: registration order does not matter). Servers hand
+    /// this to the connect-time handshake as their side of the
+    /// declaration pair.
+    pub fn interface_fingerprint(&self) -> u128 {
+        self.servants
+            .read()
+            .unwrap()
+            .values()
+            .fold(0u128, |acc, s| acc.wrapping_add(s.interface_fingerprint()))
     }
 
     /// Handles one framed message, producing the reply frame (`None`
@@ -442,6 +488,43 @@ mod tests {
             assert_eq!(fused, w.into_bytes(), "fused encode diverges ({endian:?})");
             assert_eq!(op.decode(rec, &fused, endian).unwrap(), v);
         }
+    }
+
+    #[test]
+    fn interface_fingerprint_tracks_declarations() {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(32));
+        let rec = g.record(vec![i]);
+        let wide = g.integer(IntRange::signed_bits(64));
+        let wide_rec = g.record(vec![wide]);
+        let graph = Arc::new(g);
+        let op = WireOp::new(graph.clone(), rec, rec);
+
+        // Same table built in different insertion orders: same value.
+        let mut a = HashMap::new();
+        a.insert("add".to_string(), op.clone());
+        a.insert("sub".to_string(), op.clone());
+        let mut b = HashMap::new();
+        b.insert("sub".to_string(), op.clone());
+        b.insert("add".to_string(), op.clone());
+        assert_eq!(interface_fingerprint(&a), interface_fingerprint(&b));
+
+        // Renaming an operation changes it.
+        let mut renamed = a.clone();
+        let v = renamed.remove("sub").unwrap();
+        renamed.insert("mul".to_string(), v);
+        assert_ne!(interface_fingerprint(&a), interface_fingerprint(&renamed));
+
+        // Changing an argument type changes it.
+        let mut retyped = a.clone();
+        retyped.insert("sub".to_string(), WireOp::new(graph, wide_rec, rec));
+        assert_ne!(interface_fingerprint(&a), interface_fingerprint(&retyped));
+
+        // Dispatcher and WireServant expose the same digest machinery.
+        let servant: Arc<dyn Servant> = Arc::new(|_: &str, v: MValue| Ok(v));
+        let d = Dispatcher::new();
+        d.register(b"x".to_vec(), WireServant::new(servant, a.clone()));
+        assert_eq!(d.interface_fingerprint(), interface_fingerprint(&a));
     }
 
     #[test]

@@ -19,6 +19,13 @@ pub enum RuntimeError {
     Protocol(String),
     /// The call's deadline elapsed before a reply arrived.
     Timeout(String),
+    /// The peer was compiled against different declarations (interface
+    /// fingerprint or protocol mismatch at the connect-time handshake).
+    /// Never retried: a skewed peer would decode requests as garbage.
+    VersionSkew(String),
+    /// The server shed the request instead of queueing it. The request
+    /// was not executed; idempotent callers may retry after backoff.
+    Overloaded(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -31,6 +38,8 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Application(m) => write!(f, "application exception: {m}"),
             RuntimeError::Protocol(m) => write!(f, "protocol error: {m}"),
             RuntimeError::Timeout(m) => write!(f, "call timed out: {m}"),
+            RuntimeError::VersionSkew(m) => write!(f, "version skew: {m}"),
+            RuntimeError::Overloaded(m) => write!(f, "server overloaded: {m}"),
         }
     }
 }
@@ -55,5 +64,11 @@ mod tests {
         assert!(RuntimeError::Timeout("200ms".into())
             .to_string()
             .contains("timed out"));
+        assert!(RuntimeError::VersionSkew("fp".into())
+            .to_string()
+            .contains("version skew"));
+        assert!(RuntimeError::Overloaded("queue".into())
+            .to_string()
+            .contains("overloaded"));
     }
 }

@@ -24,6 +24,8 @@
 //! - [`metrics`] — process-wide counters (requests, replies, retries,
 //!   timeouts, bytes each way) with a snapshot API.
 
+pub mod breaker;
+pub mod chaos;
 pub mod dispatch;
 pub mod error;
 pub mod metrics;
@@ -33,11 +35,15 @@ pub mod pool;
 pub mod proxy;
 pub mod transport;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use chaos::{ChaosConfig, ChaosConnection, ChaosSchedule, Fault, FaultRecord};
 pub use dispatch::{Dispatcher, Servant, WireOp, WireServant};
 pub use error::RuntimeError;
 pub use metrics::MetricsSnapshot;
 pub use node::{Node, PortHandler};
-pub use options::{CallOptions, RetryPolicy};
-pub use pool::{BufferPool, ConnectionPool, RequestEncoder};
+pub use options::{CallOptions, HedgePolicy, RetryPolicy};
+pub use pool::{BufferPool, ConnectionPool, Connector, PoolBuilder, RequestEncoder};
 pub use proxy::RemoteRef;
-pub use transport::{Connection, InMemoryConnection, MultiplexedConnection, TcpServer};
+pub use transport::{
+    Connection, InMemoryConnection, MultiplexedConnection, ServerConfig, TcpConnection, TcpServer,
+};

@@ -24,6 +24,17 @@ pub struct Metrics {
     program_cache_hits: AtomicU64,
     pool_reuses: AtomicU64,
     pool_misses: AtomicU64,
+    handshakes: AtomicU64,
+    handshake_rejects: AtomicU64,
+    handshake_fallbacks: AtomicU64,
+    breaker_opens: AtomicU64,
+    breaker_half_opens: AtomicU64,
+    breaker_closes: AtomicU64,
+    sheds: AtomicU64,
+    overloads: AtomicU64,
+    hedges_fired: AtomicU64,
+    hedges_won: AtomicU64,
+    faults_injected: AtomicU64,
 }
 
 /// A consistent-enough point-in-time copy of every counter.
@@ -56,6 +67,29 @@ pub struct MetricsSnapshot {
     pub pool_reuses: u64,
     /// Marshal buffer requests that had to allocate fresh.
     pub pool_misses: u64,
+    /// Connect-time handshakes attempted (client side).
+    pub handshakes: u64,
+    /// Handshakes rejected for protocol/interface skew (both sides).
+    pub handshake_rejects: u64,
+    /// Handshakes that degraded to the interpretive marshal path.
+    pub handshake_fallbacks: u64,
+    /// Circuit-breaker transitions into the open state.
+    pub breaker_opens: u64,
+    /// Circuit-breaker transitions into the half-open state.
+    pub breaker_half_opens: u64,
+    /// Circuit-breaker transitions back to the closed state.
+    pub breaker_closes: u64,
+    /// Requests the server shed instead of queueing (Overloaded reply).
+    pub sheds: u64,
+    /// Overloaded replies received by clients.
+    pub overloads: u64,
+    /// Hedged second attempts launched after the hedge delay.
+    pub hedges_fired: u64,
+    /// Hedged calls won by the second attempt.
+    pub hedges_won: u64,
+    /// Faults injected by the chaos transport (drops, truncations,
+    /// corruptions, disconnects — delays are not counted).
+    pub faults_injected: u64,
 }
 
 impl Metrics {
@@ -75,7 +109,73 @@ impl Metrics {
             program_cache_hits: AtomicU64::new(0),
             pool_reuses: AtomicU64::new(0),
             pool_misses: AtomicU64::new(0),
+            handshakes: AtomicU64::new(0),
+            handshake_rejects: AtomicU64::new(0),
+            handshake_fallbacks: AtomicU64::new(0),
+            breaker_opens: AtomicU64::new(0),
+            breaker_half_opens: AtomicU64::new(0),
+            breaker_closes: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            overloads: AtomicU64::new(0),
+            hedges_fired: AtomicU64::new(0),
+            hedges_won: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
         }
+    }
+
+    /// Records one client-side handshake attempt.
+    pub fn add_handshake(&self) {
+        self.handshakes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one handshake rejected for protocol/interface skew.
+    pub fn add_handshake_reject(&self) {
+        self.handshake_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one handshake that degraded to the interpretive path.
+    pub fn add_handshake_fallback(&self) {
+        self.handshake_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one breaker transition to open.
+    pub fn add_breaker_open(&self) {
+        self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one breaker transition to half-open.
+    pub fn add_breaker_half_open(&self) {
+        self.breaker_half_opens.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one breaker transition back to closed.
+    pub fn add_breaker_close(&self) {
+        self.breaker_closes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request shed by the server.
+    pub fn add_shed(&self) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one Overloaded reply received by a client.
+    pub fn add_overload(&self) {
+        self.overloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one hedged second attempt fired.
+    pub fn add_hedge_fired(&self) {
+        self.hedges_fired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one hedged call won by the second attempt.
+    pub fn add_hedge_won(&self) {
+        self.hedges_won.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one chaos-injected fault.
+    pub fn add_fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one request frame sent.
@@ -153,6 +253,17 @@ impl Metrics {
             program_cache_hits: self.program_cache_hits.load(Ordering::Relaxed),
             pool_reuses: self.pool_reuses.load(Ordering::Relaxed),
             pool_misses: self.pool_misses.load(Ordering::Relaxed),
+            handshakes: self.handshakes.load(Ordering::Relaxed),
+            handshake_rejects: self.handshake_rejects.load(Ordering::Relaxed),
+            handshake_fallbacks: self.handshake_fallbacks.load(Ordering::Relaxed),
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            breaker_half_opens: self.breaker_half_opens.load(Ordering::Relaxed),
+            breaker_closes: self.breaker_closes.load(Ordering::Relaxed),
+            sheds: self.sheds.load(Ordering::Relaxed),
+            overloads: self.overloads.load(Ordering::Relaxed),
+            hedges_fired: self.hedges_fired.load(Ordering::Relaxed),
+            hedges_won: self.hedges_won.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
         }
     }
 
@@ -170,6 +281,17 @@ impl Metrics {
         self.program_cache_hits.store(0, Ordering::Relaxed);
         self.pool_reuses.store(0, Ordering::Relaxed);
         self.pool_misses.store(0, Ordering::Relaxed);
+        self.handshakes.store(0, Ordering::Relaxed);
+        self.handshake_rejects.store(0, Ordering::Relaxed);
+        self.handshake_fallbacks.store(0, Ordering::Relaxed);
+        self.breaker_opens.store(0, Ordering::Relaxed);
+        self.breaker_half_opens.store(0, Ordering::Relaxed);
+        self.breaker_closes.store(0, Ordering::Relaxed);
+        self.sheds.store(0, Ordering::Relaxed);
+        self.overloads.store(0, Ordering::Relaxed);
+        self.hedges_fired.store(0, Ordering::Relaxed);
+        self.hedges_won.store(0, Ordering::Relaxed);
+        self.faults_injected.store(0, Ordering::Relaxed);
     }
 }
 
@@ -213,6 +335,17 @@ mod tests {
         m.add_pool_reuse();
         m.add_pool_reuse();
         m.add_pool_miss();
+        m.add_handshake();
+        m.add_handshake_reject();
+        m.add_handshake_fallback();
+        m.add_breaker_open();
+        m.add_breaker_half_open();
+        m.add_breaker_close();
+        m.add_shed();
+        m.add_overload();
+        m.add_hedge_fired();
+        m.add_hedge_won();
+        m.add_fault_injected();
         let s = m.snapshot();
         assert_eq!(s.requests, 2);
         assert_eq!(s.replies, 1);
@@ -226,6 +359,17 @@ mod tests {
         assert_eq!(s.program_cache_hits, 5);
         assert_eq!(s.pool_reuses, 2);
         assert_eq!(s.pool_misses, 1);
+        assert_eq!(s.handshakes, 1);
+        assert_eq!(s.handshake_rejects, 1);
+        assert_eq!(s.handshake_fallbacks, 1);
+        assert_eq!(s.breaker_opens, 1);
+        assert_eq!(s.breaker_half_opens, 1);
+        assert_eq!(s.breaker_closes, 1);
+        assert_eq!(s.sheds, 1);
+        assert_eq!(s.overloads, 1);
+        assert_eq!(s.hedges_fired, 1);
+        assert_eq!(s.hedges_won, 1);
+        assert_eq!(s.faults_injected, 1);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }

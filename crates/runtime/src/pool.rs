@@ -1,12 +1,20 @@
-//! Pools: multiplexed connections and reusable marshal buffers.
+//! Pools: supervised connections and reusable marshal buffers.
 //!
-//! A [`ConnectionPool`] owns a fixed number of slots, each lazily
-//! holding a [`MultiplexedConnection`] to one server address. Calls are
-//! spread round-robin across the slots; a slot whose connection died
-//! (transport error, server restart) is cleared and reconnected on the
-//! next call that lands on it. The pool itself implements
-//! [`Connection`], so a [`RemoteRef`](crate::proxy::RemoteRef) can sit
-//! directly on a pool and share it between any number of threads.
+//! A [`ConnectionPool`] owns a set of *endpoints* (server addresses),
+//! each with its own connection slots and its own
+//! [`CircuitBreaker`]. Calls spread round-robin across endpoints,
+//! skipping endpoints whose breaker is open; a slot whose connection
+//! died is cleared and reconnected on the next call that lands on it.
+//! With a [`HedgePolicy`] in the call options the pool launches a
+//! second attempt on a different connection when the first has not
+//! answered within the hedge delay — tail latency insurance for
+//! idempotent operations. The pool itself implements [`Connection`],
+//! so a [`RemoteRef`](crate::proxy::RemoteRef) can sit directly on a
+//! pool and share it between any number of threads.
+//!
+//! Connections are made by a pluggable [`Connector`], which is how the
+//! chaos harness splices fault injection under a real pool, and how
+//! the fingerprint handshake reaches pooled connections.
 //!
 //! A [`BufferPool`] recycles the `Vec<u8>` request bodies of the fused
 //! marshal path: once a connection's buffers have warmed to its message
@@ -14,16 +22,19 @@
 //! handle — a `CdrWriter` over a pooled buffer that returns the buffer
 //! to the pool if dropped unused.
 
+use std::collections::VecDeque;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use mockingbird_values::Endian;
-use mockingbird_wire::{CdrWriter, Message};
+use mockingbird_wire::{CdrWriter, HandshakeInfo, Message, MessageKind};
 
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::error::RuntimeError;
 use crate::metrics;
-use crate::options::CallOptions;
+use crate::options::{CallOptions, HedgePolicy};
 use crate::transport::{Connection, MultiplexedConnection};
 
 /// Buffers kept per pool; overflow is simply dropped (freed).
@@ -125,64 +136,329 @@ impl Drop for RequestEncoder<'_> {
     }
 }
 
-/// A fixed-size pool of multiplexed connections to one address.
-pub struct ConnectionPool {
+/// Opens one connection to an address. The default connector dials a
+/// [`MultiplexedConnection`]; tests and the chaos harness substitute
+/// their own (e.g. wrapping each connection in fault injection).
+pub type Connector =
+    Arc<dyn Fn(SocketAddr) -> Result<Arc<dyn Connection>, RuntimeError> + Send + Sync>;
+
+/// Successful call latencies remembered for the hedge p95 estimate.
+const LATENCY_WINDOW: usize = 128;
+
+/// Hedge delay used by [`HedgePolicy::P95`] before any latency history
+/// exists.
+const DEFAULT_HEDGE_DELAY: Duration = Duration::from_millis(10);
+
+/// One server address with its connection slots and circuit breaker.
+struct Endpoint {
     addr: SocketAddr,
-    slots: Vec<Mutex<Option<Arc<MultiplexedConnection>>>>,
+    slots: Vec<Mutex<Option<Arc<dyn Connection>>>>,
+    /// Slot rotation, separate from the pool's endpoint rotation so a
+    /// hedged second attempt always advances to a *different* endpoint.
     next: AtomicUsize,
+    breaker: CircuitBreaker,
+}
+
+/// The shared heart of a [`ConnectionPool`] (hedge workers hold their
+/// own `Arc` so an attempt can outlive the caller that abandoned it).
+struct PoolCore {
+    endpoints: Vec<Endpoint>,
+    next: AtomicUsize,
+    connector: Connector,
+    latencies: Mutex<VecDeque<Duration>>,
+}
+
+impl PoolCore {
+    /// The next endpoint round-robin, skipping endpoints whose breaker
+    /// refuses traffic. When every breaker is open the round-robin
+    /// choice is used anyway — someone has to probe, and total refusal
+    /// would turn a transient outage permanent.
+    fn pick_endpoint(&self) -> usize {
+        let n = self.endpoints.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        for k in 0..n {
+            let idx = (start + k) % n;
+            if self.endpoints[idx].breaker.allow() {
+                return idx;
+            }
+        }
+        start % n
+    }
+
+    /// A live connection from one of `endpoint`'s slots, dialing
+    /// through the connector when the slot is empty or unhealthy.
+    fn checkout_at(&self, endpoint: usize) -> Result<Arc<dyn Connection>, RuntimeError> {
+        let ep = &self.endpoints[endpoint];
+        let idx = ep.next.fetch_add(1, Ordering::Relaxed) % ep.slots.len();
+        let mut slot = ep.slots[idx].lock().unwrap();
+        if let Some(conn) = slot.as_ref() {
+            if conn.healthy() {
+                return Ok(conn.clone());
+            }
+            *slot = None;
+        }
+        match (self.connector)(ep.addr) {
+            Ok(conn) => {
+                *slot = Some(conn.clone());
+                Ok(conn)
+            }
+            Err(e) => {
+                // A refused dial is as much a failure as a broken call.
+                ep.breaker.record_failure();
+                Err(e)
+            }
+        }
+    }
+
+    /// One full attempt: route, check out, call, and feed the outcome
+    /// back into the endpoint's breaker.
+    fn attempt(
+        &self,
+        msg: &Message,
+        options: &CallOptions,
+    ) -> Result<Option<Message>, RuntimeError> {
+        let endpoint = self.pick_endpoint();
+        let conn = self.checkout_at(endpoint)?;
+        let start = Instant::now();
+        let outcome = conn.call_with(msg, options);
+        let ep = &self.endpoints[endpoint];
+        match &outcome {
+            Ok(_) => {
+                ep.breaker.record_success();
+                self.record_latency(start.elapsed());
+            }
+            // A broken socket: count it and clear the slot so the next
+            // caller reconnects.
+            Err(RuntimeError::Transport(_)) => {
+                ep.breaker.record_failure();
+                self.invalidate(endpoint, &conn);
+            }
+            // The endpoint answered late or shed: unhealthy, but the
+            // socket itself still works.
+            Err(RuntimeError::Timeout(_) | RuntimeError::Overloaded(_)) => {
+                ep.breaker.record_failure();
+            }
+            // Application and protocol failures say nothing about the
+            // endpoint's health.
+            Err(_) => {}
+        }
+        outcome
+    }
+
+    fn invalidate(&self, endpoint: usize, conn: &Arc<dyn Connection>) {
+        for slot in &self.endpoints[endpoint].slots {
+            let mut guard = slot.lock().unwrap();
+            if guard.as_ref().is_some_and(|c| Arc::ptr_eq(c, conn)) {
+                *guard = None;
+            }
+        }
+    }
+
+    fn record_latency(&self, d: Duration) {
+        let mut l = self.latencies.lock().unwrap();
+        if l.len() == LATENCY_WINDOW {
+            l.pop_front();
+        }
+        l.push_back(d);
+    }
+
+    /// The 95th-percentile successful-call latency, if any history.
+    fn p95(&self) -> Option<Duration> {
+        let l = self.latencies.lock().unwrap();
+        if l.is_empty() {
+            return None;
+        }
+        let mut v: Vec<Duration> = l.iter().copied().collect();
+        v.sort_unstable();
+        Some(v[(v.len() * 95 / 100).min(v.len() - 1)])
+    }
+
+    /// One health sweep: probe endpoints whose breaker is not closed
+    /// (open past cooldown, or half-open) with a fresh dial, feeding
+    /// the result back into the breaker. Closed endpoints are left to
+    /// regular traffic.
+    fn health_sweep(&self) {
+        for (idx, ep) in self.endpoints.iter().enumerate() {
+            if ep.breaker.state() == BreakerState::Closed || !ep.breaker.allow() {
+                continue;
+            }
+            match (self.connector)(ep.addr) {
+                Ok(conn) => {
+                    ep.breaker.record_success();
+                    // Park the probe connection in an empty slot rather
+                    // than wasting the dial.
+                    for slot in &self.endpoints[idx].slots {
+                        let mut guard = slot.lock().unwrap();
+                        if guard.is_none() {
+                            *guard = Some(conn);
+                            break;
+                        }
+                    }
+                }
+                Err(_) => ep.breaker.record_failure(),
+            }
+        }
+    }
+}
+
+/// Builds a [`ConnectionPool`] over one or more endpoints.
+pub struct PoolBuilder {
+    addrs: Vec<SocketAddr>,
+    slots: usize,
+    breaker: BreakerConfig,
+    connector: Option<Connector>,
+    handshake: Option<HandshakeInfo>,
+}
+
+impl PoolBuilder {
+    /// Connection slots per endpoint (default 2).
+    #[must_use]
+    pub fn slots(mut self, slots: usize) -> Self {
+        self.slots = slots.max(1);
+        self
+    }
+
+    /// Circuit-breaker tuning for every endpoint (default
+    /// [`BreakerConfig::default`]; use [`BreakerConfig::disabled`] for
+    /// an unsupervised baseline).
+    #[must_use]
+    pub fn breaker(mut self, cfg: BreakerConfig) -> Self {
+        self.breaker = cfg;
+        self
+    }
+
+    /// A custom connector (fault injection, alternative transports).
+    /// Overrides [`handshake`](Self::handshake).
+    #[must_use]
+    pub fn connector(mut self, connector: Connector) -> Self {
+        self.connector = Some(connector);
+        self
+    }
+
+    /// Performs the fingerprint handshake with `info` on every dial the
+    /// default connector makes.
+    #[must_use]
+    pub fn handshake(mut self, info: HandshakeInfo) -> Self {
+        self.handshake = Some(info);
+        self
+    }
+
+    /// The pool. Connections are dialed lazily on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Transport`] when no endpoint was given.
+    pub fn build(self) -> Result<ConnectionPool, RuntimeError> {
+        if self.addrs.is_empty() {
+            return Err(RuntimeError::Transport("pool needs an endpoint".into()));
+        }
+        let connector = self.connector.unwrap_or_else(|| {
+            let handshake = self.handshake;
+            Arc::new(move |addr| {
+                MultiplexedConnection::connect_with(addr, handshake.as_ref())
+                    .map(|c| Arc::new(c) as Arc<dyn Connection>)
+            })
+        });
+        let endpoints = self
+            .addrs
+            .into_iter()
+            .map(|addr| Endpoint {
+                addr,
+                slots: (0..self.slots).map(|_| Mutex::new(None)).collect(),
+                next: AtomicUsize::new(0),
+                breaker: CircuitBreaker::new(self.breaker.clone()),
+            })
+            .collect();
+        Ok(ConnectionPool {
+            core: Arc::new(PoolCore {
+                endpoints,
+                next: AtomicUsize::new(0),
+                connector,
+                latencies: Mutex::new(VecDeque::new()),
+            }),
+        })
+    }
+}
+
+/// A supervised pool of connections across one or more endpoints: per-
+/// endpoint circuit breakers, breaker-aware round-robin routing, lazy
+/// reconnection, and optional hedged attempts.
+pub struct ConnectionPool {
+    core: Arc<PoolCore>,
 }
 
 impl ConnectionPool {
-    /// Connects the first slot eagerly (surfacing config errors now) and
-    /// leaves the remaining `size - 1` slots to connect on first use.
+    /// A builder over `addrs` with default slots and breaker tuning.
+    #[must_use]
+    pub fn builder(addrs: Vec<SocketAddr>) -> PoolBuilder {
+        PoolBuilder {
+            addrs,
+            slots: 2,
+            breaker: BreakerConfig::default(),
+            connector: None,
+            handshake: None,
+        }
+    }
+
+    /// Connects a single-endpoint pool with `size` slots, dialing the
+    /// first slot eagerly (surfacing config errors now).
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Transport`] if the first connect fails.
     pub fn connect(addr: SocketAddr, size: usize) -> Result<Self, RuntimeError> {
-        let pool = ConnectionPool {
-            addr,
-            slots: (0..size.max(1)).map(|_| Mutex::new(None)).collect(),
-            next: AtomicUsize::new(1),
-        };
-        *pool.slots[0].lock().unwrap() = Some(Arc::new(MultiplexedConnection::connect(addr)?));
+        let pool = Self::builder(vec![addr]).slots(size).build()?;
+        pool.core.checkout_at(0)?;
         Ok(pool)
     }
 
-    /// The number of slots (the maximum number of live sockets).
+    /// Total connection slots across all endpoints.
     pub fn size(&self) -> usize {
-        self.slots.len()
+        self.core.endpoints.iter().map(|e| e.slots.len()).sum()
     }
 
-    /// The server address every slot connects to.
+    /// The first endpoint's address (the only one for single-endpoint
+    /// pools).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.core.endpoints[0].addr
     }
 
-    /// Picks the next slot round-robin, reconnecting it if its
-    /// connection is absent or dead.
-    fn checkout(&self) -> Result<Arc<MultiplexedConnection>, RuntimeError> {
-        let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.slots.len();
-        let mut slot = self.slots[idx].lock().unwrap();
-        if let Some(conn) = slot.as_ref() {
-            if conn.is_alive() {
-                return Ok(conn.clone());
-            }
-            *slot = None;
-        }
-        let conn = Arc::new(MultiplexedConnection::connect(self.addr)?);
-        *slot = Some(conn.clone());
-        Ok(conn)
+    /// Every endpoint address, in routing order.
+    pub fn endpoints(&self) -> Vec<SocketAddr> {
+        self.core.endpoints.iter().map(|e| e.addr).collect()
     }
 
-    /// Clears whichever slot holds `conn`, so the next call through it
-    /// reconnects.
-    fn invalidate(&self, conn: &Arc<MultiplexedConnection>) {
-        for slot in &self.slots {
-            let mut guard = slot.lock().unwrap();
-            if guard.as_ref().is_some_and(|c| Arc::ptr_eq(c, conn)) {
-                *guard = None;
-            }
+    /// The breaker state of endpoint `index` (routing order).
+    pub fn breaker_state(&self, index: usize) -> BreakerState {
+        self.core.endpoints[index].breaker.state()
+    }
+
+    /// Runs one health sweep now: endpoints whose breaker is open (past
+    /// cooldown) or half-open are probed with a fresh dial and the
+    /// breaker told the result.
+    pub fn health_check(&self) {
+        self.core.health_sweep();
+    }
+
+    /// Starts a background thread sweeping [`health_check`] every
+    /// `interval`. The thread holds only a weak reference: it exits on
+    /// the first tick after the pool is dropped.
+    ///
+    /// [`health_check`]: ConnectionPool::health_check
+    pub fn start_health_checker(&self, interval: Duration) {
+        let weak = Arc::downgrade(&self.core);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(interval);
+            let Some(core) = weak.upgrade() else { break };
+            core.health_sweep();
+        });
+    }
+
+    /// The hedge delay `policy` implies given current latency history.
+    fn hedge_delay(&self, policy: HedgePolicy) -> Duration {
+        match policy {
+            HedgePolicy::After(d) => d,
+            HedgePolicy::P95 => self.core.p95().unwrap_or(DEFAULT_HEDGE_DELAY),
         }
     }
 }
@@ -197,15 +473,74 @@ impl Connection for ConnectionPool {
         msg: &Message,
         options: &CallOptions,
     ) -> Result<Option<Message>, RuntimeError> {
-        let conn = self.checkout()?;
-        let outcome = conn.call_with(msg, options);
-        // A transport failure means the socket is broken: clear the slot
-        // so the next caller (or a retry) reconnects. Timeouts keep the
-        // connection — the reader thread is still demultiplexing.
-        if matches!(outcome, Err(RuntimeError::Transport(_))) {
-            self.invalidate(&conn);
+        // Hedging needs a reply to race for and a second connection to
+        // race on; otherwise fall through to a single attempt.
+        let hedge = match options.hedge {
+            Some(policy)
+                if self.size() > 1
+                    && matches!(
+                        msg.kind,
+                        MessageKind::Request {
+                            response_expected: true,
+                            ..
+                        }
+                    ) =>
+            {
+                Some(policy)
+            }
+            _ => None,
+        };
+        let Some(policy) = hedge else {
+            return self.core.attempt(msg, options);
+        };
+
+        let delay = self.hedge_delay(policy);
+        let (tx, rx) = mpsc::channel();
+        let spawn_attempt = |tag: u8| {
+            let core = self.core.clone();
+            let msg = msg.clone();
+            let mut opts = options.clone();
+            opts.hedge = None;
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let _ = tx.send((tag, core.attempt(&msg, &opts)));
+            });
+        };
+        spawn_attempt(0);
+        match rx.recv_timeout(delay) {
+            // The primary answered (either way) within the hedge delay:
+            // failures go to the retry layer, not a hedge.
+            Ok((_, outcome)) => outcome,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                metrics::global().add_hedge_fired();
+                spawn_attempt(1);
+                let first = rx
+                    .recv()
+                    .map_err(|_| RuntimeError::Transport("hedge attempts vanished".into()))?;
+                match first {
+                    (tag, Ok(reply)) => {
+                        if tag == 1 {
+                            metrics::global().add_hedge_won();
+                        }
+                        Ok(reply)
+                    }
+                    // First arrival failed: give the straggler its
+                    // chance before reporting the failure.
+                    (_, Err(first_err)) => match rx.recv() {
+                        Ok((tag, Ok(reply))) => {
+                            if tag == 1 {
+                                metrics::global().add_hedge_won();
+                            }
+                            Ok(reply)
+                        }
+                        _ => Err(first_err),
+                    },
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Err(RuntimeError::Transport("hedge attempts vanished".into()))
+            }
         }
-        outcome
     }
 }
 
@@ -213,7 +548,7 @@ impl Connection for ConnectionPool {
 mod tests {
     use super::*;
     use crate::dispatch::{Dispatcher, Servant, WireOp, WireServant};
-    use crate::transport::TcpServer;
+    use crate::transport::{InMemoryConnection, TcpServer};
     use mockingbird_mtype::{IntRange, MtypeGraph};
     use mockingbird_values::{Endian, MValue};
     use mockingbird_wire::{CdrReader, CdrWriter, MessageKind};
@@ -307,7 +642,10 @@ mod tests {
             assert_eq!(echo(&pool, &graph, rec, k), k);
         }
         // Every slot got used and filled in.
-        assert!(pool.slots.iter().all(|s| s.lock().unwrap().is_some()));
+        assert!(pool.core.endpoints[0]
+            .slots
+            .iter()
+            .all(|s| s.lock().unwrap().is_some()));
         server.shutdown();
     }
 
@@ -363,6 +701,170 @@ mod tests {
         }
         assert!(ok, "pool reconnected to the restarted server");
         server2.shutdown();
+    }
+
+    /// An in-memory echo dispatcher plus its wire types, for connector-
+    /// based pool tests that need no sockets.
+    fn echo_dispatcher() -> (Arc<Dispatcher>, Arc<MtypeGraph>, mockingbird_mtype::MtypeId) {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(32));
+        let rec = g.record(vec![i]);
+        let graph = Arc::new(g);
+        let servant: Arc<dyn Servant> = Arc::new(|_: &str, v: MValue| Ok(v));
+        let mut ops = HashMap::new();
+        ops.insert("echo".to_string(), WireOp::new(graph.clone(), rec, rec));
+        let d = Arc::new(Dispatcher::new());
+        d.register(b"obj".to_vec(), WireServant::new(servant, ops));
+        (d, graph, rec)
+    }
+
+    fn fast_breaker() -> crate::breaker::BreakerConfig {
+        crate::breaker::BreakerConfig {
+            consecutive_failures: 3,
+            cooldown: std::time::Duration::from_millis(10),
+            half_open_successes: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn breaker_routes_around_a_refused_endpoint() {
+        let (d, graph, rec) = echo_dispatcher();
+        let dead: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let live: SocketAddr = "127.0.0.1:10".parse().unwrap();
+        let connector: Connector = Arc::new(move |addr| {
+            if addr == dead {
+                Err(RuntimeError::Transport("dial refused".into()))
+            } else {
+                Ok(Arc::new(InMemoryConnection::new(d.clone())) as Arc<dyn Connection>)
+            }
+        });
+        let pool = ConnectionPool::builder(vec![dead, live])
+            .slots(1)
+            .breaker(crate::breaker::BreakerConfig {
+                consecutive_failures: 3,
+                cooldown: std::time::Duration::from_secs(30),
+                ..Default::default()
+            })
+            .connector(connector)
+            .build()
+            .unwrap();
+        // Calls routed to the dead endpoint fail until its breaker
+        // trips; tolerate those.
+        let mut failures = 0;
+        for k in 0..12 {
+            if echo_try(&pool, &graph, rec, k).is_none() {
+                failures += 1;
+            }
+        }
+        assert!(failures >= 3, "the dead endpoint failed at least 3 dials");
+        assert_eq!(pool.breaker_state(0), BreakerState::Open);
+        assert_eq!(pool.breaker_state(1), BreakerState::Closed);
+        // With the breaker open, routing skips the dead endpoint: every
+        // call now succeeds.
+        for k in 0..10 {
+            assert_eq!(echo(&pool, &graph, rec, k), k);
+        }
+    }
+
+    #[test]
+    fn health_checks_recover_a_revived_endpoint() {
+        use std::sync::atomic::AtomicBool;
+        let (d, graph, rec) = echo_dispatcher();
+        let alive = Arc::new(AtomicBool::new(false));
+        let alive2 = alive.clone();
+        let connector: Connector = Arc::new(move |_| {
+            if alive2.load(Ordering::SeqCst) {
+                Ok(Arc::new(InMemoryConnection::new(d.clone())) as Arc<dyn Connection>)
+            } else {
+                Err(RuntimeError::Transport("endpoint down".into()))
+            }
+        });
+        let pool = ConnectionPool::builder(vec!["127.0.0.1:9".parse().unwrap()])
+            .slots(1)
+            .breaker(fast_breaker())
+            .connector(connector)
+            .build()
+            .unwrap();
+        for k in 0..3 {
+            assert!(echo_try(&pool, &graph, rec, k).is_none());
+        }
+        assert_eq!(pool.breaker_state(0), BreakerState::Open);
+        // A sweep while still down re-opens after the failed probe.
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        pool.health_check();
+        assert_eq!(pool.breaker_state(0), BreakerState::Open);
+        // The endpoint comes back: two successful probes close it.
+        alive.store(true, Ordering::SeqCst);
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        pool.health_check();
+        pool.health_check();
+        assert_eq!(pool.breaker_state(0), BreakerState::Closed);
+        assert_eq!(echo(&pool, &graph, rec, 5), 5);
+    }
+
+    /// A connection that answers after a fixed pause — a stand-in for a
+    /// slow endpoint in hedging tests.
+    struct SlowConnection {
+        inner: InMemoryConnection,
+        delay: std::time::Duration,
+    }
+
+    impl Connection for SlowConnection {
+        fn call(&self, msg: &Message) -> Result<Option<Message>, RuntimeError> {
+            std::thread::sleep(self.delay);
+            self.inner.call(msg)
+        }
+    }
+
+    #[test]
+    fn hedged_call_beats_a_slow_endpoint() {
+        use crate::options::HedgePolicy;
+        let (d, graph, rec) = echo_dispatcher();
+        let slow: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let connector: Connector = Arc::new(move |addr| {
+            if addr == slow {
+                Ok(Arc::new(SlowConnection {
+                    inner: InMemoryConnection::new(d.clone()),
+                    delay: std::time::Duration::from_millis(300),
+                }) as Arc<dyn Connection>)
+            } else {
+                Ok(Arc::new(InMemoryConnection::new(d.clone())) as Arc<dyn Connection>)
+            }
+        });
+        let pool = ConnectionPool::builder(vec![slow, "127.0.0.1:10".parse().unwrap()])
+            .slots(1)
+            .connector(connector)
+            .build()
+            .unwrap();
+        let opts =
+            CallOptions::new().with_hedge(HedgePolicy::After(std::time::Duration::from_millis(10)));
+        // Force the primary attempt onto the slow endpoint: the hedge
+        // must fire and win on the fast one.
+        pool.core.next.store(0, Ordering::SeqCst);
+        let mut w = CdrWriter::new(Endian::Little);
+        w.put_value(&graph, rec, &MValue::Record(vec![MValue::Int(9)]))
+            .unwrap();
+        let req = Message::request(
+            1,
+            true,
+            b"obj".to_vec(),
+            "echo",
+            Endian::Little,
+            w.into_bytes(),
+        );
+        let start = std::time::Instant::now();
+        let reply = pool.call_with(&req, &opts).unwrap().unwrap();
+        let elapsed = start.elapsed();
+        let mut r = CdrReader::new(&reply.body, reply.endian);
+        let MValue::Record(items) = r.get_value(&graph, rec).unwrap() else {
+            panic!()
+        };
+        assert_eq!(items[0], MValue::Int(9));
+        assert!(
+            elapsed < std::time::Duration::from_millis(200),
+            "hedge should beat the 300 ms endpoint, took {elapsed:?}"
+        );
     }
 
     fn echo_try(

@@ -1,18 +1,32 @@
 //! Client-side remote references.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use mockingbird_rng::StdRng;
 use mockingbird_values::{Endian, MValue};
-use mockingbird_wire::{CdrReader, Message, MessageKind, ReplyStatus};
+use mockingbird_wire::{CdrReader, HandshakeInfo, Message, MessageKind, ReplyStatus};
 
-use crate::dispatch::WireOp;
+use crate::dispatch::{interface_fingerprint, WireOp};
 use crate::error::RuntimeError;
 use crate::metrics;
 use crate::options::CallOptions;
 use crate::pool::BufferPool;
 use crate::transport::Connection;
+
+/// Per-thread retry-jitter stream. Each thread seeds differently (the
+/// golden-ratio stride keeps seeds well spread), so clients that failed
+/// at the same instant back off to different points in the window; the
+/// stream does not need to be reproducible across runs — chaos tests
+/// that want reproducibility disable jitter or pin their own policy.
+static RETRY_SEED: AtomicU64 = AtomicU64::new(0x5EED);
+thread_local! {
+    static RETRY_RNG: RefCell<StdRng> = RefCell::new(StdRng::seed_from_u64(
+        RETRY_SEED.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed),
+    ));
+}
 
 /// The client side of a remote object: holds a connection, the target's
 /// object key, and the wire types of each operation. `invoke` encodes the
@@ -88,6 +102,21 @@ impl RemoteRef {
         self.ops.get(operation).is_some_and(|op| op.idempotent)
     }
 
+    /// Whether fused wire programs may be used over this reference's
+    /// connection (cleared by the handshake when the peers' program
+    /// caches disagree; generated stubs consult this before taking the
+    /// fused marshal path).
+    pub fn fused_allowed(&self) -> bool {
+        self.connection.fused_allowed()
+    }
+
+    /// The handshake this reference's declarations imply: the interface
+    /// fingerprint of its operation table plus the caller's marshal-rules
+    /// fingerprint.
+    pub fn handshake_info(&self, rules_fp: u64) -> HandshakeInfo {
+        HandshakeInfo::new(interface_fingerprint(&self.ops), rules_fp)
+    }
+
     /// Invokes `operation` with an argument record under the reference's
     /// default options, awaiting the result record.
     ///
@@ -153,17 +182,40 @@ impl RemoteRef {
         } else {
             None
         };
+        // Hedging executes the request twice when the race is close, so
+        // it is idempotent-only for the same reason retries are.
+        let stripped;
+        let options = if options.hedge.is_some() && !idempotent {
+            stripped = CallOptions {
+                hedge: None,
+                ..options.clone()
+            };
+            &stripped
+        } else {
+            options
+        };
         let max_retries = policy.map_or(0, |p| p.max_retries);
         let mut attempt = 0u32;
         let mut body = body;
         loop {
             let (recovered, outcome) = self.invoke_once_raw(operation, body, options);
             match outcome {
-                Err(RuntimeError::Transport(_) | RuntimeError::Timeout(_))
-                    if attempt < max_retries =>
-                {
+                // Overloaded sheds are retryable by design: the server
+                // answered *instead of executing*, so re-sending after
+                // backoff is safe even mid-overload. Version skew never
+                // retries — a skewed peer stays skewed.
+                Err(
+                    RuntimeError::Transport(_)
+                    | RuntimeError::Timeout(_)
+                    | RuntimeError::Overloaded(_),
+                ) if attempt < max_retries => {
                     metrics::global().add_retry();
-                    std::thread::sleep(policy.unwrap().backoff(attempt));
+                    let pause = RETRY_RNG.with(|rng| {
+                        policy
+                            .unwrap()
+                            .jittered_backoff(attempt, &mut rng.borrow_mut())
+                    });
+                    std::thread::sleep(pause);
                     attempt += 1;
                     body = recovered;
                 }
@@ -214,6 +266,15 @@ impl RemoteRef {
             metrics::global().add_reply();
             match status {
                 ReplyStatus::NoException => Ok((reply.body, reply.endian)),
+                ReplyStatus::Overloaded => {
+                    metrics::global().add_overload();
+                    let mut r = CdrReader::new(&reply.body, reply.endian);
+                    let text = r
+                        .get_bytes()
+                        .map(|b| String::from_utf8_lossy(b).into_owned())
+                        .unwrap_or_else(|_| "request shed by the server".to_string());
+                    Err(RuntimeError::Overloaded(text))
+                }
                 ReplyStatus::UserException | ReplyStatus::SystemException => {
                     let mut r = CdrReader::new(&reply.body, reply.endian);
                     let text = r
@@ -380,6 +441,107 @@ mod tests {
             op.decode(op.result_ty, &reply, endian).unwrap(),
             MValue::Record(vec![MValue::Int(42)])
         );
+    }
+
+    /// Sheds the first `sheds` calls with an `Overloaded` reply, then
+    /// delegates — the client-visible shape of server load shedding.
+    struct ShedFirst {
+        inner: Arc<dyn Connection>,
+        sheds: AtomicU32,
+    }
+
+    impl Connection for ShedFirst {
+        fn call(&self, msg: &Message) -> Result<Option<Message>, RuntimeError> {
+            self.call_with(msg, &CallOptions::default())
+        }
+
+        fn call_with(
+            &self,
+            msg: &Message,
+            options: &CallOptions,
+        ) -> Result<Option<Message>, RuntimeError> {
+            let remaining = self.sheds.load(Ordering::SeqCst);
+            if remaining > 0 {
+                self.sheds.store(remaining - 1, Ordering::SeqCst);
+                let MessageKind::Request { request_id, .. } = msg.kind else {
+                    panic!("clients send requests")
+                };
+                return Ok(Some(Message::reply(
+                    request_id,
+                    ReplyStatus::Overloaded,
+                    msg.endian,
+                    Vec::new(),
+                )));
+            }
+            self.inner.call_with(msg, options)
+        }
+    }
+
+    fn shedding_ref(sheds: u32) -> RemoteRef {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(64));
+        let rec = g.record(vec![i, i]);
+        let result = g.record(vec![i]);
+        let graph = Arc::new(g);
+        let servant: Arc<dyn Servant> = Arc::new(|_: &str, args: MValue| {
+            let MValue::Record(items) = args else {
+                unreachable!()
+            };
+            let (MValue::Int(a), MValue::Int(b)) = (&items[0], &items[1]) else {
+                unreachable!()
+            };
+            Ok(MValue::Record(vec![MValue::Int(a + b)]))
+        });
+        let op = WireOp::new(graph, rec, result).idempotent();
+        let mut ops = HashMap::new();
+        ops.insert("add".to_string(), op.clone());
+        let d = Arc::new(Dispatcher::new());
+        let mut server_ops = HashMap::new();
+        server_ops.insert("add".to_string(), op);
+        d.register(b"calc".to_vec(), WireServant::new(servant, server_ops));
+        RemoteRef::new(
+            Arc::new(ShedFirst {
+                inner: Arc::new(InMemoryConnection::new(d)),
+                sheds: AtomicU32::new(sheds),
+            }),
+            b"calc".to_vec(),
+            ops,
+            Endian::Little,
+        )
+    }
+
+    #[test]
+    fn overloaded_reply_is_a_typed_error_without_retry() {
+        let r = shedding_ref(1);
+        let e = r.invoke("add", &args(1, 2)).unwrap_err();
+        assert!(matches!(e, RuntimeError::Overloaded(_)), "got {e}");
+    }
+
+    #[test]
+    fn overloaded_reply_is_retried_for_idempotent_ops() {
+        use crate::options::RetryPolicy;
+        let r = shedding_ref(2);
+        let opts = CallOptions::new().with_retry(RetryPolicy {
+            max_retries: 3,
+            initial_backoff: std::time::Duration::from_millis(1),
+            max_backoff: std::time::Duration::from_millis(2),
+            jitter: true,
+        });
+        let v = r.invoke_with("add", &args(20, 22), &opts).unwrap();
+        assert_eq!(v, MValue::Record(vec![MValue::Int(42)]));
+    }
+
+    #[test]
+    fn handshake_info_reflects_the_op_table() {
+        let r = setup();
+        let info = r.handshake_info(7);
+        assert_eq!(info.rules_fp, 7);
+        assert_eq!(
+            info.interface_fp,
+            interface_fingerprint(&r.ops),
+            "info carries the table's fingerprint"
+        );
+        assert!(r.fused_allowed(), "plain transports allow fused programs");
     }
 
     #[test]

@@ -19,17 +19,72 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use mockingbird_wire::{Message, MessageKind, RequestIds};
+use mockingbird_values::Endian;
+use mockingbird_wire::{
+    CdrWriter, HandshakeInfo, HandshakeVerdict, Message, MessageKind, ReplyStatus, RequestIds,
+};
 
 use crate::dispatch::Dispatcher;
 use crate::error::RuntimeError;
 use crate::metrics;
 use crate::options::CallOptions;
+
+/// How long a client waits for the peer's half of the connect-time
+/// handshake before declaring the connection broken.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The client's half of the connect-time handshake: sends our
+/// [`HandshakeInfo`] as a `Hello` proposal and interprets the peer's
+/// verdict. Returns whether fused wire programs are allowed on this
+/// connection (`false`: the peers' marshal rules disagree, so both
+/// sides fall back to the interpretive path while the nominal types
+/// still line up).
+///
+/// Runs serially on the raw stream *before* any multiplexing machinery
+/// starts, so no request can cross a connection whose declarations were
+/// never checked.
+fn client_handshake(stream: &mut TcpStream, info: &HandshakeInfo) -> Result<bool, RuntimeError> {
+    metrics::global().add_handshake();
+    let hello = Message::hello(*info, HandshakeVerdict::Propose, Endian::Little);
+    write_frame(stream, &hello)?;
+    stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT)).ok();
+    let outcome = read_frame(stream);
+    stream.set_read_timeout(None).ok();
+    let reply = outcome?
+        .ok_or_else(|| RuntimeError::Transport("connection closed during the handshake".into()))?;
+    let MessageKind::Hello {
+        info: peer,
+        verdict,
+    } = reply.kind
+    else {
+        return Err(RuntimeError::Protocol(
+            "expected a Hello reply to the handshake".into(),
+        ));
+    };
+    match verdict {
+        HandshakeVerdict::Accept => Ok(true),
+        HandshakeVerdict::InterpretiveOnly => {
+            metrics::global().add_handshake_fallback();
+            Ok(false)
+        }
+        HandshakeVerdict::Reject => {
+            metrics::global().add_handshake_reject();
+            Err(RuntimeError::VersionSkew(format!(
+                "peer speaks protocol {} with interface fingerprint {:032x}; \
+                 we speak protocol {} with {:032x}",
+                peer.protocol, peer.interface_fp, info.protocol, info.interface_fp
+            )))
+        }
+        HandshakeVerdict::Propose => Err(RuntimeError::Protocol(
+            "peer answered the handshake with a proposal".into(),
+        )),
+    }
+}
 
 /// A client-side connection: sends a framed message, returning the reply
 /// frame (or `None` for oneway requests).
@@ -55,6 +110,21 @@ pub trait Connection: Send + Sync {
     ) -> Result<Option<Message>, RuntimeError> {
         let _ = options;
         self.call(msg)
+    }
+
+    /// Whether the connection is still usable. Pools drop unhealthy
+    /// connections and reconnect; the default is always-healthy for
+    /// transports without liveness tracking.
+    fn healthy(&self) -> bool {
+        true
+    }
+
+    /// Whether fused wire programs may be used over this connection.
+    /// The connect-time handshake clears this when the peers' program
+    /// caches disagree (rules fingerprint mismatch), forcing the
+    /// interpretive marshal path while the nominal types still agree.
+    fn fused_allowed(&self) -> bool {
+        true
     }
 }
 
@@ -187,20 +257,42 @@ fn write_frame(stream: &mut TcpStream, msg: &Message) -> Result<(), RuntimeError
 /// correlates replies).
 pub struct TcpConnection {
     stream: Mutex<TcpStream>,
+    fused: bool,
 }
 
 impl TcpConnection {
-    /// Connects to a [`TcpServer`].
+    /// Connects to a [`TcpServer`] without a handshake (the peers trust
+    /// each other's declarations — in-process tests, mostly).
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Transport`] if the connect fails.
     pub fn connect(addr: SocketAddr) -> Result<Self, RuntimeError> {
-        let stream =
+        Self::connect_with(addr, None)
+    }
+
+    /// Connects to a [`TcpServer`], performing the fingerprint handshake
+    /// when `handshake` is given.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Transport`] if the connect fails and
+    /// [`RuntimeError::VersionSkew`] if the peer's declarations do not
+    /// match ours.
+    pub fn connect_with(
+        addr: SocketAddr,
+        handshake: Option<&HandshakeInfo>,
+    ) -> Result<Self, RuntimeError> {
+        let mut stream =
             TcpStream::connect(addr).map_err(|e| RuntimeError::Transport(e.to_string()))?;
         stream.set_nodelay(true).ok();
+        let fused = match handshake {
+            Some(info) => client_handshake(&mut stream, info)?,
+            None => true,
+        };
         Ok(TcpConnection {
             stream: Mutex::new(stream),
+            fused,
         })
     }
 }
@@ -252,6 +344,10 @@ impl Connection for TcpConnection {
             Err(e) => Err(e),
         }
     }
+
+    fn fused_allowed(&self) -> bool {
+        self.fused
+    }
 }
 
 /// What a multiplexed waiter slot holds while its call is in flight.
@@ -289,21 +385,43 @@ pub struct MultiplexedConnection {
     ids: RequestIds,
     closed: Arc<AtomicBool>,
     reader: Mutex<Option<JoinHandle<()>>>,
+    fused: bool,
 }
 
 /// How often the demultiplexing reader thread wakes to notice shutdown.
 const READER_POLL: Duration = Duration::from_millis(50);
 
 impl MultiplexedConnection {
-    /// Connects to a [`TcpServer`] and starts the reader thread.
+    /// Connects to a [`TcpServer`] without a handshake and starts the
+    /// reader thread.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Transport`] if the connect fails.
     pub fn connect(addr: SocketAddr) -> Result<Self, RuntimeError> {
-        let stream =
+        Self::connect_with(addr, None)
+    }
+
+    /// Connects to a [`TcpServer`], performing the fingerprint handshake
+    /// when `handshake` is given — serially, before the reader thread
+    /// starts multiplexing — then starts the reader thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Transport`] if the connect fails and
+    /// [`RuntimeError::VersionSkew`] if the peer's declarations do not
+    /// match ours.
+    pub fn connect_with(
+        addr: SocketAddr,
+        handshake: Option<&HandshakeInfo>,
+    ) -> Result<Self, RuntimeError> {
+        let mut stream =
             TcpStream::connect(addr).map_err(|e| RuntimeError::Transport(e.to_string()))?;
         stream.set_nodelay(true).ok();
+        let fused = match handshake {
+            Some(info) => client_handshake(&mut stream, info)?,
+            None => true,
+        };
         let mut reader_stream = stream
             .try_clone()
             .map_err(|e| RuntimeError::Transport(e.to_string()))?;
@@ -362,6 +480,7 @@ impl MultiplexedConnection {
             ids: RequestIds::new(),
             closed,
             reader: Mutex::new(Some(reader)),
+            fused,
         })
     }
 
@@ -390,6 +509,9 @@ fn with_request_id(msg: &Message, id: u32) -> Message {
         MessageKind::Request { request_id, .. } | MessageKind::Reply { request_id, .. } => {
             *request_id = id;
         }
+        // Handshake frames are exchanged before multiplexing starts and
+        // carry no request id.
+        MessageKind::Hello { .. } => {}
     }
     m
 }
@@ -469,6 +591,14 @@ impl Connection for MultiplexedConnection {
             _ => Err(RuntimeError::Protocol("waiter slot vanished".into())),
         }
     }
+
+    fn healthy(&self) -> bool {
+        self.is_alive()
+    }
+
+    fn fused_allowed(&self) -> bool {
+        self.fused
+    }
 }
 
 impl Drop for MultiplexedConnection {
@@ -492,24 +622,72 @@ const SERVER_POLL: Duration = Duration::from_millis(50);
 /// behind each other's service time.
 const DISPATCH_WORKERS: usize = 4;
 
-/// A closable queue of frames handed from a connection's read loop to
-/// its dispatch workers.
+/// Server-side tuning: handshake policy and overload limits.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The server's side of the fingerprint handshake. `None` accepts
+    /// every `Hello` by echoing the client's own info (permissive mode
+    /// for peers that trust their build system).
+    pub handshake: Option<HandshakeInfo>,
+    /// Frames one connection may have queued awaiting a dispatch
+    /// worker; requests beyond this are shed with an `Overloaded`
+    /// reply instead of stalling the socket.
+    pub max_queue: usize,
+    /// Requests the whole server may have in dispatch at once; beyond
+    /// this every connection sheds until workers catch up.
+    pub max_in_flight: usize,
+    /// Dispatch workers per connection.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            handshake: None,
+            max_queue: 64,
+            max_in_flight: 256,
+            workers: DISPATCH_WORKERS,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A config that answers the handshake with `info`'s verdicts.
+    #[must_use]
+    pub fn with_handshake(mut self, info: HandshakeInfo) -> Self {
+        self.handshake = Some(info);
+        self
+    }
+}
+
+/// A closable, bounded queue of frames handed from a connection's read
+/// loop to its dispatch workers.
 struct FrameQueue {
     state: Mutex<(VecDeque<Message>, bool)>,
     cv: Condvar,
+    cap: usize,
 }
 
 impl FrameQueue {
-    fn new() -> Self {
+    fn new(cap: usize) -> Self {
         FrameQueue {
             state: Mutex::new((VecDeque::new(), false)),
             cv: Condvar::new(),
+            cap,
         }
     }
 
-    fn push(&self, msg: Message) {
-        self.state.lock().unwrap().0.push_back(msg);
+    /// Enqueues unless the queue is at capacity; hands the frame back
+    /// on overflow so the caller can shed it.
+    fn try_push(&self, msg: Message) -> Result<(), Message> {
+        let mut st = self.state.lock().unwrap();
+        if st.0.len() >= self.cap {
+            return Err(msg);
+        }
+        st.0.push_back(msg);
+        drop(st);
         self.cv.notify_one();
+        Ok(())
     }
 
     fn close(&self) {
@@ -517,7 +695,9 @@ impl FrameQueue {
         self.cv.notify_all();
     }
 
-    /// Next frame; drains remaining frames after close, then `None`.
+    /// Next frame; drains remaining frames after close, then `None` —
+    /// this drain is what makes [`TcpServer::shutdown`] graceful:
+    /// requests already accepted still get their replies.
     fn pop(&self) -> Option<Message> {
         let mut st = self.state.lock().unwrap();
         loop {
@@ -532,7 +712,72 @@ impl FrameQueue {
     }
 }
 
-fn serve_connection(mut stream: TcpStream, dispatcher: Arc<Dispatcher>, stop: Arc<AtomicBool>) {
+/// Answers a client's `Hello` on the server side. Returns `false` when
+/// the verdict was `Reject` and the connection must close.
+fn serve_hello(
+    client: &HandshakeInfo,
+    endian: Endian,
+    cfg: &ServerConfig,
+    writer: &Mutex<TcpStream>,
+) -> bool {
+    metrics::global().add_handshake();
+    let (mine, verdict) = match &cfg.handshake {
+        Some(mine) => (*mine, mine.evaluate(client)),
+        // Permissive mode: echo the client's info back with an Accept.
+        None => (*client, HandshakeVerdict::Accept),
+    };
+    let reply = Message::hello(mine, verdict, endian);
+    {
+        let mut stream = writer.lock().unwrap();
+        if write_frame(&mut stream, &reply).is_err() {
+            return false;
+        }
+    }
+    match verdict {
+        HandshakeVerdict::Reject => {
+            metrics::global().add_handshake_reject();
+            false
+        }
+        HandshakeVerdict::InterpretiveOnly => {
+            metrics::global().add_handshake_fallback();
+            true
+        }
+        _ => true,
+    }
+}
+
+/// Sheds one request: answers `Overloaded` (response-expected requests
+/// only; oneways are silently dropped, as messaging semantics allow).
+/// Returns `false` when the reply could not be written.
+fn shed(msg: &Message, writer: &Mutex<TcpStream>) -> bool {
+    metrics::global().add_shed();
+    let MessageKind::Request {
+        request_id,
+        response_expected: true,
+        ..
+    } = &msg.kind
+    else {
+        return true;
+    };
+    let mut w = CdrWriter::new(msg.endian);
+    w.put_bytes(b"dispatch queue full");
+    let reply = Message::reply(
+        *request_id,
+        ReplyStatus::Overloaded,
+        msg.endian,
+        w.into_bytes(),
+    );
+    let mut stream = writer.lock().unwrap();
+    write_frame(&mut stream, &reply).is_ok()
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    dispatcher: Arc<Dispatcher>,
+    stop: Arc<AtomicBool>,
+    cfg: Arc<ServerConfig>,
+    in_flight: Arc<AtomicUsize>,
+) {
     stream.set_read_timeout(Some(SERVER_POLL)).ok();
     let Ok(write_half) = stream.try_clone() else {
         return;
@@ -543,15 +788,19 @@ fn serve_connection(mut stream: TcpStream, dispatcher: Arc<Dispatcher>, stop: Ar
         .set_write_timeout(Some(Duration::from_secs(5)))
         .ok();
     let writer = Arc::new(Mutex::new(write_half));
-    let queue = Arc::new(FrameQueue::new());
-    let workers: Vec<_> = (0..DISPATCH_WORKERS)
+    let queue = Arc::new(FrameQueue::new(cfg.max_queue));
+    let workers: Vec<_> = (0..cfg.workers.max(1))
         .map(|_| {
             let q = queue.clone();
             let d = dispatcher.clone();
             let w = writer.clone();
+            let busy = in_flight.clone();
             std::thread::spawn(move || {
                 while let Some(msg) = q.pop() {
-                    if let Some(reply) = d.dispatch(&msg) {
+                    busy.fetch_add(1, Ordering::SeqCst);
+                    let reply = d.dispatch(&msg);
+                    busy.fetch_sub(1, Ordering::SeqCst);
+                    if let Some(reply) = reply {
                         let mut stream = w.lock().unwrap();
                         if write_frame(&mut stream, &reply).is_err() {
                             break;
@@ -566,7 +815,28 @@ fn serve_connection(mut stream: TcpStream, dispatcher: Arc<Dispatcher>, stop: Ar
             break;
         }
         match read_frame(&mut stream) {
-            Ok(Some(msg)) => queue.push(msg),
+            Ok(Some(msg)) => {
+                if let MessageKind::Hello { info, .. } = &msg.kind {
+                    if !serve_hello(info, msg.endian, &cfg, &writer) {
+                        break; // rejected or unwritable: close the link
+                    }
+                    continue;
+                }
+                // Admission control: the global in-flight cap and the
+                // per-connection queue bound both shed rather than
+                // stall, so a flooded server answers fast instead of
+                // wedging every socket behind slow dispatches.
+                let admitted = if in_flight.load(Ordering::SeqCst) >= cfg.max_in_flight {
+                    Err(msg)
+                } else {
+                    queue.try_push(msg)
+                };
+                if let Err(msg) = admitted {
+                    if !shed(&msg, &writer) {
+                        break;
+                    }
+                }
+            }
             Ok(None) => break,                         // peer disconnected
             Err(RuntimeError::Timeout(_)) => continue, // idle poll; re-check stop
             Err(_) => break,                           // garbage or broken stream
@@ -593,12 +863,27 @@ pub struct TcpServer {
 
 impl TcpServer {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts the
-    /// accept loop.
+    /// accept loop, with default limits and no handshake requirement.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Transport`] if the bind fails.
     pub fn bind(addr: &str, dispatcher: Arc<Dispatcher>) -> Result<Self, RuntimeError> {
+        Self::bind_with(addr, dispatcher, ServerConfig::default())
+    }
+
+    /// Binds to `addr` under an explicit [`ServerConfig`]: handshake
+    /// policy, per-connection queue bound, global in-flight cap, and
+    /// dispatch worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Transport`] if the bind fails.
+    pub fn bind_with(
+        addr: &str,
+        dispatcher: Arc<Dispatcher>,
+        config: ServerConfig,
+    ) -> Result<Self, RuntimeError> {
         let listener =
             TcpListener::bind(addr).map_err(|e| RuntimeError::Transport(e.to_string()))?;
         let local = listener
@@ -608,6 +893,8 @@ impl TcpServer {
         let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let flag = shutdown.clone();
         let threads = conn_threads.clone();
+        let config = Arc::new(config);
+        let in_flight = Arc::new(AtomicUsize::new(0));
         let accept_thread = std::thread::spawn(move || {
             // The listener unblocks when a shutdown probe connects.
             for conn in listener.incoming() {
@@ -618,7 +905,10 @@ impl TcpServer {
                 stream.set_nodelay(true).ok();
                 let d = dispatcher.clone();
                 let stop = flag.clone();
-                let handle = std::thread::spawn(move || serve_connection(stream, d, stop));
+                let cfg = config.clone();
+                let busy = in_flight.clone();
+                let handle =
+                    std::thread::spawn(move || serve_connection(stream, d, stop, cfg, busy));
                 threads.lock().unwrap().push(handle);
             }
         });
@@ -910,5 +1200,154 @@ mod tests {
     fn connect_to_dead_server_fails() {
         assert!(TcpConnection::connect("127.0.0.1:1".parse().unwrap()).is_err());
         assert!(MultiplexedConnection::connect("127.0.0.1:1".parse().unwrap()).is_err());
+    }
+
+    #[test]
+    fn handshake_accepts_matching_peers() {
+        let (d, graph, args, result) = adder_dispatcher();
+        let info = HandshakeInfo::new(d.interface_fingerprint(), 7);
+        let mut server = TcpServer::bind_with(
+            "127.0.0.1:0",
+            d,
+            ServerConfig::default().with_handshake(info),
+        )
+        .unwrap();
+        let conn = TcpConnection::connect_with(server.addr(), Some(&info)).unwrap();
+        assert!(conn.fused_allowed());
+        assert_eq!(call_add(&conn, &graph, args, result, 1, 2), 3);
+        let mux = MultiplexedConnection::connect_with(server.addr(), Some(&info)).unwrap();
+        assert!(mux.fused_allowed());
+        assert_eq!(call_add(&mux, &graph, args, result, 2, 2), 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn handshake_rejects_skewed_peers() {
+        let (d, graph, args, result) = adder_dispatcher();
+        let mine = HandshakeInfo::new(d.interface_fingerprint(), 7);
+        let mut server = TcpServer::bind_with(
+            "127.0.0.1:0",
+            d,
+            ServerConfig::default().with_handshake(mine),
+        )
+        .unwrap();
+        // A peer compiled against different declarations.
+        let skewed = HandshakeInfo::new(mine.interface_fp ^ 0xDEAD_BEEF, 7);
+        let Err(err) = TcpConnection::connect_with(server.addr(), Some(&skewed)) else {
+            panic!("skewed serial connect was accepted")
+        };
+        assert!(matches!(err, RuntimeError::VersionSkew(_)), "got {err}");
+        let Err(err) = MultiplexedConnection::connect_with(server.addr(), Some(&skewed)) else {
+            panic!("skewed multiplexed connect was accepted")
+        };
+        assert!(matches!(err, RuntimeError::VersionSkew(_)), "got {err}");
+        // Matching peers still connect after the rejections.
+        let conn = TcpConnection::connect_with(server.addr(), Some(&mine)).unwrap();
+        assert_eq!(call_add(&conn, &graph, args, result, 3, 4), 7);
+        server.shutdown();
+    }
+
+    #[test]
+    fn handshake_rules_mismatch_forces_the_interpretive_path() {
+        let (d, graph, args, result) = adder_dispatcher();
+        let mine = HandshakeInfo::new(d.interface_fingerprint(), 7);
+        let mut server = TcpServer::bind_with(
+            "127.0.0.1:0",
+            d,
+            ServerConfig::default().with_handshake(mine),
+        )
+        .unwrap();
+        // Same declarations, different marshal-rule caches: connect
+        // succeeds but fused programs are off.
+        let other_rules = HandshakeInfo::new(mine.interface_fp, 8);
+        let conn = TcpConnection::connect_with(server.addr(), Some(&other_rules)).unwrap();
+        assert!(!conn.fused_allowed(), "rules skew disables fused programs");
+        assert_eq!(call_add(&conn, &graph, args, result, 5, 6), 11);
+        server.shutdown();
+    }
+
+    #[test]
+    fn saturated_server_sheds_with_overloaded_replies() {
+        let (d, graph, args, _result) = adder_dispatcher();
+        // A zero-length queue sheds every request deterministically.
+        let mut server = TcpServer::bind_with(
+            "127.0.0.1:0",
+            d,
+            ServerConfig {
+                max_queue: 0,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let conn = TcpConnection::connect(server.addr()).unwrap();
+        let mut w = CdrWriter::new(Endian::Little);
+        w.put_value(
+            &graph,
+            args,
+            &MValue::Record(vec![MValue::Int(1), MValue::Int(2)]),
+        )
+        .unwrap();
+        let req = Message::request(
+            11,
+            true,
+            b"adder".to_vec(),
+            "add",
+            Endian::Little,
+            w.into_bytes(),
+        );
+        let reply = conn.call(&req).unwrap().unwrap();
+        let MessageKind::Reply { status, .. } = reply.kind else {
+            panic!()
+        };
+        assert_eq!(status, ReplyStatus::Overloaded, "request shed, not stalled");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_work() {
+        // A slow servant: accepted requests take 150 ms to answer.
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(64));
+        let rec = g.record(vec![i]);
+        let graph = Arc::new(g);
+        let servant: Arc<dyn Servant> = Arc::new(|_: &str, v: MValue| {
+            std::thread::sleep(Duration::from_millis(150));
+            Ok(v)
+        });
+        let mut ops = HashMap::new();
+        ops.insert("echo".to_string(), WireOp::new(graph.clone(), rec, rec));
+        let d = Arc::new(Dispatcher::new());
+        d.register(b"slow".to_vec(), WireServant::new(servant, ops));
+        let mut server = TcpServer::bind("127.0.0.1:0", d).unwrap();
+        let addr = server.addr();
+        let g2 = graph.clone();
+        let client = std::thread::spawn(move || {
+            let conn = TcpConnection::connect(addr).unwrap();
+            let mut w = CdrWriter::new(Endian::Little);
+            w.put_value(&g2, rec, &MValue::Record(vec![MValue::Int(9)]))
+                .unwrap();
+            let req = Message::request(
+                1,
+                true,
+                b"slow".to_vec(),
+                "echo",
+                Endian::Little,
+                w.into_bytes(),
+            );
+            conn.call(&req)
+        });
+        // Let the request reach the dispatch queue, then shut down
+        // while it is still in flight.
+        std::thread::sleep(Duration::from_millis(50));
+        server.shutdown();
+        let reply = client.join().unwrap().unwrap().unwrap();
+        let MessageKind::Reply { status, .. } = reply.kind else {
+            panic!()
+        };
+        assert_eq!(
+            status,
+            ReplyStatus::NoException,
+            "in-flight work drains to a real reply, not a dropped socket"
+        );
     }
 }

@@ -354,8 +354,13 @@ impl RemoteStub {
         inputs: &[MValue],
         options: &mockingbird_runtime::CallOptions,
     ) -> Result<MValue, StubError> {
+        // A handshake that agreed on shapes but not on coercion rules
+        // demotes the connection to the interpretive path: the fused
+        // programs were compiled under *our* rules, so they stay unused.
         if let (Some(args_p), Some(result_p)) = (&self.args_program, &self.result_program) {
-            return self.call_fused(args_p, result_p, inputs, options);
+            if self.remote.fused_allowed() {
+                return self.call_fused(args_p, result_p, inputs, options);
+            }
         }
         let args_r = self.inner.convert_args(inputs)?;
         let out_r = self

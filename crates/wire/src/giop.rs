@@ -56,6 +56,94 @@ const MAGIC: &[u8; 4] = b"GIOP";
 const VERSION: (u8, u8) = (1, 0);
 const FLAG_LITTLE_ENDIAN: u8 = 0x01;
 
+/// The supervision protocol revision spoken over [`MessageKind::Hello`]
+/// frames. Peers with different revisions must not exchange requests.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// What a peer asserts about itself at connect time: the two sides of a
+/// Mockingbird boundary were compiled from *independent* declarations,
+/// so before any request flows each side states which contract it was
+/// compiled against. The interface fingerprint is the nominal (layout-
+/// faithful) fingerprint of the operation table; the rules fingerprint
+/// identifies the comparer rule set the fused wire programs were
+/// compiled under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandshakeInfo {
+    /// Supervision protocol revision ([`PROTOCOL_VERSION`]).
+    pub protocol: u32,
+    /// Nominal fingerprint of the interface (operation names and wire
+    /// types). Mismatch means the peers were compiled against different
+    /// declarations: requests would decode as garbage, so the connection
+    /// is rejected.
+    pub interface_fp: u128,
+    /// Fingerprint of the rule set / program cache the fused data plane
+    /// was compiled under. Mismatch alone is survivable: both sides fall
+    /// back to the interpretive marshal path.
+    pub rules_fp: u64,
+}
+
+impl HandshakeInfo {
+    /// An assertion under the current [`PROTOCOL_VERSION`].
+    #[must_use]
+    pub fn new(interface_fp: u128, rules_fp: u64) -> Self {
+        HandshakeInfo {
+            protocol: PROTOCOL_VERSION,
+            interface_fp,
+            rules_fp,
+        }
+    }
+
+    /// The server's verdict on a client proposal: reject on protocol or
+    /// interface skew, degrade to the interpretive path when only the
+    /// rule set (program cache) disagrees, accept otherwise.
+    #[must_use]
+    pub fn evaluate(&self, client: &HandshakeInfo) -> HandshakeVerdict {
+        if self.protocol != client.protocol || self.interface_fp != client.interface_fp {
+            HandshakeVerdict::Reject
+        } else if self.rules_fp != client.rules_fp {
+            HandshakeVerdict::InterpretiveOnly
+        } else {
+            HandshakeVerdict::Accept
+        }
+    }
+}
+
+/// The role/outcome field of a [`MessageKind::Hello`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandshakeVerdict {
+    /// A client proposal (no verdict yet).
+    Propose,
+    /// Fingerprints match: the fused data plane may run.
+    Accept,
+    /// Interface matches but the rule set differs: both sides must use
+    /// the interpretive marshal path.
+    InterpretiveOnly,
+    /// Protocol or interface skew: the server closes the connection
+    /// after this ack; the client surfaces a version-skew error.
+    Reject,
+}
+
+impl HandshakeVerdict {
+    fn to_u32(self) -> u32 {
+        match self {
+            HandshakeVerdict::Propose => 0,
+            HandshakeVerdict::Accept => 1,
+            HandshakeVerdict::InterpretiveOnly => 2,
+            HandshakeVerdict::Reject => 3,
+        }
+    }
+
+    fn from_u32(v: u32) -> Result<Self, GiopError> {
+        Ok(match v {
+            0 => HandshakeVerdict::Propose,
+            1 => HandshakeVerdict::Accept,
+            2 => HandshakeVerdict::InterpretiveOnly,
+            3 => HandshakeVerdict::Reject,
+            other => return Err(GiopError(format!("unknown handshake verdict {other}"))),
+        })
+    }
+}
+
 /// Reply outcome, mirroring GIOP reply statuses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplyStatus {
@@ -65,6 +153,10 @@ pub enum ReplyStatus {
     UserException,
     /// The infrastructure failed (unknown object, conversion error, ...).
     SystemException,
+    /// The server shed the request instead of queueing it (bounded
+    /// dispatch queue or global in-flight cap exceeded). The request was
+    /// *not* executed; idempotent callers may retry after backoff.
+    Overloaded,
 }
 
 impl ReplyStatus {
@@ -73,6 +165,7 @@ impl ReplyStatus {
             ReplyStatus::NoException => 0,
             ReplyStatus::UserException => 1,
             ReplyStatus::SystemException => 2,
+            ReplyStatus::Overloaded => 3,
         }
     }
 
@@ -81,6 +174,7 @@ impl ReplyStatus {
             0 => ReplyStatus::NoException,
             1 => ReplyStatus::UserException,
             2 => ReplyStatus::SystemException,
+            3 => ReplyStatus::Overloaded,
             other => return Err(GiopError(format!("unknown reply status {other}"))),
         })
     }
@@ -106,6 +200,16 @@ pub enum MessageKind {
         request_id: u32,
         /// Outcome.
         status: ReplyStatus,
+    },
+    /// A connect-time handshake frame: the sender's compilation
+    /// fingerprints plus a verdict (clients send
+    /// [`HandshakeVerdict::Propose`], servers answer with their own info
+    /// and an accept/degrade/reject verdict).
+    Hello {
+        /// The sender's fingerprints.
+        info: HandshakeInfo,
+        /// Proposal or server verdict.
+        verdict: HandshakeVerdict,
     },
 }
 
@@ -151,6 +255,15 @@ impl Message {
         }
     }
 
+    /// Builds a handshake frame (empty body).
+    pub fn hello(info: HandshakeInfo, verdict: HandshakeVerdict, endian: Endian) -> Self {
+        Message {
+            endian,
+            kind: MessageKind::Hello { info, verdict },
+            body: Vec::new(),
+        }
+    }
+
     /// Exact byte length of the kind-specific header (what the old
     /// two-buffer path measured by serialising; all fields are at most
     /// 4-aligned and the header starts 4-aligned, so the length is pure
@@ -166,6 +279,8 @@ impl Message {
                 n.div_ceil(4) * 4 + 4 + operation.len()
             }
             MessageKind::Reply { .. } => 8,
+            // protocol + verdict + interface_fp (4×u32) + rules_fp (2×u32)
+            MessageKind::Hello { .. } => 32,
         }
     }
 
@@ -194,6 +309,7 @@ impl Message {
         out.push(match self.kind {
             MessageKind::Request { .. } => 0,
             MessageKind::Reply { .. } => 1,
+            MessageKind::Hello { .. } => 2,
         });
         out.extend_from_slice(&(size as u32).to_be_bytes());
         match &self.kind {
@@ -216,6 +332,16 @@ impl Message {
             MessageKind::Reply { request_id, status } => {
                 self.put_u32_endian(out, *request_id);
                 self.put_u32_endian(out, status.to_u32());
+            }
+            MessageKind::Hello { info, verdict } => {
+                self.put_u32_endian(out, info.protocol);
+                self.put_u32_endian(out, verdict.to_u32());
+                self.put_u32_endian(out, (info.interface_fp >> 96) as u32);
+                self.put_u32_endian(out, (info.interface_fp >> 64) as u32);
+                self.put_u32_endian(out, (info.interface_fp >> 32) as u32);
+                self.put_u32_endian(out, info.interface_fp as u32);
+                self.put_u32_endian(out, (info.rules_fp >> 32) as u32);
+                self.put_u32_endian(out, info.rules_fp as u32);
             }
         }
         debug_assert_eq!(out.len() - 12, self.header_len());
@@ -318,6 +444,24 @@ impl Message {
                 let request_id = r.get_u32().map_err(wrap)?;
                 let status = ReplyStatus::from_u32(r.get_u32().map_err(wrap)?)?;
                 MessageKind::Reply { request_id, status }
+            }
+            2 => {
+                let protocol = r.get_u32().map_err(wrap)?;
+                let verdict = HandshakeVerdict::from_u32(r.get_u32().map_err(wrap)?)?;
+                let mut interface_fp = 0u128;
+                for _ in 0..4 {
+                    interface_fp = (interface_fp << 32) | u128::from(r.get_u32().map_err(wrap)?);
+                }
+                let rules_hi = r.get_u32().map_err(wrap)?;
+                let rules_lo = r.get_u32().map_err(wrap)?;
+                MessageKind::Hello {
+                    info: HandshakeInfo {
+                        protocol,
+                        interface_fp,
+                        rules_fp: (u64::from(rules_hi) << 32) | u64::from(rules_lo),
+                    },
+                    verdict,
+                }
             }
             other => return Err(GiopError(format!("unknown message type {other}"))),
         };
@@ -472,6 +616,56 @@ mod tests {
         m.write_to(&mut sink, &mut scratch).unwrap();
         assert_eq!(sink, m.to_bytes());
         assert_eq!(scratch.capacity(), cap);
+    }
+
+    #[test]
+    fn hello_round_trip_both_endians() {
+        for endian in [Endian::Little, Endian::Big] {
+            for verdict in [
+                HandshakeVerdict::Propose,
+                HandshakeVerdict::Accept,
+                HandshakeVerdict::InterpretiveOnly,
+                HandshakeVerdict::Reject,
+            ] {
+                let info = HandshakeInfo::new(
+                    0x0123_4567_89AB_CDEF_FEDC_BA98_7654_3210,
+                    0xDEAD_BEEF_CAFE_F00D,
+                );
+                let m = Message::hello(info, verdict, endian);
+                let bytes = m.to_bytes();
+                assert_eq!(Message::frame_len(&bytes).unwrap(), bytes.len());
+                assert_eq!(Message::from_bytes(&bytes).unwrap(), m);
+            }
+        }
+    }
+
+    #[test]
+    fn overloaded_reply_round_trips() {
+        let m = Message::reply(5, ReplyStatus::Overloaded, Endian::Little, vec![1, 2]);
+        assert_eq!(Message::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn handshake_verdict_matrix() {
+        let mine = HandshakeInfo::new(10, 20);
+        assert_eq!(mine.evaluate(&mine), HandshakeVerdict::Accept);
+        // Only the rule set differs: degrade, don't reject.
+        assert_eq!(
+            mine.evaluate(&HandshakeInfo::new(10, 99)),
+            HandshakeVerdict::InterpretiveOnly
+        );
+        // Interface skew: reject.
+        assert_eq!(
+            mine.evaluate(&HandshakeInfo::new(11, 20)),
+            HandshakeVerdict::Reject
+        );
+        // Protocol skew: reject even with matching fingerprints.
+        let old = HandshakeInfo {
+            protocol: PROTOCOL_VERSION + 1,
+            interface_fp: 10,
+            rules_fp: 20,
+        };
+        assert_eq!(mine.evaluate(&old), HandshakeVerdict::Reject);
     }
 
     #[test]

@@ -33,5 +33,8 @@ pub mod program;
 pub const MAX_NESTING_DEPTH: usize = 512;
 
 pub use cdr::{CdrError, CdrReader, CdrWriter};
-pub use giop::{GiopError, Message, MessageKind, ReplyStatus, RequestIds, MAX_FRAME_LEN};
+pub use giop::{
+    GiopError, HandshakeInfo, HandshakeVerdict, Message, MessageKind, ReplyStatus, RequestIds,
+    MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
 pub use program::{nominal_fingerprint, ProgramCache, ProgramStats, Unsupported, WireProgram};

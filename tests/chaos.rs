@@ -1,0 +1,345 @@
+//! Chaos: the supervised runtime under deterministic fault injection.
+//!
+//! Every test that draws faults prints its seed; re-running with the
+//! same seed replays the same schedule byte-for-byte, so any failure
+//! here reproduces exactly.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mockingbird::mtype::{IntRange, MtypeGraph};
+use mockingbird::runtime::dispatch::interface_fingerprint;
+use mockingbird::runtime::transport::TcpConnection;
+use mockingbird::runtime::{
+    metrics, BreakerConfig, BreakerState, CallOptions, ChaosConnection, Connection, ConnectionPool,
+    Connector, Dispatcher, HedgePolicy, InMemoryConnection, RemoteRef, RetryPolicy, RuntimeError,
+    Servant, ServerConfig, TcpServer, WireOp, WireServant,
+};
+use mockingbird::values::{Endian, MValue};
+use mockingbird::wire::HandshakeInfo;
+
+/// An idempotent echo servant and the op table a client needs to call
+/// it. `delay` holds each dispatch for that long (server-side work).
+fn echo_service(delay: Duration) -> (Arc<Dispatcher>, HashMap<String, WireOp>) {
+    let mut g = MtypeGraph::new();
+    let i = g.integer(IntRange::signed_bits(64));
+    let rec = g.record(vec![i]);
+    let graph = Arc::new(g);
+    let op = WireOp::new(graph, rec, rec).idempotent();
+    let servant: Arc<dyn Servant> = Arc::new(move |_: &str, v: MValue| {
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        Ok(v)
+    });
+    let mut ops = HashMap::new();
+    ops.insert("echo".to_string(), op);
+    let d = Arc::new(Dispatcher::new());
+    d.register(b"obj".to_vec(), WireServant::new(servant, ops.clone()));
+    (d, ops)
+}
+
+fn payload(k: i128) -> MValue {
+    MValue::Record(vec![MValue::Int(k)])
+}
+
+/// A loopback address whose port was just released: dials are refused.
+fn refused_addr() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    drop(listener);
+    addr
+}
+
+#[test]
+fn chaos_outcomes_replay_byte_for_byte_from_the_seed() {
+    // The headline determinism property: for 64 seeds, two full runs of
+    // the same call sequence produce identical client-visible outcomes
+    // AND identical fault traces.
+    for seed in 0..64u64 {
+        let run = || {
+            let (d, ops) = echo_service(Duration::ZERO);
+            let chaos = Arc::new(ChaosConnection::with_fault_rate(
+                Arc::new(InMemoryConnection::new(d)),
+                seed,
+                0.35,
+            ));
+            let remote =
+                RemoteRef::new(chaos.clone(), b"obj".to_vec(), ops.clone(), Endian::Little);
+            let outcomes: Vec<String> = (0..60)
+                .map(|k| match remote.invoke("echo", &payload(k)) {
+                    Ok(v) => format!("ok:{v:?}"),
+                    Err(RuntimeError::Transport(m)) => format!("transport:{m}"),
+                    Err(e) => format!("other:{e}"),
+                })
+                .collect();
+            (outcomes, chaos.trace())
+        };
+        let (o1, t1) = run();
+        let (o2, t2) = run();
+        assert_eq!(o1, o2, "outcomes diverged; reproduce with seed={seed}");
+        assert_eq!(t1, t2, "fault traces diverged; reproduce with seed={seed}");
+    }
+}
+
+#[test]
+fn twenty_percent_faults_with_breaker_and_hedging_stay_above_99_percent() {
+    // The X7 acceptance bar: at a 20% injected fault rate, idempotent
+    // calls through the supervised pool (breaker + retry + hedging)
+    // succeed ≥99% of the time and NEVER return a wrong payload.
+    let seed = 0x0C4A_0520u64;
+    println!("chaos seed: {seed:#x}");
+    let (d, ops) = echo_service(Duration::ZERO);
+    let dials = Arc::new(AtomicU64::new(0));
+    let connector: Connector = Arc::new(move |_| {
+        // Each (re)dial gets its own schedule, offset by the dial
+        // index, so a torn-down endpoint comes back with fresh faults.
+        let n = dials.fetch_add(1, Ordering::SeqCst);
+        Ok(Arc::new(ChaosConnection::with_fault_rate(
+            Arc::new(InMemoryConnection::new(d.clone())),
+            seed + n,
+            0.20,
+        )) as Arc<dyn Connection>)
+    });
+    let pool = ConnectionPool::builder(vec![
+        "127.0.0.1:1".parse().unwrap(),
+        "127.0.0.1:2".parse().unwrap(),
+    ])
+    .slots(1)
+    .connector(connector)
+    .build()
+    .unwrap();
+    let remote = RemoteRef::new(Arc::new(pool), b"obj".to_vec(), ops, Endian::Little).with_options(
+        CallOptions::new()
+            .with_retry(RetryPolicy {
+                max_retries: 5,
+                initial_backoff: Duration::from_micros(200),
+                max_backoff: Duration::from_millis(2),
+                jitter: true,
+            })
+            .with_hedge(HedgePolicy::After(Duration::from_millis(3))),
+    );
+
+    let before = metrics::snapshot();
+    let total = 400;
+    let mut ok = 0u32;
+    for k in 0..total {
+        match remote.invoke("echo", &payload(i128::from(k))) {
+            Ok(v) => {
+                assert_eq!(
+                    v,
+                    payload(i128::from(k)),
+                    "WRONG PAYLOAD at call {k}; reproduce with seed={seed:#x}"
+                );
+                ok += 1;
+            }
+            Err(RuntimeError::Transport(_) | RuntimeError::Timeout(_)) => {}
+            Err(e) => panic!("unexpected error class at call {k}: {e} (seed={seed:#x})"),
+        }
+    }
+    let rate = f64::from(ok) / f64::from(total);
+    assert!(
+        rate >= 0.99,
+        "success rate {rate:.3} below 0.99; reproduce with seed={seed:#x}"
+    );
+    let after = metrics::snapshot();
+    assert!(
+        after.faults_injected > before.faults_injected,
+        "a 20% rate over {total} calls injects faults"
+    );
+    assert!(after.retries > before.retries, "retries drove the recovery");
+}
+
+#[test]
+fn version_skew_is_rejected_at_connect_time() {
+    let (d, ops) = echo_service(Duration::ZERO);
+    let server_info = HandshakeInfo::new(d.interface_fingerprint(), 7);
+    let mut server = TcpServer::bind_with(
+        "127.0.0.1:0",
+        d,
+        ServerConfig::default().with_handshake(server_info),
+    )
+    .unwrap();
+
+    // A client compiled against a *different* interface: one extra op
+    // changes the nominal fingerprint, and the handshake refuses it.
+    let mut skewed = ops.clone();
+    skewed.insert("evict".to_string(), ops["echo"].clone());
+    let skewed_info = HandshakeInfo::new(interface_fingerprint(&skewed), 7);
+    let before = metrics::snapshot();
+    let Err(err) = TcpConnection::connect_with(server.addr(), Some(&skewed_info)) else {
+        panic!("a skewed peer must not connect");
+    };
+    assert!(matches!(err, RuntimeError::VersionSkew(_)), "{err}");
+    assert!(metrics::snapshot().handshake_rejects > before.handshake_rejects);
+
+    // The matching client is unaffected and calls fine.
+    let good = HandshakeInfo::new(interface_fingerprint(&ops), 7);
+    let conn = TcpConnection::connect_with(server.addr(), Some(&good)).unwrap();
+    assert!(conn.fused_allowed());
+    let remote = RemoteRef::new(Arc::new(conn), b"obj".to_vec(), ops, Endian::Little);
+    assert_eq!(remote.invoke("echo", &payload(4)).unwrap(), payload(4));
+    server.shutdown();
+}
+
+#[test]
+fn rules_skew_demotes_to_the_interpretive_path_but_still_serves() {
+    let (d, ops) = echo_service(Duration::ZERO);
+    let fp = d.interface_fingerprint();
+    let mut server = TcpServer::bind_with(
+        "127.0.0.1:0",
+        d,
+        ServerConfig::default().with_handshake(HandshakeInfo::new(fp, 1)),
+    )
+    .unwrap();
+
+    // Same interface, different coercion-rules fingerprint: the peer is
+    // compatible on shapes, so the handshake demotes rather than
+    // rejects — fused programs stay off, calls interpret.
+    let before = metrics::snapshot();
+    let conn =
+        TcpConnection::connect_with(server.addr(), Some(&HandshakeInfo::new(fp, 2))).unwrap();
+    assert!(!conn.fused_allowed(), "rules skew disables the fused plane");
+    assert!(metrics::snapshot().handshake_fallbacks > before.handshake_fallbacks);
+    let remote = RemoteRef::new(Arc::new(conn), b"obj".to_vec(), ops, Endian::Little);
+    for k in 0..5 {
+        assert_eq!(remote.invoke("echo", &payload(k)).unwrap(), payload(k));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_are_typed_and_retries_ride_them_out() {
+    // A deliberately tiny server: one worker, a one-deep queue, and a
+    // servant that holds each dispatch 20 ms. A burst must overflow.
+    let (d, ops) = echo_service(Duration::from_millis(20));
+    let mut server = TcpServer::bind_with(
+        "127.0.0.1:0",
+        d,
+        ServerConfig {
+            max_queue: 1,
+            max_in_flight: 2,
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let before = metrics::snapshot();
+
+    // Burst WITHOUT retry: some calls are shed with a typed error.
+    let pool = Arc::new(ConnectionPool::connect(server.addr(), 2).unwrap());
+    let remote = Arc::new(RemoteRef::new(pool, b"obj".to_vec(), ops, Endian::Little));
+    let handles: Vec<_> = (0..12)
+        .map(|k: i128| {
+            let r = remote.clone();
+            std::thread::spawn(move || match r.invoke("echo", &payload(k)) {
+                Ok(v) => {
+                    assert_eq!(v, payload(k), "shed pressure must never corrupt replies");
+                    0u32
+                }
+                Err(RuntimeError::Overloaded(_)) => 1,
+                Err(e) => panic!("unexpected error class: {e}"),
+            })
+        })
+        .collect();
+    let shed: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(shed > 0, "a 12-call burst into a 1-worker server sheds");
+    let mid = metrics::snapshot();
+    assert!(mid.sheds > before.sheds, "server counted its sheds");
+    assert!(mid.overloads > before.overloads, "clients saw typed sheds");
+
+    // The same burst WITH retry: every call eventually lands.
+    let retrying = remote.clone();
+    let handles: Vec<_> = (100..112)
+        .map(|k: i128| {
+            let r = retrying.clone();
+            std::thread::spawn(move || {
+                let opts = CallOptions::new().with_retry(RetryPolicy {
+                    max_retries: 10,
+                    initial_backoff: Duration::from_millis(10),
+                    max_backoff: Duration::from_millis(60),
+                    jitter: true,
+                });
+                let v = r.invoke_with("echo", &payload(k), &opts).unwrap();
+                assert_eq!(v, payload(k));
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    server.shutdown();
+}
+
+#[test]
+fn breaker_quarantines_a_dead_endpoint_while_the_live_one_serves() {
+    let (d, ops) = echo_service(Duration::ZERO);
+    let mut server = TcpServer::bind("127.0.0.1:0", d).unwrap();
+    let dead = refused_addr();
+    let before = metrics::snapshot();
+
+    let pool = ConnectionPool::builder(vec![dead, server.addr()])
+        .slots(1)
+        .breaker(BreakerConfig {
+            consecutive_failures: 3,
+            cooldown: Duration::from_secs(30),
+            ..BreakerConfig::default()
+        })
+        .build()
+        .unwrap();
+    let pool = Arc::new(pool);
+    let remote = RemoteRef::new(pool.clone(), b"obj".to_vec(), ops, Endian::Little).with_options(
+        CallOptions::new().with_retry(RetryPolicy {
+            max_retries: 4,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            jitter: false,
+        }),
+    );
+
+    // Retries route around the refused dials until the breaker trips;
+    // from then on the dead endpoint is skipped outright.
+    for k in 0..20 {
+        assert_eq!(remote.invoke("echo", &payload(k)).unwrap(), payload(k));
+    }
+    assert_eq!(pool.breaker_state(0), BreakerState::Open);
+    assert_eq!(pool.breaker_state(1), BreakerState::Closed);
+    assert!(metrics::snapshot().breaker_opens > before.breaker_opens);
+    server.shutdown();
+}
+
+#[test]
+fn hedging_routes_past_a_slow_endpoint() {
+    let (slow_d, ops) = echo_service(Duration::from_millis(300));
+    let (fast_d, _) = echo_service(Duration::ZERO);
+    let mut slow = TcpServer::bind("127.0.0.1:0", slow_d).unwrap();
+    let mut fast = TcpServer::bind("127.0.0.1:0", fast_d).unwrap();
+    let before = metrics::snapshot();
+
+    let pool = ConnectionPool::builder(vec![slow.addr(), fast.addr()])
+        .slots(1)
+        .build()
+        .unwrap();
+    let remote = RemoteRef::new(Arc::new(pool), b"obj".to_vec(), ops, Endian::Little)
+        .with_options(CallOptions::new().with_hedge(HedgePolicy::After(Duration::from_millis(10))));
+
+    // Round-robin parks half the primaries on the 300 ms endpoint; the
+    // hedge must cap every call well under that.
+    for k in 0..8 {
+        let start = Instant::now();
+        assert_eq!(remote.invoke("echo", &payload(k)).unwrap(), payload(k));
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(200),
+            "call {k} took {elapsed:?} despite hedging"
+        );
+    }
+    let after = metrics::snapshot();
+    assert!(after.hedges_fired > before.hedges_fired, "hedges fired");
+    assert!(after.hedges_won > before.hedges_won, "a hedge won the race");
+    slow.shutdown();
+    fast.shutdown();
+}

@@ -215,6 +215,7 @@ fn stalled_server_with_retries_costs_each_attempt_one_deadline() {
                 max_retries: 2,
                 initial_backoff: Duration::from_millis(5),
                 max_backoff: Duration::from_millis(10),
+                jitter: false,
             }),
     );
 
@@ -308,6 +309,7 @@ fn idempotent_calls_retry_through_transient_failures() {
             max_retries: 3,
             initial_backoff: Duration::from_millis(1),
             max_backoff: Duration::from_millis(2),
+            jitter: false,
         }));
     let before = mockingbird::runtime::metrics::snapshot().retries;
     let out = remote
