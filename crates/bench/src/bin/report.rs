@@ -2,13 +2,15 @@
 //! DESIGN.md §4 with live measurements and prints them as the tables
 //! recorded in EXPERIMENTS.md.
 //!
-//! Usage: `report [t1|f5|e1|e2|e3|x1|x2|x3|x4|x5|x6|x7]...` (no args =
-//! everything). `x5` additionally writes `BENCH_compile.json` with the
+//! Usage: `report [t1|f5|e1|e2|e3|x1|x2|x3|x4|x5|x6|x7|x8]...` (no args
+//! = everything). `x5` additionally writes `BENCH_compile.json` with the
 //! measured cache hit rate and warm-vs-cold speedup; `x6` writes
 //! `BENCH_marshal.json` with the fused-vs-interpretive marshalling
 //! speedup over a 200-class corpus; `x7` writes `BENCH_resilience.json`
 //! with success rates and p99 latency under injected faults, with and
-//! without the breaker+hedging supervision stack.
+//! without the breaker+hedging supervision stack; `x8` writes
+//! `BENCH_observability.json` with the tracing-on vs tracing-off p50
+//! and a scrape of the server's Prometheus endpoint.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -394,7 +396,7 @@ fn x3() {
 fn x4() {
     use mockingbird::runtime::transport::TcpConnection;
     use mockingbird::runtime::{
-        metrics, Connection, ConnectionPool, Dispatcher, MultiplexedConnection, RemoteRef,
+        Connection, ConnectionPool, Dispatcher, MetricsSnapshot, MultiplexedConnection, RemoteRef,
         RuntimeError, Servant, TcpServer, WireOp, WireServant,
     };
 
@@ -423,7 +425,9 @@ fn x4() {
         d.register(b"obj".to_vec(), WireServant::new(servant, ops));
         TcpServer::bind("127.0.0.1:0", d).unwrap()
     };
-    let run = |conn: Arc<dyn Connection>| -> f64 {
+    // Each client connection carries its own metrics registry; the run
+    // returns that node's snapshot along with the wall time.
+    let run = |conn: Arc<dyn Connection>| -> (f64, MetricsSnapshot) {
         let mut ops = HashMap::new();
         ops.insert("echo".to_string(), op.clone());
         let remote = Arc::new(RemoteRef::new(conn, b"obj".to_vec(), ops, Endian::Little));
@@ -449,30 +453,33 @@ fn x4() {
         for h in handles {
             h.join().unwrap();
         }
-        t.elapsed().as_secs_f64()
+        (t.elapsed().as_secs_f64(), remote.metrics().snapshot())
     };
 
     let calls = (THREADS * CALLS_PER_THREAD) as f64;
-    metrics::reset();
     let mut rows: Vec<(&str, f64)> = Vec::new();
+    let mut snaps: Vec<MetricsSnapshot> = Vec::new();
     {
         let mut server = make_server();
-        let secs = run(Arc::new(TcpConnection::connect(server.addr()).unwrap()));
+        let (secs, snap) = run(Arc::new(TcpConnection::connect(server.addr()).unwrap()));
         rows.push(("serial (1 socket, lock per call)", secs));
+        snaps.push(snap);
         server.shutdown();
     }
     {
         let mut server = make_server();
-        let secs = run(Arc::new(
+        let (secs, snap) = run(Arc::new(
             MultiplexedConnection::connect(server.addr()).unwrap(),
         ));
         rows.push(("multiplexed (1 socket, pipelined)", secs));
+        snaps.push(snap);
         server.shutdown();
     }
     {
         let mut server = make_server();
-        let secs = run(Arc::new(ConnectionPool::connect(server.addr(), 4).unwrap()));
+        let (secs, snap) = run(Arc::new(ConnectionPool::connect(server.addr(), 4).unwrap()));
         rows.push(("pooled (4 multiplexed sockets)", secs));
+        snaps.push(snap);
         server.shutdown();
     }
     let serial = rows[0].1;
@@ -487,7 +494,15 @@ fn x4() {
             serial / secs
         );
     }
-    let snap = metrics::snapshot();
+    let snap = snaps.iter().fold(MetricsSnapshot::default(), |mut acc, s| {
+        acc.requests += s.requests;
+        acc.replies += s.replies;
+        acc.retries += s.retries;
+        acc.timeouts += s.timeouts;
+        acc.bytes_sent += s.bytes_sent;
+        acc.bytes_received += s.bytes_received;
+        acc
+    });
     println!(
         "runtime counters: {} requests, {} replies, {} retries, {} timeouts, \
          {} B out, {} B in",
@@ -745,9 +760,9 @@ fn x6() {
 
 fn x7() {
     use mockingbird::runtime::{
-        metrics, BreakerConfig, CallOptions, ChaosConfig, ChaosConnection, ChaosSchedule,
-        Connection, ConnectionPool, Connector, Dispatcher, HedgePolicy, InMemoryConnection,
-        RemoteRef, RetryPolicy, RuntimeError, Servant, WireOp, WireServant,
+        BreakerConfig, CallOptions, ChaosConfig, ChaosConnection, ChaosSchedule, Connection,
+        ConnectionPool, Connector, Dispatcher, HedgePolicy, InMemoryConnection, MetricsRegistry,
+        MetricsSnapshot, RemoteRef, RetryPolicy, RuntimeError, Servant, WireOp, WireServant,
     };
     use mockingbird::stype::json::Json;
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -759,8 +774,11 @@ fn x7() {
     println!("chaos seed: {SEED:#x} ({CALLS} idempotent calls per cell)");
 
     // An in-memory echo service reached through chaos-wrapped
-    // connections, so the only failures are the injected ones.
-    let service = || {
+    // connections, so the only failures are the injected ones. Each
+    // cell gets one registry shared by the dispatcher, the pool, and
+    // the chaos layer, so its counters cover the whole cell and
+    // nothing else.
+    let service = |registry: &Arc<MetricsRegistry>| {
         let mut g = MtypeGraph::new();
         let i = g.integer(IntRange::signed_bits(64));
         let rec = g.record(vec![i]);
@@ -769,7 +787,7 @@ fn x7() {
         let servant: Arc<dyn Servant> = Arc::new(|_: &str, v: MValue| Ok(v));
         let mut ops = HashMap::new();
         ops.insert("echo".to_string(), op);
-        let d = Arc::new(Dispatcher::new());
+        let d = Arc::new(Dispatcher::with_metrics(Arc::clone(registry)));
         d.register(b"obj".to_vec(), WireServant::new(servant, ops.clone()));
         (d, ops)
     };
@@ -779,8 +797,9 @@ fn x7() {
     // is additionally *degraded* — every call through it is delayed
     // uniformly up to 10 ms — so tail latency measures whether hedging
     // routes around the slow replica.
-    let run_cell = |rate: f64, supervised: bool| -> (f64, f64) {
-        let (d, ops) = service();
+    let run_cell = |rate: f64, supervised: bool| -> (f64, f64, MetricsSnapshot) {
+        let registry = MetricsRegistry::shared();
+        let (d, ops) = service(&registry);
         let dials = Arc::new(AtomicU64::new(0));
         let connector: Connector = Arc::new(move |addr: std::net::SocketAddr| {
             let n = dials.fetch_add(1, Ordering::SeqCst);
@@ -811,9 +830,10 @@ fn x7() {
             "127.0.0.1:1".parse().unwrap(),
             "127.0.0.1:2".parse().unwrap(),
         ])
-        .slots(1)
-        .breaker(breaker)
-        .connector(connector)
+        .with_slots(1)
+        .with_breaker(breaker)
+        .with_connector(connector)
+        .with_metrics(Arc::clone(&registry))
         .build()
         .expect("pool builds");
         let mut opts = CallOptions::new().with_retry(RetryPolicy {
@@ -845,18 +865,28 @@ fn x7() {
         }
         lat.sort();
         let p99 = lat[(lat.len() * 99 / 100).min(lat.len() - 1)];
-        (f64::from(ok) / f64::from(CALLS), p99.as_secs_f64() * 1e6)
+        (
+            f64::from(ok) / f64::from(CALLS),
+            p99.as_secs_f64() * 1e6,
+            registry.snapshot(),
+        )
     };
 
-    let before = metrics::snapshot();
+    let mut totals = MetricsSnapshot::default();
     println!(
         "{:>11} {:>22} {:>26}",
         "fault rate", "retry only", "breaker+hedging"
     );
     let mut cells = Vec::new();
     for rate in [0.05, 0.20] {
-        let (base_ok, base_p99) = run_cell(rate, false);
-        let (sup_ok, sup_p99) = run_cell(rate, true);
+        let (base_ok, base_p99, base_snap) = run_cell(rate, false);
+        let (sup_ok, sup_p99, sup_snap) = run_cell(rate, true);
+        for s in [&base_snap, &sup_snap] {
+            totals.faults_injected += s.faults_injected;
+            totals.retries += s.retries;
+            totals.hedges_fired += s.hedges_fired;
+            totals.hedges_won += s.hedges_won;
+        }
         println!(
             "{:>10.0}% {:>13.1}% {:>7.0}µs {:>17.1}% {:>7.0}µs",
             rate * 100.0,
@@ -889,13 +919,9 @@ fn x7() {
             );
         }
     }
-    let after = metrics::snapshot();
     println!(
         "faults injected: {}, retries: {}, hedges fired/won: {}/{}",
-        after.faults_injected - before.faults_injected,
-        after.retries - before.retries,
-        after.hedges_fired - before.hedges_fired,
-        after.hedges_won - before.hedges_won
+        totals.faults_injected, totals.retries, totals.hedges_fired, totals.hedges_won
     );
 
     let json = Json::obj([
@@ -904,24 +930,151 @@ fn x7() {
         ("rates", Json::Array(cells)),
         (
             "faults_injected",
-            Json::Int(i128::from(after.faults_injected - before.faults_injected)),
+            Json::Int(i128::from(totals.faults_injected)),
         ),
-        (
-            "retries",
-            Json::Int(i128::from(after.retries - before.retries)),
-        ),
-        (
-            "hedges_fired",
-            Json::Int(i128::from(after.hedges_fired - before.hedges_fired)),
-        ),
-        (
-            "hedges_won",
-            Json::Int(i128::from(after.hedges_won - before.hedges_won)),
-        ),
+        ("retries", Json::Int(i128::from(totals.retries))),
+        ("hedges_fired", Json::Int(i128::from(totals.hedges_fired))),
+        ("hedges_won", Json::Int(i128::from(totals.hedges_won))),
     ]);
     std::fs::write("BENCH_resilience.json", json.pretty() + "\n")
         .expect("write BENCH_resilience.json");
     println!("wrote BENCH_resilience.json");
+    println!();
+}
+
+fn x8() {
+    use mockingbird::runtime::{
+        ConnectionPool, Dispatcher, RemoteRef, RuntimeError, Servant, TcpServer, WireOp,
+        WireServant,
+    };
+    use mockingbird::stype::json::Json;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    println!("== X8: observability — tracing overhead and the metrics endpoint ==");
+    let quick = std::env::var_os("MB_BENCH_QUICK").is_some();
+    let batches = if quick { 8 } else { 40 };
+    let batch_calls = if quick { 50 } else { 200 };
+
+    let mut g = MtypeGraph::new();
+    let i = g.integer(IntRange::signed_bits(64));
+    let rec = g.record(vec![i]);
+    let graph = Arc::new(g);
+    let op = WireOp::new(graph, rec, rec).idempotent();
+    let servant: Arc<dyn Servant> = Arc::new(|_: &str, v: MValue| Ok::<_, RuntimeError>(v));
+    let mut ops = HashMap::new();
+    ops.insert("echo".to_string(), op);
+    let d = Arc::new(Dispatcher::new());
+    d.register(b"obj".to_vec(), WireServant::new(servant, ops.clone()));
+    let mut server = TcpServer::bind("127.0.0.1:0", d).unwrap();
+
+    // Two clients against the same server: one with tracing off (the
+    // PR-4 baseline path), one minting and propagating a trace context
+    // per call. Batches alternate between them so clock drift and cache
+    // effects hit both sides equally. Span capture runs in its
+    // production shape — only calls over the slow threshold are kept.
+    let slow = std::time::Duration::from_micros(100);
+    server.metrics().set_slow_threshold(slow);
+    let client = |tracing: bool| {
+        let pool = ConnectionPool::connect(server.addr(), 2).unwrap();
+        let remote = RemoteRef::new(Arc::new(pool), b"obj".to_vec(), ops.clone(), Endian::Little);
+        remote.metrics().set_tracing(tracing);
+        remote.metrics().set_slow_threshold(slow);
+        remote
+    };
+    let off = client(false);
+    let on = client(true);
+    let arg = MValue::Record(vec![MValue::Int(7)]);
+    // Warm both paths before sampling.
+    for _ in 0..100 {
+        off.invoke("echo", &arg).unwrap();
+        on.invoke("echo", &arg).unwrap();
+    }
+    let mut off_lat = Vec::with_capacity(batches * batch_calls);
+    let mut on_lat = Vec::with_capacity(batches * batch_calls);
+    for _ in 0..batches {
+        for (remote, lat) in [(&off, &mut off_lat), (&on, &mut on_lat)] {
+            for _ in 0..batch_calls {
+                let t = Instant::now();
+                remote.invoke("echo", &arg).unwrap();
+                lat.push(t.elapsed());
+            }
+        }
+    }
+    off_lat.sort();
+    on_lat.sort();
+    let p50_off = off_lat[off_lat.len() / 2].as_secs_f64() * 1e6;
+    let p50_on = on_lat[on_lat.len() / 2].as_secs_f64() * 1e6;
+    let overhead = p50_on / p50_off - 1.0;
+
+    // The per-op histograms on each client registry see the same calls
+    // (recorded inside `invoke`, so slightly tighter than the caller's
+    // stopwatch) at ~6% bucket resolution.
+    let hist_off = off.metrics().client_histogram("echo").snapshot();
+    let hist_on = on.metrics().client_histogram("echo").snapshot();
+    let spans = on.metrics().spans().len();
+    println!(
+        "{:<26} {:>10} {:>14} {:>14} {:>10}",
+        "client", "calls", "p50 (µs)", "hist p50 (µs)", "slow spans"
+    );
+    println!(
+        "{:<26} {:>10} {:>14.1} {:>14} {:>10}",
+        "tracing off",
+        off_lat.len(),
+        p50_off,
+        hist_off.quantile(0.5),
+        off.metrics().spans().len()
+    );
+    println!(
+        "{:<26} {:>10} {:>14.1} {:>14} {:>10}",
+        "tracing on (sampled)",
+        on_lat.len(),
+        p50_on,
+        hist_on.quantile(0.5),
+        spans
+    );
+    println!("tracing-on p50 overhead: {:+.1}%", overhead * 100.0);
+
+    // Scrape the server's metrics listener — the same endpoint an
+    // operator would point Prometheus at.
+    let scrape = |path: &str| -> String {
+        let mut s = TcpStream::connect(server.metrics_addr()).unwrap();
+        write!(s, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+        let mut reply = String::new();
+        s.read_to_string(&mut reply).unwrap();
+        let body_at = reply.find("\r\n\r\n").map_or(0, |k| k + 4);
+        reply.split_off(body_at)
+    };
+    let prom = scrape("/metrics");
+    let families = prom.lines().filter(|l| l.starts_with("# TYPE")).count();
+    let json_body = scrape("/metrics.json");
+    println!(
+        "server /metrics: {} metric families, {} bytes; /metrics.json: {} bytes",
+        families,
+        prom.len(),
+        json_body.len()
+    );
+    server.shutdown();
+
+    let json = Json::obj([
+        ("calls_per_mode", Json::Int(off_lat.len() as i128)),
+        ("p50_off_us", Json::Float(p50_off)),
+        ("p50_on_us", Json::Float(p50_on)),
+        ("p50_overhead", Json::Float(overhead)),
+        (
+            "hist_p50_off_us",
+            Json::Int(i128::from(hist_off.quantile(0.5))),
+        ),
+        (
+            "hist_p50_on_us",
+            Json::Int(i128::from(hist_on.quantile(0.5))),
+        ),
+        ("spans_captured", Json::Int(spans as i128)),
+        ("prom_families", Json::Int(families as i128)),
+    ]);
+    std::fs::write("BENCH_observability.json", json.pretty() + "\n")
+        .expect("write BENCH_observability.json");
+    println!("wrote BENCH_observability.json");
     println!();
 }
 
@@ -966,5 +1119,8 @@ fn main() {
     }
     if want("x7") {
         x7();
+    }
+    if want("x8") {
+        x8();
     }
 }

@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 
 use mockingbird_comparer::{CacheKey, CacheStats, CompareCache, Comparer, Mismatch, Mode, RuleSet};
 use mockingbird_mtype::{MtypeGraph, MtypeId};
+use mockingbird_obs::Histogram;
 use mockingbird_plan::CoercionPlan;
 use mockingbird_wire::{nominal_fingerprint, ProgramCache, ProgramStats, WireProgram};
 
@@ -107,6 +108,61 @@ pub struct BatchStats {
     pub cache: CacheStats,
     /// Program-cache counter deltas attributable to this run.
     pub programs: ProgramStats,
+    /// Per-phase timing profile of this run (compare, plan, canonize,
+    /// lower), in pipeline order. Phases a run never entered (e.g.
+    /// `lower` with programs off) report zero calls.
+    pub phases: Vec<PhaseStats>,
+}
+
+/// Latency profile of one compile phase across a batch run, distilled
+/// from a lock-free [`Histogram`] the workers record into.
+#[derive(Debug, Clone)]
+pub struct PhaseStats {
+    /// Phase name: `compare`, `plan`, `canonize`, or `lower`.
+    pub name: &'static str,
+    /// Times the phase ran (once per unique pair that reached it).
+    pub calls: u64,
+    /// Total time spent in the phase, microseconds.
+    pub total_us: u64,
+    /// Median per-call time, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile per-call time, microseconds.
+    pub p95_us: u64,
+    /// Worst per-call time, microseconds.
+    pub max_us: u64,
+}
+
+/// Per-phase histograms shared by every worker of one `compile` run.
+#[derive(Default)]
+struct PhaseTimings {
+    compare: Histogram,
+    plan: Histogram,
+    canonize: Histogram,
+    lower: Histogram,
+}
+
+impl PhaseTimings {
+    fn stats(&self) -> Vec<PhaseStats> {
+        [
+            ("compare", &self.compare),
+            ("plan", &self.plan),
+            ("canonize", &self.canonize),
+            ("lower", &self.lower),
+        ]
+        .into_iter()
+        .map(|(name, h)| {
+            let s = h.snapshot();
+            PhaseStats {
+                name,
+                calls: s.count(),
+                total_us: s.sum(),
+                p50_us: s.quantile(0.5),
+                p95_us: s.quantile(0.95),
+                max_us: s.max(),
+            }
+        })
+        .collect()
+    }
 }
 
 /// Result of one [`BatchCompiler::compile`] call.
@@ -224,29 +280,42 @@ impl BatchCompiler {
         l: MtypeId,
         r: MtypeId,
         opts: &BatchOptions,
+        timers: &PhaseTimings,
     ) -> PairOutcome {
-        match cmp.compare_arc(l, r, opts.mode) {
+        let t = Instant::now();
+        let compared = cmp.compare_arc(l, r, opts.mode);
+        timers.compare.record_duration(t.elapsed());
+        match compared {
             Ok(corr) => {
                 let entries = corr.entries.len();
                 let plan = opts.build_plans.then(|| {
-                    Arc::new(CoercionPlan::new_shared(
+                    let t = Instant::now();
+                    let plan = Arc::new(CoercionPlan::new_shared(
                         self.graph.clone(),
                         self.graph.clone(),
                         corr,
                         self.rules.clone(),
                         opts.mode,
-                    ))
+                    ));
+                    timers.plan.record_duration(t.elapsed());
+                    plan
                 });
                 let program = match (&plan, opts.build_programs) {
                     (Some(plan), true) => {
+                        let t = Instant::now();
                         let key = CacheKey {
                             left_fp: nominal_fingerprint(&self.graph, l),
                             right_fp: nominal_fingerprint(&self.graph, r),
                             mode: opts.mode,
                             rules_fp: self.rules.fingerprint(),
                         };
-                        self.programs
-                            .get_or_compile(key, || WireProgram::compile(plan))
+                        timers.canonize.record_duration(t.elapsed());
+                        let t = Instant::now();
+                        let program = self
+                            .programs
+                            .get_or_compile(key, || WireProgram::compile(plan));
+                        timers.lower.record_duration(t.elapsed());
+                        program
                     }
                     _ => None,
                 };
@@ -302,11 +371,14 @@ impl BatchCompiler {
         }
         .clamp(1, unique.len().max(1));
 
+        // Lock-free histograms: every worker records phase timings
+        // concurrently with no coordination beyond the atomic buckets.
+        let timers = PhaseTimings::default();
         let outcomes: Vec<PairOutcome> = if workers == 1 {
             let cmp = self.comparer();
             unique
                 .iter()
-                .map(|&(l, r)| self.outcome(&cmp, l, r, opts))
+                .map(|&(l, r)| self.outcome(&cmp, l, r, opts, &timers))
                 .collect()
         } else {
             let next = AtomicUsize::new(0);
@@ -320,7 +392,7 @@ impl BatchCompiler {
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&(l, r)) = unique.get(i) else { break };
-                            let out = self.outcome(&cmp, l, r, opts);
+                            let out = self.outcome(&cmp, l, r, opts, &timers);
                             slots.lock().expect("batch slots")[i] = Some(out);
                         }
                     });
@@ -367,6 +439,7 @@ impl BatchCompiler {
                 wall: start.elapsed(),
                 cache: self.cache.stats().since(&before),
                 programs: self.programs.stats().since(&programs_before),
+                phases: timers.stats(),
             },
         }
     }
@@ -473,6 +546,43 @@ mod tests {
         assert!(warm.pairs[1].outcome.is_match());
         assert!(warm.stats.cache.hits >= 2, "{:?}", warm.stats.cache);
         assert_eq!(warm.stats.cache.inserts, 0, "no re-proofs when warm");
+    }
+
+    #[test]
+    fn phase_timings_cover_the_pipeline() {
+        let (g, nested, flat, odd) = small_graph();
+        let bc = BatchCompiler::new(g);
+        let pairs = [(nested, flat), (nested, odd)];
+        let rep = bc.compile(&pairs, &BatchOptions::default());
+        let phase = |name: &str| {
+            rep.stats
+                .phases
+                .iter()
+                .find(|p| p.name == name)
+                .unwrap()
+                .clone()
+        };
+        // Every unique pair is compared; only the matching one goes on
+        // to plan, canonize, and lower.
+        assert_eq!(phase("compare").calls, 2);
+        assert_eq!(phase("plan").calls, 1);
+        assert_eq!(phase("canonize").calls, 1);
+        assert_eq!(phase("lower").calls, 1);
+        for p in &rep.stats.phases {
+            assert!(p.p50_us <= p.p95_us && p.p95_us <= p.max_us, "{p:?}");
+            assert!(p.total_us >= p.max_us.min(p.total_us), "{p:?}");
+        }
+
+        // With plans (and thus programs) off, the later phases never run.
+        let rep = bc.compile(
+            &pairs,
+            &BatchOptions {
+                build_plans: false,
+                build_programs: false,
+                ..BatchOptions::default()
+            },
+        );
+        assert_eq!(rep.stats.phases.iter().map(|p| p.calls).sum::<u64>(), 2);
     }
 
     #[test]

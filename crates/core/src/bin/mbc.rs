@@ -10,7 +10,7 @@
 //! mbc compare <files...> --left A --right B [--script F] [--subtype]
 //! mbc emit  <files...> --left A --right B --script F [--name N]
 //! mbc save  <files...> --script F --out P.mbproj.json
-//! mbc batch <files...> --pairs F [--jobs N] [--subtype] [--out P.mbproj.json]
+//! mbc batch <files...> --pairs F [--jobs N] [--subtype] [--profile] [--out P.mbproj.json]
 //! ```
 //!
 //! `batch` compiles many pairs through one shared, content-addressed
@@ -35,7 +35,7 @@ fn usage() -> String {
     "usage: mbc <parse|mtype|dot|compare|emit|save|batch> <files...> [options]\n\
      options: --of NAME | --left NAME --right NAME | --script FILE |\n\
      \x20        --subtype | --name STUBNAME | --out FILE |\n\
-     \x20        --pairs FILE | --jobs N"
+     \x20        --pairs FILE | --jobs N | --profile"
         .to_string()
 }
 
@@ -51,6 +51,7 @@ struct Args {
     subtype: bool,
     pairs: Option<String>,
     jobs: usize,
+    profile: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -68,6 +69,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         subtype: false,
         pairs: None,
         jobs: 0,
+        profile: false,
     };
     while let Some(a) = it.next() {
         let mut take = |what: &str| -> Result<String, String> {
@@ -89,6 +91,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("--jobs: {e}"))?
             }
             "--subtype" => args.subtype = true,
+            "--profile" => args.profile = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`\n{}", usage()))
             }
@@ -275,6 +278,15 @@ fn run(args: Args) -> Result<(), String> {
                 "programs: {} compiled, {} cache hits, {} interpretive fallbacks",
                 s.programs.compiles, s.programs.hits, s.programs.unsupported
             );
+            if args.profile {
+                println!("phase      calls  total_us  p50_us  p95_us  max_us");
+                for p in &s.phases {
+                    println!(
+                        "{:<9} {:>6} {:>9} {:>7} {:>7} {:>7}",
+                        p.name, p.calls, p.total_us, p.p50_us, p.p95_us, p.max_us
+                    );
+                }
+            }
             if let Some(out) = &args.out {
                 session
                     .save_project(&args.name, out)

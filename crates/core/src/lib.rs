@@ -57,6 +57,7 @@ pub use mockingbird_lang_c as lang_c;
 pub use mockingbird_lang_idl as lang_idl;
 pub use mockingbird_lang_java as lang_java;
 pub use mockingbird_mtype as mtype;
+pub use mockingbird_obs as obs;
 pub use mockingbird_plan as plan;
 pub use mockingbird_runtime as runtime;
 pub use mockingbird_stubgen as stubgen;
@@ -66,7 +67,7 @@ pub use mockingbird_wire as wire;
 
 pub use batch::{
     BatchCompiler, BatchOptions, BatchReport, BatchStats, NamedBatchReport, NamedPairReport,
-    PairOutcome, PairReport,
+    PairOutcome, PairReport, PhaseStats,
 };
 pub use mockingbird_comparer::{CacheStats, CompareCache, Mode};
 pub use mockingbird_plan::CoercionPlan;

@@ -14,13 +14,14 @@
 //!   successes closes the breaker, any failure re-opens it.
 //!
 //! Every transition is counted both on the breaker itself (for tests
-//! and per-endpoint introspection) and in [`metrics`](crate::metrics).
+//! and per-endpoint introspection) and in the owning node's
+//! [`MetricsRegistry`](crate::metrics::MetricsRegistry).
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::metrics;
+use crate::metrics::MetricsRegistry;
 
 /// The breaker's position in the closed → open → half-open cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,12 +104,23 @@ struct Inner {
 pub struct CircuitBreaker {
     cfg: BreakerConfig,
     inner: Mutex<Inner>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl CircuitBreaker {
-    /// A closed breaker under `cfg`.
+    /// A closed breaker under `cfg`, counting transitions into a
+    /// private registry. Pools use
+    /// [`with_metrics`](Self::with_metrics) so every endpoint's breaker
+    /// shares the pool's registry.
     #[must_use]
     pub fn new(cfg: BreakerConfig) -> Self {
+        Self::with_metrics(cfg, MetricsRegistry::shared())
+    }
+
+    /// A closed breaker under `cfg` that counts its transitions in
+    /// `metrics`.
+    #[must_use]
+    pub fn with_metrics(cfg: BreakerConfig, metrics: Arc<MetricsRegistry>) -> Self {
         CircuitBreaker {
             cfg,
             inner: Mutex::new(Inner {
@@ -120,6 +132,7 @@ impl CircuitBreaker {
                 half_open_streak: 0,
                 transitions: BreakerTransitions::default(),
             }),
+            metrics,
         }
     }
 
@@ -149,7 +162,7 @@ impl CircuitBreaker {
                     st.state = BreakerState::HalfOpen;
                     st.half_open_streak = 0;
                     st.transitions.half_opened += 1;
-                    metrics::global().add_breaker_half_open();
+                    self.metrics.add_breaker_half_open();
                     true
                 } else {
                     false
@@ -171,7 +184,7 @@ impl CircuitBreaker {
                 st.window.clear();
                 st.failures_in_window = 0;
                 st.transitions.closed += 1;
-                metrics::global().add_breaker_close();
+                self.metrics.add_breaker_close();
             }
         }
     }
@@ -198,7 +211,7 @@ impl CircuitBreaker {
             st.opened_at = Some(Instant::now());
             st.half_open_streak = 0;
             st.transitions.opened += 1;
-            metrics::global().add_breaker_open();
+            self.metrics.add_breaker_open();
         }
     }
 

@@ -23,7 +23,7 @@ use mockingbird_rng::StdRng;
 use mockingbird_wire::Message;
 
 use crate::error::RuntimeError;
-use crate::metrics;
+use crate::metrics::MetricsRegistry;
 use crate::options::CallOptions;
 use crate::transport::Connection;
 
@@ -198,18 +198,23 @@ pub struct ChaosConnection {
     trace: Mutex<Vec<FaultRecord>>,
     calls: AtomicU64,
     dead: AtomicBool,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl ChaosConnection {
-    /// Wraps `inner`, drawing faults from `schedule`.
+    /// Wraps `inner`, drawing faults from `schedule`. Injected faults
+    /// are counted in the wrapped connection's registry when it has
+    /// one, so the node under test sees its own chaos.
     #[must_use]
     pub fn new(inner: Arc<dyn Connection>, schedule: ChaosSchedule) -> Self {
+        let metrics = inner.metrics().unwrap_or_else(MetricsRegistry::shared);
         ChaosConnection {
             inner,
             schedule: Mutex::new(schedule),
             trace: Mutex::new(Vec::new()),
             calls: AtomicU64::new(0),
             dead: AtomicBool::new(false),
+            metrics,
         }
     }
 
@@ -255,7 +260,7 @@ impl Connection for ChaosConnection {
             return self.inner.call_with(msg, options);
         };
         self.trace.lock().unwrap().push(FaultRecord { call, fault });
-        metrics::global().add_fault_injected();
+        self.metrics.add_fault_injected();
         match fault {
             Fault::Drop => Err(RuntimeError::Transport(
                 "chaos: request dropped at the link".into(),
@@ -293,6 +298,10 @@ impl Connection for ChaosConnection {
 
     fn fused_allowed(&self) -> bool {
         self.inner.fused_allowed()
+    }
+
+    fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        Some(Arc::clone(&self.metrics))
     }
 }
 

@@ -11,8 +11,10 @@ use mockingbird_wire::{
     nominal_fingerprint, CdrReader, CdrWriter, Message, MessageKind, ReplyStatus, WireProgram,
 };
 
+use mockingbird_obs::{SpanKind, SpanRecord};
+
 use crate::error::RuntimeError;
-use crate::metrics;
+use crate::metrics::MetricsRegistry;
 
 /// An invocable object: receives its inputs as a `Record` value and
 /// returns its outputs as a `Record` value (the `I`/`O` of the paper's
@@ -60,6 +62,12 @@ pub struct WireOp {
     args_program: Option<Arc<WireProgram>>,
     /// Fused identity program for `result_ty`.
     result_program: Option<Arc<WireProgram>>,
+    /// How many fused programs construction compiled (reported to the
+    /// registry when one is attached).
+    compiled: u64,
+    /// The registry marshalling byte counts are recorded into; attached
+    /// when the op joins a node (servant registration / proxy build).
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl WireOp {
@@ -76,9 +84,6 @@ impl WireOp {
             WireProgram::identity(&graph, result_ty).ok().map(Arc::new)
         };
         let compiled = args_program.is_some() as u64 + result_program.is_some() as u64;
-        if compiled > 0 {
-            metrics::global().add_programs_compiled(compiled);
-        }
         WireOp {
             graph,
             args_ty,
@@ -86,7 +91,35 @@ impl WireOp {
             idempotent: false,
             args_program,
             result_program,
+            compiled,
+            metrics: None,
         }
+    }
+
+    /// Scopes this operation's marshalling metrics to `registry` and
+    /// credits the registry with the programs compiled at construction.
+    /// Later calls are no-ops, so an op adopted by a node keeps that
+    /// node's registry.
+    pub fn attach_metrics(&mut self, registry: &Arc<MetricsRegistry>) {
+        if self.metrics.is_none() {
+            registry.add_programs_compiled(self.compiled);
+            self.metrics = Some(Arc::clone(registry));
+        }
+    }
+
+    /// Builder form of [`attach_metrics`](WireOp::attach_metrics).
+    #[must_use]
+    pub fn with_metrics(mut self, registry: &Arc<MetricsRegistry>) -> Self {
+        self.attach_metrics(registry);
+        self
+    }
+
+    /// Rebinds the operation to `registry` even if one is already
+    /// attached, crediting the compiled-program count to the new
+    /// registry (the old one is being abandoned by the caller).
+    pub fn rebind_metrics(&mut self, registry: &Arc<MetricsRegistry>) {
+        self.metrics = None;
+        self.attach_metrics(registry);
     }
 
     /// Marks the operation safe to retry after transport failures and
@@ -151,7 +184,9 @@ impl WireOp {
                 .put_value(&self.graph, ty, value)
                 .map_err(|e| RuntimeError::Conversion(e.to_string()))?,
         }
-        metrics::global().add_bytes_marshalled((w.len() - before) as u64);
+        if let Some(m) = &self.metrics {
+            m.add_bytes_marshalled((w.len() - before) as u64);
+        }
         Ok(())
     }
 
@@ -170,7 +205,9 @@ impl WireOp {
                 .get_value(&self.graph, ty)
                 .map_err(|e| RuntimeError::Conversion(e.to_string()))?,
         };
-        metrics::global().add_bytes_unmarshalled((body.len() - r.remaining()) as u64);
+        if let Some(m) = &self.metrics {
+            m.add_bytes_unmarshalled((body.len() - r.remaining()) as u64);
+        }
         Ok(value)
     }
 }
@@ -247,19 +284,41 @@ impl WireServant {
 }
 
 /// Routes framed requests to registered servants.
+///
+/// Owns the server side's [`MetricsRegistry`]: per-operation dispatch
+/// histograms, marshalling byte counts from every registered op, and
+/// sampled server spans all land here, scoped to this node.
 #[derive(Default)]
 pub struct Dispatcher {
     servants: RwLock<HashMap<Vec<u8>, Arc<WireServant>>>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Dispatcher {
-    /// Creates an empty dispatcher.
+    /// Creates an empty dispatcher with a fresh metrics registry.
     pub fn new() -> Self {
         Dispatcher::default()
     }
 
-    /// Registers a servant under an object key.
-    pub fn register(&self, object_key: impl Into<Vec<u8>>, servant: WireServant) {
+    /// Creates an empty dispatcher recording into `metrics`.
+    pub fn with_metrics(metrics: Arc<MetricsRegistry>) -> Self {
+        Dispatcher {
+            servants: RwLock::new(HashMap::new()),
+            metrics,
+        }
+    }
+
+    /// This node's metrics registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Registers a servant under an object key. The servant's operations
+    /// are scoped to this dispatcher's metrics registry.
+    pub fn register(&self, object_key: impl Into<Vec<u8>>, mut servant: WireServant) {
+        for op in servant.ops.values_mut() {
+            op.attach_metrics(&self.metrics);
+        }
         self.servants
             .write()
             .unwrap()
@@ -312,12 +371,40 @@ impl Dispatcher {
             .unwrap()
             .get(object_key.as_slice())
             .cloned();
+        let start = std::time::Instant::now();
+        let fused = servant
+            .as_ref()
+            .and_then(|s| s.op(operation))
+            .is_some_and(|op| op.is_fused(op.args_ty) && op.is_fused(op.result_ty));
         let outcome = match servant {
             Some(s) => s.handle(operation, &msg.body, msg.endian),
             None => Err(RuntimeError::UnknownObject(
                 String::from_utf8_lossy(object_key).into_owned(),
             )),
         };
+        let elapsed = start.elapsed();
+        self.metrics.record_server(operation, elapsed);
+        // The propagated context keeps the client's trace id through the
+        // dispatch worker; the server span is a child of the attempt
+        // span that carried the request.
+        let duration_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        if let Some(t) = msg
+            .trace
+            .filter(|t| t.sampled && self.metrics.wants_span(duration_us))
+        {
+            let mut span = SpanRecord::new(t.child(), SpanKind::Server, operation.as_str());
+            span.parent_span_id = t.span_id;
+            span.fused = fused;
+            span.start_us = self.metrics.spans().now_us().saturating_sub(duration_us);
+            span.duration_us = duration_us;
+            span.bytes_in = msg.body.len() as u64;
+            span.bytes_out = match &outcome {
+                Ok(body) => body.len() as u64,
+                Err(_) => 0,
+            };
+            span.error = outcome.as_ref().err().map(ToString::to_string);
+            self.metrics.record_span(span);
+        }
         if !response_expected {
             return None;
         }

@@ -21,8 +21,10 @@
 //!   [`pool::BufferPool`] — recycled marshal buffers so the fused data
 //!   plane encodes without allocating once warmed;
 //! - [`options`] — per-call deadlines and retry policies;
-//! - [`metrics`] — process-wide counters (requests, replies, retries,
-//!   timeouts, bytes each way) with a snapshot API.
+//! - [`metrics`] — per-node [`MetricsRegistry`] handles: counters,
+//!   per-operation latency histograms, a span log for sampled traces,
+//!   and Prometheus/JSON rendering. Every [`Dispatcher`],
+//!   [`pool::ConnectionPool`], and connection owns (or shares) one.
 
 pub mod breaker;
 pub mod chaos;
@@ -39,7 +41,7 @@ pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use chaos::{ChaosConfig, ChaosConnection, ChaosSchedule, Fault, FaultRecord};
 pub use dispatch::{Dispatcher, Servant, WireOp, WireServant};
 pub use error::RuntimeError;
-pub use metrics::MetricsSnapshot;
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use node::{Node, PortHandler};
 pub use options::{CallOptions, HedgePolicy, RetryPolicy};
 pub use pool::{BufferPool, ConnectionPool, Connector, PoolBuilder, RequestEncoder};
@@ -47,3 +49,20 @@ pub use proxy::RemoteRef;
 pub use transport::{
     Connection, InMemoryConnection, MultiplexedConnection, ServerConfig, TcpConnection, TcpServer,
 };
+
+pub use mockingbird_obs::{
+    Histogram, HistogramSnapshot, SpanKind, SpanLog, SpanRecord, TraceContext,
+};
+
+/// The names most programs need, in one import: builders for call,
+/// retry, hedge, and server options, the pool and server types, and
+/// the observability handles.
+pub mod prelude {
+    pub use crate::dispatch::{Dispatcher, WireOp, WireServant};
+    pub use crate::metrics::MetricsRegistry;
+    pub use crate::options::{CallOptions, HedgePolicy, RetryPolicy};
+    pub use crate::pool::{ConnectionPool, PoolBuilder};
+    pub use crate::proxy::RemoteRef;
+    pub use crate::transport::{Connection, ServerConfig, TcpServer};
+    pub use mockingbird_obs::{HistogramSnapshot, SpanKind, SpanRecord, TraceContext};
+}

@@ -1,13 +1,24 @@
-//! Runtime counters.
+//! Runtime metrics: counters, per-operation latency histograms, and
+//! sampled span capture, scoped to a [`MetricsRegistry`].
 //!
 //! The transport and proxy layers record what crosses the wire —
-//! requests sent, replies received, retries, deadline expiries, and raw
-//! bytes in each direction — into a process-wide set of atomics.
-//! [`snapshot`] reads them all at once for reporting (the benchmark
-//! report binary prints a snapshot after its messaging runs), and
-//! [`reset`] zeroes them between measurement sections.
+//! requests sent, replies received, retries, deadline expiries, raw
+//! bytes in each direction — plus per-operation latency histograms on
+//! both the client ([`crate::proxy`]) and server ([`crate::dispatch`])
+//! sides. All of it lives in a `MetricsRegistry` owned by the node that
+//! produced it: a `TcpServer`'s dispatcher, a `ConnectionPool`, or a
+//! single connection. Two nodes in one process (or one test binary)
+//! therefore never clobber each other's numbers, and resetting one
+//! node's registry cannot skew another's measurement section.
+//!
+//! The old process-wide free functions ([`global`], [`snapshot`],
+//! [`reset`]) remain as a deprecated shim for one release.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use mockingbird_obs::{Histogram, HistogramSnapshot, SpanLog, SpanRecord};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
 
 /// The process-wide counter set.
 #[derive(Debug, Default)]
@@ -295,21 +306,338 @@ impl Metrics {
     }
 }
 
+impl MetricsSnapshot {
+    /// Counter names and values in declaration order, for exposition.
+    #[must_use]
+    pub fn fields(&self) -> [(&'static str, u64); 23] {
+        [
+            ("requests", self.requests),
+            ("replies", self.replies),
+            ("retries", self.retries),
+            ("timeouts", self.timeouts),
+            ("bytes_sent", self.bytes_sent),
+            ("bytes_received", self.bytes_received),
+            ("bytes_marshalled", self.bytes_marshalled),
+            ("bytes_unmarshalled", self.bytes_unmarshalled),
+            ("programs_compiled", self.programs_compiled),
+            ("program_cache_hits", self.program_cache_hits),
+            ("pool_reuses", self.pool_reuses),
+            ("pool_misses", self.pool_misses),
+            ("handshakes", self.handshakes),
+            ("handshake_rejects", self.handshake_rejects),
+            ("handshake_fallbacks", self.handshake_fallbacks),
+            ("breaker_opens", self.breaker_opens),
+            ("breaker_half_opens", self.breaker_half_opens),
+            ("breaker_closes", self.breaker_closes),
+            ("sheds", self.sheds),
+            ("overloads", self.overloads),
+            ("hedges_fired", self.hedges_fired),
+            ("hedges_won", self.hedges_won),
+            ("faults_injected", self.faults_injected),
+        ]
+    }
+}
+
+/// A per-node metrics handle: the counter set plus per-operation latency
+/// histograms for both call sides, a bounded span log for sampled slow
+/// calls, and the tracing switch. Owned (as an `Arc`) by a `TcpServer`'s
+/// dispatcher, a `ConnectionPool`, or an individual connection;
+/// everything recorded through one registry stays scoped to that node.
+///
+/// Derefs to [`Metrics`], so counter recording reads the same at every
+/// call site: `registry.add_request()`.
+pub struct MetricsRegistry {
+    counters: Metrics,
+    client_ops: RwLock<HashMap<String, Arc<Histogram>>>,
+    server_ops: RwLock<HashMap<String, Arc<Histogram>>>,
+    spans: SpanLog,
+    tracing: AtomicBool,
+    slow_threshold_us: AtomicU64,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &self.counters)
+            .field("tracing", &self.tracing_enabled())
+            .field("spans", &self.spans.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for MetricsRegistry {
+    type Target = Metrics;
+    fn deref(&self) -> &Metrics {
+        &self.counters
+    }
+}
+
+impl MetricsRegistry {
+    /// A fresh registry: zeroed counters, no histograms, tracing off.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry {
+            counters: Metrics::new(),
+            client_ops: RwLock::new(HashMap::new()),
+            server_ops: RwLock::new(HashMap::new()),
+            spans: SpanLog::default(),
+            tracing: AtomicBool::new(false),
+            slow_threshold_us: AtomicU64::new(0),
+        }
+    }
+
+    /// A fresh registry behind an `Arc`, ready to hand to a node.
+    #[must_use]
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// The raw counter set (also reachable through `Deref`).
+    #[must_use]
+    pub fn counters(&self) -> &Metrics {
+        &self.counters
+    }
+
+    /// Point-in-time copy of every counter.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Zeroes the counters and drops all histograms and spans.
+    pub fn reset(&self) {
+        self.counters.reset();
+        self.client_ops.write().unwrap().clear();
+        self.server_ops.write().unwrap().clear();
+        self.spans.clear();
+    }
+
+    /// Turns trace propagation + span capture on or off for callers
+    /// using this registry. Latency histograms record regardless.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracing.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether trace contexts are being minted and spans captured.
+    #[must_use]
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Only capture spans for sampled calls at least this slow
+    /// (default: zero, i.e. every sampled call).
+    pub fn set_slow_threshold(&self, min: Duration) {
+        self.slow_threshold_us.store(
+            u64::try_from(min.as_micros()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+    }
+
+    fn histogram(map: &RwLock<HashMap<String, Arc<Histogram>>>, op: &str) -> Arc<Histogram> {
+        if let Some(h) = map.read().unwrap().get(op) {
+            return Arc::clone(h);
+        }
+        let mut w = map.write().unwrap();
+        Arc::clone(w.entry(op.to_string()).or_default())
+    }
+
+    /// The client-side latency histogram for `op` (created on first use).
+    #[must_use]
+    pub fn client_histogram(&self, op: &str) -> Arc<Histogram> {
+        Self::histogram(&self.client_ops, op)
+    }
+
+    /// The server-side latency histogram for `op` (created on first use).
+    #[must_use]
+    pub fn server_histogram(&self, op: &str) -> Arc<Histogram> {
+        Self::histogram(&self.server_ops, op)
+    }
+
+    /// Records one client-side call latency for `op`.
+    pub fn record_client(&self, op: &str, elapsed: Duration) {
+        self.client_histogram(op).record_duration(elapsed);
+    }
+
+    /// Records one server-side dispatch latency for `op`.
+    pub fn record_server(&self, op: &str, elapsed: Duration) {
+        self.server_histogram(op).record_duration(elapsed);
+    }
+
+    /// Snapshots of every client-side histogram, sorted by operation.
+    #[must_use]
+    pub fn client_ops(&self) -> Vec<(String, HistogramSnapshot)> {
+        Self::ops_snapshot(&self.client_ops)
+    }
+
+    /// Snapshots of every server-side histogram, sorted by operation.
+    #[must_use]
+    pub fn server_ops(&self) -> Vec<(String, HistogramSnapshot)> {
+        Self::ops_snapshot(&self.server_ops)
+    }
+
+    fn ops_snapshot(
+        map: &RwLock<HashMap<String, Arc<Histogram>>>,
+    ) -> Vec<(String, HistogramSnapshot)> {
+        let mut v: Vec<_> = map
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// The bounded span log.
+    #[must_use]
+    pub fn spans(&self) -> &SpanLog {
+        &self.spans
+    }
+
+    /// Whether a sampled span of this duration clears the slow-call
+    /// threshold. Hot paths check this before building a
+    /// [`SpanRecord`], whose endpoint/error strings allocate.
+    #[must_use]
+    pub fn wants_span(&self, duration_us: u64) -> bool {
+        duration_us >= self.slow_threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Captures a span if it clears the slow-call threshold.
+    pub fn record_span(&self, span: SpanRecord) {
+        if self.wants_span(span.duration_us) {
+            self.spans.record(span);
+        }
+    }
+
+    /// Flags the winning attempt of a hedged race.
+    pub fn mark_winner(&self, trace_id: u128, span_id: u64) -> bool {
+        self.spans.mark_winner(trace_id, span_id)
+    }
+
+    /// Renders everything in the Prometheus text exposition format:
+    /// one counter family per [`Metrics`] counter, plus per-operation
+    /// latency summaries (`quantile` labelled) for each side, plus a
+    /// gauge with the current span-log depth.
+    #[must_use]
+    pub fn prometheus_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(4096);
+        for (name, value) in self.snapshot().fields() {
+            let _ = writeln!(out, "# TYPE mockingbird_{name}_total counter");
+            let _ = writeln!(out, "mockingbird_{name}_total {value}");
+        }
+        let _ = writeln!(out, "# TYPE mockingbird_op_latency_microseconds summary");
+        for (side, ops) in [("client", self.client_ops()), ("server", self.server_ops())] {
+            for (op, s) in ops {
+                for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                    let _ = writeln!(
+                        out,
+                        "mockingbird_op_latency_microseconds{{side=\"{side}\",op=\"{op}\",quantile=\"{label}\"}} {}",
+                        s.quantile(q)
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "mockingbird_op_latency_microseconds_sum{{side=\"{side}\",op=\"{op}\"}} {}",
+                    s.sum()
+                );
+                let _ = writeln!(
+                    out,
+                    "mockingbird_op_latency_microseconds_count{{side=\"{side}\",op=\"{op}\"}} {}",
+                    s.count()
+                );
+            }
+        }
+        let _ = writeln!(out, "# TYPE mockingbird_spans_captured gauge");
+        let _ = writeln!(out, "mockingbird_spans_captured {}", self.spans.len());
+        out
+    }
+
+    /// Renders counters + per-op latency quantiles as a JSON object
+    /// (hand-rolled: operation names come from in-tree declarations and
+    /// never need escaping beyond quotes/backslashes).
+    #[must_use]
+    pub fn json_snapshot(&self) -> String {
+        use std::fmt::Write as _;
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        fn ops_json(out: &mut String, ops: &[(String, HistogramSnapshot)]) {
+            out.push('{');
+            for (i, (op, s)) in ops.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\"{}\":{{\"count\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{},\"mean_us\":{:.1}}}",
+                    esc(op),
+                    s.count(),
+                    s.quantile(0.5),
+                    s.quantile(0.95),
+                    s.quantile(0.99),
+                    s.max(),
+                    s.mean()
+                );
+            }
+            out.push('}');
+        }
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\"counters\":{");
+        for (i, (name, value)) in self.snapshot().fields().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{value}");
+        }
+        out.push_str("},\"client_ops\":");
+        ops_json(&mut out, &self.client_ops());
+        out.push_str(",\"server_ops\":");
+        ops_json(&mut out, &self.server_ops());
+        let _ = write!(
+            out,
+            ",\"tracing\":{},\"spans_captured\":{}}}",
+            self.tracing_enabled(),
+            self.spans.len()
+        );
+        out
+    }
+}
+
 static GLOBAL: Metrics = Metrics::new();
 
-/// The process-wide counters the runtime layers record into.
+/// The process-wide counters the runtime layers used to record into.
+#[deprecated(
+    since = "0.1.0",
+    note = "metrics are per-node now: use the MetricsRegistry owned by your \
+            Dispatcher / ConnectionPool / connection instead"
+)]
 #[must_use]
 pub fn global() -> &'static Metrics {
     &GLOBAL
 }
 
 /// Snapshot of the process-wide counters.
+#[deprecated(
+    since = "0.1.0",
+    note = "use MetricsRegistry::snapshot() on the node that did the work"
+)]
 #[must_use]
 pub fn snapshot() -> MetricsSnapshot {
     GLOBAL.snapshot()
 }
 
 /// Zeroes the process-wide counters.
+#[deprecated(
+    since = "0.1.0",
+    note = "use MetricsRegistry::reset() on the node that did the work"
+)]
 pub fn reset() {
     GLOBAL.reset()
 }
@@ -375,11 +703,82 @@ mod tests {
     }
 
     #[test]
-    fn global_counters_are_reachable() {
-        // Other tests in the process also write these; only check that
+    #[allow(deprecated)]
+    fn deprecated_global_shim_still_works() {
+        // The process-wide shim stays functional for one release. Other
+        // tests in the process may also write these; only check that
         // recording is visible, not absolute values.
         let before = snapshot().bytes_sent;
         global().add_bytes_sent(7);
         assert!(snapshot().bytes_sent >= before + 7);
+    }
+
+    #[test]
+    fn registries_are_isolated() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.add_request();
+        a.record_client("echo", Duration::from_micros(120));
+        b.add_retry();
+        assert_eq!(a.snapshot().requests, 1);
+        assert_eq!(a.snapshot().retries, 0);
+        assert_eq!(b.snapshot().requests, 0);
+        assert_eq!(b.snapshot().retries, 1);
+        assert!(b.client_ops().is_empty());
+        let ops = a.client_ops();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].0, "echo");
+        assert_eq!(ops[0].1.count(), 1);
+        a.reset();
+        assert_eq!(a.snapshot(), MetricsSnapshot::default());
+        assert!(a.client_ops().is_empty());
+        assert_eq!(b.snapshot().retries, 1, "resetting a leaves b alone");
+    }
+
+    #[test]
+    fn registry_histograms_and_spans() {
+        use mockingbird_obs::{SpanKind, TraceContext};
+        let r = MetricsRegistry::new();
+        assert!(!r.tracing_enabled());
+        r.set_tracing(true);
+        assert!(r.tracing_enabled());
+        for us in [100u64, 200, 300] {
+            r.record_server("work", Duration::from_micros(us));
+        }
+        let ops = r.server_ops();
+        assert_eq!(ops[0].1.count(), 3);
+        let ctx = TraceContext::root();
+        let mut span = SpanRecord::new(ctx, SpanKind::Client, "work");
+        span.duration_us = 50;
+        r.record_span(span.clone());
+        assert_eq!(r.spans().len(), 1);
+        assert!(r.mark_winner(ctx.trace_id, ctx.span_id));
+        assert!(r.spans().snapshot()[0].winner);
+        // Raising the slow threshold filters fast spans out.
+        r.set_slow_threshold(Duration::from_micros(1000));
+        r.record_span(span);
+        assert_eq!(r.spans().len(), 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let r = MetricsRegistry::new();
+        r.add_request();
+        r.record_client("echo", Duration::from_micros(250));
+        r.record_server("echo", Duration::from_micros(90));
+        let text = r.prometheus_text();
+        // Every family declared exactly once.
+        let mut families = std::collections::HashSet::new();
+        for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+            let fam = line.split_whitespace().nth(2).unwrap();
+            assert!(families.insert(fam.to_string()), "duplicate family {fam}");
+        }
+        assert!(text.contains("mockingbird_requests_total 1"));
+        assert!(text.contains("side=\"client\",op=\"echo\",quantile=\"0.5\""));
+        assert!(text
+            .contains("mockingbird_op_latency_microseconds_count{side=\"server\",op=\"echo\"} 1"));
+        let json = r.json_snapshot();
+        assert!(json.contains("\"requests\":1"));
+        assert!(json.contains("\"client_ops\":{\"echo\""));
     }
 }

@@ -105,6 +105,27 @@ impl RetryPolicy {
         }
     }
 
+    /// Sets the retry budget (additional attempts after the first).
+    #[must_use]
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Sets the pause before the first retry.
+    #[must_use]
+    pub fn with_initial_backoff(mut self, initial: Duration) -> Self {
+        self.initial_backoff = initial;
+        self
+    }
+
+    /// Sets the ceiling on the pause between retries.
+    #[must_use]
+    pub fn with_max_backoff(mut self, max: Duration) -> Self {
+        self.max_backoff = max;
+        self
+    }
+
     /// Disables jitter (deterministic backoff; mainly for tests).
     #[must_use]
     pub fn without_jitter(mut self) -> Self {

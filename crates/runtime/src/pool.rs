@@ -28,12 +28,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use mockingbird_obs::{SpanKind, SpanRecord};
 use mockingbird_values::Endian;
 use mockingbird_wire::{CdrWriter, HandshakeInfo, Message, MessageKind};
 
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::error::RuntimeError;
-use crate::metrics;
+use crate::metrics::MetricsRegistry;
 use crate::options::{CallOptions, HedgePolicy};
 use crate::transport::{Connection, MultiplexedConnection};
 
@@ -48,24 +49,37 @@ const MAX_POOLED_CAPACITY: usize = 1 << 20;
 #[derive(Debug, Default)]
 pub struct BufferPool {
     free: Mutex<Vec<Vec<u8>>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl BufferPool {
-    /// An empty pool.
+    /// An empty pool that counts nothing.
     #[must_use]
     pub fn new() -> Self {
         BufferPool::default()
+    }
+
+    /// Counts reuses and misses in `registry` (remote references wire
+    /// their buffer pool to their own registry this way).
+    #[must_use]
+    pub fn with_metrics(mut self, registry: &Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(Arc::clone(registry));
+        self
     }
 
     /// Checks out a cleared buffer, reusing a warmed one when available.
     pub fn get(&self) -> Vec<u8> {
         match self.free.lock().unwrap().pop() {
             Some(buf) => {
-                metrics::global().add_pool_reuse();
+                if let Some(m) = &self.metrics {
+                    m.add_pool_reuse();
+                }
                 buf
             }
             None => {
-                metrics::global().add_pool_miss();
+                if let Some(m) = &self.metrics {
+                    m.add_pool_miss();
+                }
                 Vec::new()
             }
         }
@@ -166,6 +180,7 @@ struct PoolCore {
     next: AtomicUsize,
     connector: Connector,
     latencies: Mutex<VecDeque<Duration>>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl PoolCore {
@@ -211,13 +226,50 @@ impl PoolCore {
     }
 
     /// One full attempt: route, check out, call, and feed the outcome
-    /// back into the endpoint's breaker.
+    /// back into the endpoint's breaker. Sampled requests get one
+    /// client span per attempt, carrying the endpoint and the breaker
+    /// state the router saw — hedged duplicates and retries each leave
+    /// their own span under the same trace id.
     fn attempt(
         &self,
         msg: &Message,
         options: &CallOptions,
     ) -> Result<Option<Message>, RuntimeError> {
         let endpoint = self.pick_endpoint();
+        let breaker_seen = self.endpoints[endpoint].breaker.state();
+        let start = Instant::now();
+        let outcome = self.attempt_at(endpoint, msg, options);
+        let duration_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        if let Some(t) = msg
+            .trace
+            .filter(|t| t.sampled && self.metrics.wants_span(duration_us))
+        {
+            let operation = match &msg.kind {
+                MessageKind::Request { operation, .. } => operation.as_str(),
+                _ => "",
+            };
+            let mut span = SpanRecord::new(t, SpanKind::Client, operation);
+            span.endpoint = self.endpoints[endpoint].addr.to_string();
+            span.breaker = format!("{breaker_seen:?}");
+            span.start_us = self.metrics.spans().now_us().saturating_sub(duration_us);
+            span.duration_us = duration_us;
+            span.bytes_out = msg.body.len() as u64;
+            match &outcome {
+                Ok(Some(reply)) => span.bytes_in = reply.body.len() as u64,
+                Ok(None) => {}
+                Err(e) => span.error = Some(e.to_string()),
+            }
+            self.metrics.record_span(span);
+        }
+        outcome
+    }
+
+    fn attempt_at(
+        &self,
+        endpoint: usize,
+        msg: &Message,
+        options: &CallOptions,
+    ) -> Result<Option<Message>, RuntimeError> {
         let conn = self.checkout_at(endpoint)?;
         let start = Instant::now();
         let outcome = conn.call_with(msg, options);
@@ -308,12 +360,13 @@ pub struct PoolBuilder {
     breaker: BreakerConfig,
     connector: Option<Connector>,
     handshake: Option<HandshakeInfo>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl PoolBuilder {
     /// Connection slots per endpoint (default 2).
     #[must_use]
-    pub fn slots(mut self, slots: usize) -> Self {
+    pub fn with_slots(mut self, slots: usize) -> Self {
         self.slots = slots.max(1);
         self
     }
@@ -322,15 +375,15 @@ impl PoolBuilder {
     /// [`BreakerConfig::default`]; use [`BreakerConfig::disabled`] for
     /// an unsupervised baseline).
     #[must_use]
-    pub fn breaker(mut self, cfg: BreakerConfig) -> Self {
+    pub fn with_breaker(mut self, cfg: BreakerConfig) -> Self {
         self.breaker = cfg;
         self
     }
 
     /// A custom connector (fault injection, alternative transports).
-    /// Overrides [`handshake`](Self::handshake).
+    /// Overrides [`with_handshake`](Self::with_handshake).
     #[must_use]
-    pub fn connector(mut self, connector: Connector) -> Self {
+    pub fn with_connector(mut self, connector: Connector) -> Self {
         self.connector = Some(connector);
         self
     }
@@ -338,9 +391,46 @@ impl PoolBuilder {
     /// Performs the fingerprint handshake with `info` on every dial the
     /// default connector makes.
     #[must_use]
-    pub fn handshake(mut self, info: HandshakeInfo) -> Self {
+    pub fn with_handshake(mut self, info: HandshakeInfo) -> Self {
         self.handshake = Some(info);
         self
+    }
+
+    /// The registry the pool (its breakers, hedging, and the
+    /// connections its default connector dials) records into. Defaults
+    /// to a fresh registry per pool.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Renamed to [`with_slots`](Self::with_slots).
+    #[deprecated(since = "0.1.0", note = "use `with_slots`")]
+    #[must_use]
+    pub fn slots(self, slots: usize) -> Self {
+        self.with_slots(slots)
+    }
+
+    /// Renamed to [`with_breaker`](Self::with_breaker).
+    #[deprecated(since = "0.1.0", note = "use `with_breaker`")]
+    #[must_use]
+    pub fn breaker(self, cfg: BreakerConfig) -> Self {
+        self.with_breaker(cfg)
+    }
+
+    /// Renamed to [`with_connector`](Self::with_connector).
+    #[deprecated(since = "0.1.0", note = "use `with_connector`")]
+    #[must_use]
+    pub fn connector(self, connector: Connector) -> Self {
+        self.with_connector(connector)
+    }
+
+    /// Renamed to [`with_handshake`](Self::with_handshake).
+    #[deprecated(since = "0.1.0", note = "use `with_handshake`")]
+    #[must_use]
+    pub fn handshake(self, info: HandshakeInfo) -> Self {
+        self.with_handshake(info)
     }
 
     /// The pool. Connections are dialed lazily on first use.
@@ -352,11 +442,17 @@ impl PoolBuilder {
         if self.addrs.is_empty() {
             return Err(RuntimeError::Transport("pool needs an endpoint".into()));
         }
+        let metrics = self.metrics.unwrap_or_else(MetricsRegistry::shared);
         let connector = self.connector.unwrap_or_else(|| {
             let handshake = self.handshake;
+            let metrics = Arc::clone(&metrics);
             Arc::new(move |addr| {
-                MultiplexedConnection::connect_with(addr, handshake.as_ref())
-                    .map(|c| Arc::new(c) as Arc<dyn Connection>)
+                MultiplexedConnection::connect_with_metrics(
+                    addr,
+                    handshake.as_ref(),
+                    Arc::clone(&metrics),
+                )
+                .map(|c| Arc::new(c) as Arc<dyn Connection>)
             })
         });
         let endpoints = self
@@ -366,7 +462,7 @@ impl PoolBuilder {
                 addr,
                 slots: (0..self.slots).map(|_| Mutex::new(None)).collect(),
                 next: AtomicUsize::new(0),
-                breaker: CircuitBreaker::new(self.breaker.clone()),
+                breaker: CircuitBreaker::with_metrics(self.breaker.clone(), Arc::clone(&metrics)),
             })
             .collect();
         Ok(ConnectionPool {
@@ -375,6 +471,7 @@ impl PoolBuilder {
                 next: AtomicUsize::new(0),
                 connector,
                 latencies: Mutex::new(VecDeque::new()),
+                metrics,
             }),
         })
     }
@@ -397,6 +494,7 @@ impl ConnectionPool {
             breaker: BreakerConfig::default(),
             connector: None,
             handshake: None,
+            metrics: None,
         }
     }
 
@@ -407,9 +505,16 @@ impl ConnectionPool {
     ///
     /// Returns [`RuntimeError::Transport`] if the first connect fails.
     pub fn connect(addr: SocketAddr, size: usize) -> Result<Self, RuntimeError> {
-        let pool = Self::builder(vec![addr]).slots(size).build()?;
+        let pool = Self::builder(vec![addr]).with_slots(size).build()?;
         pool.core.checkout_at(0)?;
         Ok(pool)
+    }
+
+    /// The registry this pool records breaker transitions, hedging,
+    /// spans, and (through its dialed connections) transport counters
+    /// into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.core.metrics
     }
 
     /// Total connection slots across all endpoints.
@@ -495,10 +600,21 @@ impl Connection for ConnectionPool {
         };
 
         let delay = self.hedge_delay(policy);
+        // The duplicate keeps the logical call's trace id but gets its
+        // own span id, so the span log shows two racing attempts of one
+        // trace rather than two unrelated calls.
+        let hedge_trace = msg.trace.map(|t| t.child());
         let (tx, rx) = mpsc::channel();
         let spawn_attempt = |tag: u8| {
             let core = self.core.clone();
-            let msg = msg.clone();
+            let msg = if tag == 1 {
+                match hedge_trace {
+                    Some(t) => msg.clone().with_trace(t),
+                    None => msg.clone(),
+                }
+            } else {
+                msg.clone()
+            };
             let mut opts = options.clone();
             opts.hedge = None;
             let tx = tx.clone();
@@ -506,13 +622,19 @@ impl Connection for ConnectionPool {
                 let _ = tx.send((tag, core.attempt(&msg, &opts)));
             });
         };
+        let mark_winner = |tag: u8| {
+            let winner = if tag == 1 { hedge_trace } else { msg.trace };
+            if let Some(t) = winner.filter(|t| t.sampled) {
+                self.core.metrics.mark_winner(t.trace_id, t.span_id);
+            }
+        };
         spawn_attempt(0);
         match rx.recv_timeout(delay) {
             // The primary answered (either way) within the hedge delay:
             // failures go to the retry layer, not a hedge.
             Ok((_, outcome)) => outcome,
             Err(mpsc::RecvTimeoutError::Timeout) => {
-                metrics::global().add_hedge_fired();
+                self.core.metrics.add_hedge_fired();
                 spawn_attempt(1);
                 let first = rx
                     .recv()
@@ -520,8 +642,9 @@ impl Connection for ConnectionPool {
                 match first {
                     (tag, Ok(reply)) => {
                         if tag == 1 {
-                            metrics::global().add_hedge_won();
+                            self.core.metrics.add_hedge_won();
                         }
+                        mark_winner(tag);
                         Ok(reply)
                     }
                     // First arrival failed: give the straggler its
@@ -529,8 +652,9 @@ impl Connection for ConnectionPool {
                     (_, Err(first_err)) => match rx.recv() {
                         Ok((tag, Ok(reply))) => {
                             if tag == 1 {
-                                metrics::global().add_hedge_won();
+                                self.core.metrics.add_hedge_won();
                             }
+                            mark_winner(tag);
                             Ok(reply)
                         }
                         _ => Err(first_err),
@@ -541,6 +665,10 @@ impl Connection for ConnectionPool {
                 Err(RuntimeError::Transport("hedge attempts vanished".into()))
             }
         }
+    }
+
+    fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        Some(Arc::clone(&self.core.metrics))
     }
 }
 
@@ -740,13 +868,13 @@ mod tests {
             }
         });
         let pool = ConnectionPool::builder(vec![dead, live])
-            .slots(1)
-            .breaker(crate::breaker::BreakerConfig {
+            .with_slots(1)
+            .with_breaker(crate::breaker::BreakerConfig {
                 consecutive_failures: 3,
                 cooldown: std::time::Duration::from_secs(30),
                 ..Default::default()
             })
-            .connector(connector)
+            .with_connector(connector)
             .build()
             .unwrap();
         // Calls routed to the dead endpoint fail until its breaker
@@ -781,9 +909,9 @@ mod tests {
             }
         });
         let pool = ConnectionPool::builder(vec!["127.0.0.1:9".parse().unwrap()])
-            .slots(1)
-            .breaker(fast_breaker())
-            .connector(connector)
+            .with_slots(1)
+            .with_breaker(fast_breaker())
+            .with_connector(connector)
             .build()
             .unwrap();
         for k in 0..3 {
@@ -833,8 +961,8 @@ mod tests {
             }
         });
         let pool = ConnectionPool::builder(vec![slow, "127.0.0.1:10".parse().unwrap()])
-            .slots(1)
-            .connector(connector)
+            .with_slots(1)
+            .with_connector(connector)
             .build()
             .unwrap();
         let opts =

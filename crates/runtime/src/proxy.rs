@@ -4,14 +4,16 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
+use mockingbird_obs::{SpanKind, SpanRecord, TraceContext};
 use mockingbird_rng::StdRng;
 use mockingbird_values::{Endian, MValue};
 use mockingbird_wire::{CdrReader, HandshakeInfo, Message, MessageKind, ReplyStatus};
 
 use crate::dispatch::{interface_fingerprint, WireOp};
 use crate::error::RuntimeError;
-use crate::metrics;
+use crate::metrics::MetricsRegistry;
 use crate::options::CallOptions;
 use crate::pool::BufferPool;
 use crate::transport::Connection;
@@ -46,16 +48,24 @@ pub struct RemoteRef {
     next_request: AtomicU32,
     options: CallOptions,
     buffers: BufferPool,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl RemoteRef {
     /// Builds a reference to `object_key` reachable over `connection`.
+    /// The reference records into the connection's metrics registry when
+    /// it has one (pools and multiplexed links do), otherwise into a
+    /// fresh private registry.
     pub fn new(
         connection: Arc<dyn Connection>,
         object_key: impl Into<Vec<u8>>,
-        ops: HashMap<String, WireOp>,
+        mut ops: HashMap<String, WireOp>,
         endian: Endian,
     ) -> Self {
+        let metrics = connection.metrics().unwrap_or_else(MetricsRegistry::shared);
+        for op in ops.values_mut() {
+            op.attach_metrics(&metrics);
+        }
         RemoteRef {
             connection,
             object_key: object_key.into(),
@@ -63,8 +73,28 @@ impl RemoteRef {
             endian,
             next_request: AtomicU32::new(1),
             options: CallOptions::default(),
-            buffers: BufferPool::new(),
+            buffers: BufferPool::new().with_metrics(&metrics),
+            metrics,
         }
+    }
+
+    /// The registry this reference records requests, retries, latency
+    /// histograms, and spans into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Rebinds the reference (and its operations and buffer pool) to an
+    /// explicit registry, overriding the one inherited from the
+    /// connection.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        for op in self.ops.values_mut() {
+            op.rebind_metrics(&registry);
+        }
+        self.buffers = BufferPool::new().with_metrics(&registry);
+        self.metrics = registry;
+        self
     }
 
     /// The reference's request-buffer pool. Fused stubs check encoders
@@ -195,10 +225,21 @@ impl RemoteRef {
             options
         };
         let max_retries = policy.map_or(0, |p| p.max_retries);
+        // One logical call mints one trace context; every retry attempt
+        // (and any hedged duplicate further down) is a child span of the
+        // same trace, so a flaky call reads as one story in the span log.
+        let trace = self
+            .metrics
+            .tracing_enabled()
+            .then(TraceContext::root)
+            .map(|t| t.with_sampled(true));
+        let started = Instant::now();
         let mut attempt = 0u32;
         let mut body = body;
         loop {
-            let (recovered, outcome) = self.invoke_once_raw(operation, body, options);
+            let attempt_trace = trace.map(|t| t.child());
+            let (recovered, outcome) =
+                self.invoke_once_raw(operation, body, options, attempt_trace);
             match outcome {
                 // Overloaded sheds are retryable by design: the server
                 // answered *instead of executing*, so re-sending after
@@ -209,7 +250,7 @@ impl RemoteRef {
                     | RuntimeError::Timeout(_)
                     | RuntimeError::Overloaded(_),
                 ) if attempt < max_retries => {
-                    metrics::global().add_retry();
+                    self.metrics.add_retry();
                     let pause = RETRY_RNG.with(|rng| {
                         policy
                             .unwrap()
@@ -220,7 +261,25 @@ impl RemoteRef {
                     body = recovered;
                 }
                 outcome => {
+                    let bytes_out = recovered.len() as u64;
                     self.buffers.put(recovered);
+                    let elapsed = started.elapsed();
+                    self.metrics.record_client(operation, elapsed);
+                    let duration_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+                    if let Some(t) =
+                        trace.filter(|t| t.sampled && self.metrics.wants_span(duration_us))
+                    {
+                        let mut span = SpanRecord::new(t, SpanKind::Client, operation);
+                        span.start_us = self.metrics.spans().now_us().saturating_sub(duration_us);
+                        span.duration_us = duration_us;
+                        span.fused = self.fused_allowed();
+                        span.bytes_out = bytes_out;
+                        match &outcome {
+                            Ok((reply, _)) => span.bytes_in = reply.len() as u64,
+                            Err(e) => span.error = Some(e.to_string()),
+                        }
+                        self.metrics.record_span(span);
+                    }
                     return outcome;
                 }
             }
@@ -235,9 +294,10 @@ impl RemoteRef {
         operation: &str,
         body: Vec<u8>,
         options: &CallOptions,
+        trace: Option<TraceContext>,
     ) -> (Vec<u8>, Result<(Vec<u8>, Endian), RuntimeError>) {
         let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
-        let msg = Message::request(
+        let mut msg = Message::request(
             request_id,
             true,
             self.object_key.clone(),
@@ -245,7 +305,10 @@ impl RemoteRef {
             self.endian,
             body,
         );
-        metrics::global().add_request();
+        if let Some(t) = trace {
+            msg = msg.with_trace(t);
+        }
+        self.metrics.add_request();
         let outcome = self.connection.call_with(&msg, options);
         let body = msg.body;
         let result = (|| {
@@ -263,11 +326,11 @@ impl RemoteRef {
                     "reply correlates to request {rid}, expected {request_id}"
                 )));
             }
-            metrics::global().add_reply();
+            self.metrics.add_reply();
             match status {
                 ReplyStatus::NoException => Ok((reply.body, reply.endian)),
                 ReplyStatus::Overloaded => {
-                    metrics::global().add_overload();
+                    self.metrics.add_overload();
                     let mut r = CdrReader::new(&reply.body, reply.endian);
                     let text = r
                         .get_bytes()
@@ -325,7 +388,7 @@ impl RemoteRef {
             self.endian,
             body,
         );
-        metrics::global().add_request();
+        self.metrics.add_request();
         let outcome = self.connection.call_with(&msg, &self.options);
         self.buffers.put(msg.body);
         outcome?;

@@ -17,7 +17,7 @@
 //! waiter timeouts (its reader thread never blocks on a single call).
 
 use std::collections::{HashMap, VecDeque};
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -31,7 +31,7 @@ use mockingbird_wire::{
 
 use crate::dispatch::Dispatcher;
 use crate::error::RuntimeError;
-use crate::metrics;
+use crate::metrics::MetricsRegistry;
 use crate::options::CallOptions;
 
 /// How long a client waits for the peer's half of the connect-time
@@ -48,12 +48,16 @@ const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
 /// Runs serially on the raw stream *before* any multiplexing machinery
 /// starts, so no request can cross a connection whose declarations were
 /// never checked.
-fn client_handshake(stream: &mut TcpStream, info: &HandshakeInfo) -> Result<bool, RuntimeError> {
-    metrics::global().add_handshake();
+fn client_handshake(
+    stream: &mut TcpStream,
+    info: &HandshakeInfo,
+    metrics: &MetricsRegistry,
+) -> Result<bool, RuntimeError> {
+    metrics.add_handshake();
     let hello = Message::hello(*info, HandshakeVerdict::Propose, Endian::Little);
-    write_frame(stream, &hello)?;
+    write_frame(stream, &hello, metrics)?;
     stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT)).ok();
-    let outcome = read_frame(stream);
+    let outcome = read_frame(stream, metrics);
     stream.set_read_timeout(None).ok();
     let reply = outcome?
         .ok_or_else(|| RuntimeError::Transport("connection closed during the handshake".into()))?;
@@ -69,11 +73,11 @@ fn client_handshake(stream: &mut TcpStream, info: &HandshakeInfo) -> Result<bool
     match verdict {
         HandshakeVerdict::Accept => Ok(true),
         HandshakeVerdict::InterpretiveOnly => {
-            metrics::global().add_handshake_fallback();
+            metrics.add_handshake_fallback();
             Ok(false)
         }
         HandshakeVerdict::Reject => {
-            metrics::global().add_handshake_reject();
+            metrics.add_handshake_reject();
             Err(RuntimeError::VersionSkew(format!(
                 "peer speaks protocol {} with interface fingerprint {:032x}; \
                  we speak protocol {} with {:032x}",
@@ -126,6 +130,13 @@ pub trait Connection: Send + Sync {
     fn fused_allowed(&self) -> bool {
         true
     }
+
+    /// The metrics registry this connection records into, when it has
+    /// one. Proxies built over the connection adopt it so client-side
+    /// histograms and transport counters land in the same place.
+    fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        None
+    }
 }
 
 /// An in-process loopback connection: frames and marshals exactly like a
@@ -160,6 +171,12 @@ impl Connection for InMemoryConnection {
             None => Ok(None),
         }
     }
+
+    fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        // The loopback has no transport of its own: client and server
+        // share the dispatcher's registry (its counters see both sides).
+        Some(Arc::clone(self.dispatcher.metrics()))
+    }
 }
 
 fn is_timeout(e: &std::io::Error) -> bool {
@@ -174,7 +191,10 @@ fn is_timeout(e: &std::io::Error) -> bool {
 /// pin a reader that is polling with a short timeout.
 const MID_FRAME_PATIENCE: u32 = 40;
 
-fn read_frame(stream: &mut TcpStream) -> Result<Option<Message>, RuntimeError> {
+fn read_frame(
+    stream: &mut TcpStream,
+    metrics: &MetricsRegistry,
+) -> Result<Option<Message>, RuntimeError> {
     let mut header = [0u8; 12];
     let mut filled = 0usize;
     let mut stalls = 0u32;
@@ -230,13 +250,17 @@ fn read_frame(stream: &mut TcpStream) -> Result<Option<Message>, RuntimeError> {
             Err(e) => return Err(RuntimeError::Transport(e.to_string())),
         }
     }
-    metrics::global().add_bytes_received(total as u64);
+    metrics.add_bytes_received(total as u64);
     Message::from_bytes(&buf)
         .map(Some)
         .map_err(|e| RuntimeError::Protocol(e.to_string()))
 }
 
-fn write_frame(stream: &mut TcpStream, msg: &Message) -> Result<(), RuntimeError> {
+fn write_frame(
+    stream: &mut TcpStream,
+    msg: &Message,
+    metrics: &MetricsRegistry,
+) -> Result<(), RuntimeError> {
     // The preamble+header go into a per-thread scratch buffer and the
     // body is written from its own storage (vectored), so no thread
     // allocates frame memory after its first send.
@@ -247,7 +271,7 @@ fn write_frame(stream: &mut TcpStream, msg: &Message) -> Result<(), RuntimeError
         let mut scratch = s.borrow_mut();
         msg.write_to(stream, &mut scratch)
             .map_err(|e| RuntimeError::Transport(e.to_string()))?;
-        metrics::global().add_bytes_sent((scratch.len() + msg.body.len()) as u64);
+        metrics.add_bytes_sent((scratch.len() + msg.body.len()) as u64);
         Ok(())
     })
 }
@@ -258,6 +282,7 @@ fn write_frame(stream: &mut TcpStream, msg: &Message) -> Result<(), RuntimeError
 pub struct TcpConnection {
     stream: Mutex<TcpStream>,
     fused: bool,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl TcpConnection {
@@ -272,7 +297,8 @@ impl TcpConnection {
     }
 
     /// Connects to a [`TcpServer`], performing the fingerprint handshake
-    /// when `handshake` is given.
+    /// when `handshake` is given. Records into a fresh registry; use
+    /// [`connect_with_metrics`](Self::connect_with_metrics) to share one.
     ///
     /// # Errors
     ///
@@ -283,16 +309,30 @@ impl TcpConnection {
         addr: SocketAddr,
         handshake: Option<&HandshakeInfo>,
     ) -> Result<Self, RuntimeError> {
+        Self::connect_with_metrics(addr, handshake, MetricsRegistry::shared())
+    }
+
+    /// Connects, recording transport counters into `metrics`.
+    ///
+    /// # Errors
+    ///
+    /// As [`connect_with`](Self::connect_with).
+    pub fn connect_with_metrics(
+        addr: SocketAddr,
+        handshake: Option<&HandshakeInfo>,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Result<Self, RuntimeError> {
         let mut stream =
             TcpStream::connect(addr).map_err(|e| RuntimeError::Transport(e.to_string()))?;
         stream.set_nodelay(true).ok();
         let fused = match handshake {
-            Some(info) => client_handshake(&mut stream, info)?,
+            Some(info) => client_handshake(&mut stream, info, &metrics)?,
             None => true,
         };
         Ok(TcpConnection {
             stream: Mutex::new(stream),
             fused,
+            metrics,
         })
     }
 }
@@ -308,7 +348,7 @@ impl Connection for TcpConnection {
         options: &CallOptions,
     ) -> Result<Option<Message>, RuntimeError> {
         let mut stream = self.stream.lock().unwrap();
-        write_frame(&mut stream, msg)?;
+        write_frame(&mut stream, msg, &self.metrics)?;
         let expects_reply = matches!(
             msg.kind,
             MessageKind::Request {
@@ -325,7 +365,7 @@ impl Connection for TcpConnection {
                 .set_read_timeout(Some(d.max(Duration::from_millis(1))))
                 .ok();
         }
-        let outcome = read_frame(&mut stream);
+        let outcome = read_frame(&mut stream, &self.metrics);
         if options.deadline.is_some() {
             stream.set_read_timeout(None).ok();
         }
@@ -335,7 +375,7 @@ impl Connection for TcpConnection {
                 "server closed the connection".into(),
             )),
             Err(RuntimeError::Timeout(_)) => {
-                metrics::global().add_timeout();
+                self.metrics.add_timeout();
                 Err(RuntimeError::Timeout(format!(
                     "no reply within {:?}",
                     options.deadline.unwrap_or_default()
@@ -347,6 +387,10 @@ impl Connection for TcpConnection {
 
     fn fused_allowed(&self) -> bool {
         self.fused
+    }
+
+    fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        Some(Arc::clone(&self.metrics))
     }
 }
 
@@ -386,6 +430,7 @@ pub struct MultiplexedConnection {
     closed: Arc<AtomicBool>,
     reader: Mutex<Option<JoinHandle<()>>>,
     fused: bool,
+    metrics: Arc<MetricsRegistry>,
 }
 
 /// How often the demultiplexing reader thread wakes to notice shutdown.
@@ -415,11 +460,25 @@ impl MultiplexedConnection {
         addr: SocketAddr,
         handshake: Option<&HandshakeInfo>,
     ) -> Result<Self, RuntimeError> {
+        Self::connect_with_metrics(addr, handshake, MetricsRegistry::shared())
+    }
+
+    /// Connects, recording transport counters into `metrics` (pools use
+    /// this so every slot of an endpoint shares the pool's registry).
+    ///
+    /// # Errors
+    ///
+    /// As [`connect_with`](Self::connect_with).
+    pub fn connect_with_metrics(
+        addr: SocketAddr,
+        handshake: Option<&HandshakeInfo>,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Result<Self, RuntimeError> {
         let mut stream =
             TcpStream::connect(addr).map_err(|e| RuntimeError::Transport(e.to_string()))?;
         stream.set_nodelay(true).ok();
         let fused = match handshake {
-            Some(info) => client_handshake(&mut stream, info)?,
+            Some(info) => client_handshake(&mut stream, info, &metrics)?,
             None => true,
         };
         let mut reader_stream = stream
@@ -438,8 +497,9 @@ impl MultiplexedConnection {
 
         let thread_state = state.clone();
         let thread_closed = closed.clone();
+        let thread_metrics = Arc::clone(&metrics);
         let reader = std::thread::spawn(move || loop {
-            match read_frame(&mut reader_stream) {
+            match read_frame(&mut reader_stream, &thread_metrics) {
                 Ok(Some(reply)) => {
                     let MessageKind::Reply { request_id, .. } = reply.kind else {
                         continue; // clients only expect replies
@@ -481,6 +541,7 @@ impl MultiplexedConnection {
             closed,
             reader: Mutex::new(Some(reader)),
             fused,
+            metrics,
         })
     }
 
@@ -553,7 +614,7 @@ impl Connection for MultiplexedConnection {
 
         {
             let mut w = self.writer.lock().unwrap();
-            if let Err(e) = write_frame(&mut w, &rewritten) {
+            if let Err(e) = write_frame(&mut w, &rewritten, &self.metrics) {
                 fail_all(&self.state, e.clone());
                 lock.lock().unwrap().pending.remove(&wire_id);
                 return Err(e);
@@ -579,7 +640,7 @@ impl Connection for MultiplexedConnection {
                     }
                     _ => {
                         st.pending.remove(&wire_id);
-                        metrics::global().add_timeout();
+                        self.metrics.add_timeout();
                         return Err(RuntimeError::Timeout(format!("no reply within {d:?}")));
                     }
                 },
@@ -598,6 +659,10 @@ impl Connection for MultiplexedConnection {
 
     fn fused_allowed(&self) -> bool {
         self.fused
+    }
+
+    fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        Some(Arc::clone(&self.metrics))
     }
 }
 
@@ -658,6 +723,27 @@ impl ServerConfig {
         self.handshake = Some(info);
         self
     }
+
+    /// Sets the per-connection dispatch queue bound.
+    #[must_use]
+    pub fn with_max_queue(mut self, max_queue: usize) -> Self {
+        self.max_queue = max_queue;
+        self
+    }
+
+    /// Sets the server-wide in-flight dispatch cap.
+    #[must_use]
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight = max_in_flight;
+        self
+    }
+
+    /// Sets the dispatch worker count per connection.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
 }
 
 /// A closable, bounded queue of frames handed from a connection's read
@@ -678,7 +764,9 @@ impl FrameQueue {
     }
 
     /// Enqueues unless the queue is at capacity; hands the frame back
-    /// on overflow so the caller can shed it.
+    /// on overflow so the caller can shed it. The large `Err` variant is
+    /// the point: the rejected frame is returned by value, not dropped.
+    #[allow(clippy::result_large_err)]
     fn try_push(&self, msg: Message) -> Result<(), Message> {
         let mut st = self.state.lock().unwrap();
         if st.0.len() >= self.cap {
@@ -719,8 +807,9 @@ fn serve_hello(
     endian: Endian,
     cfg: &ServerConfig,
     writer: &Mutex<TcpStream>,
+    metrics: &MetricsRegistry,
 ) -> bool {
-    metrics::global().add_handshake();
+    metrics.add_handshake();
     let (mine, verdict) = match &cfg.handshake {
         Some(mine) => (*mine, mine.evaluate(client)),
         // Permissive mode: echo the client's info back with an Accept.
@@ -729,17 +818,17 @@ fn serve_hello(
     let reply = Message::hello(mine, verdict, endian);
     {
         let mut stream = writer.lock().unwrap();
-        if write_frame(&mut stream, &reply).is_err() {
+        if write_frame(&mut stream, &reply, metrics).is_err() {
             return false;
         }
     }
     match verdict {
         HandshakeVerdict::Reject => {
-            metrics::global().add_handshake_reject();
+            metrics.add_handshake_reject();
             false
         }
         HandshakeVerdict::InterpretiveOnly => {
-            metrics::global().add_handshake_fallback();
+            metrics.add_handshake_fallback();
             true
         }
         _ => true,
@@ -749,8 +838,8 @@ fn serve_hello(
 /// Sheds one request: answers `Overloaded` (response-expected requests
 /// only; oneways are silently dropped, as messaging semantics allow).
 /// Returns `false` when the reply could not be written.
-fn shed(msg: &Message, writer: &Mutex<TcpStream>) -> bool {
-    metrics::global().add_shed();
+fn shed(msg: &Message, writer: &Mutex<TcpStream>, metrics: &MetricsRegistry) -> bool {
+    metrics.add_shed();
     let MessageKind::Request {
         request_id,
         response_expected: true,
@@ -768,7 +857,7 @@ fn shed(msg: &Message, writer: &Mutex<TcpStream>) -> bool {
         w.into_bytes(),
     );
     let mut stream = writer.lock().unwrap();
-    write_frame(&mut stream, &reply).is_ok()
+    write_frame(&mut stream, &reply, metrics).is_ok()
 }
 
 fn serve_connection(
@@ -778,6 +867,7 @@ fn serve_connection(
     cfg: Arc<ServerConfig>,
     in_flight: Arc<AtomicUsize>,
 ) {
+    let metrics = Arc::clone(dispatcher.metrics());
     stream.set_read_timeout(Some(SERVER_POLL)).ok();
     let Ok(write_half) = stream.try_clone() else {
         return;
@@ -795,6 +885,7 @@ fn serve_connection(
             let d = dispatcher.clone();
             let w = writer.clone();
             let busy = in_flight.clone();
+            let m = Arc::clone(&metrics);
             std::thread::spawn(move || {
                 while let Some(msg) = q.pop() {
                     busy.fetch_add(1, Ordering::SeqCst);
@@ -802,7 +893,7 @@ fn serve_connection(
                     busy.fetch_sub(1, Ordering::SeqCst);
                     if let Some(reply) = reply {
                         let mut stream = w.lock().unwrap();
-                        if write_frame(&mut stream, &reply).is_err() {
+                        if write_frame(&mut stream, &reply, &m).is_err() {
                             break;
                         }
                     }
@@ -814,10 +905,10 @@ fn serve_connection(
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        match read_frame(&mut stream) {
+        match read_frame(&mut stream, &metrics) {
             Ok(Some(msg)) => {
                 if let MessageKind::Hello { info, .. } = &msg.kind {
-                    if !serve_hello(info, msg.endian, &cfg, &writer) {
+                    if !serve_hello(info, msg.endian, &cfg, &writer, &metrics) {
                         break; // rejected or unwritable: close the link
                     }
                     continue;
@@ -832,7 +923,7 @@ fn serve_connection(
                     queue.try_push(msg)
                 };
                 if let Err(msg) = admitted {
-                    if !shed(&msg, &writer) {
+                    if !shed(&msg, &writer, &metrics) {
                         break;
                     }
                 }
@@ -848,16 +939,76 @@ fn serve_connection(
     }
 }
 
+/// Serves the metrics endpoint: a minimal HTTP/1.0 responder answering
+/// `/metrics` with the Prometheus text exposition and `/metrics.json`
+/// with the JSON snapshot. One request per connection, `Connection:
+/// close` — enough for a scraper, deliberately not a web server.
+fn serve_metrics(listener: TcpListener, registry: Arc<MetricsRegistry>, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        stream.set_read_timeout(Some(Duration::from_secs(2))).ok();
+        stream.set_write_timeout(Some(Duration::from_secs(2))).ok();
+        // Read the request head (until the blank line); the path is all
+        // we look at.
+        let mut head = Vec::new();
+        let mut buf = [0u8; 512];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    head.extend_from_slice(&buf[..n]);
+                    if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        let request = String::from_utf8_lossy(&head);
+        let path = request
+            .lines()
+            .next()
+            .and_then(|line| line.split_whitespace().nth(1))
+            .unwrap_or("/");
+        let (status, content_type, body) = match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                registry.prometheus_text(),
+            ),
+            "/metrics.json" => ("200 OK", "application/json", registry.json_snapshot()),
+            _ => ("404 Not Found", "text/plain", String::from("not found\n")),
+        };
+        let response = format!(
+            "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let _ = stream.write_all(response.as_bytes());
+    }
+}
+
 /// A TCP server: accepts connections and dispatches each frame through a
 /// [`Dispatcher`], one thread per connection. [`shutdown`] is
 /// deterministic: it joins the accept thread *and* every
 /// per-connection thread.
 ///
+/// Alongside the GIOP listener, every server exposes a metrics listener
+/// on an ephemeral port of the same interface: `/metrics` serves the
+/// Prometheus text exposition, `/metrics.json` a JSON snapshot. See
+/// [`metrics_addr`].
+///
 /// [`shutdown`]: TcpServer::shutdown
+/// [`metrics_addr`]: TcpServer::metrics_addr
 pub struct TcpServer {
     addr: SocketAddr,
+    metrics_addr: SocketAddr,
+    metrics: Arc<MetricsRegistry>,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    metrics_thread: Option<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -889,6 +1040,13 @@ impl TcpServer {
         let local = listener
             .local_addr()
             .map_err(|e| RuntimeError::Transport(e.to_string()))?;
+        let metrics = Arc::clone(dispatcher.metrics());
+        // Metrics listener: same interface, ephemeral port.
+        let metrics_listener = TcpListener::bind(SocketAddr::new(local.ip(), 0))
+            .map_err(|e| RuntimeError::Transport(e.to_string()))?;
+        let metrics_addr = metrics_listener
+            .local_addr()
+            .map_err(|e| RuntimeError::Transport(e.to_string()))?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let flag = shutdown.clone();
@@ -912,10 +1070,18 @@ impl TcpServer {
                 threads.lock().unwrap().push(handle);
             }
         });
+        let metrics_registry = Arc::clone(&metrics);
+        let metrics_stop = shutdown.clone();
+        let metrics_thread = std::thread::spawn(move || {
+            serve_metrics(metrics_listener, metrics_registry, metrics_stop);
+        });
         Ok(TcpServer {
             addr: local,
+            metrics_addr,
+            metrics,
             shutdown,
             accept_thread: Some(accept_thread),
+            metrics_thread: Some(metrics_thread),
             conn_threads,
         })
     }
@@ -925,14 +1091,30 @@ impl TcpServer {
         self.addr
     }
 
+    /// The address of the metrics listener (`/metrics` and
+    /// `/metrics.json`).
+    pub fn metrics_addr(&self) -> SocketAddr {
+        self.metrics_addr
+    }
+
+    /// The metrics registry this server records into — shared with its
+    /// dispatcher.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
     /// Stops accepting, then joins the accept thread and every
     /// per-connection thread (each polls the shutdown flag between
     /// frames, so the join is bounded by the poll interval).
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Probe connection to unblock accept().
+        // Probe connections to unblock both accept() loops.
         let _ = TcpStream::connect(self.addr);
+        let _ = TcpStream::connect(self.metrics_addr);
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.metrics_thread.take() {
             let _ = t.join();
         }
         let handles: Vec<_> = self.conn_threads.lock().unwrap().drain(..).collect();

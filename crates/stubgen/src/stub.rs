@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use mockingbird_comparer::{Entry, Mode};
 use mockingbird_plan::{CoercionPlan, ConvertError};
-use mockingbird_runtime::{metrics, RemoteRef, RuntimeError, Servant};
+use mockingbird_runtime::{RemoteRef, RuntimeError, Servant};
 use mockingbird_values::{MValue, PortRef};
 use mockingbird_wire::{CdrReader, WireProgram};
 
@@ -310,7 +310,7 @@ impl RemoteStub {
                 .map(Arc::new);
         let compiled = args_program.is_some() as u64 + result_program.is_some() as u64;
         if compiled > 0 {
-            metrics::global().add_programs_compiled(compiled);
+            remote.metrics().add_programs_compiled(compiled);
         }
         RemoteStub {
             inner,
@@ -392,7 +392,9 @@ impl RemoteStub {
             .encode_invocation(enc.writer(), inputs, self.inner.left.reply_index)
             .map_err(|e| StubError::Convert(ConvertError(e.to_string())))?;
         let body = enc.finish();
-        metrics::global().add_bytes_marshalled(body.len() as u64);
+        self.remote
+            .metrics()
+            .add_bytes_marshalled(body.len() as u64);
         let idempotent = self.remote.is_idempotent(&self.operation);
         let (reply, endian) = self
             .remote
@@ -402,7 +404,9 @@ impl RemoteStub {
         let out = result_p
             .decode_value(&mut r)
             .map_err(|e| StubError::Convert(ConvertError(e.to_string())))?;
-        metrics::global().add_bytes_unmarshalled((reply.len() - r.remaining()) as u64);
+        self.remote
+            .metrics()
+            .add_bytes_unmarshalled((reply.len() - r.remaining()) as u64);
         Ok(out)
     }
 }

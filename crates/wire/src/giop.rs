@@ -9,6 +9,7 @@ use std::fmt;
 use std::io::{self, IoSlice, Write};
 use std::sync::atomic::{AtomicU32, Ordering};
 
+use mockingbird_obs::TraceContext;
 use mockingbird_values::Endian;
 
 use crate::cdr::CdrReader;
@@ -55,6 +56,17 @@ impl std::error::Error for GiopError {}
 const MAGIC: &[u8; 4] = b"GIOP";
 const VERSION: (u8, u8) = (1, 0);
 const FLAG_LITTLE_ENDIAN: u8 = 0x01;
+
+/// Service-context id of the trace-context slot carried in Request
+/// headers (GIOP service contexts are `(id, data)` pairs; we define one
+/// vendor id, "MBTC").
+pub const TRACE_CONTEXT_ID: u32 = 0x4D42_5443;
+
+/// Encoded size of one trace slot: id + 128-bit trace id + 64-bit span
+/// id + flags word, all u32-aligned.
+const TRACE_SLOT_LEN: usize = 4 + 16 + 8 + 4;
+
+const TRACE_FLAG_SAMPLED: u32 = 0x01;
 
 /// The supervision protocol revision spoken over [`MessageKind::Hello`]
 /// frames. Peers with different revisions must not exchange requests.
@@ -220,6 +232,10 @@ pub struct Message {
     pub endian: Endian,
     /// Request or Reply header.
     pub kind: MessageKind,
+    /// Propagated trace context, carried in a service-context slot of
+    /// Request headers (ignored for other kinds). `None` ⇒ an empty
+    /// service-context list is framed, so the header layout is uniform.
+    pub trace: Option<TraceContext>,
     /// The CDR body (arguments or results).
     pub body: Vec<u8>,
 }
@@ -242,8 +258,16 @@ impl Message {
                 object_key,
                 operation: operation.into(),
             },
+            trace: None,
             body,
         }
+    }
+
+    /// Attaches a trace context (propagated only on Request frames).
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.trace = Some(trace);
+        self
     }
 
     /// Builds a reply message.
@@ -251,6 +275,7 @@ impl Message {
         Message {
             endian,
             kind: MessageKind::Reply { request_id, status },
+            trace: None,
             body,
         }
     }
@@ -260,6 +285,7 @@ impl Message {
         Message {
             endian,
             kind: MessageKind::Hello { info, verdict },
+            trace: None,
             body: Vec::new(),
         }
     }
@@ -276,7 +302,15 @@ impl Message {
                 ..
             } => {
                 let n = 8 + 4 + object_key.len();
-                n.div_ceil(4) * 4 + 4 + operation.len()
+                let through_op = n.div_ceil(4) * 4 + 4 + operation.len();
+                // Pad the operation name to 4, then the service-context
+                // count and (when tracing) the one trace slot.
+                let slot = if self.trace.is_some() {
+                    TRACE_SLOT_LEN
+                } else {
+                    0
+                };
+                through_op.div_ceil(4) * 4 + 4 + slot
             }
             MessageKind::Reply { .. } => 8,
             // protocol + verdict + interface_fp (4×u32) + rules_fp (2×u32)
@@ -328,6 +362,23 @@ impl Message {
                 }
                 self.put_u32_endian(out, operation.len() as u32);
                 out.extend_from_slice(operation.as_bytes());
+                while !(out.len() - 12).is_multiple_of(4) {
+                    out.push(0);
+                }
+                match &self.trace {
+                    None => self.put_u32_endian(out, 0),
+                    Some(t) => {
+                        self.put_u32_endian(out, 1);
+                        self.put_u32_endian(out, TRACE_CONTEXT_ID);
+                        self.put_u32_endian(out, (t.trace_id >> 96) as u32);
+                        self.put_u32_endian(out, (t.trace_id >> 64) as u32);
+                        self.put_u32_endian(out, (t.trace_id >> 32) as u32);
+                        self.put_u32_endian(out, t.trace_id as u32);
+                        self.put_u32_endian(out, (t.span_id >> 32) as u32);
+                        self.put_u32_endian(out, t.span_id as u32);
+                        self.put_u32_endian(out, if t.sampled { TRACE_FLAG_SAMPLED } else { 0 });
+                    }
+                }
             }
             MessageKind::Reply { request_id, status } => {
                 self.put_u32_endian(out, *request_id);
@@ -427,12 +478,38 @@ impl Message {
         }
         let payload = &data[12..12 + size];
         let mut r = CdrReader::new(payload, endian);
+        let mut trace = None;
         let kind = match msg_type {
             0 => {
                 let request_id = r.get_u32().map_err(wrap)?;
                 let response_expected = r.get_u32().map_err(wrap)? != 0;
                 let object_key = r.get_bytes().map_err(wrap)?.to_vec();
                 let operation = String::from_utf8_lossy(r.get_bytes().map_err(wrap)?).into_owned();
+                let contexts = r.get_u32().map_err(wrap)?;
+                match contexts {
+                    0 => {}
+                    1 => {
+                        let id = r.get_u32().map_err(wrap)?;
+                        if id != TRACE_CONTEXT_ID {
+                            return Err(GiopError(format!("unknown service context id {id:#x}")));
+                        }
+                        let mut trace_id = 0u128;
+                        for _ in 0..4 {
+                            trace_id = (trace_id << 32) | u128::from(r.get_u32().map_err(wrap)?);
+                        }
+                        let span_hi = r.get_u32().map_err(wrap)?;
+                        let span_lo = r.get_u32().map_err(wrap)?;
+                        let flags = r.get_u32().map_err(wrap)?;
+                        trace = Some(TraceContext {
+                            trace_id,
+                            span_id: (u64::from(span_hi) << 32) | u64::from(span_lo),
+                            sampled: flags & TRACE_FLAG_SAMPLED != 0,
+                        });
+                    }
+                    n => {
+                        return Err(GiopError(format!("unsupported service context count {n}")));
+                    }
+                }
                 MessageKind::Request {
                     request_id,
                     response_expected,
@@ -468,7 +545,12 @@ impl Message {
         let consumed = payload.len() - r.remaining();
         let body_start = consumed.div_ceil(8) * 8;
         let body = payload.get(body_start..).unwrap_or(&[]).to_vec();
-        Ok(Message { endian, kind, body })
+        Ok(Message {
+            endian,
+            kind,
+            trace,
+            body,
+        })
     }
 
     /// Expected total frame length given at least 12 header bytes, for
@@ -514,6 +596,60 @@ mod tests {
             let parsed = Message::from_bytes(&bytes).unwrap();
             assert_eq!(parsed, m);
         }
+    }
+
+    #[test]
+    fn trace_context_round_trips_both_endians() {
+        for endian in [Endian::Little, Endian::Big] {
+            for sampled in [true, false] {
+                let t = TraceContext {
+                    trace_id: 0x0011_2233_4455_6677_8899_AABB_CCDD_EEFF,
+                    span_id: 0x1234_5678_9ABC_DEF0,
+                    sampled,
+                };
+                let m = Message::request(9, true, b"obj".to_vec(), "echo", endian, vec![7; 21])
+                    .with_trace(t);
+                let bytes = m.to_bytes();
+                assert_eq!(Message::frame_len(&bytes).unwrap(), bytes.len());
+                let parsed = Message::from_bytes(&bytes).unwrap();
+                assert_eq!(parsed.trace, Some(t));
+                assert_eq!(parsed, m);
+            }
+        }
+    }
+
+    #[test]
+    fn traceless_requests_still_round_trip() {
+        // Operation names of every length 0..8 exercise the padding
+        // before the service-context count.
+        for len in 0..8 {
+            let op: String = "abcdefgh"[..len].to_string();
+            let m = Message::request(1, true, b"k".to_vec(), op, Endian::Little, vec![3; 5]);
+            let parsed = Message::from_bytes(&m.to_bytes()).unwrap();
+            assert_eq!(parsed.trace, None);
+            assert_eq!(parsed, m);
+        }
+    }
+
+    #[test]
+    fn unknown_service_context_rejected() {
+        let m = Message::request(1, true, vec![], "op", Endian::Little, vec![]).with_trace(
+            TraceContext {
+                trace_id: 1,
+                span_id: 2,
+                sampled: true,
+            },
+        );
+        let mut bytes = m.to_bytes();
+        // The context id sits right after the count; corrupt it.
+        let needle = TRACE_CONTEXT_ID.to_le_bytes();
+        let pos = bytes
+            .windows(4)
+            .position(|w| w == needle)
+            .expect("context id in frame");
+        bytes[pos..pos + 4].copy_from_slice(&0xFFu32.to_le_bytes());
+        let err = Message::from_bytes(&bytes).unwrap_err();
+        assert!(err.0.contains("service context"), "{err}");
     }
 
     #[test]
@@ -584,6 +720,12 @@ mod tests {
                 vec![1; 37],
             ),
             Message::request(8, true, b"key".to_vec(), "op", Endian::Big, vec![]),
+            Message::request(9, true, b"key".to_vec(), "op", Endian::Little, vec![2; 5])
+                .with_trace(TraceContext {
+                    trace_id: 42,
+                    span_id: 7,
+                    sampled: true,
+                }),
             Message::reply(7, ReplyStatus::NoException, Endian::Little, vec![9; 111]),
         ] {
             let bytes = m.to_bytes();

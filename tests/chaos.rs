@@ -14,7 +14,7 @@ use mockingbird::mtype::{IntRange, MtypeGraph};
 use mockingbird::runtime::dispatch::interface_fingerprint;
 use mockingbird::runtime::transport::TcpConnection;
 use mockingbird::runtime::{
-    metrics, BreakerConfig, BreakerState, CallOptions, ChaosConnection, Connection, ConnectionPool,
+    BreakerConfig, BreakerState, CallOptions, ChaosConnection, Connection, ConnectionPool,
     Connector, Dispatcher, HedgePolicy, InMemoryConnection, RemoteRef, RetryPolicy, RuntimeError,
     Servant, ServerConfig, TcpServer, WireOp, WireServant,
 };
@@ -93,6 +93,10 @@ fn twenty_percent_faults_with_breaker_and_hedging_stay_above_99_percent() {
     let seed = 0x0C4A_0520u64;
     println!("chaos seed: {seed:#x}");
     let (d, ops) = echo_service(Duration::ZERO);
+    // Faults are injected below the pool: the chaos wrapper inherits the
+    // in-memory dispatcher's registry, while retries/hedges land on the
+    // pool's own registry.
+    let service_metrics = Arc::clone(d.metrics());
     let dials = Arc::new(AtomicU64::new(0));
     let connector: Connector = Arc::new(move |_| {
         // Each (re)dial gets its own schedule, offset by the dial
@@ -108,8 +112,8 @@ fn twenty_percent_faults_with_breaker_and_hedging_stay_above_99_percent() {
         "127.0.0.1:1".parse().unwrap(),
         "127.0.0.1:2".parse().unwrap(),
     ])
-    .slots(1)
-    .connector(connector)
+    .with_slots(1)
+    .with_connector(connector)
     .build()
     .unwrap();
     let remote = RemoteRef::new(Arc::new(pool), b"obj".to_vec(), ops, Endian::Little).with_options(
@@ -123,7 +127,6 @@ fn twenty_percent_faults_with_breaker_and_hedging_stay_above_99_percent() {
             .with_hedge(HedgePolicy::After(Duration::from_millis(3))),
     );
 
-    let before = metrics::snapshot();
     let total = 400;
     let mut ok = 0u32;
     for k in 0..total {
@@ -145,12 +148,14 @@ fn twenty_percent_faults_with_breaker_and_hedging_stay_above_99_percent() {
         rate >= 0.99,
         "success rate {rate:.3} below 0.99; reproduce with seed={seed:#x}"
     );
-    let after = metrics::snapshot();
     assert!(
-        after.faults_injected > before.faults_injected,
+        service_metrics.snapshot().faults_injected > 0,
         "a 20% rate over {total} calls injects faults"
     );
-    assert!(after.retries > before.retries, "retries drove the recovery");
+    assert!(
+        remote.metrics().snapshot().retries > 0,
+        "retries drove the recovery"
+    );
 }
 
 #[test]
@@ -169,12 +174,11 @@ fn version_skew_is_rejected_at_connect_time() {
     let mut skewed = ops.clone();
     skewed.insert("evict".to_string(), ops["echo"].clone());
     let skewed_info = HandshakeInfo::new(interface_fingerprint(&skewed), 7);
-    let before = metrics::snapshot();
     let Err(err) = TcpConnection::connect_with(server.addr(), Some(&skewed_info)) else {
         panic!("a skewed peer must not connect");
     };
     assert!(matches!(err, RuntimeError::VersionSkew(_)), "{err}");
-    assert!(metrics::snapshot().handshake_rejects > before.handshake_rejects);
+    assert!(server.metrics().snapshot().handshake_rejects > 0);
 
     // The matching client is unaffected and calls fine.
     let good = HandshakeInfo::new(interface_fingerprint(&ops), 7);
@@ -199,11 +203,10 @@ fn rules_skew_demotes_to_the_interpretive_path_but_still_serves() {
     // Same interface, different coercion-rules fingerprint: the peer is
     // compatible on shapes, so the handshake demotes rather than
     // rejects — fused programs stay off, calls interpret.
-    let before = metrics::snapshot();
     let conn =
         TcpConnection::connect_with(server.addr(), Some(&HandshakeInfo::new(fp, 2))).unwrap();
     assert!(!conn.fused_allowed(), "rules skew disables the fused plane");
-    assert!(metrics::snapshot().handshake_fallbacks > before.handshake_fallbacks);
+    assert!(server.metrics().snapshot().handshake_fallbacks > 0);
     let remote = RemoteRef::new(Arc::new(conn), b"obj".to_vec(), ops, Endian::Little);
     for k in 0..5 {
         assert_eq!(remote.invoke("echo", &payload(k)).unwrap(), payload(k));
@@ -227,7 +230,6 @@ fn overload_sheds_are_typed_and_retries_ride_them_out() {
         },
     )
     .unwrap();
-    let before = metrics::snapshot();
 
     // Burst WITHOUT retry: some calls are shed with a typed error.
     let pool = Arc::new(ConnectionPool::connect(server.addr(), 2).unwrap());
@@ -247,9 +249,14 @@ fn overload_sheds_are_typed_and_retries_ride_them_out() {
         .collect();
     let shed: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
     assert!(shed > 0, "a 12-call burst into a 1-worker server sheds");
-    let mid = metrics::snapshot();
-    assert!(mid.sheds > before.sheds, "server counted its sheds");
-    assert!(mid.overloads > before.overloads, "clients saw typed sheds");
+    assert!(
+        server.metrics().snapshot().sheds > 0,
+        "server counted its sheds"
+    );
+    assert!(
+        remote.metrics().snapshot().overloads > 0,
+        "clients saw typed sheds"
+    );
 
     // The same burst WITH retry: every call eventually lands.
     let retrying = remote.clone();
@@ -279,11 +286,10 @@ fn breaker_quarantines_a_dead_endpoint_while_the_live_one_serves() {
     let (d, ops) = echo_service(Duration::ZERO);
     let mut server = TcpServer::bind("127.0.0.1:0", d).unwrap();
     let dead = refused_addr();
-    let before = metrics::snapshot();
 
     let pool = ConnectionPool::builder(vec![dead, server.addr()])
-        .slots(1)
-        .breaker(BreakerConfig {
+        .with_slots(1)
+        .with_breaker(BreakerConfig {
             consecutive_failures: 3,
             cooldown: Duration::from_secs(30),
             ..BreakerConfig::default()
@@ -307,7 +313,7 @@ fn breaker_quarantines_a_dead_endpoint_while_the_live_one_serves() {
     }
     assert_eq!(pool.breaker_state(0), BreakerState::Open);
     assert_eq!(pool.breaker_state(1), BreakerState::Closed);
-    assert!(metrics::snapshot().breaker_opens > before.breaker_opens);
+    assert!(pool.metrics().snapshot().breaker_opens > 0);
     server.shutdown();
 }
 
@@ -317,13 +323,13 @@ fn hedging_routes_past_a_slow_endpoint() {
     let (fast_d, _) = echo_service(Duration::ZERO);
     let mut slow = TcpServer::bind("127.0.0.1:0", slow_d).unwrap();
     let mut fast = TcpServer::bind("127.0.0.1:0", fast_d).unwrap();
-    let before = metrics::snapshot();
 
     let pool = ConnectionPool::builder(vec![slow.addr(), fast.addr()])
-        .slots(1)
+        .with_slots(1)
         .build()
         .unwrap();
-    let remote = RemoteRef::new(Arc::new(pool), b"obj".to_vec(), ops, Endian::Little)
+    let pool = Arc::new(pool);
+    let remote = RemoteRef::new(pool.clone(), b"obj".to_vec(), ops, Endian::Little)
         .with_options(CallOptions::new().with_hedge(HedgePolicy::After(Duration::from_millis(10))));
 
     // Round-robin parks half the primaries on the 300 ms endpoint; the
@@ -337,9 +343,9 @@ fn hedging_routes_past_a_slow_endpoint() {
             "call {k} took {elapsed:?} despite hedging"
         );
     }
-    let after = metrics::snapshot();
-    assert!(after.hedges_fired > before.hedges_fired, "hedges fired");
-    assert!(after.hedges_won > before.hedges_won, "a hedge won the race");
+    let after = pool.metrics().snapshot();
+    assert!(after.hedges_fired > 0, "hedges fired");
+    assert!(after.hedges_won > 0, "a hedge won the race");
     slow.shutdown();
     fast.shutdown();
 }
