@@ -2,15 +2,18 @@
 //! DESIGN.md §4 with live measurements and prints them as the tables
 //! recorded in EXPERIMENTS.md.
 //!
-//! Usage: `report [t1|f5|e1|e2|e3|x1|x2|x3|x4|x5|x6|x7|x8]...` (no args
-//! = everything). `x5` additionally writes `BENCH_compile.json` with the
-//! measured cache hit rate and warm-vs-cold speedup; `x6` writes
-//! `BENCH_marshal.json` with the fused-vs-interpretive marshalling
-//! speedup over a 200-class corpus; `x7` writes `BENCH_resilience.json`
-//! with success rates and p99 latency under injected faults, with and
-//! without the breaker+hedging supervision stack; `x8` writes
-//! `BENCH_observability.json` with the tracing-on vs tracing-off p50
-//! and a scrape of the server's Prometheus endpoint.
+//! Usage: `report [t1|f5|e1|e2|e3|x1|x2|x3|x4|x5|x6|x7|x8|x9]...` (no
+//! args = everything). `x5` additionally writes `BENCH_compile.json`
+//! with the measured cache hit rate and warm-vs-cold speedup; `x6`
+//! writes `BENCH_marshal.json` with the fused-vs-interpretive
+//! marshalling speedup over a 200-class corpus; `x7` writes
+//! `BENCH_resilience.json` with success rates and p99 latency under
+//! injected faults, with and without the breaker+hedging supervision
+//! stack; `x8` writes `BENCH_observability.json` with the tracing-on vs
+//! tracing-off p50 and a scrape of the server's Prometheus endpoint;
+//! `x9` writes `BENCH_reactor.json` with the connection-scaling curve
+//! (reactor vs thread-per-connection, fan-in latency, churn flatness).
+//! `MB_BENCH_QUICK=1` shrinks every experiment to CI-smoke size.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -1078,8 +1081,349 @@ fn x8() {
     println!();
 }
 
+/// `VmRSS` (kB) and `Threads` from a process's `/proc/<pid>/status`;
+/// `(0, 0)` off Linux.
+fn proc_status(pid: u32) -> (u64, u64) {
+    let Ok(status) = std::fs::read_to_string(format!("/proc/{pid}/status")) else {
+        return (0, 0);
+    };
+    let field = |key: &str| {
+        status
+            .lines()
+            .find(|l| l.starts_with(key))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|n| n.parse().ok())
+            .unwrap_or(0)
+    };
+    (field("VmRSS:"), field("Threads:"))
+}
+
+/// The X9 echo server, run as a child process so client and server each
+/// get their own file-descriptor budget (10k connections is 10k fds on
+/// *each* side). Prints `ADDR <ip:port>` on stdout, serves until stdin
+/// closes (the parent holds the pipe), then shuts down.
+fn x9_server(threaded: bool) {
+    use mockingbird::runtime::{
+        Dispatcher, RuntimeError, Servant, ServerConfig, TcpServer, WireOp, WireServant,
+    };
+    use std::io::Read;
+
+    let mut g = MtypeGraph::new();
+    let i = g.integer(IntRange::signed_bits(64));
+    let rec = g.record(vec![i]);
+    let graph = Arc::new(g);
+    let servant: Arc<dyn Servant> = Arc::new(|_: &str, v: MValue| Ok::<_, RuntimeError>(v));
+    let mut ops = HashMap::new();
+    ops.insert("echo".to_string(), WireOp::new(graph, rec, rec));
+    let d = Arc::new(Dispatcher::new());
+    d.register(b"echo".to_vec(), WireServant::new(servant, ops));
+    // The baseline runs with one dispatch worker per connection so its
+    // per-connection thread cost is the model's floor (accept thread +
+    // worker), not an artifact of the default pool size.
+    let config = if threaded {
+        ServerConfig::default()
+            .with_thread_per_connection(true)
+            .with_workers(1)
+    } else {
+        ServerConfig::default()
+    };
+    let mut server = TcpServer::bind_with("127.0.0.1:0", d, config).expect("bind x9 server");
+    println!("ADDR {}", server.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    // Park until the parent drops our stdin.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    server.shutdown();
+}
+
+/// One X9 measurement pass against a child server: open `conns`
+/// connections, hold them, fan calls in from `threads` shards, then
+/// close everything — recording wall times, latency quantiles, and
+/// both processes' RSS/thread counts along the way.
+#[allow(clippy::too_many_lines)]
+fn x9_pass(
+    label: &str,
+    threaded: bool,
+    conns: usize,
+    threads: usize,
+    calls_per_thread: usize,
+) -> mockingbird::stype::json::Json {
+    use mockingbird::runtime::{Connection, MultiplexedConnection};
+    use mockingbird::stype::json::Json;
+    use std::io::{BufRead, BufReader};
+    use std::process::{Command, Stdio};
+
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = Command::new(exe)
+        .arg(if threaded {
+            "x9-server-threaded"
+        } else {
+            "x9-server"
+        })
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn x9 server");
+    let child_pid = child.id();
+    let mut lines = BufReader::new(child.stdout.take().expect("child stdout")).lines();
+    let addr: std::net::SocketAddr = loop {
+        let line = lines
+            .next()
+            .expect("child printed ADDR")
+            .expect("read child");
+        if let Some(a) = line.strip_prefix("ADDR ") {
+            break a.parse().expect("parse child addr");
+        }
+    };
+
+    let mut g = MtypeGraph::new();
+    let i = g.integer(IntRange::signed_bits(64));
+    let rec = g.record(vec![i]);
+    let graph = Arc::new(g);
+
+    let (client_rss_0, _) = proc_status(std::process::id());
+    let (server_rss_0, server_threads_0) = proc_status(child_pid);
+
+    // Phase 1: establish `conns` concurrent connections.
+    let t = Instant::now();
+    let pool: Vec<Arc<MultiplexedConnection>> = (0..conns)
+        .map(|_| Arc::new(MultiplexedConnection::connect(addr).expect("connect")))
+        .collect();
+    let connect_s = t.elapsed().as_secs_f64();
+    // Let the server-side registrations and thread spawns settle.
+    std::thread::sleep(std::time::Duration::from_millis(if threaded {
+        500
+    } else {
+        200
+    }));
+    let (client_rss_held, client_threads_held) = proc_status(std::process::id());
+    let (server_rss_held, server_threads_held) = proc_status(child_pid);
+
+    // Phase 2: fan-in — every shard thread walks its own slice of the
+    // pool, one echo round trip per visited connection, so many
+    // distinct sockets carry traffic at once.
+    let t = Instant::now();
+    let lat_handles: Vec<_> = (0..threads)
+        .map(|shard| {
+            let pool = pool.clone();
+            let graph = graph.clone();
+            std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(calls_per_thread);
+                for k in 0..calls_per_thread {
+                    let conn = &pool[(shard + k * threads) % pool.len()];
+                    let mut w = CdrWriter::new(Endian::Little);
+                    w.put_value(&graph, rec, &MValue::Record(vec![MValue::Int(k as i128)]))
+                        .unwrap();
+                    let req = mockingbird::wire::Message::request(
+                        k as u32,
+                        true,
+                        b"echo".to_vec(),
+                        "echo",
+                        Endian::Little,
+                        w.into_bytes(),
+                    );
+                    let t = Instant::now();
+                    conn.call(&req).expect("echo").expect("reply");
+                    lat.push(t.elapsed());
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut lat: Vec<std::time::Duration> = lat_handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("shard thread"))
+        .collect();
+    let fanin_s = t.elapsed().as_secs_f64();
+    lat.sort();
+    let q = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize].as_secs_f64() * 1e3;
+    let (p50, p99) = (q(0.50), q(0.99));
+
+    // Phase 3: close everything; both sides must return to baseline.
+    let t = Instant::now();
+    drop(pool);
+    let close_s = t.elapsed().as_secs_f64();
+    std::thread::sleep(std::time::Duration::from_millis(500));
+    let (client_rss_after, _) = proc_status(std::process::id());
+    let (server_rss_after, server_threads_after) = proc_status(child_pid);
+
+    drop(child.stdin.take()); // EOF: the child shuts down and exits
+    let _ = child.wait();
+
+    println!(
+        "{label:<24} {conns:>6} conns  connect {connect_s:>6.2}s  fan-in {:>6} calls \
+         {fanin_s:>6.2}s  p50 {p50:>7.2}ms  p99 {p99:>8.2}ms",
+        lat.len()
+    );
+    println!(
+        "{:<24} server rss {server_rss_0:>7} -> {server_rss_held:>7} -> {server_rss_after:>7} kB \
+         threads {server_threads_0:>4} -> {server_threads_held:>4} -> {server_threads_after:>4}",
+        ""
+    );
+    println!(
+        "{:<24} client rss {client_rss_0:>7} -> {client_rss_held:>7} -> {client_rss_after:>7} kB \
+         ({client_threads_held} threads while holding; close {close_s:.2}s)",
+        ""
+    );
+
+    Json::obj([
+        ("engine", Json::Str(label.to_string())),
+        ("connections", Json::Int(conns as i128)),
+        ("connect_s", Json::Float(connect_s)),
+        ("fanin_calls", Json::Int(lat.len() as i128)),
+        ("fanin_s", Json::Float(fanin_s)),
+        ("p50_ms", Json::Float(p50)),
+        ("p99_ms", Json::Float(p99)),
+        ("server_rss_held_kb", Json::Int(server_rss_held as i128)),
+        ("server_rss_after_kb", Json::Int(server_rss_after as i128)),
+        (
+            "server_threads_held",
+            Json::Int(server_threads_held as i128),
+        ),
+        (
+            "server_threads_after",
+            Json::Int(server_threads_after as i128),
+        ),
+        ("client_rss_held_kb", Json::Int(client_rss_held as i128)),
+        (
+            "server_kb_per_conn",
+            Json::Float(server_rss_held.saturating_sub(server_rss_0) as f64 / conns as f64),
+        ),
+    ])
+}
+
+fn x9() {
+    use mockingbird::runtime::{Connection, MultiplexedConnection};
+    use mockingbird::stype::json::Json;
+
+    println!("== X9: connection scaling — reactor vs thread-per-connection ==");
+    let quick = std::env::var_os("MB_BENCH_QUICK").is_some();
+    // The reactor holds the headline count; the baseline is capped —
+    // at one-plus threads per connection it would otherwise spawn tens
+    // of thousands of OS threads just to exist.
+    let (reactor_conns, baseline_conns) = if quick { (512, 64) } else { (10_000, 256) };
+    let (threads, calls_per_thread) = if quick { (16, 20) } else { (64, 100) };
+
+    let reactor = x9_pass("reactor", false, reactor_conns, threads, calls_per_thread);
+    let baseline = x9_pass(
+        "thread-per-conn",
+        true,
+        baseline_conns,
+        threads.min(baseline_conns),
+        calls_per_thread,
+    );
+
+    // Churn flatness: open/call/close in a loop against a reactor
+    // server; the client process's thread count must not grow with the
+    // number of connections ever opened.
+    let churn = if quick { 300 } else { 2_000 };
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = std::process::Command::new(exe)
+        .arg("x9-server")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn churn server");
+    let child_pid = child.id();
+    let mut lines = std::io::BufRead::lines(std::io::BufReader::new(
+        child.stdout.take().expect("child stdout"),
+    ));
+    let addr: std::net::SocketAddr = loop {
+        let line = lines
+            .next()
+            .expect("child printed ADDR")
+            .expect("read child");
+        if let Some(a) = line.strip_prefix("ADDR ") {
+            break a.parse().expect("parse child addr");
+        }
+    };
+    let mut g = MtypeGraph::new();
+    let i = g.integer(IntRange::signed_bits(64));
+    let rec = g.record(vec![i]);
+    let graph = Arc::new(g);
+    let call_once = |conn: &MultiplexedConnection, k: u32| {
+        let mut w = CdrWriter::new(Endian::Little);
+        w.put_value(
+            &graph,
+            rec,
+            &MValue::Record(vec![MValue::Int(i128::from(k))]),
+        )
+        .unwrap();
+        let req = mockingbird::wire::Message::request(
+            k,
+            true,
+            b"echo".to_vec(),
+            "echo",
+            Endian::Little,
+            w.into_bytes(),
+        );
+        conn.call(&req).expect("echo").expect("reply");
+    };
+    {
+        let conn = MultiplexedConnection::connect(addr).expect("warmup");
+        call_once(&conn, 0);
+    }
+    let (_, client_threads_before) = proc_status(std::process::id());
+    let t = Instant::now();
+    for k in 0..churn {
+        let conn = MultiplexedConnection::connect(addr).expect("churn connect");
+        call_once(&conn, k);
+    }
+    let churn_s = t.elapsed().as_secs_f64();
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let (_, client_threads_after) = proc_status(std::process::id());
+    let (server_rss_churned, server_threads_churned) = proc_status(child_pid);
+    drop(child.stdin.take());
+    let _ = child.wait();
+    println!(
+        "churn ({churn} open/call/close): {churn_s:.2}s; client threads \
+         {client_threads_before} -> {client_threads_after}; \
+         server after churn: {server_rss_churned} kB rss, {server_threads_churned} threads"
+    );
+
+    let json = Json::obj([
+        ("reactor", reactor),
+        ("thread_per_connection", baseline),
+        (
+            "churn",
+            Json::obj([
+                ("iterations", Json::Int(i128::from(churn))),
+                ("seconds", Json::Float(churn_s)),
+                (
+                    "client_threads_before",
+                    Json::Int(i128::from(client_threads_before)),
+                ),
+                (
+                    "client_threads_after",
+                    Json::Int(i128::from(client_threads_after)),
+                ),
+                (
+                    "server_rss_after_kb",
+                    Json::Int(i128::from(server_rss_churned)),
+                ),
+                (
+                    "server_threads_after",
+                    Json::Int(i128::from(server_threads_churned)),
+                ),
+            ]),
+        ),
+    ]);
+    std::fs::write("BENCH_reactor.json", json.pretty() + "\n").expect("write BENCH_reactor.json");
+    println!("wrote BENCH_reactor.json");
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden child-process modes for X9 (each side of the scaling
+    // experiment needs its own fd budget).
+    if args.first().map(String::as_str) == Some("x9-server") {
+        return x9_server(false);
+    }
+    if args.first().map(String::as_str) == Some("x9-server-threaded") {
+        return x9_server(true);
+    }
     let want = |k: &str| args.is_empty() || args.iter().any(|a| a == k);
     if want("t1") {
         t1();
@@ -1122,5 +1466,8 @@ fn main() {
     }
     if want("x8") {
         x8();
+    }
+    if want("x9") {
+        x9();
     }
 }

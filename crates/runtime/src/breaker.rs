@@ -22,6 +22,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::metrics::MetricsRegistry;
+use crate::sync::LockExt;
 
 /// The breaker's position in the closed → open → half-open cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,19 +140,19 @@ impl CircuitBreaker {
     /// The current state (an open breaker past its cooldown still reads
     /// `Open` until an [`allow`](Self::allow) probe promotes it).
     pub fn state(&self) -> BreakerState {
-        self.inner.lock().unwrap().state
+        self.inner.plock().state
     }
 
     /// The breaker's transition counters.
     pub fn transitions(&self) -> BreakerTransitions {
-        self.inner.lock().unwrap().transitions
+        self.inner.plock().transitions
     }
 
     /// Whether a call may proceed now. An open breaker whose cooldown
     /// has elapsed transitions to half-open and admits the call as a
     /// probe.
     pub fn allow(&self) -> bool {
-        let mut st = self.inner.lock().unwrap();
+        let mut st = self.inner.plock();
         match st.state {
             BreakerState::Closed | BreakerState::HalfOpen => true,
             BreakerState::Open => {
@@ -173,7 +174,7 @@ impl CircuitBreaker {
 
     /// Records a successful call.
     pub fn record_success(&self) {
-        let mut st = self.inner.lock().unwrap();
+        let mut st = self.inner.plock();
         st.consecutive = 0;
         Self::push(&mut st, self.cfg.window, false);
         if st.state == BreakerState::HalfOpen {
@@ -191,7 +192,7 @@ impl CircuitBreaker {
 
     /// Records a failed call (transport error, timeout, overload).
     pub fn record_failure(&self) {
-        let mut st = self.inner.lock().unwrap();
+        let mut st = self.inner.plock();
         st.consecutive = st.consecutive.saturating_add(1);
         Self::push(&mut st, self.cfg.window, true);
         let trip = match st.state {

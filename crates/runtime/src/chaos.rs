@@ -25,6 +25,7 @@ use mockingbird_wire::Message;
 use crate::error::RuntimeError;
 use crate::metrics::MetricsRegistry;
 use crate::options::CallOptions;
+use crate::sync::LockExt;
 use crate::transport::Connection;
 
 /// One injected fault.
@@ -107,6 +108,36 @@ impl ChaosConfig {
             + self.truncate_rate
             + self.corrupt_rate
             + self.disconnect_rate
+    }
+}
+
+/// Applies a fault directly to an encoded wire frame, seeded so the
+/// same `(fault, seed)` pair always damages the same bytes. The
+/// reactor's frame state machines are tested against frames mangled by
+/// this helper: truncation must surface as a mid-frame close, byte
+/// corruption as a protocol error or a parseable-but-wrong frame —
+/// never a panic or an oversized allocation.
+///
+/// `Delay` and `Disconnect` are timing faults with no byte-level
+/// counterpart; they leave the frame untouched.
+pub fn wire_fault(frame: &mut Vec<u8>, fault: Fault, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match fault {
+        Fault::Drop => frame.clear(),
+        Fault::Truncate => {
+            if !frame.is_empty() {
+                let keep = rng.gen_range(0..frame.len() as u64) as usize;
+                frame.truncate(keep);
+            }
+        }
+        Fault::Corrupt => {
+            if !frame.is_empty() {
+                let at = rng.gen_range(0..frame.len() as u64) as usize;
+                let bit = rng.gen_range(0..8u64) as u8;
+                frame[at] ^= 1 << bit;
+            }
+        }
+        Fault::Delay(_) | Fault::Disconnect => {}
     }
 }
 
@@ -230,7 +261,7 @@ impl ChaosConnection {
 
     /// Every fault injected so far, in call order.
     pub fn trace(&self) -> Vec<FaultRecord> {
-        self.trace.lock().unwrap().clone()
+        self.trace.plock().clone()
     }
 
     /// Calls attempted through this connection (faulted or not).
@@ -255,11 +286,11 @@ impl Connection for ChaosConnection {
             ));
         }
         let call = self.calls.fetch_add(1, Ordering::SeqCst);
-        let fault = self.schedule.lock().unwrap().next_fault();
+        let fault = self.schedule.plock().next_fault();
         let Some(fault) = fault else {
             return self.inner.call_with(msg, options);
         };
-        self.trace.lock().unwrap().push(FaultRecord { call, fault });
+        self.trace.plock().push(FaultRecord { call, fault });
         self.metrics.add_fault_injected();
         match fault {
             Fault::Drop => Err(RuntimeError::Transport(

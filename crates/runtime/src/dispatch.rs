@@ -15,6 +15,7 @@ use mockingbird_obs::{SpanKind, SpanRecord};
 
 use crate::error::RuntimeError;
 use crate::metrics::MetricsRegistry;
+use crate::sync::RwLockExt;
 
 /// An invocable object: receives its inputs as a `Record` value and
 /// returns its outputs as a `Record` value (the `I`/`O` of the paper's
@@ -320,24 +321,23 @@ impl Dispatcher {
             op.attach_metrics(&self.metrics);
         }
         self.servants
-            .write()
-            .unwrap()
+            .pwrite()
             .insert(object_key.into(), Arc::new(servant));
     }
 
     /// Removes a servant; returns whether one was registered.
     pub fn unregister(&self, object_key: &[u8]) -> bool {
-        self.servants.write().unwrap().remove(object_key).is_some()
+        self.servants.pwrite().remove(object_key).is_some()
     }
 
     /// Number of registered servants.
     pub fn len(&self) -> usize {
-        self.servants.read().unwrap().len()
+        self.servants.pread().len()
     }
 
     /// Whether no servants are registered.
     pub fn is_empty(&self) -> bool {
-        self.servants.read().unwrap().is_empty()
+        self.servants.pread().is_empty()
     }
 
     /// A fingerprint over every registered servant's operation table
@@ -346,8 +346,7 @@ impl Dispatcher {
     /// declaration pair.
     pub fn interface_fingerprint(&self) -> u128 {
         self.servants
-            .read()
-            .unwrap()
+            .pread()
             .values()
             .fold(0u128, |acc, s| acc.wrapping_add(s.interface_fingerprint()))
     }
@@ -365,19 +364,34 @@ impl Dispatcher {
             // A stray Reply: nothing to do.
             return None;
         };
-        let servant = self
-            .servants
-            .read()
-            .unwrap()
-            .get(object_key.as_slice())
-            .cloned();
+        let servant = self.servants.pread().get(object_key.as_slice()).cloned();
         let start = std::time::Instant::now();
         let fused = servant
             .as_ref()
             .and_then(|s| s.op(operation))
             .is_some_and(|op| op.is_fused(op.args_ty) && op.is_fused(op.result_ty));
         let outcome = match servant {
-            Some(s) => s.handle(operation, &msg.body, msg.endian),
+            // Contain handler panics at the dispatch boundary: the
+            // panicking call gets a SystemException reply and every
+            // other connection (and this worker) keeps serving, instead
+            // of the worker dying and poisoning shared locks.
+            Some(s) => {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    s.handle(operation, &msg.body, msg.endian)
+                })) {
+                    Ok(result) => result,
+                    Err(payload) => {
+                        let what = payload
+                            .downcast_ref::<&str>()
+                            .map(ToString::to_string)
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "opaque panic payload".into());
+                        Err(RuntimeError::Protocol(format!(
+                            "servant panicked handling {operation}: {what}"
+                        )))
+                    }
+                }
+            }
             None => Err(RuntimeError::UnknownObject(
                 String::from_utf8_lossy(object_key).into_owned(),
             )),

@@ -9,7 +9,12 @@
 //!   tables, and the GIOP request dispatcher;
 //! - [`transport`] — connections carrying framed messages: an in-memory
 //!   loopback (marshalling without sockets) and a real TCP transport
-//!   with a listener thread per server;
+//!   whose sockets are driven by the [`reactor`];
+//! - [`reactor`] — the nonblocking readiness loop behind the TCP
+//!   transport: resumable frame state machines, a waiter table keyed
+//!   by request id, and a hashed deadline wheel for per-call timeouts;
+//! - [`sync`] — poison-recovering lock accessors, so one panicking
+//!   worker cannot cascade `PoisonError` panics across connections;
 //! - [`node`] — a `Node` owns a dispatcher, a port table for the Port
 //!   Mtype ("addresses to which values may be sent", §3.3), and
 //!   messaging endpoints for send/receive stubs (the §5 collaboration
@@ -35,6 +40,8 @@ pub mod node;
 pub mod options;
 pub mod pool;
 pub mod proxy;
+pub mod reactor;
+pub mod sync;
 pub mod transport;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
@@ -46,6 +53,8 @@ pub use node::{Node, PortHandler};
 pub use options::{CallOptions, HedgePolicy, RetryPolicy};
 pub use pool::{BufferPool, ConnectionPool, Connector, PoolBuilder, RequestEncoder};
 pub use proxy::RemoteRef;
+pub use reactor::{DeadlineWheel, FrameReader, FrameWriter};
+pub use sync::{LockExt, RwLockExt};
 pub use transport::{
     Connection, InMemoryConnection, MultiplexedConnection, ServerConfig, TcpConnection, TcpServer,
 };

@@ -20,6 +20,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
+use crate::sync::RwLockExt;
+
 /// The process-wide counter set.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -413,8 +415,8 @@ impl MetricsRegistry {
     /// Zeroes the counters and drops all histograms and spans.
     pub fn reset(&self) {
         self.counters.reset();
-        self.client_ops.write().unwrap().clear();
-        self.server_ops.write().unwrap().clear();
+        self.client_ops.pwrite().clear();
+        self.server_ops.pwrite().clear();
         self.spans.clear();
     }
 
@@ -440,10 +442,10 @@ impl MetricsRegistry {
     }
 
     fn histogram(map: &RwLock<HashMap<String, Arc<Histogram>>>, op: &str) -> Arc<Histogram> {
-        if let Some(h) = map.read().unwrap().get(op) {
+        if let Some(h) = map.pread().get(op) {
             return Arc::clone(h);
         }
-        let mut w = map.write().unwrap();
+        let mut w = map.pwrite();
         Arc::clone(w.entry(op.to_string()).or_default())
     }
 
@@ -485,8 +487,7 @@ impl MetricsRegistry {
         map: &RwLock<HashMap<String, Arc<Histogram>>>,
     ) -> Vec<(String, HistogramSnapshot)> {
         let mut v: Vec<_> = map
-            .read()
-            .unwrap()
+            .pread()
             .iter()
             .map(|(k, h)| (k.clone(), h.snapshot()))
             .collect();

@@ -10,6 +10,7 @@ use mockingbird_values::{MValue, PortRef};
 
 use crate::dispatch::{Dispatcher, Servant, WireOp, WireServant};
 use crate::error::RuntimeError;
+use crate::sync::RwLockExt;
 
 /// A handler receiving values sent to a port.
 pub trait PortHandler: Send + Sync {
@@ -75,10 +76,10 @@ impl Node {
 
     /// Registers a port handler, returning the new port's reference.
     pub fn register_port(&self, handler: Arc<dyn PortHandler>) -> PortRef {
-        let mut next = self.next_port.write().unwrap();
+        let mut next = self.next_port.pwrite();
         let id = *next;
         *next += 1;
-        self.ports.write().unwrap().insert(id, handler);
+        self.ports.pwrite().insert(id, handler);
         PortRef(id)
     }
 
@@ -103,8 +104,7 @@ impl Node {
     pub fn send(&self, port: PortRef, value: MValue) -> Result<(), RuntimeError> {
         let handler = self
             .ports
-            .read()
-            .unwrap()
+            .pread()
             .get(&port.0)
             .cloned()
             .ok_or_else(|| RuntimeError::UnknownObject(port.to_string()))?;
@@ -113,12 +113,12 @@ impl Node {
 
     /// Closes a port; returns whether it existed.
     pub fn close_port(&self, port: PortRef) -> bool {
-        self.ports.write().unwrap().remove(&port.0).is_some()
+        self.ports.pwrite().remove(&port.0).is_some()
     }
 
     /// Number of open ports.
     pub fn open_ports(&self) -> usize {
-        self.ports.read().unwrap().len()
+        self.ports.pread().len()
     }
 }
 

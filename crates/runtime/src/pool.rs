@@ -36,6 +36,7 @@ use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::error::RuntimeError;
 use crate::metrics::MetricsRegistry;
 use crate::options::{CallOptions, HedgePolicy};
+use crate::sync::LockExt;
 use crate::transport::{Connection, MultiplexedConnection};
 
 /// Buffers kept per pool; overflow is simply dropped (freed).
@@ -69,7 +70,7 @@ impl BufferPool {
 
     /// Checks out a cleared buffer, reusing a warmed one when available.
     pub fn get(&self) -> Vec<u8> {
-        match self.free.lock().unwrap().pop() {
+        match self.free.plock().pop() {
             Some(buf) => {
                 if let Some(m) = &self.metrics {
                     m.add_pool_reuse();
@@ -92,7 +93,7 @@ impl BufferPool {
             return;
         }
         buf.clear();
-        let mut free = self.free.lock().unwrap();
+        let mut free = self.free.plock();
         if free.len() < MAX_POOLED_BUFFERS {
             free.push(buf);
         }
@@ -100,7 +101,7 @@ impl BufferPool {
 
     /// Buffers currently resting in the pool.
     pub fn idle(&self) -> usize {
-        self.free.lock().unwrap().len()
+        self.free.plock().len()
     }
 
     /// Checks out a [`RequestEncoder`]: a CDR writer over a pooled
@@ -205,7 +206,7 @@ impl PoolCore {
     fn checkout_at(&self, endpoint: usize) -> Result<Arc<dyn Connection>, RuntimeError> {
         let ep = &self.endpoints[endpoint];
         let idx = ep.next.fetch_add(1, Ordering::Relaxed) % ep.slots.len();
-        let mut slot = ep.slots[idx].lock().unwrap();
+        let mut slot = ep.slots[idx].plock();
         if let Some(conn) = slot.as_ref() {
             if conn.healthy() {
                 return Ok(conn.clone());
@@ -299,7 +300,7 @@ impl PoolCore {
 
     fn invalidate(&self, endpoint: usize, conn: &Arc<dyn Connection>) {
         for slot in &self.endpoints[endpoint].slots {
-            let mut guard = slot.lock().unwrap();
+            let mut guard = slot.plock();
             if guard.as_ref().is_some_and(|c| Arc::ptr_eq(c, conn)) {
                 *guard = None;
             }
@@ -307,7 +308,7 @@ impl PoolCore {
     }
 
     fn record_latency(&self, d: Duration) {
-        let mut l = self.latencies.lock().unwrap();
+        let mut l = self.latencies.plock();
         if l.len() == LATENCY_WINDOW {
             l.pop_front();
         }
@@ -316,7 +317,7 @@ impl PoolCore {
 
     /// The 95th-percentile successful-call latency, if any history.
     fn p95(&self) -> Option<Duration> {
-        let l = self.latencies.lock().unwrap();
+        let l = self.latencies.plock();
         if l.is_empty() {
             return None;
         }
@@ -340,7 +341,7 @@ impl PoolCore {
                     // Park the probe connection in an empty slot rather
                     // than wasting the dial.
                     for slot in &self.endpoints[idx].slots {
-                        let mut guard = slot.lock().unwrap();
+                        let mut guard = slot.plock();
                         if guard.is_none() {
                             *guard = Some(conn);
                             break;
@@ -773,7 +774,7 @@ mod tests {
         assert!(pool.core.endpoints[0]
             .slots
             .iter()
-            .all(|s| s.lock().unwrap().is_some()));
+            .all(|s| s.plock().is_some()));
         server.shutdown();
     }
 

@@ -7,18 +7,29 @@
 //!   socket noise);
 //! - [`TcpConnection`] — a serial socket: one in-flight request at a
 //!   time, the stream lock held across the write/read exchange;
-//! - [`MultiplexedConnection`] — a shared socket: writers interleave
-//!   requests under a write lock, a single reader thread demultiplexes
-//!   replies to per-request waiters by GIOP request id, so N threads
-//!   pipeline calls over one connection.
+//! - [`MultiplexedConnection`] — a shared socket driven by the
+//!   process-wide [`reactor`](crate::reactor): writers queue frames on
+//!   the reactor's per-connection write state machine, the reactor
+//!   demultiplexes replies to per-request waiter slots by GIOP request
+//!   id and unparks exactly the waiting thread, so N threads pipeline
+//!   calls over one connection without a reader thread per socket.
 //!
 //! Per-call deadlines arrive via [`CallOptions`]: the serial transport
-//! maps them onto socket read timeouts, the multiplexed transport onto
-//! waiter timeouts (its reader thread never blocks on a single call).
+//! maps them onto socket read timeouts scoped to the call, the
+//! multiplexed transport onto reactor deadline-wheel entries — per-call
+//! state, never a mutation of the shared socket, so concurrent calls
+//! cannot observe each other's timeouts.
+//!
+//! [`TcpServer`] defaults to the same reactor architecture: an
+//! acceptor thread registers sockets with a per-server reactor, frames
+//! pass admission control into a bounded dispatch queue, and a fixed
+//! worker pool sends replies back through the reactor. The legacy
+//! thread-per-connection engine remains available via
+//! [`ServerConfig::thread_per_connection`] as the scaling baseline.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::io::{Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -33,6 +44,10 @@ use crate::dispatch::Dispatcher;
 use crate::error::RuntimeError;
 use crate::metrics::MetricsRegistry;
 use crate::options::CallOptions;
+use crate::reactor::{
+    client_reactor, spawn_reactor, Command, MuxCore, ReactorHandle, ServerCtx, ServerJob, Slot,
+};
+use crate::sync::{cv_wait, LockExt};
 
 /// How long a client waits for the peer's half of the connect-time
 /// handshake before declaring the connection broken.
@@ -45,9 +60,9 @@ const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
 /// sides fall back to the interpretive path while the nominal types
 /// still line up).
 ///
-/// Runs serially on the raw stream *before* any multiplexing machinery
-/// starts, so no request can cross a connection whose declarations were
-/// never checked.
+/// Runs serially on the raw (still-blocking) stream *before* the
+/// reactor adopts it, so no request can cross a connection whose
+/// declarations were never checked.
 fn client_handshake(
     stream: &mut TcpStream,
     info: &HandshakeInfo,
@@ -191,6 +206,9 @@ fn is_timeout(e: &std::io::Error) -> bool {
 /// pin a reader that is polling with a short timeout.
 const MID_FRAME_PATIENCE: u32 = 40;
 
+/// Reads one frame from a blocking stream (serial transport, handshake,
+/// and the thread-per-connection server baseline; the reactor paths use
+/// [`crate::reactor::FrameReader`] instead).
 fn read_frame(
     stream: &mut TcpStream,
     metrics: &MetricsRegistry,
@@ -337,6 +355,11 @@ impl TcpConnection {
     }
 }
 
+/// Stale replies (left over from calls a previous exchange abandoned on
+/// timeout) a serial connection will skip before giving up on finding
+/// its own.
+const STALE_REPLY_PATIENCE: u32 = 32;
+
 impl Connection for TcpConnection {
     fn call(&self, msg: &Message) -> Result<Option<Message>, RuntimeError> {
         self.call_with(msg, &CallOptions::default())
@@ -347,28 +370,49 @@ impl Connection for TcpConnection {
         msg: &Message,
         options: &CallOptions,
     ) -> Result<Option<Message>, RuntimeError> {
-        let mut stream = self.stream.lock().unwrap();
+        let mut stream = self.stream.plock();
         write_frame(&mut stream, msg, &self.metrics)?;
-        let expects_reply = matches!(
-            msg.kind,
-            MessageKind::Request {
-                response_expected: true,
-                ..
-            }
-        );
-        if !expects_reply {
+        let MessageKind::Request {
+            request_id: caller_id,
+            response_expected,
+            ..
+        } = msg.kind
+        else {
+            return Ok(None);
+        };
+        if !response_expected {
             return Ok(None);
         }
-        // The deadline becomes a socket read timeout for this exchange.
-        if let Some(d) = options.deadline {
-            stream
-                .set_read_timeout(Some(d.max(Duration::from_millis(1))))
-                .ok();
-        }
-        let outcome = read_frame(&mut stream, &self.metrics);
-        if options.deadline.is_some() {
-            stream.set_read_timeout(None).ok();
-        }
+        // The deadline becomes a socket read timeout scoped to this
+        // exchange. Every call sets its own value (including `None`),
+        // so no call can inherit the previous caller's deadline.
+        stream
+            .set_read_timeout(options.deadline.map(|d| d.max(Duration::from_millis(1))))
+            .ok();
+        let mut stale = 0u32;
+        let outcome = loop {
+            match read_frame(&mut stream, &self.metrics) {
+                Ok(Some(reply)) => {
+                    // A reply whose id does not match this exchange is
+                    // a leftover from a call that timed out earlier on
+                    // this socket: drop it and keep reading, instead of
+                    // handing the wrong payload to this caller.
+                    match reply.kind {
+                        MessageKind::Reply { request_id, .. } if request_id != caller_id => {
+                            stale += 1;
+                            if stale > STALE_REPLY_PATIENCE {
+                                break Err(RuntimeError::Protocol(
+                                    "flooded with unmatched replies".into(),
+                                ));
+                            }
+                        }
+                        _ => break Ok(Some(reply)),
+                    }
+                }
+                other => break other,
+            }
+        };
+        stream.set_read_timeout(None).ok();
         match outcome {
             Ok(Some(reply)) => Ok(Some(reply)),
             Ok(None) => Err(RuntimeError::Transport(
@@ -394,51 +438,48 @@ impl Connection for TcpConnection {
     }
 }
 
-/// What a multiplexed waiter slot holds while its call is in flight.
-enum Slot {
-    /// The reply has not arrived yet.
-    Waiting,
-    /// The reader thread delivered the reply (still carrying the
-    /// connection-unique wire id).
-    Ready(Message),
-    /// The connection failed before the reply arrived.
-    Failed(RuntimeError),
-}
+/// How long a parked waiter sleeps between slot re-checks when no
+/// unpark arrives. A backstop only: replies, failures, and deadline
+/// expiries all unpark the exact waiter immediately.
+const WAITER_BACKSTOP: Duration = Duration::from_millis(50);
 
-struct MuxState {
-    /// In-flight calls keyed by connection-unique request id.
-    pending: HashMap<u32, Slot>,
-    /// Set once when the stream breaks; later calls fail fast.
-    dead: Option<RuntimeError>,
-}
+/// Extra slack past a call's deadline before the waiter concludes the
+/// reactor's deadline wheel is not coming and times the call out
+/// locally (defence against a wedged reactor thread).
+const TIMEOUT_GRACE: Duration = Duration::from_millis(250);
 
 /// A multiplexed TCP client connection: many threads share one socket.
 ///
-/// Writers serialise frame writes under a lock, stamping each request
-/// with a connection-unique id; one reader thread demultiplexes replies
-/// back to per-request waiter slots. The caller's own request id is
-/// restored on the reply, so [`RemoteRef`](crate::proxy::RemoteRef)'s
-/// correlation check is oblivious to the rewrite.
+/// The process-wide reactor owns the socket. Callers stamp each request
+/// with a connection-unique id, register a waiter slot, hand the
+/// encoded frame to the reactor, and park; the reactor's read state
+/// machine demultiplexes replies back to slots and unparks exactly the
+/// owning thread. The caller's own request id is restored on the
+/// reply, so [`RemoteRef`](crate::proxy::RemoteRef)'s correlation check
+/// is oblivious to the rewrite.
 ///
-/// Deadlines are enforced at the waiter (condvar timeout), never on the
-/// socket: one slow call cannot stall the others, and a reply that
-/// arrives after its waiter gave up is dropped.
+/// Deadlines are entries on the reactor's deadline wheel — per-call
+/// state, never socket state: one slow call cannot stall the others,
+/// concurrent calls cannot observe each other's timeouts, and a reply
+/// that arrives after its waiter gave up is dropped.
+///
+/// Connection death is broadcast synchronously: the reactor fails every
+/// registered waiter under the same lock new waiters register under,
+/// so no call can slip into the gap between a write failure and the
+/// failure broadcast and hang.
 pub struct MultiplexedConnection {
-    writer: Mutex<TcpStream>,
-    state: Arc<(Mutex<MuxState>, Condvar)>,
+    reactor: ReactorHandle,
+    conn_id: u64,
+    core: Arc<MuxCore>,
     ids: RequestIds,
-    closed: Arc<AtomicBool>,
-    reader: Mutex<Option<JoinHandle<()>>>,
+    closed: AtomicBool,
     fused: bool,
     metrics: Arc<MetricsRegistry>,
 }
 
-/// How often the demultiplexing reader thread wakes to notice shutdown.
-const READER_POLL: Duration = Duration::from_millis(50);
-
 impl MultiplexedConnection {
-    /// Connects to a [`TcpServer`] without a handshake and starts the
-    /// reader thread.
+    /// Connects to a [`TcpServer`] without a handshake and registers
+    /// the socket with the process-wide reactor.
     ///
     /// # Errors
     ///
@@ -448,8 +489,8 @@ impl MultiplexedConnection {
     }
 
     /// Connects to a [`TcpServer`], performing the fingerprint handshake
-    /// when `handshake` is given — serially, before the reader thread
-    /// starts multiplexing — then starts the reader thread.
+    /// when `handshake` is given — serially, on the still-blocking
+    /// stream, before the reactor adopts it.
     ///
     /// # Errors
     ///
@@ -481,65 +522,21 @@ impl MultiplexedConnection {
             Some(info) => client_handshake(&mut stream, info, &metrics)?,
             None => true,
         };
-        let mut reader_stream = stream
-            .try_clone()
-            .map_err(|e| RuntimeError::Transport(e.to_string()))?;
-        reader_stream.set_read_timeout(Some(READER_POLL)).ok();
-
-        let state: Arc<(Mutex<MuxState>, Condvar)> = Arc::new((
-            Mutex::new(MuxState {
-                pending: HashMap::new(),
-                dead: None,
-            }),
-            Condvar::new(),
-        ));
-        let closed = Arc::new(AtomicBool::new(false));
-
-        let thread_state = state.clone();
-        let thread_closed = closed.clone();
-        let thread_metrics = Arc::clone(&metrics);
-        let reader = std::thread::spawn(move || loop {
-            match read_frame(&mut reader_stream, &thread_metrics) {
-                Ok(Some(reply)) => {
-                    let MessageKind::Reply { request_id, .. } = reply.kind else {
-                        continue; // clients only expect replies
-                    };
-                    let (lock, cv) = &*thread_state;
-                    let mut st = lock.lock().unwrap();
-                    // An absent slot means the waiter timed out and
-                    // abandoned the call: drop the late reply.
-                    if let Some(slot) = st.pending.get_mut(&request_id) {
-                        *slot = Slot::Ready(reply);
-                        cv.notify_all();
-                    }
-                }
-                Ok(None) => {
-                    fail_all(
-                        &thread_state,
-                        RuntimeError::Transport("server closed the connection".into()),
-                    );
-                    break;
-                }
-                Err(RuntimeError::Timeout(_)) => {
-                    if thread_closed.load(Ordering::SeqCst) {
-                        break;
-                    }
-                }
-                Err(e) => {
-                    if !thread_closed.load(Ordering::SeqCst) {
-                        fail_all(&thread_state, e);
-                    }
-                    break;
-                }
-            }
-        });
-
+        let reactor = client_reactor().clone();
+        let conn_id = reactor.alloc_id();
+        let core = Arc::new(MuxCore::new());
+        reactor.send(Command::RegisterClient {
+            id: conn_id,
+            stream,
+            core: Arc::clone(&core),
+            metrics: Arc::clone(&metrics),
+        })?;
         Ok(MultiplexedConnection {
-            writer: Mutex::new(stream),
-            state,
+            reactor,
+            conn_id,
+            core,
             ids: RequestIds::new(),
-            closed,
-            reader: Mutex::new(Some(reader)),
+            closed: AtomicBool::new(false),
             fused,
             metrics,
         })
@@ -548,20 +545,25 @@ impl MultiplexedConnection {
     /// Whether the underlying stream is still usable (pools drop dead
     /// connections and reconnect lazily).
     pub fn is_alive(&self) -> bool {
-        !self.closed.load(Ordering::SeqCst) && self.state.0.lock().unwrap().dead.is_none()
+        !self.closed.load(Ordering::SeqCst) && self.core.state.plock().dead.is_none()
     }
-}
 
-fn fail_all(state: &(Mutex<MuxState>, Condvar), err: RuntimeError) {
-    let (lock, cv) = state;
-    let mut st = lock.lock().unwrap();
-    st.dead = Some(err.clone());
-    for slot in st.pending.values_mut() {
-        if matches!(slot, Slot::Waiting) {
-            *slot = Slot::Failed(err.clone());
+    /// Removes a waiter slot this caller registered but can no longer
+    /// wait on.
+    fn abandon(&self, wire_id: u32) {
+        let mut st = self.core.state.plock();
+        if st.pending.remove(&wire_id).is_some() {
+            self.core.in_flight.fetch_sub(1, Ordering::SeqCst);
         }
     }
-    cv.notify_all();
+
+    fn local_timeout(&self, deadline: Option<Duration>) -> RuntimeError {
+        self.metrics.add_timeout();
+        RuntimeError::Timeout(format!(
+            "no reply within {:?}",
+            deadline.unwrap_or_default()
+        ))
+    }
 }
 
 fn with_request_id(msg: &Message, id: u32) -> Message {
@@ -602,54 +604,79 @@ impl Connection for MultiplexedConnection {
         // with its own id counter) may share this socket.
         let wire_id = self.ids.next();
         let rewritten = with_request_id(msg, wire_id);
-        let (lock, cv) = &*self.state;
+        let frame = rewritten.to_bytes();
 
-        if response_expected {
-            let mut st = lock.lock().unwrap();
+        // Register the waiter *before* the frame is submitted: if the
+        // connection dies at any point after this, fail_all resolves
+        // this slot under the registration lock — no gap to hang in.
+        {
+            let mut st = self.core.state.plock();
             if let Some(e) = &st.dead {
                 return Err(e.clone());
             }
-            st.pending.insert(wire_id, Slot::Waiting);
+            if response_expected {
+                st.pending
+                    .insert(wire_id, Slot::Waiting(std::thread::current()));
+                self.core.in_flight.fetch_add(1, Ordering::SeqCst);
+            }
         }
 
-        {
-            let mut w = self.writer.lock().unwrap();
-            if let Err(e) = write_frame(&mut w, &rewritten, &self.metrics) {
-                fail_all(&self.state, e.clone());
-                lock.lock().unwrap().pending.remove(&wire_id);
-                return Err(e);
+        let deadline = options.deadline.map(|d| (wire_id, Instant::now() + d));
+        if let Err(e) = self.reactor.send(Command::Submit {
+            conn: self.conn_id,
+            frame,
+            deadline,
+        }) {
+            if response_expected {
+                self.abandon(wire_id);
             }
+            return Err(e);
         }
         if !response_expected {
             return Ok(None);
         }
 
-        let start = Instant::now();
-        let mut st = lock.lock().unwrap();
+        // Park until the reactor resolves the slot: reply, connection
+        // failure, or deadline-wheel expiry. The grace check below is
+        // a local backstop in case the reactor itself is wedged.
+        let grace = options.deadline.map(|d| Instant::now() + d + TIMEOUT_GRACE);
         loop {
-            match st.pending.get(&wire_id) {
-                Some(Slot::Waiting) => {}
-                Some(_) => break,
-                None => return Err(RuntimeError::Protocol("waiter slot vanished".into())),
-            }
-            match options.deadline {
-                None => st = cv.wait(st).unwrap(),
-                Some(d) => match d.checked_sub(start.elapsed()) {
-                    Some(rem) if rem > Duration::ZERO => {
-                        st = cv.wait_timeout(st, rem).unwrap().0;
+            {
+                let mut st = self.core.state.plock();
+                match st.pending.get(&wire_id) {
+                    Some(Slot::Waiting(_)) => {}
+                    Some(_) => {
+                        let slot = st.pending.remove(&wire_id);
+                        self.core.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        drop(st);
+                        return match slot {
+                            Some(Slot::Ready(reply)) => {
+                                Ok(Some(with_request_id(&reply, caller_id)))
+                            }
+                            Some(Slot::Failed(RuntimeError::Timeout(_))) => {
+                                Err(self.local_timeout(options.deadline))
+                            }
+                            Some(Slot::Failed(e)) => Err(e),
+                            _ => Err(RuntimeError::Protocol("waiter slot vanished".into())),
+                        };
                     }
-                    _ => {
+                    None => {
+                        return Err(RuntimeError::Protocol("waiter slot vanished".into()));
+                    }
+                }
+            }
+            std::thread::park_timeout(WAITER_BACKSTOP);
+            if let Some(g) = grace {
+                if Instant::now() >= g {
+                    let mut st = self.core.state.plock();
+                    if matches!(st.pending.get(&wire_id), Some(Slot::Waiting(_))) {
                         st.pending.remove(&wire_id);
-                        self.metrics.add_timeout();
-                        return Err(RuntimeError::Timeout(format!("no reply within {d:?}")));
+                        self.core.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        drop(st);
+                        return Err(self.local_timeout(options.deadline));
                     }
-                },
+                }
             }
-        }
-        match st.pending.remove(&wire_id) {
-            Some(Slot::Ready(reply)) => Ok(Some(with_request_id(&reply, caller_id))),
-            Some(Slot::Failed(e)) => Err(e),
-            _ => Err(RuntimeError::Protocol("waiter slot vanished".into())),
         }
     }
 
@@ -669,25 +696,24 @@ impl Connection for MultiplexedConnection {
 impl Drop for MultiplexedConnection {
     fn drop(&mut self) {
         self.closed.store(true, Ordering::SeqCst);
-        if let Ok(w) = self.writer.lock() {
-            w.shutdown(Shutdown::Both).ok();
-        }
-        if let Some(t) = self.reader.lock().unwrap().take() {
-            let _ = t.join();
-        }
+        // The reactor prunes the slot and closes the socket; no thread
+        // to join — churn leaves the process thread count flat.
+        let _ = self.reactor.send(Command::Close { conn: self.conn_id });
     }
 }
 
-/// How often per-connection server threads wake to notice shutdown.
+/// How often per-connection server threads wake to notice shutdown
+/// (thread-per-connection engine only).
 const SERVER_POLL: Duration = Duration::from_millis(50);
 
-/// Dispatch workers per server-side connection: how many requests from
-/// one socket make progress concurrently. Multiplexed clients pipeline
-/// in-flight requests; without concurrent dispatch they would serialise
-/// behind each other's service time.
+/// Default dispatch worker count: how many requests make progress
+/// concurrently. Multiplexed clients pipeline in-flight requests;
+/// without concurrent dispatch they would serialise behind each
+/// other's service time.
 const DISPATCH_WORKERS: usize = 4;
 
-/// Server-side tuning: handshake policy and overload limits.
+/// Server-side tuning: handshake policy, overload limits, and engine
+/// selection.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// The server's side of the fingerprint handshake. `None` accepts
@@ -701,8 +727,14 @@ pub struct ServerConfig {
     /// Requests the whole server may have in dispatch at once; beyond
     /// this every connection sheds until workers catch up.
     pub max_in_flight: usize,
-    /// Dispatch workers per connection.
+    /// Dispatch workers: the size of the server-wide pool under the
+    /// reactor engine, or per-connection workers under the
+    /// thread-per-connection engine.
     pub workers: usize,
+    /// Serve with the legacy thread-per-connection engine instead of
+    /// the reactor (the baseline in the connection-scaling
+    /// experiments; costs one OS thread per accepted socket).
+    pub thread_per_connection: bool,
 }
 
 impl Default for ServerConfig {
@@ -712,6 +744,7 @@ impl Default for ServerConfig {
             max_queue: 64,
             max_in_flight: 256,
             workers: DISPATCH_WORKERS,
+            thread_per_connection: false,
         }
     }
 }
@@ -738,24 +771,32 @@ impl ServerConfig {
         self
     }
 
-    /// Sets the dispatch worker count per connection.
+    /// Sets the dispatch worker count.
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
         self
     }
+
+    /// Selects the legacy thread-per-connection engine (the reactor is
+    /// the default).
+    #[must_use]
+    pub fn with_thread_per_connection(mut self, enabled: bool) -> Self {
+        self.thread_per_connection = enabled;
+        self
+    }
 }
 
-/// A closable, bounded queue of frames handed from a connection's read
-/// loop to its dispatch workers.
-struct FrameQueue {
-    state: Mutex<(VecDeque<Message>, bool)>,
+/// A closable, bounded queue handing work from connection read paths to
+/// dispatch workers.
+pub(crate) struct FrameQueue<T> {
+    state: Mutex<(VecDeque<T>, bool)>,
     cv: Condvar,
     cap: usize,
 }
 
-impl FrameQueue {
-    fn new(cap: usize) -> Self {
+impl<T> FrameQueue<T> {
+    pub(crate) fn new(cap: usize) -> Self {
         FrameQueue {
             state: Mutex::new((VecDeque::new(), false)),
             cv: Condvar::new(),
@@ -763,31 +804,32 @@ impl FrameQueue {
         }
     }
 
-    /// Enqueues unless the queue is at capacity; hands the frame back
-    /// on overflow so the caller can shed it. The large `Err` variant is
-    /// the point: the rejected frame is returned by value, not dropped.
+    /// Enqueues unless the queue is at capacity or closed; hands the
+    /// item back on refusal so the caller can shed it. The large `Err`
+    /// variant is the point: the rejected item is returned by value,
+    /// not dropped.
     #[allow(clippy::result_large_err)]
-    fn try_push(&self, msg: Message) -> Result<(), Message> {
-        let mut st = self.state.lock().unwrap();
-        if st.0.len() >= self.cap {
-            return Err(msg);
+    pub(crate) fn try_push(&self, item: T) -> Result<(), T> {
+        let mut st = self.state.plock();
+        if st.1 || st.0.len() >= self.cap {
+            return Err(item);
         }
-        st.0.push_back(msg);
+        st.0.push_back(item);
         drop(st);
         self.cv.notify_one();
         Ok(())
     }
 
-    fn close(&self) {
-        self.state.lock().unwrap().1 = true;
+    pub(crate) fn close(&self) {
+        self.state.plock().1 = true;
         self.cv.notify_all();
     }
 
-    /// Next frame; drains remaining frames after close, then `None` —
+    /// Next item; drains remaining items after close, then `None` —
     /// this drain is what makes [`TcpServer::shutdown`] graceful:
     /// requests already accepted still get their replies.
-    fn pop(&self) -> Option<Message> {
-        let mut st = self.state.lock().unwrap();
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut st = self.state.plock();
         loop {
             if let Some(m) = st.0.pop_front() {
                 return Some(m);
@@ -795,13 +837,14 @@ impl FrameQueue {
             if st.1 {
                 return None;
             }
-            st = self.cv.wait(st).unwrap();
+            st = cv_wait(&self.cv, st);
         }
     }
 }
 
-/// Answers a client's `Hello` on the server side. Returns `false` when
-/// the verdict was `Reject` and the connection must close.
+/// Answers a client's `Hello` on the server side (thread-per-connection
+/// engine). Returns `false` when the verdict was `Reject` and the
+/// connection must close.
 fn serve_hello(
     client: &HandshakeInfo,
     endian: Endian,
@@ -817,7 +860,7 @@ fn serve_hello(
     };
     let reply = Message::hello(mine, verdict, endian);
     {
-        let mut stream = writer.lock().unwrap();
+        let mut stream = writer.plock();
         if write_frame(&mut stream, &reply, metrics).is_err() {
             return false;
         }
@@ -856,7 +899,7 @@ fn shed(msg: &Message, writer: &Mutex<TcpStream>, metrics: &MetricsRegistry) -> 
         msg.endian,
         w.into_bytes(),
     );
-    let mut stream = writer.lock().unwrap();
+    let mut stream = writer.plock();
     write_frame(&mut stream, &reply, metrics).is_ok()
 }
 
@@ -878,7 +921,7 @@ fn serve_connection(
         .set_write_timeout(Some(Duration::from_secs(5)))
         .ok();
     let writer = Arc::new(Mutex::new(write_half));
-    let queue = Arc::new(FrameQueue::new(cfg.max_queue));
+    let queue = Arc::new(FrameQueue::<Message>::new(cfg.max_queue));
     let workers: Vec<_> = (0..cfg.workers.max(1))
         .map(|_| {
             let q = queue.clone();
@@ -892,7 +935,7 @@ fn serve_connection(
                     let reply = d.dispatch(&msg);
                     busy.fetch_sub(1, Ordering::SeqCst);
                     if let Some(reply) = reply {
-                        let mut stream = w.lock().unwrap();
+                        let mut stream = w.plock();
                         if write_frame(&mut stream, &reply, &m).is_err() {
                             break;
                         }
@@ -990,10 +1033,27 @@ fn serve_metrics(listener: TcpListener, registry: Arc<MetricsRegistry>, stop: Ar
     }
 }
 
-/// A TCP server: accepts connections and dispatches each frame through a
-/// [`Dispatcher`], one thread per connection. [`shutdown`] is
-/// deterministic: it joins the accept thread *and* every
-/// per-connection thread.
+/// The serving engine behind a [`TcpServer`].
+enum Engine {
+    /// Acceptor + reactor + bounded worker pool (the default).
+    Reactor {
+        handle: ReactorHandle,
+        reactor_thread: Option<JoinHandle<()>>,
+        queue: Arc<FrameQueue<ServerJob>>,
+        ordered: Arc<FrameQueue<ServerJob>>,
+        workers: Vec<JoinHandle<()>>,
+    },
+    /// One OS thread per accepted socket (scaling baseline).
+    Threaded,
+}
+
+/// A TCP server: accepts connections and dispatches each frame through
+/// a [`Dispatcher`]. By default a single reactor thread owns every
+/// accepted socket and a bounded worker pool drains the dispatch
+/// queue; [`ServerConfig::thread_per_connection`] selects the legacy
+/// one-thread-per-socket engine instead. [`shutdown`] is deterministic
+/// either way: accepted work drains to real replies before the
+/// listener threads are joined.
 ///
 /// Alongside the GIOP listener, every server exposes a metrics listener
 /// on an ephemeral port of the same interface: `/metrics` serves the
@@ -1010,6 +1070,7 @@ pub struct TcpServer {
     accept_thread: Option<JoinHandle<()>>,
     metrics_thread: Option<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    engine: Engine,
 }
 
 impl TcpServer {
@@ -1024,8 +1085,8 @@ impl TcpServer {
     }
 
     /// Binds to `addr` under an explicit [`ServerConfig`]: handshake
-    /// policy, per-connection queue bound, global in-flight cap, and
-    /// dispatch worker count.
+    /// policy, per-connection queue bound, global in-flight cap,
+    /// dispatch worker count, and engine selection.
     ///
     /// # Errors
     ///
@@ -1049,27 +1110,124 @@ impl TcpServer {
             .map_err(|e| RuntimeError::Transport(e.to_string()))?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let flag = shutdown.clone();
-        let threads = conn_threads.clone();
         let config = Arc::new(config);
-        let in_flight = Arc::new(AtomicUsize::new(0));
-        let accept_thread = std::thread::spawn(move || {
-            // The listener unblocks when a shutdown probe connects.
-            for conn in listener.incoming() {
-                if flag.load(Ordering::SeqCst) {
-                    break;
+
+        let (engine, accept_thread) = if config.thread_per_connection {
+            let flag = shutdown.clone();
+            let threads = conn_threads.clone();
+            let cfg = config.clone();
+            let in_flight = Arc::new(AtomicUsize::new(0));
+            let accept_thread = std::thread::spawn(move || {
+                // The listener unblocks when a shutdown probe connects.
+                for conn in listener.incoming() {
+                    if flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    stream.set_nodelay(true).ok();
+                    // Reap finished per-connection threads before
+                    // adding another: under churn the handle list
+                    // stays proportional to *live* connections
+                    // instead of growing without bound.
+                    let finished: Vec<JoinHandle<()>> = {
+                        let mut guard = threads.plock();
+                        let mut live = Vec::with_capacity(guard.len());
+                        let mut done = Vec::new();
+                        for h in guard.drain(..) {
+                            if h.is_finished() {
+                                done.push(h);
+                            } else {
+                                live.push(h);
+                            }
+                        }
+                        *guard = live;
+                        done
+                    };
+                    for h in finished {
+                        let _ = h.join();
+                    }
+                    let d = dispatcher.clone();
+                    let stop = flag.clone();
+                    let cfg = cfg.clone();
+                    let busy = in_flight.clone();
+                    let handle =
+                        std::thread::spawn(move || serve_connection(stream, d, stop, cfg, busy));
+                    threads.plock().push(handle);
                 }
-                let Ok(stream) = conn else { continue };
-                stream.set_nodelay(true).ok();
-                let d = dispatcher.clone();
-                let stop = flag.clone();
-                let cfg = config.clone();
-                let busy = in_flight.clone();
-                let handle =
-                    std::thread::spawn(move || serve_connection(stream, d, stop, cfg, busy));
-                threads.lock().unwrap().push(handle);
-            }
-        });
+            });
+            (Engine::Threaded, accept_thread)
+        } else {
+            let queue = Arc::new(FrameQueue::<ServerJob>::new(usize::MAX));
+            let ordered = Arc::new(FrameQueue::<ServerJob>::new(usize::MAX));
+            let in_flight = Arc::new(AtomicUsize::new(0));
+            let ctx = ServerCtx {
+                cfg: config.clone(),
+                queue: Arc::clone(&queue),
+                ordered: Arc::clone(&ordered),
+                in_flight: Arc::clone(&in_flight),
+                metrics: Arc::clone(&metrics),
+            };
+            let (handle, reactor_thread) = spawn_reactor("mb-reactor-srv", Some(ctx));
+            // The pool drains request/reply work concurrently; one
+            // extra worker drains oneways alone, in receipt order
+            // (their only delivery guarantee — no reply correlates
+            // them for the caller).
+            let sources: Vec<Arc<FrameQueue<ServerJob>>> =
+                std::iter::repeat_with(|| Arc::clone(&queue))
+                    .take(config.workers.max(1))
+                    .chain(std::iter::once(Arc::clone(&ordered)))
+                    .collect();
+            let workers: Vec<JoinHandle<()>> = sources
+                .into_iter()
+                .map(|q| {
+                    let d = dispatcher.clone();
+                    let h = handle.clone();
+                    let busy = Arc::clone(&in_flight);
+                    std::thread::spawn(move || {
+                        while let Some(job) = q.pop() {
+                            job.queued.fetch_sub(1, Ordering::SeqCst);
+                            busy.fetch_add(1, Ordering::SeqCst);
+                            let reply = d.dispatch(&job.msg);
+                            busy.fetch_sub(1, Ordering::SeqCst);
+                            if let Some(reply) = reply {
+                                let _ = h.send(Command::Reply {
+                                    conn: job.conn,
+                                    frame: reply.to_bytes(),
+                                });
+                            }
+                        }
+                    })
+                })
+                .collect();
+            let flag = shutdown.clone();
+            let acceptor_handle = handle.clone();
+            let accept_thread = std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    stream.set_nodelay(true).ok();
+                    if acceptor_handle
+                        .send(Command::RegisterServer { stream })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            });
+            (
+                Engine::Reactor {
+                    handle,
+                    reactor_thread: Some(reactor_thread),
+                    queue,
+                    ordered,
+                    workers,
+                },
+                accept_thread,
+            )
+        };
+
         let metrics_registry = Arc::clone(&metrics);
         let metrics_stop = shutdown.clone();
         let metrics_thread = std::thread::spawn(move || {
@@ -1083,6 +1241,7 @@ impl TcpServer {
             accept_thread: Some(accept_thread),
             metrics_thread: Some(metrics_thread),
             conn_threads,
+            engine,
         })
     }
 
@@ -1103,9 +1262,30 @@ impl TcpServer {
         &self.metrics
     }
 
-    /// Stops accepting, then joins the accept thread and every
-    /// per-connection thread (each polls the shutdown flag between
-    /// frames, so the join is bounded by the poll interval).
+    /// Connections the server currently holds open: reactor slots
+    /// under the default engine (pruned the moment a socket closes),
+    /// live per-connection threads under the baseline engine. A cheap
+    /// RSS proxy for churn and soak tests.
+    pub fn open_connections(&self) -> usize {
+        match &self.engine {
+            Engine::Reactor { handle, .. } => handle.open_conns(),
+            Engine::Threaded => self
+                .conn_threads
+                .plock()
+                .iter()
+                .filter(|h| !h.is_finished())
+                .count(),
+        }
+    }
+
+    /// Stops accepting, then shuts the engine down deterministically.
+    ///
+    /// Reactor engine: reads stop first, then the dispatch queue closes
+    /// and the worker pool drains (accepted requests still get their
+    /// replies), then the reactor flushes pending reply bytes and
+    /// exits. Thread-per-connection engine: joins the accept thread and
+    /// every per-connection thread (each polls the shutdown flag
+    /// between frames, so the join is bounded by the poll interval).
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Probe connections to unblock both accept() loops.
@@ -1117,9 +1297,34 @@ impl TcpServer {
         if let Some(t) = self.metrics_thread.take() {
             let _ = t.join();
         }
-        let handles: Vec<_> = self.conn_threads.lock().unwrap().drain(..).collect();
-        for h in handles {
-            let _ = h.join();
+        match &mut self.engine {
+            Engine::Reactor {
+                handle,
+                reactor_thread,
+                queue,
+                ordered,
+                workers,
+            } => {
+                // Phase one: no new frames enter the queues.
+                let _ = handle.send(Command::StopReading);
+                // Phase two: drain accepted work through the workers.
+                queue.close();
+                ordered.close();
+                for w in workers.drain(..) {
+                    let _ = w.join();
+                }
+                // Phase three: flush replies, close sockets, exit.
+                let _ = handle.send(Command::Drain);
+                if let Some(t) = reactor_thread.take() {
+                    let _ = t.join();
+                }
+            }
+            Engine::Threaded => {
+                let handles: Vec<_> = self.conn_threads.plock().drain(..).collect();
+                for h in handles {
+                    let _ = h.join();
+                }
+            }
         }
     }
 }
@@ -1141,6 +1346,7 @@ mod tests {
     use mockingbird_wire::{CdrReader, CdrWriter, ReplyStatus};
     use std::collections::HashMap;
     use std::io::Write;
+    use std::net::Shutdown;
 
     fn adder_dispatcher() -> (
         Arc<Dispatcher>,
@@ -1203,6 +1409,45 @@ mod tests {
         };
         let MValue::Int(v) = items[0] else { panic!() };
         v
+    }
+
+    /// A dispatcher whose single op sleeps `ms` then echoes.
+    fn sleepy_dispatcher(
+        ms: u64,
+    ) -> (Arc<Dispatcher>, Arc<MtypeGraph>, mockingbird_mtype::MtypeId) {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(64));
+        let rec = g.record(vec![i]);
+        let graph = Arc::new(g);
+        let servant: Arc<dyn Servant> = Arc::new(move |_: &str, v: MValue| {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(v)
+        });
+        let mut ops = HashMap::new();
+        ops.insert("echo".to_string(), WireOp::new(graph.clone(), rec, rec));
+        let d = Arc::new(Dispatcher::new());
+        d.register(b"slow".to_vec(), WireServant::new(servant, ops));
+        (d, graph, rec)
+    }
+
+    fn echo_request(
+        graph: &MtypeGraph,
+        rec: mockingbird_mtype::MtypeId,
+        object: &[u8],
+        id: u32,
+        v: i64,
+    ) -> Message {
+        let mut w = CdrWriter::new(Endian::Little);
+        w.put_value(graph, rec, &MValue::Record(vec![MValue::Int(v as i128)]))
+            .unwrap();
+        Message::request(
+            id,
+            true,
+            object.to_vec(),
+            "echo",
+            Endian::Little,
+            w.into_bytes(),
+        )
     }
 
     #[test]
@@ -1351,7 +1596,7 @@ mod tests {
             start.elapsed() < Duration::from_secs(5),
             "shutdown joined promptly"
         );
-        assert!(server.conn_threads.lock().unwrap().is_empty());
+        assert!(server.conn_threads.plock().is_empty());
     }
 
     #[test]
@@ -1487,35 +1732,13 @@ mod tests {
 
     #[test]
     fn shutdown_drains_accepted_work() {
-        // A slow servant: accepted requests take 150 ms to answer.
-        let mut g = MtypeGraph::new();
-        let i = g.integer(IntRange::signed_bits(64));
-        let rec = g.record(vec![i]);
-        let graph = Arc::new(g);
-        let servant: Arc<dyn Servant> = Arc::new(|_: &str, v: MValue| {
-            std::thread::sleep(Duration::from_millis(150));
-            Ok(v)
-        });
-        let mut ops = HashMap::new();
-        ops.insert("echo".to_string(), WireOp::new(graph.clone(), rec, rec));
-        let d = Arc::new(Dispatcher::new());
-        d.register(b"slow".to_vec(), WireServant::new(servant, ops));
+        let (d, graph, rec) = sleepy_dispatcher(150);
         let mut server = TcpServer::bind("127.0.0.1:0", d).unwrap();
         let addr = server.addr();
         let g2 = graph.clone();
         let client = std::thread::spawn(move || {
             let conn = TcpConnection::connect(addr).unwrap();
-            let mut w = CdrWriter::new(Endian::Little);
-            w.put_value(&g2, rec, &MValue::Record(vec![MValue::Int(9)]))
-                .unwrap();
-            let req = Message::request(
-                1,
-                true,
-                b"slow".to_vec(),
-                "echo",
-                Endian::Little,
-                w.into_bytes(),
-            );
+            let req = echo_request(&g2, rec, b"slow", 1, 9);
             conn.call(&req)
         });
         // Let the request reach the dispatch queue, then shut down
@@ -1531,5 +1754,196 @@ mod tests {
             ReplyStatus::NoException,
             "in-flight work drains to a real reply, not a dropped socket"
         );
+    }
+
+    #[test]
+    fn concurrent_deadlines_are_per_call_not_per_socket() {
+        // Two calls share one multiplexed socket: a 10 ms deadline and
+        // a 5 s deadline, against a servant that takes ~200 ms. The
+        // short call must time out; the long call must NOT inherit the
+        // short call's deadline (the old transport's shared
+        // set_read_timeout bug).
+        let (d, graph, rec) = sleepy_dispatcher(200);
+        let mut server = TcpServer::bind("127.0.0.1:0", d).unwrap();
+        let conn = Arc::new(MultiplexedConnection::connect(server.addr()).unwrap());
+
+        let long_conn = conn.clone();
+        let (lg, lr) = (graph.clone(), rec);
+        let long_call = std::thread::spawn(move || {
+            let req = echo_request(&lg, lr, b"slow", 2, 7);
+            let opts = CallOptions::new().with_deadline(Duration::from_secs(5));
+            long_conn.call_with(&req, &opts)
+        });
+
+        let req = echo_request(&graph, rec, b"slow", 1, 6);
+        let opts = CallOptions::new().with_deadline(Duration::from_millis(10));
+        let start = Instant::now();
+        let short = conn.call_with(&req, &opts);
+        let short_elapsed = start.elapsed();
+        assert!(
+            matches!(short, Err(RuntimeError::Timeout(_))),
+            "short call timed out, got {short:?}"
+        );
+        assert!(
+            short_elapsed < Duration::from_millis(150),
+            "short deadline fired promptly: {short_elapsed:?}"
+        );
+
+        let long = long_call.join().unwrap();
+        let reply = long.expect("long call succeeded").expect("reply");
+        let MessageKind::Reply { status, .. } = reply.kind else {
+            panic!()
+        };
+        assert_eq!(
+            status,
+            ReplyStatus::NoException,
+            "the 5 s call did not inherit the 10 ms deadline"
+        );
+        assert!(conn.is_alive(), "timeouts do not kill the connection");
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_death_fails_every_waiter_synchronously() {
+        // A raw server that accepts, reads forever, never replies —
+        // then tears the socket down while several calls are parked.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let killer = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(100));
+            stream.shutdown(Shutdown::Both).ok();
+        });
+
+        let conn = Arc::new(MultiplexedConnection::connect(addr).unwrap());
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(64));
+        let rec = g.record(vec![i]);
+        let graph = Arc::new(g);
+        let callers: Vec<_> = (0..4)
+            .map(|k| {
+                let c = conn.clone();
+                let g = graph.clone();
+                std::thread::spawn(move || {
+                    let req = echo_request(&g, rec, b"void", k, 1);
+                    let start = Instant::now();
+                    let out = c.call(&req);
+                    (out, start.elapsed())
+                })
+            })
+            .collect();
+        for h in callers {
+            let (out, elapsed) = h.join().unwrap();
+            assert!(out.is_err(), "waiter failed rather than hanging");
+            assert!(
+                elapsed < Duration::from_secs(3),
+                "death broadcast promptly, not via a poll interval: {elapsed:?}"
+            );
+        }
+        assert!(!conn.is_alive());
+        // New calls fail fast on the dead flag, under the same lock the
+        // broadcast held — no registration can race past it.
+        let req = echo_request(&graph, rec, b"void", 9, 1);
+        assert!(conn.call(&req).is_err());
+        killer.join().unwrap();
+    }
+
+    #[test]
+    fn handler_panic_yields_system_exception_for_that_call_only() {
+        // A servant that panics on value 13 and echoes otherwise.
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(64));
+        let rec = g.record(vec![i]);
+        let graph = Arc::new(g);
+        let servant: Arc<dyn Servant> = Arc::new(|_: &str, v: MValue| {
+            if let MValue::Record(items) = &v {
+                if items.first() == Some(&MValue::Int(13)) {
+                    panic!("unlucky number");
+                }
+            }
+            Ok(v)
+        });
+        let mut ops = HashMap::new();
+        ops.insert("echo".to_string(), WireOp::new(graph.clone(), rec, rec));
+        let d = Arc::new(Dispatcher::new());
+        d.register(b"moody".to_vec(), WireServant::new(servant, ops));
+        let mut server = TcpServer::bind("127.0.0.1:0", d).unwrap();
+        let conn = MultiplexedConnection::connect(server.addr()).unwrap();
+
+        let boom = conn
+            .call(&echo_request(&graph, rec, b"moody", 1, 13))
+            .unwrap()
+            .unwrap();
+        let MessageKind::Reply { status, .. } = boom.kind else {
+            panic!()
+        };
+        assert_eq!(
+            status,
+            ReplyStatus::SystemException,
+            "the panicking call gets a typed failure, not a dead socket"
+        );
+        // The same connection, server, and worker pool keep serving.
+        for k in 0..8 {
+            let ok = conn
+                .call(&echo_request(&graph, rec, b"moody", 2 + k, i64::from(k)))
+                .unwrap()
+                .unwrap();
+            let MessageKind::Reply { status, .. } = ok.kind else {
+                panic!()
+            };
+            assert_eq!(status, ReplyStatus::NoException, "call {k} unaffected");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn threaded_engine_reaps_finished_connection_threads() {
+        let (d, graph, args, result) = adder_dispatcher();
+        let mut server = TcpServer::bind_with(
+            "127.0.0.1:0",
+            d,
+            ServerConfig::default().with_thread_per_connection(true),
+        )
+        .unwrap();
+        // Churn: each connection is closed before the next opens, so
+        // its serving thread finishes and must be reaped by a later
+        // accept, not hoarded until shutdown.
+        for k in 0..24 {
+            let conn = TcpConnection::connect(server.addr()).unwrap();
+            assert_eq!(call_add(&conn, &graph, args, result, k, 1), (k + 1) as i128);
+            drop(conn);
+            // Give the per-connection thread a moment to notice EOF.
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let held = server.conn_threads.plock().len();
+        assert!(
+            held < 12,
+            "churned 24 connections but {held} handles are still held"
+        );
+        server.shutdown();
+        assert!(server.conn_threads.plock().is_empty());
+    }
+
+    #[test]
+    fn reactor_server_prunes_closed_connection_slots() {
+        let (d, graph, args, result) = adder_dispatcher();
+        let mut server = TcpServer::bind("127.0.0.1:0", d).unwrap();
+        for k in 0..32 {
+            let conn = MultiplexedConnection::connect(server.addr()).unwrap();
+            assert_eq!(call_add(&conn, &graph, args, result, k, k), (2 * k) as i128);
+            drop(conn);
+        }
+        // The reactor prunes slots as soon as it sees the close; poll
+        // briefly rather than racing it.
+        let mut open = server.open_connections();
+        for _ in 0..100 {
+            if open == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+            open = server.open_connections();
+        }
+        assert_eq!(open, 0, "closed slots pruned, not accumulated");
+        server.shutdown();
     }
 }
