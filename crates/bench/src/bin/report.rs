@@ -2,8 +2,8 @@
 //! DESIGN.md §4 with live measurements and prints them as the tables
 //! recorded in EXPERIMENTS.md.
 //!
-//! Usage: `report [t1|f5|e1|e2|e3|x1|x2|x3|x4|x5|x6|x7|x8|x9]...` (no
-//! args = everything). `x5` additionally writes `BENCH_compile.json`
+//! Usage: `report [t1|f5|e1|e2|e3|x1|x2|x3|x4|x5|x6|x7|x8|x9|x10]...`
+//! (no args = everything). `x5` additionally writes `BENCH_compile.json`
 //! with the measured cache hit rate and warm-vs-cold speedup; `x6`
 //! writes `BENCH_marshal.json` with the fused-vs-interpretive
 //! marshalling speedup over a 200-class corpus; `x7` writes
@@ -12,8 +12,11 @@
 //! stack; `x8` writes `BENCH_observability.json` with the tracing-on vs
 //! tracing-off p50 and a scrape of the server's Prometheus endpoint;
 //! `x9` writes `BENCH_reactor.json` with the connection-scaling curve
-//! (reactor vs thread-per-connection, fan-in latency, churn flatness).
-//! `MB_BENCH_QUICK=1` shrinks every experiment to CI-smoke size.
+//! (reactor vs thread-per-connection, fan-in latency, churn flatness);
+//! `x10` writes `BENCH_mesh.json` with failover latency when a replica
+//! is killed mid-load behind the mesh naming layer, plus gossip
+//! convergence rounds. `MB_BENCH_QUICK=1` shrinks every experiment to
+//! CI-smoke size.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -1414,6 +1417,268 @@ fn x9() {
     println!();
 }
 
+fn x10() {
+    use mockingbird::mesh::{GossipMessage, MeshConfig, MeshNode, MeshResolver, ObjectAd, SimMesh};
+    use mockingbird::runtime::{
+        CallOptions, Connection, ConnectionPool, Dispatcher, MetricsRegistry, ObjectName,
+        RemoteRef, RetryPolicy, Servant, TcpServer, WireOp, WireServant,
+    };
+    use mockingbird::stype::json::Json;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    println!("== X10: mesh failover — kill a replica mid-load ==");
+    let quick = std::env::var_os("MB_BENCH_QUICK").is_some();
+    const SEED: u64 = 0x0C4A_0A10;
+    let total: u64 = if quick { 2_000 } else { 12_000 };
+    let threads: usize = 4;
+    println!("mesh seed: {SEED:#x} ({total} calls over {threads} threads, 3 TCP replicas)");
+
+    // Three real TCP replicas serving the echo object, named through a
+    // gossip mesh instead of a fixed address list. Mid-load one replica
+    // is killed (socket gone, no goodbye); the client must fail over
+    // until the obituary arrives, then route on the shrunken live set.
+    let mut g = MtypeGraph::new();
+    let i = g.integer(IntRange::signed_bits(64));
+    let rec = g.record(vec![i]);
+    let graph = Arc::new(g);
+    let op = WireOp::new(graph, rec, rec).idempotent();
+    let servant: Arc<dyn Servant> = Arc::new(|_: &str, v: MValue| Ok(v));
+    let mut ops = HashMap::new();
+    ops.insert("echo".to_string(), op);
+    let mut servers = Vec::new();
+    for _ in 0..3 {
+        let d = Arc::new(Dispatcher::new());
+        d.register(
+            b"obj".to_vec(),
+            WireServant::new(servant.clone(), ops.clone()),
+        );
+        servers.push(TcpServer::bind("127.0.0.1:0", d).expect("bind replica"));
+    }
+
+    const FP: u128 = 0xEC40;
+    let mesh_servers: Vec<_> = servers
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let node = MeshNode::new(MeshConfig::new(2 + i as u64, SEED));
+            node.advertise(ObjectAd::new("echo", FP, 0, s.addr()));
+            node
+        })
+        .collect();
+    let registry = MetricsRegistry::shared();
+    let client = MeshNode::with_metrics(MeshConfig::new(1, SEED), Arc::clone(&registry));
+    let push = |node: &Arc<MeshNode>| {
+        client.receive(&GossipMessage {
+            from: node.id(),
+            members: node.members(),
+        });
+    };
+    for node in &mesh_servers {
+        push(node);
+    }
+    let pool = Arc::new(
+        ConnectionPool::builder(Vec::new())
+            .with_resolver(
+                Arc::new(MeshResolver::new(Arc::clone(&client))),
+                ObjectName::new("echo", FP),
+            )
+            .with_slots(2)
+            .with_metrics(Arc::clone(&registry))
+            .build()
+            .expect("pool builds"),
+    );
+
+    let counter = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|_| {
+            let pool = Arc::clone(&pool);
+            let ops = ops.clone();
+            let counter = Arc::clone(&counter);
+            let failed = Arc::clone(&failed);
+            std::thread::spawn(move || {
+                let remote = RemoteRef::new(
+                    pool as Arc<dyn Connection>,
+                    b"obj".to_vec(),
+                    ops,
+                    Endian::Little,
+                )
+                .with_options(CallOptions::new().with_retry(RetryPolicy {
+                    max_retries: 4,
+                    initial_backoff: Duration::from_micros(200),
+                    max_backoff: Duration::from_millis(2),
+                    jitter: true,
+                }));
+                let mut lat: Vec<(f64, f64)> = Vec::new();
+                loop {
+                    let k = counter.fetch_add(1, Ordering::SeqCst);
+                    if k >= total {
+                        break;
+                    }
+                    let arg = MValue::Record(vec![MValue::Int(i128::from(k))]);
+                    let start = t0.elapsed().as_secs_f64();
+                    let t = Instant::now();
+                    match remote.invoke("echo", &arg) {
+                        Ok(v) => assert_eq!(v, arg, "wrong payload at call {k} (seed {SEED:#x})"),
+                        Err(_) => {
+                            failed.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                    lat.push((start, t.elapsed().as_secs_f64()));
+                }
+                lat
+            })
+        })
+        .collect();
+
+    // The kill lands at 40% of the load; the obituary is observed at
+    // 60%. In between, only retry-failover keeps calls alive.
+    let wait_until = |share: u64| {
+        while counter.load(Ordering::SeqCst) < total * share / 100 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    wait_until(40);
+    servers[1].shutdown();
+    let kill_at = t0.elapsed().as_secs_f64();
+    wait_until(60);
+    mesh_servers[1].leave();
+    push(&mesh_servers[1]);
+    let observe_at = t0.elapsed().as_secs_f64();
+
+    let mut all: Vec<(f64, f64)> = Vec::new();
+    for w in workers {
+        all.extend(w.join().expect("worker"));
+    }
+    pool.resync();
+    let live = pool.endpoints();
+    assert_eq!(live.len(), 2, "the dead replica must be retired");
+    let stranded = failed.load(Ordering::SeqCst);
+    assert_eq!(stranded, 0, "{stranded} calls stranded (seed {SEED:#x})");
+
+    // Phase classification: a call belongs to the failover window when
+    // any part of it overlaps [kill, observe).
+    let mut steady = Vec::new();
+    let mut failover = Vec::new();
+    let mut recovered = Vec::new();
+    for (start, lat) in all {
+        if start + lat < kill_at {
+            steady.push(lat);
+        } else if start < observe_at {
+            failover.push(lat);
+        } else {
+            recovered.push(lat);
+        }
+    }
+    let pct = |v: &mut Vec<f64>, p: usize| -> f64 {
+        v.sort_by(f64::total_cmp);
+        if v.is_empty() {
+            return 0.0;
+        }
+        v[(v.len() * p / 100).min(v.len() - 1)] * 1e6
+    };
+    let phase_json = |name: &str, v: &mut Vec<f64>| {
+        let (p50, p99) = (pct(v, 50), pct(v, 99));
+        println!(
+            "{name:>10}: {:>6} calls, p50 {p50:>7.0}µs, p99 {p99:>7.0}µs",
+            v.len()
+        );
+        Json::obj([
+            ("calls", Json::Int(v.len() as i128)),
+            ("p50_us", Json::Float(p50)),
+            ("p99_us", Json::Float(p99)),
+        ])
+    };
+    let steady_json = phase_json("steady", &mut steady);
+    let failover_json = phase_json("failover", &mut failover);
+    let recovered_json = phase_json("recovered", &mut recovered);
+    let failover_p99 = pct(&mut failover, 99);
+    assert!(
+        failover_p99 < 2e6,
+        "failover p99 {failover_p99:.0}µs above the 2s bound (seed {SEED:#x})"
+    );
+    let snap = registry.snapshot();
+    println!(
+        "failovers: {}, resolutions: {}, members seen: {}, live endpoints after: {}",
+        snap.mesh_failovers,
+        snap.mesh_resolutions,
+        snap.mesh_members_seen,
+        live.len()
+    );
+
+    // Gossip convergence: rounds for a 16-node mesh to agree on the
+    // full directory when every node bootstraps off a single seed node
+    // (the directory must then spread by gossip alone). Deterministic
+    // per seed.
+    let (nodes_n, seeds_n) = if quick { (8u64, 8u64) } else { (16, 32) };
+    let mut rounds: Vec<u64> = (0..seeds_n)
+        .map(|seed| {
+            let nodes: Vec<_> = (1..=nodes_n)
+                .map(|id| {
+                    let n = MeshNode::new(MeshConfig::new(id, seed));
+                    n.advertise(ObjectAd::new(
+                        "echo",
+                        FP,
+                        0,
+                        format!("127.0.0.1:{}", 9300 + id).parse().unwrap(),
+                    ));
+                    n
+                })
+                .collect();
+            for peer in &nodes[1..] {
+                nodes[0].receive(&GossipMessage {
+                    from: peer.id(),
+                    members: peer.members(),
+                });
+                peer.receive(&GossipMessage {
+                    from: nodes[0].id(),
+                    members: vec![nodes[0].members()[0].clone()],
+                });
+            }
+            let mut sim = SimMesh::new(nodes);
+            sim.run_until_converged(200).expect("gossip converges")
+        })
+        .collect();
+    rounds.sort_unstable();
+    let (median, max) = (rounds[rounds.len() / 2], rounds[rounds.len() - 1]);
+    println!(
+        "gossip convergence ({nodes_n} nodes, {seeds_n} seeds): median {median} rounds, max {max}"
+    );
+
+    let json = Json::obj([
+        ("seed", Json::Int(i128::from(SEED))),
+        ("calls", Json::Int(i128::from(total))),
+        ("threads", Json::Int(threads as i128)),
+        ("stranded_calls", Json::Int(i128::from(stranded))),
+        ("steady", steady_json),
+        ("failover", failover_json),
+        ("recovered", recovered_json),
+        ("mesh_failovers", Json::Int(i128::from(snap.mesh_failovers))),
+        (
+            "mesh_resolutions",
+            Json::Int(i128::from(snap.mesh_resolutions)),
+        ),
+        (
+            "gossip_convergence",
+            Json::obj([
+                ("nodes", Json::Int(i128::from(nodes_n))),
+                ("seeds", Json::Int(i128::from(seeds_n))),
+                ("median_rounds", Json::Int(i128::from(median))),
+                ("max_rounds", Json::Int(i128::from(max))),
+            ]),
+        ),
+    ]);
+    std::fs::write("BENCH_mesh.json", json.pretty() + "\n").expect("write BENCH_mesh.json");
+    println!("wrote BENCH_mesh.json");
+    for s in &mut servers {
+        s.shutdown();
+    }
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Hidden child-process modes for X9 (each side of the scaling
@@ -1469,5 +1734,8 @@ fn main() {
     }
     if want("x9") {
         x9();
+    }
+    if want("x10") {
+        x10();
     }
 }

@@ -56,6 +56,7 @@ pub use mockingbird_corpus as corpus;
 pub use mockingbird_lang_c as lang_c;
 pub use mockingbird_lang_idl as lang_idl;
 pub use mockingbird_lang_java as lang_java;
+pub use mockingbird_mesh as mesh;
 pub use mockingbird_mtype as mtype;
 pub use mockingbird_obs as obs;
 pub use mockingbird_plan as plan;

@@ -1,0 +1,655 @@
+//! The mesh node: seeded anti-entropy gossip over member state.
+//!
+//! A [`MeshNode`] keeps a table of every member it has heard of. Each
+//! [`tick`](MeshNode::tick) advances its own heartbeat, ages suspicion
+//! over entries that stopped refreshing, and picks a seeded random
+//! fanout of peers to push its full view to; [`receive`](MeshNode::receive)
+//! merges a peer's view under the precedence rules in
+//! [`MemberState::superseded_by`]. All randomness comes from one
+//! `StdRng` seeded at construction, so two meshes built from the same
+//! seeds trade exactly the same messages in the same order — which is
+//! what lets the chaos suite replay a partition history verbatim.
+//!
+//! The node is transport-free: `tick` returns the messages to deliver
+//! and `receive` accepts them. [`SimMesh`](crate::sim::SimMesh)
+//! delivers them synchronously for tests; a real deployment would ship
+//! them over any messaging channel.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mockingbird_rng::StdRng;
+use mockingbird_runtime::metrics::MetricsRegistry;
+use mockingbird_runtime::resolver::{ObjectName, ResolvedEndpoint};
+use mockingbird_runtime::sync::LockExt;
+
+use crate::member::{MemberState, MemberStatus, ObjectAd};
+
+/// Tuning for one mesh node.
+#[derive(Debug, Clone)]
+pub struct MeshConfig {
+    /// This node's stable id (must be unique in the mesh).
+    pub id: u64,
+    /// The zone this node sits in (drives same-zone-first resolution).
+    pub zone: u32,
+    /// Seed for the node's gossip randomness. Same seeds, same mesh
+    /// history.
+    pub seed: u64,
+    /// Peers pushed to per tick.
+    pub fanout: usize,
+    /// Ticks without a refresh before a member is suspected (excluded
+    /// from resolution, still gossiped).
+    pub suspect_after: u64,
+    /// Ticks without a refresh before a member is evicted outright.
+    pub evict_after: u64,
+}
+
+impl MeshConfig {
+    /// Defaults for node `id` under `seed`: zone 0, fanout 2, suspect
+    /// after 5 quiet ticks, evict after 10.
+    #[must_use]
+    pub fn new(id: u64, seed: u64) -> Self {
+        MeshConfig {
+            id,
+            zone: 0,
+            seed,
+            fanout: 2,
+            suspect_after: 5,
+            evict_after: 10,
+        }
+    }
+
+    /// Places the node in `zone`.
+    #[must_use]
+    pub fn in_zone(mut self, zone: u32) -> Self {
+        self.zone = zone;
+        self
+    }
+
+    /// Sets the per-tick gossip fanout.
+    #[must_use]
+    pub fn with_fanout(mut self, fanout: usize) -> Self {
+        self.fanout = fanout.max(1);
+        self
+    }
+
+    /// Sets the suspicion and eviction horizons (in quiet ticks).
+    #[must_use]
+    pub fn with_horizons(mut self, suspect_after: u64, evict_after: u64) -> Self {
+        self.suspect_after = suspect_after.max(1);
+        self.evict_after = evict_after.max(suspect_after.max(1) + 1);
+        self
+    }
+}
+
+/// One gossip push: the sender's full view of the cluster, its own
+/// state included.
+#[derive(Debug, Clone)]
+pub struct GossipMessage {
+    /// The sending node.
+    pub from: u64,
+    /// Every member the sender knows of, itself first.
+    pub members: Vec<MemberState>,
+}
+
+/// A remembered member plus the local bookkeeping gossip never ships:
+/// when we last saw fresh information and whether the failure detector
+/// currently doubts the member.
+struct Entry {
+    state: MemberState,
+    last_refresh: u64,
+    suspected: bool,
+}
+
+struct State {
+    rng: StdRng,
+    /// Local tick counter (drives suspicion/eviction horizons).
+    round: u64,
+    /// Everyone else, keyed by node id — a `BTreeMap` so iteration
+    /// order (and therefore fanout selection) is deterministic.
+    table: BTreeMap<u64, Entry>,
+    /// Our own gossiped identity.
+    incarnation: u64,
+    heartbeat: u64,
+    status: MemberStatus,
+    ads: Vec<ObjectAd>,
+}
+
+/// One participant in the naming mesh. Cheap to share: resolution state
+/// sits behind a mutex, the directory version behind an atomic (pools
+/// poll the version before every routed call).
+pub struct MeshNode {
+    cfg: MeshConfig,
+    inner: Mutex<State>,
+    /// Bumped whenever anything that could change a resolution changes:
+    /// membership, status, suspicion, advertisements. Heartbeat-only
+    /// refreshes do not bump it, so steady-state gossip costs pools one
+    /// atomic load per call and nothing more.
+    version: AtomicU64,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl MeshNode {
+    /// A node recording into a fresh private registry.
+    #[must_use]
+    pub fn new(cfg: MeshConfig) -> Arc<Self> {
+        Self::with_metrics(cfg, MetricsRegistry::shared())
+    }
+
+    /// A node recording mesh counters (members seen, gossip rounds,
+    /// evictions) into `metrics`.
+    #[must_use]
+    pub fn with_metrics(cfg: MeshConfig, metrics: Arc<MetricsRegistry>) -> Arc<Self> {
+        let rng = StdRng::seed_from_u64(cfg.seed ^ cfg.id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Arc::new(MeshNode {
+            inner: Mutex::new(State {
+                rng,
+                round: 0,
+                table: BTreeMap::new(),
+                incarnation: 1,
+                heartbeat: 0,
+                status: MemberStatus::Alive,
+                ads: Vec::new(),
+            }),
+            version: AtomicU64::new(1),
+            metrics,
+            cfg,
+        })
+    }
+
+    /// This node's id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.cfg.id
+    }
+
+    /// This node's zone.
+    #[must_use]
+    pub fn zone(&self) -> u32 {
+        self.cfg.zone
+    }
+
+    /// The registry this node records into.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The directory version pools poll. Monotonic; bumps only on
+    /// resolution-affecting changes.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    fn bump(&self) {
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// Advertises (or re-advertises) an object this node serves. An ad
+    /// with the same name and endpoint replaces the previous one.
+    pub fn advertise(&self, ad: ObjectAd) {
+        let mut s = self.inner.plock();
+        s.ads
+            .retain(|a| !(a.name == ad.name && a.endpoint == ad.endpoint));
+        s.ads.push(ad);
+        drop(s);
+        self.bump();
+    }
+
+    /// Withdraws every advertisement for `name` at `endpoint` (a single
+    /// object going away without the node leaving).
+    pub fn withdraw(&self, name: &str, endpoint: std::net::SocketAddr) {
+        let mut s = self.inner.plock();
+        let before = s.ads.len();
+        s.ads
+            .retain(|a| !(a.name == name && a.endpoint == endpoint));
+        let changed = s.ads.len() != before;
+        drop(s);
+        if changed {
+            self.bump();
+        }
+    }
+
+    /// Announces departure: the node's state flips to Left under a
+    /// fresh incarnation, which gossip then spreads. Peers stop
+    /// resolving to it as soon as the announcement reaches them.
+    pub fn leave(&self) {
+        let mut s = self.inner.plock();
+        s.incarnation += 1;
+        s.status = MemberStatus::Left;
+        drop(s);
+        self.bump();
+    }
+
+    /// Rejoins after a [`leave`](MeshNode::leave): a fresh incarnation
+    /// that supersedes the departure announcement wherever it reached.
+    pub fn rejoin(&self) {
+        let mut s = self.inner.plock();
+        s.incarnation += 1;
+        s.status = MemberStatus::Alive;
+        s.heartbeat = 0;
+        drop(s);
+        self.bump();
+    }
+
+    fn self_state(cfg: &MeshConfig, s: &State) -> MemberState {
+        MemberState {
+            node: cfg.id,
+            incarnation: s.incarnation,
+            heartbeat: s.heartbeat,
+            zone: cfg.zone,
+            status: s.status,
+            ads: s.ads.clone(),
+        }
+    }
+
+    /// One gossip round: advance the local heartbeat, age suspicion and
+    /// eviction over quiet members, and pick a seeded fanout of live
+    /// peers to push the full view to. Returns the messages to deliver;
+    /// the caller (simulator or transport) owns delivery.
+    pub fn tick(&self) -> Vec<(u64, GossipMessage)> {
+        let mut s = self.inner.plock();
+        s.round += 1;
+        s.heartbeat += 1;
+        let round = s.round;
+
+        // Age the failure detector. Departed members are on a clock
+        // from the moment we learned of the departure; quiet Alive
+        // members graduate from suspected to evicted.
+        let mut changed = false;
+        let mut evicted = 0u64;
+        s.table.retain(|_, e| {
+            if round.saturating_sub(e.last_refresh) > self.cfg.evict_after {
+                evicted += 1;
+                return false;
+            }
+            true
+        });
+        for e in s.table.values_mut() {
+            if e.state.status == MemberStatus::Alive
+                && !e.suspected
+                && round.saturating_sub(e.last_refresh) > self.cfg.suspect_after
+            {
+                e.suspected = true;
+                changed = true;
+            }
+        }
+
+        // Seeded fanout over live peers, in deterministic table order.
+        let peers: Vec<u64> = s
+            .table
+            .iter()
+            .filter(|(_, e)| e.state.status == MemberStatus::Alive)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut targets: Vec<u64> = Vec::new();
+        let want = self.cfg.fanout.min(peers.len());
+        let mut candidates = peers;
+        for _ in 0..want {
+            let idx = s.rng.gen_range(0..candidates.len());
+            targets.push(candidates.swap_remove(idx));
+        }
+
+        let view: Vec<MemberState> = std::iter::once(Self::self_state(&self.cfg, &s))
+            .chain(s.table.values().map(|e| e.state.clone()))
+            .collect();
+        drop(s);
+
+        self.metrics.add_mesh_gossip_round();
+        for _ in 0..evicted {
+            self.metrics.add_mesh_eviction();
+        }
+        if changed || evicted > 0 {
+            self.bump();
+        }
+        targets
+            .into_iter()
+            .map(|t| {
+                (
+                    t,
+                    GossipMessage {
+                        from: self.cfg.id,
+                        members: view.clone(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Merges a peer's view into ours under the precedence rules.
+    pub fn receive(&self, msg: &GossipMessage) {
+        let mut s = self.inner.plock();
+        let round = s.round;
+        let mut changed = false;
+        let mut seen = 0u64;
+        for m in &msg.members {
+            if m.node == self.cfg.id {
+                // Someone is spreading our obituary while we are alive:
+                // refute it with a fresher incarnation.
+                if m.status == MemberStatus::Left
+                    && s.status == MemberStatus::Alive
+                    && m.incarnation >= s.incarnation
+                {
+                    s.incarnation = m.incarnation + 1;
+                    changed = true;
+                }
+                continue;
+            }
+            match s.table.get_mut(&m.node) {
+                None => {
+                    // Never resurrect a tombstone we already evicted —
+                    // an unknown Left member carries no information a
+                    // resolver could use.
+                    if m.status == MemberStatus::Left {
+                        continue;
+                    }
+                    s.table.insert(
+                        m.node,
+                        Entry {
+                            state: m.clone(),
+                            last_refresh: round,
+                            suspected: false,
+                        },
+                    );
+                    seen += 1;
+                    changed = true;
+                }
+                Some(e) => {
+                    if !e.state.superseded_by(m) {
+                        continue;
+                    }
+                    // A heartbeat-only refresh keeps the entry fresh
+                    // (and lifts suspicion) without touching what any
+                    // resolution would return.
+                    let resolution_shift = e.state.status != m.status
+                        || e.state.ads != m.ads
+                        || e.state.zone != m.zone
+                        || e.suspected;
+                    e.state = m.clone();
+                    e.last_refresh = round;
+                    e.suspected = false;
+                    if resolution_shift {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        drop(s);
+        for _ in 0..seen {
+            self.metrics.add_mesh_member_seen();
+        }
+        if changed {
+            self.bump();
+        }
+    }
+
+    /// Every member this node currently believes in, itself first.
+    #[must_use]
+    pub fn members(&self) -> Vec<MemberState> {
+        let s = self.inner.plock();
+        std::iter::once(Self::self_state(&self.cfg, &s))
+            .chain(s.table.values().map(|e| e.state.clone()))
+            .collect()
+    }
+
+    /// A seed-independent digest of the *resolution-relevant* view:
+    /// node ids, incarnations, statuses, and advertisements, in id
+    /// order. Heartbeats and suspicion are excluded, so two nodes that
+    /// agree on membership agree on the digest even when their local
+    /// freshness clocks differ. FNV-1a, stable across platforms.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn fold(h: &mut u64, bytes: &[u8]) {
+            for b in bytes {
+                *h ^= u64::from(*b);
+                *h = h.wrapping_mul(PRIME);
+            }
+        }
+        let mut h = OFFSET;
+        let mut members = self.members();
+        members.sort_by_key(|m| m.node);
+        for m in members.iter() {
+            fold(&mut h, &m.node.to_le_bytes());
+            fold(&mut h, &m.incarnation.to_le_bytes());
+            fold(
+                &mut h,
+                &[match m.status {
+                    MemberStatus::Alive => 1,
+                    MemberStatus::Left => 2,
+                }],
+            );
+            let mut ads = m.ads.clone();
+            ads.sort_by(|a, b| {
+                (a.name.as_str(), a.endpoint.to_string())
+                    .cmp(&(b.name.as_str(), b.endpoint.to_string()))
+            });
+            for ad in ads {
+                fold(&mut h, ad.name.as_bytes());
+                fold(&mut h, &ad.interface_fp.to_le_bytes());
+                fold(&mut h, &ad.rules_fp.to_le_bytes());
+                fold(&mut h, ad.endpoint.to_string().as_bytes());
+                fold(&mut h, &ad.zone.to_le_bytes());
+                fold(&mut h, &[ad.latency_tier]);
+            }
+        }
+        h
+    }
+
+    /// The endpoints currently serving `name`, preference-ordered:
+    /// same-zone replicas first, then by latency tier, then by address
+    /// for a stable total order. Only Alive, unsuspected members whose
+    /// advertisement matches the name *and* the interface fingerprint
+    /// participate (fingerprint 0 matches anything — the wildcard the
+    /// static path uses).
+    #[must_use]
+    pub fn lookup(&self, name: &ObjectName) -> Vec<ResolvedEndpoint> {
+        let s = self.inner.plock();
+        let mut out: Vec<ResolvedEndpoint> = Vec::new();
+        let mut consider = |m: &MemberState| {
+            if m.status != MemberStatus::Alive {
+                return;
+            }
+            for ad in &m.ads {
+                if ad.name != name.name {
+                    continue;
+                }
+                if name.interface_fp != 0 && ad.interface_fp != name.interface_fp {
+                    continue;
+                }
+                out.push(ResolvedEndpoint {
+                    addr: ad.endpoint,
+                    zone: ad.zone,
+                    latency_tier: ad.latency_tier,
+                    rules_fp: ad.rules_fp,
+                });
+            }
+        };
+        consider(&Self::self_state(&self.cfg, &s));
+        for e in s.table.values() {
+            if e.suspected {
+                continue;
+            }
+            consider(&e.state);
+        }
+        drop(s);
+        let home = self.cfg.zone;
+        out.sort_by(|a, b| {
+            (a.zone != home, a.latency_tier, a.addr.to_string()).cmp(&(
+                b.zone != home,
+                b.latency_tier,
+                b.addr.to_string(),
+            ))
+        });
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::SocketAddr;
+
+    fn ad(name: &str, fp: u128, port: u16) -> ObjectAd {
+        let addr: SocketAddr = format!("127.0.0.1:{port}").parse().unwrap();
+        ObjectAd::new(name, fp, 0, addr)
+    }
+
+    #[test]
+    fn lookup_matches_name_and_fingerprint() {
+        let n = MeshNode::new(MeshConfig::new(1, 42));
+        n.advertise(ad("calc", 0xA, 100));
+        n.advertise(ad("calc", 0xB, 101));
+        n.advertise(ad("clock", 0xA, 102));
+        let hits = n.lookup(&ObjectName::new("calc", 0xA));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].addr.port(), 100);
+        // The wildcard fingerprint matches both calc replicas.
+        assert_eq!(n.lookup(&ObjectName::any("calc")).len(), 2);
+        assert!(n.lookup(&ObjectName::new("calc", 0xC)).is_empty());
+    }
+
+    #[test]
+    fn gossip_spreads_membership_and_version_moves() {
+        let a = MeshNode::new(MeshConfig::new(1, 7));
+        let b = MeshNode::new(MeshConfig::new(2, 7));
+        b.advertise(ad("calc", 0xA, 200));
+        // Introduce b to a (a seed-list introduction), then let a hear
+        // b's view.
+        let v0 = a.version();
+        a.receive(&GossipMessage {
+            from: 2,
+            members: b.members(),
+        });
+        assert!(a.version() > v0, "learning a member bumps the version");
+        assert_eq!(a.lookup(&ObjectName::new("calc", 0xA)).len(), 1);
+        assert_eq!(a.metrics().snapshot().mesh_members_seen, 1);
+        // A heartbeat-only refresh must NOT bump the version.
+        b.tick();
+        let v1 = a.version();
+        a.receive(&GossipMessage {
+            from: 2,
+            members: b.members(),
+        });
+        assert_eq!(a.version(), v1, "heartbeat refresh is resolution-neutral");
+    }
+
+    #[test]
+    fn leave_beats_liveness_and_rejoin_beats_leave() {
+        let a = MeshNode::new(MeshConfig::new(1, 7));
+        let b = MeshNode::new(MeshConfig::new(2, 7));
+        b.advertise(ad("calc", 0xA, 200));
+        a.receive(&GossipMessage {
+            from: 2,
+            members: b.members(),
+        });
+        assert_eq!(a.lookup(&ObjectName::any("calc")).len(), 1);
+        b.leave();
+        a.receive(&GossipMessage {
+            from: 2,
+            members: b.members(),
+        });
+        assert!(a.lookup(&ObjectName::any("calc")).is_empty());
+        b.rejoin();
+        a.receive(&GossipMessage {
+            from: 2,
+            members: b.members(),
+        });
+        assert_eq!(a.lookup(&ObjectName::any("calc")).len(), 1);
+    }
+
+    #[test]
+    fn quiet_members_are_suspected_then_evicted() {
+        let cfg = MeshConfig::new(1, 7).with_horizons(2, 4);
+        let a = MeshNode::with_metrics(cfg, MetricsRegistry::shared());
+        let b = MeshNode::new(MeshConfig::new(2, 7));
+        b.advertise(ad("calc", 0xA, 200));
+        a.receive(&GossipMessage {
+            from: 2,
+            members: b.members(),
+        });
+        assert_eq!(a.lookup(&ObjectName::any("calc")).len(), 1);
+        // b goes silent: after the suspect horizon it drops out of
+        // resolution, after the evict horizon out of the table.
+        for _ in 0..3 {
+            a.tick();
+        }
+        assert!(a.lookup(&ObjectName::any("calc")).is_empty(), "suspected");
+        assert!(a.members().iter().any(|m| m.node == 2), "still remembered");
+        for _ in 0..3 {
+            a.tick();
+        }
+        assert!(!a.members().iter().any(|m| m.node == 2), "evicted");
+        assert_eq!(a.metrics().snapshot().mesh_evictions, 1);
+        // A late gossip refresh resurrects it (it was only quiet).
+        b.tick();
+        a.receive(&GossipMessage {
+            from: 2,
+            members: b.members(),
+        });
+        assert_eq!(a.lookup(&ObjectName::any("calc")).len(), 1);
+    }
+
+    #[test]
+    fn a_live_node_refutes_its_own_obituary() {
+        let a = MeshNode::new(MeshConfig::new(1, 7));
+        let inc0 = a.members()[0].incarnation;
+        a.receive(&GossipMessage {
+            from: 2,
+            members: vec![MemberState {
+                node: 1,
+                incarnation: inc0,
+                heartbeat: 0,
+                zone: 0,
+                status: MemberStatus::Left,
+                ads: Vec::new(),
+            }],
+        });
+        assert!(a.members()[0].incarnation > inc0, "refuted with a bump");
+        assert_eq!(a.members()[0].status, MemberStatus::Alive);
+    }
+
+    #[test]
+    fn same_seed_same_fanout_choices() {
+        let run = |seed: u64| -> Vec<Vec<u64>> {
+            let n = MeshNode::new(MeshConfig::new(1, seed).with_fanout(2));
+            for peer in 2..8u64 {
+                let p = MeshNode::new(MeshConfig::new(peer, seed));
+                n.receive(&GossipMessage {
+                    from: peer,
+                    members: p.members(),
+                });
+            }
+            (0..10)
+                .map(|_| n.tick().into_iter().map(|(t, _)| t).collect())
+                .collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds pick differently");
+    }
+
+    #[test]
+    fn zone_locality_orders_resolution() {
+        let n = MeshNode::new(MeshConfig::new(1, 7).in_zone(2));
+        let mut far = ad("calc", 0xA, 300);
+        far.zone = 1;
+        far.latency_tier = 0;
+        let mut near = ad("calc", 0xA, 301);
+        near.zone = 2;
+        near.latency_tier = 3;
+        let peer = MeshNode::new(MeshConfig::new(9, 7));
+        peer.advertise(far);
+        peer.advertise(near);
+        n.receive(&GossipMessage {
+            from: 9,
+            members: peer.members(),
+        });
+        let hits = n.lookup(&ObjectName::new("calc", 0xA));
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].addr.port(), 301, "same zone beats lower tier");
+    }
+}

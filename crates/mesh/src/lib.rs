@@ -1,0 +1,39 @@
+//! A gossip-style membership and naming mesh for Mockingbird nodes.
+//!
+//! The paper compiles stubs from *pairs of declarations*; this crate
+//! supplies the missing half of location transparency: given an object
+//! name and the interface fingerprint a stub was compiled against,
+//! which live endpoints currently serve it? Each [`MeshNode`]
+//! advertises its objects as [`ObjectAd`]s — `(name, interface fp,
+//! rules fp, endpoint, zone, latency tier)`, the fingerprints taken
+//! from the same handshake material connections exchange at dial time —
+//! and spreads its view of the cluster with seeded, deterministic
+//! anti-entropy gossip:
+//!
+//! - [`member`] — advertisements and per-member state (incarnation,
+//!   heartbeat, status) with the merge precedence rules;
+//! - [`gossip`] — the [`MeshNode`] itself: advertise/leave, a `tick`
+//!   that ages suspicion and picks seeded fanout targets, a `receive`
+//!   that merges remote views, and a name→endpoints `lookup`;
+//! - [`resolver`] — [`MeshResolver`], the adapter that plugs a mesh
+//!   node into a [`ConnectionPool`](mockingbird_runtime::ConnectionPool)
+//!   as its [`Resolver`](mockingbird_runtime::Resolver);
+//! - [`sim`] — [`SimMesh`], a single-process deterministic harness:
+//!   synchronous delivery in node order, partitions and heals on
+//!   command, so chaos tests replay the same convergence history from
+//!   the same seed, every run.
+//!
+//! Gossip here is deliberately transport-free: `tick` *returns* the
+//! messages to send and `receive` accepts them, so the same node code
+//! runs under the simulator, over a real transport, or inside a bench
+//! harness without caring which.
+
+pub mod gossip;
+pub mod member;
+pub mod resolver;
+pub mod sim;
+
+pub use gossip::{GossipMessage, MeshConfig, MeshNode};
+pub use member::{MemberState, MemberStatus, ObjectAd};
+pub use resolver::MeshResolver;
+pub use sim::SimMesh;

@@ -1,0 +1,70 @@
+//! The adapter that plugs a [`MeshNode`] into the runtime's
+//! [`Resolver`] slot: resolution answers come from the node's gossip
+//! table, and the resolver version is the node's directory version, so
+//! a [`ConnectionPool`](mockingbird_runtime::ConnectionPool) built over
+//! it re-resolves exactly when membership (not mere heartbeats) moves.
+
+use std::sync::Arc;
+
+use mockingbird_runtime::resolver::{ObjectName, ResolvedEndpoint, Resolver};
+
+use crate::gossip::MeshNode;
+
+/// A [`Resolver`] backed by a mesh node's membership view.
+#[derive(Clone)]
+pub struct MeshResolver {
+    node: Arc<MeshNode>,
+}
+
+impl MeshResolver {
+    /// A resolver answering from `node`'s view of the cluster.
+    #[must_use]
+    pub fn new(node: Arc<MeshNode>) -> Self {
+        MeshResolver { node }
+    }
+
+    /// The mesh node behind this resolver.
+    #[must_use]
+    pub fn node(&self) -> &Arc<MeshNode> {
+        &self.node
+    }
+}
+
+impl Resolver for MeshResolver {
+    fn resolve(&self, name: &ObjectName) -> Vec<ResolvedEndpoint> {
+        self.node.lookup(name)
+    }
+
+    fn version(&self) -> u64 {
+        self.node.version()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gossip::{GossipMessage, MeshConfig};
+    use crate::member::ObjectAd;
+
+    #[test]
+    fn pools_follow_the_mesh_version() {
+        let client = MeshNode::new(MeshConfig::new(1, 42));
+        let server = MeshNode::new(MeshConfig::new(2, 42));
+        server.advertise(ObjectAd::new(
+            "calc",
+            0xA,
+            0,
+            "127.0.0.1:9001".parse().unwrap(),
+        ));
+        let r = MeshResolver::new(Arc::clone(&client));
+        assert!(r.is_dynamic());
+        let v0 = r.version();
+        assert!(r.resolve(&ObjectName::new("calc", 0xA)).is_empty());
+        client.receive(&GossipMessage {
+            from: 2,
+            members: server.members(),
+        });
+        assert!(r.version() > v0, "membership change moves the version");
+        assert_eq!(r.resolve(&ObjectName::new("calc", 0xA)).len(), 1);
+    }
+}

@@ -334,6 +334,10 @@ impl Connection for ChaosConnection {
     fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
         Some(Arc::clone(&self.metrics))
     }
+
+    fn supports_failover(&self) -> bool {
+        self.inner.supports_failover()
+    }
 }
 
 #[cfg(test)]

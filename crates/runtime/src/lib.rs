@@ -21,10 +21,15 @@
 //!   study's model);
 //! - [`proxy::RemoteRef`] — the client side of a remote object: encodes
 //!   arguments by Mtype, frames a Request, awaits the Reply;
-//! - [`pool::ConnectionPool`] — a fixed set of multiplexed connections
-//!   shared round-robin, reconnecting lazily after transport failures;
-//!   [`pool::BufferPool`] — recycled marshal buffers so the fused data
-//!   plane encodes without allocating once warmed;
+//! - [`pool::ConnectionPool`] — a dynamic set of multiplexed
+//!   connections shared round-robin, reconnecting lazily after
+//!   transport failures; [`pool::BufferPool`] — recycled marshal
+//!   buffers so the fused data plane encodes without allocating once
+//!   warmed;
+//! - [`resolver`] — location-transparent naming: a [`Resolver`] maps an
+//!   [`ObjectName`] (name + interface fingerprint) to the replicas
+//!   currently serving it, feeding the pool's endpoint set; the fixed
+//!   address list survives as the trivial [`StaticResolver`];
 //! - [`options`] — per-call deadlines and retry policies;
 //! - [`metrics`] — per-node [`MetricsRegistry`] handles: counters,
 //!   per-operation latency histograms, a span log for sampled traces,
@@ -41,6 +46,7 @@ pub mod options;
 pub mod pool;
 pub mod proxy;
 pub mod reactor;
+pub mod resolver;
 pub mod sync;
 pub mod transport;
 
@@ -54,6 +60,7 @@ pub use options::{CallOptions, HedgePolicy, RetryPolicy};
 pub use pool::{BufferPool, ConnectionPool, Connector, PoolBuilder, RequestEncoder};
 pub use proxy::RemoteRef;
 pub use reactor::{DeadlineWheel, FrameReader, FrameWriter};
+pub use resolver::{ObjectName, ResolvedEndpoint, Resolver, StaticResolver};
 pub use sync::{LockExt, RwLockExt};
 pub use transport::{
     Connection, InMemoryConnection, MultiplexedConnection, ServerConfig, TcpConnection, TcpServer,
@@ -72,6 +79,7 @@ pub mod prelude {
     pub use crate::options::{CallOptions, HedgePolicy, RetryPolicy};
     pub use crate::pool::{ConnectionPool, PoolBuilder};
     pub use crate::proxy::RemoteRef;
+    pub use crate::resolver::{ObjectName, ResolvedEndpoint, Resolver, StaticResolver};
     pub use crate::transport::{Connection, ServerConfig, TcpServer};
     pub use mockingbird_obs::{HistogramSnapshot, SpanKind, SpanRecord, TraceContext};
 }

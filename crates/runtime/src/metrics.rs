@@ -11,8 +11,10 @@
 //! therefore never clobber each other's numbers, and resetting one
 //! node's registry cannot skew another's measurement section.
 //!
-//! The old process-wide free functions ([`global`], [`snapshot`],
-//! [`reset`]) remain as a deprecated shim for one release.
+//! The mesh naming layer records here too: members discovered, gossip
+//! rounds, directory resolutions, failovers, and stale-entry
+//! evictions, so a node's Prometheus scrape shows its view of the
+//! cluster next to its wire traffic.
 
 use mockingbird_obs::{Histogram, HistogramSnapshot, SpanLog, SpanRecord};
 use std::collections::HashMap;
@@ -48,6 +50,11 @@ pub struct Metrics {
     hedges_fired: AtomicU64,
     hedges_won: AtomicU64,
     faults_injected: AtomicU64,
+    mesh_members_seen: AtomicU64,
+    mesh_gossip_rounds: AtomicU64,
+    mesh_resolutions: AtomicU64,
+    mesh_failovers: AtomicU64,
+    mesh_evictions: AtomicU64,
 }
 
 /// A consistent-enough point-in-time copy of every counter.
@@ -103,6 +110,18 @@ pub struct MetricsSnapshot {
     /// Faults injected by the chaos transport (drops, truncations,
     /// corruptions, disconnects — delays are not counted).
     pub faults_injected: u64,
+    /// Distinct mesh members this node has learned about (first sight
+    /// of each node id, across joins and rejoins).
+    pub mesh_members_seen: u64,
+    /// Gossip rounds this node has initiated.
+    pub mesh_gossip_rounds: u64,
+    /// Directory resolutions applied to a pool's endpoint set.
+    pub mesh_resolutions: u64,
+    /// Calls re-routed to another replica after a failure.
+    pub mesh_failovers: u64,
+    /// Mesh membership entries evicted as stale (no refresh within the
+    /// eviction horizon).
+    pub mesh_evictions: u64,
 }
 
 impl Metrics {
@@ -133,6 +152,11 @@ impl Metrics {
             hedges_fired: AtomicU64::new(0),
             hedges_won: AtomicU64::new(0),
             faults_injected: AtomicU64::new(0),
+            mesh_members_seen: AtomicU64::new(0),
+            mesh_gossip_rounds: AtomicU64::new(0),
+            mesh_resolutions: AtomicU64::new(0),
+            mesh_failovers: AtomicU64::new(0),
+            mesh_evictions: AtomicU64::new(0),
         }
     }
 
@@ -189,6 +213,31 @@ impl Metrics {
     /// Records one chaos-injected fault.
     pub fn add_fault_injected(&self) {
         self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the first sighting of a mesh member.
+    pub fn add_mesh_member_seen(&self) {
+        self.mesh_members_seen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one gossip round initiated by this node.
+    pub fn add_mesh_gossip_round(&self) {
+        self.mesh_gossip_rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one directory resolution applied to an endpoint set.
+    pub fn add_mesh_resolution(&self) {
+        self.mesh_resolutions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one call re-routed to another replica after a failure.
+    pub fn add_mesh_failover(&self) {
+        self.mesh_failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one stale mesh entry evicted.
+    pub fn add_mesh_eviction(&self) {
+        self.mesh_evictions.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one request frame sent.
@@ -277,6 +326,11 @@ impl Metrics {
             hedges_fired: self.hedges_fired.load(Ordering::Relaxed),
             hedges_won: self.hedges_won.load(Ordering::Relaxed),
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            mesh_members_seen: self.mesh_members_seen.load(Ordering::Relaxed),
+            mesh_gossip_rounds: self.mesh_gossip_rounds.load(Ordering::Relaxed),
+            mesh_resolutions: self.mesh_resolutions.load(Ordering::Relaxed),
+            mesh_failovers: self.mesh_failovers.load(Ordering::Relaxed),
+            mesh_evictions: self.mesh_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -305,13 +359,18 @@ impl Metrics {
         self.hedges_fired.store(0, Ordering::Relaxed);
         self.hedges_won.store(0, Ordering::Relaxed);
         self.faults_injected.store(0, Ordering::Relaxed);
+        self.mesh_members_seen.store(0, Ordering::Relaxed);
+        self.mesh_gossip_rounds.store(0, Ordering::Relaxed);
+        self.mesh_resolutions.store(0, Ordering::Relaxed);
+        self.mesh_failovers.store(0, Ordering::Relaxed);
+        self.mesh_evictions.store(0, Ordering::Relaxed);
     }
 }
 
 impl MetricsSnapshot {
     /// Counter names and values in declaration order, for exposition.
     #[must_use]
-    pub fn fields(&self) -> [(&'static str, u64); 23] {
+    pub fn fields(&self) -> [(&'static str, u64); 28] {
         [
             ("requests", self.requests),
             ("replies", self.replies),
@@ -336,6 +395,11 @@ impl MetricsSnapshot {
             ("hedges_fired", self.hedges_fired),
             ("hedges_won", self.hedges_won),
             ("faults_injected", self.faults_injected),
+            ("mesh_members_seen", self.mesh_members_seen),
+            ("mesh_gossip_rounds", self.mesh_gossip_rounds),
+            ("mesh_resolutions", self.mesh_resolutions),
+            ("mesh_failovers", self.mesh_failovers),
+            ("mesh_evictions", self.mesh_evictions),
         ]
     }
 }
@@ -611,38 +675,6 @@ impl MetricsRegistry {
     }
 }
 
-static GLOBAL: Metrics = Metrics::new();
-
-/// The process-wide counters the runtime layers used to record into.
-#[deprecated(
-    since = "0.1.0",
-    note = "metrics are per-node now: use the MetricsRegistry owned by your \
-            Dispatcher / ConnectionPool / connection instead"
-)]
-#[must_use]
-pub fn global() -> &'static Metrics {
-    &GLOBAL
-}
-
-/// Snapshot of the process-wide counters.
-#[deprecated(
-    since = "0.1.0",
-    note = "use MetricsRegistry::snapshot() on the node that did the work"
-)]
-#[must_use]
-pub fn snapshot() -> MetricsSnapshot {
-    GLOBAL.snapshot()
-}
-
-/// Zeroes the process-wide counters.
-#[deprecated(
-    since = "0.1.0",
-    note = "use MetricsRegistry::reset() on the node that did the work"
-)]
-pub fn reset() {
-    GLOBAL.reset()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -675,6 +707,11 @@ mod tests {
         m.add_hedge_fired();
         m.add_hedge_won();
         m.add_fault_injected();
+        m.add_mesh_member_seen();
+        m.add_mesh_gossip_round();
+        m.add_mesh_resolution();
+        m.add_mesh_failover();
+        m.add_mesh_eviction();
         let s = m.snapshot();
         assert_eq!(s.requests, 2);
         assert_eq!(s.replies, 1);
@@ -699,19 +736,13 @@ mod tests {
         assert_eq!(s.hedges_fired, 1);
         assert_eq!(s.hedges_won, 1);
         assert_eq!(s.faults_injected, 1);
+        assert_eq!(s.mesh_members_seen, 1);
+        assert_eq!(s.mesh_gossip_rounds, 1);
+        assert_eq!(s.mesh_resolutions, 1);
+        assert_eq!(s.mesh_failovers, 1);
+        assert_eq!(s.mesh_evictions, 1);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_global_shim_still_works() {
-        // The process-wide shim stays functional for one release. Other
-        // tests in the process may also write these; only check that
-        // recording is visible, not absolute values.
-        let before = snapshot().bytes_sent;
-        global().add_bytes_sent(7);
-        assert!(snapshot().bytes_sent >= before + 7);
     }
 
     #[test]

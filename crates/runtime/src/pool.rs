@@ -1,16 +1,29 @@
 //! Pools: supervised connections and reusable marshal buffers.
 //!
-//! A [`ConnectionPool`] owns a set of *endpoints* (server addresses),
-//! each with its own connection slots and its own
-//! [`CircuitBreaker`]. Calls spread round-robin across endpoints,
-//! skipping endpoints whose breaker is open; a slot whose connection
-//! died is cleared and reconnected on the next call that lands on it.
-//! With a [`HedgePolicy`] in the call options the pool launches a
-//! second attempt on a different connection when the first has not
-//! answered within the hedge delay — tail latency insurance for
-//! idempotent operations. The pool itself implements [`Connection`],
-//! so a [`RemoteRef`](crate::proxy::RemoteRef) can sit directly on a
-//! pool and share it between any number of threads.
+//! A [`ConnectionPool`] owns a *dynamic set* of endpoints (server
+//! addresses), each with its own connection slots and its own
+//! [`CircuitBreaker`]. The set is fed by a
+//! [`Resolver`](crate::resolver::Resolver): whenever the resolver's
+//! version moves the pool re-resolves, creating endpoints (and
+//! breakers) for replicas that joined and retiring those that left —
+//! an in-flight call may finish on a retired endpoint, but no new call
+//! routes there, and dropping the last reference frees its breaker and
+//! slots. A pool built from a plain address list sits on the trivial
+//! [`StaticResolver`](crate::resolver::StaticResolver), whose version
+//! never moves, preserving the historical fixed-endpoint behaviour.
+//!
+//! Calls spread round-robin across routable endpoints, skipping
+//! endpoints whose breaker is open; a slot whose connection died is
+//! cleared and reconnected on the next call that lands on it. An
+//! endpoint whose handshake reports version skew is quarantined
+//! outright — a peer compiled against different declarations cannot
+//! become healthy by waiting, only by re-joining the directory as a
+//! fresh endpoint. With a [`HedgePolicy`] in the call options the pool
+//! launches a second attempt on a different connection when the first
+//! has not answered within the hedge delay — tail latency insurance
+//! for idempotent operations. The pool itself implements
+//! [`Connection`], so a [`RemoteRef`](crate::proxy::RemoteRef) can sit
+//! directly on a pool and share it between any number of threads.
 //!
 //! Connections are made by a pluggable [`Connector`], which is how the
 //! chaos harness splices fault injection under a real pool, and how
@@ -24,8 +37,8 @@
 
 use std::collections::VecDeque;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use mockingbird_obs::{SpanKind, SpanRecord};
@@ -36,7 +49,8 @@ use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::error::RuntimeError;
 use crate::metrics::MetricsRegistry;
 use crate::options::{CallOptions, HedgePolicy};
-use crate::sync::LockExt;
+use crate::resolver::{ObjectName, Resolver, StaticResolver};
+use crate::sync::{LockExt, RwLockExt};
 use crate::transport::{Connection, MultiplexedConnection};
 
 /// Buffers kept per pool; overflow is simply dropped (freed).
@@ -172,12 +186,59 @@ struct Endpoint {
     /// hedged second attempt always advances to a *different* endpoint.
     next: AtomicUsize,
     breaker: CircuitBreaker,
+    /// The peer answered the handshake with version skew: quarantined
+    /// for good. A skewed peer stays skewed; only a directory change
+    /// (the replica re-joining as a fresh endpoint) clears it.
+    skewed: AtomicBool,
+    /// The endpoint left the resolved set. In-flight attempts holding
+    /// this `Endpoint` may finish, but routing never sees it again.
+    retired: AtomicBool,
+}
+
+impl Endpoint {
+    fn new(addr: SocketAddr, slots: usize, breaker: CircuitBreaker) -> Arc<Self> {
+        Arc::new(Endpoint {
+            addr,
+            slots: (0..slots).map(|_| Mutex::new(None)).collect(),
+            next: AtomicUsize::new(0),
+            breaker,
+            skewed: AtomicBool::new(false),
+            retired: AtomicBool::new(false),
+        })
+    }
+
+    fn routable(&self) -> bool {
+        !self.skewed.load(Ordering::Relaxed) && !self.retired.load(Ordering::Relaxed)
+    }
+
+    fn note_failure(&self, error: &RuntimeError) {
+        if matches!(error, RuntimeError::VersionSkew(_)) {
+            self.skewed.store(true, Ordering::Relaxed);
+        }
+        self.breaker.record_failure();
+    }
+}
+
+/// The pool's binding to its naming layer: which resolver feeds the
+/// endpoint set, which object name it resolves, and which resolver
+/// version the current set reflects.
+struct Directory {
+    resolver: Arc<dyn Resolver>,
+    name: ObjectName,
+    /// Resolver version last applied to the endpoint set (0 = never).
+    synced: AtomicU64,
+    /// Serialises sync application; the fast-path version check stays
+    /// lock-free.
+    apply: Mutex<()>,
 }
 
 /// The shared heart of a [`ConnectionPool`] (hedge workers hold their
 /// own `Arc` so an attempt can outlive the caller that abandoned it).
 struct PoolCore {
-    endpoints: Vec<Endpoint>,
+    endpoints: RwLock<Vec<Arc<Endpoint>>>,
+    directory: Directory,
+    slots: usize,
+    breaker_cfg: BreakerConfig,
     next: AtomicUsize,
     connector: Connector,
     latencies: Mutex<VecDeque<Duration>>,
@@ -185,26 +246,90 @@ struct PoolCore {
 }
 
 impl PoolCore {
-    /// The next endpoint round-robin, skipping endpoints whose breaker
-    /// refuses traffic. When every breaker is open the round-robin
-    /// choice is used anyway — someone has to probe, and total refusal
-    /// would turn a transient outage permanent.
-    fn pick_endpoint(&self) -> usize {
-        let n = self.endpoints.len();
-        let start = self.next.fetch_add(1, Ordering::Relaxed);
-        for k in 0..n {
-            let idx = (start + k) % n;
-            if self.endpoints[idx].breaker.allow() {
-                return idx;
-            }
-        }
-        start % n
+    /// The current endpoint set, re-resolved first if the directory
+    /// version moved since the last sync.
+    fn live(&self) -> Vec<Arc<Endpoint>> {
+        self.sync_if_stale();
+        self.endpoints.pread().clone()
     }
 
-    /// A live connection from one of `endpoint`'s slots, dialing
-    /// through the connector when the slot is empty or unhealthy.
-    fn checkout_at(&self, endpoint: usize) -> Result<Arc<dyn Connection>, RuntimeError> {
-        let ep = &self.endpoints[endpoint];
+    /// Applies any pending directory change: endpoints still resolved
+    /// keep their slots and breaker state; joiners get a fresh endpoint
+    /// (and breaker); leavers are retired — no new call routes to them,
+    /// and dropping the last reference frees breaker and slots, so
+    /// churn cannot leak breakers.
+    fn sync_if_stale(&self) {
+        let v = self.directory.resolver.version();
+        if self.directory.synced.load(Ordering::Acquire) == v {
+            return;
+        }
+        let _guard = self.directory.apply.plock();
+        if self.directory.synced.load(Ordering::Acquire) == v {
+            return;
+        }
+        let resolved = self.directory.resolver.resolve(&self.directory.name);
+        self.metrics.add_mesh_resolution();
+        let mut eps = self.endpoints.pwrite();
+        let next: Vec<Arc<Endpoint>> = resolved
+            .iter()
+            .map(
+                |r| match eps.iter().find(|e| e.addr == r.addr && e.routable()) {
+                    Some(e) => Arc::clone(e),
+                    None => Endpoint::new(
+                        r.addr,
+                        self.slots,
+                        CircuitBreaker::with_metrics(
+                            self.breaker_cfg.clone(),
+                            Arc::clone(&self.metrics),
+                        ),
+                    ),
+                },
+            )
+            .collect();
+        for e in eps.iter() {
+            if !next.iter().any(|n| Arc::ptr_eq(n, e)) {
+                e.retired.store(true, Ordering::Relaxed);
+            }
+        }
+        *eps = next;
+        self.directory.synced.store(v, Ordering::Release);
+    }
+
+    /// The next routable endpoint round-robin, skipping endpoints whose
+    /// breaker refuses traffic. When every breaker is open the
+    /// round-robin choice is used anyway — someone has to probe, and
+    /// total refusal would turn a transient outage permanent. Skewed
+    /// endpoints are never probed: a peer compiled against different
+    /// declarations cannot recover by waiting.
+    fn pick_endpoint(&self) -> Result<Arc<Endpoint>, RuntimeError> {
+        let eps = self.live();
+        let routable: Vec<&Arc<Endpoint>> = eps.iter().filter(|e| e.routable()).collect();
+        if routable.is_empty() {
+            return Err(if eps.is_empty() {
+                RuntimeError::Transport(format!(
+                    "no live endpoint resolves `{}`",
+                    self.directory.name
+                ))
+            } else {
+                RuntimeError::VersionSkew(format!(
+                    "every resolved replica of `{}` is version-skewed",
+                    self.directory.name
+                ))
+            });
+        }
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        for k in 0..routable.len() {
+            let ep = routable[(start + k) % routable.len()];
+            if ep.breaker.allow() {
+                return Ok(Arc::clone(ep));
+            }
+        }
+        Ok(Arc::clone(routable[start % routable.len()]))
+    }
+
+    /// A live connection from one of `ep`'s slots, dialing through the
+    /// connector when the slot is empty or unhealthy.
+    fn checkout(&self, ep: &Endpoint) -> Result<Arc<dyn Connection>, RuntimeError> {
         let idx = ep.next.fetch_add(1, Ordering::Relaxed) % ep.slots.len();
         let mut slot = ep.slots[idx].plock();
         if let Some(conn) = slot.as_ref() {
@@ -219,8 +344,9 @@ impl PoolCore {
                 Ok(conn)
             }
             Err(e) => {
-                // A refused dial is as much a failure as a broken call.
-                ep.breaker.record_failure();
+                // A refused dial is as much a failure as a broken call
+                // (and a skewed handshake quarantines the endpoint).
+                ep.note_failure(&e);
                 Err(e)
             }
         }
@@ -236,10 +362,10 @@ impl PoolCore {
         msg: &Message,
         options: &CallOptions,
     ) -> Result<Option<Message>, RuntimeError> {
-        let endpoint = self.pick_endpoint();
-        let breaker_seen = self.endpoints[endpoint].breaker.state();
+        let ep = self.pick_endpoint()?;
+        let breaker_seen = ep.breaker.state();
         let start = Instant::now();
-        let outcome = self.attempt_at(endpoint, msg, options);
+        let outcome = self.attempt_at(&ep, msg, options);
         let duration_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
         if let Some(t) = msg
             .trace
@@ -250,7 +376,7 @@ impl PoolCore {
                 _ => "",
             };
             let mut span = SpanRecord::new(t, SpanKind::Client, operation);
-            span.endpoint = self.endpoints[endpoint].addr.to_string();
+            span.endpoint = ep.addr.to_string();
             span.breaker = format!("{breaker_seen:?}");
             span.start_us = self.metrics.spans().now_us().saturating_sub(duration_us);
             span.duration_us = duration_us;
@@ -267,14 +393,13 @@ impl PoolCore {
 
     fn attempt_at(
         &self,
-        endpoint: usize,
+        ep: &Endpoint,
         msg: &Message,
         options: &CallOptions,
     ) -> Result<Option<Message>, RuntimeError> {
-        let conn = self.checkout_at(endpoint)?;
+        let conn = self.checkout(ep)?;
         let start = Instant::now();
         let outcome = conn.call_with(msg, options);
-        let ep = &self.endpoints[endpoint];
         match &outcome {
             Ok(_) => {
                 ep.breaker.record_success();
@@ -284,12 +409,16 @@ impl PoolCore {
             // caller reconnects.
             Err(RuntimeError::Transport(_)) => {
                 ep.breaker.record_failure();
-                self.invalidate(endpoint, &conn);
+                self.invalidate(ep, &conn);
             }
-            // The endpoint answered late or shed: unhealthy, but the
-            // socket itself still works.
-            Err(RuntimeError::Timeout(_) | RuntimeError::Overloaded(_)) => {
-                ep.breaker.record_failure();
+            // The endpoint answered late, shed, or turned out to be
+            // skewed mid-stream: unhealthy (skew also quarantines).
+            Err(
+                e @ (RuntimeError::Timeout(_)
+                | RuntimeError::Overloaded(_)
+                | RuntimeError::VersionSkew(_)),
+            ) => {
+                ep.note_failure(e);
             }
             // Application and protocol failures say nothing about the
             // endpoint's health.
@@ -298,8 +427,8 @@ impl PoolCore {
         outcome
     }
 
-    fn invalidate(&self, endpoint: usize, conn: &Arc<dyn Connection>) {
-        for slot in &self.endpoints[endpoint].slots {
+    fn invalidate(&self, ep: &Endpoint, conn: &Arc<dyn Connection>) {
+        for slot in &ep.slots {
             let mut guard = slot.plock();
             if guard.as_ref().is_some_and(|c| Arc::ptr_eq(c, conn)) {
                 *guard = None;
@@ -326,12 +455,17 @@ impl PoolCore {
         Some(v[(v.len() * 95 / 100).min(v.len() - 1)])
     }
 
-    /// One health sweep: probe endpoints whose breaker is not closed
-    /// (open past cooldown, or half-open) with a fresh dial, feeding
-    /// the result back into the breaker. Closed endpoints are left to
-    /// regular traffic.
+    /// One health sweep over the *live* endpoint set: probe endpoints
+    /// whose breaker is not closed (open past cooldown, or half-open)
+    /// with a fresh dial, feeding the result back into the breaker.
+    /// Closed endpoints are left to regular traffic; retired and skewed
+    /// endpoints are never probed — their breakers are on the way out,
+    /// and sweeping them would keep dead replicas on life support.
     fn health_sweep(&self) {
-        for (idx, ep) in self.endpoints.iter().enumerate() {
+        for ep in self.live() {
+            if !ep.routable() {
+                continue;
+            }
             if ep.breaker.state() == BreakerState::Closed || !ep.breaker.allow() {
                 continue;
             }
@@ -340,7 +474,7 @@ impl PoolCore {
                     ep.breaker.record_success();
                     // Park the probe connection in an empty slot rather
                     // than wasting the dial.
-                    for slot in &self.endpoints[idx].slots {
+                    for slot in &ep.slots {
                         let mut guard = slot.plock();
                         if guard.is_none() {
                             *guard = Some(conn);
@@ -348,13 +482,14 @@ impl PoolCore {
                         }
                     }
                 }
-                Err(_) => ep.breaker.record_failure(),
+                Err(e) => ep.note_failure(&e),
             }
         }
     }
 }
 
-/// Builds a [`ConnectionPool`] over one or more endpoints.
+/// Builds a [`ConnectionPool`] over one or more endpoints, or over a
+/// [`Resolver`] that names them.
 pub struct PoolBuilder {
     addrs: Vec<SocketAddr>,
     slots: usize,
@@ -362,6 +497,7 @@ pub struct PoolBuilder {
     connector: Option<Connector>,
     handshake: Option<HandshakeInfo>,
     metrics: Option<Arc<MetricsRegistry>>,
+    resolver: Option<(Arc<dyn Resolver>, ObjectName)>,
 }
 
 impl PoolBuilder {
@@ -406,6 +542,17 @@ impl PoolBuilder {
         self
     }
 
+    /// Feeds the pool's endpoint set from `resolver` under `name`
+    /// instead of the construction-time address list: the pool
+    /// re-resolves whenever the resolver's version moves, creating
+    /// breakers for replicas that join and retiring those that leave.
+    /// When a resolver is set the address list may be empty.
+    #[must_use]
+    pub fn with_resolver(mut self, resolver: Arc<dyn Resolver>, name: ObjectName) -> Self {
+        self.resolver = Some((resolver, name));
+        self
+    }
+
     /// Renamed to [`with_slots`](Self::with_slots).
     #[deprecated(since = "0.1.0", note = "use `with_slots`")]
     #[must_use]
@@ -438,10 +585,13 @@ impl PoolBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::Transport`] when no endpoint was given.
+    /// Returns [`RuntimeError::Transport`] when neither an endpoint nor
+    /// a resolver was given.
     pub fn build(self) -> Result<ConnectionPool, RuntimeError> {
-        if self.addrs.is_empty() {
-            return Err(RuntimeError::Transport("pool needs an endpoint".into()));
+        if self.addrs.is_empty() && self.resolver.is_none() {
+            return Err(RuntimeError::Transport(
+                "pool needs an endpoint or a resolver".into(),
+            ));
         }
         let metrics = self.metrics.unwrap_or_else(MetricsRegistry::shared);
         let connector = self.connector.unwrap_or_else(|| {
@@ -456,31 +606,37 @@ impl PoolBuilder {
                 .map(|c| Arc::new(c) as Arc<dyn Connection>)
             })
         });
-        let endpoints = self
-            .addrs
-            .into_iter()
-            .map(|addr| Endpoint {
-                addr,
-                slots: (0..self.slots).map(|_| Mutex::new(None)).collect(),
-                next: AtomicUsize::new(0),
-                breaker: CircuitBreaker::with_metrics(self.breaker.clone(), Arc::clone(&metrics)),
-            })
-            .collect();
-        Ok(ConnectionPool {
-            core: Arc::new(PoolCore {
-                endpoints,
-                next: AtomicUsize::new(0),
-                connector,
-                latencies: Mutex::new(VecDeque::new()),
-                metrics,
-            }),
-        })
+        let (resolver, name) = match self.resolver {
+            Some((r, n)) => (r, n),
+            None => (
+                Arc::new(StaticResolver::new(self.addrs)) as Arc<dyn Resolver>,
+                ObjectName::any(""),
+            ),
+        };
+        let core = Arc::new(PoolCore {
+            endpoints: RwLock::new(Vec::new()),
+            directory: Directory {
+                resolver,
+                name,
+                synced: AtomicU64::new(0),
+                apply: Mutex::new(()),
+            },
+            slots: self.slots,
+            breaker_cfg: self.breaker,
+            next: AtomicUsize::new(0),
+            connector,
+            latencies: Mutex::new(VecDeque::new()),
+            metrics,
+        });
+        core.sync_if_stale();
+        Ok(ConnectionPool { core })
     }
 }
 
-/// A supervised pool of connections across one or more endpoints: per-
-/// endpoint circuit breakers, breaker-aware round-robin routing, lazy
-/// reconnection, and optional hedged attempts.
+/// A supervised pool of connections across a dynamic set of endpoints:
+/// per-endpoint circuit breakers, breaker-aware round-robin routing,
+/// lazy reconnection, resolver-driven membership, and optional hedged
+/// attempts.
 pub struct ConnectionPool {
     core: Arc<PoolCore>,
 }
@@ -496,6 +652,7 @@ impl ConnectionPool {
             connector: None,
             handshake: None,
             metrics: None,
+            resolver: None,
         }
     }
 
@@ -507,7 +664,8 @@ impl ConnectionPool {
     /// Returns [`RuntimeError::Transport`] if the first connect fails.
     pub fn connect(addr: SocketAddr, size: usize) -> Result<Self, RuntimeError> {
         let pool = Self::builder(vec![addr]).with_slots(size).build()?;
-        pool.core.checkout_at(0)?;
+        let ep = pool.core.pick_endpoint()?;
+        pool.core.checkout(&ep)?;
         Ok(pool)
     }
 
@@ -518,25 +676,47 @@ impl ConnectionPool {
         &self.core.metrics
     }
 
-    /// Total connection slots across all endpoints.
+    /// Total connection slots across all live endpoints.
     pub fn size(&self) -> usize {
-        self.core.endpoints.iter().map(|e| e.slots.len()).sum()
+        self.core.live().iter().map(|e| e.slots.len()).sum()
     }
 
-    /// The first endpoint's address (the only one for single-endpoint
-    /// pools).
+    /// The first live endpoint's address (the only one for
+    /// single-endpoint pools).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the resolver currently resolves to nothing.
     pub fn addr(&self) -> SocketAddr {
-        self.core.endpoints[0].addr
+        self.core.live()[0].addr
     }
 
-    /// Every endpoint address, in routing order.
+    /// Every live endpoint address, in routing order.
     pub fn endpoints(&self) -> Vec<SocketAddr> {
-        self.core.endpoints.iter().map(|e| e.addr).collect()
+        self.core.live().iter().map(|e| e.addr).collect()
     }
 
-    /// The breaker state of endpoint `index` (routing order).
+    /// The breaker state of live endpoint `index` (routing order).
     pub fn breaker_state(&self, index: usize) -> BreakerState {
-        self.core.endpoints[index].breaker.state()
+        self.core.live()[index].breaker.state()
+    }
+
+    /// The resolver version the current endpoint set reflects.
+    pub fn observed_version(&self) -> u64 {
+        self.core.sync_if_stale();
+        self.core.directory.synced.load(Ordering::Acquire)
+    }
+
+    /// Applies any pending directory change now (routing also does this
+    /// lazily before every call; this is for callers that want the
+    /// membership observation point to be explicit).
+    pub fn resync(&self) {
+        self.core.sync_if_stale();
+    }
+
+    /// Whether this pool's endpoint set can change after construction.
+    pub fn is_dynamic(&self) -> bool {
+        self.core.directory.resolver.is_dynamic()
     }
 
     /// Runs one health sweep now: endpoints whose breaker is open (past
@@ -671,6 +851,13 @@ impl Connection for ConnectionPool {
     fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
         Some(Arc::clone(&self.core.metrics))
     }
+
+    fn supports_failover(&self) -> bool {
+        // A dynamic directory means another replica may serve the name:
+        // worth re-resolving and retrying. The static path keeps the
+        // historical fail-fast semantics.
+        self.core.directory.resolver.is_dynamic()
+    }
 }
 
 #[cfg(test)]
@@ -771,7 +958,7 @@ mod tests {
             assert_eq!(echo(&pool, &graph, rec, k), k);
         }
         // Every slot got used and filled in.
-        assert!(pool.core.endpoints[0]
+        assert!(pool.core.live()[0]
             .slots
             .iter()
             .all(|s| s.plock().is_some()));
@@ -994,6 +1181,136 @@ mod tests {
             elapsed < std::time::Duration::from_millis(200),
             "hedge should beat the 300 ms endpoint, took {elapsed:?}"
         );
+    }
+
+    /// A resolver whose answer a test can swap out, bumping the version
+    /// so pools pick the change up on their next call.
+    struct TestResolver {
+        current: Mutex<Vec<SocketAddr>>,
+        version: AtomicU64,
+    }
+
+    impl TestResolver {
+        fn new(addrs: Vec<SocketAddr>) -> Self {
+            TestResolver {
+                current: Mutex::new(addrs),
+                version: AtomicU64::new(1),
+            }
+        }
+
+        fn set(&self, addrs: Vec<SocketAddr>) {
+            *self.current.plock() = addrs;
+            self.version.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    impl Resolver for TestResolver {
+        fn resolve(&self, _name: &ObjectName) -> Vec<crate::resolver::ResolvedEndpoint> {
+            self.current
+                .plock()
+                .iter()
+                .copied()
+                .map(crate::resolver::ResolvedEndpoint::plain)
+                .collect()
+        }
+
+        fn version(&self) -> u64 {
+            self.version.load(Ordering::SeqCst)
+        }
+    }
+
+    #[test]
+    fn resolver_changes_create_and_retire_endpoints() {
+        let (d, graph, rec) = echo_dispatcher();
+        let connector: Connector = Arc::new(move |_| {
+            Ok(Arc::new(InMemoryConnection::new(d.clone())) as Arc<dyn Connection>)
+        });
+        let a: SocketAddr = "127.0.0.1:11".parse().unwrap();
+        let b: SocketAddr = "127.0.0.1:12".parse().unwrap();
+        let resolver = Arc::new(TestResolver::new(vec![a, b]));
+        let pool = ConnectionPool::builder(Vec::new())
+            .with_slots(1)
+            .with_connector(connector)
+            .with_resolver(resolver.clone(), ObjectName::any("echo"))
+            .build()
+            .unwrap();
+        assert!(pool.is_dynamic());
+        assert_eq!(pool.endpoints(), vec![a, b]);
+        assert_eq!(echo(&pool, &graph, rec, 1), 1);
+        // Capture a weak handle to the endpoint about to leave: once it
+        // has left, nothing may keep its breaker alive.
+        let departing = Arc::downgrade(&pool.core.endpoints.pread()[1]);
+        resolver.set(vec![a]);
+        assert_eq!(pool.endpoints(), vec![a]);
+        for k in 0..8 {
+            assert_eq!(echo(&pool, &graph, rec, k), k);
+        }
+        assert!(
+            departing.upgrade().is_none(),
+            "a departed endpoint's breaker and slots are freed, not leaked"
+        );
+        // A rejoin arrives as a fresh endpoint with a fresh breaker.
+        resolver.set(vec![a, b]);
+        assert_eq!(pool.endpoints(), vec![a, b]);
+        assert_eq!(pool.breaker_state(1), BreakerState::Closed);
+    }
+
+    #[test]
+    fn version_skew_quarantines_an_endpoint() {
+        let (d, graph, rec) = echo_dispatcher();
+        let skewed: SocketAddr = "127.0.0.1:13".parse().unwrap();
+        let connector: Connector = Arc::new(move |addr| {
+            if addr == skewed {
+                Err(RuntimeError::VersionSkew(
+                    "peer compiled against different declarations".into(),
+                ))
+            } else {
+                Ok(Arc::new(InMemoryConnection::new(d.clone())) as Arc<dyn Connection>)
+            }
+        });
+        let pool = ConnectionPool::builder(vec![skewed, "127.0.0.1:14".parse().unwrap()])
+            .with_slots(1)
+            .with_connector(connector)
+            .build()
+            .unwrap();
+        // At most the first routed call lands on the skewed endpoint;
+        // after that it is quarantined for good — no breaker cooldown
+        // ever routes traffic back to it.
+        let mut failures = 0;
+        for k in 0..10 {
+            if echo_try(&pool, &graph, rec, k).is_none() {
+                failures += 1;
+            }
+        }
+        assert!(failures <= 1, "one skewed dial at most, saw {failures}");
+        for k in 0..10 {
+            assert_eq!(echo(&pool, &graph, rec, k), k);
+        }
+    }
+
+    #[test]
+    fn all_skewed_replicas_surface_version_skew() {
+        let (_d, graph, rec) = echo_dispatcher();
+        let connector: Connector =
+            Arc::new(move |_| Err(RuntimeError::VersionSkew("skewed".into())));
+        let pool = ConnectionPool::builder(vec!["127.0.0.1:15".parse().unwrap()])
+            .with_slots(1)
+            .with_connector(connector)
+            .build()
+            .unwrap();
+        assert!(echo_try(&pool, &graph, rec, 1).is_none());
+        let mut w = CdrWriter::new(Endian::Little);
+        w.put_value(&graph, rec, &MValue::Record(vec![MValue::Int(1)]))
+            .unwrap();
+        let req = Message::request(
+            1,
+            true,
+            b"obj".to_vec(),
+            "echo",
+            Endian::Little,
+            w.into_bytes(),
+        );
+        assert!(matches!(pool.call(&req), Err(RuntimeError::VersionSkew(_))));
     }
 
     fn echo_try(

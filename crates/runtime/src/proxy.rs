@@ -30,6 +30,12 @@ thread_local! {
     ));
 }
 
+/// Failover attempts granted to version-skew failures over a dynamic
+/// endpoint set when the caller set no retry policy of their own. Two
+/// re-routes cover the common case (one skewed replica out of three)
+/// without letting a fully-skewed cluster spin.
+const DEFAULT_FAILOVER_RETRIES: u32 = 2;
+
 /// The client side of a remote object: holds a connection, the target's
 /// object key, and the wire types of each operation. `invoke` encodes the
 /// argument record, frames a GIOP Request, and decodes the Reply.
@@ -225,6 +231,22 @@ impl RemoteRef {
             options
         };
         let max_retries = policy.map_or(0, |p| p.max_retries);
+        // Over a dynamic endpoint set a failed attempt may succeed on a
+        // *different* replica, so connect-time failures get a failover
+        // budget even without an explicit retry policy. Version skew in
+        // particular: the skewed replica is quarantined by the pool, so
+        // the re-resolved retry routes elsewhere — and since the skewed
+        // handshake never executed the request, retrying is safe even
+        // for non-idempotent operations.
+        let failover = self.connection.supports_failover();
+        let skew_budget = if failover {
+            options
+                .retry
+                .as_ref()
+                .map_or(DEFAULT_FAILOVER_RETRIES, |p| p.max_retries.max(1))
+        } else {
+            0
+        };
         // One logical call mints one trace context; every retry attempt
         // (and any hedged duplicate further down) is a child span of the
         // same trace, so a flaky call reads as one story in the span log.
@@ -243,20 +265,33 @@ impl RemoteRef {
             match outcome {
                 // Overloaded sheds are retryable by design: the server
                 // answered *instead of executing*, so re-sending after
-                // backoff is safe even mid-overload. Version skew never
-                // retries — a skewed peer stays skewed.
+                // backoff is safe even mid-overload.
                 Err(
                     RuntimeError::Transport(_)
                     | RuntimeError::Timeout(_)
                     | RuntimeError::Overloaded(_),
                 ) if attempt < max_retries => {
                     self.metrics.add_retry();
+                    if failover {
+                        self.metrics.add_mesh_failover();
+                    }
                     let pause = RETRY_RNG.with(|rng| {
                         policy
                             .unwrap()
                             .jittered_backoff(attempt, &mut rng.borrow_mut())
                     });
                     std::thread::sleep(pause);
+                    attempt += 1;
+                    body = recovered;
+                }
+                // Version skew is a connect-time verdict — the request
+                // was never executed, so failing over to another replica
+                // is safe regardless of idempotence. No backoff either:
+                // the pool already quarantined the skewed endpoint, so
+                // the retry routes to a different replica immediately.
+                Err(RuntimeError::VersionSkew(_)) if attempt < skew_budget => {
+                    self.metrics.add_retry();
+                    self.metrics.add_mesh_failover();
                     attempt += 1;
                     body = recovered;
                 }
@@ -477,6 +512,83 @@ mod tests {
     fn oneway_send() {
         let r = setup();
         r.send("add", &args(1, 2)).unwrap();
+    }
+
+    #[test]
+    fn version_skew_fails_over_to_another_replica() {
+        use crate::pool::{ConnectionPool, Connector};
+        use crate::resolver::{ObjectName, ResolvedEndpoint, Resolver};
+        use std::net::SocketAddr;
+
+        /// A dynamic directory with a fixed answer — enough to put the
+        /// pool (and therefore the reference) into failover mode.
+        struct TwoReplicas(Vec<SocketAddr>);
+        impl Resolver for TwoReplicas {
+            fn resolve(&self, _name: &ObjectName) -> Vec<ResolvedEndpoint> {
+                self.0
+                    .iter()
+                    .copied()
+                    .map(ResolvedEndpoint::plain)
+                    .collect()
+            }
+            fn version(&self) -> u64 {
+                1
+            }
+        }
+
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(64));
+        let a = g.record(vec![i, i]);
+        let res = g.record(vec![i]);
+        let graph = Arc::new(g);
+        let servant: Arc<dyn Servant> = Arc::new(|_: &str, v: MValue| {
+            let MValue::Record(items) = v else {
+                unreachable!()
+            };
+            let (MValue::Int(x), MValue::Int(y)) = (&items[0], &items[1]) else {
+                unreachable!()
+            };
+            Ok(MValue::Record(vec![MValue::Int(x + y)]))
+        });
+        let op = WireOp::new(graph, a, res);
+        let mut ops = HashMap::new();
+        ops.insert("add".to_string(), op.clone());
+        let d = Arc::new(Dispatcher::new());
+        let mut server_ops = HashMap::new();
+        server_ops.insert("add".to_string(), op);
+        d.register(b"calc".to_vec(), WireServant::new(servant, server_ops));
+
+        let skewed: SocketAddr = "127.0.0.1:21".parse().unwrap();
+        let good: SocketAddr = "127.0.0.1:22".parse().unwrap();
+        let connector: Connector = Arc::new(move |addr| {
+            if addr == skewed {
+                Err(RuntimeError::VersionSkew(
+                    "replica built from older declarations".into(),
+                ))
+            } else {
+                Ok(Arc::new(InMemoryConnection::new(d.clone())) as Arc<dyn Connection>)
+            }
+        });
+        let pool = ConnectionPool::builder(Vec::new())
+            .with_slots(1)
+            .with_connector(connector)
+            .with_resolver(
+                Arc::new(TwoReplicas(vec![skewed, good])),
+                ObjectName::any("calc"),
+            )
+            .build()
+            .unwrap();
+        let r = RemoteRef::new(Arc::new(pool), b"calc".to_vec(), ops, Endian::Little);
+        // Routing starts on the skewed replica; the skew verdict must
+        // quarantine it and the call fail over — no retry policy needed,
+        // and "add" is not even idempotent (skew never executed it).
+        assert_eq!(
+            r.invoke("add", &args(20, 22)).unwrap(),
+            MValue::Record(vec![MValue::Int(42)])
+        );
+        let s = r.metrics().snapshot();
+        assert_eq!(s.mesh_failovers, 1, "exactly one re-route");
+        assert_eq!(s.retries, 1);
     }
 
     #[test]

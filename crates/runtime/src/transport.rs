@@ -152,6 +152,18 @@ pub trait Connection: Send + Sync {
     fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
         None
     }
+
+    /// Whether a failed call may be recoverable by *re-routing*: true
+    /// only for connections that sit on a dynamic endpoint set (a
+    /// resolver-fed [`ConnectionPool`](crate::pool::ConnectionPool)),
+    /// where another replica can serve the same object. A
+    /// [`RemoteRef`](crate::proxy::RemoteRef) over such a connection
+    /// treats connect-time failures like `VersionSkew` as failover
+    /// triggers instead of hard errors. Single-socket transports keep
+    /// the default: there is nowhere else to go.
+    fn supports_failover(&self) -> bool {
+        false
+    }
 }
 
 /// An in-process loopback connection: frames and marshals exactly like a

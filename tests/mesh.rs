@@ -1,0 +1,481 @@
+//! Mesh chaos: location-transparent references under churn.
+//!
+//! The suite covers the three acceptance bars for the naming layer:
+//! seeded partition/rejoin gossip replays byte-for-byte across 64
+//! seeds, a 1000-call soak never routes a request to a replica whose
+//! departure was observed, and killing a live TCP replica mid-load
+//! strands no caller — every call completes via failover to the
+//! remaining replicas. Every test that draws randomness prints its
+//! seed; re-running with that seed replays the identical schedule.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use mockingbird::mesh::{GossipMessage, MeshConfig, MeshNode, MeshResolver, ObjectAd, SimMesh};
+use mockingbird::mtype::{IntRange, MtypeGraph};
+use mockingbird::runtime::metrics::MetricsRegistry;
+use mockingbird::runtime::{
+    CallOptions, Connection, ConnectionPool, Connector, Dispatcher, InMemoryConnection, ObjectName,
+    RemoteRef, RetryPolicy, RuntimeError, Servant, ServerConfig, TcpServer, WireOp, WireServant,
+};
+use mockingbird::values::{Endian, MValue};
+use mockingbird::wire::HandshakeInfo;
+
+/// An echo servant that counts every dispatched call and flags a
+/// violation when a call arrives after the replica was fenced (its
+/// departure observed by the client). Returns the dispatcher and the
+/// op table a client needs to call it.
+fn counting_echo(
+    calls: Arc<AtomicU64>,
+    fenced: Arc<AtomicBool>,
+    violations: Arc<AtomicU64>,
+    delay: Duration,
+) -> (Arc<Dispatcher>, HashMap<String, WireOp>) {
+    let mut g = MtypeGraph::new();
+    let i = g.integer(IntRange::signed_bits(64));
+    let rec = g.record(vec![i]);
+    let graph = Arc::new(g);
+    let op = WireOp::new(graph, rec, rec).idempotent();
+    let servant: Arc<dyn Servant> = Arc::new(move |_: &str, v: MValue| {
+        calls.fetch_add(1, Ordering::SeqCst);
+        if fenced.load(Ordering::SeqCst) {
+            violations.fetch_add(1, Ordering::SeqCst);
+        }
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        Ok(v)
+    });
+    let mut ops = HashMap::new();
+    ops.insert("echo".to_string(), op);
+    let d = Arc::new(Dispatcher::new());
+    d.register(b"obj".to_vec(), WireServant::new(servant, ops.clone()));
+    (d, ops)
+}
+
+fn payload(k: i128) -> MValue {
+    MValue::Record(vec![MValue::Int(k)])
+}
+
+/// Tells `client` everything `server` currently believes, as one
+/// gossip push (the test stands in for the transport).
+fn push(server: &Arc<MeshNode>, client: &Arc<MeshNode>) {
+    client.receive(&GossipMessage {
+        from: server.id(),
+        members: server.members(),
+    });
+}
+
+#[test]
+fn partition_rejoin_replays_byte_for_byte_across_64_seeds() {
+    // The headline determinism bar: for 64 seeds, the full digest
+    // history of a partition → departure → heal → rejoin schedule is
+    // identical across two runs, and every run re-converges with all
+    // five replicas resolvable again.
+    for seed in 0..64u64 {
+        let run = || {
+            let nodes: Vec<_> = (1..=5u64)
+                .map(|id| {
+                    let node = MeshNode::new(MeshConfig::new(id, seed));
+                    node.advertise(ObjectAd::new(
+                        "calc",
+                        0xCA1C,
+                        0,
+                        format!("127.0.0.1:{}", 9100 + id).parse().unwrap(),
+                    ));
+                    node
+                })
+                .collect();
+            let mut sim = SimMesh::new(nodes);
+            sim.introduce_all();
+            let warmup = sim
+                .run_until_converged(50)
+                .unwrap_or_else(|| panic!("no initial convergence (seed={seed})"));
+
+            let mut history = vec![sim.digests()];
+            sim.partition(&[&[1, 2], &[3, 4, 5]]);
+            sim.node(2).leave();
+            for _ in 0..6 {
+                sim.step();
+                history.push(sim.digests());
+            }
+            assert!(
+                !sim.converged(),
+                "partitioned sides must disagree about the departure (seed={seed})"
+            );
+
+            sim.heal();
+            sim.node(2).rejoin();
+            let heal_rounds = sim
+                .run_until_converged(100)
+                .unwrap_or_else(|| panic!("no re-convergence after heal (seed={seed})"));
+            history.push(sim.digests());
+
+            // Convergence is judged on membership; suspicion raised
+            // during the quiet partition lifts as refreshes arrive.
+            // Drain until every node resolves all five replicas again.
+            let mut drain = 0u64;
+            while sim
+                .nodes()
+                .iter()
+                .any(|n| n.lookup(&ObjectName::any("calc")).len() != 5)
+            {
+                assert!(drain < 50, "suspicion never lifted (seed={seed})");
+                sim.step();
+                drain += 1;
+            }
+            (warmup, history, heal_rounds, drain)
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(
+            first, second,
+            "partition/rejoin history diverged; reproduce with seed={seed}"
+        );
+    }
+}
+
+#[test]
+fn soak_never_routes_to_a_departed_replica() {
+    // Satellite (c): three replicas serve 1000+ concurrent calls while
+    // one leaves mid-load and a fourth joins. Calls in flight when the
+    // departure lands may still complete on the leaver — that is
+    // correct — but once the client *observes* the leave, not one more
+    // call may reach it.
+    let seed = 0x4E57u64;
+    println!("mesh soak seed: {seed:#x}");
+    let addr = |p: u16| -> SocketAddr { format!("127.0.0.1:{p}").parse().unwrap() };
+    let replicas: Vec<SocketAddr> = vec![addr(9201), addr(9202), addr(9203), addr(9204)];
+
+    // Per-replica counting servants over in-memory transport. The
+    // fence flips only after the client's observation point, so any
+    // count against it is a true routing violation.
+    let calls: Vec<Arc<AtomicU64>> = (0..4).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let fences: Vec<Arc<AtomicBool>> = (0..4).map(|_| Arc::new(AtomicBool::new(false))).collect();
+    let violations = Arc::new(AtomicU64::new(0));
+    let mut dispatchers: HashMap<SocketAddr, Arc<Dispatcher>> = HashMap::new();
+    let mut ops = None;
+    for (i, a) in replicas.iter().enumerate() {
+        let (d, o) = counting_echo(
+            Arc::clone(&calls[i]),
+            Arc::clone(&fences[i]),
+            Arc::clone(&violations),
+            Duration::from_micros(200),
+        );
+        dispatchers.insert(*a, d);
+        ops = Some(o);
+    }
+    let ops = ops.unwrap();
+
+    // The mesh: replicas A, B, C advertise up front; D exists but has
+    // not joined yet. The client node records into the pool's registry.
+    let fp = 0xEC40u128;
+    let servers: Vec<Arc<MeshNode>> = (0..4)
+        .map(|i| {
+            let node = MeshNode::new(MeshConfig::new(2 + i as u64, seed));
+            node.advertise(ObjectAd::new("echo", fp, 0, replicas[i]));
+            node
+        })
+        .collect();
+    let registry = MetricsRegistry::shared();
+    let client = MeshNode::with_metrics(MeshConfig::new(1, seed), Arc::clone(&registry));
+    for server in &servers[..3] {
+        push(server, &client);
+    }
+
+    let connector: Connector = {
+        let dispatchers = dispatchers.clone();
+        Arc::new(move |a: SocketAddr| {
+            let d = dispatchers
+                .get(&a)
+                .ok_or_else(|| RuntimeError::Transport(format!("no replica at {a}")))?;
+            Ok(Arc::new(InMemoryConnection::new(Arc::clone(d))) as Arc<dyn Connection>)
+        })
+    };
+    let pool = Arc::new(
+        ConnectionPool::builder(Vec::new())
+            .with_resolver(
+                Arc::new(MeshResolver::new(Arc::clone(&client))),
+                ObjectName::new("echo", fp),
+            )
+            .with_slots(1)
+            .with_connector(connector)
+            .with_metrics(Arc::clone(&registry))
+            .build()
+            .unwrap(),
+    );
+    assert!(pool.is_dynamic());
+    assert_eq!(pool.endpoints(), replicas[..3].to_vec());
+
+    let threads = 8usize;
+    let per_thread = 63usize; // 8 × 63 × 2 phases = 1008 calls
+    let phase = |tag: i128| {
+        let barrier = Arc::new(Barrier::new(threads));
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                let ops = ops.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let remote = RemoteRef::new(pool, b"obj".to_vec(), ops, Endian::Little);
+                    barrier.wait();
+                    for k in 0..per_thread {
+                        let v = payload(tag * 1000 + t as i128 * 100 + k as i128);
+                        assert_eq!(remote.invoke("echo", &v).unwrap(), v);
+                    }
+                })
+            })
+            .collect();
+        workers
+    };
+
+    // Phase 1: replica B (index 1) leaves while the calls are in
+    // flight; the client hears the obituary mid-load.
+    let workers = phase(1);
+    std::thread::sleep(Duration::from_millis(3));
+    servers[1].leave();
+    push(&servers[1], &client);
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    // Observation point: the leave is applied to the routing table and
+    // only now does a call to B become a violation.
+    pool.resync();
+    assert_eq!(
+        pool.endpoints(),
+        vec![replicas[0], replicas[2]],
+        "the departed replica must be out of the live set"
+    );
+    fences[1].store(true, Ordering::SeqCst);
+
+    // Phase 2: replica D joins and serves its share of the load.
+    servers[3].advertise(ObjectAd::new("echo", fp, 0, replicas[3]));
+    push(&servers[3], &client);
+    for w in phase(2) {
+        w.join().unwrap();
+    }
+
+    let total: u64 = calls.iter().map(|c| c.load(Ordering::SeqCst)).sum();
+    assert!(
+        total >= 1008,
+        "expected ≥1008 dispatched calls, saw {total}"
+    );
+    assert_eq!(
+        violations.load(Ordering::SeqCst),
+        0,
+        "calls reached a replica after its leave was observed (seed={seed:#x})"
+    );
+    assert!(
+        calls[3].load(Ordering::SeqCst) > 0,
+        "the joining replica never received a call (seed={seed:#x})"
+    );
+    let snap = registry.snapshot();
+    assert!(snap.mesh_members_seen >= 3, "{}", snap.mesh_members_seen);
+    assert!(snap.mesh_resolutions >= 3, "{}", snap.mesh_resolutions);
+}
+
+#[test]
+fn killing_a_tcp_replica_mid_load_fails_over_without_stranding_calls() {
+    // The tentpole bar over real sockets: three TCP replicas, one is
+    // killed mid-load (socket gone, no goodbye), and every single call
+    // still completes — first via retry-failover onto the survivors,
+    // then, once the obituary is observed, via a shrunken live set.
+    let seed = 0xFA11u64;
+    println!("mesh failover seed: {seed:#x}");
+    let calls: Vec<Arc<AtomicU64>> = (0..3).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let violations = Arc::new(AtomicU64::new(0));
+    let mut servers = Vec::new();
+    let mut ops = None;
+    for c in &calls {
+        let (d, o) = counting_echo(
+            Arc::clone(c),
+            Arc::new(AtomicBool::new(false)),
+            Arc::clone(&violations),
+            Duration::ZERO,
+        );
+        servers.push(TcpServer::bind("127.0.0.1:0", d).unwrap());
+        ops = Some(o);
+    }
+    let ops = ops.unwrap();
+
+    let fp = 0xFA11u128;
+    let mesh_servers: Vec<Arc<MeshNode>> = servers
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let node = MeshNode::new(MeshConfig::new(2 + i as u64, seed));
+            node.advertise(ObjectAd::new("echo", fp, 0, s.addr()));
+            node
+        })
+        .collect();
+    let registry = MetricsRegistry::shared();
+    let client = MeshNode::with_metrics(MeshConfig::new(1, seed), Arc::clone(&registry));
+    for server in &mesh_servers {
+        push(server, &client);
+    }
+
+    let pool = Arc::new(
+        ConnectionPool::builder(Vec::new())
+            .with_resolver(
+                Arc::new(MeshResolver::new(Arc::clone(&client))),
+                ObjectName::new("echo", fp),
+            )
+            .with_slots(1)
+            .with_metrics(Arc::clone(&registry))
+            .build()
+            .unwrap(),
+    );
+    assert_eq!(pool.endpoints().len(), 3);
+    let victim = servers[1].addr();
+    let remote = RemoteRef::new(
+        Arc::clone(&pool) as Arc<dyn Connection>,
+        b"obj".to_vec(),
+        ops,
+        Endian::Little,
+    )
+    .with_options(CallOptions::new().with_retry(RetryPolicy {
+        max_retries: 4,
+        initial_backoff: Duration::from_micros(200),
+        max_backoff: Duration::from_millis(2),
+        jitter: true,
+    }));
+
+    for k in 0..300i128 {
+        if k == 100 {
+            // The kill: the socket dies with requests still coming.
+            // The mesh has NOT spread the news yet — calls that land
+            // on the corpse must fail over, not fail.
+            servers[1].shutdown();
+        }
+        if k == 140 {
+            // The obituary arrives; the pool retires the endpoint.
+            mesh_servers[1].leave();
+            push(&mesh_servers[1], &client);
+        }
+        assert_eq!(
+            remote.invoke("echo", &payload(k)).unwrap(),
+            payload(k),
+            "call {k} stranded (seed={seed:#x})"
+        );
+    }
+
+    pool.resync();
+    let live = pool.endpoints();
+    assert_eq!(live.len(), 2, "the dead replica must be retired");
+    assert!(!live.contains(&victim));
+    let snap = registry.snapshot();
+    assert!(
+        snap.mesh_failovers >= 1,
+        "the kill window must have exercised failover (seed={seed:#x})"
+    );
+    assert!(calls[0].load(Ordering::SeqCst) > 0);
+    assert!(calls[2].load(Ordering::SeqCst) > 0);
+    for s in &mut servers {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn version_skewed_replica_is_quarantined_and_calls_fail_over() {
+    // A replica compiled against different declarations advertises the
+    // same object. Its handshake rejects at dial time (VersionSkew);
+    // the proxy fails over to a compatible replica — even with no
+    // retry policy, and even for a non-idempotent call, because the
+    // rejected request never executed. The skewed endpoint is
+    // quarantined: once marked, it is never dialed again.
+    let seed = 0x5E3Bu64;
+    println!("mesh skew seed: {seed:#x}");
+    let calls: Vec<Arc<AtomicU64>> = (0..3).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let violations = Arc::new(AtomicU64::new(0));
+    let mut built = Vec::new();
+    for c in &calls {
+        built.push(counting_echo(
+            Arc::clone(c),
+            Arc::new(AtomicBool::new(false)),
+            Arc::clone(&violations),
+            Duration::ZERO,
+        ));
+    }
+    let ops = built[0].1.clone();
+    let good = HandshakeInfo::new(built[0].0.interface_fingerprint(), 7);
+    // Replica B answers the handshake with a different interface
+    // fingerprint — the wire-level truth about skew, regardless of
+    // what the mesh ad claims.
+    let skewed = HandshakeInfo::new(good.interface_fp ^ 0xDEAD, 7);
+    let mut servers = Vec::new();
+    for (i, (d, _)) in built.iter().enumerate() {
+        let info = if i == 1 { skewed } else { good };
+        servers.push(
+            TcpServer::bind_with(
+                "127.0.0.1:0",
+                Arc::clone(d),
+                ServerConfig::default().with_handshake(info),
+            )
+            .unwrap(),
+        );
+    }
+
+    let fp = 0x5E3Bu128;
+    let registry = MetricsRegistry::shared();
+    let client = MeshNode::with_metrics(MeshConfig::new(1, seed), Arc::clone(&registry));
+    for (i, s) in servers.iter().enumerate() {
+        let node = MeshNode::new(MeshConfig::new(2 + i as u64, seed));
+        node.advertise(ObjectAd::new("echo", fp, 0, s.addr()));
+        push(&node, &client);
+    }
+
+    let pool = Arc::new(
+        ConnectionPool::builder(Vec::new())
+            .with_resolver(
+                Arc::new(MeshResolver::new(Arc::clone(&client))),
+                ObjectName::new("echo", fp),
+            )
+            .with_slots(1)
+            .with_handshake(good)
+            .with_metrics(Arc::clone(&registry))
+            .build()
+            .unwrap(),
+    );
+    let remote = RemoteRef::new(
+        Arc::clone(&pool) as Arc<dyn Connection>,
+        b"obj".to_vec(),
+        ops,
+        Endian::Little,
+    );
+
+    // No retry policy, non-idempotent op table default aside: every
+    // call must succeed because skew is a connect-time verdict.
+    for k in 0..60i128 {
+        assert_eq!(
+            remote.invoke("echo", &payload(k)).unwrap(),
+            payload(k),
+            "call {k} failed instead of failing over (seed={seed:#x})"
+        );
+    }
+    let snap = registry.snapshot();
+    assert!(
+        snap.mesh_failovers >= 1,
+        "dialing the skewed replica must have triggered failover"
+    );
+    assert!(snap.handshake_rejects >= 1);
+    assert_eq!(calls[1].load(Ordering::SeqCst), 0, "skew must block calls");
+
+    // Quarantine is permanent: more load provokes no new handshakes
+    // with the skewed peer.
+    let rejects_before = registry.snapshot().handshake_rejects;
+    for k in 0..30i128 {
+        assert!(remote.invoke("echo", &payload(100 + k)).is_ok());
+    }
+    assert_eq!(
+        registry.snapshot().handshake_rejects,
+        rejects_before,
+        "a quarantined endpoint must never be re-dialed"
+    );
+    for s in &mut servers {
+        s.shutdown();
+    }
+}

@@ -319,6 +319,19 @@ fn prometheus_endpoint_is_well_formed_and_monotonic() {
         families.iter().any(|f| f == "mockingbird_requests_total"),
         "counter families exported"
     );
+    // The mesh naming layer's counters ride the same scrape.
+    for mesh_family in [
+        "mockingbird_mesh_members_seen_total",
+        "mockingbird_mesh_gossip_rounds_total",
+        "mockingbird_mesh_resolutions_total",
+        "mockingbird_mesh_failovers_total",
+        "mockingbird_mesh_evictions_total",
+    ] {
+        assert!(
+            families.iter().any(|f| f == mesh_family),
+            "missing mesh family {mesh_family}"
+        );
+    }
 
     // More traffic, then a second scrape: counters never go backwards.
     for k in 0..5 {
