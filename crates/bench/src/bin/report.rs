@@ -2,7 +2,7 @@
 //! DESIGN.md §4 with live measurements and prints them as the tables
 //! recorded in EXPERIMENTS.md.
 //!
-//! Usage: `report [t1|f5|e1|e2|e3|x1|x2|x3|x4|x5|x6|x7|x8|x9|x10]...`
+//! Usage: `report [t1|f5|e1|e2|e3|x1|x2|x3|x4|x5|x6|x7|x8|x9|x10|x11]...`
 //! (no args = everything). `x5` additionally writes `BENCH_compile.json`
 //! with the measured cache hit rate and warm-vs-cold speedup; `x6`
 //! writes `BENCH_marshal.json` with the fused-vs-interpretive
@@ -15,8 +15,10 @@
 //! (reactor vs thread-per-connection, fan-in latency, churn flatness);
 //! `x10` writes `BENCH_mesh.json` with failover latency when a replica
 //! is killed mid-load behind the mesh naming layer, plus gossip
-//! convergence rounds. `MB_BENCH_QUICK=1` shrinks every experiment to
-//! CI-smoke size.
+//! convergence rounds; `x11` writes `BENCH_native.json` with the
+//! three-way marshal comparison (interpreter vs opcode VM vs emitted
+//! native stubs — the second Futamura projection). `MB_BENCH_QUICK=1`
+//! shrinks every experiment to CI-smoke size.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -650,23 +652,17 @@ fn x6() {
     use std::sync::Arc;
 
     println!("== X6: data-plane compilation — fused programs vs interpretive marshal ==");
-    // A 200-class data corpus: each class is a random message Mtype and
-    // its comm/assoc-permuted isomorphic variant, both imported into one
-    // shared graph (the shape of a real project's message universe).
+    // The canonical 200-class data corpus (`marshal_corpus`): each class
+    // is a random message Mtype and its comm/assoc-permuted isomorphic
+    // variant, both imported into one shared graph (the shape of a real
+    // project's message universe). X11, `mbc emit-stubs`, and the
+    // property suite reconstruct the same pairs from the same seed.
     let n = 200usize;
-    let mut rng = StdRng::seed_from_u64(42);
-    let mut g = MtypeGraph::new();
-    let mut pairs = Vec::with_capacity(n);
-    for _ in 0..n {
-        let mut scratch = MtypeGraph::new();
-        let ty = random_mtype(&mut scratch, &mut rng, 3);
-        let left = g.import(&scratch, ty);
-        let right = isomorphic_variant(&scratch, ty, &mut g);
-        pairs.push((left, right));
-    }
-    let graph = g.snapshot();
+    let corpus = mockingbird::corpus::marshal_corpus(n, 42);
+    let mut rng = corpus.rng;
+    let graph = corpus.graph.clone();
     let bc = BatchCompiler::new(graph.clone());
-    let (report, compile_s) = time(|| bc.compile(&pairs, &BatchOptions::default()));
+    let (report, compile_s) = time(|| bc.compile(&corpus.pairs, &BatchOptions::default()));
 
     // Collect every pair the program compiler fused in both directions,
     // with a sampled value of the left (native) type.
@@ -697,6 +693,21 @@ fn x6() {
         ps.unsupported,
         cases.len()
     );
+    // Attribute every interpretive fallback to the compiler's reason
+    // for declining the pair (the opcode VM's coverage gaps, by class).
+    let breakdown: Vec<_> = bc
+        .programs()
+        .fallback_breakdown()
+        .into_iter()
+        .filter(|&(_, count)| count > 0)
+        .collect();
+    if !breakdown.is_empty() {
+        let parts: Vec<String> = breakdown
+            .iter()
+            .map(|(kind, count)| format!("{count} {}", kind.label()))
+            .collect();
+        println!("fallback reasons: {}", parts.join(", "));
+    }
 
     // Agreement check (the interpretive path is the oracle), plus the
     // corpus' total wire footprint for throughput numbers.
@@ -710,9 +721,17 @@ fn x6() {
             .put_value(&graph, plan.right_root(), &converted)
             .unwrap();
         let fused = fused.into_bytes();
-        assert_eq!(fused, oracle.into_bytes(), "fused encode must match oracle");
+        let oracle = oracle.into_bytes();
+        assert_eq!(fused, oracle, "fused encode must match oracle");
+        // Decode must agree with the interpretive round trip (values
+        // using dedup-collapsed duplicate alternatives canonicalise to
+        // the first occurrence on both paths, so the oracle — not the
+        // original value — is the ground truth).
+        let mut or = CdrReader::new(&oracle, Endian::Little);
+        let wire = or.get_value(&graph, plan.right_root()).unwrap();
+        let expect = plan.convert_back(&wire).unwrap();
         let mut r = CdrReader::new(&fused, Endian::Little);
-        assert_eq!(&prog.decode_value(&mut r).unwrap(), v, "round trip");
+        assert_eq!(prog.decode_value(&mut r).unwrap(), expect, "round trip");
         corpus_bytes += fused.len();
     }
 
@@ -753,6 +772,14 @@ fn x6() {
         ("matched", Json::Int(report.stats.matched as i128)),
         ("programs_compiled", Json::Int(ps.compiles as i128)),
         ("interpretive_fallbacks", Json::Int(ps.unsupported as i128)),
+        (
+            "fallback_reasons",
+            Json::obj(
+                breakdown
+                    .iter()
+                    .map(|(kind, count)| (kind.label(), Json::Int(*count as i128))),
+            ),
+        ),
         ("two_way_cases", Json::Int(cases.len() as i128)),
         ("corpus_wire_bytes", Json::Int(corpus_bytes as i128)),
         ("interpretive_roundtrip_us", Json::Float(interp_us)),
@@ -1679,6 +1706,219 @@ fn x10() {
     println!();
 }
 
+fn x11() {
+    use mockingbird::comparer::CacheKey;
+    use mockingbird::stype::json::Json;
+    use mockingbird::wire::{
+        nominal_fingerprint, NativeDecodeFn, NativeEncodeFn, NativeKey, NativeProgramKind,
+        NativeStubRegistry, WireProgram,
+    };
+    use mockingbird::{BatchCompiler, BatchOptions, PairOutcome};
+    use std::hint::black_box;
+
+    println!("== X11: second Futamura projection — native stubs vs opcode VM vs interpreter ==");
+    let quick = std::env::var_os("MB_BENCH_QUICK").is_some();
+    let passes = if quick { 20 } else { 200 };
+    let registered = mockingbird_bench::register_native_stubs();
+
+    // The same canonical corpus X6 measures and `mbc emit-stubs`
+    // specialised at build time; the emitted functions resolve here by
+    // nominal fingerprint alone (different process, different graph
+    // instances).
+    let n = 200usize;
+    let corpus = mockingbird::corpus::marshal_corpus(n, 42);
+    let mut rng = corpus.rng;
+    let graph = corpus.graph.clone();
+    let bc = BatchCompiler::new(graph.clone());
+    let report = bc.compile(&corpus.pairs, &BatchOptions::default());
+    let rules_fp = RuleSet::full().fingerprint();
+    let registry = NativeStubRegistry::global();
+
+    struct Case {
+        plan: Arc<mockingbird::plan::CoercionPlan>,
+        prog: Arc<WireProgram>,
+        native_encode: NativeEncodeFn,
+        native_decode: NativeDecodeFn,
+        value: MValue,
+    }
+    let mut cases: Vec<Case> = Vec::new();
+    let mut native_missing = 0usize;
+    for p in &report.pairs {
+        if let PairOutcome::Match {
+            plan: Some(plan),
+            program: Some(prog),
+            ..
+        } = &p.outcome
+        {
+            if !prog.two_way() {
+                continue;
+            }
+            let value = sample_value(&graph, plan.left_root(), &mut rng, 6);
+            let key = NativeKey {
+                pair: CacheKey {
+                    left_fp: nominal_fingerprint(&graph, plan.left_root()),
+                    right_fp: nominal_fingerprint(&graph, plan.right_root()),
+                    mode: Mode::Equivalence,
+                    rules_fp,
+                },
+                kind: NativeProgramKind::Value,
+            };
+            let native = registry.lookup(&key).unwrap_or_default();
+            let (Some(native_encode), Some(native_decode)) = (native.encode, native.decode) else {
+                native_missing += 1;
+                continue;
+            };
+            cases.push(Case {
+                plan: plan.clone(),
+                prog: prog.clone(),
+                native_encode,
+                native_decode,
+                value,
+            });
+        }
+    }
+    println!(
+        "{registered} native programs registered; {} of {} two-way corpus shapes resolved \
+         natively ({native_missing} opcode-only)",
+        cases.len(),
+        cases.len() + native_missing,
+    );
+
+    // Three-way agreement first: the interpreter is the oracle, the
+    // opcode VM the first projection, the emitted stub the second —
+    // all three must produce identical bytes and round-trip the value.
+    let mut corpus_bytes = 0usize;
+    for c in &cases {
+        let converted = c.plan.convert(&c.value).unwrap();
+        let mut oracle = CdrWriter::new(Endian::Little);
+        oracle
+            .put_value(&graph, c.plan.right_root(), &converted)
+            .unwrap();
+        let oracle = oracle.into_bytes();
+        let mut opcode = CdrWriter::new(Endian::Little);
+        c.prog.encode_value(&mut opcode, &c.value).unwrap();
+        assert_eq!(
+            opcode.into_bytes(),
+            oracle,
+            "opcode encode must match oracle"
+        );
+        let mut native = CdrWriter::new(Endian::Little);
+        (c.native_encode)(&mut native, &c.value).unwrap();
+        let native = native.into_bytes();
+        assert_eq!(native, oracle, "native encode must match oracle");
+        // All three decodes must agree; the interpretive round trip is
+        // the ground truth (dedup-collapsed duplicate alternatives
+        // canonicalise identically on every tier).
+        let mut or = CdrReader::new(&oracle, Endian::Little);
+        let wire = or.get_value(&graph, c.plan.right_root()).unwrap();
+        let expect = c.plan.convert_back(&wire).unwrap();
+        let mut r = CdrReader::new(&native, Endian::Little);
+        assert_eq!(
+            c.prog.decode_value(&mut r).unwrap(),
+            expect,
+            "opcode decode"
+        );
+        let mut r = CdrReader::new(&native, Endian::Little);
+        assert_eq!(
+            (c.native_decode)(&mut r).unwrap(),
+            expect,
+            "native round trip"
+        );
+        corpus_bytes += native.len();
+    }
+
+    // One pass marshals and unmarshals the whole corpus, per tier.
+    let interp_us = per_call_us(passes, || {
+        for c in &cases {
+            let converted = c.plan.convert(&c.value).unwrap();
+            let mut w = CdrWriter::new(Endian::Little);
+            w.put_value(&graph, c.plan.right_root(), &converted)
+                .unwrap();
+            let bytes = w.into_bytes();
+            let mut r = CdrReader::new(&bytes, Endian::Little);
+            let wire = r.get_value(&graph, c.plan.right_root()).unwrap();
+            black_box(c.plan.convert_back(&wire).unwrap());
+        }
+    });
+    let mut pooled = Vec::new();
+    let opcode_us = per_call_us(passes, || {
+        for c in &cases {
+            let mut w = CdrWriter::from_vec(std::mem::take(&mut pooled), Endian::Little);
+            c.prog.encode_value(&mut w, &c.value).unwrap();
+            pooled = w.into_bytes();
+            let mut r = CdrReader::new(&pooled, Endian::Little);
+            black_box(c.prog.decode_value(&mut r).unwrap());
+        }
+    });
+    let native_us = per_call_us(passes, || {
+        for c in &cases {
+            let mut w = CdrWriter::from_vec(std::mem::take(&mut pooled), Endian::Little);
+            (c.native_encode)(&mut w, &c.value).unwrap();
+            pooled = w.into_bytes();
+            let mut r = CdrReader::new(&pooled, Endian::Little);
+            black_box((c.native_decode)(&mut r).unwrap());
+        }
+    });
+    // Encode-only, isolating the marshal direction the emitter unrolls
+    // hardest (bulk copy runs, no build-stack work).
+    let enc_opcode_us = per_call_us(passes, || {
+        for c in &cases {
+            let mut w = CdrWriter::from_vec(std::mem::take(&mut pooled), Endian::Little);
+            c.prog.encode_value(&mut w, &c.value).unwrap();
+            pooled = w.into_bytes();
+            black_box(pooled.len());
+        }
+    });
+    let enc_native_us = per_call_us(passes, || {
+        for c in &cases {
+            let mut w = CdrWriter::from_vec(std::mem::take(&mut pooled), Endian::Little);
+            (c.native_encode)(&mut w, &c.value).unwrap();
+            pooled = w.into_bytes();
+            black_box(pooled.len());
+        }
+    });
+
+    let native_vs_interp = interp_us / native_us;
+    let opcode_vs_interp = interp_us / opcode_us;
+    let native_vs_opcode = opcode_us / native_us;
+    let enc_speedup = enc_opcode_us / enc_native_us;
+    let mb = corpus_bytes as f64 / 1e6;
+    println!(
+        "round-trip over the corpus ({corpus_bytes} wire bytes/pass):\n\
+         \x20 interpretive {interp_us:.1} µs ({:.0} MB/s)\n\
+         \x20 opcode VM    {opcode_us:.1} µs ({:.0} MB/s) -> {opcode_vs_interp:.1}x\n\
+         \x20 native stubs {native_us:.1} µs ({:.0} MB/s) -> {native_vs_interp:.1}x \
+         ({native_vs_opcode:.2}x over the VM)",
+        mb / (interp_us / 1e6),
+        mb / (opcode_us / 1e6),
+        mb / (native_us / 1e6),
+    );
+    println!(
+        "encode only: opcode {enc_opcode_us:.1} µs, native {enc_native_us:.1} µs \
+         -> {enc_speedup:.2}x"
+    );
+
+    let json = Json::obj([
+        ("classes", Json::Int(n as i128)),
+        ("programs_registered", Json::Int(registered as i128)),
+        ("native_cases", Json::Int(cases.len() as i128)),
+        ("opcode_only_cases", Json::Int(native_missing as i128)),
+        ("corpus_wire_bytes", Json::Int(corpus_bytes as i128)),
+        ("interpretive_roundtrip_us", Json::Float(interp_us)),
+        ("opcode_roundtrip_us", Json::Float(opcode_us)),
+        ("native_roundtrip_us", Json::Float(native_us)),
+        ("opcode_vs_interpretive", Json::Float(opcode_vs_interp)),
+        ("native_vs_interpretive", Json::Float(native_vs_interp)),
+        ("native_vs_opcode", Json::Float(native_vs_opcode)),
+        ("encode_opcode_us", Json::Float(enc_opcode_us)),
+        ("encode_native_us", Json::Float(enc_native_us)),
+        ("encode_native_vs_opcode", Json::Float(enc_speedup)),
+    ]);
+    std::fs::write("BENCH_native.json", json.pretty() + "\n").expect("write BENCH_native.json");
+    println!("wrote BENCH_native.json");
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Hidden child-process modes for X9 (each side of the scaling
@@ -1737,5 +1977,8 @@ fn main() {
     }
     if want("x10") {
         x10();
+    }
+    if want("x11") {
+        x11();
     }
 }

@@ -5,10 +5,12 @@
 //! numbers in EXPERIMENTS.md and the bench output describe the same
 //! workloads.
 
+pub mod generated_stubs;
 pub mod harness;
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::OnceLock;
 
 use mockingbird::comparer::Mode;
 use mockingbird::plan::CoercionPlan;
@@ -39,6 +41,18 @@ annotate Line.field(end) non-null no-alias
 annotate PointVector element=Point non-null
 annotate JavaIdeal.method(fitter).param(pts) non-null
 annotate JavaIdeal.method(fitter).ret non-null";
+
+/// Installs the emitted native marshal stubs into the process-global
+/// registry (idempotent), returning how many programs are registered.
+/// Benches and tests that want the native tier call this before
+/// building stubs; binaries that never call it measure the opcode VM
+/// unchanged.
+pub fn register_native_stubs() -> usize {
+    static COUNT: OnceLock<usize> = OnceLock::new();
+    *COUNT.get_or_init(|| {
+        generated_stubs::register_all(mockingbird::wire::NativeStubRegistry::global())
+    })
+}
 
 /// A fully annotated fitter session.
 ///

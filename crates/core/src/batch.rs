@@ -18,7 +18,9 @@ use mockingbird_comparer::{CacheKey, CacheStats, CompareCache, Comparer, Mismatc
 use mockingbird_mtype::{MtypeGraph, MtypeId};
 use mockingbird_obs::Histogram;
 use mockingbird_plan::CoercionPlan;
-use mockingbird_wire::{nominal_fingerprint, ProgramCache, ProgramStats, WireProgram};
+use mockingbird_wire::{
+    nominal_fingerprint, FallbackKind, ProgramCache, ProgramStats, WireProgram,
+};
 
 /// Knobs for one [`BatchCompiler::compile`] run.
 #[derive(Debug, Clone)]
@@ -58,6 +60,10 @@ pub enum PairOutcome {
         /// The fused wire program (when `build_programs` was on and the
         /// program compiler supported the pair).
         program: Option<Arc<WireProgram>>,
+        /// Why the program compiler declined this pair, when it did
+        /// (`None` when a program compiled or programs were off) — the
+        /// attribution behind every interpretive fallback.
+        fallback: Option<FallbackKind>,
         /// Size of the correspondence backing the match.
         entries: usize,
     },
@@ -300,7 +306,7 @@ impl BatchCompiler {
                     timers.plan.record_duration(t.elapsed());
                     plan
                 });
-                let program = match (&plan, opts.build_programs) {
+                let (program, fallback) = match (&plan, opts.build_programs) {
                     (Some(plan), true) => {
                         let t = Instant::now();
                         let key = CacheKey {
@@ -313,15 +319,19 @@ impl BatchCompiler {
                         let t = Instant::now();
                         let program = self
                             .programs
-                            .get_or_compile(key, || WireProgram::compile(plan));
+                            .get_or_compile_reasoned(key, || WireProgram::compile(plan));
                         timers.lower.record_duration(t.elapsed());
-                        program
+                        match program {
+                            Ok(p) => (Some(p), None),
+                            Err(kind) => (None, Some(kind)),
+                        }
                     }
-                    _ => None,
+                    _ => (None, None),
                 };
                 PairOutcome::Match {
                     plan,
                     program,
+                    fallback,
                     entries,
                 }
             }
@@ -480,6 +490,7 @@ mod tests {
         let PairOutcome::Match {
             plan,
             program,
+            fallback,
             entries,
         } = &rep.pairs[0].outcome
         else {
@@ -490,6 +501,7 @@ mod tests {
             program.is_some(),
             "the nested/flat record pair compiles to a wire program"
         );
+        assert_eq!(*fallback, None, "a compiled pair has no fallback reason");
     }
 
     #[test]

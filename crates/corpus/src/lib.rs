@@ -20,11 +20,15 @@
 //!   benchmarks.
 
 pub mod collab;
+pub mod marshal;
 pub mod notes;
 pub mod random;
 pub mod visualage;
 
 pub use collab::collaboration;
+pub use marshal::{
+    choice_heavy_pair, deep_list_pair, fitter_pair, marshal_corpus, property_pair, MarshalCorpus,
+};
 pub use notes::notes_api;
 pub use random::{isomorphic_variant, perturbed_variant, random_mtype, sample_value};
 pub use visualage::visualage;

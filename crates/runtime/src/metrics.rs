@@ -37,6 +37,8 @@ pub struct Metrics {
     bytes_unmarshalled: AtomicU64,
     programs_compiled: AtomicU64,
     program_cache_hits: AtomicU64,
+    native_calls: AtomicU64,
+    native_fallbacks: AtomicU64,
     pool_reuses: AtomicU64,
     pool_misses: AtomicU64,
     handshakes: AtomicU64,
@@ -83,6 +85,12 @@ pub struct MetricsSnapshot {
     pub programs_compiled: u64,
     /// Wire-program lookups served from a program cache.
     pub program_cache_hits: u64,
+    /// Remote calls marshalled by emitted native stubs (the second
+    /// Futamura projection tier, ahead of the opcode VM).
+    pub native_calls: u64,
+    /// Fused calls that ran on the opcode VM because no native stub was
+    /// registered for one or both directions.
+    pub native_fallbacks: u64,
     /// Marshal buffers handed out from a pool with warmed capacity.
     pub pool_reuses: u64,
     /// Marshal buffer requests that had to allocate fresh.
@@ -139,6 +147,8 @@ impl Metrics {
             bytes_unmarshalled: AtomicU64::new(0),
             programs_compiled: AtomicU64::new(0),
             program_cache_hits: AtomicU64::new(0),
+            native_calls: AtomicU64::new(0),
+            native_fallbacks: AtomicU64::new(0),
             pool_reuses: AtomicU64::new(0),
             pool_misses: AtomicU64::new(0),
             handshakes: AtomicU64::new(0),
@@ -290,6 +300,17 @@ impl Metrics {
         self.program_cache_hits.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one remote call marshalled by an emitted native stub.
+    pub fn add_native_call(&self) {
+        self.native_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one fused call that fell back to the opcode VM for want
+    /// of a registered native stub.
+    pub fn add_native_fallback(&self) {
+        self.native_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one pooled buffer handed out with warmed capacity.
     pub fn add_pool_reuse(&self) {
         self.pool_reuses.fetch_add(1, Ordering::Relaxed);
@@ -313,6 +334,8 @@ impl Metrics {
             bytes_unmarshalled: self.bytes_unmarshalled.load(Ordering::Relaxed),
             programs_compiled: self.programs_compiled.load(Ordering::Relaxed),
             program_cache_hits: self.program_cache_hits.load(Ordering::Relaxed),
+            native_calls: self.native_calls.load(Ordering::Relaxed),
+            native_fallbacks: self.native_fallbacks.load(Ordering::Relaxed),
             pool_reuses: self.pool_reuses.load(Ordering::Relaxed),
             pool_misses: self.pool_misses.load(Ordering::Relaxed),
             handshakes: self.handshakes.load(Ordering::Relaxed),
@@ -346,6 +369,8 @@ impl Metrics {
         self.bytes_unmarshalled.store(0, Ordering::Relaxed);
         self.programs_compiled.store(0, Ordering::Relaxed);
         self.program_cache_hits.store(0, Ordering::Relaxed);
+        self.native_calls.store(0, Ordering::Relaxed);
+        self.native_fallbacks.store(0, Ordering::Relaxed);
         self.pool_reuses.store(0, Ordering::Relaxed);
         self.pool_misses.store(0, Ordering::Relaxed);
         self.handshakes.store(0, Ordering::Relaxed);
@@ -370,7 +395,7 @@ impl Metrics {
 impl MetricsSnapshot {
     /// Counter names and values in declaration order, for exposition.
     #[must_use]
-    pub fn fields(&self) -> [(&'static str, u64); 28] {
+    pub fn fields(&self) -> [(&'static str, u64); 30] {
         [
             ("requests", self.requests),
             ("replies", self.replies),
@@ -382,6 +407,8 @@ impl MetricsSnapshot {
             ("bytes_unmarshalled", self.bytes_unmarshalled),
             ("programs_compiled", self.programs_compiled),
             ("program_cache_hits", self.program_cache_hits),
+            ("native_calls", self.native_calls),
+            ("native_fallbacks", self.native_fallbacks),
             ("pool_reuses", self.pool_reuses),
             ("pool_misses", self.pool_misses),
             ("handshakes", self.handshakes),

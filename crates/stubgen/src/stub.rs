@@ -8,7 +8,9 @@ use mockingbird_comparer::{Entry, Mode};
 use mockingbird_plan::{CoercionPlan, ConvertError};
 use mockingbird_runtime::{RemoteRef, RuntimeError, Servant};
 use mockingbird_values::{MValue, PortRef};
-use mockingbird_wire::{CdrReader, WireProgram};
+use mockingbird_wire::{
+    CdrReader, NativeDecodeFn, NativeEncodeInvocationFn, NativeStubRegistry, WireProgram,
+};
 
 use crate::shape::{methods_of, FnShape, ShapeError};
 
@@ -288,6 +290,12 @@ pub struct RemoteStub {
     args_program: Option<Arc<WireProgram>>,
     /// Fused unmarshal: right-side reply bytes → left output record.
     result_program: Option<Arc<WireProgram>>,
+    /// Emitted native marshal stub (the second Futamura projection):
+    /// resolved from the global registry by nominal fingerprint at
+    /// construction, used ahead of `args_program`'s opcode VM.
+    native_args: Option<NativeEncodeInvocationFn>,
+    /// Emitted native unmarshal stub, ahead of `result_program`.
+    native_result: Option<NativeDecodeFn>,
 }
 
 impl RemoteStub {
@@ -312,12 +320,29 @@ impl RemoteStub {
         if compiled > 0 {
             remote.metrics().add_programs_compiled(compiled);
         }
+        // Native tier: an emitted stub may stand in for each direction's
+        // opcode program. Gated on the program having compiled — the
+        // native stub was emitted *from* that program, so a pair the
+        // compiler declines stays interpretive even if a stale stub is
+        // registered under its fingerprint.
+        let (args_key, result_key) = crate::native::native_keys_for(&inner);
+        let registry = NativeStubRegistry::global();
+        let native_args = args_program
+            .as_ref()
+            .and_then(|_| registry.lookup(&args_key))
+            .and_then(|s| s.encode_invocation);
+        let native_result = result_program
+            .as_ref()
+            .and_then(|_| registry.lookup(&result_key))
+            .and_then(|s| s.decode);
         RemoteStub {
             inner,
             remote,
             operation: operation.into(),
             args_program,
             result_program,
+            native_args,
+            native_result,
         }
     }
 
@@ -330,6 +355,19 @@ impl RemoteStub {
     /// argument and result coercions compiled to wire programs).
     pub fn is_fused(&self) -> bool {
         self.args_program.is_some() && self.result_program.is_some()
+    }
+
+    /// The marshal tier calls will use, barring a handshake demotion:
+    /// `"native"` (emitted stubs both ways), `"opcode"` (at least one
+    /// direction on the wire-program VM), or `"interpretive"`.
+    pub fn dispatch_tier(&self) -> &'static str {
+        if !self.is_fused() {
+            "interpretive"
+        } else if self.native_args.is_some() && self.native_result.is_some() {
+            "native"
+        } else {
+            "opcode"
+        }
     }
 
     /// Performs one remote call: convert, marshal, send, await, convert
@@ -387,10 +425,22 @@ impl RemoteStub {
                 inputs.len()
             ))));
         }
+        let native_used = self.native_args.is_some() as u32 + self.native_result.is_some() as u32;
+        if native_used > 0 {
+            self.remote.metrics().add_native_call();
+        }
+        if native_used < 2 {
+            self.remote.metrics().add_native_fallback();
+        }
         let mut enc = self.remote.buffers().encoder(self.remote.endian());
-        args_p
-            .encode_invocation(enc.writer(), inputs, self.inner.left.reply_index)
-            .map_err(|e| StubError::Convert(ConvertError(e.to_string())))?;
+        if let Some(native) = self.native_args {
+            native(enc.writer(), inputs, self.inner.left.reply_index)
+                .map_err(|e| StubError::Convert(ConvertError(e.to_string())))?;
+        } else {
+            args_p
+                .encode_invocation(enc.writer(), inputs, self.inner.left.reply_index)
+                .map_err(|e| StubError::Convert(ConvertError(e.to_string())))?;
+        }
         let body = enc.finish();
         self.remote
             .metrics()
@@ -401,9 +451,13 @@ impl RemoteStub {
             .invoke_body_with(&self.operation, body, idempotent, options)
             .map_err(remote_err)?;
         let mut r = CdrReader::new(&reply, endian);
-        let out = result_p
-            .decode_value(&mut r)
-            .map_err(|e| StubError::Convert(ConvertError(e.to_string())))?;
+        let out = if let Some(native) = self.native_result {
+            native(&mut r).map_err(|e| StubError::Convert(ConvertError(e.to_string())))?
+        } else {
+            result_p
+                .decode_value(&mut r)
+                .map_err(|e| StubError::Convert(ConvertError(e.to_string())))?
+        };
         self.remote
             .metrics()
             .add_bytes_unmarshalled((reply.len() - r.remaining()) as u64);

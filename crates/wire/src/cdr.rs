@@ -152,6 +152,32 @@ impl CdrWriter {
         self.put_uint(4, v as u64);
     }
 
+    /// Reserves capacity for at least `n` more bytes (native stubs
+    /// pre-size fixed spans so a whole shape encodes without regrowth).
+    #[inline]
+    pub fn reserve(&mut self, n: usize) {
+        self.buf.reserve(n);
+    }
+
+    /// Fixed-width primitive write: align to `N`, then append the
+    /// byte-order-selected image in one bulk copy. The `const N` makes
+    /// the alignment mask and the copy length compile-time constants on
+    /// the emitted-stub path (no per-byte loop, no size dispatch).
+    #[inline]
+    pub fn put_fixed<const N: usize>(&mut self, le: [u8; N], be: [u8; N]) {
+        self.align(N);
+        match self.endian {
+            Endian::Little => self.buf.extend_from_slice(&le),
+            Endian::Big => self.buf.extend_from_slice(&be),
+        }
+    }
+
+    /// Appends raw bytes with no alignment (pre-aligned bulk spans).
+    #[inline]
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
     /// Writes a `u32`-length-prefixed byte sequence (used by framing).
     pub fn put_bytes(&mut self, data: &[u8]) {
         self.put_u32(data.len() as u32);
@@ -378,6 +404,32 @@ impl<'a> CdrReader<'a> {
     /// Returns [`CdrError`] on truncation.
     pub fn get_u32(&mut self) -> Result<u32, CdrError> {
         Ok(self.get_uint(4)? as u32)
+    }
+
+    /// The sender's byte order.
+    #[inline]
+    pub fn endian(&self) -> Endian {
+        self.endian
+    }
+
+    /// Fixed-width primitive read: align to `N`, bounds-check once, and
+    /// return the `N`-byte image (the caller applies
+    /// `uN::from_le_bytes`/`from_be_bytes`). Compile-time `N` keeps the
+    /// emitted-stub path free of size dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdrError`] on truncation.
+    #[inline]
+    pub fn get_fixed<const N: usize>(&mut self) -> Result<[u8; N], CdrError> {
+        self.align(N);
+        if self.pos + N > self.data.len() {
+            return err("truncated CDR stream");
+        }
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[self.pos..self.pos + N]);
+        self.pos += N;
+        Ok(out)
     }
 
     /// Reads a `u32`-length-prefixed byte sequence.

@@ -21,6 +21,7 @@
 pub mod cdr;
 pub mod giop;
 pub mod mbp;
+pub mod native;
 pub mod program;
 
 /// Upper bound on value/type nesting the codecs and the fused executors
@@ -38,4 +39,11 @@ pub use giop::{
     MAX_FRAME_LEN, PROTOCOL_VERSION, TRACE_CONTEXT_ID,
 };
 pub use mockingbird_obs::TraceContext;
-pub use program::{nominal_fingerprint, ProgramCache, ProgramStats, Unsupported, WireProgram};
+pub use native::{
+    NativeDecodeFn, NativeEncodeFn, NativeEncodeInvocationFn, NativeKey, NativeProgramKind,
+    NativeStub, NativeStubRegistry,
+};
+pub use program::{
+    nominal_fingerprint, FallbackKind, ProgramCache, ProgramCodecError, ProgramStats, Unsupported,
+    WireProgram,
+};

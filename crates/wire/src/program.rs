@@ -50,21 +50,118 @@ use mockingbird_values::{MValue, PortRef};
 use crate::cdr::{mask, sign_extend, CdrError, CdrReader, CdrWriter};
 use crate::MAX_NESTING_DEPTH;
 
+/// Why the program compiler declined a pair. Every decline carries one
+/// of these classes so batch pipelines can attribute interpretive
+/// fallbacks instead of reporting an opaque count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum FallbackKind {
+    /// Semantic bridges run hand-written converters.
+    Semantic,
+    /// A transparent singleton-choice chain the compiler cannot replay
+    /// (e.g. a dedup-collapsed singleton with several nominal children).
+    TransparentChoice,
+    /// The comparer's flattened choice view cannot be reconciled with
+    /// the nominal alternative tree.
+    ChoiceShape,
+    /// A list spine matched against a non-list choice.
+    ListShape,
+    /// A record cycle with no intervening choice (cannot be inlined).
+    RecordCycle,
+    /// An integer range wider than 64 bits.
+    WideInt,
+    /// The program would exceed the node-table budget.
+    NodeBudget,
+    /// Record nesting exceeds the supported depth.
+    DepthBound,
+    /// The correspondence entry has a shape the compiler cannot replay
+    /// (flatten/permutation divergence, unresolved binders, ...).
+    EntryShape,
+}
+
+impl FallbackKind {
+    /// Number of known kinds (sizing per-kind counter arrays).
+    pub const COUNT: usize = 9;
+
+    /// Dense index of this kind inside [`FallbackKind::all`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        FallbackKind::all()
+            .iter()
+            .position(|&k| k == self)
+            .expect("every kind appears in all()")
+    }
+
+    /// Stable snake_case label (log lines, JSON reports).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FallbackKind::Semantic => "semantic_bridge",
+            FallbackKind::TransparentChoice => "transparent_choice",
+            FallbackKind::ChoiceShape => "choice_shape",
+            FallbackKind::ListShape => "list_shape",
+            FallbackKind::RecordCycle => "record_cycle",
+            FallbackKind::WideInt => "wide_int",
+            FallbackKind::NodeBudget => "node_budget",
+            FallbackKind::DepthBound => "depth_bound",
+            FallbackKind::EntryShape => "entry_shape",
+        }
+    }
+
+    /// Every kind, in label order (for zero-filled breakdowns).
+    #[must_use]
+    pub fn all() -> &'static [FallbackKind] {
+        &[
+            FallbackKind::Semantic,
+            FallbackKind::TransparentChoice,
+            FallbackKind::ChoiceShape,
+            FallbackKind::ListShape,
+            FallbackKind::RecordCycle,
+            FallbackKind::WideInt,
+            FallbackKind::NodeBudget,
+            FallbackKind::DepthBound,
+            FallbackKind::EntryShape,
+        ]
+    }
+}
+
+impl fmt::Display for FallbackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// The compiler declined this pair; callers fall back to the
-/// interpretive oracle.
+/// interpretive oracle. Carries the decline class ([`FallbackKind`])
+/// plus a human-readable reason.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Unsupported(pub String);
+pub struct Unsupported {
+    /// The decline class, for fallback attribution.
+    pub kind: FallbackKind,
+    /// Human-readable detail.
+    pub reason: String,
+}
+
+impl Unsupported {
+    /// A new decline with an explicit class.
+    pub fn new(kind: FallbackKind, reason: impl Into<String>) -> Self {
+        Unsupported {
+            kind,
+            reason: reason.into(),
+        }
+    }
+}
 
 impl fmt::Display for Unsupported {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "plan not compilable to a wire program: {}", self.0)
+        write!(f, "plan not compilable to a wire program: {}", self.reason)
     }
 }
 
 impl std::error::Error for Unsupported {}
 
-fn unsup<T>(m: impl Into<String>) -> Result<T, Unsupported> {
-    Err(Unsupported(m.into()))
+fn unsup<T>(kind: FallbackKind, m: impl Into<String>) -> Result<T, Unsupported> {
+    Err(Unsupported::new(kind, m))
 }
 
 fn err<T>(m: impl Into<String>) -> Result<T, CdrError> {
@@ -72,13 +169,21 @@ fn err<T>(m: impl Into<String>) -> Result<T, CdrError> {
 }
 
 /// A nominal-record access path into the source value (child indexes).
-type Path = Box<[u16]>;
+/// [`STEP_CHOICE0`] entries step through a transparent singleton-choice
+/// wrapper instead of a record field.
+pub type Path = Box<[u16]>;
+
+/// Path sentinel: descend through a `Choice { index: 0 }` wrapper (a
+/// transparent singleton layer the comparer resolved through). Values
+/// produced against the collapsed view pass through unchanged, matching
+/// the interpreter's lenient unwrap.
+pub const STEP_CHOICE0: u16 = u16::MAX;
 
 /// One encode-side opcode: fetch the source sub-value at `path` (record
 /// child indexes from the node's scope value) and write it in the
 /// destination representation. Ops run in wire order.
 #[derive(Debug, Clone, PartialEq)]
-enum EncOp {
+pub enum EncOp {
     /// Fixed-width integer in the destination's representation, with the
     /// destination's range check (mirrors `CdrWriter::put_value`).
     UInt {
@@ -102,24 +207,36 @@ enum EncOp {
     IntoDynamic { tag: Arc<str>, path: Path },
     /// `u32` count + elements, each through the element node.
     Seq { elem: u32, path: Path },
-    /// `u32` destination discriminant + payload through the arm's node.
-    /// Arms are indexed by the *source* nominal choice index.
+    /// Destination discriminant(s) + payload through the arm's node.
+    /// Arms are indexed by the *source* nominal choice index; nested
+    /// arms replay flattened-through inner choices.
     Choice { arms: Box<[EncArm]>, path: Path },
+    /// A compile-time constant `u32` discriminant (a transparent
+    /// singleton wrapper the destination side re-adds). Reads nothing
+    /// from the source value.
+    Tag { value: u32 },
 }
 
-/// One encode dispatch-table arm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct EncArm {
-    /// Destination nominal discriminant; `u32::MAX` marks an alternative
-    /// the comparer left unmatched (taking it errors, like the oracle).
-    dst: u32,
-    node: u32,
+/// One encode dispatch-table arm, indexed by the source value's nominal
+/// choice index at its level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncArm {
+    /// The comparer left this alternative unmatched; taking it errors,
+    /// like the oracle.
+    Unmatched,
+    /// A matched alternative: write the destination's nominal
+    /// discriminant chain (`tags`, outermost first), then the payload
+    /// through `node`.
+    Leaf { tags: Box<[u32]>, node: u32 },
+    /// A nested choice the comparer's flatten descended through:
+    /// dispatch again on the inner value without consuming wire bytes.
+    Nested { arms: Box<[EncArm]> },
 }
 
 /// One decode-side opcode: parse bytes in wire order and store the
 /// (already destination-side) value into a slot of the node frame.
 #[derive(Debug, Clone, PartialEq)]
-enum DecOp {
+pub enum DecOp {
     UInt {
         size: u8,
         signed: bool,
@@ -152,32 +269,47 @@ enum DecOp {
         elem: u32,
         slot: u32,
     },
-    /// Arms indexed by the wire discriminant.
+    /// Arms indexed by the wire discriminant(s).
     Choice {
         arms: Box<[DecArm]>,
         slot: u32,
     },
+    /// A constant wire discriminant (a transparent singleton wrapper on
+    /// the wire side): read a `u32` and require it to equal `expect`.
+    Tag {
+        expect: u32,
+    },
 }
 
-/// One decode dispatch-table arm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct DecArm {
-    /// Destination nominal choice index; `u32::MAX` marks a wire
-    /// alternative with no backward counterpart.
-    dst: u32,
-    node: u32,
+/// One decode dispatch-table arm, indexed by the wire discriminant at
+/// its level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecArm {
+    /// A wire alternative with no backward counterpart; erroring, like
+    /// the oracle.
+    Unmatched,
+    /// A matched alternative: parse the payload through `node`, then
+    /// wrap it in the destination's nominal choice chain (`wraps`,
+    /// outermost first).
+    Leaf { wraps: Box<[u32]>, node: u32 },
+    /// A nested wire choice flattened through by the comparer: read
+    /// another discriminant and dispatch again.
+    Nested { arms: Box<[DecArm]> },
 }
 
 /// Post-order value builder: after a node's `DecOp`s fill the slot
 /// frame, these reconstruct the destination-side nominal value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum BuildOp {
+pub enum BuildOp {
     /// Push the slot's value.
     Slot(u32),
     /// Push `Unit` (a unit-eliminated or leaf unit position).
     Unit,
     /// Pop `arity` values, push a `Record` of them in push order.
     Record { arity: u32 },
+    /// Pop one value, push `Choice { index, value }` (re-adding a
+    /// transparent singleton wrapper the comparer resolved through).
+    Wrap { index: u32 },
 }
 
 /// One compiled scope: a matched pair's opcode buffers.
@@ -435,23 +567,44 @@ impl WireProgram {
                     }
                 }
                 EncOp::Choice { arms, path } => {
-                    let MValue::Choice { index, value } = scope.nav(path)? else {
-                        return err("expected a choice value");
-                    };
-                    let Some(arm) = arms.get(*index) else {
-                        return err(format!("choice index {index} out of {}", arms.len()));
-                    };
-                    if arm.dst == u32::MAX {
-                        return err(format!(
-                            "alternative {index} was not matched by the comparer"
-                        ));
-                    }
-                    w.put_uint(4, arm.dst as u64);
-                    self.run_enc(arm.node, Scope::Value(value), w, depth + 1)?;
+                    self.enc_choice(arms, scope.nav(path)?, w, depth)?;
+                }
+                EncOp::Tag { value } => {
+                    w.put_uint(4, *value as u64);
                 }
             }
         }
         Ok(())
+    }
+
+    /// Dispatches one (possibly nested) encode choice: the value's
+    /// nominal index selects an arm; nested arms descend into inner
+    /// choice wrappers the comparer's flatten collapsed.
+    fn enc_choice(
+        &self,
+        arms: &[EncArm],
+        v: &MValue,
+        w: &mut CdrWriter,
+        depth: usize,
+    ) -> Result<(), CdrError> {
+        let MValue::Choice { index, value } = v else {
+            return err("expected a choice value");
+        };
+        let Some(arm) = arms.get(*index) else {
+            return err(format!("choice index {index} out of {}", arms.len()));
+        };
+        match arm {
+            EncArm::Unmatched => err(format!(
+                "alternative {index} was not matched by the comparer"
+            )),
+            EncArm::Leaf { tags, node } => {
+                for t in tags.iter() {
+                    w.put_uint(4, *t as u64);
+                }
+                self.run_enc(*node, Scope::Value(value), w, depth + 1)
+            }
+            EncArm::Nested { arms } => self.enc_choice(arms, value, w, depth),
+        }
     }
 
     fn run_dec(&self, node: u32, r: &mut CdrReader<'_>, depth: usize) -> Result<MValue, CdrError> {
@@ -519,18 +672,15 @@ impl WireProgram {
                     slots[*slot as usize] = MValue::List(items);
                 }
                 DecOp::Choice { arms, slot } => {
-                    let disc = r.get_uint(4)? as usize;
-                    let Some(arm) = arms.get(disc) else {
-                        return err(format!("choice discriminant {disc} out of {}", arms.len()));
-                    };
-                    if arm.dst == u32::MAX {
-                        return err(format!("alternative {disc} has no backward counterpart"));
+                    slots[*slot as usize] = self.dec_choice(arms, r, depth)?;
+                }
+                DecOp::Tag { expect } => {
+                    let disc = r.get_uint(4)? as u32;
+                    if disc != *expect {
+                        return err(format!(
+                            "wire discriminant {disc} where the singleton wrapper requires {expect}"
+                        ));
                     }
-                    let value = self.run_dec(arm.node, r, depth + 1)?;
-                    slots[*slot as usize] = MValue::Choice {
-                        index: arm.dst as usize,
-                        value: Box::new(value),
-                    };
                 }
             }
         }
@@ -549,11 +699,46 @@ impl WireProgram {
                     let items: Vec<MValue> = stack.drain(at..).collect();
                     stack.push(MValue::Record(items));
                 }
+                BuildOp::Wrap { index } => {
+                    let inner = stack
+                        .pop()
+                        .ok_or_else(|| CdrError("malformed build program".into()))?;
+                    stack.push(MValue::Choice {
+                        index: *index as usize,
+                        value: Box::new(inner),
+                    });
+                }
             }
         }
         match (stack.pop(), stack.is_empty()) {
             (Some(v), true) => Ok(v),
             _ => err("malformed build program"),
+        }
+    }
+
+    /// Dispatches one (possibly nested) decode choice: wire
+    /// discriminants select arms level by level; the leaf's payload is
+    /// re-wrapped in the destination's nominal choice chain.
+    fn dec_choice(
+        &self,
+        arms: &[DecArm],
+        r: &mut CdrReader<'_>,
+        depth: usize,
+    ) -> Result<MValue, CdrError> {
+        let disc = r.get_uint(4)? as usize;
+        let Some(arm) = arms.get(disc) else {
+            return err(format!("choice discriminant {disc} out of {}", arms.len()));
+        };
+        match arm {
+            DecArm::Unmatched => err(format!("alternative {disc} has no backward counterpart")),
+            DecArm::Leaf { wraps, node } => {
+                let value = self.run_dec(*node, r, depth + 1)?;
+                Ok(wraps.iter().rev().fold(value, |acc, &i| MValue::Choice {
+                    index: i as usize,
+                    value: Box::new(acc),
+                }))
+            }
+            DecArm::Nested { arms } => self.dec_choice(arms, r, depth),
         }
     }
 }
@@ -601,9 +786,24 @@ impl<'v> Scope<'v> {
 }
 
 /// Navigates a nominal record path from the scope value.
+/// [`STEP_CHOICE0`] steps descend through transparent singleton-choice
+/// wrappers: a `Choice { index: 0 }` is unwrapped, any other index
+/// errors (the wrapper has exactly one alternative), and a non-choice
+/// value passes through unchanged — the interpreter's lenient unwrap
+/// for values produced against the collapsed view.
 fn nav<'v>(scope: &'v MValue, path: &[u16]) -> Result<&'v MValue, CdrError> {
     let mut cur = scope;
     for &i in path {
+        if i == STEP_CHOICE0 {
+            match cur {
+                MValue::Choice { index: 0, value } => cur = value,
+                MValue::Choice { index, .. } => {
+                    return err(format!("choice index {index} out of 1"));
+                }
+                _ => {}
+            }
+            continue;
+        }
         let MValue::Record(items) = cur else {
             return err(format!("expected a record value, got {cur}"));
         };
@@ -654,7 +854,7 @@ fn int_repr(r: &IntRange) -> Result<(u8, bool), Unsupported> {
         } else if r.hi <= u64::MAX as i128 {
             (8, false)
         } else {
-            return unsup("integer range exceeds 64 bits");
+            return unsup(FallbackKind::WideInt, "integer range exceeds 64 bits");
         })
     } else {
         Ok(if r.lo >= i8::MIN as i128 && r.hi <= i8::MAX as i128 {
@@ -666,7 +866,7 @@ fn int_repr(r: &IntRange) -> Result<(u8, bool), Unsupported> {
         } else if r.lo >= i64::MIN as i128 && r.hi <= i64::MAX as i128 {
             (8, true)
         } else {
-            return unsup("integer range exceeds 64 bits");
+            return unsup(FallbackKind::WideInt, "integer range exceeds 64 bits");
         })
     }
 }
@@ -746,8 +946,11 @@ impl<'p> Compiler<'p> {
             return Ok(id);
         }
         let id = self.nodes.len() as u32;
-        if id as usize > 4096 {
-            return unsup("program node table exceeds 4096 scopes");
+        if id as usize > MAX_NODES {
+            return unsup(
+                FallbackKind::NodeBudget,
+                "program node table exceeds 4096 scopes",
+            );
         }
         self.nodes.push(Node::default());
         self.memo.insert(key, id);
@@ -793,19 +996,40 @@ impl<'p> Compiler<'p> {
                 let rules = self.rules();
                 let lg = plan.left_graph();
                 let rg = plan.right_graph();
-                let lr = lg.resolve(l);
-                let rr = rg.resolve(r);
+                let lr0 = lg.resolve(l);
+                let rr0 = rg.resolve(r);
+                let lr = resolve_transparent(lg, &rules, lr0);
+                let rr = resolve_transparent(rg, &rules, rr0);
                 // Transparent singleton choices make the interpreter
-                // unwrap/rewrap value layers; decline rather than guess.
-                if resolve_transparent(lg, &rules, lr) != lr
-                    || resolve_transparent(rg, &rules, rr) != rr
-                {
-                    return unsup("transparent singleton choice in the pair");
+                // unwrap source-side wrappers and re-add destination-side
+                // ones; replay both as compile-time chains. Chains the
+                // rewrap would not walk child-by-child (dedup-collapsed
+                // singletons with several nominal children) are declined.
+                let lwraps = transparent_chain(lg, &rules, lr0, lr)?;
+                let rwraps = transparent_chain(rg, &rules, rr0, rr)?;
+                let saved = prefix.len();
+                for _ in 0..lwraps {
+                    prefix.push(STEP_CHOICE0);
+                }
+                for _ in 0..rwraps {
+                    self.nodes[node as usize].enc.push(EncOp::Tag { value: 0 });
+                    if self.two_way {
+                        self.nodes[node as usize].dec.push(DecOp::Tag { expect: 0 });
+                    }
                 }
                 let entry = plan
                     .matched_entry(lr, rr)
-                    .map_err(|e| Unsupported(e.to_string()))?;
-                self.emit_entry(plan, &rules, lr, rr, entry, prefix, node, skip_right_child)
+                    .map_err(|e| Unsupported::new(FallbackKind::EntryShape, e.to_string()))?;
+                let result =
+                    self.emit_entry(plan, &rules, lr, rr, entry, prefix, node, skip_right_child);
+                prefix.truncate(saved);
+                let mut build = result?;
+                if self.two_way {
+                    for _ in 0..lwraps {
+                        build.push(BuildOp::Wrap { index: 0 });
+                    }
+                }
+                Ok(build)
             }
             Source::Identity(g) => {
                 let g = *g;
@@ -829,13 +1053,19 @@ impl<'p> Compiler<'p> {
         let lg = plan.left_graph();
         let rg = plan.right_graph();
         match entry {
-            Entry::Semantic => unsup("semantic bridges run hand-written converters"),
+            Entry::Semantic => unsup(
+                FallbackKind::Semantic,
+                "semantic bridges run hand-written converters",
+            ),
             Entry::Prim(pc) => {
                 let path: Path = prefix.as_slice().into();
                 match pc {
                     PrimCoercion::Int => {
                         let MtypeKind::Integer(range) = rg.kind(rr) else {
-                            return unsup("Int coercion against a non-integer target");
+                            return unsup(
+                                FallbackKind::EntryShape,
+                                "Int coercion against a non-integer target",
+                            );
                         };
                         let (size, signed) = int_repr(range)?;
                         self.nodes[node as usize].enc.push(EncOp::UInt {
@@ -859,7 +1089,10 @@ impl<'p> Compiler<'p> {
                     }
                     PrimCoercion::Real { .. } => {
                         let MtypeKind::Real(p) = rg.kind(rr) else {
-                            return unsup("Real coercion against a non-real target");
+                            return unsup(
+                                FallbackKind::EntryShape,
+                                "Real coercion against a non-real target",
+                            );
                         };
                         let single = *p == RealPrecision::SINGLE;
                         self.nodes[node as usize]
@@ -876,7 +1109,10 @@ impl<'p> Compiler<'p> {
                     }
                     PrimCoercion::Char => {
                         let MtypeKind::Character(rep) = rg.kind(rr) else {
-                            return unsup("Char coercion against a non-character target");
+                            return unsup(
+                                FallbackKind::EntryShape,
+                                "Char coercion against a non-character target",
+                            );
                         };
                         let size = char_size(rep);
                         self.nodes[node as usize]
@@ -906,7 +1142,10 @@ impl<'p> Compiler<'p> {
                     }
                     PrimCoercion::IntoDynamic => {
                         if !matches!(rg.kind(rr), MtypeKind::Dynamic) {
-                            return unsup("IntoDynamic against a non-dynamic target");
+                            return unsup(
+                                FallbackKind::EntryShape,
+                                "IntoDynamic against a non-dynamic target",
+                            );
                         }
                         let tag: Arc<str> = lg.display(lr).to_string().into();
                         self.nodes[node as usize]
@@ -958,57 +1197,48 @@ impl<'p> Compiler<'p> {
                         return Ok(Vec::new());
                     }
                     (None, None) => {}
-                    _ => return unsup("list spine matched against a non-list choice"),
-                }
-                // The wire writes *nominal* discriminants; we only
-                // compile choices whose flattened view is the nominal
-                // one, so flat indexes and discriminants coincide.
-                let l_nominal = nominal_choice(lg, rules, lr)?;
-                let r_nominal = nominal_choice(rg, rules, rr)?;
-                if !same_ids(lg, &l_nominal, &left_alts) || !same_ids(rg, &r_nominal, &right_alts) {
-                    return unsup("flattened choice diverges from nominal alternatives");
-                }
-                let mut enc_arms = Vec::with_capacity(left_alts.len());
-                for (j, &lalt) in left_alts.iter().enumerate() {
-                    let dst = alt_map[j];
-                    if dst == usize::MAX {
-                        enc_arms.push(EncArm {
-                            dst: u32::MAX,
-                            node: 0,
-                        });
-                    } else {
-                        let sub = self.compile_node(lalt, right_alts[dst])?;
-                        enc_arms.push(EncArm {
-                            dst: dst as u32,
-                            node: sub,
-                        });
+                    _ => {
+                        return unsup(
+                            FallbackKind::ListShape,
+                            "list spine matched against a non-list choice",
+                        )
                     }
                 }
+                // The wire writes *nominal* discriminants while the
+                // entry's alternative lists are the comparer's
+                // *flattened* view. Verify the flatten replays, then
+                // compile dispatch trees that mirror the nominal choice
+                // structure — nested arms for choices the flatten
+                // descended through, discriminant chains for the
+                // destination's nominal index path.
+                let l_flat = choice_flat_list(lg, rules, lr);
+                let r_flat = choice_flat_list(rg, rules, rr);
+                if !same_ids(lg, &l_flat, &left_alts) || !same_ids(rg, &r_flat, &right_alts) {
+                    return unsup(
+                        FallbackKind::ChoiceShape,
+                        "flattened choice diverges from the matched alternatives",
+                    );
+                }
+                let cx = ChoiceCx {
+                    l_root: lr,
+                    r_root: rr,
+                    l_flat: &l_flat,
+                    r_flat: &r_flat,
+                    left_alts: &left_alts,
+                    right_alts: &right_alts,
+                    alt_map: &alt_map,
+                };
+                let enc_arms = self.enc_choice_arms(plan, rules, lr, &mut Vec::new(), &cx)?;
                 let path: Path = prefix.as_slice().into();
                 self.nodes[node as usize].enc.push(EncOp::Choice {
-                    arms: enc_arms.into_boxed_slice(),
+                    arms: enc_arms,
                     path,
                 });
                 if self.two_way {
-                    let mut dec_arms = Vec::with_capacity(right_alts.len());
-                    for (i, &ralt) in right_alts.iter().enumerate() {
-                        match alt_map.iter().position(|&d| d == i) {
-                            Some(j) => {
-                                let sub = self.compile_node(left_alts[j], ralt)?;
-                                dec_arms.push(DecArm {
-                                    dst: j as u32,
-                                    node: sub,
-                                });
-                            }
-                            None => dec_arms.push(DecArm {
-                                dst: u32::MAX,
-                                node: 0,
-                            }),
-                        }
-                    }
+                    let dec_arms = self.dec_choice_arms(plan, rules, rr, &mut Vec::new(), &cx)?;
                     let slot = self.slot(node);
                     self.nodes[node as usize].dec.push(DecOp::Choice {
-                        arms: dec_arms.into_boxed_slice(),
+                        arms: dec_arms,
                         slot,
                     });
                     return Ok(vec![BuildOp::Slot(slot)]);
@@ -1022,7 +1252,10 @@ impl<'p> Compiler<'p> {
                 policy,
             } => {
                 if self.inline_stack.contains(&(lr, rr)) {
-                    return unsup("record cycle with no intervening choice");
+                    return unsup(
+                        FallbackKind::RecordCycle,
+                        "record cycle with no intervening choice",
+                    );
                 }
                 self.inline_stack.push((lr, rr));
                 let result = self.emit_record(
@@ -1042,6 +1275,162 @@ impl<'p> Compiler<'p> {
                 result
             }
         }
+    }
+
+    /// Build the encode dispatch tree for a choice entry. The tree
+    /// mirrors the *nominal* structure of the source choice (the shape
+    /// incoming `MValue::Choice` indexes follow), descending into
+    /// exactly the nested choices the comparer's flatten descended
+    /// through; each leaf records the destination's nominal
+    /// discriminant chain and the payload sub-program.
+    fn enc_choice_arms(
+        &mut self,
+        plan: &CoercionPlan,
+        rules: &RuleSet,
+        lnode: MtypeId,
+        path: &mut Vec<MtypeId>,
+        cx: &ChoiceCx<'_>,
+    ) -> Result<Box<[EncArm]>, Unsupported> {
+        let lg = plan.left_graph();
+        let rg = plan.right_graph();
+        let MtypeKind::Choice(children) = lg.kind(lnode) else {
+            return unsup(
+                FallbackKind::ChoiceShape,
+                "choice entry against a non-choice node",
+            );
+        };
+        let children = children.clone();
+        path.push(lnode);
+        let mut arms = Vec::with_capacity(children.len());
+        for &c in children.iter() {
+            let rchild = lg.resolve(c);
+            if rules.assoc
+                && matches!(lg.kind(rchild), MtypeKind::Choice(_))
+                && !path.contains(&rchild)
+                && list_element_type(lg, rchild).is_none()
+            {
+                let inner = self.enc_choice_arms(plan, rules, rchild, path, cx);
+                match inner {
+                    Ok(inner) => arms.push(EncArm::Nested { arms: inner }),
+                    Err(e) => {
+                        path.pop();
+                        return Err(e);
+                    }
+                }
+                continue;
+            }
+            let Some(j) = cx
+                .l_flat
+                .iter()
+                .position(|&x| x == c)
+                .or_else(|| cx.l_flat.iter().position(|&x| lg.resolve(x) == rchild))
+            else {
+                path.pop();
+                return unsup(
+                    FallbackKind::ChoiceShape,
+                    "nominal alternative missing from the flattened choice",
+                );
+            };
+            let dst = cx.alt_map[j];
+            if dst == usize::MAX {
+                arms.push(EncArm::Unmatched);
+                continue;
+            }
+            let Some(tags) = nominal_tag_path(rg, rules, cx.r_root, cx.right_alts[dst]) else {
+                path.pop();
+                return unsup(
+                    FallbackKind::ChoiceShape,
+                    "destination alternative unreachable through nominal discriminants",
+                );
+            };
+            let sub = self.compile_node(cx.left_alts[j], cx.right_alts[dst]);
+            match sub {
+                Ok(node) => arms.push(EncArm::Leaf { tags, node }),
+                Err(e) => {
+                    path.pop();
+                    return Err(e);
+                }
+            }
+        }
+        path.pop();
+        Ok(arms.into_boxed_slice())
+    }
+
+    /// Build the decode dispatch tree for a choice entry, mirroring
+    /// the *destination's* nominal structure (the shape wire
+    /// discriminants follow on decode); each leaf records the source
+    /// side's nominal wrapper chain to rebuild and the payload
+    /// sub-program.
+    fn dec_choice_arms(
+        &mut self,
+        plan: &CoercionPlan,
+        rules: &RuleSet,
+        rnode: MtypeId,
+        path: &mut Vec<MtypeId>,
+        cx: &ChoiceCx<'_>,
+    ) -> Result<Box<[DecArm]>, Unsupported> {
+        let lg = plan.left_graph();
+        let rg = plan.right_graph();
+        let MtypeKind::Choice(children) = rg.kind(rnode) else {
+            return unsup(
+                FallbackKind::ChoiceShape,
+                "choice entry against a non-choice node",
+            );
+        };
+        let children = children.clone();
+        path.push(rnode);
+        let mut arms = Vec::with_capacity(children.len());
+        for &c in children.iter() {
+            let rchild = rg.resolve(c);
+            if rules.assoc
+                && matches!(rg.kind(rchild), MtypeKind::Choice(_))
+                && !path.contains(&rchild)
+                && list_element_type(rg, rchild).is_none()
+            {
+                let inner = self.dec_choice_arms(plan, rules, rchild, path, cx);
+                match inner {
+                    Ok(inner) => arms.push(DecArm::Nested { arms: inner }),
+                    Err(e) => {
+                        path.pop();
+                        return Err(e);
+                    }
+                }
+                continue;
+            }
+            let Some(dst) = cx
+                .r_flat
+                .iter()
+                .position(|&x| x == c)
+                .or_else(|| cx.r_flat.iter().position(|&x| rg.resolve(x) == rchild))
+            else {
+                path.pop();
+                return unsup(
+                    FallbackKind::ChoiceShape,
+                    "nominal alternative missing from the flattened choice",
+                );
+            };
+            let Some(j) = cx.alt_map.iter().position(|&d| d == dst) else {
+                arms.push(DecArm::Unmatched);
+                continue;
+            };
+            let Some(wraps) = nominal_tag_path(lg, rules, cx.l_root, cx.left_alts[j]) else {
+                path.pop();
+                return unsup(
+                    FallbackKind::ChoiceShape,
+                    "source alternative unreachable through nominal wrappers",
+                );
+            };
+            let sub = self.compile_node(cx.left_alts[j], cx.right_alts[dst]);
+            match sub {
+                Ok(node) => arms.push(DecArm::Leaf { wraps, node }),
+                Err(e) => {
+                    path.pop();
+                    return Err(e);
+                }
+            }
+        }
+        path.pop();
+        Ok(arms.into_boxed_slice())
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1064,26 +1453,35 @@ impl<'p> Compiler<'p> {
         let src_leaves = flat_leaves(lg, rules, lr, policy)?;
         let dst_leaves = flat_leaves(rg, rules, rr, policy)?;
         if src_leaves.len() != left_children.len() || dst_leaves.len() != right_children.len() {
-            return unsup("flatten replay diverges from the entry's children");
+            return unsup(
+                FallbackKind::EntryShape,
+                "flatten replay diverges from the entry's children",
+            );
         }
         for (leaf, child) in src_leaves.iter().zip(left_children) {
             if lg.resolve(leaf.0) != lg.resolve(*child) {
-                return unsup("flatten replay diverges from the entry's children");
+                return unsup(
+                    FallbackKind::EntryShape,
+                    "flatten replay diverges from the entry's children",
+                );
             }
         }
         for (leaf, child) in dst_leaves.iter().zip(right_children) {
             if rg.resolve(leaf.0) != rg.resolve(*child) {
-                return unsup("flatten replay diverges from the entry's children");
+                return unsup(
+                    FallbackKind::EntryShape,
+                    "flatten replay diverges from the entry's children",
+                );
             }
         }
         if perm.len() != right_children.len() {
-            return unsup("entry permutation arity mismatch");
+            return unsup(FallbackKind::EntryShape, "entry permutation arity mismatch");
         }
         let mut frags: Vec<Option<Vec<BuildOp>>> = vec![None; left_children.len()];
         for (i, dst_leaf) in dst_leaves.iter().enumerate() {
             let j = perm[i];
             if j >= src_leaves.len() {
-                return unsup("entry permutation out of range");
+                return unsup(FallbackKind::EntryShape, "entry permutation out of range");
             }
             if skip_right_child == Some(dst_leaf.1.first().copied().unwrap_or(u16::MAX) as usize)
                 && dst_leaf.1.len() == 1
@@ -1117,7 +1515,10 @@ impl<'p> Compiler<'p> {
             true,
         )?;
         if cursor != frags.len() {
-            return unsup("build replay diverges from the entry's children");
+            return unsup(
+                FallbackKind::EntryShape,
+                "build replay diverges from the entry's children",
+            );
         }
         Ok(out)
     }
@@ -1190,7 +1591,10 @@ impl<'p> Compiler<'p> {
             }
             MtypeKind::Record(children) => {
                 if self.inline_stack.contains(&(t, t)) {
-                    return unsup("record cycle with no intervening choice");
+                    return unsup(
+                        FallbackKind::RecordCycle,
+                        "record cycle with no intervening choice",
+                    );
                 }
                 self.inline_stack.push((t, t));
                 let children = children.clone();
@@ -1238,12 +1642,12 @@ impl<'p> Compiler<'p> {
                 let mut dec_arms = Vec::with_capacity(alts.len());
                 for (i, a) in alts.iter().enumerate() {
                     let sub = self.compile_node(*a, *a)?;
-                    enc_arms.push(EncArm {
-                        dst: i as u32,
+                    enc_arms.push(EncArm::Leaf {
+                        tags: Box::from([i as u32]),
                         node: sub,
                     });
-                    dec_arms.push(DecArm {
-                        dst: i as u32,
+                    dec_arms.push(DecArm::Leaf {
+                        wraps: Box::from([i as u32]),
                         node: sub,
                     });
                 }
@@ -1258,32 +1662,140 @@ impl<'p> Compiler<'p> {
                 });
                 Ok(vec![BuildOp::Slot(slot)])
             }
-            MtypeKind::Recursive(_) => unsup("unresolved recursive binder"),
+            MtypeKind::Recursive(_) => {
+                unsup(FallbackKind::EntryShape, "unresolved recursive binder")
+            }
         }
     }
 }
 
-/// The nominal alternatives of a choice node, verified against the
-/// flattened view the comparer used (they must coincide for discriminants
-/// to be compile-time constants).
-fn nominal_choice(
+/// Shared context for building choice dispatch trees: the entry's
+/// resolved roots, the comparer's flattened alternative lists, and the
+/// match's flat-index correspondence.
+struct ChoiceCx<'a> {
+    l_root: MtypeId,
+    r_root: MtypeId,
+    l_flat: &'a [MtypeId],
+    r_flat: &'a [MtypeId],
+    left_alts: &'a [MtypeId],
+    right_alts: &'a [MtypeId],
+    alt_map: &'a [usize],
+}
+
+/// The flattened alternative list of a Choice node under the rule set
+/// (the comparer's view: associative flatten + id-level dedup when
+/// `assoc` is on, the nominal children otherwise).
+fn choice_flat_list(g: &MtypeGraph, rules: &RuleSet, node: MtypeId) -> Vec<MtypeId> {
+    if rules.assoc {
+        flatten_choice(g, node)
+    } else {
+        g.kind(node).children().to_vec()
+    }
+}
+
+/// Whether a (resolved) node is a singleton Choice the comparer's
+/// resolution collapsed through (mirror of the plan interpreter's
+/// `is_transparent_singleton`).
+fn is_transparent_singleton(g: &MtypeGraph, rules: &RuleSet, node: MtypeId) -> bool {
+    rules.singleton_choice && matches!(g.kind(node), MtypeKind::Choice(_)) && {
+        let flat = choice_flat_list(g, rules, node);
+        flat.len() == 1 && g.resolve(flat[0]) != node
+    }
+}
+
+/// The number of transparent singleton wrapper layers between `from`
+/// (resolved) and `to` (= `resolve_transparent(from)`), replaying the
+/// interpreter's rewrap walk child-by-child. Declines chains the walk
+/// cannot replay — a dedup-collapsed singleton with several nominal
+/// children, or a walk that diverges from the comparer's resolution.
+fn transparent_chain(
+    g: &MtypeGraph,
+    rules: &RuleSet,
+    from: MtypeId,
+    to: MtypeId,
+) -> Result<usize, Unsupported> {
+    if from == to {
+        return Ok(0);
+    }
+    let mut cur = from;
+    let mut k = 0usize;
+    while is_transparent_singleton(g, rules, cur) {
+        let MtypeKind::Choice(children) = g.kind(cur) else {
+            unreachable!("is_transparent_singleton only accepts Choice nodes");
+        };
+        if children.len() != 1 {
+            return unsup(
+                FallbackKind::TransparentChoice,
+                "transparent singleton choice with several nominal alternatives",
+            );
+        }
+        cur = g.resolve(children[0]);
+        k += 1;
+        if k > g.len() + 1 {
+            return unsup(
+                FallbackKind::TransparentChoice,
+                "singleton choice chain does not terminate",
+            );
+        }
+    }
+    if cur != to {
+        return unsup(
+            FallbackKind::TransparentChoice,
+            "transparent singleton chain diverges from the comparer's resolution",
+        );
+    }
+    Ok(k)
+}
+
+/// The nominal discriminant chain selecting `target` inside the choice
+/// tree rooted at `node` (the compile-time mirror of the interpreter's
+/// `choice_from_flat`): depth-first over the nominal alternatives,
+/// descending into choices the flatten descended through, first match
+/// by id then by resolution.
+fn nominal_tag_path(
     g: &MtypeGraph,
     rules: &RuleSet,
     node: MtypeId,
-) -> Result<Vec<MtypeId>, Unsupported> {
-    let MtypeKind::Choice(children) = g.kind(node) else {
-        return unsup("choice entry against a non-choice node");
-    };
-    let children = children.clone();
-    let flat = if rules.assoc {
-        flatten_choice(g, node)
-    } else {
-        children.clone()
-    };
-    if !same_ids(g, &flat, &children) {
-        return unsup("flattened choice diverges from nominal alternatives");
+    target: MtypeId,
+) -> Option<Box<[u32]>> {
+    fn dfs(
+        g: &MtypeGraph,
+        rules: &RuleSet,
+        node: MtypeId,
+        target: MtypeId,
+        path: &mut Vec<MtypeId>,
+        idx_path: &mut Vec<u32>,
+    ) -> bool {
+        let node = g.resolve(node);
+        let MtypeKind::Choice(children) = g.kind(node) else {
+            return false;
+        };
+        path.push(node);
+        for (i, &child) in children.clone().iter().enumerate() {
+            let rchild = g.resolve(child);
+            if rules.assoc
+                && matches!(g.kind(rchild), MtypeKind::Choice(_))
+                && !path.contains(&rchild)
+                && list_element_type(g, rchild).is_none()
+            {
+                idx_path.push(i as u32);
+                if dfs(g, rules, rchild, target, path, idx_path) {
+                    path.pop();
+                    return true;
+                }
+                idx_path.pop();
+            } else if child == target || rchild == g.resolve(target) {
+                idx_path.push(i as u32);
+                path.pop();
+                return true;
+            }
+        }
+        path.pop();
+        false
     }
-    Ok(children)
+    let mut path = Vec::new();
+    let mut idx_path = Vec::new();
+    dfs(g, rules, node, target, &mut path, &mut idx_path).then(|| idx_path.into_boxed_slice())
 }
 
 fn same_ids(g: &MtypeGraph, a: &[MtypeId], b: &[MtypeId]) -> bool {
@@ -1304,7 +1816,10 @@ fn flat_leaves(
     match policy {
         RecordFlatten::OneLevel => {
             let MtypeKind::Record(children) = g.kind(node) else {
-                return unsup("one-level view of a non-record node");
+                return unsup(
+                    FallbackKind::EntryShape,
+                    "one-level view of a non-record node",
+                );
             };
             for (k, c) in children.clone().iter().enumerate() {
                 if rules.unit_elim && matches!(g.kind(g.resolve(*c)), MtypeKind::Unit) {
@@ -1338,7 +1853,10 @@ fn flat_leaves_rec(
     out: &mut Vec<(MtypeId, Vec<u16>)>,
 ) -> Result<(), Unsupported> {
     if path.len() > MAX_NESTING_DEPTH {
-        return unsup("record nesting exceeds supported depth");
+        return unsup(
+            FallbackKind::DepthBound,
+            "record nesting exceeds supported depth",
+        );
     }
     let node = g.resolve(node);
     match g.kind(node) {
@@ -1386,14 +1904,16 @@ fn build_replay(
     top: bool,
 ) -> Result<(), Unsupported> {
     if path.len() > MAX_NESTING_DEPTH {
-        return unsup("record nesting exceeds supported depth");
+        return unsup(
+            FallbackKind::DepthBound,
+            "record nesting exceeds supported depth",
+        );
     }
     let node = g.resolve(node);
     let splice = |cursor: &mut usize, out: &mut Vec<BuildOp>| -> Result<(), Unsupported> {
-        let frag = frags
-            .get(*cursor)
-            .and_then(|f| f.as_ref())
-            .ok_or_else(|| Unsupported("build replay ran out of leaves".into()))?;
+        let frag = frags.get(*cursor).and_then(|f| f.as_ref()).ok_or_else(|| {
+            Unsupported::new(FallbackKind::EntryShape, "build replay ran out of leaves")
+        })?;
         out.extend(frag.iter().copied());
         *cursor += 1;
         Ok(())
@@ -1401,7 +1921,10 @@ fn build_replay(
     match policy {
         RecordFlatten::OneLevel => {
             let MtypeKind::Record(children) = g.kind(node) else {
-                return unsup("one-level view of a non-record node");
+                return unsup(
+                    FallbackKind::EntryShape,
+                    "one-level view of a non-record node",
+                );
             };
             let children = children.clone();
             for c in &children {
@@ -1445,6 +1968,147 @@ fn build_replay(
             }
             _ => splice(cursor, out),
         },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Introspection (the stub emitter's typed view)
+// ---------------------------------------------------------------------
+
+/// A borrowed view of one compiled scope: everything the native stub
+/// emitter needs to specialise the scope into straight-line Rust.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeView<'a> {
+    /// The scope's id (node-function linkage; node 0 is the root).
+    pub id: u32,
+    /// Decode slot-frame size.
+    pub slots: u32,
+    /// Encode opcodes in wire order.
+    pub enc: &'a [EncOp],
+    /// Decode opcodes in wire order.
+    pub dec: &'a [DecOp],
+    /// Post-order value builders.
+    pub build: &'a [BuildOp],
+}
+
+/// A coalesced span of encode opcodes: `Fixed` runs are consecutive
+/// constant-width primitives (the emitter pre-reserves their worst-case
+/// byte budget in one call); `Flow` ops have data-dependent size or
+/// control flow.
+#[derive(Debug, Clone, Copy)]
+pub enum EncStep<'a> {
+    /// ≥1 consecutive fixed-width ops; the payload is their worst-case
+    /// wire footprint (sizes + maximal alignment padding).
+    Fixed(&'a [EncOp], usize),
+    /// A variable-size or dispatching op.
+    Flow(&'a EncOp),
+}
+
+/// As [`EncStep`] for the decode direction (reserve has no decode
+/// meaning, but fixed runs still group ops with no control flow).
+#[derive(Debug, Clone, Copy)]
+pub enum DecStep<'a> {
+    /// ≥1 consecutive fixed-width ops.
+    Fixed(&'a [DecOp]),
+    /// A variable-size or dispatching op.
+    Flow(&'a DecOp),
+}
+
+impl EncOp {
+    /// Wire footprint when constant: `Some(size)` for fixed-width
+    /// primitives (`Unit` is 0), `None` for data-dependent ops.
+    #[must_use]
+    pub fn wire_size(&self) -> Option<usize> {
+        match self {
+            EncOp::UInt { size, .. } | EncOp::Char { size, .. } => Some(*size as usize),
+            EncOp::Real { single, .. } => Some(if *single { 4 } else { 8 }),
+            EncOp::Unit { .. } => Some(0),
+            EncOp::Port { .. } => Some(8),
+            EncOp::Tag { .. } => Some(4),
+            EncOp::Dynamic { .. }
+            | EncOp::IntoDynamic { .. }
+            | EncOp::Seq { .. }
+            | EncOp::Choice { .. } => None,
+        }
+    }
+}
+
+impl DecOp {
+    /// Wire footprint when constant (see [`EncOp::wire_size`]).
+    #[must_use]
+    pub fn wire_size(&self) -> Option<usize> {
+        match self {
+            DecOp::UInt { size, .. } | DecOp::Char { size, .. } => Some(*size as usize),
+            DecOp::Real { single, .. } => Some(if *single { 4 } else { 8 }),
+            DecOp::Port { .. } => Some(8),
+            DecOp::Tag { .. } => Some(4),
+            DecOp::Dynamic { .. }
+            | DecOp::IntoDynamic { .. }
+            | DecOp::Seq { .. }
+            | DecOp::Choice { .. } => None,
+        }
+    }
+}
+
+/// Coalesces encode opcodes into [`EncStep`] runs.
+#[must_use]
+pub fn enc_runs(ops: &[EncOp]) -> Vec<EncStep<'_>> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < ops.len() {
+        match ops[i].wire_size() {
+            None => {
+                out.push(EncStep::Flow(&ops[i]));
+                i += 1;
+            }
+            Some(first) => {
+                let mut j = i + 1;
+                // Worst case per op: its size plus (alignment-1) padding.
+                let mut budget = first + first.saturating_sub(1);
+                while j < ops.len() {
+                    let Some(sz) = ops[j].wire_size() else { break };
+                    budget += sz + sz.saturating_sub(1);
+                    j += 1;
+                }
+                out.push(EncStep::Fixed(&ops[i..j], budget));
+                i = j;
+            }
+        }
+    }
+    out
+}
+
+/// Coalesces decode opcodes into [`DecStep`] runs.
+#[must_use]
+pub fn dec_runs(ops: &[DecOp]) -> Vec<DecStep<'_>> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < ops.len() {
+        if ops[i].wire_size().is_none() {
+            out.push(DecStep::Flow(&ops[i]));
+            i += 1;
+        } else {
+            let mut j = i + 1;
+            while j < ops.len() && ops[j].wire_size().is_some() {
+                j += 1;
+            }
+            out.push(DecStep::Fixed(&ops[i..j]));
+            i = j;
+        }
+    }
+    out
+}
+
+impl WireProgram {
+    /// Iterates the compiled scopes as typed views, in node-id order.
+    pub fn node_views(&self) -> impl ExactSizeIterator<Item = NodeView<'_>> {
+        self.nodes.iter().enumerate().map(|(i, n)| NodeView {
+            id: i as u32,
+            slots: n.slots,
+            enc: &n.enc,
+            dec: &n.dec,
+            build: &n.build,
+        })
     }
 }
 
@@ -1493,14 +2157,16 @@ impl ProgramStats {
 
 /// A thread-safe, content-addressed store of compiled wire programs,
 /// keyed like the verdict cache: `(left_fp, right_fp, Mode, rules_fp)`.
-/// Declined pairs are cached negatively so the fallback decision is also
-/// paid once.
+/// Declined pairs are cached negatively — with the [`FallbackKind`]
+/// that declined them — so the fallback decision (and its attribution)
+/// is paid once.
 #[derive(Debug, Default)]
 pub struct ProgramCache {
-    map: RwLock<HashMap<CacheKey, Option<Arc<WireProgram>>>>,
+    map: RwLock<HashMap<CacheKey, Result<Arc<WireProgram>, FallbackKind>>>,
     hits: AtomicU64,
     compiles: AtomicU64,
     unsupported: AtomicU64,
+    by_kind: [AtomicU64; FallbackKind::COUNT],
 }
 
 impl ProgramCache {
@@ -1536,7 +2202,15 @@ impl ProgramCache {
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
-        found
+        found.map(|r| r.ok())
+    }
+
+    /// The decline class cached for `key`, if the pair was declined.
+    pub fn lookup_reason(&self, key: &CacheKey) -> Option<FallbackKind> {
+        match self.map.read().unwrap().get(key) {
+            Some(Err(kind)) => Some(*kind),
+            _ => None,
+        }
     }
 
     /// Returns the program for `key`, compiling (and caching the
@@ -1546,17 +2220,33 @@ impl ProgramCache {
         key: CacheKey,
         compile: impl FnOnce() -> Result<WireProgram, Unsupported>,
     ) -> Option<Arc<WireProgram>> {
-        if let Some(found) = self.lookup(&key) {
-            return found;
+        self.get_or_compile_reasoned(key, compile).ok()
+    }
+
+    /// Like [`ProgramCache::get_or_compile`] but surfaces the
+    /// [`FallbackKind`] on the decline path, so batch pipelines can
+    /// attribute every interpretive fallback.
+    pub fn get_or_compile_reasoned(
+        &self,
+        key: CacheKey,
+        compile: impl FnOnce() -> Result<WireProgram, Unsupported>,
+    ) -> Result<Arc<WireProgram>, FallbackKind> {
+        {
+            let found = self.map.read().unwrap().get(&key).cloned();
+            if let Some(found) = found {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return found;
+            }
         }
         let outcome = match compile() {
             Ok(p) => {
                 self.compiles.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::new(p))
+                Ok(Arc::new(p))
             }
-            Err(_) => {
+            Err(e) => {
                 self.unsupported.fetch_add(1, Ordering::Relaxed);
-                None
+                self.by_kind[e.kind.index()].fetch_add(1, Ordering::Relaxed);
+                Err(e.kind)
             }
         };
         self.map
@@ -1567,9 +2257,18 @@ impl ProgramCache {
             .clone()
     }
 
+    /// Per-class decline counters in [`FallbackKind::all`] order
+    /// (compile-time attribution; zero entries included).
+    pub fn fallback_breakdown(&self) -> Vec<(FallbackKind, u64)> {
+        FallbackKind::all()
+            .iter()
+            .map(|&k| (k, self.by_kind[k.index()].load(Ordering::Relaxed)))
+            .collect()
+    }
+
     /// Inserts a program (used when absorbing persisted caches).
     pub fn insert(&self, key: CacheKey, program: Arc<WireProgram>) {
-        self.map.write().unwrap().insert(key, Some(program));
+        self.map.write().unwrap().insert(key, Ok(program));
     }
 
     /// The cache's positive entries in deterministic key order, for
@@ -1580,7 +2279,7 @@ impl ProgramCache {
             .read()
             .unwrap()
             .iter()
-            .filter_map(|(k, v)| v.as_ref().map(|p| (*k, p.clone())))
+            .filter_map(|(k, v)| v.as_ref().ok().map(|p| (*k, p.clone())))
             .collect();
         out.sort_by_key(|(k, _)| (k.left_fp, k.right_fp, k.rules_fp));
         out
@@ -1591,7 +2290,7 @@ impl ProgramCache {
         let mut map = self.map.write().unwrap();
         let mut n = 0usize;
         for (k, p) in items {
-            map.insert(k, Some(p));
+            map.insert(k, Ok(p));
             n += 1;
         }
         n
@@ -1602,7 +2301,60 @@ impl ProgramCache {
 // Byte codec (project-file persistence)
 // ---------------------------------------------------------------------
 
-const CODEC_VERSION: u8 = 1;
+const CODEC_VERSION: u8 = 2;
+
+/// Maximum number of scopes in a program's node table (compile-time
+/// budget and deserialisation bound alike).
+const MAX_NODES: usize = 4096;
+
+/// Maximum nesting depth accepted for serialised choice dispatch trees.
+const MAX_ARM_DEPTH: usize = 64;
+
+/// A typed decoding failure from [`WireProgram::from_bytes`]. Hostile
+/// or corrupt buffers are rejected with a precise cause instead of
+/// silent truncation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProgramCodecError {
+    /// The buffer ended before the structure it promised.
+    Truncated,
+    /// Bytes remained after the complete program was read.
+    TrailingBytes { extra: usize },
+    /// The leading version byte is not this codec's version.
+    BadVersion { got: u8 },
+    /// The node table exceeds the compiler's node budget.
+    NodeBudget { count: usize, max: usize },
+    /// A length field exceeds its plausibility budget.
+    Budget { what: &'static str },
+    /// An opcode byte outside the known range for its section.
+    UnknownOpcode { section: &'static str, code: u8 },
+    /// The bytes parsed but the program fails structural validation.
+    Invalid { what: &'static str },
+}
+
+impl fmt::Display for ProgramCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramCodecError::Truncated => write!(f, "truncated program bytes"),
+            ProgramCodecError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing byte(s) after the program")
+            }
+            ProgramCodecError::BadVersion { got } => {
+                write!(f, "unknown program codec version {got}")
+            }
+            ProgramCodecError::NodeBudget { count, max } => {
+                write!(f, "node table of {count} exceeds the budget of {max}")
+            }
+            ProgramCodecError::Budget { what } => write!(f, "implausible {what}"),
+            ProgramCodecError::UnknownOpcode { section, code } => {
+                write!(f, "unknown {section} opcode {code}")
+            }
+            ProgramCodecError::Invalid { what } => write!(f, "invalid program: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramCodecError {}
 
 struct ByteWriter(Vec<u8>);
 
@@ -1634,44 +2386,178 @@ struct ByteReader<'a> {
 }
 
 impl<'a> ByteReader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], Unsupported> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProgramCodecError> {
         if self.pos + n > self.data.len() {
-            return unsup("truncated program bytes");
+            return Err(ProgramCodecError::Truncated);
         }
         let out = &self.data[self.pos..self.pos + n];
         self.pos += n;
         Ok(out)
     }
-    fn u8(&mut self) -> Result<u8, Unsupported> {
+    fn u8(&mut self) -> Result<u8, ProgramCodecError> {
         Ok(self.take(1)?[0])
     }
-    fn u32(&mut self) -> Result<u32, Unsupported> {
+    fn u32(&mut self) -> Result<u32, ProgramCodecError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
-    fn i128(&mut self) -> Result<i128, Unsupported> {
+    fn i128(&mut self) -> Result<i128, ProgramCodecError> {
         let b = self.take(16)?;
         let mut arr = [0u8; 16];
         arr.copy_from_slice(b);
         Ok(i128::from_le_bytes(arr))
     }
-    fn path(&mut self) -> Result<Path, Unsupported> {
+    fn path(&mut self) -> Result<Path, ProgramCodecError> {
         let n = self.u32()? as usize;
         if n > 1 << 16 {
-            return unsup("implausible path length");
+            return Err(ProgramCodecError::Budget {
+                what: "path length",
+            });
         }
         let b = self.take(2 * n)?;
         Ok(b.chunks_exact(2)
             .map(|c| u16::from_le_bytes([c[0], c[1]]))
             .collect())
     }
-    fn str(&mut self) -> Result<Arc<str>, Unsupported> {
+    fn str(&mut self) -> Result<Arc<str>, ProgramCodecError> {
         let n = self.u32()? as usize;
         if n > 1 << 20 {
-            return unsup("implausible string length");
+            return Err(ProgramCodecError::Budget {
+                what: "string length",
+            });
         }
         let b = self.take(n)?;
         Ok(String::from_utf8_lossy(b).into_owned().into())
+    }
+}
+
+fn write_enc_arm(w: &mut ByteWriter, arm: &EncArm) {
+    match arm {
+        EncArm::Unmatched => w.u8(0),
+        EncArm::Leaf { tags, node } => {
+            w.u8(1);
+            w.u32(tags.len() as u32);
+            for &t in tags.iter() {
+                w.u32(t);
+            }
+            w.u32(*node);
+        }
+        EncArm::Nested { arms } => {
+            w.u8(2);
+            w.u32(arms.len() as u32);
+            for a in arms.iter() {
+                write_enc_arm(w, a);
+            }
+        }
+    }
+}
+
+fn read_enc_arm(r: &mut ByteReader<'_>, depth: usize) -> Result<EncArm, ProgramCodecError> {
+    if depth > MAX_ARM_DEPTH {
+        return Err(ProgramCodecError::Budget {
+            what: "choice arm nesting",
+        });
+    }
+    match r.u8()? {
+        0 => Ok(EncArm::Unmatched),
+        1 => {
+            let n = r.u32()? as usize;
+            if n > 1 << 12 {
+                return Err(ProgramCodecError::Budget {
+                    what: "discriminant chain length",
+                });
+            }
+            let mut tags = Vec::with_capacity(n);
+            for _ in 0..n {
+                tags.push(r.u32()?);
+            }
+            Ok(EncArm::Leaf {
+                tags: tags.into_boxed_slice(),
+                node: r.u32()?,
+            })
+        }
+        2 => {
+            let n = r.u32()? as usize;
+            if n > 1 << 16 {
+                return Err(ProgramCodecError::Budget { what: "arm count" });
+            }
+            let mut arms = Vec::with_capacity(n);
+            for _ in 0..n {
+                arms.push(read_enc_arm(r, depth + 1)?);
+            }
+            Ok(EncArm::Nested {
+                arms: arms.into_boxed_slice(),
+            })
+        }
+        other => Err(ProgramCodecError::UnknownOpcode {
+            section: "encode arm",
+            code: other,
+        }),
+    }
+}
+
+fn write_dec_arm(w: &mut ByteWriter, arm: &DecArm) {
+    match arm {
+        DecArm::Unmatched => w.u8(0),
+        DecArm::Leaf { wraps, node } => {
+            w.u8(1);
+            w.u32(wraps.len() as u32);
+            for &x in wraps.iter() {
+                w.u32(x);
+            }
+            w.u32(*node);
+        }
+        DecArm::Nested { arms } => {
+            w.u8(2);
+            w.u32(arms.len() as u32);
+            for a in arms.iter() {
+                write_dec_arm(w, a);
+            }
+        }
+    }
+}
+
+fn read_dec_arm(r: &mut ByteReader<'_>, depth: usize) -> Result<DecArm, ProgramCodecError> {
+    if depth > MAX_ARM_DEPTH {
+        return Err(ProgramCodecError::Budget {
+            what: "choice arm nesting",
+        });
+    }
+    match r.u8()? {
+        0 => Ok(DecArm::Unmatched),
+        1 => {
+            let n = r.u32()? as usize;
+            if n > 1 << 12 {
+                return Err(ProgramCodecError::Budget {
+                    what: "wrapper chain length",
+                });
+            }
+            let mut wraps = Vec::with_capacity(n);
+            for _ in 0..n {
+                wraps.push(r.u32()?);
+            }
+            Ok(DecArm::Leaf {
+                wraps: wraps.into_boxed_slice(),
+                node: r.u32()?,
+            })
+        }
+        2 => {
+            let n = r.u32()? as usize;
+            if n > 1 << 16 {
+                return Err(ProgramCodecError::Budget { what: "arm count" });
+            }
+            let mut arms = Vec::with_capacity(n);
+            for _ in 0..n {
+                arms.push(read_dec_arm(r, depth + 1)?);
+            }
+            Ok(DecArm::Nested {
+                arms: arms.into_boxed_slice(),
+            })
+        }
+        other => Err(ProgramCodecError::UnknownOpcode {
+            section: "decode arm",
+            code: other,
+        }),
     }
 }
 
@@ -1732,10 +2618,13 @@ impl WireProgram {
                         w.u8(8);
                         w.u32(arms.len() as u32);
                         for a in arms.iter() {
-                            w.u32(a.dst);
-                            w.u32(a.node);
+                            write_enc_arm(&mut w, a);
                         }
                         w.path(path);
+                    }
+                    EncOp::Tag { value } => {
+                        w.u8(9);
+                        w.u32(*value);
                     }
                 }
             }
@@ -1788,10 +2677,13 @@ impl WireProgram {
                         w.u8(8);
                         w.u32(arms.len() as u32);
                         for a in arms.iter() {
-                            w.u32(a.dst);
-                            w.u32(a.node);
+                            write_dec_arm(&mut w, a);
                         }
                         w.u32(*slot);
+                    }
+                    DecOp::Tag { expect } => {
+                        w.u8(3);
+                        w.u32(*expect);
                     }
                 }
             }
@@ -1807,6 +2699,10 @@ impl WireProgram {
                         w.u8(2);
                         w.u32(*arity);
                     }
+                    BuildOp::Wrap { index } => {
+                        w.u8(3);
+                        w.u32(*index);
+                    }
                 }
             }
         }
@@ -1814,20 +2710,26 @@ impl WireProgram {
     }
 
     /// Deserialises a program written by [`WireProgram::to_bytes`],
-    /// validating node references and slot indexes.
+    /// validating node references and slot indexes. Trailing bytes and
+    /// over-long tables are rejected with a typed
+    /// [`ProgramCodecError`], never silently truncated.
     ///
     /// # Errors
     ///
-    /// Returns [`Unsupported`] on malformed or incompatible bytes.
-    pub fn from_bytes(data: &[u8]) -> Result<WireProgram, Unsupported> {
+    /// Returns [`ProgramCodecError`] on malformed or incompatible bytes.
+    pub fn from_bytes(data: &[u8]) -> Result<WireProgram, ProgramCodecError> {
         let mut r = ByteReader { data, pos: 0 };
-        if r.u8()? != CODEC_VERSION {
-            return unsup("unknown program codec version");
+        let version = r.u8()?;
+        if version != CODEC_VERSION {
+            return Err(ProgramCodecError::BadVersion { got: version });
         }
         let two_way = r.u8()? != 0;
         let node_count = r.u32()? as usize;
-        if node_count > 4096 {
-            return unsup("implausible node count");
+        if node_count > MAX_NODES {
+            return Err(ProgramCodecError::NodeBudget {
+                count: node_count,
+                max: MAX_NODES,
+            });
         }
         let mut nodes = Vec::with_capacity(node_count);
         for _ in 0..node_count {
@@ -1838,7 +2740,9 @@ impl WireProgram {
             };
             let n_enc = r.u32()? as usize;
             if n_enc > 1 << 20 {
-                return unsup("implausible op count");
+                return Err(ProgramCodecError::Budget {
+                    what: "encode op count",
+                });
             }
             for _ in 0..n_enc {
                 let op = match r.u8()? {
@@ -1870,27 +2774,32 @@ impl WireProgram {
                     8 => {
                         let n = r.u32()? as usize;
                         if n > 1 << 16 {
-                            return unsup("implausible arm count");
+                            return Err(ProgramCodecError::Budget { what: "arm count" });
                         }
                         let mut arms = Vec::with_capacity(n);
                         for _ in 0..n {
-                            arms.push(EncArm {
-                                dst: r.u32()?,
-                                node: r.u32()?,
-                            });
+                            arms.push(read_enc_arm(&mut r, 0)?);
                         }
                         EncOp::Choice {
                             arms: arms.into_boxed_slice(),
                             path: r.path()?,
                         }
                     }
-                    other => return unsup(format!("unknown encode opcode {other}")),
+                    9 => EncOp::Tag { value: r.u32()? },
+                    other => {
+                        return Err(ProgramCodecError::UnknownOpcode {
+                            section: "encode",
+                            code: other,
+                        })
+                    }
                 };
                 node.enc.push(op);
             }
             let n_dec = r.u32()? as usize;
             if n_dec > 1 << 20 {
-                return unsup("implausible op count");
+                return Err(ProgramCodecError::Budget {
+                    what: "decode op count",
+                });
             }
             for _ in 0..n_dec {
                 let op = match r.u8()? {
@@ -1919,44 +2828,57 @@ impl WireProgram {
                         elem: r.u32()?,
                         slot: r.u32()?,
                     },
+                    3 => DecOp::Tag { expect: r.u32()? },
                     8 => {
                         let n = r.u32()? as usize;
                         if n > 1 << 16 {
-                            return unsup("implausible arm count");
+                            return Err(ProgramCodecError::Budget { what: "arm count" });
                         }
                         let mut arms = Vec::with_capacity(n);
                         for _ in 0..n {
-                            arms.push(DecArm {
-                                dst: r.u32()?,
-                                node: r.u32()?,
-                            });
+                            arms.push(read_dec_arm(&mut r, 0)?);
                         }
                         DecOp::Choice {
                             arms: arms.into_boxed_slice(),
                             slot: r.u32()?,
                         }
                     }
-                    other => return unsup(format!("unknown decode opcode {other}")),
+                    other => {
+                        return Err(ProgramCodecError::UnknownOpcode {
+                            section: "decode",
+                            code: other,
+                        })
+                    }
                 };
                 node.dec.push(op);
             }
             let n_build = r.u32()? as usize;
             if n_build > 1 << 20 {
-                return unsup("implausible op count");
+                return Err(ProgramCodecError::Budget {
+                    what: "build op count",
+                });
             }
             for _ in 0..n_build {
                 let op = match r.u8()? {
                     0 => BuildOp::Slot(r.u32()?),
                     1 => BuildOp::Unit,
                     2 => BuildOp::Record { arity: r.u32()? },
-                    other => return unsup(format!("unknown build opcode {other}")),
+                    3 => BuildOp::Wrap { index: r.u32()? },
+                    other => {
+                        return Err(ProgramCodecError::UnknownOpcode {
+                            section: "build",
+                            code: other,
+                        })
+                    }
                 };
                 node.build.push(op);
             }
             nodes.push(node);
         }
         if r.pos != data.len() {
-            return unsup("trailing bytes after program");
+            return Err(ProgramCodecError::TrailingBytes {
+                extra: data.len() - r.pos,
+            });
         }
         let program = WireProgram { nodes, two_way };
         program.validate()?;
@@ -1966,22 +2888,44 @@ impl WireProgram {
     /// Structural validation: node references in range, slot indexes
     /// within each node's frame (so deserialised programs cannot panic
     /// the executors).
-    fn validate(&self) -> Result<(), Unsupported> {
+    fn validate(&self) -> Result<(), ProgramCodecError> {
+        fn check_enc_arm(a: &EncArm, n_nodes: u32) -> Result<(), ProgramCodecError> {
+            match a {
+                EncArm::Unmatched => Ok(()),
+                EncArm::Leaf { node, .. } if *node >= n_nodes => Err(ProgramCodecError::Invalid {
+                    what: "choice arm node out of range",
+                }),
+                EncArm::Leaf { .. } => Ok(()),
+                EncArm::Nested { arms } => arms.iter().try_for_each(|a| check_enc_arm(a, n_nodes)),
+            }
+        }
+        fn check_dec_arm(a: &DecArm, n_nodes: u32) -> Result<(), ProgramCodecError> {
+            match a {
+                DecArm::Unmatched => Ok(()),
+                DecArm::Leaf { node, .. } if *node >= n_nodes => Err(ProgramCodecError::Invalid {
+                    what: "choice arm node out of range",
+                }),
+                DecArm::Leaf { .. } => Ok(()),
+                DecArm::Nested { arms } => arms.iter().try_for_each(|a| check_dec_arm(a, n_nodes)),
+            }
+        }
         let n_nodes = self.nodes.len() as u32;
         if n_nodes == 0 {
-            return unsup("empty node table");
+            return Err(ProgramCodecError::Invalid {
+                what: "empty node table",
+            });
         }
         for node in &self.nodes {
             for op in &node.enc {
                 match op {
                     EncOp::Seq { elem, .. } if *elem >= n_nodes => {
-                        return unsup("sequence element node out of range")
+                        return Err(ProgramCodecError::Invalid {
+                            what: "sequence element node out of range",
+                        })
                     }
                     EncOp::Choice { arms, .. } => {
                         for a in arms.iter() {
-                            if a.node >= n_nodes {
-                                return unsup("choice arm node out of range");
-                            }
+                            check_enc_arm(a, n_nodes)?;
                         }
                     }
                     _ => {}
@@ -1997,19 +2941,22 @@ impl WireProgram {
                     | DecOp::IntoDynamic { slot, .. }
                     | DecOp::Seq { slot, .. }
                     | DecOp::Choice { slot, .. } => *slot,
+                    DecOp::Tag { .. } => continue,
                 };
                 if slot >= node.slots {
-                    return unsup("slot index out of range");
+                    return Err(ProgramCodecError::Invalid {
+                        what: "slot index out of range",
+                    });
                 }
                 match op {
                     DecOp::Seq { elem, .. } if *elem >= n_nodes => {
-                        return unsup("sequence element node out of range")
+                        return Err(ProgramCodecError::Invalid {
+                            what: "sequence element node out of range",
+                        })
                     }
                     DecOp::Choice { arms, .. } => {
                         for a in arms.iter() {
-                            if a.node >= n_nodes {
-                                return unsup("choice arm node out of range");
-                            }
+                            check_dec_arm(a, n_nodes)?;
                         }
                     }
                     _ => {}
@@ -2018,7 +2965,9 @@ impl WireProgram {
             for op in &node.build {
                 if let BuildOp::Slot(s) = op {
                     if *s >= node.slots {
-                        return unsup("slot index out of range");
+                        return Err(ProgramCodecError::Invalid {
+                            what: "slot index out of range",
+                        });
                     }
                 }
             }
@@ -2353,5 +3302,165 @@ mod tests {
             prog.encode_value(&mut w, &v).unwrap();
         }
         assert_eq!(w.capacity(), warm_cap, "no buffer growth after warmup");
+    }
+
+    #[test]
+    fn transparent_singleton_pairs_compile_and_agree() {
+        // Choice([T]) on either side is resolved through by the comparer
+        // (singleton_choice rule); the program replays the wrapper:
+        // a left wrapper navigates through the value, a right wrapper
+        // writes/checks a constant discriminant.
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(32));
+        let wrapped = g.choice(vec![i]);
+        let lrec = g.record(vec![wrapped, i]);
+        let rrec = g.record(vec![i, wrapped]);
+        let plan = plan_for(&g, lrec, rrec, Mode::Equivalence);
+        let prog = WireProgram::compile(&plan).expect("singleton chain compiles");
+        let v = MValue::Record(vec![
+            MValue::Choice {
+                index: 0,
+                value: Box::new(MValue::Int(7)),
+            },
+            MValue::Int(9),
+        ]);
+        agree(&plan, &prog, &v, Endian::Little);
+        agree(&plan, &prog, &v, Endian::Big);
+        // The interpreter's unwrap is lenient: a value built against the
+        // collapsed view (no wrapper) encodes identically.
+        let collapsed = MValue::Record(vec![MValue::Int(7), MValue::Int(9)]);
+        agree(&plan, &prog, &collapsed, Endian::Little);
+    }
+
+    #[test]
+    fn nested_choice_flatten_compiles_and_agrees() {
+        // Left nests choices the comparer's associative flatten sees
+        // through; right is the flat form. The program's dispatch tree
+        // mirrors the left nesting and writes the right's nominal
+        // discriminants.
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(32));
+        let r = g.real(RealPrecision::DOUBLE);
+        let c = g.character(Repertoire::Latin1);
+        let inner = g.choice(vec![i, r]);
+        let left = g.choice(vec![inner, c]);
+        let right = g.choice(vec![i, r, c]);
+        let plan = plan_for(&g, left, right, Mode::Equivalence);
+        let prog = WireProgram::compile(&plan).expect("nested flatten compiles");
+        let vals = [
+            MValue::Choice {
+                index: 0,
+                value: Box::new(MValue::Choice {
+                    index: 0,
+                    value: Box::new(MValue::Int(5)),
+                }),
+            },
+            MValue::Choice {
+                index: 0,
+                value: Box::new(MValue::Choice {
+                    index: 1,
+                    value: Box::new(MValue::Real(1.25)),
+                }),
+            },
+            MValue::Choice {
+                index: 1,
+                value: Box::new(MValue::Char('q')),
+            },
+        ];
+        for v in &vals {
+            agree(&plan, &prog, v, Endian::Little);
+            agree(&plan, &prog, v, Endian::Big);
+        }
+    }
+
+    #[test]
+    fn hostile_program_bytes_get_typed_errors() {
+        let mut g = MtypeGraph::new();
+        let i = g.integer(IntRange::signed_bits(32));
+        let f = g.real(RealPrecision::DOUBLE);
+        let rec = g.record(vec![i, f]);
+        let prog = WireProgram::identity(&g, rec).expect("compiles");
+        let bytes = prog.to_bytes();
+
+        // Trailing garbage is rejected, not silently ignored.
+        let mut trailing = bytes.clone();
+        trailing.extend_from_slice(&[0xAA, 0xBB]);
+        assert_eq!(
+            WireProgram::from_bytes(&trailing),
+            Err(ProgramCodecError::TrailingBytes { extra: 2 })
+        );
+
+        // Truncation anywhere is typed.
+        assert_eq!(
+            WireProgram::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(ProgramCodecError::Truncated)
+        );
+        assert_eq!(
+            WireProgram::from_bytes(&[]),
+            Err(ProgramCodecError::Truncated)
+        );
+
+        // A foreign version byte is typed.
+        let mut wrong = bytes.clone();
+        wrong[0] = 77;
+        assert_eq!(
+            WireProgram::from_bytes(&wrong),
+            Err(ProgramCodecError::BadVersion { got: 77 })
+        );
+
+        // An over-long node table is rejected before allocation.
+        let mut huge = vec![CODEC_VERSION, 0];
+        huge.extend_from_slice(&1_000_000u32.to_le_bytes());
+        assert_eq!(
+            WireProgram::from_bytes(&huge),
+            Err(ProgramCodecError::NodeBudget {
+                count: 1_000_000,
+                max: MAX_NODES
+            })
+        );
+
+        // An unknown opcode is typed with its section.
+        let mut bad_op = vec![CODEC_VERSION, 0];
+        bad_op.extend_from_slice(&1u32.to_le_bytes()); // one node
+        bad_op.extend_from_slice(&0u32.to_le_bytes()); // slots
+        bad_op.extend_from_slice(&1u32.to_le_bytes()); // one enc op
+        bad_op.push(0xFF);
+        assert_eq!(
+            WireProgram::from_bytes(&bad_op),
+            Err(ProgramCodecError::UnknownOpcode {
+                section: "encode",
+                code: 0xFF
+            })
+        );
+    }
+
+    #[test]
+    fn cache_attributes_fallback_reasons() {
+        let cache = ProgramCache::new();
+        let key = CacheKey {
+            left_fp: 10,
+            right_fp: 20,
+            mode: Mode::Equivalence,
+            rules_fp: 30,
+        };
+        let out = cache.get_or_compile_reasoned(key, || {
+            unsup(FallbackKind::Semantic, "needs a hand-written converter")
+        });
+        assert_eq!(out, Err(FallbackKind::Semantic));
+        // The decline (and its class) is cached: no recompilation.
+        let again = cache.get_or_compile_reasoned(key, || panic!("must not recompile"));
+        assert_eq!(again, Err(FallbackKind::Semantic));
+        assert_eq!(cache.lookup_reason(&key), Some(FallbackKind::Semantic));
+        assert_eq!(cache.lookup(&key), Some(None), "legacy view still works");
+        let breakdown = cache.fallback_breakdown();
+        assert_eq!(
+            breakdown
+                .iter()
+                .find(|(k, _)| *k == FallbackKind::Semantic)
+                .unwrap()
+                .1,
+            1
+        );
+        assert_eq!(breakdown.iter().map(|(_, n)| n).sum::<u64>(), 1);
     }
 }

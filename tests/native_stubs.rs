@@ -1,0 +1,324 @@
+//! Three-way differential suite for the second Futamura projection:
+//! the emitted native marshal stubs must agree with the opcode VM and
+//! the interpretive oracle — encode byte-for-byte, decode
+//! value-for-value against the interpretive round trip — over the
+//! canonical 64-seed property stream plus the adversarial shapes, in
+//! both byte orders. Also covers the depth bound (hostile nesting must
+//! fail identically on every tier), a zero-allocation check for native
+//! encode over a pooled buffer, and the `RemoteStub` end-to-end path
+//! (native tier resolved by fingerprint, metrics attributed).
+//!
+//! The stubs under test are the checked-in `generated_stubs.rs` the
+//! bench crate carries; `mbc emit-stubs` regenerates it from the same
+//! seed-pinned fixtures this suite reconstructs.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use mockingbird::comparer::{CacheKey, Comparer, Mode, RuleSet};
+use mockingbird::corpus::{
+    choice_heavy_pair, deep_list_pair, fitter_pair, property_pair, sample_value,
+};
+use mockingbird::mtype::{MtypeGraph, MtypeId};
+use mockingbird::plan::CoercionPlan;
+use mockingbird::runtime::{
+    Dispatcher, InMemoryConnection, RemoteRef, RuntimeError, Servant, WireOp, WireServant,
+};
+use mockingbird::stubgen::{FunctionStub, RemoteStub};
+use mockingbird::values::{Endian, MValue};
+use mockingbird::wire::{
+    nominal_fingerprint, CdrReader, CdrWriter, NativeKey, NativeProgramKind, NativeStub,
+    NativeStubRegistry, WireProgram,
+};
+use mockingbird_bench::register_native_stubs;
+
+/// Counts allocations so the zero-allocation property of native encode
+/// over a pooled buffer is checkable (not just claimed).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const CASES: u64 = 64;
+
+/// The emitted stub registered for a two-graph value pair, if any.
+fn native_for(g: &MtypeGraph, h: &MtypeGraph, ty: MtypeId, var: MtypeId) -> Option<NativeStub> {
+    let key = NativeKey {
+        pair: CacheKey {
+            left_fp: nominal_fingerprint(g, ty),
+            right_fp: nominal_fingerprint(h, var),
+            mode: Mode::Equivalence,
+            rules_fp: RuleSet::full().fingerprint(),
+        },
+        kind: NativeProgramKind::Value,
+    };
+    NativeStubRegistry::global().lookup(&key)
+}
+
+fn plan_for(g: &MtypeGraph, h: &MtypeGraph, ty: MtypeId, var: MtypeId) -> CoercionPlan {
+    let corr = Comparer::new(g, h)
+        .compare(ty, var, Mode::Equivalence)
+        .expect("fixture pairs must match");
+    CoercionPlan::new(g, h, corr, RuleSet::full(), Mode::Equivalence)
+}
+
+/// One three-way agreement check: native and opcode encodings must
+/// equal the interpretive bytes, and native and opcode decodes must
+/// equal the interpretive round trip (which canonicalises values using
+/// dedup-collapsed duplicate alternatives — the oracle, not the input,
+/// is ground truth).
+fn assert_three_way(
+    plan: &CoercionPlan,
+    program: &WireProgram,
+    native: &NativeStub,
+    v: &MValue,
+    endian: Endian,
+    what: &str,
+) {
+    let h = plan.right_graph();
+    let converted = plan.convert(v).unwrap();
+    let mut oracle = CdrWriter::new(endian);
+    oracle.put_value(h, plan.right_root(), &converted).unwrap();
+    let oracle = oracle.into_bytes();
+
+    let mut w = CdrWriter::new(endian);
+    program.encode_value(&mut w, v).unwrap();
+    assert_eq!(w.into_bytes(), oracle, "{what}: opcode encode {endian:?}");
+    let mut w = CdrWriter::new(endian);
+    (native.encode.expect("value stubs emit encode"))(&mut w, v).unwrap();
+    assert_eq!(w.into_bytes(), oracle, "{what}: native encode {endian:?}");
+
+    let mut or = CdrReader::new(&oracle, endian);
+    let wire = or.get_value(h, plan.right_root()).unwrap();
+    let expected = plan.convert_back(&wire).unwrap();
+    let mut r = CdrReader::new(&oracle, endian);
+    assert_eq!(
+        program.decode_value(&mut r).unwrap(),
+        expected,
+        "{what}: opcode decode {endian:?}"
+    );
+    let mut r = CdrReader::new(&oracle, endian);
+    assert_eq!(
+        (native.decode.expect("two-way stubs emit decode"))(&mut r).unwrap(),
+        expected,
+        "{what}: native decode {endian:?}"
+    );
+    assert_eq!(r.remaining(), 0, "{what}: native decode consumed all bytes");
+}
+
+/// Native ≡ opcode ≡ interpretive over the 64-seed property stream, in
+/// both byte orders. Every pair the program compiler accepts must have
+/// an emitted stub (the generated module was built from these seeds).
+#[test]
+fn native_stubs_agree_three_ways_across_the_property_stream() {
+    register_native_stubs();
+    let mut covered = 0usize;
+    for seed in 0..CASES {
+        let (g, h, ty, var, mut rng) = property_pair(seed);
+        let plan = plan_for(&g, &h, ty, var);
+        let Ok(program) = WireProgram::compile(&plan) else {
+            // Declined pairs stay interpretive — no stub may be
+            // registered for them.
+            continue;
+        };
+        let native = native_for(&g, &h, ty, var)
+            .unwrap_or_else(|| panic!("seed {seed}: compiled pair lacks an emitted stub"));
+        covered += 1;
+        for _round in 0..4 {
+            let v = sample_value(&g, ty, &mut rng, 3);
+            for endian in [Endian::Little, Endian::Big] {
+                assert_three_way(
+                    &plan,
+                    &program,
+                    &native,
+                    &v,
+                    endian,
+                    &format!("seed {seed}"),
+                );
+            }
+        }
+    }
+    assert!(
+        covered >= CASES as usize / 2,
+        "emitted stubs should cover most of the stream, got {covered}/{CASES}"
+    );
+}
+
+/// The deliberately choice-heavy pair exercises nested dispatch trees
+/// in the emitted `match` chains.
+#[test]
+fn native_stubs_agree_on_the_choice_heavy_pair() {
+    register_native_stubs();
+    let (g, h, ty, var) = choice_heavy_pair();
+    let plan = plan_for(&g, &h, ty, var);
+    let program = WireProgram::compile(&plan).expect("choice-heavy pair compiles");
+    let native = native_for(&g, &h, ty, var).expect("choice-heavy stub is emitted");
+    let mut rng = mockingbird_rng::StdRng::seed_from_u64(7);
+    for _ in 0..16 {
+        let v = sample_value(&g, ty, &mut rng, 4);
+        for endian in [Endian::Little, Endian::Big] {
+            assert_three_way(&plan, &program, &native, &v, endian, "choice-heavy");
+        }
+    }
+}
+
+/// `T = list(T)` values nest arbitrarily deep: within the bound all
+/// three tiers agree; past it the native stub and the opcode VM must
+/// fail with the *same* error (the emitted depth guards replicate the
+/// VM's checks exactly).
+#[test]
+fn native_stubs_enforce_the_depth_bound_identically() {
+    register_native_stubs();
+    let (g, h, ty, var) = deep_list_pair();
+    let plan = plan_for(&g, &h, ty, var);
+    let program = WireProgram::compile(&plan).expect("recursive list pair compiles");
+    let native = native_for(&g, &h, ty, var).expect("recursive list stub is emitted");
+
+    // A list nested to `depth` levels: List([List([... List([])])]).
+    let nested = |depth: usize| {
+        let mut v = MValue::List(vec![]);
+        for _ in 0..depth {
+            v = MValue::List(vec![v]);
+        }
+        v
+    };
+
+    for endian in [Endian::Little, Endian::Big] {
+        assert_three_way(&plan, &program, &native, &nested(64), endian, "deep-list");
+    }
+
+    let hostile = nested(1024);
+    let mut w = CdrWriter::new(Endian::Little);
+    let vm_err = program.encode_value(&mut w, &hostile).unwrap_err();
+    let mut w = CdrWriter::new(Endian::Little);
+    let native_err = (native.encode.unwrap())(&mut w, &hostile).unwrap_err();
+    assert_eq!(
+        native_err, vm_err,
+        "hostile nesting must fail identically on both tiers"
+    );
+}
+
+/// Native encode into a pooled, pre-sized buffer performs no heap
+/// allocation: the emitted code reserves bulk runs up front and writes
+/// fixed-width copies — there is nothing left to allocate.
+#[test]
+fn native_encode_is_allocation_free_over_a_pooled_buffer() {
+    register_native_stubs();
+    let (g, h, ty, var) = choice_heavy_pair();
+    let native = native_for(&g, &h, ty, var).expect("choice-heavy stub is emitted");
+    let encode = native.encode.unwrap();
+    let mut rng = mockingbird_rng::StdRng::seed_from_u64(11);
+    let v = sample_value(&g, ty, &mut rng, 4);
+
+    // Warm the pooled buffer to its high-water capacity.
+    let mut w = CdrWriter::new(Endian::Little);
+    encode(&mut w, &v).unwrap();
+    let pooled = w.into_bytes();
+    let capacity = pooled.capacity();
+
+    let mut pooled = pooled;
+    for _ in 0..32 {
+        pooled.clear();
+        let mut w = CdrWriter::from_vec(pooled, Endian::Little);
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        encode(&mut w, &v).unwrap();
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        assert_eq!(after - before, 0, "native encode must not allocate");
+        pooled = w.into_bytes();
+        assert_eq!(pooled.capacity(), capacity, "pooled buffer must not grow");
+    }
+}
+
+/// End to end: a `RemoteStub` built in this process resolves the
+/// emitted fitter stubs by nominal fingerprint alone, reports the
+/// native dispatch tier, runs a call through them, and attributes the
+/// call in the runtime metrics.
+#[test]
+fn remote_stub_resolves_and_runs_the_native_tier() {
+    register_native_stubs();
+    let mut g = MtypeGraph::new();
+    let (java, cfun) = fitter_pair(&mut g);
+    let corr = Comparer::new(&g, &g)
+        .compare(java, cfun, Mode::Equivalence)
+        .expect("fitter pair matches");
+    let plan = Arc::new(CoercionPlan::new(
+        &g,
+        &g,
+        corr,
+        RuleSet::full(),
+        Mode::Equivalence,
+    ));
+
+    // Wire types the server speaks: the C invocation minus its reply
+    // port, and the C output record.
+    let r = g.real(mockingbird::mtype::RealPrecision::SINGLE);
+    let pt = g.record(vec![r, r]);
+    let c_args = {
+        let list = g.list_of(pt);
+        g.record(vec![list])
+    };
+    let c_out = g.record(vec![pt, pt]);
+    let graph = Arc::new(g);
+    let servant: Arc<dyn Servant> = Arc::new(|_: &str, args: MValue| {
+        let MValue::Record(items) = args else {
+            return Err(RuntimeError::Application("bad args".into()));
+        };
+        let MValue::List(pts) = &items[0] else {
+            return Err(RuntimeError::Application("bad pts".into()));
+        };
+        let first = pts.first().cloned().unwrap();
+        let last = pts.last().cloned().unwrap();
+        Ok(MValue::Record(vec![first, last]))
+    });
+    let op = WireOp::new(graph, c_args, c_out);
+    let mut ops = HashMap::new();
+    ops.insert("fit".to_string(), op.clone());
+    let d = Arc::new(Dispatcher::new());
+    let mut server_ops = HashMap::new();
+    server_ops.insert("fit".to_string(), op);
+    d.register(b"fitter".to_vec(), WireServant::new(servant, server_ops));
+    let remote = Arc::new(RemoteRef::new(
+        Arc::new(InMemoryConnection::new(d)),
+        b"fitter".to_vec(),
+        ops,
+        Endian::Little,
+    ));
+    let stub = RemoteStub::new(FunctionStub::new(plan).unwrap(), remote.clone(), "fit");
+    assert_eq!(
+        stub.dispatch_tier(),
+        "native",
+        "both directions must resolve emitted stubs"
+    );
+
+    let point = |x: f64, y: f64| MValue::Record(vec![MValue::Real(x), MValue::Real(y)]);
+    let pts = MValue::List(vec![point(0.0, 0.0), point(1.0, 1.0), point(2.0, 2.0)]);
+    let out = stub.call(&[pts]).unwrap();
+    assert_eq!(
+        out,
+        MValue::Record(vec![MValue::Record(vec![point(0.0, 0.0), point(2.0, 2.0)])])
+    );
+
+    let snap = remote.metrics().snapshot();
+    assert!(snap.native_calls >= 1, "the call must count as native");
+    assert_eq!(snap.native_fallbacks, 0, "no direction fell back");
+}
