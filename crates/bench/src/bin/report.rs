@@ -2,7 +2,7 @@
 //! DESIGN.md §4 with live measurements and prints them as the tables
 //! recorded in EXPERIMENTS.md.
 //!
-//! Usage: `report [t1|f5|e1|e2|e3|x1|x2|x3|x4|x5|x6|x7|x8|x9|x10|x11]...`
+//! Usage: `report [t1|f5|e1|e2|e3|x1|x2|x3|x4|x5|x6|x7|x8|x9|x10|x11|x12]...`
 //! (no args = everything). `x5` additionally writes `BENCH_compile.json`
 //! with the measured cache hit rate and warm-vs-cold speedup; `x6`
 //! writes `BENCH_marshal.json` with the fused-vs-interpretive
@@ -17,8 +17,11 @@
 //! is killed mid-load behind the mesh naming layer, plus gossip
 //! convergence rounds; `x11` writes `BENCH_native.json` with the
 //! three-way marshal comparison (interpreter vs opcode VM vs emitted
-//! native stubs — the second Futamura projection). `MB_BENCH_QUICK=1`
-//! shrinks every experiment to CI-smoke size.
+//! native stubs — the second Futamura projection); `x12` writes
+//! `BENCH_overload.json` with goodput and tail latency at 1×/2×/4×
+//! offered load under the adaptive overload-control stack, plus the
+//! kill-and-recover time when a replica dies mid-load.
+//! `MB_BENCH_QUICK=1` shrinks every experiment to CI-smoke size.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -1919,6 +1922,287 @@ fn x11() {
     println!();
 }
 
+fn x12() {
+    use mockingbird::runtime::transport::TcpConnection;
+    use mockingbird::runtime::{
+        CallOptions, ChaosConnection, Connection, ConnectionPool, Connector, Dispatcher, RemoteRef,
+        RetryBudget, RetryPolicy, Servant, ServerConfig, TcpServer, WireOp, WireServant,
+    };
+    use mockingbird::stype::json::Json;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    println!("== X12: overload resilience — goodput and tail latency vs offered load ==");
+    let quick = std::env::var_os("MB_BENCH_QUICK").is_some();
+    const SEED: u64 = 0x0412_0412;
+    const SERVICE_TIME: Duration = Duration::from_millis(4);
+    const WORKERS: usize = 2;
+    const DEADLINE: Duration = Duration::from_millis(30);
+    const FAULT_RATE: f64 = 0.10;
+    const BASE_THREADS: usize = 4;
+    let (warmup, measure) = if quick {
+        (Duration::from_millis(300), Duration::from_millis(500))
+    } else {
+        (Duration::from_millis(800), Duration::from_millis(1500))
+    };
+    println!(
+        "seed {SEED:#x}: {WORKERS} workers x {SERVICE_TIME:?} service time, \
+         {DEADLINE:?} deadline, {:.0}% injected faults",
+        FAULT_RATE * 100.0
+    );
+
+    let mut g = MtypeGraph::new();
+    let i = g.integer(IntRange::signed_bits(64));
+    let rec = g.record(vec![i]);
+    let graph = Arc::new(g);
+    let op = mockingbird::runtime::WireOp::new(graph, rec, rec).idempotent();
+    let mut ops: HashMap<String, WireOp> = HashMap::new();
+    ops.insert("echo".to_string(), op);
+    let servant: Arc<dyn Servant> = Arc::new(|_: &str, v: MValue| {
+        std::thread::sleep(SERVICE_TIME);
+        Ok(v)
+    });
+    let dispatcher = || {
+        let d = Arc::new(Dispatcher::new());
+        d.register(
+            b"obj".to_vec(),
+            WireServant::new(servant.clone(), ops.clone()),
+        );
+        d
+    };
+    let adaptive_config = || {
+        ServerConfig::default()
+            .with_workers(WORKERS)
+            .with_max_in_flight(8)
+            .with_adaptive_limit(true)
+            .with_target_p99(Duration::from_millis(10))
+    };
+    let options = CallOptions::new()
+        .with_deadline(DEADLINE)
+        .with_retry(RetryPolicy {
+            max_retries: 3,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            jitter: false,
+        });
+    let pct = |v: &mut Vec<f64>, p: usize| -> f64 {
+        v.sort_by(f64::total_cmp);
+        if v.is_empty() {
+            return 0.0;
+        }
+        v[(v.len() * p / 100).min(v.len() - 1)] * 1e6
+    };
+
+    // Part 1 — the load ladder: the adaptive stack at 1x/2x/4x the
+    // client population that saturates it. Closed-loop callers with a
+    // 30 ms deadline over chaos-wrapped dials; goodput counts replies
+    // that arrive inside the deadline during the measured window, p50
+    // and p99 are over successful calls in the same window.
+    let mut loads = Vec::new();
+    for mult in [1usize, 2, 4] {
+        let threads = BASE_THREADS * mult;
+        let d = dispatcher();
+        let metrics = Arc::clone(d.metrics());
+        let mut server =
+            TcpServer::bind_with("127.0.0.1:0", d, adaptive_config()).expect("bind server");
+        let addr = server.addr();
+        let seed = SEED + mult as u64 * 0x1000;
+        let dials = Arc::new(AtomicU64::new(0));
+        let connector: Connector = Arc::new(move |a| {
+            let n = dials.fetch_add(1, Ordering::SeqCst);
+            Ok(Arc::new(ChaosConnection::with_fault_rate(
+                Arc::new(TcpConnection::connect(a)?),
+                seed + n,
+                FAULT_RATE,
+            )) as Arc<dyn Connection>)
+        });
+        let pool = Arc::new(
+            ConnectionPool::builder(vec![addr])
+                .with_slots(threads)
+                .with_connector(connector)
+                .with_retry_budget(Arc::new(RetryBudget::default_for_pool()))
+                .build()
+                .expect("pool builds"),
+        );
+        let measure_from = Instant::now() + warmup;
+        let stop_at = measure_from + measure;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let remote = RemoteRef::new(
+                    pool.clone() as Arc<dyn Connection>,
+                    b"obj".to_vec(),
+                    ops.clone(),
+                    Endian::Little,
+                )
+                .with_options(options.clone());
+                std::thread::spawn(move || {
+                    let mut k: i128 = (t as i128) * 1_000_000;
+                    let (mut attempts, mut on_time) = (0u64, 0u64);
+                    let mut lat: Vec<f64> = Vec::new();
+                    while Instant::now() < stop_at {
+                        k += 1;
+                        let begin = Instant::now();
+                        let ok = remote
+                            .invoke("echo", &MValue::Record(vec![MValue::Int(k)]))
+                            .is_ok();
+                        let done = Instant::now();
+                        if done < measure_from {
+                            continue;
+                        }
+                        attempts += 1;
+                        if ok {
+                            let e = done - begin;
+                            lat.push(e.as_secs_f64());
+                            if e <= DEADLINE {
+                                on_time += 1;
+                            }
+                        }
+                    }
+                    (attempts, on_time, lat)
+                })
+            })
+            .collect();
+        let (mut attempts, mut on_time) = (0u64, 0u64);
+        let mut lat: Vec<f64> = Vec::new();
+        for h in handles {
+            let (a, g, l) = h.join().expect("load worker");
+            attempts += a;
+            on_time += g;
+            lat.extend(l);
+        }
+        server.shutdown();
+        let snap = metrics.snapshot();
+        let secs = measure.as_secs_f64();
+        let (p50, p99) = (pct(&mut lat, 50), pct(&mut lat, 99));
+        println!(
+            "{mult}x ({threads:>2} threads): offered {:>5.0}/s, goodput {:>5.0}/s, \
+             p50 {p50:>6.0}µs, p99 {p99:>7.0}µs, server sheds: {} expired + {} brownout",
+            attempts as f64 / secs,
+            on_time as f64 / secs,
+            snap.deadline_expired_server,
+            snap.brownout_sheds,
+        );
+        loads.push(Json::obj([
+            ("multiple", Json::Int(mult as i128)),
+            ("threads", Json::Int(threads as i128)),
+            ("offered_per_s", Json::Float(attempts as f64 / secs)),
+            ("goodput_per_s", Json::Float(on_time as f64 / secs)),
+            ("p50_us", Json::Float(p50)),
+            ("p99_us", Json::Float(p99)),
+            (
+                "deadline_expired_server",
+                Json::Int(i128::from(snap.deadline_expired_server)),
+            ),
+            ("brownout_sheds", Json::Int(i128::from(snap.brownout_sheds))),
+        ]));
+    }
+
+    // Part 2 — kill and recover: two replicas behind one pool at 1x
+    // load; one replica is killed mid-run (socket gone, no goodbye) and
+    // the clock runs until the callers string together a full streak of
+    // in-deadline replies again — the end-to-end recovery time through
+    // redial, failover, and the retry budget.
+    const STREAK: u64 = 25;
+    let mut servers: Vec<_> = (0..2)
+        .map(|_| {
+            TcpServer::bind_with("127.0.0.1:0", dispatcher(), adaptive_config())
+                .expect("bind replica")
+        })
+        .collect();
+    let addrs: Vec<_> = servers
+        .iter()
+        .map(mockingbird::runtime::TcpServer::addr)
+        .collect();
+    let pool = Arc::new(
+        ConnectionPool::builder(addrs)
+            .with_slots(BASE_THREADS)
+            .with_retry_budget(Arc::new(RetryBudget::default_for_pool()))
+            .build()
+            .expect("pool builds"),
+    );
+    let t0 = Instant::now();
+    let kill_at = t0 + warmup;
+    let stop_at = kill_at + Duration::from_secs(10);
+    let streak = Arc::new(AtomicU64::new(0));
+    let recovered: Arc<Mutex<Option<Instant>>> = Arc::new(Mutex::new(None));
+    let handles: Vec<_> = (0..BASE_THREADS)
+        .map(|t| {
+            let remote = RemoteRef::new(
+                pool.clone() as Arc<dyn Connection>,
+                b"obj".to_vec(),
+                ops.clone(),
+                Endian::Little,
+            )
+            .with_options(options.clone());
+            let streak = Arc::clone(&streak);
+            let recovered = Arc::clone(&recovered);
+            std::thread::spawn(move || {
+                let mut k: i128 = (t as i128) * 1_000_000;
+                while Instant::now() < stop_at && recovered.lock().unwrap().is_none() {
+                    k += 1;
+                    let begin = Instant::now();
+                    let ok = remote
+                        .invoke("echo", &MValue::Record(vec![MValue::Int(k)]))
+                        .is_ok();
+                    let done = Instant::now();
+                    if done < kill_at {
+                        continue;
+                    }
+                    if ok && done - begin <= DEADLINE {
+                        if streak.fetch_add(1, Ordering::SeqCst) + 1 >= STREAK {
+                            recovered.lock().unwrap().get_or_insert(done);
+                        }
+                    } else {
+                        streak.store(0, Ordering::SeqCst);
+                    }
+                }
+            })
+        })
+        .collect();
+    while Instant::now() < kill_at {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    servers[0].shutdown();
+    let killed = Instant::now();
+    for h in handles {
+        h.join().expect("recovery worker");
+    }
+    servers[1].shutdown();
+    let recovered_at = recovered
+        .lock()
+        .unwrap()
+        .expect("callers never strung together an in-deadline streak after the kill");
+    let recover_ms = (recovered_at - killed).as_secs_f64() * 1e3;
+    println!(
+        "kill-and-recover: {STREAK} consecutive in-deadline replies \
+         {recover_ms:.0} ms after a replica died"
+    );
+
+    let json = Json::obj([
+        ("seed", Json::Int(i128::from(SEED))),
+        ("workers", Json::Int(WORKERS as i128)),
+        (
+            "service_time_ms",
+            Json::Int(SERVICE_TIME.as_millis() as i128),
+        ),
+        ("deadline_ms", Json::Int(DEADLINE.as_millis() as i128)),
+        ("fault_rate", Json::Float(FAULT_RATE)),
+        ("loads", Json::Array(loads)),
+        (
+            "recovery",
+            Json::obj([
+                ("replicas", Json::Int(2)),
+                ("streak", Json::Int(i128::from(STREAK))),
+                ("recover_ms", Json::Float(recover_ms)),
+            ]),
+        ),
+    ]);
+    std::fs::write("BENCH_overload.json", json.pretty() + "\n").expect("write BENCH_overload.json");
+    println!("wrote BENCH_overload.json");
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Hidden child-process modes for X9 (each side of the scaling
@@ -1980,5 +2264,8 @@ fn main() {
     }
     if want("x11") {
         x11();
+    }
+    if want("x12") {
+        x12();
     }
 }

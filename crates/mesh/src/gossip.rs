@@ -16,8 +16,10 @@
 //! them over any messaging channel.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use mockingbird_rng::StdRng;
 use mockingbird_runtime::metrics::MetricsRegistry;
@@ -487,6 +489,82 @@ impl MeshNode {
         out.dedup();
         out
     }
+
+    /// Starts a background thread that [`tick`](MeshNode::tick)s this
+    /// node on a jittered period, handing every emitted gossip message
+    /// to `deliver`. The jitter stream is seeded from the node's own
+    /// seed — deterministic per node, decorrelated across nodes — so a
+    /// fleet brought up together does not gossip in lockstep.
+    ///
+    /// The thread holds only a weak reference: dropping the last
+    /// `Arc<MeshNode>` ends it on its own, and the returned
+    /// [`GossipTicker`] stops it promptly (set-flag, unpark, join) on
+    /// [`stop`](GossipTicker::stop) or drop.
+    pub fn start_ticker<F>(self: &Arc<Self>, period: Duration, mut deliver: F) -> GossipTicker
+    where
+        F: FnMut(u64, GossipMessage) + Send + 'static,
+    {
+        let weak = Arc::downgrade(self);
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let mut rng =
+            StdRng::seed_from_u64(self.cfg.seed ^ self.cfg.id.rotate_left(17) ^ 0x7469_636b);
+        let period = period.max(Duration::from_micros(1));
+        let handle = std::thread::spawn(move || loop {
+            // One nap of the period plus up to a quarter of jitter,
+            // parked (not slept) so a stop request interrupts it.
+            let jitter = rng.gen_range(0..=(period.as_micros() as u64 / 4).max(1));
+            let wake = Instant::now() + period + Duration::from_micros(jitter);
+            loop {
+                if flag.load(Ordering::SeqCst) {
+                    return;
+                }
+                let now = Instant::now();
+                if now >= wake {
+                    break;
+                }
+                std::thread::park_timeout(wake - now);
+            }
+            let Some(node) = weak.upgrade() else { return };
+            for (peer, msg) in node.tick() {
+                deliver(peer, msg);
+            }
+        });
+        GossipTicker {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// A handle to one background gossip ticker (see
+/// [`MeshNode::start_ticker`]). Stops and joins the thread on
+/// [`stop`](GossipTicker::stop) or on drop.
+pub struct GossipTicker {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl GossipTicker {
+    /// Signals the ticker thread and joins it; no tick starts after
+    /// this returns.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            h.thread().unpark();
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for GossipTicker {
+    fn drop(&mut self) {
+        self.halt();
+    }
 }
 
 #[cfg(test)]
@@ -630,6 +708,44 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43), "different seeds pick differently");
+    }
+
+    #[test]
+    fn background_ticker_gossips_and_stops_cleanly() {
+        let a = MeshNode::new(MeshConfig::new(1, 7));
+        let b = MeshNode::new(MeshConfig::new(2, 7));
+        b.advertise(ad("calc", 0xA, 200));
+        a.receive(&GossipMessage {
+            from: 2,
+            members: b.members(),
+        });
+        let delivered = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&delivered);
+        let ticker = a.start_ticker(Duration::from_millis(1), move |peer, msg| {
+            sink.plock().push((peer, msg));
+        });
+        // The node ticks on its own: wait (bounded) for gossip to flow.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while delivered.plock().len() < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(delivered.plock().len() >= 3, "ticker never gossiped");
+        assert!(delivered.plock().iter().all(|(peer, _)| *peer == 2));
+        ticker.stop();
+        // Stopped means stopped: no tick starts after stop() returns.
+        let frozen = delivered.plock().len();
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(delivered.plock().len(), frozen, "ticked after stop");
+    }
+
+    #[test]
+    fn dropping_the_node_ends_its_ticker() {
+        let a = MeshNode::new(MeshConfig::new(1, 7));
+        let ticker = a.start_ticker(Duration::from_millis(1), |_, _| {});
+        drop(a);
+        // The ticker thread holds only a weak reference; stop() joins
+        // it, which must not hang once the node is gone.
+        ticker.stop();
     }
 
     #[test]

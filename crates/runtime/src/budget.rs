@@ -1,0 +1,171 @@
+//! Retry budgets: a per-pool token bucket that bounds aggregate retry
+//! amplification.
+//!
+//! Per-call retry policies bound how often *one* call re-sends, but
+//! nothing bounds the *sum*: when a server browns out, every in-flight
+//! call starts retrying at once and the offered load multiplies by the
+//! retry count — the classic metastable failure. A [`RetryBudget`]
+//! caps that amplification at the pool level, Finagle-style: roughly
+//! 10% of successful traffic deposits into the bucket, and every
+//! retry, hedged second attempt, or failover redial must withdraw a
+//! token first. Under steady state the bucket stays full and retries
+//! flow freely; under a fault storm the bucket drains in one
+//! amplification round and everything after degrades to a single
+//! attempt, failing fast with
+//! [`RuntimeError::RetryBudgetExhausted`](crate::error::RuntimeError).
+//!
+//! Tokens are stored in fixed-point milli-tokens so the 10% refill
+//! ratio needs no floating point: one success deposits 100 (a tenth of
+//! a token), one withdrawal takes 1000 (a whole token).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Milli-tokens deposited per successful call (0.1 token: ten
+/// successes earn one retry).
+const DEPOSIT: u64 = 100;
+
+/// Milli-tokens one retry/hedge/redial withdraws.
+const WITHDRAW: u64 = 1000;
+
+/// A shared token bucket gating retries, hedges, and failover redials.
+///
+/// Cheap enough for the hot path: deposits and withdrawals are single
+/// atomic CAS loops, no locks, no clock reads.
+#[derive(Debug)]
+pub struct RetryBudget {
+    /// Milli-tokens currently available.
+    tokens: AtomicU64,
+    /// Ceiling on `tokens`: bounds the burst a long quiet period can
+    /// bank.
+    cap: u64,
+}
+
+impl RetryBudget {
+    /// A budget holding `initial` whole tokens, capped at `cap` whole
+    /// tokens.
+    #[must_use]
+    pub fn new(initial: u64, cap: u64) -> Self {
+        let cap = cap.max(1).saturating_mul(WITHDRAW);
+        RetryBudget {
+            tokens: AtomicU64::new(initial.saturating_mul(WITHDRAW).min(cap)),
+            cap,
+        }
+    }
+
+    /// The default pool budget: a deposit large enough that healthy
+    /// workloads (and the existing chaos suites) never notice it, while
+    /// a sustained fault storm still drains it and degrades to
+    /// single-attempt calls.
+    #[must_use]
+    pub fn default_for_pool() -> Self {
+        RetryBudget::new(512, 4096)
+    }
+
+    /// Credits one successful call (~0.1 token).
+    pub fn deposit(&self) {
+        let mut cur = self.tokens.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(DEPOSIT).min(self.cap);
+            match self
+                .tokens
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Takes one token for a retry/hedge/redial. Returns `false` (and
+    /// takes nothing) when the bucket holds less than a whole token —
+    /// the caller must fail fast instead of amplifying.
+    pub fn try_withdraw(&self) -> bool {
+        let mut cur = self.tokens.load(Ordering::Relaxed);
+        loop {
+            if cur < WITHDRAW {
+                return false;
+            }
+            match self.tokens.compare_exchange_weak(
+                cur,
+                cur - WITHDRAW,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Returns a withdrawn token (a hedge that lost its race consumed
+    /// no server capacity worth charging for).
+    pub fn refund(&self) {
+        let mut cur = self.tokens.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(WITHDRAW).min(self.cap);
+            match self
+                .tokens
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Whole tokens currently available (rounded down).
+    #[must_use]
+    pub fn balance(&self) -> u64 {
+        self.tokens.load(Ordering::Relaxed) / WITHDRAW
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn withdrawals_drain_then_refuse() {
+        let b = RetryBudget::new(2, 16);
+        assert!(b.try_withdraw());
+        assert!(b.try_withdraw());
+        assert!(!b.try_withdraw(), "empty bucket must refuse");
+        assert_eq!(b.balance(), 0);
+    }
+
+    #[test]
+    fn ten_successes_earn_one_retry() {
+        let b = RetryBudget::new(0, 16);
+        for _ in 0..9 {
+            b.deposit();
+        }
+        assert!(!b.try_withdraw(), "0.9 tokens is not a whole token");
+        b.deposit();
+        assert!(b.try_withdraw());
+        assert!(!b.try_withdraw());
+    }
+
+    #[test]
+    fn deposits_cap_at_the_ceiling() {
+        let b = RetryBudget::new(1, 2);
+        for _ in 0..100 {
+            b.deposit();
+        }
+        assert_eq!(b.balance(), 2);
+        assert!(b.try_withdraw());
+        assert!(b.try_withdraw());
+        assert!(!b.try_withdraw());
+    }
+
+    #[test]
+    fn refunds_restore_tokens_up_to_cap() {
+        let b = RetryBudget::new(1, 2);
+        assert!(b.try_withdraw());
+        b.refund();
+        assert_eq!(b.balance(), 1);
+        b.refund();
+        b.refund();
+        b.refund();
+        assert_eq!(b.balance(), 2, "refunds respect the cap");
+    }
+}

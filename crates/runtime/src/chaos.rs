@@ -338,6 +338,10 @@ impl Connection for ChaosConnection {
     fn supports_failover(&self) -> bool {
         self.inner.supports_failover()
     }
+
+    fn retry_budget(&self) -> Option<Arc<crate::budget::RetryBudget>> {
+        self.inner.retry_budget()
+    }
 }
 
 #[cfg(test)]

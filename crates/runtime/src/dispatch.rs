@@ -354,6 +354,22 @@ impl Dispatcher {
     /// Handles one framed message, producing the reply frame (`None`
     /// for oneway requests, which get no reply even on failure).
     pub fn dispatch(&self, msg: &Message) -> Option<Message> {
+        self.dispatch_with_deadline(msg, None)
+    }
+
+    /// [`dispatch`](Dispatcher::dispatch) under the request's propagated
+    /// deadline: when `expires_at` has already passed the servant is
+    /// *not* invoked — the caller stopped waiting, so executing would
+    /// burn capacity on a result nobody reads — and the request is
+    /// answered with `DeadlineExpired` instead.
+    pub fn dispatch_with_deadline(
+        &self,
+        msg: &Message,
+        expires_at: Option<std::time::Instant>,
+    ) -> Option<Message> {
+        if expires_at.is_some_and(|at| std::time::Instant::now() >= at) {
+            return deadline_expired_reply(msg, &self.metrics);
+        }
         let MessageKind::Request {
             request_id,
             response_expected,
@@ -435,6 +451,30 @@ impl Dispatcher {
             }
         })
     }
+}
+
+/// The `DeadlineExpired` refusal reply for `msg` (`None` for oneways,
+/// which get no reply even when refused). Counts into
+/// `deadline_expired_server` either way: the refusal happened whether
+/// or not the caller hears about it.
+pub(crate) fn deadline_expired_reply(msg: &Message, metrics: &MetricsRegistry) -> Option<Message> {
+    metrics.add_deadline_expired_server();
+    let MessageKind::Request {
+        request_id,
+        response_expected: true,
+        ..
+    } = &msg.kind
+    else {
+        return None;
+    };
+    let mut w = CdrWriter::new(msg.endian);
+    w.put_bytes(b"deadline expired before dispatch");
+    Some(Message::reply(
+        *request_id,
+        ReplyStatus::DeadlineExpired,
+        msg.endian,
+        w.into_bytes(),
+    ))
 }
 
 #[cfg(test)]

@@ -26,6 +26,14 @@ pub enum RuntimeError {
     /// The server shed the request instead of queueing it. The request
     /// was not executed; idempotent callers may retry after backoff.
     Overloaded(String),
+    /// The request's propagated deadline had already expired when the
+    /// server (or the client's own retry loop) looked at it; the work
+    /// was refused, not executed. Never retried: the budget is gone.
+    DeadlineExpired(String),
+    /// The pool's retry budget was empty when a retry, hedge, or
+    /// failover redial wanted a token: the call fails after its single
+    /// attempt instead of amplifying an overload into a storm.
+    RetryBudgetExhausted(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -40,6 +48,10 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Timeout(m) => write!(f, "call timed out: {m}"),
             RuntimeError::VersionSkew(m) => write!(f, "version skew: {m}"),
             RuntimeError::Overloaded(m) => write!(f, "server overloaded: {m}"),
+            RuntimeError::DeadlineExpired(m) => write!(f, "deadline expired: {m}"),
+            RuntimeError::RetryBudgetExhausted(m) => {
+                write!(f, "retry budget exhausted: {m}")
+            }
         }
     }
 }
@@ -70,5 +82,11 @@ mod tests {
         assert!(RuntimeError::Overloaded("queue".into())
             .to_string()
             .contains("overloaded"));
+        assert!(RuntimeError::DeadlineExpired("gone".into())
+            .to_string()
+            .contains("deadline expired"));
+        assert!(RuntimeError::RetryBudgetExhausted("drained".into())
+            .to_string()
+            .contains("retry budget"));
     }
 }

@@ -37,9 +37,11 @@
 //!   [`pool::ConnectionPool`], and connection owns (or shares) one.
 
 pub mod breaker;
+pub mod budget;
 pub mod chaos;
 pub mod dispatch;
 pub mod error;
+pub mod limiter;
 pub mod metrics;
 pub mod node;
 pub mod options;
@@ -51,12 +53,14 @@ pub mod sync;
 pub mod transport;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use budget::RetryBudget;
 pub use chaos::{ChaosConfig, ChaosConnection, ChaosSchedule, Fault, FaultRecord};
 pub use dispatch::{Dispatcher, Servant, WireOp, WireServant};
 pub use error::RuntimeError;
+pub use limiter::{Admission, AimdLimiter};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use node::{Node, PortHandler};
-pub use options::{CallOptions, HedgePolicy, RetryPolicy};
+pub use options::{CallOptions, Criticality, HedgePolicy, RetryPolicy};
 pub use pool::{BufferPool, ConnectionPool, Connector, PoolBuilder, RequestEncoder};
 pub use proxy::RemoteRef;
 pub use reactor::{DeadlineWheel, FrameReader, FrameWriter};
@@ -74,9 +78,10 @@ pub use mockingbird_obs::{
 /// retry, hedge, and server options, the pool and server types, and
 /// the observability handles.
 pub mod prelude {
+    pub use crate::budget::RetryBudget;
     pub use crate::dispatch::{Dispatcher, WireOp, WireServant};
     pub use crate::metrics::MetricsRegistry;
-    pub use crate::options::{CallOptions, HedgePolicy, RetryPolicy};
+    pub use crate::options::{CallOptions, Criticality, HedgePolicy, RetryPolicy};
     pub use crate::pool::{ConnectionPool, PoolBuilder};
     pub use crate::proxy::RemoteRef;
     pub use crate::resolver::{ObjectName, ResolvedEndpoint, Resolver, StaticResolver};

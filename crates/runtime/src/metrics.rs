@@ -57,6 +57,12 @@ pub struct Metrics {
     mesh_resolutions: AtomicU64,
     mesh_failovers: AtomicU64,
     mesh_evictions: AtomicU64,
+    deadline_expired_server: AtomicU64,
+    retry_budget_exhausted: AtomicU64,
+    brownout_sheds: AtomicU64,
+    /// Gauge, not a counter: the adaptive limiter's current admission
+    /// limit (0 until a server publishes one).
+    admission_limit: AtomicU64,
 }
 
 /// A consistent-enough point-in-time copy of every counter.
@@ -130,6 +136,18 @@ pub struct MetricsSnapshot {
     /// Mesh membership entries evicted as stale (no refresh within the
     /// eviction horizon).
     pub mesh_evictions: u64,
+    /// Requests a server refused because their propagated deadline had
+    /// already expired (admission, dequeue, or pre-dispatch check).
+    pub deadline_expired_server: u64,
+    /// Calls that failed fast because the pool's retry budget was
+    /// empty when a retry, hedge, or failover redial wanted a token.
+    pub retry_budget_exhausted: u64,
+    /// Sheddable requests cut in the adaptive limiter's brownout band
+    /// (before critical traffic was touched).
+    pub brownout_sheds: u64,
+    /// The adaptive limiter's current admission limit (a gauge; 0
+    /// until a server publishes one).
+    pub admission_limit: u64,
 }
 
 impl Metrics {
@@ -167,6 +185,10 @@ impl Metrics {
             mesh_resolutions: AtomicU64::new(0),
             mesh_failovers: AtomicU64::new(0),
             mesh_evictions: AtomicU64::new(0),
+            deadline_expired_server: AtomicU64::new(0),
+            retry_budget_exhausted: AtomicU64::new(0),
+            brownout_sheds: AtomicU64::new(0),
+            admission_limit: AtomicU64::new(0),
         }
     }
 
@@ -248,6 +270,31 @@ impl Metrics {
     /// Records one stale mesh entry evicted.
     pub fn add_mesh_eviction(&self) {
         self.mesh_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request refused server-side for an expired deadline.
+    pub fn add_deadline_expired_server(&self) {
+        self.deadline_expired_server.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one call failed fast on an empty retry budget.
+    pub fn add_retry_budget_exhausted(&self) {
+        self.retry_budget_exhausted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one sheddable request cut in the brownout band.
+    pub fn add_brownout_shed(&self) {
+        self.brownout_sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the adaptive limiter's current admission limit.
+    pub fn set_admission_limit(&self, limit: u64) {
+        self.admission_limit.store(limit, Ordering::Relaxed);
+    }
+
+    /// The last published admission limit (0 until a server sets one).
+    pub fn admission_limit(&self) -> u64 {
+        self.admission_limit.load(Ordering::Relaxed)
     }
 
     /// Records one request frame sent.
@@ -354,6 +401,10 @@ impl Metrics {
             mesh_resolutions: self.mesh_resolutions.load(Ordering::Relaxed),
             mesh_failovers: self.mesh_failovers.load(Ordering::Relaxed),
             mesh_evictions: self.mesh_evictions.load(Ordering::Relaxed),
+            deadline_expired_server: self.deadline_expired_server.load(Ordering::Relaxed),
+            retry_budget_exhausted: self.retry_budget_exhausted.load(Ordering::Relaxed),
+            brownout_sheds: self.brownout_sheds.load(Ordering::Relaxed),
+            admission_limit: self.admission_limit.load(Ordering::Relaxed),
         }
     }
 
@@ -389,13 +440,17 @@ impl Metrics {
         self.mesh_resolutions.store(0, Ordering::Relaxed);
         self.mesh_failovers.store(0, Ordering::Relaxed);
         self.mesh_evictions.store(0, Ordering::Relaxed);
+        self.deadline_expired_server.store(0, Ordering::Relaxed);
+        self.retry_budget_exhausted.store(0, Ordering::Relaxed);
+        self.brownout_sheds.store(0, Ordering::Relaxed);
+        self.admission_limit.store(0, Ordering::Relaxed);
     }
 }
 
 impl MetricsSnapshot {
     /// Counter names and values in declaration order, for exposition.
     #[must_use]
-    pub fn fields(&self) -> [(&'static str, u64); 30] {
+    pub fn fields(&self) -> [(&'static str, u64); 33] {
         [
             ("requests", self.requests),
             ("replies", self.replies),
@@ -427,6 +482,9 @@ impl MetricsSnapshot {
             ("mesh_resolutions", self.mesh_resolutions),
             ("mesh_failovers", self.mesh_failovers),
             ("mesh_evictions", self.mesh_evictions),
+            ("deadline_expired_server", self.deadline_expired_server),
+            ("retry_budget_exhausted", self.retry_budget_exhausted),
+            ("brownout_sheds", self.brownout_sheds),
         ]
     }
 }
@@ -646,6 +704,12 @@ impl MetricsRegistry {
                 );
             }
         }
+        let _ = writeln!(out, "# TYPE mockingbird_admission_limit gauge");
+        let _ = writeln!(
+            out,
+            "mockingbird_admission_limit {}",
+            self.counters.admission_limit()
+        );
         let _ = writeln!(out, "# TYPE mockingbird_spans_captured gauge");
         let _ = writeln!(out, "mockingbird_spans_captured {}", self.spans.len());
         out
@@ -694,7 +758,8 @@ impl MetricsRegistry {
         ops_json(&mut out, &self.server_ops());
         let _ = write!(
             out,
-            ",\"tracing\":{},\"spans_captured\":{}}}",
+            ",\"admission_limit\":{},\"tracing\":{},\"spans_captured\":{}}}",
+            self.counters.admission_limit(),
             self.tracing_enabled(),
             self.spans.len()
         );
@@ -739,6 +804,10 @@ mod tests {
         m.add_mesh_resolution();
         m.add_mesh_failover();
         m.add_mesh_eviction();
+        m.add_deadline_expired_server();
+        m.add_retry_budget_exhausted();
+        m.add_brownout_shed();
+        m.set_admission_limit(64);
         let s = m.snapshot();
         assert_eq!(s.requests, 2);
         assert_eq!(s.replies, 1);
@@ -768,6 +837,10 @@ mod tests {
         assert_eq!(s.mesh_resolutions, 1);
         assert_eq!(s.mesh_failovers, 1);
         assert_eq!(s.mesh_evictions, 1);
+        assert_eq!(s.deadline_expired_server, 1);
+        assert_eq!(s.retry_budget_exhausted, 1);
+        assert_eq!(s.brownout_sheds, 1);
+        assert_eq!(s.admission_limit, 64);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }

@@ -27,6 +27,23 @@ pub struct CallOptions {
     /// Hedging policy for idempotent operations routed through a
     /// connection pool. `None` never hedges.
     pub hedge: Option<HedgePolicy>,
+    /// The call's criticality tier: sheddable traffic is cut first
+    /// when the server's adaptive limiter browns out, so a degraded
+    /// node keeps answering critical calls (brownout before blackout).
+    pub criticality: Criticality,
+}
+
+/// Two-tier criticality: which traffic an overloaded server sheds
+/// first. Propagated to the server in the deadline service-context
+/// slot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Criticality {
+    /// Shed only when the server is fully saturated (the default).
+    #[default]
+    Critical,
+    /// Shed early, before critical traffic, once the adaptive limiter
+    /// enters its brownout band.
+    Sheddable,
 }
 
 impl CallOptions {
@@ -56,6 +73,20 @@ impl CallOptions {
     pub fn with_hedge(mut self, hedge: HedgePolicy) -> Self {
         self.hedge = Some(hedge);
         self
+    }
+
+    /// Sets the criticality tier ([`Criticality::Critical`] is the
+    /// default).
+    #[must_use]
+    pub fn with_criticality(mut self, criticality: Criticality) -> Self {
+        self.criticality = criticality;
+        self
+    }
+
+    /// Marks the call sheddable: the first traffic cut under brownout.
+    #[must_use]
+    pub fn sheddable(self) -> Self {
+        self.with_criticality(Criticality::Sheddable)
     }
 }
 
@@ -233,5 +264,14 @@ mod tests {
         assert_eq!(o.deadline, Some(Duration::from_millis(250)));
         assert_eq!(o.retry.unwrap().max_retries, 2);
         assert_eq!(o.hedge, Some(HedgePolicy::After(Duration::from_millis(5))));
+    }
+
+    #[test]
+    fn criticality_defaults_to_critical() {
+        assert_eq!(CallOptions::new().criticality, Criticality::Critical);
+        assert_eq!(
+            CallOptions::new().sheddable().criticality,
+            Criticality::Sheddable
+        );
     }
 }

@@ -46,6 +46,7 @@ use mockingbird_values::Endian;
 use mockingbird_wire::{CdrWriter, HandshakeInfo, Message, MessageKind};
 
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::budget::RetryBudget;
 use crate::error::RuntimeError;
 use crate::metrics::MetricsRegistry;
 use crate::options::{CallOptions, HedgePolicy};
@@ -243,6 +244,13 @@ struct PoolCore {
     connector: Connector,
     latencies: Mutex<VecDeque<Duration>>,
     metrics: Arc<MetricsRegistry>,
+    /// The pool-wide token bucket bounding aggregate retry
+    /// amplification: successes deposit here (in [`attempt_at`]), and
+    /// every retry, hedge, or failover redial over this pool withdraws
+    /// first.
+    ///
+    /// [`attempt_at`]: PoolCore::attempt_at
+    retry_budget: Arc<RetryBudget>,
 }
 
 impl PoolCore {
@@ -404,6 +412,10 @@ impl PoolCore {
             Ok(_) => {
                 ep.breaker.record_success();
                 self.record_latency(start.elapsed());
+                // Successful traffic refills the retry budget (~0.1
+                // token per success), so steady state keeps retries
+                // flowing while a fault storm drains the bucket fast.
+                self.retry_budget.deposit();
             }
             // A broken socket: count it and clear the slot so the next
             // caller reconnects.
@@ -498,6 +510,7 @@ pub struct PoolBuilder {
     handshake: Option<HandshakeInfo>,
     metrics: Option<Arc<MetricsRegistry>>,
     resolver: Option<(Arc<dyn Resolver>, ObjectName)>,
+    retry_budget: Option<Arc<RetryBudget>>,
 }
 
 impl PoolBuilder {
@@ -539,6 +552,17 @@ impl PoolBuilder {
     #[must_use]
     pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
         self.metrics = Some(registry);
+        self
+    }
+
+    /// The token bucket gating retries, hedges, and failover redials
+    /// sent through this pool (default [`RetryBudget::default_for_pool`];
+    /// share one bucket across pools to bound a whole client's
+    /// amplification, or size it down to make exhaustion observable in
+    /// tests).
+    #[must_use]
+    pub fn with_retry_budget(mut self, budget: Arc<RetryBudget>) -> Self {
+        self.retry_budget = Some(budget);
         self
     }
 
@@ -627,6 +651,9 @@ impl PoolBuilder {
             connector,
             latencies: Mutex::new(VecDeque::new()),
             metrics,
+            retry_budget: self
+                .retry_budget
+                .unwrap_or_else(|| Arc::new(RetryBudget::default_for_pool())),
         });
         core.sync_if_stale();
         Ok(ConnectionPool { core })
@@ -653,6 +680,7 @@ impl ConnectionPool {
             handshake: None,
             metrics: None,
             resolver: None,
+            retry_budget: None,
         }
     }
 
@@ -815,8 +843,26 @@ impl Connection for ConnectionPool {
             // failures go to the retry layer, not a hedge.
             Ok((_, outcome)) => outcome,
             Err(mpsc::RecvTimeoutError::Timeout) => {
+                // A hedge is a duplicate send — it amplifies offered
+                // load exactly like a retry, so it buys a token from
+                // the same budget. An empty bucket means no second
+                // attempt: wait out the primary instead.
+                if !self.core.retry_budget.try_withdraw() {
+                    self.core.metrics.add_retry_budget_exhausted();
+                    return match rx.recv() {
+                        Ok((_, outcome)) => outcome,
+                        Err(_) => Err(RuntimeError::Transport("hedge attempts vanished".into())),
+                    };
+                }
                 self.core.metrics.add_hedge_fired();
                 spawn_attempt(1);
+                // A hedge that loses its race consumed no server
+                // capacity worth charging for: its token goes back.
+                let refund_if_lost = |winner: u8| {
+                    if winner != 1 {
+                        self.core.retry_budget.refund();
+                    }
+                };
                 let first = rx
                     .recv()
                     .map_err(|_| RuntimeError::Transport("hedge attempts vanished".into()))?;
@@ -825,6 +871,7 @@ impl Connection for ConnectionPool {
                         if tag == 1 {
                             self.core.metrics.add_hedge_won();
                         }
+                        refund_if_lost(tag);
                         mark_winner(tag);
                         Ok(reply)
                     }
@@ -835,10 +882,14 @@ impl Connection for ConnectionPool {
                             if tag == 1 {
                                 self.core.metrics.add_hedge_won();
                             }
+                            refund_if_lost(tag);
                             mark_winner(tag);
                             Ok(reply)
                         }
-                        _ => Err(first_err),
+                        _ => {
+                            refund_if_lost(0);
+                            Err(first_err)
+                        }
                     },
                 }
             }
@@ -857,6 +908,10 @@ impl Connection for ConnectionPool {
         // worth re-resolving and retrying. The static path keeps the
         // historical fail-fast semantics.
         self.core.directory.resolver.is_dynamic()
+    }
+
+    fn retry_budget(&self) -> Option<Arc<RetryBudget>> {
+        Some(Arc::clone(&self.core.retry_budget))
     }
 }
 

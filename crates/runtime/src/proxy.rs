@@ -9,12 +9,12 @@ use std::time::Instant;
 use mockingbird_obs::{SpanKind, SpanRecord, TraceContext};
 use mockingbird_rng::StdRng;
 use mockingbird_values::{Endian, MValue};
-use mockingbird_wire::{CdrReader, HandshakeInfo, Message, MessageKind, ReplyStatus};
+use mockingbird_wire::{CdrReader, HandshakeInfo, Message, MessageKind, ReplyStatus, WireDeadline};
 
 use crate::dispatch::{interface_fingerprint, WireOp};
 use crate::error::RuntimeError;
 use crate::metrics::MetricsRegistry;
-use crate::options::CallOptions;
+use crate::options::{CallOptions, Criticality};
 use crate::pool::BufferPool;
 use crate::transport::Connection;
 
@@ -256,68 +256,115 @@ impl RemoteRef {
             .then(TraceContext::root)
             .map(|t| t.with_sampled(true));
         let started = Instant::now();
+        let budget = self.connection.retry_budget();
         let mut attempt = 0u32;
         let mut body = body;
         loop {
             let attempt_trace = trace.map(|t| t.child());
-            let (recovered, outcome) =
-                self.invoke_once_raw(operation, body, options, attempt_trace);
-            match outcome {
-                // Overloaded sheds are retryable by design: the server
-                // answered *instead of executing*, so re-sending after
-                // backoff is safe even mid-overload.
-                Err(
-                    RuntimeError::Transport(_)
-                    | RuntimeError::Timeout(_)
-                    | RuntimeError::Overloaded(_),
-                ) if attempt < max_retries => {
+            // Deadline deduction: every attempt (the first included) gets
+            // only what remains of the caller's budget, so a retry after
+            // a slow failure carries a shorter wire deadline than the
+            // original send. A spent budget fails fast here instead of
+            // shipping work the server is obliged to refuse.
+            let restamped;
+            let (current, spent) = match options.deadline {
+                Some(total) => {
+                    let remaining = total.saturating_sub(started.elapsed());
+                    if remaining.is_zero() {
+                        (options, true)
+                    } else {
+                        restamped = CallOptions {
+                            deadline: Some(remaining),
+                            ..options.clone()
+                        };
+                        (&restamped, false)
+                    }
+                }
+                None => (options, false),
+            };
+            let (recovered, mut outcome) = if spent {
+                (
+                    body,
+                    Err(RuntimeError::DeadlineExpired(
+                        "call budget spent before the attempt could start".into(),
+                    )),
+                )
+            } else {
+                self.invoke_once_raw(operation, body, current, attempt_trace)
+            };
+            // Overloaded sheds are retryable by design: the server
+            // answered *instead of executing*, so re-sending after
+            // backoff is safe even mid-overload. Expired deadlines are
+            // not: the budget is gone, no attempt can still help.
+            let transient = attempt < max_retries
+                && matches!(
+                    outcome,
+                    Err(RuntimeError::Transport(_)
+                        | RuntimeError::Timeout(_)
+                        | RuntimeError::Overloaded(_))
+                );
+            // Version skew is a connect-time verdict — the request
+            // was never executed, so failing over to another replica
+            // is safe regardless of idempotence. No backoff either:
+            // the pool already quarantined the skewed endpoint, so
+            // the retry routes to a different replica immediately.
+            let skew =
+                attempt < skew_budget && matches!(outcome, Err(RuntimeError::VersionSkew(_)));
+            if transient || skew {
+                // Every re-send amplifies offered load, so it buys a
+                // token from the pool's retry budget first; an empty
+                // bucket degrades the call to its single attempt and a
+                // distinct fail-fast error.
+                if budget.as_ref().is_none_or(|b| b.try_withdraw()) {
                     self.metrics.add_retry();
-                    if failover {
+                    if skew || failover {
                         self.metrics.add_mesh_failover();
                     }
-                    let pause = RETRY_RNG.with(|rng| {
-                        policy
-                            .unwrap()
-                            .jittered_backoff(attempt, &mut rng.borrow_mut())
-                    });
-                    std::thread::sleep(pause);
-                    attempt += 1;
-                    body = recovered;
-                }
-                // Version skew is a connect-time verdict — the request
-                // was never executed, so failing over to another replica
-                // is safe regardless of idempotence. No backoff either:
-                // the pool already quarantined the skewed endpoint, so
-                // the retry routes to a different replica immediately.
-                Err(RuntimeError::VersionSkew(_)) if attempt < skew_budget => {
-                    self.metrics.add_retry();
-                    self.metrics.add_mesh_failover();
-                    attempt += 1;
-                    body = recovered;
-                }
-                outcome => {
-                    let bytes_out = recovered.len() as u64;
-                    self.buffers.put(recovered);
-                    let elapsed = started.elapsed();
-                    self.metrics.record_client(operation, elapsed);
-                    let duration_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-                    if let Some(t) =
-                        trace.filter(|t| t.sampled && self.metrics.wants_span(duration_us))
-                    {
-                        let mut span = SpanRecord::new(t, SpanKind::Client, operation);
-                        span.start_us = self.metrics.spans().now_us().saturating_sub(duration_us);
-                        span.duration_us = duration_us;
-                        span.fused = self.fused_allowed();
-                        span.bytes_out = bytes_out;
-                        match &outcome {
-                            Ok((reply, _)) => span.bytes_in = reply.len() as u64,
-                            Err(e) => span.error = Some(e.to_string()),
-                        }
-                        self.metrics.record_span(span);
+                    if transient {
+                        let pause = RETRY_RNG.with(|rng| {
+                            policy
+                                .unwrap()
+                                .jittered_backoff(attempt, &mut rng.borrow_mut())
+                        });
+                        // Backoff never sleeps past the caller's
+                        // deadline: saturate at whatever budget remains.
+                        let pause = match options.deadline {
+                            Some(total) => pause.min(total.saturating_sub(started.elapsed())),
+                            None => pause,
+                        };
+                        std::thread::sleep(pause);
                     }
-                    return outcome;
+                    attempt += 1;
+                    body = recovered;
+                    continue;
                 }
+                self.metrics.add_retry_budget_exhausted();
+                let cause = outcome
+                    .as_ref()
+                    .err()
+                    .map_or_else(String::new, ToString::to_string);
+                outcome = Err(RuntimeError::RetryBudgetExhausted(format!(
+                    "no token to retry after: {cause}"
+                )));
             }
+            let bytes_out = recovered.len() as u64;
+            self.buffers.put(recovered);
+            let elapsed = started.elapsed();
+            self.metrics.record_client(operation, elapsed);
+            let duration_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+            if let Some(t) = trace.filter(|t| t.sampled && self.metrics.wants_span(duration_us)) {
+                let mut span = SpanRecord::new(t, SpanKind::Client, operation);
+                span.start_us = self.metrics.spans().now_us().saturating_sub(duration_us);
+                span.duration_us = duration_us;
+                span.fused = self.fused_allowed();
+                span.bytes_out = bytes_out;
+                match &outcome {
+                    Ok((reply, _)) => span.bytes_in = reply.len() as u64,
+                    Err(e) => span.error = Some(e.to_string()),
+                }
+                self.metrics.record_span(span);
+            }
+            return outcome;
         }
     }
 
@@ -342,6 +389,17 @@ impl RemoteRef {
         );
         if let Some(t) = trace {
             msg = msg.with_trace(t);
+        }
+        // The deadline context slot rides along only when the caller set
+        // a budget or marked the call sheddable, so deadline-free
+        // critical traffic stays byte-identical to the pre-deadline wire
+        // format.
+        let sheddable = options.criticality == Criticality::Sheddable;
+        if options.deadline.is_some() || sheddable {
+            msg = msg.with_deadline(match options.deadline {
+                Some(d) => WireDeadline::new(d, sheddable),
+                None => WireDeadline::sheddable_only(),
+            });
         }
         self.metrics.add_request();
         let outcome = self.connection.call_with(&msg, options);
@@ -372,6 +430,14 @@ impl RemoteRef {
                         .map(|b| String::from_utf8_lossy(b).into_owned())
                         .unwrap_or_else(|_| "request shed by the server".to_string());
                     Err(RuntimeError::Overloaded(text))
+                }
+                ReplyStatus::DeadlineExpired => {
+                    let mut r = CdrReader::new(&reply.body, reply.endian);
+                    let text = r
+                        .get_bytes()
+                        .map(|b| String::from_utf8_lossy(b).into_owned())
+                        .unwrap_or_else(|_| "deadline expired before dispatch".to_string());
+                    Err(RuntimeError::DeadlineExpired(text))
                 }
                 ReplyStatus::UserException | ReplyStatus::SystemException => {
                     let mut r = CdrReader::new(&reply.body, reply.endian);

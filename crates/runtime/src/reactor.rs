@@ -46,7 +46,9 @@ use mockingbird_wire::{
     CdrWriter, HandshakeInfo, HandshakeVerdict, Message, MessageKind, ReplyStatus,
 };
 
+use crate::dispatch::deadline_expired_reply;
 use crate::error::RuntimeError;
+use crate::limiter::{Admission, AimdLimiter};
 use crate::metrics::MetricsRegistry;
 use crate::sync::LockExt;
 use crate::transport::{FrameQueue, ServerConfig};
@@ -517,6 +519,14 @@ pub(crate) struct ServerJob {
     /// decremented by the worker that picks the job up.
     pub queued: Arc<AtomicUsize>,
     pub msg: Message,
+    /// When the request's propagated deadline runs out (admission
+    /// stamped it from the wire slot); workers refuse the job past
+    /// this instant instead of dispatching it.
+    pub expires_at: Option<Instant>,
+    /// When admission accepted the frame: the worker reports the full
+    /// sojourn (queue wait + dispatch) to the AIMD limiter, so queueing
+    /// delay — the first symptom of overload — moves the limit.
+    pub admitted: Instant,
 }
 
 /// Everything a server-mode reactor needs that a client reactor does
@@ -531,6 +541,9 @@ pub(crate) struct ServerCtx {
     pub ordered: Arc<FrameQueue<ServerJob>>,
     pub in_flight: Arc<AtomicUsize>,
     pub metrics: Arc<MetricsRegistry>,
+    /// The admission limiter (pinned at the static cap unless the
+    /// config asked for adaptive control).
+    pub limiter: Arc<AimdLimiter>,
 }
 
 pub(crate) enum Command {
@@ -1028,12 +1041,33 @@ impl Reactor {
             }
             return;
         }
-        // Admission control, same policy as the threaded server: the
-        // global in-flight cap and the per-connection queue bound both
-        // shed rather than stall, so a flooded server answers fast
-        // instead of wedging every socket behind slow dispatches.
-        let admitted = ctx.in_flight.load(Ordering::SeqCst) < ctx.cfg.max_in_flight
-            && queued.load(Ordering::SeqCst) < ctx.cfg.max_queue;
+        // Admission control, same policy as the threaded server: an
+        // already-expired propagated deadline is refused at the door,
+        // the rest pass the limiter (brownout cuts sheddable traffic
+        // first) and the per-connection queue bound — everything sheds
+        // rather than stalls, so a flooded server answers fast instead
+        // of wedging every socket behind slow dispatches.
+        let expires_at = msg
+            .deadline
+            .and_then(|d| d.budget())
+            .map(|b| Instant::now() + b);
+        if expires_at.is_some_and(|at| Instant::now() >= at) {
+            if let Some(reply) = deadline_expired_reply(&msg, &ctx.metrics) {
+                writer.enqueue(reply.to_bytes());
+            }
+            return;
+        }
+        let sheddable = msg.deadline.is_some_and(|d| d.sheddable);
+        let admission = ctx.limiter.admit(
+            ctx.in_flight.load(Ordering::SeqCst),
+            ctx.queue.len(),
+            sheddable,
+        );
+        if admission == Admission::Brownout {
+            ctx.metrics.add_brownout_shed();
+        }
+        let admitted =
+            admission == Admission::Admit && queued.load(Ordering::SeqCst) < ctx.cfg.max_queue;
         if admitted {
             // Oneways go to the single ordered worker (dispatch order
             // is their only delivery guarantee); request/reply calls
@@ -1052,6 +1086,8 @@ impl Reactor {
                     conn: id,
                     queued: Arc::clone(queued),
                     msg,
+                    expires_at,
+                    admitted: Instant::now(),
                 })
                 .is_err()
             {
@@ -1449,6 +1485,32 @@ mod tests {
             fired.push(r)
         });
         assert_eq!(fired, vec![1, 2]);
+    }
+
+    #[test]
+    fn wheel_holds_deadlines_beyond_one_rotation() {
+        // A deadline several full rotations out (the wheel covers
+        // WHEEL_SLOTS ticks = 256 ms per revolution) must survive every
+        // intermediate sweep of its slot and fire only when its own
+        // tick comes around — never early, never dropped.
+        let origin = Instant::now();
+        let mut wheel = DeadlineWheel::new(origin);
+        let far = Duration::from_millis(3 * WHEEL_SLOTS + 5); // ~773 ms
+        wheel.insert(9, 42, origin + far);
+        let mut fired = Vec::new();
+        // Sweep right past its slot on each of the three intervening
+        // rotations.
+        for rotation in 1..=3u64 {
+            wheel.expire(
+                origin + Duration::from_millis(rotation * WHEEL_SLOTS),
+                |c, r| fired.push((c, r)),
+            );
+            assert!(fired.is_empty(), "fired {} rotations early", 4 - rotation);
+            assert!(!wheel.is_empty(), "entry dropped mid-rotation");
+        }
+        wheel.expire(origin + far + WHEEL_TICK, |c, r| fired.push((c, r)));
+        assert_eq!(fired, vec![(9, 42)]);
+        assert!(wheel.is_empty());
     }
 
     #[test]

@@ -38,10 +38,13 @@ use std::time::{Duration, Instant};
 use mockingbird_values::Endian;
 use mockingbird_wire::{
     CdrWriter, HandshakeInfo, HandshakeVerdict, Message, MessageKind, ReplyStatus, RequestIds,
+    WireDeadline,
 };
 
-use crate::dispatch::Dispatcher;
+use crate::budget::RetryBudget;
+use crate::dispatch::{deadline_expired_reply, Dispatcher};
 use crate::error::RuntimeError;
+use crate::limiter::{Admission, AimdLimiter};
 use crate::metrics::MetricsRegistry;
 use crate::options::CallOptions;
 use crate::reactor::{
@@ -163,6 +166,15 @@ pub trait Connection: Send + Sync {
     /// the default: there is nowhere else to go.
     fn supports_failover(&self) -> bool {
         false
+    }
+
+    /// The retry budget gating re-sends over this connection, when it
+    /// has one. Budgets are a *pool-level* control (they bound the
+    /// aggregate retry amplification of many callers sharing the
+    /// endpoint set), so single-socket transports keep the default:
+    /// their callers retry ungated, as before.
+    fn retry_budget(&self) -> Option<Arc<RetryBudget>> {
+        None
     }
 }
 
@@ -291,6 +303,17 @@ fn write_frame(
     msg: &Message,
     metrics: &MetricsRegistry,
 ) -> Result<(), RuntimeError> {
+    write_frame_restamped(stream, msg, None, metrics)
+}
+
+/// [`write_frame`] with the deadline slot re-stamped at encode time
+/// (see [`Message::write_to_restamped`]).
+fn write_frame_restamped(
+    stream: &mut TcpStream,
+    msg: &Message,
+    restamp: Option<WireDeadline>,
+    metrics: &MetricsRegistry,
+) -> Result<(), RuntimeError> {
     // The preamble+header go into a per-thread scratch buffer and the
     // body is written from its own storage (vectored), so no thread
     // allocates frame memory after its first send.
@@ -299,7 +322,7 @@ fn write_frame(
     }
     SCRATCH.with(|s| {
         let mut scratch = s.borrow_mut();
-        msg.write_to(stream, &mut scratch)
+        msg.write_to_restamped(stream, &mut scratch, restamp)
             .map_err(|e| RuntimeError::Transport(e.to_string()))?;
         metrics.add_bytes_sent((scratch.len() + msg.body.len()) as u64);
         Ok(())
@@ -382,8 +405,30 @@ impl Connection for TcpConnection {
         msg: &Message,
         options: &CallOptions,
     ) -> Result<Option<Message>, RuntimeError> {
+        let queued_at = Instant::now();
         let mut stream = self.stream.plock();
-        write_frame(&mut stream, msg, &self.metrics)?;
+        // Time spent waiting for the shared stream (another caller's
+        // exchange, an injected delay upstream) already came out of the
+        // caller's budget; re-stamp the deadline slot at the actual
+        // send instant so the server's view of the remaining time never
+        // drifts past the caller's. A budget that died in the wait is
+        // refused here without wasting the server's time at all.
+        let restamp = match msg.deadline.and_then(|d| d.budget()) {
+            Some(budget) => {
+                let remaining = budget.saturating_sub(queued_at.elapsed());
+                if remaining.is_zero() {
+                    return Err(RuntimeError::DeadlineExpired(
+                        "budget spent waiting for the connection".into(),
+                    ));
+                }
+                Some(WireDeadline::new(
+                    remaining,
+                    msg.deadline.is_some_and(|d| d.sheddable),
+                ))
+            }
+            None => None,
+        };
+        write_frame_restamped(&mut stream, msg, restamp, &self.metrics)?;
         let MessageKind::Request {
             request_id: caller_id,
             response_expected,
@@ -747,6 +792,15 @@ pub struct ServerConfig {
     /// the reactor (the baseline in the connection-scaling
     /// experiments; costs one OS thread per accepted socket).
     pub thread_per_connection: bool,
+    /// Adapt the in-flight cap with an AIMD limiter driven by measured
+    /// dispatch latency instead of pinning it at `max_in_flight`. Off
+    /// by default: the pinned limiter reproduces the historical static
+    /// cap exactly.
+    pub adaptive_limit: bool,
+    /// The dispatch-latency p99 the adaptive limiter steers toward:
+    /// windows whose p99 overshoots this cut the limit
+    /// multiplicatively; healthy windows raise it by one.
+    pub target_p99: Duration,
 }
 
 impl Default for ServerConfig {
@@ -757,6 +811,8 @@ impl Default for ServerConfig {
             max_in_flight: 256,
             workers: DISPATCH_WORKERS,
             thread_per_connection: false,
+            adaptive_limit: false,
+            target_p99: Duration::from_millis(50),
         }
     }
 }
@@ -797,6 +853,33 @@ impl ServerConfig {
         self.thread_per_connection = enabled;
         self
     }
+
+    /// Enables (or disables) the adaptive AIMD in-flight limiter.
+    #[must_use]
+    pub fn with_adaptive_limit(mut self, enabled: bool) -> Self {
+        self.adaptive_limit = enabled;
+        self
+    }
+
+    /// Sets the dispatch-latency target the adaptive limiter steers
+    /// toward (ignored while `adaptive_limit` is off).
+    #[must_use]
+    pub fn with_target_p99(mut self, target: Duration) -> Self {
+        self.target_p99 = target;
+        self
+    }
+
+    /// Builds this config's admission limiter: adaptive when asked,
+    /// otherwise pinned at `max_in_flight` (byte-for-byte the old
+    /// static-cap admission).
+    #[must_use]
+    pub fn limiter(&self) -> AimdLimiter {
+        if self.adaptive_limit {
+            AimdLimiter::adaptive(self.max_in_flight, self.target_p99)
+        } else {
+            AimdLimiter::pinned(self.max_in_flight)
+        }
+    }
 }
 
 /// A closable, bounded queue handing work from connection read paths to
@@ -830,6 +913,12 @@ impl<T> FrameQueue<T> {
         drop(st);
         self.cv.notify_one();
         Ok(())
+    }
+
+    /// Items currently waiting (admission control reads this as the
+    /// queued-work half of the outstanding load).
+    pub(crate) fn len(&self) -> usize {
+        self.state.plock().0.len()
     }
 
     pub(crate) fn close(&self) {
@@ -915,12 +1004,26 @@ fn shed(msg: &Message, writer: &Mutex<TcpStream>, metrics: &MetricsRegistry) -> 
     write_frame(&mut stream, &reply, metrics).is_ok()
 }
 
+/// Refuses one request whose propagated deadline already expired:
+/// answers `DeadlineExpired` (oneways are silently dropped). Returns
+/// `false` when the reply could not be written.
+fn refuse_expired(msg: &Message, writer: &Mutex<TcpStream>, metrics: &MetricsRegistry) -> bool {
+    match deadline_expired_reply(msg, metrics) {
+        Some(reply) => {
+            let mut stream = writer.plock();
+            write_frame(&mut stream, &reply, metrics).is_ok()
+        }
+        None => true,
+    }
+}
+
 fn serve_connection(
     mut stream: TcpStream,
     dispatcher: Arc<Dispatcher>,
     stop: Arc<AtomicBool>,
     cfg: Arc<ServerConfig>,
     in_flight: Arc<AtomicUsize>,
+    limiter: Arc<AimdLimiter>,
 ) {
     let metrics = Arc::clone(dispatcher.metrics());
     stream.set_read_timeout(Some(SERVER_POLL)).ok();
@@ -933,7 +1036,12 @@ fn serve_connection(
         .set_write_timeout(Some(Duration::from_secs(5)))
         .ok();
     let writer = Arc::new(Mutex::new(write_half));
-    let queue = Arc::new(FrameQueue::<Message>::new(cfg.max_queue));
+    // Entries carry (frame, propagated-deadline expiry, admission
+    // instant); the admission instant lets workers report the full
+    // sojourn — queue wait plus dispatch — to the limiter.
+    let queue = Arc::new(FrameQueue::<(Message, Option<Instant>, Instant)>::new(
+        cfg.max_queue,
+    ));
     let workers: Vec<_> = (0..cfg.workers.max(1))
         .map(|_| {
             let q = queue.clone();
@@ -941,10 +1049,27 @@ fn serve_connection(
             let w = writer.clone();
             let busy = in_flight.clone();
             let m = Arc::clone(&metrics);
+            let lim = limiter.clone();
             std::thread::spawn(move || {
-                while let Some(msg) = q.pop() {
+                while let Some((msg, expires_at, admitted)) = q.pop() {
+                    // Dequeue-time deadline check: a request whose
+                    // budget died waiting in the queue is refused
+                    // without occupying a dispatch slot.
+                    if expires_at.is_some_and(|at| Instant::now() >= at) {
+                        if let Some(reply) = deadline_expired_reply(&msg, &m) {
+                            let mut stream = w.plock();
+                            if write_frame(&mut stream, &reply, &m).is_err() {
+                                break;
+                            }
+                        }
+                        continue;
+                    }
                     busy.fetch_add(1, Ordering::SeqCst);
-                    let reply = d.dispatch(&msg);
+                    let reply = d.dispatch_with_deadline(&msg, expires_at);
+                    // Sojourn time (queue wait + dispatch): queueing
+                    // delay is the first symptom of overload, so it
+                    // must reach the limiter.
+                    lim.observe(admitted.elapsed(), &m);
                     busy.fetch_sub(1, Ordering::SeqCst);
                     if let Some(reply) = reply {
                         let mut stream = w.plock();
@@ -968,16 +1093,33 @@ fn serve_connection(
                     }
                     continue;
                 }
-                // Admission control: the global in-flight cap and the
-                // per-connection queue bound both shed rather than
-                // stall, so a flooded server answers fast instead of
-                // wedging every socket behind slow dispatches.
-                let admitted = if in_flight.load(Ordering::SeqCst) >= cfg.max_in_flight {
-                    Err(msg)
-                } else {
-                    queue.try_push(msg)
-                };
-                if let Err(msg) = admitted {
+                // Admission control: an already-expired deadline is
+                // refused at the door, the rest pass the limiter
+                // (brownout cuts sheddable traffic first) and the
+                // per-connection queue bound — everything sheds rather
+                // than stalls, so a flooded server answers fast instead
+                // of wedging every socket behind slow dispatches.
+                let expires_at = msg
+                    .deadline
+                    .and_then(|d| d.budget())
+                    .map(|b| Instant::now() + b);
+                if expires_at.is_some_and(|at| Instant::now() >= at) {
+                    if !refuse_expired(&msg, &writer, &metrics) {
+                        break;
+                    }
+                    continue;
+                }
+                let sheddable = msg.deadline.is_some_and(|d| d.sheddable);
+                let admitted =
+                    match limiter.admit(in_flight.load(Ordering::SeqCst), queue.len(), sheddable) {
+                        Admission::Admit => queue.try_push((msg, expires_at, Instant::now())),
+                        Admission::Brownout => {
+                            metrics.add_brownout_shed();
+                            Err((msg, expires_at, Instant::now()))
+                        }
+                        Admission::Shed => Err((msg, expires_at, Instant::now())),
+                    };
+                if let Err((msg, ..)) = admitted {
                     if !shed(&msg, &writer, &metrics) {
                         break;
                     }
@@ -1129,6 +1271,7 @@ impl TcpServer {
             let threads = conn_threads.clone();
             let cfg = config.clone();
             let in_flight = Arc::new(AtomicUsize::new(0));
+            let limiter = Arc::new(config.limiter());
             let accept_thread = std::thread::spawn(move || {
                 // The listener unblocks when a shutdown probe connects.
                 for conn in listener.incoming() {
@@ -1162,8 +1305,10 @@ impl TcpServer {
                     let stop = flag.clone();
                     let cfg = cfg.clone();
                     let busy = in_flight.clone();
-                    let handle =
-                        std::thread::spawn(move || serve_connection(stream, d, stop, cfg, busy));
+                    let lim = limiter.clone();
+                    let handle = std::thread::spawn(move || {
+                        serve_connection(stream, d, stop, cfg, busy, lim);
+                    });
                     threads.plock().push(handle);
                 }
             });
@@ -1172,12 +1317,14 @@ impl TcpServer {
             let queue = Arc::new(FrameQueue::<ServerJob>::new(usize::MAX));
             let ordered = Arc::new(FrameQueue::<ServerJob>::new(usize::MAX));
             let in_flight = Arc::new(AtomicUsize::new(0));
+            let limiter = Arc::new(config.limiter());
             let ctx = ServerCtx {
                 cfg: config.clone(),
                 queue: Arc::clone(&queue),
                 ordered: Arc::clone(&ordered),
                 in_flight: Arc::clone(&in_flight),
                 metrics: Arc::clone(&metrics),
+                limiter: Arc::clone(&limiter),
             };
             let (handle, reactor_thread) = spawn_reactor("mb-reactor-srv", Some(ctx));
             // The pool drains request/reply work concurrently; one
@@ -1195,11 +1342,29 @@ impl TcpServer {
                     let d = dispatcher.clone();
                     let h = handle.clone();
                     let busy = Arc::clone(&in_flight);
+                    let lim = Arc::clone(&limiter);
+                    let m = Arc::clone(&metrics);
                     std::thread::spawn(move || {
                         while let Some(job) = q.pop() {
                             job.queued.fetch_sub(1, Ordering::SeqCst);
+                            // Dequeue-time deadline check: a request
+                            // whose budget died waiting in the queue is
+                            // refused without occupying a dispatch slot.
+                            if job.expires_at.is_some_and(|at| Instant::now() >= at) {
+                                if let Some(reply) = deadline_expired_reply(&job.msg, &m) {
+                                    let _ = h.send(Command::Reply {
+                                        conn: job.conn,
+                                        frame: reply.to_bytes(),
+                                    });
+                                }
+                                continue;
+                            }
                             busy.fetch_add(1, Ordering::SeqCst);
-                            let reply = d.dispatch(&job.msg);
+                            let reply = d.dispatch_with_deadline(&job.msg, job.expires_at);
+                            // Sojourn time (queue wait + dispatch):
+                            // queueing delay is the first symptom of
+                            // overload, so it must reach the limiter.
+                            lim.observe(job.admitted.elapsed(), &m);
                             busy.fetch_sub(1, Ordering::SeqCst);
                             if let Some(reply) = reply {
                                 let _ = h.send(Command::Reply {

@@ -58,15 +58,70 @@ const VERSION: (u8, u8) = (1, 0);
 const FLAG_LITTLE_ENDIAN: u8 = 0x01;
 
 /// Service-context id of the trace-context slot carried in Request
-/// headers (GIOP service contexts are `(id, data)` pairs; we define one
-/// vendor id, "MBTC").
+/// headers (GIOP service contexts are `(id, data)` pairs; we define
+/// vendor ids "MBTC" for tracing and "MBDL" for deadlines).
 pub const TRACE_CONTEXT_ID: u32 = 0x4D42_5443;
+
+/// Service-context id of the deadline slot ("MBDL"): the client's
+/// remaining time budget, re-stamped on every attempt so the server
+/// sees what is left *now*, not what the call started with.
+pub const DEADLINE_CONTEXT_ID: u32 = 0x4D42_444C;
 
 /// Encoded size of one trace slot: id + 128-bit trace id + 64-bit span
 /// id + flags word, all u32-aligned.
 const TRACE_SLOT_LEN: usize = 4 + 16 + 8 + 4;
 
+/// Encoded size of one deadline slot: id + 64-bit budget in µs (two
+/// u32 halves) + flags word.
+const DEADLINE_SLOT_LEN: usize = 4 + 8 + 4;
+
 const TRACE_FLAG_SAMPLED: u32 = 0x01;
+
+const DEADLINE_FLAG_SHEDDABLE: u32 = 0x01;
+
+/// Budget value meaning "no deadline, slot carries only flags".
+const DEADLINE_NONE: u64 = u64::MAX;
+
+/// The deadline service context: how much of the client's time budget
+/// remains for this attempt, plus the call's criticality tier. Servers
+/// use the budget to refuse doomed work (admission, dequeue, and
+/// pre-dispatch checks) and the tier to shed brownout traffic first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireDeadline {
+    /// Remaining budget in microseconds; `None` when the call has no
+    /// deadline but still carries a criticality flag.
+    pub budget_us: Option<u64>,
+    /// Whether the caller marked this request sheddable (cut first
+    /// under brownout, before critical traffic).
+    pub sheddable: bool,
+}
+
+impl WireDeadline {
+    /// A slot for `budget` of remaining time (saturating to µs).
+    #[must_use]
+    pub fn new(budget: std::time::Duration, sheddable: bool) -> Self {
+        let us = u64::try_from(budget.as_micros()).unwrap_or(u64::MAX - 1);
+        WireDeadline {
+            budget_us: Some(us.min(u64::MAX - 1)),
+            sheddable,
+        }
+    }
+
+    /// A slot carrying only the criticality flag (no deadline).
+    #[must_use]
+    pub fn sheddable_only() -> Self {
+        WireDeadline {
+            budget_us: None,
+            sheddable: true,
+        }
+    }
+
+    /// The remaining budget as a `Duration`, if one was propagated.
+    #[must_use]
+    pub fn budget(&self) -> Option<std::time::Duration> {
+        self.budget_us.map(std::time::Duration::from_micros)
+    }
+}
 
 /// The supervision protocol revision spoken over [`MessageKind::Hello`]
 /// frames. Peers with different revisions must not exchange requests.
@@ -169,6 +224,11 @@ pub enum ReplyStatus {
     /// dispatch queue or global in-flight cap exceeded). The request was
     /// *not* executed; idempotent callers may retry after backoff.
     Overloaded,
+    /// The request's propagated deadline had already expired when the
+    /// server looked at it (admission, dequeue, or pre-dispatch), so
+    /// the work was refused rather than executed. Retrying is
+    /// pointless: the client's budget is gone.
+    DeadlineExpired,
 }
 
 impl ReplyStatus {
@@ -178,6 +238,7 @@ impl ReplyStatus {
             ReplyStatus::UserException => 1,
             ReplyStatus::SystemException => 2,
             ReplyStatus::Overloaded => 3,
+            ReplyStatus::DeadlineExpired => 4,
         }
     }
 
@@ -187,6 +248,7 @@ impl ReplyStatus {
             1 => ReplyStatus::UserException,
             2 => ReplyStatus::SystemException,
             3 => ReplyStatus::Overloaded,
+            4 => ReplyStatus::DeadlineExpired,
             other => return Err(GiopError(format!("unknown reply status {other}"))),
         })
     }
@@ -236,6 +298,11 @@ pub struct Message {
     /// Request headers (ignored for other kinds). `None` ⇒ an empty
     /// service-context list is framed, so the header layout is uniform.
     pub trace: Option<TraceContext>,
+    /// Propagated deadline budget + criticality, carried in a second
+    /// service-context slot of Request headers (ignored for other
+    /// kinds). `None` frames no slot, so deadline-free traffic is
+    /// byte-identical to the pre-deadline wire format.
+    pub deadline: Option<WireDeadline>,
     /// The CDR body (arguments or results).
     pub body: Vec<u8>,
 }
@@ -259,6 +326,7 @@ impl Message {
                 operation: operation.into(),
             },
             trace: None,
+            deadline: None,
             body,
         }
     }
@@ -270,12 +338,20 @@ impl Message {
         self
     }
 
+    /// Attaches a deadline slot (propagated only on Request frames).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: WireDeadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Builds a reply message.
     pub fn reply(request_id: u32, status: ReplyStatus, endian: Endian, body: Vec<u8>) -> Self {
         Message {
             endian,
             kind: MessageKind::Reply { request_id, status },
             trace: None,
+            deadline: None,
             body,
         }
     }
@@ -286,6 +362,7 @@ impl Message {
             endian,
             kind: MessageKind::Hello { info, verdict },
             trace: None,
+            deadline: None,
             body: Vec::new(),
         }
     }
@@ -304,13 +381,15 @@ impl Message {
                 let n = 8 + 4 + object_key.len();
                 let through_op = n.div_ceil(4) * 4 + 4 + operation.len();
                 // Pad the operation name to 4, then the service-context
-                // count and (when tracing) the one trace slot.
-                let slot = if self.trace.is_some() {
-                    TRACE_SLOT_LEN
-                } else {
-                    0
-                };
-                through_op.div_ceil(4) * 4 + 4 + slot
+                // count and whichever slots (trace, deadline) are set.
+                let mut slots = 0;
+                if self.trace.is_some() {
+                    slots += TRACE_SLOT_LEN;
+                }
+                if self.deadline.is_some() {
+                    slots += DEADLINE_SLOT_LEN;
+                }
+                through_op.div_ceil(4) * 4 + 4 + slots
             }
             MessageKind::Reply { .. } => 8,
             // protocol + verdict + interface_fp (4×u32) + rules_fp (2×u32)
@@ -328,7 +407,15 @@ impl Message {
     /// Serialises everything before the body — preamble, kind-specific
     /// header, padding to the 8-aligned body start — into `out`
     /// (cleared first), reserving `reserve` bytes up front.
-    fn head_into(&self, out: &mut Vec<u8>, reserve: usize) {
+    ///
+    /// `restamp` replaces the deadline slot's value at encode time
+    /// (same slot, same size, so no length changes); it is ignored when
+    /// the message frames no deadline slot of its own.
+    fn head_into(&self, out: &mut Vec<u8>, reserve: usize, restamp: Option<WireDeadline>) {
+        let deadline = match (self.deadline, restamp) {
+            (Some(_), Some(r)) => Some(r),
+            (own, _) => own,
+        };
         out.clear();
         out.reserve_exact(reserve);
         let header_padded = self.header_len().div_ceil(8) * 8;
@@ -365,19 +452,31 @@ impl Message {
                 while !(out.len() - 12).is_multiple_of(4) {
                     out.push(0);
                 }
-                match &self.trace {
-                    None => self.put_u32_endian(out, 0),
-                    Some(t) => {
-                        self.put_u32_endian(out, 1);
-                        self.put_u32_endian(out, TRACE_CONTEXT_ID);
-                        self.put_u32_endian(out, (t.trace_id >> 96) as u32);
-                        self.put_u32_endian(out, (t.trace_id >> 64) as u32);
-                        self.put_u32_endian(out, (t.trace_id >> 32) as u32);
-                        self.put_u32_endian(out, t.trace_id as u32);
-                        self.put_u32_endian(out, (t.span_id >> 32) as u32);
-                        self.put_u32_endian(out, t.span_id as u32);
-                        self.put_u32_endian(out, if t.sampled { TRACE_FLAG_SAMPLED } else { 0 });
-                    }
+                let count = u32::from(self.trace.is_some()) + u32::from(self.deadline.is_some());
+                self.put_u32_endian(out, count);
+                if let Some(t) = &self.trace {
+                    self.put_u32_endian(out, TRACE_CONTEXT_ID);
+                    self.put_u32_endian(out, (t.trace_id >> 96) as u32);
+                    self.put_u32_endian(out, (t.trace_id >> 64) as u32);
+                    self.put_u32_endian(out, (t.trace_id >> 32) as u32);
+                    self.put_u32_endian(out, t.trace_id as u32);
+                    self.put_u32_endian(out, (t.span_id >> 32) as u32);
+                    self.put_u32_endian(out, t.span_id as u32);
+                    self.put_u32_endian(out, if t.sampled { TRACE_FLAG_SAMPLED } else { 0 });
+                }
+                if let Some(d) = &deadline {
+                    let budget = d.budget_us.unwrap_or(DEADLINE_NONE);
+                    self.put_u32_endian(out, DEADLINE_CONTEXT_ID);
+                    self.put_u32_endian(out, (budget >> 32) as u32);
+                    self.put_u32_endian(out, budget as u32);
+                    self.put_u32_endian(
+                        out,
+                        if d.sheddable {
+                            DEADLINE_FLAG_SHEDDABLE
+                        } else {
+                            0
+                        },
+                    );
                 }
             }
             MessageKind::Reply { request_id, status } => {
@@ -411,7 +510,7 @@ impl Message {
     /// size is reserved once, so a warmed buffer never reallocates.
     pub fn to_bytes_into(&self, out: &mut Vec<u8>) {
         let total = 12 + self.header_len().div_ceil(8) * 8 + self.body.len();
-        self.head_into(out, total);
+        self.head_into(out, total, None);
         out.extend_from_slice(&self.body);
         debug_assert_eq!(out.len(), total);
     }
@@ -425,7 +524,27 @@ impl Message {
     /// Returns any I/O error from the sink; a sink that accepts zero
     /// bytes yields `WriteZero`.
     pub fn write_to<W: Write + ?Sized>(&self, w: &mut W, scratch: &mut Vec<u8>) -> io::Result<()> {
-        self.head_into(scratch, 12 + self.header_len().div_ceil(8) * 8);
+        self.write_to_restamped(w, scratch, None)
+    }
+
+    /// Like [`write_to`](Self::write_to), but replaces the deadline
+    /// slot's value with `restamp` as it encodes (ignored when the
+    /// message frames no deadline slot). Transports use this to deduct
+    /// the time a request spent waiting for a shared connection from
+    /// the propagated budget: the slot is stamped at the *actual* send
+    /// instant, so the server's view of the remaining time never drifts
+    /// past the caller's.
+    ///
+    /// # Errors
+    ///
+    /// As [`write_to`](Self::write_to).
+    pub fn write_to_restamped<W: Write + ?Sized>(
+        &self,
+        w: &mut W,
+        scratch: &mut Vec<u8>,
+        restamp: Option<WireDeadline>,
+    ) -> io::Result<()> {
+        self.head_into(scratch, 12 + self.header_len().div_ceil(8) * 8, restamp);
         let head = scratch.len();
         let total = head + self.body.len();
         let mut written = 0usize;
@@ -479,6 +598,7 @@ impl Message {
         let payload = &data[12..12 + size];
         let mut r = CdrReader::new(payload, endian);
         let mut trace = None;
+        let mut deadline = None;
         let kind = match msg_type {
             0 => {
                 let request_id = r.get_u32().map_err(wrap)?;
@@ -486,28 +606,44 @@ impl Message {
                 let object_key = r.get_bytes().map_err(wrap)?.to_vec();
                 let operation = String::from_utf8_lossy(r.get_bytes().map_err(wrap)?).into_owned();
                 let contexts = r.get_u32().map_err(wrap)?;
-                match contexts {
-                    0 => {}
-                    1 => {
-                        let id = r.get_u32().map_err(wrap)?;
-                        if id != TRACE_CONTEXT_ID {
-                            return Err(GiopError(format!("unknown service context id {id:#x}")));
+                if contexts > 2 {
+                    return Err(GiopError(format!(
+                        "unsupported service context count {contexts}"
+                    )));
+                }
+                for _ in 0..contexts {
+                    let id = r.get_u32().map_err(wrap)?;
+                    match id {
+                        TRACE_CONTEXT_ID => {
+                            let mut trace_id = 0u128;
+                            for _ in 0..4 {
+                                trace_id =
+                                    (trace_id << 32) | u128::from(r.get_u32().map_err(wrap)?);
+                            }
+                            let span_hi = r.get_u32().map_err(wrap)?;
+                            let span_lo = r.get_u32().map_err(wrap)?;
+                            let flags = r.get_u32().map_err(wrap)?;
+                            trace = Some(TraceContext {
+                                trace_id,
+                                span_id: (u64::from(span_hi) << 32) | u64::from(span_lo),
+                                sampled: flags & TRACE_FLAG_SAMPLED != 0,
+                            });
                         }
-                        let mut trace_id = 0u128;
-                        for _ in 0..4 {
-                            trace_id = (trace_id << 32) | u128::from(r.get_u32().map_err(wrap)?);
+                        DEADLINE_CONTEXT_ID => {
+                            let hi = r.get_u32().map_err(wrap)?;
+                            let lo = r.get_u32().map_err(wrap)?;
+                            let flags = r.get_u32().map_err(wrap)?;
+                            let budget = (u64::from(hi) << 32) | u64::from(lo);
+                            deadline = Some(WireDeadline {
+                                budget_us: (budget != DEADLINE_NONE).then_some(budget),
+                                sheddable: flags & DEADLINE_FLAG_SHEDDABLE != 0,
+                            });
                         }
-                        let span_hi = r.get_u32().map_err(wrap)?;
-                        let span_lo = r.get_u32().map_err(wrap)?;
-                        let flags = r.get_u32().map_err(wrap)?;
-                        trace = Some(TraceContext {
-                            trace_id,
-                            span_id: (u64::from(span_hi) << 32) | u64::from(span_lo),
-                            sampled: flags & TRACE_FLAG_SAMPLED != 0,
-                        });
-                    }
-                    n => {
-                        return Err(GiopError(format!("unsupported service context count {n}")));
+                        other => {
+                            return Err(GiopError(format!(
+                                "unknown service context id {other:#x}"
+                            )));
+                        }
                     }
                 }
                 MessageKind::Request {
@@ -549,6 +685,7 @@ impl Message {
             endian,
             kind,
             trace,
+            deadline,
             body,
         })
     }
@@ -785,6 +922,80 @@ mod tests {
     fn overloaded_reply_round_trips() {
         let m = Message::reply(5, ReplyStatus::Overloaded, Endian::Little, vec![1, 2]);
         assert_eq!(Message::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn deadline_expired_reply_round_trips() {
+        let m = Message::reply(6, ReplyStatus::DeadlineExpired, Endian::Big, vec![3]);
+        assert_eq!(Message::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn deadline_slot_round_trips_both_endians() {
+        use std::time::Duration;
+        for endian in [Endian::Little, Endian::Big] {
+            for sheddable in [true, false] {
+                let d = WireDeadline::new(Duration::from_micros(123_456), sheddable);
+                let m = Message::request(4, true, b"obj".to_vec(), "echo", endian, vec![9; 13])
+                    .with_deadline(d);
+                let bytes = m.to_bytes();
+                assert_eq!(Message::frame_len(&bytes).unwrap(), bytes.len());
+                let parsed = Message::from_bytes(&bytes).unwrap();
+                assert_eq!(parsed.deadline, Some(d));
+                assert_eq!(
+                    parsed.deadline.unwrap().budget(),
+                    Some(Duration::from_micros(123_456))
+                );
+                assert_eq!(parsed, m);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_and_deadline_slots_coexist() {
+        use std::time::Duration;
+        let t = TraceContext {
+            trace_id: 0xAABB,
+            span_id: 0xCCDD,
+            sampled: true,
+        };
+        let d = WireDeadline::new(Duration::from_millis(100), true);
+        for endian in [Endian::Little, Endian::Big] {
+            let m = Message::request(11, true, b"k".to_vec(), "op", endian, vec![7; 9])
+                .with_trace(t)
+                .with_deadline(d);
+            let bytes = m.to_bytes();
+            assert_eq!(Message::frame_len(&bytes).unwrap(), bytes.len());
+            let parsed = Message::from_bytes(&bytes).unwrap();
+            assert_eq!(parsed.trace, Some(t));
+            assert_eq!(parsed.deadline, Some(d));
+            assert_eq!(parsed, m);
+        }
+    }
+
+    #[test]
+    fn sheddable_only_slot_carries_no_budget() {
+        let m = Message::request(2, true, b"k".to_vec(), "op", Endian::Little, vec![])
+            .with_deadline(WireDeadline::sheddable_only());
+        let parsed = Message::from_bytes(&m.to_bytes()).unwrap();
+        let d = parsed.deadline.unwrap();
+        assert_eq!(d.budget(), None);
+        assert!(d.sheddable);
+    }
+
+    #[test]
+    fn three_service_contexts_rejected() {
+        // Craft a frame whose context count claims 3: parsers must
+        // refuse before trying to read unknown slots.
+        let m = Message::request(1, true, vec![], "op", Endian::Little, vec![]);
+        let mut bytes = m.to_bytes();
+        // Header layout for an empty key and a 2-byte op name:
+        // request_id(4) + response_expected(4) + key len(4) + op len(4)
+        // + "op"(2) + pad(2) puts the context count at payload offset
+        // 20, i.e. frame offset 32.
+        bytes[32..36].copy_from_slice(&3u32.to_le_bytes());
+        let err = Message::from_bytes(&bytes).unwrap_err();
+        assert!(err.0.contains("service context count"), "{err}");
     }
 
     #[test]

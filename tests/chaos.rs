@@ -15,8 +15,8 @@ use mockingbird::runtime::dispatch::interface_fingerprint;
 use mockingbird::runtime::transport::TcpConnection;
 use mockingbird::runtime::{
     BreakerConfig, BreakerState, CallOptions, ChaosConnection, Connection, ConnectionPool,
-    Connector, Dispatcher, HedgePolicy, InMemoryConnection, RemoteRef, RetryPolicy, RuntimeError,
-    Servant, ServerConfig, TcpServer, WireOp, WireServant,
+    Connector, Dispatcher, HedgePolicy, InMemoryConnection, RemoteRef, RetryBudget, RetryPolicy,
+    RuntimeError, Servant, ServerConfig, TcpServer, WireOp, WireServant,
 };
 use mockingbird::values::{Endian, MValue};
 use mockingbird::wire::HandshakeInfo;
@@ -348,4 +348,79 @@ fn hedging_routes_past_a_slow_endpoint() {
     assert!(after.hedges_won > 0, "a hedge won the race");
     slow.shutdown();
     fast.shutdown();
+}
+
+#[test]
+fn hedges_do_not_fire_on_an_empty_retry_budget() {
+    // With the pool's retry budget drained, hedge timers that expire
+    // must NOT launch a second attempt — the call rides out its slow
+    // primary instead of amplifying load on a struggling cluster.
+    let (slow_d, ops) = echo_service(Duration::from_millis(60));
+    let (fast_d, _) = echo_service(Duration::ZERO);
+    let mut slow = TcpServer::bind("127.0.0.1:0", slow_d).unwrap();
+    let mut fast = TcpServer::bind("127.0.0.1:0", fast_d).unwrap();
+
+    let budget = Arc::new(RetryBudget::new(0, 16));
+    let pool = ConnectionPool::builder(vec![slow.addr(), fast.addr()])
+        .with_slots(1)
+        .with_retry_budget(budget.clone())
+        .build()
+        .unwrap();
+    let pool = Arc::new(pool);
+    let remote = RemoteRef::new(pool.clone(), b"obj".to_vec(), ops, Endian::Little)
+        .with_options(CallOptions::new().with_hedge(HedgePolicy::After(Duration::from_millis(5))));
+
+    // Six calls keep the 0.1-token-per-success deposits safely below a
+    // whole token, so the bucket stays unspendable throughout.
+    for k in 0..6 {
+        assert_eq!(remote.invoke("echo", &payload(k)).unwrap(), payload(k));
+    }
+    let after = pool.metrics().snapshot();
+    assert_eq!(
+        after.hedges_fired, 0,
+        "no hedge may fire on an empty budget"
+    );
+    assert!(
+        after.retry_budget_exhausted > 0,
+        "expired hedge timers were refused by the budget"
+    );
+    assert_eq!(budget.balance(), 0);
+    slow.shutdown();
+    fast.shutdown();
+}
+
+#[test]
+fn a_losing_hedge_refunds_its_budget_token() {
+    // A hedge that fires but loses the race consumed no capacity worth
+    // charging for: its token goes back, so a trickle of slow primaries
+    // cannot bleed the budget dry.
+    let (primary_d, ops) = echo_service(Duration::from_millis(40));
+    let (hedge_d, _) = echo_service(Duration::from_millis(400));
+    let mut primary = TcpServer::bind("127.0.0.1:0", primary_d).unwrap();
+    let mut hedged = TcpServer::bind("127.0.0.1:0", hedge_d).unwrap();
+
+    let budget = Arc::new(RetryBudget::new(1, 16));
+    // Round-robin sends the first primary to the 40 ms endpoint; the
+    // hedge lands on the 400 ms one and is guaranteed to lose.
+    let pool = ConnectionPool::builder(vec![primary.addr(), hedged.addr()])
+        .with_slots(1)
+        .with_retry_budget(budget.clone())
+        .build()
+        .unwrap();
+    let pool = Arc::new(pool);
+    let remote = RemoteRef::new(pool.clone(), b"obj".to_vec(), ops, Endian::Little)
+        .with_options(CallOptions::new().with_hedge(HedgePolicy::After(Duration::from_millis(5))));
+
+    assert_eq!(remote.invoke("echo", &payload(7)).unwrap(), payload(7));
+    let after = pool.metrics().snapshot();
+    assert_eq!(after.hedges_fired, 1, "the hedge fired");
+    assert_eq!(after.hedges_won, 0, "the primary won the race");
+    assert_eq!(after.retry_budget_exhausted, 0);
+    assert_eq!(
+        budget.balance(),
+        1,
+        "the losing hedge returned its withdrawn token"
+    );
+    primary.shutdown();
+    hedged.shutdown();
 }

@@ -332,6 +332,19 @@ fn prometheus_endpoint_is_well_formed_and_monotonic() {
             "missing mesh family {mesh_family}"
         );
     }
+    // So do the overload-resilience signals: the three shed/refusal
+    // counters and the adaptive admission-limit gauge.
+    for overload_family in [
+        "mockingbird_deadline_expired_server_total",
+        "mockingbird_retry_budget_exhausted_total",
+        "mockingbird_brownout_sheds_total",
+        "mockingbird_admission_limit",
+    ] {
+        assert!(
+            families.iter().any(|f| f == overload_family),
+            "missing overload family {overload_family}"
+        );
+    }
 
     // More traffic, then a second scrape: counters never go backwards.
     for k in 0..5 {
