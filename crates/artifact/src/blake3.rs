@@ -1,0 +1,373 @@
+//! In-workspace BLAKE3 hash.
+//!
+//! A from-spec implementation of the BLAKE3 tree hash (plain hashing mode
+//! only: no keyed mode, no key derivation, 32-byte output). Artifact bodies
+//! are at most a few hundred kilobytes, so the portable single-lane
+//! implementation is plenty; we keep the exact spec semantics (chunk tree,
+//! flags, counter) so digests match the reference implementation and any
+//! future SIMD drop-in.
+
+const OUT_LEN: usize = 32;
+const BLOCK_LEN: usize = 64;
+const CHUNK_LEN: usize = 1024;
+
+const CHUNK_START: u32 = 1 << 0;
+const CHUNK_END: u32 = 1 << 1;
+const PARENT: u32 = 1 << 2;
+const ROOT: u32 = 1 << 3;
+
+const IV: [u32; 8] = [
+    0x6a09_e667,
+    0xbb67_ae85,
+    0x3c6e_f372,
+    0xa54f_f53a,
+    0x510e_527f,
+    0x9b05_688c,
+    0x1f83_d9ab,
+    0x5be0_cd19,
+];
+
+const MSG_PERMUTATION: [usize; 16] = [2, 6, 3, 10, 7, 0, 4, 13, 1, 11, 12, 5, 9, 14, 15, 8];
+
+#[inline(always)]
+fn g(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize, mx: u32, my: u32) {
+    state[a] = state[a].wrapping_add(state[b]).wrapping_add(mx);
+    state[d] = (state[d] ^ state[a]).rotate_right(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_right(12);
+    state[a] = state[a].wrapping_add(state[b]).wrapping_add(my);
+    state[d] = (state[d] ^ state[a]).rotate_right(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_right(7);
+}
+
+fn round(state: &mut [u32; 16], m: &[u32; 16]) {
+    // Columns.
+    g(state, 0, 4, 8, 12, m[0], m[1]);
+    g(state, 1, 5, 9, 13, m[2], m[3]);
+    g(state, 2, 6, 10, 14, m[4], m[5]);
+    g(state, 3, 7, 11, 15, m[6], m[7]);
+    // Diagonals.
+    g(state, 0, 5, 10, 15, m[8], m[9]);
+    g(state, 1, 6, 11, 12, m[10], m[11]);
+    g(state, 2, 7, 8, 13, m[12], m[13]);
+    g(state, 3, 4, 9, 14, m[14], m[15]);
+}
+
+fn permute(m: &mut [u32; 16]) {
+    let mut permuted = [0u32; 16];
+    for i in 0..16 {
+        permuted[i] = m[MSG_PERMUTATION[i]];
+    }
+    *m = permuted;
+}
+
+fn compress(
+    chaining_value: &[u32; 8],
+    block_words: &[u32; 16],
+    counter: u64,
+    block_len: u32,
+    flags: u32,
+) -> [u32; 16] {
+    let mut state = [
+        chaining_value[0],
+        chaining_value[1],
+        chaining_value[2],
+        chaining_value[3],
+        chaining_value[4],
+        chaining_value[5],
+        chaining_value[6],
+        chaining_value[7],
+        IV[0],
+        IV[1],
+        IV[2],
+        IV[3],
+        counter as u32,
+        (counter >> 32) as u32,
+        block_len,
+        flags,
+    ];
+    let mut block = *block_words;
+    round(&mut state, &block); // round 1
+    permute(&mut block);
+    round(&mut state, &block); // round 2
+    permute(&mut block);
+    round(&mut state, &block); // round 3
+    permute(&mut block);
+    round(&mut state, &block); // round 4
+    permute(&mut block);
+    round(&mut state, &block); // round 5
+    permute(&mut block);
+    round(&mut state, &block); // round 6
+    permute(&mut block);
+    round(&mut state, &block); // round 7
+
+    for i in 0..8 {
+        state[i] ^= state[i + 8];
+        state[i + 8] ^= chaining_value[i];
+    }
+    state
+}
+
+fn words_from_block(bytes: &[u8]) -> [u32; 16] {
+    debug_assert!(bytes.len() <= BLOCK_LEN);
+    let mut block = [0u8; BLOCK_LEN];
+    block[..bytes.len()].copy_from_slice(bytes);
+    let mut words = [0u32; 16];
+    for (i, w) in words.iter_mut().enumerate() {
+        *w = u32::from_le_bytes([
+            block[4 * i],
+            block[4 * i + 1],
+            block[4 * i + 2],
+            block[4 * i + 3],
+        ]);
+    }
+    words
+}
+
+fn first_8(words: [u32; 16]) -> [u32; 8] {
+    [
+        words[0], words[1], words[2], words[3], words[4], words[5], words[6], words[7],
+    ]
+}
+
+/// The deferred final compression of a chunk or parent node: kept symbolic so
+/// the ROOT flag can be applied only once we know the node really is the root.
+struct Output {
+    input_chaining_value: [u32; 8],
+    block_words: [u32; 16],
+    counter: u64,
+    block_len: u32,
+    flags: u32,
+}
+
+impl Output {
+    fn chaining_value(&self) -> [u32; 8] {
+        first_8(compress(
+            &self.input_chaining_value,
+            &self.block_words,
+            self.counter,
+            self.block_len,
+            self.flags,
+        ))
+    }
+
+    fn root_hash(&self) -> [u8; OUT_LEN] {
+        let words = compress(
+            &self.input_chaining_value,
+            &self.block_words,
+            0,
+            self.block_len,
+            self.flags | ROOT,
+        );
+        let mut out = [0u8; OUT_LEN];
+        for (i, word) in words[..8].iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+}
+
+struct ChunkState {
+    chaining_value: [u32; 8],
+    chunk_counter: u64,
+    block: [u8; BLOCK_LEN],
+    block_len: u8,
+    blocks_compressed: u8,
+}
+
+impl ChunkState {
+    fn new(chunk_counter: u64) -> Self {
+        ChunkState {
+            chaining_value: IV,
+            chunk_counter,
+            block: [0; BLOCK_LEN],
+            block_len: 0,
+            blocks_compressed: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        BLOCK_LEN * self.blocks_compressed as usize + self.block_len as usize
+    }
+
+    fn start_flag(&self) -> u32 {
+        if self.blocks_compressed == 0 {
+            CHUNK_START
+        } else {
+            0
+        }
+    }
+
+    fn update(&mut self, mut input: &[u8]) {
+        while !input.is_empty() {
+            // If the buffered block is full, it cannot be the chunk's last
+            // block (more input remains), so compress it through.
+            if self.block_len as usize == BLOCK_LEN {
+                let block_words = words_from_block(&self.block);
+                self.chaining_value = first_8(compress(
+                    &self.chaining_value,
+                    &block_words,
+                    self.chunk_counter,
+                    BLOCK_LEN as u32,
+                    self.start_flag(),
+                ));
+                self.blocks_compressed += 1;
+                self.block = [0; BLOCK_LEN];
+                self.block_len = 0;
+            }
+            let want = BLOCK_LEN - self.block_len as usize;
+            let take = want.min(input.len());
+            self.block[self.block_len as usize..self.block_len as usize + take]
+                .copy_from_slice(&input[..take]);
+            self.block_len += take as u8;
+            input = &input[take..];
+        }
+    }
+
+    fn output(&self) -> Output {
+        Output {
+            input_chaining_value: self.chaining_value,
+            block_words: words_from_block(&self.block[..self.block_len as usize]),
+            counter: self.chunk_counter,
+            block_len: self.block_len as u32,
+            flags: self.start_flag() | CHUNK_END,
+        }
+    }
+}
+
+fn parent_output(left: [u32; 8], right: [u32; 8]) -> Output {
+    let mut block_words = [0u32; 16];
+    block_words[..8].copy_from_slice(&left);
+    block_words[8..].copy_from_slice(&right);
+    Output {
+        input_chaining_value: IV,
+        block_words,
+        counter: 0,
+        block_len: BLOCK_LEN as u32,
+        flags: PARENT,
+    }
+}
+
+/// Incremental BLAKE3 hasher (plain hashing mode, 32-byte output).
+pub struct Hasher {
+    chunk: ChunkState,
+    // Stack of left-sibling chaining values awaiting their right subtree.
+    cv_stack: Vec<[u32; 8]>,
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher {
+    pub fn new() -> Self {
+        Hasher {
+            chunk: ChunkState::new(0),
+            cv_stack: Vec::new(),
+        }
+    }
+
+    fn add_chunk_chaining_value(&mut self, mut cv: [u32; 8], mut total_chunks: u64) {
+        // For each completed subtree (trailing one bit of total_chunks),
+        // merge with the left sibling on the stack.
+        while total_chunks & 1 == 0 {
+            let left = self.cv_stack.pop().expect("cv stack underflow");
+            cv = parent_output(left, cv).chaining_value();
+            total_chunks >>= 1;
+        }
+        self.cv_stack.push(cv);
+    }
+
+    pub fn update(&mut self, mut input: &[u8]) -> &mut Self {
+        while !input.is_empty() {
+            if self.chunk.len() == CHUNK_LEN {
+                let cv = self.chunk.output().chaining_value();
+                let total_chunks = self.chunk.chunk_counter + 1;
+                self.add_chunk_chaining_value(cv, total_chunks);
+                self.chunk = ChunkState::new(total_chunks);
+            }
+            let want = CHUNK_LEN - self.chunk.len();
+            let take = want.min(input.len());
+            self.chunk.update(&input[..take]);
+            input = &input[take..];
+        }
+        self
+    }
+
+    pub fn finalize(&self) -> [u8; OUT_LEN] {
+        // Merge the stack from the top (most recent, smallest subtrees) down.
+        let mut output = self.chunk.output();
+        for left in self.cv_stack.iter().rev() {
+            output = parent_output(*left, output.chaining_value());
+        }
+        output.root_hash()
+    }
+}
+
+/// One-shot BLAKE3 of `input`.
+pub fn hash(input: &[u8]) -> [u8; OUT_LEN] {
+    let mut hasher = Hasher::new();
+    hasher.update(input);
+    hasher.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn empty_input_matches_official_vector() {
+        assert_eq!(
+            hex(&hash(b"")),
+            "af1349b9f5f9a1a6a0404dea36dcc9499bcb25c9adc112b7cc9a93cae41f3262"
+        );
+    }
+
+    #[test]
+    fn one_byte_matches_official_vector() {
+        // Official test vector input: bytes 0, 1, 2, ... — length 1 is [0x00].
+        assert_eq!(
+            hex(&hash(&[0u8])),
+            "2d3adedff11b61f14c886e35afa036736dcd87a74d27b5c1510225d0f592e213"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot_across_boundaries() {
+        // Exercise block and chunk boundaries: partial blocks, exactly one
+        // block, one chunk, multi-chunk trees with odd tails.
+        let sizes = [
+            0usize, 1, 63, 64, 65, 127, 128, 1023, 1024, 1025, 2048, 3072, 4096, 5000, 9001,
+        ];
+        let data: Vec<u8> = (0..9001u32).map(|i| (i % 251) as u8).collect();
+        for &n in &sizes {
+            let one_shot = hash(&data[..n]);
+            // Feed in ragged pieces.
+            let mut h = Hasher::new();
+            let mut off = 0;
+            let mut step = 1;
+            while off < n {
+                let take = step.min(n - off);
+                h.update(&data[off..off + take]);
+                off += take;
+                step = (step * 7 + 3) % 97 + 1;
+            }
+            assert_eq!(h.finalize(), one_shot, "size {n}");
+        }
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        let a = hash(b"mockingbird");
+        let b = hash(b"mockingbirD");
+        assert_ne!(a, b);
+        assert_eq!(a, hash(b"mockingbird"));
+    }
+}

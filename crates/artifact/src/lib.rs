@@ -1,0 +1,26 @@
+//! Content-addressed artifact store for Mockingbird compile products.
+//!
+//! Every Mockingbird artifact — a compare verdict, a compiled `WireProgram`,
+//! the metadata of an emitted native stub — is a pure function of its
+//! declaration fingerprints and rule set, which makes the whole compile
+//! pipeline content-addressable. This crate provides:
+//!
+//! * [`blake3`] — an in-workspace BLAKE3 hash (no external crates);
+//! * [`ArtifactId`] / [`StoreKey`] — content address + nominal fingerprint
+//!   key, the two levels of the store index;
+//! * [`ArtifactStore`] — the unified persistence trait, with an in-memory
+//!   implementation ([`MemoryStore`]) and a crash-safe, append-only
+//!   segmented file store ([`SegmentStore`]);
+//! * [`xfer`] — the `MBAR` peer-fetch payload codec used to ship artifacts
+//!   between mesh nodes whose fingerprints already proved agreement.
+
+pub mod blake3;
+pub mod segment;
+pub mod store;
+pub mod xfer;
+
+pub use segment::{decode_segment, encode_segment, Record, SegmentError, SegmentStore};
+pub use store::{
+    ArtifactId, ArtifactKind, ArtifactStore, MemoryStore, StoreKey, StoreStats, STORE_KEY_LEN,
+};
+pub use xfer::{FetchReply, FetchRequest, XferError, XferRecord};

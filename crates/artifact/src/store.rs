@@ -1,0 +1,388 @@
+//! The `ArtifactStore` trait plus its two implementations: an in-memory
+//! store (tests, ephemeral sessions) and the persistent segmented store.
+//!
+//! Artifacts are addressed two ways at once:
+//!
+//! * **nominally** by [`StoreKey`] — the compiler-facing fingerprint tuple
+//!   `(kind, left_fp, right_fp, subtype, rules_fp)` that mirrors the
+//!   comparer's `CacheKey`, so cache lookups stay O(1) on the key the
+//!   compiler already computes; and
+//! * **by content** via [`ArtifactId`] — the BLAKE3 hash of the canonical
+//!   serialized body, so identical bodies reached through different nominal
+//!   keys (e.g. the same wire program compiled in two projects) are stored
+//!   once and can be verified end-to-end after a peer transfer.
+
+use crate::blake3;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Content hash of an artifact body (BLAKE3, 32 bytes).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArtifactId(pub [u8; 32]);
+
+impl ArtifactId {
+    /// Hash `body` into its content address.
+    pub fn of(body: &[u8]) -> Self {
+        ArtifactId(blake3::hash(body))
+    }
+
+    /// First 8 hex digits — enough for logs.
+    pub fn short(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl fmt::Debug for ArtifactId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ArtifactId({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for ArtifactId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// What kind of artifact a record holds. The kind participates in the
+/// nominal key: a verdict and a wire program for the same fingerprint pair
+/// are distinct records.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+#[repr(u8)]
+pub enum ArtifactKind {
+    /// A compare verdict (match / mismatch with reason + depth).
+    Verdict = 1,
+    /// Serialized `WireProgram` bytes (the wire codec's own format).
+    WireProgram = 2,
+    /// Metadata about an emitted native stub (module name, symbol, source hash).
+    NativeStubMeta = 3,
+}
+
+impl ArtifactKind {
+    pub fn from_u8(b: u8) -> Option<ArtifactKind> {
+        match b {
+            1 => Some(ArtifactKind::Verdict),
+            2 => Some(ArtifactKind::WireProgram),
+            3 => Some(ArtifactKind::NativeStubMeta),
+            _ => None,
+        }
+    }
+}
+
+/// Nominal key of an artifact: the fingerprint tuple the compiler already
+/// uses for cache lookups, plus the artifact kind. Mirrors the comparer's
+/// `CacheKey` (with `Mode` flattened to the `subtype` bool) so the two can
+/// convert without this crate depending on the comparer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct StoreKey {
+    pub kind: ArtifactKind,
+    pub left_fp: u128,
+    pub right_fp: u128,
+    pub subtype: bool,
+    pub rules_fp: u64,
+}
+
+/// Canonical encoded size of a `StoreKey`.
+pub const STORE_KEY_LEN: usize = 1 + 16 + 16 + 1 + 8;
+
+impl StoreKey {
+    /// Canonical fixed-width encoding (used in store records and on the wire).
+    pub fn encode(&self) -> [u8; STORE_KEY_LEN] {
+        let mut out = [0u8; STORE_KEY_LEN];
+        out[0] = self.kind as u8;
+        out[1..17].copy_from_slice(&self.left_fp.to_le_bytes());
+        out[17..33].copy_from_slice(&self.right_fp.to_le_bytes());
+        out[33] = self.subtype as u8;
+        out[34..42].copy_from_slice(&self.rules_fp.to_le_bytes());
+        out
+    }
+
+    pub fn decode(bytes: &[u8]) -> Option<StoreKey> {
+        if bytes.len() < STORE_KEY_LEN {
+            return None;
+        }
+        let kind = ArtifactKind::from_u8(bytes[0])?;
+        if bytes[33] > 1 {
+            return None;
+        }
+        Some(StoreKey {
+            kind,
+            left_fp: u128::from_le_bytes(bytes[1..17].try_into().unwrap()),
+            right_fp: u128::from_le_bytes(bytes[17..33].try_into().unwrap()),
+            subtype: bytes[33] == 1,
+            rules_fp: u64::from_le_bytes(bytes[34..42].try_into().unwrap()),
+        })
+    }
+}
+
+/// Counters every store keeps. Snapshots are plain data.
+#[derive(Default)]
+pub struct StoreCounters {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub inserts: AtomicU64,
+    pub dedup_hits: AtomicU64,
+    pub evictions: AtomicU64,
+    pub integrity_failures: AtomicU64,
+}
+
+/// Plain-data snapshot of [`StoreCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// `get` calls that found the key.
+    pub hits: u64,
+    /// `get` calls that missed.
+    pub misses: u64,
+    /// Records inserted (new nominal keys).
+    pub inserts: u64,
+    /// Inserts whose body already existed under another key (deduplicated).
+    pub dedup_hits: u64,
+    /// Records dropped by capacity eviction.
+    pub evictions: u64,
+    /// Records rejected for failing checksum / length / content-hash checks.
+    pub integrity_failures: u64,
+}
+
+impl StoreCounters {
+    pub fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            integrity_failures: self.integrity_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The unified persistence seam: everything that used to flow through
+/// `CompareCache::export/absorb` or the project-file cache sections now
+/// reads and writes artifacts through this trait.
+pub trait ArtifactStore: Send + Sync {
+    /// Insert a body under `key`. Returns the content id. Identical bodies
+    /// are stored once regardless of how many keys reference them.
+    fn put(&self, key: StoreKey, body: &[u8]) -> ArtifactId;
+
+    /// Look up the body for a nominal key.
+    fn get(&self, key: &StoreKey) -> Option<(ArtifactId, Arc<Vec<u8>>)>;
+
+    /// Does the store hold this nominal key?
+    fn contains(&self, key: &StoreKey) -> bool;
+
+    /// All nominal keys with their content ids, in key order.
+    fn keys(&self) -> Vec<(StoreKey, ArtifactId)>;
+
+    /// Fetch a body by content id alone.
+    fn body(&self, id: &ArtifactId) -> Option<Arc<Vec<u8>>>;
+
+    /// Number of nominal keys.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Order-independent digest over `(key, id)` pairs; two stores with the
+    /// same digest hold the same artifacts. Advertised through the mesh so
+    /// joining nodes can tell which peers have something they lack.
+    fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (key, id) in self.keys() {
+            for b in key.encode() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            for b in id.0 {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// Counter snapshot.
+    fn stats(&self) -> StoreStats;
+}
+
+#[derive(Default)]
+struct Index {
+    keys: BTreeMap<StoreKey, ArtifactId>,
+    bodies: HashMap<ArtifactId, Arc<Vec<u8>>>,
+}
+
+impl Index {
+    fn insert(&mut self, key: StoreKey, body: &[u8], counters: &StoreCounters) -> ArtifactId {
+        let id = ArtifactId::of(body);
+        if self.keys.insert(key, id).is_none() {
+            counters.inserts.fetch_add(1, Ordering::Relaxed);
+        }
+        match self.bodies.entry(id) {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                counters.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(Arc::new(body.to_vec()));
+            }
+        }
+        id
+    }
+
+    /// Drop bodies no longer referenced by any key.
+    fn sweep(&mut self) {
+        let live: std::collections::HashSet<ArtifactId> = self.keys.values().copied().collect();
+        self.bodies.retain(|id, _| live.contains(id));
+    }
+}
+
+/// Purely in-memory artifact store.
+#[derive(Default)]
+pub struct MemoryStore {
+    index: RwLock<Index>,
+    counters: StoreCounters,
+}
+
+impl MemoryStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forgets one key, dropping its body if no other key shares it.
+    /// Returns whether the key was present.
+    pub fn remove(&self, key: &StoreKey) -> bool {
+        let mut index = self.index.write().unwrap_or_else(|e| e.into_inner());
+        let removed = index.keys.remove(key).is_some();
+        if removed {
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            index.sweep();
+        }
+        removed
+    }
+}
+
+impl ArtifactStore for MemoryStore {
+    fn put(&self, key: StoreKey, body: &[u8]) -> ArtifactId {
+        self.index
+            .write()
+            .unwrap()
+            .insert(key, body, &self.counters)
+    }
+
+    fn get(&self, key: &StoreKey) -> Option<(ArtifactId, Arc<Vec<u8>>)> {
+        let index = self.index.read().unwrap();
+        match index.keys.get(key) {
+            Some(id) => {
+                let body = index.bodies.get(id).cloned()?;
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some((*id, body))
+            }
+            None => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn contains(&self, key: &StoreKey) -> bool {
+        self.index.read().unwrap().keys.contains_key(key)
+    }
+
+    fn keys(&self) -> Vec<(StoreKey, ArtifactId)> {
+        let index = self.index.read().unwrap();
+        index.keys.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    fn body(&self, id: &ArtifactId) -> Option<Arc<Vec<u8>>> {
+        self.index.read().unwrap().bodies.get(id).cloned()
+    }
+
+    fn len(&self) -> usize {
+        self.index.read().unwrap().keys.len()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u8, kind: ArtifactKind) -> StoreKey {
+        StoreKey {
+            kind,
+            left_fp: n as u128,
+            right_fp: (n as u128) << 64,
+            subtype: n.is_multiple_of(2),
+            rules_fp: 0xfeed,
+        }
+    }
+
+    #[test]
+    fn key_codec_round_trips() {
+        let k = key(7, ArtifactKind::WireProgram);
+        assert_eq!(StoreKey::decode(&k.encode()), Some(k));
+        assert_eq!(StoreKey::decode(&[0u8; STORE_KEY_LEN]), None); // kind 0 invalid
+        let mut bad = k.encode();
+        bad[33] = 9; // subtype must be 0/1
+        assert_eq!(StoreKey::decode(&bad), None);
+    }
+
+    #[test]
+    fn memory_store_round_trip_and_dedup() {
+        let store = MemoryStore::new();
+        let id1 = store.put(key(1, ArtifactKind::Verdict), b"body-a");
+        let id2 = store.put(key(2, ArtifactKind::Verdict), b"body-a");
+        let id3 = store.put(key(3, ArtifactKind::WireProgram), b"body-b");
+        assert_eq!(id1, id2);
+        assert_ne!(id1, id3);
+        assert_eq!(store.len(), 3);
+
+        let (got_id, got) = store.get(&key(1, ArtifactKind::Verdict)).unwrap();
+        assert_eq!(got_id, id1);
+        assert_eq!(&**got, b"body-a");
+        assert!(store.get(&key(9, ArtifactKind::Verdict)).is_none());
+
+        let stats = store.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.inserts, 3);
+        assert_eq!(stats.dedup_hits, 1);
+    }
+
+    #[test]
+    fn digest_tracks_contents() {
+        let a = MemoryStore::new();
+        let b = MemoryStore::new();
+        assert_eq!(a.digest(), b.digest());
+        a.put(key(1, ArtifactKind::Verdict), b"x");
+        assert_ne!(a.digest(), b.digest());
+        b.put(key(1, ArtifactKind::Verdict), b"x");
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn remove_forgets_key_and_sweeps_unshared_bodies() {
+        let store = MemoryStore::new();
+        store.put(key(1, ArtifactKind::Verdict), b"shared");
+        store.put(key(2, ArtifactKind::Verdict), b"shared");
+        store.put(key(3, ArtifactKind::Verdict), b"alone");
+
+        assert!(store.remove(&key(3, ArtifactKind::Verdict)));
+        assert!(!store.remove(&key(3, ArtifactKind::Verdict)));
+        assert!(store.get(&key(3, ArtifactKind::Verdict)).is_none());
+
+        // The shared body survives the removal of one of its two keys.
+        assert!(store.remove(&key(1, ArtifactKind::Verdict)));
+        let survivor = store.get(&key(2, ArtifactKind::Verdict)).unwrap();
+        assert_eq!(survivor.1.as_slice(), b"shared");
+        assert_eq!(store.stats().evictions, 2);
+    }
+}

@@ -5,7 +5,8 @@
 //! same batch against the shared content-addressed cache, where verdicts
 //! and (same-snapshot) correspondences are lookups. `warm_restored`
 //! additionally pushes the cache through its persistence form
-//! (export → absorb), the path a project-file reload takes.
+//! (store_into → load_from via an artifact store), the path a
+//! project-file reload takes.
 
 use mockingbird_bench::harness::Criterion;
 use mockingbird_bench::{criterion_group, criterion_main};
@@ -66,8 +67,10 @@ fn bench_batch_compile(c: &mut Criterion) {
         })
     });
 
+    let staging = mockingbird::artifact::MemoryStore::new();
+    warm.cache().store_into(&staging);
     let restored = Arc::new(CompareCache::new());
-    restored.absorb(warm.cache().export());
+    restored.load_from(&staging);
     let warm_restored = BatchCompiler::new(graph.clone()).with_cache(restored);
     group.bench_function("warm_restored", |b| {
         b.iter(|| {

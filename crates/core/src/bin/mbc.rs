@@ -35,16 +35,17 @@
 
 use std::process::ExitCode;
 
+use mockingbird::artifact::SegmentStore;
 use mockingbird::stubgen::emit::{emit_c_stub, emit_jni_bridge, emit_rust_adapter};
 use mockingbird::stype::project::Project;
-use mockingbird::{BatchOptions, Mode, PairOutcome, Session, SessionError};
+use mockingbird::{ArtifactImport, BatchOptions, Mode, PairOutcome, Session, SessionError};
 
 fn usage() -> String {
     "usage: mbc <parse|mtype|dot|compare|emit|save|batch> <files...> [options]\n\
      \x20      mbc emit-stubs --out FILE\n\
      options: --of NAME | --left NAME --right NAME | --script FILE |\n\
      \x20        --subtype | --name STUBNAME | --out FILE |\n\
-     \x20        --pairs FILE | --jobs N | --profile"
+     \x20        --pairs FILE | --jobs N | --profile | --store DIR"
         .to_string()
 }
 
@@ -61,6 +62,7 @@ struct Args {
     pairs: Option<String>,
     jobs: usize,
     profile: bool,
+    store: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -79,6 +81,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         pairs: None,
         jobs: 0,
         profile: false,
+        store: None,
     };
     while let Some(a) = it.next() {
         let mut take = |what: &str| -> Result<String, String> {
@@ -101,6 +104,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--subtype" => args.subtype = true,
             "--profile" => args.profile = true,
+            "--store" => args.store = Some(take("--store")?),
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`\n{}", usage()))
             }
@@ -110,12 +114,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-fn load_into(session: &mut Session, path: &str) -> Result<(), String> {
+fn load_into(session: &mut Session, path: &str) -> Result<ArtifactImport, String> {
     let fail = |e: SessionError| format!("{path}: {e}");
     if path.ends_with(".class") {
         let blob = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
         session.load_java_classes(&[blob]).map_err(fail)?;
-        return Ok(());
+        return Ok(ArtifactImport::default());
     }
     if path.ends_with(".mbproj.json") {
         let p = Project::load(path).map_err(|e| format!("{path}: {e}"))?;
@@ -123,25 +127,26 @@ fn load_into(session: &mut Session, path: &str) -> Result<(), String> {
         // any compile/program caches the project carries, so batch runs
         // start warm on both the control and the data plane.
         let absorbed = session.absorb_project(p).map_err(fail)?;
-        if absorbed > 0 {
-            eprintln!("restored {absorbed} cached verdicts and wire programs from {path}");
+        if absorbed.restored() > 0 || absorbed.stale > 0 {
+            eprintln!("restored {absorbed} from {path}");
         }
-        return Ok(());
+        return Ok(absorbed);
     }
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     if path.ends_with(".c") || path.ends_with(".h") {
-        session.load_c(&text).map_err(fail)
+        session.load_c(&text).map_err(fail)?;
     } else if path.ends_with(".cpp") || path.ends_with(".cc") || path.ends_with(".cxx") {
-        session.load_cxx(&text).map_err(fail)
+        session.load_cxx(&text).map_err(fail)?;
     } else if path.ends_with(".java") {
-        session.load_java(&text).map_err(fail)
+        session.load_java(&text).map_err(fail)?;
     } else if path.ends_with(".idl") {
-        session.load_idl(&text).map_err(fail)
+        session.load_idl(&text).map_err(fail)?;
     } else {
-        Err(format!(
+        return Err(format!(
             "{path}: unknown file kind (expected .c/.h/.cpp/.java/.class/.idl/.mbproj.json)"
-        ))
+        ));
     }
+    Ok(ArtifactImport::default())
 }
 
 fn run(args: Args) -> Result<(), String> {
@@ -155,16 +160,33 @@ fn run(args: Args) -> Result<(), String> {
     if args.files.is_empty() {
         return Err(format!("no input files\n{}", usage()));
     }
+    let mut restored = ArtifactImport::default();
     for f in &args.files {
-        load_into(&mut session, f)?;
+        let r = load_into(&mut session, f)?;
+        restored.verdicts += r.verdicts;
+        restored.programs += r.programs;
+        restored.stale += r.stale;
     }
+    // A persistent artifact store warms the session before any command
+    // runs and captures whatever the command compiled afterwards.
+    let store = match &args.store {
+        Some(dir) => {
+            let s = SegmentStore::open(dir).map_err(|e| format!("{dir}: {e}"))?;
+            let r = session.import_artifacts(&s);
+            restored.verdicts += r.verdicts;
+            restored.programs += r.programs;
+            restored.stale += r.stale;
+            Some(s)
+        }
+        None => None,
+    };
     if let Some(script_path) = &args.script {
         let text =
             std::fs::read_to_string(script_path).map_err(|e| format!("{script_path}: {e}"))?;
         let n = session.annotate(&text).map_err(|e| e.to_string())?;
         eprintln!("applied {n} annotation statements from {script_path}");
     }
-    match args.command.as_str() {
+    let result = match args.command.as_str() {
         "parse" => {
             for d in session.universe().iter() {
                 println!("{:<12} {}", d.lang.to_string(), d.name);
@@ -303,6 +325,9 @@ fn run(args: Args) -> Result<(), String> {
                 "programs: {} compiled, {} cache hits, {} interpretive fallbacks",
                 s.programs.compiles, s.programs.hits, s.programs.unsupported
             );
+            if restored.restored() > 0 || restored.stale > 0 {
+                println!("artifacts restored: {restored}");
+            }
             let parts: Vec<String> = session
                 .wire_programs()
                 .fallback_breakdown()
@@ -339,7 +364,16 @@ fn run(args: Args) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    if let (Some(store), Ok(())) = (&store, &result) {
+        session.export_artifacts(store);
+        match store.commit() {
+            Ok(n) if n > 0 => eprintln!("store: committed {n} new artifacts"),
+            Ok(_) => {}
+            Err(e) => return Err(format!("store commit failed: {e}")),
+        }
     }
+    result
 }
 
 /// `emit-stubs --out FILE`: specialise the canonical fixture corpus'

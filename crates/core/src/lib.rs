@@ -70,7 +70,8 @@ pub use batch::{
     BatchCompiler, BatchOptions, BatchReport, BatchStats, NamedBatchReport, NamedPairReport,
     PairOutcome, PairReport, PhaseStats,
 };
+pub use mockingbird_artifact as artifact;
 pub use mockingbird_comparer::{CacheStats, CompareCache, Mode};
 pub use mockingbird_plan::CoercionPlan;
 pub use mockingbird_values::MValue;
-pub use session::{Session, SessionError};
+pub use session::{ArtifactImport, Session, SessionError};

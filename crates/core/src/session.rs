@@ -11,9 +11,8 @@ use std::fmt;
 use std::path::Path;
 use std::sync::Arc;
 
-use mockingbird_comparer::{
-    CacheKey, CacheStats, CompareCache, Comparer, Mismatch, Mode, PersistedVerdict, RuleSet,
-};
+use mockingbird_artifact::{ArtifactId, ArtifactKind, ArtifactStore, MemoryStore, StoreKey};
+use mockingbird_comparer::{CacheStats, CompareCache, Comparer, Mismatch, Mode, RuleSet, Verdict};
 use mockingbird_lang_c::{parse_c, parse_cxx, CParseError};
 use mockingbird_lang_idl::{parse_idl, IdlParseError};
 use mockingbird_lang_java::convert::{load_class_files, JavaLoadError};
@@ -37,6 +36,38 @@ const CACHE_SECTION: &str = "compile_cache";
 
 /// The project-file section compiled wire programs persist under.
 const PROGRAM_SECTION: &str = "wire_programs";
+
+/// What warming a session from artifacts restored — and what it refused.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArtifactImport {
+    /// Compare verdicts restored into the session's [`CompareCache`].
+    pub verdicts: usize,
+    /// Fused wire programs restored into the session's [`ProgramCache`].
+    pub programs: usize,
+    /// Entries skipped because their rules fingerprint does not match
+    /// this session's rule set: they were compiled under different
+    /// comparison rules and would never be consulted, so loading them
+    /// would only hide the mismatch. Reported, not silently dropped.
+    pub stale: usize,
+}
+
+impl ArtifactImport {
+    /// Entries actually restored (verdicts plus programs).
+    #[must_use]
+    pub fn restored(&self) -> usize {
+        self.verdicts + self.programs
+    }
+}
+
+impl fmt::Display for ArtifactImport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} verdicts, {} programs ({} stale skipped)",
+            self.verdicts, self.programs, self.stale
+        )
+    }
+}
 
 /// Everything that can go wrong driving a session.
 #[derive(Debug)]
@@ -481,16 +512,44 @@ impl Session {
     /// Propagates I/O and serialisation failures.
     pub fn save_project(&self, name: &str, path: impl AsRef<Path>) -> Result<(), SessionError> {
         let mut p = Project::new(name, self.uni.clone());
-        if !self.cache.is_empty() {
-            p.extra
-                .insert(CACHE_SECTION.to_string(), encode_cache(&self.cache));
+        let store = MemoryStore::new();
+        self.export_artifacts(&store);
+        let cache_section = encode_cache(&store);
+        if let Some(section) = cache_section {
+            p.extra.insert(CACHE_SECTION.to_string(), section);
         }
-        if !self.programs.is_empty() {
-            p.extra
-                .insert(PROGRAM_SECTION.to_string(), encode_programs(&self.programs));
+        if let Some(section) = encode_programs(&store) {
+            p.extra.insert(PROGRAM_SECTION.to_string(), section);
         }
         p.save(path)?;
         Ok(())
+    }
+
+    /// Writes everything this session compiled — compare verdicts and
+    /// fused wire programs — into `store` as content-addressed records.
+    /// This is the one persistence seam: project files, on-disk segment
+    /// stores, and peer transfers all go through an [`ArtifactStore`].
+    /// Returns how many records were written.
+    pub fn export_artifacts(&self, store: &dyn ArtifactStore) -> usize {
+        self.cache.store_into(store) + self.programs.store_into(store)
+    }
+
+    /// Warms this session from `store`: verdicts into the compile cache,
+    /// wire programs into the fused-program cache. Records whose rules
+    /// fingerprint differs from this session's rule set are *skipped and
+    /// counted* — see [`ArtifactImport::stale`].
+    pub fn import_artifacts(&self, store: &dyn ArtifactStore) -> ArtifactImport {
+        let want = self.rules.fingerprint();
+        let filtered = CurrentRules { inner: store, want };
+        ArtifactImport {
+            verdicts: self.cache.load_from(&filtered),
+            programs: self.programs.load_from(&filtered),
+            stale: store
+                .keys()
+                .iter()
+                .filter(|(k, _)| k.rules_fp != want)
+                .count(),
+        }
     }
 
     /// Restores a session from a project file, including any persisted
@@ -507,28 +566,31 @@ impl Session {
     }
 
     /// Merges a parsed project into this session: the declarations are
-    /// absorbed into the universe, any persisted `compile_cache` section
-    /// warms the verdict cache, and any `wire_programs` section warms
-    /// the fused-program cache. Returns the total entries restored
-    /// across both. Malformed entries are skipped rather than failing
-    /// the load (the caches are memos, not data).
+    /// absorbed into the universe, then any persisted `compile_cache`
+    /// and `wire_programs` sections are decoded into an in-memory
+    /// [`ArtifactStore`] and imported through
+    /// [`import_artifacts`](Session::import_artifacts) — the same seam
+    /// segment stores and peer transfers use. Malformed entries are
+    /// skipped rather than failing the load (the caches are memos, not
+    /// data); entries compiled under *different rules* are skipped and
+    /// reported in [`ArtifactImport::stale`].
     ///
     /// # Errors
     ///
     /// Returns duplicate-name collisions from the universe merge.
-    pub fn absorb_project(&mut self, p: Project) -> Result<usize, SessionError> {
+    pub fn absorb_project(&mut self, p: Project) -> Result<ArtifactImport, SessionError> {
         let Project {
             universe, extra, ..
         } = p;
         self.absorb(universe)?;
-        let mut absorbed = 0;
+        let store = MemoryStore::new();
         if let Some(section) = extra.get(CACHE_SECTION) {
-            absorbed = self.cache.absorb(decode_cache(section));
+            decode_cache(section, &store);
         }
         if let Some(section) = extra.get(PROGRAM_SECTION) {
-            absorbed += self.programs.absorb(decode_programs(section));
+            decode_programs(section, &store);
         }
-        Ok(absorbed)
+        Ok(self.import_artifacts(&store))
     }
 
     /// Compiles many named pairs as one batch: each pair is lowered,
@@ -560,85 +622,165 @@ impl Session {
     }
 }
 
-/// Encodes the cache's exportable verdicts as the project-file
-/// `compile_cache` section. Fingerprints are hex strings (`u128`/`u64`
-/// exceed what every JSON consumer round-trips as numbers).
-fn encode_cache(cache: &CompareCache) -> Json {
-    let verdicts: Vec<Json> = cache
-        .export()
-        .into_iter()
-        .map(|p| {
-            Json::obj([
-                ("l", Json::str(format!("{:032x}", p.left_fp))),
-                ("r", Json::str(format!("{:032x}", p.right_fp))),
-                ("rules", Json::str(format!("{:016x}", p.rules_fp))),
-                ("sub", Json::Bool(p.subtype)),
-                ("ok", Json::Bool(p.matched)),
-                ("reason", Json::str(p.reason)),
-                ("depth", Json::Int(p.depth as i128)),
-            ])
-        })
-        .collect();
-    Json::obj([("verdicts", Json::Array(verdicts))])
+/// A read-only [`ArtifactStore`] view that hides records compiled under
+/// a different rules fingerprint. [`Session::import_artifacts`] loads
+/// through this view so the caches never absorb entries they could not
+/// consult; the hidden keys are what [`ArtifactImport::stale`] counts.
+struct CurrentRules<'a> {
+    inner: &'a dyn ArtifactStore,
+    want: u64,
 }
 
-/// Decodes a `compile_cache` section, skipping entries that do not parse
-/// (forward compatibility: a newer writer may add fields or sections).
-fn decode_cache(section: &Json) -> Vec<PersistedVerdict> {
+impl ArtifactStore for CurrentRules<'_> {
+    fn put(&self, key: StoreKey, body: &[u8]) -> ArtifactId {
+        self.inner.put(key, body)
+    }
+
+    fn get(&self, key: &StoreKey) -> Option<(ArtifactId, Arc<Vec<u8>>)> {
+        if key.rules_fp != self.want {
+            return None;
+        }
+        self.inner.get(key)
+    }
+
+    fn contains(&self, key: &StoreKey) -> bool {
+        key.rules_fp == self.want && self.inner.contains(key)
+    }
+
+    fn keys(&self) -> Vec<(StoreKey, ArtifactId)> {
+        self.inner
+            .keys()
+            .into_iter()
+            .filter(|(k, _)| k.rules_fp == self.want)
+            .collect()
+    }
+
+    fn body(&self, id: &ArtifactId) -> Option<Arc<Vec<u8>>> {
+        self.inner.body(id)
+    }
+
+    fn len(&self) -> usize {
+        self.keys().len()
+    }
+
+    fn stats(&self) -> mockingbird_artifact::StoreStats {
+        self.inner.stats()
+    }
+}
+
+/// Encodes a store's [`ArtifactKind::Verdict`] records as the
+/// project-file `compile_cache` section — `None` if there are none.
+/// Fingerprints are hex strings (`u128`/`u64` exceed what every JSON
+/// consumer round-trips as numbers). The section's shape predates the
+/// artifact store and is unchanged: old readers still understand these
+/// files, and old files still load (see `decode_cache`).
+fn encode_cache(store: &dyn ArtifactStore) -> Option<Json> {
+    let mut verdicts: Vec<Json> = Vec::new();
+    for (key, id) in store.keys() {
+        if key.kind != ArtifactKind::Verdict {
+            continue;
+        }
+        let Some(body) = store.body(&id) else {
+            continue;
+        };
+        let Some(verdict) = Verdict::from_artifact_body(&body) else {
+            continue;
+        };
+        let (matched, reason, depth) = match verdict {
+            Verdict::Match => (true, String::new(), 0),
+            Verdict::Mismatch { reason, depth } => (false, reason, depth),
+        };
+        verdicts.push(Json::obj([
+            ("l", Json::str(format!("{:032x}", key.left_fp))),
+            ("r", Json::str(format!("{:032x}", key.right_fp))),
+            ("rules", Json::str(format!("{:016x}", key.rules_fp))),
+            ("sub", Json::Bool(key.subtype)),
+            ("ok", Json::Bool(matched)),
+            ("reason", Json::str(reason)),
+            ("depth", Json::Int(depth as i128)),
+        ]));
+    }
+    if verdicts.is_empty() {
+        return None;
+    }
+    Some(Json::obj([("verdicts", Json::Array(verdicts))]))
+}
+
+/// Decodes a `compile_cache` section into `store`, skipping entries
+/// that do not parse (forward compatibility: a newer writer may add
+/// fields or sections).
+fn decode_cache(section: &Json, store: &dyn ArtifactStore) {
     let Some(Json::Array(items)) = section.get("verdicts") else {
-        return Vec::new();
+        return;
     };
-    items
-        .iter()
-        .filter_map(|item| {
-            let fp128 = |key: &str| {
-                item.get(key)
-                    .and_then(|j| j.as_str().ok())
-                    .and_then(|s| u128::from_str_radix(s, 16).ok())
-            };
-            Some(PersistedVerdict {
+    for item in items {
+        let fp128 = |key: &str| {
+            item.get(key)
+                .and_then(|j| j.as_str().ok())
+                .and_then(|s| u128::from_str_radix(s, 16).ok())
+        };
+        let parsed = (|| {
+            let key = StoreKey {
+                kind: ArtifactKind::Verdict,
                 left_fp: fp128("l")?,
                 right_fp: fp128("r")?,
+                subtype: item.get("sub")?.as_bool().ok()?,
                 rules_fp: item
                     .get("rules")
                     .and_then(|j| j.as_str().ok())
                     .and_then(|s| u64::from_str_radix(s, 16).ok())?,
-                subtype: item.get("sub")?.as_bool().ok()?,
-                matched: item.get("ok")?.as_bool().ok()?,
-                reason: item.get("reason")?.as_str().ok()?.to_string(),
-                depth: item.get("depth")?.as_int().ok()?.try_into().ok()?,
-            })
-        })
-        .collect()
+            };
+            let verdict = if item.get("ok")?.as_bool().ok()? {
+                Verdict::Match
+            } else {
+                Verdict::Mismatch {
+                    reason: item.get("reason")?.as_str().ok()?.to_string(),
+                    depth: item.get("depth")?.as_int().ok()?.try_into().ok()?,
+                }
+            };
+            Some((key, verdict))
+        })();
+        if let Some((key, verdict)) = parsed {
+            store.put(key, &verdict.to_artifact_body());
+        }
+    }
 }
 
-/// Encodes the fused-program cache as the project-file `wire_programs`
-/// section. Keys follow the `compile_cache` hex convention; program
-/// bodies are the portable [`WireProgram::to_bytes`] image, hex-encoded
-/// so the section stays valid JSON.
-fn encode_programs(cache: &ProgramCache) -> Json {
+/// Encodes a store's [`ArtifactKind::WireProgram`] records as the
+/// project-file `wire_programs` section — `None` if there are none.
+/// Keys follow the `compile_cache` hex convention; program bodies are
+/// the portable [`WireProgram::to_bytes`] image, hex-encoded so the
+/// section stays valid JSON.
+fn encode_programs(store: &dyn ArtifactStore) -> Option<Json> {
     let hex = |bytes: &[u8]| bytes.iter().map(|b| format!("{b:02x}")).collect::<String>();
-    let programs: Vec<Json> = cache
-        .export()
-        .into_iter()
-        .map(|(k, prog)| {
-            Json::obj([
-                ("l", Json::str(format!("{:032x}", k.left_fp))),
-                ("r", Json::str(format!("{:032x}", k.right_fp))),
-                ("rules", Json::str(format!("{:016x}", k.rules_fp))),
-                ("sub", Json::Bool(k.mode == Mode::Subtype)),
-                ("bytes", Json::str(hex(&prog.to_bytes()))),
-            ])
-        })
-        .collect();
-    Json::obj([("programs", Json::Array(programs))])
+    let mut programs: Vec<Json> = Vec::new();
+    for (key, id) in store.keys() {
+        if key.kind != ArtifactKind::WireProgram {
+            continue;
+        }
+        let Some(body) = store.body(&id) else {
+            continue;
+        };
+        programs.push(Json::obj([
+            ("l", Json::str(format!("{:032x}", key.left_fp))),
+            ("r", Json::str(format!("{:032x}", key.right_fp))),
+            ("rules", Json::str(format!("{:016x}", key.rules_fp))),
+            ("sub", Json::Bool(key.subtype)),
+            ("bytes", Json::str(hex(&body))),
+        ]));
+    }
+    if programs.is_empty() {
+        return None;
+    }
+    Some(Json::obj([("programs", Json::Array(programs))]))
 }
 
-/// Decodes a `wire_programs` section. Entries whose key fields do not
-/// parse or whose program image fails [`WireProgram::from_bytes`]
-/// validation are skipped, like malformed verdicts: a stale or
-/// corrupted program must never reach the data plane.
-fn decode_programs(section: &Json) -> Vec<(CacheKey, Arc<WireProgram>)> {
+/// Decodes a `wire_programs` section into `store`. Entries whose key
+/// fields do not parse or whose program image fails
+/// [`WireProgram::from_bytes`] validation are skipped, like malformed
+/// verdicts: a stale or corrupted program must never reach the data
+/// plane.
+fn decode_programs(section: &Json, store: &dyn ArtifactStore) {
     let unhex = |s: &str| -> Option<Vec<u8>> {
         if !s.len().is_multiple_of(2) {
             return None;
@@ -649,34 +791,35 @@ fn decode_programs(section: &Json) -> Vec<(CacheKey, Arc<WireProgram>)> {
             .collect()
     };
     let Some(Json::Array(items)) = section.get("programs") else {
-        return Vec::new();
+        return;
     };
-    items
-        .iter()
-        .filter_map(|item| {
-            let fp128 = |key: &str| {
-                item.get(key)
-                    .and_then(|j| j.as_str().ok())
-                    .and_then(|s| u128::from_str_radix(s, 16).ok())
-            };
-            let key = CacheKey {
+    for item in items {
+        let fp128 = |key: &str| {
+            item.get(key)
+                .and_then(|j| j.as_str().ok())
+                .and_then(|s| u128::from_str_radix(s, 16).ok())
+        };
+        let parsed = (|| {
+            let key = StoreKey {
+                kind: ArtifactKind::WireProgram,
                 left_fp: fp128("l")?,
                 right_fp: fp128("r")?,
+                subtype: item.get("sub")?.as_bool().ok()?,
                 rules_fp: item
                     .get("rules")
                     .and_then(|j| j.as_str().ok())
                     .and_then(|s| u64::from_str_radix(s, 16).ok())?,
-                mode: if item.get("sub")?.as_bool().ok()? {
-                    Mode::Subtype
-                } else {
-                    Mode::Equivalence
-                },
             };
             let bytes = unhex(item.get("bytes")?.as_str().ok()?)?;
-            let prog = WireProgram::from_bytes(&bytes).ok()?;
-            Some((key, Arc::new(prog)))
-        })
-        .collect()
+            // Validate before storing: the codec is the integrity
+            // boundary for program bodies.
+            WireProgram::from_bytes(&bytes).ok()?;
+            Some((key, bytes))
+        })();
+        if let Some((key, bytes)) = parsed {
+            store.put(key, &bytes);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -886,6 +1029,113 @@ annotate JavaIdeal.method(fitter).ret non-null";
         assert_eq!(stats.compiles, 0, "restored program cache is warm");
         assert!(stats.hits >= 1, "{stats:?}");
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn old_format_project_sections_still_load() {
+        // A project file whose cache sections were written by the
+        // pre-artifact-store codec: the section shapes are pinned, so
+        // this literal must keep absorbing identically forever.
+        let mut warm = fitter_session();
+        warm.batch_compile(&[("JavaIdeal", "fitter")], &BatchOptions::default())
+            .unwrap();
+        let program_bytes = {
+            let exported = warm.wire_programs().export();
+            let (key, prog) = &exported[0];
+            assert_eq!(key.rules_fp, RuleSet::full().fingerprint());
+            (
+                format!("{:032x}", key.left_fp),
+                format!("{:032x}", key.right_fp),
+                format!("{:016x}", key.rules_fp),
+                prog.to_bytes()
+                    .iter()
+                    .map(|b| format!("{b:02x}"))
+                    .collect::<String>(),
+            )
+        };
+        let rules_hex = format!("{:016x}", RuleSet::full().fingerprint());
+        let old_cache = Json::obj([(
+            "verdicts",
+            Json::Array(vec![Json::obj([
+                ("l", Json::str("000000000000000000000000000000aa")),
+                ("r", Json::str("000000000000000000000000000000bb")),
+                ("rules", Json::str(rules_hex)),
+                ("sub", Json::Bool(false)),
+                ("ok", Json::Bool(true)),
+                ("reason", Json::str("")),
+                ("depth", Json::Int(0)),
+            ])]),
+        )]);
+        let old_programs = Json::obj([(
+            "programs",
+            Json::Array(vec![Json::obj([
+                ("l", Json::str(program_bytes.0)),
+                ("r", Json::str(program_bytes.1)),
+                ("rules", Json::str(program_bytes.2)),
+                ("sub", Json::Bool(false)),
+                ("bytes", Json::str(program_bytes.3)),
+            ])]),
+        )]);
+        let mut p = Project::new("old", Universe::new());
+        p.extra.insert(CACHE_SECTION.to_string(), old_cache);
+        p.extra.insert(PROGRAM_SECTION.to_string(), old_programs);
+
+        let mut s = Session::new();
+        let stats = s.absorb_project(p).unwrap();
+        assert_eq!(stats.verdicts, 1, "old verdict entry restored");
+        assert_eq!(stats.programs, 1, "old program entry restored");
+        assert_eq!(stats.stale, 0);
+        assert_eq!(s.compile_cache().len(), 1);
+        assert_eq!(s.wire_programs().len(), 1);
+    }
+
+    #[test]
+    fn absorb_project_reports_stale_entries() {
+        // Compile under a *reduced* rule set, persist, then restore into
+        // a default-rules session: every entry is stale and must be
+        // skipped-and-counted, not silently dropped or silently loaded.
+        let mut reduced = Session::with_rules(RuleSet::strict());
+        reduced.load_c(FIG2_C).unwrap();
+        reduced.load_java(FIG1_5_JAVA).unwrap();
+        reduced.annotate(FITTER_SCRIPT).unwrap();
+        let _ = reduced.compare("Point", "Point", Mode::Equivalence);
+        assert!(!reduced.compile_cache().is_empty());
+
+        let dir = std::env::temp_dir().join("mockingbird-session-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fitter-stale.mbproj.json");
+        reduced.save_project("stale", &path).unwrap();
+
+        let p = Project::load(&path).unwrap();
+        let mut s = Session::new();
+        let stats = s.absorb_project(p).unwrap();
+        assert_eq!(stats.restored(), 0, "no entry matches the full rules");
+        assert!(stats.stale >= 1, "{stats:?}");
+        assert!(s.compile_cache().is_empty(), "stale verdicts not loaded");
+
+        // The same file restores cleanly into a matching-rules session.
+        let p = Project::load(&path).unwrap();
+        let mut again = Session::with_rules(RuleSet::strict());
+        let stats = again.absorb_project(p).unwrap();
+        assert!(stats.verdicts >= 1);
+        assert_eq!(stats.stale, 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn export_import_artifacts_round_trip_through_a_store() {
+        let mut s = fitter_session();
+        s.batch_compile(&[("JavaIdeal", "fitter")], &BatchOptions::default())
+            .unwrap();
+        let store = MemoryStore::new();
+        let exported = s.export_artifacts(&store);
+        assert!(exported >= 2, "verdicts and a program: {exported}");
+
+        let restored = Session::with_rules(RuleSet::full());
+        let stats = restored.import_artifacts(&store);
+        assert_eq!(stats.verdicts, s.compile_cache().len());
+        assert_eq!(stats.programs, s.wire_programs().len());
+        assert_eq!(stats.stale, 0);
     }
 
     #[test]

@@ -116,6 +116,7 @@ struct State {
     heartbeat: u64,
     status: MemberStatus,
     ads: Vec<ObjectAd>,
+    store_digest: u64,
 }
 
 /// One participant in the naming mesh. Cheap to share: resolution state
@@ -153,6 +154,7 @@ impl MeshNode {
                 heartbeat: 0,
                 status: MemberStatus::Alive,
                 ads: Vec::new(),
+                store_digest: 0,
             }),
             version: AtomicU64::new(1),
             metrics,
@@ -244,7 +246,16 @@ impl MeshNode {
             zone: cfg.zone,
             status: s.status,
             ads: s.ads.clone(),
+            store_digest: s.store_digest,
         }
+    }
+
+    /// Advertises the digest of this node's artifact store. Gossip
+    /// carries it to peers on the next tick; a change is resolution-
+    /// neutral (no version bump) — only artifact warming reads it.
+    pub fn set_store_digest(&self, digest: u64) {
+        let mut s = self.inner.plock();
+        s.store_digest = digest;
     }
 
     /// One gossip round: advance the local heartbeat, age suspicion and
@@ -490,6 +501,46 @@ impl MeshNode {
         out
     }
 
+    /// The peers worth pulling compiled artifacts from: Alive,
+    /// unsuspected members advertising at least one object under
+    /// exactly the given interface *and* rules fingerprints — the same
+    /// agreement the dial-time handshake would verify — whose store
+    /// digest is nonzero and differs from `self_digest` (an identical
+    /// digest means an identical store; nothing to fetch). Ordered by
+    /// node id for a deterministic fetch sequence.
+    #[must_use]
+    pub fn artifact_peers(
+        &self,
+        interface_fp: u128,
+        rules_fp: u64,
+        self_digest: u64,
+    ) -> Vec<ArtifactPeer> {
+        let s = self.inner.plock();
+        let mut out = Vec::new();
+        for e in s.table.values() {
+            if e.suspected || e.state.status != MemberStatus::Alive {
+                continue;
+            }
+            if e.state.store_digest == 0 || e.state.store_digest == self_digest {
+                continue;
+            }
+            let Some(ad) = e
+                .state
+                .ads
+                .iter()
+                .find(|ad| ad.interface_fp == interface_fp && ad.rules_fp == rules_fp)
+            else {
+                continue;
+            };
+            out.push(ArtifactPeer {
+                node: e.state.node,
+                endpoint: ad.endpoint,
+                store_digest: e.state.store_digest,
+            });
+        }
+        out
+    }
+
     /// Starts a background thread that [`tick`](MeshNode::tick)s this
     /// node on a jittered period, handing every emitted gossip message
     /// to `deliver`. The jitter stream is seeded from the node's own
@@ -535,6 +586,20 @@ impl MeshNode {
             handle: Some(handle),
         }
     }
+}
+
+/// One candidate source for artifact warming, from
+/// [`MeshNode::artifact_peers`]: where to dial and what the peer's
+/// store looked like when it last gossiped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArtifactPeer {
+    /// The advertising node's id.
+    pub node: u64,
+    /// The endpoint to dial (the same port serves calls and `MBAR`
+    /// artifact fetches).
+    pub endpoint: std::net::SocketAddr,
+    /// The peer's advertised store digest.
+    pub store_digest: u64,
 }
 
 /// A handle to one background gossip ticker (see
@@ -685,6 +750,7 @@ mod tests {
                 zone: 0,
                 status: MemberStatus::Left,
                 ads: Vec::new(),
+                store_digest: 0,
             }],
         });
         assert!(a.members()[0].incarnation > inc0, "refuted with a bump");
@@ -746,6 +812,49 @@ mod tests {
         // The ticker thread holds only a weak reference; stop() joins
         // it, which must not hang once the node is gone.
         ticker.stop();
+    }
+
+    #[test]
+    fn store_digests_gossip_without_bumping_the_version() {
+        let a = MeshNode::new(MeshConfig::new(1, 7));
+        let b = MeshNode::new(MeshConfig::new(2, 7));
+        let c = MeshNode::new(MeshConfig::new(3, 7));
+        let mut warm = ad("calc", 0xA, 200);
+        warm.rules_fp = 0xBEEF;
+        b.advertise(warm);
+        let mut other_rules = ad("calc", 0xA, 201);
+        other_rules.rules_fp = 0x0BAD;
+        c.advertise(other_rules);
+        b.set_store_digest(0x5109);
+        c.set_store_digest(0x7777);
+        a.receive(&GossipMessage {
+            from: 2,
+            members: b.members(),
+        });
+        a.receive(&GossipMessage {
+            from: 3,
+            members: c.members(),
+        });
+
+        // Only the fingerprint-agreeing peer is a warming candidate.
+        let peers = a.artifact_peers(0xA, 0xBEEF, 0);
+        assert_eq!(peers.len(), 1);
+        assert_eq!(peers[0].node, 2);
+        assert_eq!(peers[0].store_digest, 0x5109);
+        assert_eq!(peers[0].endpoint.port(), 200);
+        // An identical digest means an identical store: nothing to do.
+        assert!(a.artifact_peers(0xA, 0xBEEF, 0x5109).is_empty());
+
+        // A digest change rides heartbeat gossip without a version bump.
+        b.set_store_digest(0x6000);
+        b.tick();
+        let v = a.version();
+        a.receive(&GossipMessage {
+            from: 2,
+            members: b.members(),
+        });
+        assert_eq!(a.version(), v, "store digest is resolution-neutral");
+        assert_eq!(a.artifact_peers(0xA, 0xBEEF, 0)[0].store_digest, 0x6000);
     }
 
     #[test]

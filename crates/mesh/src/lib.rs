@@ -33,7 +33,7 @@ pub mod member;
 pub mod resolver;
 pub mod sim;
 
-pub use gossip::{GossipMessage, GossipTicker, MeshConfig, MeshNode};
+pub use gossip::{ArtifactPeer, GossipMessage, GossipTicker, MeshConfig, MeshNode};
 pub use member::{MemberState, MemberStatus, ObjectAd};
 pub use resolver::MeshResolver;
 pub use sim::SimMesh;

@@ -106,6 +106,12 @@ pub struct MemberState {
     pub status: MemberStatus,
     /// The objects the member serves.
     pub ads: Vec<ObjectAd>,
+    /// Digest of the member's artifact store (0 = no store advertised).
+    /// A joining node compares this against its own digest to decide
+    /// whether a peer has compiled programs worth fetching; it is
+    /// deliberately *not* part of the membership digest — stores warm
+    /// and evict without implying membership disagreement.
+    pub store_digest: u64,
 }
 
 impl MemberState {
@@ -138,6 +144,7 @@ mod tests {
             zone: 0,
             status,
             ads: Vec::new(),
+            store_digest: 0,
         }
     }
 

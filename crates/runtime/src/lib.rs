@@ -36,6 +36,7 @@
 //!   and Prometheus/JSON rendering. Every [`Dispatcher`],
 //!   [`pool::ConnectionPool`], and connection owns (or shares) one.
 
+pub mod artifacts;
 pub mod breaker;
 pub mod budget;
 pub mod chaos;
@@ -52,6 +53,7 @@ pub mod resolver;
 pub mod sync;
 pub mod transport;
 
+pub use artifacts::{fetch_artifacts, record_store_stats, warm_store_from_peers, FetchOutcome};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use budget::RetryBudget;
 pub use chaos::{ChaosConfig, ChaosConnection, ChaosSchedule, Fault, FaultRecord};

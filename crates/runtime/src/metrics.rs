@@ -60,6 +60,12 @@ pub struct Metrics {
     deadline_expired_server: AtomicU64,
     retry_budget_exhausted: AtomicU64,
     brownout_sheds: AtomicU64,
+    artifact_hits: AtomicU64,
+    artifact_misses: AtomicU64,
+    artifact_evictions: AtomicU64,
+    peer_fetches: AtomicU64,
+    peer_fetch_bytes: AtomicU64,
+    artifact_integrity_failures: AtomicU64,
     /// Gauge, not a counter: the adaptive limiter's current admission
     /// limit (0 until a server publishes one).
     admission_limit: AtomicU64,
@@ -145,6 +151,19 @@ pub struct MetricsSnapshot {
     /// Sheddable requests cut in the adaptive limiter's brownout band
     /// (before critical traffic was touched).
     pub brownout_sheds: u64,
+    /// Artifact-store lookups that found the key.
+    pub artifact_hits: u64,
+    /// Artifact-store lookups that missed.
+    pub artifact_misses: u64,
+    /// Artifact records dropped by store capacity eviction.
+    pub artifact_evictions: u64,
+    /// Artifact records fetched from mesh peers over `MBAR`.
+    pub peer_fetches: u64,
+    /// Artifact body bytes received from mesh peers over `MBAR`.
+    pub peer_fetch_bytes: u64,
+    /// Artifact records rejected for failing a checksum or content-hash
+    /// check (hostile store files, corrupt peer transfers).
+    pub artifact_integrity_failures: u64,
     /// The adaptive limiter's current admission limit (a gauge; 0
     /// until a server publishes one).
     pub admission_limit: u64,
@@ -188,6 +207,12 @@ impl Metrics {
             deadline_expired_server: AtomicU64::new(0),
             retry_budget_exhausted: AtomicU64::new(0),
             brownout_sheds: AtomicU64::new(0),
+            artifact_hits: AtomicU64::new(0),
+            artifact_misses: AtomicU64::new(0),
+            artifact_evictions: AtomicU64::new(0),
+            peer_fetches: AtomicU64::new(0),
+            peer_fetch_bytes: AtomicU64::new(0),
+            artifact_integrity_failures: AtomicU64::new(0),
             admission_limit: AtomicU64::new(0),
         }
     }
@@ -285,6 +310,37 @@ impl Metrics {
     /// Records one sheddable request cut in the brownout band.
     pub fn add_brownout_shed(&self) {
         self.brownout_sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` artifact-store lookups that hit.
+    pub fn add_artifact_hits(&self, n: u64) {
+        self.artifact_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` artifact-store lookups that missed.
+    pub fn add_artifact_misses(&self, n: u64) {
+        self.artifact_misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` artifact records dropped by capacity eviction.
+    pub fn add_artifact_evictions(&self, n: u64) {
+        self.artifact_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one artifact record fetched from a mesh peer.
+    pub fn add_peer_fetch(&self) {
+        self.peer_fetches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` artifact body bytes received from mesh peers.
+    pub fn add_peer_fetch_bytes(&self, n: u64) {
+        self.peer_fetch_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one artifact record rejected by an integrity check.
+    pub fn add_artifact_integrity_failure(&self) {
+        self.artifact_integrity_failures
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Publishes the adaptive limiter's current admission limit.
@@ -404,6 +460,12 @@ impl Metrics {
             deadline_expired_server: self.deadline_expired_server.load(Ordering::Relaxed),
             retry_budget_exhausted: self.retry_budget_exhausted.load(Ordering::Relaxed),
             brownout_sheds: self.brownout_sheds.load(Ordering::Relaxed),
+            artifact_hits: self.artifact_hits.load(Ordering::Relaxed),
+            artifact_misses: self.artifact_misses.load(Ordering::Relaxed),
+            artifact_evictions: self.artifact_evictions.load(Ordering::Relaxed),
+            peer_fetches: self.peer_fetches.load(Ordering::Relaxed),
+            peer_fetch_bytes: self.peer_fetch_bytes.load(Ordering::Relaxed),
+            artifact_integrity_failures: self.artifact_integrity_failures.load(Ordering::Relaxed),
             admission_limit: self.admission_limit.load(Ordering::Relaxed),
         }
     }
@@ -443,6 +505,12 @@ impl Metrics {
         self.deadline_expired_server.store(0, Ordering::Relaxed);
         self.retry_budget_exhausted.store(0, Ordering::Relaxed);
         self.brownout_sheds.store(0, Ordering::Relaxed);
+        self.artifact_hits.store(0, Ordering::Relaxed);
+        self.artifact_misses.store(0, Ordering::Relaxed);
+        self.artifact_evictions.store(0, Ordering::Relaxed);
+        self.peer_fetches.store(0, Ordering::Relaxed);
+        self.peer_fetch_bytes.store(0, Ordering::Relaxed);
+        self.artifact_integrity_failures.store(0, Ordering::Relaxed);
         self.admission_limit.store(0, Ordering::Relaxed);
     }
 }
@@ -450,7 +518,7 @@ impl Metrics {
 impl MetricsSnapshot {
     /// Counter names and values in declaration order, for exposition.
     #[must_use]
-    pub fn fields(&self) -> [(&'static str, u64); 33] {
+    pub fn fields(&self) -> [(&'static str, u64); 39] {
         [
             ("requests", self.requests),
             ("replies", self.replies),
@@ -485,6 +553,15 @@ impl MetricsSnapshot {
             ("deadline_expired_server", self.deadline_expired_server),
             ("retry_budget_exhausted", self.retry_budget_exhausted),
             ("brownout_sheds", self.brownout_sheds),
+            ("artifact_hits", self.artifact_hits),
+            ("artifact_misses", self.artifact_misses),
+            ("artifact_evictions", self.artifact_evictions),
+            ("peer_fetches", self.peer_fetches),
+            ("peer_fetch_bytes", self.peer_fetch_bytes),
+            (
+                "artifact_integrity_failures",
+                self.artifact_integrity_failures,
+            ),
         ]
     }
 }
@@ -807,6 +884,12 @@ mod tests {
         m.add_deadline_expired_server();
         m.add_retry_budget_exhausted();
         m.add_brownout_shed();
+        m.add_artifact_hits(4);
+        m.add_artifact_misses(2);
+        m.add_artifact_evictions(3);
+        m.add_peer_fetch();
+        m.add_peer_fetch_bytes(512);
+        m.add_artifact_integrity_failure();
         m.set_admission_limit(64);
         let s = m.snapshot();
         assert_eq!(s.requests, 2);
@@ -840,6 +923,12 @@ mod tests {
         assert_eq!(s.deadline_expired_server, 1);
         assert_eq!(s.retry_budget_exhausted, 1);
         assert_eq!(s.brownout_sheds, 1);
+        assert_eq!(s.artifact_hits, 4);
+        assert_eq!(s.artifact_misses, 2);
+        assert_eq!(s.artifact_evictions, 3);
+        assert_eq!(s.peer_fetches, 1);
+        assert_eq!(s.peer_fetch_bytes, 512);
+        assert_eq!(s.artifact_integrity_failures, 1);
         assert_eq!(s.admission_limit, 64);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
@@ -906,6 +995,18 @@ mod tests {
             assert!(families.insert(fam.to_string()), "duplicate family {fam}");
         }
         assert!(text.contains("mockingbird_requests_total 1"));
+        // The artifact-store families export alongside everything else.
+        r.add_artifact_hits(5);
+        r.add_peer_fetch();
+        r.add_peer_fetch_bytes(640);
+        r.add_artifact_integrity_failure();
+        let text = r.prometheus_text();
+        assert!(text.contains("mockingbird_artifact_hits_total 5"));
+        assert!(text.contains("mockingbird_artifact_misses_total 0"));
+        assert!(text.contains("mockingbird_artifact_evictions_total 0"));
+        assert!(text.contains("mockingbird_peer_fetches_total 1"));
+        assert!(text.contains("mockingbird_peer_fetch_bytes_total 640"));
+        assert!(text.contains("mockingbird_artifact_integrity_failures_total 1"));
         assert!(text.contains("side=\"client\",op=\"echo\",quantile=\"0.5\""));
         assert!(text
             .contains("mockingbird_op_latency_microseconds_count{side=\"server\",op=\"echo\"} 1"));

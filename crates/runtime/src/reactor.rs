@@ -1041,6 +1041,21 @@ impl Reactor {
             }
             return;
         }
+        if let MessageKind::Artifact {
+            request_id,
+            reply: false,
+        } = &msg.kind
+        {
+            // Answered inline like Hello: a store read, no dispatch slot.
+            let reply = crate::artifacts::artifact_fetch_reply(
+                *request_id,
+                msg.endian,
+                &msg.body,
+                ctx.cfg.artifacts.as_deref(),
+            );
+            writer.enqueue(reply.to_bytes());
+            return;
+        }
         // Admission control, same policy as the threaded server: an
         // already-expired propagated deadline is refused at the door,
         // the rest pass the limiter (brownout cuts sheddable traffic

@@ -41,6 +41,9 @@ use mockingbird_wire::{
     WireDeadline,
 };
 
+use mockingbird_artifact::ArtifactStore;
+
+use crate::artifacts::artifact_fetch_reply;
 use crate::budget::RetryBudget;
 use crate::dispatch::{deadline_expired_reply, Dispatcher};
 use crate::error::RuntimeError;
@@ -233,7 +236,7 @@ const MID_FRAME_PATIENCE: u32 = 40;
 /// Reads one frame from a blocking stream (serial transport, handshake,
 /// and the thread-per-connection server baseline; the reactor paths use
 /// [`crate::reactor::FrameReader`] instead).
-fn read_frame(
+pub(crate) fn read_frame(
     stream: &mut TcpStream,
     metrics: &MetricsRegistry,
 ) -> Result<Option<Message>, RuntimeError> {
@@ -298,7 +301,7 @@ fn read_frame(
         .map_err(|e| RuntimeError::Protocol(e.to_string()))
 }
 
-fn write_frame(
+pub(crate) fn write_frame(
     stream: &mut TcpStream,
     msg: &Message,
     metrics: &MetricsRegistry,
@@ -626,7 +629,9 @@ impl MultiplexedConnection {
 fn with_request_id(msg: &Message, id: u32) -> Message {
     let mut m = msg.clone();
     match &mut m.kind {
-        MessageKind::Request { request_id, .. } | MessageKind::Reply { request_id, .. } => {
+        MessageKind::Request { request_id, .. }
+        | MessageKind::Reply { request_id, .. }
+        | MessageKind::Artifact { request_id, .. } => {
             *request_id = id;
         }
         // Handshake frames are exchanged before multiplexing starts and
@@ -771,7 +776,7 @@ const DISPATCH_WORKERS: usize = 4;
 
 /// Server-side tuning: handshake policy, overload limits, and engine
 /// selection.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// The server's side of the fingerprint handshake. `None` accepts
     /// every `Hello` by echoing the client's own info (permissive mode
@@ -801,6 +806,25 @@ pub struct ServerConfig {
     /// windows whose p99 overshoots this cut the limit
     /// multiplicatively; healthy windows raise it by one.
     pub target_p99: Duration,
+    /// The artifact store this server answers `MBAR` fetch frames from.
+    /// `None` (the default) answers every fetch with an empty reply, so
+    /// peers fall back to local compilation.
+    pub artifacts: Option<Arc<dyn ArtifactStore>>,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("handshake", &self.handshake)
+            .field("max_queue", &self.max_queue)
+            .field("max_in_flight", &self.max_in_flight)
+            .field("workers", &self.workers)
+            .field("thread_per_connection", &self.thread_per_connection)
+            .field("adaptive_limit", &self.adaptive_limit)
+            .field("target_p99", &self.target_p99)
+            .field("artifacts", &self.artifacts.as_ref().map(|s| s.len()))
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -813,6 +837,7 @@ impl Default for ServerConfig {
             thread_per_connection: false,
             adaptive_limit: false,
             target_p99: Duration::from_millis(50),
+            artifacts: None,
         }
     }
 }
@@ -866,6 +891,15 @@ impl ServerConfig {
     #[must_use]
     pub fn with_target_p99(mut self, target: Duration) -> Self {
         self.target_p99 = target;
+        self
+    }
+
+    /// Serves `MBAR` artifact fetches from `store` (peers whose
+    /// fingerprints prove agreement can pull compiled artifacts instead
+    /// of recompiling them).
+    #[must_use]
+    pub fn with_artifact_store(mut self, store: Arc<dyn ArtifactStore>) -> Self {
+        self.artifacts = Some(store);
         self
     }
 
@@ -1090,6 +1124,26 @@ fn serve_connection(
                 if let MessageKind::Hello { info, .. } = &msg.kind {
                     if !serve_hello(info, msg.endian, &cfg, &writer, &metrics) {
                         break; // rejected or unwritable: close the link
+                    }
+                    continue;
+                }
+                if let MessageKind::Artifact {
+                    request_id,
+                    reply: false,
+                } = &msg.kind
+                {
+                    // Artifact fetches are answered inline, like Hello:
+                    // they read the store without touching the dispatch
+                    // path, so admission control stays request-only.
+                    let reply = artifact_fetch_reply(
+                        *request_id,
+                        msg.endian,
+                        &msg.body,
+                        cfg.artifacts.as_deref(),
+                    );
+                    let mut stream = writer.plock();
+                    if write_frame(&mut stream, &reply, &metrics).is_err() {
+                        break;
                     }
                     continue;
                 }

@@ -285,6 +285,18 @@ pub enum MessageKind {
         /// Proposal or server verdict.
         verdict: HandshakeVerdict,
     },
+    /// An `MBAR` artifact-fetch frame: a joining node asks a peer (whose
+    /// fingerprints already proved agreement via [`MessageKind::Hello`])
+    /// for compiled artifacts it is missing, and the peer ships them
+    /// back. The body is the `mockingbird-artifact` transfer payload
+    /// (opaque at this layer); receivers re-check each record's content
+    /// hash before trusting it.
+    Artifact {
+        /// Correlates the reply, like a request id.
+        request_id: u32,
+        /// `false` for the fetch request, `true` for the peer's reply.
+        reply: bool,
+    },
 }
 
 /// A framed message: headers plus a CDR-encoded body.
@@ -367,6 +379,18 @@ impl Message {
         }
     }
 
+    /// Builds an `MBAR` artifact-fetch frame carrying the opaque transfer
+    /// payload as its body.
+    pub fn artifact(request_id: u32, reply: bool, endian: Endian, body: Vec<u8>) -> Self {
+        Message {
+            endian,
+            kind: MessageKind::Artifact { request_id, reply },
+            trace: None,
+            deadline: None,
+            body,
+        }
+    }
+
     /// Exact byte length of the kind-specific header (what the old
     /// two-buffer path measured by serialising; all fields are at most
     /// 4-aligned and the header starts 4-aligned, so the length is pure
@@ -394,6 +418,8 @@ impl Message {
             MessageKind::Reply { .. } => 8,
             // protocol + verdict + interface_fp (4×u32) + rules_fp (2×u32)
             MessageKind::Hello { .. } => 32,
+            // request_id + role (request/reply)
+            MessageKind::Artifact { .. } => 8,
         }
     }
 
@@ -431,6 +457,7 @@ impl Message {
             MessageKind::Request { .. } => 0,
             MessageKind::Reply { .. } => 1,
             MessageKind::Hello { .. } => 2,
+            MessageKind::Artifact { .. } => 3,
         });
         out.extend_from_slice(&(size as u32).to_be_bytes());
         match &self.kind {
@@ -492,6 +519,10 @@ impl Message {
                 self.put_u32_endian(out, info.interface_fp as u32);
                 self.put_u32_endian(out, (info.rules_fp >> 32) as u32);
                 self.put_u32_endian(out, info.rules_fp as u32);
+            }
+            MessageKind::Artifact { request_id, reply } => {
+                self.put_u32_endian(out, *request_id);
+                self.put_u32_endian(out, *reply as u32);
             }
         }
         debug_assert_eq!(out.len() - 12, self.header_len());
@@ -674,6 +705,17 @@ impl Message {
                         rules_fp: (u64::from(rules_hi) << 32) | u64::from(rules_lo),
                     },
                     verdict,
+                }
+            }
+            3 => {
+                let request_id = r.get_u32().map_err(wrap)?;
+                let role = r.get_u32().map_err(wrap)?;
+                if role > 1 {
+                    return Err(GiopError(format!("bad artifact frame role {role}")));
+                }
+                MessageKind::Artifact {
+                    request_id,
+                    reply: role == 1,
                 }
             }
             other => return Err(GiopError(format!("unknown message type {other}"))),
@@ -971,6 +1013,30 @@ mod tests {
             assert_eq!(parsed.deadline, Some(d));
             assert_eq!(parsed, m);
         }
+    }
+
+    #[test]
+    fn artifact_frames_round_trip_both_endians() {
+        for endian in [Endian::Little, Endian::Big] {
+            for reply in [false, true] {
+                let m = Message::artifact(42, reply, endian, b"MBAR-payload".to_vec());
+                let bytes = m.to_bytes();
+                assert_eq!(Message::frame_len(&bytes).unwrap(), bytes.len());
+                let parsed = Message::from_bytes(&bytes).unwrap();
+                assert_eq!(parsed, m);
+                assert_eq!(parsed.body, b"MBAR-payload");
+            }
+        }
+    }
+
+    #[test]
+    fn artifact_frame_with_forged_role_rejected() {
+        let m = Message::artifact(1, false, Endian::Little, vec![]);
+        let mut bytes = m.to_bytes();
+        // The role word sits right after the request id in the header.
+        bytes[16..20].copy_from_slice(&7u32.to_le_bytes());
+        let err = Message::from_bytes(&bytes).unwrap_err();
+        assert!(err.0.contains("artifact frame role"), "{}", err.0);
     }
 
     #[test]

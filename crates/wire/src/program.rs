@@ -38,6 +38,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
+use mockingbird_artifact::{ArtifactKind, ArtifactStore};
 use mockingbird_comparer::{
     resolve_transparent, CacheKey, Entry, PrimCoercion, RecordFlatten, RuleSet,
 };
@@ -2291,6 +2292,43 @@ impl ProgramCache {
         let mut n = 0usize;
         for (k, p) in items {
             map.insert(k, Ok(p));
+            n += 1;
+        }
+        n
+    }
+
+    /// Writes every positive entry into `store` as
+    /// [`ArtifactKind::WireProgram`] records whose bodies are the programs'
+    /// canonical [`WireProgram::to_bytes`] encoding. Returns the count.
+    pub fn store_into(&self, store: &dyn ArtifactStore) -> usize {
+        let mut n = 0usize;
+        for (key, program) in self.export() {
+            store.put(
+                key.store_key(ArtifactKind::WireProgram),
+                &program.to_bytes(),
+            );
+            n += 1;
+        }
+        n
+    }
+
+    /// Absorbs every [`ArtifactKind::WireProgram`] record from `store`.
+    /// Bodies that fail [`WireProgram::from_bytes`] validation are skipped
+    /// (the codec is the integrity boundary: a corrupt program is never
+    /// served). Returns how many programs were absorbed.
+    pub fn load_from(&self, store: &dyn ArtifactStore) -> usize {
+        let mut n = 0usize;
+        for (skey, id) in store.keys() {
+            if skey.kind != ArtifactKind::WireProgram {
+                continue;
+            }
+            let Some(body) = store.body(&id) else {
+                continue;
+            };
+            let Ok(program) = WireProgram::from_bytes(&body) else {
+                continue;
+            };
+            self.insert(CacheKey::from_store_key(&skey), Arc::new(program));
             n += 1;
         }
         n
